@@ -1,0 +1,249 @@
+//! The `AdditivityChecker` tool.
+//!
+//! Automates the paper's additivity determination: measure every requested
+//! event on each base application and on each compound (serial) execution
+//! with repeated collection sweeps, then apply the two-stage test and
+//! report, per event, the *maximum* Eq. 1 error over the compound suite.
+
+use crate::report::{AdditivityReport, EventAdditivity, Verdict};
+use crate::test::AdditivityTest;
+use pmca_cpusim::app::{Application, Segment};
+use pmca_cpusim::events::EventId;
+use pmca_cpusim::{Machine, PlatformSpec};
+use pmca_pmctools::collector::collect_sweeps;
+use pmca_pmctools::scheduler::ScheduleError;
+use pmca_stats::descriptive::mean;
+use std::collections::HashMap;
+
+/// One compound case: two base applications to be composed serially.
+pub struct CompoundCase {
+    first: Box<dyn Application>,
+    second: Box<dyn Application>,
+}
+
+impl CompoundCase {
+    /// Build a case from two owned applications.
+    pub fn new(first: Box<dyn Application>, second: Box<dyn Application>) -> Self {
+        CompoundCase { first, second }
+    }
+
+    /// Name of the compound (`first;second`).
+    pub fn name(&self) -> String {
+        format!("{};{}", self.first.name(), self.second.name())
+    }
+}
+
+/// Serial composition over borrowed components, used internally so the
+/// checker can measure `first;second` without taking ownership again.
+struct BorrowedCompound<'a> {
+    first: &'a dyn Application,
+    second: &'a dyn Application,
+}
+
+impl Application for BorrowedCompound<'_> {
+    fn name(&self) -> String {
+        format!("{};{}", self.first.name(), self.second.name())
+    }
+
+    fn segments(&self, spec: &PlatformSpec) -> Vec<Segment> {
+        let mut segs = self.first.segments(spec);
+        segs.extend(self.second.segments(spec));
+        segs
+    }
+}
+
+/// The checker: an [`AdditivityTest`] plus collection bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct AdditivityChecker {
+    test: AdditivityTest,
+}
+
+impl AdditivityChecker {
+    /// Checker with an explicit test configuration.
+    pub fn new(test: AdditivityTest) -> Self {
+        AdditivityChecker { test }
+    }
+
+    /// The test configuration in force.
+    pub fn test(&self) -> &AdditivityTest {
+        &self.test
+    }
+
+    /// Run the full two-stage determination for `events` over the compound
+    /// `cases` on `machine`. Base applications shared by several cases are
+    /// measured once (keyed by name).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScheduleError`] from PMC collection.
+    pub fn check(
+        &self,
+        machine: &mut Machine,
+        events: &[EventId],
+        cases: &[CompoundCase],
+    ) -> Result<AdditivityReport, ScheduleError> {
+        // Per-application samples: app name → event → Vec<count>.
+        let mut base_samples: HashMap<String, HashMap<EventId, Vec<f64>>> = HashMap::new();
+
+        let measure = |machine: &mut Machine,
+                           app: &dyn Application,
+                           cache: &mut HashMap<String, HashMap<EventId, Vec<f64>>>|
+         -> Result<(), ScheduleError> {
+            if cache.contains_key(&app.name()) {
+                return Ok(());
+            }
+            let sweeps = collect_sweeps(machine, app, events, self.test.runs)?;
+            let mut per_event = HashMap::new();
+            for &id in &sweeps.events {
+                per_event.insert(id, sweeps.samples.iter().map(|s| s[&id]).collect::<Vec<f64>>());
+            }
+            cache.insert(app.name(), per_event);
+            Ok(())
+        };
+
+        // Measure all bases and compounds.
+        let mut compound_samples: Vec<(String, String, HashMap<EventId, Vec<f64>>)> = Vec::new();
+        for case in cases {
+            measure(machine, case.first.as_ref(), &mut base_samples)?;
+            measure(machine, case.second.as_ref(), &mut base_samples)?;
+            let compound = BorrowedCompound { first: case.first.as_ref(), second: case.second.as_ref() };
+            let sweeps = collect_sweeps(machine, &compound, events, self.test.runs)?;
+            let mut per_event = HashMap::new();
+            for &id in &sweeps.events {
+                per_event.insert(id, sweeps.samples.iter().map(|s| s[&id]).collect::<Vec<f64>>());
+            }
+            compound_samples.push((case.first.name(), case.second.name(), per_event));
+        }
+
+        // Classify each event.
+        let mut entries = Vec::with_capacity(events.len());
+        for &id in events {
+            let name = machine.catalog().event(id).name.clone();
+            // Stage 1 over every measured application.
+            let reproducible = base_samples
+                .values()
+                .all(|per_event| per_event.get(&id).is_none_or(|s| self.test.is_reproducible(s)));
+            // Stage 2: max Eq. 1 error over compounds.
+            let mut max_error = 0.0_f64;
+            let mut worst_compound = String::new();
+            for (first, second, compound) in &compound_samples {
+                let b1 = mean(&base_samples[first][&id]);
+                let b2 = mean(&base_samples[second][&id]);
+                let c = mean(&compound[&id]);
+                let err = AdditivityTest::equation_1_error_pct(b1, b2, c);
+                if err > max_error {
+                    max_error = err;
+                    worst_compound = format!("{first};{second}");
+                }
+            }
+            let verdict = if !reproducible {
+                Verdict::NonReproducible
+            } else if self.test.passes(max_error) {
+                Verdict::Additive
+            } else {
+                Verdict::NonAdditive
+            };
+            entries.push(EventAdditivity { id, name, reproducible, max_error_pct: max_error, worst_compound, verdict });
+        }
+        Ok(AdditivityReport::new(entries, self.test.tolerance_pct))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmca_workloads::{Dgemm, Fft2d, Stress};
+    use pmca_workloads::stress::StressKind;
+
+    fn skylake() -> Machine {
+        Machine::new(PlatformSpec::intel_skylake(), 404)
+    }
+
+    fn dgemm_fft_cases(n: usize) -> Vec<CompoundCase> {
+        (0..n)
+            .map(|i| {
+                CompoundCase::new(
+                    Box::new(Dgemm::new(7_000 + 700 * i)),
+                    Box::new(Fft2d::new(23_000 + 500 * i)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn committed_events_pass_on_dgemm_fft() {
+        let mut m = skylake();
+        let events = m
+            .catalog()
+            .ids(&["MEM_INST_RETIRED_ALL_STORES", "FP_ARITH_INST_RETIRED_DOUBLE", "UOPS_EXECUTED_CORE"])
+            .unwrap();
+        let report = AdditivityChecker::default()
+            .check(&mut m, &events, &dgemm_fft_cases(4))
+            .unwrap();
+        for entry in report.entries() {
+            assert_eq!(entry.verdict, Verdict::Additive, "{}: {}", entry.name, entry.max_error_pct);
+            assert!(entry.max_error_pct < 2.0, "{}: {}", entry.name, entry.max_error_pct);
+        }
+    }
+
+    #[test]
+    fn divider_and_ms_uops_fail_on_dgemm_fft() {
+        let mut m = skylake();
+        let events = m.catalog().ids(&["ARITH_DIVIDER_COUNT", "IDQ_MS_UOPS"]).unwrap();
+        let report = AdditivityChecker::default()
+            .check(&mut m, &events, &dgemm_fft_cases(4))
+            .unwrap();
+        for entry in report.entries() {
+            assert_eq!(entry.verdict, Verdict::NonAdditive, "{}: {}", entry.name, entry.max_error_pct);
+        }
+    }
+
+    #[test]
+    fn stress_compounds_break_even_committed_counters() {
+        let mut m = Machine::new(PlatformSpec::intel_haswell(), 11);
+        let events = m.catalog().ids(&["INSTR_RETIRED_ANY", "MEM_INST_RETIRED_ALL_STORES"]).unwrap();
+        let cases: Vec<CompoundCase> = (0..4)
+            .map(|i| {
+                CompoundCase::new(
+                    Box::new(Dgemm::new(4_000 + 500 * i)),
+                    Box::new(Stress::new(StressKind::Vm, 3.0 + i as f64)),
+                )
+            })
+            .collect();
+        let report = AdditivityChecker::default().check(&mut m, &events, &cases).unwrap();
+        let max = report
+            .entries()
+            .iter()
+            .map(|e| e.max_error_pct)
+            .fold(0.0_f64, f64::max);
+        assert!(max > 5.0, "adaptive compounds should break additivity, max {max}");
+    }
+
+    #[test]
+    fn report_records_worst_compound() {
+        let mut m = skylake();
+        let events = m.catalog().ids(&["ARITH_DIVIDER_COUNT"]).unwrap();
+        let report = AdditivityChecker::default()
+            .check(&mut m, &events, &dgemm_fft_cases(3))
+            .unwrap();
+        let entry = &report.entries()[0];
+        assert!(entry.worst_compound.contains(';'), "worst compound: {}", entry.worst_compound);
+    }
+
+    #[test]
+    fn shared_bases_are_measured_once() {
+        let mut m = skylake();
+        let events = m.catalog().ids(&["UOPS_EXECUTED_CORE"]).unwrap();
+        // Two cases sharing the same first base.
+        let cases = vec![
+            CompoundCase::new(Box::new(Dgemm::new(7_000)), Box::new(Fft2d::new(23_000))),
+            CompoundCase::new(Box::new(Dgemm::new(7_000)), Box::new(Fft2d::new(24_000))),
+        ];
+        let runs_before = m.runs_executed();
+        AdditivityChecker::default().check(&mut m, &events, &cases).unwrap();
+        let consumed = m.runs_executed() - runs_before;
+        // 3 distinct bases + 2 compounds, 4 sweeps each, 1 group each = 20,
+        // not 24 (the shared dgemm-7000 measured once).
+        assert_eq!(consumed, 20, "runs consumed: {consumed}");
+    }
+}

@@ -1,0 +1,50 @@
+//! The additivity criterion for PMC selection — the paper's contribution.
+//!
+//! A PMC intended as a parameter in a *linear* term of an energy predictive
+//! model must be **additive**: its value for a compound application (the
+//! serial execution of two base applications) must equal the sum of its
+//! values for the bases. The justification is physical — dynamic energy
+//! itself obeys this law — so a counter that violates it cannot carry a
+//! stable energy coefficient.
+//!
+//! The test has two stages (Sect. 4 of the paper):
+//!
+//! 1. **Reproducibility** — the PMC must be deterministic across repeated
+//!    runs of the same application ([`test::AdditivityTest::reproducibility_cv`]);
+//! 2. **Compound versus sum** — for every compound application in the test
+//!    suite, the percentage error of Eq. 1,
+//!    `|(ē_b1 + ē_b2 − ē_c)/(ē_b1 + ē_b2)| × 100`, computed over sample
+//!    means, must stay within the tolerance (the paper uses 5%). The
+//!    event's score is the *maximum* error over all compounds.
+//!
+//! [`checker::AdditivityChecker`] is the `AdditivityChecker` tool of the
+//! paper's supplemental: it measures base and compound applications
+//! through the multi-run PMC collector and classifies every event.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmca_cpusim::{Machine, PlatformSpec};
+//! use pmca_workloads::{Dgemm, Fft2d};
+//! use pmca_additivity::checker::{AdditivityChecker, CompoundCase};
+//!
+//! let mut machine = Machine::new(PlatformSpec::intel_skylake(), 5);
+//! let events = machine.catalog().ids(&["MEM_INST_RETIRED_ALL_STORES", "ARITH_DIVIDER_COUNT"]).unwrap();
+//! let cases = vec![CompoundCase::new(Box::new(Dgemm::new(7000)), Box::new(Fft2d::new(23000)))];
+//! let report = AdditivityChecker::default().check(&mut machine, &events, &cases).unwrap();
+//! // Committed stores pass; the divider does not.
+//! assert!(report.entries()[0].max_error_pct < report.entries()[1].max_error_pct);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod matrix;
+pub mod report;
+pub mod test;
+
+pub use checker::{AdditivityChecker, CompoundCase};
+pub use matrix::AdditivityMatrix;
+pub use report::{AdditivityReport, EventAdditivity, Verdict};
+pub use test::AdditivityTest;

@@ -1,0 +1,201 @@
+//! Per-compound additivity detail.
+//!
+//! [`AdditivityReport`](crate::AdditivityReport) keeps only each event's
+//! *worst* Eq. 1 error — enough for selection, but when a counter fails
+//! the practitioner's next question is *which compositions break it*.
+//! [`AdditivityMatrix`] keeps the full event × compound error matrix and
+//! can render it, rank compounds by destructiveness, and distinguish
+//! broad-spectrum non-additivity (every compound) from context-specific
+//! spikes (one pathological neighbour).
+
+use crate::checker::{AdditivityChecker, CompoundCase};
+use crate::test::AdditivityTest;
+use pmca_cpusim::events::EventId;
+use pmca_cpusim::Machine;
+use pmca_pmctools::scheduler::ScheduleError;
+use pmca_stats::descriptive::{mean, median};
+
+/// The full event × compound Eq. 1 error matrix.
+#[derive(Debug, Clone)]
+pub struct AdditivityMatrix {
+    event_names: Vec<String>,
+    compound_names: Vec<String>,
+    /// `errors[e][c]` = Eq. 1 error (%) of event `e` on compound `c`.
+    errors: Vec<Vec<f64>>,
+}
+
+impl AdditivityMatrix {
+    /// Measure the matrix for `events` over `cases` on `machine`, using
+    /// the checker's sampling configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScheduleError`] from PMC collection.
+    pub fn measure(
+        checker: &AdditivityChecker,
+        machine: &mut Machine,
+        events: &[EventId],
+        cases: &[CompoundCase],
+    ) -> Result<Self, ScheduleError> {
+        let mut errors = vec![Vec::with_capacity(cases.len()); events.len()];
+        let mut compound_names = Vec::with_capacity(cases.len());
+        // One checker pass per compound keeps base measurements cached
+        // inside each pass; a shared cache across passes would couple this
+        // type to checker internals for little gain at matrix sizes.
+        for case in cases {
+            compound_names.push(case.name());
+            let single = std::slice::from_ref(case);
+            let report = checker.check(machine, events, single)?;
+            for (row, entry) in errors.iter_mut().zip(report.entries()) {
+                row.push(entry.max_error_pct);
+            }
+        }
+        let event_names = events
+            .iter()
+            .map(|&id| machine.catalog().event(id).name.clone())
+            .collect();
+        Ok(AdditivityMatrix { event_names, compound_names, errors })
+    }
+
+    /// Event names (rows).
+    pub fn event_names(&self) -> &[String] {
+        &self.event_names
+    }
+
+    /// Compound names (columns).
+    pub fn compound_names(&self) -> &[String] {
+        &self.compound_names
+    }
+
+    /// Error of one `(event, compound)` cell, percent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn error(&self, event: usize, compound: usize) -> f64 {
+        self.errors[event][compound]
+    }
+
+    /// Per-event summary: `(name, median error, max error)`.
+    pub fn event_summary(&self) -> Vec<(String, f64, f64)> {
+        self.event_names
+            .iter()
+            .zip(&self.errors)
+            .map(|(name, row)| {
+                let max = row.iter().copied().fold(0.0_f64, f64::max);
+                (name.clone(), median(row), max)
+            })
+            .collect()
+    }
+
+    /// Compounds ranked by the mean error they induce across all events —
+    /// the most "destructive" compositions first.
+    pub fn most_destructive_compounds(&self) -> Vec<(String, f64)> {
+        let mut ranked: Vec<(String, f64)> = self
+            .compound_names
+            .iter()
+            .enumerate()
+            .map(|(c, name)| {
+                let col: Vec<f64> = self.errors.iter().map(|row| row[c]).collect();
+                (name.clone(), mean(&col))
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite errors"));
+        ranked
+    }
+
+    /// Whether an event's non-additivity is *broad-spectrum* — its median
+    /// error across compounds exceeds the tolerance — rather than a spike
+    /// caused by one pathological neighbour.
+    pub fn is_broad_spectrum(&self, event: usize, test: &AdditivityTest) -> bool {
+        !test.passes(median(&self.errors[event]))
+    }
+
+    /// Compact text heat table: rows = events, columns = compounds
+    /// (numbered), cells = error %.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<40}", "event \\ compound"));
+        for c in 0..self.compound_names.len() {
+            out.push_str(&format!(" {:>7}", format!("#{}", c + 1)));
+        }
+        out.push('\n');
+        for (name, row) in self.event_names.iter().zip(&self.errors) {
+            out.push_str(&format!("{name:<40}"));
+            for e in row {
+                out.push_str(&format!(" {e:>7.1}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmca_cpusim::PlatformSpec;
+    use pmca_workloads::{Dgemm, Fft2d};
+
+    fn matrix() -> AdditivityMatrix {
+        let mut machine = Machine::new(PlatformSpec::intel_skylake(), 21);
+        let events = machine
+            .catalog()
+            .ids(&["MEM_INST_RETIRED_ALL_STORES", "ARITH_DIVIDER_COUNT"])
+            .unwrap();
+        let cases = vec![
+            CompoundCase::new(Box::new(Dgemm::new(7_000)), Box::new(Fft2d::new(23_000))),
+            CompoundCase::new(Box::new(Fft2d::new(24_000)), Box::new(Dgemm::new(9_000))),
+            CompoundCase::new(Box::new(Dgemm::new(8_000)), Box::new(Dgemm::new(10_000))),
+        ];
+        AdditivityMatrix::measure(&AdditivityChecker::default(), &mut machine, &events, &cases)
+            .unwrap()
+    }
+
+    #[test]
+    fn matrix_shape_matches_inputs() {
+        let m = matrix();
+        assert_eq!(m.event_names().len(), 2);
+        assert_eq!(m.compound_names().len(), 3);
+        for e in 0..2 {
+            for c in 0..3 {
+                assert!(m.error(e, c).is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn divider_is_broad_spectrum_stores_are_not() {
+        let m = matrix();
+        let test = AdditivityTest::default();
+        // Row 0 = stores, row 1 = divider (request order).
+        assert!(!m.is_broad_spectrum(0, &test), "stores broke everywhere: {:?}", m.event_summary());
+        assert!(m.is_broad_spectrum(1, &test), "divider should break everywhere: {:?}", m.event_summary());
+    }
+
+    #[test]
+    fn summary_max_bounds_median() {
+        let m = matrix();
+        for (name, median, max) in m.event_summary() {
+            assert!(median <= max + 1e-12, "{name}: {median} > {max}");
+        }
+    }
+
+    #[test]
+    fn destructive_ranking_is_sorted() {
+        let m = matrix();
+        let ranked = m.most_destructive_compounds();
+        assert_eq!(ranked.len(), 3);
+        for pair in ranked.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn table_mentions_events_and_columns() {
+        let m = matrix();
+        let t = m.to_table();
+        assert!(t.contains("ARITH_DIVIDER_COUNT"));
+        assert!(t.contains("#3"));
+    }
+}

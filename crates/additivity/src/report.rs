@@ -1,0 +1,183 @@
+//! Additivity reports and rankings.
+
+use pmca_cpusim::events::EventId;
+use std::fmt;
+
+/// Verdict of the two-stage test for one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Passed both stages: potentially additive within tolerance.
+    Additive,
+    /// Reproducible but failed Eq. 1 on at least one compound.
+    NonAdditive,
+    /// Failed stage 1: not deterministic across runs.
+    NonReproducible,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Additive => write!(f, "additive"),
+            Verdict::NonAdditive => write!(f, "non-additive"),
+            Verdict::NonReproducible => write!(f, "non-reproducible"),
+        }
+    }
+}
+
+/// Per-event result of the additivity determination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventAdditivity {
+    /// Event id in the machine's catalog.
+    pub id: EventId,
+    /// Likwid-style event name.
+    pub name: String,
+    /// Stage-1 outcome.
+    pub reproducible: bool,
+    /// Maximum Eq. 1 error over the compound suite, percent.
+    pub max_error_pct: f64,
+    /// The compound that produced the maximum error.
+    pub worst_compound: String,
+    /// Final verdict.
+    pub verdict: Verdict,
+}
+
+/// Result of a full additivity check over a set of events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdditivityReport {
+    entries: Vec<EventAdditivity>,
+    tolerance_pct: f64,
+}
+
+impl AdditivityReport {
+    /// Assemble a report (entries keep the caller's event order).
+    pub fn new(entries: Vec<EventAdditivity>, tolerance_pct: f64) -> Self {
+        AdditivityReport { entries, tolerance_pct }
+    }
+
+    /// The per-event entries, in the order the events were requested.
+    pub fn entries(&self) -> &[EventAdditivity] {
+        &self.entries
+    }
+
+    /// Stage-2 tolerance used, percent.
+    pub fn tolerance_pct(&self) -> f64 {
+        self.tolerance_pct
+    }
+
+    /// Entries sorted from most additive (smallest max error) to least.
+    /// Non-reproducible events sort last regardless of error.
+    pub fn ranked(&self) -> Vec<&EventAdditivity> {
+        let mut sorted: Vec<&EventAdditivity> = self.entries.iter().collect();
+        sorted.sort_by(|a, b| {
+            let key = |e: &EventAdditivity| (e.verdict == Verdict::NonReproducible, e.max_error_pct);
+            key(a).partial_cmp(&key(b)).expect("NaN additivity error")
+        });
+        sorted
+    }
+
+    /// The `k` most additive events, by id.
+    pub fn most_additive(&self, k: usize) -> Vec<EventId> {
+        self.ranked().into_iter().take(k).map(|e| e.id).collect()
+    }
+
+    /// Ids of events that passed the test.
+    pub fn additive_ids(&self) -> Vec<EventId> {
+        self.entries
+            .iter()
+            .filter(|e| e.verdict == Verdict::Additive)
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// The single least additive event (largest max error), if any.
+    pub fn least_additive(&self) -> Option<&EventAdditivity> {
+        self.entries
+            .iter()
+            .max_by(|a, b| a.max_error_pct.partial_cmp(&b.max_error_pct).expect("NaN error"))
+    }
+
+    /// Render the report as an aligned text table (the shape of the
+    /// paper's Table 2).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<44} {:>12} {:>16}\n",
+            "PMC", "max error %", "verdict"
+        ));
+        for e in self.ranked() {
+            out.push_str(&format!(
+                "{:<44} {:>12.2} {:>16}\n",
+                e.name, e.max_error_pct, e.verdict.to_string()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: usize, name: &str, err: f64, verdict: Verdict) -> EventAdditivity {
+        EventAdditivity {
+            id: EventId(id),
+            name: name.into(),
+            reproducible: verdict != Verdict::NonReproducible,
+            max_error_pct: err,
+            worst_compound: "a;b".into(),
+            verdict,
+        }
+    }
+
+    fn sample() -> AdditivityReport {
+        AdditivityReport::new(
+            vec![
+                entry(0, "DIVIDER", 80.0, Verdict::NonAdditive),
+                entry(1, "STORES", 0.4, Verdict::Additive),
+                entry(2, "WILD", 3.0, Verdict::NonReproducible),
+                entry(3, "MS_UOPS", 37.0, Verdict::NonAdditive),
+            ],
+            5.0,
+        )
+    }
+
+    #[test]
+    fn ranked_orders_by_error_with_nonreproducible_last() {
+        let r = sample();
+        let names: Vec<&str> = r.ranked().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["STORES", "MS_UOPS", "DIVIDER", "WILD"]);
+    }
+
+    #[test]
+    fn most_additive_takes_prefix_of_ranking() {
+        let r = sample();
+        assert_eq!(r.most_additive(2), vec![EventId(1), EventId(3)]);
+    }
+
+    #[test]
+    fn additive_ids_filters_by_verdict() {
+        let r = sample();
+        assert_eq!(r.additive_ids(), vec![EventId(1)]);
+    }
+
+    #[test]
+    fn least_additive_is_the_divider() {
+        let r = sample();
+        assert_eq!(r.least_additive().unwrap().name, "DIVIDER");
+    }
+
+    #[test]
+    fn table_contains_all_events() {
+        let table = sample().to_table();
+        for name in ["DIVIDER", "STORES", "WILD", "MS_UOPS"] {
+            assert!(table.contains(name), "missing {name} in:\n{table}");
+        }
+    }
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(Verdict::Additive.to_string(), "additive");
+        assert_eq!(Verdict::NonAdditive.to_string(), "non-additive");
+        assert_eq!(Verdict::NonReproducible.to_string(), "non-reproducible");
+    }
+}

@@ -1,0 +1,146 @@
+//! The two-stage additivity test.
+
+use pmca_stats::descriptive::{coefficient_of_variation, mean};
+
+/// Parameters of the additivity test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdditivityTest {
+    /// Stage-2 tolerance, percent (the paper uses 5.0).
+    pub tolerance_pct: f64,
+    /// Stage-1 reproducibility bound: maximum coefficient of variation
+    /// across repeated runs.
+    pub reproducibility_cv: f64,
+    /// Runs per application used to form sample means.
+    pub runs: usize,
+}
+
+impl Default for AdditivityTest {
+    fn default() -> Self {
+        AdditivityTest { tolerance_pct: 5.0, reproducibility_cv: 0.20, runs: 4 }
+    }
+}
+
+impl AdditivityTest {
+    /// Variant with a different stage-2 tolerance (for the tolerance-sweep
+    /// ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `tolerance_pct` is positive and finite.
+    pub fn with_tolerance(tolerance_pct: f64) -> Self {
+        assert!(
+            tolerance_pct.is_finite() && tolerance_pct > 0.0,
+            "tolerance must be positive"
+        );
+        AdditivityTest { tolerance_pct, ..AdditivityTest::default() }
+    }
+
+    /// Stage 1: is the event deterministic and reproducible on a sample of
+    /// repeated-run counts?
+    pub fn is_reproducible(&self, samples: &[f64]) -> bool {
+        if samples.len() < 2 {
+            return false;
+        }
+        coefficient_of_variation(samples) <= self.reproducibility_cv
+    }
+
+    /// Stage 2, Eq. 1 of the paper: percentage error between the sum of
+    /// the base-application sample means and the compound sample mean.
+    /// Returns `f64::INFINITY` when the base sum is zero but the compound
+    /// is not, and `0.0` when both are zero.
+    pub fn equation_1_error_pct(base1_mean: f64, base2_mean: f64, compound_mean: f64) -> f64 {
+        let base_sum = base1_mean + base2_mean;
+        if base_sum == 0.0 {
+            return if compound_mean == 0.0 { 0.0 } else { f64::INFINITY };
+        }
+        100.0 * ((base_sum - compound_mean) / base_sum).abs()
+    }
+
+    /// Stage 2 from raw samples: means first, then Eq. 1.
+    pub fn equation_1_from_samples(&self, base1: &[f64], base2: &[f64], compound: &[f64]) -> f64 {
+        Self::equation_1_error_pct(mean(base1), mean(base2), mean(compound))
+    }
+
+    /// Final verdict from a stage-2 maximum error.
+    pub fn passes(&self, max_error_pct: f64) -> bool {
+        max_error_pct <= self.tolerance_pct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation_1_zero_when_exactly_additive() {
+        assert_eq!(AdditivityTest::equation_1_error_pct(10.0, 20.0, 30.0), 0.0);
+    }
+
+    #[test]
+    fn equation_1_matches_hand_computation() {
+        // bases 40 + 60 = 100, compound 125 → 25% error.
+        let e = AdditivityTest::equation_1_error_pct(40.0, 60.0, 125.0);
+        assert!((e - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equation_1_is_symmetric_in_bases() {
+        let a = AdditivityTest::equation_1_error_pct(10.0, 30.0, 45.0);
+        let b = AdditivityTest::equation_1_error_pct(30.0, 10.0, 45.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn equation_1_handles_undercounting() {
+        // compound < sum is just as non-additive.
+        let e = AdditivityTest::equation_1_error_pct(50.0, 50.0, 80.0);
+        assert!((e - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equation_1_zero_bases() {
+        assert_eq!(AdditivityTest::equation_1_error_pct(0.0, 0.0, 0.0), 0.0);
+        assert_eq!(AdditivityTest::equation_1_error_pct(0.0, 0.0, 5.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn equation_1_from_samples_uses_means() {
+        let t = AdditivityTest::default();
+        let e = t.equation_1_from_samples(&[9.0, 11.0], &[19.0, 21.0], &[33.0, 33.0]);
+        // means: 10 + 20 vs 33 → 10%.
+        assert!((e - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reproducibility_accepts_tight_samples() {
+        let t = AdditivityTest::default();
+        assert!(t.is_reproducible(&[100.0, 101.0, 99.5, 100.2]));
+    }
+
+    #[test]
+    fn reproducibility_rejects_wild_samples() {
+        let t = AdditivityTest::default();
+        assert!(!t.is_reproducible(&[100.0, 300.0, 20.0, 180.0]));
+    }
+
+    #[test]
+    fn reproducibility_requires_at_least_two_samples() {
+        let t = AdditivityTest::default();
+        assert!(!t.is_reproducible(&[100.0]));
+    }
+
+    #[test]
+    fn verdict_respects_tolerance() {
+        let t = AdditivityTest::default();
+        assert!(t.passes(4.99));
+        assert!(!t.passes(5.01));
+        let loose = AdditivityTest::with_tolerance(50.0);
+        assert!(loose.passes(45.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be positive")]
+    fn rejects_nonpositive_tolerance() {
+        let _ = AdditivityTest::with_tolerance(0.0);
+    }
+}

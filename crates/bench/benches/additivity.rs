@@ -1,0 +1,64 @@
+//! Criterion benches for the additivity machinery: Eq. 1 itself, the full
+//! two-stage checker over a compound suite, and report ranking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmca_additivity::checker::{AdditivityChecker, CompoundCase};
+use pmca_additivity::AdditivityTest;
+use pmca_cpusim::{Machine, PlatformSpec};
+use pmca_workloads::suite::class_b_compound_pairs;
+use pmca_workloads::{Dgemm, Fft2d};
+use std::hint::black_box;
+
+fn bench_equation_1(c: &mut Criterion) {
+    c.bench_function("equation_1_error", |b| {
+        b.iter(|| black_box(AdditivityTest::equation_1_error_pct(40.0, 60.0, 125.0)))
+    });
+}
+
+fn bench_checker(c: &mut Criterion) {
+    let mut g = c.benchmark_group("additivity_checker");
+    g.sample_size(10);
+    g.bench_function("six_events_four_compounds", |b| {
+        b.iter(|| {
+            let mut machine = Machine::new(PlatformSpec::intel_skylake(), 5);
+            let events = machine
+                .catalog()
+                .ids(&[
+                    "UOPS_EXECUTED_CORE",
+                    "FP_ARITH_INST_RETIRED_DOUBLE",
+                    "MEM_INST_RETIRED_ALL_STORES",
+                    "IDQ_MS_UOPS",
+                    "ICACHE_64B_IFTAG_MISS",
+                    "ARITH_DIVIDER_COUNT",
+                ])
+                .expect("events exist");
+            let cases: Vec<CompoundCase> = class_b_compound_pairs(4, 5)
+                .into_iter()
+                .map(|(a, b)| CompoundCase::new(a, b))
+                .collect();
+            black_box(
+                AdditivityChecker::default()
+                    .check(&mut machine, &events, &cases)
+                    .expect("check runs"),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_report_ranking(c: &mut Criterion) {
+    let mut machine = Machine::new(PlatformSpec::intel_skylake(), 5);
+    let events = machine
+        .catalog()
+        .ids(&["UOPS_EXECUTED_CORE", "IDQ_MS_UOPS", "ARITH_DIVIDER_COUNT"])
+        .expect("events exist");
+    let cases =
+        vec![CompoundCase::new(Box::new(Dgemm::new(8_000)), Box::new(Fft2d::new(23_000)))];
+    let report = AdditivityChecker::default()
+        .check(&mut machine, &events, &cases)
+        .expect("check runs");
+    c.bench_function("report_ranked", |b| b.iter(|| black_box(report.ranked())));
+}
+
+criterion_group!(benches, bench_equation_1, bench_checker, bench_report_ranking);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benches for the end-to-end experiment pipelines, one per
+//! paper artefact, at smoke scale (the paper-scale runs live in the
+//! `repro_*` binaries; these benches track the cost of the machinery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmca_additivity::{AdditivityChecker, AdditivityTest, CompoundCase};
+use pmca_core::class_a::{run_class_a, ClassAConfig, CLASS_A_PMCS};
+use pmca_core::class_b::{run_class_b, ClassBConfig};
+use pmca_core::class_c::run_class_c;
+use pmca_cpusim::{Machine, PlatformSpec};
+use pmca_workloads::suite::class_a_compound_pairs;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_additivity_test");
+    g.sample_size(10);
+    g.bench_function("six_events_ten_compounds", |b| {
+        b.iter(|| {
+            let mut machine = Machine::new(PlatformSpec::intel_haswell(), 1);
+            let events = machine.catalog().ids(&CLASS_A_PMCS).expect("events");
+            let cases: Vec<CompoundCase> = class_a_compound_pairs(10, 1)
+                .into_iter()
+                .map(|(a, b)| CompoundCase::new(a, b))
+                .collect();
+            let test = AdditivityTest { runs: 2, ..AdditivityTest::default() };
+            black_box(
+                AdditivityChecker::new(test)
+                    .check(&mut machine, &events, &cases)
+                    .expect("check"),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_tables_3_to_5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables3to5_class_a");
+    g.sample_size(10);
+    g.bench_function("smoke_scale", |b| {
+        b.iter(|| black_box(run_class_a(&ClassAConfig::smoke())))
+    });
+    g.finish();
+}
+
+fn bench_tables_6_7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables6and7_class_b_c");
+    g.sample_size(10);
+    g.bench_function("smoke_scale", |b| {
+        b.iter(|| {
+            let config = ClassBConfig::smoke();
+            let class_b = run_class_b(&config);
+            let class_c = run_class_c(&class_b, config.nn_epochs, config.rf_trees, config.seed);
+            black_box((class_b, class_c))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2, bench_tables_3_to_5, bench_tables_6_7);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion benches for the three model families at Class B training
+//! scale (651 points, 9 features).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmca_mlkit::forest::ForestParams;
+use pmca_mlkit::nn::NnParams;
+use pmca_mlkit::tree::TreeParams;
+use pmca_mlkit::{LinearRegression, NeuralNet, RandomForest, Regressor};
+use std::hint::black_box;
+
+/// A synthetic Class-B-shaped dataset: 651 points, 9 collinear features,
+/// two kernel families with different slopes, multiplicative noise.
+fn class_b_shaped() -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rows = Vec::with_capacity(651);
+    let mut y = Vec::with_capacity(651);
+    for i in 0..651 {
+        let w = (i + 1) as f64 * 1e9;
+        let fam = if i % 5 == 0 { 1.4 } else { 1.0 };
+        let noise = 1.0 + 0.2 * ((((i * 2654435761_usize) % 997) as f64 / 498.5) - 1.0);
+        let feats: Vec<f64> =
+            (0..9).map(|j| w * (1.0 + 0.07 * j as f64) * if j % 2 == 0 { fam } else { 1.0 }).collect();
+        rows.push(feats);
+        y.push(w * 3e-10 * fam * noise);
+    }
+    (rows, y)
+}
+
+fn bench_linreg(c: &mut Criterion) {
+    let (x, y) = class_b_shaped();
+    let mut g = c.benchmark_group("linreg");
+    g.bench_function("nnls_fit_651x9", |b| {
+        b.iter(|| {
+            let mut lr = LinearRegression::paper_constrained();
+            lr.fit(&x, &y).expect("fit");
+            black_box(lr)
+        })
+    });
+    let mut fitted = LinearRegression::paper_constrained();
+    fitted.fit(&x, &y).expect("fit");
+    g.bench_function("predict_row", |b| b.iter(|| black_box(fitted.predict_one(&x[100]))));
+    g.finish();
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let (x, y) = class_b_shaped();
+    let mut g = c.benchmark_group("random_forest");
+    g.sample_size(10);
+    g.bench_function("fit_100_trees_651x9", |b| {
+        b.iter(|| {
+            let mut rf = RandomForest::new(
+                ForestParams { n_trees: 100, tree: TreeParams::default(), sample_fraction: 1.0 },
+                9,
+            );
+            rf.fit(&x, &y).expect("fit");
+            black_box(rf)
+        })
+    });
+    let mut fitted = RandomForest::with_seed(9);
+    fitted.fit(&x, &y).expect("fit");
+    g.bench_function("predict_row", |b| b.iter(|| black_box(fitted.predict_one(&x[100]))));
+    g.finish();
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let (x, y) = class_b_shaped();
+    let mut g = c.benchmark_group("neural_net");
+    g.sample_size(10);
+    g.bench_function("fit_100_epochs_651x9", |b| {
+        b.iter(|| {
+            let mut nn = NeuralNet::new(NnParams { epochs: 100, ..NnParams::default() }, 9);
+            nn.fit(&x, &y).expect("fit");
+            black_box(nn)
+        })
+    });
+    let mut fitted = NeuralNet::new(NnParams { epochs: 50, ..NnParams::default() }, 9);
+    fitted.fit(&x, &y).expect("fit");
+    g.bench_function("predict_row", |b| b.iter(|| black_box(fitted.predict_one(&x[100]))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_linreg, bench_forest, bench_nn);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benches for counter-group scheduling: the full catalogs (the
+//! paper's ≈53/≈99-run schedules) and typical online subsets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmca_core::class_a::CLASS_A_PMCS;
+use pmca_core::class_b::{PA, PNA};
+use pmca_cpusim::catalog::EventCatalog;
+use pmca_cpusim::MicroArch;
+use pmca_pmctools::scheduler::schedule;
+use std::hint::black_box;
+
+fn bench_full_catalogs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_full_catalog");
+    for arch in [MicroArch::Haswell, MicroArch::Skylake] {
+        let catalog = EventCatalog::for_micro_arch(arch);
+        let all = catalog.all_ids();
+        g.bench_function(format!("{arch}"), |b| {
+            b.iter(|| black_box(schedule(&catalog, &all).expect("schedulable")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_experiment_subsets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_subsets");
+    let hw = EventCatalog::for_micro_arch(MicroArch::Haswell);
+    let class_a = hw.ids(&CLASS_A_PMCS).expect("class A events");
+    g.bench_function("class_a_six_events", |b| {
+        b.iter(|| black_box(schedule(&hw, &class_a).expect("schedulable")))
+    });
+    let sk = EventCatalog::for_micro_arch(MicroArch::Skylake);
+    let names: Vec<&str> = PA.iter().chain(PNA.iter()).copied().collect();
+    let class_b = sk.ids(&names).expect("class B events");
+    g.bench_function("class_b_eighteen_events", |b| {
+        b.iter(|| black_box(schedule(&sk, &class_b).expect("schedulable")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_full_catalogs, bench_experiment_subsets);
+criterion_main!(benches);

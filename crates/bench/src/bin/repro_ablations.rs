@@ -1,0 +1,126 @@
+//! Ablation sweeps for the design choices called out in DESIGN.md:
+//!
+//! 1. **interference strength** — scale the interference model from 0 to
+//!    1.5× and watch the additivity errors of the six Class A PMCs (at 0
+//!    every counter becomes additive: non-additivity is entirely an
+//!    interference phenomenon in this simulator);
+//! 2. **additivity tolerance** — sweep the stage-2 tolerance and count how
+//!    many of the 18 Class B PMCs pass (the paper's 5% sits on a plateau
+//!    between the sub-1% additive set and the ≥15% non-additive set);
+//! 3. **meter noise** — degrade the WattsUp reading noise and watch the
+//!    best linear model's test error float up: measurement quality bounds
+//!    model quality.
+
+use pmca_additivity::checker::{AdditivityChecker, CompoundCase};
+use pmca_additivity::AdditivityTest;
+use pmca_bench::timed;
+use pmca_core::class_a::CLASS_A_PMCS;
+use pmca_core::class_b::{PA, PNA};
+use pmca_core::tables::TextTable;
+use pmca_cpusim::interference::InterferenceModel;
+use pmca_cpusim::{Machine, PlatformSpec};
+use pmca_workloads::suite::{class_a_compound_pairs, class_b_compound_pairs};
+
+fn interference_sweep() {
+    let mut t = TextTable::new(
+        "Ablation 1: additivity error (%) of the Class A PMCs vs interference strength",
+        &["PMC", "0.0×", "0.5×", "1.0×", "1.5×"],
+    );
+    let mut rows: Vec<Vec<String>> =
+        CLASS_A_PMCS.iter().map(|name| vec![name.to_string()]).collect();
+    for scale in [0.0, 0.5, 1.0, 1.5] {
+        let mut machine = Machine::new(PlatformSpec::intel_haswell(), 404);
+        machine.set_interference(InterferenceModel::default().scaled(scale));
+        let events = machine.catalog().ids(&CLASS_A_PMCS).expect("class A events");
+        // Fixed-work compounds only: isolates the interference channel from
+        // the adaptive-work channel.
+        let cases: Vec<CompoundCase> = class_a_compound_pairs(24, 404)
+            .into_iter()
+            .filter(|(a, b)| !a.name().contains("stress") && !b.name().contains("stress"))
+            .map(|(a, b)| CompoundCase::new(a, b))
+            .collect();
+        let report = AdditivityChecker::default()
+            .check(&mut machine, &events, &cases)
+            .expect("check runs");
+        for (row, entry) in rows.iter_mut().zip(report.entries()) {
+            row.push(format!("{:.1}", entry.max_error_pct));
+        }
+    }
+    for row in rows {
+        t.row(row);
+    }
+    print!("{}", t.render());
+}
+
+fn tolerance_sweep() {
+    let mut machine = Machine::new(PlatformSpec::intel_skylake(), 404);
+    let names: Vec<&str> = PA.iter().chain(PNA.iter()).copied().collect();
+    let events = machine.catalog().ids(&names).expect("class B events");
+    let cases: Vec<CompoundCase> = class_b_compound_pairs(12, 404)
+        .into_iter()
+        .map(|(a, b)| CompoundCase::new(a, b))
+        .collect();
+    // One measurement pass; re-grade under different tolerances.
+    let report = AdditivityChecker::default()
+        .check(&mut machine, &events, &cases)
+        .expect("check runs");
+    let mut t = TextTable::new(
+        "Ablation 2: PMCs (of 18) passing the additivity test vs tolerance",
+        &["tolerance %", "passing", "of which PA", "of which PNA"],
+    );
+    for tol in [0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0] {
+        let test = AdditivityTest::with_tolerance(tol);
+        let passing: Vec<&str> = report
+            .entries()
+            .iter()
+            .filter(|e| e.reproducible && test.passes(e.max_error_pct))
+            .map(|e| e.name.as_str())
+            .collect();
+        let pa = passing.iter().filter(|n| PA.contains(n)).count();
+        let pna = passing.len() - pa;
+        t.row(vec![format!("{tol}"), passing.len().to_string(), pa.to_string(), pna.to_string()]);
+    }
+    print!("{}", t.render());
+    println!("(the paper's 5% threshold sits on the plateau separating the two populations)\n");
+}
+
+fn meter_noise_sweep() {
+    use pmca_core::measure::build_dataset;
+    use pmca_cpusim::app::Application;
+    use pmca_mlkit::{LinearRegression, PredictionErrors, Regressor};
+    use pmca_powermeter::{HclWattsUp, Methodology};
+    use pmca_workloads::suite::class_b_regression_suite;
+
+    let mut t = TextTable::new(
+        "Ablation 3: LR on the additive PA set vs energy-measurement repetitions",
+        &["methodology", "runs/point (max)", "LR-A avg err %"],
+    );
+    for (label, methodology) in [
+        ("single-ish (quick)", Methodology::quick()),
+        ("standard", Methodology::standard()),
+        (
+            "exhaustive",
+            Methodology { precision: 0.01, confidence: 0.95, min_runs: 5, max_runs: 25 },
+        ),
+    ] {
+        let mut machine = Machine::new(PlatformSpec::intel_skylake(), 404);
+        let mut meter = HclWattsUp::with_methodology(&machine, 404, methodology);
+        let events = machine.catalog().ids(&PA).expect("PA events");
+        let suite = class_b_regression_suite();
+        let apps: Vec<&dyn Application> = suite.iter().step_by(10).map(|a| a.as_ref()).collect();
+        let ds = build_dataset(&mut machine, &mut meter, &apps, &events, 1).expect("collection");
+        let (train, test) = ds.split_exact(ds.len() / 5).expect("split");
+        let mut lr = LinearRegression::paper_constrained();
+        lr.fit(train.rows(), train.targets()).expect("fit");
+        let err = PredictionErrors::evaluate(&lr, test.rows(), test.targets());
+        t.row(vec![label.into(), methodology.max_runs.to_string(), format!("{:.2}", err.avg)]);
+    }
+    print!("{}", t.render());
+    println!("(the floor is the per-application energy personality, not meter noise)");
+}
+
+fn main() {
+    timed("ablation 1: interference strength", interference_sweep);
+    timed("ablation 2: tolerance sweep", tolerance_sweep);
+    timed("ablation 3: measurement methodology", meter_noise_sweep);
+}

@@ -1,0 +1,93 @@
+//! Run every reproduction in order: Table 1, the collection economics,
+//! and the Class A/B/C experiments (Tables 2–7). Pass `--quick` for a
+//! smoke-scale run of the experiment classes.
+//!
+//! Each step is also available as its own binary (`repro_table1`,
+//! `repro_collection`, `repro_class_a`, `repro_class_b`, `repro_class_c`).
+
+use pmca_bench::{quick_requested, timed};
+use pmca_core::class_a::{run_class_a, ClassAConfig};
+use pmca_core::class_b::{run_class_b, ClassBConfig};
+use pmca_core::class_c::run_class_c;
+use pmca_core::tables::TextTable;
+use pmca_cpusim::{Machine, PlatformSpec};
+use pmca_pmctools::filter::EventFilter;
+use pmca_pmctools::scheduler::schedule;
+use pmca_workloads::{Dgemm, Fft2d, Hpcg};
+
+fn main() {
+    let quick = quick_requested();
+    println!(
+        "SLOPE-PMC-RS full reproduction ({} scale)\n",
+        if quick { "smoke" } else { "paper" }
+    );
+
+    // Table 1.
+    let hw = PlatformSpec::intel_haswell();
+    let sk = PlatformSpec::intel_skylake();
+    let mut t1 = TextTable::new("Table 1 (abridged)", &["spec", "Haswell", "Skylake"]);
+    t1.row(vec!["cores".into(), hw.total_cores().to_string(), sk.total_cores().to_string()]);
+    t1.row(vec!["TDP W".into(), hw.tdp_watts.to_string(), sk.tdp_watts.to_string()]);
+    t1.row(vec!["idle W".into(), hw.idle_power_watts.to_string(), sk.idle_power_watts.to_string()]);
+    println!("{}", t1.render());
+
+    // Collection economics.
+    timed("collection economics", || {
+        for spec in [PlatformSpec::intel_haswell(), PlatformSpec::intel_skylake()] {
+            let name = spec.micro_arch.to_string();
+            let mut machine = Machine::new(spec, 2024);
+            let offered = machine.catalog().len();
+            let dgemm = Dgemm::new(7_000);
+            let fft = Fft2d::new(23_000);
+            let hpcg = Hpcg::new(1.0);
+            let survivors = EventFilter::default()
+                .survivors(&mut machine, &[&dgemm, &fft, &hpcg])
+                .expect("filter probes schedule");
+            let runs = schedule(machine.catalog(), &machine.catalog().all_ids())
+                .expect("full catalog schedules")
+                .len();
+            println!("  {name}: {offered} events offered, {} survive, {runs} runs to collect all", survivors.len());
+        }
+    });
+
+    // Class A.
+    let a_cfg = if quick { ClassAConfig::smoke() } else { ClassAConfig::paper() };
+    let a = timed("Class A (Tables 2-5)", || run_class_a(&a_cfg));
+    println!("{}", a.table2());
+    println!("{}", a.table3());
+    println!("{}", a.table4());
+    println!("{}", a.table5());
+
+    // Class B.
+    let b_cfg = if quick { ClassBConfig::smoke() } else { ClassBConfig::paper() };
+    let b = timed("Class B (Tables 6, 7a)", || run_class_b(&b_cfg));
+    println!("{}", b.table6());
+    println!("{}", b.table7a());
+
+    // Class C.
+    let c = timed("Class C (Table 7b)", || run_class_c(&b, b_cfg.nn_epochs, b_cfg.rf_trees, b_cfg.seed));
+    println!("PA4  = {}", c.pa4.join(", "));
+    println!("PNA4 = {}\n", c.pna4.join(", "));
+    println!("{}", c.table7b());
+
+    // Full-catalog additivity survey (the sweep behind Class B's selection).
+    let survey_cfg = if quick {
+        pmca_core::survey::SurveyConfig {
+            kernel_compounds: 4,
+            diverse_compounds: 8,
+            runs: 2,
+            ..pmca_core::survey::SurveyConfig::default()
+        }
+    } else {
+        pmca_core::survey::SurveyConfig::default()
+    };
+    for platform in [PlatformSpec::intel_haswell(), PlatformSpec::intel_skylake()] {
+        let name = platform.micro_arch.to_string();
+        let s = timed(&format!("catalog survey on {name}"), || {
+            pmca_core::survey::run_survey(platform, &survey_cfg)
+        });
+        println!("  {name}: {}", s.summary());
+    }
+    println!("\nDone. See EXPERIMENTS.md for the paper-vs-measured comparison,");
+    println!("and repro_ablations / repro_future_work for the extensions.");
+}

@@ -1,0 +1,29 @@
+//! Regenerate Tables 6 and 7a: the Class B experiment on the simulated
+//! Skylake platform. Pass `--quick` (or set `PMCA_QUICK`) for a
+//! smoke-scale run.
+
+use pmca_bench::{quick_requested, timed};
+use pmca_core::class_b::{run_class_b, ClassBConfig};
+
+fn main() {
+    let config = if quick_requested() { ClassBConfig::smoke() } else { ClassBConfig::paper() };
+    let results = timed("Class B (Skylake): DGEMM/FFT additivity + PA vs PNA models", || {
+        run_class_b(&config)
+    });
+    println!(
+        "regression dataset: {} train / {} test points\n",
+        results.train.len(),
+        results.test.len()
+    );
+    println!("{}", results.table6());
+    println!("{}", results.table7a());
+    for family in [0, 2, 4] {
+        let a = &results.models[family];
+        let na = &results.models[family + 1];
+        println!(
+            "headline: {} {:.2}% vs {} {:.2}% avg error",
+            a.model, a.errors.avg, na.model, na.errors.avg
+        );
+    }
+    println!("(paper 7a: LR-A 35.32 vs LR-NA 85.61; RF-A 29.39 vs RF-NA 36.90; NN-A 15.43 vs NN-NA 21.04)");
+}

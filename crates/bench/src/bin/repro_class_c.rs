@@ -1,0 +1,21 @@
+//! Regenerate Table 7b: the Class C experiment (four-PMC online models)
+//! on top of the Class B datasets. Pass `--quick` for a smoke-scale run.
+
+use pmca_bench::{quick_requested, timed};
+use pmca_core::class_b::{run_class_b, ClassBConfig};
+use pmca_core::class_c::run_class_c;
+
+fn main() {
+    let config = if quick_requested() { ClassBConfig::smoke() } else { ClassBConfig::paper() };
+    let class_b = timed("Class B prerequisite (datasets + correlations)", || run_class_b(&config));
+    let results = timed("Class C: PA4/PNA4 selection + models", || {
+        run_class_c(&class_b, config.nn_epochs, config.rf_trees, config.seed)
+    });
+    println!("PA4  = {}", results.pa4.join(", "));
+    println!("PNA4 = {}\n", results.pna4.join(", "));
+    println!("{}", results.table7b());
+    println!(
+        "headline: correlation-ranked non-additive PMCs do not rescue the models \
+         (paper 7b: LR-NA4 85.61%, RF-NA4 38.06%, NN-NA4 21.32% — no better than the nine-PMC PNA set)"
+    );
+}

@@ -1,0 +1,418 @@
+//! Subcommand parsing and execution for `slope-pmc`.
+
+use pmca_additivity::{AdditivityChecker, AdditivityMatrix, AdditivityTest, CompoundCase};
+use pmca_core::online::OnlineModel;
+use pmca_core::tables::TextTable;
+use pmca_cpusim::events::EventId;
+use pmca_cpusim::{Machine, PlatformSpec};
+use pmca_pmctools::collector::collect_all;
+use pmca_pmctools::scheduler::schedule;
+use pmca_powermeter::HclWattsUp;
+use pmca_workloads::parse::app_from_spec;
+use pmca_workloads::suite::class_b_compound_pairs;
+
+/// Usage text shown on any argument error.
+pub const USAGE: &str = "\
+usage:
+  slope-pmc specs
+      print the simulated platform specifications (paper Table 1)
+
+  slope-pmc schedule [--platform haswell|skylake] [EVENT ...]
+      partition events (default: the whole catalog) into counter groups;
+      one group = one application run
+
+  slope-pmc audit [--platform haswell|skylake] [--compounds N] EVENT [EVENT ...]
+      run the paper's two-stage additivity test over N DGEMM/FFT compounds
+      (default 8) and print the ranked report
+
+  slope-pmc measure [--platform haswell|skylake] APP_SPEC [APP_SPEC ...]
+      measure dynamic energy via the simulated WattsUp meter
+      (APP_SPEC examples: dgemm:12000  npb-cg:1.2  'dgemm:9000;fft:24000')
+
+  slope-pmc collect [--platform haswell|skylake] --app APP_SPEC EVENT [EVENT ...]
+      collect PMCs for one application, reporting the runs consumed
+
+  slope-pmc online [--platform haswell|skylake] --train SPEC,SPEC,... --events E,E,...
+                   APP_SPEC [APP_SPEC ...]
+      train a single-run online energy model (<= 4 events) on the --train
+      applications and estimate each APP_SPEC's energy from one run
+
+  slope-pmc matrix [--platform haswell|skylake] [--compounds N] EVENT [EVENT ...]
+      print the full event x compound additivity-error matrix: which
+      compositions break which counters";
+
+/// Parsed global options plus positional arguments.
+struct Parsed {
+    platform: PlatformSpec,
+    compounds: usize,
+    app: Option<String>,
+    train: Vec<String>,
+    events: Vec<String>,
+    positional: Vec<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Parsed, String> {
+    let mut platform = PlatformSpec::intel_skylake();
+    let mut compounds = 8;
+    let mut app = None;
+    let mut train = Vec::new();
+    let mut events = Vec::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--platform" => {
+                let value = it.next().ok_or("--platform needs a value")?;
+                platform = match value.to_ascii_lowercase().as_str() {
+                    "haswell" => PlatformSpec::intel_haswell(),
+                    "skylake" => PlatformSpec::intel_skylake(),
+                    other => return Err(format!("unknown platform {other:?}")),
+                };
+            }
+            "--compounds" => {
+                let value = it.next().ok_or("--compounds needs a value")?;
+                compounds = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("--compounds: {value:?} is not a count"))?
+                    .max(1);
+            }
+            "--app" => {
+                app = Some(it.next().ok_or("--app needs a value")?.clone());
+            }
+            "--train" => {
+                let value = it.next().ok_or("--train needs a comma-separated list")?;
+                train = value.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--events" => {
+                let value = it.next().ok_or("--events needs a comma-separated list")?;
+                events = value.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    Ok(Parsed { platform, compounds, app, train, events, positional })
+}
+
+fn resolve_events(machine: &Machine, names: &[String]) -> Result<Vec<EventId>, String> {
+    if names.is_empty() {
+        return Ok(machine.catalog().all_ids());
+    }
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    machine
+        .catalog()
+        .ids(&refs)
+        .map_err(|unknown| format!("unknown event {unknown:?} on {}", machine.spec().micro_arch))
+}
+
+/// Dispatch a full argument vector.
+///
+/// # Errors
+///
+/// Returns a user-facing message on any parse or lookup failure.
+pub fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err("no command given".into());
+    };
+    let options = parse_options(rest)?;
+    match command.as_str() {
+        "specs" => cmd_specs(),
+        "schedule" => cmd_schedule(options),
+        "audit" => cmd_audit(options),
+        "measure" => cmd_measure(options),
+        "collect" => cmd_collect(options),
+        "online" => cmd_online(options),
+        "matrix" => cmd_matrix(options),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn cmd_specs() -> Result<(), String> {
+    for spec in [PlatformSpec::intel_haswell(), PlatformSpec::intel_skylake()] {
+        println!(
+            "{arch}: {proc}, {sockets}×{cores} cores ({threads} threads), L2 {l2} KB, L3 {l3} KB, \
+             {mem} GB, TDP {tdp} W, idle {idle} W",
+            arch = spec.micro_arch,
+            proc = spec.processor,
+            sockets = spec.sockets,
+            cores = spec.cores_per_socket,
+            threads = spec.total_threads(),
+            l2 = spec.l2_kib,
+            l3 = spec.l3_kib,
+            mem = spec.memory_gib,
+            tdp = spec.tdp_watts,
+            idle = spec.idle_power_watts,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_schedule(options: Parsed) -> Result<(), String> {
+    let machine = Machine::new(options.platform, 1);
+    let events = resolve_events(&machine, &options.positional)?;
+    let groups = schedule(machine.catalog(), &events).map_err(|e| e.to_string())?;
+    println!(
+        "{} events on {} → {} runs",
+        events.len(),
+        machine.spec().micro_arch,
+        groups.len()
+    );
+    for (i, group) in groups.iter().enumerate() {
+        let names: Vec<&str> =
+            group.events.iter().map(|&id| machine.catalog().event(id).name.as_str()).collect();
+        println!("  run {:>3}: {}", i + 1, names.join(", "));
+        if i >= 19 && groups.len() > 24 {
+            println!("  … {} more runs", groups.len() - i - 1);
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_audit(options: Parsed) -> Result<(), String> {
+    if options.positional.is_empty() {
+        return Err("audit needs at least one EVENT".into());
+    }
+    let mut machine = Machine::new(options.platform, 1);
+    let events = resolve_events(&machine, &options.positional)?;
+    let cases: Vec<CompoundCase> = class_b_compound_pairs(options.compounds, 1)
+        .into_iter()
+        .map(|(a, b)| CompoundCase::new(a, b))
+        .collect();
+    let report = AdditivityChecker::default()
+        .check(&mut machine, &events, &cases)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "additivity over {} DGEMM/FFT compounds on {} (tolerance {:.0}%):\n",
+        options.compounds,
+        machine.spec().micro_arch,
+        report.tolerance_pct()
+    );
+    print!("{}", report.to_table());
+    Ok(())
+}
+
+fn cmd_measure(options: Parsed) -> Result<(), String> {
+    if options.positional.is_empty() {
+        return Err("measure needs at least one APP_SPEC".into());
+    }
+    let mut machine = Machine::new(options.platform, 1);
+    let mut meter = HclWattsUp::new(&machine, 1);
+    let mut t = TextTable::new(
+        format!("dynamic energy on {} (static power {:.1} W)", machine.spec().micro_arch, meter.static_power_w()),
+        &["application", "energy (J)", "±CI", "time (s)", "runs"],
+    );
+    for spec in &options.positional {
+        let app = app_from_spec(spec).map_err(|e| e.to_string())?;
+        let m = meter.measure_dynamic_energy(&mut machine, app.as_ref());
+        t.row(vec![
+            app.name(),
+            format!("{:.1}", m.mean_joules),
+            format!("{:.1}", m.ci_half_width),
+            format!("{:.2}", m.mean_seconds),
+            m.runs.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    Ok(())
+}
+
+fn cmd_collect(options: Parsed) -> Result<(), String> {
+    let spec = options.app.as_deref().ok_or("collect needs --app APP_SPEC")?;
+    if options.positional.is_empty() {
+        return Err("collect needs at least one EVENT".into());
+    }
+    let mut machine = Machine::new(options.platform, 1);
+    let events = resolve_events(&machine, &options.positional)?;
+    let app = app_from_spec(spec).map_err(|e| e.to_string())?;
+    let pmcs = collect_all(&mut machine, app.as_ref(), &events).map_err(|e| e.to_string())?;
+    println!("{} on {} ({} runs consumed):", app.name(), machine.spec().micro_arch, pmcs.runs_used);
+    for &id in &events {
+        println!("  {:<44} {:>20.0}", machine.catalog().event(id).name, pmcs.get(id));
+    }
+    Ok(())
+}
+
+fn cmd_online(options: Parsed) -> Result<(), String> {
+    if options.train.is_empty() {
+        return Err("online needs --train SPEC,SPEC,...".into());
+    }
+    if options.events.is_empty() {
+        return Err("online needs --events E,E,...".into());
+    }
+    if options.positional.is_empty() {
+        return Err("online needs at least one APP_SPEC to estimate".into());
+    }
+    let mut machine = Machine::new(options.platform, 1);
+    let mut meter = HclWattsUp::new(&machine, 1);
+    let train_apps = options
+        .train
+        .iter()
+        .map(|spec| app_from_spec(spec).map_err(|e| e.to_string()))
+        .collect::<Result<Vec<_>, _>>()?;
+    let train_refs: Vec<&dyn pmca_cpusim::Application> =
+        train_apps.iter().map(|a| a.as_ref()).collect();
+    let event_refs: Vec<&str> = options.events.iter().map(String::as_str).collect();
+    let model = OnlineModel::train(&mut machine, &mut meter, &event_refs, &train_refs)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "online model on {} using {} (trained on {} apps):",
+        machine.spec().micro_arch,
+        model.pmc_names().join(", "),
+        train_refs.len()
+    );
+    let mut t = TextTable::new("", &["application", "estimated energy (J)", "runs used"]);
+    for spec in &options.positional {
+        let app = app_from_spec(spec).map_err(|e| e.to_string())?;
+        let estimate = model.estimate(&mut machine, app.as_ref());
+        t.row(vec![app.name(), format!("{estimate:.1}"), "1".into()]);
+    }
+    print!("{}", t.render());
+    Ok(())
+}
+
+fn cmd_matrix(options: Parsed) -> Result<(), String> {
+    if options.positional.is_empty() {
+        return Err("matrix needs at least one EVENT".into());
+    }
+    let mut machine = Machine::new(options.platform, 1);
+    let events = resolve_events(&machine, &options.positional)?;
+    let cases: Vec<CompoundCase> = class_b_compound_pairs(options.compounds, 1)
+        .into_iter()
+        .map(|(a, b)| CompoundCase::new(a, b))
+        .collect();
+    let checker = AdditivityChecker::default();
+    let matrix = AdditivityMatrix::measure(&checker, &mut machine, &events, &cases)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "Eq. 1 additivity error (%) per event x compound on {}:\n",
+        machine.spec().micro_arch
+    );
+    print!("{}", matrix.to_table());
+    println!("\ncompounds:");
+    for (i, name) in matrix.compound_names().iter().enumerate() {
+        println!("  #{:<3} {name}", i + 1);
+    }
+    println!("\nbroad-spectrum non-additive (median error above tolerance):");
+    let test = AdditivityTest::default();
+    for (i, name) in matrix.event_names().iter().enumerate() {
+        if matrix.is_broad_spectrum(i, &test) {
+            println!("  {name}");
+        }
+    }
+    if let Some((worst, err)) = matrix.most_destructive_compounds().first() {
+        println!("\nmost destructive composition: {worst} (mean error {err:.1}%)");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn rejects_empty_and_unknown_commands() {
+        assert!(dispatch(&[]).is_err());
+        assert!(dispatch(&argv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn specs_runs() {
+        assert!(dispatch(&argv(&["specs"])).is_ok());
+    }
+
+    #[test]
+    fn schedule_subset_runs() {
+        assert!(dispatch(&argv(&[
+            "schedule",
+            "--platform",
+            "haswell",
+            "IDQ_MS_UOPS",
+            "L2_RQSTS_MISS"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn audit_runs_on_small_compound_count() {
+        assert!(dispatch(&argv(&[
+            "audit",
+            "--compounds",
+            "2",
+            "MEM_INST_RETIRED_ALL_STORES",
+            "ARITH_DIVIDER_COUNT"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn measure_runs_on_app_spec() {
+        assert!(dispatch(&argv(&["measure", "dgemm:4000"])).is_ok());
+    }
+
+    #[test]
+    fn collect_runs() {
+        assert!(dispatch(&argv(&[
+            "collect",
+            "--app",
+            "dgemm:4000",
+            "UOPS_EXECUTED_CORE",
+            "MEM_INST_RETIRED_ALL_STORES"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn online_trains_and_estimates() {
+        assert!(dispatch(&argv(&[
+            "online",
+            "--train",
+            "dgemm:4000,dgemm:6000,fft:23000,fft:25000",
+            "--events",
+            "UOPS_EXECUTED_CORE,FP_ARITH_INST_RETIRED_DOUBLE,MEM_INST_RETIRED_ALL_STORES",
+            "dgemm:5000"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn online_rejects_multi_run_event_sets() {
+        let err = dispatch(&argv(&[
+            "online",
+            "--train",
+            "dgemm:4000,fft:23000",
+            "--events",
+            "ARITH_DIVIDER_COUNT,UOPS_EXECUTED_CORE",
+            "dgemm:5000"
+        ]))
+        .unwrap_err();
+        assert!(err.contains("runs"), "{err}");
+    }
+
+    #[test]
+    fn matrix_runs() {
+        assert!(dispatch(&argv(&[
+            "matrix",
+            "--compounds",
+            "2",
+            "MEM_INST_RETIRED_ALL_STORES",
+            "IDQ_MS_UOPS"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(dispatch(&argv(&["audit"])).unwrap_err().contains("EVENT"));
+        assert!(dispatch(&argv(&["collect", "EVENTX"])).unwrap_err().contains("--app"));
+        assert!(dispatch(&argv(&["measure", "bogus:1"])).unwrap_err().contains("bogus"));
+        assert!(dispatch(&argv(&["specs", "--platform"])).unwrap_err().contains("value"));
+        assert!(dispatch(&argv(&["schedule", "--platform", "arm"])).unwrap_err().contains("arm"));
+        assert!(dispatch(&argv(&["audit", "NOT_AN_EVENT"])).unwrap_err().contains("NOT_AN_EVENT"));
+        assert!(dispatch(&argv(&["online", "dgemm:1000"])).unwrap_err().contains("--train"));
+    }
+}

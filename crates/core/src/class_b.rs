@@ -1,0 +1,320 @@
+//! Class B: application-specific energy predictive models (paper
+//! Sect. 5.2, Tables 6 and 7a).
+//!
+//! On the single-socket Skylake platform, DGEMM and FFT are the only
+//! applications. The additivity test over 50 base and 30 compound runs
+//! identifies nine PMCs that are additive for *both* kernels (`PA`,
+//! X₁…X₉ of Table 6) and nine non-additive PMCs drawn from the energy-
+//! modelling literature (`PNA`, Y₁…Y₉). Models trained on `PA` versus
+//! `PNA` over an 801-point dataset (651 train / 150 test) give Table 7a.
+
+use crate::measure::build_dataset;
+use crate::tables::{triple, TextTable};
+use pmca_additivity::{AdditivityChecker, AdditivityReport, AdditivityTest, CompoundCase};
+use pmca_cpusim::app::Application;
+use pmca_cpusim::{Machine, PlatformSpec};
+use pmca_mlkit::forest::ForestParams;
+use pmca_mlkit::nn::NnParams;
+use pmca_mlkit::tree::TreeParams;
+use pmca_mlkit::{
+    Dataset, LinearRegression, NeuralNet, PredictionErrors, RandomForest, Regressor,
+};
+use pmca_powermeter::{HclWattsUp, Methodology};
+use pmca_stats::correlation::pearson;
+use pmca_workloads::suite::{class_b_compound_pairs, class_b_regression_suite};
+
+/// The paper's nine *additive* Skylake PMCs (Table 6, X₁…X₉).
+pub const PA: [&str; 9] = [
+    "UOPS_RETIRED_CYCLES_GE_4_UOPS_EXEC",
+    "FP_ARITH_INST_RETIRED_DOUBLE",
+    "MEM_INST_RETIRED_ALL_STORES",
+    "UOPS_EXECUTED_CORE",
+    "UOPS_DISPATCHED_PORT_PORT_4",
+    "IDQ_DSB_CYCLES_6_UOPS",
+    "IDQ_ALL_DSB_CYCLES_5_UOPS",
+    "IDQ_ALL_CYCLES_6_UOPS",
+    "MEM_LOAD_RETIRED_L3_MISS",
+];
+
+/// The paper's nine *non-additive* Skylake PMCs used in the literature
+/// (Table 6, Y₁…Y₉).
+pub const PNA: [&str; 9] = [
+    "ICACHE_64B_IFTAG_MISS",
+    "CPU_CLOCK_THREAD_UNHALTED",
+    "BR_MISP_RETIRED_ALL_BRANCHES",
+    "MEM_LOAD_L3_HIT_RETIRED_XSNP_MISS",
+    "FRONTEND_RETIRED_L2_MISS",
+    "ITLB_MISSES_STLB_HIT",
+    "L2_TRANS_CODE_RD",
+    "IDQ_MS_UOPS",
+    "ARITH_DIVIDER_COUNT",
+];
+
+/// Configuration of a Class B run.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassBConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Compound applications for the additivity test (paper: 30).
+    pub n_compounds: usize,
+    /// Runs per application inside the additivity test.
+    pub additivity_runs: usize,
+    /// Subsampling stride over the 801-point regression suite (1 = full).
+    pub regression_stride: usize,
+    /// Collection sweeps averaged per dataset point.
+    pub pmc_repeats: usize,
+    /// Energy measurement methodology.
+    pub methodology: Methodology,
+    /// Neural-network training epochs.
+    pub nn_epochs: usize,
+    /// Random-forest size.
+    pub rf_trees: usize,
+}
+
+impl ClassBConfig {
+    /// The paper's experimental scale: full 801-point dataset.
+    pub fn paper() -> Self {
+        ClassBConfig {
+            seed: 0xC1A55B,
+            n_compounds: 30,
+            additivity_runs: 4,
+            regression_stride: 1,
+            pmc_repeats: 1,
+            methodology: Methodology::quick(),
+            nn_epochs: 400,
+            rf_trees: 100,
+        }
+    }
+
+    /// A seconds-scale configuration for tests and smoke runs.
+    pub fn smoke() -> Self {
+        ClassBConfig {
+            n_compounds: 6,
+            additivity_runs: 2,
+            regression_stride: 10,
+            nn_epochs: 80,
+            rf_trees: 25,
+            ..ClassBConfig::paper()
+        }
+    }
+}
+
+/// One model row of Table 7a/7b.
+#[derive(Debug, Clone)]
+pub struct ModelRow {
+    /// Model name (`LR-A`, `RF-NA`, `NN-A4`, …).
+    pub model: String,
+    /// The PMC set label (`PA`, `PNA`, `PA4`, `PNA4`).
+    pub pmc_set: String,
+    /// (min, avg, max) percentage prediction errors on the test split.
+    pub errors: PredictionErrors,
+}
+
+/// All Class B outputs. The dataset splits are retained so Class C can
+/// reuse them, as the paper does ("the training and test datasets are the
+/// same as those for Class B").
+#[derive(Debug, Clone)]
+pub struct ClassBResults {
+    /// Additivity report over `PA ∪ PNA` on the DGEMM/FFT compound suite.
+    pub additivity: AdditivityReport,
+    /// Pearson correlation of each of the 18 PMCs with dynamic energy over
+    /// the full regression dataset (Table 6).
+    pub correlations: Vec<(String, f64)>,
+    /// Table 7a rows.
+    pub models: Vec<ModelRow>,
+    /// The training split.
+    pub train: Dataset,
+    /// The test split.
+    pub test: Dataset,
+}
+
+impl ClassBResults {
+    /// Measured correlation of one PMC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not among the 18 Class B PMCs.
+    pub fn correlation_of(&self, name: &str) -> f64 {
+        self.correlations
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("{name} is not a Class B PMC"))
+            .1
+    }
+
+    /// Render Table 6: the additive and non-additive PMCs with their
+    /// energy correlations and measured additivity errors.
+    pub fn table6(&self) -> String {
+        let mut t = TextTable::new(
+            "Table 6. Additive and non-additive PMCs with energy correlation",
+            &["set", "PMC", "correlation", "additivity err (%)"],
+        );
+        for (set, names) in [("PA", &PA[..]), ("PNA", &PNA[..])] {
+            for name in names {
+                let corr = self.correlation_of(name);
+                let err = self
+                    .additivity
+                    .entries()
+                    .iter()
+                    .find(|e| e.name == *name)
+                    .map(|e| e.max_error_pct)
+                    .unwrap_or(f64::NAN);
+                t.row(vec![set.into(), name.to_string(), format!("{corr:.3}"), format!("{err:.2}")]);
+            }
+        }
+        t.render()
+    }
+
+    /// Render Table 7a: model accuracies on the PA and PNA sets.
+    pub fn table7a(&self) -> String {
+        let mut t = TextTable::new(
+            "Table 7a. Class B prediction errors (nine-PMC sets)",
+            &["Model", "PMCs", "errors (min, avg, max) %"],
+        );
+        for row in &self.models {
+            t.row(vec![row.model.clone(), row.pmc_set.clone(), triple(&row.errors)]);
+        }
+        t.render()
+    }
+}
+
+/// Train the three model families on one feature set and evaluate on the
+/// test split. Shared by Class B and Class C.
+#[allow(clippy::too_many_arguments)] // mirrors the experiment's independent knobs
+pub(crate) fn train_family(
+    set_label: &str,
+    suffix: &str,
+    features: &[&str],
+    train: &Dataset,
+    test: &Dataset,
+    nn_epochs: usize,
+    rf_trees: usize,
+    seed: u64,
+) -> Vec<ModelRow> {
+    let train_k = train.select(features).expect("features exist in the dataset");
+    let test_k = test.select(features).expect("features exist in the dataset");
+    let mut rows = Vec::with_capacity(3);
+
+    let mut lr = LinearRegression::paper_constrained();
+    lr.fit(train_k.rows(), train_k.targets()).expect("non-empty training set");
+    rows.push(ModelRow {
+        model: format!("LR-{suffix}"),
+        pmc_set: set_label.into(),
+        errors: PredictionErrors::evaluate(&lr, test_k.rows(), test_k.targets()),
+    });
+
+    let mut rf = RandomForest::new(
+        ForestParams { n_trees: rf_trees, tree: TreeParams::default(), sample_fraction: 1.0 },
+        seed ^ 0xF0,
+    );
+    rf.fit(train_k.rows(), train_k.targets()).expect("non-empty training set");
+    rows.push(ModelRow {
+        model: format!("RF-{suffix}"),
+        pmc_set: set_label.into(),
+        errors: PredictionErrors::evaluate(&rf, test_k.rows(), test_k.targets()),
+    });
+
+    let mut nn = NeuralNet::new(NnParams { epochs: nn_epochs, ..NnParams::default() }, seed ^ 0x99);
+    nn.fit(train_k.rows(), train_k.targets()).expect("non-empty training set");
+    rows.push(ModelRow {
+        model: format!("NN-{suffix}"),
+        pmc_set: set_label.into(),
+        errors: PredictionErrors::evaluate(&nn, test_k.rows(), test_k.targets()),
+    });
+
+    rows
+}
+
+/// Run the full Class B experiment.
+///
+/// # Panics
+///
+/// Panics only on internal inconsistencies (catalog lookups, scheduling of
+/// the 18 Table 6 events) — unreachable with the built-in catalogs.
+pub fn run_class_b(config: &ClassBConfig) -> ClassBResults {
+    let mut machine = Machine::new(PlatformSpec::intel_skylake(), config.seed);
+    let mut meter = HclWattsUp::with_methodology(&machine, config.seed, config.methodology);
+    let all_names: Vec<&str> = PA.iter().chain(PNA.iter()).copied().collect();
+    let events = machine
+        .catalog()
+        .ids(&all_names)
+        .expect("Table 6 events exist in the Skylake catalog");
+
+    // Additivity over the DGEMM/FFT compound suite.
+    let cases: Vec<CompoundCase> = class_b_compound_pairs(config.n_compounds, config.seed)
+        .into_iter()
+        .map(|(a, b)| CompoundCase::new(a, b))
+        .collect();
+    let test_cfg = AdditivityTest { runs: config.additivity_runs, ..AdditivityTest::default() };
+    let additivity = AdditivityChecker::new(test_cfg)
+        .check(&mut machine, &events, &cases)
+        .expect("Table 6 events always schedule");
+
+    // The 801-point regression dataset (optionally strided down).
+    let suite = class_b_regression_suite();
+    let apps: Vec<&dyn Application> = suite
+        .iter()
+        .step_by(config.regression_stride.max(1))
+        .map(|a| a.as_ref())
+        .collect();
+    let dataset = build_dataset(&mut machine, &mut meter, &apps, &events, config.pmc_repeats)
+        .expect("collection of Table 6 events cannot fail");
+
+    // Table 6 correlations over the full dataset.
+    let correlations: Vec<(String, f64)> = dataset
+        .feature_names()
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let corr = pearson(&dataset.column(i), dataset.targets()).unwrap_or(0.0);
+            (name.clone(), corr)
+        })
+        .collect();
+
+    // 651/150 split at paper scale, proportionally otherwise.
+    let test_count = ((dataset.len() as f64) * 150.0 / 801.0).round().max(1.0) as usize;
+    let (train, test) = dataset
+        .split_exact(test_count.min(dataset.len() - 1))
+        .expect("split parameters are in range");
+
+    let mut models = Vec::with_capacity(6);
+    models.extend(train_family("PA", "A", &PA, &train, &test, config.nn_epochs, config.rf_trees, config.seed));
+    models.extend(train_family("PNA", "NA", &PNA, &train, &test, config.nn_epochs, config.rf_trees, config.seed));
+    // Paper ordering: LR-A, LR-NA, RF-A, RF-NA, NN-A, NN-NA.
+    models.sort_by_key(|r| {
+        let family = match &r.model[..2] {
+            "LR" => 0,
+            "RF" => 1,
+            _ => 2,
+        };
+        (family, r.model.ends_with("NA") as u8)
+    });
+
+    ClassBResults { additivity, correlations, models, train, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pa_and_pna_are_disjoint_nines() {
+        assert_eq!(PA.len(), 9);
+        assert_eq!(PNA.len(), 9);
+        for x in PA {
+            assert!(!PNA.contains(&x), "{x} in both sets");
+        }
+    }
+
+    #[test]
+    fn paper_config_uses_full_suite() {
+        let c = ClassBConfig::paper();
+        assert_eq!(c.regression_stride, 1);
+        assert_eq!(c.n_compounds, 30);
+    }
+
+    #[test]
+    fn smoke_config_is_strided() {
+        assert!(ClassBConfig::smoke().regression_stride > 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Class C: energy correlation versus additivity under the online
+//! four-PMC budget (paper Sect. 5.3, Table 7b).
+//!
+//! Only four PMCs fit in one application run, so an *online* model must
+//! choose four. The paper builds `PA4` — the four most energy-correlated
+//! PMCs *from the additive set* — and `PNA4` — the four most correlated
+//! from the non-additive set — and shows that correlation only helps when
+//! combined with additivity: models on `PA4` improve, models on `PNA4` do
+//! not improve over the full `PNA`.
+
+use crate::class_b::{train_family, ClassBResults, ModelRow, PA, PNA};
+use crate::tables::{triple, TextTable};
+
+/// All Class C outputs.
+#[derive(Debug, Clone)]
+pub struct ClassCResults {
+    /// The four most correlated additive PMCs (the paper's `PA4`).
+    pub pa4: Vec<String>,
+    /// The four most correlated non-additive PMCs (the paper's `PNA4`).
+    pub pna4: Vec<String>,
+    /// Table 7b rows.
+    pub models: Vec<ModelRow>,
+}
+
+impl ClassCResults {
+    /// Render Table 7b.
+    pub fn table7b(&self) -> String {
+        let mut t = TextTable::new(
+            "Table 7b. Class C prediction errors (four-PMC sets)",
+            &["Model", "PMCs", "errors (min, avg, max) %"],
+        );
+        for row in &self.models {
+            t.row(vec![row.model.clone(), row.pmc_set.clone(), triple(&row.errors)]);
+        }
+        t.render()
+    }
+}
+
+/// Select the `k` most |correlated| names from `pool` using the
+/// correlations measured in Class B.
+fn top_correlated(class_b: &ClassBResults, pool: &[&str], k: usize) -> Vec<String> {
+    let mut ranked: Vec<&str> = pool.to_vec();
+    ranked.sort_by(|a, b| {
+        class_b
+            .correlation_of(b)
+            .abs()
+            .partial_cmp(&class_b.correlation_of(a).abs())
+            .expect("correlations are finite")
+    });
+    ranked.into_iter().take(k).map(|s| s.to_string()).collect()
+}
+
+/// Run Class C on top of completed Class B results (the paper reuses the
+/// Class B training and test datasets).
+///
+/// `nn_epochs`, `rf_trees`, and `seed` should match the Class B run for a
+/// like-for-like comparison.
+pub fn run_class_c(class_b: &ClassBResults, nn_epochs: usize, rf_trees: usize, seed: u64) -> ClassCResults {
+    let pa4 = top_correlated(class_b, &PA, 4);
+    let pna4 = top_correlated(class_b, &PNA, 4);
+    let pa4_refs: Vec<&str> = pa4.iter().map(String::as_str).collect();
+    let pna4_refs: Vec<&str> = pna4.iter().map(String::as_str).collect();
+
+    let mut models = Vec::with_capacity(6);
+    models.extend(train_family(
+        "PA4",
+        "A4",
+        &pa4_refs,
+        &class_b.train,
+        &class_b.test,
+        nn_epochs,
+        rf_trees,
+        seed,
+    ));
+    models.extend(train_family(
+        "PNA4",
+        "NA4",
+        &pna4_refs,
+        &class_b.train,
+        &class_b.test,
+        nn_epochs,
+        rf_trees,
+        seed,
+    ));
+    models.sort_by_key(|r| {
+        let family = match &r.model[..2] {
+            "LR" => 0,
+            "RF" => 1,
+            _ => 2,
+        };
+        (family, r.model.contains("NA") as u8)
+    });
+
+    ClassCResults { pa4, pna4, models }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmca_additivity::AdditivityReport;
+    use pmca_mlkit::Dataset;
+
+    fn fake_class_b() -> ClassBResults {
+        // A miniature Class B results object with hand-set correlations
+        // and a linear dataset over all 18 features.
+        let names: Vec<String> = PA.iter().chain(PNA.iter()).map(|s| s.to_string()).collect();
+        let mut ds = Dataset::new(names.clone());
+        for i in 1..40 {
+            let x = i as f64;
+            let row: Vec<f64> = (0..18).map(|j| x * (j + 1) as f64).collect();
+            ds.push(format!("p{i}"), row, 10.0 * x).unwrap();
+        }
+        let (train, test) = ds.split_exact(8).unwrap();
+        let correlations: Vec<(String, f64)> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), 1.0 - i as f64 * 0.05))
+            .collect();
+        ClassBResults {
+            additivity: AdditivityReport::new(vec![], 5.0),
+            correlations,
+            models: vec![],
+            train,
+            test,
+        }
+    }
+
+    #[test]
+    fn selects_four_from_each_pool() {
+        let b = fake_class_b();
+        let c = run_class_c(&b, 30, 10, 1);
+        assert_eq!(c.pa4.len(), 4);
+        assert_eq!(c.pna4.len(), 4);
+        for name in &c.pa4 {
+            assert!(PA.contains(&name.as_str()));
+        }
+        for name in &c.pna4 {
+            assert!(PNA.contains(&name.as_str()));
+        }
+    }
+
+    #[test]
+    fn selection_is_by_descending_correlation() {
+        let b = fake_class_b();
+        let c = run_class_c(&b, 30, 10, 1);
+        // Correlations decrease with index in the fake, so PA4 = PA[0..4].
+        assert_eq!(c.pa4, PA[..4].iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        assert_eq!(c.pna4, PNA[..4].iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn produces_six_models_in_paper_order() {
+        let b = fake_class_b();
+        let c = run_class_c(&b, 30, 10, 1);
+        let names: Vec<&str> = c.models.iter().map(|m| m.model.as_str()).collect();
+        assert_eq!(names, vec!["LR-A4", "LR-NA4", "RF-A4", "RF-NA4", "NN-A4", "NN-NA4"]);
+    }
+
+    #[test]
+    fn table7b_mentions_every_model() {
+        let b = fake_class_b();
+        let c = run_class_c(&b, 30, 10, 1);
+        let t = c.table7b();
+        for m in ["LR-A4", "RF-NA4", "NN-A4"] {
+            assert!(t.contains(m), "missing {m}:\n{t}");
+        }
+    }
+}

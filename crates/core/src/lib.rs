@@ -1,0 +1,52 @@
+//! SLOPE-PMC-RS: additivity-based PMC selection for energy predictive
+//! models of multicore CPUs.
+//!
+//! This crate is the top of the reproduction stack for Shahid et al.,
+//! *"Improving the Accuracy of Energy Predictive Models for Multicore CPUs
+//! Using Additivity of Performance Monitoring Counters"* (PaCT 2019). It
+//! combines the substrate crates — the platform simulator
+//! (`pmca-cpusim`), workload models (`pmca-workloads`), power metering
+//! (`pmca-powermeter`), PMC collection (`pmca-pmctools`), regression
+//! models (`pmca-mlkit`), and the additivity test (`pmca-additivity`) —
+//! into:
+//!
+//! * [`selection`] — PMC selection strategies: plain correlation (the
+//!   state-of-the-art baseline the paper argues against), additivity
+//!   ranking, additivity-filtered correlation (the paper's recipe), and a
+//!   PCA baseline;
+//! * [`measure`] — dataset construction: run applications, measure dynamic
+//!   energy through the simulated WattsUp, collect PMCs over multiple runs;
+//! * [`class_a`] / [`class_b`] / [`class_c`] — the paper's three
+//!   experiment classes, regenerating Tables 2–5, 6–7a, and 7b;
+//! * [`tables`] — plain-text table rendering in the paper's layout.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use pmca_core::class_a::{run_class_a, ClassAConfig};
+//!
+//! let results = run_class_a(&ClassAConfig::paper());
+//! println!("{}", results.table2());
+//! println!("{}", results.table3());
+//! ```
+//!
+//! (Use [`class_a::ClassAConfig::smoke`] for a seconds-scale run.)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod class_a;
+pub mod class_b;
+pub mod class_c;
+pub mod measure;
+pub mod online;
+pub mod selection;
+pub mod survey;
+pub mod tables;
+pub mod weighting;
+
+pub use class_a::{run_class_a, ClassAConfig, ClassAResults};
+pub use class_b::{run_class_b, ClassBConfig, ClassBResults};
+pub use class_c::{run_class_c, ClassCResults};
+pub use online::OnlineModel;
+pub use selection::SelectionStrategy;

@@ -1,0 +1,208 @@
+//! Deployable online energy models.
+//!
+//! The point of the paper's Class C experiments is an *online* model: one
+//! whose entire PMC set fits in a **single application run** (≤ 4
+//! programmable counters under the PMU's constraints), so energy can be
+//! estimated live without re-running the application. [`OnlineModel`]
+//! packages that: it validates single-run schedulability at construction,
+//! trains the paper-constrained linear model, and estimates a running
+//! application's dynamic energy from one collection pass.
+
+use crate::measure::build_dataset;
+use pmca_cpusim::app::Application;
+use pmca_cpusim::events::EventId;
+use pmca_cpusim::Machine;
+use pmca_mlkit::{LinearRegression, Regressor};
+use pmca_pmctools::collector::collect_all;
+use pmca_pmctools::scheduler::schedule;
+use pmca_powermeter::HclWattsUp;
+use std::error::Error;
+use std::fmt;
+
+/// Why an online model could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OnlineModelError {
+    /// An event name is not in the machine's catalog.
+    UnknownEvent(String),
+    /// The chosen PMCs cannot be measured together in one run.
+    NotSingleRun {
+        /// Number of runs the schedule actually needs.
+        runs_needed: usize,
+    },
+    /// Training failed (degenerate dataset).
+    TrainingFailed(String),
+}
+
+impl fmt::Display for OnlineModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnlineModelError::UnknownEvent(name) => write!(f, "unknown event {name}"),
+            OnlineModelError::NotSingleRun { runs_needed } => {
+                write!(f, "PMC set needs {runs_needed} runs; an online model needs exactly 1")
+            }
+            OnlineModelError::TrainingFailed(detail) => write!(f, "training failed: {detail}"),
+        }
+    }
+}
+
+impl Error for OnlineModelError {}
+
+/// An online energy model: ≤ 4 single-run-schedulable PMCs plus a trained
+/// paper-constrained linear model.
+#[derive(Debug, Clone)]
+pub struct OnlineModel {
+    event_names: Vec<String>,
+    events: Vec<EventId>,
+    model: LinearRegression,
+}
+
+impl OnlineModel {
+    /// Train an online model on `training_apps`: validates that
+    /// `pmc_names` fit one run on `machine`'s PMU, measures energy through
+    /// `meter`, and fits the constrained linear model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnlineModelError`] when the PMC set is unknown, not
+    /// single-run schedulable, or untrainable.
+    pub fn train(
+        machine: &mut Machine,
+        meter: &mut HclWattsUp,
+        pmc_names: &[&str],
+        training_apps: &[&dyn Application],
+    ) -> Result<Self, OnlineModelError> {
+        let events = machine
+            .catalog()
+            .ids(pmc_names)
+            .map_err(|name| OnlineModelError::UnknownEvent(name.to_string()))?;
+        let groups = schedule(machine.catalog(), &events)
+            .map_err(|e| OnlineModelError::TrainingFailed(e.to_string()))?;
+        if groups.len() > 1 {
+            return Err(OnlineModelError::NotSingleRun { runs_needed: groups.len() });
+        }
+        let dataset = build_dataset(machine, meter, training_apps, &events, 1)
+            .map_err(|e| OnlineModelError::TrainingFailed(e.to_string()))?;
+        let mut model = LinearRegression::paper_constrained();
+        model
+            .fit(dataset.rows(), dataset.targets())
+            .map_err(|e| OnlineModelError::TrainingFailed(e.to_string()))?;
+        Ok(OnlineModel {
+            event_names: pmc_names.iter().map(|s| s.to_string()).collect(),
+            events,
+            model,
+        })
+    }
+
+    /// The PMCs the model reads.
+    pub fn pmc_names(&self) -> &[String] {
+        &self.event_names
+    }
+
+    /// Estimate an application's dynamic energy, joules, from **one** run
+    /// — the online deployment path (no power meter involved).
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal inconsistency (the event set was validated
+    /// at construction).
+    pub fn estimate(&self, machine: &mut Machine, app: &dyn Application) -> f64 {
+        let before = machine.runs_executed();
+        let pmcs = collect_all(machine, app, &self.events)
+            .expect("event set validated single-run at construction");
+        debug_assert_eq!(machine.runs_executed() - before, 1, "online estimate must cost one run");
+        self.model.predict_one(&pmcs.in_order(&self.events)).max(0.0)
+    }
+
+    /// The fitted coefficients, one per PMC.
+    pub fn coefficients(&self) -> &[f64] {
+        self.model.coefficients()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmca_cpusim::PlatformSpec;
+    use pmca_powermeter::Methodology;
+    use pmca_workloads::{Dgemm, Fft2d};
+
+    fn setup() -> (Machine, HclWattsUp) {
+        let machine = Machine::new(PlatformSpec::intel_skylake(), 31);
+        let meter = HclWattsUp::with_methodology(&machine, 31, Methodology::quick());
+        (machine, meter)
+    }
+
+    fn training_apps() -> Vec<Box<dyn Application>> {
+        let mut apps: Vec<Box<dyn Application>> = Vec::new();
+        for i in 0..14 {
+            apps.push(Box::new(Dgemm::new(7_000 + 1_700 * i)));
+            apps.push(Box::new(Fft2d::new(23_000 + 1_100 * i)));
+        }
+        apps
+    }
+
+    const GOOD_SET: [&str; 4] = [
+        "UOPS_EXECUTED_CORE",
+        "FP_ARITH_INST_RETIRED_DOUBLE",
+        "MEM_INST_RETIRED_ALL_STORES",
+        "UOPS_DISPATCHED_PORT_PORT_4",
+    ];
+
+    #[test]
+    fn trains_and_estimates_within_tolerance() {
+        let (mut machine, mut meter) = setup();
+        let apps = training_apps();
+        let refs: Vec<&dyn Application> = apps.iter().map(|a| a.as_ref()).collect();
+        let model = OnlineModel::train(&mut machine, &mut meter, &GOOD_SET, &refs).unwrap();
+
+        // Unseen application.
+        let unseen = Dgemm::new(13_333);
+        let estimate = model.estimate(&mut machine, &unseen);
+        let truth = meter.measure_dynamic_energy(&mut machine, &unseen).mean_joules;
+        let rel = (estimate - truth).abs() / truth;
+        assert!(rel < 0.45, "estimate {estimate} vs truth {truth} ({rel:.2})");
+    }
+
+    #[test]
+    fn estimate_costs_exactly_one_run() {
+        let (mut machine, mut meter) = setup();
+        let apps = training_apps();
+        let refs: Vec<&dyn Application> = apps.iter().map(|a| a.as_ref()).collect();
+        let model = OnlineModel::train(&mut machine, &mut meter, &GOOD_SET, &refs).unwrap();
+        let before = machine.runs_executed();
+        let _ = model.estimate(&mut machine, &Fft2d::new(25_000));
+        assert_eq!(machine.runs_executed() - before, 1);
+    }
+
+    #[test]
+    fn rejects_sets_that_need_multiple_runs() {
+        let (mut machine, mut meter) = setup();
+        let apps = training_apps();
+        let refs: Vec<&dyn Application> = apps.iter().map(|a| a.as_ref()).collect();
+        // The divider is solo-only: together with three others it cannot
+        // fit one run.
+        let bad = ["ARITH_DIVIDER_COUNT", "UOPS_EXECUTED_CORE", "MEM_INST_RETIRED_ALL_STORES"];
+        let err = OnlineModel::train(&mut machine, &mut meter, &bad, &refs).unwrap_err();
+        assert!(matches!(err, OnlineModelError::NotSingleRun { runs_needed: 2 }), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_events() {
+        let (mut machine, mut meter) = setup();
+        let apps = training_apps();
+        let refs: Vec<&dyn Application> = apps.iter().map(|a| a.as_ref()).collect();
+        let err = OnlineModel::train(&mut machine, &mut meter, &["NOT_AN_EVENT"], &refs).unwrap_err();
+        assert_eq!(err, OnlineModelError::UnknownEvent("NOT_AN_EVENT".into()));
+    }
+
+    #[test]
+    fn coefficients_are_nonnegative() {
+        let (mut machine, mut meter) = setup();
+        let apps = training_apps();
+        let refs: Vec<&dyn Application> = apps.iter().map(|a| a.as_ref()).collect();
+        let model = OnlineModel::train(&mut machine, &mut meter, &GOOD_SET, &refs).unwrap();
+        assert!(model.coefficients().iter().all(|&c| c >= 0.0));
+        assert_eq!(model.pmc_names().len(), 4);
+    }
+}

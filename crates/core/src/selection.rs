@@ -1,0 +1,234 @@
+//! PMC selection strategies.
+//!
+//! The paper's taxonomy (Sect. 1) of PMC-selection techniques, implemented
+//! head to head:
+//!
+//! * [`SelectionStrategy::Correlation`] — rank by |Pearson correlation|
+//!   with dynamic energy (the mainstream baseline the paper critiques);
+//! * [`SelectionStrategy::Additivity`] — rank by additivity-test error
+//!   ascending (most additive first);
+//! * [`SelectionStrategy::AdditiveThenCorrelation`] — the paper's Class C
+//!   recipe: restrict to (most) additive events, then rank by correlation;
+//! * [`SelectionStrategy::Pca`] — rank by absolute loading on the first
+//!   principal component (a statistical baseline from related work).
+
+use pmca_additivity::AdditivityReport;
+use pmca_mlkit::Dataset;
+use pmca_stats::correlation::rank_by_correlation;
+use pmca_stats::matrix::Matrix;
+use pmca_stats::pca::Pca;
+
+/// A PMC selection strategy producing `k` feature names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionStrategy {
+    /// Most |correlated| with the target first.
+    Correlation {
+        /// Number of PMCs to select.
+        k: usize,
+    },
+    /// Most additive (smallest additivity-test error) first.
+    Additivity {
+        /// Number of PMCs to select.
+        k: usize,
+    },
+    /// Among the `pool` most additive events, pick the `k` most correlated
+    /// — the construction of the paper's PA4 set.
+    AdditiveThenCorrelation {
+        /// Number of PMCs to select.
+        k: usize,
+        /// Size of the additive pool to pre-select.
+        pool: usize,
+    },
+    /// Largest absolute loading on the first principal component first.
+    Pca {
+        /// Number of PMCs to select.
+        k: usize,
+    },
+}
+
+/// Errors from selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SelectionError {
+    /// The strategy needs an additivity report but none was supplied.
+    MissingAdditivityReport,
+    /// The dataset's features don't cover the additivity report's events.
+    FeatureMismatch(String),
+    /// PCA failed (degenerate dataset).
+    PcaFailed,
+}
+
+impl std::fmt::Display for SelectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectionError::MissingAdditivityReport => {
+                write!(f, "strategy requires an additivity report")
+            }
+            SelectionError::FeatureMismatch(name) => {
+                write!(f, "additivity report lacks feature {name}")
+            }
+            SelectionError::PcaFailed => write!(f, "PCA decomposition failed"),
+        }
+    }
+}
+
+impl std::error::Error for SelectionError {}
+
+/// Apply a strategy to a dataset (features = PMC counts, target = dynamic
+/// energy) and, for additivity-based strategies, an [`AdditivityReport`]
+/// covering the dataset's features. Returns selected feature names, best
+/// first, truncated to the available feature count.
+///
+/// # Errors
+///
+/// Returns [`SelectionError`] when required inputs are missing or
+/// inconsistent.
+pub fn select_pmcs(
+    strategy: SelectionStrategy,
+    dataset: &Dataset,
+    additivity: Option<&AdditivityReport>,
+) -> Result<Vec<String>, SelectionError> {
+    let names = dataset.feature_names();
+    match strategy {
+        SelectionStrategy::Correlation { k } => {
+            let columns: Vec<Vec<f64>> = (0..names.len()).map(|i| dataset.column(i)).collect();
+            let ranked = rank_by_correlation(&columns, dataset.targets());
+            Ok(ranked.into_iter().take(k).map(|(i, _)| names[i].clone()).collect())
+        }
+        SelectionStrategy::Additivity { k } => {
+            let report = additivity.ok_or(SelectionError::MissingAdditivityReport)?;
+            let ranked = ranked_additivity_names(report, names)?;
+            Ok(ranked.into_iter().take(k).collect())
+        }
+        SelectionStrategy::AdditiveThenCorrelation { k, pool } => {
+            let report = additivity.ok_or(SelectionError::MissingAdditivityReport)?;
+            let pool_names: Vec<String> =
+                ranked_additivity_names(report, names)?.into_iter().take(pool).collect();
+            let columns: Vec<Vec<f64>> = pool_names
+                .iter()
+                .map(|n| {
+                    let idx = names.iter().position(|f| f == n).expect("pool drawn from names");
+                    dataset.column(idx)
+                })
+                .collect();
+            let ranked = rank_by_correlation(&columns, dataset.targets());
+            Ok(ranked.into_iter().take(k).map(|(i, _)| pool_names[i].clone()).collect())
+        }
+        SelectionStrategy::Pca { k } => {
+            let matrix = Matrix::from_rows(dataset.rows()).map_err(|_| SelectionError::PcaFailed)?;
+            let pca = Pca::fit(&matrix, true).map_err(|_| SelectionError::PcaFailed)?;
+            let loadings = pca.leading_loadings();
+            let mut order: Vec<usize> = (0..names.len()).collect();
+            order.sort_by(|&a, &b| loadings[b].partial_cmp(&loadings[a]).expect("NaN loading"));
+            Ok(order.into_iter().take(k).map(|i| names[i].clone()).collect())
+        }
+    }
+}
+
+/// Dataset feature names ranked most-additive-first according to a report.
+fn ranked_additivity_names(
+    report: &AdditivityReport,
+    names: &[String],
+) -> Result<Vec<String>, SelectionError> {
+    for name in names {
+        if !report.entries().iter().any(|e| &e.name == name) {
+            return Err(SelectionError::FeatureMismatch(name.clone()));
+        }
+    }
+    Ok(report
+        .ranked()
+        .into_iter()
+        .filter(|e| names.contains(&e.name))
+        .map(|e| e.name.clone())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmca_additivity::{AdditivityReport, EventAdditivity, Verdict};
+    use pmca_cpusim::events::EventId;
+
+    fn dataset() -> Dataset {
+        // f0 tracks the target perfectly, f1 weakly, f2 is noise.
+        let mut d = Dataset::new(vec!["f0".into(), "f1".into(), "f2".into()]);
+        for i in 0..30 {
+            let x = i as f64;
+            let weak = x + if i % 2 == 0 { 6.0 } else { -6.0 };
+            let noise = if i % 3 == 0 { 10.0 } else { 1.0 };
+            d.push(format!("p{i}"), vec![x, weak, noise], 2.0 * x).unwrap();
+        }
+        d
+    }
+
+    fn report(errors: &[(&str, f64)]) -> AdditivityReport {
+        let entries = errors
+            .iter()
+            .enumerate()
+            .map(|(i, &(name, err))| EventAdditivity {
+                id: EventId(i),
+                name: name.into(),
+                reproducible: true,
+                max_error_pct: err,
+                worst_compound: String::new(),
+                verdict: if err <= 5.0 { Verdict::Additive } else { Verdict::NonAdditive },
+            })
+            .collect();
+        AdditivityReport::new(entries, 5.0)
+    }
+
+    #[test]
+    fn correlation_strategy_picks_the_strong_feature_first() {
+        let sel = select_pmcs(SelectionStrategy::Correlation { k: 2 }, &dataset(), None).unwrap();
+        assert_eq!(sel[0], "f0");
+    }
+
+    #[test]
+    fn additivity_strategy_follows_report_ranking() {
+        let r = report(&[("f0", 40.0), ("f1", 1.0), ("f2", 10.0)]);
+        let sel =
+            select_pmcs(SelectionStrategy::Additivity { k: 2 }, &dataset(), Some(&r)).unwrap();
+        assert_eq!(sel, vec!["f1".to_string(), "f2".to_string()]);
+    }
+
+    #[test]
+    fn additivity_strategy_requires_report() {
+        assert_eq!(
+            select_pmcs(SelectionStrategy::Additivity { k: 1 }, &dataset(), None),
+            Err(SelectionError::MissingAdditivityReport)
+        );
+    }
+
+    #[test]
+    fn combined_strategy_filters_then_ranks() {
+        // f0 is the best-correlated but least additive; with a pool of 2
+        // (f1, f2), correlation picks f1.
+        let r = report(&[("f0", 40.0), ("f1", 1.0), ("f2", 2.0)]);
+        let sel = select_pmcs(
+            SelectionStrategy::AdditiveThenCorrelation { k: 1, pool: 2 },
+            &dataset(),
+            Some(&r),
+        )
+        .unwrap();
+        assert_eq!(sel, vec!["f1".to_string()]);
+    }
+
+    #[test]
+    fn report_missing_feature_is_an_error() {
+        let r = report(&[("f0", 1.0)]);
+        let err = select_pmcs(SelectionStrategy::Additivity { k: 1 }, &dataset(), Some(&r));
+        assert!(matches!(err, Err(SelectionError::FeatureMismatch(_))));
+    }
+
+    #[test]
+    fn pca_strategy_returns_k_features() {
+        let sel = select_pmcs(SelectionStrategy::Pca { k: 2 }, &dataset(), None).unwrap();
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    fn k_larger_than_features_truncates() {
+        let sel = select_pmcs(SelectionStrategy::Correlation { k: 99 }, &dataset(), None).unwrap();
+        assert_eq!(sel.len(), 3);
+    }
+}

@@ -1,0 +1,128 @@
+//! Plain-text table rendering in the paper's layout.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        TextTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&self.title);
+            out.push('\n');
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a coefficient the way the paper prints them (`3.83E-09`).
+pub fn sci(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{x:.2E}")
+    }
+}
+
+/// Format a (min, avg, max) error triple the way the paper prints them.
+pub fn triple(e: &pmca_mlkit::PredictionErrors) -> String {
+    format!("({:.2}, {:.2}, {:.2})", e.min, e.avg, e.max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new("Demo", &["model", "error"]);
+        t.row(vec!["LR1".into(), "31.2".into()]);
+        t.row(vec!["a-long-model-name".into(), "1.0".into()]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header, separator, two rows.
+        assert_eq!(lines.len(), 5);
+        // Columns align: "error" header starts at the same offset in all rows.
+        let col = lines[1].find("error").unwrap();
+        assert_eq!(&lines[3][col..col + 4], "31.2");
+    }
+
+    #[test]
+    fn sci_formats_like_the_paper() {
+        assert_eq!(sci(3.83e-9), "3.83E-9");
+        assert_eq!(sci(0.0), "0");
+    }
+
+    #[test]
+    fn triple_formats_like_the_paper() {
+        let e = pmca_mlkit::PredictionErrors { min: 6.6, avg: 31.2, max: 61.9 };
+        assert_eq!(triple(&e), "(6.60, 31.20, 61.90)");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new("", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Additivity-weighted regression — the paper's future-work direction.
+//!
+//! The paper concludes: *"In our future work, we will focus on \[a\]
+//! theoretic framework explaining why additivity … improves the prediction
+//! accuracy"*, and earlier flags the open question of *reducing the
+//! maximum error*. A natural continuous refinement of the paper's
+//! drop-the-worst ladder is to keep **all** candidate PMCs but penalise
+//! each in proportion to its additivity-test error: a perfectly additive
+//! counter is free, an 80%-non-additive counter is nearly frozen out.
+//! Hard selection (the ladder) is the limiting case of an infinite
+//! penalty.
+//!
+//! [`additivity_weighted_lr`] builds such a model from an
+//! [`AdditivityReport`]; `repro_future_work` compares it against the
+//! ladder's endpoints.
+
+use pmca_additivity::AdditivityReport;
+use pmca_mlkit::{Dataset, LinearRegression, ModelError, Regressor};
+
+/// Strength mapping from additivity error to a per-feature ridge
+/// multiplier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdditivityPenalty {
+    /// Penalty multiplier per percentage point of additivity error.
+    /// `0.0` recovers the plain paper-constrained fit.
+    pub per_error_point: f64,
+}
+
+impl Default for AdditivityPenalty {
+    fn default() -> Self {
+        AdditivityPenalty { per_error_point: 2.0 }
+    }
+}
+
+impl AdditivityPenalty {
+    /// Multiplier for a feature with the given additivity error (%).
+    pub fn multiplier(&self, error_pct: f64) -> f64 {
+        1.0 + self.per_error_point * error_pct.max(0.0)
+    }
+}
+
+/// Fit the paper-constrained linear model on `train` with each feature's
+/// ridge scaled by its additivity error from `report`.
+///
+/// # Errors
+///
+/// Returns [`ModelError::ShapeMismatch`] when a feature of the dataset is
+/// missing from the report, or propagates fit errors.
+pub fn additivity_weighted_lr(
+    train: &Dataset,
+    report: &AdditivityReport,
+    penalty: AdditivityPenalty,
+) -> Result<LinearRegression, ModelError> {
+    let multipliers: Vec<f64> = train
+        .feature_names()
+        .iter()
+        .map(|name| {
+            report
+                .entries()
+                .iter()
+                .find(|e| &e.name == name)
+                .map(|e| penalty.multiplier(e.max_error_pct))
+                .ok_or_else(|| ModelError::ShapeMismatch {
+                    detail: format!("no additivity entry for {name}"),
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    let mut model = LinearRegression::paper_constrained().with_feature_penalties(multipliers);
+    model.fit(train.rows(), train.targets())?;
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmca_additivity::{EventAdditivity, Verdict};
+    use pmca_cpusim::events::EventId;
+
+    fn report(errors: &[(&str, f64)]) -> AdditivityReport {
+        let entries = errors
+            .iter()
+            .enumerate()
+            .map(|(i, &(name, err))| EventAdditivity {
+                id: EventId(i),
+                name: name.into(),
+                reproducible: true,
+                max_error_pct: err,
+                worst_compound: String::new(),
+                verdict: if err <= 5.0 { Verdict::Additive } else { Verdict::NonAdditive },
+            })
+            .collect();
+        AdditivityReport::new(entries, 5.0)
+    }
+
+    fn duplicated_dataset() -> Dataset {
+        // Two near-duplicate predictors of y.
+        let mut d = Dataset::new(vec!["clean".into(), "dirty".into()]);
+        for i in 1..50 {
+            let x = i as f64;
+            d.push(format!("p{i}"), vec![x, x * 1.1], 5.0 * x).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn penalty_shifts_weight_off_non_additive_features() {
+        let d = duplicated_dataset();
+        let r = report(&[("clean", 0.5), ("dirty", 80.0)]);
+        let weighted = additivity_weighted_lr(&d, &r, AdditivityPenalty::default()).unwrap();
+        // Normalise by feature scale: share of the prediction carried.
+        let clean_share = weighted.coefficients()[0] * 1.0;
+        let dirty_share = weighted.coefficients()[1] * 1.1;
+        assert!(
+            clean_share > 5.0 * dirty_share,
+            "clean {clean_share} vs dirty {dirty_share}"
+        );
+    }
+
+    #[test]
+    fn zero_penalty_recovers_plain_fit() {
+        let d = duplicated_dataset();
+        let r = report(&[("clean", 0.5), ("dirty", 80.0)]);
+        let weighted =
+            additivity_weighted_lr(&d, &r, AdditivityPenalty { per_error_point: 0.0 }).unwrap();
+        let mut plain = LinearRegression::paper_constrained();
+        plain.fit(d.rows(), d.targets()).unwrap();
+        for (a, b) in weighted.coefficients().iter().zip(plain.coefficients()) {
+            assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn prediction_quality_survives_the_penalty() {
+        let d = duplicated_dataset();
+        let r = report(&[("clean", 0.5), ("dirty", 80.0)]);
+        let weighted = additivity_weighted_lr(&d, &r, AdditivityPenalty::default()).unwrap();
+        let pred = weighted.predict_one(&[10.0, 11.0]);
+        assert!((pred - 50.0).abs() < 2.0, "pred {pred}");
+    }
+
+    #[test]
+    fn missing_report_entry_is_an_error() {
+        let d = duplicated_dataset();
+        let r = report(&[("clean", 0.5)]);
+        assert!(matches!(
+            additivity_weighted_lr(&d, &r, AdditivityPenalty::default()),
+            Err(ModelError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn multiplier_grows_linearly() {
+        let p = AdditivityPenalty { per_error_point: 2.0 };
+        assert_eq!(p.multiplier(0.0), 1.0);
+        assert_eq!(p.multiplier(10.0), 21.0);
+        assert_eq!(p.multiplier(-5.0), 1.0);
+    }
+}

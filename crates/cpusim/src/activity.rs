@@ -1,0 +1,318 @@
+//! The cumulative micro-architectural activity vector.
+//!
+//! An application run produces an [`Activity`]: total counts of physical
+//! work items (instructions, uops, cache transactions per level, branches,
+//! divider operations, DRAM bytes, …) plus wall-clock seconds. Activity is
+//! what the ground-truth power model consumes and what PMC event formulas
+//! are evaluated over.
+//!
+//! Activity is *extensive* in the thermodynamic sense: the activity of a
+//! serial composition of applications is the sum of the component
+//! activities. This is the formal basis for the paper's additivity
+//! criterion — dynamic energy is (to first order) a linear functional of
+//! activity, hence additive, so a PMC suitable for a linear energy model
+//! must be additive too.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+macro_rules! activity_fields {
+    ($($variant:ident => $label:expr),+ $(,)?) => {
+        /// A named component of the activity vector.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[allow(missing_docs)] // variant names mirror their labels
+        pub enum ActivityField {
+            $($variant),+
+        }
+
+        impl ActivityField {
+            /// All fields, in index order.
+            pub const ALL: &'static [ActivityField] = &[$(ActivityField::$variant),+];
+
+            /// Number of fields in the activity vector.
+            pub const COUNT: usize = Self::ALL.len();
+
+            /// Stable index of this field within the vector.
+            pub fn index(self) -> usize {
+                self as usize
+            }
+
+            /// Human-readable label.
+            pub fn label(self) -> &'static str {
+                match self {
+                    $(ActivityField::$variant => $label),+
+                }
+            }
+        }
+
+        impl fmt::Display for ActivityField {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.label())
+            }
+        }
+    };
+}
+
+activity_fields! {
+    Cycles => "core cycles",
+    RefCycles => "reference cycles",
+    Instructions => "retired instructions",
+    UopsIssued => "uops issued",
+    UopsExecuted => "uops executed",
+    UopsRetired => "uops retired",
+    Port0 => "uops dispatched port 0",
+    Port1 => "uops dispatched port 1",
+    Port2 => "uops dispatched port 2",
+    Port3 => "uops dispatched port 3",
+    Port4 => "uops dispatched port 4",
+    Port5 => "uops dispatched port 5",
+    Port6 => "uops dispatched port 6",
+    Port7 => "uops dispatched port 7",
+    MiteUops => "uops from MITE (legacy decode)",
+    DsbUops => "uops from DSB (uop cache)",
+    MsUops => "uops from microcode sequencer",
+    FpScalarDouble => "scalar double FP ops",
+    FpPacked128Double => "128-bit packed double FP ops",
+    FpPacked256Double => "256-bit packed double FP ops",
+    FpPacked512Double => "512-bit packed double FP ops",
+    Loads => "retired loads",
+    Stores => "retired stores",
+    L1dHits => "L1D hits",
+    L1dMisses => "L1D misses",
+    L2Hits => "L2 hits",
+    L2Misses => "L2 misses",
+    L3Hits => "L3 hits",
+    L3Misses => "L3 misses",
+    L2CodeReads => "L2 code reads",
+    IcacheHits => "icache hits",
+    IcacheMisses => "icache misses",
+    ItlbMisses => "ITLB misses",
+    DtlbMisses => "DTLB misses",
+    StlbHits => "STLB hits",
+    Branches => "retired branches",
+    BranchMispredicts => "mispredicted branches",
+    DivOps => "divider operations",
+    DivActiveCycles => "divider active cycles",
+    PageFaults => "page faults",
+    ContextSwitches => "context switches",
+    OffcoreReads => "offcore read requests",
+    OffcoreWrites => "offcore write requests",
+    DramBytes => "DRAM bytes transferred",
+    SnoopHits => "cross-core snoop hits",
+    MachineClears => "machine clears",
+    Seconds => "wall-clock seconds",
+}
+
+/// Cumulative activity of (part of) an application run.
+///
+/// # Examples
+///
+/// ```
+/// use pmca_cpusim::{Activity, ActivityField};
+///
+/// let mut a = Activity::zero();
+/// a.set(ActivityField::Instructions, 1e9);
+/// let doubled = a.clone() + a.clone();
+/// assert_eq!(doubled.get(ActivityField::Instructions), 2e9);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Activity {
+    values: [f64; ActivityField::COUNT],
+}
+
+impl fmt::Debug for Activity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("Activity");
+        for &field in ActivityField::ALL {
+            let v = self.get(field);
+            if v != 0.0 {
+                s.field(field.label(), &v);
+            }
+        }
+        s.finish()
+    }
+}
+
+impl Default for Activity {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl Activity {
+    /// The zero activity vector.
+    pub fn zero() -> Self {
+        Activity { values: [0.0; ActivityField::COUNT] }
+    }
+
+    /// Value of one field.
+    pub fn get(&self, field: ActivityField) -> f64 {
+        self.values[field.index()]
+    }
+
+    /// Set one field.
+    pub fn set(&mut self, field: ActivityField, value: f64) -> &mut Self {
+        self.values[field.index()] = value;
+        self
+    }
+
+    /// Add to one field.
+    pub fn bump(&mut self, field: ActivityField, delta: f64) -> &mut Self {
+        self.values[field.index()] += delta;
+        self
+    }
+
+    /// Multiply every field except [`ActivityField::Seconds`] by `scale`
+    /// and `Seconds` by `time_scale`. Used to model work-scale
+    /// perturbations of adaptive applications without distorting time
+    /// bookkeeping.
+    pub fn scaled(&self, scale: f64, time_scale: f64) -> Activity {
+        let mut out = self.clone();
+        for &field in ActivityField::ALL {
+            let s = if field == ActivityField::Seconds { time_scale } else { scale };
+            out.values[field.index()] *= s;
+        }
+        out
+    }
+
+    /// Uniformly scale all fields including time. An application doing
+    /// `k` times the work for `k` times as long has `self.scaled_uniform(k)`
+    /// activity.
+    pub fn scaled_uniform(&self, scale: f64) -> Activity {
+        self.scaled(scale, scale)
+    }
+
+    /// Iterator over `(field, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ActivityField, f64)> + '_ {
+        ActivityField::ALL.iter().map(move |&f| (f, self.get(f)))
+    }
+
+    /// Sum of all activity vectors in an iterator.
+    pub fn sum<I: IntoIterator<Item = Activity>>(iter: I) -> Activity {
+        iter.into_iter().fold(Activity::zero(), |acc, a| acc + a)
+    }
+
+    /// Average uops executed per cycle, a utilisation proxy used by the
+    /// power model; `0.0` when no cycles elapsed.
+    pub fn uops_per_cycle(&self) -> f64 {
+        let cycles = self.get(ActivityField::Cycles);
+        if cycles <= 0.0 {
+            0.0
+        } else {
+            self.get(ActivityField::UopsExecuted) / cycles
+        }
+    }
+
+    /// True if every field is finite and non-negative — the invariant every
+    /// workload model must uphold.
+    pub fn is_physical(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite() && *v >= 0.0)
+    }
+}
+
+impl Add for Activity {
+    type Output = Activity;
+
+    fn add(mut self, rhs: Activity) -> Activity {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for Activity {
+    fn add_assign(&mut self, rhs: Activity) {
+        for i in 0..ActivityField::COUNT {
+            self.values[i] += rhs.values[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_indices_are_dense_and_stable() {
+        for (i, &f) in ActivityField::ALL.iter().enumerate() {
+            assert_eq!(f.index(), i);
+        }
+        assert_eq!(ActivityField::ALL.len(), ActivityField::COUNT);
+    }
+
+    #[test]
+    fn zero_is_additive_identity() {
+        let mut a = Activity::zero();
+        a.set(ActivityField::Loads, 5.0);
+        assert_eq!(a.clone() + Activity::zero(), a);
+    }
+
+    #[test]
+    fn addition_is_componentwise() {
+        let mut a = Activity::zero();
+        a.set(ActivityField::Cycles, 10.0);
+        a.set(ActivityField::Loads, 3.0);
+        let mut b = Activity::zero();
+        b.set(ActivityField::Cycles, 5.0);
+        b.set(ActivityField::Stores, 7.0);
+        let c = a + b;
+        assert_eq!(c.get(ActivityField::Cycles), 15.0);
+        assert_eq!(c.get(ActivityField::Loads), 3.0);
+        assert_eq!(c.get(ActivityField::Stores), 7.0);
+    }
+
+    #[test]
+    fn scaled_preserves_time_separately() {
+        let mut a = Activity::zero();
+        a.set(ActivityField::Instructions, 100.0);
+        a.set(ActivityField::Seconds, 2.0);
+        let s = a.scaled(3.0, 1.5);
+        assert_eq!(s.get(ActivityField::Instructions), 300.0);
+        assert_eq!(s.get(ActivityField::Seconds), 3.0);
+    }
+
+    #[test]
+    fn scaled_uniform_scales_everything() {
+        let mut a = Activity::zero();
+        a.set(ActivityField::Instructions, 100.0);
+        a.set(ActivityField::Seconds, 2.0);
+        let s = a.scaled_uniform(2.0);
+        assert_eq!(s.get(ActivityField::Instructions), 200.0);
+        assert_eq!(s.get(ActivityField::Seconds), 4.0);
+    }
+
+    #[test]
+    fn uops_per_cycle_guards_zero_cycles() {
+        assert_eq!(Activity::zero().uops_per_cycle(), 0.0);
+        let mut a = Activity::zero();
+        a.set(ActivityField::Cycles, 100.0);
+        a.set(ActivityField::UopsExecuted, 250.0);
+        assert_eq!(a.uops_per_cycle(), 2.5);
+    }
+
+    #[test]
+    fn sum_of_many() {
+        let mut a = Activity::zero();
+        a.set(ActivityField::Branches, 1.0);
+        let total = Activity::sum(vec![a.clone(), a.clone(), a]);
+        assert_eq!(total.get(ActivityField::Branches), 3.0);
+    }
+
+    #[test]
+    fn is_physical_rejects_negative_and_nan() {
+        let mut a = Activity::zero();
+        assert!(a.is_physical());
+        a.set(ActivityField::Loads, -1.0);
+        assert!(!a.is_physical());
+        a.set(ActivityField::Loads, f64::NAN);
+        assert!(!a.is_physical());
+    }
+
+    #[test]
+    fn debug_skips_zero_fields() {
+        let mut a = Activity::zero();
+        a.set(ActivityField::DivOps, 9.0);
+        let dbg = format!("{a:?}");
+        assert!(dbg.contains("divider operations"));
+        assert!(!dbg.contains("retired loads"));
+    }
+}

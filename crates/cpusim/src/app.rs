@@ -1,0 +1,375 @@
+//! The application abstraction consumed by the simulator.
+//!
+//! An [`Application`] describes *what work it does* on a given platform: a
+//! sequence of [`Segment`]s, each carrying activity [`Phase`]s and a
+//! resource [`Footprint`]. Base applications have a single segment;
+//! [`CompoundApp`] — the serial composition at the heart of the paper's
+//! additivity test — concatenates the segments of its components, which is
+//! exactly what lets the machine model composition-boundary interference.
+
+use crate::activity::Activity;
+use crate::spec::PlatformSpec;
+
+/// Resource footprint of a segment, the inputs to the interference model.
+///
+/// All intensities are in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Footprint {
+    /// Instruction (code) working set, KiB. Drives icache/ITLB pollution of
+    /// the *next* segment.
+    pub code_kib: f64,
+    /// Data working set, MiB. Drives L2/L3 pollution of the next segment.
+    pub data_mib: f64,
+    /// Branch-pattern irregularity (0 = perfectly regular loops,
+    /// 1 = unpredictable pointer chasing).
+    pub branch_irregularity: f64,
+    /// Fraction of the instruction stream needing the microcode sequencer.
+    pub microcode_intensity: f64,
+    /// Work adaptivity: 0 for fixed-work kernels (DGEMM, FFT), towards 1
+    /// for duration- or state-adaptive programs (`stress`) whose total work
+    /// changes when run in a different context. Adaptivity is the mechanism
+    /// by which *every* PMC becomes non-additive for some compounds, as the
+    /// paper observed on both platforms.
+    pub adaptivity: f64,
+}
+
+impl Footprint {
+    /// A neutral footprint: tiny kernel, regular branches, no microcode,
+    /// fixed work.
+    pub fn regular_kernel(data_mib: f64) -> Self {
+        Footprint {
+            code_kib: 24.0,
+            data_mib,
+            branch_irregularity: 0.05,
+            microcode_intensity: 0.02,
+            adaptivity: 0.0,
+        }
+    }
+}
+
+impl Default for Footprint {
+    fn default() -> Self {
+        Footprint::regular_kernel(1.0)
+    }
+}
+
+/// A contiguous stretch of execution with (approximately) uniform
+/// behaviour: total [`Activity`] over `duration_s` seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Wall-clock duration of the phase, seconds.
+    pub duration_s: f64,
+    /// Cumulative activity of the phase. Its `Seconds` field must equal
+    /// `duration_s`; [`Phase::new`] enforces this.
+    pub activity: Activity,
+}
+
+impl Phase {
+    /// Create a phase, stamping the activity's `Seconds` field with the
+    /// duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_s` is not finite and positive.
+    pub fn new(duration_s: f64, mut activity: Activity) -> Self {
+        assert!(
+            duration_s.is_finite() && duration_s > 0.0,
+            "phase duration must be positive, got {duration_s}"
+        );
+        activity.set(crate::activity::ActivityField::Seconds, duration_s);
+        Phase { duration_s, activity }
+    }
+}
+
+/// One serially-executed component of an application run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Label for diagnostics (usually the base application's name).
+    pub label: String,
+    /// Resource footprint, input to the interference model.
+    pub footprint: Footprint,
+    /// Execution phases, in order.
+    pub phases: Vec<Phase>,
+}
+
+impl Segment {
+    /// Total duration of the segment, seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.phases.iter().map(|p| p.duration_s).sum()
+    }
+
+    /// Total activity of the segment.
+    pub fn total_activity(&self) -> Activity {
+        Activity::sum(self.phases.iter().map(|p| p.activity.clone()))
+    }
+}
+
+/// An application the simulated machine can run.
+///
+/// Implementations describe platform-dependent work: `segments` receives the
+/// [`PlatformSpec`] so models can account for core counts, cache sizes, and
+/// peak rates when deriving phase activity and runtimes.
+pub trait Application {
+    /// Name of the application (unique within an experiment; used to seed
+    /// per-application randomness reproducibly).
+    fn name(&self) -> String;
+
+    /// The serially-executed segments of one run on `spec`.
+    fn segments(&self, spec: &PlatformSpec) -> Vec<Segment>;
+}
+
+/// Serial composition of applications: the *compound application* of the
+/// paper's additivity test. Its segments are the concatenation of the
+/// components' segments.
+///
+/// # Examples
+///
+/// ```
+/// use pmca_cpusim::app::{Application, CompoundApp, SyntheticApp};
+/// use pmca_cpusim::PlatformSpec;
+///
+/// let a = SyntheticApp::balanced("a", 1e9);
+/// let b = SyntheticApp::balanced("b", 2e9);
+/// let ab = CompoundApp::pair(a, b);
+/// let spec = PlatformSpec::intel_haswell();
+/// assert_eq!(ab.segments(&spec).len(), 2);
+/// assert_eq!(ab.name(), "a;b");
+/// ```
+pub struct CompoundApp {
+    components: Vec<Box<dyn Application>>,
+}
+
+impl CompoundApp {
+    /// Compose any number of applications serially.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty.
+    pub fn new(components: Vec<Box<dyn Application>>) -> Self {
+        assert!(!components.is_empty(), "compound application needs at least one component");
+        CompoundApp { components }
+    }
+
+    /// Convenience constructor for the two-component compounds used by the
+    /// paper's test suites.
+    pub fn pair<A, B>(first: A, second: B) -> Self
+    where
+        A: Application + 'static,
+        B: Application + 'static,
+    {
+        CompoundApp::new(vec![Box::new(first), Box::new(second)])
+    }
+
+    /// Number of composed components.
+    pub fn arity(&self) -> usize {
+        self.components.len()
+    }
+}
+
+impl Application for CompoundApp {
+    fn name(&self) -> String {
+        self.components
+            .iter()
+            .map(|c| c.name())
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    fn segments(&self, spec: &PlatformSpec) -> Vec<Segment> {
+        self.components.iter().flat_map(|c| c.segments(spec)).collect()
+    }
+}
+
+/// A simple configurable synthetic application, useful for tests, examples,
+/// and stress-style workloads. Real workload models live in the
+/// `pmca-workloads` crate; `SyntheticApp` exists so this crate is testable
+/// stand-alone.
+#[derive(Debug, Clone)]
+pub struct SyntheticApp {
+    name: String,
+    instructions: f64,
+    ipc: f64,
+    memory_intensity: f64,
+    footprint: Footprint,
+}
+
+impl SyntheticApp {
+    /// A balanced app executing `instructions` instructions at a moderate
+    /// IPC with moderate memory traffic.
+    pub fn balanced(name: &str, instructions: f64) -> Self {
+        SyntheticApp {
+            name: name.to_string(),
+            instructions,
+            ipc: 2.0,
+            memory_intensity: 0.3,
+            footprint: Footprint::regular_kernel(64.0),
+        }
+    }
+
+    /// Override the memory intensity in `[0, 1]` (fraction of instructions
+    /// that are memory accesses).
+    pub fn with_memory_intensity(mut self, intensity: f64) -> Self {
+        self.memory_intensity = intensity.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Override the footprint.
+    pub fn with_footprint(mut self, footprint: Footprint) -> Self {
+        self.footprint = footprint;
+        self
+    }
+}
+
+impl Application for SyntheticApp {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn segments(&self, spec: &PlatformSpec) -> Vec<Segment> {
+        use crate::activity::ActivityField as F;
+        let cycles = self.instructions / self.ipc;
+        let duration = cycles / (spec.base_freq_ghz * 1e9 * f64::from(spec.total_cores()));
+        let mem_ops = self.instructions * self.memory_intensity;
+        let loads = mem_ops * 0.7;
+        let stores = mem_ops * 0.3;
+        let l1_misses = loads * 0.05;
+        let l2_misses = l1_misses * 0.3;
+        let l3_misses = l2_misses * 0.2;
+        let uops = self.instructions * 1.15;
+        let branches = self.instructions * 0.15;
+
+        let mut a = Activity::zero();
+        a.set(F::Cycles, cycles)
+            .set(F::RefCycles, cycles)
+            .set(F::Instructions, self.instructions)
+            .set(F::UopsIssued, uops * 1.02)
+            .set(F::UopsExecuted, uops)
+            .set(F::UopsRetired, uops * 0.99)
+            .set(F::Port0, uops * 0.18)
+            .set(F::Port1, uops * 0.18)
+            .set(F::Port2, loads * 0.5)
+            .set(F::Port3, loads * 0.5)
+            .set(F::Port4, stores)
+            .set(F::Port5, uops * 0.14)
+            .set(F::Port6, branches)
+            .set(F::Port7, stores * 0.4)
+            .set(F::MiteUops, uops * 0.25)
+            .set(F::DsbUops, uops * 0.72)
+            .set(F::MsUops, uops * 0.03)
+            .set(F::Loads, loads)
+            .set(F::Stores, stores)
+            .set(F::L1dHits, loads - l1_misses)
+            .set(F::L1dMisses, l1_misses)
+            .set(F::L2Hits, l1_misses - l2_misses)
+            .set(F::L2Misses, l2_misses)
+            .set(F::L3Hits, l2_misses - l3_misses)
+            .set(F::L3Misses, l3_misses)
+            .set(F::L2CodeReads, self.instructions * 1e-4)
+            .set(F::IcacheHits, self.instructions * 0.06)
+            .set(F::IcacheMisses, self.instructions * 4e-4)
+            .set(F::ItlbMisses, self.instructions * 2e-6)
+            .set(F::DtlbMisses, mem_ops * 1e-4)
+            .set(F::StlbHits, mem_ops * 5e-5)
+            .set(F::Branches, branches)
+            .set(F::BranchMispredicts, branches * 0.01)
+            .set(F::DivOps, self.instructions * 1e-4)
+            .set(F::DivActiveCycles, self.instructions * 8e-4)
+            .set(F::PageFaults, 200.0 + self.instructions * 1e-8)
+            .set(F::ContextSwitches, 30.0 + duration * 100.0)
+            .set(F::OffcoreReads, l2_misses)
+            .set(F::OffcoreWrites, stores * 0.05)
+            .set(F::DramBytes, l3_misses * 64.0)
+            .set(F::SnoopHits, l2_misses * 0.01)
+            .set(F::MachineClears, self.instructions * 1e-7);
+
+        vec![Segment {
+            label: self.name.clone(),
+            footprint: self.footprint,
+            phases: vec![Phase::new(duration.max(1e-3), a)],
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::ActivityField as F;
+
+    #[test]
+    fn phase_stamps_seconds() {
+        let p = Phase::new(2.5, Activity::zero());
+        assert_eq!(p.activity.get(F::Seconds), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase duration must be positive")]
+    fn phase_rejects_nonpositive_duration() {
+        let _ = Phase::new(0.0, Activity::zero());
+    }
+
+    #[test]
+    fn segment_totals_accumulate_phases() {
+        let mut a = Activity::zero();
+        a.set(F::Loads, 10.0);
+        let seg = Segment {
+            label: "s".into(),
+            footprint: Footprint::default(),
+            phases: vec![Phase::new(1.0, a.clone()), Phase::new(2.0, a)],
+        };
+        assert_eq!(seg.duration_s(), 3.0);
+        assert_eq!(seg.total_activity().get(F::Loads), 20.0);
+        assert_eq!(seg.total_activity().get(F::Seconds), 3.0);
+    }
+
+    #[test]
+    fn compound_concatenates_segments_in_order() {
+        let spec = PlatformSpec::intel_haswell();
+        let a = SyntheticApp::balanced("first", 1e9);
+        let b = SyntheticApp::balanced("second", 1e9);
+        let ab = CompoundApp::pair(a, b);
+        let segs = ab.segments(&spec);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].label, "first");
+        assert_eq!(segs[1].label, "second");
+    }
+
+    #[test]
+    fn compound_activity_is_sum_of_components() {
+        let spec = PlatformSpec::intel_haswell();
+        let a = SyntheticApp::balanced("a", 1e9);
+        let b = SyntheticApp::balanced("b", 3e9);
+        let sum_components = Activity::sum(
+            a.segments(&spec)
+                .iter()
+                .chain(b.segments(&spec).iter())
+                .map(|s| s.total_activity()),
+        );
+        let ab = CompoundApp::pair(a, b);
+        let compound_total = Activity::sum(ab.segments(&spec).iter().map(|s| s.total_activity()));
+        assert_eq!(compound_total, sum_components);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn compound_rejects_empty() {
+        let _ = CompoundApp::new(vec![]);
+    }
+
+    #[test]
+    fn synthetic_app_activity_is_physical() {
+        let spec = PlatformSpec::intel_skylake();
+        let app = SyntheticApp::balanced("x", 5e9).with_memory_intensity(0.5);
+        for seg in app.segments(&spec) {
+            assert!(seg.total_activity().is_physical(), "{:?}", seg.total_activity());
+        }
+    }
+
+    #[test]
+    fn synthetic_app_scales_with_instructions() {
+        let spec = PlatformSpec::intel_haswell();
+        let small = SyntheticApp::balanced("s", 1e9).segments(&spec)[0].total_activity();
+        let large = SyntheticApp::balanced("l", 4e9).segments(&spec)[0].total_activity();
+        assert!(large.get(F::Instructions) > 3.9 * small.get(F::Instructions));
+        assert!(large.get(F::Seconds) > 3.9 * small.get(F::Seconds));
+    }
+}

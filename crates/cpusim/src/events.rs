@@ -1,0 +1,327 @@
+//! PMC event definitions.
+//!
+//! Each simulated performance event is a deterministic formula over the
+//! run's [`Activity`], perturbed by two imperfections that
+//! the paper's two-stage additivity test is designed to detect:
+//!
+//! 1. **run-to-run jitter** — multiplicative noise whose magnitude varies by
+//!    event class (stage 1: is the PMC deterministic and reproducible?);
+//! 2. **context sensitivity** — inflation of the count when the segment runs
+//!    after another application, via the interference channels of
+//!    [`crate::interference`] (stage 2: is the PMC additive under serial
+//!    composition?).
+//!
+//! Events also carry PMU scheduling constraints ([`CounterConstraint`]),
+//! which is what limits collection to 3–4 PMCs per run and motivates the
+//! paper's Class C experiments.
+
+use crate::activity::{Activity, ActivityField};
+use crate::interference::Channel;
+use std::fmt;
+
+/// Index of an event within a platform's catalog.
+///
+/// `EventId`s are only meaningful relative to the
+/// [`EventCatalog`](crate::catalog::EventCatalog) that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub usize);
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+/// How an event count is derived from activity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventFormula {
+    /// Weighted sum of activity fields.
+    Linear(Vec<(ActivityField, f64)>),
+    /// Cycles during which the delivery rate of `source` was at least `k`
+    /// per cycle — the `*_CYCLES_GE_K_UOPS*` family. Modelled as a smooth
+    /// duty-cycle fraction of total cycles, monotone in the average rate.
+    CyclesWithRate {
+        /// Field whose per-cycle rate is thresholded.
+        source: ActivityField,
+        /// Rate threshold (uops per cycle).
+        k: f64,
+    },
+    /// A fixed count per run (configuration/housekeeping events).
+    Constant(f64),
+}
+
+impl EventFormula {
+    /// Evaluate the noise-free count for the given cumulative activity.
+    pub fn base_count(&self, activity: &Activity) -> f64 {
+        match self {
+            EventFormula::Linear(terms) => terms
+                .iter()
+                .map(|&(field, w)| w * activity.get(field))
+                .sum::<f64>()
+                .max(0.0),
+            EventFormula::CyclesWithRate { source, k } => {
+                let cycles = activity.get(ActivityField::Cycles);
+                if cycles <= 0.0 {
+                    return 0.0;
+                }
+                let rate = activity.get(*source) / cycles;
+                // Smooth monotone duty cycle: ~0 when rate ≪ k, →1 when
+                // rate ≫ k. The cube keeps the transition soft enough that
+                // nearby problem sizes map to nearby counts.
+                let x = (rate / k).min(4.0);
+                let frac = (x * x * x) / (1.0 + x * x * x);
+                cycles * frac
+            }
+            EventFormula::Constant(c) => *c,
+        }
+    }
+}
+
+/// PMU scheduling constraint of an event, mirroring the restrictions the
+/// paper observed with Likwid ("some PMCs can only be collected
+/// individually or in sets of two or three").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CounterConstraint {
+    /// Counted by a dedicated fixed counter; does not occupy a programmable
+    /// slot and can always be collected.
+    Fixed,
+    /// Any programmable counter.
+    Any,
+    /// Only programmable counters whose bit is set in the mask (bit *i* =
+    /// counter *i*).
+    CounterMask(u8),
+    /// Must be measured with at most one other programmable event.
+    PairOnly,
+    /// Must be measured alone.
+    Solo,
+}
+
+impl CounterConstraint {
+    /// Whether a programmable counter index can host this event.
+    pub fn allows_counter(self, counter: usize) -> bool {
+        match self {
+            CounterConstraint::Fixed => false,
+            CounterConstraint::Any | CounterConstraint::PairOnly | CounterConstraint::Solo => true,
+            CounterConstraint::CounterMask(mask) => counter < 8 && (mask >> counter) & 1 == 1,
+        }
+    }
+
+    /// Maximum number of programmable events allowed in the same run as
+    /// this event (`usize::MAX` when unrestricted).
+    pub fn max_group_size(self) -> usize {
+        match self {
+            CounterConstraint::Solo => 1,
+            CounterConstraint::PairOnly => 2,
+            _ => usize::MAX,
+        }
+    }
+}
+
+/// Per-channel interference sensitivities of an event.
+///
+/// A sensitivity of `s` on a channel with intensity `I ∈ [0, 1]` inflates
+/// the event's count in an interfered segment by a factor `1 + s·I`
+/// (sensitivities add across channels). Committed-work events have
+/// sensitivities near zero; frontend/speculative events can exceed `1.0`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Sensitivity {
+    /// Composition-boundary channel (always active at a boundary):
+    /// frontend, µcode, and predictor state loss.
+    pub boundary: f64,
+    /// Data-cache pollution channel (scales with the predecessor's data
+    /// footprint relative to L3).
+    pub cache_pollution: f64,
+    /// Code/branch pollution channel (scales with the predecessor's code
+    /// footprint and branch irregularity).
+    pub code_pollution: f64,
+}
+
+impl Sensitivity {
+    /// Zero sensitivity: a perfectly additive event.
+    pub const NONE: Sensitivity = Sensitivity { boundary: 0.0, cache_pollution: 0.0, code_pollution: 0.0 };
+
+    /// Sensitivity on the given channel.
+    pub fn on(self, channel: Channel) -> f64 {
+        match channel {
+            Channel::Boundary => self.boundary,
+            Channel::CachePollution => self.cache_pollution,
+            Channel::CodePollution => self.code_pollution,
+        }
+    }
+
+    /// Total inflation factor −1 given channel intensities.
+    pub fn inflation(self, intensities: &[f64; Channel::COUNT]) -> f64 {
+        Channel::ALL
+            .iter()
+            .map(|&c| self.on(c) * intensities[c as usize])
+            .sum()
+    }
+}
+
+/// Definition of one simulated PMC event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventDef {
+    /// Likwid-style event name, e.g. `IDQ_MS_UOPS`.
+    pub name: String,
+    /// Count formula over activity.
+    pub formula: EventFormula,
+    /// Relative run-to-run standard deviation of the count.
+    pub jitter: f64,
+    /// Interference sensitivities (the source of non-additivity).
+    pub sensitivity: Sensitivity,
+    /// PMU scheduling constraint.
+    pub constraint: CounterConstraint,
+}
+
+impl EventDef {
+    /// Construct an event definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` is negative or not finite.
+    pub fn new(
+        name: impl Into<String>,
+        formula: EventFormula,
+        jitter: f64,
+        sensitivity: Sensitivity,
+        constraint: CounterConstraint,
+    ) -> Self {
+        assert!(jitter.is_finite() && jitter >= 0.0, "jitter must be non-negative");
+        EventDef { name: name.into(), formula, jitter, sensitivity, constraint }
+    }
+
+    /// Shorthand for an additive, low-jitter event counting one activity
+    /// field with unit weight.
+    pub fn committed(name: impl Into<String>, field: ActivityField) -> Self {
+        EventDef::new(
+            name,
+            EventFormula::Linear(vec![(field, 1.0)]),
+            0.004,
+            Sensitivity::NONE,
+            CounterConstraint::Any,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::ActivityField as F;
+
+    fn activity_with(field: F, v: f64) -> Activity {
+        let mut a = Activity::zero();
+        a.set(field, v);
+        a
+    }
+
+    #[test]
+    fn linear_formula_is_weighted_sum() {
+        let f = EventFormula::Linear(vec![(F::Loads, 2.0), (F::Stores, 0.5)]);
+        let mut a = Activity::zero();
+        a.set(F::Loads, 10.0);
+        a.set(F::Stores, 4.0);
+        assert_eq!(f.base_count(&a), 22.0);
+    }
+
+    #[test]
+    fn linear_formula_clamps_negative() {
+        let f = EventFormula::Linear(vec![(F::Loads, -1.0)]);
+        let a = activity_with(F::Loads, 5.0);
+        assert_eq!(f.base_count(&a), 0.0);
+    }
+
+    #[test]
+    fn linear_formula_is_additive_over_activity() {
+        let f = EventFormula::Linear(vec![(F::Loads, 1.5), (F::Cycles, 0.1)]);
+        let mut a = Activity::zero();
+        a.set(F::Loads, 7.0);
+        a.set(F::Cycles, 100.0);
+        let mut b = Activity::zero();
+        b.set(F::Loads, 3.0);
+        b.set(F::Cycles, 50.0);
+        let sum = f.base_count(&a) + f.base_count(&b);
+        let combined = f.base_count(&(a + b));
+        assert!((sum - combined).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycles_with_rate_is_monotone_in_rate() {
+        let f = EventFormula::CyclesWithRate { source: F::UopsExecuted, k: 4.0 };
+        let mut prev = -1.0;
+        for uops in [100.0, 200.0, 400.0, 800.0] {
+            let mut a = Activity::zero();
+            a.set(F::Cycles, 100.0);
+            a.set(F::UopsExecuted, uops);
+            let c = f.base_count(&a);
+            assert!(c > prev, "rate {uops}: {c} vs {prev}");
+            assert!(c <= 100.0);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn cycles_with_rate_zero_cycles_is_zero() {
+        let f = EventFormula::CyclesWithRate { source: F::UopsExecuted, k: 4.0 };
+        assert_eq!(f.base_count(&Activity::zero()), 0.0);
+    }
+
+    #[test]
+    fn cycles_with_rate_scale_invariance() {
+        // Doubling both cycles and uops (same rate) doubles the count →
+        // the event stays additive for homogeneous compositions.
+        let f = EventFormula::CyclesWithRate { source: F::UopsExecuted, k: 4.0 };
+        let mut a = Activity::zero();
+        a.set(F::Cycles, 1000.0);
+        a.set(F::UopsExecuted, 3500.0);
+        let c1 = f.base_count(&a);
+        let c2 = f.base_count(&a.scaled_uniform(2.0));
+        assert!((c2 - 2.0 * c1).abs() < 1e-9 * c1.max(1.0));
+    }
+
+    #[test]
+    fn constant_formula_ignores_activity() {
+        let f = EventFormula::Constant(42.0);
+        assert_eq!(f.base_count(&activity_with(F::Loads, 1e9)), 42.0);
+    }
+
+    #[test]
+    fn counter_mask_restricts_counters() {
+        let c = CounterConstraint::CounterMask(0b0101);
+        assert!(c.allows_counter(0));
+        assert!(!c.allows_counter(1));
+        assert!(c.allows_counter(2));
+        assert!(!c.allows_counter(3));
+        assert!(!c.allows_counter(63));
+    }
+
+    #[test]
+    fn fixed_events_never_use_programmable_counters() {
+        assert!(!CounterConstraint::Fixed.allows_counter(0));
+    }
+
+    #[test]
+    fn group_size_limits() {
+        assert_eq!(CounterConstraint::Solo.max_group_size(), 1);
+        assert_eq!(CounterConstraint::PairOnly.max_group_size(), 2);
+        assert_eq!(CounterConstraint::Any.max_group_size(), usize::MAX);
+    }
+
+    #[test]
+    fn sensitivity_inflation_combines_channels() {
+        let s = Sensitivity { boundary: 0.5, cache_pollution: 0.2, code_pollution: 0.0 };
+        let infl = s.inflation(&[1.0, 0.5, 1.0]);
+        assert!((infl - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_sensitivity_never_inflates() {
+        assert_eq!(Sensitivity::NONE.inflation(&[1.0, 1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter must be non-negative")]
+    fn rejects_negative_jitter() {
+        let _ = EventDef::new("X", EventFormula::Constant(1.0), -0.1, Sensitivity::NONE, CounterConstraint::Any);
+    }
+}

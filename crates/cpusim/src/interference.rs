@@ -1,0 +1,156 @@
+//! The composition-boundary interference model.
+//!
+//! When application B runs immediately after application A (a *compound
+//! application* in the paper's terminology), B does not start from the
+//! pristine machine state it would see in a solo run: the instruction and
+//! data caches, TLBs, branch predictors, and microcode/divider state carry
+//! A's residue. Dynamic energy barely notices — the extra work is a
+//! vanishing fraction of B's total — but *event counts* of state-dependent
+//! counters shift substantially. This asymmetry (energy additive, some
+//! counters not) is the physical phenomenon behind the paper's Table 2.
+//!
+//! The model is channelised: each boundary produces an intensity in
+//! `[0, 1]` per [`Channel`], computed from the predecessor's
+//! [`Footprint`]; each event carries per-channel sensitivities
+//! ([`crate::events::Sensitivity`]).
+
+use crate::app::Footprint;
+use crate::spec::PlatformSpec;
+
+/// An interference channel through which a predecessor perturbs its
+/// successor's event counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Channel {
+    /// Unconditional boundary effects: frontend restart, µcode state,
+    /// predictor cold start. Intensity 1 at every composition boundary.
+    Boundary = 0,
+    /// Data-cache pollution, scaling with the predecessor's data footprint
+    /// relative to the shared L3.
+    CachePollution = 1,
+    /// Code/branch pollution, scaling with the predecessor's code footprint
+    /// relative to L1I and its branch irregularity.
+    CodePollution = 2,
+}
+
+impl Channel {
+    /// All channels, index order matching the discriminants.
+    pub const ALL: [Channel; 3] = [Channel::Boundary, Channel::CachePollution, Channel::CodePollution];
+
+    /// Number of channels.
+    pub const COUNT: usize = Self::ALL.len();
+}
+
+/// Computes per-channel interference intensities at composition boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterferenceModel {
+    /// Scale of the cache-pollution channel (default 1.0).
+    pub cache_scale: f64,
+    /// Scale of the code-pollution channel (default 1.0).
+    pub code_scale: f64,
+    /// Scale of the boundary channel (default 1.0). Setting this to zero
+    /// disables unconditional boundary effects — used by ablation benches.
+    pub boundary_scale: f64,
+}
+
+impl Default for InterferenceModel {
+    fn default() -> Self {
+        InterferenceModel { cache_scale: 1.0, code_scale: 1.0, boundary_scale: 1.0 }
+    }
+}
+
+impl InterferenceModel {
+    /// Channel intensities experienced by a segment that runs after
+    /// `predecessor` on `spec`. The first segment of a run has no
+    /// predecessor and experiences zero intensity on all channels.
+    pub fn intensities(
+        &self,
+        predecessor: Option<&Footprint>,
+        spec: &PlatformSpec,
+    ) -> [f64; Channel::COUNT] {
+        let Some(pred) = predecessor else {
+            return [0.0; Channel::COUNT];
+        };
+        let cache = (pred.data_mib / spec.total_l3_mib()).min(1.0) * self.cache_scale;
+        let code_ratio = (pred.code_kib / f64::from(spec.l1i_kib)).min(1.0);
+        // Irregular branch behaviour leaves a more damaging predictor/
+        // icache state than a tight regular kernel of the same size.
+        let code = (code_ratio * (0.4 + 0.6 * pred.branch_irregularity)).min(1.0) * self.code_scale;
+        [self.boundary_scale.min(1.0), cache.min(1.0), code]
+    }
+
+    /// A scaled copy of the model — used by ablation sweeps to vary the
+    /// overall interference strength.
+    pub fn scaled(&self, factor: f64) -> InterferenceModel {
+        InterferenceModel {
+            cache_scale: self.cache_scale * factor,
+            code_scale: self.code_scale * factor,
+            boundary_scale: self.boundary_scale * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> PlatformSpec {
+        PlatformSpec::intel_haswell()
+    }
+
+    #[test]
+    fn first_segment_sees_no_interference() {
+        let m = InterferenceModel::default();
+        assert_eq!(m.intensities(None, &spec()), [0.0; Channel::COUNT]);
+    }
+
+    #[test]
+    fn boundary_channel_is_unconditional() {
+        let m = InterferenceModel::default();
+        let tiny = Footprint { code_kib: 1.0, data_mib: 0.01, branch_irregularity: 0.0, microcode_intensity: 0.0, adaptivity: 0.0 };
+        let i = m.intensities(Some(&tiny), &spec());
+        assert_eq!(i[Channel::Boundary as usize], 1.0);
+    }
+
+    #[test]
+    fn cache_channel_scales_with_data_footprint() {
+        let m = InterferenceModel::default();
+        let small = Footprint { data_mib: 1.0, ..Footprint::default() };
+        let large = Footprint { data_mib: 10_000.0, ..Footprint::default() };
+        let i_small = m.intensities(Some(&small), &spec());
+        let i_large = m.intensities(Some(&large), &spec());
+        assert!(i_small[Channel::CachePollution as usize] < 0.05);
+        assert_eq!(i_large[Channel::CachePollution as usize], 1.0);
+    }
+
+    #[test]
+    fn code_channel_scales_with_irregularity() {
+        let m = InterferenceModel::default();
+        let regular = Footprint { code_kib: 32.0, branch_irregularity: 0.0, ..Footprint::default() };
+        let irregular = Footprint { code_kib: 32.0, branch_irregularity: 1.0, ..Footprint::default() };
+        let i_reg = m.intensities(Some(&regular), &spec());
+        let i_irr = m.intensities(Some(&irregular), &spec());
+        assert!(i_irr[Channel::CodePollution as usize] > 2.0 * i_reg[Channel::CodePollution as usize]);
+    }
+
+    #[test]
+    fn intensities_stay_in_unit_interval() {
+        let m = InterferenceModel::default();
+        let extreme = Footprint {
+            code_kib: 1e6,
+            data_mib: 1e6,
+            branch_irregularity: 1.0,
+            microcode_intensity: 1.0,
+            adaptivity: 1.0,
+        };
+        for v in m.intensities(Some(&extreme), &spec()) {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn scaled_to_zero_disables_everything() {
+        let m = InterferenceModel::default().scaled(0.0);
+        let i = m.intensities(Some(&Footprint::default()), &spec());
+        assert_eq!(i, [0.0; Channel::COUNT]);
+    }
+}

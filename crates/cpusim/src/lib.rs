@@ -1,0 +1,65 @@
+//! Simulated multicore CPU platform for the SLOPE-PMC reproduction.
+//!
+//! The paper's testbed is physical hardware (an Intel Haswell dual-socket
+//! server and an Intel Skylake single-socket server) observed through Likwid
+//! performance counters and WattsUp power meters. This crate replaces the
+//! hardware with a parametric simulator that preserves the one property the
+//! paper's method depends on:
+//!
+//! > **Dynamic energy is additive across serial composition of
+//! > applications, but a substantial subset of PMC events is not.**
+//!
+//! The simulator is organised as follows:
+//!
+//! * [`spec`] — platform specifications (Table 1 of the paper);
+//! * [`activity`] — the cumulative micro-architectural activity vector an
+//!   application run produces (instructions, uops by port, cache traffic per
+//!   level, branches, divider work, …). Activity is *physical work*, so it
+//!   accumulates across serial composition by construction;
+//! * [`app`] — the [`app::Application`] abstraction: an application is a
+//!   sequence of [`app::Segment`]s, each with phases of activity and a
+//!   resource [`app::Footprint`];
+//! * [`events`] — PMC event definitions: a formula over activity, a
+//!   run-to-run jitter, per-channel interference sensitivities, and PMU
+//!   counter constraints;
+//! * [`catalog`] — the per-microarchitecture event catalogs (164 events for
+//!   Haswell, 385 for Skylake, matching the counts the paper reports for
+//!   Likwid);
+//! * [`interference`] — the composition-boundary interference model that
+//!   makes context-sensitive events non-additive;
+//! * [`power`] — the ground-truth dynamic power model (a linear functional
+//!   of activity rates plus a mild utilisation nonlinearity, additive across
+//!   phases and therefore across composition);
+//! * [`machine`] — the run engine tying it all together.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmca_cpusim::machine::Machine;
+//! use pmca_cpusim::spec::PlatformSpec;
+//! use pmca_cpusim::app::SyntheticApp;
+//!
+//! let mut machine = Machine::new(PlatformSpec::intel_haswell(), 42);
+//! let app = SyntheticApp::balanced("demo", 1.5e9);
+//! let record = machine.run(&app);
+//! assert!(record.dynamic_energy_joules > 0.0);
+//! assert_eq!(record.counts.len(), machine.catalog().len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod app;
+pub mod catalog;
+pub mod events;
+pub mod interference;
+pub mod machine;
+pub mod power;
+pub mod spec;
+
+pub use activity::{Activity, ActivityField};
+pub use app::{Application, CompoundApp, Footprint, Phase, Segment};
+pub use events::{CounterConstraint, EventDef, EventFormula, EventId};
+pub use machine::{Machine, RunRecord};
+pub use spec::{MicroArch, PlatformSpec};

@@ -1,0 +1,463 @@
+//! The run engine: executes an [`Application`] on a simulated platform and
+//! produces event counts, a power trace, and ground-truth dynamic energy.
+//!
+//! Reproducibility contract: a [`Machine`] is seeded, and every run draws
+//! its noise from a stream derived from `(machine seed, application name,
+//! run index)`. Two machines with the same seed replay identical
+//! experiments; repeated runs of the same application on one machine see
+//! fresh (but reproducible) run-to-run noise — exactly what the repeated-run
+//! measurement methodology needs.
+//!
+//! Systematic versus stochastic effects:
+//!
+//! * **interference inflation** (the source of PMC non-additivity) and the
+//!   **adaptive work shift** of duration-adaptive applications are
+//!   *systematic*: they depend deterministically on the composition context,
+//!   so they survive averaging over runs — stage 2 of the paper's
+//!   additivity test compares sample means;
+//! * **jitter** is *stochastic*: zero-mean per-run noise, which averaging
+//!   suppresses — it is what stage 1 (reproducibility) measures.
+
+use crate::activity::Activity;
+use crate::app::Application;
+use crate::catalog::EventCatalog;
+use crate::events::EventId;
+use crate::interference::InterferenceModel;
+use crate::power::PowerModel;
+use crate::spec::PlatformSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Average dynamic power over one phase of a run, the input to the
+/// simulated power meter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhasePower {
+    /// Phase duration, seconds.
+    pub duration_s: f64,
+    /// Average dynamic power during the phase, watts.
+    pub dynamic_watts: f64,
+}
+
+/// Everything one execution of an application produced.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Name of the executed application.
+    pub app_name: String,
+    /// Total wall-clock duration, seconds.
+    pub duration_s: f64,
+    /// Ground-truth dynamic energy, joules. Experiments should *not* use
+    /// this directly: the paper's ground truth is the power-meter reading,
+    /// which `pmca-powermeter` derives from [`RunRecord::phase_powers`].
+    pub dynamic_energy_joules: f64,
+    /// Dynamic power per phase, for the sampled power meter.
+    pub phase_powers: Vec<PhasePower>,
+    /// Counts of every catalog event, indexed by [`EventId`].
+    pub counts: Vec<f64>,
+    /// Total physical activity of the run.
+    pub total_activity: Activity,
+}
+
+impl RunRecord {
+    /// Count of one event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for the machine's catalog.
+    pub fn count(&self, id: EventId) -> f64 {
+        self.counts[id.0]
+    }
+}
+
+/// A seeded simulated machine.
+///
+/// # Examples
+///
+/// ```
+/// use pmca_cpusim::{Machine, PlatformSpec};
+/// use pmca_cpusim::app::SyntheticApp;
+///
+/// let mut m = Machine::new(PlatformSpec::intel_skylake(), 7);
+/// let app = SyntheticApp::balanced("probe", 1e9);
+/// let r1 = m.run(&app);
+/// let r2 = m.run(&app);
+/// // Same app, different runs: tiny jitter, same scale.
+/// assert!((r1.dynamic_energy_joules - r2.dynamic_energy_joules).abs()
+///         < 0.05 * r1.dynamic_energy_joules);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    spec: PlatformSpec,
+    catalog: EventCatalog,
+    power: PowerModel,
+    interference: InterferenceModel,
+    frequency_scale: f64,
+    seed: u64,
+    run_counter: u64,
+}
+
+impl Machine {
+    /// Build a machine for a platform with the default power and
+    /// interference models.
+    pub fn new(spec: PlatformSpec, seed: u64) -> Self {
+        let catalog = EventCatalog::for_micro_arch(spec.micro_arch);
+        let power = PowerModel::for_platform(&spec);
+        Machine {
+            spec,
+            catalog,
+            power,
+            interference: InterferenceModel::default(),
+            frequency_scale: 1.0,
+            seed,
+            run_counter: 0,
+        }
+    }
+
+    /// Platform specification.
+    pub fn spec(&self) -> &PlatformSpec {
+        &self.spec
+    }
+
+    /// Event catalog of this machine.
+    pub fn catalog(&self) -> &EventCatalog {
+        &self.catalog
+    }
+
+    /// Ground-truth power model (for tests and calibration only; the
+    /// experiments observe energy through the power meter).
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// Replace the interference model (ablation sweeps).
+    pub fn set_interference(&mut self, model: InterferenceModel) {
+        self.interference = model;
+    }
+
+    /// Set the DVFS operating point: work runs `scale×` as fast and costs
+    /// `scale²×` the energy (voltage tracks frequency). `1.0` is nominal.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale` is in `[0.3, 1.5]` — outside the governor's
+    /// range on real parts.
+    pub fn set_frequency_scale(&mut self, scale: f64) {
+        assert!(
+            scale.is_finite() && (0.3..=1.5).contains(&scale),
+            "frequency scale must be within [0.3, 1.5], got {scale}"
+        );
+        self.frequency_scale = scale;
+    }
+
+    /// Current DVFS operating point.
+    pub fn frequency_scale(&self) -> f64 {
+        self.frequency_scale
+    }
+
+    /// Number of runs executed so far.
+    pub fn runs_executed(&self) -> u64 {
+        self.run_counter
+    }
+
+    /// Execute one run of `app`, consuming fresh run-to-run noise.
+    pub fn run(&mut self, app: &dyn Application) -> RunRecord {
+        let run_index = self.run_counter;
+        self.run_counter += 1;
+        let app_name = app.name();
+        let mut rng = StdRng::seed_from_u64(mix(self.seed, &app_name, run_index));
+
+        let segments = app.segments(&self.spec);
+        let mut counts = vec![0.0; self.catalog.len()];
+        let mut total_activity = Activity::zero();
+        let mut phase_powers = Vec::new();
+        let mut energy = 0.0;
+        let mut duration = 0.0;
+        let mut predecessor: Option<crate::app::Footprint> = None;
+
+        for segment in &segments {
+            // Systematic work shift of adaptive applications: depends on the
+            // composition context (predecessor), not on the run index, so it
+            // survives averaging across repeated runs.
+            let context_shift = match &predecessor {
+                Some(pred_fp) => {
+                    let u = stable_unit(self.seed, &app_name, &segment.label, pred_fp.data_mib);
+                    segment.footprint.adaptivity * 0.5 * u
+                }
+                None => 0.0,
+            };
+            // Stochastic work wobble: adaptive apps are also slightly less
+            // reproducible run to run.
+            let wobble = segment.footprint.adaptivity * 0.04 * standard_normal(&mut rng);
+            let work_scale = (1.0 + context_shift + wobble).max(0.1);
+
+            let intensities = self.interference.intensities(predecessor.as_ref(), &self.spec);
+            let seg_activity = Activity::sum(
+                segment.phases.iter().map(|p| p.activity.scaled_uniform(work_scale)),
+            );
+
+            for (id, def) in self.catalog.iter() {
+                let base = def.formula.base_count(&seg_activity);
+                let inflation = 1.0 + def.sensitivity.inflation(&intensities);
+                let noise = 1.0 + def.jitter * standard_normal(&mut rng);
+                counts[id.0] += (base * inflation * noise).max(0.0);
+            }
+
+            // Energy "personality" of this application: alignment, page
+            // placement, and turbo-bin effects give every binary+input a
+            // stable, unpredictable efficiency offset. It is keyed by the
+            // segment label, so it is identical in solo and compound runs —
+            // energy additivity is preserved — but it is *not* derivable
+            // from the PMC vector, which is what keeps the best model's
+            // test error away from zero, as on real hardware.
+            let personality =
+                1.0 + ENERGY_PERSONALITY_SPREAD * stable_unit(self.seed, "energy", &segment.label, 0.0);
+
+            for phase in &segment.phases {
+                let a = phase.activity.scaled_uniform(work_scale);
+                let d = phase.duration_s * work_scale / self.frequency_scale;
+                let e = self
+                    .power
+                    .phase_energy_at_scale(&a, phase.duration_s * work_scale, self.frequency_scale)
+                    * personality;
+                energy += e;
+                duration += d;
+                phase_powers.push(PhasePower { duration_s: d, dynamic_watts: e / d });
+            }
+
+            total_activity += seg_activity;
+            predecessor = Some(segment.footprint);
+        }
+
+        RunRecord {
+            app_name,
+            duration_s: duration,
+            dynamic_energy_joules: energy,
+            phase_powers,
+            counts,
+            total_activity,
+        }
+    }
+}
+
+/// Relative spread of the per-application energy personality (uniform in
+/// `±spread`).
+const ENERGY_PERSONALITY_SPREAD: f64 = 0.22;
+
+/// Deterministically mix machine seed, application name, and run index into
+/// an RNG seed.
+fn mix(seed: u64, name: &str, run_index: u64) -> u64 {
+    let mut h = DefaultHasher::new();
+    seed.hash(&mut h);
+    name.hash(&mut h);
+    run_index.hash(&mut h);
+    h.finish()
+}
+
+/// A stable pseudo-random value in `[−1, 1]` derived from the composition
+/// context — identical across repeated runs of the same compound.
+fn stable_unit(seed: u64, app: &str, segment: &str, pred_data_mib: f64) -> f64 {
+    let mut h = DefaultHasher::new();
+    seed.hash(&mut h);
+    app.hash(&mut h);
+    segment.hash(&mut h);
+    pred_data_mib.to_bits().hash(&mut h);
+    let v = h.finish();
+    (v as f64 / u64::MAX as f64) * 2.0 - 1.0
+}
+
+/// Standard normal deviate via Box–Muller.
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{Application, CompoundApp, Footprint, SyntheticApp};
+    use pmca_stats::descriptive::relative_difference;
+
+    fn haswell() -> Machine {
+        Machine::new(PlatformSpec::intel_haswell(), 1234)
+    }
+
+    #[test]
+    fn identical_seeds_replay_identical_runs() {
+        let app = SyntheticApp::balanced("replay", 2e9);
+        let mut m1 = haswell();
+        let mut m2 = haswell();
+        let r1 = m1.run(&app);
+        let r2 = m2.run(&app);
+        assert_eq!(r1.counts, r2.counts);
+        assert_eq!(r1.dynamic_energy_joules, r2.dynamic_energy_joules);
+    }
+
+    #[test]
+    fn repeated_runs_jitter_but_stay_close() {
+        let app = SyntheticApp::balanced("jitter", 2e9);
+        let mut m = haswell();
+        let r1 = m.run(&app);
+        let r2 = m.run(&app);
+        assert_ne!(r1.counts, r2.counts, "noise should differ across runs");
+        let id = m.catalog().id("UOPS_EXECUTED_CORE").unwrap();
+        assert!(relative_difference(r1.count(id), r2.count(id)) < 0.05);
+    }
+
+    #[test]
+    fn energy_is_additive_for_compounds() {
+        let mut m = haswell();
+        let a = SyntheticApp::balanced("addA", 2e9);
+        let b = SyntheticApp::balanced("addB", 5e9).with_memory_intensity(0.5);
+        let ea: f64 = (0..5).map(|_| m.run(&a).dynamic_energy_joules).sum::<f64>() / 5.0;
+        let eb: f64 = (0..5).map(|_| m.run(&b).dynamic_energy_joules).sum::<f64>() / 5.0;
+        let ab = CompoundApp::pair(a, b);
+        let eab: f64 = (0..5).map(|_| m.run(&ab).dynamic_energy_joules).sum::<f64>() / 5.0;
+        assert!(
+            relative_difference(ea + eb, eab) < 0.01,
+            "energy non-additive: {ea} + {eb} vs {eab}"
+        );
+    }
+
+    #[test]
+    fn committed_counters_are_additive_for_compounds() {
+        let mut m = haswell();
+        let a = SyntheticApp::balanced("ca", 2e9);
+        let b = SyntheticApp::balanced("cb", 4e9);
+        let id = m.catalog().id("MEM_INST_RETIRED_ALL_STORES").unwrap();
+        let ca: f64 = (0..5).map(|_| m.run(&a).count(id)).sum::<f64>() / 5.0;
+        let cb: f64 = (0..5).map(|_| m.run(&b).count(id)).sum::<f64>() / 5.0;
+        let ab = CompoundApp::pair(a, b);
+        let cab: f64 = (0..5).map(|_| m.run(&ab).count(id)).sum::<f64>() / 5.0;
+        assert!(relative_difference(ca + cb, cab) < 0.02, "{ca}+{cb} vs {cab}");
+    }
+
+    #[test]
+    fn divider_counter_is_non_additive_for_polluting_compounds() {
+        let mut m = haswell();
+        let polluter = SyntheticApp::balanced("poll", 4e9).with_footprint(Footprint {
+            code_kib: 64.0,
+            data_mib: 5_000.0,
+            branch_irregularity: 0.9,
+            microcode_intensity: 0.5,
+            adaptivity: 0.0,
+        });
+        let victim = SyntheticApp::balanced("vict", 4e9);
+        let id = m.catalog().id("ARITH_DIVIDER_COUNT").unwrap();
+        let cp: f64 = (0..8).map(|_| m.run(&polluter).count(id)).sum::<f64>() / 8.0;
+        let cv: f64 = (0..8).map(|_| m.run(&victim).count(id)).sum::<f64>() / 8.0;
+        let ab = CompoundApp::pair(polluter, victim);
+        let cab: f64 = (0..8).map(|_| m.run(&ab).count(id)).sum::<f64>() / 8.0;
+        let err = relative_difference(cp + cv, cab);
+        assert!(err > 0.25, "divider should be strongly non-additive, err {err}");
+    }
+
+    #[test]
+    fn adaptive_apps_break_additivity_of_every_counter() {
+        let mut m = haswell();
+        let steady = SyntheticApp::balanced("steady", 4e9);
+        let adaptive = SyntheticApp::balanced("adaptive", 4e9).with_footprint(Footprint {
+            adaptivity: 0.9,
+            ..Footprint::regular_kernel(64.0)
+        });
+        let id = m.catalog().id("INSTR_RETIRED_ANY").unwrap();
+        let cs: f64 = (0..8).map(|_| m.run(&steady).count(id)).sum::<f64>() / 8.0;
+        let ca: f64 = (0..8).map(|_| m.run(&adaptive).count(id)).sum::<f64>() / 8.0;
+        let ab = CompoundApp::pair(steady, adaptive);
+        let cab: f64 = (0..8).map(|_| m.run(&ab).count(id)).sum::<f64>() / 8.0;
+        let err = relative_difference(cs + ca, cab);
+        assert!(err > 0.03, "adaptive work shift should break even INSTR_RETIRED, err {err}");
+    }
+
+    #[test]
+    fn run_record_shape_is_consistent() {
+        let mut m = Machine::new(PlatformSpec::intel_skylake(), 5);
+        let app = SyntheticApp::balanced("shape", 1e9);
+        let r = m.run(&app);
+        assert_eq!(r.counts.len(), m.catalog().len());
+        assert!(r.duration_s > 0.0);
+        assert!((r.phase_powers.iter().map(|p| p.duration_s).sum::<f64>() - r.duration_s).abs() < 1e-9);
+        let meter_energy: f64 = r.phase_powers.iter().map(|p| p.duration_s * p.dynamic_watts).sum();
+        assert!((meter_energy - r.dynamic_energy_joules).abs() < 1e-6 * r.dynamic_energy_joules);
+        assert!(r.counts.iter().all(|c| c.is_finite() && *c >= 0.0));
+    }
+
+    #[test]
+    fn run_counter_advances() {
+        let mut m = haswell();
+        assert_eq!(m.runs_executed(), 0);
+        let app = SyntheticApp::balanced("count", 1e9);
+        m.run(&app);
+        m.run(&app);
+        assert_eq!(m.runs_executed(), 2);
+    }
+
+    #[test]
+    fn disabling_interference_restores_additivity_of_divider() {
+        let mut m = haswell();
+        m.set_interference(InterferenceModel::default().scaled(0.0));
+        let a = SyntheticApp::balanced("ni_a", 4e9).with_footprint(Footprint {
+            data_mib: 5_000.0,
+            branch_irregularity: 0.9,
+            ..Footprint::regular_kernel(5_000.0)
+        });
+        let b = SyntheticApp::balanced("ni_b", 4e9);
+        let id = m.catalog().id("ARITH_DIVIDER_COUNT").unwrap();
+        let ca: f64 = (0..8).map(|_| m.run(&a).count(id)).sum::<f64>() / 8.0;
+        let cb: f64 = (0..8).map(|_| m.run(&b).count(id)).sum::<f64>() / 8.0;
+        let ab = CompoundApp::pair(a, b);
+        let cab: f64 = (0..8).map(|_| m.run(&ab).count(id)).sum::<f64>() / 8.0;
+        assert!(relative_difference(ca + cb, cab) < 0.05);
+    }
+
+    #[test]
+    fn dvfs_trades_time_for_energy() {
+        let app = SyntheticApp::balanced("dvfs", 4e9);
+        let mut fast = haswell();
+        let mut slow = haswell();
+        slow.set_frequency_scale(0.5);
+        let rf = fast.run(&app);
+        let rs = slow.run(&app);
+        // Half frequency: twice the time, a quarter of the energy.
+        assert!((rs.duration_s / rf.duration_s - 2.0).abs() < 1e-9);
+        assert!((rs.dynamic_energy_joules / rf.dynamic_energy_joules - 0.25).abs() < 1e-9);
+        // Counted work is frequency-independent (same instructions retire).
+        let id = fast.catalog().id("INSTR_RETIRED_ANY").unwrap();
+        let rel = (rf.count(id) - rs.count(id)).abs() / rf.count(id);
+        assert!(rel < 0.02, "counts should not depend on frequency, rel {rel}");
+    }
+
+    #[test]
+    fn energy_additivity_survives_dvfs() {
+        let mut m = haswell();
+        m.set_frequency_scale(0.7);
+        let a = SyntheticApp::balanced("dvfs_a", 2e9);
+        let b = SyntheticApp::balanced("dvfs_b", 5e9);
+        let avg = |m: &mut Machine, app: &dyn Application| -> f64 {
+            (0..4).map(|_| m.run(app).dynamic_energy_joules).sum::<f64>() / 4.0
+        };
+        let ea = avg(&mut m, &a);
+        let eb = avg(&mut m, &b);
+        let ab = CompoundApp::pair(a, b);
+        let eab = avg(&mut m, &ab);
+        assert!(relative_difference(ea + eb, eab) < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency scale must be within")]
+    fn dvfs_rejects_out_of_range_scale() {
+        haswell().set_frequency_scale(2.0);
+    }
+
+    #[test]
+    fn standard_normal_has_sane_moments() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -1,0 +1,213 @@
+//! The ground-truth dynamic power model.
+//!
+//! Dynamic energy is modelled as a linear functional of cumulative activity
+//! (an energy cost per unit of each physical work item) plus a mild
+//! utilisation-dependent nonlinearity evaluated *per phase*. Because phases
+//! are preserved under serial composition, both parts are exactly additive
+//! across compound applications — the energy-conservation property the
+//! paper's additivity criterion is derived from.
+//!
+//! The model is the *simulated hardware truth*: experiments never see it
+//! directly, only through the sampled, noisy power meter of
+//! `pmca-powermeter`, matching the paper's use of WattsUp readings as
+//! ground truth.
+
+use crate::activity::{Activity, ActivityField};
+use crate::spec::PlatformSpec;
+
+/// Energy cost per unit of each activity field, joules.
+///
+/// Fields not listed cost nothing directly (their energy is accounted
+/// through correlated fields, e.g. L1 hits through uops).
+const ENERGY_WEIGHTS: &[(ActivityField, f64)] = &[
+    (ActivityField::UopsExecuted, 0.30e-9),
+    (ActivityField::FpScalarDouble, 0.040e-9),
+    (ActivityField::FpPacked128Double, 0.030e-9),
+    (ActivityField::FpPacked256Double, 0.028e-9),
+    (ActivityField::FpPacked512Double, 0.015e-9),
+    (ActivityField::Loads, 0.04e-9),
+    (ActivityField::Stores, 0.09e-9),
+    (ActivityField::L2Hits, 0.20e-9),
+    (ActivityField::L2Misses, 0.40e-9),
+    (ActivityField::L3Hits, 0.80e-9),
+    (ActivityField::L3Misses, 2.0e-9),
+    (ActivityField::DramBytes, 0.07e-9),
+    (ActivityField::BranchMispredicts, 1.5e-9),
+    (ActivityField::DivActiveCycles, 0.40e-9),
+];
+
+/// Ground-truth dynamic power/energy model for a simulated platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    /// Energy weights per activity field, joules per count.
+    weights: Vec<(ActivityField, f64)>,
+    /// Watts added at full utilisation by the utilisation-quadratic term
+    /// (clock/uncore effects not attributable to individual work items).
+    util_quadratic_watts: f64,
+    /// Cap on dynamic power (TDP − idle), watts.
+    max_dynamic_watts: f64,
+    /// Uops/cycle considered full utilisation.
+    full_util_upc: f64,
+}
+
+impl PowerModel {
+    /// Default model for a platform, with the utilisation term scaled to
+    /// the platform's dynamic power budget.
+    pub fn for_platform(spec: &PlatformSpec) -> Self {
+        PowerModel {
+            weights: ENERGY_WEIGHTS.to_vec(),
+            util_quadratic_watts: 0.10 * spec.max_dynamic_watts(),
+            max_dynamic_watts: spec.max_dynamic_watts(),
+            full_util_upc: 4.0,
+        }
+    }
+
+    /// Energy weights per activity field, joules per count.
+    pub fn weights(&self) -> &[(ActivityField, f64)] {
+        &self.weights
+    }
+
+    /// Dynamic energy of one phase at a DVFS frequency scale, joules.
+    ///
+    /// Classic CMOS scaling with voltage tracking frequency: energy per
+    /// operation ∝ V² ∝ scale², so the whole phase energy scales by
+    /// `scale²` while its duration scales by `1/scale` (the work is
+    /// fixed). `scale = 1.0` is the nominal operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale` is positive and finite.
+    pub fn phase_energy_at_scale(&self, activity: &Activity, duration_s: f64, scale: f64) -> f64 {
+        assert!(scale.is_finite() && scale > 0.0, "frequency scale must be positive");
+        self.phase_energy(activity, duration_s) * scale * scale
+    }
+
+    /// Dynamic energy of one phase, joules.
+    ///
+    /// The linear part charges each work item its energy cost; the
+    /// quadratic part adds utilisation-dependent power for the phase
+    /// duration. Power is capped at the platform's dynamic budget.
+    pub fn phase_energy(&self, activity: &Activity, duration_s: f64) -> f64 {
+        if duration_s <= 0.0 {
+            return 0.0;
+        }
+        let linear: f64 = self
+            .weights
+            .iter()
+            .map(|&(field, w)| w * activity.get(field))
+            .sum();
+        let util = (activity.uops_per_cycle() / self.full_util_upc).min(1.0);
+        let quadratic = self.util_quadratic_watts * util * util * duration_s;
+        let uncapped = linear + quadratic;
+        uncapped.min(self.max_dynamic_watts * duration_s)
+    }
+
+    /// Average dynamic power of a phase, watts.
+    pub fn phase_power(&self, activity: &Activity, duration_s: f64) -> f64 {
+        if duration_s <= 0.0 {
+            return 0.0;
+        }
+        self.phase_energy(activity, duration_s) / duration_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{Application, SyntheticApp};
+
+    fn busy_activity(seconds: f64, spec: &PlatformSpec) -> (Activity, f64) {
+        // A busy, balanced workload occupying the whole machine.
+        let app = SyntheticApp::balanced("busy", 3.0 * spec.aggregate_hz() * seconds / 2.0);
+        let seg = &app.segments(spec)[0];
+        (seg.total_activity(), seg.duration_s())
+    }
+
+    #[test]
+    fn zero_activity_zero_energy() {
+        let spec = PlatformSpec::intel_haswell();
+        let m = PowerModel::for_platform(&spec);
+        assert_eq!(m.phase_energy(&Activity::zero(), 1.0), 0.0);
+    }
+
+    #[test]
+    fn zero_duration_zero_energy() {
+        let spec = PlatformSpec::intel_haswell();
+        let m = PowerModel::for_platform(&spec);
+        let (a, _) = busy_activity(1.0, &spec);
+        assert_eq!(m.phase_energy(&a, 0.0), 0.0);
+    }
+
+    #[test]
+    fn busy_power_is_within_platform_budget() {
+        for spec in [PlatformSpec::intel_haswell(), PlatformSpec::intel_skylake()] {
+            let m = PowerModel::for_platform(&spec);
+            let (a, d) = busy_activity(2.0, &spec);
+            let p = m.phase_power(&a, d);
+            assert!(p > 0.05 * spec.max_dynamic_watts(), "{}: {p} W too low", spec.processor);
+            assert!(p <= spec.max_dynamic_watts(), "{}: {p} W exceeds budget", spec.processor);
+        }
+    }
+
+    #[test]
+    fn energy_is_additive_across_phases() {
+        let spec = PlatformSpec::intel_skylake();
+        let m = PowerModel::for_platform(&spec);
+        let (a, d) = busy_activity(1.0, &spec);
+        // One phase of 2x the work vs two phases of 1x at the same rates:
+        // identical energy because the quadratic term sees the same
+        // utilisation.
+        let one = m.phase_energy(&a.scaled_uniform(2.0), 2.0 * d);
+        let two = 2.0 * m.phase_energy(&a, d);
+        assert!((one - two).abs() < 1e-9 * one, "{one} vs {two}");
+    }
+
+    #[test]
+    fn more_work_more_energy() {
+        let spec = PlatformSpec::intel_haswell();
+        let m = PowerModel::for_platform(&spec);
+        let (a, d) = busy_activity(1.0, &spec);
+        let e1 = m.phase_energy(&a, d);
+        let e2 = m.phase_energy(&a.scaled_uniform(3.0), 3.0 * d);
+        assert!(e2 > 2.9 * e1);
+    }
+
+    #[test]
+    fn dvfs_scaling_is_quadratic_in_energy() {
+        let spec = PlatformSpec::intel_skylake();
+        let m = PowerModel::for_platform(&spec);
+        let (a, d) = busy_activity(1.0, &spec);
+        let nominal = m.phase_energy_at_scale(&a, d, 1.0);
+        let slowed = m.phase_energy_at_scale(&a, d, 0.5);
+        assert!((nominal - m.phase_energy(&a, d)).abs() < 1e-12);
+        assert!((slowed - 0.25 * nominal).abs() < 1e-9 * nominal);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency scale must be positive")]
+    fn dvfs_rejects_nonpositive_scale() {
+        let spec = PlatformSpec::intel_skylake();
+        let m = PowerModel::for_platform(&spec);
+        let (a, d) = busy_activity(1.0, &spec);
+        let _ = m.phase_energy_at_scale(&a, d, 0.0);
+    }
+
+    #[test]
+    fn memory_heavy_workloads_cost_more_per_instruction() {
+        let spec = PlatformSpec::intel_haswell();
+        let m = PowerModel::for_platform(&spec);
+        let lean = SyntheticApp::balanced("lean", 1e10).with_memory_intensity(0.05);
+        let heavy = SyntheticApp::balanced("heavy", 1e10).with_memory_intensity(0.6);
+        let e_lean: f64 = lean
+            .segments(&spec)
+            .iter()
+            .map(|s| m.phase_energy(&s.total_activity(), s.duration_s()))
+            .sum();
+        let e_heavy: f64 = heavy
+            .segments(&spec)
+            .iter()
+            .map(|s| m.phase_energy(&s.total_activity(), s.duration_s()))
+            .sum();
+        assert!(e_heavy > e_lean, "heavy {e_heavy} vs lean {e_lean}");
+    }
+}

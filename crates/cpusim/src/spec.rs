@@ -1,0 +1,212 @@
+//! Platform specifications.
+//!
+//! Table 1 of the paper gives the two experimental platforms; the constants
+//! here mirror it. Every quantity that the rest of the simulator consumes
+//! (cache sizes, idle power, TDP, core counts) is carried explicitly so that
+//! additional platforms can be modelled by constructing a [`PlatformSpec`]
+//! by hand.
+
+use std::fmt;
+
+/// Micro-architecture family of a simulated platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum MicroArch {
+    /// Intel Haswell (the paper's dual-socket E5-2670 v3 server).
+    Haswell,
+    /// Intel Skylake (the paper's single-socket Xeon Gold 6152 server).
+    Skylake,
+}
+
+impl fmt::Display for MicroArch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MicroArch::Haswell => write!(f, "Haswell"),
+            MicroArch::Skylake => write!(f, "Skylake"),
+        }
+    }
+}
+
+/// Specification of a simulated multicore platform (Table 1 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformSpec {
+    /// Marketing name of the processor.
+    pub processor: String,
+    /// Operating system reported for the platform (informational).
+    pub os: String,
+    /// Micro-architecture family, selects the event catalog.
+    pub micro_arch: MicroArch,
+    /// Hardware threads per core.
+    pub threads_per_core: u32,
+    /// Physical cores per socket.
+    pub cores_per_socket: u32,
+    /// Number of sockets.
+    pub sockets: u32,
+    /// NUMA nodes.
+    pub numa_nodes: u32,
+    /// L1 data cache per core, KiB.
+    pub l1d_kib: u32,
+    /// L1 instruction cache per core, KiB.
+    pub l1i_kib: u32,
+    /// L2 cache per core, KiB.
+    pub l2_kib: u32,
+    /// Shared L3 cache per socket, KiB.
+    pub l3_kib: u32,
+    /// Main memory, GiB.
+    pub memory_gib: u32,
+    /// Thermal design power, watts (whole platform).
+    pub tdp_watts: f64,
+    /// Measured idle (static) power, watts (whole platform).
+    pub idle_power_watts: f64,
+    /// Nominal core clock, GHz.
+    pub base_freq_ghz: f64,
+    /// Peak double-precision throughput of the whole platform, GFLOP/s.
+    /// Used by workload models to estimate runtimes.
+    pub peak_dp_gflops: f64,
+    /// Sustainable memory bandwidth of the whole platform, GiB/s.
+    pub mem_bandwidth_gibs: f64,
+}
+
+impl PlatformSpec {
+    /// The paper's Intel Haswell platform: dual-socket E5-2670 v3, 2×12
+    /// cores @ 2.30 GHz, 64 GB DDR4, TDP 240 W, idle 58 W (Table 1).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let hw = pmca_cpusim::PlatformSpec::intel_haswell();
+    /// assert_eq!(hw.total_cores(), 24);
+    /// assert_eq!(hw.idle_power_watts, 58.0);
+    /// ```
+    pub fn intel_haswell() -> Self {
+        PlatformSpec {
+            processor: "Intel E5-2670 v3 @2.30GHz".to_string(),
+            os: "CentOS 7".to_string(),
+            micro_arch: MicroArch::Haswell,
+            threads_per_core: 2,
+            cores_per_socket: 12,
+            sockets: 2,
+            numa_nodes: 2,
+            l1d_kib: 32,
+            l1i_kib: 32,
+            l2_kib: 256,
+            l3_kib: 30_720,
+            memory_gib: 64,
+            tdp_watts: 240.0,
+            idle_power_watts: 58.0,
+            base_freq_ghz: 2.30,
+            peak_dp_gflops: 883.0,
+            mem_bandwidth_gibs: 110.0,
+        }
+    }
+
+    /// The paper's Intel Skylake platform: single-socket Xeon Gold 6152,
+    /// 22 cores, 96 GB DDR4, TDP 140 W, idle 32 W (Table 1).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let sk = pmca_cpusim::PlatformSpec::intel_skylake();
+    /// assert_eq!(sk.total_cores(), 22);
+    /// assert_eq!(sk.numa_nodes, 1);
+    /// ```
+    pub fn intel_skylake() -> Self {
+        PlatformSpec {
+            processor: "Intel Xeon Gold 6152".to_string(),
+            os: "Ubuntu 16.04 LTS".to_string(),
+            micro_arch: MicroArch::Skylake,
+            threads_per_core: 2,
+            cores_per_socket: 22,
+            sockets: 1,
+            numa_nodes: 1,
+            l1d_kib: 32,
+            l1i_kib: 32,
+            l2_kib: 1024,
+            l3_kib: 30_976,
+            memory_gib: 96,
+            tdp_watts: 140.0,
+            idle_power_watts: 32.0,
+            base_freq_ghz: 2.10,
+            peak_dp_gflops: 1_478.0,
+            mem_bandwidth_gibs: 119.0,
+        }
+    }
+
+    /// Total physical cores on the platform.
+    pub fn total_cores(&self) -> u32 {
+        self.cores_per_socket * self.sockets
+    }
+
+    /// Total hardware threads on the platform.
+    pub fn total_threads(&self) -> u32 {
+        self.total_cores() * self.threads_per_core
+    }
+
+    /// Total shared L3 capacity across sockets, MiB.
+    pub fn total_l3_mib(&self) -> f64 {
+        f64::from(self.l3_kib * self.sockets) / 1024.0
+    }
+
+    /// Maximum *dynamic* power budget: TDP minus idle power. The ground-
+    /// truth power model never exceeds this.
+    pub fn max_dynamic_watts(&self) -> f64 {
+        self.tdp_watts - self.idle_power_watts
+    }
+
+    /// Aggregate clock rate in cycles per second across all cores,
+    /// the basis for converting work into runtime.
+    pub fn aggregate_hz(&self) -> f64 {
+        f64::from(self.total_cores()) * self.base_freq_ghz * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haswell_matches_table_1() {
+        let hw = PlatformSpec::intel_haswell();
+        assert_eq!(hw.micro_arch, MicroArch::Haswell);
+        assert_eq!(hw.sockets, 2);
+        assert_eq!(hw.cores_per_socket, 12);
+        assert_eq!(hw.threads_per_core, 2);
+        assert_eq!(hw.numa_nodes, 2);
+        assert_eq!(hw.l1d_kib, 32);
+        assert_eq!(hw.l2_kib, 256);
+        assert_eq!(hw.l3_kib, 30_720);
+        assert_eq!(hw.memory_gib, 64);
+        assert_eq!(hw.tdp_watts, 240.0);
+        assert_eq!(hw.idle_power_watts, 58.0);
+    }
+
+    #[test]
+    fn skylake_matches_table_1() {
+        let sk = PlatformSpec::intel_skylake();
+        assert_eq!(sk.micro_arch, MicroArch::Skylake);
+        assert_eq!(sk.sockets, 1);
+        assert_eq!(sk.cores_per_socket, 22);
+        assert_eq!(sk.numa_nodes, 1);
+        assert_eq!(sk.l2_kib, 1024);
+        assert_eq!(sk.l3_kib, 30_976);
+        assert_eq!(sk.memory_gib, 96);
+        assert_eq!(sk.tdp_watts, 140.0);
+        assert_eq!(sk.idle_power_watts, 32.0);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let hw = PlatformSpec::intel_haswell();
+        assert_eq!(hw.total_cores(), 24);
+        assert_eq!(hw.total_threads(), 48);
+        assert_eq!(hw.max_dynamic_watts(), 182.0);
+        assert!(hw.total_l3_mib() > 59.0 && hw.total_l3_mib() < 61.0);
+        assert!(hw.aggregate_hz() > 5.0e10);
+    }
+
+    #[test]
+    fn microarch_display() {
+        assert_eq!(MicroArch::Haswell.to_string(), "Haswell");
+        assert_eq!(MicroArch::Skylake.to_string(), "Skylake");
+    }
+}

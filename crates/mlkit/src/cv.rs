@@ -1,0 +1,132 @@
+//! K-fold cross-validation.
+//!
+//! The experiment classes use the paper's fixed train/test splits, but a
+//! downstream user tuning a PMC set wants an unbiased accuracy estimate
+//! from the training data alone — that is what cross-validation provides.
+
+use crate::metrics::PredictionErrors;
+use crate::model::{ModelError, Regressor};
+
+/// Per-fold and aggregate results of a cross-validation run.
+#[derive(Debug, Clone)]
+pub struct CvResults {
+    /// (min, avg, max) percentage errors per fold.
+    pub folds: Vec<PredictionErrors>,
+}
+
+impl CvResults {
+    /// Mean of the folds' average percentage errors.
+    pub fn mean_avg_error(&self) -> f64 {
+        self.folds.iter().map(|f| f.avg).sum::<f64>() / self.folds.len() as f64
+    }
+
+    /// Largest single-fold average error (stability indicator).
+    pub fn worst_fold_avg(&self) -> f64 {
+        self.folds.iter().map(|f| f.avg).fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Run deterministic k-fold cross-validation: fold `i` holds out every
+/// `k`-th observation starting at `i` (interleaved folds keep each fold
+/// covering the full problem-size range, the same rationale as the
+/// dataset splits).
+///
+/// `make_model` builds a fresh unfitted model per fold.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] from a fold's fit, or
+/// [`ModelError::EmptyTrainingSet`] when `k < 2` or there are fewer than
+/// `k` observations.
+pub fn k_fold<M, F>(
+    x: &[Vec<f64>],
+    y: &[f64],
+    k: usize,
+    mut make_model: F,
+) -> Result<CvResults, ModelError>
+where
+    M: Regressor,
+    F: FnMut() -> M,
+{
+    if k < 2 || x.len() < k {
+        return Err(ModelError::EmptyTrainingSet);
+    }
+    if x.len() != y.len() {
+        return Err(ModelError::ShapeMismatch {
+            detail: format!("{} rows vs {} targets", x.len(), y.len()),
+        });
+    }
+    let mut folds = Vec::with_capacity(k);
+    for fold in 0..k {
+        let mut train_x = Vec::new();
+        let mut train_y = Vec::new();
+        let mut test_x = Vec::new();
+        let mut test_y = Vec::new();
+        for (i, (row, &target)) in x.iter().zip(y).enumerate() {
+            if i % k == fold {
+                test_x.push(row.clone());
+                test_y.push(target);
+            } else {
+                train_x.push(row.clone());
+                train_y.push(target);
+            }
+        }
+        let mut model = make_model();
+        model.fit(&train_x, &train_y)?;
+        folds.push(PredictionErrors::evaluate(&model, &test_x, &test_y));
+    }
+    Ok(CvResults { folds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinearRegression;
+
+    fn linear_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (1..=n).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (1..=n).map(|i| 3.0 * i as f64).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn perfect_linear_data_cross_validates_near_zero() {
+        let (x, y) = linear_data(50);
+        let cv = k_fold(&x, &y, 5, LinearRegression::paper_constrained).unwrap();
+        assert_eq!(cv.folds.len(), 5);
+        assert!(cv.mean_avg_error() < 2.0, "{}", cv.mean_avg_error());
+    }
+
+    #[test]
+    fn folds_partition_the_data() {
+        // With k = n each observation is held out exactly once: leave-one-
+        // out on a 10-point set gives 10 folds.
+        let (x, y) = linear_data(10);
+        let cv = k_fold(&x, &y, 10, LinearRegression::paper_constrained).unwrap();
+        assert_eq!(cv.folds.len(), 10);
+    }
+
+    #[test]
+    fn worst_fold_bounds_mean() {
+        let (x, y) = linear_data(30);
+        let cv = k_fold(&x, &y, 3, LinearRegression::paper_constrained).unwrap();
+        assert!(cv.worst_fold_avg() >= cv.mean_avg_error());
+    }
+
+    #[test]
+    fn rejects_degenerate_k() {
+        let (x, y) = linear_data(10);
+        assert!(k_fold(&x, &y, 1, LinearRegression::paper_constrained).is_err());
+        assert!(k_fold(&x, &y, 11, LinearRegression::paper_constrained).is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_targets() {
+        let (x, _) = linear_data(10);
+        let y = vec![1.0; 9];
+        assert!(matches!(
+            k_fold(&x, &y, 2, LinearRegression::paper_constrained),
+            Err(ModelError::ShapeMismatch { .. })
+        ));
+    }
+}

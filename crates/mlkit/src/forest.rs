@@ -1,0 +1,195 @@
+//! Random forest regression: bootstrap-bagged CART trees with per-split
+//! feature subsampling, averaged predictions.
+
+use crate::model::{validate_training_set, ModelError, Regressor};
+use crate::tree::{RegressionTree, TreeParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning parameters of a random forest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree parameters (feature subsampling is set automatically when
+    /// `features_per_split` is `None`: ⌈p/3⌉, the regression default).
+    pub tree: TreeParams,
+    /// Bootstrap sample size as a fraction of the training set.
+    pub sample_fraction: f64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams { n_trees: 100, tree: TreeParams::default(), sample_fraction: 1.0 }
+    }
+}
+
+/// A random forest regressor.
+///
+/// # Examples
+///
+/// ```
+/// use pmca_mlkit::{RandomForest, Regressor};
+///
+/// let x: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64]).collect();
+/// let y: Vec<f64> = (0..60).map(|i| if i < 30 { 1.0 } else { 5.0 }).collect();
+/// let mut rf = RandomForest::with_seed(7);
+/// rf.fit(&x, &y).unwrap();
+/// assert!((rf.predict_one(&[10.0]) - 1.0).abs() < 0.5);
+/// assert!((rf.predict_one(&[50.0]) - 5.0).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    params: ForestParams,
+    seed: u64,
+    trees: Vec<RegressionTree>,
+}
+
+impl RandomForest {
+    /// Forest with default parameters and the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        RandomForest::new(ForestParams::default(), seed)
+    }
+
+    /// Forest with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_trees == 0` or `sample_fraction` is not in `(0, 1]`.
+    pub fn new(params: ForestParams, seed: u64) -> Self {
+        assert!(params.n_trees > 0, "forest needs at least one tree");
+        assert!(
+            params.sample_fraction > 0.0 && params.sample_fraction <= 1.0,
+            "sample fraction must be in (0, 1]"
+        );
+        RandomForest { params, seed, trees: Vec::new() }
+    }
+
+    /// Number of fitted trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Regressor for RandomForest {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), ModelError> {
+        let width = validate_training_set(x, y)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mtry = self
+            .params
+            .tree
+            .features_per_split
+            .unwrap_or_else(|| width.div_ceil(3).max(1));
+        let sample_size = ((x.len() as f64 * self.params.sample_fraction).round() as usize).max(1);
+
+        self.trees.clear();
+        for t in 0..self.params.n_trees {
+            let indices: Vec<usize> = (0..sample_size).map(|_| rng.gen_range(0..x.len())).collect();
+            let tree_params = TreeParams { features_per_split: Some(mtry), ..self.params.tree };
+            let mut tree = RegressionTree::new(tree_params, self.seed.wrapping_add(t as u64 * 7919));
+            tree.fit_indices(x, y, &indices)?;
+            self.trees.push(tree);
+        }
+        Ok(())
+    }
+
+    fn predict_one(&self, row: &[f64]) -> f64 {
+        assert!(!self.trees.is_empty(), "forest not fitted");
+        self.trees.iter().map(|t| t.predict_one(row)).sum::<f64>() / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_linear() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..120).map(|i| vec![i as f64, (i % 5) as f64]).collect();
+        let y: Vec<f64> = (0..120u32)
+            .map(|i| 3.0 * f64::from(i) + if i.is_multiple_of(2) { 1.0 } else { -1.0 })
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn forest_fits_and_interpolates() {
+        let (x, y) = noisy_linear();
+        let mut rf = RandomForest::with_seed(3);
+        rf.fit(&x, &y).unwrap();
+        assert_eq!(rf.tree_count(), 100);
+        let pred = rf.predict_one(&[60.0, 0.0]);
+        assert!((pred - 180.0).abs() < 15.0, "pred {pred}");
+    }
+
+    #[test]
+    fn forest_is_deterministic_given_seed() {
+        let (x, y) = noisy_linear();
+        let mut a = RandomForest::with_seed(9);
+        let mut b = RandomForest::with_seed(9);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        for row in x.iter().take(10) {
+            assert_eq!(a.predict_one(row), b.predict_one(row));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (x, y) = noisy_linear();
+        let mut a = RandomForest::with_seed(1);
+        let mut b = RandomForest::with_seed(2);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        let differs = x.iter().any(|row| a.predict_one(row) != b.predict_one(row));
+        assert!(differs);
+    }
+
+    #[test]
+    fn forest_cannot_extrapolate_beyond_target_hull() {
+        // The mechanism behind the paper's huge RF max-errors on compound
+        // applications whose energy exceeds anything seen in training.
+        let (x, y) = noisy_linear();
+        let y_max = y.iter().cloned().fold(f64::MIN, f64::max);
+        let mut rf = RandomForest::with_seed(3);
+        rf.fit(&x, &y).unwrap();
+        let far_out = rf.predict_one(&[10_000.0, 0.0]);
+        assert!(far_out <= y_max + 1e-9, "{far_out} > {y_max}");
+    }
+
+    #[test]
+    fn forest_smooths_better_than_single_tree() {
+        use crate::tree::{RegressionTree, TreeParams};
+        // Noisy sine: the averaged forest should have lower test error than
+        // one deep tree.
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 10.0]).collect();
+        let noise = |i: usize| if i.is_multiple_of(3) { 0.4 } else { -0.2 };
+        let y: Vec<f64> = (0..200).map(|i| (i as f64 / 10.0).sin() * 5.0 + noise(i)).collect();
+        let test_x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 2.5 + 0.05]).collect();
+        let truth: Vec<f64> = test_x.iter().map(|r| (r[0]).sin() * 5.0).collect();
+
+        let mut tree = RegressionTree::new(TreeParams::default(), 5);
+        tree.fit(&x, &y).unwrap();
+        let mut rf = RandomForest::with_seed(5);
+        rf.fit(&x, &y).unwrap();
+
+        let mse = |preds: &[f64]| -> f64 {
+            preds.iter().zip(&truth).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / truth.len() as f64
+        };
+        let tree_mse = mse(&tree.predict(&test_x));
+        let rf_mse = mse(&rf.predict(&test_x));
+        assert!(rf_mse <= tree_mse * 1.1, "rf {rf_mse} vs tree {tree_mse}");
+    }
+
+    #[test]
+    #[should_panic(expected = "forest not fitted")]
+    fn predict_before_fit_panics() {
+        let rf = RandomForest::with_seed(1);
+        let _ = rf.predict_one(&[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_rejected() {
+        let _ = RandomForest::new(ForestParams { n_trees: 0, ..ForestParams::default() }, 1);
+    }
+}

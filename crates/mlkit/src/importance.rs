@@ -1,0 +1,127 @@
+//! Permutation feature importance.
+//!
+//! Model-agnostic importance: shuffle one feature column of the test set
+//! and measure how much the model's error grows. A PMC whose permutation
+//! barely moves the error contributes nothing — a useful cross-check on
+//! both correlation- and additivity-based selection.
+
+use crate::metrics::mae;
+use crate::model::Regressor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Importance of one feature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureImportance {
+    /// Feature (column) index.
+    pub feature: usize,
+    /// Mean absolute error after permuting the feature, minus the baseline
+    /// MAE. Larger = more important; ≈ 0 = irrelevant.
+    pub mae_increase: f64,
+}
+
+/// Compute permutation importances of every feature on `(x, y)` for a
+/// fitted model. `repeats` permutations are averaged per feature; results
+/// are sorted most-important first.
+///
+/// # Panics
+///
+/// Panics if `x` is empty, ragged, or `y` mismatched — callers pass the
+/// same data the model was evaluated on.
+pub fn permutation_importance<M: Regressor + ?Sized>(
+    model: &M,
+    x: &[Vec<f64>],
+    y: &[f64],
+    repeats: usize,
+    seed: u64,
+) -> Vec<FeatureImportance> {
+    assert!(!x.is_empty(), "empty evaluation set");
+    assert_eq!(x.len(), y.len(), "rows vs targets mismatch");
+    let width = x[0].len();
+    let baseline = mae(&model.predict(x), y);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let repeats = repeats.max(1);
+
+    let mut importances: Vec<FeatureImportance> = (0..width)
+        .map(|feature| {
+            let mut total = 0.0;
+            for _ in 0..repeats {
+                let mut column: Vec<f64> = x.iter().map(|r| r[feature]).collect();
+                column.shuffle(&mut rng);
+                let permuted: Vec<Vec<f64>> = x
+                    .iter()
+                    .zip(&column)
+                    .map(|(row, &v)| {
+                        let mut r = row.clone();
+                        r[feature] = v;
+                        r
+                    })
+                    .collect();
+                total += mae(&model.predict(&permuted), y) - baseline;
+            }
+            FeatureImportance { feature, mae_increase: total / repeats as f64 }
+        })
+        .collect();
+    importances.sort_by(|a, b| {
+        b.mae_increase.partial_cmp(&a.mae_increase).expect("finite importances")
+    });
+    importances
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinearRegression, Regressor};
+
+    fn model_and_data() -> (LinearRegression, Vec<Vec<f64>>, Vec<f64>) {
+        // y depends only on feature 0; feature 1 is noise.
+        let x: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![i as f64, ((i * 7) % 13) as f64])
+            .collect();
+        let y: Vec<f64> = (0..60).map(|i| 5.0 * i as f64).collect();
+        let mut lr = LinearRegression::paper_constrained();
+        lr.fit(&x, &y).unwrap();
+        (lr, x, y)
+    }
+
+    #[test]
+    fn informative_feature_ranks_first() {
+        let (lr, x, y) = model_and_data();
+        let imp = permutation_importance(&lr, &x, &y, 5, 1);
+        assert_eq!(imp[0].feature, 0);
+        assert!(imp[0].mae_increase > 10.0 * imp[1].mae_increase.abs().max(1e-9));
+    }
+
+    #[test]
+    fn irrelevant_feature_has_near_zero_importance() {
+        let (lr, x, y) = model_and_data();
+        let imp = permutation_importance(&lr, &x, &y, 5, 1);
+        let noise = imp.iter().find(|i| i.feature == 1).unwrap();
+        assert!(noise.mae_increase.abs() < 1.0, "{}", noise.mae_increase);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (lr, x, y) = model_and_data();
+        let a = permutation_importance(&lr, &x, &y, 3, 9);
+        let b = permutation_importance(&lr, &x, &y, 3, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn covers_every_feature_once() {
+        let (lr, x, y) = model_and_data();
+        let imp = permutation_importance(&lr, &x, &y, 2, 1);
+        let mut features: Vec<usize> = imp.iter().map(|i| i.feature).collect();
+        features.sort_unstable();
+        assert_eq!(features, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty evaluation set")]
+    fn rejects_empty_input() {
+        let (lr, _, _) = model_and_data();
+        let _ = permutation_importance(&lr, &[], &[], 1, 1);
+    }
+}

@@ -1,0 +1,370 @@
+//! Linear regression with the paper's constraints.
+//!
+//! The paper's linear energy models are *"built using penalized linear
+//! regression … that forces the coefficients to be non-negative. All the
+//! models also have zero intercept."* Negative energy coefficients would
+//! be physically meaningless (no work item removes energy), and a zero
+//! intercept encodes that zero activity consumes zero dynamic energy.
+//!
+//! Unconstrained fits use the normal equations; non-negative fits use
+//! projected (clipped) cyclic coordinate descent on the normal equations,
+//! which converges for positive semi-definite Gram matrices and matches
+//! NNLS solutions to working precision on problems of this size.
+
+use crate::model::{validate_training_set, ModelError, Regressor};
+use pmca_stats::Matrix;
+
+/// Linear regression model.
+///
+/// # Examples
+///
+/// ```
+/// use pmca_mlkit::{LinearRegression, Regressor};
+///
+/// let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+/// let y = vec![2.0, 4.0, 6.0];
+/// let mut lr = LinearRegression::paper_constrained();
+/// lr.fit(&x, &y).unwrap();
+/// // The ridge shrinks the exact slope of 2.0 by about 1%.
+/// assert!((lr.coefficients()[0] - 2.0).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    intercept_enabled: bool,
+    nonnegative: bool,
+    l2: f64,
+    feature_penalties: Option<Vec<f64>>,
+    coefficients: Vec<f64>,
+    intercept: f64,
+    fitted: bool,
+}
+
+impl LinearRegression {
+    /// Ordinary least squares with intercept, no constraints.
+    pub fn ordinary() -> Self {
+        LinearRegression {
+            intercept_enabled: true,
+            nonnegative: false,
+            l2: 0.0,
+            feature_penalties: None,
+            coefficients: Vec::new(),
+            intercept: 0.0,
+            fitted: false,
+        }
+    }
+
+    /// The paper's configuration: zero intercept, non-negative
+    /// coefficients, ridge penalty.
+    ///
+    /// The penalty matters beyond numerics: PMC predictors are strongly
+    /// mutually correlated, and the ridge spreads weight across them the
+    /// way the paper's penalized fits do (Table 3 shows several nonzero
+    /// coefficients per model) instead of concentrating on one arbitrary
+    /// representative.
+    pub fn paper_constrained() -> Self {
+        LinearRegression {
+            intercept_enabled: false,
+            nonnegative: true,
+            l2: 0.01,
+            feature_penalties: None,
+            coefficients: Vec::new(),
+            intercept: 0.0,
+            fitted: false,
+        }
+    }
+
+    /// Override the ridge penalty (relative to each feature's Gram
+    /// diagonal).
+    pub fn with_l2(mut self, l2: f64) -> Self {
+        assert!(l2.is_finite() && l2 >= 0.0, "l2 must be non-negative");
+        self.l2 = l2;
+        self
+    }
+
+    /// Set *per-feature* penalty multipliers: feature `j`'s effective
+    /// ridge becomes `l2 · multipliers[j]`. This is the hook for
+    /// domain-informed penalties — the additivity-weighted regression of
+    /// `pmca-core` penalises each PMC in proportion to its additivity-test
+    /// error, the direction the paper sketches as future work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any multiplier is negative or non-finite.
+    pub fn with_feature_penalties(mut self, multipliers: Vec<f64>) -> Self {
+        assert!(
+            multipliers.iter().all(|m| m.is_finite() && *m >= 0.0),
+            "penalty multipliers must be non-negative"
+        );
+        self.feature_penalties = Some(multipliers);
+        self
+    }
+
+    /// Fitted coefficients (one per feature).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has not been fitted.
+    pub fn coefficients(&self) -> &[f64] {
+        assert!(self.fitted, "model not fitted");
+        &self.coefficients
+    }
+
+    /// Fitted intercept (always `0.0` for the paper configuration).
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    fn fit_unconstrained(&mut self, x: &[Vec<f64>], y: &[f64], width: usize) -> Result<(), ModelError> {
+        let cols = if self.intercept_enabled { width + 1 } else { width };
+        let mut data = Vec::with_capacity(x.len() * cols);
+        for row in x {
+            if self.intercept_enabled {
+                data.push(1.0);
+            }
+            data.extend_from_slice(row);
+        }
+        let a = Matrix::from_rows_slice(x.len(), cols, &data)
+            .map_err(|e| ModelError::ShapeMismatch { detail: e.to_string() })?;
+        let beta = a.least_squares(y).map_err(|_| ModelError::NoConvergence)?;
+        if self.intercept_enabled {
+            self.intercept = beta[0];
+            self.coefficients = beta[1..].to_vec();
+        } else {
+            self.intercept = 0.0;
+            self.coefficients = beta;
+        }
+        Ok(())
+    }
+
+    fn fit_nonnegative(&mut self, x: &[Vec<f64>], y: &[f64], width: usize) -> Result<(), ModelError> {
+        // Normal equations: G = XᵀX (+ ridge), b = Xᵀy.
+        let mut g = vec![vec![0.0; width]; width];
+        let mut b = vec![0.0; width];
+        for (row, &t) in x.iter().zip(y) {
+            for i in 0..width {
+                b[i] += row[i] * t;
+                for j in i..width {
+                    g[i][j] += row[i] * row[j];
+                }
+            }
+        }
+        for i in 1..width {
+            let (upper, lower) = g.split_at_mut(i);
+            for (j, upper_row) in upper.iter().enumerate() {
+                lower[0][j] = upper_row[i];
+            }
+        }
+        // Per-feature ridge scaled to each feature's own Gram diagonal —
+        // equivalent to penalising *standardised* coefficients, as R's
+        // penalised-regression packages do by default. A uniform penalty
+        // would silently exclude small-magnitude PMCs (icache misses count
+        // in the 1e7 range, uops in the 1e12 range).
+        for (i, row) in g.iter_mut().enumerate() {
+            let multiplier = self
+                .feature_penalties
+                .as_ref()
+                .and_then(|m| m.get(i).copied())
+                .unwrap_or(1.0);
+            row[i] *= 1.0 + self.l2 * multiplier;
+            if row[i] <= 0.0 {
+                row[i] = f64::MIN_POSITIVE;
+            }
+        }
+
+        // Projected cyclic coordinate descent.
+        let mut beta = vec![0.0; width];
+        const MAX_SWEEPS: usize = 10_000;
+        const TOL: f64 = 1e-12;
+        for _ in 0..MAX_SWEEPS {
+            let mut max_delta = 0.0_f64;
+            for j in 0..width {
+                let gjj = g[j][j];
+                if gjj <= 0.0 {
+                    continue; // all-zero feature column
+                }
+                let mut resid = b[j];
+                for k in 0..width {
+                    if k != j {
+                        resid -= g[j][k] * beta[k];
+                    }
+                }
+                let new = (resid / gjj).max(0.0);
+                let delta = (new - beta[j]).abs();
+                let scale = beta[j].abs().max(new.abs()).max(1e-300);
+                max_delta = max_delta.max(delta / scale);
+                beta[j] = new;
+            }
+            if max_delta < TOL {
+                self.coefficients = beta;
+                self.intercept = 0.0;
+                return Ok(());
+            }
+        }
+        // Coordinate descent always produces a usable iterate; accept it.
+        self.coefficients = beta;
+        self.intercept = 0.0;
+        Ok(())
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), ModelError> {
+        let width = validate_training_set(x, y)?;
+        if self.nonnegative {
+            self.fit_nonnegative(x, y, width)?;
+        } else {
+            self.fit_unconstrained(x, y, width)?;
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_one(&self, row: &[f64]) -> f64 {
+        assert!(self.fitted, "model not fitted");
+        assert_eq!(row.len(), self.coefficients.len(), "feature width mismatch");
+        self.intercept + row.iter().zip(&self.coefficients).map(|(a, b)| a * b).sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordinary_recovers_affine_relation() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| 5.0 + 2.5 * i as f64).collect();
+        let mut lr = LinearRegression::ordinary();
+        lr.fit(&x, &y).unwrap();
+        assert!((lr.intercept() - 5.0).abs() < 1e-6);
+        assert!((lr.coefficients()[0] - 2.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn constrained_fit_has_zero_intercept() {
+        let x: Vec<Vec<f64>> = (1..30).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let y: Vec<f64> = (1..30).map(|i| 3.0 * i as f64).collect();
+        let mut lr = LinearRegression::paper_constrained();
+        lr.fit(&x, &y).unwrap();
+        assert_eq!(lr.intercept(), 0.0);
+    }
+
+    #[test]
+    fn constrained_coefficients_are_nonnegative() {
+        // y strongly anti-correlated with x₁: unconstrained OLS would put a
+        // negative weight on it; NNLS must clamp to zero.
+        let x: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, 50.0 - i as f64])
+            .collect();
+        let y: Vec<f64> = (0..50).map(|i| 2.0 * i as f64).collect();
+        let mut lr = LinearRegression::paper_constrained();
+        lr.fit(&x, &y).unwrap();
+        for (k, &c) in lr.coefficients().iter().enumerate() {
+            assert!(c >= 0.0, "coefficient {k} is negative: {c}");
+        }
+    }
+
+    #[test]
+    fn nnls_matches_ols_when_unconstrained_solution_is_feasible() {
+        let x: Vec<Vec<f64>> = (1..40).map(|i| vec![i as f64, (i % 7) as f64 + 1.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] + 0.5 * r[1]).collect();
+        let mut nnls = LinearRegression::paper_constrained().with_l2(0.0);
+        nnls.fit(&x, &y).unwrap();
+        assert!((nnls.coefficients()[0] - 2.0).abs() < 1e-6);
+        assert!((nnls.coefficients()[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn handles_pmc_scale_features() {
+        // PMC counts are ~1e9–1e12 and energies ~1e2: coefficients ~1e-9,
+        // like the paper's Table 3.
+        let x: Vec<Vec<f64>> = (1..60).map(|i| vec![1e10 * i as f64, 3e9 * i as f64]).collect();
+        let y: Vec<f64> = (1..60).map(|i| 45.0 * i as f64).collect();
+        let mut lr = LinearRegression::paper_constrained();
+        lr.fit(&x, &y).unwrap();
+        let pred = lr.predict_one(&[1e10 * 30.0, 3e9 * 30.0]);
+        // Ridge shrinkage keeps the prediction within ~2% of truth.
+        assert!((pred - 45.0 * 30.0).abs() < 30.0, "pred {pred}");
+        assert!(lr.coefficients().iter().all(|c| *c < 1e-7));
+    }
+
+    #[test]
+    fn zero_feature_column_gets_zero_coefficient() {
+        let x: Vec<Vec<f64>> = (1..20).map(|i| vec![i as f64, 0.0]).collect();
+        let y: Vec<f64> = (1..20).map(|i| 4.0 * i as f64).collect();
+        let mut lr = LinearRegression::paper_constrained();
+        lr.fit(&x, &y).unwrap();
+        assert_eq!(lr.coefficients()[1], 0.0);
+        assert!((lr.coefficients()[0] - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn collinear_features_do_not_explode() {
+        let x: Vec<Vec<f64>> = (1..30).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let y: Vec<f64> = (1..30).map(|i| 6.0 * i as f64).collect();
+        let mut lr = LinearRegression::paper_constrained();
+        lr.fit(&x, &y).unwrap();
+        let pred = lr.predict_one(&[10.0, 20.0]);
+        assert!((pred - 60.0).abs() < 1.0, "pred {pred}");
+    }
+
+    #[test]
+    fn fit_rejects_empty() {
+        let mut lr = LinearRegression::paper_constrained();
+        assert_eq!(lr.fit(&[], &[]), Err(ModelError::EmptyTrainingSet));
+    }
+
+    #[test]
+    fn feature_penalties_suppress_penalised_duplicates() {
+        // Two identical columns; a heavy penalty on the second pushes the
+        // weight onto the first.
+        let x: Vec<Vec<f64>> = (1..40).map(|i| vec![i as f64, i as f64]).collect();
+        let y: Vec<f64> = (1..40).map(|i| 4.0 * i as f64).collect();
+        let mut even = LinearRegression::paper_constrained().with_l2(0.1);
+        even.fit(&x, &y).unwrap();
+        let ratio_even = even.coefficients()[1] / even.coefficients()[0].max(1e-300);
+        let mut skewed = LinearRegression::paper_constrained()
+            .with_l2(0.1)
+            .with_feature_penalties(vec![0.0, 50.0]);
+        skewed.fit(&x, &y).unwrap();
+        let ratio_skewed = skewed.coefficients()[1] / skewed.coefficients()[0].max(1e-300);
+        assert!(ratio_even > 0.9, "even ridge should split, got {ratio_even}");
+        assert!(ratio_skewed < 0.3, "penalised duplicate should shrink, got {ratio_skewed}");
+    }
+
+    #[test]
+    fn zero_penalties_match_unpenalised_fit() {
+        let x: Vec<Vec<f64>> = (1..30).map(|i| vec![i as f64, (i % 5) as f64 + 1.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] + r[1]).collect();
+        let mut plain = LinearRegression::paper_constrained().with_l2(0.0);
+        plain.fit(&x, &y).unwrap();
+        let mut zeroed = LinearRegression::paper_constrained()
+            .with_l2(0.3)
+            .with_feature_penalties(vec![0.0, 0.0]);
+        zeroed.fit(&x, &y).unwrap();
+        for (a, b) in plain.coefficients().iter().zip(zeroed.coefficients()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "penalty multipliers must be non-negative")]
+    fn rejects_negative_penalty_multiplier() {
+        let _ = LinearRegression::paper_constrained().with_feature_penalties(vec![-1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "model not fitted")]
+    fn predict_before_fit_panics() {
+        let lr = LinearRegression::ordinary();
+        let _ = lr.predict_one(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width mismatch")]
+    fn predict_with_wrong_width_panics() {
+        let mut lr = LinearRegression::paper_constrained();
+        lr.fit(&[vec![1.0]], &[1.0]).unwrap();
+        let _ = lr.predict_one(&[1.0, 2.0]);
+    }
+}

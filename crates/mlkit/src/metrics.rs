@@ -1,0 +1,168 @@
+//! Prediction-error metrics.
+//!
+//! The paper reports every model as a **(min, avg, max) percentage
+//! prediction error** triple against the power-meter ground truth; this
+//! module computes those triples plus the usual regression metrics.
+
+use crate::model::Regressor;
+
+/// The paper's (min, avg, max) percentage prediction error triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictionErrors {
+    /// Smallest percentage error over the test set.
+    pub min: f64,
+    /// Mean percentage error.
+    pub avg: f64,
+    /// Largest percentage error.
+    pub max: f64,
+}
+
+impl PredictionErrors {
+    /// Percentage errors `100·|pred − truth| / |truth|` of paired slices.
+    /// Observations with `truth == 0` are skipped (a percentage error is
+    /// undefined there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or no observation has a
+    /// non-zero truth.
+    pub fn of(predictions: &[f64], truths: &[f64]) -> Self {
+        assert_eq!(predictions.len(), truths.len(), "paired slices required");
+        let errors: Vec<f64> = predictions
+            .iter()
+            .zip(truths)
+            .filter(|(_, &t)| t != 0.0)
+            .map(|(&p, &t)| 100.0 * (p - t).abs() / t.abs())
+            .collect();
+        assert!(!errors.is_empty(), "no observations with non-zero truth");
+        PredictionErrors {
+            min: errors.iter().copied().fold(f64::INFINITY, f64::min),
+            avg: errors.iter().sum::<f64>() / errors.len() as f64,
+            max: errors.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Evaluate a fitted model on a test set.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`PredictionErrors::of`].
+    pub fn evaluate<M: Regressor + ?Sized>(model: &M, x: &[Vec<f64>], y: &[f64]) -> Self {
+        PredictionErrors::of(&model.predict(x), y)
+    }
+}
+
+impl std::fmt::Display for PredictionErrors {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.2}, {:.2}, {:.2})", self.min, self.avg, self.max)
+    }
+}
+
+/// Mean squared error.
+///
+/// # Panics
+///
+/// Panics on mismatched or empty slices.
+pub fn mse(predictions: &[f64], truths: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), truths.len(), "paired slices required");
+    assert!(!predictions.is_empty(), "empty slices");
+    predictions.iter().zip(truths).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / truths.len() as f64
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics on mismatched or empty slices.
+pub fn mae(predictions: &[f64], truths: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), truths.len(), "paired slices required");
+    assert!(!predictions.is_empty(), "empty slices");
+    predictions.iter().zip(truths).map(|(p, t)| (p - t).abs()).sum::<f64>() / truths.len() as f64
+}
+
+/// Coefficient of determination R². Returns `f64::NEG_INFINITY` when the
+/// truth has zero variance (undefined).
+///
+/// # Panics
+///
+/// Panics on mismatched or empty slices.
+pub fn r_squared(predictions: &[f64], truths: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), truths.len(), "paired slices required");
+    assert!(!predictions.is_empty(), "empty slices");
+    let mean = truths.iter().sum::<f64>() / truths.len() as f64;
+    let ss_tot: f64 = truths.iter().map(|t| (t - mean) * (t - mean)).sum();
+    if ss_tot == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    let ss_res: f64 = predictions.iter().zip(truths).map(|(p, t)| (p - t) * (p - t)).sum();
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_have_zero_errors() {
+        let e = PredictionErrors::of(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(e.min, 0.0);
+        assert_eq!(e.avg, 0.0);
+        assert_eq!(e.max, 0.0);
+    }
+
+    #[test]
+    fn triple_matches_hand_computation() {
+        // Errors: 10%, 20%, 50%.
+        let e = PredictionErrors::of(&[110.0, 80.0, 150.0], &[100.0, 100.0, 100.0]);
+        assert!((e.min - 10.0).abs() < 1e-12);
+        assert!((e.avg - 80.0 / 3.0).abs() < 1e-12);
+        assert!((e.max - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_truth_observations_are_skipped() {
+        let e = PredictionErrors::of(&[5.0, 110.0], &[0.0, 100.0]);
+        assert_eq!(e.min, 10.0);
+        assert_eq!(e.max, 10.0);
+    }
+
+    #[test]
+    fn overprediction_can_exceed_100_percent() {
+        // The paper's Table 7a reports max errors up to 4039%.
+        let e = PredictionErrors::of(&[500.0], &[10.0]);
+        assert!((e.max - 4900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_formats_like_the_paper() {
+        let e = PredictionErrors { min: 2.5, avg: 18.01, max: 89.45 };
+        assert_eq!(e.to_string(), "(2.50, 18.01, 89.45)");
+    }
+
+    #[test]
+    fn mse_mae_r2_basics() {
+        let p = [1.0, 2.0, 3.0];
+        let t = [1.0, 2.0, 5.0];
+        assert!((mse(&p, &t) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((mae(&p, &t) - 2.0 / 3.0).abs() < 1e-12);
+        assert!(r_squared(&p, &t) < 1.0);
+        assert_eq!(r_squared(&t, &t), 1.0);
+    }
+
+    #[test]
+    fn r2_of_constant_truth_is_undefined() {
+        assert_eq!(r_squared(&[1.0, 2.0], &[3.0, 3.0]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "no observations with non-zero truth")]
+    fn all_zero_truth_panics() {
+        let _ = PredictionErrors::of(&[1.0], &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired slices required")]
+    fn mismatched_lengths_panic() {
+        let _ = PredictionErrors::of(&[1.0], &[1.0, 2.0]);
+    }
+}

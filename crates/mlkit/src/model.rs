@@ -1,0 +1,130 @@
+//! The common regressor interface.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors shared by all model fits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// No training rows were provided.
+    EmptyTrainingSet,
+    /// Rows have inconsistent widths, or targets don't match rows.
+    ShapeMismatch {
+        /// Description of the inconsistency.
+        detail: String,
+    },
+    /// The optimisation failed to converge.
+    NoConvergence,
+    /// Prediction was requested before `fit`.
+    NotFitted,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyTrainingSet => write!(f, "training set is empty"),
+            ModelError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            ModelError::NoConvergence => write!(f, "optimisation failed to converge"),
+            ModelError::NotFitted => write!(f, "model has not been fitted"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+/// A regression model mapping feature rows to a scalar target.
+pub trait Regressor {
+    /// Fit the model on rows `x` with targets `y`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] on empty or inconsistently shaped input, or
+    /// when the underlying optimisation fails.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), ModelError>;
+
+    /// Predict one row.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the model is unfitted or the row width
+    /// differs from the training width; use [`Regressor::fit`] first.
+    fn predict_one(&self, row: &[f64]) -> f64;
+
+    /// Predict many rows.
+    fn predict(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict_one(r)).collect()
+    }
+}
+
+/// Validate a training-set shape, returning the feature width.
+///
+/// # Errors
+///
+/// Returns [`ModelError::EmptyTrainingSet`] or
+/// [`ModelError::ShapeMismatch`].
+pub fn validate_training_set(x: &[Vec<f64>], y: &[f64]) -> Result<usize, ModelError> {
+    if x.is_empty() || y.is_empty() {
+        return Err(ModelError::EmptyTrainingSet);
+    }
+    if x.len() != y.len() {
+        return Err(ModelError::ShapeMismatch {
+            detail: format!("{} rows vs {} targets", x.len(), y.len()),
+        });
+    }
+    let width = x[0].len();
+    if width == 0 {
+        return Err(ModelError::ShapeMismatch { detail: "zero-width rows".into() });
+    }
+    for (i, row) in x.iter().enumerate() {
+        if row.len() != width {
+            return Err(ModelError::ShapeMismatch {
+                detail: format!("row {i} has width {} (expected {width})", row.len()),
+            });
+        }
+    }
+    Ok(width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_rectangular_input() {
+        let x = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert_eq!(validate_training_set(&x, &[1.0, 2.0]), Ok(2));
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        assert_eq!(validate_training_set(&[], &[]), Err(ModelError::EmptyTrainingSet));
+    }
+
+    #[test]
+    fn validate_rejects_ragged() {
+        let x = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(matches!(
+            validate_training_set(&x, &[1.0, 2.0]),
+            Err(ModelError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_mismatched_targets() {
+        let x = vec![vec![1.0]];
+        assert!(matches!(
+            validate_training_set(&x, &[1.0, 2.0]),
+            Err(ModelError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_zero_width() {
+        let x = vec![vec![]];
+        assert!(matches!(
+            validate_training_set(&x, &[1.0]),
+            Err(ModelError::ShapeMismatch { .. })
+        ));
+    }
+}

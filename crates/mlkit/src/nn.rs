@@ -1,0 +1,383 @@
+//! A small multilayer perceptron for regression.
+//!
+//! The paper's neural models use a **linear transfer function at the
+//! output** (standard for regression); hidden layers can be configured as
+//! `Linear` (making the whole network affine, the strictest reading of the
+//! paper) or `ReLU` (the default, giving the network the mild nonlinearity
+//! its Class B results imply). Inputs and targets are standardised
+//! internally — PMC counts span twelve orders of magnitude — and training
+//! is full-batch gradient descent with Adam.
+
+use crate::model::{validate_training_set, ModelError, Regressor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hidden-layer activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity: the network is affine end to end.
+    Linear,
+    /// Rectified linear units.
+    Relu,
+}
+
+impl Activation {
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Linear => x,
+            Activation::Relu => x.max(0.0),
+        }
+    }
+
+    fn derivative(self, pre: f64) -> f64 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Relu => {
+                if pre > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NnParams {
+    /// Hidden layer widths (empty = linear model).
+    pub hidden: [usize; 2],
+    /// Number of active hidden layers (0, 1, or 2).
+    pub hidden_layers: usize,
+    /// Hidden activation.
+    pub activation: Activation,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Training epochs (full-batch steps).
+    pub epochs: usize,
+    /// L2 weight decay.
+    pub weight_decay: f64,
+}
+
+impl Default for NnParams {
+    fn default() -> Self {
+        NnParams {
+            hidden: [16, 8],
+            hidden_layers: 2,
+            activation: Activation::Relu,
+            learning_rate: 0.01,
+            epochs: 600,
+            weight_decay: 1e-4,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Layer {
+    weights: Vec<Vec<f64>>, // [out][in]
+    biases: Vec<f64>,
+}
+
+/// The MLP regressor.
+///
+/// # Examples
+///
+/// ```
+/// use pmca_mlkit::{NeuralNet, Regressor};
+///
+/// let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+/// let y: Vec<f64> = (0..40).map(|i| 3.0 * i as f64 + 1.0).collect();
+/// let mut nn = NeuralNet::with_seed(1);
+/// nn.fit(&x, &y).unwrap();
+/// let pred = nn.predict_one(&[20.0]);
+/// assert!((pred - 61.0).abs() < 6.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NeuralNet {
+    params: NnParams,
+    seed: u64,
+    layers: Vec<Layer>,
+    feature_means: Vec<f64>,
+    feature_stds: Vec<f64>,
+    target_mean: f64,
+    target_std: f64,
+    fitted: bool,
+}
+
+impl NeuralNet {
+    /// Default architecture with the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        NeuralNet::new(NnParams::default(), seed)
+    }
+
+    /// Explicit hyper-parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical hyper-parameters (zero epochs, more than two
+    /// hidden layers, zero-width active layers).
+    pub fn new(params: NnParams, seed: u64) -> Self {
+        assert!(params.epochs > 0, "epochs must be positive");
+        assert!(params.hidden_layers <= 2, "at most two hidden layers");
+        for i in 0..params.hidden_layers {
+            assert!(params.hidden[i] > 0, "hidden layer {i} has zero width");
+        }
+        NeuralNet {
+            params,
+            seed,
+            layers: Vec::new(),
+            feature_means: Vec::new(),
+            feature_stds: Vec::new(),
+            target_mean: 0.0,
+            target_std: 1.0,
+            fitted: false,
+        }
+    }
+
+    fn architecture(&self, inputs: usize) -> Vec<usize> {
+        let mut arch = vec![inputs];
+        for i in 0..self.params.hidden_layers {
+            arch.push(self.params.hidden[i]);
+        }
+        arch.push(1);
+        arch
+    }
+
+    fn standardize_row(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(self.feature_means.iter().zip(&self.feature_stds))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect()
+    }
+
+    /// Forward pass, returning pre-activations and activations per layer.
+    fn forward(&self, input: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut activations = vec![input.to_vec()];
+        let mut pre_activations = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let prev = activations.last().expect("at least the input layer");
+            let mut pre = vec![0.0; layer.biases.len()];
+            for (o, (w_row, b)) in layer.weights.iter().zip(&layer.biases).enumerate() {
+                pre[o] = b + w_row.iter().zip(prev).map(|(w, a)| w * a).sum::<f64>();
+            }
+            let is_output = li == self.layers.len() - 1;
+            let act: Vec<f64> = if is_output {
+                pre.clone() // linear transfer at the output
+            } else {
+                pre.iter().map(|&p| self.params.activation.apply(p)).collect()
+            };
+            pre_activations.push(pre);
+            activations.push(act);
+        }
+        (pre_activations, activations)
+    }
+}
+
+impl Regressor for NeuralNet {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), ModelError> {
+        let width = validate_training_set(x, y)?;
+        let n = x.len() as f64;
+
+        // Standardise features and target.
+        self.feature_means = (0..width).map(|j| x.iter().map(|r| r[j]).sum::<f64>() / n).collect();
+        self.feature_stds = (0..width)
+            .map(|j| {
+                let m = self.feature_means[j];
+                let var = x.iter().map(|r| (r[j] - m) * (r[j] - m)).sum::<f64>() / n;
+                let s = var.sqrt();
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        self.target_mean = y.iter().sum::<f64>() / n;
+        let t_var = y.iter().map(|t| (t - self.target_mean) * (t - self.target_mean)).sum::<f64>() / n;
+        self.target_std = if t_var > 0.0 { t_var.sqrt() } else { 1.0 };
+
+        let xs: Vec<Vec<f64>> = x.iter().map(|r| self.standardize_row(r)).collect();
+        let ys: Vec<f64> = y.iter().map(|t| (t - self.target_mean) / self.target_std).collect();
+
+        // He-style initialisation.
+        let arch = self.architecture(width);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.layers = arch
+            .windows(2)
+            .map(|w| {
+                let (fan_in, fan_out) = (w[0], w[1]);
+                let scale = (2.0 / fan_in as f64).sqrt();
+                Layer {
+                    weights: (0..fan_out)
+                        .map(|_| (0..fan_in).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale).collect())
+                        .collect(),
+                    biases: vec![0.0; fan_out],
+                }
+            })
+            .collect();
+
+        // Adam state.
+        let mut m_w: Vec<Vec<Vec<f64>>> =
+            self.layers.iter().map(|l| l.weights.iter().map(|r| vec![0.0; r.len()]).collect()).collect();
+        let mut v_w = m_w.clone();
+        let mut m_b: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.biases.len()]).collect();
+        let mut v_b = m_b.clone();
+        let (beta1, beta2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+
+        for epoch in 1..=self.params.epochs {
+            // Accumulate full-batch gradients.
+            let mut g_w: Vec<Vec<Vec<f64>>> =
+                self.layers.iter().map(|l| l.weights.iter().map(|r| vec![0.0; r.len()]).collect()).collect();
+            let mut g_b: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.biases.len()]).collect();
+
+            for (input, &target) in xs.iter().zip(&ys) {
+                let (pres, acts) = self.forward(input);
+                let output = acts.last().expect("output layer")[0];
+                // d(MSE)/d(output), per sample.
+                let mut delta = vec![2.0 * (output - target) / n];
+                for li in (0..self.layers.len()).rev() {
+                    let prev_act = &acts[li];
+                    for (o, &d) in delta.iter().enumerate() {
+                        g_b[li][o] += d;
+                        for (i, &a) in prev_act.iter().enumerate() {
+                            g_w[li][o][i] += d * a;
+                        }
+                    }
+                    if li > 0 {
+                        let mut next_delta = vec![0.0; prev_act.len()];
+                        for (i, nd) in next_delta.iter_mut().enumerate() {
+                            let mut s = 0.0;
+                            for (o, &d) in delta.iter().enumerate() {
+                                s += d * self.layers[li].weights[o][i];
+                            }
+                            *nd = s * self.params.activation.derivative(pres[li - 1][i]);
+                        }
+                        delta = next_delta;
+                    }
+                }
+            }
+
+            // Adam update with weight decay.
+            let bc1 = 1.0 - beta1.powi(epoch as i32);
+            let bc2 = 1.0 - beta2.powi(epoch as i32);
+            for li in 0..self.layers.len() {
+                for o in 0..self.layers[li].biases.len() {
+                    for i in 0..self.layers[li].weights[o].len() {
+                        let g = g_w[li][o][i] + self.params.weight_decay * self.layers[li].weights[o][i];
+                        m_w[li][o][i] = beta1 * m_w[li][o][i] + (1.0 - beta1) * g;
+                        v_w[li][o][i] = beta2 * v_w[li][o][i] + (1.0 - beta2) * g * g;
+                        let step = self.params.learning_rate * (m_w[li][o][i] / bc1)
+                            / ((v_w[li][o][i] / bc2).sqrt() + eps);
+                        self.layers[li].weights[o][i] -= step;
+                    }
+                    let g = g_b[li][o];
+                    m_b[li][o] = beta1 * m_b[li][o] + (1.0 - beta1) * g;
+                    v_b[li][o] = beta2 * v_b[li][o] + (1.0 - beta2) * g * g;
+                    let step =
+                        self.params.learning_rate * (m_b[li][o] / bc1) / ((v_b[li][o] / bc2).sqrt() + eps);
+                    self.layers[li].biases[o] -= step;
+                }
+            }
+        }
+
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_one(&self, row: &[f64]) -> f64 {
+        assert!(self.fitted, "network not fitted");
+        assert_eq!(row.len(), self.feature_means.len(), "feature width mismatch");
+        let input = self.standardize_row(row);
+        let (_, acts) = self.forward(&input);
+        acts.last().expect("output layer")[0] * self.target_std + self.target_mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_activation_learns_affine_map() {
+        let params = NnParams {
+            hidden_layers: 0,
+            activation: Activation::Linear,
+            epochs: 2000,
+            learning_rate: 0.05,
+            weight_decay: 0.0,
+            ..NnParams::default()
+        };
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, (30 - i) as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] - 0.5 * r[1] + 3.0).collect();
+        let mut nn = NeuralNet::new(params, 4);
+        nn.fit(&x, &y).unwrap();
+        for (row, &target) in x.iter().zip(&y).step_by(7) {
+            let p = nn.predict_one(row);
+            assert!((p - target).abs() < 0.5, "pred {p} vs {target}");
+        }
+    }
+
+    #[test]
+    fn relu_network_learns_a_kink() {
+        // y = max(0, x − 5): affine models cannot represent this.
+        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 3.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| (r[0] - 5.0).max(0.0)).collect();
+        let mut nn = NeuralNet::with_seed(2);
+        nn.fit(&x, &y).unwrap();
+        let at_low = nn.predict_one(&[1.0]);
+        let at_high = nn.predict_one(&[15.0]);
+        assert!(at_low.abs() < 1.0, "low {at_low}");
+        assert!((at_high - 10.0).abs() < 1.5, "high {at_high}");
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let mut a = NeuralNet::with_seed(11);
+        let mut b = NeuralNet::with_seed(11);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict_one(&[7.0]), b.predict_one(&[7.0]));
+    }
+
+    #[test]
+    fn handles_pmc_scale_inputs() {
+        // Raw counts around 1e11 with energies around 1e2.
+        let x: Vec<Vec<f64>> = (1..50).map(|i| vec![1e11 * i as f64, 2e9 * i as f64]).collect();
+        let y: Vec<f64> = (1..50).map(|i| 80.0 * i as f64).collect();
+        let mut nn = NeuralNet::with_seed(6);
+        nn.fit(&x, &y).unwrap();
+        let p = nn.predict_one(&[1e11 * 25.0, 2e9 * 25.0]);
+        assert!((p - 2000.0).abs() < 150.0, "pred {p}");
+    }
+
+    #[test]
+    fn constant_target_is_learned() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![5.0; 10];
+        let mut nn = NeuralNet::with_seed(8);
+        nn.fit(&x, &y).unwrap();
+        assert!((nn.predict_one(&[3.0]) - 5.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn fit_rejects_empty() {
+        let mut nn = NeuralNet::with_seed(1);
+        assert_eq!(nn.fit(&[], &[]), Err(ModelError::EmptyTrainingSet));
+    }
+
+    #[test]
+    #[should_panic(expected = "network not fitted")]
+    fn predict_before_fit_panics() {
+        let nn = NeuralNet::with_seed(1);
+        let _ = nn.predict_one(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most two hidden layers")]
+    fn rejects_three_hidden_layers() {
+        let _ = NeuralNet::new(NnParams { hidden_layers: 3, ..NnParams::default() }, 1);
+    }
+}

@@ -1,0 +1,295 @@
+//! CART regression trees: variance-reduction splits, depth and leaf-size
+//! limits, optional per-split feature subsampling (for the forest).
+
+use crate::model::{validate_training_set, ModelError, Regressor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Tuning parameters of a regression tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples a leaf may hold.
+    pub min_samples_leaf: usize,
+    /// Number of candidate features per split (`None` = all).
+    pub features_per_split: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 12, min_samples_leaf: 2, features_per_split: None }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A CART regression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionTree {
+    params: TreeParams,
+    seed: u64,
+    root: Option<Node>,
+    width: usize,
+}
+
+impl RegressionTree {
+    /// Create an unfitted tree.
+    pub fn new(params: TreeParams, seed: u64) -> Self {
+        RegressionTree { params, seed, root: None, width: 0 }
+    }
+
+    /// Depth of the fitted tree (`0` for a bare leaf).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is unfitted.
+    pub fn depth(&self) -> usize {
+        fn depth_of(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + depth_of(left).max(depth_of(right)),
+            }
+        }
+        depth_of(self.root.as_ref().expect("tree not fitted"))
+    }
+
+    /// Number of leaves in the fitted tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is unfitted.
+    pub fn leaf_count(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(self.root.as_ref().expect("tree not fitted"))
+    }
+
+    fn build(
+        &self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        indices: &[usize],
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> Node {
+        let mean = indices.iter().map(|&i| y[i]).sum::<f64>() / indices.len() as f64;
+        if depth >= self.params.max_depth
+            || indices.len() < 2 * self.params.min_samples_leaf
+            || indices.iter().all(|&i| y[i] == y[indices[0]])
+        {
+            return Node::Leaf { value: mean };
+        }
+
+        let width = x[0].len();
+        let mut candidates: Vec<usize> = (0..width).collect();
+        if let Some(m) = self.params.features_per_split {
+            candidates.shuffle(rng);
+            candidates.truncate(m.clamp(1, width));
+        }
+
+        let total_sum: f64 = indices.iter().map(|&i| y[i]).sum();
+        let total_sq: f64 = indices.iter().map(|&i| y[i] * y[i]).sum();
+        let total_sse = total_sq - total_sum * total_sum / indices.len() as f64;
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+        for &feature in &candidates {
+            let mut order: Vec<usize> = indices.to_vec();
+            order.sort_by(|&a, &b| x[a][feature].partial_cmp(&x[b][feature]).expect("NaN feature"));
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for (k, &i) in order.iter().enumerate().take(order.len() - 1) {
+                left_sum += y[i];
+                left_sq += y[i] * y[i];
+                let n_left = k + 1;
+                let n_right = order.len() - n_left;
+                if n_left < self.params.min_samples_leaf || n_right < self.params.min_samples_leaf {
+                    continue;
+                }
+                // Skip ties: can't split between equal feature values.
+                if x[i][feature] == x[order[k + 1]][feature] {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let sse_left = left_sq - left_sum * left_sum / n_left as f64;
+                let sse_right = right_sq - right_sum * right_sum / n_right as f64;
+                let sse = sse_left + sse_right;
+                if best.is_none_or(|(_, _, b)| sse < b) {
+                    let threshold = 0.5 * (x[i][feature] + x[order[k + 1]][feature]);
+                    best = Some((feature, threshold, sse));
+                }
+            }
+        }
+
+        match best {
+            Some((feature, threshold, sse)) if sse < total_sse - 1e-12 => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    indices.iter().partition(|&&i| x[i][feature] <= threshold);
+                if left_idx.is_empty() || right_idx.is_empty() {
+                    return Node::Leaf { value: mean };
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(self.build(x, y, &left_idx, depth + 1, rng)),
+                    right: Box::new(self.build(x, y, &right_idx, depth + 1, rng)),
+                }
+            }
+            _ => Node::Leaf { value: mean },
+        }
+    }
+
+    /// Fit on a subset of rows (used by bagging).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] for empty/ragged input or empty `indices`.
+    pub fn fit_indices(&mut self, x: &[Vec<f64>], y: &[f64], indices: &[usize]) -> Result<(), ModelError> {
+        let width = validate_training_set(x, y)?;
+        if indices.is_empty() {
+            return Err(ModelError::EmptyTrainingSet);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.width = width;
+        self.root = Some(self.build(x, y, indices, 0, &mut rng));
+        Ok(())
+    }
+}
+
+impl Regressor for RegressionTree {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), ModelError> {
+        let all: Vec<usize> = (0..x.len()).collect();
+        self.fit_indices(x, y, &all)
+    }
+
+    fn predict_one(&self, row: &[f64]) -> f64 {
+        let mut node = self.root.as_ref().expect("tree not fitted");
+        assert_eq!(row.len(), self.width, "feature width mismatch");
+        loop {
+            match node {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if row[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..40).map(|i| if i < 20 { 1.0 } else { 9.0 }).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn learns_a_step_function_exactly() {
+        let (x, y) = step_data();
+        let mut t = RegressionTree::new(TreeParams::default(), 1);
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.predict_one(&[5.0]), 1.0);
+        assert_eq!(t.predict_one(&[35.0]), 9.0);
+    }
+
+    #[test]
+    fn constant_target_is_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![7.0; 10];
+        let mut t = RegressionTree::new(TreeParams::default(), 1);
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.predict_one(&[100.0]), 7.0);
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..200).map(|i| (i as f64).sin() * 10.0).collect();
+        let params = TreeParams { max_depth: 3, ..TreeParams::default() };
+        let mut t = RegressionTree::new(params, 1);
+        t.fit(&x, &y).unwrap();
+        assert!(t.depth() <= 3);
+        assert!(t.leaf_count() <= 8);
+    }
+
+    #[test]
+    fn min_leaf_size_is_respected() {
+        let x: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let params = TreeParams { min_samples_leaf: 8, ..TreeParams::default() };
+        let mut t = RegressionTree::new(params, 1);
+        t.fit(&x, &y).unwrap();
+        assert!(t.leaf_count() <= 2);
+    }
+
+    #[test]
+    fn predictions_stay_within_target_hull() {
+        // Trees cannot extrapolate: predictions are bounded by observed
+        // targets — the mechanism behind the forests' large errors on the
+        // paper's compound test apps.
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..50).map(|i| 2.0 * i as f64).collect();
+        let mut t = RegressionTree::new(TreeParams::default(), 1);
+        t.fit(&x, &y).unwrap();
+        let out_of_range = t.predict_one(&[500.0]);
+        assert!(out_of_range <= 98.0 + 1e-9);
+    }
+
+    #[test]
+    fn two_feature_split_picks_informative_feature() {
+        // Feature 0 is noise; feature 1 carries the signal.
+        let x: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i % 3) as f64, i as f64])
+            .collect();
+        let y: Vec<f64> = (0..60).map(|i| if i < 30 { 0.0 } else { 10.0 }).collect();
+        let mut t = RegressionTree::new(TreeParams::default(), 1);
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.predict_one(&[0.0, 3.0]), 0.0);
+        assert_eq!(t.predict_one(&[0.0, 55.0]), 10.0);
+    }
+
+    #[test]
+    fn fit_indices_uses_only_the_subset() {
+        let (x, y) = step_data();
+        let low_half: Vec<usize> = (0..20).collect();
+        let mut t = RegressionTree::new(TreeParams::default(), 1);
+        t.fit_indices(&x, &y, &low_half).unwrap();
+        // Trained only on the y = 1.0 half.
+        assert_eq!(t.predict_one(&[35.0]), 1.0);
+    }
+
+    #[test]
+    fn rejects_empty_indices() {
+        let (x, y) = step_data();
+        let mut t = RegressionTree::new(TreeParams::default(), 1);
+        assert_eq!(t.fit_indices(&x, &y, &[]), Err(ModelError::EmptyTrainingSet));
+    }
+
+    #[test]
+    #[should_panic(expected = "tree not fitted")]
+    fn predict_before_fit_panics() {
+        let t = RegressionTree::new(TreeParams::default(), 1);
+        let _ = t.predict_one(&[1.0]);
+    }
+}

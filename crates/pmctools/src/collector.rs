@@ -1,0 +1,242 @@
+//! Multi-run PMC collection.
+//!
+//! Each counter group requires one full run of the application, so a PMC
+//! vector is assembled from counts that come from *different* executions —
+//! exactly the situation on real hardware, and the reason reproducibility
+//! (stage 1 of the additivity test) matters at all.
+
+use crate::scheduler::{schedule, CounterGroup, ScheduleError};
+use pmca_cpusim::app::Application;
+use pmca_cpusim::events::EventId;
+use pmca_cpusim::Machine;
+use std::collections::HashMap;
+
+/// A collected PMC vector: one (averaged) count per requested event, plus
+/// bookkeeping about the collection cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PmcVector {
+    /// Event → count (sample mean when collected with repeats).
+    pub values: HashMap<EventId, f64>,
+    /// Number of application runs the collection consumed.
+    pub runs_used: usize,
+}
+
+impl PmcVector {
+    /// Count for one event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event was not part of the collection request.
+    pub fn get(&self, id: EventId) -> f64 {
+        *self.values.get(&id).unwrap_or_else(|| panic!("event {id} was not collected"))
+    }
+
+    /// Counts in the order of `ids`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event was not part of the collection request.
+    pub fn in_order(&self, ids: &[EventId]) -> Vec<f64> {
+        ids.iter().map(|&id| self.get(id)).collect()
+    }
+}
+
+/// Collect `events` for one application: schedules the events into counter
+/// groups and performs one run per group.
+///
+/// # Errors
+///
+/// Propagates [`ScheduleError`] for unknown/unschedulable events.
+pub fn collect_all(
+    machine: &mut Machine,
+    app: &dyn Application,
+    events: &[EventId],
+) -> Result<PmcVector, ScheduleError> {
+    collect_with_repeats(machine, app, events, 1)
+}
+
+/// Collect `events`, repeating the whole group sweep `repeats` times and
+/// averaging — the paper's sample-mean methodology applied to PMCs.
+///
+/// # Errors
+///
+/// Propagates [`ScheduleError`]. `repeats` of zero is treated as one.
+pub fn collect_with_repeats(
+    machine: &mut Machine,
+    app: &dyn Application,
+    events: &[EventId],
+    repeats: usize,
+) -> Result<PmcVector, ScheduleError> {
+    let sweeps = collect_sweeps(machine, app, events, repeats.max(1))?;
+    let repeats = sweeps.samples.len() as f64;
+    let mut values = HashMap::new();
+    for &id in &sweeps.events {
+        let total: f64 = sweeps.samples.iter().map(|s| s[&id]).sum();
+        values.insert(id, total / repeats);
+    }
+    Ok(PmcVector { values, runs_used: sweeps.runs_used })
+}
+
+/// Raw repeated sweeps, one map per repetition — used by the
+/// reproducibility stage of the additivity test.
+#[derive(Debug, Clone)]
+pub struct SweepSamples {
+    /// Deduplicated event ids actually collected.
+    pub events: Vec<EventId>,
+    /// One complete PMC map per sweep.
+    pub samples: Vec<HashMap<EventId, f64>>,
+    /// Total application runs consumed.
+    pub runs_used: usize,
+}
+
+/// Perform `repeats` full collection sweeps of `events`.
+///
+/// # Errors
+///
+/// Propagates [`ScheduleError`].
+pub fn collect_sweeps(
+    machine: &mut Machine,
+    app: &dyn Application,
+    events: &[EventId],
+    repeats: usize,
+) -> Result<SweepSamples, ScheduleError> {
+    let groups = schedule(machine.catalog(), events)?;
+    let mut dedup: Vec<EventId> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for &id in events {
+        if seen.insert(id) {
+            dedup.push(id);
+        }
+    }
+    let fixed: Vec<EventId> = dedup
+        .iter()
+        .copied()
+        .filter(|&id| {
+            machine.catalog().event(id).constraint == pmca_cpusim::events::CounterConstraint::Fixed
+        })
+        .collect();
+
+    let mut samples = Vec::with_capacity(repeats);
+    let mut runs_used = 0;
+    for _ in 0..repeats.max(1) {
+        let mut sweep = HashMap::new();
+        if groups.is_empty() {
+            // Only fixed events requested: still need one run to read them.
+            let record = machine.run(app);
+            runs_used += 1;
+            for &id in &fixed {
+                sweep.insert(id, record.count(id));
+            }
+        }
+        for CounterGroup { events: group } in &groups {
+            let record = machine.run(app);
+            runs_used += 1;
+            for &id in group {
+                sweep.insert(id, record.count(id));
+            }
+            // Fixed counters ride along with every run; take them from the
+            // first group's run.
+            for &id in &fixed {
+                sweep.entry(id).or_insert_with(|| record.count(id));
+            }
+        }
+        samples.push(sweep);
+    }
+    Ok(SweepSamples { events: dedup, samples, runs_used })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmca_cpusim::app::SyntheticApp;
+    use pmca_cpusim::PlatformSpec;
+
+    fn machine() -> Machine {
+        Machine::new(PlatformSpec::intel_haswell(), 23)
+    }
+
+    fn app() -> SyntheticApp {
+        SyntheticApp::balanced("collect-me", 3e9)
+    }
+
+    #[test]
+    fn collects_requested_events_only() {
+        let mut m = machine();
+        let ids = m.catalog().ids(&["IDQ_MS_UOPS", "L2_RQSTS_MISS"]).unwrap();
+        let v = collect_all(&mut m, &app(), &ids).unwrap();
+        assert_eq!(v.values.len(), 2);
+        assert!(v.get(ids[0]) > 0.0);
+    }
+
+    #[test]
+    fn runs_used_matches_group_count() {
+        let mut m = machine();
+        // Divider is solo: 1 group for it + 1 for the other two.
+        let ids = m
+            .catalog()
+            .ids(&["ARITH_DIVIDER_COUNT", "IDQ_MS_UOPS", "L2_RQSTS_MISS"])
+            .unwrap();
+        let v = collect_all(&mut m, &app(), &ids).unwrap();
+        assert_eq!(v.runs_used, 2);
+    }
+
+    #[test]
+    fn fixed_events_ride_along() {
+        let mut m = machine();
+        let ids = m.catalog().ids(&["INSTR_RETIRED_ANY", "IDQ_MS_UOPS"]).unwrap();
+        let v = collect_all(&mut m, &app(), &ids).unwrap();
+        assert_eq!(v.runs_used, 1);
+        assert!(v.get(ids[0]) > 1e9);
+    }
+
+    #[test]
+    fn fixed_only_request_still_runs_once() {
+        let mut m = machine();
+        let ids = m.catalog().ids(&["INSTR_RETIRED_ANY"]).unwrap();
+        let v = collect_all(&mut m, &app(), &ids).unwrap();
+        assert_eq!(v.runs_used, 1);
+        assert!(v.get(ids[0]) > 0.0);
+    }
+
+    #[test]
+    fn repeats_average_out_jitter() {
+        let mut m = machine();
+        let ids = m.catalog().ids(&["IDQ_MS_UOPS"]).unwrap();
+        let once = collect_all(&mut m, &app(), &ids).unwrap();
+        let avg = collect_with_repeats(&mut m, &app(), &ids, 10).unwrap();
+        // Both estimate the same mean; the averaged one uses 10× the runs.
+        assert_eq!(avg.runs_used, 10 * once.runs_used);
+        let rel = (avg.get(ids[0]) - once.get(ids[0])).abs() / avg.get(ids[0]);
+        assert!(rel < 0.2);
+    }
+
+    #[test]
+    fn sweeps_expose_per_run_variation() {
+        let mut m = machine();
+        let ids = m.catalog().ids(&["IDQ_MS_UOPS"]).unwrap();
+        let sweeps = collect_sweeps(&mut m, &app(), &ids, 5).unwrap();
+        assert_eq!(sweeps.samples.len(), 5);
+        let first = sweeps.samples[0][&ids[0]];
+        assert!(sweeps.samples.iter().any(|s| s[&ids[0]] != first), "no jitter visible");
+    }
+
+    #[test]
+    fn in_order_preserves_request_order() {
+        let mut m = machine();
+        let ids = m.catalog().ids(&["L2_RQSTS_MISS", "IDQ_MS_UOPS"]).unwrap();
+        let v = collect_all(&mut m, &app(), &ids).unwrap();
+        let row = v.in_order(&ids);
+        assert_eq!(row[0], v.get(ids[0]));
+        assert_eq!(row[1], v.get(ids[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "was not collected")]
+    fn get_of_uncollected_event_panics() {
+        let mut m = machine();
+        let ids = m.catalog().ids(&["IDQ_MS_UOPS"]).unwrap();
+        let v = collect_all(&mut m, &app(), &ids).unwrap();
+        let other = m.catalog().id("L2_RQSTS_MISS").unwrap();
+        let _ = v.get(other);
+    }
+}

@@ -1,0 +1,45 @@
+//! Likwid-like PMC collection against the simulated platform.
+//!
+//! Real PMUs expose only a handful of programmable counters (four per core
+//! on the paper's platforms), and many events carry placement restrictions
+//! — some run on specific counters, some tolerate only one companion, some
+//! must be measured alone. Collecting the full catalog therefore takes
+//! *many* runs of the same application: the paper reports ≈ 53 runs on
+//! Haswell and ≈ 99 on Skylake. This crate reproduces that machinery:
+//!
+//! * [`scheduler`] — partitions a requested event set into valid counter
+//!   groups (≤ 4 programmable events, constraints respected);
+//! * [`collector`] — executes one run per group and assembles the full
+//!   PMC vector, or repeated sweeps for reproducibility studies;
+//! * [`filter`] — the paper's event filter: drop events whose counts are
+//!   ≤ 10 or which are not reproducible across runs.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmca_cpusim::{Machine, PlatformSpec};
+//! use pmca_cpusim::app::SyntheticApp;
+//! use pmca_pmctools::scheduler::schedule;
+//! use pmca_pmctools::collector::collect_all;
+//!
+//! let mut machine = Machine::new(PlatformSpec::intel_haswell(), 17);
+//! let ids = machine.catalog().ids(&["IDQ_MS_UOPS", "L2_RQSTS_MISS"]).unwrap();
+//! let groups = schedule(machine.catalog(), &ids).unwrap();
+//! assert_eq!(groups.len(), 1); // two unconstrained events share one run
+//! let app = SyntheticApp::balanced("demo", 1e9);
+//! let pmcs = collect_all(&mut machine, &app, &ids).unwrap();
+//! assert_eq!(pmcs.values.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod filter;
+pub mod multiplex;
+pub mod scheduler;
+
+pub use collector::{collect_all, PmcVector};
+pub use multiplex::Multiplexer;
+pub use filter::{EventFilter, FilterOutcome};
+pub use scheduler::{schedule, CounterGroup, ScheduleError, PROGRAMMABLE_COUNTERS};

@@ -1,0 +1,302 @@
+//! Counter-group scheduling.
+//!
+//! Given a set of events, partition them into groups that one run of the
+//! PMU can measure simultaneously: at most [`PROGRAMMABLE_COUNTERS`]
+//! programmable events per group, each assignable to a distinct counter
+//! compatible with its [`CounterConstraint`], honouring solo/pair
+//! restrictions. Fixed-counter events are free and never occupy a group
+//! slot.
+//!
+//! The packer is greedy first-fit over events ordered from most to least
+//! constrained, with exact feasibility checking (backtracking bipartite
+//! matching) per group — the same flavour of algorithm perf-multiplexing
+//! tools use.
+
+use pmca_cpusim::catalog::EventCatalog;
+use pmca_cpusim::events::{CounterConstraint, EventId};
+use std::error::Error;
+use std::fmt;
+
+/// Programmable counters per core on the paper's platforms — the origin of
+/// the "only 3–4 PMCs per run" limitation.
+pub const PROGRAMMABLE_COUNTERS: usize = 4;
+
+/// One schedulable group of events (one application run).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterGroup {
+    /// Programmable events measured in this run.
+    pub events: Vec<EventId>,
+}
+
+/// Scheduling failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// An event id is not part of the given catalog.
+    UnknownEvent(EventId),
+    /// An event admits no programmable counter at all (its mask is empty).
+    Unschedulable(EventId),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::UnknownEvent(id) => write!(f, "event {id} not in catalog"),
+            ScheduleError::Unschedulable(id) => write!(f, "event {id} fits no counter"),
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
+/// Partition `events` into valid counter groups. Fixed-counter events are
+/// omitted from the groups (they are always collected); duplicates are
+/// scheduled once.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] if an event is unknown or inherently
+/// unschedulable.
+pub fn schedule(catalog: &EventCatalog, events: &[EventId]) -> Result<Vec<CounterGroup>, ScheduleError> {
+    let mut seen = std::collections::HashSet::new();
+    let mut programmable = Vec::new();
+    for &id in events {
+        if id.0 >= catalog.len() {
+            return Err(ScheduleError::UnknownEvent(id));
+        }
+        if !seen.insert(id) {
+            continue;
+        }
+        let c = catalog.event(id).constraint;
+        match c {
+            CounterConstraint::Fixed => {}
+            CounterConstraint::CounterMask(0) => return Err(ScheduleError::Unschedulable(id)),
+            _ => programmable.push(id),
+        }
+    }
+
+    // Most-constrained first: solo, then pair, then masked (narrow masks
+    // first), then unconstrained.
+    programmable.sort_by_key(|&id| {
+        let c = catalog.event(id).constraint;
+        let rank = match c {
+            CounterConstraint::Solo => 0,
+            CounterConstraint::PairOnly => 1,
+            CounterConstraint::CounterMask(m) => 2 + m.count_ones() as usize,
+            _ => 16,
+        };
+        (rank, id)
+    });
+
+    let mut groups: Vec<Vec<EventId>> = Vec::new();
+    'next_event: for &id in &programmable {
+        for group in groups.iter_mut() {
+            if group_accepts(catalog, group, id) {
+                group.push(id);
+                continue 'next_event;
+            }
+        }
+        groups.push(vec![id]);
+    }
+
+    Ok(groups.into_iter().map(|events| CounterGroup { events }).collect())
+}
+
+/// Whether `group ∪ {candidate}` is still simultaneously measurable.
+fn group_accepts(catalog: &EventCatalog, group: &[EventId], candidate: EventId) -> bool {
+    let total = group.len() + 1;
+    if total > PROGRAMMABLE_COUNTERS {
+        return false;
+    }
+    // Solo/pair group-size restrictions apply to every member.
+    for &id in group.iter().chain(std::iter::once(&candidate)) {
+        if catalog.event(id).constraint.max_group_size() < total {
+            return false;
+        }
+    }
+    // Exact counter-assignment feasibility.
+    let mut members: Vec<EventId> = group.to_vec();
+    members.push(candidate);
+    assignment_exists(catalog, &members, 0, &mut [false; PROGRAMMABLE_COUNTERS])
+}
+
+/// Backtracking bipartite matching: can events `idx..` each get a distinct
+/// allowed counter?
+fn assignment_exists(
+    catalog: &EventCatalog,
+    members: &[EventId],
+    idx: usize,
+    used: &mut [bool; PROGRAMMABLE_COUNTERS],
+) -> bool {
+    if idx == members.len() {
+        return true;
+    }
+    let constraint = catalog.event(members[idx]).constraint;
+    for counter in 0..PROGRAMMABLE_COUNTERS {
+        if !used[counter] && constraint.allows_counter(counter) {
+            used[counter] = true;
+            if assignment_exists(catalog, members, idx + 1, used) {
+                used[counter] = false;
+                return true;
+            }
+            used[counter] = false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmca_cpusim::spec::MicroArch;
+
+    fn catalog(arch: MicroArch) -> EventCatalog {
+        EventCatalog::for_micro_arch(arch)
+    }
+
+    fn constraint_of(cat: &EventCatalog, id: EventId) -> CounterConstraint {
+        cat.event(id).constraint
+    }
+
+    /// Validate a schedule: all requested programmable events appear
+    /// exactly once, every group is feasible.
+    fn validate(cat: &EventCatalog, events: &[EventId], groups: &[CounterGroup]) {
+        let mut scheduled = std::collections::HashSet::new();
+        for g in groups {
+            assert!(!g.events.is_empty());
+            assert!(g.events.len() <= PROGRAMMABLE_COUNTERS);
+            for &id in &g.events {
+                assert!(scheduled.insert(id), "{id} scheduled twice");
+                assert!(
+                    constraint_of(cat, id).max_group_size() >= g.events.len(),
+                    "group-size violation for {id}"
+                );
+            }
+            let mut used = [false; PROGRAMMABLE_COUNTERS];
+            assert!(
+                assignment_exists(cat, &g.events, 0, &mut used),
+                "infeasible group {:?}",
+                g.events
+            );
+        }
+        for &id in events {
+            if constraint_of(cat, id) != CounterConstraint::Fixed {
+                assert!(scheduled.contains(&id), "{id} missing from schedule");
+            }
+        }
+    }
+
+    #[test]
+    fn two_free_events_share_a_run() {
+        let cat = catalog(MicroArch::Haswell);
+        let ids = cat.ids(&["IDQ_MS_UOPS", "L2_RQSTS_MISS"]).unwrap();
+        let groups = schedule(&cat, &ids).unwrap();
+        assert_eq!(groups.len(), 1);
+        validate(&cat, &ids, &groups);
+    }
+
+    #[test]
+    fn six_free_events_need_two_runs() {
+        // The paper's Class A setup: six PMCs, two collection runs.
+        let cat = catalog(MicroArch::Haswell);
+        let ids = cat
+            .ids(&[
+                "IDQ_MITE_UOPS",
+                "IDQ_MS_UOPS",
+                "ICACHE_64B_IFTAG_MISS",
+                "L2_RQSTS_MISS",
+                "UOPS_EXECUTED_PORT_PORT_6",
+                "IDQ_DSB_UOPS",
+            ])
+            .unwrap();
+        let groups = schedule(&cat, &ids).unwrap();
+        assert_eq!(groups.len(), 2);
+        validate(&cat, &ids, &groups);
+    }
+
+    #[test]
+    fn solo_events_get_their_own_run() {
+        let cat = catalog(MicroArch::Haswell);
+        let ids = cat.ids(&["ARITH_DIVIDER_COUNT", "IDQ_MS_UOPS", "L2_RQSTS_MISS"]).unwrap();
+        let groups = schedule(&cat, &ids).unwrap();
+        assert_eq!(groups.len(), 2);
+        let solo_group = groups.iter().find(|g| g.events.contains(&ids[0])).unwrap();
+        assert_eq!(solo_group.events.len(), 1);
+        validate(&cat, &ids, &groups);
+    }
+
+    #[test]
+    fn pair_events_never_exceed_two_per_run() {
+        let cat = catalog(MicroArch::Skylake);
+        let ids = cat
+            .ids(&[
+                "MEM_LOAD_RETIRED_L1_HIT",
+                "MEM_LOAD_RETIRED_L2_HIT",
+                "MEM_LOAD_RETIRED_L3_HIT",
+                "MEM_LOAD_RETIRED_L3_MISS",
+            ])
+            .unwrap();
+        let groups = schedule(&cat, &ids).unwrap();
+        assert_eq!(groups.len(), 2);
+        validate(&cat, &ids, &groups);
+    }
+
+    #[test]
+    fn fixed_events_are_free() {
+        let cat = catalog(MicroArch::Haswell);
+        let ids = cat.ids(&["INSTR_RETIRED_ANY", "CPU_CLK_UNHALTED_CORE"]).unwrap();
+        let groups = schedule(&cat, &ids).unwrap();
+        assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_scheduled_once() {
+        let cat = catalog(MicroArch::Haswell);
+        let id = cat.id("IDQ_MS_UOPS").unwrap();
+        let groups = schedule(&cat, &[id, id, id]).unwrap();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].events.len(), 1);
+    }
+
+    #[test]
+    fn unknown_event_is_rejected() {
+        let cat = catalog(MicroArch::Haswell);
+        let bogus = EventId(99_999);
+        assert_eq!(schedule(&cat, &[bogus]), Err(ScheduleError::UnknownEvent(bogus)));
+    }
+
+    #[test]
+    fn full_haswell_catalog_schedules_in_about_53_runs() {
+        let cat = catalog(MicroArch::Haswell);
+        let all = cat.all_ids();
+        let groups = schedule(&cat, &all).unwrap();
+        validate(&cat, &all, &groups);
+        let runs = groups.len();
+        assert!((38..=68).contains(&runs), "Haswell needs {runs} runs (paper: ≈53)");
+    }
+
+    #[test]
+    fn full_skylake_catalog_schedules_in_about_99_runs() {
+        let cat = catalog(MicroArch::Skylake);
+        let all = cat.all_ids();
+        let groups = schedule(&cat, &all).unwrap();
+        validate(&cat, &all, &groups);
+        let runs = groups.len();
+        assert!((75..=125).contains(&runs), "Skylake needs {runs} runs (paper: ≈99)");
+    }
+
+    #[test]
+    fn mask_conflicts_force_extra_runs() {
+        // Two events pinned to the same single counter cannot share a run.
+        let cat = catalog(MicroArch::Haswell);
+        let pinned: Vec<EventId> = cat
+            .iter()
+            .filter(|(_, e)| e.constraint == CounterConstraint::CounterMask(0b0001))
+            .map(|(id, _)| id)
+            .take(3)
+            .collect();
+        assert!(pinned.len() >= 2, "catalog should contain bank-0 offcore events");
+        let groups = schedule(&cat, &pinned).unwrap();
+        assert_eq!(groups.len(), pinned.len());
+    }
+}

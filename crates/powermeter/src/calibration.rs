@@ -1,0 +1,93 @@
+//! Reference-meter calibration.
+//!
+//! The paper: *"The power meters are periodically calibrated using an ANSI
+//! C12.20 revenue-grade power meter, Yokogawa WT210."* The procedure here
+//! mirrors that: read a known reference load through both instruments and
+//! correct the WattsUp gain by the observed ratio.
+
+use crate::wattsup::WattsUpPro;
+
+/// A revenue-grade reference meter: for simulation purposes its readings
+/// are exact (the WT210's 0.1% error is far below the WattsUp's).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReferenceMeter;
+
+impl ReferenceMeter {
+    /// Create a reference meter.
+    pub fn new() -> Self {
+        ReferenceMeter
+    }
+
+    /// Read a load's true power, watts.
+    pub fn read_watts(&self, true_power_w: f64) -> f64 {
+        true_power_w
+    }
+}
+
+/// Calibrate a WattsUp against the reference using `samples` paired
+/// readings of a steady `reference_load_w` load. Returns the gain
+/// correction factor that was applied.
+///
+/// # Panics
+///
+/// Panics if `samples == 0` or the load is not positive.
+pub fn calibrate(
+    meter: &mut WattsUpPro,
+    reference: &ReferenceMeter,
+    reference_load_w: f64,
+    samples: usize,
+) -> f64 {
+    assert!(samples > 0, "calibration needs at least one sample");
+    assert!(
+        reference_load_w.is_finite() && reference_load_w > 0.0,
+        "reference load must be positive"
+    );
+    let truth = reference.read_watts(reference_load_w);
+    let mean_reading: f64 =
+        (0..samples).map(|_| meter.read_watts(reference_load_w)).sum::<f64>() / samples as f64;
+    let correction = truth / mean_reading;
+    meter.set_gain(meter.gain() * correction);
+    correction
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_drives_gain_to_unity() {
+        let mut m = WattsUpPro::new(58.0, 9);
+        m.set_gain(1.05);
+        calibrate(&mut m, &ReferenceMeter::new(), 200.0, 400);
+        assert!((m.gain() - 1.0).abs() < 0.005, "gain {}", m.gain());
+    }
+
+    #[test]
+    fn calibration_returns_correction_factor() {
+        let mut m = WattsUpPro::new(58.0, 9);
+        m.set_gain(1.10);
+        let corr = calibrate(&mut m, &ReferenceMeter::new(), 150.0, 400);
+        assert!((corr - 1.0 / 1.10).abs() < 0.01, "correction {corr}");
+    }
+
+    #[test]
+    fn calibrated_meter_reads_accurately() {
+        let mut m = WattsUpPro::new(32.0, 5);
+        calibrate(&mut m, &ReferenceMeter::new(), 100.0, 500);
+        let n = 500;
+        let mean: f64 = (0..n).map(|_| m.read_watts(75.0)).sum::<f64>() / n as f64;
+        assert!((mean - 75.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn reference_meter_is_exact() {
+        assert_eq!(ReferenceMeter::new().read_watts(123.456), 123.456);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn rejects_zero_samples() {
+        let mut m = WattsUpPro::new(58.0, 1);
+        calibrate(&mut m, &ReferenceMeter::new(), 100.0, 0);
+    }
+}

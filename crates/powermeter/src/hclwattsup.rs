@@ -1,0 +1,167 @@
+//! The HCLWattsUp-style measurement API.
+//!
+//! The paper obtains dynamic energy "programmatically using a detailed
+//! statistical methodology employing HCLWattsUp API": measure the
+//! platform's static power, run the application while sampling the meter,
+//! integrate total energy, and report `E_D = E_T − P_S·T_E` as a sample
+//! mean over repeated runs.
+
+use crate::calibration::{calibrate, ReferenceMeter};
+use crate::methodology::Methodology;
+use crate::wattsup::WattsUpPro;
+use pmca_cpusim::app::Application;
+use pmca_cpusim::Machine;
+use pmca_stats::confidence::ConfidenceInterval;
+
+/// A dynamic-energy measurement: the paper's response variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyMeasurement {
+    /// Sample mean of dynamic energy over the runs, joules.
+    pub mean_joules: f64,
+    /// Half-width of the 95% CI of the mean, joules (0 when only the run
+    /// cap stopped a degenerate sample).
+    pub ci_half_width: f64,
+    /// Number of application runs performed.
+    pub runs: usize,
+    /// Sample mean of the execution time, seconds.
+    pub mean_seconds: f64,
+}
+
+/// The measurement front-end: a calibrated WattsUp plus the statistical
+/// methodology, bound to one platform.
+#[derive(Debug, Clone)]
+pub struct HclWattsUp {
+    meter: WattsUpPro,
+    methodology: Methodology,
+    static_power_w: f64,
+}
+
+impl HclWattsUp {
+    /// Attach to `machine`'s platform: calibrates a fresh meter against
+    /// the reference and measures static power from 60 idle samples.
+    pub fn new(machine: &Machine, seed: u64) -> Self {
+        Self::with_methodology(machine, seed, Methodology::standard())
+    }
+
+    /// Like [`HclWattsUp::new`] with an explicit methodology.
+    pub fn with_methodology(machine: &Machine, seed: u64, methodology: Methodology) -> Self {
+        let spec = machine.spec();
+        let mut meter = WattsUpPro::new(spec.idle_power_watts, seed);
+        calibrate(&mut meter, &ReferenceMeter::new(), spec.idle_power_watts + 80.0, 300);
+        let idle_samples = meter.sample_idle(60);
+        let static_power_w = idle_samples.iter().sum::<f64>() / idle_samples.len() as f64;
+        HclWattsUp { meter, methodology, static_power_w }
+    }
+
+    /// The measured static (idle) power of the platform, watts.
+    pub fn static_power_w(&self) -> f64 {
+        self.static_power_w
+    }
+
+    /// The methodology in force.
+    pub fn methodology(&self) -> Methodology {
+        self.methodology
+    }
+
+    /// Measure one run's dynamic energy, joules: integrate the sampled
+    /// total power and subtract `P_S · T_E`.
+    pub fn measure_once(&mut self, machine: &mut Machine, app: &dyn Application) -> (f64, f64) {
+        let record = machine.run(app);
+        let (samples, dt) = self.meter.sample_run(&record);
+        let total_energy: f64 = samples.iter().sum::<f64>() * dt;
+        let dynamic = total_energy - self.static_power_w * record.duration_s;
+        (dynamic.max(0.0), record.duration_s)
+    }
+
+    /// Measure an application's dynamic energy with the repeated-run
+    /// methodology.
+    pub fn measure_dynamic_energy(
+        &mut self,
+        machine: &mut Machine,
+        app: &dyn Application,
+    ) -> EnergyMeasurement {
+        let mut est = self.methodology.estimator();
+        let mut times = Vec::new();
+        while !est.is_satisfied() {
+            let (e, t) = self.measure_once(machine, app);
+            est.add(e);
+            times.push(t);
+        }
+        let ci_half_width = ConfidenceInterval::of_sample(est.observations(), self.methodology.confidence)
+            .map(|ci| ci.half_width)
+            .unwrap_or(0.0);
+        EnergyMeasurement {
+            mean_joules: est.mean(),
+            ci_half_width,
+            runs: est.runs(),
+            mean_seconds: times.iter().sum::<f64>() / times.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmca_cpusim::app::CompoundApp;
+    use pmca_cpusim::PlatformSpec;
+    use pmca_stats::descriptive::relative_difference;
+    use pmca_workloads::{Dgemm, Fft2d};
+
+    fn setup() -> (Machine, HclWattsUp) {
+        let machine = Machine::new(PlatformSpec::intel_skylake(), 11);
+        let api = HclWattsUp::new(&machine, 11);
+        (machine, api)
+    }
+
+    #[test]
+    fn static_power_estimate_is_close_to_truth() {
+        let (machine, api) = setup();
+        let truth = machine.spec().idle_power_watts;
+        assert!((api.static_power_w() - truth).abs() < 1.5, "{}", api.static_power_w());
+    }
+
+    #[test]
+    fn measured_energy_tracks_ground_truth() {
+        let (mut machine, mut api) = setup();
+        let app = Dgemm::new(12_000);
+        let measured = api.measure_dynamic_energy(&mut machine, &app);
+        let truth = machine.run(&app).dynamic_energy_joules;
+        let rel = relative_difference(measured.mean_joules, truth);
+        assert!(rel < 0.08, "meter {m} vs truth {truth}: {rel}", m = measured.mean_joules);
+    }
+
+    #[test]
+    fn measurement_respects_run_bounds() {
+        let (mut machine, mut api) = setup();
+        let m = api.measure_dynamic_energy(&mut machine, &Dgemm::new(9_000));
+        let meth = api.methodology();
+        assert!(m.runs >= meth.min_runs && m.runs <= meth.max_runs);
+        assert!(m.ci_half_width >= 0.0);
+        assert!(m.mean_seconds > 0.0);
+    }
+
+    #[test]
+    fn measured_energy_is_additive_for_fixed_work_compounds() {
+        // The paper's founding observation, now through the *meter*: the
+        // dynamic energy of DGEMM;FFT equals the sum of the parts within
+        // measurement noise.
+        let (mut machine, mut api) = setup();
+        let a = Dgemm::new(10_000);
+        let b = Fft2d::new(24_000);
+        let ea = api.measure_dynamic_energy(&mut machine, &a).mean_joules;
+        let eb = api.measure_dynamic_energy(&mut machine, &b).mean_joules;
+        let eab = api
+            .measure_dynamic_energy(&mut machine, &CompoundApp::pair(a, b))
+            .mean_joules;
+        let err = relative_difference(ea + eb, eab);
+        assert!(err < 0.05, "energy additivity violated: {ea}+{eb} vs {eab} ({err})");
+    }
+
+    #[test]
+    fn larger_problems_consume_more_energy() {
+        let (mut machine, mut api) = setup();
+        let small = api.measure_dynamic_energy(&mut machine, &Dgemm::new(7_000)).mean_joules;
+        let large = api.measure_dynamic_energy(&mut machine, &Dgemm::new(14_000)).mean_joules;
+        assert!(large > 4.0 * small, "small {small}, large {large}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Simulated system-level power measurement for the SLOPE-PMC reproduction.
+//!
+//! The paper's ground truth is *"system-level physical measurements using
+//! power meters"*: a WattsUp Pro sampled at 1 Hz, read programmatically
+//! through the HCLWattsUp API, and periodically calibrated against an
+//! ANSI C12.20 revenue-grade Yokogawa WT210. This crate reproduces that
+//! stack against the simulator:
+//!
+//! * [`wattsup`] — the sampled meter: 1 Hz sampling, 0.1 W quantisation,
+//!   reading noise, and a gain error that drifts until recalibration;
+//! * [`calibration`] — the reference-meter calibration procedure;
+//! * [`methodology`] — the repeated-run statistical methodology (sample
+//!   means with Student-t confidence intervals, as in section 3 of the
+//!   paper's supplemental);
+//! * [`hclwattsup`] — the HCLWattsUp-style API: measure the static power,
+//!   run an application repeatedly, and report its *dynamic* energy
+//!   `E_D = E_T − P_S·T_E` with a confidence interval.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmca_cpusim::{Machine, PlatformSpec};
+//! use pmca_cpusim::app::SyntheticApp;
+//! use pmca_powermeter::hclwattsup::HclWattsUp;
+//!
+//! let mut machine = Machine::new(PlatformSpec::intel_haswell(), 3);
+//! let mut api = HclWattsUp::new(&machine, 3);
+//! let app = SyntheticApp::balanced("probe", 5e10);
+//! let measurement = api.measure_dynamic_energy(&mut machine, &app);
+//! assert!(measurement.mean_joules > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod hclwattsup;
+pub mod methodology;
+pub mod rapl;
+pub mod wattsup;
+
+pub use hclwattsup::{EnergyMeasurement, HclWattsUp};
+pub use methodology::Methodology;
+pub use rapl::RaplSensor;
+pub use wattsup::WattsUpPro;

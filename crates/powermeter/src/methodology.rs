@@ -1,0 +1,118 @@
+//! The paper's repeated-run statistical methodology.
+//!
+//! Every response variable (dynamic energy, execution time, PMC counts) is
+//! reported as a sample mean over several runs, with runs repeated until
+//! the 95% confidence interval of the mean is within a target precision —
+//! or a run cap is reached (section 3 of the paper's supplemental).
+
+use pmca_stats::confidence::MeanEstimator;
+
+/// Parameters of the repeated-run methodology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Methodology {
+    /// Target relative CI half-width (e.g. `0.025` = 2.5% of the mean).
+    pub precision: f64,
+    /// Confidence level of the interval.
+    pub confidence: f64,
+    /// Minimum number of runs regardless of precision.
+    pub min_runs: usize,
+    /// Maximum number of runs regardless of precision.
+    pub max_runs: usize,
+}
+
+impl Methodology {
+    /// The defaults used throughout the reproduction: 95% CI within 2.5%
+    /// of the mean, between 3 and 15 runs.
+    pub fn standard() -> Self {
+        Methodology { precision: 0.025, confidence: 0.95, min_runs: 3, max_runs: 15 }
+    }
+
+    /// A faster variant for coarse sweeps and benchmarks: 5% precision,
+    /// between 2 and 5 runs.
+    pub fn quick() -> Self {
+        Methodology { precision: 0.05, confidence: 0.95, min_runs: 2, max_runs: 5 }
+    }
+
+    /// Build a [`MeanEstimator`] configured with these parameters.
+    pub fn estimator(&self) -> MeanEstimator {
+        MeanEstimator::new(self.precision, self.confidence, self.min_runs, self.max_runs)
+    }
+
+    /// Drive `observe` until the stopping rule is met and return the final
+    /// estimator.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pmca_powermeter::Methodology;
+    ///
+    /// let mut x = 100.0;
+    /// let est = Methodology::standard().run_until_stable(|| {
+    ///     x += 0.01; // an almost-deterministic measurement
+    ///     x
+    /// });
+    /// assert!(est.runs() >= 3);
+    /// assert!((est.mean() - 100.0).abs() < 1.0);
+    /// ```
+    pub fn run_until_stable<F: FnMut() -> f64>(&self, mut observe: F) -> MeanEstimator {
+        let mut est = self.estimator();
+        while !est.is_satisfied() {
+            est.add(observe());
+        }
+        est
+    }
+}
+
+impl Default for Methodology {
+    fn default() -> Self {
+        Methodology::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_bounds_are_sane() {
+        let m = Methodology::standard();
+        assert!(m.min_runs >= 2);
+        assert!(m.max_runs > m.min_runs);
+        assert!(m.precision < 0.1);
+    }
+
+    #[test]
+    fn deterministic_measurements_stop_at_min_runs() {
+        let est = Methodology::standard().run_until_stable(|| 42.0);
+        assert_eq!(est.runs(), Methodology::standard().min_runs);
+    }
+
+    #[test]
+    fn noisy_measurements_take_more_runs_than_clean_ones() {
+        let mut flip = 1.0_f64;
+        let noisy = Methodology::standard().run_until_stable(|| {
+            flip = -flip;
+            100.0 + 8.0 * flip
+        });
+        let clean = Methodology::standard().run_until_stable(|| 100.0);
+        assert!(noisy.runs() > clean.runs());
+    }
+
+    #[test]
+    fn run_cap_is_respected() {
+        let mut flip = 1.0_f64;
+        let est = Methodology::standard().run_until_stable(|| {
+            flip = -flip;
+            100.0 * (1.0 + flip) // violently noisy: 0 or 200
+        });
+        assert_eq!(est.runs(), Methodology::standard().max_runs);
+    }
+
+    #[test]
+    fn quick_is_cheaper_than_standard() {
+        let q = Methodology::quick();
+        let s = Methodology::standard();
+        assert!(q.max_runs < s.max_runs);
+        assert!(q.precision > s.precision);
+    }
+}

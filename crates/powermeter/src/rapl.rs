@@ -1,0 +1,128 @@
+//! An on-chip energy sensor in the style of Intel RAPL.
+//!
+//! The paper's taxonomy of measurement approaches lists (a) external
+//! meters, (b) on-chip sensors, and (c) predictive models, and dismisses
+//! (b) with *"no definitive research works proving its accuracy"*. The
+//! critique is structural: RAPL's package-energy counter is itself the
+//! output of an internal event-based model with vendor-calibrated weights,
+//! so it carries *systematic, workload-dependent* bias — unlike the
+//! external meter, whose error is unbiased noise. This module models that:
+//! the sensor computes energy from the run's activity with mis-calibrated
+//! weights (memory traffic under-attributed, core activity slightly
+//! over-attributed) and reports in the hardware's 15.3 µJ quanta.
+
+use pmca_cpusim::activity::ActivityField;
+use pmca_cpusim::machine::RunRecord;
+
+/// RAPL's energy-status-unit quantum, joules (2⁻¹⁶ J).
+pub const ENERGY_UNIT_J: f64 = 1.0 / 65_536.0;
+
+/// A simulated on-chip energy sensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaplSensor {
+    /// Multiplicative error on core-side attribution (> 1: overestimates).
+    pub core_gain: f64,
+    /// Fraction of memory-side energy the internal model captures
+    /// (< 1: underestimates memory-bound workloads).
+    pub memory_capture: f64,
+}
+
+impl Default for RaplSensor {
+    fn default() -> Self {
+        RaplSensor { core_gain: 1.06, memory_capture: 0.55 }
+    }
+}
+
+impl RaplSensor {
+    /// The sensor's package-energy reading for one run, joules.
+    ///
+    /// The internal model splits the run's true dynamic energy into a
+    /// core-side and a memory-side component (by activity attribution)
+    /// and reports `core·core_gain + memory·memory_capture`, quantised to
+    /// the hardware energy unit.
+    pub fn read_package_energy(&self, record: &RunRecord) -> f64 {
+        let activity = &record.total_activity;
+        // Attribution: memory-side energy share approximated by the DRAM
+        // traffic's cost relative to a per-uop core cost — the same split
+        // the true power model uses, but the *sensor* only estimates it.
+        let dram = activity.get(ActivityField::DramBytes);
+        let uops = activity.get(ActivityField::UopsExecuted).max(1.0);
+        let memory_share = (dram * 0.35 / (dram * 0.35 + uops)).clamp(0.0, 0.9);
+        let truth = record.dynamic_energy_joules;
+        let core = truth * (1.0 - memory_share);
+        let memory = truth * memory_share;
+        let estimate = core * self.core_gain + memory * self.memory_capture;
+        (estimate / ENERGY_UNIT_J).round() * ENERGY_UNIT_J
+    }
+
+    /// Signed relative error of the sensor against ground truth for one
+    /// run: positive = overestimate.
+    pub fn relative_error(&self, record: &RunRecord) -> f64 {
+        (self.read_package_energy(record) - record.dynamic_energy_joules)
+            / record.dynamic_energy_joules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmca_cpusim::app::SyntheticApp;
+    use pmca_cpusim::{Machine, PlatformSpec};
+
+    fn machine() -> Machine {
+        Machine::new(PlatformSpec::intel_skylake(), 77)
+    }
+
+    #[test]
+    fn readings_are_quantised_to_the_energy_unit() {
+        let mut m = machine();
+        let record = m.run(&SyntheticApp::balanced("q", 5e9));
+        let reading = RaplSensor::default().read_package_energy(&record);
+        let quanta = reading / ENERGY_UNIT_J;
+        assert!((quanta - quanta.round()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn compute_bound_runs_are_slightly_overestimated() {
+        let mut m = machine();
+        let app = SyntheticApp::balanced("compute", 2e10).with_memory_intensity(0.02);
+        let record = m.run(&app);
+        let err = RaplSensor::default().relative_error(&record);
+        assert!(err > 0.0 && err < 0.10, "error {err}");
+    }
+
+    #[test]
+    fn memory_bound_runs_are_underestimated() {
+        // Pointer chasing moves a cache line every few instructions — the
+        // DRAM-dominated case the internal model under-attributes.
+        let mut m = machine();
+        let app = pmca_workloads::misc::MiscApp::new(pmca_workloads::misc::MiscKind::PointerChase, 1.0);
+        let record = m.run(&app);
+        let err = RaplSensor::default().relative_error(&record);
+        assert!(err < -0.05, "error {err} should be clearly negative for memory-bound work");
+    }
+
+    #[test]
+    fn bias_is_systematic_not_noise() {
+        // Repeated runs of the same app give essentially the same error —
+        // averaging does not help, unlike the external meter.
+        let mut m = machine();
+        let app = SyntheticApp::balanced("sys", 1e10).with_memory_intensity(0.6);
+        let sensor = RaplSensor::default();
+        let errors: Vec<f64> = (0..5).map(|_| sensor.relative_error(&m.run(&app))).collect();
+        let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+        assert!(mean.abs() > 0.02, "bias should be visible, mean {mean}");
+        for e in &errors {
+            assert!((e - mean).abs() < 0.02, "bias should be stable: {errors:?}");
+        }
+    }
+
+    #[test]
+    fn perfect_sensor_matches_truth() {
+        let mut m = machine();
+        let record = m.run(&SyntheticApp::balanced("perfect", 5e9));
+        let ideal = RaplSensor { core_gain: 1.0, memory_capture: 1.0 };
+        let err = ideal.relative_error(&record);
+        assert!(err.abs() < 1e-4, "{err}");
+    }
+}

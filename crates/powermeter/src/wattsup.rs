@@ -1,0 +1,209 @@
+//! The simulated WattsUp Pro meter.
+//!
+//! The physical instrument samples apparent power once per second with a
+//! 0.1 W display resolution and roughly ±1.5% reading accuracy, and its
+//! gain drifts slowly between calibrations — which is why the paper
+//! recalibrates against a revenue-grade Yokogawa WT210.
+
+use pmca_cpusim::machine::RunRecord;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Nominal sampling interval of the WattsUp Pro, seconds.
+pub const SAMPLE_INTERVAL_S: f64 = 1.0;
+/// Display/readout quantisation, watts.
+pub const QUANTISATION_W: f64 = 0.1;
+
+/// A simulated WattsUp Pro power meter attached to one platform.
+#[derive(Debug, Clone)]
+pub struct WattsUpPro {
+    /// Multiplicative gain error (1.0 = perfectly calibrated).
+    gain: f64,
+    /// Relative standard deviation of per-sample reading noise.
+    noise_rel: f64,
+    /// Idle (static) power of the platform under the meter, watts.
+    idle_power_w: f64,
+    rng: StdRng,
+    samples_taken: u64,
+}
+
+impl WattsUpPro {
+    /// Attach a meter to a platform with the given idle power. A fresh
+    /// meter starts with a small deterministic gain error derived from the
+    /// seed (instruments never arrive perfectly calibrated).
+    pub fn new(idle_power_w: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5747_5550); // "WUUP"
+        let gain = 1.0 + (rng.gen::<f64>() - 0.5) * 0.03;
+        WattsUpPro { gain, noise_rel: 0.012, idle_power_w, rng, samples_taken: 0 }
+    }
+
+    /// Current gain error (read by the calibration procedure).
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Set the gain (done by [`crate::calibration::calibrate`]).
+    pub fn set_gain(&mut self, gain: f64) {
+        assert!(gain.is_finite() && gain > 0.0, "gain must be positive");
+        self.gain = gain;
+    }
+
+    /// Idle power of the attached platform, watts (true value; the meter
+    /// *reads* it with noise via [`WattsUpPro::sample_idle`]).
+    pub fn idle_power_w(&self) -> f64 {
+        self.idle_power_w
+    }
+
+    /// Number of samples taken since attachment.
+    pub fn samples_taken(&self) -> u64 {
+        self.samples_taken
+    }
+
+    /// Read one sample of the given true total power, watts.
+    pub fn read_watts(&mut self, true_total_w: f64) -> f64 {
+        self.samples_taken += 1;
+        let noisy = true_total_w * self.gain * (1.0 + self.noise_rel * self.standard_normal());
+        // Gain drifts a little with every sample until recalibrated.
+        self.gain *= 1.0 + 2e-7 * self.standard_normal();
+        (noisy / QUANTISATION_W).round() * QUANTISATION_W
+    }
+
+    /// Sample the meter over an idle platform for `n` seconds.
+    pub fn sample_idle(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| { let p = self.idle_power_w; self.read_watts(p) }).collect()
+    }
+
+    /// Sample one application run at the meter's 1 Hz cadence (at least
+    /// three samples, so sub-second runs are measurable at reduced
+    /// fidelity). Like the real instrument, each reported sample is the
+    /// *accumulated average* power over its interval, so integrating the
+    /// samples recovers the run's energy up to reading noise.
+    ///
+    /// Returns `(samples, effective_interval_s)`.
+    pub fn sample_run(&mut self, record: &RunRecord) -> (Vec<f64>, f64) {
+        let duration = record.duration_s.max(1e-9);
+        let n = ((duration / SAMPLE_INTERVAL_S).ceil() as usize).max(3);
+        let dt = duration / n as f64;
+        let mut samples = Vec::with_capacity(n);
+        for i in 0..n {
+            let p_dyn = average_power_between(record, i as f64 * dt, (i as f64 + 1.0) * dt);
+            samples.push(self.read_watts(self.idle_power_w + p_dyn));
+        }
+        (samples, dt)
+    }
+
+    fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// Average true dynamic power of a run over `[t0, t1]` (piecewise constant
+/// per phase; zero past the end of the run).
+fn average_power_between(record: &RunRecord, t0: f64, t1: f64) -> f64 {
+    if t1 <= t0 {
+        return 0.0;
+    }
+    let mut energy = 0.0;
+    let mut elapsed = 0.0_f64;
+    for phase in &record.phase_powers {
+        let start = elapsed.max(t0);
+        let end = (elapsed + phase.duration_s).min(t1);
+        if end > start {
+            energy += phase.dynamic_watts * (end - start);
+        }
+        elapsed += phase.duration_s;
+        if elapsed >= t1 {
+            break;
+        }
+    }
+    energy / (t1 - t0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmca_cpusim::app::SyntheticApp;
+    use pmca_cpusim::{Machine, PlatformSpec};
+
+    fn meter() -> WattsUpPro {
+        WattsUpPro::new(58.0, 42)
+    }
+
+    #[test]
+    fn fresh_meter_has_small_gain_error() {
+        let m = meter();
+        assert!((m.gain() - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn readings_are_quantised() {
+        let mut m = meter();
+        for _ in 0..20 {
+            let r = m.read_watts(100.0);
+            let q = (r / QUANTISATION_W).round() * QUANTISATION_W;
+            assert!((r - q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn readings_center_on_truth_times_gain() {
+        let mut m = meter();
+        let gain = m.gain();
+        let n = 3000;
+        let mean: f64 = (0..n).map(|_| m.read_watts(100.0)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0 * gain).abs() < 0.5, "mean {mean}, gain {gain}");
+    }
+
+    #[test]
+    fn idle_samples_track_idle_power() {
+        let mut m = meter();
+        let samples = m.sample_idle(50);
+        let mean: f64 = samples.iter().sum::<f64>() / 50.0;
+        assert!((mean - 58.0).abs() < 2.5, "mean {mean}");
+    }
+
+    #[test]
+    fn sample_run_integrates_to_true_energy() {
+        let mut machine = Machine::new(PlatformSpec::intel_haswell(), 1);
+        // A long-running app so 1 Hz sampling is fine-grained.
+        let app = SyntheticApp::balanced("long", 8e11);
+        let record = machine.run(&app);
+        assert!(record.duration_s > 3.0, "test needs a multi-second run");
+        let mut m = meter();
+        m.set_gain(1.0);
+        let (samples, dt) = m.sample_run(&record);
+        let total: f64 = samples.iter().sum::<f64>() * dt;
+        let expected = record.dynamic_energy_joules + 58.0 * record.duration_s;
+        let rel = (total - expected).abs() / expected;
+        assert!(rel < 0.02, "meter integral off by {rel}");
+    }
+
+    #[test]
+    fn short_runs_get_minimum_three_samples() {
+        let mut machine = Machine::new(PlatformSpec::intel_haswell(), 1);
+        let app = SyntheticApp::balanced("short", 1e8);
+        let record = machine.run(&app);
+        assert!(record.duration_s < 1.0);
+        let (samples, dt) = meter().sample_run(&record);
+        assert_eq!(samples.len(), 3);
+        assert!((dt * 3.0 - record.duration_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gain_drift_is_slow() {
+        let mut m = meter();
+        let g0 = m.gain();
+        for _ in 0..10_000 {
+            m.read_watts(80.0);
+        }
+        assert!((m.gain() - g0).abs() < 0.01, "drifted from {g0} to {}", m.gain());
+    }
+
+    #[test]
+    #[should_panic(expected = "gain must be positive")]
+    fn rejects_invalid_gain() {
+        meter().set_gain(0.0);
+    }
+}

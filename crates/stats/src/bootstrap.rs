@@ -1,0 +1,163 @@
+//! Bootstrap resampling.
+//!
+//! The Student-t interval of [`crate::confidence`] assumes approximately
+//! normal sample means; prediction-error distributions in this workspace
+//! are heavy-tailed (the paper's max errors run to 4000%), where the
+//! bootstrap is the safer tool. Used by analysis code to put intervals on
+//! reported averages without distributional assumptions.
+
+use crate::descriptive::quantile;
+use crate::StatsError;
+
+/// A deterministic xorshift64* generator — enough for index resampling
+/// without pulling an RNG dependency into this leaf crate.
+#[derive(Debug, Clone)]
+struct IndexRng(u64);
+
+impl IndexRng {
+    fn new(seed: u64) -> Self {
+        IndexRng(seed | 1)
+    }
+
+    fn next_index(&mut self, n: usize) -> usize {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % n as u64) as usize
+    }
+}
+
+/// A bootstrap percentile interval for a statistic of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapInterval {
+    /// The statistic evaluated on the original sample.
+    pub point: f64,
+    /// Lower percentile bound.
+    pub lower: f64,
+    /// Upper percentile bound.
+    pub upper: f64,
+    /// Confidence level used.
+    pub confidence: f64,
+}
+
+/// Bootstrap percentile interval for an arbitrary statistic.
+///
+/// `statistic` is evaluated on `resamples` bootstrap resamples (sampling
+/// with replacement) and the `(1±confidence)/2` percentiles of the
+/// resulting distribution form the interval. Deterministic given `seed`.
+///
+/// # Errors
+///
+/// * [`StatsError::EmptyInput`] for an empty sample;
+/// * [`StatsError::NoConvergence`] if `resamples == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use pmca_stats::bootstrap::bootstrap_interval;
+/// use pmca_stats::descriptive::mean;
+///
+/// let xs: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+/// let ci = bootstrap_interval(&xs, mean, 500, 0.95, 7).unwrap();
+/// assert!(ci.lower <= ci.point && ci.point <= ci.upper);
+/// assert!((ci.point - 4.5).abs() < 1e-12);
+/// ```
+pub fn bootstrap_interval<F>(
+    xs: &[f64],
+    statistic: F,
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> Result<BootstrapInterval, StatsError>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    if xs.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if resamples == 0 {
+        return Err(StatsError::NoConvergence { iterations: 0 });
+    }
+    let point = statistic(xs);
+    let mut rng = IndexRng::new(seed);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut resample = vec![0.0; xs.len()];
+    for _ in 0..resamples {
+        for slot in resample.iter_mut() {
+            *slot = xs[rng.next_index(xs.len())];
+        }
+        stats.push(statistic(&resample));
+    }
+    let alpha = (1.0 - confidence.clamp(0.0, 1.0)) / 2.0;
+    Ok(BootstrapInterval {
+        point,
+        lower: quantile(&stats, alpha),
+        upper: quantile(&stats, 1.0 - alpha),
+        confidence,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::{mean, median};
+
+    fn skewed_sample() -> Vec<f64> {
+        // Mostly small values with a heavy right tail, like percentage
+        // prediction errors.
+        (0..200)
+            .map(|i| if i % 20 == 0 { 400.0 + i as f64 } else { (i % 13) as f64 })
+            .collect()
+    }
+
+    #[test]
+    fn interval_brackets_the_point_estimate() {
+        let xs = skewed_sample();
+        let ci = bootstrap_interval(&xs, mean, 400, 0.95, 3).unwrap();
+        assert!(ci.lower <= ci.point && ci.point <= ci.upper, "{ci:?}");
+        assert!(ci.upper > ci.lower);
+    }
+
+    #[test]
+    fn interval_is_deterministic_given_seed() {
+        let xs = skewed_sample();
+        let a = bootstrap_interval(&xs, mean, 300, 0.95, 9).unwrap();
+        let b = bootstrap_interval(&xs, mean, 300, 0.95, 9).unwrap();
+        assert_eq!(a, b);
+        let c = bootstrap_interval(&xs, mean, 300, 0.95, 10).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn wider_confidence_gives_wider_interval() {
+        let xs = skewed_sample();
+        let narrow = bootstrap_interval(&xs, mean, 400, 0.80, 5).unwrap();
+        let wide = bootstrap_interval(&xs, mean, 400, 0.99, 5).unwrap();
+        assert!(wide.upper - wide.lower >= narrow.upper - narrow.lower);
+    }
+
+    #[test]
+    fn median_interval_ignores_the_tail() {
+        let xs = skewed_sample();
+        let ci = bootstrap_interval(&xs, median, 400, 0.95, 5).unwrap();
+        // The median of the bulk is single digits; the tail (≥ 400) must
+        // not drag the interval up.
+        assert!(ci.upper < 15.0, "{ci:?}");
+    }
+
+    #[test]
+    fn constant_sample_gives_degenerate_interval() {
+        let xs = vec![5.0; 30];
+        let ci = bootstrap_interval(&xs, mean, 200, 0.95, 1).unwrap();
+        assert_eq!(ci.lower, 5.0);
+        assert_eq!(ci.upper, 5.0);
+    }
+
+    #[test]
+    fn rejects_empty_and_zero_resamples() {
+        assert!(bootstrap_interval(&[], mean, 100, 0.95, 1).is_err());
+        assert!(bootstrap_interval(&[1.0], mean, 0, 0.95, 1).is_err());
+    }
+}

@@ -1,0 +1,406 @@
+//! Student-t confidence intervals and the repeated-run measurement
+//! methodology.
+//!
+//! The paper states: *"To ensure the reliability of our results, we follow a
+//! statistical methodology where a sample mean for a response variable is
+//! obtained from several experimental runs"* — runs are repeated until the
+//! half-width of the 95% confidence interval of the sample mean falls below
+//! a target fraction of the mean (or a run cap is hit). [`MeanEstimator`]
+//! implements that stopping rule; the power-meter and PMC-collection crates
+//! drive it.
+
+use crate::descriptive::{mean, std_dev};
+use crate::StatsError;
+
+/// Two-sided Student-t critical value for the given degrees of freedom and
+/// confidence level, computed by bisection on the CDF (no lookup tables).
+///
+/// # Panics
+///
+/// Panics if `df == 0` or `confidence` is not strictly inside `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// // Classical value: t(df=4, 95%) ≈ 2.776.
+/// let t = pmca_stats::confidence::t_critical(4, 0.95);
+/// assert!((t - 2.776).abs() < 0.01);
+/// ```
+pub fn t_critical(df: usize, confidence: f64) -> f64 {
+    assert!(df > 0, "degrees of freedom must be positive");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    let target = 0.5 + confidence / 2.0;
+    let mut lo = 0.0_f64;
+    let mut hi = 200.0_f64;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if student_t_cdf(mid, df) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// CDF of the Student-t distribution with `df` degrees of freedom at `t`,
+/// via the regularised incomplete beta function.
+pub fn student_t_cdf(t: f64, df: usize) -> f64 {
+    let v = df as f64;
+    let x = v / (v + t * t);
+    let p = 0.5 * regularized_incomplete_beta(0.5 * v, 0.5, x);
+    if t >= 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// Regularised incomplete beta function `I_x(a, b)` by continued fraction
+/// (Lentz's algorithm), accurate to ~1e-12 for the parameter ranges used by
+/// the t distribution.
+pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the symmetry relation to keep the continued fraction convergent.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_continued_fraction(a, b, x) / a
+    } else {
+        1.0 - regularized_incomplete_beta(b, a, 1.0 - x)
+    }
+}
+
+fn beta_continued_fraction(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7, n = 9).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// A confidence interval around a sample mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+    /// Confidence level in `(0, 1)`.
+    pub confidence: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl ConfidenceInterval {
+    /// Student-t confidence interval for the mean of a sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] for samples of fewer than two
+    /// observations (the interval is undefined).
+    pub fn of_sample(xs: &[f64], confidence: f64) -> Result<Self, StatsError> {
+        if xs.len() < 2 {
+            return Err(StatsError::EmptyInput);
+        }
+        let m = mean(xs);
+        let s = std_dev(xs);
+        let t = t_critical(xs.len() - 1, confidence);
+        Ok(ConfidenceInterval {
+            mean: m,
+            half_width: t * s / (xs.len() as f64).sqrt(),
+            confidence,
+            n: xs.len(),
+        })
+    }
+
+    /// Half-width as a fraction of `|mean|`; infinite when the mean is zero
+    /// but the half-width is not.
+    pub fn relative_half_width(&self) -> f64 {
+        if self.mean == 0.0 {
+            if self.half_width == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.half_width / self.mean.abs()
+        }
+    }
+}
+
+/// Repeated-run mean estimator implementing the paper's measurement
+/// methodology: observations are added until the relative CI half-width
+/// drops below a precision target, subject to minimum and maximum run
+/// counts.
+///
+/// # Examples
+///
+/// ```
+/// use pmca_stats::confidence::MeanEstimator;
+///
+/// let mut est = MeanEstimator::new(0.05, 0.95, 3, 30);
+/// est.add(100.0);
+/// assert!(!est.is_satisfied()); // below the minimum run count
+/// est.add(100.5);
+/// est.add(99.5);
+/// assert!(est.is_satisfied());  // tight sample converges quickly
+/// assert!((est.mean() - 100.0).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MeanEstimator {
+    observations: Vec<f64>,
+    precision: f64,
+    confidence: f64,
+    min_runs: usize,
+    max_runs: usize,
+}
+
+impl MeanEstimator {
+    /// Create an estimator targeting `precision` (relative CI half-width,
+    /// e.g. `0.05`) at `confidence` (e.g. `0.95`), running at least
+    /// `min_runs` and at most `max_runs` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_runs < 2`, `max_runs < min_runs`, or `precision`/
+    /// `confidence` are out of range.
+    pub fn new(precision: f64, confidence: f64, min_runs: usize, max_runs: usize) -> Self {
+        assert!(min_runs >= 2, "need at least two runs for a CI");
+        assert!(max_runs >= min_runs, "max_runs must be >= min_runs");
+        assert!(precision > 0.0, "precision must be positive");
+        assert!(confidence > 0.0 && confidence < 1.0, "confidence in (0,1)");
+        MeanEstimator {
+            observations: Vec::new(),
+            precision,
+            confidence,
+            min_runs,
+            max_runs,
+        }
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, x: f64) {
+        self.observations.push(x);
+    }
+
+    /// Whether the stopping rule is met: either the precision target is
+    /// reached after at least `min_runs` observations, or `max_runs`
+    /// observations have been made.
+    pub fn is_satisfied(&self) -> bool {
+        if self.observations.len() >= self.max_runs {
+            return true;
+        }
+        if self.observations.len() < self.min_runs {
+            return false;
+        }
+        match ConfidenceInterval::of_sample(&self.observations, self.confidence) {
+            Ok(ci) => ci.relative_half_width() <= self.precision,
+            Err(_) => false,
+        }
+    }
+
+    /// Current sample mean (`0.0` before any observation).
+    pub fn mean(&self) -> f64 {
+        mean(&self.observations)
+    }
+
+    /// Number of observations so far.
+    pub fn runs(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// The observations recorded so far.
+    pub fn observations(&self) -> &[f64] {
+        &self.observations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n−1)!
+        for (n, fact) in [(1.0, 1.0_f64), (2.0, 1.0), (3.0, 2.0), (5.0, 24.0), (7.0, 720.0)] {
+            assert!((ln_gamma(n) - fact.ln()).abs() < 1e-10, "n={n}");
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = √π.
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries() {
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn incomplete_beta_symmetry() {
+        // I_x(a,b) = 1 − I_{1−x}(b,a).
+        let v = regularized_incomplete_beta(2.5, 1.5, 0.3);
+        let w = 1.0 - regularized_incomplete_beta(1.5, 2.5, 0.7);
+        assert!((v - w).abs() < 1e-10);
+    }
+
+    #[test]
+    fn t_cdf_at_zero_is_half() {
+        for df in [1, 5, 30, 100] {
+            assert!((student_t_cdf(0.0, df) - 0.5).abs() < 1e-10, "df={df}");
+        }
+    }
+
+    #[test]
+    fn t_cdf_is_monotone() {
+        let mut prev = 0.0;
+        for i in 0..40 {
+            let t = -4.0 + 0.2 * i as f64;
+            let c = student_t_cdf(t, 7);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn t_critical_classic_values() {
+        // Standard table values.
+        assert!((t_critical(1, 0.95) - 12.706).abs() < 0.01);
+        assert!((t_critical(9, 0.95) - 2.262).abs() < 0.005);
+        assert!((t_critical(29, 0.95) - 2.045).abs() < 0.005);
+        assert!((t_critical(9, 0.99) - 3.250).abs() < 0.005);
+    }
+
+    #[test]
+    fn t_critical_approaches_normal_for_large_df() {
+        assert!((t_critical(10_000, 0.95) - 1.96).abs() < 0.01);
+    }
+
+    #[test]
+    fn ci_width_shrinks_with_sample_size() {
+        let small = ConfidenceInterval::of_sample(&[9.0, 10.0, 11.0], 0.95).unwrap();
+        let xs: Vec<f64> = (0..30).map(|i| 9.0 + (i % 3) as f64).collect();
+        let large = ConfidenceInterval::of_sample(&xs, 0.95).unwrap();
+        assert!(large.half_width < small.half_width);
+    }
+
+    #[test]
+    fn ci_requires_two_observations() {
+        assert!(ConfidenceInterval::of_sample(&[1.0], 0.95).is_err());
+    }
+
+    #[test]
+    fn estimator_stops_at_max_runs_even_when_noisy() {
+        let mut est = MeanEstimator::new(0.0001, 0.95, 2, 5);
+        for i in 0..5 {
+            est.add(if i % 2 == 0 { 1.0 } else { 100.0 });
+        }
+        assert!(est.is_satisfied());
+        assert_eq!(est.runs(), 5);
+    }
+
+    #[test]
+    fn estimator_not_satisfied_below_min_runs() {
+        let mut est = MeanEstimator::new(0.5, 0.95, 4, 10);
+        est.add(1.0);
+        est.add(1.0);
+        est.add(1.0);
+        assert!(!est.is_satisfied());
+    }
+
+    #[test]
+    fn estimator_converges_on_tight_data() {
+        let mut est = MeanEstimator::new(0.05, 0.95, 3, 100);
+        est.add(10.0);
+        est.add(10.1);
+        est.add(9.9);
+        assert!(est.is_satisfied());
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two runs")]
+    fn estimator_rejects_min_runs_of_one() {
+        let _ = MeanEstimator::new(0.05, 0.95, 1, 10);
+    }
+}

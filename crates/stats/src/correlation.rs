@@ -1,0 +1,242 @@
+//! Correlation statistics.
+//!
+//! The paper's baseline PMC-selection techniques rank counters by their
+//! correlation with dynamic energy consumption (Table 6 reports Pearson
+//! correlations in `[−1, 1]`). This module provides Pearson and Spearman
+//! correlation, plus mid-ranking used by the latter.
+
+use crate::descriptive::mean;
+use crate::StatsError;
+
+/// Pearson product-moment correlation coefficient of two paired samples.
+///
+/// # Errors
+///
+/// * [`StatsError::EmptyInput`] if either slice is empty;
+/// * [`StatsError::LengthMismatch`] if the slices differ in length;
+/// * [`StatsError::ZeroVariance`] if either slice is constant.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), pmca_stats::StatsError> {
+/// let x = [1.0, 2.0, 3.0];
+/// let y = [10.0, 20.0, 30.0];
+/// assert!((pmca_stats::correlation::pearson(&x, &y)? - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    if x.is_empty() || y.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch { left: x.len(), right: y.len() });
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    // Floating-point rounding can push a perfect correlation a few ulps
+    // past ±1; clamp to the mathematical range.
+    Ok((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Spearman rank correlation coefficient (Pearson correlation of mid-ranks),
+/// robust to monotone nonlinearity.
+///
+/// # Errors
+///
+/// Same conditions as [`pearson`].
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), pmca_stats::StatsError> {
+/// // y = x³ is a monotone but nonlinear relation: Spearman sees 1.0.
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [1.0, 8.0, 27.0, 64.0];
+/// assert!((pmca_stats::correlation::spearman(&x, &y)? - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    if x.is_empty() || y.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch { left: x.len(), right: y.len() });
+    }
+    pearson(&mid_ranks(x), &mid_ranks(y))
+}
+
+/// Mid-ranks of a sample: ties receive the average of the ranks they span.
+/// Ranks are 1-based, matching the statistical convention.
+///
+/// # Examples
+///
+/// ```
+/// let r = pmca_stats::correlation::mid_ranks(&[10.0, 20.0, 20.0, 30.0]);
+/// assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+/// ```
+pub fn mid_ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in rank input"));
+    let mut ranks = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Ties spanning positions i..=j share the mid-rank.
+        let rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = rank;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Ranks feature columns by the absolute value of their correlation with a
+/// target, descending. Columns whose correlation is undefined (constant
+/// columns) sort last with correlation `0.0`.
+///
+/// Returns `(column index, correlation)` pairs.
+///
+/// # Examples
+///
+/// ```
+/// let cols: Vec<Vec<f64>> = vec![
+///     vec![1.0, 1.0, 1.0],          // constant → last
+///     vec![3.0, 2.0, 1.0],          // perfectly anti-correlated
+/// ];
+/// let y = [1.0, 2.0, 3.0];
+/// let ranked = pmca_stats::correlation::rank_by_correlation(&cols, &y);
+/// assert_eq!(ranked[0].0, 1);
+/// assert!((ranked[0].1 + 1.0).abs() < 1e-12);
+/// assert_eq!(ranked[1], (0, 0.0));
+/// ```
+pub fn rank_by_correlation(columns: &[Vec<f64>], target: &[f64]) -> Vec<(usize, f64)> {
+    let mut scored: Vec<(usize, f64)> = columns
+        .iter()
+        .enumerate()
+        .map(|(i, col)| (i, pearson(col, target).unwrap_or(0.0)))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.abs()
+            .partial_cmp(&a.1.abs())
+            .expect("NaN correlation")
+            .then(a.0.cmp(&b.0))
+    });
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_negative() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [3.0, 2.0, 1.0];
+        assert!((pearson(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_independent_is_near_zero() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, -1.0, 1.0, -1.0];
+        assert!(pearson(&x, &y).unwrap().abs() < 0.5);
+    }
+
+    #[test]
+    fn pearson_rejects_constant_input() {
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), Err(StatsError::ZeroVariance));
+    }
+
+    #[test]
+    fn pearson_rejects_mismatched_lengths() {
+        assert_eq!(
+            pearson(&[1.0], &[1.0, 2.0]),
+            Err(StatsError::LengthMismatch { left: 1, right: 2 })
+        );
+    }
+
+    #[test]
+    fn pearson_rejects_empty() {
+        assert_eq!(pearson(&[], &[]), Err(StatsError::EmptyInput));
+    }
+
+    #[test]
+    fn pearson_is_symmetric() {
+        let x = [1.0, 4.0, 2.0, 8.0];
+        let y = [3.0, 1.0, 7.0, 2.0];
+        let a = pearson(&x, &y).unwrap();
+        let b = pearson(&y, &x).unwrap();
+        assert!((a - b).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pearson_invariant_under_affine_transform() {
+        let x = [1.0, 4.0, 2.0, 8.0];
+        let y = [3.0, 1.0, 7.0, 2.0];
+        let y2: Vec<f64> = y.iter().map(|v| 5.0 * v + 100.0).collect();
+        let a = pearson(&x, &y).unwrap();
+        let b = pearson(&x, &y2).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_equals_pearson_on_ranks() {
+        let x = [10.0, 30.0, 20.0, 40.0];
+        let y = [1.0, 3.0, 2.0, 5.0];
+        let s = spearman(&x, &y).unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 2.0, 3.0];
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mid_ranks_no_ties_are_permutation_ranks() {
+        assert_eq!(mid_ranks(&[30.0, 10.0, 20.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn mid_ranks_all_tied() {
+        assert_eq!(mid_ranks(&[5.0, 5.0, 5.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn rank_by_correlation_orders_by_absolute_value() {
+        let cols = vec![
+            vec![1.0, 2.0, 3.0, 4.0],   // corr +1
+            vec![4.0, 3.0, 2.0, 1.0],   // corr −1
+            vec![1.0, -1.0, 1.0, -1.0], // weak
+        ];
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let ranked = rank_by_correlation(&cols, &y);
+        // The two perfect correlations rank ahead of the weak one; ties on
+        // |corr| break by column index.
+        assert_eq!(ranked[0].0, 0);
+        assert_eq!(ranked[1].0, 1);
+        assert_eq!(ranked[2].0, 2);
+    }
+}

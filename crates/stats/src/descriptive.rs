@@ -1,0 +1,294 @@
+//! Descriptive statistics: means, variances, quantiles, coefficients of
+//! variation.
+//!
+//! All functions operate on `&[f64]` and are deterministic. Functions that
+//! are undefined on empty input document their behaviour explicitly; most
+//! return `0.0` or `NAN`-free defaults only where that is statistically
+//! meaningful, and panic otherwise (the panicking ones say so).
+
+/// Arithmetic mean of a sample. Returns `0.0` for an empty slice, which is
+/// the convention used throughout the workspace for "no observations yet".
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(pmca_stats::descriptive::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// assert_eq!(pmca_stats::descriptive::mean(&[]), 0.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased (n−1) sample variance. Returns `0.0` for fewer than two
+/// observations.
+///
+/// # Examples
+///
+/// ```
+/// let v = pmca_stats::descriptive::variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+/// assert!((v - 4.571428571428571).abs() < 1e-12);
+/// ```
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Unbiased sample standard deviation; `0.0` for fewer than two observations.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Coefficient of variation `σ / |μ|`, the reproducibility statistic used by
+/// the additivity test's first stage. Returns `f64::INFINITY` when the mean
+/// is zero but the deviation is not, and `0.0` when both are zero.
+///
+/// # Examples
+///
+/// ```
+/// let cv = pmca_stats::descriptive::coefficient_of_variation(&[99.0, 100.0, 101.0]);
+/// assert!(cv < 0.02);
+/// ```
+pub fn coefficient_of_variation(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    let s = std_dev(xs);
+    if m == 0.0 {
+        if s == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        s / m.abs()
+    }
+}
+
+/// Minimum of a sample.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn min(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "min of empty sample");
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum of a sample.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn max(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "max of empty sample");
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Median of a sample (average of the two central order statistics for even
+/// lengths).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Linear-interpolated quantile (type-7, the R default). `q` is clamped to
+/// `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+///
+/// # Examples
+///
+/// ```
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(pmca_stats::descriptive::quantile(&xs, 0.5), 2.5);
+/// assert_eq!(pmca_stats::descriptive::quantile(&xs, 0.0), 1.0);
+/// assert_eq!(pmca_stats::descriptive::quantile(&xs, 1.0), 4.0);
+/// ```
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty sample");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Summary of a sample: count, mean, standard deviation, min, max.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation.
+    pub std_dev: f64,
+    /// Smallest observation (`0.0` when empty).
+    pub min: f64,
+    /// Largest observation (`0.0` when empty).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarise a sample in a single pass over a copy of the data.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let s = pmca_stats::descriptive::Summary::of(&[1.0, 3.0, 5.0]);
+    /// assert_eq!(s.count, 3);
+    /// assert_eq!(s.mean, 3.0);
+    /// assert_eq!(s.min, 1.0);
+    /// assert_eq!(s.max, 5.0);
+    /// ```
+    pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Self::default();
+        }
+        Summary {
+            count: xs.len(),
+            mean: mean(xs),
+            std_dev: std_dev(xs),
+            min: min(xs),
+            max: max(xs),
+        }
+    }
+}
+
+/// Relative difference `|a − b| / max(|a|, |b|)`; `0.0` when both are zero.
+/// Used pervasively by tests comparing simulated quantities.
+pub fn relative_difference(a: f64, b: f64) -> f64 {
+    let denom = a.abs().max(b.abs());
+    if denom == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_constant_sample_is_the_constant() {
+        assert_eq!(mean(&[7.5; 10]), 7.5);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_of_constant_sample_is_zero() {
+        assert_eq!(variance(&[3.0; 5]), 0.0);
+    }
+
+    #[test]
+    fn variance_of_singleton_is_zero() {
+        assert_eq!(variance(&[42.0]), 0.0);
+    }
+
+    #[test]
+    fn variance_matches_hand_computation() {
+        // Sample: 1, 2, 3, 4 → mean 2.5, SS = 2.25+0.25+0.25+2.25 = 5, var = 5/3.
+        let v = variance(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((v - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_dev_is_sqrt_of_variance() {
+        let xs = [1.0, 5.0, 9.0, 2.0];
+        assert!((std_dev(&xs) - variance(&xs).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cv_zero_mean_nonzero_spread_is_infinite() {
+        assert_eq!(coefficient_of_variation(&[-1.0, 1.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn cv_all_zero_is_zero() {
+        assert_eq!(coefficient_of_variation(&[0.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn cv_is_scale_invariant() {
+        let xs = [10.0, 11.0, 12.0];
+        let scaled: Vec<f64> = xs.iter().map(|x| x * 1000.0).collect();
+        let a = coefficient_of_variation(&xs);
+        let b = coefficient_of_variation(&scaled);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let xs = [5.0, 1.0, 9.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 9.0);
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range() {
+        let xs = [1.0, 2.0];
+        assert_eq!(quantile(&xs, -3.0), 1.0);
+        assert_eq!(quantile(&xs, 7.0), 2.0);
+    }
+
+    #[test]
+    fn summary_of_empty_is_default() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let xs = [2.0, 8.0, 4.0, 6.0];
+        let s = Summary::of(&xs);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 8.0);
+    }
+
+    #[test]
+    fn relative_difference_symmetric_and_zero_for_equal() {
+        assert_eq!(relative_difference(3.0, 3.0), 0.0);
+        assert_eq!(relative_difference(0.0, 0.0), 0.0);
+        assert!((relative_difference(1.0, 2.0) - 0.5).abs() < 1e-15);
+        assert_eq!(relative_difference(1.0, 2.0), relative_difference(2.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "min of empty sample")]
+    fn min_of_empty_panics() {
+        let _ = min(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile of empty sample")]
+    fn quantile_of_empty_panics() {
+        let _ = quantile(&[], 0.5);
+    }
+}

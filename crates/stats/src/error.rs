@@ -1,0 +1,53 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for statistical computations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// The input slice was empty where at least one element is required.
+    EmptyInput,
+    /// Two paired inputs had different lengths.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// The input has zero variance, so the requested statistic is undefined.
+    ZeroVariance,
+    /// A matrix was not of the shape required by the operation.
+    ShapeMismatch {
+        /// Human-readable description of the expectation that failed.
+        expected: String,
+    },
+    /// A factorisation failed because the matrix is singular (or not
+    /// positive definite for Cholesky).
+    Singular,
+    /// An iterative algorithm failed to converge within its iteration cap.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput => write!(f, "input is empty"),
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "paired inputs have different lengths ({left} vs {right})")
+            }
+            StatsError::ZeroVariance => write!(f, "input has zero variance"),
+            StatsError::ShapeMismatch { expected } => {
+                write!(f, "matrix shape mismatch: expected {expected}")
+            }
+            StatsError::Singular => write!(f, "matrix is singular or not positive definite"),
+            StatsError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl Error for StatsError {}

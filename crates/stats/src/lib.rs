@@ -1,0 +1,45 @@
+//! Statistical substrate for the SLOPE-PMC reproduction.
+//!
+//! This crate provides the numerical building blocks used throughout the
+//! workspace:
+//!
+//! * [`descriptive`] — sample means, variances, quantiles, coefficients of
+//!   variation;
+//! * [`correlation`] — Pearson and Spearman correlation, the selection
+//!   statistic used by the paper's correlation-based baselines;
+//! * [`confidence`] — Student-t confidence intervals driving the repeated-run
+//!   measurement methodology of the paper (HCLWattsUp-style);
+//! * [`matrix`] — a small dense row-major matrix with Cholesky and QR
+//!   factorisations, enough linear algebra for the regression models;
+//! * [`pca`] — principal component analysis via cyclic Jacobi, used as a
+//!   related-work PMC-selection baseline.
+//!
+//! Everything is implemented from scratch on `f64`; there are no external
+//! numerical dependencies.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmca_stats::descriptive::mean;
+//! use pmca_stats::correlation::pearson;
+//!
+//! let x = [1.0, 2.0, 3.0, 4.0];
+//! let y = [2.1, 3.9, 6.2, 7.8];
+//! assert_eq!(mean(&x), 2.5);
+//! assert!(pearson(&x, &y).unwrap() > 0.99);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod confidence;
+pub mod correlation;
+pub mod descriptive;
+pub mod matrix;
+pub mod pca;
+
+mod error;
+
+pub use error::StatsError;
+pub use matrix::Matrix;

@@ -1,0 +1,487 @@
+//! A small dense row-major matrix with just enough linear algebra for the
+//! regression models in this workspace: matrix products, transposes,
+//! Cholesky and (Householder) QR factorisations, and triangular solves.
+//!
+//! This is not a general-purpose linear-algebra library; dimensions in this
+//! project are tiny (hundreds of rows, tens of columns), so clarity wins
+//! over blocking/SIMD tricks.
+
+use crate::StatsError;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major `f64` matrix.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:>10.4} ", self[(r, c)])?;
+            }
+            writeln!(f, "{}]", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// All-zeros matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build a matrix from a row-major slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::ShapeMismatch`] when `data.len() != rows*cols`.
+    pub fn from_rows_slice(rows: usize, cols: usize, data: &[f64]) -> Result<Self, StatsError> {
+        if data.len() != rows * cols || rows == 0 || cols == 0 {
+            return Err(StatsError::ShapeMismatch {
+                expected: format!("{rows}x{cols} = {} elements, got {}", rows * cols, data.len()),
+            });
+        }
+        Ok(Matrix { rows, cols, data: data.to_vec() })
+    }
+
+    /// Build a matrix whose rows are the given equally-long vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::ShapeMismatch`] for ragged input or
+    /// [`StatsError::EmptyInput`] for no rows / zero-width rows.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, StatsError> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(StatsError::ShapeMismatch {
+                    expected: format!("all rows of width {cols}, found one of width {}", r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix { rows: rows.len(), cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy column `c` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    pub fn column(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "column index {c} out of bounds ({})", self.cols);
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::ShapeMismatch`] when inner dimensions differ.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, StatsError> {
+        if self.cols != rhs.rows {
+            return Err(StatsError::ShapeMismatch {
+                expected: format!("inner dims equal, got {}x{} · {}x{}", self.rows, self.cols, rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out[(r, c)] += a * rhs[(k, c)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::ShapeMismatch`] when `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, StatsError> {
+        if v.len() != self.cols {
+            return Err(StatsError::ShapeMismatch {
+                expected: format!("vector of length {}, got {}", self.cols, v.len()),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Gram matrix `Aᵀ·A` (symmetric positive semi-definite).
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.cols {
+            for j in i..self.cols {
+                let mut s = 0.0;
+                for r in 0..self.rows {
+                    s += self[(r, i)] * self[(r, j)];
+                }
+                g[(i, j)] = s;
+                g[(j, i)] = s;
+            }
+        }
+        g
+    }
+
+    /// `Aᵀ·v` without materialising the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::ShapeMismatch`] when `v.len() != self.rows()`.
+    pub fn t_matvec(&self, v: &[f64]) -> Result<Vec<f64>, StatsError> {
+        if v.len() != self.rows {
+            return Err(StatsError::ShapeMismatch {
+                expected: format!("vector of length {}, got {}", self.rows, v.len()),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let vr = v[r];
+            if vr == 0.0 {
+                continue;
+            }
+            for c in 0..self.cols {
+                out[c] += self[(r, c)] * vr;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Cholesky factor `L` (lower triangular) with `L·Lᵀ = self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Singular`] when the matrix is not symmetric
+    /// positive definite (to working precision) and
+    /// [`StatsError::ShapeMismatch`] when it is not square.
+    pub fn cholesky(&self) -> Result<Matrix, StatsError> {
+        if self.rows != self.cols {
+            return Err(StatsError::ShapeMismatch { expected: "square matrix".into() });
+        }
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = self[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if s <= 0.0 {
+                        return Err(StatsError::Singular);
+                    }
+                    l[(i, j)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solve `self · x = b` for symmetric positive definite `self` via
+    /// Cholesky (forward + back substitution).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StatsError::Singular`] / shape errors from
+    /// [`Matrix::cholesky`], plus a shape error when `b` has the wrong length.
+    pub fn solve_spd(&self, b: &[f64]) -> Result<Vec<f64>, StatsError> {
+        if b.len() != self.rows {
+            return Err(StatsError::ShapeMismatch {
+                expected: format!("rhs of length {}, got {}", self.rows, b.len()),
+            });
+        }
+        let l = self.cholesky()?;
+        let n = self.rows;
+        // Forward substitution: L·y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= l[(i, k)] * y[k];
+            }
+            y[i] = s / l[(i, i)];
+        }
+        // Back substitution: Lᵀ·x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= l[(k, i)] * x[k];
+            }
+            x[i] = s / l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Least-squares solve of `self · x ≈ b` via the normal equations with
+    /// a tiny ridge for numerical safety.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for mismatched `b` and
+    /// [`StatsError::Singular`] when even the regularised system is
+    /// degenerate.
+    pub fn least_squares(&self, b: &[f64]) -> Result<Vec<f64>, StatsError> {
+        if b.len() != self.rows {
+            return Err(StatsError::ShapeMismatch {
+                expected: format!("rhs of length {}, got {}", self.rows, b.len()),
+            });
+        }
+        let mut g = self.gram();
+        // Ridge scaled to the Gram diagonal keeps the factorisation stable
+        // without visibly biasing coefficients at this problem scale.
+        let trace: f64 = (0..g.rows()).map(|i| g[(i, i)]).sum();
+        let ridge = 1e-12 * (trace / g.rows() as f64).max(1e-30);
+        for i in 0..g.rows() {
+            g[(i, i)] += ridge;
+        }
+        let atb = self.t_matvec(b)?;
+        g.solve_spd(&atb)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry difference against another matrix of the same
+    /// shape; `INFINITY` when shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        if self.rows != other.rows || self.cols != other.cols {
+            return f64::INFINITY;
+        }
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let a = Matrix::from_rows_slice(2, 2, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows_slice(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Matrix::from_rows_slice(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        let expected = Matrix::from_rows_slice(2, 2, &[58.0, 64.0, 139.0, 154.0]).unwrap();
+        assert!(c.max_abs_diff(&expected) < 1e-12);
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows_slice(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_rows_slice(2, 2, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let v = a.matvec(&[5.0, 6.0]).unwrap();
+        assert_eq!(v, vec![17.0, 39.0]);
+    }
+
+    #[test]
+    fn t_matvec_matches_transpose_matvec() {
+        let a = Matrix::from_rows_slice(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let v = [1.0, 2.0, 3.0];
+        let direct = a.t_matvec(&v).unwrap();
+        let via_transpose = a.transpose().matvec(&v).unwrap();
+        for (x, y) in direct.iter().zip(&via_transpose) {
+            assert!(approx_eq(*x, *y, 1e-12));
+        }
+    }
+
+    #[test]
+    fn gram_is_symmetric() {
+        let a = Matrix::from_rows_slice(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let g = a.gram();
+        assert_eq!(g[(0, 1)], g[(1, 0)]);
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = Matrix::from_rows_slice(3, 3, &[4.0, 2.0, 1.0, 2.0, 5.0, 2.0, 1.0, 2.0, 6.0]).unwrap();
+        let l = a.cholesky().unwrap();
+        let llt = l.matmul(&l.transpose()).unwrap();
+        assert!(llt.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows_slice(2, 2, &[1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert_eq!(a.cholesky(), Err(StatsError::Singular));
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(a.cholesky(), Err(StatsError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn solve_spd_recovers_known_solution() {
+        let a = Matrix::from_rows_slice(2, 2, &[4.0, 1.0, 1.0, 3.0]).unwrap();
+        let x_true = [1.0, 2.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = a.solve_spd(&b).unwrap();
+        assert!(approx_eq(x[0], 1.0, 1e-12));
+        assert!(approx_eq(x[1], 2.0, 1e-12));
+    }
+
+    #[test]
+    fn least_squares_exact_system() {
+        // Overdetermined but consistent: y = 2x.
+        let a = Matrix::from_rows_slice(3, 1, &[1.0, 2.0, 3.0]).unwrap();
+        let x = a.least_squares(&[2.0, 4.0, 6.0]).unwrap();
+        assert!(approx_eq(x[0], 2.0, 1e-8));
+    }
+
+    #[test]
+    fn least_squares_minimises_residual() {
+        // y ≈ 1 + x, fit with intercept column.
+        let a = Matrix::from_rows_slice(4, 2, &[1.0, 0.0, 1.0, 1.0, 1.0, 2.0, 1.0, 3.0]).unwrap();
+        let y = [1.1, 1.9, 3.1, 3.9];
+        let x = a.least_squares(&y).unwrap();
+        assert!(approx_eq(x[0], 1.05, 0.05), "intercept {x:?}");
+        assert!(approx_eq(x[1], 0.97, 0.05), "slope {x:?}");
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(Matrix::from_rows(&rows).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_empty() {
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn row_and_column_accessors() {
+        let a = Matrix::from_rows_slice(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(a.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(a.column(2), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_of_identity() {
+        assert!(approx_eq(Matrix::identity(4).frobenius_norm(), 2.0, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn indexing_out_of_bounds_panics() {
+        let a = Matrix::zeros(2, 2);
+        let _ = a[(2, 0)];
+    }
+}

@@ -1,0 +1,265 @@
+//! Principal component analysis.
+//!
+//! PCA is one of the statistical PMC-selection baselines the paper cites
+//! (Sect. 1, category 2). We implement it from scratch: the covariance (or
+//! correlation) matrix is diagonalised with the cyclic Jacobi eigenvalue
+//! algorithm, which is simple, robust, and exact enough for the ≤ 20-feature
+//! problems in this workspace.
+
+use crate::descriptive::{mean, std_dev};
+use crate::matrix::Matrix;
+use crate::StatsError;
+
+/// Result of a principal component analysis.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Eigenvalues, descending (the variance explained by each component).
+    pub eigenvalues: Vec<f64>,
+    /// Component loading vectors, one per eigenvalue, each of length
+    /// `n_features`.
+    pub components: Vec<Vec<f64>>,
+    /// Per-feature means removed before the decomposition.
+    pub feature_means: Vec<f64>,
+    /// Per-feature scales divided out (all `1.0` unless standardised).
+    pub feature_scales: Vec<f64>,
+}
+
+impl Pca {
+    /// Run PCA on `data` (rows = observations, columns = features).
+    /// If `standardize` is true, features are scaled to unit variance
+    /// (correlation-matrix PCA), which is the right choice for PMCs whose
+    /// magnitudes differ by orders of magnitude.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::EmptyInput`] for fewer than two observations;
+    /// * [`StatsError::NoConvergence`] if the Jacobi sweep fails to converge
+    ///   (practically unreachable for the matrix sizes used here).
+    pub fn fit(data: &Matrix, standardize: bool) -> Result<Self, StatsError> {
+        if data.rows() < 2 {
+            return Err(StatsError::EmptyInput);
+        }
+        let n = data.rows();
+        let p = data.cols();
+        let feature_means: Vec<f64> = (0..p).map(|c| mean(&data.column(c))).collect();
+        let feature_scales: Vec<f64> = if standardize {
+            (0..p)
+                .map(|c| {
+                    let s = std_dev(&data.column(c));
+                    if s > 0.0 {
+                        s
+                    } else {
+                        1.0
+                    }
+                })
+                .collect()
+        } else {
+            vec![1.0; p]
+        };
+
+        // Covariance of the centred (and optionally scaled) data.
+        let mut cov = Matrix::zeros(p, p);
+        for i in 0..p {
+            for j in i..p {
+                let mut s = 0.0;
+                for r in 0..n {
+                    let a = (data[(r, i)] - feature_means[i]) / feature_scales[i];
+                    let b = (data[(r, j)] - feature_means[j]) / feature_scales[j];
+                    s += a * b;
+                }
+                let v = s / (n - 1) as f64;
+                cov[(i, j)] = v;
+                cov[(j, i)] = v;
+            }
+        }
+
+        let (mut eigenvalues, mut components) = jacobi_eigen(&cov)?;
+        // Sort descending by eigenvalue.
+        let mut order: Vec<usize> = (0..p).collect();
+        order.sort_by(|&a, &b| eigenvalues[b].partial_cmp(&eigenvalues[a]).expect("NaN eigenvalue"));
+        eigenvalues = order.iter().map(|&i| eigenvalues[i]).collect();
+        components = order.iter().map(|&i| components[i].clone()).collect();
+
+        Ok(Pca { eigenvalues, components, feature_means, feature_scales })
+    }
+
+    /// Fraction of total variance explained by the first `k` components.
+    pub fn explained_variance_ratio(&self, k: usize) -> f64 {
+        let total: f64 = self.eigenvalues.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.eigenvalues.iter().take(k).sum::<f64>() / total
+    }
+
+    /// Project an observation onto the first `k` principal components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the fitted feature count.
+    pub fn project(&self, x: &[f64], k: usize) -> Vec<f64> {
+        assert_eq!(x.len(), self.feature_means.len(), "feature count mismatch");
+        let centred: Vec<f64> = x
+            .iter()
+            .zip(self.feature_means.iter().zip(&self.feature_scales))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect();
+        self.components
+            .iter()
+            .take(k)
+            .map(|comp| comp.iter().zip(&centred).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Feature importance under PCA selection: the absolute loading of each
+    /// feature on the first component, the heuristic used by PCA-based PMC
+    /// selection baselines.
+    pub fn leading_loadings(&self) -> Vec<f64> {
+        self.components
+            .first()
+            .map(|c| c.iter().map(|v| v.abs()).collect())
+            .unwrap_or_default()
+    }
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix. Returns
+/// `(eigenvalues, eigenvectors)` where `eigenvectors[i]` corresponds to
+/// `eigenvalues[i]` (unsorted).
+fn jacobi_eigen(a: &Matrix) -> Result<(Vec<f64>, Vec<Vec<f64>>), StatsError> {
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    const MAX_SWEEPS: usize = 100;
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() < 1e-12 * (1.0 + m.frobenius_norm()) {
+            let eigenvalues: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+            let eigenvectors: Vec<Vec<f64>> = (0..n).map(|c| v.column(c)).collect();
+            return Ok((eigenvalues, eigenvectors));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if m[(p, q)].abs() < 1e-30 {
+                    continue;
+                }
+                // Classic Jacobi rotation annihilating m[(p, q)].
+                let theta = (m[(q, q)] - m[(p, p)]) / (2.0 * m[(p, q)]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(StatsError::NoConvergence { iterations: MAX_SWEEPS })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_diagonal_matrix_is_its_own_spectrum() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 3.0;
+        a[(1, 1)] = 1.0;
+        a[(2, 2)] = 2.0;
+        let (vals, _) = jacobi_eigen(&a).unwrap();
+        let mut sorted = vals.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((sorted[0] - 1.0).abs() < 1e-10);
+        assert!((sorted[1] - 2.0).abs() < 1e-10);
+        assert!((sorted[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn jacobi_known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_rows_slice(2, 2, &[2.0, 1.0, 1.0, 2.0]).unwrap();
+        let (vals, vecs) = jacobi_eigen(&a).unwrap();
+        let mut pairs: Vec<(f64, Vec<f64>)> = vals.into_iter().zip(vecs).collect();
+        pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+        assert!((pairs[0].0 - 1.0).abs() < 1e-10);
+        assert!((pairs[1].0 - 3.0).abs() < 1e-10);
+        // Eigenvector for 3 is (1,1)/√2 up to sign.
+        let v = &pairs[1].1;
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v[0] - v[1]).abs() < 1e-8 || (v[0] + v[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn pca_finds_dominant_direction() {
+        // Points along y = 2x with tiny orthogonal noise: first component
+        // should align with (1, 2)/√5.
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let t = i as f64 / 10.0;
+                let eps = if i % 2 == 0 { 0.01 } else { -0.01 };
+                vec![t + eps * 2.0, 2.0 * t - eps]
+            })
+            .collect();
+        let data = Matrix::from_rows(&rows).unwrap();
+        let pca = Pca::fit(&data, false).unwrap();
+        assert!(pca.explained_variance_ratio(1) > 0.999);
+        let c = &pca.components[0];
+        let expected = [1.0 / 5f64.sqrt(), 2.0 / 5f64.sqrt()];
+        let aligned = (c[0] * expected[0] + c[1] * expected[1]).abs();
+        assert!(aligned > 0.999, "component {c:?}");
+    }
+
+    #[test]
+    fn pca_explained_variance_sums_to_one() {
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i) as f64 % 7.0, (i % 3) as f64])
+            .collect();
+        let data = Matrix::from_rows(&rows).unwrap();
+        let pca = Pca::fit(&data, true).unwrap();
+        assert!((pca.explained_variance_ratio(3) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pca_standardized_handles_constant_feature() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 5.0]).collect();
+        let data = Matrix::from_rows(&rows).unwrap();
+        let pca = Pca::fit(&data, true).unwrap();
+        // Constant feature contributes nothing; no NaNs anywhere.
+        assert!(pca.eigenvalues.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn pca_projection_dimensionality() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64, 1.0]).collect();
+        let data = Matrix::from_rows(&rows).unwrap();
+        let pca = Pca::fit(&data, false).unwrap();
+        assert_eq!(pca.project(&[1.0, 2.0, 1.0], 2).len(), 2);
+    }
+
+    #[test]
+    fn pca_rejects_single_observation() {
+        let data = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(Pca::fit(&data, false).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Two-dimensional complex FFT (Intel MKL analog), the memory-bound kernel
+//! of the paper's Class B and C experiments.
+//!
+//! The model uses the textbook operation count `5·N·log₂N` FLOPs for
+//! `N = n²` points and a pass-structured memory traffic model (row FFTs,
+//! transpose, column FFTs), which makes the kernel bandwidth-bound on both
+//! platforms. Twiddle-factor preparation gives the FFT a markedly higher
+//! divider- and microcode-intensity per instruction than DGEMM — the
+//! family-dependent slope that makes non-additive PMCs poor predictors in
+//! a single mixed model (Class B's `*-NA` results).
+
+use crate::mix::{build_activity, InstructionMix};
+use pmca_cpusim::app::{Application, Footprint, Phase, Segment};
+use pmca_cpusim::spec::PlatformSpec;
+
+/// Fraction of peak DP throughput the FFT butterflies sustain.
+const COMPUTE_EFFICIENCY: f64 = 0.22;
+/// Fraction of peak memory bandwidth the passes sustain.
+const BANDWIDTH_EFFICIENCY: f64 = 0.72;
+/// Effective full-array passes over the data (rows + transpose + columns
+/// plus cache spill).
+const MEMORY_PASSES: f64 = 6.0;
+/// FLOPs per wide vector instruction in the butterflies (complex math is
+/// less dense than FMA-saturated GEMM).
+const FLOPS_PER_VEC: f64 = 6.0;
+/// Total instructions per vector instruction.
+const INSTR_PER_VEC: f64 = 2.6;
+
+/// 2-D complex-to-complex FFT on an `n × n` grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fft2d {
+    n: usize,
+}
+
+impl Fft2d {
+    /// Create an FFT workload on an `n × n` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "grid dimension must be at least 2");
+        Fft2d { n }
+    }
+
+    /// Grid dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total points `N = n²`.
+    pub fn points(&self) -> f64 {
+        (self.n as f64).powi(2)
+    }
+
+    /// Total floating-point operations: `5·N·log₂N`.
+    pub fn flops(&self) -> f64 {
+        let n_points = self.points();
+        5.0 * n_points * n_points.log2()
+    }
+
+    /// Complex double array size, MiB.
+    pub fn data_mib(&self) -> f64 {
+        self.points() * 16.0 / (1024.0 * 1024.0)
+    }
+
+    /// Bytes moved to/from DRAM over all passes.
+    pub fn dram_bytes(&self) -> f64 {
+        self.points() * 16.0 * MEMORY_PASSES
+    }
+
+    /// Roofline runtime on `spec`: the slower of the compute and memory
+    /// limits.
+    pub fn runtime_s(&self, spec: &PlatformSpec) -> f64 {
+        let t_compute = self.flops() / (COMPUTE_EFFICIENCY * spec.peak_dp_gflops * 1e9);
+        let t_memory = self.dram_bytes() / (BANDWIDTH_EFFICIENCY * spec.mem_bandwidth_gibs * 1024.0 * 1024.0 * 1024.0);
+        t_compute.max(t_memory)
+    }
+}
+
+impl Application for Fft2d {
+    fn name(&self) -> String {
+        format!("fft-{}", self.n)
+    }
+
+    fn segments(&self, spec: &PlatformSpec) -> Vec<Segment> {
+        let flops = self.flops();
+        let duration = self.runtime_s(spec);
+        let vec_instrs = flops / FLOPS_PER_VEC;
+        let instructions = vec_instrs * INSTR_PER_VEC;
+        let cycles = duration * spec.aggregate_hz();
+        let ipc = instructions / cycles;
+
+        let mix = InstructionMix {
+            ipc,
+            uops_per_instr: 1.18,
+            load_frac: 0.34,
+            store_frac: 0.17,
+            branch_frac: 0.075,
+            mispredict_rate: 0.004,
+            fp_scalar_per_instr: 0.015,
+            fp128_per_instr: 0.0,
+            fp256_per_instr: 0.0,
+            fp512_per_instr: FLOPS_PER_VEC / INSTR_PER_VEC,
+            l1_miss_per_load: 0.11,
+            l2_miss_per_l1_miss: 0.45,
+            l3_hit_per_l2_miss: 0.55,
+            demand_l3_miss_per_instr: 0.0, // overridden below
+            dram_bytes_per_instr: self.dram_bytes() / instructions,
+            mite_frac: 0.14,
+            // Twiddle preparation and bit-reversal run through microcoded
+            // paths ~8× more often per uop than DGEMM.
+            ms_frac: 0.022,
+            div_per_instr: 6.0e-5,
+            icache_miss_per_instr: 2.2e-4,
+        };
+        let code_kib = 58.0;
+        let mut activity = build_activity(spec, instructions, duration, code_kib, &mix);
+        // The transpose's strided gathers defeat the prefetcher: demand-
+        // load misses scale with the array (N = n² points), far above
+        // DGEMM's — while the energy stays far below. Across the mixed
+        // Class B dataset this makes X9 additive yet anti-correlated with
+        // energy, as in the paper's Table 6.
+        activity.set(pmca_cpusim::activity::ActivityField::L3Misses, 0.002 * self.points() + 4.0e4);
+
+        vec![Segment {
+            label: self.name(),
+            footprint: Footprint {
+                code_kib,
+                data_mib: self.data_mib(),
+                branch_irregularity: 0.08,
+                microcode_intensity: 0.06,
+                adaptivity: 0.0,
+            },
+            phases: vec![Phase::new(duration, activity)],
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmca_cpusim::activity::ActivityField as F;
+
+    fn spec() -> PlatformSpec {
+        PlatformSpec::intel_skylake()
+    }
+
+    #[test]
+    fn flops_follow_n_log_n() {
+        let f = Fft2d::new(1024);
+        let n_points = 1024.0f64 * 1024.0;
+        assert!((f.flops() - 5.0 * n_points * n_points.log2()).abs() < 1.0);
+    }
+
+    #[test]
+    fn class_b_sizes_are_memory_bound() {
+        let s = spec();
+        for n in [22400, 29000, 41536] {
+            let f = Fft2d::new(n);
+            let t_mem = f.dram_bytes() / (BANDWIDTH_EFFICIENCY * s.mem_bandwidth_gibs * 1024.0 * 1024.0 * 1024.0);
+            assert!((f.runtime_s(&s) - t_mem).abs() < 1e-12, "n={n} should be memory bound");
+        }
+    }
+
+    #[test]
+    fn activity_is_physical_across_class_b_sizes() {
+        let s = spec();
+        for n in [22400, 29000, 41536] {
+            let segs = Fft2d::new(n).segments(&s);
+            assert!(segs[0].total_activity().is_physical(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn fft_is_more_divider_intensive_per_uop_than_dgemm() {
+        let s = spec();
+        let fft = Fft2d::new(22400).segments(&s)[0].total_activity();
+        let dg = crate::dgemm::Dgemm::new(10_000).segments(&s)[0].total_activity();
+        let fft_rate = fft.get(F::DivOps) / fft.get(F::UopsExecuted);
+        let dg_rate = dg.get(F::DivOps) / dg.get(F::UopsExecuted);
+        assert!(fft_rate > 2.0 * dg_rate, "fft {fft_rate} vs dgemm {dg_rate}");
+    }
+
+    #[test]
+    fn fft_draws_less_power_than_dgemm() {
+        // Memory-bound kernels burn fewer joules per second.
+        let s = spec();
+        let pm = pmca_cpusim::power::PowerModel::for_platform(&s);
+        let fft_seg = &Fft2d::new(29000).segments(&s)[0];
+        let dg_seg = &crate::dgemm::Dgemm::new(20_000).segments(&s)[0];
+        let p_fft = pm.phase_power(&fft_seg.total_activity(), fft_seg.duration_s());
+        let p_dg = pm.phase_power(&dg_seg.total_activity(), dg_seg.duration_s());
+        assert!(p_fft < p_dg, "fft {p_fft} W vs dgemm {p_dg} W");
+    }
+
+    #[test]
+    fn fixed_work_kernel_has_zero_adaptivity() {
+        let s = spec();
+        assert_eq!(Fft2d::new(22400).segments(&s)[0].footprint.adaptivity, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid dimension must be at least 2")]
+    fn rejects_degenerate_grid() {
+        let _ = Fft2d::new(1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Intel HPCG analog: preconditioned sparse conjugate gradient, the
+//! bandwidth-bound "real application proxy" of the paper's Class A suite.
+
+use crate::mix::{build_activity, InstructionMix};
+use pmca_cpusim::app::{Application, Footprint, Phase, Segment};
+use pmca_cpusim::spec::PlatformSpec;
+
+/// HPCG at a continuous problem scale (`1.0` ≈ a 104³ local grid).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hpcg {
+    scale: f64,
+}
+
+impl Hpcg {
+    /// Create an HPCG workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive and finite.
+    pub fn new(scale: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+        Hpcg { scale }
+    }
+
+    /// Problem scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl Application for Hpcg {
+    fn name(&self) -> String {
+        format!("hpcg-{:.3}", self.scale)
+    }
+
+    fn segments(&self, spec: &PlatformSpec) -> Vec<Segment> {
+        let instructions = 4.2e10 * self.scale;
+        let mix = InstructionMix {
+            ipc: 0.85,
+            uops_per_instr: 1.12,
+            load_frac: 0.44,
+            store_frac: 0.08,
+            branch_frac: 0.08,
+            mispredict_rate: 0.009,
+            fp_scalar_per_instr: 0.05,
+            // HPCG's reference kernels retain legacy SSE2 paths.
+            fp128_per_instr: 0.06,
+            fp256_per_instr: 0.42,
+            fp512_per_instr: 0.0,
+            l1_miss_per_load: 0.17,
+            l2_miss_per_l1_miss: 0.6,
+            l3_hit_per_l2_miss: 0.35,
+            demand_l3_miss_per_instr: 7e-4,
+            dram_bytes_per_instr: 1.6,
+            mite_frac: 0.14,
+            ms_frac: 0.014,
+            div_per_instr: 4e-5,
+            icache_miss_per_instr: 1.7e-4,
+        };
+        let footprint = Footprint {
+            code_kib: 180.0,
+            data_mib: 3_400.0 * self.scale,
+            branch_irregularity: 0.35,
+            microcode_intensity: 0.04,
+            adaptivity: 0.02,
+        };
+        let cycles = instructions / mix.ipc;
+        let duration = cycles / spec.aggregate_hz();
+        let activity = build_activity(spec, instructions, duration, footprint.code_kib, &mix);
+        vec![Segment { label: self.name(), footprint, phases: vec![Phase::new(duration, activity)] }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmca_cpusim::activity::ActivityField as F;
+
+    #[test]
+    fn hpcg_is_bandwidth_bound() {
+        let s = PlatformSpec::intel_haswell();
+        let a = Hpcg::new(1.0).segments(&s)[0].total_activity();
+        // Bytes per FLOP well above 1: a memory-bound signature.
+        let flops = a.get(F::FpScalarDouble) + a.get(F::FpPacked256Double);
+        assert!(a.get(F::DramBytes) / flops > 1.0);
+    }
+
+    #[test]
+    fn activity_is_physical() {
+        let s = PlatformSpec::intel_skylake();
+        for scale in [0.25, 1.0, 4.0] {
+            assert!(Hpcg::new(scale).segments(&s)[0].total_activity().is_physical());
+        }
+    }
+
+    #[test]
+    fn name_encodes_scale() {
+        assert_ne!(Hpcg::new(1.0).name(), Hpcg::new(2.0).name());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn rejects_invalid_scale() {
+        let _ = Hpcg::new(f64::NAN);
+    }
+}

@@ -1,0 +1,55 @@
+//! Analytic workload models for the SLOPE-PMC reproduction.
+//!
+//! The paper's test suite mixes "highly memory bound and compute bound
+//! scientific computing applications such as DGEMM and FFT from Intel MKL,
+//! scientific applications from the NAS Parallel benchmarking suite, Intel
+//! HPCG, `stress`, non-optimized and non-scientific applications". This
+//! crate models each of those families analytically: given a problem size
+//! and a platform specification, a model derives the run's cumulative
+//! [`pmca_cpusim::Activity`] (operation counts, cache traffic, frontend
+//! mix, runtime) and its resource footprint.
+//!
+//! The models are deliberately simple — classic operation-count and
+//! roofline arguments — because the experiments only consume each
+//! application's *activity signature*, not its numerical output.
+//!
+//! # Modules
+//!
+//! * [`mix`] — the shared instruction-mix → activity builder;
+//! * [`dgemm`] / [`fft`] — the Intel MKL kernels of Class B and C;
+//! * [`npb`] — analogs of the eight NAS Parallel Benchmarks kernels;
+//! * [`hpcg`] — an HPCG (sparse CG) analog;
+//! * [`stress`] — duration-adaptive stress loads (the suite members that
+//!   break additivity of *every* PMC, as the paper observed);
+//! * [`misc`] — non-optimized, non-scientific applications;
+//! * [`suite`] — the Class A and Class B/C suite builders.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmca_workloads::dgemm::Dgemm;
+//! use pmca_cpusim::{Application, Machine, PlatformSpec};
+//!
+//! let mut machine = Machine::new(PlatformSpec::intel_skylake(), 1);
+//! let record = machine.run(&Dgemm::new(8000));
+//! assert!(record.dynamic_energy_joules > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dgemm;
+pub mod fft;
+pub mod hpcg;
+pub mod misc;
+pub mod mix;
+pub mod npb;
+pub mod parse;
+pub mod pipeline;
+pub mod stress;
+pub mod suite;
+
+pub use dgemm::Dgemm;
+pub use fft::Fft2d;
+pub use hpcg::Hpcg;
+pub use stress::Stress;

@@ -1,0 +1,240 @@
+//! Non-optimized, non-scientific applications of the Class A suite:
+//! sorting, pointer chasing, string processing, and an interpreter-like
+//! load. These contribute the code-footprint and branch-irregularity
+//! diversity the paper wanted ("apart from reducing bias … to have a range
+//! of PMCs for different executions").
+
+use crate::mix::{build_activity, InstructionMix};
+use pmca_cpusim::app::{Application, Footprint, Phase, Segment};
+use pmca_cpusim::spec::PlatformSpec;
+use std::fmt;
+
+/// The miscellaneous application families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MiscKind {
+    /// Comparison sort over a large array: branchy, moderately memory
+    /// bound.
+    Sort,
+    /// Random pointer chasing: latency bound, demand misses everywhere.
+    PointerChase,
+    /// Text tokenising/parsing: icache and branch heavy.
+    StringProc,
+    /// Bytecode-interpreter-like load: huge code footprint, heavy MITE and
+    /// microcode usage.
+    Interp,
+}
+
+impl MiscKind {
+    /// All miscellaneous kinds.
+    pub const ALL: [MiscKind; 4] =
+        [MiscKind::Sort, MiscKind::PointerChase, MiscKind::StringProc, MiscKind::Interp];
+}
+
+impl fmt::Display for MiscKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MiscKind::Sort => write!(f, "sort"),
+            MiscKind::PointerChase => write!(f, "pchase"),
+            MiscKind::StringProc => write!(f, "strproc"),
+            MiscKind::Interp => write!(f, "interp"),
+        }
+    }
+}
+
+/// A miscellaneous application at a continuous problem scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MiscApp {
+    kind: MiscKind,
+    scale: f64,
+}
+
+impl MiscApp {
+    /// Create a misc application; `scale = 1.0` is a few seconds of work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive and finite.
+    pub fn new(kind: MiscKind, scale: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+        MiscApp { kind, scale }
+    }
+
+    /// The application family.
+    pub fn kind(&self) -> MiscKind {
+        self.kind
+    }
+
+    fn profile(&self) -> (f64, InstructionMix, Footprint) {
+        let base = InstructionMix::base();
+        match self.kind {
+            MiscKind::Sort => (
+                2.4e10,
+                InstructionMix {
+                    ipc: 1.4,
+                    load_frac: 0.30,
+                    store_frac: 0.15,
+                    branch_frac: 0.22,
+                    mispredict_rate: 0.055,
+                    l1_miss_per_load: 0.09,
+                    l2_miss_per_l1_miss: 0.45,
+                    dram_bytes_per_instr: 0.7,
+                    demand_l3_miss_per_instr: 2.5e-4,
+                    div_per_instr: 2.5e-5,
+                    ms_frac: 0.010,
+                    mite_frac: 0.15,
+                    icache_miss_per_instr: 1.7e-4,
+                    ..base
+                },
+                Footprint {
+                    code_kib: 40.0,
+                    data_mib: 480.0,
+                    branch_irregularity: 0.75,
+                    microcode_intensity: 0.02,
+                    adaptivity: 0.03,
+                },
+            ),
+            MiscKind::PointerChase => (
+                5.0e9,
+                InstructionMix {
+                    ipc: 0.25,
+                    load_frac: 0.48,
+                    store_frac: 0.02,
+                    branch_frac: 0.12,
+                    mispredict_rate: 0.03,
+                    l1_miss_per_load: 0.55,
+                    l2_miss_per_l1_miss: 0.8,
+                    l3_hit_per_l2_miss: 0.3,
+                    dram_bytes_per_instr: 2.8,
+                    demand_l3_miss_per_instr: 4e-3, // pure latency-bound demand misses
+                    div_per_instr: 2.0e-5,
+                    ms_frac: 0.008,
+                    mite_frac: 0.14,
+                    icache_miss_per_instr: 1.7e-4,
+                    ..base
+                },
+                Footprint {
+                    code_kib: 12.0,
+                    data_mib: 2_800.0,
+                    branch_irregularity: 0.9,
+                    microcode_intensity: 0.01,
+                    adaptivity: 0.03,
+                },
+            ),
+            MiscKind::StringProc => (
+                1.8e10,
+                InstructionMix {
+                    ipc: 1.6,
+                    load_frac: 0.33,
+                    store_frac: 0.12,
+                    branch_frac: 0.26,
+                    mispredict_rate: 0.04,
+                    l1_miss_per_load: 0.05,
+                    dram_bytes_per_instr: 0.35,
+                    demand_l3_miss_per_instr: 8e-5,
+                    div_per_instr: 3.0e-5,
+                    ms_frac: 0.022,
+                    mite_frac: 0.17,
+                    icache_miss_per_instr: 1.7e-4,
+                    ..base
+                },
+                Footprint {
+                    code_kib: 620.0,
+                    data_mib: 130.0,
+                    branch_irregularity: 0.8,
+                    microcode_intensity: 0.06,
+                    adaptivity: 0.04,
+                },
+            ),
+            MiscKind::Interp => (
+                2.1e10,
+                InstructionMix {
+                    ipc: 0.95,
+                    load_frac: 0.34,
+                    store_frac: 0.16,
+                    branch_frac: 0.24,
+                    mispredict_rate: 0.05,
+                    l1_miss_per_load: 0.06,
+                    dram_bytes_per_instr: 0.4,
+                    demand_l3_miss_per_instr: 1.2e-4,
+                    div_per_instr: 8.0e-5,
+                    ms_frac: 0.035,
+                    mite_frac: 0.19,
+                    icache_miss_per_instr: 1.7e-4,
+                    ..base
+                },
+                Footprint {
+                    code_kib: 2_400.0,
+                    data_mib: 350.0,
+                    branch_irregularity: 0.85,
+                    microcode_intensity: 0.30,
+                    adaptivity: 0.05,
+                },
+            ),
+        }
+    }
+}
+
+impl Application for MiscApp {
+    fn name(&self) -> String {
+        format!("misc-{}-{:.3}", self.kind, self.scale)
+    }
+
+    fn segments(&self, spec: &PlatformSpec) -> Vec<Segment> {
+        let (base_instr, mix, footprint) = self.profile();
+        let instructions = base_instr * self.scale;
+        let cycles = instructions / mix.ipc;
+        let duration = cycles / spec.aggregate_hz();
+        let activity = build_activity(spec, instructions, duration, footprint.code_kib, &mix);
+        vec![Segment { label: self.name(), footprint, phases: vec![Phase::new(duration, activity)] }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmca_cpusim::activity::ActivityField as F;
+
+    #[test]
+    fn all_kinds_are_physical() {
+        let s = PlatformSpec::intel_haswell();
+        for kind in MiscKind::ALL {
+            let a = MiscApp::new(kind, 1.0).segments(&s)[0].total_activity();
+            assert!(a.is_physical(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn interp_has_the_biggest_code_footprint() {
+        let s = PlatformSpec::intel_haswell();
+        let interp = MiscApp::new(MiscKind::Interp, 1.0).segments(&s)[0].footprint.code_kib;
+        for kind in [MiscKind::Sort, MiscKind::PointerChase, MiscKind::StringProc] {
+            let other = MiscApp::new(kind, 1.0).segments(&s)[0].footprint.code_kib;
+            assert!(interp > other, "{kind}");
+        }
+    }
+
+    #[test]
+    fn pointer_chase_is_demand_miss_dominated() {
+        let s = PlatformSpec::intel_haswell();
+        let pc = MiscApp::new(MiscKind::PointerChase, 1.0).segments(&s)[0].total_activity();
+        let sort = MiscApp::new(MiscKind::Sort, 1.0).segments(&s)[0].total_activity();
+        let pc_rate = pc.get(F::L3Misses) / pc.get(F::Instructions);
+        let sort_rate = sort.get(F::L3Misses) / sort.get(F::Instructions);
+        assert!(pc_rate > 5.0 * sort_rate);
+    }
+
+    #[test]
+    fn misc_apps_are_branch_irregular() {
+        let s = PlatformSpec::intel_skylake();
+        for kind in MiscKind::ALL {
+            let fp = MiscApp::new(kind, 1.0).segments(&s)[0].footprint;
+            assert!(fp.branch_irregularity > 0.5, "{kind}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn rejects_invalid_scale() {
+        let _ = MiscApp::new(MiscKind::Sort, -2.0);
+    }
+}

@@ -1,0 +1,359 @@
+//! Analogs of the eight NAS Parallel Benchmarks kernels (BT, CG, EP, FT,
+//! IS, LU, MG, SP), part of the paper's diverse Class A test suite.
+//!
+//! Each kernel is modelled by its characteristic instruction mix — EP is
+//! scalar-FP and divider heavy, CG and MG are sparse/memory bound, IS is
+//! integer and branchy, FT is FFT-like, and BT/LU/SP are structured dense
+//! solvers. Problem scale is a continuous multiplier so the Class A suite
+//! can sample many sizes per kernel.
+
+use crate::mix::{build_activity, InstructionMix};
+use pmca_cpusim::app::{Application, Footprint, Phase, Segment};
+use pmca_cpusim::spec::PlatformSpec;
+use std::fmt;
+
+/// The eight NPB kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // kernel acronyms are standard NPB names
+pub enum NpbKernel {
+    Bt,
+    Cg,
+    Ep,
+    Ft,
+    Is,
+    Lu,
+    Mg,
+    Sp,
+}
+
+impl NpbKernel {
+    /// All kernels.
+    pub const ALL: [NpbKernel; 8] = [
+        NpbKernel::Bt,
+        NpbKernel::Cg,
+        NpbKernel::Ep,
+        NpbKernel::Ft,
+        NpbKernel::Is,
+        NpbKernel::Lu,
+        NpbKernel::Mg,
+        NpbKernel::Sp,
+    ];
+
+    fn tag(self) -> &'static str {
+        match self {
+            NpbKernel::Bt => "bt",
+            NpbKernel::Cg => "cg",
+            NpbKernel::Ep => "ep",
+            NpbKernel::Ft => "ft",
+            NpbKernel::Is => "is",
+            NpbKernel::Lu => "lu",
+            NpbKernel::Mg => "mg",
+            NpbKernel::Sp => "sp",
+        }
+    }
+}
+
+impl fmt::Display for NpbKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// One NPB kernel at a continuous problem scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NpbApp {
+    kernel: NpbKernel,
+    scale: f64,
+}
+
+impl NpbApp {
+    /// Create a kernel instance; `scale = 1.0` is roughly NPB class B.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive and finite.
+    pub fn new(kernel: NpbKernel, scale: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+        NpbApp { kernel, scale }
+    }
+
+    /// The kernel.
+    pub fn kernel(&self) -> NpbKernel {
+        self.kernel
+    }
+
+    /// Problem scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    fn profile(&self) -> (f64, InstructionMix, Footprint) {
+        use NpbKernel::*;
+        let base = InstructionMix::base();
+        // (instructions at scale 1, mix, footprint)
+        match self.kernel {
+            Ep => (
+                6.0e10,
+                InstructionMix {
+                    ipc: 2.6,
+                    fp_scalar_per_instr: 0.42,
+                    load_frac: 0.12,
+                    store_frac: 0.03,
+                    branch_frac: 0.10,
+                    mispredict_rate: 0.006,
+                    l1_miss_per_load: 0.004,
+                    l2_miss_per_l1_miss: 0.1,
+                    dram_bytes_per_instr: 0.004,
+                    demand_l3_miss_per_instr: 2e-7,
+                    div_per_instr: 1.5e-4, // log/sqrt in the Box–Muller core
+                    ms_frac: 0.028,
+                    mite_frac: 0.13,
+                    icache_miss_per_instr: 1.7e-4,
+                    ..base
+                },
+                Footprint {
+                    code_kib: 30.0,
+                    data_mib: 4.0,
+                    branch_irregularity: 0.15,
+                    microcode_intensity: 0.25,
+                    adaptivity: 0.02,
+                },
+            ),
+            Cg => (
+                3.2e10,
+                InstructionMix {
+                    ipc: 0.9,
+                    fp_scalar_per_instr: 0.06,
+                    fp256_per_instr: 0.30,
+                    load_frac: 0.42,
+                    store_frac: 0.07,
+                    branch_frac: 0.09,
+                    mispredict_rate: 0.013,
+                    l1_miss_per_load: 0.16,
+                    l2_miss_per_l1_miss: 0.55,
+                    l3_hit_per_l2_miss: 0.45,
+                    dram_bytes_per_instr: 1.5,
+                    demand_l3_miss_per_instr: 9e-4, // gather misses escape the prefetcher
+                    div_per_instr: 4e-5,
+                    ms_frac: 0.015,
+                    mite_frac: 0.14,
+                    icache_miss_per_instr: 1.7e-4,
+                    ..base
+                },
+                Footprint {
+                    code_kib: 45.0,
+                    data_mib: 900.0,
+                    branch_irregularity: 0.45,
+                    microcode_intensity: 0.05,
+                    adaptivity: 0.02,
+                },
+            ),
+            Ft => (
+                4.5e10,
+                InstructionMix {
+                    ipc: 1.5,
+                    fp_scalar_per_instr: 0.02,
+                    fp256_per_instr: 0.9,
+                    load_frac: 0.33,
+                    store_frac: 0.16,
+                    branch_frac: 0.08,
+                    mispredict_rate: 0.005,
+                    l1_miss_per_load: 0.10,
+                    l2_miss_per_l1_miss: 0.45,
+                    dram_bytes_per_instr: 1.1,
+                    demand_l3_miss_per_instr: 8e-5,
+                    div_per_instr: 6e-5,
+                    ms_frac: 0.020,
+                    mite_frac: 0.13,
+                    icache_miss_per_instr: 1.7e-4,
+                    ..base
+                },
+                Footprint {
+                    code_kib: 60.0,
+                    data_mib: 1600.0,
+                    branch_irregularity: 0.10,
+                    microcode_intensity: 0.07,
+                    adaptivity: 0.02,
+                },
+            ),
+            Is => (
+                1.4e10,
+                InstructionMix {
+                    ipc: 1.1,
+                    load_frac: 0.38,
+                    store_frac: 0.21,
+                    branch_frac: 0.17,
+                    mispredict_rate: 0.035,
+                    l1_miss_per_load: 0.13,
+                    l2_miss_per_l1_miss: 0.6,
+                    l3_hit_per_l2_miss: 0.4,
+                    dram_bytes_per_instr: 1.1,
+                    demand_l3_miss_per_instr: 6e-4,
+                    div_per_instr: 3e-5,
+                    ms_frac: 0.012,
+                    mite_frac: 0.15,
+                    icache_miss_per_instr: 1.7e-4,
+                    ..base
+                },
+                Footprint {
+                    code_kib: 22.0,
+                    data_mib: 550.0,
+                    branch_irregularity: 0.65,
+                    microcode_intensity: 0.03,
+                    adaptivity: 0.03,
+                },
+            ),
+            Mg => (
+                2.8e10,
+                InstructionMix {
+                    ipc: 1.3,
+                    fp_scalar_per_instr: 0.04,
+                    fp256_per_instr: 0.55,
+                    load_frac: 0.37,
+                    store_frac: 0.13,
+                    branch_frac: 0.07,
+                    mispredict_rate: 0.004,
+                    l1_miss_per_load: 0.12,
+                    l2_miss_per_l1_miss: 0.5,
+                    dram_bytes_per_instr: 1.0,
+                    demand_l3_miss_per_instr: 2e-4,
+                    div_per_instr: 4e-5,
+                    ms_frac: 0.014,
+                    mite_frac: 0.13,
+                    icache_miss_per_instr: 1.7e-4,
+                    ..base
+                },
+                Footprint {
+                    code_kib: 55.0,
+                    data_mib: 2100.0,
+                    branch_irregularity: 0.18,
+                    microcode_intensity: 0.04,
+                    adaptivity: 0.02,
+                },
+            ),
+            Bt | Lu | Sp => {
+                let (instr, div, data) = match self.kernel {
+                    Bt => (5.5e10, 6e-5, 700.0),
+                    Lu => (4.8e10, 8e-5, 620.0),
+                    _ => (5.1e10, 7e-5, 660.0),
+                };
+                (
+                    instr,
+                    InstructionMix {
+                        ipc: 1.9,
+                        fp_scalar_per_instr: 0.10,
+                        fp256_per_instr: 0.85,
+                        load_frac: 0.31,
+                        store_frac: 0.11,
+                        branch_frac: 0.06,
+                        mispredict_rate: 0.003,
+                        l1_miss_per_load: 0.07,
+                        l2_miss_per_l1_miss: 0.35,
+                        dram_bytes_per_instr: 0.55,
+                        demand_l3_miss_per_instr: 6e-5,
+                        div_per_instr: div,
+                        ms_frac: 0.016,
+                        mite_frac: 0.13,
+                        icache_miss_per_instr: 1.7e-4,
+                        ..base
+                    },
+                    Footprint {
+                        code_kib: 140.0,
+                        data_mib: data,
+                        branch_irregularity: 0.12,
+                        microcode_intensity: 0.05,
+                        adaptivity: 0.02,
+                    },
+                )
+            }
+        }
+    }
+}
+
+impl Application for NpbApp {
+    fn name(&self) -> String {
+        format!("npb-{}-{:.3}", self.kernel, self.scale)
+    }
+
+    fn segments(&self, spec: &PlatformSpec) -> Vec<Segment> {
+        let (base_instr, mix, footprint) = self.profile();
+        let instructions = base_instr * self.scale;
+        let cycles = instructions / mix.ipc;
+        let duration = cycles / spec.aggregate_hz();
+        let activity = build_activity(spec, instructions, duration, footprint.code_kib, &mix);
+        vec![Segment { label: self.name(), footprint, phases: vec![Phase::new(duration, activity)] }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmca_cpusim::activity::ActivityField as F;
+
+    fn spec() -> PlatformSpec {
+        PlatformSpec::intel_haswell()
+    }
+
+    #[test]
+    fn all_kernels_produce_physical_activity() {
+        let s = spec();
+        for k in NpbKernel::ALL {
+            for scale in [0.5, 1.0, 3.0] {
+                let app = NpbApp::new(k, scale);
+                let a = app.segments(&s)[0].total_activity();
+                assert!(a.is_physical(), "{k} scale {scale}");
+            }
+        }
+    }
+
+    #[test]
+    fn work_scales_linearly_with_scale() {
+        let s = spec();
+        for k in NpbKernel::ALL {
+            let a1 = NpbApp::new(k, 1.0).segments(&s)[0].total_activity();
+            let a2 = NpbApp::new(k, 2.0).segments(&s)[0].total_activity();
+            let r = a2.get(F::Instructions) / a1.get(F::Instructions);
+            assert!((r - 2.0).abs() < 1e-9, "{k}: {r}");
+        }
+    }
+
+    #[test]
+    fn ep_is_divider_heavy_cg_is_memory_heavy() {
+        let s = spec();
+        let ep = NpbApp::new(NpbKernel::Ep, 1.0).segments(&s)[0].total_activity();
+        let cg = NpbApp::new(NpbKernel::Cg, 1.0).segments(&s)[0].total_activity();
+        let ep_div = ep.get(F::DivOps) / ep.get(F::Instructions);
+        let cg_div = cg.get(F::DivOps) / cg.get(F::Instructions);
+        assert!(ep_div > 3.0 * cg_div);
+        let ep_mem = ep.get(F::DramBytes) / ep.get(F::Instructions);
+        let cg_mem = cg.get(F::DramBytes) / cg.get(F::Instructions);
+        assert!(cg_mem > 50.0 * ep_mem);
+    }
+
+    #[test]
+    fn kernel_names_are_distinct() {
+        let mut names: Vec<String> = NpbKernel::ALL.iter().map(|&k| NpbApp::new(k, 1.0).name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn power_stays_within_platform_budget() {
+        for s in [PlatformSpec::intel_haswell(), PlatformSpec::intel_skylake()] {
+            let pm = pmca_cpusim::power::PowerModel::for_platform(&s);
+            for k in NpbKernel::ALL {
+                let seg = &NpbApp::new(k, 2.0).segments(&s)[0];
+                let p = pm.phase_power(&seg.total_activity(), seg.duration_s());
+                assert!(p > 1.0, "{k} on {}: {p} W suspiciously low", s.processor);
+                assert!(p <= s.max_dynamic_watts(), "{k} on {}: {p} W over budget", s.processor);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn rejects_nonpositive_scale() {
+        let _ = NpbApp::new(NpbKernel::Cg, 0.0);
+    }
+}

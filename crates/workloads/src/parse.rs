@@ -1,0 +1,175 @@
+//! Textual application specifications.
+//!
+//! Tools (the `slope-pmc` CLI, scripts, config files) name workloads as
+//! compact `family:size` strings:
+//!
+//! | spec | application |
+//! |---|---|
+//! | `dgemm:12000` | [`Dgemm`] on 12000×12000 matrices |
+//! | `fft:24000` | [`Fft2d`] on a 24000×24000 grid |
+//! | `hpcg:1.5` | [`Hpcg`] at scale 1.5 |
+//! | `npb-cg:1.2` | NPB CG at scale 1.2 (any of `bt cg ep ft is lu mg sp`) |
+//! | `stress-vm:5` | `stress --vm` for 5 s (any of `cpu vm io`) |
+//! | `sort:2`, `pchase:1`, `strproc:1`, `interp:0.5` | misc applications |
+//! | `a;b` | serial compound of two specs |
+
+use crate::misc::{MiscApp, MiscKind};
+use crate::npb::{NpbApp, NpbKernel};
+use crate::stress::{Stress, StressKind};
+use crate::{Dgemm, Fft2d, Hpcg};
+use pmca_cpusim::app::{Application, CompoundApp};
+use std::error::Error;
+use std::fmt;
+
+/// Failure to parse an application spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAppError {
+    spec: String,
+    reason: String,
+}
+
+impl fmt::Display for ParseAppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot parse application spec {:?}: {}", self.spec, self.reason)
+    }
+}
+
+impl Error for ParseAppError {}
+
+fn err(spec: &str, reason: impl Into<String>) -> ParseAppError {
+    ParseAppError { spec: spec.to_string(), reason: reason.into() }
+}
+
+/// Parse one (possibly compound) application spec.
+///
+/// # Errors
+///
+/// Returns [`ParseAppError`] describing the offending part.
+///
+/// # Examples
+///
+/// ```
+/// let app = pmca_workloads::parse::app_from_spec("dgemm:9000;fft:24000").unwrap();
+/// assert_eq!(app.name(), "dgemm-9000;fft-24000");
+/// ```
+pub fn app_from_spec(spec: &str) -> Result<Box<dyn Application>, ParseAppError> {
+    let parts: Vec<&str> = spec.split(';').collect();
+    if parts.len() > 1 {
+        let components = parts
+            .iter()
+            .map(|p| base_from_spec(p.trim()))
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(Box::new(CompoundApp::new(components)));
+    }
+    base_from_spec(spec.trim())
+}
+
+fn base_from_spec(spec: &str) -> Result<Box<dyn Application>, ParseAppError> {
+    let (family, size) = spec
+        .split_once(':')
+        .ok_or_else(|| err(spec, "expected family:size"))?;
+    let family = family.trim().to_ascii_lowercase();
+    let size = size.trim();
+    let as_usize = || -> Result<usize, ParseAppError> {
+        size.parse().map_err(|_| err(spec, format!("{size:?} is not a positive integer")))
+    };
+    let as_f64 = || -> Result<f64, ParseAppError> {
+        let v: f64 = size.parse().map_err(|_| err(spec, format!("{size:?} is not a number")))?;
+        if !v.is_finite() || v <= 0.0 {
+            return Err(err(spec, "size must be positive"));
+        }
+        Ok(v)
+    };
+
+    match family.as_str() {
+        "dgemm" => Ok(Box::new(Dgemm::new(as_usize()?))),
+        "fft" => Ok(Box::new(Fft2d::new(as_usize()?.max(2)))),
+        "hpcg" => Ok(Box::new(Hpcg::new(as_f64()?))),
+        "sort" => Ok(Box::new(MiscApp::new(MiscKind::Sort, as_f64()?))),
+        "pchase" => Ok(Box::new(MiscApp::new(MiscKind::PointerChase, as_f64()?))),
+        "strproc" => Ok(Box::new(MiscApp::new(MiscKind::StringProc, as_f64()?))),
+        "interp" => Ok(Box::new(MiscApp::new(MiscKind::Interp, as_f64()?))),
+        _ => {
+            if let Some(kernel) = family.strip_prefix("npb-") {
+                let kernel = match kernel {
+                    "bt" => NpbKernel::Bt,
+                    "cg" => NpbKernel::Cg,
+                    "ep" => NpbKernel::Ep,
+                    "ft" => NpbKernel::Ft,
+                    "is" => NpbKernel::Is,
+                    "lu" => NpbKernel::Lu,
+                    "mg" => NpbKernel::Mg,
+                    "sp" => NpbKernel::Sp,
+                    other => return Err(err(spec, format!("unknown NPB kernel {other:?}"))),
+                };
+                return Ok(Box::new(NpbApp::new(kernel, as_f64()?)));
+            }
+            if let Some(kind) = family.strip_prefix("stress-") {
+                let kind = match kind {
+                    "cpu" => StressKind::Cpu,
+                    "vm" => StressKind::Vm,
+                    "io" => StressKind::Io,
+                    other => return Err(err(spec, format!("unknown stress kind {other:?}"))),
+                };
+                return Ok(Box::new(Stress::new(kind, as_f64()?)));
+            }
+            Err(err(spec, format!("unknown application family {family:?}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmca_cpusim::PlatformSpec;
+
+    #[test]
+    fn parses_every_family() {
+        let specs = [
+            ("dgemm:9000", "dgemm-9000"),
+            ("fft:24000", "fft-24000"),
+            ("hpcg:1.5", "hpcg-1.500"),
+            ("npb-cg:1.2", "npb-cg-1.200"),
+            ("stress-vm:5", "stress-vm-5.0s"),
+            ("sort:2", "misc-sort-2.000"),
+            ("pchase:1", "misc-pchase-1.000"),
+            ("strproc:1", "misc-strproc-1.000"),
+            ("interp:0.5", "misc-interp-0.500"),
+        ];
+        let platform = PlatformSpec::intel_skylake();
+        for (spec, expected_name) in specs {
+            let app = app_from_spec(spec).unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(app.name(), expected_name, "{spec}");
+            assert!(!app.segments(&platform).is_empty(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn parses_compounds() {
+        let app = app_from_spec("dgemm:8000; fft:23000").unwrap();
+        assert_eq!(app.name(), "dgemm-8000;fft-23000");
+        assert_eq!(app.segments(&PlatformSpec::intel_skylake()).len(), 2);
+    }
+
+    #[test]
+    fn spec_parsing_is_case_insensitive_on_family() {
+        assert!(app_from_spec("DGEMM:4000").is_ok());
+        assert!(app_from_spec("Npb-EP:1").is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in ["dgemm", "dgemm:", "dgemm:abc", "dgemm:-5", "wat:1", "npb-zz:1", "stress-gpu:1", "fft:0.5;"] {
+            assert!(app_from_spec(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn error_message_names_the_spec() {
+        let e = match app_from_spec("bogus:1") {
+            Err(e) => e,
+            Ok(_) => panic!("bogus spec parsed"),
+        };
+        assert!(e.to_string().contains("bogus"), "{e}");
+    }
+}

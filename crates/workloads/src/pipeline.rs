@@ -1,0 +1,229 @@
+//! Phase-structured applications.
+//!
+//! Real applications are rarely uniform: a data-analytics job loads
+//! (memory-bound), computes (compute-bound), then writes back. The
+//! simulator's [`Phase`] machinery models exactly this, and the sampled
+//! power meter sees the resulting power *profile* — not just an average.
+//! [`PipelineApp`] builds such applications from named stages and is used
+//! by the tests that pin down the meter's time resolution and the
+//! additivity of phase-structured work.
+
+use crate::mix::{build_activity, InstructionMix};
+use pmca_cpusim::app::{Application, Footprint, Phase, Segment};
+use pmca_cpusim::spec::PlatformSpec;
+
+/// One stage of a pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Stage {
+    /// Streaming load: memory-bound, low IPC.
+    Load,
+    /// Dense compute: FP-heavy, high IPC.
+    Compute,
+    /// Write-back: store-heavy.
+    Store,
+    /// Idle-ish coordination: very low activity.
+    Coordinate,
+}
+
+impl Stage {
+    fn mix(self) -> InstructionMix {
+        let base = InstructionMix::base();
+        match self {
+            Stage::Load => InstructionMix {
+                ipc: 0.8,
+                load_frac: 0.45,
+                store_frac: 0.05,
+                l1_miss_per_load: 0.2,
+                l2_miss_per_l1_miss: 0.6,
+                dram_bytes_per_instr: 2.5,
+                demand_l3_miss_per_instr: 6e-4,
+                ..base
+            },
+            Stage::Compute => InstructionMix {
+                ipc: 2.6,
+                fp256_per_instr: 1.6,
+                load_frac: 0.2,
+                store_frac: 0.04,
+                l1_miss_per_load: 0.02,
+                dram_bytes_per_instr: 0.05,
+                ..base
+            },
+            Stage::Store => InstructionMix {
+                ipc: 1.2,
+                load_frac: 0.15,
+                store_frac: 0.4,
+                dram_bytes_per_instr: 1.8,
+                ..base
+            },
+            Stage::Coordinate => InstructionMix {
+                ipc: 0.4,
+                load_frac: 0.2,
+                store_frac: 0.05,
+                branch_frac: 0.3,
+                mispredict_rate: 0.04,
+                dram_bytes_per_instr: 0.1,
+                ..base
+            },
+        }
+    }
+}
+
+/// A phase-structured application: a sequence of `(stage, seconds)` pairs
+/// executed as one segment with one phase per stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineApp {
+    name: String,
+    stages: Vec<(Stage, f64)>,
+}
+
+impl PipelineApp {
+    /// Build a pipeline from stages and their durations (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty or any duration is not positive.
+    pub fn new(name: &str, stages: Vec<(Stage, f64)>) -> Self {
+        assert!(!stages.is_empty(), "pipeline needs at least one stage");
+        for &(_, d) in &stages {
+            assert!(d.is_finite() && d > 0.0, "stage durations must be positive");
+        }
+        PipelineApp { name: name.to_string(), stages }
+    }
+
+    /// A classic extract–transform–load shape: load, compute, store.
+    pub fn etl(name: &str, scale: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+        PipelineApp::new(
+            name,
+            vec![
+                (Stage::Load, 2.0 * scale),
+                (Stage::Compute, 3.0 * scale),
+                (Stage::Store, 1.0 * scale),
+            ],
+        )
+    }
+
+    /// Number of stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+impl Application for PipelineApp {
+    fn name(&self) -> String {
+        format!("pipeline-{}", self.name)
+    }
+
+    fn segments(&self, spec: &PlatformSpec) -> Vec<Segment> {
+        let phases = self
+            .stages
+            .iter()
+            .map(|&(stage, seconds)| {
+                let mix = stage.mix();
+                let instructions = seconds * spec.aggregate_hz() * mix.ipc;
+                Phase::new(seconds, build_activity(spec, instructions, seconds, 80.0, &mix))
+            })
+            .collect();
+        vec![Segment {
+            label: self.name(),
+            footprint: Footprint {
+                code_kib: 80.0,
+                data_mib: 1_500.0,
+                branch_irregularity: 0.25,
+                microcode_intensity: 0.05,
+                adaptivity: 0.0,
+            },
+            phases,
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmca_cpusim::{Machine, PlatformSpec};
+    use pmca_powermeter::wattsup::WattsUpPro;
+    use pmca_stats::descriptive::relative_difference;
+
+    #[test]
+    fn phases_map_one_to_one_onto_stages() {
+        let app = PipelineApp::etl("t", 1.0);
+        let segs = app.segments(&PlatformSpec::intel_skylake());
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].phases.len(), 3);
+        assert!((segs[0].duration_s() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_phase_draws_more_power_than_coordinate_phase() {
+        let spec = PlatformSpec::intel_skylake();
+        let pm = pmca_cpusim::power::PowerModel::for_platform(&spec);
+        let app = PipelineApp::new(
+            "contrast",
+            vec![(Stage::Compute, 2.0), (Stage::Coordinate, 2.0)],
+        );
+        let seg = &app.segments(&spec)[0];
+        let p_compute = pm.phase_power(&seg.phases[0].activity, 2.0);
+        let p_coord = pm.phase_power(&seg.phases[1].activity, 2.0);
+        assert!(
+            p_compute > 3.0 * p_coord,
+            "compute {p_compute} W vs coordinate {p_coord} W"
+        );
+    }
+
+    #[test]
+    fn meter_resolves_the_power_profile() {
+        // A long low-power head and a high-power tail: the meter's samples
+        // must show the step.
+        let mut machine = Machine::new(PlatformSpec::intel_skylake(), 8);
+        let app = PipelineApp::new("step", vec![(Stage::Coordinate, 5.0), (Stage::Compute, 5.0)]);
+        let record = machine.run(&app);
+        let mut meter = WattsUpPro::new(machine.spec().idle_power_watts, 8);
+        let (samples, _) = meter.sample_run(&record);
+        assert!(samples.len() >= 10);
+        let head: f64 = samples[..3].iter().sum::<f64>() / 3.0;
+        let tail: f64 = samples[samples.len() - 3..].iter().sum::<f64>() / 3.0;
+        assert!(tail > head + 20.0, "head {head} W, tail {tail} W");
+    }
+
+    #[test]
+    fn meter_energy_matches_truth_for_phase_structured_runs() {
+        let mut machine = Machine::new(PlatformSpec::intel_skylake(), 8);
+        let app = PipelineApp::etl("integrate", 2.0);
+        let record = machine.run(&app);
+        let mut meter = WattsUpPro::new(machine.spec().idle_power_watts, 8);
+        meter.set_gain(1.0);
+        let (samples, dt) = meter.sample_run(&record);
+        let total: f64 = samples.iter().sum::<f64>() * dt;
+        let expected =
+            record.dynamic_energy_joules + machine.spec().idle_power_watts * record.duration_s;
+        assert!(relative_difference(total, expected) < 0.02);
+    }
+
+    #[test]
+    fn pipelines_are_energy_additive_under_composition() {
+        let mut machine = Machine::new(PlatformSpec::intel_skylake(), 8);
+        let a = PipelineApp::etl("left", 0.7);
+        let b = PipelineApp::new("right", vec![(Stage::Load, 1.0), (Stage::Store, 1.0)]);
+        let avg = |m: &mut Machine, app: &dyn Application| -> f64 {
+            (0..4).map(|_| m.run(app).dynamic_energy_joules).sum::<f64>() / 4.0
+        };
+        let ea = avg(&mut machine, &a);
+        let eb = avg(&mut machine, &b);
+        let compound = pmca_cpusim::app::CompoundApp::pair(a, b);
+        let eab = avg(&mut machine, &compound);
+        assert!(relative_difference(ea + eb, eab) < 0.02, "{ea} + {eb} vs {eab}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn rejects_empty_pipeline() {
+        let _ = PipelineApp::new("x", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "durations must be positive")]
+    fn rejects_nonpositive_stage() {
+        let _ = PipelineApp::new("x", vec![(Stage::Load, 0.0)]);
+    }
+}

@@ -1,0 +1,215 @@
+//! `stress`-style duration-adaptive loads.
+//!
+//! The Unix `stress` tool spins workers until a timer expires, so its
+//! *total work* depends on the machine state it runs under: composed after
+//! another application (frequency governor state, cache warmth, scheduler
+//! placement), it completes a visibly different amount of work than solo.
+//! In the simulator this is the `adaptivity` footprint knob — and it is the
+//! mechanism that makes **every** PMC non-additive for some compounds,
+//! matching the paper's finding that no PMC passed the 5% additivity test
+//! over the full suite on either platform.
+
+use crate::mix::{build_activity, InstructionMix};
+use pmca_cpusim::app::{Application, Footprint, Phase, Segment};
+use pmca_cpusim::spec::PlatformSpec;
+use std::fmt;
+
+/// Which resource the stress workers hammer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StressKind {
+    /// `stress --cpu`: spin on ALU/FPU work.
+    Cpu,
+    /// `stress --vm`: touch memory continuously.
+    Vm,
+    /// `stress --io`-ish: syscall/context-switch heavy.
+    Io,
+}
+
+impl fmt::Display for StressKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StressKind::Cpu => write!(f, "cpu"),
+            StressKind::Vm => write!(f, "vm"),
+            StressKind::Io => write!(f, "io"),
+        }
+    }
+}
+
+/// A stress load running for a nominal duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stress {
+    kind: StressKind,
+    nominal_seconds: f64,
+}
+
+impl Stress {
+    /// Create a stress load of the given kind and nominal duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nominal_seconds` is not positive and finite.
+    pub fn new(kind: StressKind, nominal_seconds: f64) -> Self {
+        assert!(
+            nominal_seconds.is_finite() && nominal_seconds > 0.0,
+            "duration must be positive"
+        );
+        Stress { kind, nominal_seconds }
+    }
+
+    /// The stressed resource.
+    pub fn kind(&self) -> StressKind {
+        self.kind
+    }
+
+    /// Nominal (solo) duration, seconds.
+    pub fn nominal_seconds(&self) -> f64 {
+        self.nominal_seconds
+    }
+}
+
+impl Application for Stress {
+    fn name(&self) -> String {
+        format!("stress-{}-{:.1}s", self.kind, self.nominal_seconds)
+    }
+
+    fn segments(&self, spec: &PlatformSpec) -> Vec<Segment> {
+        let base = InstructionMix::base();
+        let (ipc, mix, data_mib, irregularity) = match self.kind {
+            StressKind::Cpu => (
+                2.8,
+                InstructionMix {
+                    ipc: 2.8,
+                    fp_scalar_per_instr: 0.30,
+                    load_frac: 0.08,
+                    store_frac: 0.02,
+                    branch_frac: 0.12,
+                    mispredict_rate: 0.002,
+                    l1_miss_per_load: 0.002,
+                    dram_bytes_per_instr: 0.002,
+                    demand_l3_miss_per_instr: 1e-7,
+                    div_per_instr: 1.2e-4,
+                    ms_frac: 0.018,
+                    mite_frac: 0.14,
+                    icache_miss_per_instr: 1.7e-4,
+                    ..base
+                },
+                2.0,
+                0.10,
+            ),
+            StressKind::Vm => (
+                0.7,
+                InstructionMix {
+                    ipc: 0.7,
+                    load_frac: 0.40,
+                    store_frac: 0.28,
+                    branch_frac: 0.10,
+                    mispredict_rate: 0.008,
+                    l1_miss_per_load: 0.25,
+                    l2_miss_per_l1_miss: 0.7,
+                    l3_hit_per_l2_miss: 0.2,
+                    dram_bytes_per_instr: 2.2,
+                    demand_l3_miss_per_instr: 1.6e-3,
+                    div_per_instr: 2.5e-5,
+                    ms_frac: 0.012,
+                    mite_frac: 0.14,
+                    icache_miss_per_instr: 1.7e-4,
+                    ..base
+                },
+                8_000.0,
+                0.30,
+            ),
+            StressKind::Io => (
+                0.9,
+                InstructionMix {
+                    ipc: 0.9,
+                    load_frac: 0.30,
+                    store_frac: 0.14,
+                    branch_frac: 0.19,
+                    mispredict_rate: 0.02,
+                    l1_miss_per_load: 0.08,
+                    dram_bytes_per_instr: 0.5,
+                    demand_l3_miss_per_instr: 2e-4,
+                    div_per_instr: 7e-5,
+                    ms_frac: 0.035, // syscall paths are microcoded
+                    mite_frac: 0.16,
+                    icache_miss_per_instr: 1.7e-4,
+                    ..base
+                },
+                120.0,
+                0.70,
+            ),
+        };
+        let instructions = self.nominal_seconds * spec.aggregate_hz() * ipc * 0.9;
+        let footprint = Footprint {
+            code_kib: 95.0,
+            data_mib,
+            branch_irregularity: irregularity,
+            microcode_intensity: 0.20,
+            adaptivity: 0.28,
+        };
+        let mut activity = build_activity(spec, instructions, self.nominal_seconds, footprint.code_kib, &mix);
+        // Timer-driven programs fault and context-switch proportionally to
+        // runtime regardless of useful work.
+        activity.bump(pmca_cpusim::activity::ActivityField::ContextSwitches, self.nominal_seconds * 900.0);
+        vec![Segment {
+            label: self.name(),
+            footprint,
+            phases: vec![Phase::new(self.nominal_seconds, activity)],
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmca_cpusim::app::CompoundApp;
+    use pmca_cpusim::Machine;
+    use pmca_stats::descriptive::relative_difference;
+
+    #[test]
+    fn all_kinds_produce_physical_activity() {
+        let s = PlatformSpec::intel_haswell();
+        for kind in [StressKind::Cpu, StressKind::Vm, StressKind::Io] {
+            let a = Stress::new(kind, 5.0).segments(&s)[0].total_activity();
+            assert!(a.is_physical(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn stress_is_adaptive() {
+        let s = PlatformSpec::intel_skylake();
+        let seg = &Stress::new(StressKind::Cpu, 5.0).segments(&s)[0];
+        assert!(seg.footprint.adaptivity > 0.2);
+    }
+
+    #[test]
+    fn stress_breaks_additivity_of_committed_counters() {
+        // The headline mechanism: compose a fixed-work kernel with stress
+        // and even INSTR_RETIRED_ANY stops being additive.
+        let mut m = Machine::new(PlatformSpec::intel_haswell(), 77);
+        let fixed = crate::dgemm::Dgemm::new(5000);
+        let stress = Stress::new(StressKind::Vm, 4.0);
+        let id = m.catalog().id("INSTR_RETIRED_ANY").unwrap();
+        let cf: f64 = (0..6).map(|_| m.run(&fixed).count(id)).sum::<f64>() / 6.0;
+        let cs: f64 = (0..6).map(|_| m.run(&stress).count(id)).sum::<f64>() / 6.0;
+        let comp = CompoundApp::pair(fixed, stress);
+        let cc: f64 = (0..6).map(|_| m.run(&comp).count(id)).sum::<f64>() / 6.0;
+        let err = relative_difference(cf + cs, cc);
+        assert!(err > 0.02, "stress compound should shift total work, err {err}");
+    }
+
+    #[test]
+    fn longer_stress_does_more_work() {
+        let s = PlatformSpec::intel_haswell();
+        let short = Stress::new(StressKind::Cpu, 2.0).segments(&s)[0].total_activity();
+        let long = Stress::new(StressKind::Cpu, 8.0).segments(&s)[0].total_activity();
+        use pmca_cpusim::activity::ActivityField as F;
+        assert!((long.get(F::Instructions) / short.get(F::Instructions) - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn rejects_nonpositive_duration() {
+        let _ = Stress::new(StressKind::Cpu, -1.0);
+    }
+}

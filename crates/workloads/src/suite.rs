@@ -1,0 +1,305 @@
+//! Test-suite builders matching the paper's experimental designs.
+//!
+//! * **Class A** (Haswell): a diverse suite of base applications at many
+//!   problem sizes — DGEMM, FFT, the eight NPB kernels, HPCG, three stress
+//!   kinds, and four non-scientific applications — yielding the paper's
+//!   277-point training set, plus 50 compound (serially composed) test
+//!   applications.
+//! * **Class B/C** (Skylake): DGEMM and FFT only — 50 base applications and
+//!   30 compounds for the additivity test, and the 801-point regression
+//!   dataset (DGEMM `6400 : 64 : 38400`, FFT `22400 : 64 : 41536`).
+
+use crate::dgemm::Dgemm;
+use crate::fft::Fft2d;
+use crate::hpcg::Hpcg;
+use crate::misc::{MiscApp, MiscKind};
+use crate::npb::{NpbApp, NpbKernel};
+use crate::stress::{Stress, StressKind};
+use pmca_cpusim::app::{Application, CompoundApp};
+
+/// Number of base applications in the paper's Class A training set.
+pub const CLASS_A_BASE_COUNT: usize = 277;
+/// Number of compound applications in the paper's Class A test set.
+pub const CLASS_A_COMPOUND_COUNT: usize = 50;
+/// Base applications used for the Class B additivity test.
+pub const CLASS_B_BASE_COUNT: usize = 50;
+/// Compound applications used for the Class B additivity test.
+pub const CLASS_B_COMPOUND_COUNT: usize = 30;
+
+/// A boxed application.
+pub type BoxedApp = Box<dyn Application>;
+
+/// Deterministic xorshift generator so suite composition never depends on
+/// external RNG crates or platform state.
+#[derive(Debug, Clone)]
+struct SuiteRng(u64);
+
+impl SuiteRng {
+    fn new(seed: u64) -> Self {
+        SuiteRng(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// One factory per Class A application family, sampled at a per-family
+/// size grid.
+fn class_a_families() -> Vec<Box<dyn Fn(f64) -> BoxedApp>> {
+    let mut fams: Vec<Box<dyn Fn(f64) -> BoxedApp>> = Vec::new();
+    fams.push(Box::new(|t| {
+        Box::new(Dgemm::new((2_500.0 + 7_500.0 * t) as usize)) as BoxedApp
+    }));
+    fams.push(Box::new(|t| {
+        Box::new(Fft2d::new((8_000.0 + 18_000.0 * t) as usize)) as BoxedApp
+    }));
+    for kernel in NpbKernel::ALL {
+        fams.push(Box::new(move |t| Box::new(NpbApp::new(kernel, 0.4 + 2.6 * t)) as BoxedApp));
+    }
+    fams.push(Box::new(|t| Box::new(Hpcg::new(0.3 + 2.2 * t)) as BoxedApp));
+    for kind in [StressKind::Cpu, StressKind::Vm, StressKind::Io] {
+        fams.push(Box::new(move |t| Box::new(Stress::new(kind, 2.0 + 10.0 * t)) as BoxedApp));
+    }
+    for kind in MiscKind::ALL {
+        fams.push(Box::new(move |t| Box::new(MiscApp::new(kind, 0.4 + 2.8 * t)) as BoxedApp));
+    }
+    fams
+}
+
+/// The diverse Class A base suite: `count` applications cycling through all
+/// families with per-family size sweeps.
+///
+/// # Examples
+///
+/// ```
+/// let suite = pmca_workloads::suite::class_a_base_suite(277);
+/// assert_eq!(suite.len(), 277);
+/// ```
+pub fn class_a_base_suite(count: usize) -> Vec<BoxedApp> {
+    let families = class_a_families();
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let family = &families[i % families.len()];
+        // Golden-ratio stride gives well-spread, collision-free sizes
+        // within each family.
+        let k = i / families.len();
+        let t = (0.11 + k as f64 * 0.618_033_988_749_895).fract();
+        out.push(family(t));
+    }
+    out
+}
+
+/// `count` Class A compound pairs: random ordered pairs of distinct base
+/// applications (the paper composes serial executions of base apps).
+/// Returned as pairs so callers can measure the bases independently — the
+/// additivity test needs both sides of Eq. 1.
+pub fn class_a_compound_pairs(count: usize, seed: u64) -> Vec<(BoxedApp, BoxedApp)> {
+    let families = class_a_families();
+    let mut rng = SuiteRng::new(seed ^ 0xC0FFEE);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let fa = rng.index(families.len());
+        let mut fb = rng.index(families.len());
+        if fb == fa {
+            fb = (fb + 1) % families.len();
+        }
+        let a = families[fa](rng.unit());
+        let b = families[fb](rng.unit());
+        out.push((a, b));
+    }
+    out
+}
+
+/// `count` Class A compound applications (the composed form of
+/// [`class_a_compound_pairs`], same seed → same compounds).
+pub fn class_a_compounds(count: usize, seed: u64) -> Vec<CompoundApp> {
+    class_a_compound_pairs(count, seed)
+        .into_iter()
+        .map(|(a, b)| CompoundApp::new(vec![a, b]))
+        .collect()
+}
+
+/// Class B base applications: `count` DGEMM/FFT runs across the paper's
+/// additivity-test size ranges (DGEMM 6500²–20000², FFT 22400²–29000²).
+pub fn class_b_base_suite(count: usize) -> Vec<BoxedApp> {
+    let mut out: Vec<BoxedApp> = Vec::with_capacity(count);
+    let half = count / 2;
+    for i in 0..half {
+        let t = i as f64 / (half.max(2) - 1) as f64;
+        let n = 6_500 + ((20_000 - 6_500) as f64 * t) as usize;
+        out.push(Box::new(Dgemm::new(n)));
+    }
+    for i in 0..(count - half) {
+        let t = i as f64 / ((count - half).max(2) - 1) as f64;
+        let n = 22_400 + ((29_000 - 22_400) as f64 * t) as usize;
+        out.push(Box::new(Fft2d::new(n)));
+    }
+    out
+}
+
+/// Class B compound pairs: `count` DGEMM+FFT / FFT+DGEMM / same-kernel
+/// pairs over the additivity-test ranges.
+pub fn class_b_compound_pairs(count: usize, seed: u64) -> Vec<(BoxedApp, BoxedApp)> {
+    let mut rng = SuiteRng::new(seed ^ 0xB00);
+    let mut out: Vec<(BoxedApp, BoxedApp)> = Vec::with_capacity(count);
+    for i in 0..count {
+        let dgemm_n = 6_500 + (rng.unit() * (20_000.0 - 6_500.0)) as usize;
+        let fft_n = 22_400 + (rng.unit() * (29_000.0 - 22_400.0)) as usize;
+        let pair: (BoxedApp, BoxedApp) = match i % 4 {
+            0 => (Box::new(Dgemm::new(dgemm_n)), Box::new(Fft2d::new(fft_n))),
+            1 => (Box::new(Fft2d::new(fft_n)), Box::new(Dgemm::new(dgemm_n))),
+            2 => {
+                let m = 6_500 + (rng.unit() * (20_000.0 - 6_500.0)) as usize;
+                (Box::new(Dgemm::new(dgemm_n)), Box::new(Dgemm::new(m)))
+            }
+            _ => {
+                let m = 22_400 + (rng.unit() * (29_000.0 - 22_400.0)) as usize;
+                (Box::new(Fft2d::new(fft_n)), Box::new(Fft2d::new(m)))
+            }
+        };
+        out.push(pair);
+    }
+    out
+}
+
+/// Class B compound applications (the composed form of
+/// [`class_b_compound_pairs`], same seed → same compounds).
+pub fn class_b_compounds(count: usize, seed: u64) -> Vec<CompoundApp> {
+    class_b_compound_pairs(count, seed)
+        .into_iter()
+        .map(|(a, b)| CompoundApp::new(vec![a, b]))
+        .collect()
+}
+
+/// The Class B regression dataset: DGEMM sizes `6400 : 64 : 38400` (501
+/// points) followed by FFT sizes `22400 : 64 : 41536` (300 points) — the
+/// paper's 801-point dataset.
+///
+/// # Examples
+///
+/// ```
+/// let apps = pmca_workloads::suite::class_b_regression_suite();
+/// assert_eq!(apps.len(), 801);
+/// ```
+pub fn class_b_regression_suite() -> Vec<BoxedApp> {
+    let mut out: Vec<BoxedApp> = Vec::new();
+    let mut n = 6_400;
+    while n <= 38_400 {
+        out.push(Box::new(Dgemm::new(n)));
+        n += 64;
+    }
+    let mut n = 22_400;
+    while n <= 41_536 {
+        out.push(Box::new(Fft2d::new(n)));
+        n += 64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmca_cpusim::spec::PlatformSpec;
+    use std::collections::HashSet;
+
+    #[test]
+    fn class_a_suite_has_paper_cardinality() {
+        let suite = class_a_base_suite(CLASS_A_BASE_COUNT);
+        assert_eq!(suite.len(), 277);
+    }
+
+    #[test]
+    fn class_a_suite_is_diverse() {
+        let suite = class_a_base_suite(CLASS_A_BASE_COUNT);
+        let prefixes: HashSet<String> = suite
+            .iter()
+            .map(|a| a.name().split('-').next().unwrap_or_default().to_string())
+            .collect();
+        assert!(prefixes.len() >= 5, "only {prefixes:?}");
+        // Names must be unique: they seed per-application noise streams.
+        let names: HashSet<String> = suite.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), suite.len(), "duplicate app names");
+    }
+
+    #[test]
+    fn class_a_compounds_are_pairs() {
+        let compounds = class_a_compounds(CLASS_A_COMPOUND_COUNT, 42);
+        assert_eq!(compounds.len(), 50);
+        for c in &compounds {
+            assert_eq!(c.arity(), 2);
+        }
+    }
+
+    #[test]
+    fn suite_construction_is_deterministic() {
+        let a: Vec<String> = class_a_base_suite(100).iter().map(|x| x.name()).collect();
+        let b: Vec<String> = class_a_base_suite(100).iter().map(|x| x.name()).collect();
+        assert_eq!(a, b);
+        let ca: Vec<String> = class_a_compounds(20, 7).iter().map(|x| x.name()).collect();
+        let cb: Vec<String> = class_a_compounds(20, 7).iter().map(|x| x.name()).collect();
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn different_seeds_give_different_compounds() {
+        let a: Vec<String> = class_a_compounds(20, 1).iter().map(|x| x.name()).collect();
+        let b: Vec<String> = class_a_compounds(20, 2).iter().map(|x| x.name()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn class_b_suite_is_dgemm_and_fft_only() {
+        let suite = class_b_base_suite(CLASS_B_BASE_COUNT);
+        assert_eq!(suite.len(), 50);
+        for app in &suite {
+            let name = app.name();
+            assert!(name.starts_with("dgemm-") || name.starts_with("fft-"), "{name}");
+        }
+    }
+
+    #[test]
+    fn class_b_regression_suite_has_801_points() {
+        let suite = class_b_regression_suite();
+        assert_eq!(suite.len(), 801);
+        let dgemm = suite.iter().filter(|a| a.name().starts_with("dgemm-")).count();
+        assert_eq!(dgemm, 501);
+        assert_eq!(suite.len() - dgemm, 300);
+    }
+
+    #[test]
+    fn class_b_compounds_cover_both_orders() {
+        let compounds = class_b_compounds(CLASS_B_COMPOUND_COUNT, 5);
+        assert_eq!(compounds.len(), 30);
+        let names: Vec<String> = compounds.iter().map(|c| c.name()).collect();
+        assert!(names.iter().any(|n| n.starts_with("dgemm") && n.contains(";fft")));
+        assert!(names.iter().any(|n| n.starts_with("fft") && n.contains(";dgemm")));
+    }
+
+    #[test]
+    fn every_suite_member_runs_on_its_platform() {
+        let hw = PlatformSpec::intel_haswell();
+        for app in class_a_base_suite(40) {
+            let segs = app.segments(&hw);
+            assert!(!segs.is_empty());
+            assert!(segs[0].total_activity().is_physical(), "{}", app.name());
+        }
+        let sk = PlatformSpec::intel_skylake();
+        for app in class_b_base_suite(10) {
+            assert!(app.segments(&sk)[0].total_activity().is_physical(), "{}", app.name());
+        }
+    }
+}

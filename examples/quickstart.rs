@@ -1,0 +1,50 @@
+//! Quickstart: simulate a platform, measure an application's dynamic
+//! energy, collect PMCs, and test two counters for additivity.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use pmca_additivity::{AdditivityChecker, CompoundCase};
+use pmca_cpusim::{Machine, PlatformSpec};
+use pmca_pmctools::collector::collect_all;
+use pmca_powermeter::HclWattsUp;
+use pmca_workloads::{Dgemm, Fft2d};
+
+fn main() {
+    // 1. A simulated single-socket Skylake server (Table 1 of the paper).
+    let mut machine = Machine::new(PlatformSpec::intel_skylake(), 42);
+    println!(
+        "platform: {} ({} cores, idle {} W)",
+        machine.spec().processor,
+        machine.spec().total_cores(),
+        machine.spec().idle_power_watts
+    );
+    println!("event catalog: {} PMCs", machine.catalog().len());
+
+    // 2. Measure DGEMM's dynamic energy through the simulated WattsUp.
+    let mut meter = HclWattsUp::new(&machine, 42);
+    let dgemm = Dgemm::new(12_000);
+    let energy = meter.measure_dynamic_energy(&mut machine, &dgemm);
+    println!(
+        "\ndgemm-12000: {:.1} J dynamic energy over {:.2} s ({} runs, ±{:.1} J)",
+        energy.mean_joules, energy.mean_seconds, energy.runs, energy.ci_half_width
+    );
+
+    // 3. Collect a few PMCs — note the multi-run cost of constrained events.
+    let events = machine
+        .catalog()
+        .ids(&["UOPS_EXECUTED_CORE", "MEM_INST_RETIRED_ALL_STORES", "ARITH_DIVIDER_COUNT"])
+        .expect("catalog events");
+    let pmcs = collect_all(&mut machine, &dgemm, &events).expect("collection");
+    println!("\nPMCs ({} runs needed — the divider only counts alone):", pmcs.runs_used);
+    for &id in &events {
+        println!("  {:<32} {:>18.0}", machine.catalog().event(id).name, pmcs.get(id));
+    }
+
+    // 4. The paper's additivity test on a DGEMM;FFT compound.
+    let cases = vec![CompoundCase::new(Box::new(Dgemm::new(9_000)), Box::new(Fft2d::new(24_000)))];
+    let report = AdditivityChecker::default()
+        .check(&mut machine, &events, &cases)
+        .expect("additivity check");
+    println!("\nadditivity test (tolerance {:.0}%):", report.tolerance_pct());
+    print!("{}", report.to_table());
+}

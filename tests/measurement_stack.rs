@@ -1,0 +1,130 @@
+//! Integration tests over the measurement stack additions: the
+//! multiplexing collector, the on-chip sensor, the online model, and the
+//! phase-structured workloads — exercised together, across crates.
+
+use pmca_core::online::OnlineModel;
+use pmca_cpusim::app::Application;
+use pmca_cpusim::{Machine, PlatformSpec};
+use pmca_pmctools::collector::collect_all;
+use pmca_pmctools::multiplex::Multiplexer;
+use pmca_powermeter::rapl::RaplSensor;
+use pmca_powermeter::{HclWattsUp, Methodology};
+use pmca_workloads::pipeline::{PipelineApp, Stage};
+use pmca_workloads::{Dgemm, Fft2d};
+
+/// The three measurement approaches of the paper's taxonomy, compared on
+/// one workload: the external meter is unbiased, the on-chip sensor is
+/// workload-biased, and the PMC model sits in between.
+#[test]
+fn measurement_taxonomy_behaves_as_the_paper_describes() {
+    let mut machine = Machine::new(PlatformSpec::intel_skylake(), 51);
+    let mut meter = HclWattsUp::with_methodology(&machine, 51, Methodology::standard());
+
+    // (a) external meter: tracks truth within noise on any workload.
+    for app in [Dgemm::new(14_000), Dgemm::new(20_000)] {
+        let measured = meter.measure_dynamic_energy(&mut machine, &app).mean_joules;
+        let truth = machine.run(&app).dynamic_energy_joules;
+        assert!(
+            (measured - truth).abs() / truth < 0.08,
+            "meter {measured} vs truth {truth}"
+        );
+    }
+
+    // (b) on-chip sensor: systematic bias that flips sign with the
+    // workload's memory character.
+    let sensor = RaplSensor::default();
+    let compute = machine.run(&Dgemm::new(14_000));
+    let memory = machine.run(&Fft2d::new(26_000));
+    assert!(sensor.relative_error(&compute) > 0.0, "compute-bound should overestimate");
+    assert!(
+        sensor.relative_error(&memory) < sensor.relative_error(&compute),
+        "memory-bound bias must be lower"
+    );
+}
+
+/// Multiplexed collection trades runs for accuracy — quantified end to
+/// end on a real workload.
+#[test]
+fn multiplexing_trades_runs_for_accuracy() {
+    let mut machine = Machine::new(PlatformSpec::intel_skylake(), 52);
+    let app = Dgemm::new(12_000);
+    let events = machine
+        .catalog()
+        .ids(&[
+            "UOPS_EXECUTED_CORE",
+            "FP_ARITH_INST_RETIRED_DOUBLE",
+            "MEM_INST_RETIRED_ALL_STORES",
+            "L2_RQSTS_MISS",
+            "IDQ_MS_UOPS",
+            "ICACHE_64B_IFTAG_MISS",
+            "ARITH_DIVIDER_COUNT",
+            "MEM_LOAD_RETIRED_L3_MISS",
+        ])
+        .unwrap();
+
+    let grouped = collect_all(&mut machine, &app, &events).unwrap();
+    let muxed = Multiplexer::default().collect(&mut machine, &app, &events).unwrap();
+
+    assert!(grouped.runs_used >= 3, "grouped should need several runs");
+    assert_eq!(muxed.runs_used, 1, "multiplexing must cost one run");
+    for &id in &events {
+        let g = grouped.get(id);
+        let m = muxed.get(id);
+        let rel = (g - m).abs() / g.max(1.0);
+        assert!(rel < 0.30, "{id}: grouped {g} vs muxed {m}");
+    }
+}
+
+/// An online model trained through the full stack estimates the energy of
+/// phase-structured applications it never saw, from a single run each.
+#[test]
+fn online_model_generalises_to_pipelines() {
+    let mut machine = Machine::new(PlatformSpec::intel_skylake(), 53);
+    let mut meter = HclWattsUp::with_methodology(&machine, 53, Methodology::quick());
+
+    // Train on kernels *and* pipelines so both regimes are in range.
+    let mut apps: Vec<Box<dyn Application>> = Vec::new();
+    for i in 0..10 {
+        apps.push(Box::new(Dgemm::new(8_000 + 2_000 * i)));
+        apps.push(Box::new(Fft2d::new(23_000 + 1_500 * i)));
+        apps.push(Box::new(PipelineApp::etl(&format!("train{i}"), 0.5 + 0.35 * i as f64)));
+    }
+    let refs: Vec<&dyn Application> = apps.iter().map(|a| a.as_ref()).collect();
+    let model = OnlineModel::train(
+        &mut machine,
+        &mut meter,
+        &[
+            "UOPS_EXECUTED_CORE",
+            "FP_ARITH_INST_RETIRED_DOUBLE",
+            "MEM_INST_RETIRED_ALL_STORES",
+            "UOPS_DISPATCHED_PORT_PORT_4",
+        ],
+        &refs,
+    )
+    .unwrap();
+
+    let unseen = PipelineApp::new(
+        "deploy",
+        vec![(Stage::Load, 2.5), (Stage::Compute, 4.0), (Stage::Store, 1.5)],
+    );
+    let estimate = model.estimate(&mut machine, &unseen);
+    let truth = meter.measure_dynamic_energy(&mut machine, &unseen).mean_joules;
+    let rel = (estimate - truth).abs() / truth;
+    assert!(rel < 0.5, "estimate {estimate} vs truth {truth} ({rel:.2})");
+}
+
+/// Compound pipelines keep the energy-additivity invariant through the
+/// meter — phases, interference, and personality included.
+#[test]
+fn pipeline_compounds_are_meter_additive() {
+    let mut machine = Machine::new(PlatformSpec::intel_skylake(), 54);
+    let mut meter = HclWattsUp::with_methodology(&machine, 54, Methodology::standard());
+    let a = PipelineApp::etl("left", 1.0);
+    let b = PipelineApp::new("right", vec![(Stage::Compute, 2.0), (Stage::Store, 1.0)]);
+    let ea = meter.measure_dynamic_energy(&mut machine, &a).mean_joules;
+    let eb = meter.measure_dynamic_energy(&mut machine, &b).mean_joules;
+    let compound = pmca_cpusim::app::CompoundApp::pair(a, b);
+    let eab = meter.measure_dynamic_energy(&mut machine, &compound).mean_joules;
+    let rel = ((ea + eb) - eab).abs() / (ea + eb);
+    assert!(rel < 0.05, "{ea} + {eb} vs {eab} ({rel:.3})");
+}

@@ -1,0 +1,207 @@
+//! Property-based tests over the pipeline's core invariants.
+
+use pmca_cpusim::app::{Application, CompoundApp, Footprint, SyntheticApp};
+use pmca_cpusim::{Machine, PlatformSpec};
+use pmca_mlkit::{LinearRegression, Regressor};
+use pmca_pmctools::scheduler::{schedule, PROGRAMMABLE_COUNTERS};
+use pmca_stats::correlation::mid_ranks;
+use proptest::prelude::*;
+
+fn arbitrary_footprint() -> impl Strategy<Value = Footprint> {
+    (1.0f64..3_000.0, 0.01f64..9_000.0, 0.0f64..1.0, 0.0f64..1.0).prop_map(
+        |(code_kib, data_mib, irr, micro)| Footprint {
+            code_kib,
+            data_mib,
+            branch_irregularity: irr,
+            microcode_intensity: micro,
+            adaptivity: 0.0, // fixed-work: the precondition of energy additivity
+        },
+    )
+}
+
+fn arbitrary_app(tag: &'static str) -> impl Strategy<Value = SyntheticApp> {
+    (1e8f64..5e10, 0.0f64..0.8, arbitrary_footprint(), 0u32..1_000_000).prop_map(
+        move |(instructions, mem, fp, uniq)| {
+            SyntheticApp::balanced(&format!("{tag}-{uniq}"), instructions)
+                .with_memory_intensity(mem)
+                .with_footprint(fp)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Dynamic energy of any fixed-work serial composition equals the sum
+    /// of the parts (up to run-to-run noise) — for arbitrary application
+    /// shapes, not just the built-in workloads.
+    #[test]
+    fn energy_is_additive_for_arbitrary_fixed_work_apps(
+        a in arbitrary_app("pa"),
+        b in arbitrary_app("pb"),
+        seed in 0u64..10_000,
+    ) {
+        let mut machine = Machine::new(PlatformSpec::intel_haswell(), seed);
+        let avg = |m: &mut Machine, app: &dyn Application| -> f64 {
+            (0..4).map(|_| m.run(app).dynamic_energy_joules).sum::<f64>() / 4.0
+        };
+        let ea = avg(&mut machine, &a);
+        let eb = avg(&mut machine, &b);
+        let compound = CompoundApp::pair(a, b);
+        let eab = avg(&mut machine, &compound);
+        let rel = ((ea + eb) - eab).abs() / (ea + eb);
+        prop_assert!(rel < 0.03, "{ea} + {eb} vs {eab} (rel {rel})");
+    }
+
+    /// Every schedule of a random event subset is valid: group sizes within
+    /// the counter budget, solo/pair limits respected, each event scheduled
+    /// exactly once.
+    #[test]
+    fn schedules_of_random_subsets_are_valid(
+        indices in proptest::collection::vec(0usize..385, 1..60),
+        haswell in proptest::bool::ANY,
+    ) {
+        let arch = if haswell {
+            pmca_cpusim::MicroArch::Haswell
+        } else {
+            pmca_cpusim::MicroArch::Skylake
+        };
+        let catalog = pmca_cpusim::catalog::EventCatalog::for_micro_arch(arch);
+        let ids: Vec<pmca_cpusim::EventId> = indices
+            .into_iter()
+            .map(|i| pmca_cpusim::EventId(i % catalog.len()))
+            .collect();
+        let groups = schedule(&catalog, &ids).unwrap();
+
+        let mut seen = std::collections::HashSet::new();
+        for group in &groups {
+            prop_assert!(!group.events.is_empty());
+            prop_assert!(group.events.len() <= PROGRAMMABLE_COUNTERS);
+            for &id in &group.events {
+                prop_assert!(seen.insert(id), "{id} scheduled twice");
+                let max = catalog.event(id).constraint.max_group_size();
+                prop_assert!(group.events.len() <= max, "{id} group-size violation");
+            }
+        }
+        for &id in &ids {
+            let fixed = catalog.event(id).constraint == pmca_cpusim::CounterConstraint::Fixed;
+            prop_assert!(fixed || seen.contains(&id), "{id} missing");
+        }
+    }
+
+    /// NNLS coefficients are non-negative for arbitrary data, and the
+    /// zero-intercept constraint holds.
+    #[test]
+    fn nnls_coefficients_are_always_nonnegative(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1e3f64..1e3, 3),
+            4..40
+        ),
+        slope in -5.0f64..5.0,
+    ) {
+        let y: Vec<f64> = rows.iter().map(|r| slope * r[0] + 0.3 * r[1] - 0.7 * r[2]).collect();
+        let mut lr = LinearRegression::paper_constrained();
+        lr.fit(&rows, &y).unwrap();
+        prop_assert_eq!(lr.intercept(), 0.0);
+        for &c in lr.coefficients() {
+            prop_assert!(c >= 0.0, "negative coefficient {}", c);
+        }
+    }
+
+    /// Mid-ranks are a permutation-invariant of the data: sum of ranks is
+    /// always n(n+1)/2, ties share ranks.
+    #[test]
+    fn mid_ranks_sum_is_invariant(xs in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
+        let ranks = mid_ranks(&xs);
+        let n = xs.len() as f64;
+        let sum: f64 = ranks.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    /// Activity scaling commutes with composition: running an app twice as
+    /// a compound produces (within noise) twice the counts of committed
+    /// events.
+    #[test]
+    fn self_composition_doubles_committed_counts(
+        app in arbitrary_app("sc"),
+        seed in 0u64..10_000,
+    ) {
+        let mut machine = Machine::new(PlatformSpec::intel_skylake(), seed);
+        let id = machine.catalog().id("MEM_INST_RETIRED_ALL_STORES").unwrap();
+        let solo: f64 = (0..4).map(|_| machine.run(&app).count(id)).sum::<f64>() / 4.0;
+        let twice = CompoundApp::pair(app.clone(), app);
+        let double: f64 = (0..4).map(|_| machine.run(&twice).count(id)).sum::<f64>() / 4.0;
+        let rel = (double - 2.0 * solo).abs() / (2.0 * solo);
+        prop_assert!(rel < 0.03, "solo {solo}, composed {double} (rel {rel})");
+    }
+
+    /// Every run of an arbitrary application produces finite, non-negative
+    /// counts for every catalog event, and finite positive energy and
+    /// duration — the physicality invariant of the whole simulator.
+    #[test]
+    fn runs_are_always_physical(
+        app in arbitrary_app("phys"),
+        seed in 0u64..10_000,
+        haswell in proptest::bool::ANY,
+    ) {
+        let spec = if haswell {
+            PlatformSpec::intel_haswell()
+        } else {
+            PlatformSpec::intel_skylake()
+        };
+        let mut machine = Machine::new(spec, seed);
+        let record = machine.run(&app);
+        prop_assert!(record.duration_s.is_finite() && record.duration_s > 0.0);
+        prop_assert!(record.dynamic_energy_joules.is_finite() && record.dynamic_energy_joules >= 0.0);
+        for (i, &c) in record.counts.iter().enumerate() {
+            prop_assert!(c.is_finite() && c >= 0.0, "event {i}: {c}");
+        }
+        for p in &record.phase_powers {
+            prop_assert!(p.dynamic_watts.is_finite() && p.dynamic_watts >= 0.0);
+            prop_assert!(p.dynamic_watts <= machine.spec().max_dynamic_watts() * 1.3,
+                "{} W exceeds budget", p.dynamic_watts);
+        }
+    }
+
+    /// Eq. 1 of the paper is symmetric in the bases, scale-invariant, and
+    /// zero exactly on additive triples.
+    #[test]
+    fn equation_1_algebraic_properties(
+        b1 in 1.0f64..1e12,
+        b2 in 1.0f64..1e12,
+        c in 0.0f64..2e12,
+        scale in 0.001f64..1e3,
+    ) {
+        use pmca_additivity::AdditivityTest;
+        let e = AdditivityTest::equation_1_error_pct(b1, b2, c);
+        let e_swapped = AdditivityTest::equation_1_error_pct(b2, b1, c);
+        prop_assert!((e - e_swapped).abs() < 1e-9 * e.max(1.0));
+        let e_scaled = AdditivityTest::equation_1_error_pct(b1 * scale, b2 * scale, c * scale);
+        prop_assert!((e - e_scaled).abs() < 1e-6 * e.max(1.0), "{e} vs {e_scaled}");
+        let exact = AdditivityTest::equation_1_error_pct(b1, b2, b1 + b2);
+        prop_assert!(exact.abs() < 1e-9);
+    }
+
+    /// The multiplexed collector never loses or invents events, never
+    /// goes negative, and always costs exactly one run.
+    #[test]
+    fn multiplexer_output_is_well_formed(
+        app in arbitrary_app("mux"),
+        seed in 0u64..10_000,
+        n_events in 1usize..12,
+    ) {
+        use pmca_pmctools::multiplex::Multiplexer;
+        let mut machine = Machine::new(PlatformSpec::intel_skylake(), seed);
+        let all = machine.catalog().all_ids();
+        let ids: Vec<pmca_cpusim::EventId> =
+            (0..n_events).map(|i| all[(i * 37 + seed as usize) % all.len()]).collect();
+        let before = machine.runs_executed();
+        let pmcs = Multiplexer::default().collect(&mut machine, &app, &ids).unwrap();
+        prop_assert_eq!(machine.runs_executed() - before, 1);
+        let unique: std::collections::HashSet<_> = ids.iter().collect();
+        prop_assert_eq!(pmcs.values.len(), unique.len());
+        for (&id, &v) in &pmcs.values {
+            prop_assert!(v.is_finite() && v >= 0.0, "{id}: {v}");
+        }
+    }
+}

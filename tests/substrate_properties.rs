@@ -1,0 +1,105 @@
+//! Property-based tests over the statistics and catalog substrates.
+
+use pmca_cpusim::activity::{Activity, ActivityField};
+use pmca_cpusim::catalog::EventCatalog;
+use pmca_cpusim::MicroArch;
+use pmca_stats::confidence::{student_t_cdf, t_critical};
+use pmca_stats::correlation::pearson;
+use pmca_stats::descriptive::{mean, quantile, std_dev};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pearson correlation is always in [−1, 1] and exactly ±1 for affine
+    /// relations.
+    #[test]
+    fn pearson_is_bounded_and_saturates_on_affine(
+        xs in proptest::collection::vec(-1e6f64..1e6, 3..60),
+        slope in prop_oneof![(-1e3f64..-1e-3), (1e-3f64..1e3)],
+        intercept in -1e6f64..1e6,
+    ) {
+        // Need non-constant xs for the correlation to exist.
+        prop_assume!(std_dev(&xs) > 1e-9);
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let r = pearson(&xs, &ys).unwrap();
+        prop_assert!((-1.0..=1.0).contains(&r), "{r}");
+        prop_assert!((r.abs() - 1.0).abs() < 1e-9, "affine should saturate, got {r}");
+        prop_assert_eq!(r.signum(), slope.signum());
+    }
+
+    /// Quantiles are monotone in q and bounded by the sample extremes.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        xs in proptest::collection::vec(-1e9f64..1e9, 1..80),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&xs, lo);
+        let b = quantile(&xs, hi);
+        prop_assert!(a <= b + 1e-12);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min - 1e-12 && b <= max + 1e-12);
+    }
+
+    /// The Student-t CDF is a proper CDF: within [0, 1], symmetric about
+    /// zero, monotone.
+    #[test]
+    fn student_t_cdf_is_a_cdf(t in -50.0f64..50.0, df in 1usize..200) {
+        let c = student_t_cdf(t, df);
+        prop_assert!((0.0..=1.0).contains(&c));
+        let mirrored = student_t_cdf(-t, df);
+        prop_assert!((c + mirrored - 1.0).abs() < 1e-8, "{c} + {mirrored}");
+        let further = student_t_cdf(t + 0.5, df);
+        prop_assert!(further >= c - 1e-12);
+    }
+
+    /// Critical values grow with the confidence level and shrink with the
+    /// degrees of freedom.
+    #[test]
+    fn t_critical_is_monotone(df in 1usize..100, confidence in 0.5f64..0.995) {
+        let t = t_critical(df, confidence);
+        prop_assert!(t > 0.0);
+        let t_higher_conf = t_critical(df, (confidence + 0.004).min(0.9999));
+        prop_assert!(t_higher_conf >= t - 1e-9);
+        let t_more_df = t_critical(df + 10, confidence);
+        prop_assert!(t_more_df <= t + 1e-9);
+    }
+
+    /// Sample mean and standard deviation obey affine-transform rules.
+    #[test]
+    fn mean_and_std_are_affine_equivariant(
+        xs in proptest::collection::vec(-1e6f64..1e6, 2..60),
+        a in -100.0f64..100.0,
+        b in -1e5f64..1e5,
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+        let scale = mean(&xs).abs().max(1.0);
+        prop_assert!((mean(&ys) - (a * mean(&xs) + b)).abs() < 1e-6 * scale.max(b.abs()).max(1.0));
+        prop_assert!((std_dev(&ys) - a.abs() * std_dev(&xs)).abs() < 1e-6 * std_dev(&xs).max(1.0));
+    }
+
+    /// Every event formula of both catalogs yields finite non-negative
+    /// counts on arbitrary physical activity.
+    #[test]
+    fn all_event_formulas_are_physical(
+        cycles in 1e6f64..1e13,
+        per_cycle in proptest::collection::vec(0.0f64..4.0, ActivityField::COUNT),
+        haswell in proptest::bool::ANY,
+    ) {
+        let mut activity = Activity::zero();
+        for (&field, &rate) in ActivityField::ALL.iter().zip(&per_cycle) {
+            activity.set(field, cycles * rate);
+        }
+        activity.set(ActivityField::Cycles, cycles);
+        activity.set(ActivityField::Seconds, cycles / 2.5e9);
+        let arch = if haswell { MicroArch::Haswell } else { MicroArch::Skylake };
+        let catalog = EventCatalog::for_micro_arch(arch);
+        for (id, def) in catalog.iter() {
+            let count = def.formula.base_count(&activity);
+            prop_assert!(count.is_finite() && count >= 0.0, "{arch} {id} {}: {count}", def.name);
+        }
+    }
+}
