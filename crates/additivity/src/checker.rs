@@ -86,8 +86,8 @@ impl AdditivityChecker {
         let mut base_samples: HashMap<String, HashMap<EventId, Vec<f64>>> = HashMap::new();
 
         let measure = |machine: &mut Machine,
-                           app: &dyn Application,
-                           cache: &mut HashMap<String, HashMap<EventId, Vec<f64>>>|
+                       app: &dyn Application,
+                       cache: &mut HashMap<String, HashMap<EventId, Vec<f64>>>|
          -> Result<(), ScheduleError> {
             if cache.contains_key(&app.name()) {
                 return Ok(());
@@ -95,7 +95,10 @@ impl AdditivityChecker {
             let sweeps = collect_sweeps(machine, app, events, self.test.runs)?;
             let mut per_event = HashMap::new();
             for &id in &sweeps.events {
-                per_event.insert(id, sweeps.samples.iter().map(|s| s[&id]).collect::<Vec<f64>>());
+                per_event.insert(
+                    id,
+                    sweeps.samples.iter().map(|s| s[&id]).collect::<Vec<f64>>(),
+                );
             }
             cache.insert(app.name(), per_event);
             Ok(())
@@ -106,11 +109,17 @@ impl AdditivityChecker {
         for case in cases {
             measure(machine, case.first.as_ref(), &mut base_samples)?;
             measure(machine, case.second.as_ref(), &mut base_samples)?;
-            let compound = BorrowedCompound { first: case.first.as_ref(), second: case.second.as_ref() };
+            let compound = BorrowedCompound {
+                first: case.first.as_ref(),
+                second: case.second.as_ref(),
+            };
             let sweeps = collect_sweeps(machine, &compound, events, self.test.runs)?;
             let mut per_event = HashMap::new();
             for &id in &sweeps.events {
-                per_event.insert(id, sweeps.samples.iter().map(|s| s[&id]).collect::<Vec<f64>>());
+                per_event.insert(
+                    id,
+                    sweeps.samples.iter().map(|s| s[&id]).collect::<Vec<f64>>(),
+                );
             }
             compound_samples.push((case.first.name(), case.second.name(), per_event));
         }
@@ -120,9 +129,11 @@ impl AdditivityChecker {
         for &id in events {
             let name = machine.catalog().event(id).name.clone();
             // Stage 1 over every measured application.
-            let reproducible = base_samples
-                .values()
-                .all(|per_event| per_event.get(&id).is_none_or(|s| self.test.is_reproducible(s)));
+            let reproducible = base_samples.values().all(|per_event| {
+                per_event
+                    .get(&id)
+                    .is_none_or(|s| self.test.is_reproducible(s))
+            });
             // Stage 2: max Eq. 1 error over compounds.
             let mut max_error = 0.0_f64;
             let mut worst_compound = String::new();
@@ -143,7 +154,14 @@ impl AdditivityChecker {
             } else {
                 Verdict::NonAdditive
             };
-            entries.push(EventAdditivity { id, name, reproducible, max_error_pct: max_error, worst_compound, verdict });
+            entries.push(EventAdditivity {
+                id,
+                name,
+                reproducible,
+                max_error_pct: max_error,
+                worst_compound,
+                verdict,
+            });
         }
         Ok(AdditivityReport::new(entries, self.test.tolerance_pct))
     }
@@ -152,8 +170,8 @@ impl AdditivityChecker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pmca_workloads::{Dgemm, Fft2d, Stress};
     use pmca_workloads::stress::StressKind;
+    use pmca_workloads::{Dgemm, Fft2d, Stress};
 
     fn skylake() -> Machine {
         Machine::new(PlatformSpec::intel_skylake(), 404)
@@ -175,33 +193,60 @@ mod tests {
         let mut m = skylake();
         let events = m
             .catalog()
-            .ids(&["MEM_INST_RETIRED_ALL_STORES", "FP_ARITH_INST_RETIRED_DOUBLE", "UOPS_EXECUTED_CORE"])
+            .ids(&[
+                "MEM_INST_RETIRED_ALL_STORES",
+                "FP_ARITH_INST_RETIRED_DOUBLE",
+                "UOPS_EXECUTED_CORE",
+            ])
             .unwrap();
         let report = AdditivityChecker::default()
             .check(&mut m, &events, &dgemm_fft_cases(4))
             .unwrap();
         for entry in report.entries() {
-            assert_eq!(entry.verdict, Verdict::Additive, "{}: {}", entry.name, entry.max_error_pct);
-            assert!(entry.max_error_pct < 2.0, "{}: {}", entry.name, entry.max_error_pct);
+            assert_eq!(
+                entry.verdict,
+                Verdict::Additive,
+                "{}: {}",
+                entry.name,
+                entry.max_error_pct
+            );
+            assert!(
+                entry.max_error_pct < 2.0,
+                "{}: {}",
+                entry.name,
+                entry.max_error_pct
+            );
         }
     }
 
     #[test]
     fn divider_and_ms_uops_fail_on_dgemm_fft() {
         let mut m = skylake();
-        let events = m.catalog().ids(&["ARITH_DIVIDER_COUNT", "IDQ_MS_UOPS"]).unwrap();
+        let events = m
+            .catalog()
+            .ids(&["ARITH_DIVIDER_COUNT", "IDQ_MS_UOPS"])
+            .unwrap();
         let report = AdditivityChecker::default()
             .check(&mut m, &events, &dgemm_fft_cases(4))
             .unwrap();
         for entry in report.entries() {
-            assert_eq!(entry.verdict, Verdict::NonAdditive, "{}: {}", entry.name, entry.max_error_pct);
+            assert_eq!(
+                entry.verdict,
+                Verdict::NonAdditive,
+                "{}: {}",
+                entry.name,
+                entry.max_error_pct
+            );
         }
     }
 
     #[test]
     fn stress_compounds_break_even_committed_counters() {
         let mut m = Machine::new(PlatformSpec::intel_haswell(), 11);
-        let events = m.catalog().ids(&["INSTR_RETIRED_ANY", "MEM_INST_RETIRED_ALL_STORES"]).unwrap();
+        let events = m
+            .catalog()
+            .ids(&["INSTR_RETIRED_ANY", "MEM_INST_RETIRED_ALL_STORES"])
+            .unwrap();
         let cases: Vec<CompoundCase> = (0..4)
             .map(|i| {
                 CompoundCase::new(
@@ -210,13 +255,18 @@ mod tests {
                 )
             })
             .collect();
-        let report = AdditivityChecker::default().check(&mut m, &events, &cases).unwrap();
+        let report = AdditivityChecker::default()
+            .check(&mut m, &events, &cases)
+            .unwrap();
         let max = report
             .entries()
             .iter()
             .map(|e| e.max_error_pct)
             .fold(0.0_f64, f64::max);
-        assert!(max > 5.0, "adaptive compounds should break additivity, max {max}");
+        assert!(
+            max > 5.0,
+            "adaptive compounds should break additivity, max {max}"
+        );
     }
 
     #[test]
@@ -227,7 +277,11 @@ mod tests {
             .check(&mut m, &events, &dgemm_fft_cases(3))
             .unwrap();
         let entry = &report.entries()[0];
-        assert!(entry.worst_compound.contains(';'), "worst compound: {}", entry.worst_compound);
+        assert!(
+            entry.worst_compound.contains(';'),
+            "worst compound: {}",
+            entry.worst_compound
+        );
     }
 
     #[test]
@@ -240,7 +294,9 @@ mod tests {
             CompoundCase::new(Box::new(Dgemm::new(7_000)), Box::new(Fft2d::new(24_000))),
         ];
         let runs_before = m.runs_executed();
-        AdditivityChecker::default().check(&mut m, &events, &cases).unwrap();
+        AdditivityChecker::default()
+            .check(&mut m, &events, &cases)
+            .unwrap();
         let consumed = m.runs_executed() - runs_before;
         // 3 distinct bases + 2 compounds, 4 sweeps each, 1 group each = 20,
         // not 24 (the shared dgemm-7000 measured once).

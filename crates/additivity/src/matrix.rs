@@ -54,7 +54,11 @@ impl AdditivityMatrix {
             .iter()
             .map(|&id| machine.catalog().event(id).name.clone())
             .collect();
-        Ok(AdditivityMatrix { event_names, compound_names, errors })
+        Ok(AdditivityMatrix {
+            event_names,
+            compound_names,
+            errors,
+        })
     }
 
     /// Event names (rows).
@@ -169,8 +173,16 @@ mod tests {
         let m = matrix();
         let test = AdditivityTest::default();
         // Row 0 = stores, row 1 = divider (request order).
-        assert!(!m.is_broad_spectrum(0, &test), "stores broke everywhere: {:?}", m.event_summary());
-        assert!(m.is_broad_spectrum(1, &test), "divider should break everywhere: {:?}", m.event_summary());
+        assert!(
+            !m.is_broad_spectrum(0, &test),
+            "stores broke everywhere: {:?}",
+            m.event_summary()
+        );
+        assert!(
+            m.is_broad_spectrum(1, &test),
+            "divider should break everywhere: {:?}",
+            m.event_summary()
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ pub struct AdditivityReport {
 impl AdditivityReport {
     /// Assemble a report (entries keep the caller's event order).
     pub fn new(entries: Vec<EventAdditivity>, tolerance_pct: f64) -> Self {
-        AdditivityReport { entries, tolerance_pct }
+        AdditivityReport {
+            entries,
+            tolerance_pct,
+        }
     }
 
     /// The per-event entries, in the order the events were requested.
@@ -69,7 +72,8 @@ impl AdditivityReport {
     pub fn ranked(&self) -> Vec<&EventAdditivity> {
         let mut sorted: Vec<&EventAdditivity> = self.entries.iter().collect();
         sorted.sort_by(|a, b| {
-            let key = |e: &EventAdditivity| (e.verdict == Verdict::NonReproducible, e.max_error_pct);
+            let key =
+                |e: &EventAdditivity| (e.verdict == Verdict::NonReproducible, e.max_error_pct);
             key(a).partial_cmp(&key(b)).expect("NaN additivity error")
         });
         sorted
@@ -91,9 +95,11 @@ impl AdditivityReport {
 
     /// The single least additive event (largest max error), if any.
     pub fn least_additive(&self) -> Option<&EventAdditivity> {
-        self.entries
-            .iter()
-            .max_by(|a, b| a.max_error_pct.partial_cmp(&b.max_error_pct).expect("NaN error"))
+        self.entries.iter().max_by(|a, b| {
+            a.max_error_pct
+                .partial_cmp(&b.max_error_pct)
+                .expect("NaN error")
+        })
     }
 
     /// Render the report as an aligned text table (the shape of the
@@ -107,7 +113,9 @@ impl AdditivityReport {
         for e in self.ranked() {
             out.push_str(&format!(
                 "{:<44} {:>12.2} {:>16}\n",
-                e.name, e.max_error_pct, e.verdict.to_string()
+                e.name,
+                e.max_error_pct,
+                e.verdict.to_string()
             ));
         }
         out

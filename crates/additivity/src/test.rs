@@ -16,7 +16,11 @@ pub struct AdditivityTest {
 
 impl Default for AdditivityTest {
     fn default() -> Self {
-        AdditivityTest { tolerance_pct: 5.0, reproducibility_cv: 0.20, runs: 4 }
+        AdditivityTest {
+            tolerance_pct: 5.0,
+            reproducibility_cv: 0.20,
+            runs: 4,
+        }
     }
 }
 
@@ -32,7 +36,10 @@ impl AdditivityTest {
             tolerance_pct.is_finite() && tolerance_pct > 0.0,
             "tolerance must be positive"
         );
-        AdditivityTest { tolerance_pct, ..AdditivityTest::default() }
+        AdditivityTest {
+            tolerance_pct,
+            ..AdditivityTest::default()
+        }
     }
 
     /// Stage 1: is the event deterministic and reproducible on a sample of
@@ -51,7 +58,11 @@ impl AdditivityTest {
     pub fn equation_1_error_pct(base1_mean: f64, base2_mean: f64, compound_mean: f64) -> f64 {
         let base_sum = base1_mean + base2_mean;
         if base_sum == 0.0 {
-            return if compound_mean == 0.0 { 0.0 } else { f64::INFINITY };
+            return if compound_mean == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            };
         }
         100.0 * ((base_sum - compound_mean) / base_sum).abs()
     }
@@ -100,7 +111,10 @@ mod tests {
     #[test]
     fn equation_1_zero_bases() {
         assert_eq!(AdditivityTest::equation_1_error_pct(0.0, 0.0, 0.0), 0.0);
-        assert_eq!(AdditivityTest::equation_1_error_pct(0.0, 0.0, 5.0), f64::INFINITY);
+        assert_eq!(
+            AdditivityTest::equation_1_error_pct(0.0, 0.0, 5.0),
+            f64::INFINITY
+        );
     }
 
     #[test]

@@ -52,13 +52,20 @@ fn bench_report_ranking(c: &mut Criterion) {
         .catalog()
         .ids(&["UOPS_EXECUTED_CORE", "IDQ_MS_UOPS", "ARITH_DIVIDER_COUNT"])
         .expect("events exist");
-    let cases =
-        vec![CompoundCase::new(Box::new(Dgemm::new(8_000)), Box::new(Fft2d::new(23_000)))];
+    let cases = vec![CompoundCase::new(
+        Box::new(Dgemm::new(8_000)),
+        Box::new(Fft2d::new(23_000)),
+    )];
     let report = AdditivityChecker::default()
         .check(&mut machine, &events, &cases)
         .expect("check runs");
     c.bench_function("report_ranked", |b| b.iter(|| black_box(report.ranked())));
 }
 
-criterion_group!(benches, bench_equation_1, bench_checker, bench_report_ranking);
+criterion_group!(
+    benches,
+    bench_equation_1,
+    bench_checker,
+    bench_report_ranking
+);
 criterion_main!(benches);

@@ -22,7 +22,10 @@ fn bench_table2(c: &mut Criterion) {
                 .into_iter()
                 .map(|(a, b)| CompoundCase::new(a, b))
                 .collect();
-            let test = AdditivityTest { runs: 2, ..AdditivityTest::default() };
+            let test = AdditivityTest {
+                runs: 2,
+                ..AdditivityTest::default()
+            };
             black_box(
                 AdditivityChecker::new(test)
                     .check(&mut machine, &events, &cases)

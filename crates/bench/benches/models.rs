@@ -17,8 +17,9 @@ fn class_b_shaped() -> (Vec<Vec<f64>>, Vec<f64>) {
         let w = (i + 1) as f64 * 1e9;
         let fam = if i % 5 == 0 { 1.4 } else { 1.0 };
         let noise = 1.0 + 0.2 * ((((i * 2654435761_usize) % 997) as f64 / 498.5) - 1.0);
-        let feats: Vec<f64> =
-            (0..9).map(|j| w * (1.0 + 0.07 * j as f64) * if j % 2 == 0 { fam } else { 1.0 }).collect();
+        let feats: Vec<f64> = (0..9)
+            .map(|j| w * (1.0 + 0.07 * j as f64) * if j % 2 == 0 { fam } else { 1.0 })
+            .collect();
         rows.push(feats);
         y.push(w * 3e-10 * fam * noise);
     }
@@ -37,7 +38,9 @@ fn bench_linreg(c: &mut Criterion) {
     });
     let mut fitted = LinearRegression::paper_constrained();
     fitted.fit(&x, &y).expect("fit");
-    g.bench_function("predict_row", |b| b.iter(|| black_box(fitted.predict_one(&x[100]))));
+    g.bench_function("predict_row", |b| {
+        b.iter(|| black_box(fitted.predict_one(&x[100])))
+    });
     g.finish();
 }
 
@@ -48,7 +51,11 @@ fn bench_forest(c: &mut Criterion) {
     g.bench_function("fit_100_trees_651x9", |b| {
         b.iter(|| {
             let mut rf = RandomForest::new(
-                ForestParams { n_trees: 100, tree: TreeParams::default(), sample_fraction: 1.0 },
+                ForestParams {
+                    n_trees: 100,
+                    tree: TreeParams::default(),
+                    sample_fraction: 1.0,
+                },
                 9,
             );
             rf.fit(&x, &y).expect("fit");
@@ -57,7 +64,9 @@ fn bench_forest(c: &mut Criterion) {
     });
     let mut fitted = RandomForest::with_seed(9);
     fitted.fit(&x, &y).expect("fit");
-    g.bench_function("predict_row", |b| b.iter(|| black_box(fitted.predict_one(&x[100]))));
+    g.bench_function("predict_row", |b| {
+        b.iter(|| black_box(fitted.predict_one(&x[100])))
+    });
     g.finish();
 }
 
@@ -67,14 +76,28 @@ fn bench_nn(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("fit_100_epochs_651x9", |b| {
         b.iter(|| {
-            let mut nn = NeuralNet::new(NnParams { epochs: 100, ..NnParams::default() }, 9);
+            let mut nn = NeuralNet::new(
+                NnParams {
+                    epochs: 100,
+                    ..NnParams::default()
+                },
+                9,
+            );
             nn.fit(&x, &y).expect("fit");
             black_box(nn)
         })
     });
-    let mut fitted = NeuralNet::new(NnParams { epochs: 50, ..NnParams::default() }, 9);
+    let mut fitted = NeuralNet::new(
+        NnParams {
+            epochs: 50,
+            ..NnParams::default()
+        },
+        9,
+    );
     fitted.fit(&x, &y).expect("fit");
-    g.bench_function("predict_row", |b| b.iter(|| black_box(fitted.predict_one(&x[100]))));
+    g.bench_function("predict_row", |b| {
+        b.iter(|| black_box(fitted.predict_one(&x[100])))
+    });
     g.finish();
 }
 

@@ -25,16 +25,22 @@ fn bench_machine_run(c: &mut Criterion) {
     let mut g = c.benchmark_group("machine_run");
     let mut machine = Machine::new(PlatformSpec::intel_skylake(), 7);
     let dgemm = Dgemm::new(12_000);
-    g.bench_function("dgemm_single_run_385_events", |b| b.iter(|| black_box(machine.run(&dgemm))));
+    g.bench_function("dgemm_single_run_385_events", |b| {
+        b.iter(|| black_box(machine.run(&dgemm)))
+    });
     let fft = Fft2d::new(24_000);
-    g.bench_function("fft_single_run", |b| b.iter(|| black_box(machine.run(&fft))));
+    g.bench_function("fft_single_run", |b| {
+        b.iter(|| black_box(machine.run(&fft)))
+    });
     let compound = CompoundApp::pair(Dgemm::new(9_000), Fft2d::new(23_000));
     g.bench_function("compound_run_with_interference", |b| {
         b.iter(|| black_box(machine.run(&compound)))
     });
     let mut hw = Machine::new(PlatformSpec::intel_haswell(), 7);
     let hpcg = Hpcg::new(1.0);
-    g.bench_function("hpcg_single_run_164_events", |b| b.iter(|| black_box(hw.run(&hpcg))));
+    g.bench_function("hpcg_single_run_164_events", |b| {
+        b.iter(|| black_box(hw.run(&hpcg)))
+    });
     g.finish();
 }
 
@@ -43,10 +49,19 @@ fn bench_power_meter(c: &mut Criterion) {
     let mut machine = Machine::new(PlatformSpec::intel_skylake(), 7);
     let record = machine.run(&Dgemm::new(20_000));
     let mut meter = WattsUpPro::new(32.0, 7);
-    g.bench_function("sample_long_run", |b| b.iter(|| black_box(meter.sample_run(&record))));
-    g.bench_function("read_single_sample", |b| b.iter(|| black_box(meter.read_watts(100.0))));
+    g.bench_function("sample_long_run", |b| {
+        b.iter(|| black_box(meter.sample_run(&record)))
+    });
+    g.bench_function("read_single_sample", |b| {
+        b.iter(|| black_box(meter.read_watts(100.0)))
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench_catalog_construction, bench_machine_run, bench_power_meter);
+criterion_group!(
+    benches,
+    bench_catalog_construction,
+    bench_machine_run,
+    bench_power_meter
+);
 criterion_main!(benches);

@@ -1,0 +1,238 @@
+//! Load generator for the `pmca-serve` estimation server.
+//!
+//! Spawns N concurrent clients, each firing M requests over the line
+//! protocol (pipelined in batches, like `redis-benchmark -P`), and
+//! reports throughput plus p50/p90/p99 per-request latency. By default
+//! it starts an in-process server on an ephemeral port, trains an online
+//! model on the simulated Skylake, and warms the run cache, so the
+//! numbers reflect steady-state serving; pass `--addr HOST:PORT` to
+//! target an already-running `slope-pmc serve` instead.
+//!
+//! ```text
+//! cargo run --release -p pmca-bench --bin loadgen -- \
+//!     [--addr HOST:PORT] [--clients N] [--requests M] [--workers W]
+//!     [--pipeline D] [--app-share PCT]
+//! ```
+
+use pmca_serve::protocol::parse_estimate_reply;
+use pmca_serve::{Client, EnergyService, Request, Server};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const GOOD_SET: [&str; 4] = [
+    "UOPS_EXECUTED_CORE",
+    "FP_ARITH_INST_RETIRED_DOUBLE",
+    "MEM_INST_RETIRED_ALL_STORES",
+    "UOPS_DISPATCHED_PORT_PORT_4",
+];
+
+/// The workload specs app-level queries rotate over (all warmed up
+/// front, so steady-state queries are run-cache hits).
+const APP_SPECS: [&str; 4] = [
+    "dgemm:11500",
+    "fft:26000",
+    "dgemm:9500",
+    "dgemm:9000;fft:24000",
+];
+
+struct Options {
+    addr: Option<String>,
+    clients: usize,
+    requests: usize,
+    workers: usize,
+    pipeline: usize,
+    /// Out of 100: how many requests are app-level (cache-backed) rather
+    /// than raw counter-level estimates.
+    app_share: u32,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut options = Options {
+        addr: None,
+        clients: 4,
+        requests: 20_000,
+        workers: 4,
+        pipeline: 64,
+        app_share: 50,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => options.addr = Some(value("--addr")?),
+            "--clients" => options.clients = parse_count(&value("--clients")?, "--clients")?,
+            "--requests" => options.requests = parse_count(&value("--requests")?, "--requests")?,
+            "--workers" => options.workers = parse_count(&value("--workers")?, "--workers")?,
+            "--pipeline" => options.pipeline = parse_count(&value("--pipeline")?, "--pipeline")?,
+            "--app-share" => {
+                let raw = value("--app-share")?;
+                options.app_share = raw
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|&p| p <= 100)
+                    .ok_or(format!("--app-share: {raw:?} is not a percentage"))?;
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+fn parse_count(raw: &str, name: &str) -> Result<usize, String> {
+    raw.parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+        .ok_or(format!("{name}: {raw:?} is not a positive count"))
+}
+
+/// One request line for slot `i` of a client: app-level or counter-level
+/// according to `app_share`, deterministic per (client, slot).
+fn request_line(client_index: usize, i: usize, app_share: u32) -> String {
+    let pick = ((i * 97 + client_index * 31) % 100) as u32;
+    if pick < app_share {
+        let spec = APP_SPECS[(i + client_index) % APP_SPECS.len()];
+        Request::EstimateApp {
+            platform: "skylake".to_string(),
+            app: spec.to_string(),
+        }
+        .to_line()
+    } else {
+        let counts: Vec<(String, f64)> = GOOD_SET
+            .iter()
+            .map(|n| (n.to_string(), 1.0e10 + (i % 7) as f64 * 1.0e9))
+            .collect();
+        Request::Estimate {
+            platform: "skylake".to_string(),
+            counts,
+        }
+        .to_line()
+    }
+}
+
+fn main() {
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("loadgen: {message}");
+            std::process::exit(2);
+        }
+    };
+
+    // Either target an external server or stand one up in-process.
+    let local_server;
+    let addr = match &options.addr {
+        Some(addr) => addr.clone(),
+        None => {
+            println!(
+                "starting in-process server ({} inference workers)...",
+                options.workers
+            );
+            let service = Arc::new(EnergyService::new(options.workers, 1024, 42));
+            let pmcs: Vec<String> = GOOD_SET.iter().map(|s| s.to_string()).collect();
+            let ladder: Vec<String> = (0..10)
+                .flat_map(|i| {
+                    [
+                        format!("dgemm:{}", 7_000 + 1_900 * i),
+                        format!("fft:{}", 23_000 + 1_300 * i),
+                    ]
+                })
+                .collect();
+            service
+                .train_online("skylake", &pmcs, &ladder)
+                .expect("train online model");
+            local_server = Server::start(service, "127.0.0.1:0").expect("bind ephemeral port");
+            local_server.addr().to_string()
+        }
+    };
+
+    // Warm the run cache so app-level queries measure serving, not the
+    // simulator.
+    let mut warm = Client::connect(addr.as_str()).expect("connect for warm-up");
+    for spec in APP_SPECS {
+        warm.estimate_app("skylake", spec)
+            .expect("warm-up estimate");
+    }
+    let warm_counts: Vec<(String, f64)> =
+        GOOD_SET.iter().map(|n| (n.to_string(), 2.0e10)).collect();
+    warm.estimate("skylake", &warm_counts)
+        .expect("warm-up counter estimate");
+    println!(
+        "warmed {} app specs; {} clients x {} requests, pipeline depth {}, {}% app-level, \
+         against {addr}",
+        APP_SPECS.len(),
+        options.clients,
+        options.requests,
+        options.pipeline,
+        options.app_share
+    );
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..options.clients)
+        .map(|client_index| {
+            let addr = addr.clone();
+            let requests = options.requests;
+            let depth = options.pipeline;
+            let app_share = options.app_share;
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr.as_str()).expect("client connect");
+                // The request mix repeats with period 700 (lcm of the
+                // pick/spec/count cycles): precompute one period so the
+                // timed loop measures serving, not request formatting.
+                let period = 700;
+                let pattern: Vec<String> = (0..period)
+                    .map(|i| request_line(client_index, i, app_share))
+                    .collect();
+                let mut latencies = Vec::with_capacity(requests);
+                let mut sent = 0;
+                let mut lines: Vec<String> = Vec::with_capacity(depth);
+                while sent < requests {
+                    let batch = depth.min(requests - sent);
+                    lines.clear();
+                    lines.extend((sent..sent + batch).map(|i| pattern[i % period].clone()));
+                    let fired = Instant::now();
+                    let replies = client.send_pipelined(&lines).expect("pipelined batch");
+                    let per_request = fired.elapsed() / batch as u32;
+                    for reply in &replies {
+                        let estimate = parse_estimate_reply(reply).expect("estimate reply");
+                        assert!(estimate.joules.is_finite());
+                        latencies.push(per_request);
+                    }
+                    sent += batch;
+                }
+                let _ = client.quit();
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = Vec::new();
+    for handle in handles {
+        latencies.extend(handle.join().expect("client thread"));
+    }
+    let elapsed = started.elapsed();
+
+    latencies.sort_unstable();
+    let total = latencies.len();
+    let throughput = total as f64 / elapsed.as_secs_f64();
+    let percentile = |p: f64| {
+        let index = ((total as f64 * p / 100.0).ceil() as usize).clamp(1, total) - 1;
+        latencies[index]
+    };
+    println!(
+        "{total} estimates in {:.2} s -> {throughput:.0} estimates/sec",
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "latency (per request, amortised over the pipeline): p50 {:?}  p90 {:?}  p99 {:?}  max {:?}",
+        percentile(50.0),
+        percentile(90.0),
+        percentile(99.0),
+        latencies[total - 1]
+    );
+    if let Ok(mut client) = Client::connect(addr.as_str()) {
+        if let Ok(stats) = client.stats() {
+            let line: Vec<String> = stats.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            println!("server stats: {}", line.join(" "));
+        }
+        let _ = client.quit();
+    }
+}

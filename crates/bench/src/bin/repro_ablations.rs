@@ -26,12 +26,17 @@ fn interference_sweep() {
         "Ablation 1: additivity error (%) of the Class A PMCs vs interference strength",
         &["PMC", "0.0×", "0.5×", "1.0×", "1.5×"],
     );
-    let mut rows: Vec<Vec<String>> =
-        CLASS_A_PMCS.iter().map(|name| vec![name.to_string()]).collect();
+    let mut rows: Vec<Vec<String>> = CLASS_A_PMCS
+        .iter()
+        .map(|name| vec![name.to_string()])
+        .collect();
     for scale in [0.0, 0.5, 1.0, 1.5] {
         let mut machine = Machine::new(PlatformSpec::intel_haswell(), 404);
         machine.set_interference(InterferenceModel::default().scaled(scale));
-        let events = machine.catalog().ids(&CLASS_A_PMCS).expect("class A events");
+        let events = machine
+            .catalog()
+            .ids(&CLASS_A_PMCS)
+            .expect("class A events");
         // Fixed-work compounds only: isolates the interference channel from
         // the adaptive-work channel.
         let cases: Vec<CompoundCase> = class_a_compound_pairs(24, 404)
@@ -78,7 +83,12 @@ fn tolerance_sweep() {
             .collect();
         let pa = passing.iter().filter(|n| PA.contains(n)).count();
         let pna = passing.len() - pa;
-        t.row(vec![format!("{tol}"), passing.len().to_string(), pa.to_string(), pna.to_string()]);
+        t.row(vec![
+            format!("{tol}"),
+            passing.len().to_string(),
+            pa.to_string(),
+            pna.to_string(),
+        ]);
     }
     print!("{}", t.render());
     println!("(the paper's 5% threshold sits on the plateau separating the two populations)\n");
@@ -100,7 +110,12 @@ fn meter_noise_sweep() {
         ("standard", Methodology::standard()),
         (
             "exhaustive",
-            Methodology { precision: 0.01, confidence: 0.95, min_runs: 5, max_runs: 25 },
+            Methodology {
+                precision: 0.01,
+                confidence: 0.95,
+                min_runs: 5,
+                max_runs: 25,
+            },
         ),
     ] {
         let mut machine = Machine::new(PlatformSpec::intel_skylake(), 404);
@@ -113,7 +128,11 @@ fn meter_noise_sweep() {
         let mut lr = LinearRegression::paper_constrained();
         lr.fit(train.rows(), train.targets()).expect("fit");
         let err = PredictionErrors::evaluate(&lr, test.rows(), test.targets());
-        t.row(vec![label.into(), methodology.max_runs.to_string(), format!("{:.2}", err.avg)]);
+        t.row(vec![
+            label.into(),
+            methodology.max_runs.to_string(),
+            format!("{:.2}", err.avg),
+        ]);
     }
     print!("{}", t.render());
     println!("(the floor is the per-application energy personality, not meter noise)");

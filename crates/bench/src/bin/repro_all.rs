@@ -26,9 +26,21 @@ fn main() {
     let hw = PlatformSpec::intel_haswell();
     let sk = PlatformSpec::intel_skylake();
     let mut t1 = TextTable::new("Table 1 (abridged)", &["spec", "Haswell", "Skylake"]);
-    t1.row(vec!["cores".into(), hw.total_cores().to_string(), sk.total_cores().to_string()]);
-    t1.row(vec!["TDP W".into(), hw.tdp_watts.to_string(), sk.tdp_watts.to_string()]);
-    t1.row(vec!["idle W".into(), hw.idle_power_watts.to_string(), sk.idle_power_watts.to_string()]);
+    t1.row(vec![
+        "cores".into(),
+        hw.total_cores().to_string(),
+        sk.total_cores().to_string(),
+    ]);
+    t1.row(vec![
+        "TDP W".into(),
+        hw.tdp_watts.to_string(),
+        sk.tdp_watts.to_string(),
+    ]);
+    t1.row(vec![
+        "idle W".into(),
+        hw.idle_power_watts.to_string(),
+        sk.idle_power_watts.to_string(),
+    ]);
     println!("{}", t1.render());
 
     // Collection economics.
@@ -46,12 +58,19 @@ fn main() {
             let runs = schedule(machine.catalog(), &machine.catalog().all_ids())
                 .expect("full catalog schedules")
                 .len();
-            println!("  {name}: {offered} events offered, {} survive, {runs} runs to collect all", survivors.len());
+            println!(
+                "  {name}: {offered} events offered, {} survive, {runs} runs to collect all",
+                survivors.len()
+            );
         }
     });
 
     // Class A.
-    let a_cfg = if quick { ClassAConfig::smoke() } else { ClassAConfig::paper() };
+    let a_cfg = if quick {
+        ClassAConfig::smoke()
+    } else {
+        ClassAConfig::paper()
+    };
     let a = timed("Class A (Tables 2-5)", || run_class_a(&a_cfg));
     println!("{}", a.table2());
     println!("{}", a.table3());
@@ -59,13 +78,19 @@ fn main() {
     println!("{}", a.table5());
 
     // Class B.
-    let b_cfg = if quick { ClassBConfig::smoke() } else { ClassBConfig::paper() };
+    let b_cfg = if quick {
+        ClassBConfig::smoke()
+    } else {
+        ClassBConfig::paper()
+    };
     let b = timed("Class B (Tables 6, 7a)", || run_class_b(&b_cfg));
     println!("{}", b.table6());
     println!("{}", b.table7a());
 
     // Class C.
-    let c = timed("Class C (Table 7b)", || run_class_c(&b, b_cfg.nn_epochs, b_cfg.rf_trees, b_cfg.seed));
+    let c = timed("Class C (Table 7b)", || {
+        run_class_c(&b, b_cfg.nn_epochs, b_cfg.rf_trees, b_cfg.seed)
+    });
     println!("PA4  = {}", c.pa4.join(", "));
     println!("PNA4 = {}\n", c.pna4.join(", "));
     println!("{}", c.table7b());

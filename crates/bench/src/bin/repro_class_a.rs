@@ -5,10 +5,15 @@ use pmca_bench::{quick_requested, timed};
 use pmca_core::class_a::{run_class_a, ClassAConfig};
 
 fn main() {
-    let config = if quick_requested() { ClassAConfig::smoke() } else { ClassAConfig::paper() };
-    let results = timed("Class A (Haswell): additivity test + LR/RF/NN ladders", || {
-        run_class_a(&config)
-    });
+    let config = if quick_requested() {
+        ClassAConfig::smoke()
+    } else {
+        ClassAConfig::paper()
+    };
+    let results = timed(
+        "Class A (Haswell): additivity test + LR/RF/NN ladders",
+        || run_class_a(&config),
+    );
     println!(
         "training points: {} base applications; test points: {} compound applications\n",
         results.train_points, results.test_points
@@ -20,7 +25,12 @@ fn main() {
 
     let best = |rows: &[pmca_core::class_a::LadderRow]| {
         rows.iter()
-            .min_by(|a, b| a.errors.avg.partial_cmp(&b.errors.avg).expect("finite errors"))
+            .min_by(|a, b| {
+                a.errors
+                    .avg
+                    .partial_cmp(&b.errors.avg)
+                    .expect("finite errors")
+            })
             .expect("non-empty ladder")
             .model
             .clone()

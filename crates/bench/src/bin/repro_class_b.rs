@@ -6,10 +6,15 @@ use pmca_bench::{quick_requested, timed};
 use pmca_core::class_b::{run_class_b, ClassBConfig};
 
 fn main() {
-    let config = if quick_requested() { ClassBConfig::smoke() } else { ClassBConfig::paper() };
-    let results = timed("Class B (Skylake): DGEMM/FFT additivity + PA vs PNA models", || {
-        run_class_b(&config)
-    });
+    let config = if quick_requested() {
+        ClassBConfig::smoke()
+    } else {
+        ClassBConfig::paper()
+    };
+    let results = timed(
+        "Class B (Skylake): DGEMM/FFT additivity + PA vs PNA models",
+        || run_class_b(&config),
+    );
     println!(
         "regression dataset: {} train / {} test points\n",
         results.train.len(),

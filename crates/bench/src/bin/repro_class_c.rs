@@ -6,8 +6,14 @@ use pmca_core::class_b::{run_class_b, ClassBConfig};
 use pmca_core::class_c::run_class_c;
 
 fn main() {
-    let config = if quick_requested() { ClassBConfig::smoke() } else { ClassBConfig::paper() };
-    let class_b = timed("Class B prerequisite (datasets + correlations)", || run_class_b(&config));
+    let config = if quick_requested() {
+        ClassBConfig::smoke()
+    } else {
+        ClassBConfig::paper()
+    };
+    let class_b = timed("Class B prerequisite (datasets + correlations)", || {
+        run_class_b(&config)
+    });
     let results = timed("Class C: PA4/PNA4 selection + models", || {
         run_class_c(&class_b, config.nn_epochs, config.rf_trees, config.seed)
     });

@@ -22,29 +22,51 @@ use pmca_powermeter::HclWattsUp;
 use pmca_workloads::suite::{class_a_base_suite, class_a_compound_pairs, class_a_compounds};
 
 fn main() {
-    let config = if quick_requested() { ClassAConfig::smoke() } else { ClassAConfig::paper() };
+    let config = if quick_requested() {
+        ClassAConfig::smoke()
+    } else {
+        ClassAConfig::paper()
+    };
     let mut machine = Machine::new(PlatformSpec::intel_haswell(), config.seed);
     let mut meter = HclWattsUp::with_methodology(&machine, config.seed, config.methodology);
-    let events = machine.catalog().ids(&CLASS_A_PMCS).expect("class A events");
+    let events = machine
+        .catalog()
+        .ids(&CLASS_A_PMCS)
+        .expect("class A events");
 
     let (report, train, test) = timed("measurement (additivity + datasets)", || {
         let cases: Vec<CompoundCase> = class_a_compound_pairs(config.n_compounds, config.seed)
             .into_iter()
             .map(|(a, b)| CompoundCase::new(a, b))
             .collect();
-        let test_cfg = AdditivityTest { runs: config.additivity_runs, ..AdditivityTest::default() };
+        let test_cfg = AdditivityTest {
+            runs: config.additivity_runs,
+            ..AdditivityTest::default()
+        };
         let report = AdditivityChecker::new(test_cfg)
             .check(&mut machine, &events, &cases)
             .expect("class A events schedule");
         let base = class_a_base_suite(config.n_base);
         let base_refs: Vec<&dyn Application> = base.iter().map(|a| a.as_ref()).collect();
-        let train = build_dataset(&mut machine, &mut meter, &base_refs, &events, config.pmc_repeats)
-            .expect("collection");
+        let train = build_dataset(
+            &mut machine,
+            &mut meter,
+            &base_refs,
+            &events,
+            config.pmc_repeats,
+        )
+        .expect("collection");
         let compounds = class_a_compounds(config.n_compounds, config.seed);
         let comp_refs: Vec<&dyn Application> =
             compounds.iter().map(|c| c as &dyn Application).collect();
-        let test = build_dataset(&mut machine, &mut meter, &comp_refs, &events, config.pmc_repeats)
-            .expect("collection");
+        let test = build_dataset(
+            &mut machine,
+            &mut meter,
+            &comp_refs,
+            &events,
+            config.pmc_repeats,
+        )
+        .expect("collection");
         (report, train, test)
     });
 
@@ -59,11 +81,20 @@ fn main() {
     t.row(vec![
         "plain LR (≈ LR1)".into(),
         "6".into(),
-        triple(&PredictionErrors::evaluate(&plain, test.rows(), test.targets())),
+        triple(&PredictionErrors::evaluate(
+            &plain,
+            test.rows(),
+            test.targets(),
+        )),
     ]);
 
     // Hard selection: best ladder rung (two most additive PMCs, ≈ LR5).
-    let keep: Vec<String> = report.ranked().iter().take(2).map(|e| e.name.clone()).collect();
+    let keep: Vec<String> = report
+        .ranked()
+        .iter()
+        .take(2)
+        .map(|e| e.name.clone())
+        .collect();
     let keep_refs: Vec<&str> = keep.iter().map(String::as_str).collect();
     let train2 = train.select(&keep_refs).expect("subset");
     let test2 = test.select(&keep_refs).expect("subset");
@@ -72,7 +103,11 @@ fn main() {
     t.row(vec![
         "hard selection (≈ LR5)".into(),
         "2".into(),
-        triple(&PredictionErrors::evaluate(&hard, test2.rows(), test2.targets())),
+        triple(&PredictionErrors::evaluate(
+            &hard,
+            test2.rows(),
+            test2.targets(),
+        )),
     ]);
 
     // Weighted: all six kept, penalty ∝ additivity error.
@@ -80,13 +115,19 @@ fn main() {
         let weighted = additivity_weighted_lr(
             &train,
             &report,
-            AdditivityPenalty { per_error_point: per_point },
+            AdditivityPenalty {
+                per_error_point: per_point,
+            },
         )
         .expect("weighted fit");
         t.row(vec![
             format!("additivity-weighted (λ={per_point}/pt)"),
             "6".into(),
-            triple(&PredictionErrors::evaluate(&weighted, test.rows(), test.targets())),
+            triple(&PredictionErrors::evaluate(
+                &weighted,
+                test.rows(),
+                test.targets(),
+            )),
         ]);
     }
     print!("{}", t.render());

@@ -14,17 +14,34 @@ use pmca_cpusim::PlatformSpec;
 
 fn main() {
     let config = if quick_requested() {
-        SurveyConfig { kernel_compounds: 4, diverse_compounds: 8, runs: 2, ..SurveyConfig::default() }
+        SurveyConfig {
+            kernel_compounds: 4,
+            diverse_compounds: 8,
+            runs: 2,
+            ..SurveyConfig::default()
+        }
     } else {
-        SurveyConfig { kernel_compounds: 12, diverse_compounds: 50, runs: 3, ..SurveyConfig::default() }
+        SurveyConfig {
+            kernel_compounds: 12,
+            diverse_compounds: 50,
+            runs: 3,
+            ..SurveyConfig::default()
+        }
     };
     let mut t = TextTable::new(
         "Full-catalog additivity survey (tolerance 5%)",
-        &["platform", "events", "additive for DGEMM/FFT", "additive for diverse suite"],
+        &[
+            "platform",
+            "events",
+            "additive for DGEMM/FFT",
+            "additive for diverse suite",
+        ],
     );
     for platform in [PlatformSpec::intel_haswell(), PlatformSpec::intel_skylake()] {
         let name = platform.micro_arch.to_string();
-        let results = timed(&format!("survey on {name}"), || run_survey(platform, &config));
+        let results = timed(&format!("survey on {name}"), || {
+            run_survey(platform, &config)
+        });
         t.row(vec![
             name,
             results.surviving_events.to_string(),

@@ -8,25 +8,69 @@ fn main() {
     let sk = PlatformSpec::intel_skylake();
     let mut t = TextTable::new(
         "Table 1. Specification of the Intel Haswell and Intel Skylake multicore CPUs",
-        &["Technical specification", "Intel Haswell server", "Intel Skylake server"],
+        &[
+            "Technical specification",
+            "Intel Haswell server",
+            "Intel Skylake server",
+        ],
     );
     let row = |label: &str, a: String, b: String| vec![label.to_string(), a, b];
     t.row(row("Processor", hw.processor.clone(), sk.processor.clone()));
     t.row(row("OS", hw.os.clone(), sk.os.clone()));
-    t.row(row("Micro-architecture", hw.micro_arch.to_string(), sk.micro_arch.to_string()));
-    t.row(row("Thread(s) per core", hw.threads_per_core.to_string(), sk.threads_per_core.to_string()));
-    t.row(row("Cores per socket", hw.cores_per_socket.to_string(), sk.cores_per_socket.to_string()));
-    t.row(row("Socket(s)", hw.sockets.to_string(), sk.sockets.to_string()));
-    t.row(row("NUMA node(s)", hw.numa_nodes.to_string(), sk.numa_nodes.to_string()));
+    t.row(row(
+        "Micro-architecture",
+        hw.micro_arch.to_string(),
+        sk.micro_arch.to_string(),
+    ));
+    t.row(row(
+        "Thread(s) per core",
+        hw.threads_per_core.to_string(),
+        sk.threads_per_core.to_string(),
+    ));
+    t.row(row(
+        "Cores per socket",
+        hw.cores_per_socket.to_string(),
+        sk.cores_per_socket.to_string(),
+    ));
+    t.row(row(
+        "Socket(s)",
+        hw.sockets.to_string(),
+        sk.sockets.to_string(),
+    ));
+    t.row(row(
+        "NUMA node(s)",
+        hw.numa_nodes.to_string(),
+        sk.numa_nodes.to_string(),
+    ));
     t.row(row(
         "L1d/L1i cache",
         format!("{} KB/{} KB", hw.l1d_kib, hw.l1i_kib),
         format!("{} KB/{} KB", sk.l1d_kib, sk.l1i_kib),
     ));
-    t.row(row("L2 cache", format!("{} KB", hw.l2_kib), format!("{} KB", sk.l2_kib)));
-    t.row(row("L3 cache", format!("{} KB", hw.l3_kib), format!("{} KB", sk.l3_kib)));
-    t.row(row("Main memory", format!("{} GB DDR4", hw.memory_gib), format!("{} GB DDR4", sk.memory_gib)));
-    t.row(row("TDP", format!("{} W", hw.tdp_watts), format!("{} W", sk.tdp_watts)));
-    t.row(row("Idle power", format!("{} W", hw.idle_power_watts), format!("{} W", sk.idle_power_watts)));
+    t.row(row(
+        "L2 cache",
+        format!("{} KB", hw.l2_kib),
+        format!("{} KB", sk.l2_kib),
+    ));
+    t.row(row(
+        "L3 cache",
+        format!("{} KB", hw.l3_kib),
+        format!("{} KB", sk.l3_kib),
+    ));
+    t.row(row(
+        "Main memory",
+        format!("{} GB DDR4", hw.memory_gib),
+        format!("{} GB DDR4", sk.memory_gib),
+    ));
+    t.row(row(
+        "TDP",
+        format!("{} W", hw.tdp_watts),
+        format!("{} W", sk.tdp_watts),
+    ));
+    t.row(row(
+        "Idle power",
+        format!("{} W", hw.idle_power_watts),
+        format!("{} W", sk.idle_power_watts),
+    ));
     print!("{}", t.render());
 }

@@ -26,7 +26,10 @@ pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
     println!("==> {label}");
     let start = Instant::now();
     let out = f();
-    println!("<== {label} done in {:.1}s\n", start.elapsed().as_secs_f64());
+    println!(
+        "<== {label} done in {:.1}s\n",
+        start.elapsed().as_secs_f64()
+    );
     out
 }
 

@@ -8,8 +8,11 @@ use pmca_cpusim::{Machine, PlatformSpec};
 use pmca_pmctools::collector::collect_all;
 use pmca_pmctools::scheduler::schedule;
 use pmca_powermeter::HclWattsUp;
+use pmca_serve::{Client, EnergyService, Server};
 use pmca_workloads::parse::app_from_spec;
 use pmca_workloads::suite::class_b_compound_pairs;
+use std::path::Path;
+use std::sync::Arc;
 
 /// Usage text shown on any argument error.
 pub const USAGE: &str = "\
@@ -39,7 +42,17 @@ usage:
 
   slope-pmc matrix [--platform haswell|skylake] [--compounds N] EVENT [EVENT ...]
       print the full event x compound additivity-error matrix: which
-      compositions break which counters";
+      compositions break which counters
+
+  slope-pmc serve [--addr HOST:PORT] [--workers N] [--cache N] [--registry DIR]
+      run the energy estimation server (default 127.0.0.1:7771, 4 workers);
+      speaks the line protocol: ESTIMATE, ESTIMATE-APP, TRAIN, MODELS,
+      STATS, QUIT; --registry loads saved models at startup
+
+  slope-pmc query [--addr HOST:PORT] REQUEST...
+      send one protocol request to a running server and print the reply
+      (e.g.  slope-pmc query STATS
+             slope-pmc query ESTIMATE-APP skylake dgemm:12000)";
 
 /// Parsed global options plus positional arguments.
 struct Parsed {
@@ -48,6 +61,10 @@ struct Parsed {
     app: Option<String>,
     train: Vec<String>,
     events: Vec<String>,
+    addr: String,
+    workers: usize,
+    cache: usize,
+    registry: Option<String>,
     positional: Vec<String>,
 }
 
@@ -57,6 +74,10 @@ fn parse_options(args: &[String]) -> Result<Parsed, String> {
     let mut app = None;
     let mut train = Vec::new();
     let mut events = Vec::new();
+    let mut addr = "127.0.0.1:7771".to_string();
+    let mut workers = 4;
+    let mut cache = 256;
+    let mut registry = None;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -87,11 +108,44 @@ fn parse_options(args: &[String]) -> Result<Parsed, String> {
                 let value = it.next().ok_or("--events needs a comma-separated list")?;
                 events = value.split(',').map(|s| s.trim().to_string()).collect();
             }
+            "--addr" => {
+                addr = it.next().ok_or("--addr needs HOST:PORT")?.clone();
+            }
+            "--workers" => {
+                let value = it.next().ok_or("--workers needs a value")?;
+                workers = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--workers: {value:?} is not a positive count"))?;
+            }
+            "--cache" => {
+                let value = it.next().ok_or("--cache needs a value")?;
+                cache = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--cache: {value:?} is not a positive count"))?;
+            }
+            "--registry" => {
+                registry = Some(it.next().ok_or("--registry needs a directory")?.clone());
+            }
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => positional.push(other.to_string()),
         }
     }
-    Ok(Parsed { platform, compounds, app, train, events, positional })
+    Ok(Parsed {
+        platform,
+        compounds,
+        app,
+        train,
+        events,
+        addr,
+        workers,
+        cache,
+        registry,
+        positional,
+    })
 }
 
 fn resolve_events(machine: &Machine, names: &[String]) -> Result<Vec<EventId>, String> {
@@ -123,6 +177,8 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "collect" => cmd_collect(options),
         "online" => cmd_online(options),
         "matrix" => cmd_matrix(options),
+        "serve" => cmd_serve(&options),
+        "query" => cmd_query(&options),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -158,8 +214,11 @@ fn cmd_schedule(options: Parsed) -> Result<(), String> {
         groups.len()
     );
     for (i, group) in groups.iter().enumerate() {
-        let names: Vec<&str> =
-            group.events.iter().map(|&id| machine.catalog().event(id).name.as_str()).collect();
+        let names: Vec<&str> = group
+            .events
+            .iter()
+            .map(|&id| machine.catalog().event(id).name.as_str())
+            .collect();
         println!("  run {:>3}: {}", i + 1, names.join(", "));
         if i >= 19 && groups.len() > 24 {
             println!("  … {} more runs", groups.len() - i - 1);
@@ -199,7 +258,11 @@ fn cmd_measure(options: Parsed) -> Result<(), String> {
     let mut machine = Machine::new(options.platform, 1);
     let mut meter = HclWattsUp::new(&machine, 1);
     let mut t = TextTable::new(
-        format!("dynamic energy on {} (static power {:.1} W)", machine.spec().micro_arch, meter.static_power_w()),
+        format!(
+            "dynamic energy on {} (static power {:.1} W)",
+            machine.spec().micro_arch,
+            meter.static_power_w()
+        ),
         &["application", "energy (J)", "±CI", "time (s)", "runs"],
     );
     for spec in &options.positional {
@@ -218,7 +281,10 @@ fn cmd_measure(options: Parsed) -> Result<(), String> {
 }
 
 fn cmd_collect(options: Parsed) -> Result<(), String> {
-    let spec = options.app.as_deref().ok_or("collect needs --app APP_SPEC")?;
+    let spec = options
+        .app
+        .as_deref()
+        .ok_or("collect needs --app APP_SPEC")?;
     if options.positional.is_empty() {
         return Err("collect needs at least one EVENT".into());
     }
@@ -226,9 +292,18 @@ fn cmd_collect(options: Parsed) -> Result<(), String> {
     let events = resolve_events(&machine, &options.positional)?;
     let app = app_from_spec(spec).map_err(|e| e.to_string())?;
     let pmcs = collect_all(&mut machine, app.as_ref(), &events).map_err(|e| e.to_string())?;
-    println!("{} on {} ({} runs consumed):", app.name(), machine.spec().micro_arch, pmcs.runs_used);
+    println!(
+        "{} on {} ({} runs consumed):",
+        app.name(),
+        machine.spec().micro_arch,
+        pmcs.runs_used
+    );
     for &id in &events {
-        println!("  {:<44} {:>20.0}", machine.catalog().event(id).name, pmcs.get(id));
+        println!(
+            "  {:<44} {:>20.0}",
+            machine.catalog().event(id).name,
+            pmcs.get(id)
+        );
     }
     Ok(())
 }
@@ -302,6 +377,48 @@ fn cmd_matrix(options: Parsed) -> Result<(), String> {
     }
     if let Some((worst, err)) = matrix.most_destructive_compounds().first() {
         println!("\nmost destructive composition: {worst} (mean error {err:.1}%)");
+    }
+    Ok(())
+}
+
+fn cmd_serve(options: &Parsed) -> Result<(), String> {
+    let service = Arc::new(EnergyService::new(options.workers, options.cache, 1));
+    if let Some(dir) = &options.registry {
+        let loaded = service
+            .load_registry(Path::new(dir))
+            .map_err(|e| format!("--registry {dir}: {e}"))?;
+        println!("loaded {loaded} model(s) from {dir}");
+    }
+    let server = Server::start(service, &options.addr)
+        .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
+    println!(
+        "slope-pmc serving on {} ({} workers, {}-run cache); stop with Ctrl-C",
+        server.addr(),
+        options.workers,
+        options.cache
+    );
+    // Serve until killed: connections are handled on their own threads.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_query(options: &Parsed) -> Result<(), String> {
+    if options.positional.is_empty() {
+        return Err("query needs a request, e.g.  slope-pmc query STATS".into());
+    }
+    let mut client = Client::connect(options.addr.as_str())
+        .map_err(|e| format!("cannot reach server at {}: {e}", options.addr))?;
+    let line = options.positional.join(" ");
+    if line.trim().eq_ignore_ascii_case("MODELS") {
+        let models = client.models().map_err(|e| e.to_string())?;
+        println!("{} model(s) registered", models.len());
+        for model in models {
+            println!("  {model}");
+        }
+    } else {
+        let reply = client.send_line(&line).map_err(|e| e.to_string())?;
+        println!("{reply}");
     }
     Ok(())
 }
@@ -387,7 +504,7 @@ mod tests {
             "dgemm:4000,fft:23000",
             "--events",
             "ARITH_DIVIDER_COUNT,UOPS_EXECUTED_CORE",
-            "dgemm:5000"
+            "dgemm:5000",
         ]))
         .unwrap_err();
         assert!(err.contains("runs"), "{err}");
@@ -406,13 +523,60 @@ mod tests {
     }
 
     #[test]
+    fn query_round_trips_against_a_live_server() {
+        let service = Arc::new(EnergyService::new(1, 8, 1));
+        let server = Server::start(service, "127.0.0.1:0").unwrap();
+        let addr = server.addr().to_string();
+        assert!(dispatch(&argv(&["query", "--addr", &addr, "STATS"])).is_ok());
+        assert!(dispatch(&argv(&["query", "--addr", &addr, "MODELS"])).is_ok());
+        // ERR replies are still successful round trips: the reply prints.
+        assert!(dispatch(&argv(&[
+            "query",
+            "--addr",
+            &addr,
+            "ESTIMATE-APP",
+            "skylake",
+            "dgemm:9000"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn serve_and_query_report_connection_problems() {
+        assert!(dispatch(&argv(&["serve", "--addr", "999.999.999.999:1"]))
+            .unwrap_err()
+            .contains("bind"));
+        let err = dispatch(&argv(&["query", "--addr", "127.0.0.1:1", "STATS"])).unwrap_err();
+        assert!(err.contains("cannot reach server"), "{err}");
+        assert!(dispatch(&argv(&["query"])).unwrap_err().contains("request"));
+        assert!(dispatch(&argv(&["serve", "--workers", "0"]))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(dispatch(&argv(&["serve", "--cache", "none"]))
+            .unwrap_err()
+            .contains("positive"));
+    }
+
+    #[test]
     fn helpful_errors() {
         assert!(dispatch(&argv(&["audit"])).unwrap_err().contains("EVENT"));
-        assert!(dispatch(&argv(&["collect", "EVENTX"])).unwrap_err().contains("--app"));
-        assert!(dispatch(&argv(&["measure", "bogus:1"])).unwrap_err().contains("bogus"));
-        assert!(dispatch(&argv(&["specs", "--platform"])).unwrap_err().contains("value"));
-        assert!(dispatch(&argv(&["schedule", "--platform", "arm"])).unwrap_err().contains("arm"));
-        assert!(dispatch(&argv(&["audit", "NOT_AN_EVENT"])).unwrap_err().contains("NOT_AN_EVENT"));
-        assert!(dispatch(&argv(&["online", "dgemm:1000"])).unwrap_err().contains("--train"));
+        assert!(dispatch(&argv(&["collect", "EVENTX"]))
+            .unwrap_err()
+            .contains("--app"));
+        assert!(dispatch(&argv(&["measure", "bogus:1"]))
+            .unwrap_err()
+            .contains("bogus"));
+        assert!(dispatch(&argv(&["specs", "--platform"]))
+            .unwrap_err()
+            .contains("value"));
+        assert!(dispatch(&argv(&["schedule", "--platform", "arm"]))
+            .unwrap_err()
+            .contains("arm"));
+        assert!(dispatch(&argv(&["audit", "NOT_AN_EVENT"]))
+            .unwrap_err()
+            .contains("NOT_AN_EVENT"));
+        assert!(dispatch(&argv(&["online", "dgemm:1000"]))
+            .unwrap_err()
+            .contains("--train"));
     }
 }

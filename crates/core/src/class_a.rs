@@ -119,7 +119,10 @@ impl ClassAResults {
             &["PMC", "additivity test error (%)"],
         );
         for entry in self.additivity.entries() {
-            t.row(vec![entry.name.clone(), format!("{:.0}", entry.max_error_pct)]);
+            t.row(vec![
+                entry.name.clone(),
+                format!("{:.0}", entry.max_error_pct),
+            ]);
         }
         t.render()
     }
@@ -136,7 +139,12 @@ impl ClassAResults {
                 .as_ref()
                 .map(|cs| cs.iter().map(|&c| sci(c)).collect::<Vec<_>>().join(", "))
                 .unwrap_or_default();
-            t.row(vec![row.model.clone(), row.pmcs.join(","), coeffs, triple(&row.errors)]);
+            t.row(vec![
+                row.model.clone(),
+                row.pmcs.join(","),
+                coeffs,
+                triple(&row.errors),
+            ]);
         }
         t.render()
     }
@@ -145,7 +153,11 @@ impl ClassAResults {
     fn ladder_table(title: &str, rows: &[LadderRow]) -> String {
         let mut t = TextTable::new(title, &["Model", "PMCs", "errors (min, avg, max) %"]);
         for row in rows {
-            t.row(vec![row.model.clone(), row.pmcs.join(","), triple(&row.errors)]);
+            t.row(vec![
+                row.model.clone(),
+                row.pmcs.join(","),
+                triple(&row.errors),
+            ]);
         }
         t.render()
     }
@@ -181,7 +193,10 @@ pub fn run_class_a(config: &ClassAConfig) -> ClassAResults {
         .into_iter()
         .map(|(a, b)| CompoundCase::new(a, b))
         .collect();
-    let test = AdditivityTest { runs: config.additivity_runs, ..AdditivityTest::default() };
+    let test = AdditivityTest {
+        runs: config.additivity_runs,
+        ..AdditivityTest::default()
+    };
     let additivity = AdditivityChecker::new(test)
         .check(&mut machine, &events, &cases)
         .expect("six unconstrained events always schedule");
@@ -189,13 +204,25 @@ pub fn run_class_a(config: &ClassAConfig) -> ClassAResults {
     // Training set: base applications; test set: the compounds.
     let base_apps = class_a_base_suite(config.n_base);
     let base_refs: Vec<&dyn Application> = base_apps.iter().map(|a| a.as_ref()).collect();
-    let train = build_dataset(&mut machine, &mut meter, &base_refs, &events, config.pmc_repeats)
-        .expect("collection of Class A events cannot fail");
+    let train = build_dataset(
+        &mut machine,
+        &mut meter,
+        &base_refs,
+        &events,
+        config.pmc_repeats,
+    )
+    .expect("collection of Class A events cannot fail");
     let compounds = class_a_compounds(config.n_compounds, config.seed);
-    let compound_refs: Vec<&dyn Application> = compounds.iter().map(|c| c as &dyn Application).collect();
-    let test_set =
-        build_dataset(&mut machine, &mut meter, &compound_refs, &events, config.pmc_repeats)
-            .expect("collection of Class A events cannot fail");
+    let compound_refs: Vec<&dyn Application> =
+        compounds.iter().map(|c| c as &dyn Application).collect();
+    let test_set = build_dataset(
+        &mut machine,
+        &mut meter,
+        &compound_refs,
+        &events,
+        config.pmc_repeats,
+    )
+    .expect("collection of Class A events cannot fail");
 
     // Ladders: rung k keeps the (6 − k) most additive PMCs.
     let ranked: Vec<String> = additivity.ranked().iter().map(|e| e.name.clone()).collect();
@@ -210,11 +237,16 @@ pub fn run_class_a(config: &ClassAConfig) -> ClassAResults {
             .copied()
             .filter(|name| ranked[..keep].iter().any(|r| r == name))
             .collect();
-        let train_k = train.select(&members).expect("members come from the feature set");
-        let test_k = test_set.select(&members).expect("members come from the feature set");
+        let train_k = train
+            .select(&members)
+            .expect("members come from the feature set");
+        let test_k = test_set
+            .select(&members)
+            .expect("members come from the feature set");
 
         let mut lr = LinearRegression::paper_constrained();
-        lr.fit(train_k.rows(), train_k.targets()).expect("training set is non-empty");
+        lr.fit(train_k.rows(), train_k.targets())
+            .expect("training set is non-empty");
         lr_rows.push(LadderRow {
             model: format!("LR{}", rung + 1),
             pmcs: members.iter().map(|s| s.to_string()).collect(),
@@ -230,7 +262,8 @@ pub fn run_class_a(config: &ClassAConfig) -> ClassAResults {
             },
             config.seed ^ 0xF0,
         );
-        rf.fit(train_k.rows(), train_k.targets()).expect("training set is non-empty");
+        rf.fit(train_k.rows(), train_k.targets())
+            .expect("training set is non-empty");
         rf_rows.push(LadderRow {
             model: format!("RF{}", rung + 1),
             pmcs: members.iter().map(|s| s.to_string()).collect(),
@@ -239,10 +272,14 @@ pub fn run_class_a(config: &ClassAConfig) -> ClassAResults {
         });
 
         let mut nn = NeuralNet::new(
-            NnParams { epochs: config.nn_epochs, ..NnParams::default() },
+            NnParams {
+                epochs: config.nn_epochs,
+                ..NnParams::default()
+            },
             config.seed ^ 0x99,
         );
-        nn.fit(train_k.rows(), train_k.targets()).expect("training set is non-empty");
+        nn.fit(train_k.rows(), train_k.targets())
+            .expect("training set is non-empty");
         nn_rows.push(LadderRow {
             model: format!("NN{}", rung + 1),
             pmcs: members.iter().map(|s| s.to_string()).collect(),

@@ -16,9 +16,7 @@ use pmca_cpusim::{Machine, PlatformSpec};
 use pmca_mlkit::forest::ForestParams;
 use pmca_mlkit::nn::NnParams;
 use pmca_mlkit::tree::TreeParams;
-use pmca_mlkit::{
-    Dataset, LinearRegression, NeuralNet, PredictionErrors, RandomForest, Regressor,
-};
+use pmca_mlkit::{Dataset, LinearRegression, NeuralNet, PredictionErrors, RandomForest, Regressor};
 use pmca_powermeter::{HclWattsUp, Methodology};
 use pmca_stats::correlation::pearson;
 use pmca_workloads::suite::{class_b_compound_pairs, class_b_regression_suite};
@@ -159,7 +157,12 @@ impl ClassBResults {
                     .find(|e| e.name == *name)
                     .map(|e| e.max_error_pct)
                     .unwrap_or(f64::NAN);
-                t.row(vec![set.into(), name.to_string(), format!("{corr:.3}"), format!("{err:.2}")]);
+                t.row(vec![
+                    set.into(),
+                    name.to_string(),
+                    format!("{corr:.3}"),
+                    format!("{err:.2}"),
+                ]);
             }
         }
         t.render()
@@ -172,7 +175,11 @@ impl ClassBResults {
             &["Model", "PMCs", "errors (min, avg, max) %"],
         );
         for row in &self.models {
-            t.row(vec![row.model.clone(), row.pmc_set.clone(), triple(&row.errors)]);
+            t.row(vec![
+                row.model.clone(),
+                row.pmc_set.clone(),
+                triple(&row.errors),
+            ]);
         }
         t.render()
     }
@@ -191,12 +198,17 @@ pub(crate) fn train_family(
     rf_trees: usize,
     seed: u64,
 ) -> Vec<ModelRow> {
-    let train_k = train.select(features).expect("features exist in the dataset");
-    let test_k = test.select(features).expect("features exist in the dataset");
+    let train_k = train
+        .select(features)
+        .expect("features exist in the dataset");
+    let test_k = test
+        .select(features)
+        .expect("features exist in the dataset");
     let mut rows = Vec::with_capacity(3);
 
     let mut lr = LinearRegression::paper_constrained();
-    lr.fit(train_k.rows(), train_k.targets()).expect("non-empty training set");
+    lr.fit(train_k.rows(), train_k.targets())
+        .expect("non-empty training set");
     rows.push(ModelRow {
         model: format!("LR-{suffix}"),
         pmc_set: set_label.into(),
@@ -204,18 +216,30 @@ pub(crate) fn train_family(
     });
 
     let mut rf = RandomForest::new(
-        ForestParams { n_trees: rf_trees, tree: TreeParams::default(), sample_fraction: 1.0 },
+        ForestParams {
+            n_trees: rf_trees,
+            tree: TreeParams::default(),
+            sample_fraction: 1.0,
+        },
         seed ^ 0xF0,
     );
-    rf.fit(train_k.rows(), train_k.targets()).expect("non-empty training set");
+    rf.fit(train_k.rows(), train_k.targets())
+        .expect("non-empty training set");
     rows.push(ModelRow {
         model: format!("RF-{suffix}"),
         pmc_set: set_label.into(),
         errors: PredictionErrors::evaluate(&rf, test_k.rows(), test_k.targets()),
     });
 
-    let mut nn = NeuralNet::new(NnParams { epochs: nn_epochs, ..NnParams::default() }, seed ^ 0x99);
-    nn.fit(train_k.rows(), train_k.targets()).expect("non-empty training set");
+    let mut nn = NeuralNet::new(
+        NnParams {
+            epochs: nn_epochs,
+            ..NnParams::default()
+        },
+        seed ^ 0x99,
+    );
+    nn.fit(train_k.rows(), train_k.targets())
+        .expect("non-empty training set");
     rows.push(ModelRow {
         model: format!("NN-{suffix}"),
         pmc_set: set_label.into(),
@@ -245,7 +269,10 @@ pub fn run_class_b(config: &ClassBConfig) -> ClassBResults {
         .into_iter()
         .map(|(a, b)| CompoundCase::new(a, b))
         .collect();
-    let test_cfg = AdditivityTest { runs: config.additivity_runs, ..AdditivityTest::default() };
+    let test_cfg = AdditivityTest {
+        runs: config.additivity_runs,
+        ..AdditivityTest::default()
+    };
     let additivity = AdditivityChecker::new(test_cfg)
         .check(&mut machine, &events, &cases)
         .expect("Table 6 events always schedule");
@@ -278,8 +305,26 @@ pub fn run_class_b(config: &ClassBConfig) -> ClassBResults {
         .expect("split parameters are in range");
 
     let mut models = Vec::with_capacity(6);
-    models.extend(train_family("PA", "A", &PA, &train, &test, config.nn_epochs, config.rf_trees, config.seed));
-    models.extend(train_family("PNA", "NA", &PNA, &train, &test, config.nn_epochs, config.rf_trees, config.seed));
+    models.extend(train_family(
+        "PA",
+        "A",
+        &PA,
+        &train,
+        &test,
+        config.nn_epochs,
+        config.rf_trees,
+        config.seed,
+    ));
+    models.extend(train_family(
+        "PNA",
+        "NA",
+        &PNA,
+        &train,
+        &test,
+        config.nn_epochs,
+        config.rf_trees,
+        config.seed,
+    ));
     // Paper ordering: LR-A, LR-NA, RF-A, RF-NA, NN-A, NN-NA.
     models.sort_by_key(|r| {
         let family = match &r.model[..2] {
@@ -290,7 +335,13 @@ pub fn run_class_b(config: &ClassBConfig) -> ClassBResults {
         (family, r.model.ends_with("NA") as u8)
     });
 
-    ClassBResults { additivity, correlations, models, train, test }
+    ClassBResults {
+        additivity,
+        correlations,
+        models,
+        train,
+        test,
+    }
 }
 
 #[cfg(test)]

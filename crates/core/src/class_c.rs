@@ -30,7 +30,11 @@ impl ClassCResults {
             &["Model", "PMCs", "errors (min, avg, max) %"],
         );
         for row in &self.models {
-            t.row(vec![row.model.clone(), row.pmc_set.clone(), triple(&row.errors)]);
+            t.row(vec![
+                row.model.clone(),
+                row.pmc_set.clone(),
+                triple(&row.errors),
+            ]);
         }
         t.render()
     }
@@ -55,7 +59,12 @@ fn top_correlated(class_b: &ClassBResults, pool: &[&str], k: usize) -> Vec<Strin
 ///
 /// `nn_epochs`, `rf_trees`, and `seed` should match the Class B run for a
 /// like-for-like comparison.
-pub fn run_class_c(class_b: &ClassBResults, nn_epochs: usize, rf_trees: usize, seed: u64) -> ClassCResults {
+pub fn run_class_c(
+    class_b: &ClassBResults,
+    nn_epochs: usize,
+    rf_trees: usize,
+    seed: u64,
+) -> ClassCResults {
     let pa4 = top_correlated(class_b, &PA, 4);
     let pna4 = top_correlated(class_b, &PNA, 4);
     let pa4_refs: Vec<&str> = pa4.iter().map(String::as_str).collect();
@@ -144,8 +153,14 @@ mod tests {
         let b = fake_class_b();
         let c = run_class_c(&b, 30, 10, 1);
         // Correlations decrease with index in the fake, so PA4 = PA[0..4].
-        assert_eq!(c.pa4, PA[..4].iter().map(|s| s.to_string()).collect::<Vec<_>>());
-        assert_eq!(c.pna4, PNA[..4].iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        assert_eq!(
+            c.pa4,
+            PA[..4].iter().map(|s| s.to_string()).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            c.pna4,
+            PNA[..4].iter().map(|s| s.to_string()).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -153,7 +168,10 @@ mod tests {
         let b = fake_class_b();
         let c = run_class_c(&b, 30, 10, 1);
         let names: Vec<&str> = c.models.iter().map(|m| m.model.as_str()).collect();
-        assert_eq!(names, vec!["LR-A4", "LR-NA4", "RF-A4", "RF-NA4", "NN-A4", "NN-NA4"]);
+        assert_eq!(
+            names,
+            vec!["LR-A4", "LR-NA4", "RF-A4", "RF-NA4", "NN-A4", "NN-NA4"]
+        );
     }
 
     #[test]

@@ -61,11 +61,8 @@ mod tests {
     #[test]
     fn dataset_rows_match_apps() {
         let mut machine = Machine::new(PlatformSpec::intel_skylake(), 2);
-        let mut meter = HclWattsUp::with_methodology(
-            &machine,
-            2,
-            pmca_powermeter::Methodology::quick(),
-        );
+        let mut meter =
+            HclWattsUp::with_methodology(&machine, 2, pmca_powermeter::Methodology::quick());
         let events = machine
             .catalog()
             .ids(&["UOPS_EXECUTED_CORE", "MEM_INST_RETIRED_ALL_STORES"])

@@ -39,7 +39,10 @@ impl fmt::Display for OnlineModelError {
         match self {
             OnlineModelError::UnknownEvent(name) => write!(f, "unknown event {name}"),
             OnlineModelError::NotSingleRun { runs_needed } => {
-                write!(f, "PMC set needs {runs_needed} runs; an online model needs exactly 1")
+                write!(
+                    f,
+                    "PMC set needs {runs_needed} runs; an online model needs exactly 1"
+                )
             }
             OnlineModelError::TrainingFailed(detail) => write!(f, "training failed: {detail}"),
         }
@@ -55,6 +58,25 @@ pub struct OnlineModel {
     event_names: Vec<String>,
     events: Vec<EventId>,
     model: LinearRegression,
+    residual_std: f64,
+    training_rows: usize,
+}
+
+/// The persistable state of an [`OnlineModel`] — everything needed to
+/// revive it on a machine with the same catalog, without retraining.
+/// Produced by [`OnlineModel::to_spec`], consumed by
+/// [`OnlineModel::from_spec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineModelSpec {
+    /// PMC names, in model-feature order.
+    pub pmc_names: Vec<String>,
+    /// One non-negative coefficient per PMC.
+    pub coefficients: Vec<f64>,
+    /// Standard deviation of the training residuals, joules (the basis of
+    /// served prediction intervals).
+    pub residual_std: f64,
+    /// Number of training observations the residuals were computed from.
+    pub training_rows: usize,
 }
 
 impl OnlineModel {
@@ -79,7 +101,9 @@ impl OnlineModel {
         let groups = schedule(machine.catalog(), &events)
             .map_err(|e| OnlineModelError::TrainingFailed(e.to_string()))?;
         if groups.len() > 1 {
-            return Err(OnlineModelError::NotSingleRun { runs_needed: groups.len() });
+            return Err(OnlineModelError::NotSingleRun {
+                runs_needed: groups.len(),
+            });
         }
         let dataset = build_dataset(machine, meter, training_apps, &events, 1)
             .map_err(|e| OnlineModelError::TrainingFailed(e.to_string()))?;
@@ -87,11 +111,94 @@ impl OnlineModel {
         model
             .fit(dataset.rows(), dataset.targets())
             .map_err(|e| OnlineModelError::TrainingFailed(e.to_string()))?;
+        let residuals: Vec<f64> = dataset
+            .rows()
+            .iter()
+            .zip(dataset.targets())
+            .map(|(row, &target)| model.predict_one(row) - target)
+            .collect();
+        let n = residuals.len() as f64;
+        let residual_std = (residuals.iter().map(|r| r * r).sum::<f64>() / n).sqrt();
         Ok(OnlineModel {
             event_names: pmc_names.iter().map(|s| s.to_string()).collect(),
             events,
             model,
+            residual_std,
+            training_rows: residuals.len(),
         })
+    }
+
+    /// Export the model's persistable state.
+    pub fn to_spec(&self) -> OnlineModelSpec {
+        OnlineModelSpec {
+            pmc_names: self.event_names.clone(),
+            coefficients: self.model.coefficients().to_vec(),
+            residual_std: self.residual_std,
+            training_rows: self.training_rows,
+        }
+    }
+
+    /// Revive a model from its persisted state, re-validating the PMC set
+    /// against `machine`'s catalog and PMU constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnlineModelError`] when an event is unknown on this
+    /// machine, the set is no longer single-run schedulable, or the
+    /// coefficient count disagrees with the PMC count.
+    pub fn from_spec(machine: &Machine, spec: &OnlineModelSpec) -> Result<Self, OnlineModelError> {
+        let names: Vec<&str> = spec.pmc_names.iter().map(String::as_str).collect();
+        let events = machine
+            .catalog()
+            .ids(&names)
+            .map_err(|name| OnlineModelError::UnknownEvent(name.to_string()))?;
+        let groups = schedule(machine.catalog(), &events)
+            .map_err(|e| OnlineModelError::TrainingFailed(e.to_string()))?;
+        if groups.len() > 1 {
+            return Err(OnlineModelError::NotSingleRun {
+                runs_needed: groups.len(),
+            });
+        }
+        if spec.coefficients.len() != spec.pmc_names.len() {
+            return Err(OnlineModelError::TrainingFailed(format!(
+                "{} coefficients for {} PMCs",
+                spec.coefficients.len(),
+                spec.pmc_names.len()
+            )));
+        }
+        Ok(OnlineModel {
+            event_names: spec.pmc_names.clone(),
+            events,
+            model: LinearRegression::from_coefficients(spec.coefficients.clone(), 0.0),
+            residual_std: spec.residual_std,
+            training_rows: spec.training_rows,
+        })
+    }
+
+    /// Estimate dynamic energy, joules, directly from already-collected
+    /// PMC counts in [`OnlineModel::pmc_names`] order — the serving path,
+    /// where the counts arrive over the wire instead of from a local run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` does not have one entry per PMC.
+    pub fn estimate_from_counts(&self, counts: &[f64]) -> f64 {
+        assert_eq!(
+            counts.len(),
+            self.event_names.len(),
+            "one count per PMC required"
+        );
+        self.model.predict_one(counts).max(0.0)
+    }
+
+    /// Standard deviation of the training residuals, joules.
+    pub fn residual_std(&self) -> f64 {
+        self.residual_std
+    }
+
+    /// Number of training observations behind [`OnlineModel::residual_std`].
+    pub fn training_rows(&self) -> usize {
+        self.training_rows
     }
 
     /// The PMCs the model reads.
@@ -110,8 +217,14 @@ impl OnlineModel {
         let before = machine.runs_executed();
         let pmcs = collect_all(machine, app, &self.events)
             .expect("event set validated single-run at construction");
-        debug_assert_eq!(machine.runs_executed() - before, 1, "online estimate must cost one run");
-        self.model.predict_one(&pmcs.in_order(&self.events)).max(0.0)
+        debug_assert_eq!(
+            machine.runs_executed() - before,
+            1,
+            "online estimate must cost one run"
+        );
+        self.model
+            .predict_one(&pmcs.in_order(&self.events))
+            .max(0.0)
     }
 
     /// The fitted coefficients, one per PMC.
@@ -159,9 +272,14 @@ mod tests {
         // Unseen application.
         let unseen = Dgemm::new(13_333);
         let estimate = model.estimate(&mut machine, &unseen);
-        let truth = meter.measure_dynamic_energy(&mut machine, &unseen).mean_joules;
+        let truth = meter
+            .measure_dynamic_energy(&mut machine, &unseen)
+            .mean_joules;
         let rel = (estimate - truth).abs() / truth;
-        assert!(rel < 0.45, "estimate {estimate} vs truth {truth} ({rel:.2})");
+        assert!(
+            rel < 0.45,
+            "estimate {estimate} vs truth {truth} ({rel:.2})"
+        );
     }
 
     #[test]
@@ -182,9 +300,16 @@ mod tests {
         let refs: Vec<&dyn Application> = apps.iter().map(|a| a.as_ref()).collect();
         // The divider is solo-only: together with three others it cannot
         // fit one run.
-        let bad = ["ARITH_DIVIDER_COUNT", "UOPS_EXECUTED_CORE", "MEM_INST_RETIRED_ALL_STORES"];
+        let bad = [
+            "ARITH_DIVIDER_COUNT",
+            "UOPS_EXECUTED_CORE",
+            "MEM_INST_RETIRED_ALL_STORES",
+        ];
         let err = OnlineModel::train(&mut machine, &mut meter, &bad, &refs).unwrap_err();
-        assert!(matches!(err, OnlineModelError::NotSingleRun { runs_needed: 2 }), "{err}");
+        assert!(
+            matches!(err, OnlineModelError::NotSingleRun { runs_needed: 2 }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -192,8 +317,75 @@ mod tests {
         let (mut machine, mut meter) = setup();
         let apps = training_apps();
         let refs: Vec<&dyn Application> = apps.iter().map(|a| a.as_ref()).collect();
-        let err = OnlineModel::train(&mut machine, &mut meter, &["NOT_AN_EVENT"], &refs).unwrap_err();
+        let err =
+            OnlineModel::train(&mut machine, &mut meter, &["NOT_AN_EVENT"], &refs).unwrap_err();
         assert_eq!(err, OnlineModelError::UnknownEvent("NOT_AN_EVENT".into()));
+    }
+
+    #[test]
+    fn spec_round_trip_preserves_the_model() {
+        let (mut machine, mut meter) = setup();
+        let apps = training_apps();
+        let refs: Vec<&dyn Application> = apps.iter().map(|a| a.as_ref()).collect();
+        let model = OnlineModel::train(&mut machine, &mut meter, &GOOD_SET, &refs).unwrap();
+        let spec = model.to_spec();
+        assert!(spec.residual_std >= 0.0 && spec.residual_std.is_finite());
+        assert_eq!(spec.training_rows, refs.len());
+        let revived = OnlineModel::from_spec(&machine, &spec).unwrap();
+        assert_eq!(revived.to_spec(), spec);
+        let counts = [1.1e11, 2.3e10, 4.5e9, 4.4e9];
+        assert_eq!(
+            model.estimate_from_counts(&counts),
+            revived.estimate_from_counts(&counts)
+        );
+    }
+
+    #[test]
+    fn from_spec_revalidates_the_event_set() {
+        let (machine, _) = setup();
+        let unknown = OnlineModelSpec {
+            pmc_names: vec!["NOT_AN_EVENT".into()],
+            coefficients: vec![1.0],
+            residual_std: 0.0,
+            training_rows: 10,
+        };
+        assert!(matches!(
+            OnlineModel::from_spec(&machine, &unknown),
+            Err(OnlineModelError::UnknownEvent(_))
+        ));
+        let multi_run = OnlineModelSpec {
+            pmc_names: vec!["ARITH_DIVIDER_COUNT".into(), "UOPS_EXECUTED_CORE".into()],
+            coefficients: vec![1.0, 1.0],
+            residual_std: 0.0,
+            training_rows: 10,
+        };
+        assert!(matches!(
+            OnlineModel::from_spec(&machine, &multi_run),
+            Err(OnlineModelError::NotSingleRun { .. })
+        ));
+        let mismatched = OnlineModelSpec {
+            pmc_names: vec!["UOPS_EXECUTED_CORE".into()],
+            coefficients: vec![1.0, 2.0],
+            residual_std: 0.0,
+            training_rows: 10,
+        };
+        assert!(matches!(
+            OnlineModel::from_spec(&machine, &mismatched),
+            Err(OnlineModelError::TrainingFailed(_))
+        ));
+    }
+
+    #[test]
+    fn estimate_from_counts_matches_a_collected_estimate() {
+        let (mut machine, mut meter) = setup();
+        let apps = training_apps();
+        let refs: Vec<&dyn Application> = apps.iter().map(|a| a.as_ref()).collect();
+        let model = OnlineModel::train(&mut machine, &mut meter, &GOOD_SET, &refs).unwrap();
+        let app = Dgemm::new(11_000);
+        let events = machine.catalog().ids(&GOOD_SET).unwrap();
+        let pmcs = pmca_pmctools::collector::collect_all(&mut machine, &app, &events).unwrap();
+        let direct = model.estimate_from_counts(&pmcs.in_order(&events));
+        assert!(direct.is_finite() && direct >= 0.0);
     }
 
     #[test]

@@ -93,7 +93,11 @@ pub fn select_pmcs(
         SelectionStrategy::Correlation { k } => {
             let columns: Vec<Vec<f64>> = (0..names.len()).map(|i| dataset.column(i)).collect();
             let ranked = rank_by_correlation(&columns, dataset.targets());
-            Ok(ranked.into_iter().take(k).map(|(i, _)| names[i].clone()).collect())
+            Ok(ranked
+                .into_iter()
+                .take(k)
+                .map(|(i, _)| names[i].clone())
+                .collect())
         }
         SelectionStrategy::Additivity { k } => {
             let report = additivity.ok_or(SelectionError::MissingAdditivityReport)?;
@@ -102,25 +106,39 @@ pub fn select_pmcs(
         }
         SelectionStrategy::AdditiveThenCorrelation { k, pool } => {
             let report = additivity.ok_or(SelectionError::MissingAdditivityReport)?;
-            let pool_names: Vec<String> =
-                ranked_additivity_names(report, names)?.into_iter().take(pool).collect();
+            let pool_names: Vec<String> = ranked_additivity_names(report, names)?
+                .into_iter()
+                .take(pool)
+                .collect();
             let columns: Vec<Vec<f64>> = pool_names
                 .iter()
                 .map(|n| {
-                    let idx = names.iter().position(|f| f == n).expect("pool drawn from names");
+                    let idx = names
+                        .iter()
+                        .position(|f| f == n)
+                        .expect("pool drawn from names");
                     dataset.column(idx)
                 })
                 .collect();
             let ranked = rank_by_correlation(&columns, dataset.targets());
-            Ok(ranked.into_iter().take(k).map(|(i, _)| pool_names[i].clone()).collect())
+            Ok(ranked
+                .into_iter()
+                .take(k)
+                .map(|(i, _)| pool_names[i].clone())
+                .collect())
         }
         SelectionStrategy::Pca { k } => {
-            let matrix = Matrix::from_rows(dataset.rows()).map_err(|_| SelectionError::PcaFailed)?;
+            let matrix =
+                Matrix::from_rows(dataset.rows()).map_err(|_| SelectionError::PcaFailed)?;
             let pca = Pca::fit(&matrix, true).map_err(|_| SelectionError::PcaFailed)?;
             let loadings = pca.leading_loadings();
             let mut order: Vec<usize> = (0..names.len()).collect();
             order.sort_by(|&a, &b| loadings[b].partial_cmp(&loadings[a]).expect("NaN loading"));
-            Ok(order.into_iter().take(k).map(|i| names[i].clone()).collect())
+            Ok(order
+                .into_iter()
+                .take(k)
+                .map(|i| names[i].clone())
+                .collect())
         }
     }
 }
@@ -156,7 +174,8 @@ mod tests {
             let x = i as f64;
             let weak = x + if i % 2 == 0 { 6.0 } else { -6.0 };
             let noise = if i % 3 == 0 { 10.0 } else { 1.0 };
-            d.push(format!("p{i}"), vec![x, weak, noise], 2.0 * x).unwrap();
+            d.push(format!("p{i}"), vec![x, weak, noise], 2.0 * x)
+                .unwrap();
         }
         d
     }
@@ -171,7 +190,11 @@ mod tests {
                 reproducible: true,
                 max_error_pct: err,
                 worst_compound: String::new(),
-                verdict: if err <= 5.0 { Verdict::Additive } else { Verdict::NonAdditive },
+                verdict: if err <= 5.0 {
+                    Verdict::Additive
+                } else {
+                    Verdict::NonAdditive
+                },
             })
             .collect();
         AdditivityReport::new(entries, 5.0)

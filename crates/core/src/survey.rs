@@ -30,7 +30,12 @@ pub struct SurveyConfig {
 
 impl Default for SurveyConfig {
     fn default() -> Self {
-        SurveyConfig { seed: 0x50_B5, kernel_compounds: 10, diverse_compounds: 16, runs: 3 }
+        SurveyConfig {
+            seed: 0x50_B5,
+            kernel_compounds: 10,
+            diverse_compounds: 16,
+            runs: 3,
+        }
     }
 }
 
@@ -87,13 +92,17 @@ pub fn run_survey(platform: PlatformSpec, config: &SurveyConfig) -> SurveyResult
         .survivors(&mut machine, &[&dgemm, &fft, &hpcg])
         .expect("filter probes schedule");
 
-    let test = AdditivityTest { runs: config.runs, ..AdditivityTest::default() };
+    let test = AdditivityTest {
+        runs: config.runs,
+        ..AdditivityTest::default()
+    };
     let checker = AdditivityChecker::new(test);
 
-    let kernel_cases: Vec<CompoundCase> = class_b_compound_pairs(config.kernel_compounds, config.seed)
-        .into_iter()
-        .map(|(a, b)| CompoundCase::new(a, b))
-        .collect();
+    let kernel_cases: Vec<CompoundCase> =
+        class_b_compound_pairs(config.kernel_compounds, config.seed)
+            .into_iter()
+            .map(|(a, b)| CompoundCase::new(a, b))
+            .collect();
     let kernel_report = checker
         .check(&mut machine, &survivors, &kernel_cases)
         .expect("surviving events schedule");
@@ -107,12 +116,20 @@ pub fn run_survey(platform: PlatformSpec, config: &SurveyConfig) -> SurveyResult
         .check(&mut machine, &survivors, &diverse_cases)
         .expect("surviving events schedule");
 
-    SurveyResults { surviving_events: survivors.len(), kernel_report, diverse_report }
+    SurveyResults {
+        surviving_events: survivors.len(),
+        kernel_report,
+        diverse_report,
+    }
 }
 
 /// Count entries with a given verdict.
 pub fn count_verdict(report: &AdditivityReport, verdict: Verdict) -> usize {
-    report.entries().iter().filter(|e| e.verdict == verdict).count()
+    report
+        .entries()
+        .iter()
+        .filter(|e| e.verdict == verdict)
+        .count()
 }
 
 #[cfg(test)]
@@ -121,7 +138,12 @@ mod tests {
     use crate::class_b::PA;
 
     fn small_config() -> SurveyConfig {
-        SurveyConfig { seed: 7, kernel_compounds: 3, diverse_compounds: 16, runs: 2 }
+        SurveyConfig {
+            seed: 7,
+            kernel_compounds: 3,
+            diverse_compounds: 16,
+            runs: 2,
+        }
     }
 
     #[test]
@@ -142,7 +164,12 @@ mod tests {
                 .iter()
                 .find(|e| e.name == name)
                 .unwrap_or_else(|| panic!("{name} missing from survey"));
-            assert_eq!(entry.verdict, Verdict::Additive, "{name}: {:.2}%", entry.max_error_pct);
+            assert_eq!(
+                entry.verdict,
+                Verdict::Additive,
+                "{name}: {:.2}%",
+                entry.max_error_pct
+            );
         }
         // And the kernel-additive population is much richer than the
         // diverse-suite one (at full scale, 58 vs 8 — see repro_survey).
@@ -160,19 +187,27 @@ mod tests {
         // The paper: *no* PMC additive over the suite. The residue shrinks
         // with compound count (5 of 150 at the 50-compound paper scale);
         // at this test scale allow a modest fraction.
-        let results = run_survey(PlatformSpec::intel_haswell(), &SurveyConfig {
-            seed: 11,
-            kernel_compounds: 3,
-            diverse_compounds: 24,
-            runs: 2,
-        });
+        let results = run_survey(
+            PlatformSpec::intel_haswell(),
+            &SurveyConfig {
+                seed: 11,
+                kernel_compounds: 3,
+                diverse_compounds: 24,
+                runs: 2,
+            },
+        );
         assert!(
             (148..=153).contains(&results.surviving_events),
             "{} survivors",
             results.surviving_events
         );
         let frac = results.diverse_additive() as f64 / results.surviving_events as f64;
-        assert!(frac < 0.25, "{} of {} still additive", results.diverse_additive(), results.surviving_events);
+        assert!(
+            frac < 0.25,
+            "{} of {} still additive",
+            results.diverse_additive(),
+            results.surviving_events
+        );
     }
 
     #[test]

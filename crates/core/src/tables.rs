@@ -115,7 +115,11 @@ mod tests {
 
     #[test]
     fn triple_formats_like_the_paper() {
-        let e = pmca_mlkit::PredictionErrors { min: 6.6, avg: 31.2, max: 61.9 };
+        let e = pmca_mlkit::PredictionErrors {
+            min: 6.6,
+            avg: 31.2,
+            max: 61.9,
+        };
         assert_eq!(triple(&e), "(6.60, 31.20, 61.90)");
     }
 

@@ -28,7 +28,9 @@ pub struct AdditivityPenalty {
 
 impl Default for AdditivityPenalty {
     fn default() -> Self {
-        AdditivityPenalty { per_error_point: 2.0 }
+        AdditivityPenalty {
+            per_error_point: 2.0,
+        }
     }
 }
 
@@ -86,7 +88,11 @@ mod tests {
                 reproducible: true,
                 max_error_pct: err,
                 worst_compound: String::new(),
-                verdict: if err <= 5.0 { Verdict::Additive } else { Verdict::NonAdditive },
+                verdict: if err <= 5.0 {
+                    Verdict::Additive
+                } else {
+                    Verdict::NonAdditive
+                },
             })
             .collect();
         AdditivityReport::new(entries, 5.0)
@@ -120,8 +126,14 @@ mod tests {
     fn zero_penalty_recovers_plain_fit() {
         let d = duplicated_dataset();
         let r = report(&[("clean", 0.5), ("dirty", 80.0)]);
-        let weighted =
-            additivity_weighted_lr(&d, &r, AdditivityPenalty { per_error_point: 0.0 }).unwrap();
+        let weighted = additivity_weighted_lr(
+            &d,
+            &r,
+            AdditivityPenalty {
+                per_error_point: 0.0,
+            },
+        )
+        .unwrap();
         let mut plain = LinearRegression::paper_constrained();
         plain.fit(d.rows(), d.targets()).unwrap();
         for (a, b) in weighted.coefficients().iter().zip(plain.coefficients()) {
@@ -150,7 +162,9 @@ mod tests {
 
     #[test]
     fn multiplier_grows_linearly() {
-        let p = AdditivityPenalty { per_error_point: 2.0 };
+        let p = AdditivityPenalty {
+            per_error_point: 2.0,
+        };
         assert_eq!(p.multiplier(0.0), 1.0);
         assert_eq!(p.multiplier(10.0), 21.0);
         assert_eq!(p.multiplier(-5.0), 1.0);

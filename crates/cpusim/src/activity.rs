@@ -142,7 +142,9 @@ impl Default for Activity {
 impl Activity {
     /// The zero activity vector.
     pub fn zero() -> Self {
-        Activity { values: [0.0; ActivityField::COUNT] }
+        Activity {
+            values: [0.0; ActivityField::COUNT],
+        }
     }
 
     /// Value of one field.
@@ -169,7 +171,11 @@ impl Activity {
     pub fn scaled(&self, scale: f64, time_scale: f64) -> Activity {
         let mut out = self.clone();
         for &field in ActivityField::ALL {
-            let s = if field == ActivityField::Seconds { time_scale } else { scale };
+            let s = if field == ActivityField::Seconds {
+                time_scale
+            } else {
+                scale
+            };
             out.values[field.index()] *= s;
         }
         out

@@ -77,7 +77,10 @@ impl Phase {
             "phase duration must be positive, got {duration_s}"
         );
         activity.set(crate::activity::ActivityField::Seconds, duration_s);
-        Phase { duration_s, activity }
+        Phase {
+            duration_s,
+            activity,
+        }
     }
 }
 
@@ -146,7 +149,10 @@ impl CompoundApp {
     ///
     /// Panics if `components` is empty.
     pub fn new(components: Vec<Box<dyn Application>>) -> Self {
-        assert!(!components.is_empty(), "compound application needs at least one component");
+        assert!(
+            !components.is_empty(),
+            "compound application needs at least one component"
+        );
         CompoundApp { components }
     }
 
@@ -176,7 +182,10 @@ impl Application for CompoundApp {
     }
 
     fn segments(&self, spec: &PlatformSpec) -> Vec<Segment> {
-        self.components.iter().flat_map(|c| c.segments(spec)).collect()
+        self.components
+            .iter()
+            .flat_map(|c| c.segments(spec))
+            .collect()
     }
 }
 
@@ -360,7 +369,11 @@ mod tests {
         let spec = PlatformSpec::intel_skylake();
         let app = SyntheticApp::balanced("x", 5e9).with_memory_intensity(0.5);
         for seg in app.segments(&spec) {
-            assert!(seg.total_activity().is_physical(), "{:?}", seg.total_activity());
+            assert!(
+                seg.total_activity().is_physical(),
+                "{:?}",
+                seg.total_activity()
+            );
         }
     }
 

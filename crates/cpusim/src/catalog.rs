@@ -46,7 +46,11 @@ mod jitter {
 }
 
 fn sens(boundary: f64, cache_pollution: f64, code_pollution: f64) -> Sensitivity {
-    Sensitivity { boundary, cache_pollution, code_pollution }
+    Sensitivity {
+        boundary,
+        cache_pollution,
+        code_pollution,
+    }
 }
 
 fn linear(terms: &[(F, f64)]) -> EventFormula {
@@ -84,7 +88,11 @@ impl EventCatalog {
             .enumerate()
             .map(|(i, e)| (e.name.clone(), EventId(i)))
             .collect();
-        EventCatalog { micro_arch: arch, events, by_name }
+        EventCatalog {
+            micro_arch: arch,
+            events,
+            by_name,
+        }
     }
 
     /// Microarchitecture this catalog describes.
@@ -167,7 +175,11 @@ fn build_events(arch: MicroArch, total: usize, degenerate: usize) -> Vec<EventDe
     assert_eq!(events.len(), total, "{arch} catalog size");
     let mut seen = std::collections::HashSet::new();
     for e in &events {
-        assert!(seen.insert(e.name.clone()), "duplicate event name {}", e.name);
+        assert!(
+            seen.insert(e.name.clone()),
+            "duplicate event name {}",
+            e.name
+        );
     }
     events
 }
@@ -225,7 +237,10 @@ fn push_uops(out: &mut Vec<EventDef>, arch: MicroArch) {
     // X1 of Table 6.
     out.push(EventDef::new(
         "UOPS_RETIRED_CYCLES_GE_4_UOPS_EXEC",
-        EventFormula::CyclesWithRate { source: F::UopsRetired, k: 4.0 },
+        EventFormula::CyclesWithRate {
+            source: F::UopsRetired,
+            k: 4.0,
+        },
         jitter::LOW,
         sens(0.004, 0.002, 0.003),
         CC::Any,
@@ -233,7 +248,10 @@ fn push_uops(out: &mut Vec<EventDef>, arch: MicroArch) {
     for k in [1, 2, 3] {
         out.push(EventDef::new(
             format!("UOPS_RETIRED_CYCLES_GE_{k}_UOPS_EXEC"),
-            EventFormula::CyclesWithRate { source: F::UopsRetired, k: f64::from(k) },
+            EventFormula::CyclesWithRate {
+                source: F::UopsRetired,
+                k: f64::from(k),
+            },
             jitter::LOW,
             sens(0.005, 0.003, 0.004),
             CC::Any,
@@ -242,7 +260,10 @@ fn push_uops(out: &mut Vec<EventDef>, arch: MicroArch) {
     for k in [1, 2, 3, 4] {
         out.push(EventDef::new(
             format!("UOPS_EXECUTED_CYCLES_GE_{k}_UOPS_EXEC"),
-            EventFormula::CyclesWithRate { source: F::UopsExecuted, k: f64::from(k) },
+            EventFormula::CyclesWithRate {
+                source: F::UopsExecuted,
+                k: f64::from(k),
+            },
             jitter::MED,
             sens(0.01, 0.005, 0.01),
             CC::Any,
@@ -266,7 +287,16 @@ fn push_ports(out: &mut Vec<EventDef>, arch: MicroArch) {
         MicroArch::Haswell => "UOPS_EXECUTED_PORT",
         MicroArch::Skylake => "UOPS_DISPATCHED_PORT",
     };
-    let port_fields = [F::Port0, F::Port1, F::Port2, F::Port3, F::Port4, F::Port5, F::Port6, F::Port7];
+    let port_fields = [
+        F::Port0,
+        F::Port1,
+        F::Port2,
+        F::Port3,
+        F::Port4,
+        F::Port5,
+        F::Port6,
+        F::Port7,
+    ];
     for (port, &field) in port_fields.iter().enumerate() {
         // Port 6 (branch/simple-ALU port) carries the mild context
         // sensitivity the paper measured (10% additivity error, the least
@@ -396,21 +426,30 @@ fn push_frontend(out: &mut Vec<EventDef>, arch: MicroArch) {
         // The IDQ cycle-threshold family of Table 6 (X6, X7, X8).
         out.push(EventDef::new(
             "IDQ_DSB_CYCLES_6_UOPS",
-            EventFormula::CyclesWithRate { source: F::DsbUops, k: 6.0 },
+            EventFormula::CyclesWithRate {
+                source: F::DsbUops,
+                k: 6.0,
+            },
             jitter::LOW,
             sens(0.004, 0.002, 0.004),
             CC::Any,
         ));
         out.push(EventDef::new(
             "IDQ_ALL_DSB_CYCLES_5_UOPS",
-            EventFormula::CyclesWithRate { source: F::DsbUops, k: 5.0 },
+            EventFormula::CyclesWithRate {
+                source: F::DsbUops,
+                k: 5.0,
+            },
             jitter::LOW,
             sens(0.004, 0.002, 0.005),
             CC::Any,
         ));
         out.push(EventDef::new(
             "IDQ_ALL_CYCLES_6_UOPS",
-            EventFormula::CyclesWithRate { source: F::UopsIssued, k: 6.0 },
+            EventFormula::CyclesWithRate {
+                source: F::UopsIssued,
+                k: 6.0,
+            },
             jitter::LOW,
             sens(0.003, 0.002, 0.004),
             CC::Any,
@@ -441,15 +480,51 @@ fn push_frontend(out: &mut Vec<EventDef>, arch: MicroArch) {
             CC::PairOnly,
         ));
         for (name, formula, s) in [
-            ("FRONTEND_RETIRED_DSB_MISS", linear(&[(F::MiteUops, 0.015)]), sens(0.25, 0.04, 0.40)),
-            ("FRONTEND_RETIRED_L1I_MISS", linear(&[(F::IcacheMisses, 0.8)]), sens(0.28, 0.05, 0.42)),
-            ("FRONTEND_RETIRED_ITLB_MISS", linear(&[(F::ItlbMisses, 0.8)]), sens(0.45, 0.05, 0.35)),
-            ("FRONTEND_RETIRED_STLB_MISS", linear(&[(F::ItlbMisses, 0.25)]), sens(0.45, 0.05, 0.35)),
-            ("FRONTEND_RETIRED_LATENCY_GE_2", linear(&[(F::IcacheMisses, 1.4)]), sens(0.25, 0.06, 0.38)),
-            ("FRONTEND_RETIRED_LATENCY_GE_4", linear(&[(F::IcacheMisses, 0.9)]), sens(0.25, 0.06, 0.38)),
-            ("FRONTEND_RETIRED_LATENCY_GE_8", linear(&[(F::IcacheMisses, 0.5)]), sens(0.26, 0.07, 0.40)),
-            ("FRONTEND_RETIRED_LATENCY_GE_16", linear(&[(F::IcacheMisses, 0.25)]), sens(0.27, 0.08, 0.42)),
-            ("FRONTEND_RETIRED_LATENCY_GE_32", linear(&[(F::IcacheMisses, 0.12)]), sens(0.28, 0.09, 0.44)),
+            (
+                "FRONTEND_RETIRED_DSB_MISS",
+                linear(&[(F::MiteUops, 0.015)]),
+                sens(0.25, 0.04, 0.40),
+            ),
+            (
+                "FRONTEND_RETIRED_L1I_MISS",
+                linear(&[(F::IcacheMisses, 0.8)]),
+                sens(0.28, 0.05, 0.42),
+            ),
+            (
+                "FRONTEND_RETIRED_ITLB_MISS",
+                linear(&[(F::ItlbMisses, 0.8)]),
+                sens(0.45, 0.05, 0.35),
+            ),
+            (
+                "FRONTEND_RETIRED_STLB_MISS",
+                linear(&[(F::ItlbMisses, 0.25)]),
+                sens(0.45, 0.05, 0.35),
+            ),
+            (
+                "FRONTEND_RETIRED_LATENCY_GE_2",
+                linear(&[(F::IcacheMisses, 1.4)]),
+                sens(0.25, 0.06, 0.38),
+            ),
+            (
+                "FRONTEND_RETIRED_LATENCY_GE_4",
+                linear(&[(F::IcacheMisses, 0.9)]),
+                sens(0.25, 0.06, 0.38),
+            ),
+            (
+                "FRONTEND_RETIRED_LATENCY_GE_8",
+                linear(&[(F::IcacheMisses, 0.5)]),
+                sens(0.26, 0.07, 0.40),
+            ),
+            (
+                "FRONTEND_RETIRED_LATENCY_GE_16",
+                linear(&[(F::IcacheMisses, 0.25)]),
+                sens(0.27, 0.08, 0.42),
+            ),
+            (
+                "FRONTEND_RETIRED_LATENCY_GE_32",
+                linear(&[(F::IcacheMisses, 0.12)]),
+                sens(0.28, 0.09, 0.44),
+            ),
         ] {
             out.push(EventDef::new(name, formula, jitter::HIGH, s, CC::PairOnly));
         }
@@ -457,7 +532,10 @@ fn push_frontend(out: &mut Vec<EventDef>, arch: MicroArch) {
 }
 
 fn push_branches(out: &mut Vec<EventDef>) {
-    out.push(EventDef::committed("BR_INST_RETIRED_ALL_BRANCHES", F::Branches));
+    out.push(EventDef::committed(
+        "BR_INST_RETIRED_ALL_BRANCHES",
+        F::Branches,
+    ));
     for (name, w) in [
         ("BR_INST_RETIRED_CONDITIONAL", 0.72),
         ("BR_INST_RETIRED_NEAR_CALL", 0.05),
@@ -540,19 +618,67 @@ fn push_l2(out: &mut Vec<EventDef>) {
         CC::Any,
     ));
     for (name, formula, s) in [
-        ("L2_RQSTS_ALL_DEMAND_DATA_RD", linear(&[(F::L1dMisses, 0.8)]), sens(0.03, 0.10, 0.02)),
-        ("L2_RQSTS_DEMAND_DATA_RD_HIT", linear(&[(F::L2Hits, 0.8)]), sens(0.03, 0.12, 0.02)),
-        ("L2_RQSTS_ALL_CODE_RD", linear(&[(F::L2CodeReads, 1.0)]), sens(0.25, 0.20, 0.65)),
-        ("L2_RQSTS_CODE_RD_HIT", linear(&[(F::L2CodeReads, 0.85)]), sens(0.25, 0.22, 0.65)),
-        ("L2_RQSTS_CODE_RD_MISS", linear(&[(F::L2CodeReads, 0.15)]), sens(0.28, 0.30, 0.70)),
-        ("L2_RQSTS_ALL_PF", linear(&[(F::L1dMisses, 0.35)]), sens(0.08, 0.30, 0.04)),
-        ("L2_TRANS_ALL_REQUESTS", linear(&[(F::L1dMisses, 1.25), (F::L2CodeReads, 1.0)]), sens(0.05, 0.14, 0.06)),
+        (
+            "L2_RQSTS_ALL_DEMAND_DATA_RD",
+            linear(&[(F::L1dMisses, 0.8)]),
+            sens(0.03, 0.10, 0.02),
+        ),
+        (
+            "L2_RQSTS_DEMAND_DATA_RD_HIT",
+            linear(&[(F::L2Hits, 0.8)]),
+            sens(0.03, 0.12, 0.02),
+        ),
+        (
+            "L2_RQSTS_ALL_CODE_RD",
+            linear(&[(F::L2CodeReads, 1.0)]),
+            sens(0.25, 0.20, 0.65),
+        ),
+        (
+            "L2_RQSTS_CODE_RD_HIT",
+            linear(&[(F::L2CodeReads, 0.85)]),
+            sens(0.25, 0.22, 0.65),
+        ),
+        (
+            "L2_RQSTS_CODE_RD_MISS",
+            linear(&[(F::L2CodeReads, 0.15)]),
+            sens(0.28, 0.30, 0.70),
+        ),
+        (
+            "L2_RQSTS_ALL_PF",
+            linear(&[(F::L1dMisses, 0.35)]),
+            sens(0.08, 0.30, 0.04),
+        ),
+        (
+            "L2_TRANS_ALL_REQUESTS",
+            linear(&[(F::L1dMisses, 1.25), (F::L2CodeReads, 1.0)]),
+            sens(0.05, 0.14, 0.06),
+        ),
         // Y7 of Table 6.
-        ("L2_TRANS_CODE_RD", linear(&[(F::L2CodeReads, 1.0)]), sens(0.30, 0.28, 0.80)),
-        ("L2_TRANS_L2_WB", linear(&[(F::Stores, 0.012)]), sens(0.04, 0.18, 0.02)),
-        ("L2_LINES_IN_ALL", linear(&[(F::L2Misses, 1.05)]), sens(0.05, 0.26, 0.03)),
-        ("L2_LINES_OUT_SILENT", linear(&[(F::L2Misses, 0.6)]), sens(0.06, 0.28, 0.03)),
-        ("L2_LINES_OUT_NON_SILENT", linear(&[(F::L2Misses, 0.4)]), sens(0.06, 0.28, 0.03)),
+        (
+            "L2_TRANS_CODE_RD",
+            linear(&[(F::L2CodeReads, 1.0)]),
+            sens(0.30, 0.28, 0.80),
+        ),
+        (
+            "L2_TRANS_L2_WB",
+            linear(&[(F::Stores, 0.012)]),
+            sens(0.04, 0.18, 0.02),
+        ),
+        (
+            "L2_LINES_IN_ALL",
+            linear(&[(F::L2Misses, 1.05)]),
+            sens(0.05, 0.26, 0.03),
+        ),
+        (
+            "L2_LINES_OUT_SILENT",
+            linear(&[(F::L2Misses, 0.6)]),
+            sens(0.06, 0.28, 0.03),
+        ),
+        (
+            "L2_LINES_OUT_NON_SILENT",
+            linear(&[(F::L2Misses, 0.4)]),
+            sens(0.06, 0.28, 0.03),
+        ),
     ] {
         out.push(EventDef::new(name, formula, jitter::MED, s, CC::Any));
     }
@@ -589,24 +715,84 @@ fn push_l3_and_memload(out: &mut Vec<EventDef>, arch: MicroArch) {
         CC::Any,
     ));
     for (name, formula, j, s) in [
-        ("MEM_INST_RETIRED_LOCK_LOADS", linear(&[(F::Loads, 2e-4)]), jitter::MED, sens(0.05, 0.02, 0.02)),
-        ("MEM_INST_RETIRED_SPLIT_LOADS", linear(&[(F::Loads, 5e-4)]), jitter::MED, sens(0.02, 0.01, 0.01)),
-        ("MEM_INST_RETIRED_SPLIT_STORES", linear(&[(F::Stores, 4e-4)]), jitter::MED, sens(0.02, 0.01, 0.01)),
-        ("MEM_INST_RETIRED_STLB_MISS_LOADS", linear(&[(F::DtlbMisses, 0.3)]), jitter::HIGH, sens(0.25, 0.20, 0.08)),
-        ("MEM_INST_RETIRED_STLB_MISS_STORES", linear(&[(F::DtlbMisses, 0.1)]), jitter::HIGH, sens(0.25, 0.20, 0.08)),
+        (
+            "MEM_INST_RETIRED_LOCK_LOADS",
+            linear(&[(F::Loads, 2e-4)]),
+            jitter::MED,
+            sens(0.05, 0.02, 0.02),
+        ),
+        (
+            "MEM_INST_RETIRED_SPLIT_LOADS",
+            linear(&[(F::Loads, 5e-4)]),
+            jitter::MED,
+            sens(0.02, 0.01, 0.01),
+        ),
+        (
+            "MEM_INST_RETIRED_SPLIT_STORES",
+            linear(&[(F::Stores, 4e-4)]),
+            jitter::MED,
+            sens(0.02, 0.01, 0.01),
+        ),
+        (
+            "MEM_INST_RETIRED_STLB_MISS_LOADS",
+            linear(&[(F::DtlbMisses, 0.3)]),
+            jitter::HIGH,
+            sens(0.25, 0.20, 0.08),
+        ),
+        (
+            "MEM_INST_RETIRED_STLB_MISS_STORES",
+            linear(&[(F::DtlbMisses, 0.1)]),
+            jitter::HIGH,
+            sens(0.25, 0.20, 0.08),
+        ),
     ] {
         out.push(EventDef::new(name, formula, j, s, CC::Any));
     }
     // Retired-load hit/miss breakdown; the L3_MISS flavour is X9 of
     // Table 6 (additive but barely correlated with energy).
     for (name, formula, j, s) in [
-        ("MEM_LOAD_RETIRED_L1_HIT", linear(&[(F::L1dHits, 1.0)]), jitter::LOW, sens(0.004, 0.004, 0.003)),
-        ("MEM_LOAD_RETIRED_L2_HIT", linear(&[(F::L2Hits, 1.0)]), jitter::MED, sens(0.006, 0.008, 0.004)),
-        ("MEM_LOAD_RETIRED_L3_HIT", linear(&[(F::L3Hits, 1.0)]), jitter::MED, sens(0.006, 0.009, 0.004)),
-        ("MEM_LOAD_RETIRED_L1_MISS", linear(&[(F::L1dMisses, 0.95)]), jitter::MED, sens(0.006, 0.008, 0.004)),
-        ("MEM_LOAD_RETIRED_L2_MISS", linear(&[(F::L2Misses, 0.9)]), jitter::MED, sens(0.006, 0.009, 0.004)),
-        ("MEM_LOAD_RETIRED_L3_MISS", linear(&[(F::L3Misses, 0.9)]), jitter::MED, sens(0.005, 0.008, 0.003)),
-        ("MEM_LOAD_RETIRED_FB_HIT", linear(&[(F::L1dMisses, 0.3)]), jitter::HIGH, sens(0.02, 0.04, 0.01)),
+        (
+            "MEM_LOAD_RETIRED_L1_HIT",
+            linear(&[(F::L1dHits, 1.0)]),
+            jitter::LOW,
+            sens(0.004, 0.004, 0.003),
+        ),
+        (
+            "MEM_LOAD_RETIRED_L2_HIT",
+            linear(&[(F::L2Hits, 1.0)]),
+            jitter::MED,
+            sens(0.006, 0.008, 0.004),
+        ),
+        (
+            "MEM_LOAD_RETIRED_L3_HIT",
+            linear(&[(F::L3Hits, 1.0)]),
+            jitter::MED,
+            sens(0.006, 0.009, 0.004),
+        ),
+        (
+            "MEM_LOAD_RETIRED_L1_MISS",
+            linear(&[(F::L1dMisses, 0.95)]),
+            jitter::MED,
+            sens(0.006, 0.008, 0.004),
+        ),
+        (
+            "MEM_LOAD_RETIRED_L2_MISS",
+            linear(&[(F::L2Misses, 0.9)]),
+            jitter::MED,
+            sens(0.006, 0.009, 0.004),
+        ),
+        (
+            "MEM_LOAD_RETIRED_L3_MISS",
+            linear(&[(F::L3Misses, 0.9)]),
+            jitter::MED,
+            sens(0.005, 0.008, 0.003),
+        ),
+        (
+            "MEM_LOAD_RETIRED_FB_HIT",
+            linear(&[(F::L1dMisses, 0.3)]),
+            jitter::HIGH,
+            sens(0.02, 0.04, 0.01),
+        ),
     ] {
         out.push(EventDef::new(name, formula, j, s, CC::PairOnly));
     }
@@ -647,37 +833,109 @@ fn push_fp(out: &mut Vec<EventDef>, arch: MicroArch) {
         CC::Any,
     ));
     for (name, formula) in [
-        ("FP_ARITH_INST_RETIRED_SCALAR_DOUBLE", linear(&[(F::FpScalarDouble, 1.0)])),
-        ("FP_ARITH_INST_RETIRED_SCALAR_SINGLE", linear(&[(F::FpScalarDouble, 0.02)])),
-        ("FP_ARITH_INST_RETIRED_128B_PACKED_DOUBLE", linear(&[(F::FpPacked128Double, 0.5)])),
-        ("FP_ARITH_INST_RETIRED_128B_PACKED_SINGLE", linear(&[(F::FpPacked128Double, 0.01)])),
-        ("FP_ARITH_INST_RETIRED_256B_PACKED_DOUBLE", linear(&[(F::FpPacked256Double, 0.25)])),
-        ("FP_ARITH_INST_RETIRED_256B_PACKED_SINGLE", linear(&[(F::FpPacked256Double, 0.005)])),
+        (
+            "FP_ARITH_INST_RETIRED_SCALAR_DOUBLE",
+            linear(&[(F::FpScalarDouble, 1.0)]),
+        ),
+        (
+            "FP_ARITH_INST_RETIRED_SCALAR_SINGLE",
+            linear(&[(F::FpScalarDouble, 0.02)]),
+        ),
+        (
+            "FP_ARITH_INST_RETIRED_128B_PACKED_DOUBLE",
+            linear(&[(F::FpPacked128Double, 0.5)]),
+        ),
+        (
+            "FP_ARITH_INST_RETIRED_128B_PACKED_SINGLE",
+            linear(&[(F::FpPacked128Double, 0.01)]),
+        ),
+        (
+            "FP_ARITH_INST_RETIRED_256B_PACKED_DOUBLE",
+            linear(&[(F::FpPacked256Double, 0.25)]),
+        ),
+        (
+            "FP_ARITH_INST_RETIRED_256B_PACKED_SINGLE",
+            linear(&[(F::FpPacked256Double, 0.005)]),
+        ),
     ] {
-        out.push(EventDef::new(name, formula, jitter::LOW, sens(0.002, 0.001, 0.002), CC::Any));
+        out.push(EventDef::new(
+            name,
+            formula,
+            jitter::LOW,
+            sens(0.002, 0.001, 0.002),
+            CC::Any,
+        ));
     }
     if arch == MicroArch::Skylake {
         for (name, formula) in [
-            ("FP_ARITH_INST_RETIRED_512B_PACKED_DOUBLE", linear(&[(F::FpPacked512Double, 0.125)])),
-            ("FP_ARITH_INST_RETIRED_512B_PACKED_SINGLE", linear(&[(F::FpPacked512Double, 0.002)])),
+            (
+                "FP_ARITH_INST_RETIRED_512B_PACKED_DOUBLE",
+                linear(&[(F::FpPacked512Double, 0.125)]),
+            ),
+            (
+                "FP_ARITH_INST_RETIRED_512B_PACKED_SINGLE",
+                linear(&[(F::FpPacked512Double, 0.002)]),
+            ),
         ] {
-            out.push(EventDef::new(name, formula, jitter::LOW, sens(0.002, 0.001, 0.002), CC::Any));
+            out.push(EventDef::new(
+                name,
+                formula,
+                jitter::LOW,
+                sens(0.002, 0.001, 0.002),
+                CC::Any,
+            ));
         }
     }
 }
 
 fn push_tlb(out: &mut Vec<EventDef>) {
     for (name, formula, s) in [
-        ("DTLB_LOAD_MISSES_MISS_CAUSES_A_WALK", linear(&[(F::DtlbMisses, 0.7)]), sens(0.20, 0.22, 0.06)),
-        ("DTLB_LOAD_MISSES_WALK_COMPLETED", linear(&[(F::DtlbMisses, 0.65)]), sens(0.20, 0.22, 0.06)),
-        ("DTLB_LOAD_MISSES_STLB_HIT", linear(&[(F::StlbHits, 0.7)]), sens(0.22, 0.24, 0.06)),
-        ("DTLB_STORE_MISSES_MISS_CAUSES_A_WALK", linear(&[(F::DtlbMisses, 0.3)]), sens(0.20, 0.22, 0.06)),
-        ("DTLB_STORE_MISSES_WALK_COMPLETED", linear(&[(F::DtlbMisses, 0.28)]), sens(0.20, 0.22, 0.06)),
-        ("DTLB_STORE_MISSES_STLB_HIT", linear(&[(F::StlbHits, 0.3)]), sens(0.22, 0.24, 0.06)),
-        ("ITLB_MISSES_MISS_CAUSES_A_WALK", linear(&[(F::ItlbMisses, 0.6)]), sens(0.55, 0.08, 0.40)),
-        ("ITLB_MISSES_WALK_COMPLETED", linear(&[(F::ItlbMisses, 0.55)]), sens(0.55, 0.08, 0.40)),
+        (
+            "DTLB_LOAD_MISSES_MISS_CAUSES_A_WALK",
+            linear(&[(F::DtlbMisses, 0.7)]),
+            sens(0.20, 0.22, 0.06),
+        ),
+        (
+            "DTLB_LOAD_MISSES_WALK_COMPLETED",
+            linear(&[(F::DtlbMisses, 0.65)]),
+            sens(0.20, 0.22, 0.06),
+        ),
+        (
+            "DTLB_LOAD_MISSES_STLB_HIT",
+            linear(&[(F::StlbHits, 0.7)]),
+            sens(0.22, 0.24, 0.06),
+        ),
+        (
+            "DTLB_STORE_MISSES_MISS_CAUSES_A_WALK",
+            linear(&[(F::DtlbMisses, 0.3)]),
+            sens(0.20, 0.22, 0.06),
+        ),
+        (
+            "DTLB_STORE_MISSES_WALK_COMPLETED",
+            linear(&[(F::DtlbMisses, 0.28)]),
+            sens(0.20, 0.22, 0.06),
+        ),
+        (
+            "DTLB_STORE_MISSES_STLB_HIT",
+            linear(&[(F::StlbHits, 0.3)]),
+            sens(0.22, 0.24, 0.06),
+        ),
+        (
+            "ITLB_MISSES_MISS_CAUSES_A_WALK",
+            linear(&[(F::ItlbMisses, 0.6)]),
+            sens(0.55, 0.08, 0.40),
+        ),
+        (
+            "ITLB_MISSES_WALK_COMPLETED",
+            linear(&[(F::ItlbMisses, 0.55)]),
+            sens(0.55, 0.08, 0.40),
+        ),
         // Y6 of Table 6.
-        ("ITLB_MISSES_STLB_HIT", linear(&[(F::ItlbMisses, 0.4)]), sens(0.60, 0.08, 0.42)),
+        (
+            "ITLB_MISSES_STLB_HIT",
+            linear(&[(F::ItlbMisses, 0.4)]),
+            sens(0.60, 0.08, 0.42),
+        ),
     ] {
         out.push(EventDef::new(name, formula, jitter::HIGH, s, CC::Any));
     }
@@ -707,15 +965,51 @@ fn push_stalls(out: &mut Vec<EventDef>) {
     // CYCLE_ACTIVITY events share a restricted counter set on real PMUs.
     let mask = CC::CounterMask(0b0011);
     for (name, formula, s) in [
-        ("CYCLE_ACTIVITY_STALLS_TOTAL", linear(&[(F::Cycles, 0.30), (F::UopsExecuted, -0.05)]), sens(0.10, 0.12, 0.08)),
-        ("CYCLE_ACTIVITY_STALLS_MEM_ANY", linear(&[(F::L1dMisses, 8.0)]), sens(0.08, 0.18, 0.04)),
-        ("CYCLE_ACTIVITY_STALLS_L1D_MISS", linear(&[(F::L1dMisses, 6.0)]), sens(0.08, 0.18, 0.04)),
-        ("CYCLE_ACTIVITY_STALLS_L2_MISS", linear(&[(F::L2Misses, 14.0)]), sens(0.08, 0.22, 0.04)),
-        ("CYCLE_ACTIVITY_STALLS_L3_MISS", linear(&[(F::L3Misses, 60.0)]), sens(0.08, 0.24, 0.04)),
-        ("CYCLE_ACTIVITY_CYCLES_MEM_ANY", linear(&[(F::L1dMisses, 11.0)]), sens(0.08, 0.18, 0.04)),
-        ("CYCLE_ACTIVITY_CYCLES_L1D_MISS", linear(&[(F::L1dMisses, 8.5)]), sens(0.08, 0.18, 0.04)),
-        ("CYCLE_ACTIVITY_CYCLES_L2_MISS", linear(&[(F::L2Misses, 17.0)]), sens(0.08, 0.22, 0.04)),
-        ("CYCLE_ACTIVITY_CYCLES_L3_MISS", linear(&[(F::L3Misses, 70.0)]), sens(0.08, 0.24, 0.04)),
+        (
+            "CYCLE_ACTIVITY_STALLS_TOTAL",
+            linear(&[(F::Cycles, 0.30), (F::UopsExecuted, -0.05)]),
+            sens(0.10, 0.12, 0.08),
+        ),
+        (
+            "CYCLE_ACTIVITY_STALLS_MEM_ANY",
+            linear(&[(F::L1dMisses, 8.0)]),
+            sens(0.08, 0.18, 0.04),
+        ),
+        (
+            "CYCLE_ACTIVITY_STALLS_L1D_MISS",
+            linear(&[(F::L1dMisses, 6.0)]),
+            sens(0.08, 0.18, 0.04),
+        ),
+        (
+            "CYCLE_ACTIVITY_STALLS_L2_MISS",
+            linear(&[(F::L2Misses, 14.0)]),
+            sens(0.08, 0.22, 0.04),
+        ),
+        (
+            "CYCLE_ACTIVITY_STALLS_L3_MISS",
+            linear(&[(F::L3Misses, 60.0)]),
+            sens(0.08, 0.24, 0.04),
+        ),
+        (
+            "CYCLE_ACTIVITY_CYCLES_MEM_ANY",
+            linear(&[(F::L1dMisses, 11.0)]),
+            sens(0.08, 0.18, 0.04),
+        ),
+        (
+            "CYCLE_ACTIVITY_CYCLES_L1D_MISS",
+            linear(&[(F::L1dMisses, 8.5)]),
+            sens(0.08, 0.18, 0.04),
+        ),
+        (
+            "CYCLE_ACTIVITY_CYCLES_L2_MISS",
+            linear(&[(F::L2Misses, 17.0)]),
+            sens(0.08, 0.22, 0.04),
+        ),
+        (
+            "CYCLE_ACTIVITY_CYCLES_L3_MISS",
+            linear(&[(F::L3Misses, 70.0)]),
+            sens(0.08, 0.24, 0.04),
+        ),
     ] {
         out.push(EventDef::new(name, formula, jitter::HIGH, s, mask));
     }
@@ -725,17 +1019,47 @@ fn push_stalls(out: &mut Vec<EventDef>) {
         ("RESOURCE_STALLS_RS", linear(&[(F::Cycles, 0.06)])),
         ("RESOURCE_STALLS_ROB", linear(&[(F::Cycles, 0.03)])),
     ] {
-        out.push(EventDef::new(name, formula, jitter::HIGH, sens(0.10, 0.10, 0.08), CC::Any));
+        out.push(EventDef::new(
+            name,
+            formula,
+            jitter::HIGH,
+            sens(0.10, 0.10, 0.08),
+            CC::Any,
+        ));
     }
 }
 
 fn push_offcore(out: &mut Vec<EventDef>) {
     for (name, formula, s) in [
-        ("OFFCORE_REQUESTS_ALL_DATA_RD", linear(&[(F::OffcoreReads, 1.0)]), sens(0.04, 0.14, 0.02)),
-        ("OFFCORE_REQUESTS_DEMAND_DATA_RD", linear(&[(F::OffcoreReads, 0.75)]), sens(0.04, 0.14, 0.02)),
-        ("OFFCORE_REQUESTS_DEMAND_CODE_RD", linear(&[(F::L2CodeReads, 0.15)]), sens(0.25, 0.20, 0.60)),
-        ("OFFCORE_REQUESTS_DEMAND_RFO", linear(&[(F::OffcoreWrites, 1.0)]), sens(0.04, 0.14, 0.02)),
-        ("OFFCORE_REQUESTS_ALL_REQUESTS", linear(&[(F::OffcoreReads, 1.0), (F::OffcoreWrites, 1.0), (F::L2CodeReads, 0.15)]), sens(0.05, 0.15, 0.04)),
+        (
+            "OFFCORE_REQUESTS_ALL_DATA_RD",
+            linear(&[(F::OffcoreReads, 1.0)]),
+            sens(0.04, 0.14, 0.02),
+        ),
+        (
+            "OFFCORE_REQUESTS_DEMAND_DATA_RD",
+            linear(&[(F::OffcoreReads, 0.75)]),
+            sens(0.04, 0.14, 0.02),
+        ),
+        (
+            "OFFCORE_REQUESTS_DEMAND_CODE_RD",
+            linear(&[(F::L2CodeReads, 0.15)]),
+            sens(0.25, 0.20, 0.60),
+        ),
+        (
+            "OFFCORE_REQUESTS_DEMAND_RFO",
+            linear(&[(F::OffcoreWrites, 1.0)]),
+            sens(0.04, 0.14, 0.02),
+        ),
+        (
+            "OFFCORE_REQUESTS_ALL_REQUESTS",
+            linear(&[
+                (F::OffcoreReads, 1.0),
+                (F::OffcoreWrites, 1.0),
+                (F::L2CodeReads, 0.15),
+            ]),
+            sens(0.05, 0.15, 0.04),
+        ),
     ] {
         out.push(EventDef::new(name, formula, jitter::MED, s, CC::Any));
     }
@@ -815,28 +1139,70 @@ fn push_skylake_extras(out: &mut Vec<EventDef>) {
         ));
     }
     for (name, formula) in [
-        ("EXE_ACTIVITY_1_PORTS_UTIL", linear(&[(F::UopsExecuted, 0.12)])),
-        ("EXE_ACTIVITY_2_PORTS_UTIL", linear(&[(F::UopsExecuted, 0.16)])),
-        ("EXE_ACTIVITY_3_PORTS_UTIL", linear(&[(F::UopsExecuted, 0.10)])),
-        ("EXE_ACTIVITY_4_PORTS_UTIL", linear(&[(F::UopsExecuted, 0.06)])),
+        (
+            "EXE_ACTIVITY_1_PORTS_UTIL",
+            linear(&[(F::UopsExecuted, 0.12)]),
+        ),
+        (
+            "EXE_ACTIVITY_2_PORTS_UTIL",
+            linear(&[(F::UopsExecuted, 0.16)]),
+        ),
+        (
+            "EXE_ACTIVITY_3_PORTS_UTIL",
+            linear(&[(F::UopsExecuted, 0.10)]),
+        ),
+        (
+            "EXE_ACTIVITY_4_PORTS_UTIL",
+            linear(&[(F::UopsExecuted, 0.06)]),
+        ),
         ("EXE_ACTIVITY_BOUND_ON_STORES", linear(&[(F::Stores, 0.08)])),
-        ("EXE_ACTIVITY_EXE_BOUND_0_PORTS", linear(&[(F::Cycles, 0.04)])),
+        (
+            "EXE_ACTIVITY_EXE_BOUND_0_PORTS",
+            linear(&[(F::Cycles, 0.04)]),
+        ),
     ] {
-        out.push(EventDef::new(name, formula, jitter::MED, sens(0.03, 0.03, 0.03), CC::Any));
+        out.push(EventDef::new(
+            name,
+            formula,
+            jitter::MED,
+            sens(0.03, 0.03, 0.03),
+            CC::Any,
+        ));
     }
     for (name, formula) in [
-        ("PARTIAL_RAT_STALLS_SCOREBOARD", linear(&[(F::Cycles, 0.01)])),
+        (
+            "PARTIAL_RAT_STALLS_SCOREBOARD",
+            linear(&[(F::Cycles, 0.01)]),
+        ),
         ("OTHER_ASSISTS_ANY", linear(&[(F::MsUops, 0.002)])),
-        ("ROB_MISC_EVENTS_LBR_INSERTS", linear(&[(F::Branches, 0.001)])),
+        (
+            "ROB_MISC_EVENTS_LBR_INSERTS",
+            linear(&[(F::Branches, 0.001)]),
+        ),
         ("BACLEARS_ANY", linear(&[(F::BranchMispredicts, 0.3)])),
-        ("DSB2MITE_SWITCHES_PENALTY_CYCLES", linear(&[(F::MiteUops, 0.02)])),
-        ("INT_MISC_RECOVERY_CYCLES", linear(&[(F::BranchMispredicts, 12.0)])),
-        ("INT_MISC_CLEAR_RESTEER_CYCLES", linear(&[(F::BranchMispredicts, 9.0)])),
+        (
+            "DSB2MITE_SWITCHES_PENALTY_CYCLES",
+            linear(&[(F::MiteUops, 0.02)]),
+        ),
+        (
+            "INT_MISC_RECOVERY_CYCLES",
+            linear(&[(F::BranchMispredicts, 12.0)]),
+        ),
+        (
+            "INT_MISC_CLEAR_RESTEER_CYCLES",
+            linear(&[(F::BranchMispredicts, 9.0)]),
+        ),
         ("LD_BLOCKS_STORE_FORWARD", linear(&[(F::Loads, 1e-4)])),
         ("LD_BLOCKS_NO_SR", linear(&[(F::Loads, 2e-5)])),
         ("LOAD_HIT_PRE_SW_PF", linear(&[(F::L1dMisses, 0.05)])),
     ] {
-        out.push(EventDef::new(name, formula, jitter::HIGH, sens(0.20, 0.06, 0.25), CC::Any));
+        out.push(EventDef::new(
+            name,
+            formula,
+            jitter::HIGH,
+            sens(0.20, 0.06, 0.25),
+            CC::Any,
+        ));
     }
 }
 
@@ -891,7 +1257,11 @@ fn pad_offcore_response(out: &mut Vec<EventDef>, target: usize) {
         }
     }
     let _ = emitted;
-    assert_eq!(out.len(), target, "offcore padding exhausted before reaching target");
+    assert_eq!(
+        out.len(),
+        target,
+        "offcore padding exhausted before reaching target"
+    );
 }
 
 /// Append degenerate events (near-zero counts, wildly non-reproducible)
@@ -997,8 +1367,16 @@ mod tests {
     #[test]
     fn degenerate_event_counts_match_paper_filtering() {
         for (arch, total, degenerate) in [
-            (MicroArch::Haswell, HASWELL_EVENT_COUNT, HASWELL_DEGENERATE_COUNT),
-            (MicroArch::Skylake, SKYLAKE_EVENT_COUNT, SKYLAKE_DEGENERATE_COUNT),
+            (
+                MicroArch::Haswell,
+                HASWELL_EVENT_COUNT,
+                HASWELL_DEGENERATE_COUNT,
+            ),
+            (
+                MicroArch::Skylake,
+                SKYLAKE_EVENT_COUNT,
+                SKYLAKE_DEGENERATE_COUNT,
+            ),
         ] {
             let cat = EventCatalog::for_micro_arch(arch);
             let wild = cat.iter().filter(|(_, e)| e.jitter >= 0.5).count();
@@ -1020,7 +1398,10 @@ mod tests {
     #[test]
     fn ids_reports_first_unknown_name() {
         let cat = EventCatalog::for_micro_arch(MicroArch::Haswell);
-        assert_eq!(cat.ids(&["INSTR_RETIRED_ANY", "NOT_A_REAL_EVENT"]), Err("NOT_A_REAL_EVENT"));
+        assert_eq!(
+            cat.ids(&["INSTR_RETIRED_ANY", "NOT_A_REAL_EVENT"]),
+            Err("NOT_A_REAL_EVENT")
+        );
         assert!(cat.ids(&["INSTR_RETIRED_ANY"]).is_ok());
     }
 
@@ -1028,7 +1409,10 @@ mod tests {
     fn fixed_events_exist_on_both_platforms() {
         for arch in [MicroArch::Haswell, MicroArch::Skylake] {
             let cat = EventCatalog::for_micro_arch(arch);
-            let fixed = cat.iter().filter(|(_, e)| e.constraint == CC::Fixed).count();
+            let fixed = cat
+                .iter()
+                .filter(|(_, e)| e.constraint == CC::Fixed)
+                .count();
             assert_eq!(fixed, 3, "{arch}");
         }
     }
@@ -1052,10 +1436,17 @@ mod tests {
     fn divider_is_the_most_context_sensitive_class_a_event() {
         let cat = EventCatalog::for_micro_arch(MicroArch::Haswell);
         let div = cat.event(cat.id("ARITH_DIVIDER_COUNT").unwrap());
-        for other in ["IDQ_MITE_UOPS", "IDQ_MS_UOPS", "ICACHE_64B_IFTAG_MISS", "L2_RQSTS_MISS", "UOPS_EXECUTED_PORT_PORT_6"] {
+        for other in [
+            "IDQ_MITE_UOPS",
+            "IDQ_MS_UOPS",
+            "ICACHE_64B_IFTAG_MISS",
+            "L2_RQSTS_MISS",
+            "UOPS_EXECUTED_PORT_PORT_6",
+        ] {
             let e = cat.event(cat.id(other).unwrap());
             assert!(
-                div.sensitivity.inflation(&[1.0, 1.0, 1.0]) > e.sensitivity.inflation(&[1.0, 1.0, 1.0]),
+                div.sensitivity.inflation(&[1.0, 1.0, 1.0])
+                    > e.sensitivity.inflation(&[1.0, 1.0, 1.0]),
                 "divider should exceed {other}"
             );
         }
@@ -1065,7 +1456,10 @@ mod tests {
     fn some_events_are_scheduling_constrained() {
         let cat = EventCatalog::for_micro_arch(MicroArch::Skylake);
         let solo = cat.iter().filter(|(_, e)| e.constraint == CC::Solo).count();
-        let pair = cat.iter().filter(|(_, e)| e.constraint == CC::PairOnly).count();
+        let pair = cat
+            .iter()
+            .filter(|(_, e)| e.constraint == CC::PairOnly)
+            .count();
         let masked = cat
             .iter()
             .filter(|(_, e)| matches!(e.constraint, CC::CounterMask(_)))

@@ -139,7 +139,11 @@ pub struct Sensitivity {
 
 impl Sensitivity {
     /// Zero sensitivity: a perfectly additive event.
-    pub const NONE: Sensitivity = Sensitivity { boundary: 0.0, cache_pollution: 0.0, code_pollution: 0.0 };
+    pub const NONE: Sensitivity = Sensitivity {
+        boundary: 0.0,
+        cache_pollution: 0.0,
+        code_pollution: 0.0,
+    };
 
     /// Sensitivity on the given channel.
     pub fn on(self, channel: Channel) -> f64 {
@@ -187,8 +191,17 @@ impl EventDef {
         sensitivity: Sensitivity,
         constraint: CounterConstraint,
     ) -> Self {
-        assert!(jitter.is_finite() && jitter >= 0.0, "jitter must be non-negative");
-        EventDef { name: name.into(), formula, jitter, sensitivity, constraint }
+        assert!(
+            jitter.is_finite() && jitter >= 0.0,
+            "jitter must be non-negative"
+        );
+        EventDef {
+            name: name.into(),
+            formula,
+            jitter,
+            sensitivity,
+            constraint,
+        }
     }
 
     /// Shorthand for an additive, low-jitter event counting one activity
@@ -247,7 +260,10 @@ mod tests {
 
     #[test]
     fn cycles_with_rate_is_monotone_in_rate() {
-        let f = EventFormula::CyclesWithRate { source: F::UopsExecuted, k: 4.0 };
+        let f = EventFormula::CyclesWithRate {
+            source: F::UopsExecuted,
+            k: 4.0,
+        };
         let mut prev = -1.0;
         for uops in [100.0, 200.0, 400.0, 800.0] {
             let mut a = Activity::zero();
@@ -262,7 +278,10 @@ mod tests {
 
     #[test]
     fn cycles_with_rate_zero_cycles_is_zero() {
-        let f = EventFormula::CyclesWithRate { source: F::UopsExecuted, k: 4.0 };
+        let f = EventFormula::CyclesWithRate {
+            source: F::UopsExecuted,
+            k: 4.0,
+        };
         assert_eq!(f.base_count(&Activity::zero()), 0.0);
     }
 
@@ -270,7 +289,10 @@ mod tests {
     fn cycles_with_rate_scale_invariance() {
         // Doubling both cycles and uops (same rate) doubles the count →
         // the event stays additive for homogeneous compositions.
-        let f = EventFormula::CyclesWithRate { source: F::UopsExecuted, k: 4.0 };
+        let f = EventFormula::CyclesWithRate {
+            source: F::UopsExecuted,
+            k: 4.0,
+        };
         let mut a = Activity::zero();
         a.set(F::Cycles, 1000.0);
         a.set(F::UopsExecuted, 3500.0);
@@ -309,7 +331,11 @@ mod tests {
 
     #[test]
     fn sensitivity_inflation_combines_channels() {
-        let s = Sensitivity { boundary: 0.5, cache_pollution: 0.2, code_pollution: 0.0 };
+        let s = Sensitivity {
+            boundary: 0.5,
+            cache_pollution: 0.2,
+            code_pollution: 0.0,
+        };
         let infl = s.inflation(&[1.0, 0.5, 1.0]);
         assert!((infl - 0.6).abs() < 1e-12);
     }
@@ -322,6 +348,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "jitter must be non-negative")]
     fn rejects_negative_jitter() {
-        let _ = EventDef::new("X", EventFormula::Constant(1.0), -0.1, Sensitivity::NONE, CounterConstraint::Any);
+        let _ = EventDef::new(
+            "X",
+            EventFormula::Constant(1.0),
+            -0.1,
+            Sensitivity::NONE,
+            CounterConstraint::Any,
+        );
     }
 }

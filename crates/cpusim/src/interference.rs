@@ -34,7 +34,11 @@ pub enum Channel {
 
 impl Channel {
     /// All channels, index order matching the discriminants.
-    pub const ALL: [Channel; 3] = [Channel::Boundary, Channel::CachePollution, Channel::CodePollution];
+    pub const ALL: [Channel; 3] = [
+        Channel::Boundary,
+        Channel::CachePollution,
+        Channel::CodePollution,
+    ];
 
     /// Number of channels.
     pub const COUNT: usize = Self::ALL.len();
@@ -54,7 +58,11 @@ pub struct InterferenceModel {
 
 impl Default for InterferenceModel {
     fn default() -> Self {
-        InterferenceModel { cache_scale: 1.0, code_scale: 1.0, boundary_scale: 1.0 }
+        InterferenceModel {
+            cache_scale: 1.0,
+            code_scale: 1.0,
+            boundary_scale: 1.0,
+        }
     }
 }
 
@@ -106,7 +114,13 @@ mod tests {
     #[test]
     fn boundary_channel_is_unconditional() {
         let m = InterferenceModel::default();
-        let tiny = Footprint { code_kib: 1.0, data_mib: 0.01, branch_irregularity: 0.0, microcode_intensity: 0.0, adaptivity: 0.0 };
+        let tiny = Footprint {
+            code_kib: 1.0,
+            data_mib: 0.01,
+            branch_irregularity: 0.0,
+            microcode_intensity: 0.0,
+            adaptivity: 0.0,
+        };
         let i = m.intensities(Some(&tiny), &spec());
         assert_eq!(i[Channel::Boundary as usize], 1.0);
     }
@@ -114,8 +128,14 @@ mod tests {
     #[test]
     fn cache_channel_scales_with_data_footprint() {
         let m = InterferenceModel::default();
-        let small = Footprint { data_mib: 1.0, ..Footprint::default() };
-        let large = Footprint { data_mib: 10_000.0, ..Footprint::default() };
+        let small = Footprint {
+            data_mib: 1.0,
+            ..Footprint::default()
+        };
+        let large = Footprint {
+            data_mib: 10_000.0,
+            ..Footprint::default()
+        };
         let i_small = m.intensities(Some(&small), &spec());
         let i_large = m.intensities(Some(&large), &spec());
         assert!(i_small[Channel::CachePollution as usize] < 0.05);
@@ -125,11 +145,21 @@ mod tests {
     #[test]
     fn code_channel_scales_with_irregularity() {
         let m = InterferenceModel::default();
-        let regular = Footprint { code_kib: 32.0, branch_irregularity: 0.0, ..Footprint::default() };
-        let irregular = Footprint { code_kib: 32.0, branch_irregularity: 1.0, ..Footprint::default() };
+        let regular = Footprint {
+            code_kib: 32.0,
+            branch_irregularity: 0.0,
+            ..Footprint::default()
+        };
+        let irregular = Footprint {
+            code_kib: 32.0,
+            branch_irregularity: 1.0,
+            ..Footprint::default()
+        };
         let i_reg = m.intensities(Some(&regular), &spec());
         let i_irr = m.intensities(Some(&irregular), &spec());
-        assert!(i_irr[Channel::CodePollution as usize] > 2.0 * i_reg[Channel::CodePollution as usize]);
+        assert!(
+            i_irr[Channel::CodePollution as usize] > 2.0 * i_reg[Channel::CodePollution as usize]
+        );
     }
 
     #[test]

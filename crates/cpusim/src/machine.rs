@@ -25,8 +25,7 @@ use crate::events::EventId;
 use crate::interference::InterferenceModel;
 use crate::power::PowerModel;
 use crate::spec::PlatformSpec;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pmca_stats::rng::{Rng, Xoshiro256pp};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
@@ -165,7 +164,7 @@ impl Machine {
         let run_index = self.run_counter;
         self.run_counter += 1;
         let app_name = app.name();
-        let mut rng = StdRng::seed_from_u64(mix(self.seed, &app_name, run_index));
+        let mut rng = Xoshiro256pp::seed_from_u64(mix(self.seed, &app_name, run_index));
 
         let segments = app.segments(&self.spec);
         let mut counts = vec![0.0; self.catalog.len()];
@@ -188,18 +187,23 @@ impl Machine {
             };
             // Stochastic work wobble: adaptive apps are also slightly less
             // reproducible run to run.
-            let wobble = segment.footprint.adaptivity * 0.04 * standard_normal(&mut rng);
+            let wobble = segment.footprint.adaptivity * 0.04 * rng.standard_normal();
             let work_scale = (1.0 + context_shift + wobble).max(0.1);
 
-            let intensities = self.interference.intensities(predecessor.as_ref(), &self.spec);
+            let intensities = self
+                .interference
+                .intensities(predecessor.as_ref(), &self.spec);
             let seg_activity = Activity::sum(
-                segment.phases.iter().map(|p| p.activity.scaled_uniform(work_scale)),
+                segment
+                    .phases
+                    .iter()
+                    .map(|p| p.activity.scaled_uniform(work_scale)),
             );
 
             for (id, def) in self.catalog.iter() {
                 let base = def.formula.base_count(&seg_activity);
                 let inflation = 1.0 + def.sensitivity.inflation(&intensities);
-                let noise = 1.0 + def.jitter * standard_normal(&mut rng);
+                let noise = 1.0 + def.jitter * rng.standard_normal();
                 counts[id.0] += (base * inflation * noise).max(0.0);
             }
 
@@ -210,19 +214,23 @@ impl Machine {
             // energy additivity is preserved — but it is *not* derivable
             // from the PMC vector, which is what keeps the best model's
             // test error away from zero, as on real hardware.
-            let personality =
-                1.0 + ENERGY_PERSONALITY_SPREAD * stable_unit(self.seed, "energy", &segment.label, 0.0);
+            let personality = 1.0
+                + ENERGY_PERSONALITY_SPREAD * stable_unit(self.seed, "energy", &segment.label, 0.0);
 
             for phase in &segment.phases {
                 let a = phase.activity.scaled_uniform(work_scale);
                 let d = phase.duration_s * work_scale / self.frequency_scale;
-                let e = self
-                    .power
-                    .phase_energy_at_scale(&a, phase.duration_s * work_scale, self.frequency_scale)
-                    * personality;
+                let e = self.power.phase_energy_at_scale(
+                    &a,
+                    phase.duration_s * work_scale,
+                    self.frequency_scale,
+                ) * personality;
                 energy += e;
                 duration += d;
-                phase_powers.push(PhasePower { duration_s: d, dynamic_watts: e / d });
+                phase_powers.push(PhasePower {
+                    duration_s: d,
+                    dynamic_watts: e / d,
+                });
             }
 
             total_activity += seg_activity;
@@ -266,13 +274,6 @@ fn stable_unit(seed: u64, app: &str, segment: &str, pred_data_mib: f64) -> f64 {
     (v as f64 / u64::MAX as f64) * 2.0 - 1.0
 }
 
-/// Standard normal deviate via Box–Muller.
-fn standard_normal(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,7 +314,10 @@ mod tests {
         let ea: f64 = (0..5).map(|_| m.run(&a).dynamic_energy_joules).sum::<f64>() / 5.0;
         let eb: f64 = (0..5).map(|_| m.run(&b).dynamic_energy_joules).sum::<f64>() / 5.0;
         let ab = CompoundApp::pair(a, b);
-        let eab: f64 = (0..5).map(|_| m.run(&ab).dynamic_energy_joules).sum::<f64>() / 5.0;
+        let eab: f64 = (0..5)
+            .map(|_| m.run(&ab).dynamic_energy_joules)
+            .sum::<f64>()
+            / 5.0;
         assert!(
             relative_difference(ea + eb, eab) < 0.01,
             "energy non-additive: {ea} + {eb} vs {eab}"
@@ -330,7 +334,10 @@ mod tests {
         let cb: f64 = (0..5).map(|_| m.run(&b).count(id)).sum::<f64>() / 5.0;
         let ab = CompoundApp::pair(a, b);
         let cab: f64 = (0..5).map(|_| m.run(&ab).count(id)).sum::<f64>() / 5.0;
-        assert!(relative_difference(ca + cb, cab) < 0.02, "{ca}+{cb} vs {cab}");
+        assert!(
+            relative_difference(ca + cb, cab) < 0.02,
+            "{ca}+{cb} vs {cab}"
+        );
     }
 
     #[test]
@@ -350,7 +357,10 @@ mod tests {
         let ab = CompoundApp::pair(polluter, victim);
         let cab: f64 = (0..8).map(|_| m.run(&ab).count(id)).sum::<f64>() / 8.0;
         let err = relative_difference(cp + cv, cab);
-        assert!(err > 0.25, "divider should be strongly non-additive, err {err}");
+        assert!(
+            err > 0.25,
+            "divider should be strongly non-additive, err {err}"
+        );
     }
 
     #[test]
@@ -367,7 +377,10 @@ mod tests {
         let ab = CompoundApp::pair(steady, adaptive);
         let cab: f64 = (0..8).map(|_| m.run(&ab).count(id)).sum::<f64>() / 8.0;
         let err = relative_difference(cs + ca, cab);
-        assert!(err > 0.03, "adaptive work shift should break even INSTR_RETIRED, err {err}");
+        assert!(
+            err > 0.03,
+            "adaptive work shift should break even INSTR_RETIRED, err {err}"
+        );
     }
 
     #[test]
@@ -377,8 +390,14 @@ mod tests {
         let r = m.run(&app);
         assert_eq!(r.counts.len(), m.catalog().len());
         assert!(r.duration_s > 0.0);
-        assert!((r.phase_powers.iter().map(|p| p.duration_s).sum::<f64>() - r.duration_s).abs() < 1e-9);
-        let meter_energy: f64 = r.phase_powers.iter().map(|p| p.duration_s * p.dynamic_watts).sum();
+        assert!(
+            (r.phase_powers.iter().map(|p| p.duration_s).sum::<f64>() - r.duration_s).abs() < 1e-9
+        );
+        let meter_energy: f64 = r
+            .phase_powers
+            .iter()
+            .map(|p| p.duration_s * p.dynamic_watts)
+            .sum();
         assert!((meter_energy - r.dynamic_energy_joules).abs() < 1e-6 * r.dynamic_energy_joules);
         assert!(r.counts.iter().all(|c| c.is_finite() && *c >= 0.0));
     }
@@ -425,7 +444,10 @@ mod tests {
         // Counted work is frequency-independent (same instructions retire).
         let id = fast.catalog().id("INSTR_RETIRED_ANY").unwrap();
         let rel = (rf.count(id) - rs.count(id)).abs() / rf.count(id);
-        assert!(rel < 0.02, "counts should not depend on frequency, rel {rel}");
+        assert!(
+            rel < 0.02,
+            "counts should not depend on frequency, rel {rel}"
+        );
     }
 
     #[test]
@@ -435,7 +457,10 @@ mod tests {
         let a = SyntheticApp::balanced("dvfs_a", 2e9);
         let b = SyntheticApp::balanced("dvfs_b", 5e9);
         let avg = |m: &mut Machine, app: &dyn Application| -> f64 {
-            (0..4).map(|_| m.run(app).dynamic_energy_joules).sum::<f64>() / 4.0
+            (0..4)
+                .map(|_| m.run(app).dynamic_energy_joules)
+                .sum::<f64>()
+                / 4.0
         };
         let ea = avg(&mut m, &a);
         let eb = avg(&mut m, &b);
@@ -451,10 +476,10 @@ mod tests {
     }
 
     #[test]
-    fn standard_normal_has_sane_moments() {
-        let mut rng = StdRng::seed_from_u64(99);
+    fn noise_stream_has_sane_moments() {
+        let mut rng = Xoshiro256pp::seed_from_u64(99);
         let n = 20_000;
-        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let samples: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.03, "mean {mean}");

@@ -78,7 +78,10 @@ impl PowerModel {
     ///
     /// Panics unless `scale` is positive and finite.
     pub fn phase_energy_at_scale(&self, activity: &Activity, duration_s: f64, scale: f64) -> f64 {
-        assert!(scale.is_finite() && scale > 0.0, "frequency scale must be positive");
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "frequency scale must be positive"
+        );
         self.phase_energy(activity, duration_s) * scale * scale
     }
 
@@ -144,8 +147,16 @@ mod tests {
             let m = PowerModel::for_platform(&spec);
             let (a, d) = busy_activity(2.0, &spec);
             let p = m.phase_power(&a, d);
-            assert!(p > 0.05 * spec.max_dynamic_watts(), "{}: {p} W too low", spec.processor);
-            assert!(p <= spec.max_dynamic_watts(), "{}: {p} W exceeds budget", spec.processor);
+            assert!(
+                p > 0.05 * spec.max_dynamic_watts(),
+                "{}: {p} W too low",
+                spec.processor
+            );
+            assert!(
+                p <= spec.max_dynamic_watts(),
+                "{}: {p} W exceeds budget",
+                spec.processor
+            );
         }
     }
 

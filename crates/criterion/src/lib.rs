@@ -1,0 +1,197 @@
+//! In-repo stand-in for the external `criterion` crate.
+//!
+//! The workspace builds **offline**, so it cannot fetch criterion from a
+//! registry. This crate implements the subset of the API the workspace's
+//! benches use — [`Criterion::bench_function`], benchmark groups with
+//! `sample_size`, [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with simple wall-clock measurement and a
+//! plain-text report (median, mean, and spread per benchmark).
+//!
+//! There are no plots, no statistical regression detection, and no
+//! saved baselines; the point is that `cargo bench` compiles and produces
+//! honest numbers without network access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so existing `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to every target function.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(name.as_ref(), self.default_sample_size, &mut f);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        println!("group {}:", name.as_ref());
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(name.as_ref(), self.sample_size, &mut f);
+        self
+    }
+
+    /// End the group (prints nothing; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times the body passed to [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly; one invocation = one iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: aim for samples of roughly 10 ms.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        self.iters_per_sample = iters;
+        let sample_start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.samples.push(sample_start.elapsed());
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        for s in &bencher.samples {
+            per_iter_ns.push(s.as_nanos() as f64 / bencher.iters_per_sample.max(1) as f64);
+        }
+    }
+    if per_iter_ns.is_empty() {
+        println!("  {name:<44} (no samples: bencher.iter was never called)");
+        return;
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let min = per_iter_ns[0];
+    let max = per_iter_ns[per_iter_ns.len() - 1];
+    println!(
+        "  {name:<44} median {} mean {} range [{} .. {}]",
+        fmt_ns(median),
+        fmt_ns(mean),
+        fmt_ns(min),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Collect benchmark functions into a named runner, like the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn groups_respect_sample_size() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(12_000_000_000.0).ends_with("s"));
+    }
+}

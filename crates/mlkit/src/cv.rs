@@ -22,7 +22,10 @@ impl CvResults {
 
     /// Largest single-fold average error (stability indicator).
     pub fn worst_fold_avg(&self) -> f64 {
-        self.folds.iter().map(|f| f.avg).fold(f64::NEG_INFINITY, f64::max)
+        self.folds
+            .iter()
+            .map(|f| f.avg)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 }
 

@@ -45,7 +45,12 @@ impl std::error::Error for DatasetError {}
 impl Dataset {
     /// Create an empty dataset with the given feature names.
     pub fn new(feature_names: Vec<String>) -> Self {
-        Dataset { feature_names, rows: Vec::new(), targets: Vec::new(), labels: Vec::new() }
+        Dataset {
+            feature_names,
+            rows: Vec::new(),
+            targets: Vec::new(),
+            labels: Vec::new(),
+        }
     }
 
     /// Append one observation.
@@ -54,9 +59,16 @@ impl Dataset {
     ///
     /// Returns [`DatasetError::WidthMismatch`] if `features` width differs
     /// from the feature-name count.
-    pub fn push(&mut self, label: impl Into<String>, features: Vec<f64>, target: f64) -> Result<(), DatasetError> {
+    pub fn push(
+        &mut self,
+        label: impl Into<String>,
+        features: Vec<f64>,
+        target: f64,
+    ) -> Result<(), DatasetError> {
         if features.len() != self.feature_names.len() {
-            return Err(DatasetError::WidthMismatch { row: self.rows.len() });
+            return Err(DatasetError::WidthMismatch {
+                row: self.rows.len(),
+            });
         }
         self.rows.push(features);
         self.targets.push(target);
@@ -122,7 +134,8 @@ impl Dataset {
         let mut out = Dataset::new(names.iter().map(|s| s.to_string()).collect());
         for ((row, &target), label) in self.rows.iter().zip(&self.targets).zip(&self.labels) {
             let projected: Vec<f64> = indices.iter().map(|&i| row[i]).collect();
-            out.push(label.clone(), projected, target).expect("projection width is consistent");
+            out.push(label.clone(), projected, target)
+                .expect("projection width is consistent");
         }
         Ok(out)
     }
@@ -166,7 +179,9 @@ impl Dataset {
     /// too small to yield both halves.
     pub fn split_interleaved(&self, k: usize) -> Result<(Dataset, Dataset), DatasetError> {
         if k < 2 {
-            return Err(DatasetError::BadSplit { detail: format!("k must be ≥ 2, got {k}") });
+            return Err(DatasetError::BadSplit {
+                detail: format!("k must be ≥ 2, got {k}"),
+            });
         }
         if self.len() < k {
             return Err(DatasetError::BadSplit {
@@ -175,11 +190,20 @@ impl Dataset {
         }
         let mut train = Dataset::new(self.feature_names.clone());
         let mut test = Dataset::new(self.feature_names.clone());
-        for (i, ((row, &target), label)) in
-            self.rows.iter().zip(&self.targets).zip(&self.labels).enumerate()
+        for (i, ((row, &target), label)) in self
+            .rows
+            .iter()
+            .zip(&self.targets)
+            .zip(&self.labels)
+            .enumerate()
         {
-            let dst = if (i + 1) % k == 0 { &mut test } else { &mut train };
-            dst.push(label.clone(), row.clone(), target).expect("widths are consistent");
+            let dst = if (i + 1) % k == 0 {
+                &mut test
+            } else {
+                &mut train
+            };
+            dst.push(label.clone(), row.clone(), target)
+                .expect("widths are consistent");
         }
         Ok((train, test))
     }
@@ -218,11 +242,16 @@ impl Dataset {
         }
         let mut train = Dataset::new(self.feature_names.clone());
         let mut test = Dataset::new(self.feature_names.clone());
-        for (i, ((row, &target), label)) in
-            self.rows.iter().zip(&self.targets).zip(&self.labels).enumerate()
+        for (i, ((row, &target), label)) in self
+            .rows
+            .iter()
+            .zip(&self.targets)
+            .zip(&self.labels)
+            .enumerate()
         {
             let dst = if is_test[i] { &mut test } else { &mut train };
-            dst.push(label.clone(), row.clone(), target).expect("widths are consistent");
+            dst.push(label.clone(), row.clone(), target)
+                .expect("widths are consistent");
         }
         Ok((train, test))
     }
@@ -235,7 +264,12 @@ mod tests {
     fn sample() -> Dataset {
         let mut d = Dataset::new(vec!["a".into(), "b".into()]);
         for i in 0..10 {
-            d.push(format!("app{i}"), vec![i as f64, 2.0 * i as f64], 3.0 * i as f64).unwrap();
+            d.push(
+                format!("app{i}"),
+                vec![i as f64, 2.0 * i as f64],
+                3.0 * i as f64,
+            )
+            .unwrap();
         }
         d
     }
@@ -252,7 +286,10 @@ mod tests {
     #[test]
     fn push_rejects_wrong_width() {
         let mut d = Dataset::new(vec!["a".into()]);
-        assert_eq!(d.push("x", vec![1.0, 2.0], 0.0), Err(DatasetError::WidthMismatch { row: 0 }));
+        assert_eq!(
+            d.push("x", vec![1.0, 2.0], 0.0),
+            Err(DatasetError::WidthMismatch { row: 0 })
+        );
     }
 
     #[test]
@@ -273,7 +310,10 @@ mod tests {
     #[test]
     fn select_unknown_feature_errors() {
         let d = sample();
-        assert_eq!(d.select(&["zzz"]), Err(DatasetError::UnknownFeature("zzz".into())));
+        assert_eq!(
+            d.select(&["zzz"]),
+            Err(DatasetError::UnknownFeature("zzz".into()))
+        );
     }
 
     #[test]

@@ -1,0 +1,615 @@
+//! Plain-text model parameter export/import.
+//!
+//! The model registry in `pmca-serve` persists trained models to disk and
+//! revives them without retraining. This module defines the interchange
+//! representation — [`ModelParams`], one variant per model family — and a
+//! line-oriented text codec for it. Text (not a binary format) keeps
+//! registry files inspectable with ordinary tools and diffs, matching the
+//! repo's plain-text `results/` convention; floats are written with
+//! Rust's shortest-round-trip formatting so decode(encode(m)) is exact.
+//!
+//! Format sketch (`#` comments not part of the format):
+//!
+//! ```text
+//! pmca-model v1 linear          # header: magic, version, family
+//! width 4
+//! coefficients 1.5e-9 0 3.25 0.5
+//! intercept 0
+//! end
+//! ```
+
+use crate::linreg::LinearRegression;
+use crate::model::{ModelError, Regressor};
+use crate::nn::{Activation, LayerWeights, NetworkWeights, NeuralNet};
+use crate::tree::{NodeSpec, RegressionTree};
+use crate::RandomForest;
+use std::error::Error;
+use std::fmt;
+
+/// Why a model file could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// 1-based line number the error was detected at (0 = whole document).
+    pub line: usize,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "model decode failed: {}", self.detail)
+        } else {
+            write!(
+                f,
+                "model decode failed at line {}: {}",
+                self.line, self.detail
+            )
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Exported parameters of one trained model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelParams {
+    /// A linear model: `y = intercept + Σ coefficients[j] · x[j]`.
+    Linear {
+        /// One coefficient per feature.
+        coefficients: Vec<f64>,
+        /// Additive intercept (`0.0` for the paper's configuration).
+        intercept: f64,
+    },
+    /// A random forest: prediction is the mean over trees.
+    Forest {
+        /// Feature width the forest was trained on.
+        width: usize,
+        /// Preorder node list per tree.
+        trees: Vec<Vec<NodeSpec>>,
+    },
+    /// A multilayer perceptron with standardisation.
+    Neural(NetworkWeights),
+}
+
+impl ModelParams {
+    /// Export a fitted linear model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is unfitted.
+    pub fn from_linear(model: &LinearRegression) -> Self {
+        ModelParams::Linear {
+            coefficients: model.coefficients().to_vec(),
+            intercept: model.intercept(),
+        }
+    }
+
+    /// Export a fitted random forest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forest is unfitted.
+    pub fn from_forest(model: &RandomForest) -> Self {
+        let trees = model.trees();
+        assert!(!trees.is_empty(), "forest not fitted");
+        let (width, _) = trees[0].export_nodes();
+        ModelParams::Forest {
+            width,
+            trees: trees.iter().map(|t| t.export_nodes().1).collect(),
+        }
+    }
+
+    /// Export a fitted neural network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is unfitted.
+    pub fn from_neural(model: &NeuralNet) -> Self {
+        ModelParams::Neural(model.weights())
+    }
+
+    /// The family tag used in headers and registry keys.
+    pub fn family(&self) -> &'static str {
+        match self {
+            ModelParams::Linear { .. } => "linear",
+            ModelParams::Forest { .. } => "forest",
+            ModelParams::Neural(_) => "neural",
+        }
+    }
+
+    /// Number of input features the model expects.
+    pub fn width(&self) -> usize {
+        match self {
+            ModelParams::Linear { coefficients, .. } => coefficients.len(),
+            ModelParams::Forest { width, .. } => *width,
+            ModelParams::Neural(w) => w.feature_means.len(),
+        }
+    }
+
+    /// Instantiate a ready-to-predict model from the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ShapeMismatch`] when the parameters are
+    /// internally inconsistent (possible for hand-edited files).
+    pub fn instantiate(&self) -> Result<Box<dyn Regressor + Send + Sync>, ModelError> {
+        match self {
+            ModelParams::Linear {
+                coefficients,
+                intercept,
+            } => {
+                if coefficients.is_empty() {
+                    return Err(ModelError::ShapeMismatch {
+                        detail: "no coefficients".into(),
+                    });
+                }
+                Ok(Box::new(LinearRegression::from_coefficients(
+                    coefficients.clone(),
+                    *intercept,
+                )))
+            }
+            ModelParams::Forest { width, trees } => {
+                if trees.is_empty() {
+                    return Err(ModelError::ShapeMismatch {
+                        detail: "forest has no trees".into(),
+                    });
+                }
+                let rebuilt = trees
+                    .iter()
+                    .map(|nodes| RegressionTree::from_nodes(*width, nodes))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Box::new(RandomForest::from_trees(rebuilt)))
+            }
+            ModelParams::Neural(w) => Ok(Box::new(NeuralNet::from_weights(w.clone())?)),
+        }
+    }
+}
+
+fn push_floats(line: &mut String, xs: &[f64]) {
+    for x in xs {
+        line.push(' ');
+        line.push_str(&format!("{x}"));
+    }
+}
+
+/// Encode model parameters as the plain-text interchange format.
+pub fn encode(params: &ModelParams) -> String {
+    let mut out = format!("pmca-model v1 {}\n", params.family());
+    match params {
+        ModelParams::Linear {
+            coefficients,
+            intercept,
+        } => {
+            out.push_str(&format!("width {}\n", coefficients.len()));
+            let mut line = String::from("coefficients");
+            push_floats(&mut line, coefficients);
+            out.push_str(&line);
+            out.push_str(&format!("\nintercept {intercept}\n"));
+        }
+        ModelParams::Forest { width, trees } => {
+            out.push_str(&format!("width {width}\ntrees {}\n", trees.len()));
+            for nodes in trees {
+                out.push_str(&format!("tree {}\n", nodes.len()));
+                for node in nodes {
+                    match node {
+                        NodeSpec::Leaf { value } => out.push_str(&format!("leaf {value}\n")),
+                        NodeSpec::Split { feature, threshold } => {
+                            out.push_str(&format!("split {feature} {threshold}\n"));
+                        }
+                    }
+                }
+            }
+        }
+        ModelParams::Neural(w) => {
+            out.push_str(&format!("width {}\n", w.feature_means.len()));
+            let activation = match w.activation {
+                Activation::Linear => "linear",
+                Activation::Relu => "relu",
+            };
+            out.push_str(&format!("activation {activation}\n"));
+            let mut means = String::from("feature-means");
+            push_floats(&mut means, &w.feature_means);
+            let mut stds = String::from("feature-stds");
+            push_floats(&mut stds, &w.feature_stds);
+            out.push_str(&means);
+            out.push('\n');
+            out.push_str(&stds);
+            out.push('\n');
+            out.push_str(&format!("target {} {}\n", w.target_mean, w.target_std));
+            out.push_str(&format!("layers {}\n", w.layers.len()));
+            for layer in &w.layers {
+                let inputs = layer.weights.first().map_or(0, Vec::len);
+                out.push_str(&format!("layer {} {}\n", layer.biases.len(), inputs));
+                for row in &layer.weights {
+                    let mut line = String::from("w");
+                    push_floats(&mut line, row);
+                    out.push_str(&line);
+                    out.push('\n');
+                }
+                let mut line = String::from("b");
+                push_floats(&mut line, &layer.biases);
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// A cursor over the non-empty lines of a model document.
+struct Lines<'a> {
+    lines: Vec<(usize, &'a str)>,
+    at: usize,
+}
+
+impl<'a> Lines<'a> {
+    fn new(text: &'a str) -> Self {
+        let lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Lines { lines, at: 0 }
+    }
+
+    fn next(&mut self) -> Result<(usize, &'a str), DecodeError> {
+        let item = self.lines.get(self.at).copied().ok_or(DecodeError {
+            line: 0,
+            detail: "unexpected end of document".into(),
+        })?;
+        self.at += 1;
+        Ok(item)
+    }
+
+    /// Consume a line that must start with `keyword`; returns the fields
+    /// after it.
+    fn expect(&mut self, keyword: &str) -> Result<(usize, Vec<&'a str>), DecodeError> {
+        let (no, line) = self.next()?;
+        let mut fields = line.split_whitespace();
+        match fields.next() {
+            Some(k) if k == keyword => Ok((no, fields.collect())),
+            Some(other) => Err(DecodeError {
+                line: no,
+                detail: format!("expected {keyword:?}, found {other:?}"),
+            }),
+            None => Err(DecodeError {
+                line: no,
+                detail: format!("expected {keyword:?}"),
+            }),
+        }
+    }
+}
+
+fn parse_f64(field: &str, line: usize) -> Result<f64, DecodeError> {
+    field.parse::<f64>().map_err(|_| DecodeError {
+        line,
+        detail: format!("{field:?} is not a number"),
+    })
+}
+
+fn parse_usize(field: &str, line: usize) -> Result<usize, DecodeError> {
+    field.parse::<usize>().map_err(|_| DecodeError {
+        line,
+        detail: format!("{field:?} is not a count"),
+    })
+}
+
+fn parse_floats(fields: &[&str], line: usize) -> Result<Vec<f64>, DecodeError> {
+    fields.iter().map(|f| parse_f64(f, line)).collect()
+}
+
+fn one_field<'a>(fields: &[&'a str], line: usize, what: &str) -> Result<&'a str, DecodeError> {
+    if fields.len() != 1 {
+        return Err(DecodeError {
+            line,
+            detail: format!("{what} takes exactly one field"),
+        });
+    }
+    Ok(fields[0])
+}
+
+/// Decode the plain-text interchange format back into [`ModelParams`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] with the offending line on malformed input; a
+/// decoded document is structurally valid but may still fail
+/// [`ModelParams::instantiate`] if its shapes are inconsistent.
+pub fn decode(text: &str) -> Result<ModelParams, DecodeError> {
+    let mut lines = Lines::new(text);
+    let (no, header) = lines.next()?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() != 3 || fields[0] != "pmca-model" {
+        return Err(DecodeError {
+            line: no,
+            detail: "expected `pmca-model v1 <family>` header".into(),
+        });
+    }
+    if fields[1] != "v1" {
+        return Err(DecodeError {
+            line: no,
+            detail: format!("unsupported version {:?}", fields[1]),
+        });
+    }
+    let params = match fields[2] {
+        "linear" => decode_linear(&mut lines)?,
+        "forest" => decode_forest(&mut lines)?,
+        "neural" => decode_neural(&mut lines)?,
+        other => {
+            return Err(DecodeError {
+                line: no,
+                detail: format!("unknown family {other:?}"),
+            })
+        }
+    };
+    let (no, end) = lines.next()?;
+    if end != "end" {
+        return Err(DecodeError {
+            line: no,
+            detail: format!("expected `end`, found {end:?}"),
+        });
+    }
+    Ok(params)
+}
+
+fn decode_linear(lines: &mut Lines<'_>) -> Result<ModelParams, DecodeError> {
+    let (no, fields) = lines.expect("width")?;
+    let width = parse_usize(one_field(&fields, no, "width")?, no)?;
+    let (no, fields) = lines.expect("coefficients")?;
+    let coefficients = parse_floats(&fields, no)?;
+    if coefficients.len() != width {
+        return Err(DecodeError {
+            line: no,
+            detail: format!("{} coefficients for width {width}", coefficients.len()),
+        });
+    }
+    let (no, fields) = lines.expect("intercept")?;
+    let intercept = parse_f64(one_field(&fields, no, "intercept")?, no)?;
+    Ok(ModelParams::Linear {
+        coefficients,
+        intercept,
+    })
+}
+
+fn decode_forest(lines: &mut Lines<'_>) -> Result<ModelParams, DecodeError> {
+    let (no, fields) = lines.expect("width")?;
+    let width = parse_usize(one_field(&fields, no, "width")?, no)?;
+    let (no, fields) = lines.expect("trees")?;
+    let n_trees = parse_usize(one_field(&fields, no, "trees")?, no)?;
+    let mut trees = Vec::with_capacity(n_trees);
+    for _ in 0..n_trees {
+        let (no, fields) = lines.expect("tree")?;
+        let n_nodes = parse_usize(one_field(&fields, no, "tree")?, no)?;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let (no, line) = lines.next()?;
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let node = match fields.as_slice() {
+                ["leaf", value] => NodeSpec::Leaf {
+                    value: parse_f64(value, no)?,
+                },
+                ["split", feature, threshold] => NodeSpec::Split {
+                    feature: parse_usize(feature, no)?,
+                    threshold: parse_f64(threshold, no)?,
+                },
+                _ => {
+                    return Err(DecodeError {
+                        line: no,
+                        detail: format!("expected `leaf <v>` or `split <f> <t>`, found {line:?}"),
+                    })
+                }
+            };
+            nodes.push(node);
+        }
+        trees.push(nodes);
+    }
+    Ok(ModelParams::Forest { width, trees })
+}
+
+fn decode_neural(lines: &mut Lines<'_>) -> Result<ModelParams, DecodeError> {
+    let (no, fields) = lines.expect("width")?;
+    let width = parse_usize(one_field(&fields, no, "width")?, no)?;
+    let (no, fields) = lines.expect("activation")?;
+    let activation = match one_field(&fields, no, "activation")? {
+        "linear" => Activation::Linear,
+        "relu" => Activation::Relu,
+        other => {
+            return Err(DecodeError {
+                line: no,
+                detail: format!("unknown activation {other:?}"),
+            })
+        }
+    };
+    let (no, fields) = lines.expect("feature-means")?;
+    let feature_means = parse_floats(&fields, no)?;
+    let (no, fields) = lines.expect("feature-stds")?;
+    let feature_stds = parse_floats(&fields, no)?;
+    if feature_means.len() != width || feature_stds.len() != width {
+        return Err(DecodeError {
+            line: no,
+            detail: format!(
+                "standardisation widths {}/{} disagree with width {width}",
+                feature_means.len(),
+                feature_stds.len()
+            ),
+        });
+    }
+    let (no, fields) = lines.expect("target")?;
+    if fields.len() != 2 {
+        return Err(DecodeError {
+            line: no,
+            detail: "target takes mean and std".into(),
+        });
+    }
+    let target_mean = parse_f64(fields[0], no)?;
+    let target_std = parse_f64(fields[1], no)?;
+    let (no, fields) = lines.expect("layers")?;
+    let n_layers = parse_usize(one_field(&fields, no, "layers")?, no)?;
+    let mut layers = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        let (no, fields) = lines.expect("layer")?;
+        if fields.len() != 2 {
+            return Err(DecodeError {
+                line: no,
+                detail: "layer takes outputs and inputs".into(),
+            });
+        }
+        let outputs = parse_usize(fields[0], no)?;
+        let inputs = parse_usize(fields[1], no)?;
+        let mut weights = Vec::with_capacity(outputs);
+        for _ in 0..outputs {
+            let (no, fields) = lines.expect("w")?;
+            let row = parse_floats(&fields, no)?;
+            if row.len() != inputs {
+                return Err(DecodeError {
+                    line: no,
+                    detail: format!("weight row has {} entries (expected {inputs})", row.len()),
+                });
+            }
+            weights.push(row);
+        }
+        let (no, fields) = lines.expect("b")?;
+        let biases = parse_floats(&fields, no)?;
+        if biases.len() != outputs {
+            return Err(DecodeError {
+                line: no,
+                detail: format!("{} biases (expected {outputs})", biases.len()),
+            });
+        }
+        layers.push(LayerWeights { weights, biases });
+    }
+    Ok(ModelParams::Neural(NetworkWeights {
+        activation,
+        layers,
+        feature_means,
+        feature_stds,
+        target_mean,
+        target_std,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Regressor;
+
+    fn training_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, ((i * 3) % 17) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] + 0.5 * r[1]).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn linear_round_trips_exactly() {
+        let (x, y) = training_data();
+        let mut lr = LinearRegression::paper_constrained();
+        lr.fit(&x, &y).unwrap();
+        let params = ModelParams::from_linear(&lr);
+        let decoded = decode(&encode(&params)).unwrap();
+        assert_eq!(params, decoded);
+        let revived = decoded.instantiate().unwrap();
+        for row in x.iter().step_by(11) {
+            assert_eq!(lr.predict_one(row), revived.predict_one(row));
+        }
+    }
+
+    #[test]
+    fn forest_round_trips_exactly() {
+        let (x, y) = training_data();
+        let mut rf = RandomForest::with_seed(3);
+        rf.fit(&x, &y).unwrap();
+        let params = ModelParams::from_forest(&rf);
+        let decoded = decode(&encode(&params)).unwrap();
+        assert_eq!(params, decoded);
+        let revived = decoded.instantiate().unwrap();
+        for row in x.iter().step_by(7) {
+            assert_eq!(rf.predict_one(row), revived.predict_one(row));
+        }
+    }
+
+    #[test]
+    fn neural_round_trips_exactly() {
+        let (x, y) = training_data();
+        let mut nn = NeuralNet::with_seed(5);
+        nn.fit(&x, &y).unwrap();
+        let params = ModelParams::from_neural(&nn);
+        let decoded = decode(&encode(&params)).unwrap();
+        assert_eq!(params, decoded);
+        let revived = decoded.instantiate().unwrap();
+        for row in x.iter().step_by(13) {
+            assert_eq!(nn.predict_one(row), revived.predict_one(row));
+        }
+    }
+
+    #[test]
+    fn family_and_width_are_reported() {
+        let params = ModelParams::Linear {
+            coefficients: vec![1.0, 2.0, 3.0],
+            intercept: 0.0,
+        };
+        assert_eq!(params.family(), "linear");
+        assert_eq!(params.width(), 3);
+    }
+
+    #[test]
+    fn decode_rejects_bad_header() {
+        assert!(decode("not-a-model\nend\n").is_err());
+        assert!(decode("pmca-model v2 linear\nend\n").is_err());
+        assert!(decode("pmca-model v1 quantum\nend\n").is_err());
+    }
+
+    #[test]
+    fn decode_rejects_width_mismatch() {
+        let text = "pmca-model v1 linear\nwidth 3\ncoefficients 1 2\nintercept 0\nend\n";
+        let err = decode(text).unwrap_err();
+        assert!(err.detail.contains("coefficients"), "{err}");
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let text = "pmca-model v1 linear\nwidth 1\ncoefficients 1\n";
+        assert!(decode(text).is_err());
+    }
+
+    #[test]
+    fn decode_reports_line_numbers() {
+        let text = "pmca-model v1 linear\nwidth 1\ncoefficients nope\nintercept 0\nend\n";
+        let err = decode(text).unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn instantiate_rejects_inconsistent_forest() {
+        // Split references feature 5 of a width-2 forest.
+        let params = ModelParams::Forest {
+            width: 2,
+            trees: vec![vec![
+                NodeSpec::Split {
+                    feature: 5,
+                    threshold: 0.0,
+                },
+                NodeSpec::Leaf { value: 1.0 },
+                NodeSpec::Leaf { value: 2.0 },
+            ]],
+        };
+        assert!(params.instantiate().is_err());
+    }
+
+    #[test]
+    fn tree_from_nodes_rejects_trailing_and_truncated_lists() {
+        let ok = [NodeSpec::Leaf { value: 1.0 }];
+        assert!(RegressionTree::from_nodes(1, &ok).is_ok());
+        let trailing = [NodeSpec::Leaf { value: 1.0 }, NodeSpec::Leaf { value: 2.0 }];
+        assert!(RegressionTree::from_nodes(1, &trailing).is_err());
+        let truncated = [NodeSpec::Split {
+            feature: 0,
+            threshold: 0.5,
+        }];
+        assert!(RegressionTree::from_nodes(1, &truncated).is_err());
+    }
+}

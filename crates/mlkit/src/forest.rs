@@ -3,8 +3,7 @@
 
 use crate::model::{validate_training_set, ModelError, Regressor};
 use crate::tree::{RegressionTree, TreeParams};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pmca_stats::rng::{Rng, Xoshiro256pp};
 
 /// Tuning parameters of a random forest.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,7 +19,11 @@ pub struct ForestParams {
 
 impl Default for ForestParams {
     fn default() -> Self {
-        ForestParams { n_trees: 100, tree: TreeParams::default(), sample_fraction: 1.0 }
+        ForestParams {
+            n_trees: 100,
+            tree: TreeParams::default(),
+            sample_fraction: 1.0,
+        }
     }
 }
 
@@ -62,19 +65,47 @@ impl RandomForest {
             params.sample_fraction > 0.0 && params.sample_fraction <= 1.0,
             "sample fraction must be in (0, 1]"
         );
-        RandomForest { params, seed, trees: Vec::new() }
+        RandomForest {
+            params,
+            seed,
+            trees: Vec::new(),
+        }
     }
 
     /// Number of fitted trees.
     pub fn tree_count(&self) -> usize {
         self.trees.len()
     }
+
+    /// The fitted trees (for export; empty before `fit`).
+    pub fn trees(&self) -> &[RegressionTree] {
+        &self.trees
+    }
+
+    /// Rebuild a fitted forest from imported trees — the inverse of
+    /// [`RandomForest::trees`]. Used by the model registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trees` is empty.
+    pub fn from_trees(trees: Vec<RegressionTree>) -> Self {
+        assert!(!trees.is_empty(), "forest needs at least one tree");
+        let params = ForestParams {
+            n_trees: trees.len(),
+            ..ForestParams::default()
+        };
+        RandomForest {
+            params,
+            seed: 0,
+            trees,
+        }
+    }
 }
 
 impl Regressor for RandomForest {
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), ModelError> {
         let width = validate_training_set(x, y)?;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(self.seed);
         let mtry = self
             .params
             .tree
@@ -84,9 +115,15 @@ impl Regressor for RandomForest {
 
         self.trees.clear();
         for t in 0..self.params.n_trees {
-            let indices: Vec<usize> = (0..sample_size).map(|_| rng.gen_range(0..x.len())).collect();
-            let tree_params = TreeParams { features_per_split: Some(mtry), ..self.params.tree };
-            let mut tree = RegressionTree::new(tree_params, self.seed.wrapping_add(t as u64 * 7919));
+            let indices: Vec<usize> = (0..sample_size)
+                .map(|_| rng.gen_range_usize(0, x.len()))
+                .collect();
+            let tree_params = TreeParams {
+                features_per_split: Some(mtry),
+                ..self.params.tree
+            };
+            let mut tree =
+                RegressionTree::new(tree_params, self.seed.wrapping_add(t as u64 * 7919));
             tree.fit_indices(x, y, &indices)?;
             self.trees.push(tree);
         }
@@ -163,7 +200,9 @@ mod tests {
         // one deep tree.
         let x: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 10.0]).collect();
         let noise = |i: usize| if i.is_multiple_of(3) { 0.4 } else { -0.2 };
-        let y: Vec<f64> = (0..200).map(|i| (i as f64 / 10.0).sin() * 5.0 + noise(i)).collect();
+        let y: Vec<f64> = (0..200)
+            .map(|i| (i as f64 / 10.0).sin() * 5.0 + noise(i))
+            .collect();
         let test_x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 2.5 + 0.05]).collect();
         let truth: Vec<f64> = test_x.iter().map(|r| (r[0]).sin() * 5.0).collect();
 
@@ -173,7 +212,12 @@ mod tests {
         rf.fit(&x, &y).unwrap();
 
         let mse = |preds: &[f64]| -> f64 {
-            preds.iter().zip(&truth).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / truth.len() as f64
+            preds
+                .iter()
+                .zip(&truth)
+                .map(|(p, t)| (p - t) * (p - t))
+                .sum::<f64>()
+                / truth.len() as f64
         };
         let tree_mse = mse(&tree.predict(&test_x));
         let rf_mse = mse(&rf.predict(&test_x));
@@ -190,6 +234,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one tree")]
     fn zero_trees_rejected() {
-        let _ = RandomForest::new(ForestParams { n_trees: 0, ..ForestParams::default() }, 1);
+        let _ = RandomForest::new(
+            ForestParams {
+                n_trees: 0,
+                ..ForestParams::default()
+            },
+            1,
+        );
     }
 }

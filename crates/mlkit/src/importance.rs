@@ -7,9 +7,7 @@
 
 use crate::metrics::mae;
 use crate::model::Regressor;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use pmca_stats::rng::{Rng, Xoshiro256pp};
 
 /// Importance of one feature.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,7 +38,7 @@ pub fn permutation_importance<M: Regressor + ?Sized>(
     assert_eq!(x.len(), y.len(), "rows vs targets mismatch");
     let width = x[0].len();
     let baseline = mae(&model.predict(x), y);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let repeats = repeats.max(1);
 
     let mut importances: Vec<FeatureImportance> = (0..width)
@@ -48,7 +46,7 @@ pub fn permutation_importance<M: Regressor + ?Sized>(
             let mut total = 0.0;
             for _ in 0..repeats {
                 let mut column: Vec<f64> = x.iter().map(|r| r[feature]).collect();
-                column.shuffle(&mut rng);
+                rng.shuffle(&mut column);
                 let permuted: Vec<Vec<f64>> = x
                     .iter()
                     .zip(&column)
@@ -60,11 +58,16 @@ pub fn permutation_importance<M: Regressor + ?Sized>(
                     .collect();
                 total += mae(&model.predict(&permuted), y) - baseline;
             }
-            FeatureImportance { feature, mae_increase: total / repeats as f64 }
+            FeatureImportance {
+                feature,
+                mae_increase: total / repeats as f64,
+            }
         })
         .collect();
     importances.sort_by(|a, b| {
-        b.mae_increase.partial_cmp(&a.mae_increase).expect("finite importances")
+        b.mae_increase
+            .partial_cmp(&a.mae_increase)
+            .expect("finite importances")
     });
     importances
 }

@@ -36,6 +36,7 @@
 
 pub mod cv;
 pub mod dataset;
+pub mod export;
 pub mod forest;
 pub mod importance;
 pub mod linreg;
@@ -45,6 +46,7 @@ pub mod nn;
 pub mod tree;
 
 pub use dataset::Dataset;
+pub use export::ModelParams;
 pub use forest::RandomForest;
 pub use linreg::LinearRegression;
 pub use metrics::PredictionErrors;

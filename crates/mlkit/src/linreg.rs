@@ -99,6 +99,31 @@ impl LinearRegression {
         self
     }
 
+    /// Reconstruct a fitted model from exported parameters (the inverse of
+    /// reading [`LinearRegression::coefficients`] and
+    /// [`LinearRegression::intercept`]). Used by the model registry to
+    /// revive persisted models without retraining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coefficients` is empty or any parameter is non-finite.
+    pub fn from_coefficients(coefficients: Vec<f64>, intercept: f64) -> Self {
+        assert!(!coefficients.is_empty(), "need at least one coefficient");
+        assert!(
+            coefficients.iter().all(|c| c.is_finite()) && intercept.is_finite(),
+            "parameters must be finite"
+        );
+        LinearRegression {
+            intercept_enabled: intercept != 0.0,
+            nonnegative: coefficients.iter().all(|&c| c >= 0.0),
+            l2: 0.0,
+            feature_penalties: None,
+            coefficients,
+            intercept,
+            fitted: true,
+        }
+    }
+
     /// Fitted coefficients (one per feature).
     ///
     /// # Panics
@@ -114,8 +139,17 @@ impl LinearRegression {
         self.intercept
     }
 
-    fn fit_unconstrained(&mut self, x: &[Vec<f64>], y: &[f64], width: usize) -> Result<(), ModelError> {
-        let cols = if self.intercept_enabled { width + 1 } else { width };
+    fn fit_unconstrained(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        width: usize,
+    ) -> Result<(), ModelError> {
+        let cols = if self.intercept_enabled {
+            width + 1
+        } else {
+            width
+        };
         let mut data = Vec::with_capacity(x.len() * cols);
         for row in x {
             if self.intercept_enabled {
@@ -123,8 +157,11 @@ impl LinearRegression {
             }
             data.extend_from_slice(row);
         }
-        let a = Matrix::from_rows_slice(x.len(), cols, &data)
-            .map_err(|e| ModelError::ShapeMismatch { detail: e.to_string() })?;
+        let a = Matrix::from_rows_slice(x.len(), cols, &data).map_err(|e| {
+            ModelError::ShapeMismatch {
+                detail: e.to_string(),
+            }
+        })?;
         let beta = a.least_squares(y).map_err(|_| ModelError::NoConvergence)?;
         if self.intercept_enabled {
             self.intercept = beta[0];
@@ -136,7 +173,12 @@ impl LinearRegression {
         Ok(())
     }
 
-    fn fit_nonnegative(&mut self, x: &[Vec<f64>], y: &[f64], width: usize) -> Result<(), ModelError> {
+    fn fit_nonnegative(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        width: usize,
+    ) -> Result<(), ModelError> {
         // Normal equations: G = XᵀX (+ ridge), b = Xᵀy.
         let mut g = vec![vec![0.0; width]; width];
         let mut b = vec![0.0; width];
@@ -222,7 +264,12 @@ impl Regressor for LinearRegression {
     fn predict_one(&self, row: &[f64]) -> f64 {
         assert!(self.fitted, "model not fitted");
         assert_eq!(row.len(), self.coefficients.len(), "feature width mismatch");
-        self.intercept + row.iter().zip(&self.coefficients).map(|(a, b)| a * b).sum::<f64>()
+        self.intercept
+            + row
+                .iter()
+                .zip(&self.coefficients)
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
     }
 }
 
@@ -253,9 +300,7 @@ mod tests {
     fn constrained_coefficients_are_nonnegative() {
         // y strongly anti-correlated with x₁: unconstrained OLS would put a
         // negative weight on it; NNLS must clamp to zero.
-        let x: Vec<Vec<f64>> = (0..50)
-            .map(|i| vec![i as f64, 50.0 - i as f64])
-            .collect();
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, 50.0 - i as f64]).collect();
         let y: Vec<f64> = (0..50).map(|i| 2.0 * i as f64).collect();
         let mut lr = LinearRegression::paper_constrained();
         lr.fit(&x, &y).unwrap();
@@ -266,7 +311,9 @@ mod tests {
 
     #[test]
     fn nnls_matches_ols_when_unconstrained_solution_is_feasible() {
-        let x: Vec<Vec<f64>> = (1..40).map(|i| vec![i as f64, (i % 7) as f64 + 1.0]).collect();
+        let x: Vec<Vec<f64>> = (1..40)
+            .map(|i| vec![i as f64, (i % 7) as f64 + 1.0])
+            .collect();
         let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] + 0.5 * r[1]).collect();
         let mut nnls = LinearRegression::paper_constrained().with_l2(0.0);
         nnls.fit(&x, &y).unwrap();
@@ -278,7 +325,9 @@ mod tests {
     fn handles_pmc_scale_features() {
         // PMC counts are ~1e9–1e12 and energies ~1e2: coefficients ~1e-9,
         // like the paper's Table 3.
-        let x: Vec<Vec<f64>> = (1..60).map(|i| vec![1e10 * i as f64, 3e9 * i as f64]).collect();
+        let x: Vec<Vec<f64>> = (1..60)
+            .map(|i| vec![1e10 * i as f64, 3e9 * i as f64])
+            .collect();
         let y: Vec<f64> = (1..60).map(|i| 45.0 * i as f64).collect();
         let mut lr = LinearRegression::paper_constrained();
         lr.fit(&x, &y).unwrap();
@@ -328,13 +377,21 @@ mod tests {
             .with_feature_penalties(vec![0.0, 50.0]);
         skewed.fit(&x, &y).unwrap();
         let ratio_skewed = skewed.coefficients()[1] / skewed.coefficients()[0].max(1e-300);
-        assert!(ratio_even > 0.9, "even ridge should split, got {ratio_even}");
-        assert!(ratio_skewed < 0.3, "penalised duplicate should shrink, got {ratio_skewed}");
+        assert!(
+            ratio_even > 0.9,
+            "even ridge should split, got {ratio_even}"
+        );
+        assert!(
+            ratio_skewed < 0.3,
+            "penalised duplicate should shrink, got {ratio_skewed}"
+        );
     }
 
     #[test]
     fn zero_penalties_match_unpenalised_fit() {
-        let x: Vec<Vec<f64>> = (1..30).map(|i| vec![i as f64, (i % 5) as f64 + 1.0]).collect();
+        let x: Vec<Vec<f64>> = (1..30)
+            .map(|i| vec![i as f64, (i % 5) as f64 + 1.0])
+            .collect();
         let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] + r[1]).collect();
         let mut plain = LinearRegression::paper_constrained().with_l2(0.0);
         plain.fit(&x, &y).unwrap();

@@ -66,7 +66,12 @@ impl std::fmt::Display for PredictionErrors {
 pub fn mse(predictions: &[f64], truths: &[f64]) -> f64 {
     assert_eq!(predictions.len(), truths.len(), "paired slices required");
     assert!(!predictions.is_empty(), "empty slices");
-    predictions.iter().zip(truths).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / truths.len() as f64
+    predictions
+        .iter()
+        .zip(truths)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / truths.len() as f64
 }
 
 /// Mean absolute error.
@@ -77,7 +82,12 @@ pub fn mse(predictions: &[f64], truths: &[f64]) -> f64 {
 pub fn mae(predictions: &[f64], truths: &[f64]) -> f64 {
     assert_eq!(predictions.len(), truths.len(), "paired slices required");
     assert!(!predictions.is_empty(), "empty slices");
-    predictions.iter().zip(truths).map(|(p, t)| (p - t).abs()).sum::<f64>() / truths.len() as f64
+    predictions
+        .iter()
+        .zip(truths)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / truths.len() as f64
 }
 
 /// Coefficient of determination R². Returns `f64::NEG_INFINITY` when the
@@ -94,7 +104,11 @@ pub fn r_squared(predictions: &[f64], truths: &[f64]) -> f64 {
     if ss_tot == 0.0 {
         return f64::NEG_INFINITY;
     }
-    let ss_res: f64 = predictions.iter().zip(truths).map(|(p, t)| (p - t) * (p - t)).sum();
+    let ss_res: f64 = predictions
+        .iter()
+        .zip(truths)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum();
     1.0 - ss_res / ss_tot
 }
 
@@ -135,7 +149,11 @@ mod tests {
 
     #[test]
     fn display_formats_like_the_paper() {
-        let e = PredictionErrors { min: 2.5, avg: 18.01, max: 89.45 };
+        let e = PredictionErrors {
+            min: 2.5,
+            avg: 18.01,
+            max: 89.45,
+        };
         assert_eq!(e.to_string(), "(2.50, 18.01, 89.45)");
     }
 

@@ -74,7 +74,9 @@ pub fn validate_training_set(x: &[Vec<f64>], y: &[f64]) -> Result<usize, ModelEr
     }
     let width = x[0].len();
     if width == 0 {
-        return Err(ModelError::ShapeMismatch { detail: "zero-width rows".into() });
+        return Err(ModelError::ShapeMismatch {
+            detail: "zero-width rows".into(),
+        });
     }
     for (i, row) in x.iter().enumerate() {
         if row.len() != width {
@@ -98,7 +100,10 @@ mod tests {
 
     #[test]
     fn validate_rejects_empty() {
-        assert_eq!(validate_training_set(&[], &[]), Err(ModelError::EmptyTrainingSet));
+        assert_eq!(
+            validate_training_set(&[], &[]),
+            Err(ModelError::EmptyTrainingSet)
+        );
     }
 
     #[test]

@@ -9,8 +9,7 @@
 //! is full-batch gradient descent with Adam.
 
 use crate::model::{validate_training_set, ModelError, Regressor};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pmca_stats::rng::{Rng, Xoshiro256pp};
 
 /// Hidden-layer activation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +78,35 @@ struct Layer {
     biases: Vec<f64>,
 }
 
+/// One layer's parameters in export form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerWeights {
+    /// Weight matrix, `[output][input]`.
+    pub weights: Vec<Vec<f64>>,
+    /// One bias per output.
+    pub biases: Vec<f64>,
+}
+
+/// Everything needed to reconstruct a fitted network's prediction path:
+/// layer parameters plus the input/target standardisation. Training
+/// hyper-parameters are deliberately excluded — an imported network
+/// predicts but is not resumable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkWeights {
+    /// Hidden activation used during the forward pass.
+    pub activation: Activation,
+    /// Layer parameters, input side first.
+    pub layers: Vec<LayerWeights>,
+    /// Per-feature standardisation means.
+    pub feature_means: Vec<f64>,
+    /// Per-feature standardisation deviations.
+    pub feature_stds: Vec<f64>,
+    /// Target mean added back to predictions.
+    pub target_mean: f64,
+    /// Target deviation scaling predictions.
+    pub target_std: f64,
+}
+
 /// The MLP regressor.
 ///
 /// # Examples
@@ -135,6 +163,113 @@ impl NeuralNet {
         }
     }
 
+    /// Export the fitted network's weights and standardisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is unfitted.
+    pub fn weights(&self) -> NetworkWeights {
+        assert!(self.fitted, "network not fitted");
+        NetworkWeights {
+            activation: self.params.activation,
+            layers: self
+                .layers
+                .iter()
+                .map(|l| LayerWeights {
+                    weights: l.weights.clone(),
+                    biases: l.biases.clone(),
+                })
+                .collect(),
+            feature_means: self.feature_means.clone(),
+            feature_stds: self.feature_stds.clone(),
+            target_mean: self.target_mean,
+            target_std: self.target_std,
+        }
+    }
+
+    /// Rebuild a fitted network from exported weights — the inverse of
+    /// [`NeuralNet::weights`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ShapeMismatch`] when layer shapes don't chain
+    /// (layer N's outputs must match layer N+1's inputs), the final layer
+    /// is not single-output, or the standardisation width disagrees with
+    /// the first layer.
+    pub fn from_weights(w: NetworkWeights) -> Result<Self, ModelError> {
+        if w.layers.is_empty() {
+            return Err(ModelError::ShapeMismatch {
+                detail: "network has no layers".into(),
+            });
+        }
+        if w.feature_means.len() != w.feature_stds.len() {
+            return Err(ModelError::ShapeMismatch {
+                detail: "standardisation means/stds length mismatch".into(),
+            });
+        }
+        let mut expected_in = w.feature_means.len();
+        for (li, layer) in w.layers.iter().enumerate() {
+            if layer.weights.len() != layer.biases.len() {
+                return Err(ModelError::ShapeMismatch {
+                    detail: format!(
+                        "layer {li}: {} weight rows vs {} biases",
+                        layer.weights.len(),
+                        layer.biases.len()
+                    ),
+                });
+            }
+            for row in &layer.weights {
+                if row.len() != expected_in {
+                    return Err(ModelError::ShapeMismatch {
+                        detail: format!(
+                            "layer {li}: row width {} (expected {expected_in})",
+                            row.len()
+                        ),
+                    });
+                }
+            }
+            expected_in = layer.biases.len();
+        }
+        if expected_in != 1 {
+            return Err(ModelError::ShapeMismatch {
+                detail: format!("output layer has {expected_in} units (expected 1)"),
+            });
+        }
+        let hidden_layers = w.layers.len() - 1;
+        if hidden_layers > 2 {
+            return Err(ModelError::ShapeMismatch {
+                detail: format!("{hidden_layers} hidden layers (at most 2 supported)"),
+            });
+        }
+        let mut hidden = [0usize; 2];
+        for (slot, layer) in hidden.iter_mut().zip(&w.layers[..hidden_layers]) {
+            *slot = layer.biases.len();
+        }
+        let params = NnParams {
+            hidden: [hidden[0].max(1), hidden[1].max(1)],
+            hidden_layers,
+            activation: w.activation,
+            ..NnParams::default()
+        };
+        Ok(NeuralNet {
+            params,
+            seed: 0,
+            layers: w
+                .layers
+                .into_iter()
+                .map(|l| Layer {
+                    weights: l.weights,
+                    biases: l.biases,
+                })
+                .collect(),
+            feature_means: w.feature_means,
+            feature_stds: w.feature_stds,
+            target_mean: w.target_mean,
+            target_std: w.target_std,
+            fitted: true,
+        })
+    }
+
     fn architecture(&self, inputs: usize) -> Vec<usize> {
         let mut arch = vec![inputs];
         for i in 0..self.params.hidden_layers {
@@ -165,7 +300,9 @@ impl NeuralNet {
             let act: Vec<f64> = if is_output {
                 pre.clone() // linear transfer at the output
             } else {
-                pre.iter().map(|&p| self.params.activation.apply(p)).collect()
+                pre.iter()
+                    .map(|&p| self.params.activation.apply(p))
+                    .collect()
             };
             pre_activations.push(pre);
             activations.push(act);
@@ -180,7 +317,9 @@ impl Regressor for NeuralNet {
         let n = x.len() as f64;
 
         // Standardise features and target.
-        self.feature_means = (0..width).map(|j| x.iter().map(|r| r[j]).sum::<f64>() / n).collect();
+        self.feature_means = (0..width)
+            .map(|j| x.iter().map(|r| r[j]).sum::<f64>() / n)
+            .collect();
         self.feature_stds = (0..width)
             .map(|j| {
                 let m = self.feature_means[j];
@@ -194,15 +333,22 @@ impl Regressor for NeuralNet {
             })
             .collect();
         self.target_mean = y.iter().sum::<f64>() / n;
-        let t_var = y.iter().map(|t| (t - self.target_mean) * (t - self.target_mean)).sum::<f64>() / n;
+        let t_var = y
+            .iter()
+            .map(|t| (t - self.target_mean) * (t - self.target_mean))
+            .sum::<f64>()
+            / n;
         self.target_std = if t_var > 0.0 { t_var.sqrt() } else { 1.0 };
 
         let xs: Vec<Vec<f64>> = x.iter().map(|r| self.standardize_row(r)).collect();
-        let ys: Vec<f64> = y.iter().map(|t| (t - self.target_mean) / self.target_std).collect();
+        let ys: Vec<f64> = y
+            .iter()
+            .map(|t| (t - self.target_mean) / self.target_std)
+            .collect();
 
         // He-style initialisation.
         let arch = self.architecture(width);
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(self.seed);
         self.layers = arch
             .windows(2)
             .map(|w| {
@@ -210,7 +356,11 @@ impl Regressor for NeuralNet {
                 let scale = (2.0 / fan_in as f64).sqrt();
                 Layer {
                     weights: (0..fan_out)
-                        .map(|_| (0..fan_in).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale).collect())
+                        .map(|_| {
+                            (0..fan_in)
+                                .map(|_| (rng.next_f64() * 2.0 - 1.0) * scale)
+                                .collect()
+                        })
                         .collect(),
                     biases: vec![0.0; fan_out],
                 }
@@ -218,18 +368,32 @@ impl Regressor for NeuralNet {
             .collect();
 
         // Adam state.
-        let mut m_w: Vec<Vec<Vec<f64>>> =
-            self.layers.iter().map(|l| l.weights.iter().map(|r| vec![0.0; r.len()]).collect()).collect();
+        let mut m_w: Vec<Vec<Vec<f64>>> = self
+            .layers
+            .iter()
+            .map(|l| l.weights.iter().map(|r| vec![0.0; r.len()]).collect())
+            .collect();
         let mut v_w = m_w.clone();
-        let mut m_b: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.biases.len()]).collect();
+        let mut m_b: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.biases.len()])
+            .collect();
         let mut v_b = m_b.clone();
         let (beta1, beta2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
 
         for epoch in 1..=self.params.epochs {
             // Accumulate full-batch gradients.
-            let mut g_w: Vec<Vec<Vec<f64>>> =
-                self.layers.iter().map(|l| l.weights.iter().map(|r| vec![0.0; r.len()]).collect()).collect();
-            let mut g_b: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.biases.len()]).collect();
+            let mut g_w: Vec<Vec<Vec<f64>>> = self
+                .layers
+                .iter()
+                .map(|l| l.weights.iter().map(|r| vec![0.0; r.len()]).collect())
+                .collect();
+            let mut g_b: Vec<Vec<f64>> = self
+                .layers
+                .iter()
+                .map(|l| vec![0.0; l.biases.len()])
+                .collect();
 
             for (input, &target) in xs.iter().zip(&ys) {
                 let (pres, acts) = self.forward(input);
@@ -264,7 +428,8 @@ impl Regressor for NeuralNet {
             for li in 0..self.layers.len() {
                 for o in 0..self.layers[li].biases.len() {
                     for i in 0..self.layers[li].weights[o].len() {
-                        let g = g_w[li][o][i] + self.params.weight_decay * self.layers[li].weights[o][i];
+                        let g = g_w[li][o][i]
+                            + self.params.weight_decay * self.layers[li].weights[o][i];
                         m_w[li][o][i] = beta1 * m_w[li][o][i] + (1.0 - beta1) * g;
                         v_w[li][o][i] = beta2 * v_w[li][o][i] + (1.0 - beta2) * g * g;
                         let step = self.params.learning_rate * (m_w[li][o][i] / bc1)
@@ -274,8 +439,8 @@ impl Regressor for NeuralNet {
                     let g = g_b[li][o];
                     m_b[li][o] = beta1 * m_b[li][o] + (1.0 - beta1) * g;
                     v_b[li][o] = beta2 * v_b[li][o] + (1.0 - beta2) * g * g;
-                    let step =
-                        self.params.learning_rate * (m_b[li][o] / bc1) / ((v_b[li][o] / bc2).sqrt() + eps);
+                    let step = self.params.learning_rate * (m_b[li][o] / bc1)
+                        / ((v_b[li][o] / bc2).sqrt() + eps);
                     self.layers[li].biases[o] -= step;
                 }
             }
@@ -287,7 +452,11 @@ impl Regressor for NeuralNet {
 
     fn predict_one(&self, row: &[f64]) -> f64 {
         assert!(self.fitted, "network not fitted");
-        assert_eq!(row.len(), self.feature_means.len(), "feature width mismatch");
+        assert_eq!(
+            row.len(),
+            self.feature_means.len(),
+            "feature width mismatch"
+        );
         let input = self.standardize_row(row);
         let (_, acts) = self.forward(&input);
         acts.last().expect("output layer")[0] * self.target_std + self.target_mean
@@ -345,7 +514,9 @@ mod tests {
     #[test]
     fn handles_pmc_scale_inputs() {
         // Raw counts around 1e11 with energies around 1e2.
-        let x: Vec<Vec<f64>> = (1..50).map(|i| vec![1e11 * i as f64, 2e9 * i as f64]).collect();
+        let x: Vec<Vec<f64>> = (1..50)
+            .map(|i| vec![1e11 * i as f64, 2e9 * i as f64])
+            .collect();
         let y: Vec<f64> = (1..50).map(|i| 80.0 * i as f64).collect();
         let mut nn = NeuralNet::with_seed(6);
         nn.fit(&x, &y).unwrap();
@@ -378,6 +549,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at most two hidden layers")]
     fn rejects_three_hidden_layers() {
-        let _ = NeuralNet::new(NnParams { hidden_layers: 3, ..NnParams::default() }, 1);
+        let _ = NeuralNet::new(
+            NnParams {
+                hidden_layers: 3,
+                ..NnParams::default()
+            },
+            1,
+        );
     }
 }

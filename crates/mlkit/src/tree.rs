@@ -2,9 +2,7 @@
 //! limits, optional per-split feature subsampling (for the forest).
 
 use crate::model::{validate_training_set, ModelError, Regressor};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use pmca_stats::rng::{Rng, Xoshiro256pp};
 
 /// Tuning parameters of a regression tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,7 +17,11 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        TreeParams { max_depth: 12, min_samples_leaf: 2, features_per_split: None }
+        TreeParams {
+            max_depth: 12,
+            min_samples_leaf: 2,
+            features_per_split: None,
+        }
     }
 }
 
@@ -36,6 +38,25 @@ enum Node {
     },
 }
 
+/// One node of a fitted tree in flattened preorder (split, then the whole
+/// left subtree, then the whole right subtree) — the export/import
+/// representation used by the model registry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeSpec {
+    /// A terminal node predicting `value`.
+    Leaf {
+        /// Predicted target value.
+        value: f64,
+    },
+    /// An internal node routing `row[feature] <= threshold` left.
+    Split {
+        /// Feature (column) index tested.
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+    },
+}
+
 /// A CART regression tree.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RegressionTree {
@@ -48,7 +69,12 @@ pub struct RegressionTree {
 impl RegressionTree {
     /// Create an unfitted tree.
     pub fn new(params: TreeParams, seed: u64) -> Self {
-        RegressionTree { params, seed, root: None, width: 0 }
+        RegressionTree {
+            params,
+            seed,
+            root: None,
+            width: 0,
+        }
     }
 
     /// Depth of the fitted tree (`0` for a bare leaf).
@@ -87,7 +113,7 @@ impl RegressionTree {
         y: &[f64],
         indices: &[usize],
         depth: usize,
-        rng: &mut StdRng,
+        rng: &mut Xoshiro256pp,
     ) -> Node {
         let mean = indices.iter().map(|&i| y[i]).sum::<f64>() / indices.len() as f64;
         if depth >= self.params.max_depth
@@ -100,7 +126,7 @@ impl RegressionTree {
         let width = x[0].len();
         let mut candidates: Vec<usize> = (0..width).collect();
         if let Some(m) = self.params.features_per_split {
-            candidates.shuffle(rng);
+            rng.shuffle(&mut candidates);
             candidates.truncate(m.clamp(1, width));
         }
 
@@ -111,7 +137,11 @@ impl RegressionTree {
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
         for &feature in &candidates {
             let mut order: Vec<usize> = indices.to_vec();
-            order.sort_by(|&a, &b| x[a][feature].partial_cmp(&x[b][feature]).expect("NaN feature"));
+            order.sort_by(|&a, &b| {
+                x[a][feature]
+                    .partial_cmp(&x[b][feature])
+                    .expect("NaN feature")
+            });
             let mut left_sum = 0.0;
             let mut left_sq = 0.0;
             for (k, &i) in order.iter().enumerate().take(order.len() - 1) {
@@ -156,17 +186,109 @@ impl RegressionTree {
         }
     }
 
+    /// Export the fitted tree as a flat preorder node list plus the
+    /// training feature width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is unfitted.
+    pub fn export_nodes(&self) -> (usize, Vec<NodeSpec>) {
+        fn flatten(node: &Node, out: &mut Vec<NodeSpec>) {
+            match node {
+                Node::Leaf { value } => out.push(NodeSpec::Leaf { value: *value }),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    out.push(NodeSpec::Split {
+                        feature: *feature,
+                        threshold: *threshold,
+                    });
+                    flatten(left, out);
+                    flatten(right, out);
+                }
+            }
+        }
+        let mut nodes = Vec::new();
+        flatten(self.root.as_ref().expect("tree not fitted"), &mut nodes);
+        (self.width, nodes)
+    }
+
+    /// Rebuild a fitted tree from an exported preorder node list — the
+    /// inverse of [`RegressionTree::export_nodes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ShapeMismatch`] when the node list is empty,
+    /// truncated, has trailing nodes, or references a feature outside
+    /// `width`.
+    pub fn from_nodes(width: usize, nodes: &[NodeSpec]) -> Result<Self, ModelError> {
+        fn parse(nodes: &[NodeSpec], at: usize, width: usize) -> Result<(Node, usize), ModelError> {
+            match nodes.get(at) {
+                None => Err(ModelError::ShapeMismatch {
+                    detail: "truncated node list".into(),
+                }),
+                Some(NodeSpec::Leaf { value }) => Ok((Node::Leaf { value: *value }, at + 1)),
+                Some(NodeSpec::Split { feature, threshold }) => {
+                    if *feature >= width {
+                        return Err(ModelError::ShapeMismatch {
+                            detail: format!("split feature {feature} out of width {width}"),
+                        });
+                    }
+                    let (left, after_left) = parse(nodes, at + 1, width)?;
+                    let (right, after_right) = parse(nodes, after_left, width)?;
+                    Ok((
+                        Node::Split {
+                            feature: *feature,
+                            threshold: *threshold,
+                            left: Box::new(left),
+                            right: Box::new(right),
+                        },
+                        after_right,
+                    ))
+                }
+            }
+        }
+        if width == 0 {
+            return Err(ModelError::ShapeMismatch {
+                detail: "zero-width tree".into(),
+            });
+        }
+        let (root, consumed) = parse(nodes, 0, width)?;
+        if consumed != nodes.len() {
+            return Err(ModelError::ShapeMismatch {
+                detail: format!(
+                    "{} trailing nodes after the root subtree",
+                    nodes.len() - consumed
+                ),
+            });
+        }
+        Ok(RegressionTree {
+            params: TreeParams::default(),
+            seed: 0,
+            root: Some(root),
+            width,
+        })
+    }
+
     /// Fit on a subset of rows (used by bagging).
     ///
     /// # Errors
     ///
     /// Returns a [`ModelError`] for empty/ragged input or empty `indices`.
-    pub fn fit_indices(&mut self, x: &[Vec<f64>], y: &[f64], indices: &[usize]) -> Result<(), ModelError> {
+    pub fn fit_indices(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        indices: &[usize],
+    ) -> Result<(), ModelError> {
         let width = validate_training_set(x, y)?;
         if indices.is_empty() {
             return Err(ModelError::EmptyTrainingSet);
         }
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(self.seed);
         self.width = width;
         self.root = Some(self.build(x, y, indices, 0, &mut rng));
         Ok(())
@@ -185,8 +307,17 @@ impl Regressor for RegressionTree {
         loop {
             match node {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    node = if row[*feature] <= *threshold { left } else { right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -226,7 +357,10 @@ mod tests {
     fn depth_limit_is_respected() {
         let x: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..200).map(|i| (i as f64).sin() * 10.0).collect();
-        let params = TreeParams { max_depth: 3, ..TreeParams::default() };
+        let params = TreeParams {
+            max_depth: 3,
+            ..TreeParams::default()
+        };
         let mut t = RegressionTree::new(params, 1);
         t.fit(&x, &y).unwrap();
         assert!(t.depth() <= 3);
@@ -237,7 +371,10 @@ mod tests {
     fn min_leaf_size_is_respected() {
         let x: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..16).map(|i| i as f64).collect();
-        let params = TreeParams { min_samples_leaf: 8, ..TreeParams::default() };
+        let params = TreeParams {
+            min_samples_leaf: 8,
+            ..TreeParams::default()
+        };
         let mut t = RegressionTree::new(params, 1);
         t.fit(&x, &y).unwrap();
         assert!(t.leaf_count() <= 2);
@@ -259,9 +396,7 @@ mod tests {
     #[test]
     fn two_feature_split_picks_informative_feature() {
         // Feature 0 is noise; feature 1 carries the signal.
-        let x: Vec<Vec<f64>> = (0..60)
-            .map(|i| vec![(i % 3) as f64, i as f64])
-            .collect();
+        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![(i % 3) as f64, i as f64]).collect();
         let y: Vec<f64> = (0..60).map(|i| if i < 30 { 0.0 } else { 10.0 }).collect();
         let mut t = RegressionTree::new(TreeParams::default(), 1);
         t.fit(&x, &y).unwrap();
@@ -283,7 +418,10 @@ mod tests {
     fn rejects_empty_indices() {
         let (x, y) = step_data();
         let mut t = RegressionTree::new(TreeParams::default(), 1);
-        assert_eq!(t.fit_indices(&x, &y, &[]), Err(ModelError::EmptyTrainingSet));
+        assert_eq!(
+            t.fit_indices(&x, &y, &[]),
+            Err(ModelError::EmptyTrainingSet)
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl PmcVector {
     ///
     /// Panics if the event was not part of the collection request.
     pub fn get(&self, id: EventId) -> f64 {
-        *self.values.get(&id).unwrap_or_else(|| panic!("event {id} was not collected"))
+        *self
+            .values
+            .get(&id)
+            .unwrap_or_else(|| panic!("event {id} was not collected"))
     }
 
     /// Counts in the order of `ids`.
@@ -74,7 +77,10 @@ pub fn collect_with_repeats(
         let total: f64 = sweeps.samples.iter().map(|s| s[&id]).sum();
         values.insert(id, total / repeats);
     }
-    Ok(PmcVector { values, runs_used: sweeps.runs_used })
+    Ok(PmcVector {
+        values,
+        runs_used: sweeps.runs_used,
+    })
 }
 
 /// Raw repeated sweeps, one map per repetition — used by the
@@ -142,7 +148,11 @@ pub fn collect_sweeps(
         }
         samples.push(sweep);
     }
-    Ok(SweepSamples { events: dedup, samples, runs_used })
+    Ok(SweepSamples {
+        events: dedup,
+        samples,
+        runs_used,
+    })
 }
 
 #[cfg(test)]
@@ -183,7 +193,10 @@ mod tests {
     #[test]
     fn fixed_events_ride_along() {
         let mut m = machine();
-        let ids = m.catalog().ids(&["INSTR_RETIRED_ANY", "IDQ_MS_UOPS"]).unwrap();
+        let ids = m
+            .catalog()
+            .ids(&["INSTR_RETIRED_ANY", "IDQ_MS_UOPS"])
+            .unwrap();
         let v = collect_all(&mut m, &app(), &ids).unwrap();
         assert_eq!(v.runs_used, 1);
         assert!(v.get(ids[0]) > 1e9);
@@ -217,7 +230,10 @@ mod tests {
         let sweeps = collect_sweeps(&mut m, &app(), &ids, 5).unwrap();
         assert_eq!(sweeps.samples.len(), 5);
         let first = sweeps.samples[0][&ids[0]];
-        assert!(sweeps.samples.iter().any(|s| s[&ids[0]] != first), "no jitter visible");
+        assert!(
+            sweeps.samples.iter().any(|s| s[&ids[0]] != first),
+            "no jitter visible"
+        );
     }
 
     #[test]

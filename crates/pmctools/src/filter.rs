@@ -42,7 +42,11 @@ pub struct EventFilter {
 
 impl Default for EventFilter {
     fn default() -> Self {
-        EventFilter { low_count_threshold: 10.0, cv_threshold: 0.25, repeats: 3 }
+        EventFilter {
+            low_count_threshold: 10.0,
+            cv_threshold: 0.25,
+            repeats: 3,
+        }
     }
 }
 
@@ -86,7 +90,12 @@ impl EventFilter {
         }
         Ok(all
             .into_iter()
-            .map(|id| (id, best[id.0].unwrap_or(FilterOutcome::LowCount { mean: 0.0 })))
+            .map(|id| {
+                (
+                    id,
+                    best[id.0].unwrap_or(FilterOutcome::LowCount { mean: 0.0 }),
+                )
+            })
             .collect())
     }
 
@@ -152,7 +161,12 @@ mod tests {
         let mut m = Machine::new(PlatformSpec::intel_haswell(), 31);
         let probe = SyntheticApp::balanced("probe3", 5e9);
         let survivors = EventFilter::default().survivors(&mut m, &[&probe]).unwrap();
-        for name in ["INSTR_RETIRED_ANY", "IDQ_MS_UOPS", "L2_RQSTS_MISS", "ARITH_DIVIDER_COUNT"] {
+        for name in [
+            "INSTR_RETIRED_ANY",
+            "IDQ_MS_UOPS",
+            "L2_RQSTS_MISS",
+            "ARITH_DIVIDER_COUNT",
+        ] {
             let id = m.catalog().id(name).unwrap();
             assert!(survivors.contains(&id), "{name} was filtered out");
         }
@@ -164,7 +178,9 @@ mod tests {
         let light = SyntheticApp::balanced("light", 2e8).with_memory_intensity(0.01);
         let heavy = SyntheticApp::balanced("heavy", 8e9).with_memory_intensity(0.6);
         let solo = EventFilter::default().survivors(&mut m, &[&light]).unwrap();
-        let both = EventFilter::default().survivors(&mut m, &[&light, &heavy]).unwrap();
+        let both = EventFilter::default()
+            .survivors(&mut m, &[&light, &heavy])
+            .unwrap();
         assert!(both.len() >= solo.len());
     }
 }

@@ -40,6 +40,6 @@ pub mod multiplex;
 pub mod scheduler;
 
 pub use collector::{collect_all, PmcVector};
-pub use multiplex::Multiplexer;
 pub use filter::{EventFilter, FilterOutcome};
+pub use multiplex::Multiplexer;
 pub use scheduler::{schedule, CounterGroup, ScheduleError, PROGRAMMABLE_COUNTERS};

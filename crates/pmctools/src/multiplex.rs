@@ -19,8 +19,7 @@ use crate::scheduler::{schedule, ScheduleError};
 use pmca_cpusim::app::Application;
 use pmca_cpusim::events::EventId;
 use pmca_cpusim::Machine;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pmca_stats::rng::{Rng, Xoshiro256pp};
 use std::collections::HashMap;
 
 /// Configuration of the multiplexing collector.
@@ -37,7 +36,10 @@ pub struct Multiplexer {
 
 impl Default for Multiplexer {
     fn default() -> Self {
-        Multiplexer { extrapolation_noise_per_group: 0.02, seed: 0x4D55_5854 }
+        Multiplexer {
+            extrapolation_noise_per_group: 0.02,
+            seed: 0x4D55_5854,
+        }
     }
 }
 
@@ -61,7 +63,7 @@ impl Multiplexer {
         let record = machine.run(app);
         let pressure = groups.len().saturating_sub(1) as f64;
         let sigma = self.extrapolation_noise_per_group * pressure.sqrt();
-        let mut rng = StdRng::seed_from_u64(self.seed ^ machine.runs_executed());
+        let mut rng = Xoshiro256pp::seed_from_u64(self.seed ^ machine.runs_executed());
         let mut values = HashMap::new();
         let mut seen = std::collections::HashSet::new();
         for &id in events {
@@ -69,17 +71,14 @@ impl Multiplexer {
                 continue;
             }
             let truth = record.count(id);
-            let noise = 1.0 + sigma * standard_normal(&mut rng);
+            let noise = 1.0 + sigma * rng.standard_normal();
             values.insert(id, (truth * noise).max(0.0));
         }
-        Ok(PmcVector { values, runs_used: 1 })
+        Ok(PmcVector {
+            values,
+            runs_used: 1,
+        })
     }
-}
-
-fn standard_normal(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
 #[cfg(test)]
@@ -121,7 +120,9 @@ mod tests {
         let mut m = machine();
         let events = many_events(&m);
         let grouped = collect_all(&mut m, &app(), &events).unwrap();
-        let muxed = Multiplexer::default().collect(&mut m, &app(), &events).unwrap();
+        let muxed = Multiplexer::default()
+            .collect(&mut m, &app(), &events)
+            .unwrap();
         assert!(grouped.runs_used >= 4, "grouped used {}", grouped.runs_used);
         assert_eq!(muxed.runs_used, 1);
         assert_eq!(muxed.values.len(), grouped.values.len());
@@ -131,11 +132,18 @@ mod tests {
     fn estimates_track_truth_within_extrapolation_noise() {
         let mut m = machine();
         let events = many_events(&m);
-        let muxed = Multiplexer::default().collect(&mut m, &app(), &events).unwrap();
+        let muxed = Multiplexer::default()
+            .collect(&mut m, &app(), &events)
+            .unwrap();
         let grouped = collect_all(&mut m, &app(), &events).unwrap();
         for &id in &events {
             let rel = relative_difference(muxed.get(id), grouped.get(id));
-            assert!(rel < 0.25, "{id}: muxed {} vs grouped {}", muxed.get(id), grouped.get(id));
+            assert!(
+                rel < 0.25,
+                "{id}: muxed {} vs grouped {}",
+                muxed.get(id),
+                grouped.get(id)
+            );
         }
     }
 
@@ -145,9 +153,16 @@ mod tests {
         let mut m = machine();
         let events = m
             .catalog()
-            .ids(&["UOPS_EXECUTED_CORE", "MEM_INST_RETIRED_ALL_STORES", "IDQ_MS_UOPS", "L2_RQSTS_MISS"])
+            .ids(&[
+                "UOPS_EXECUTED_CORE",
+                "MEM_INST_RETIRED_ALL_STORES",
+                "IDQ_MS_UOPS",
+                "L2_RQSTS_MISS",
+            ])
             .unwrap();
-        let muxed = Multiplexer::default().collect(&mut m, &app(), &events).unwrap();
+        let muxed = Multiplexer::default()
+            .collect(&mut m, &app(), &events)
+            .unwrap();
         let grouped = collect_all(&mut m, &app(), &events).unwrap();
         for &id in &events {
             let rel = relative_difference(muxed.get(id), grouped.get(id));
@@ -158,9 +173,15 @@ mod tests {
     #[test]
     fn more_groups_more_error_on_average() {
         let mut m = machine();
-        let few = m.catalog().ids(&["UOPS_EXECUTED_CORE", "MEM_INST_RETIRED_ALL_STORES"]).unwrap();
+        let few = m
+            .catalog()
+            .ids(&["UOPS_EXECUTED_CORE", "MEM_INST_RETIRED_ALL_STORES"])
+            .unwrap();
         let many = many_events(&m);
-        let mux = Multiplexer { extrapolation_noise_per_group: 0.05, seed: 1 };
+        let mux = Multiplexer {
+            extrapolation_noise_per_group: 0.05,
+            seed: 1,
+        };
         // Average relative deviation of repeated collections against a
         // grouped reference.
         let mut err_few = 0.0;
@@ -184,7 +205,9 @@ mod tests {
     fn duplicate_requests_are_deduplicated() {
         let mut m = machine();
         let id = m.catalog().id("UOPS_EXECUTED_CORE").unwrap();
-        let muxed = Multiplexer::default().collect(&mut m, &app(), &[id, id]).unwrap();
+        let muxed = Multiplexer::default()
+            .collect(&mut m, &app(), &[id, id])
+            .unwrap();
         assert_eq!(muxed.values.len(), 1);
     }
 }

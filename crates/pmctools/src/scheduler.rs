@@ -57,7 +57,10 @@ impl Error for ScheduleError {}
 ///
 /// Returns [`ScheduleError`] if an event is unknown or inherently
 /// unschedulable.
-pub fn schedule(catalog: &EventCatalog, events: &[EventId]) -> Result<Vec<CounterGroup>, ScheduleError> {
+pub fn schedule(
+    catalog: &EventCatalog,
+    events: &[EventId],
+) -> Result<Vec<CounterGroup>, ScheduleError> {
     let mut seen = std::collections::HashSet::new();
     let mut programmable = Vec::new();
     for &id in events {
@@ -99,7 +102,10 @@ pub fn schedule(catalog: &EventCatalog, events: &[EventId]) -> Result<Vec<Counte
         groups.push(vec![id]);
     }
 
-    Ok(groups.into_iter().map(|events| CounterGroup { events }).collect())
+    Ok(groups
+        .into_iter()
+        .map(|events| CounterGroup { events })
+        .collect())
 }
 
 /// Whether `group ∪ {candidate}` is still simultaneously measurable.
@@ -217,7 +223,9 @@ mod tests {
     #[test]
     fn solo_events_get_their_own_run() {
         let cat = catalog(MicroArch::Haswell);
-        let ids = cat.ids(&["ARITH_DIVIDER_COUNT", "IDQ_MS_UOPS", "L2_RQSTS_MISS"]).unwrap();
+        let ids = cat
+            .ids(&["ARITH_DIVIDER_COUNT", "IDQ_MS_UOPS", "L2_RQSTS_MISS"])
+            .unwrap();
         let groups = schedule(&cat, &ids).unwrap();
         assert_eq!(groups.len(), 2);
         let solo_group = groups.iter().find(|g| g.events.contains(&ids[0])).unwrap();
@@ -244,7 +252,9 @@ mod tests {
     #[test]
     fn fixed_events_are_free() {
         let cat = catalog(MicroArch::Haswell);
-        let ids = cat.ids(&["INSTR_RETIRED_ANY", "CPU_CLK_UNHALTED_CORE"]).unwrap();
+        let ids = cat
+            .ids(&["INSTR_RETIRED_ANY", "CPU_CLK_UNHALTED_CORE"])
+            .unwrap();
         let groups = schedule(&cat, &ids).unwrap();
         assert!(groups.is_empty());
     }
@@ -262,7 +272,10 @@ mod tests {
     fn unknown_event_is_rejected() {
         let cat = catalog(MicroArch::Haswell);
         let bogus = EventId(99_999);
-        assert_eq!(schedule(&cat, &[bogus]), Err(ScheduleError::UnknownEvent(bogus)));
+        assert_eq!(
+            schedule(&cat, &[bogus]),
+            Err(ScheduleError::UnknownEvent(bogus))
+        );
     }
 
     #[test]
@@ -272,7 +285,10 @@ mod tests {
         let groups = schedule(&cat, &all).unwrap();
         validate(&cat, &all, &groups);
         let runs = groups.len();
-        assert!((38..=68).contains(&runs), "Haswell needs {runs} runs (paper: ≈53)");
+        assert!(
+            (38..=68).contains(&runs),
+            "Haswell needs {runs} runs (paper: ≈53)"
+        );
     }
 
     #[test]
@@ -282,7 +298,10 @@ mod tests {
         let groups = schedule(&cat, &all).unwrap();
         validate(&cat, &all, &groups);
         let runs = groups.len();
-        assert!((75..=125).contains(&runs), "Skylake needs {runs} runs (paper: ≈99)");
+        assert!(
+            (75..=125).contains(&runs),
+            "Skylake needs {runs} runs (paper: ≈99)"
+        );
     }
 
     #[test]
@@ -295,7 +314,10 @@ mod tests {
             .map(|(id, _)| id)
             .take(3)
             .collect();
-        assert!(pinned.len() >= 2, "catalog should contain bank-0 offcore events");
+        assert!(
+            pinned.len() >= 2,
+            "catalog should contain bank-0 offcore events"
+        );
         let groups = schedule(&cat, &pinned).unwrap();
         assert_eq!(groups.len(), pinned.len());
     }

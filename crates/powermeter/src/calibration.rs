@@ -43,8 +43,10 @@ pub fn calibrate(
         "reference load must be positive"
     );
     let truth = reference.read_watts(reference_load_w);
-    let mean_reading: f64 =
-        (0..samples).map(|_| meter.read_watts(reference_load_w)).sum::<f64>() / samples as f64;
+    let mean_reading: f64 = (0..samples)
+        .map(|_| meter.read_watts(reference_load_w))
+        .sum::<f64>()
+        / samples as f64;
     let correction = truth / mean_reading;
     meter.set_gain(meter.gain() * correction);
     correction

@@ -47,10 +47,19 @@ impl HclWattsUp {
     pub fn with_methodology(machine: &Machine, seed: u64, methodology: Methodology) -> Self {
         let spec = machine.spec();
         let mut meter = WattsUpPro::new(spec.idle_power_watts, seed);
-        calibrate(&mut meter, &ReferenceMeter::new(), spec.idle_power_watts + 80.0, 300);
+        calibrate(
+            &mut meter,
+            &ReferenceMeter::new(),
+            spec.idle_power_watts + 80.0,
+            300,
+        );
         let idle_samples = meter.sample_idle(60);
         let static_power_w = idle_samples.iter().sum::<f64>() / idle_samples.len() as f64;
-        HclWattsUp { meter, methodology, static_power_w }
+        HclWattsUp {
+            meter,
+            methodology,
+            static_power_w,
+        }
     }
 
     /// The measured static (idle) power of the platform, watts.
@@ -87,9 +96,10 @@ impl HclWattsUp {
             est.add(e);
             times.push(t);
         }
-        let ci_half_width = ConfidenceInterval::of_sample(est.observations(), self.methodology.confidence)
-            .map(|ci| ci.half_width)
-            .unwrap_or(0.0);
+        let ci_half_width =
+            ConfidenceInterval::of_sample(est.observations(), self.methodology.confidence)
+                .map(|ci| ci.half_width)
+                .unwrap_or(0.0);
         EnergyMeasurement {
             mean_joules: est.mean(),
             ci_half_width,
@@ -117,7 +127,11 @@ mod tests {
     fn static_power_estimate_is_close_to_truth() {
         let (machine, api) = setup();
         let truth = machine.spec().idle_power_watts;
-        assert!((api.static_power_w() - truth).abs() < 1.5, "{}", api.static_power_w());
+        assert!(
+            (api.static_power_w() - truth).abs() < 1.5,
+            "{}",
+            api.static_power_w()
+        );
     }
 
     #[test]
@@ -127,7 +141,11 @@ mod tests {
         let measured = api.measure_dynamic_energy(&mut machine, &app);
         let truth = machine.run(&app).dynamic_energy_joules;
         let rel = relative_difference(measured.mean_joules, truth);
-        assert!(rel < 0.08, "meter {m} vs truth {truth}: {rel}", m = measured.mean_joules);
+        assert!(
+            rel < 0.08,
+            "meter {m} vs truth {truth}: {rel}",
+            m = measured.mean_joules
+        );
     }
 
     #[test]
@@ -154,14 +172,21 @@ mod tests {
             .measure_dynamic_energy(&mut machine, &CompoundApp::pair(a, b))
             .mean_joules;
         let err = relative_difference(ea + eb, eab);
-        assert!(err < 0.05, "energy additivity violated: {ea}+{eb} vs {eab} ({err})");
+        assert!(
+            err < 0.05,
+            "energy additivity violated: {ea}+{eb} vs {eab} ({err})"
+        );
     }
 
     #[test]
     fn larger_problems_consume_more_energy() {
         let (mut machine, mut api) = setup();
-        let small = api.measure_dynamic_energy(&mut machine, &Dgemm::new(7_000)).mean_joules;
-        let large = api.measure_dynamic_energy(&mut machine, &Dgemm::new(14_000)).mean_joules;
+        let small = api
+            .measure_dynamic_energy(&mut machine, &Dgemm::new(7_000))
+            .mean_joules;
+        let large = api
+            .measure_dynamic_energy(&mut machine, &Dgemm::new(14_000))
+            .mean_joules;
         assert!(large > 4.0 * small, "small {small}, large {large}");
     }
 }

@@ -24,18 +24,33 @@ impl Methodology {
     /// The defaults used throughout the reproduction: 95% CI within 2.5%
     /// of the mean, between 3 and 15 runs.
     pub fn standard() -> Self {
-        Methodology { precision: 0.025, confidence: 0.95, min_runs: 3, max_runs: 15 }
+        Methodology {
+            precision: 0.025,
+            confidence: 0.95,
+            min_runs: 3,
+            max_runs: 15,
+        }
     }
 
     /// A faster variant for coarse sweeps and benchmarks: 5% precision,
     /// between 2 and 5 runs.
     pub fn quick() -> Self {
-        Methodology { precision: 0.05, confidence: 0.95, min_runs: 2, max_runs: 5 }
+        Methodology {
+            precision: 0.05,
+            confidence: 0.95,
+            min_runs: 2,
+            max_runs: 5,
+        }
     }
 
     /// Build a [`MeanEstimator`] configured with these parameters.
     pub fn estimator(&self) -> MeanEstimator {
-        MeanEstimator::new(self.precision, self.confidence, self.min_runs, self.max_runs)
+        MeanEstimator::new(
+            self.precision,
+            self.confidence,
+            self.min_runs,
+            self.max_runs,
+        )
     }
 
     /// Drive `observe` until the stopping rule is met and return the final

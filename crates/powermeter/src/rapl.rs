@@ -29,7 +29,10 @@ pub struct RaplSensor {
 
 impl Default for RaplSensor {
     fn default() -> Self {
-        RaplSensor { core_gain: 1.06, memory_capture: 0.55 }
+        RaplSensor {
+            core_gain: 1.06,
+            memory_capture: 0.55,
+        }
     }
 }
 
@@ -96,10 +99,14 @@ mod tests {
         // Pointer chasing moves a cache line every few instructions — the
         // DRAM-dominated case the internal model under-attributes.
         let mut m = machine();
-        let app = pmca_workloads::misc::MiscApp::new(pmca_workloads::misc::MiscKind::PointerChase, 1.0);
+        let app =
+            pmca_workloads::misc::MiscApp::new(pmca_workloads::misc::MiscKind::PointerChase, 1.0);
         let record = m.run(&app);
         let err = RaplSensor::default().relative_error(&record);
-        assert!(err < -0.05, "error {err} should be clearly negative for memory-bound work");
+        assert!(
+            err < -0.05,
+            "error {err} should be clearly negative for memory-bound work"
+        );
     }
 
     #[test]
@@ -109,7 +116,9 @@ mod tests {
         let mut m = machine();
         let app = SyntheticApp::balanced("sys", 1e10).with_memory_intensity(0.6);
         let sensor = RaplSensor::default();
-        let errors: Vec<f64> = (0..5).map(|_| sensor.relative_error(&m.run(&app))).collect();
+        let errors: Vec<f64> = (0..5)
+            .map(|_| sensor.relative_error(&m.run(&app)))
+            .collect();
         let mean = errors.iter().sum::<f64>() / errors.len() as f64;
         assert!(mean.abs() > 0.02, "bias should be visible, mean {mean}");
         for e in &errors {
@@ -121,7 +130,10 @@ mod tests {
     fn perfect_sensor_matches_truth() {
         let mut m = machine();
         let record = m.run(&SyntheticApp::balanced("perfect", 5e9));
-        let ideal = RaplSensor { core_gain: 1.0, memory_capture: 1.0 };
+        let ideal = RaplSensor {
+            core_gain: 1.0,
+            memory_capture: 1.0,
+        };
         let err = ideal.relative_error(&record);
         assert!(err.abs() < 1e-4, "{err}");
     }

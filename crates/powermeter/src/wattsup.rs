@@ -6,8 +6,7 @@
 //! recalibrates against a revenue-grade Yokogawa WT210.
 
 use pmca_cpusim::machine::RunRecord;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pmca_stats::rng::{Rng, Xoshiro256pp};
 
 /// Nominal sampling interval of the WattsUp Pro, seconds.
 pub const SAMPLE_INTERVAL_S: f64 = 1.0;
@@ -23,7 +22,7 @@ pub struct WattsUpPro {
     noise_rel: f64,
     /// Idle (static) power of the platform under the meter, watts.
     idle_power_w: f64,
-    rng: StdRng,
+    rng: Xoshiro256pp,
     samples_taken: u64,
 }
 
@@ -32,9 +31,15 @@ impl WattsUpPro {
     /// meter starts with a small deterministic gain error derived from the
     /// seed (instruments never arrive perfectly calibrated).
     pub fn new(idle_power_w: f64, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5747_5550); // "WUUP"
-        let gain = 1.0 + (rng.gen::<f64>() - 0.5) * 0.03;
-        WattsUpPro { gain, noise_rel: 0.012, idle_power_w, rng, samples_taken: 0 }
+        let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x5747_5550); // "WUUP"
+        let gain = 1.0 + (rng.next_f64() - 0.5) * 0.03;
+        WattsUpPro {
+            gain,
+            noise_rel: 0.012,
+            idle_power_w,
+            rng,
+            samples_taken: 0,
+        }
     }
 
     /// Current gain error (read by the calibration procedure).
@@ -70,7 +75,12 @@ impl WattsUpPro {
 
     /// Sample the meter over an idle platform for `n` seconds.
     pub fn sample_idle(&mut self, n: usize) -> Vec<f64> {
-        (0..n).map(|_| { let p = self.idle_power_w; self.read_watts(p) }).collect()
+        (0..n)
+            .map(|_| {
+                let p = self.idle_power_w;
+                self.read_watts(p)
+            })
+            .collect()
     }
 
     /// Sample one application run at the meter's 1 Hz cadence (at least
@@ -93,9 +103,7 @@ impl WattsUpPro {
     }
 
     fn standard_normal(&mut self) -> f64 {
-        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.rng.gen();
-        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        self.rng.standard_normal()
     }
 }
 
@@ -153,7 +161,10 @@ mod tests {
         let gain = m.gain();
         let n = 3000;
         let mean: f64 = (0..n).map(|_| m.read_watts(100.0)).sum::<f64>() / n as f64;
-        assert!((mean - 100.0 * gain).abs() < 0.5, "mean {mean}, gain {gain}");
+        assert!(
+            (mean - 100.0 * gain).abs() < 0.5,
+            "mean {mean}, gain {gain}"
+        );
     }
 
     #[test]
@@ -198,7 +209,11 @@ mod tests {
         for _ in 0..10_000 {
             m.read_watts(80.0);
         }
-        assert!((m.gain() - g0).abs() < 0.01, "drifted from {g0} to {}", m.gain());
+        assert!(
+            (m.gain() - g0).abs() < 0.01,
+            "drifted from {g0} to {}",
+            m.gain()
+        );
     }
 
     #[test]

@@ -1,0 +1,437 @@
+//! In-repo stand-in for the external `proptest` crate.
+//!
+//! The workspace must build and test **offline**, so it cannot fetch
+//! `proptest` from a registry. This crate implements the subset of the
+//! proptest API that the workspace's property tests actually use — the
+//! [`proptest!`] macro, range/tuple/`prop_map`/collection strategies,
+//! `prop_assert*`/`prop_assume!`, and `ProptestConfig::with_cases` — on
+//! top of the seeded generators in `pmca_stats::rng`.
+//!
+//! Semantics differ from the real crate in two deliberate ways:
+//!
+//! * cases are drawn from a stream seeded by the *test name*, so every
+//!   run explores the same inputs (fully reproducible, no regression
+//!   files needed);
+//! * there is no shrinking: a failing case panics with the sampled
+//!   values' debug representation instead of a minimised counterexample.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pmca_stats::rng::Xoshiro256pp;
+use std::ops::Range;
+
+/// The per-case random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(Xoshiro256pp);
+
+impl TestRng {
+    /// Deterministic stream for a named test.
+    pub fn for_test(test_name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(Xoshiro256pp::seed_from_u64(h))
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut Xoshiro256pp {
+        &mut self.0
+    }
+}
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of cases sampled per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A source of values for one property argument.
+///
+/// Unlike the real crate there is no value tree: a strategy just samples.
+pub trait Strategy {
+    /// The type of sampled values.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Combinators available on every sized strategy.
+pub trait StrategyExt: Strategy + Sized {
+    /// Transform sampled values with `f` (the real crate's `prop_map`).
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + Sized> StrategyExt for S {}
+
+/// The strategy returned by [`StrategyExt::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        use pmca_stats::rng::Rng;
+        rng.rng().gen_range_f64(self.start, self.end)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                use pmca_stats::rng::Rng;
+                let lo = self.start as u128;
+                let hi = self.end as u128;
+                assert!(lo < hi, "empty integer range");
+                let span = (hi - lo) as u64;
+                let v = u128::from(rng.rng().next_u64() % span) + lo;
+                v as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// A strategy yielding a fixed value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (built by [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        use pmca_stats::rng::Rng;
+        let i = rng.rng().gen_range_usize(0, self.options.len());
+        self.options[i].sample(rng)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Anything usable as the size argument of [`vec`]: an exact length
+    /// or a half-open range of lengths.
+    pub trait SizeRange {
+        /// Draw a concrete length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            use pmca_stats::rng::Rng;
+            rng.rng().gen_range_usize(self.start, self.end)
+        }
+    }
+
+    /// A strategy for `Vec<T>` with element strategy `element` and a
+    /// length drawn from `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// A strategy producing `true` or `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            use pmca_stats::rng::Rng;
+            rng.rng().next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, StrategyExt, TestRng, Union,
+    };
+}
+
+/// Define property tests over sampled inputs.
+///
+/// Supports the real crate's surface shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_property(x in 0.0f64..1.0, n in 1usize..10) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                // A closure per case so `prop_assume!` can skip via `return`.
+                let mut __case_fn = move || $body;
+                __case_fn();
+            }
+        }
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+}
+
+/// Assert inside a property body (aborts the whole test on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when its inputs don't meet a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice between strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($strategy)),+])
+    };
+}
+
+/// Box a strategy for use in a [`Union`] (used by [`prop_oneof!`]; a plain
+/// function so the element type is inferred without cast annotations).
+pub fn boxed<S: Strategy + 'static>(strategy: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(strategy)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_within_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..500 {
+            let f = (0.5f64..2.0).sample(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+            let u = (3usize..9).sample(&mut rng);
+            assert!((3..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_honours_size_range() {
+        let mut rng = TestRng::for_test("vec");
+        for _ in 0..200 {
+            let v = collection::vec(0.0f64..1.0, 2..5).sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+        let fixed = collection::vec(0u32..3, 7usize).sample(&mut rng);
+        assert_eq!(fixed.len(), 7);
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let mut rng = TestRng::for_test("map");
+        let s = (1u32..5).prop_map(|x| x * 10);
+        for _ in 0..50 {
+            let v = s.sample(&mut rng);
+            assert!(v >= 10 && v < 50 && v % 10 == 0);
+        }
+    }
+
+    #[test]
+    fn oneof_uses_every_alternative() {
+        let mut rng = TestRng::for_test("oneof");
+        let s = prop_oneof![(0.0f64..1.0), (10.0f64..11.0)];
+        let (mut low, mut high) = (0, 0);
+        for _ in 0..200 {
+            if s.sample(&mut rng) < 5.0 {
+                low += 1;
+            } else {
+                high += 1;
+            }
+        }
+        assert!(low > 50 && high > 50, "low {low}, high {high}");
+    }
+
+    #[test]
+    fn bool_any_produces_both() {
+        let mut rng = TestRng::for_test("bool");
+        let values: Vec<bool> = (0..100)
+            .map(|_| crate::bool::ANY.sample(&mut rng))
+            .collect();
+        assert!(values.iter().any(|&b| b) && values.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_test_name() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        assert_eq!((0.0f64..1.0).sample(&mut a), (0.0f64..1.0).sample(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_samples_and_asserts(x in 1.0f64..2.0, n in 1usize..4) {
+            prop_assume!(n > 0);
+            prop_assert!(x >= 1.0 && x < 2.0);
+            prop_assert_eq!(n.min(3), n);
+        }
+    }
+}

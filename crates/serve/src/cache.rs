@@ -1,0 +1,201 @@
+//! Run cache: memoised simulator collection runs.
+//!
+//! A serving deployment answers many queries about the same applications.
+//! Collecting PMCs for an application is the expensive part (a full
+//! simulated run), and for a fixed (application spec, platform spec,
+//! seed, event set) the simulator is deterministic — so the counts can be
+//! memoised. [`RunCache`] does exactly that, with FIFO eviction and
+//! hit/miss counters so the STATS command can report cache effectiveness.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: everything that determines a collection run's outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    /// Application fingerprint — the canonical workload spec string
+    /// (e.g. `"dgemm:12000"` or `"dgemm:9000;fft:23000"`).
+    pub app: String,
+    /// Platform name the run executed on.
+    pub platform: String,
+    /// Simulator seed.
+    pub seed: u64,
+    /// Event names collected, in collection order.
+    pub events: Vec<String>,
+}
+
+/// Thread-safe memo of collection runs with FIFO eviction.
+#[derive(Debug)]
+pub struct RunCache {
+    entries: Mutex<CacheState>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    map: HashMap<RunKey, Arc<Vec<f64>>>,
+    order: VecDeque<RunKey>,
+}
+
+impl RunCache {
+    /// A cache holding at most `capacity` runs (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "run cache capacity must be positive");
+        RunCache {
+            entries: Mutex::new(CacheState::default()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `key`, counting a hit or a miss.
+    pub fn get(&self, key: &RunKey) -> Option<Arc<Vec<f64>>> {
+        let state = self.entries.lock().expect("run cache poisoned");
+        match state.map.get(key) {
+            Some(counts) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(counts))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a run result, evicting the oldest entry when full. Inserting
+    /// an existing key refreshes its value without growing the cache.
+    pub fn insert(&self, key: RunKey, counts: Vec<f64>) -> Arc<Vec<f64>> {
+        let counts = Arc::new(counts);
+        let mut state = self.entries.lock().expect("run cache poisoned");
+        if state.map.insert(key.clone(), Arc::clone(&counts)).is_none() {
+            state.order.push_back(key);
+            if state.order.len() > self.capacity {
+                if let Some(oldest) = state.order.pop_front() {
+                    state.map.remove(&oldest);
+                }
+            }
+        }
+        counts
+    }
+
+    /// Look up `key`, computing and caching on a miss. `compute` may fail;
+    /// failures are not cached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error.
+    pub fn get_or_compute<E>(
+        &self,
+        key: &RunKey,
+        compute: impl FnOnce() -> Result<Vec<f64>, E>,
+    ) -> Result<Arc<Vec<f64>>, E> {
+        if let Some(found) = self.get(key) {
+            return Ok(found);
+        }
+        Ok(self.insert(key.clone(), compute()?))
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached runs.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("run cache poisoned").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(app: &str) -> RunKey {
+        RunKey {
+            app: app.to_string(),
+            platform: "skylake".to_string(),
+            seed: 7,
+            events: vec!["A".to_string(), "B".to_string()],
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_counters_track_lookups() {
+        let cache = RunCache::new(4);
+        assert!(cache.get(&key("dgemm:9000")).is_none());
+        cache.insert(key("dgemm:9000"), vec![1.0, 2.0]);
+        let found = cache.get(&key("dgemm:9000")).unwrap();
+        assert_eq!(*found, vec![1.0, 2.0]);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = RunCache::new(4);
+        cache.insert(key("dgemm:9000"), vec![1.0]);
+        let mut other_seed = key("dgemm:9000");
+        other_seed.seed = 8;
+        assert!(cache.get(&other_seed).is_none());
+        let mut other_events = key("dgemm:9000");
+        other_events.events = vec!["A".to_string()];
+        assert!(cache.get(&other_events).is_none());
+    }
+
+    #[test]
+    fn fifo_eviction_caps_the_size() {
+        let cache = RunCache::new(2);
+        cache.insert(key("a"), vec![1.0]);
+        cache.insert(key("b"), vec![2.0]);
+        cache.insert(key("c"), vec![3.0]);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key("a")).is_none(), "oldest entry evicted");
+        assert!(cache.get(&key("b")).is_some());
+        assert!(cache.get(&key("c")).is_some());
+    }
+
+    #[test]
+    fn get_or_compute_runs_once_per_key() {
+        let cache = RunCache::new(4);
+        let mut calls = 0;
+        for _ in 0..3 {
+            let counts = cache
+                .get_or_compute(&key("fft:23000"), || {
+                    calls += 1;
+                    Ok::<_, String>(vec![9.0])
+                })
+                .unwrap();
+            assert_eq!(*counts, vec![9.0]);
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn failed_computations_are_not_cached() {
+        let cache = RunCache::new(4);
+        let err = cache.get_or_compute(&key("bad"), || Err::<Vec<f64>, _>("boom".to_string()));
+        assert_eq!(err.unwrap_err(), "boom");
+        assert!(cache.is_empty());
+    }
+}

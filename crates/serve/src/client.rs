@@ -1,0 +1,275 @@
+//! Blocking line-protocol client.
+//!
+//! Thin convenience wrapper over `TcpStream`: encodes [`Request`]s,
+//! reads reply lines, and parses them back into typed results. Used by
+//! the `slope-pmc query` subcommand, the round-trip integration test,
+//! and the loadgen bench binary.
+
+use crate::engine::Estimate;
+use crate::protocol::{parse_estimate_reply, parse_ok_fields, Request};
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket failure (including the server closing the connection).
+    Io(io::Error),
+    /// The server replied `ERR ...`, or the reply did not parse.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(detail) => write!(f, "{detail}"),
+        }
+    }
+}
+
+impl Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to a serving endpoint.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `"127.0.0.1:7771"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        // Request/reply ping-pong: Nagle + delayed ACK would add tens of
+        // milliseconds per round trip.
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Send one raw request line and read one reply line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Io`] on socket failure or a closed
+    /// connection.
+    pub fn send_line(&mut self, line: &str) -> Result<String, ClientError> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        self.read_reply_line()
+    }
+
+    /// Send several request lines back-to-back before reading any reply
+    /// (pipelining), then read exactly one reply line per request. Cuts
+    /// per-request round trips under load. Not valid for `MODELS`, whose
+    /// reply spans multiple lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Io`] on socket failure or a closed
+    /// connection.
+    pub fn send_pipelined(&mut self, lines: &[String]) -> Result<Vec<String>, ClientError> {
+        let mut buffer = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+        for line in lines {
+            buffer.push_str(line);
+            buffer.push('\n');
+        }
+        self.writer.write_all(buffer.as_bytes())?;
+        self.writer.flush()?;
+        (0..lines.len()).map(|_| self.read_reply_line()).collect()
+    }
+
+    fn read_reply_line(&mut self) -> Result<String, ClientError> {
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Ok(reply.trim_end().to_string())
+    }
+
+    /// Estimate from named PMC counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Protocol`] with the server's message on an
+    /// `ERR` reply.
+    pub fn estimate(
+        &mut self,
+        platform: &str,
+        counts: &[(String, f64)],
+    ) -> Result<Estimate, ClientError> {
+        let request = Request::Estimate {
+            platform: platform.to_string(),
+            counts: counts.to_vec(),
+        };
+        let reply = self.send_line(&request.to_line())?;
+        parse_estimate_reply(&reply).map_err(ClientError::Protocol)
+    }
+
+    /// Estimate a whole application by workload spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Protocol`] with the server's message on an
+    /// `ERR` reply.
+    pub fn estimate_app(&mut self, platform: &str, app: &str) -> Result<Estimate, ClientError> {
+        let request = Request::EstimateApp {
+            platform: platform.to_string(),
+            app: app.to_string(),
+        };
+        let reply = self.send_line(&request.to_line())?;
+        parse_estimate_reply(&reply).map_err(ClientError::Protocol)
+    }
+
+    /// Train an online model server-side; returns the new version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Protocol`] with the server's message on an
+    /// `ERR` reply.
+    pub fn train(
+        &mut self,
+        platform: &str,
+        pmcs: &[String],
+        apps: &[String],
+    ) -> Result<u32, ClientError> {
+        let request = Request::Train {
+            platform: platform.to_string(),
+            pmcs: pmcs.to_vec(),
+            apps: apps.to_vec(),
+        };
+        let reply = self.send_line(&request.to_line())?;
+        let fields = parse_ok_fields(&reply).map_err(ClientError::Protocol)?;
+        fields
+            .iter()
+            .find(|(k, _)| *k == "version")
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("malformed TRAIN reply {reply:?}")))
+    }
+
+    /// List registered models (one line per version).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Protocol`] on a malformed listing.
+    pub fn models(&mut self) -> Result<Vec<String>, ClientError> {
+        let header = self.send_line(&Request::Models.to_line())?;
+        let fields = parse_ok_fields(&header).map_err(ClientError::Protocol)?;
+        let count: usize = fields
+            .iter()
+            .find(|(k, _)| *k == "count")
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("malformed MODELS reply {header:?}")))?;
+        (0..count).map(|_| self.read_reply_line()).collect()
+    }
+
+    /// Fetch service counters as `(key, value)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Protocol`] on a malformed reply.
+    pub fn stats(&mut self) -> Result<Vec<(String, String)>, ClientError> {
+        let reply = self.send_line(&Request::Stats.to_line())?;
+        let fields = parse_ok_fields(&reply).map_err(ClientError::Protocol)?;
+        Ok(fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect())
+    }
+
+    /// Politely close the connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Io`] if the goodbye could not be exchanged.
+    pub fn quit(mut self) -> Result<(), ClientError> {
+        self.send_line(&Request::Quit.to_line())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Server;
+    use crate::service::EnergyService;
+    use pmca_mlkit::export::ModelParams;
+    use std::sync::Arc;
+
+    fn running_server() -> Server {
+        let service = Arc::new(EnergyService::new(2, 16, 7));
+        service.register(
+            "skylake",
+            "online",
+            vec!["A".to_string(), "B".to_string()],
+            0.0,
+            10,
+            ModelParams::Linear {
+                coefficients: vec![2.0, 3.0],
+                intercept: 0.0,
+            },
+        );
+        Server::start(service, "127.0.0.1:0").unwrap()
+    }
+
+    #[test]
+    fn typed_calls_round_trip() {
+        let server = running_server();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let estimate = client
+            .estimate(
+                "skylake",
+                &[("A".to_string(), 10.0), ("B".to_string(), 1.0)],
+            )
+            .unwrap();
+        assert_eq!(estimate.joules, 23.0);
+        assert_eq!(estimate.version, 1);
+
+        let models = client.models().unwrap();
+        assert_eq!(models.len(), 1);
+        assert!(models[0].contains("skylake online v1"));
+
+        let stats = client.stats().unwrap();
+        assert!(stats.iter().any(|(k, v)| k == "served" && v == "1"));
+        client.quit().unwrap();
+    }
+
+    #[test]
+    fn server_errors_become_protocol_errors() {
+        let server = running_server();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let err = client
+            .estimate("skylake", &[("X".to_string(), 1.0)])
+            .unwrap_err();
+        assert!(
+            matches!(err, ClientError::Protocol(ref m) if m.contains("no model")),
+            "{err}"
+        );
+        let err = client
+            .train(
+                "skylake",
+                &["NOT_AN_EVENT".to_string()],
+                &["dgemm:9000".to_string()],
+            )
+            .unwrap_err();
+        assert!(matches!(err, ClientError::Protocol(_)), "{err}");
+    }
+}

@@ -1,0 +1,400 @@
+//! Inference engine: a fixed pool of worker threads answering
+//! "PMC vector → dynamic energy" requests.
+//!
+//! Workers are plain `std::thread`s pulling jobs off a shared `mpsc`
+//! channel (no external executor). Each worker keeps its own cache of
+//! instantiated predictors keyed by (model key, version), so a hot model
+//! is deserialised once per worker rather than once per request. Every
+//! estimate carries a 95 % prediction half-width derived from the model's
+//! training residuals via the Student-t critical value — the same
+//! machinery the measurement methodology uses for energy CIs.
+
+use crate::registry::StoredModel;
+use pmca_mlkit::Regressor;
+use pmca_stats::confidence::t_critical;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// Confidence level of served prediction intervals.
+const CONFIDENCE: f64 = 0.95;
+
+/// One answered estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// Predicted dynamic energy, joules (clamped non-negative).
+    pub joules: f64,
+    /// Half-width of the 95 % prediction interval, joules. Zero when the
+    /// model recorded no residual spread.
+    pub ci_half_width: f64,
+    /// Family of the model that answered (`"online"`, `"forest"`, …).
+    pub family: String,
+    /// Registry version of the model that answered.
+    pub version: u32,
+}
+
+/// Why a request could not be answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The PMC vector width does not match the model.
+    Shape {
+        /// Features the model expects.
+        expected: usize,
+        /// Features the request carried.
+        got: usize,
+    },
+    /// A count was NaN, infinite, or negative.
+    BadCount,
+    /// The stored parameters failed to instantiate.
+    Model(String),
+    /// The engine is shutting down.
+    Stopped,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Shape { expected, got } => {
+                write!(f, "model expects {expected} counts, request has {got}")
+            }
+            EngineError::BadCount => write!(f, "counts must be finite and non-negative"),
+            EngineError::Model(detail) => write!(f, "model error: {detail}"),
+            EngineError::Stopped => write!(f, "inference engine stopped"),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+struct Job {
+    model: Arc<StoredModel>,
+    counts: Vec<f64>,
+    /// Position in the submitting batch (0 for single requests).
+    index: usize,
+    reply: mpsc::Sender<(usize, Result<Estimate, EngineError>)>,
+}
+
+/// Fixed worker-thread pool serving energy estimates.
+pub struct InferenceEngine {
+    sender: Option<mpsc::Sender<Job>>,
+    handles: Vec<thread::JoinHandle<()>>,
+    served: Arc<AtomicU64>,
+    errors: Arc<AtomicU64>,
+    workers: usize,
+}
+
+impl fmt::Debug for InferenceEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InferenceEngine")
+            .field("workers", &self.workers)
+            .field("served", &self.served())
+            .field("errors", &self.errors())
+            .finish()
+    }
+}
+
+impl InferenceEngine {
+    /// Start an engine with `workers` threads (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "inference engine needs at least one worker");
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let served = Arc::new(AtomicU64::new(0));
+        let errors = Arc::new(AtomicU64::new(0));
+        let handles = (0..workers)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let served = Arc::clone(&served);
+                let errors = Arc::clone(&errors);
+                thread::Builder::new()
+                    .name(format!("pmca-infer-{i}"))
+                    .spawn(move || worker_loop(&receiver, &served, &errors))
+                    .expect("spawn inference worker")
+            })
+            .collect();
+        InferenceEngine {
+            sender: Some(sender),
+            handles,
+            served,
+            errors,
+            workers,
+        }
+    }
+
+    /// Answer one request on the pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] for malformed requests or a stopped engine.
+    pub fn estimate(
+        &self,
+        model: &Arc<StoredModel>,
+        counts: Vec<f64>,
+    ) -> Result<Estimate, EngineError> {
+        let Some(sender) = &self.sender else {
+            return Err(EngineError::Stopped);
+        };
+        // One reply channel per calling thread, reused across requests:
+        // this is the serving hot path, so no per-request channel
+        // allocation. Exactly one reply is outstanding per send.
+        thread_local! {
+            #[allow(clippy::type_complexity)]
+            static REPLY: (
+                mpsc::Sender<(usize, Result<Estimate, EngineError>)>,
+                mpsc::Receiver<(usize, Result<Estimate, EngineError>)>,
+            ) = mpsc::channel();
+        }
+        REPLY.with(|(reply, receiver)| {
+            let job = Job {
+                model: Arc::clone(model),
+                counts,
+                index: 0,
+                reply: reply.clone(),
+            };
+            sender.send(job).map_err(|_| EngineError::Stopped)?;
+            receiver
+                .recv()
+                .map(|(_, result)| result)
+                .unwrap_or(Err(EngineError::Stopped))
+        })
+    }
+
+    /// Answer a batch of requests against one model. All rows are enqueued
+    /// before any reply is awaited, so they spread across the pool and a
+    /// batch costs one channel round trip rather than one per row; the
+    /// result order matches the input order.
+    pub fn estimate_batch(
+        &self,
+        model: &Arc<StoredModel>,
+        rows: Vec<Vec<f64>>,
+    ) -> Vec<Result<Estimate, EngineError>> {
+        let total = rows.len();
+        let mut out: Vec<Result<Estimate, EngineError>> =
+            (0..total).map(|_| Err(EngineError::Stopped)).collect();
+        let Some(sender) = &self.sender else {
+            return out;
+        };
+        let (reply, receiver) = mpsc::channel();
+        let mut enqueued = 0;
+        for (index, counts) in rows.into_iter().enumerate() {
+            let job = Job {
+                model: Arc::clone(model),
+                counts,
+                index,
+                reply: reply.clone(),
+            };
+            if sender.send(job).is_ok() {
+                enqueued += 1;
+            }
+        }
+        drop(reply);
+        for _ in 0..enqueued {
+            let Ok((index, result)) = receiver.recv() else {
+                break;
+            };
+            out[index] = result;
+        }
+        out
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Requests answered successfully.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered with an error.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for InferenceEngine {
+    fn drop(&mut self) {
+        // Closing the channel lets every worker's recv() fail and exit.
+        self.sender.take();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Per-worker predictor cache. Keyed by the `Arc` allocation address of
+/// the stored model — no per-request key cloning; the held `Arc` keeps
+/// the address valid for the cache's lifetime.
+type PredictorCache = HashMap<usize, (Arc<StoredModel>, Box<dyn Regressor + Send + Sync>)>;
+
+fn worker_loop(receiver: &Mutex<mpsc::Receiver<Job>>, served: &AtomicU64, errors: &AtomicU64) {
+    let mut predictors: PredictorCache = HashMap::new();
+    loop {
+        let job = {
+            let guard = receiver.lock().expect("inference queue poisoned");
+            guard.recv()
+        };
+        let Ok(job) = job else { return };
+        let outcome = answer(&job, &mut predictors);
+        if outcome.is_ok() {
+            served.fetch_add(1, Ordering::Relaxed);
+        } else {
+            errors.fetch_add(1, Ordering::Relaxed);
+        }
+        // A dropped reply receiver just means the client gave up.
+        let _ = job.reply.send((job.index, outcome));
+    }
+}
+
+fn answer(job: &Job, predictors: &mut PredictorCache) -> Result<Estimate, EngineError> {
+    let model = &job.model;
+    let width = model.params.width();
+    if job.counts.len() != width {
+        return Err(EngineError::Shape {
+            expected: width,
+            got: job.counts.len(),
+        });
+    }
+    if job.counts.iter().any(|c| !c.is_finite() || *c < 0.0) {
+        return Err(EngineError::BadCount);
+    }
+    let cache_key = Arc::as_ptr(model) as usize;
+    if !predictors.contains_key(&cache_key) {
+        let predictor = model
+            .params
+            .instantiate()
+            .map_err(|e| EngineError::Model(e.to_string()))?;
+        predictors.insert(cache_key, (Arc::clone(model), predictor));
+    }
+    let (_, predictor) = predictors.get(&cache_key).expect("just inserted");
+    let joules = predictor.predict_one(&job.counts).max(0.0);
+    Ok(Estimate {
+        joules,
+        ci_half_width: prediction_half_width(model),
+        family: model.key.family.clone(),
+        version: model.version,
+    })
+}
+
+/// 95 % prediction half-width from the model's training residuals.
+fn prediction_half_width(model: &StoredModel) -> f64 {
+    if model.residual_std <= 0.0 || model.training_rows == 0 {
+        return 0.0;
+    }
+    let df = model
+        .training_rows
+        .saturating_sub(model.params.width())
+        .max(1);
+    t_critical(df, CONFIDENCE) * model.residual_std
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use pmca_mlkit::export::ModelParams;
+
+    fn registered(coeffs: &[f64], residual_std: f64, rows: usize) -> Arc<StoredModel> {
+        let mut registry = Registry::new();
+        let names: Vec<String> = (0..coeffs.len()).map(|i| format!("E{i}")).collect();
+        registry.register(
+            "skylake",
+            "online",
+            names,
+            residual_std,
+            rows,
+            ModelParams::Linear {
+                coefficients: coeffs.to_vec(),
+                intercept: 0.0,
+            },
+        )
+    }
+
+    #[test]
+    fn estimates_match_the_model_arithmetic() {
+        let engine = InferenceEngine::new(2);
+        let model = registered(&[2.0, 0.5], 0.0, 20);
+        let estimate = engine.estimate(&model, vec![10.0, 4.0]).unwrap();
+        assert!((estimate.joules - 22.0).abs() < 1e-12);
+        assert_eq!(estimate.ci_half_width, 0.0);
+        assert_eq!(estimate.family, "online");
+        assert_eq!(estimate.version, 1);
+        assert_eq!(engine.served(), 1);
+        assert_eq!(engine.errors(), 0);
+    }
+
+    #[test]
+    fn prediction_interval_uses_student_t() {
+        let model = registered(&[1.0, 1.0], 2.0, 22);
+        // df = 22 - 2 = 20.
+        let expected = t_critical(20, 0.95) * 2.0;
+        assert!((prediction_half_width(&model) - expected).abs() < 1e-12);
+        let engine = InferenceEngine::new(1);
+        let estimate = engine.estimate(&model, vec![1.0, 1.0]).unwrap();
+        assert!((estimate.ci_half_width - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_and_counted() {
+        let engine = InferenceEngine::new(1);
+        let model = registered(&[1.0, 1.0], 0.0, 10);
+        assert_eq!(
+            engine.estimate(&model, vec![1.0]).unwrap_err(),
+            EngineError::Shape {
+                expected: 2,
+                got: 1
+            }
+        );
+        assert_eq!(
+            engine.estimate(&model, vec![1.0, f64::NAN]).unwrap_err(),
+            EngineError::BadCount
+        );
+        assert_eq!(
+            engine.estimate(&model, vec![1.0, -2.0]).unwrap_err(),
+            EngineError::BadCount
+        );
+        assert_eq!(engine.errors(), 3);
+        assert_eq!(engine.served(), 0);
+    }
+
+    #[test]
+    fn batches_preserve_order_across_workers() {
+        let engine = InferenceEngine::new(4);
+        let model = registered(&[1.0], 0.0, 10);
+        let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![f64::from(i)]).collect();
+        let answers = engine.estimate_batch(&model, rows);
+        assert_eq!(answers.len(), 64);
+        for (i, answer) in answers.iter().enumerate() {
+            assert!((answer.as_ref().unwrap().joules - i as f64).abs() < 1e-12);
+        }
+        assert_eq!(engine.served(), 64);
+    }
+
+    #[test]
+    fn negative_predictions_are_clamped_to_zero() {
+        // An imported generic linear model may carry a negative intercept.
+        let mut registry = Registry::new();
+        let model = registry.register(
+            "skylake",
+            "linear",
+            vec!["E0".to_string()],
+            0.0,
+            10,
+            ModelParams::Linear {
+                coefficients: vec![1.0],
+                intercept: -100.0,
+            },
+        );
+        let engine = InferenceEngine::new(1);
+        assert_eq!(engine.estimate(&model, vec![1.0]).unwrap().joules, 0.0);
+    }
+}

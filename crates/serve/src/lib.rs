@@ -1,0 +1,59 @@
+//! Online energy-estimation serving for the SLOPE-PMC reproduction.
+//!
+//! The paper's Class C result is a *deployable* model: ≤ 4 PMCs that fit
+//! one run of the PMU, so dynamic energy can be estimated live. This
+//! crate turns that into a serving subsystem:
+//!
+//! - [`registry`] — a versioned store of trained model artifacts keyed by
+//!   (platform, PMC set, model family), persisted as plain text under
+//!   `results/registry/`;
+//! - [`engine`] — a fixed pool of worker threads answering "PMC vector →
+//!   dynamic energy (J) ± 95 % prediction interval" requests;
+//! - [`cache`] — a memo of simulator collection runs keyed by
+//!   (application fingerprint, platform, seed, event set), with hit/miss
+//!   counters;
+//! - [`service`] — the façade combining the above with the simulated
+//!   platforms (training, counter-level and app-level estimation);
+//! - [`protocol`] / [`server`] / [`client`] — a line protocol over
+//!   `std::net::TcpListener` (`ESTIMATE`, `ESTIMATE-APP`, `TRAIN`,
+//!   `MODELS`, `STATS`, `QUIT`) plus a blocking client.
+//!
+//! Everything is `std`-only — threads and channels, no external runtime.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmca_serve::{EnergyService, Server, Client};
+//! use std::sync::Arc;
+//!
+//! let service = Arc::new(EnergyService::new(2, 64, 42));
+//! let pmcs: Vec<String> = ["UOPS_EXECUTED_CORE", "FP_ARITH_INST_RETIRED_DOUBLE"]
+//!     .iter().map(|s| s.to_string()).collect();
+//! let apps: Vec<String> =
+//!     (0..8).map(|i| format!("dgemm:{}", 8_000 + 2_000 * i)).collect();
+//! service.train_online("skylake", &pmcs, &apps).unwrap();
+//!
+//! let server = Server::start(service, "127.0.0.1:0").unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let estimate = client.estimate_app("skylake", "dgemm:11000").unwrap();
+//! assert!(estimate.joules > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod service;
+
+pub use cache::{RunCache, RunKey};
+pub use client::{Client, ClientError};
+pub use engine::{EngineError, Estimate, InferenceEngine};
+pub use protocol::Request;
+pub use registry::{ModelKey, Registry, RegistryError, StoredModel};
+pub use server::Server;
+pub use service::{BatchRequest, EnergyService, ServiceError, ServiceStats};

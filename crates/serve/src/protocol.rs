@@ -1,0 +1,326 @@
+//! The serving line protocol.
+//!
+//! One request per line, whitespace-separated, first word the command:
+//!
+//! ```text
+//! ESTIMATE <platform> <pmc>=<count> [<pmc>=<count> ...]
+//! ESTIMATE-APP <platform> <appspec>
+//! TRAIN <platform> <pmc,pmc,...> <appspec,appspec,...>
+//! MODELS
+//! STATS
+//! QUIT
+//! ```
+//!
+//! Replies are single lines — `OK key=value ...` or `ERR <message>` —
+//! except `MODELS`, which answers `OK count=<n>` followed by `n` listing
+//! lines (the client knows how many to read). Floats use Rust's default
+//! shortest-round-trip formatting, so a reply parses back to the exact
+//! served value.
+
+use crate::engine::Estimate;
+use crate::service::ServiceStats;
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Estimate from named PMC counts.
+    Estimate {
+        /// Target platform.
+        platform: String,
+        /// `(pmc name, count)` pairs, in the order given.
+        counts: Vec<(String, f64)>,
+    },
+    /// Estimate a whole application by spec.
+    EstimateApp {
+        /// Target platform.
+        platform: String,
+        /// Workload spec (e.g. `dgemm:12000` or `dgemm:9000;fft:23000`).
+        app: String,
+    },
+    /// Train and register an online model.
+    Train {
+        /// Target platform.
+        platform: String,
+        /// PMC names, comma-separated on the wire.
+        pmcs: Vec<String>,
+        /// Training workload specs, comma-separated on the wire.
+        apps: Vec<String>,
+    },
+    /// List registered models.
+    Models,
+    /// Report service counters.
+    Stats,
+    /// Close the connection.
+    Quit,
+}
+
+impl Request {
+    /// Parse one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let mut words = line.split_whitespace();
+        let command = words.next().ok_or("empty request")?.to_ascii_uppercase();
+        let rest: Vec<&str> = words.collect();
+        match command.as_str() {
+            "ESTIMATE" => {
+                let (platform, pairs) = rest.split_first().ok_or("ESTIMATE needs a platform")?;
+                if pairs.is_empty() {
+                    return Err("ESTIMATE needs at least one pmc=count pair".to_string());
+                }
+                let counts = pairs
+                    .iter()
+                    .map(|pair| {
+                        let (name, value) = pair
+                            .split_once('=')
+                            .ok_or_else(|| format!("expected pmc=count, found {pair:?}"))?;
+                        let count = value
+                            .parse::<f64>()
+                            .map_err(|_| format!("bad count {value:?} for {name}"))?;
+                        Ok((name.to_string(), count))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Request::Estimate {
+                    platform: (*platform).to_string(),
+                    counts,
+                })
+            }
+            "ESTIMATE-APP" => match rest.as_slice() {
+                [platform, app] => Ok(Request::EstimateApp {
+                    platform: (*platform).to_string(),
+                    app: (*app).to_string(),
+                }),
+                _ => Err("usage: ESTIMATE-APP <platform> <appspec>".to_string()),
+            },
+            "TRAIN" => match rest.as_slice() {
+                [platform, pmcs, apps] => Ok(Request::Train {
+                    platform: (*platform).to_string(),
+                    pmcs: split_list(pmcs, "PMC list")?,
+                    apps: split_list(apps, "workload list")?,
+                }),
+                _ => Err("usage: TRAIN <platform> <pmc,pmc,...> <appspec,appspec,...>".to_string()),
+            },
+            "MODELS" if rest.is_empty() => Ok(Request::Models),
+            "STATS" if rest.is_empty() => Ok(Request::Stats),
+            "QUIT" if rest.is_empty() => Ok(Request::Quit),
+            "MODELS" | "STATS" | "QUIT" => Err(format!("{command} takes no arguments")),
+            other => Err(format!("unknown command {other:?}")),
+        }
+    }
+
+    /// Encode back to one request line (client side).
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Estimate { platform, counts } => {
+                let pairs: Vec<String> = counts.iter().map(|(n, v)| format!("{n}={v}")).collect();
+                format!("ESTIMATE {platform} {}", pairs.join(" "))
+            }
+            Request::EstimateApp { platform, app } => format!("ESTIMATE-APP {platform} {app}"),
+            Request::Train {
+                platform,
+                pmcs,
+                apps,
+            } => {
+                format!("TRAIN {platform} {} {}", pmcs.join(","), apps.join(","))
+            }
+            Request::Models => "MODELS".to_string(),
+            Request::Stats => "STATS".to_string(),
+            Request::Quit => "QUIT".to_string(),
+        }
+    }
+}
+
+fn split_list(word: &str, what: &str) -> Result<Vec<String>, String> {
+    let items: Vec<String> = word
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if items.is_empty() {
+        return Err(format!("empty {what}"));
+    }
+    Ok(items)
+}
+
+/// `OK` reply for an estimate.
+pub fn ok_estimate(estimate: &Estimate) -> String {
+    format!(
+        "OK joules={} ci={} family={} version={}",
+        estimate.joules, estimate.ci_half_width, estimate.family, estimate.version
+    )
+}
+
+/// `OK` reply for STATS.
+pub fn ok_stats(stats: &ServiceStats) -> String {
+    format!(
+        "OK served={} errors={} cache-hits={} cache-misses={} cache-entries={} models={} workers={}",
+        stats.served,
+        stats.errors,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_entries,
+        stats.models,
+        stats.workers
+    )
+}
+
+/// `ERR` reply. Newlines are flattened so the reply stays one line.
+pub fn err(message: &str) -> String {
+    format!("ERR {}", message.replace(['\r', '\n'], " "))
+}
+
+/// Parse an estimate reply back into an [`Estimate`] (client side).
+///
+/// # Errors
+///
+/// Returns the server's `ERR` message, or a description of a malformed
+/// reply.
+pub fn parse_estimate_reply(line: &str) -> Result<Estimate, String> {
+    let fields = parse_ok_fields(line)?;
+    let get = |key: &str| {
+        fields
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("reply missing {key}: {line:?}"))
+    };
+    Ok(Estimate {
+        joules: get("joules")?
+            .parse()
+            .map_err(|_| "bad joules".to_string())?,
+        ci_half_width: get("ci")?.parse().map_err(|_| "bad ci".to_string())?,
+        family: get("family")?.to_string(),
+        version: get("version")?
+            .parse()
+            .map_err(|_| "bad version".to_string())?,
+    })
+}
+
+/// Split an `OK key=value ...` reply into its fields (client side).
+///
+/// # Errors
+///
+/// Returns the server's `ERR` message, or a description of a malformed
+/// reply.
+pub fn parse_ok_fields(line: &str) -> Result<Vec<(&str, &str)>, String> {
+    let line = line.trim();
+    if let Some(message) = line.strip_prefix("ERR ") {
+        return Err(message.to_string());
+    }
+    let rest = line
+        .strip_prefix("OK")
+        .ok_or_else(|| format!("malformed reply {line:?}"))?;
+    rest.split_whitespace()
+        .map(|pair| {
+            pair.split_once('=')
+                .ok_or_else(|| format!("malformed field {pair:?}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_the_wire_format() {
+        let requests = vec![
+            Request::Estimate {
+                platform: "skylake".to_string(),
+                counts: vec![
+                    ("UOPS_EXECUTED_CORE".to_string(), 1.25e11),
+                    ("MEM_INST_RETIRED_ALL_STORES".to_string(), 4.0e9),
+                ],
+            },
+            Request::EstimateApp {
+                platform: "haswell".to_string(),
+                app: "dgemm:9000;fft:23000".to_string(),
+            },
+            Request::Train {
+                platform: "skylake".to_string(),
+                pmcs: vec!["A".to_string(), "B".to_string()],
+                apps: vec!["dgemm:9000".to_string(), "fft:23000".to_string()],
+            },
+            Request::Models,
+            Request::Stats,
+            Request::Quit,
+        ];
+        for request in requests {
+            assert_eq!(Request::parse(&request.to_line()).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_on_the_command_only() {
+        let parsed = Request::parse("estimate skylake Pmc_A=3.5").unwrap();
+        assert_eq!(
+            parsed,
+            Request::Estimate {
+                platform: "skylake".to_string(),
+                counts: vec![("Pmc_A".to_string(), 3.5)],
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_described() {
+        for bad in [
+            "",
+            "FROBNICATE",
+            "ESTIMATE",
+            "ESTIMATE skylake",
+            "ESTIMATE skylake UOPS",
+            "ESTIMATE skylake UOPS=abc",
+            "ESTIMATE-APP skylake",
+            "TRAIN skylake A,B",
+            "TRAIN skylake , dgemm:9000",
+            "STATS now",
+            "QUIT now",
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn estimate_replies_round_trip_exactly() {
+        let estimate = Estimate {
+            joules: 123.456789012345,
+            ci_half_width: 0.25,
+            family: "online".to_string(),
+            version: 3,
+        };
+        let parsed = parse_estimate_reply(&ok_estimate(&estimate)).unwrap();
+        assert_eq!(parsed, estimate);
+    }
+
+    #[test]
+    fn err_replies_surface_the_message() {
+        let reply = err("no model: nothing\nregistered");
+        assert_eq!(reply, "ERR no model: nothing registered");
+        assert_eq!(
+            parse_estimate_reply(&reply).unwrap_err(),
+            "no model: nothing registered"
+        );
+        assert!(parse_estimate_reply("gibberish").is_err());
+    }
+
+    #[test]
+    fn stats_replies_parse_as_fields() {
+        let stats = ServiceStats {
+            served: 10,
+            errors: 1,
+            cache_hits: 5,
+            cache_misses: 2,
+            cache_entries: 2,
+            models: 3,
+            workers: 4,
+        };
+        let reply = ok_stats(&stats);
+        let fields = parse_ok_fields(&reply).unwrap();
+        assert_eq!(fields.len(), 7);
+        assert!(fields.contains(&("served", "10")));
+        assert!(fields.contains(&("cache-hits", "5")));
+    }
+}

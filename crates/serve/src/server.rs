@@ -1,0 +1,330 @@
+//! TCP front end for the energy service.
+//!
+//! `std::net` only: a listener thread accepts connections and hands each
+//! one to its own handler thread; handlers speak the line protocol from
+//! [`crate::protocol`] against a shared [`EnergyService`]. Binding to
+//! port 0 picks an ephemeral port — [`Server::addr`] reports the bound
+//! address, which is how tests and the loadgen find the server.
+
+use crate::protocol::{err, ok_estimate, ok_stats, Request};
+use crate::service::{BatchRequest, EnergyService};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// A running server. Dropping it stops the accept loop; handler threads
+/// for already-open connections run until their client disconnects.
+pub struct Server {
+    addr: SocketAddr,
+    service: Arc<EnergyService>,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (use `127.0.0.1:0` for an ephemeral port) and start
+    /// accepting connections against `service`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn start(service: Arc<EnergyService>, addr: &str) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_handle = {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            thread::Builder::new()
+                .name("pmca-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let service = Arc::clone(&service);
+                        let _ = thread::Builder::new()
+                            .name("pmca-conn".to_string())
+                            .spawn(move || handle_connection(stream, &service));
+                    }
+                })?
+        };
+        Ok(Server {
+            addr: local_addr,
+            service,
+            stop,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The address the server actually bound.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service behind the server.
+    pub fn service(&self) -> &Arc<EnergyService> {
+        &self.service
+    }
+
+    /// Stop accepting connections and join the accept thread.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop blocks in `incoming()`; a throwaway connection
+        // wakes it so it can observe the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(stream: TcpStream, service: &EnergyService) {
+    // One reply per request line: without nodelay, Nagle + delayed ACK
+    // stall every round trip by tens of milliseconds.
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    let mut lines: Vec<String> = Vec::new();
+    loop {
+        // Block for the first request, then drain every further complete
+        // request a pipelining client already sent: the whole batch is
+        // answered together (grouped inference, one flush).
+        lines.clear();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => {}
+            }
+            if !line.trim().is_empty() {
+                lines.push(line.trim().to_string());
+            }
+            if !reader.buffer().contains(&b'\n') {
+                break;
+            }
+        }
+        if lines.is_empty() {
+            continue;
+        }
+        let (replies, quit) = respond_batch(service, &lines);
+        for reply in replies {
+            if writeln!(writer, "{reply}").is_err() {
+                return;
+            }
+        }
+        if writer.flush().is_err() || quit {
+            return;
+        }
+    }
+}
+
+/// Answer a drained batch of request lines in order. Runs of ESTIMATE /
+/// ESTIMATE-APP requests go through [`EnergyService::estimate_many`] as
+/// one grouped submission; other commands flush the pending run first so
+/// observable order (e.g. STATS counters) is preserved.
+fn respond_batch(service: &EnergyService, lines: &[String]) -> (Vec<String>, bool) {
+    let mut replies = Vec::with_capacity(lines.len());
+    let mut pending: Vec<BatchRequest> = Vec::new();
+    for line in lines {
+        let request = match Request::parse(line) {
+            Ok(request) => request,
+            Err(detail) => {
+                flush_pending(service, &mut pending, &mut replies);
+                replies.push(err(&detail));
+                continue;
+            }
+        };
+        match request {
+            Request::Estimate { platform, counts } => {
+                pending.push(BatchRequest::Counts { platform, counts });
+            }
+            Request::EstimateApp { platform, app } => {
+                pending.push(BatchRequest::App { platform, app });
+            }
+            other => {
+                flush_pending(service, &mut pending, &mut replies);
+                let (reply, quit) = respond(service, other);
+                replies.push(reply);
+                if quit {
+                    return (replies, true);
+                }
+            }
+        }
+    }
+    flush_pending(service, &mut pending, &mut replies);
+    (replies, false)
+}
+
+fn flush_pending(
+    service: &EnergyService,
+    pending: &mut Vec<BatchRequest>,
+    replies: &mut Vec<String>,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    for result in service.estimate_many(pending) {
+        replies.push(match result {
+            Ok(estimate) => ok_estimate(&estimate),
+            Err(e) => err(&e.to_string()),
+        });
+    }
+    pending.clear();
+}
+
+/// Answer one already-parsed request. Returns the full reply (possibly
+/// multi-line, for MODELS) and whether the connection should close.
+fn respond(service: &EnergyService, request: Request) -> (String, bool) {
+    let reply = match request {
+        Request::Estimate { platform, counts } => match service.estimate(&platform, &counts) {
+            Ok(estimate) => ok_estimate(&estimate),
+            Err(e) => err(&e.to_string()),
+        },
+        Request::EstimateApp { platform, app } => match service.estimate_app(&platform, &app) {
+            Ok(estimate) => ok_estimate(&estimate),
+            Err(e) => err(&e.to_string()),
+        },
+        Request::Train {
+            platform,
+            pmcs,
+            apps,
+        } => match service.train_online(&platform, &pmcs, &apps) {
+            Ok(stored) => format!(
+                "OK platform={} family={} version={} rows={} residual-std={}",
+                stored.key.platform,
+                stored.key.family,
+                stored.version,
+                stored.training_rows,
+                stored.residual_std
+            ),
+            Err(e) => err(&e.to_string()),
+        },
+        Request::Models => {
+            let lines = service.model_lines();
+            let mut reply = format!("OK count={}", lines.len());
+            for model_line in lines {
+                reply.push('\n');
+                reply.push_str(&model_line);
+            }
+            reply
+        }
+        Request::Stats => ok_stats(&service.stats()),
+        Request::Quit => return ("OK bye=1".to_string(), true),
+    };
+    (reply, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmca_mlkit::export::ModelParams;
+
+    fn service_with_model() -> Arc<EnergyService> {
+        let service = Arc::new(EnergyService::new(2, 16, 7));
+        service.register(
+            "skylake",
+            "online",
+            vec!["A".to_string(), "B".to_string()],
+            0.0,
+            10,
+            ModelParams::Linear {
+                coefficients: vec![2.0, 3.0],
+                intercept: 0.0,
+            },
+        );
+        service
+    }
+
+    fn roundtrip(stream: &TcpStream, request: &str) -> String {
+        let mut writer = stream.try_clone().unwrap();
+        writeln!(writer, "{request}").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        reply.trim_end().to_string()
+    }
+
+    #[test]
+    fn serves_estimates_over_tcp() {
+        let server = Server::start(service_with_model(), "127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let reply = roundtrip(&stream, "ESTIMATE skylake A=10 B=1");
+        assert_eq!(reply, "OK joules=23 ci=0 family=online version=1");
+        let reply = roundtrip(&stream, "ESTIMATE skylake B=1 A=10");
+        assert_eq!(
+            reply, "OK joules=23 ci=0 family=online version=1",
+            "order-insensitive"
+        );
+    }
+
+    #[test]
+    fn bad_requests_get_err_and_keep_the_connection() {
+        let server = Server::start(service_with_model(), "127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        assert!(roundtrip(&stream, "NONSENSE").starts_with("ERR "));
+        assert!(roundtrip(&stream, "ESTIMATE skylake A=1").starts_with("ERR "));
+        // Still answers after errors.
+        assert!(roundtrip(&stream, "STATS").starts_with("OK served="));
+    }
+
+    #[test]
+    fn models_reply_is_count_prefixed() {
+        let server = Server::start(service_with_model(), "127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        writeln!(writer, "MODELS").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut header = String::new();
+        reader.read_line(&mut header).unwrap();
+        assert_eq!(header.trim_end(), "OK count=1");
+        let mut listing = String::new();
+        reader.read_line(&mut listing).unwrap();
+        assert!(listing.contains("skylake online v1"), "{listing:?}");
+    }
+
+    #[test]
+    fn quit_closes_the_connection() {
+        let server = Server::start(service_with_model(), "127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        assert_eq!(roundtrip(&stream, "QUIT"), "OK bye=1");
+        let mut reader = BufReader::new(stream);
+        let mut rest = String::new();
+        assert_eq!(
+            reader.read_line(&mut rest).unwrap(),
+            0,
+            "server closed the stream"
+        );
+    }
+
+    #[test]
+    fn shutdown_stops_accepting() {
+        let mut server = Server::start(service_with_model(), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        server.shutdown();
+        // Existing sockets may still connect to the OS backlog, but the
+        // accept thread is gone; a fresh request gets no reply.
+        if let Ok(stream) = TcpStream::connect(addr) {
+            let mut writer = stream.try_clone().unwrap();
+            let _ = writeln!(writer, "STATS");
+            let mut reader = BufReader::new(stream);
+            let mut reply = String::new();
+            assert_eq!(reader.read_line(&mut reply).unwrap_or(0), 0);
+        }
+    }
+}

@@ -1,0 +1,579 @@
+//! The energy estimation service: registry + engine + run cache + the
+//! simulated platforms, behind one façade both the TCP server and
+//! in-process callers (examples, benches) use.
+//!
+//! The service owns one simulated [`Machine`] per platform for app-level
+//! collection, a [`Registry`] of trained models, an [`InferenceEngine`]
+//! worker pool, and a [`RunCache`] memoising collection runs. Training
+//! happens through the paper's online-model path ([`OnlineModel`]), so
+//! every served model is single-run deployable.
+
+use crate::cache::{RunCache, RunKey};
+use crate::engine::{EngineError, Estimate, InferenceEngine};
+use crate::registry::{Registry, RegistryError, StoredModel};
+use pmca_core::online::OnlineModel;
+use pmca_cpusim::{Machine, PlatformSpec};
+use pmca_mlkit::export::ModelParams;
+use pmca_pmctools::collector::collect_all;
+use pmca_powermeter::{HclWattsUp, Methodology};
+use pmca_workloads::parse::app_from_spec;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+use std::sync::{Mutex, RwLock};
+
+/// Service-level failures, each mapping to one `ERR` protocol reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The platform name is not simulated here.
+    UnknownPlatform(String),
+    /// No registered model matches the request.
+    NoModel(String),
+    /// Training failed.
+    Train(String),
+    /// The request itself was malformed.
+    BadRequest(String),
+    /// PMC collection failed.
+    Collect(String),
+    /// The inference engine rejected the request.
+    Engine(EngineError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownPlatform(name) => {
+                write!(f, "unknown platform {name:?} (expected haswell or skylake)")
+            }
+            ServiceError::NoModel(detail) => write!(f, "no model: {detail}"),
+            ServiceError::Train(detail) => write!(f, "training failed: {detail}"),
+            ServiceError::BadRequest(detail) => write!(f, "bad request: {detail}"),
+            ServiceError::Collect(detail) => write!(f, "collection failed: {detail}"),
+            ServiceError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ServiceError {}
+
+impl From<EngineError> for ServiceError {
+    fn from(e: EngineError) -> Self {
+        ServiceError::Engine(e)
+    }
+}
+
+/// One request in a pipelined batch (see [`EnergyService::estimate_many`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchRequest {
+    /// Counter-level: named PMC counts.
+    Counts {
+        /// Target platform.
+        platform: String,
+        /// `(pmc name, count)` pairs.
+        counts: Vec<(String, f64)>,
+    },
+    /// App-level: a workload spec collected via the run cache.
+    App {
+        /// Target platform.
+        platform: String,
+        /// Workload spec (e.g. `dgemm:12000`).
+        app: String,
+    },
+}
+
+/// Counters reported by the STATS command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Estimates answered successfully.
+    pub served: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Run-cache hits.
+    pub cache_hits: u64,
+    /// Run-cache misses.
+    pub cache_misses: u64,
+    /// Runs currently cached.
+    pub cache_entries: usize,
+    /// Model versions registered.
+    pub models: usize,
+    /// Inference worker threads.
+    pub workers: usize,
+}
+
+/// The serving façade. Thread-safe: the TCP server shares one instance
+/// across connection handler threads via `Arc`.
+#[derive(Debug)]
+pub struct EnergyService {
+    registry: RwLock<Registry>,
+    engine: InferenceEngine,
+    cache: RunCache,
+    machines: Mutex<HashMap<String, Machine>>,
+    seed: u64,
+}
+
+impl EnergyService {
+    /// A service with `workers` inference threads, a `cache_capacity`-run
+    /// cache, and `seed` for its simulated platforms.
+    pub fn new(workers: usize, cache_capacity: usize, seed: u64) -> Self {
+        EnergyService {
+            registry: RwLock::new(Registry::new()),
+            engine: InferenceEngine::new(workers),
+            cache: RunCache::new(cache_capacity),
+            machines: Mutex::new(HashMap::new()),
+            seed,
+        }
+    }
+
+    fn platform_spec(name: &str) -> Result<PlatformSpec, ServiceError> {
+        match name.to_ascii_lowercase().as_str() {
+            "haswell" => Ok(PlatformSpec::intel_haswell()),
+            "skylake" => Ok(PlatformSpec::intel_skylake()),
+            other => Err(ServiceError::UnknownPlatform(other.to_string())),
+        }
+    }
+
+    /// Run `f` with this platform's machine (created on first use).
+    fn with_machine<T>(
+        &self,
+        platform: &str,
+        f: impl FnOnce(&mut Machine) -> Result<T, ServiceError>,
+    ) -> Result<T, ServiceError> {
+        let spec = Self::platform_spec(platform)?;
+        let mut machines = self.machines.lock().expect("machine table poisoned");
+        let machine = machines
+            .entry(platform.to_ascii_lowercase())
+            .or_insert_with(|| Machine::new(spec, self.seed));
+        f(machine)
+    }
+
+    /// Train an online model on `platform` from workload specs (e.g.
+    /// `["dgemm:9000", "fft:23000", ...]`) and register it. Returns the
+    /// stored entry (family `"online"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] when the platform, PMC set, or workload
+    /// specs are invalid, or training fails.
+    pub fn train_online(
+        &self,
+        platform: &str,
+        pmc_names: &[String],
+        app_specs: &[String],
+    ) -> Result<Arc<StoredModel>, ServiceError> {
+        if app_specs.is_empty() {
+            return Err(ServiceError::BadRequest(
+                "no training workloads given".to_string(),
+            ));
+        }
+        let apps = app_specs
+            .iter()
+            .map(|spec| app_from_spec(spec).map_err(|e| ServiceError::BadRequest(e.to_string())))
+            .collect::<Result<Vec<_>, _>>()?;
+        let names: Vec<&str> = pmc_names.iter().map(String::as_str).collect();
+        let spec = self.with_machine(platform, |machine| {
+            let mut meter = HclWattsUp::with_methodology(machine, self.seed, Methodology::quick());
+            let refs: Vec<&dyn pmca_cpusim::app::Application> =
+                apps.iter().map(|a| a.as_ref()).collect();
+            let model = OnlineModel::train(machine, &mut meter, &names, &refs)
+                .map_err(|e| ServiceError::Train(e.to_string()))?;
+            Ok(model.to_spec())
+        })?;
+        let mut registry = self.registry.write().expect("registry poisoned");
+        Ok(registry.register(
+            platform,
+            "online",
+            spec.pmc_names.clone(),
+            spec.residual_std,
+            spec.training_rows,
+            ModelParams::Linear {
+                coefficients: spec.coefficients.clone(),
+                intercept: 0.0,
+            },
+        ))
+    }
+
+    /// Register an externally trained model (any family).
+    pub fn register(
+        &self,
+        platform: &str,
+        family: &str,
+        feature_order: Vec<String>,
+        residual_std: f64,
+        training_rows: usize,
+        params: ModelParams,
+    ) -> Arc<StoredModel> {
+        let mut registry = self.registry.write().expect("registry poisoned");
+        registry.register(
+            platform,
+            family,
+            feature_order,
+            residual_std,
+            training_rows,
+            params,
+        )
+    }
+
+    /// Estimate from named PMC counts. The counter set must exactly match
+    /// a registered model's set (order-insensitive); counts are reordered
+    /// to the model's feature order before inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] when no model matches or the engine
+    /// rejects the request.
+    pub fn estimate(
+        &self,
+        platform: &str,
+        counts: &[(String, f64)],
+    ) -> Result<Estimate, ServiceError> {
+        let (model, ordered) = self.resolve_counts(platform, counts)?;
+        Ok(self.engine.estimate(&model, ordered)?)
+    }
+
+    /// Resolve a counter-level request to its model and feature-ordered
+    /// counts, without running inference.
+    fn resolve_counts(
+        &self,
+        platform: &str,
+        counts: &[(String, f64)],
+    ) -> Result<(Arc<StoredModel>, Vec<f64>), ServiceError> {
+        Self::platform_spec(platform)?;
+        if counts.is_empty() {
+            return Err(ServiceError::BadRequest("no PMC counts given".to_string()));
+        }
+        let names: Vec<String> = counts.iter().map(|(n, _)| n.clone()).collect();
+        let model = {
+            let registry = self.registry.read().expect("registry poisoned");
+            registry.lookup(platform, &names).ok_or_else(|| {
+                ServiceError::NoModel(format!(
+                    "no model on {platform} for PMC set {}",
+                    names.join(",")
+                ))
+            })?
+        };
+        // Counter sets are ≤ a handful of entries: linear scans beat a
+        // per-request hash map on the serving hot path.
+        if counts
+            .iter()
+            .enumerate()
+            .any(|(i, (n, _))| counts[..i].iter().any(|(m, _)| m == n))
+        {
+            return Err(ServiceError::BadRequest("duplicate PMC name".to_string()));
+        }
+        let ordered: Vec<f64> = model
+            .feature_order
+            .iter()
+            .map(|name| counts.iter().find(|(n, _)| n == name).map(|(_, v)| *v))
+            .collect::<Option<Vec<f64>>>()
+            .ok_or_else(|| ServiceError::BadRequest("PMC set mismatch".to_string()))?;
+        Ok((model, ordered))
+    }
+
+    /// Estimate a whole application's dynamic energy: collect its PMCs on
+    /// the simulated platform (memoised in the run cache), then run the
+    /// latest online model for that platform over the counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] when the platform or workload spec is
+    /// invalid or no online model is registered for the platform.
+    pub fn estimate_app(&self, platform: &str, app_spec: &str) -> Result<Estimate, ServiceError> {
+        let (model, counts) = self.resolve_app(platform, app_spec)?;
+        Ok(self.engine.estimate(&model, counts)?)
+    }
+
+    /// Resolve an app-level request to its model and collected (cached)
+    /// counts, without running inference.
+    fn resolve_app(
+        &self,
+        platform: &str,
+        app_spec: &str,
+    ) -> Result<(Arc<StoredModel>, Vec<f64>), ServiceError> {
+        let model = {
+            let registry = self.registry.read().expect("registry poisoned");
+            registry
+                .latest_of_family(platform, "online")
+                .ok_or_else(|| {
+                    ServiceError::NoModel(format!("no online model trained for {platform}"))
+                })?
+        };
+        let key = RunKey {
+            app: app_spec.to_string(),
+            platform: platform.to_ascii_lowercase(),
+            seed: self.seed,
+            events: model.feature_order.clone(),
+        };
+        let counts = self.cache.get_or_compute(&key, || {
+            let app =
+                app_from_spec(app_spec).map_err(|e| ServiceError::BadRequest(e.to_string()))?;
+            self.with_machine(platform, |machine| {
+                let names: Vec<&str> = model.feature_order.iter().map(String::as_str).collect();
+                let events = machine
+                    .catalog()
+                    .ids(&names)
+                    .map_err(|name| ServiceError::Collect(format!("unknown event {name}")))?;
+                let pmcs = collect_all(machine, app.as_ref(), &events)
+                    .map_err(|e| ServiceError::Collect(e.to_string()))?;
+                Ok(pmcs.in_order(&events))
+            })
+        })?;
+        Ok((model, counts.to_vec()))
+    }
+
+    /// Answer a pipelined batch in request order. Requests are resolved,
+    /// grouped by the model that will answer them, and submitted to the
+    /// worker pool one group at a time — a batch costs one engine round
+    /// trip per distinct model rather than one per request, which is what
+    /// makes pipelined serving fast on small machines.
+    pub fn estimate_many(&self, requests: &[BatchRequest]) -> Vec<Result<Estimate, ServiceError>> {
+        let mut out: Vec<Option<Result<Estimate, ServiceError>>> = vec![None; requests.len()];
+        let mut resolved: Vec<Option<(Arc<StoredModel>, Vec<f64>)>> =
+            Vec::with_capacity(requests.len());
+        for (i, request) in requests.iter().enumerate() {
+            let result = match request {
+                BatchRequest::Counts { platform, counts } => self.resolve_counts(platform, counts),
+                BatchRequest::App { platform, app } => self.resolve_app(platform, app),
+            };
+            match result {
+                Ok(pair) => resolved.push(Some(pair)),
+                Err(e) => {
+                    out[i] = Some(Err(e));
+                    resolved.push(None);
+                }
+            }
+        }
+        let mut groups: Vec<(Arc<StoredModel>, Vec<usize>)> = Vec::new();
+        for (i, slot) in resolved.iter().enumerate() {
+            if let Some((model, _)) = slot {
+                match groups.iter_mut().find(|(m, _)| Arc::ptr_eq(m, model)) {
+                    Some((_, indices)) => indices.push(i),
+                    None => groups.push((Arc::clone(model), vec![i])),
+                }
+            }
+        }
+        for (model, indices) in groups {
+            let rows: Vec<Vec<f64>> = indices
+                .iter()
+                .map(|&i| resolved[i].take().expect("resolved above").1)
+                .collect();
+            for (&i, result) in indices.iter().zip(self.engine.estimate_batch(&model, rows)) {
+                out[i] = Some(result.map_err(ServiceError::Engine));
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.unwrap_or(Err(ServiceError::Engine(EngineError::Stopped))))
+            .collect()
+    }
+
+    /// One describing line per registered model version.
+    pub fn model_lines(&self) -> Vec<String> {
+        let registry = self.registry.read().expect("registry poisoned");
+        registry
+            .entries()
+            .iter()
+            .map(|m| {
+                format!(
+                    "{} {} v{} rows={} residual-std={:.6} pmcs={}",
+                    m.key.platform,
+                    m.key.family,
+                    m.version,
+                    m.training_rows,
+                    m.residual_std,
+                    m.feature_order.join(",")
+                )
+            })
+            .collect()
+    }
+
+    /// Current service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let models = self.registry.read().expect("registry poisoned").len();
+        ServiceStats {
+            served: self.engine.served(),
+            errors: self.engine.errors(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_entries: self.cache.len(),
+            models,
+            workers: self.engine.workers(),
+        }
+    }
+
+    /// Persist the registry under `dir`; returns files written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError`] on filesystem failure.
+    pub fn save_registry(&self, dir: &Path) -> Result<usize, RegistryError> {
+        self.registry
+            .read()
+            .expect("registry poisoned")
+            .save_dir(dir)
+    }
+
+    /// Replace the registry with the entries stored under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError`] on I/O failure or a malformed entry.
+    pub fn load_registry(&self, dir: &Path) -> Result<usize, RegistryError> {
+        let loaded = Registry::load_dir(dir)?;
+        let count = loaded.len();
+        *self.registry.write().expect("registry poisoned") = loaded;
+        Ok(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD_SET: [&str; 4] = [
+        "UOPS_EXECUTED_CORE",
+        "FP_ARITH_INST_RETIRED_DOUBLE",
+        "MEM_INST_RETIRED_ALL_STORES",
+        "UOPS_DISPATCHED_PORT_PORT_4",
+    ];
+
+    fn good_set() -> Vec<String> {
+        GOOD_SET.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn ladder() -> Vec<String> {
+        let mut specs = Vec::new();
+        for i in 0..10 {
+            specs.push(format!("dgemm:{}", 7_000 + 1_900 * i));
+            specs.push(format!("fft:{}", 23_000 + 1_300 * i));
+        }
+        specs
+    }
+
+    fn trained_service() -> EnergyService {
+        let service = EnergyService::new(2, 64, 42);
+        service
+            .train_online("skylake", &good_set(), &ladder())
+            .unwrap();
+        service
+    }
+
+    #[test]
+    fn train_then_estimate_round_trips() {
+        let service = trained_service();
+        let stored = {
+            let registry = service.registry.read().unwrap();
+            registry.latest_of_family("skylake", "online").unwrap()
+        };
+        assert_eq!(stored.version, 1);
+        assert_eq!(stored.training_rows, 20);
+        // Estimate straight from counts, in shuffled name order.
+        let counts: Vec<(String, f64)> = stored
+            .feature_order
+            .iter()
+            .rev()
+            .map(|n| (n.clone(), 1.0e10))
+            .collect();
+        let estimate = service.estimate("skylake", &counts).unwrap();
+        assert!(estimate.joules.is_finite() && estimate.joules >= 0.0);
+        assert!(
+            estimate.ci_half_width > 0.0,
+            "trained models carry an interval"
+        );
+        assert_eq!(estimate.family, "online");
+    }
+
+    #[test]
+    fn estimate_app_is_cached_per_spec() {
+        let service = trained_service();
+        let first = service.estimate_app("skylake", "dgemm:11500").unwrap();
+        let again = service.estimate_app("skylake", "dgemm:11500").unwrap();
+        assert_eq!(
+            first, again,
+            "deterministic cached counts give identical answers"
+        );
+        let stats = service.stats();
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_entries, 1);
+        assert_eq!(stats.served, 2);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        let service = EnergyService::new(1, 8, 1);
+        assert!(matches!(
+            service.estimate("epyc", &[("X".to_string(), 1.0)]),
+            Err(ServiceError::UnknownPlatform(_))
+        ));
+        assert!(matches!(
+            service.estimate("skylake", &[("X".to_string(), 1.0)]),
+            Err(ServiceError::NoModel(_))
+        ));
+        assert!(matches!(
+            service.estimate_app("skylake", "dgemm:9000"),
+            Err(ServiceError::NoModel(_))
+        ));
+        assert!(matches!(
+            service.train_online("skylake", &good_set(), &[]),
+            Err(ServiceError::BadRequest(_))
+        ));
+        assert!(matches!(
+            service.train_online("skylake", &good_set(), &["warp:9".to_string()]),
+            Err(ServiceError::BadRequest(_))
+        ));
+        assert!(matches!(
+            service.train_online("skylake", &["NOT_AN_EVENT".to_string()], &ladder()),
+            Err(ServiceError::Train(_))
+        ));
+    }
+
+    #[test]
+    fn retraining_bumps_the_version() {
+        let service = trained_service();
+        let second = service
+            .train_online("skylake", &good_set(), &ladder())
+            .unwrap();
+        assert_eq!(second.version, 2);
+        assert_eq!(service.stats().models, 2);
+        let registry = service.registry.read().unwrap();
+        assert_eq!(
+            registry
+                .latest_of_family("skylake", "online")
+                .unwrap()
+                .version,
+            2
+        );
+    }
+
+    #[test]
+    fn registry_persists_through_disk() {
+        let dir = std::env::temp_dir().join(format!("pmca-service-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = trained_service();
+        let feature_order = {
+            let registry = service.registry.read().unwrap();
+            registry
+                .latest_of_family("skylake", "online")
+                .unwrap()
+                .feature_order
+                .clone()
+        };
+        let counts: Vec<(String, f64)> =
+            feature_order.iter().map(|n| (n.clone(), 2.0e10)).collect();
+        let direct = service.estimate("skylake", &counts).unwrap();
+        assert_eq!(service.save_registry(&dir).unwrap(), 1);
+
+        let revived = EnergyService::new(1, 8, 42);
+        assert_eq!(revived.load_registry(&dir).unwrap(), 1);
+        // Fixed counts give bit-identical answers (the text format round
+        // trips coefficients exactly). App-level estimates on the revived
+        // machine see different simulated run noise, so only the fixed
+        // path is compared exactly.
+        let served = revived.estimate("skylake", &counts).unwrap();
+        assert_eq!(served, direct, "persisted model answers identically");
+        let app = revived.estimate_app("skylake", "fft:24000").unwrap();
+        assert!(app.joules.is_finite() && app.joules >= 0.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

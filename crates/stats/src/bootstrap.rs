@@ -108,7 +108,13 @@ mod tests {
         // Mostly small values with a heavy right tail, like percentage
         // prediction errors.
         (0..200)
-            .map(|i| if i % 20 == 0 { 400.0 + i as f64 } else { (i % 13) as f64 })
+            .map(|i| {
+                if i % 20 == 0 {
+                    400.0 + i as f64
+                } else {
+                    (i % 13) as f64
+                }
+            })
             .collect()
     }
 

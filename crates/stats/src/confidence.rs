@@ -72,7 +72,10 @@ pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
     let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     // Use the symmetry relation to keep the continued fraction convergent.
-    if x < (a + 1.0) / (a + b + 2.0) {
+    // `<=` so that x exactly on the threshold (e.g. a = b, x = 0.5) takes the
+    // direct branch — recursing there would swap to identical arguments and
+    // never terminate.
+    if x <= (a + 1.0) / (a + b + 2.0) {
         front * beta_continued_fraction(a, b, x) / a
     } else {
         1.0 - regularized_incomplete_beta(b, a, 1.0 - x)
@@ -300,7 +303,13 @@ mod tests {
     #[test]
     fn ln_gamma_matches_factorials() {
         // Γ(n) = (n−1)!
-        for (n, fact) in [(1.0, 1.0_f64), (2.0, 1.0), (3.0, 2.0), (5.0, 24.0), (7.0, 720.0)] {
+        for (n, fact) in [
+            (1.0, 1.0_f64),
+            (2.0, 1.0),
+            (3.0, 2.0),
+            (5.0, 24.0),
+            (7.0, 720.0),
+        ] {
             assert!((ln_gamma(n) - fact.ln()).abs() < 1e-10, "n={n}");
         }
     }

@@ -31,7 +31,10 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
         return Err(StatsError::EmptyInput);
     }
     if x.len() != y.len() {
-        return Err(StatsError::LengthMismatch { left: x.len(), right: y.len() });
+        return Err(StatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
     }
     let mx = mean(x);
     let my = mean(y);
@@ -76,7 +79,10 @@ pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
         return Err(StatsError::EmptyInput);
     }
     if x.len() != y.len() {
-        return Err(StatsError::LengthMismatch { left: x.len(), right: y.len() });
+        return Err(StatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
     }
     pearson(&mid_ranks(x), &mid_ranks(y))
 }
@@ -164,7 +170,10 @@ mod tests {
 
     #[test]
     fn pearson_rejects_constant_input() {
-        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), Err(StatsError::ZeroVariance));
+        assert_eq!(
+            pearson(&[1.0, 1.0], &[1.0, 2.0]),
+            Err(StatsError::ZeroVariance)
+        );
     }
 
     #[test]

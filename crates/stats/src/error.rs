@@ -36,7 +36,10 @@ impl fmt::Display for StatsError {
         match self {
             StatsError::EmptyInput => write!(f, "input is empty"),
             StatsError::LengthMismatch { left, right } => {
-                write!(f, "paired inputs have different lengths ({left} vs {right})")
+                write!(
+                    f,
+                    "paired inputs have different lengths ({left} vs {right})"
+                )
             }
             StatsError::ZeroVariance => write!(f, "input has zero variance"),
             StatsError::ShapeMismatch { expected } => {

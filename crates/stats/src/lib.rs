@@ -12,7 +12,10 @@
 //! * [`matrix`] — a small dense row-major matrix with Cholesky and QR
 //!   factorisations, enough linear algebra for the regression models;
 //! * [`pca`] — principal component analysis via cyclic Jacobi, used as a
-//!   related-work PMC-selection baseline.
+//!   related-work PMC-selection baseline;
+//! * [`rng`] — seeded SplitMix64/xoshiro256++ pseudo-random generators
+//!   behind the [`rng::Rng`] trait, replacing any external `rand`
+//!   dependency so the workspace builds offline.
 //!
 //! Everything is implemented from scratch on `f64`; there are no external
 //! numerical dependencies.
@@ -38,6 +41,7 @@ pub mod correlation;
 pub mod descriptive;
 pub mod matrix;
 pub mod pca;
+pub mod rng;
 
 mod error;
 

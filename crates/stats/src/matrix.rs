@@ -43,7 +43,11 @@ impl Matrix {
     /// Panics if either dimension is zero.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -63,10 +67,18 @@ impl Matrix {
     pub fn from_rows_slice(rows: usize, cols: usize, data: &[f64]) -> Result<Self, StatsError> {
         if data.len() != rows * cols || rows == 0 || cols == 0 {
             return Err(StatsError::ShapeMismatch {
-                expected: format!("{rows}x{cols} = {} elements, got {}", rows * cols, data.len()),
+                expected: format!(
+                    "{rows}x{cols} = {} elements, got {}",
+                    rows * cols,
+                    data.len()
+                ),
             });
         }
-        Ok(Matrix { rows, cols, data: data.to_vec() })
+        Ok(Matrix {
+            rows,
+            cols,
+            data: data.to_vec(),
+        })
     }
 
     /// Build a matrix whose rows are the given equally-long vectors.
@@ -89,7 +101,11 @@ impl Matrix {
             }
             data.extend_from_slice(r);
         }
-        Ok(Matrix { rows: rows.len(), cols, data })
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -118,7 +134,11 @@ impl Matrix {
     ///
     /// Panics if `c` is out of bounds.
     pub fn column(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "column index {c} out of bounds ({})", self.cols);
+        assert!(
+            c < self.cols,
+            "column index {c} out of bounds ({})",
+            self.cols
+        );
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
@@ -141,7 +161,10 @@ impl Matrix {
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, StatsError> {
         if self.cols != rhs.rows {
             return Err(StatsError::ShapeMismatch {
-                expected: format!("inner dims equal, got {}x{} · {}x{}", self.rows, self.cols, rhs.rows, rhs.cols),
+                expected: format!(
+                    "inner dims equal, got {}x{} · {}x{}",
+                    self.rows, self.cols, rhs.rows, rhs.cols
+                ),
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
@@ -224,7 +247,9 @@ impl Matrix {
     /// [`StatsError::ShapeMismatch`] when it is not square.
     pub fn cholesky(&self) -> Result<Matrix, StatsError> {
         if self.rows != self.cols {
-            return Err(StatsError::ShapeMismatch { expected: "square matrix".into() });
+            return Err(StatsError::ShapeMismatch {
+                expected: "square matrix".into(),
+            });
         }
         let n = self.rows;
         let mut l = Matrix::zeros(n, n);
@@ -332,14 +357,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -409,7 +440,8 @@ mod tests {
 
     #[test]
     fn cholesky_reconstructs() {
-        let a = Matrix::from_rows_slice(3, 3, &[4.0, 2.0, 1.0, 2.0, 5.0, 2.0, 1.0, 2.0, 6.0]).unwrap();
+        let a =
+            Matrix::from_rows_slice(3, 3, &[4.0, 2.0, 1.0, 2.0, 5.0, 2.0, 1.0, 2.0, 6.0]).unwrap();
         let l = a.cholesky().unwrap();
         let llt = l.matmul(&l.transpose()).unwrap();
         assert!(llt.max_abs_diff(&a) < 1e-10);
@@ -424,7 +456,10 @@ mod tests {
     #[test]
     fn cholesky_rejects_non_square() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(a.cholesky(), Err(StatsError::ShapeMismatch { .. })));
+        assert!(matches!(
+            a.cholesky(),
+            Err(StatsError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

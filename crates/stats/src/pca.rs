@@ -76,11 +76,20 @@ impl Pca {
         let (mut eigenvalues, mut components) = jacobi_eigen(&cov)?;
         // Sort descending by eigenvalue.
         let mut order: Vec<usize> = (0..p).collect();
-        order.sort_by(|&a, &b| eigenvalues[b].partial_cmp(&eigenvalues[a]).expect("NaN eigenvalue"));
+        order.sort_by(|&a, &b| {
+            eigenvalues[b]
+                .partial_cmp(&eigenvalues[a])
+                .expect("NaN eigenvalue")
+        });
         eigenvalues = order.iter().map(|&i| eigenvalues[i]).collect();
         components = order.iter().map(|&i| components[i].clone()).collect();
 
-        Ok(Pca { eigenvalues, components, feature_means, feature_scales })
+        Ok(Pca {
+            eigenvalues,
+            components,
+            feature_means,
+            feature_scales,
+        })
     }
 
     /// Fraction of total variance explained by the first `k` components.
@@ -174,7 +183,9 @@ fn jacobi_eigen(a: &Matrix) -> Result<(Vec<f64>, Vec<Vec<f64>>), StatsError> {
             }
         }
     }
-    Err(StatsError::NoConvergence { iterations: MAX_SWEEPS })
+    Err(StatsError::NoConvergence {
+        iterations: MAX_SWEEPS,
+    })
 }
 
 #[cfg(test)]
@@ -251,7 +262,9 @@ mod tests {
 
     #[test]
     fn pca_projection_dimensionality() {
-        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64, 1.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![i as f64, 2.0 * i as f64, 1.0])
+            .collect();
         let data = Matrix::from_rows(&rows).unwrap();
         let pca = Pca::fit(&data, false).unwrap();
         assert_eq!(pca.project(&[1.0, 2.0, 1.0], 2).len(), 2);

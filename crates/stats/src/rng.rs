@@ -1,0 +1,263 @@
+//! Seeded pseudo-random number generation, implemented in-repo.
+//!
+//! The workspace must build and test with **no network access**, so it
+//! cannot depend on the external `rand` crate. This module provides the
+//! small slice of functionality the simulator and models actually need:
+//!
+//! * [`SplitMix64`] — the canonical 64-bit seeding sequence, used to
+//!   expand one `u64` seed into generator state;
+//! * [`Xoshiro256pp`] — xoshiro256++, a fast general-purpose generator
+//!   with 256 bits of state (Blackman & Vigna);
+//! * the [`Rng`] trait — uniform floats, bounded integers, standard
+//!   normal deviates (Box–Muller), and Fisher–Yates shuffling, all
+//!   implemented on top of `next_u64`.
+//!
+//! Everything is deterministic given the seed, which is what the
+//! reproducibility contract of `pmca-cpusim` and the model trainers
+//! require.
+
+/// A deterministic source of pseudo-random `u64`s plus the derived
+/// sampling helpers the workspace uses.
+pub trait Rng {
+    /// The next raw 64-bit output of the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in the *open* interval `(0, 1)` — safe to pass to
+    /// `ln()`.
+    fn open01(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not finite or `lo >= hi`.
+    fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid range [{lo}, {hi})"
+        );
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "invalid range [{lo}, {hi})");
+        let span = (hi - lo) as u64;
+        // Multiply-shift bounded sampling (Lemire); the tiny modulo bias of
+        // plain `% span` would be harmless here, but this is just as cheap.
+        let hi128 = ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64;
+        lo + hi128 as usize
+    }
+
+    /// A standard normal deviate via Box–Muller.
+    fn standard_normal(&mut self) -> f64 {
+        let u1 = self.open01();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Fisher–Yates shuffle of a slice in place.
+    fn shuffle<T>(&mut self, xs: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range_usize(0, i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// SplitMix64: the standard sequence for expanding a single `u64` seed.
+///
+/// Every output is produced by a bijective mix of a Weyl sequence, so any
+/// seed (including 0) yields a usable stream — which is why xoshiro's
+/// authors recommend it for state initialisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Start the sequence at `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ — the workspace's general-purpose generator.
+///
+/// # Examples
+///
+/// ```
+/// use pmca_stats::rng::{Rng, Xoshiro256pp};
+///
+/// let mut a = Xoshiro256pp::seed_from_u64(7);
+/// let mut b = Xoshiro256pp::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let u = a.next_f64();
+/// assert!((0.0..1.0).contains(&u));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Expand `seed` into 256 bits of state via [`SplitMix64`].
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256pp {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+}
+
+impl Rng for Xoshiro256pp {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vectors() {
+        // First outputs for seed 0, from the reference implementation.
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(sm.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn same_seed_replays_same_stream() {
+        let mut a = Xoshiro256pp::seed_from_u64(42);
+        let mut b = Xoshiro256pp::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Xoshiro256pp::seed_from_u64(1);
+        let mut b = Xoshiro256pp::seed_from_u64(2);
+        let same = (0..10).all(|_| a.next_u64() == b.next_u64());
+        assert!(!same);
+    }
+
+    #[test]
+    fn floats_are_in_unit_interval() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let u = rng.next_f64();
+            assert!((0.0..1.0).contains(&u), "{u}");
+            let o = rng.open01();
+            assert!(o > 0.0 && o < 1.0, "{o}");
+        }
+    }
+
+    #[test]
+    fn floats_cover_the_interval_uniformly() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let n = 50_000;
+        let mean = (0..n).map(|_| rng.next_f64()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn range_f64_respects_bounds() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        for _ in 0..1_000 {
+            let v = rng.gen_range_f64(-3.0, 7.5);
+            assert!((-3.0..7.5).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn range_usize_respects_bounds_and_hits_all_values() {
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            let v = rng.gen_range_usize(10, 15);
+            assert!((10..15).contains(&v), "{v}");
+            seen[v - 10] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn standard_normal_has_sane_moments() {
+        let mut rng = Xoshiro256pp::seed_from_u64(99);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / f64::from(n);
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / f64::from(n);
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256pp::seed_from_u64(8);
+        let mut xs: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(
+            xs,
+            (0..100).collect::<Vec<u32>>(),
+            "shuffle left input in order"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn empty_usize_range_panics() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let _ = rng.gen_range_usize(5, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn invalid_f64_range_panics() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let _ = rng.gen_range_f64(1.0, 1.0);
+    }
+}

@@ -73,7 +73,8 @@ impl Fft2d {
     /// limits.
     pub fn runtime_s(&self, spec: &PlatformSpec) -> f64 {
         let t_compute = self.flops() / (COMPUTE_EFFICIENCY * spec.peak_dp_gflops * 1e9);
-        let t_memory = self.dram_bytes() / (BANDWIDTH_EFFICIENCY * spec.mem_bandwidth_gibs * 1024.0 * 1024.0 * 1024.0);
+        let t_memory = self.dram_bytes()
+            / (BANDWIDTH_EFFICIENCY * spec.mem_bandwidth_gibs * 1024.0 * 1024.0 * 1024.0);
         t_compute.max(t_memory)
     }
 }
@@ -121,7 +122,10 @@ impl Application for Fft2d {
         // DGEMM's — while the energy stays far below. Across the mixed
         // Class B dataset this makes X9 additive yet anti-correlated with
         // energy, as in the paper's Table 6.
-        activity.set(pmca_cpusim::activity::ActivityField::L3Misses, 0.002 * self.points() + 4.0e4);
+        activity.set(
+            pmca_cpusim::activity::ActivityField::L3Misses,
+            0.002 * self.points() + 4.0e4,
+        );
 
         vec![Segment {
             label: self.name(),
@@ -158,8 +162,12 @@ mod tests {
         let s = spec();
         for n in [22400, 29000, 41536] {
             let f = Fft2d::new(n);
-            let t_mem = f.dram_bytes() / (BANDWIDTH_EFFICIENCY * s.mem_bandwidth_gibs * 1024.0 * 1024.0 * 1024.0);
-            assert!((f.runtime_s(&s) - t_mem).abs() < 1e-12, "n={n} should be memory bound");
+            let t_mem = f.dram_bytes()
+                / (BANDWIDTH_EFFICIENCY * s.mem_bandwidth_gibs * 1024.0 * 1024.0 * 1024.0);
+            assert!(
+                (f.runtime_s(&s) - t_mem).abs() < 1e-12,
+                "n={n} should be memory bound"
+            );
         }
     }
 
@@ -179,7 +187,10 @@ mod tests {
         let dg = crate::dgemm::Dgemm::new(10_000).segments(&s)[0].total_activity();
         let fft_rate = fft.get(F::DivOps) / fft.get(F::UopsExecuted);
         let dg_rate = dg.get(F::DivOps) / dg.get(F::UopsExecuted);
-        assert!(fft_rate > 2.0 * dg_rate, "fft {fft_rate} vs dgemm {dg_rate}");
+        assert!(
+            fft_rate > 2.0 * dg_rate,
+            "fft {fft_rate} vs dgemm {dg_rate}"
+        );
     }
 
     #[test]

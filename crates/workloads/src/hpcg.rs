@@ -67,7 +67,11 @@ impl Application for Hpcg {
         let cycles = instructions / mix.ipc;
         let duration = cycles / spec.aggregate_hz();
         let activity = build_activity(spec, instructions, duration, footprint.code_kib, &mix);
-        vec![Segment { label: self.name(), footprint, phases: vec![Phase::new(duration, activity)] }]
+        vec![Segment {
+            label: self.name(),
+            footprint,
+            phases: vec![Phase::new(duration, activity)],
+        }]
     }
 }
 
@@ -89,7 +93,9 @@ mod tests {
     fn activity_is_physical() {
         let s = PlatformSpec::intel_skylake();
         for scale in [0.25, 1.0, 4.0] {
-            assert!(Hpcg::new(scale).segments(&s)[0].total_activity().is_physical());
+            assert!(Hpcg::new(scale).segments(&s)[0]
+                .total_activity()
+                .is_physical());
         }
     }
 

@@ -26,8 +26,12 @@ pub enum MiscKind {
 
 impl MiscKind {
     /// All miscellaneous kinds.
-    pub const ALL: [MiscKind; 4] =
-        [MiscKind::Sort, MiscKind::PointerChase, MiscKind::StringProc, MiscKind::Interp];
+    pub const ALL: [MiscKind; 4] = [
+        MiscKind::Sort,
+        MiscKind::PointerChase,
+        MiscKind::StringProc,
+        MiscKind::Interp,
+    ];
 }
 
 impl fmt::Display for MiscKind {
@@ -185,7 +189,11 @@ impl Application for MiscApp {
         let cycles = instructions / mix.ipc;
         let duration = cycles / spec.aggregate_hz();
         let activity = build_activity(spec, instructions, duration, footprint.code_kib, &mix);
-        vec![Segment { label: self.name(), footprint, phases: vec![Phase::new(duration, activity)] }]
+        vec![Segment {
+            label: self.name(),
+            footprint,
+            phases: vec![Phase::new(duration, activity)],
+        }]
     }
 }
 
@@ -206,7 +214,9 @@ mod tests {
     #[test]
     fn interp_has_the_biggest_code_footprint() {
         let s = PlatformSpec::intel_haswell();
-        let interp = MiscApp::new(MiscKind::Interp, 1.0).segments(&s)[0].footprint.code_kib;
+        let interp = MiscApp::new(MiscKind::Interp, 1.0).segments(&s)[0]
+            .footprint
+            .code_kib;
         for kind in [MiscKind::Sort, MiscKind::PointerChase, MiscKind::StringProc] {
             let other = MiscApp::new(kind, 1.0).segments(&s)[0].footprint.code_kib;
             assert!(interp > other, "{kind}");

@@ -105,8 +105,14 @@ pub fn build_activity(
     code_kib: f64,
     mix: &InstructionMix,
 ) -> Activity {
-    assert!(instructions.is_finite() && instructions > 0.0, "instructions must be positive");
-    assert!(duration_s.is_finite() && duration_s > 0.0, "duration must be positive");
+    assert!(
+        instructions.is_finite() && instructions > 0.0,
+        "instructions must be positive"
+    );
+    assert!(
+        duration_s.is_finite() && duration_s > 0.0,
+        "duration must be positive"
+    );
 
     let mut fp512 = mix.fp512_per_instr;
     let mut fp256 = mix.fp256_per_instr;
@@ -127,7 +133,8 @@ pub fn build_activity(
     let l3_hits = l2_misses * mix.l3_hit_per_l2_miss;
     let demand_l3_misses = instructions * mix.demand_l3_miss_per_instr;
     let dram_bytes = instructions * mix.dram_bytes_per_instr;
-    let fp_width_uops = instructions * (mix.fp_scalar_per_instr + mix.fp128_per_instr / 2.0 + fp256 / 4.0 + fp512 / 8.0);
+    let fp_width_uops = instructions
+        * (mix.fp_scalar_per_instr + mix.fp128_per_instr / 2.0 + fp256 / 4.0 + fp512 / 8.0);
 
     let mite = uops * mix.mite_frac.clamp(0.0, 1.0);
     let ms = uops * mix.ms_frac.clamp(0.0, 1.0);
@@ -193,7 +200,10 @@ pub fn build_activity(
         // Cross-core snoops need a second socket; on a single socket the
         // counter sees only OS housekeeping residue (paper Table 6: the
         // XSNP events correlate at ≈ −0.02 on the Skylake server).
-        .set(F::SnoopHits, 900.0 * duration_s * f64::from(spec.sockets - 1) + 420.0)
+        .set(
+            F::SnoopHits,
+            900.0 * duration_s * f64::from(spec.sockets - 1) + 420.0,
+        )
         .set(F::MachineClears, instructions * 4e-8 + duration_s * 30.0);
     debug_assert!(a.is_physical(), "unphysical activity: {a:?}");
     a
@@ -218,7 +228,13 @@ mod tests {
         let mix = InstructionMix::base();
         let a1 = build_activity(&spec(), 1e9, 1.0, 24.0, &mix);
         let a2 = build_activity(&spec(), 2e9, 2.0, 24.0, &mix);
-        for field in [F::Instructions, F::UopsExecuted, F::Loads, F::Stores, F::Branches] {
+        for field in [
+            F::Instructions,
+            F::UopsExecuted,
+            F::Loads,
+            F::Stores,
+            F::Branches,
+        ] {
             let r = a2.get(field) / a1.get(field);
             assert!((r - 2.0).abs() < 1e-9, "{field}: ratio {r}");
         }
@@ -232,7 +248,10 @@ mod tests {
         assert!(big_code.get(F::ItlbMisses) > 10.0 * small_code.get(F::ItlbMisses));
         let more_instr = build_activity(&spec(), 5e10, 2.0, 24.0, &mix);
         let r = more_instr.get(F::ItlbMisses) / small_code.get(F::ItlbMisses);
-        assert!(r < 1.5, "ITLB should not scale with instructions, ratio {r}");
+        assert!(
+            r < 1.5,
+            "ITLB should not scale with instructions, ratio {r}"
+        );
     }
 
     #[test]

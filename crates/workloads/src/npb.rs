@@ -281,7 +281,11 @@ impl Application for NpbApp {
         let cycles = instructions / mix.ipc;
         let duration = cycles / spec.aggregate_hz();
         let activity = build_activity(spec, instructions, duration, footprint.code_kib, &mix);
-        vec![Segment { label: self.name(), footprint, phases: vec![Phase::new(duration, activity)] }]
+        vec![Segment {
+            label: self.name(),
+            footprint,
+            phases: vec![Phase::new(duration, activity)],
+        }]
     }
 }
 
@@ -332,7 +336,10 @@ mod tests {
 
     #[test]
     fn kernel_names_are_distinct() {
-        let mut names: Vec<String> = NpbKernel::ALL.iter().map(|&k| NpbApp::new(k, 1.0).name()).collect();
+        let mut names: Vec<String> = NpbKernel::ALL
+            .iter()
+            .map(|&k| NpbApp::new(k, 1.0).name())
+            .collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 8);
@@ -346,7 +353,11 @@ mod tests {
                 let seg = &NpbApp::new(k, 2.0).segments(&s)[0];
                 let p = pm.phase_power(&seg.total_activity(), seg.duration_s());
                 assert!(p > 1.0, "{k} on {}: {p} W suspiciously low", s.processor);
-                assert!(p <= s.max_dynamic_watts(), "{k} on {}: {p} W over budget", s.processor);
+                assert!(
+                    p <= s.max_dynamic_watts(),
+                    "{k} on {}: {p} W over budget",
+                    s.processor
+                );
             }
         }
     }

@@ -30,14 +30,21 @@ pub struct ParseAppError {
 
 impl fmt::Display for ParseAppError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cannot parse application spec {:?}: {}", self.spec, self.reason)
+        write!(
+            f,
+            "cannot parse application spec {:?}: {}",
+            self.spec, self.reason
+        )
     }
 }
 
 impl Error for ParseAppError {}
 
 fn err(spec: &str, reason: impl Into<String>) -> ParseAppError {
-    ParseAppError { spec: spec.to_string(), reason: reason.into() }
+    ParseAppError {
+        spec: spec.to_string(),
+        reason: reason.into(),
+    }
 }
 
 /// Parse one (possibly compound) application spec.
@@ -71,10 +78,13 @@ fn base_from_spec(spec: &str) -> Result<Box<dyn Application>, ParseAppError> {
     let family = family.trim().to_ascii_lowercase();
     let size = size.trim();
     let as_usize = || -> Result<usize, ParseAppError> {
-        size.parse().map_err(|_| err(spec, format!("{size:?} is not a positive integer")))
+        size.parse()
+            .map_err(|_| err(spec, format!("{size:?} is not a positive integer")))
     };
     let as_f64 = || -> Result<f64, ParseAppError> {
-        let v: f64 = size.parse().map_err(|_| err(spec, format!("{size:?} is not a number")))?;
+        let v: f64 = size
+            .parse()
+            .map_err(|_| err(spec, format!("{size:?} is not a number")))?;
         if !v.is_finite() || v <= 0.0 {
             return Err(err(spec, "size must be positive"));
         }
@@ -159,7 +169,16 @@ mod tests {
 
     #[test]
     fn rejects_malformed_specs() {
-        for bad in ["dgemm", "dgemm:", "dgemm:abc", "dgemm:-5", "wat:1", "npb-zz:1", "stress-gpu:1", "fft:0.5;"] {
+        for bad in [
+            "dgemm",
+            "dgemm:",
+            "dgemm:abc",
+            "dgemm:-5",
+            "wat:1",
+            "npb-zz:1",
+            "stress-gpu:1",
+            "fft:0.5;",
+        ] {
             assert!(app_from_spec(bad).is_err(), "{bad} should fail");
         }
     }

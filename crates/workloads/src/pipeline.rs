@@ -87,7 +87,10 @@ impl PipelineApp {
         for &(_, d) in &stages {
             assert!(d.is_finite() && d > 0.0, "stage durations must be positive");
         }
-        PipelineApp { name: name.to_string(), stages }
+        PipelineApp {
+            name: name.to_string(),
+            stages,
+        }
     }
 
     /// A classic extract–transform–load shape: load, compute, store.
@@ -121,7 +124,10 @@ impl Application for PipelineApp {
             .map(|&(stage, seconds)| {
                 let mix = stage.mix();
                 let instructions = seconds * spec.aggregate_hz() * mix.ipc;
-                Phase::new(seconds, build_activity(spec, instructions, seconds, 80.0, &mix))
+                Phase::new(
+                    seconds,
+                    build_activity(spec, instructions, seconds, 80.0, &mix),
+                )
             })
             .collect();
         vec![Segment {
@@ -176,7 +182,10 @@ mod tests {
         // A long low-power head and a high-power tail: the meter's samples
         // must show the step.
         let mut machine = Machine::new(PlatformSpec::intel_skylake(), 8);
-        let app = PipelineApp::new("step", vec![(Stage::Coordinate, 5.0), (Stage::Compute, 5.0)]);
+        let app = PipelineApp::new(
+            "step",
+            vec![(Stage::Coordinate, 5.0), (Stage::Compute, 5.0)],
+        );
         let record = machine.run(&app);
         let mut meter = WattsUpPro::new(machine.spec().idle_power_watts, 8);
         let (samples, _) = meter.sample_run(&record);
@@ -206,13 +215,19 @@ mod tests {
         let a = PipelineApp::etl("left", 0.7);
         let b = PipelineApp::new("right", vec![(Stage::Load, 1.0), (Stage::Store, 1.0)]);
         let avg = |m: &mut Machine, app: &dyn Application| -> f64 {
-            (0..4).map(|_| m.run(app).dynamic_energy_joules).sum::<f64>() / 4.0
+            (0..4)
+                .map(|_| m.run(app).dynamic_energy_joules)
+                .sum::<f64>()
+                / 4.0
         };
         let ea = avg(&mut machine, &a);
         let eb = avg(&mut machine, &b);
         let compound = pmca_cpusim::app::CompoundApp::pair(a, b);
         let eab = avg(&mut machine, &compound);
-        assert!(relative_difference(ea + eb, eab) < 0.02, "{ea} + {eb} vs {eab}");
+        assert!(
+            relative_difference(ea + eb, eab) < 0.02,
+            "{ea} + {eb} vs {eab}"
+        );
     }
 
     #[test]

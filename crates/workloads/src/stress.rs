@@ -53,7 +53,10 @@ impl Stress {
             nominal_seconds.is_finite() && nominal_seconds > 0.0,
             "duration must be positive"
         );
-        Stress { kind, nominal_seconds }
+        Stress {
+            kind,
+            nominal_seconds,
+        }
     }
 
     /// The stressed resource.
@@ -147,10 +150,19 @@ impl Application for Stress {
             microcode_intensity: 0.20,
             adaptivity: 0.28,
         };
-        let mut activity = build_activity(spec, instructions, self.nominal_seconds, footprint.code_kib, &mix);
+        let mut activity = build_activity(
+            spec,
+            instructions,
+            self.nominal_seconds,
+            footprint.code_kib,
+            &mix,
+        );
         // Timer-driven programs fault and context-switch proportionally to
         // runtime regardless of useful work.
-        activity.bump(pmca_cpusim::activity::ActivityField::ContextSwitches, self.nominal_seconds * 900.0);
+        activity.bump(
+            pmca_cpusim::activity::ActivityField::ContextSwitches,
+            self.nominal_seconds * 900.0,
+        );
         vec![Segment {
             label: self.name(),
             footprint,
@@ -195,7 +207,10 @@ mod tests {
         let comp = CompoundApp::pair(fixed, stress);
         let cc: f64 = (0..6).map(|_| m.run(&comp).count(id)).sum::<f64>() / 6.0;
         let err = relative_difference(cf + cs, cc);
-        assert!(err > 0.02, "stress compound should shift total work, err {err}");
+        assert!(
+            err > 0.02,
+            "stress compound should shift total work, err {err}"
+        );
     }
 
     #[test]

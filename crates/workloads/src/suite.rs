@@ -68,14 +68,20 @@ fn class_a_families() -> Vec<Box<dyn Fn(f64) -> BoxedApp>> {
         Box::new(Fft2d::new((8_000.0 + 18_000.0 * t) as usize)) as BoxedApp
     }));
     for kernel in NpbKernel::ALL {
-        fams.push(Box::new(move |t| Box::new(NpbApp::new(kernel, 0.4 + 2.6 * t)) as BoxedApp));
+        fams.push(Box::new(move |t| {
+            Box::new(NpbApp::new(kernel, 0.4 + 2.6 * t)) as BoxedApp
+        }));
     }
     fams.push(Box::new(|t| Box::new(Hpcg::new(0.3 + 2.2 * t)) as BoxedApp));
     for kind in [StressKind::Cpu, StressKind::Vm, StressKind::Io] {
-        fams.push(Box::new(move |t| Box::new(Stress::new(kind, 2.0 + 10.0 * t)) as BoxedApp));
+        fams.push(Box::new(move |t| {
+            Box::new(Stress::new(kind, 2.0 + 10.0 * t)) as BoxedApp
+        }));
     }
     for kind in MiscKind::ALL {
-        fams.push(Box::new(move |t| Box::new(MiscApp::new(kind, 0.4 + 2.8 * t)) as BoxedApp));
+        fams.push(Box::new(move |t| {
+            Box::new(MiscApp::new(kind, 0.4 + 2.8 * t)) as BoxedApp
+        }));
     }
     fams
 }
@@ -267,7 +273,10 @@ mod tests {
         assert_eq!(suite.len(), 50);
         for app in &suite {
             let name = app.name();
-            assert!(name.starts_with("dgemm-") || name.starts_with("fft-"), "{name}");
+            assert!(
+                name.starts_with("dgemm-") || name.starts_with("fft-"),
+                "{name}"
+            );
         }
     }
 
@@ -275,7 +284,10 @@ mod tests {
     fn class_b_regression_suite_has_801_points() {
         let suite = class_b_regression_suite();
         assert_eq!(suite.len(), 801);
-        let dgemm = suite.iter().filter(|a| a.name().starts_with("dgemm-")).count();
+        let dgemm = suite
+            .iter()
+            .filter(|a| a.name().starts_with("dgemm-"))
+            .count();
         assert_eq!(dgemm, 501);
         assert_eq!(suite.len() - dgemm, 300);
     }
@@ -285,8 +297,12 @@ mod tests {
         let compounds = class_b_compounds(CLASS_B_COMPOUND_COUNT, 5);
         assert_eq!(compounds.len(), 30);
         let names: Vec<String> = compounds.iter().map(|c| c.name()).collect();
-        assert!(names.iter().any(|n| n.starts_with("dgemm") && n.contains(";fft")));
-        assert!(names.iter().any(|n| n.starts_with("fft") && n.contains(";dgemm")));
+        assert!(names
+            .iter()
+            .any(|n| n.starts_with("dgemm") && n.contains(";fft")));
+        assert!(names
+            .iter()
+            .any(|n| n.starts_with("fft") && n.contains(";dgemm")));
     }
 
     #[test]
@@ -299,7 +315,11 @@ mod tests {
         }
         let sk = PlatformSpec::intel_skylake();
         for app in class_b_base_suite(10) {
-            assert!(app.segments(&sk)[0].total_activity().is_physical(), "{}", app.name());
+            assert!(
+                app.segments(&sk)[0].total_activity().is_physical(),
+                "{}",
+                app.name()
+            );
         }
     }
 }

@@ -28,7 +28,10 @@ const CANDIDATES: [&str; 12] = [
 
 fn main() {
     let mut machine = Machine::new(PlatformSpec::intel_skylake(), 7);
-    let events = machine.catalog().ids(&CANDIDATES).expect("all candidates exist");
+    let events = machine
+        .catalog()
+        .ids(&CANDIDATES)
+        .expect("all candidates exist");
 
     // Twelve DGEMM/FFT compounds, as in the paper's Class B methodology.
     let cases: Vec<CompoundCase> = class_b_compound_pairs(12, 7)
@@ -37,12 +40,22 @@ fn main() {
         .collect();
 
     let checker = AdditivityChecker::new(AdditivityTest::default());
-    let report = checker.check(&mut machine, &events, &cases).expect("check runs");
+    let report = checker
+        .check(&mut machine, &events, &cases)
+        .expect("check runs");
 
-    println!("Additivity audit over {} compound applications (tolerance {:.0}%):\n", 12, report.tolerance_pct());
+    println!(
+        "Additivity audit over {} compound applications (tolerance {:.0}%):\n",
+        12,
+        report.tolerance_pct()
+    );
     print!("{}", report.to_table());
 
-    let additive = report.entries().iter().filter(|e| e.verdict == Verdict::Additive).count();
+    let additive = report
+        .entries()
+        .iter()
+        .filter(|e| e.verdict == Verdict::Additive)
+        .count();
     println!(
         "\n{additive}/{} candidates are potentially additive.",
         report.entries().len()

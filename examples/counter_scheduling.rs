@@ -17,7 +17,10 @@ fn main() {
         let all = catalog.all_ids();
         let groups = schedule(&catalog, &all).expect("full catalog schedules");
 
-        let solo = catalog.iter().filter(|(_, e)| e.constraint == CounterConstraint::Solo).count();
+        let solo = catalog
+            .iter()
+            .filter(|(_, e)| e.constraint == CounterConstraint::Solo)
+            .count();
         let pair = catalog
             .iter()
             .filter(|(_, e)| e.constraint == CounterConstraint::PairOnly)
@@ -26,7 +29,10 @@ fn main() {
             .iter()
             .filter(|(_, e)| matches!(e.constraint, CounterConstraint::CounterMask(_)))
             .count();
-        let fixed = catalog.iter().filter(|(_, e)| e.constraint == CounterConstraint::Fixed).count();
+        let fixed = catalog
+            .iter()
+            .filter(|(_, e)| e.constraint == CounterConstraint::Fixed)
+            .count();
 
         println!("{arch}:");
         println!("  events offered          {}", catalog.len());

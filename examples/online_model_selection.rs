@@ -48,13 +48,17 @@ fn main() {
     }
     let base_refs: Vec<&dyn Application> = base_apps.iter().map(|a| a.as_ref()).collect();
     println!("building a {}-point base training set …", base_refs.len());
-    let train = build_dataset(&mut machine, &mut meter, &base_refs, &events, 1).expect("collection");
+    let train =
+        build_dataset(&mut machine, &mut meter, &base_refs, &events, 1).expect("collection");
 
     // Deployment data: compound applications.
     let compounds = class_b_compounds(16, 99);
     let compound_refs: Vec<&dyn Application> =
         compounds.iter().map(|c| c as &dyn Application).collect();
-    println!("building a {}-point compound deployment set …\n", compound_refs.len());
+    println!(
+        "building a {}-point compound deployment set …\n",
+        compound_refs.len()
+    );
     let deploy =
         build_dataset(&mut machine, &mut meter, &compound_refs, &events, 1).expect("collection");
 
@@ -70,7 +74,10 @@ fn main() {
     let strategies = [
         ("correlation only", SelectionStrategy::Correlation { k: 4 }),
         ("additivity only", SelectionStrategy::Additivity { k: 4 }),
-        ("additive → correlation", SelectionStrategy::AdditiveThenCorrelation { k: 4, pool: 5 }),
+        (
+            "additive → correlation",
+            SelectionStrategy::AdditiveThenCorrelation { k: 4, pool: 5 },
+        ),
         ("PCA loading", SelectionStrategy::Pca { k: 4 }),
     ];
 
@@ -83,7 +90,10 @@ fn main() {
         let mut lr = LinearRegression::paper_constrained();
         lr.fit(train_k.rows(), train_k.targets()).expect("fit");
         let err = PredictionErrors::evaluate(&lr, deploy_k.rows(), deploy_k.targets());
-        println!("{label:<24} avg err {:>6.2}%  (min {:.2}, max {:.2})", err.avg, err.min, err.max);
+        println!(
+            "{label:<24} avg err {:>6.2}%  (min {:.2}, max {:.2})",
+            err.avg, err.min, err.max
+        );
         println!("{:<24} uses: {}\n", "", chosen.join(", "));
     }
     println!(

@@ -32,19 +32,36 @@ fn main() {
     // 3. Collect a few PMCs — note the multi-run cost of constrained events.
     let events = machine
         .catalog()
-        .ids(&["UOPS_EXECUTED_CORE", "MEM_INST_RETIRED_ALL_STORES", "ARITH_DIVIDER_COUNT"])
+        .ids(&[
+            "UOPS_EXECUTED_CORE",
+            "MEM_INST_RETIRED_ALL_STORES",
+            "ARITH_DIVIDER_COUNT",
+        ])
         .expect("catalog events");
     let pmcs = collect_all(&mut machine, &dgemm, &events).expect("collection");
-    println!("\nPMCs ({} runs needed — the divider only counts alone):", pmcs.runs_used);
+    println!(
+        "\nPMCs ({} runs needed — the divider only counts alone):",
+        pmcs.runs_used
+    );
     for &id in &events {
-        println!("  {:<32} {:>18.0}", machine.catalog().event(id).name, pmcs.get(id));
+        println!(
+            "  {:<32} {:>18.0}",
+            machine.catalog().event(id).name,
+            pmcs.get(id)
+        );
     }
 
     // 4. The paper's additivity test on a DGEMM;FFT compound.
-    let cases = vec![CompoundCase::new(Box::new(Dgemm::new(9_000)), Box::new(Fft2d::new(24_000)))];
+    let cases = vec![CompoundCase::new(
+        Box::new(Dgemm::new(9_000)),
+        Box::new(Fft2d::new(24_000)),
+    )];
     let report = AdditivityChecker::default()
         .check(&mut machine, &events, &cases)
         .expect("additivity check");
-    println!("\nadditivity test (tolerance {:.0}%):", report.tolerance_pct());
+    println!(
+        "\nadditivity test (tolerance {:.0}%):",
+        report.tolerance_pct()
+    );
     print!("{}", report.to_table());
 }

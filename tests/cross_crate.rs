@@ -24,7 +24,10 @@ fn meter_matches_simulator_ground_truth() {
         let measured = meter.measure_dynamic_energy(&mut machine, &app).mean_joules;
         let truth = machine.run(&app).dynamic_energy_joules;
         let rel = (measured - truth).abs() / truth;
-        assert!(rel < 0.08, "n={n}: meter {measured} vs truth {truth} ({rel:.3})");
+        assert!(
+            rel < 0.08,
+            "n={n}: meter {measured} vs truth {truth} ({rel:.3})"
+        );
     }
 }
 
@@ -40,7 +43,9 @@ fn measured_energy_is_additive_for_dgemm_fft_compounds() {
         let ea = meter.measure_dynamic_energy(&mut machine, &a).mean_joules;
         let eb = meter.measure_dynamic_energy(&mut machine, &b).mean_joules;
         let compound = pmca_cpusim::app::CompoundApp::pair(a, b);
-        let eab = meter.measure_dynamic_energy(&mut machine, &compound).mean_joules;
+        let eab = meter
+            .measure_dynamic_energy(&mut machine, &compound)
+            .mean_joules;
         let err = ((ea + eb) - eab).abs() / (ea + eb);
         assert!(err < 0.05, "({dn},{fn_}): {ea}+{eb} vs {eab} → {err:.3}");
     }
@@ -75,10 +80,27 @@ fn additive_set_passes_and_nonadditive_set_fails() {
             "FP_ARITH_INST_RETIRED_DOUBLE" | "MEM_INST_RETIRED_ALL_STORES" | "UOPS_EXECUTED_CORE"
         );
         if expect_additive {
-            assert_eq!(entry.verdict, Verdict::Additive, "{}: {:.2}%", entry.name, entry.max_error_pct);
-            assert!(entry.max_error_pct < 1.0, "{}: {:.2}%", entry.name, entry.max_error_pct);
+            assert_eq!(
+                entry.verdict,
+                Verdict::Additive,
+                "{}: {:.2}%",
+                entry.name,
+                entry.max_error_pct
+            );
+            assert!(
+                entry.max_error_pct < 1.0,
+                "{}: {:.2}%",
+                entry.name,
+                entry.max_error_pct
+            );
         } else {
-            assert_eq!(entry.verdict, Verdict::NonAdditive, "{}: {:.2}%", entry.name, entry.max_error_pct);
+            assert_eq!(
+                entry.verdict,
+                Verdict::NonAdditive,
+                "{}: {:.2}%",
+                entry.name,
+                entry.max_error_pct
+            );
         }
     }
 }
@@ -92,7 +114,11 @@ fn linear_model_on_additive_pmcs_predicts_energy_well() {
     let mut meter = HclWattsUp::with_methodology(&machine, 4, Methodology::quick());
     let events = machine
         .catalog()
-        .ids(&["UOPS_EXECUTED_CORE", "FP_ARITH_INST_RETIRED_DOUBLE", "MEM_INST_RETIRED_ALL_STORES"])
+        .ids(&[
+            "UOPS_EXECUTED_CORE",
+            "FP_ARITH_INST_RETIRED_DOUBLE",
+            "MEM_INST_RETIRED_ALL_STORES",
+        ])
         .unwrap();
 
     let apps: Vec<Box<dyn Application>> = (0..24)
@@ -123,12 +149,16 @@ fn divider_is_correlated_yet_non_additive() {
     let mut meter = HclWattsUp::with_methodology(&machine, 5, Methodology::quick());
     let div = machine.catalog().ids(&["ARITH_DIVIDER_COUNT"]).unwrap();
 
-    let apps: Vec<Box<dyn Application>> =
-        (0..16).map(|i| Box::new(Dgemm::new(7_000 + 1_500 * i)) as Box<dyn Application>).collect();
+    let apps: Vec<Box<dyn Application>> = (0..16)
+        .map(|i| Box::new(Dgemm::new(7_000 + 1_500 * i)) as Box<dyn Application>)
+        .collect();
     let refs: Vec<&dyn Application> = apps.iter().map(|a| a.as_ref()).collect();
     let dataset = build_dataset(&mut machine, &mut meter, &refs, &div, 1).unwrap();
     let corr = pearson(&dataset.column(0), dataset.targets()).unwrap();
-    assert!(corr > 0.9, "divider should correlate with energy on DGEMM sweeps, got {corr:.3}");
+    assert!(
+        corr > 0.9,
+        "divider should correlate with energy on DGEMM sweeps, got {corr:.3}"
+    );
 
     let cases: Vec<CompoundCase> = class_b_compound_pairs(6, 5)
         .into_iter()

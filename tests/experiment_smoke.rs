@@ -39,12 +39,20 @@ fn class_a_smoke_produces_paper_shaped_results() {
     for row in &results.lr {
         let coeffs = row.coefficients.as_ref().unwrap();
         assert_eq!(coeffs.len(), row.pmcs.len());
-        assert!(coeffs.iter().all(|&c| c >= 0.0), "{}: negative coefficient", row.model);
+        assert!(
+            coeffs.iter().all(|&c| c >= 0.0),
+            "{}: negative coefficient",
+            row.model
+        );
     }
 
     // The headline: dropping non-additive PMCs improves the LR average
     // error; the best rung beats the all-six rung.
-    let best_lr = results.lr.iter().map(|r| r.errors.avg).fold(f64::INFINITY, f64::min);
+    let best_lr = results
+        .lr
+        .iter()
+        .map(|r| r.errors.avg)
+        .fold(f64::INFINITY, f64::min);
     assert!(
         best_lr < results.lr[0].errors.avg,
         "no LR improvement: all-six {:.1}% vs best {:.1}%",
@@ -71,10 +79,20 @@ fn class_b_and_c_smoke_produce_paper_shaped_results() {
     for entry in results.additivity.entries() {
         let name = entry.name.as_str();
         if PA.contains(&name) {
-            assert_eq!(entry.verdict, Verdict::Additive, "{name}: {:.2}%", entry.max_error_pct);
+            assert_eq!(
+                entry.verdict,
+                Verdict::Additive,
+                "{name}: {:.2}%",
+                entry.max_error_pct
+            );
         } else {
             assert!(PNA.contains(&name), "unexpected event {name}");
-            assert_ne!(entry.verdict, Verdict::Additive, "{name}: {:.2}%", entry.max_error_pct);
+            assert_ne!(
+                entry.verdict,
+                Verdict::Additive,
+                "{name}: {:.2}%",
+                entry.max_error_pct
+            );
         }
     }
 
@@ -90,7 +108,10 @@ fn class_b_and_c_smoke_produce_paper_shaped_results() {
     // RF-A vs RF-NA is statistically close in this reproduction (the paper
     // saw a modest 29% vs 37% gap); assert RF-A is at least competitive.
     let model_names: Vec<&str> = results.models.iter().map(|m| m.model.as_str()).collect();
-    assert_eq!(model_names, vec!["LR-A", "LR-NA", "RF-A", "RF-NA", "NN-A", "NN-NA"]);
+    assert_eq!(
+        model_names,
+        vec!["LR-A", "LR-NA", "RF-A", "RF-NA", "NN-A", "NN-NA"]
+    );
     for family in [0, 4] {
         let a = results.models[family].errors.avg;
         let na = results.models[family + 1].errors.avg;
@@ -103,7 +124,10 @@ fn class_b_and_c_smoke_produce_paper_shaped_results() {
     }
     let rf_a = results.models[2].errors.avg;
     let rf_na = results.models[3].errors.avg;
-    assert!(rf_a < rf_na * 1.5 + 5.0, "RF-A ({rf_a:.1}%) far worse than RF-NA ({rf_na:.1}%)");
+    assert!(
+        rf_a < rf_na * 1.5 + 5.0,
+        "RF-A ({rf_a:.1}%) far worse than RF-NA ({rf_na:.1}%)"
+    );
 
     assert!(results.table6().contains("FP_ARITH_INST_RETIRED_DOUBLE"));
     assert!(results.table7a().contains("NN-NA"));
@@ -119,7 +143,10 @@ fn class_b_and_c_smoke_produce_paper_shaped_results() {
         assert!(PNA.contains(&name.as_str()), "{name} not in PNA");
     }
     let c_names: Vec<&str> = c.models.iter().map(|m| m.model.as_str()).collect();
-    assert_eq!(c_names, vec!["LR-A4", "LR-NA4", "RF-A4", "RF-NA4", "NN-A4", "NN-NA4"]);
+    assert_eq!(
+        c_names,
+        vec!["LR-A4", "LR-NA4", "RF-A4", "RF-NA4", "NN-A4", "NN-NA4"]
+    );
     // PA4 models beat PNA4 models on average for LR and NN; RF is held to
     // the competitive bound (see the Class B comment above).
     for family in [0, 4] {
@@ -134,6 +161,9 @@ fn class_b_and_c_smoke_produce_paper_shaped_results() {
     }
     let rf_a4 = c.models[2].errors.avg;
     let rf_na4 = c.models[3].errors.avg;
-    assert!(rf_a4 < rf_na4 * 1.5 + 5.0, "RF-A4 ({rf_a4:.1}%) far worse than RF-NA4 ({rf_na4:.1}%)");
+    assert!(
+        rf_a4 < rf_na4 * 1.5 + 5.0,
+        "RF-A4 ({rf_a4:.1}%) far worse than RF-NA4 ({rf_na4:.1}%)"
+    );
     assert!(c.table7b().contains("LR-NA4"));
 }

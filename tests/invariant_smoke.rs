@@ -1,0 +1,249 @@
+//! Fixed-input smoke tests mirroring the invariants of the property-test
+//! suites (`substrate_properties`, `pipeline_properties`).
+//!
+//! The property suites are gated behind the off-by-default `proptest`
+//! feature; this file keeps one deterministic case of every invariant in
+//! the default `cargo test` run so regressions surface without opting in.
+
+use pmca_cpusim::activity::{Activity, ActivityField};
+use pmca_cpusim::app::{Application, CompoundApp, Footprint, SyntheticApp};
+use pmca_cpusim::catalog::EventCatalog;
+use pmca_cpusim::{CounterConstraint, EventId, Machine, MicroArch, PlatformSpec};
+use pmca_mlkit::{LinearRegression, Regressor};
+use pmca_pmctools::multiplex::Multiplexer;
+use pmca_pmctools::scheduler::{schedule, PROGRAMMABLE_COUNTERS};
+use pmca_stats::confidence::{student_t_cdf, t_critical};
+use pmca_stats::correlation::{mid_ranks, pearson};
+use pmca_stats::descriptive::{mean, quantile, std_dev};
+
+fn sample_app(name: &str, memory_intensity: f64) -> SyntheticApp {
+    SyntheticApp::balanced(name, 8e9)
+        .with_memory_intensity(memory_intensity)
+        .with_footprint(Footprint {
+            code_kib: 120.0,
+            data_mib: 64.0,
+            branch_irregularity: 0.3,
+            microcode_intensity: 0.1,
+            adaptivity: 0.0,
+        })
+}
+
+#[test]
+fn pearson_saturates_on_affine_relations() {
+    let xs: Vec<f64> = (0..40).map(|i| i as f64 * 3.5 - 20.0).collect();
+    let up: Vec<f64> = xs.iter().map(|x| 2.0 * x + 7.0).collect();
+    let down: Vec<f64> = xs.iter().map(|x| -0.5 * x + 1.0).collect();
+    let r_up = pearson(&xs, &up).unwrap();
+    let r_down = pearson(&xs, &down).unwrap();
+    assert!((r_up - 1.0).abs() < 1e-9, "{r_up}");
+    assert!((r_down + 1.0).abs() < 1e-9, "{r_down}");
+}
+
+#[test]
+fn quantiles_are_monotone_and_bounded() {
+    let xs = vec![4.0, -1.0, 9.5, 2.25, 0.0, 7.125, -3.5];
+    let mut prev = f64::NEG_INFINITY;
+    for step in 0..=10 {
+        let q = quantile(&xs, step as f64 / 10.0);
+        assert!(q >= prev - 1e-12, "quantile not monotone at step {step}");
+        assert!((-3.5..=9.5).contains(&q), "{q} outside sample range");
+        prev = q;
+    }
+}
+
+#[test]
+fn student_t_cdf_behaves_like_a_cdf() {
+    for &df in &[1usize, 5, 30, 120] {
+        let mut prev = 0.0;
+        for step in -20..=20 {
+            let t = step as f64 * 0.5;
+            let c = student_t_cdf(t, df);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev - 1e-12, "not monotone at t={t}, df={df}");
+            assert!(
+                (c + student_t_cdf(-t, df) - 1.0).abs() < 1e-8,
+                "asymmetric at t={t}"
+            );
+            prev = c;
+        }
+    }
+}
+
+#[test]
+fn t_critical_is_monotone_in_confidence_and_df() {
+    let base = t_critical(10, 0.9);
+    assert!(base > 0.0);
+    assert!(t_critical(10, 0.95) > base);
+    assert!(t_critical(40, 0.9) < base);
+}
+
+#[test]
+fn mean_and_std_are_affine_equivariant() {
+    let xs = vec![1.0, 4.0, -2.0, 8.0, 3.0, 3.0];
+    let (a, b) = (-2.5, 11.0);
+    let ys: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+    assert!((mean(&ys) - (a * mean(&xs) + b)).abs() < 1e-9);
+    assert!((std_dev(&ys) - a.abs() * std_dev(&xs)).abs() < 1e-9);
+}
+
+#[test]
+fn event_formulas_are_physical_on_both_catalogs() {
+    let cycles = 3.7e10;
+    for arch in [MicroArch::Haswell, MicroArch::Skylake] {
+        let mut activity = Activity::zero();
+        for (i, &field) in ActivityField::ALL.iter().enumerate() {
+            activity.set(field, cycles * (0.05 + 0.11 * i as f64 % 3.9));
+        }
+        activity.set(ActivityField::Cycles, cycles);
+        activity.set(ActivityField::Seconds, cycles / 2.5e9);
+        let catalog = EventCatalog::for_micro_arch(arch);
+        for (id, def) in catalog.iter() {
+            let count = def.formula.base_count(&activity);
+            assert!(
+                count.is_finite() && count >= 0.0,
+                "{arch} {id} {}: {count}",
+                def.name
+            );
+        }
+    }
+}
+
+#[test]
+fn energy_is_additive_for_fixed_work_apps() {
+    let mut machine = Machine::new(PlatformSpec::intel_haswell(), 41);
+    let a = sample_app("smoke-a", 0.15);
+    let b = sample_app("smoke-b", 0.55);
+    let avg = |m: &mut Machine, app: &dyn Application| -> f64 {
+        (0..4)
+            .map(|_| m.run(app).dynamic_energy_joules)
+            .sum::<f64>()
+            / 4.0
+    };
+    let ea = avg(&mut machine, &a);
+    let eb = avg(&mut machine, &b);
+    let eab = avg(&mut machine, &CompoundApp::pair(a, b));
+    let rel = ((ea + eb) - eab).abs() / (ea + eb);
+    assert!(rel < 0.03, "{ea} + {eb} vs {eab} (rel {rel})");
+}
+
+#[test]
+fn schedule_of_mixed_subset_is_valid() {
+    for arch in [MicroArch::Haswell, MicroArch::Skylake] {
+        let catalog = EventCatalog::for_micro_arch(arch);
+        let ids: Vec<EventId> = (0..25).map(|i| EventId((i * 13) % catalog.len())).collect();
+        let groups = schedule(&catalog, &ids).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for group in &groups {
+            assert!(!group.events.is_empty());
+            assert!(group.events.len() <= PROGRAMMABLE_COUNTERS);
+            for &id in &group.events {
+                assert!(seen.insert(id), "{id} scheduled twice");
+                assert!(
+                    group.events.len() <= catalog.event(id).constraint.max_group_size(),
+                    "{id} group-size violation"
+                );
+            }
+        }
+        for &id in &ids {
+            let fixed = catalog.event(id).constraint == CounterConstraint::Fixed;
+            assert!(fixed || seen.contains(&id), "{id} missing from schedule");
+        }
+    }
+}
+
+#[test]
+fn nnls_fit_is_nonnegative_with_zero_intercept() {
+    let rows: Vec<Vec<f64>> = (0..24)
+        .map(|i| {
+            let t = i as f64;
+            vec![t, (t * 1.7) % 11.0 - 5.0, 30.0 - t]
+        })
+        .collect();
+    let y: Vec<f64> = rows
+        .iter()
+        .map(|r| -3.0 * r[0] + 0.3 * r[1] - 0.7 * r[2])
+        .collect();
+    let mut lr = LinearRegression::paper_constrained();
+    lr.fit(&rows, &y).unwrap();
+    assert_eq!(lr.intercept(), 0.0);
+    for &c in lr.coefficients() {
+        assert!(c >= 0.0, "negative coefficient {c}");
+    }
+}
+
+#[test]
+fn mid_ranks_sum_to_triangular_number() {
+    let xs = vec![5.0, 5.0, -1.0, 3.25, 5.0, 0.0, 3.25];
+    let n = xs.len() as f64;
+    let sum: f64 = mid_ranks(&xs).iter().sum();
+    assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn self_composition_doubles_committed_counts() {
+    let mut machine = Machine::new(PlatformSpec::intel_skylake(), 97);
+    let app = sample_app("smoke-double", 0.4);
+    let id = machine.catalog().id("MEM_INST_RETIRED_ALL_STORES").unwrap();
+    let solo: f64 = (0..4).map(|_| machine.run(&app).count(id)).sum::<f64>() / 4.0;
+    let twice = CompoundApp::pair(app.clone(), app);
+    let double: f64 = (0..4).map(|_| machine.run(&twice).count(id)).sum::<f64>() / 4.0;
+    let rel = (double - 2.0 * solo).abs() / (2.0 * solo);
+    assert!(rel < 0.03, "solo {solo}, composed {double} (rel {rel})");
+}
+
+#[test]
+fn runs_are_physical_on_both_platforms() {
+    for (spec, seed) in [
+        (PlatformSpec::intel_haswell(), 5u64),
+        (PlatformSpec::intel_skylake(), 6),
+    ] {
+        let mut machine = Machine::new(spec, seed);
+        let record = machine.run(&sample_app("smoke-phys", 0.3));
+        assert!(record.duration_s.is_finite() && record.duration_s > 0.0);
+        assert!(record.dynamic_energy_joules.is_finite() && record.dynamic_energy_joules >= 0.0);
+        for (i, &c) in record.counts.iter().enumerate() {
+            assert!(c.is_finite() && c >= 0.0, "event {i}: {c}");
+        }
+        for p in &record.phase_powers {
+            assert!(p.dynamic_watts.is_finite() && p.dynamic_watts >= 0.0);
+            assert!(
+                p.dynamic_watts <= machine.spec().max_dynamic_watts() * 1.3,
+                "{} W exceeds budget",
+                p.dynamic_watts
+            );
+        }
+    }
+}
+
+#[test]
+fn equation_1_is_symmetric_scale_invariant_and_exact_on_additive_triples() {
+    use pmca_additivity::AdditivityTest;
+    let (b1, b2, c) = (3.2e9, 1.1e9, 5.0e9);
+    let e = AdditivityTest::equation_1_error_pct(b1, b2, c);
+    let e_swapped = AdditivityTest::equation_1_error_pct(b2, b1, c);
+    assert!((e - e_swapped).abs() < 1e-9 * e.max(1.0));
+    let e_scaled = AdditivityTest::equation_1_error_pct(b1 * 250.0, b2 * 250.0, c * 250.0);
+    assert!(
+        (e - e_scaled).abs() < 1e-6 * e.max(1.0),
+        "{e} vs {e_scaled}"
+    );
+    assert!(AdditivityTest::equation_1_error_pct(b1, b2, b1 + b2).abs() < 1e-9);
+}
+
+#[test]
+fn multiplexer_output_is_well_formed() {
+    let mut machine = Machine::new(PlatformSpec::intel_skylake(), 13);
+    let app = sample_app("smoke-mux", 0.25);
+    let all = machine.catalog().all_ids();
+    let ids: Vec<EventId> = (0..9).map(|i| all[(i * 37 + 13) % all.len()]).collect();
+    let before = machine.runs_executed();
+    let pmcs = Multiplexer::default()
+        .collect(&mut machine, &app, &ids)
+        .unwrap();
+    assert_eq!(machine.runs_executed() - before, 1);
+    let unique: std::collections::HashSet<_> = ids.iter().collect();
+    assert_eq!(pmcs.values.len(), unique.len());
+    for (&id, &v) in &pmcs.values {
+        assert!(v.is_finite() && v >= 0.0, "{id}: {v}");
+    }
+}

@@ -35,7 +35,10 @@ fn measurement_taxonomy_behaves_as_the_paper_describes() {
     let sensor = RaplSensor::default();
     let compute = machine.run(&Dgemm::new(14_000));
     let memory = machine.run(&Fft2d::new(26_000));
-    assert!(sensor.relative_error(&compute) > 0.0, "compute-bound should overestimate");
+    assert!(
+        sensor.relative_error(&compute) > 0.0,
+        "compute-bound should overestimate"
+    );
     assert!(
         sensor.relative_error(&memory) < sensor.relative_error(&compute),
         "memory-bound bias must be lower"
@@ -63,7 +66,9 @@ fn multiplexing_trades_runs_for_accuracy() {
         .unwrap();
 
     let grouped = collect_all(&mut machine, &app, &events).unwrap();
-    let muxed = Multiplexer::default().collect(&mut machine, &app, &events).unwrap();
+    let muxed = Multiplexer::default()
+        .collect(&mut machine, &app, &events)
+        .unwrap();
 
     assert!(grouped.runs_used >= 3, "grouped should need several runs");
     assert_eq!(muxed.runs_used, 1, "multiplexing must cost one run");
@@ -87,7 +92,10 @@ fn online_model_generalises_to_pipelines() {
     for i in 0..10 {
         apps.push(Box::new(Dgemm::new(8_000 + 2_000 * i)));
         apps.push(Box::new(Fft2d::new(23_000 + 1_500 * i)));
-        apps.push(Box::new(PipelineApp::etl(&format!("train{i}"), 0.5 + 0.35 * i as f64)));
+        apps.push(Box::new(PipelineApp::etl(
+            &format!("train{i}"),
+            0.5 + 0.35 * i as f64,
+        )));
     }
     let refs: Vec<&dyn Application> = apps.iter().map(|a| a.as_ref()).collect();
     let model = OnlineModel::train(
@@ -105,10 +113,16 @@ fn online_model_generalises_to_pipelines() {
 
     let unseen = PipelineApp::new(
         "deploy",
-        vec![(Stage::Load, 2.5), (Stage::Compute, 4.0), (Stage::Store, 1.5)],
+        vec![
+            (Stage::Load, 2.5),
+            (Stage::Compute, 4.0),
+            (Stage::Store, 1.5),
+        ],
     );
     let estimate = model.estimate(&mut machine, &unseen);
-    let truth = meter.measure_dynamic_energy(&mut machine, &unseen).mean_joules;
+    let truth = meter
+        .measure_dynamic_energy(&mut machine, &unseen)
+        .mean_joules;
     let rel = (estimate - truth).abs() / truth;
     assert!(rel < 0.5, "estimate {estimate} vs truth {truth} ({rel:.2})");
 }
@@ -124,7 +138,9 @@ fn pipeline_compounds_are_meter_additive() {
     let ea = meter.measure_dynamic_energy(&mut machine, &a).mean_joules;
     let eb = meter.measure_dynamic_energy(&mut machine, &b).mean_joules;
     let compound = pmca_cpusim::app::CompoundApp::pair(a, b);
-    let eab = meter.measure_dynamic_energy(&mut machine, &compound).mean_joules;
+    let eab = meter
+        .measure_dynamic_energy(&mut machine, &compound)
+        .mean_joules;
     let rel = ((ea + eb) - eab).abs() / (ea + eb);
     assert!(rel < 0.05, "{ea} + {eb} vs {eab} ({rel:.3})");
 }

@@ -1,5 +1,8 @@
 //! Property-based tests over the pipeline's core invariants.
 
+// Long-running property tests; enable with `--features proptest`.
+#![cfg(feature = "proptest")]
+
 use pmca_cpusim::app::{Application, CompoundApp, Footprint, SyntheticApp};
 use pmca_cpusim::{Machine, PlatformSpec};
 use pmca_mlkit::{LinearRegression, Regressor};
@@ -20,13 +23,17 @@ fn arbitrary_footprint() -> impl Strategy<Value = Footprint> {
 }
 
 fn arbitrary_app(tag: &'static str) -> impl Strategy<Value = SyntheticApp> {
-    (1e8f64..5e10, 0.0f64..0.8, arbitrary_footprint(), 0u32..1_000_000).prop_map(
-        move |(instructions, mem, fp, uniq)| {
+    (
+        1e8f64..5e10,
+        0.0f64..0.8,
+        arbitrary_footprint(),
+        0u32..1_000_000,
+    )
+        .prop_map(move |(instructions, mem, fp, uniq)| {
             SyntheticApp::balanced(&format!("{tag}-{uniq}"), instructions)
                 .with_memory_intensity(mem)
                 .with_footprint(fp)
-        },
-    )
+        })
 }
 
 proptest! {

@@ -1,0 +1,174 @@
+//! End-to-end serving round trip (ISSUE satellite): train an online model
+//! on the simulated Skylake, register it, start a TCP server on an
+//! ephemeral port, and verify that estimates served over the wire match
+//! the direct [`OnlineModel`] arithmetic — and that the run cache earns
+//! hits on repeated app-level queries.
+
+use pmca_core::online::OnlineModel;
+use pmca_cpusim::{Machine, PlatformSpec};
+use pmca_powermeter::{HclWattsUp, Methodology};
+use pmca_serve::{Client, EnergyService, Server};
+use pmca_workloads::parse::app_from_spec;
+use std::sync::Arc;
+use std::thread;
+
+const SEED: u64 = 123;
+
+const GOOD_SET: [&str; 4] = [
+    "UOPS_EXECUTED_CORE",
+    "FP_ARITH_INST_RETIRED_DOUBLE",
+    "MEM_INST_RETIRED_ALL_STORES",
+    "UOPS_DISPATCHED_PORT_PORT_4",
+];
+
+fn ladder() -> Vec<String> {
+    let mut specs = Vec::new();
+    for i in 0..12 {
+        specs.push(format!("dgemm:{}", 7_000 + 1_800 * i));
+        specs.push(format!("fft:{}", 23_000 + 1_200 * i));
+    }
+    specs
+}
+
+fn good_set() -> Vec<String> {
+    GOOD_SET.iter().map(|s| s.to_string()).collect()
+}
+
+/// Train the reference model exactly the way the service does: fresh
+/// machine from the same seed, same methodology, same workload ladder —
+/// so coefficients are bit-identical to the served model's.
+fn reference_model() -> OnlineModel {
+    let mut machine = Machine::new(PlatformSpec::intel_skylake(), SEED);
+    let mut meter = HclWattsUp::with_methodology(&machine, SEED, Methodology::quick());
+    let apps: Vec<_> = ladder().iter().map(|s| app_from_spec(s).unwrap()).collect();
+    let refs: Vec<&dyn pmca_cpusim::app::Application> = apps.iter().map(|a| a.as_ref()).collect();
+    OnlineModel::train(&mut machine, &mut meter, &GOOD_SET, &refs).unwrap()
+}
+
+#[test]
+fn served_estimates_match_the_direct_model() {
+    let service = Arc::new(EnergyService::new(4, 64, SEED));
+    let stored = service
+        .train_online("skylake", &good_set(), &ladder())
+        .unwrap();
+    assert_eq!(stored.version, 1);
+    assert_eq!(stored.key.family, "online");
+
+    let reference = reference_model();
+    let spec = reference.to_spec();
+    assert_eq!(spec.pmc_names, good_set(), "feature order preserved");
+
+    let server = Server::start(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    // Several count vectors spanning the training range, each estimated
+    // from its own client thread.
+    let probes: Vec<Vec<f64>> = (1..=6)
+        .map(|i| {
+            let scale = f64::from(i) * 0.5e10;
+            vec![4.0 * scale, 1.5 * scale, 0.4 * scale, 0.4 * scale]
+        })
+        .collect();
+    let handles: Vec<_> = probes
+        .iter()
+        .cloned()
+        .map(|counts| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let named: Vec<(String, f64)> = GOOD_SET
+                    .iter()
+                    .zip(&counts)
+                    .map(|(n, &v)| (n.to_string(), v))
+                    .collect();
+                let estimate = client.estimate("skylake", &named).unwrap();
+                client.quit().unwrap();
+                (counts, estimate)
+            })
+        })
+        .collect();
+
+    for handle in handles {
+        let (counts, served) = handle.join().unwrap();
+        let direct = reference.estimate_from_counts(&counts);
+        let tolerance = direct.abs().max(1.0) * 1e-9;
+        assert!(
+            (served.joules - direct).abs() <= tolerance,
+            "served {} vs direct {direct}",
+            served.joules
+        );
+        assert_eq!(served.family, "online");
+        assert_eq!(served.version, 1);
+        assert!(served.ci_half_width >= 0.0);
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.served, 6);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.workers, 4);
+}
+
+#[test]
+fn repeated_app_queries_hit_the_run_cache() {
+    let service = Arc::new(EnergyService::new(2, 64, SEED));
+    service
+        .train_online("skylake", &good_set(), &ladder())
+        .unwrap();
+    let server = Server::start(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let first = client.estimate_app("skylake", "dgemm:11500").unwrap();
+    assert!(first.joules > 0.0 && first.joules.is_finite());
+    let before = service.stats();
+    assert_eq!(before.cache_misses, 1);
+    assert_eq!(before.cache_hits, 0);
+
+    for _ in 0..3 {
+        let again = client.estimate_app("skylake", "dgemm:11500").unwrap();
+        assert_eq!(again, first, "cached counts make repeats identical");
+    }
+    let after = service.stats();
+    assert_eq!(after.cache_misses, 1, "only the first query collects");
+    assert_eq!(after.cache_hits, 3, "every repeat is a cache hit");
+
+    // A different workload misses again.
+    client.estimate_app("skylake", "fft:25000").unwrap();
+    assert_eq!(service.stats().cache_misses, 2);
+    client.quit().unwrap();
+}
+
+#[test]
+fn training_and_introspection_work_over_the_wire() {
+    let service = Arc::new(EnergyService::new(2, 32, SEED));
+    let server = Server::start(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // No model yet: app estimation fails with a protocol-level error.
+    assert!(client.estimate_app("skylake", "dgemm:9000").is_err());
+
+    let version = client.train("skylake", &good_set(), &ladder()).unwrap();
+    assert_eq!(version, 1);
+    let version = client.train("skylake", &good_set(), &ladder()).unwrap();
+    assert_eq!(version, 2, "retraining bumps the registry version");
+
+    let models = client.models().unwrap();
+    assert_eq!(models.len(), 2);
+    assert!(
+        models.iter().all(|line| line.contains("skylake online")),
+        "{models:?}"
+    );
+
+    let estimate = client.estimate_app("skylake", "dgemm:10000").unwrap();
+    assert_eq!(estimate.version, 2, "the latest version serves");
+
+    let stats = client.stats().unwrap();
+    let get = |key: &str| {
+        stats
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| panic!("missing {key} in {stats:?}"))
+    };
+    assert_eq!(get("models"), "2");
+    assert_eq!(get("workers"), "2");
+    client.quit().unwrap();
+}
