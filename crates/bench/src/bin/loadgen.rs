@@ -11,11 +11,17 @@
 //! ```text
 //! cargo run --release -p pmca-bench --bin loadgen -- \
 //!     [--addr HOST:PORT] [--clients N] [--requests M] [--workers W]
-//!     [--pipeline D] [--app-share PCT]
+//!     [--pipeline D] [--app-share PCT] [--no-metrics]
 //! ```
+//!
+//! After the run it fetches the server-side view via the `METRICS`
+//! command: per-command latency percentiles measured inside the server,
+//! next to the client-side numbers. `--no-metrics` builds the
+//! in-process server with inert instruments — run both ways to measure
+//! the observability overhead.
 
 use pmca_serve::protocol::parse_estimate_reply;
-use pmca_serve::{Client, EnergyService, Request, Server};
+use pmca_serve::{Client, Request, Server, ServiceConfig};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -44,6 +50,8 @@ struct Options {
     /// Out of 100: how many requests are app-level (cache-backed) rather
     /// than raw counter-level estimates.
     app_share: u32,
+    /// Build the in-process server with inert instruments (overhead A/B).
+    no_metrics: bool,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -54,6 +62,7 @@ fn parse_options() -> Result<Options, String> {
         workers: 4,
         pipeline: 64,
         app_share: 50,
+        no_metrics: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -72,6 +81,7 @@ fn parse_options() -> Result<Options, String> {
                     .filter(|&p| p <= 100)
                     .ok_or(format!("--app-share: {raw:?} is not a percentage"))?;
             }
+            "--no-metrics" => options.no_metrics = true,
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -124,10 +134,19 @@ fn main() {
         Some(addr) => addr.clone(),
         None => {
             println!(
-                "starting in-process server ({} inference workers)...",
-                options.workers
+                "starting in-process server ({} inference workers, metrics {})...",
+                options.workers,
+                if options.no_metrics { "off" } else { "on" }
             );
-            let service = Arc::new(EnergyService::new(options.workers, 1024, 42));
+            let service = Arc::new(
+                ServiceConfig::default()
+                    .workers(options.workers)
+                    .cache_capacity(1024)
+                    .seed(42)
+                    .metrics(!options.no_metrics)
+                    .build()
+                    .expect("build service"),
+            );
             let pmcs: Vec<String> = GOOD_SET.iter().map(|s| s.to_string()).collect();
             let ladder: Vec<String> = (0..10)
                 .flat_map(|i| {
@@ -233,6 +252,64 @@ fn main() {
             let line: Vec<String> = stats.iter().map(|(k, v)| format!("{k}={v}")).collect();
             println!("server stats: {}", line.join(" "));
         }
+        if let Ok(lines) = client.metrics() {
+            print_server_percentiles(&lines);
+        }
         let _ = client.quit();
+    }
+}
+
+/// Summarise the server-side view of the run: per-command latency
+/// quantiles out of the `METRICS` exposition lines, e.g.
+/// `pmca_serve_command_seconds{command="estimate",quantile="0.5"} 1.2e-5`.
+fn print_server_percentiles(lines: &[String]) {
+    if lines.is_empty() {
+        println!("server metrics: disabled");
+        return;
+    }
+    for command in ["estimate", "estimate-app"] {
+        let quantile = |q: &str| -> Option<f64> {
+            let prefix =
+                format!(r#"pmca_serve_command_seconds{{command="{command}",quantile="{q}"}} "#);
+            lines
+                .iter()
+                .find_map(|l| l.strip_prefix(&prefix))
+                .and_then(|v| v.parse().ok())
+        };
+        let samples: u64 = lines
+            .iter()
+            .find_map(|l| {
+                l.strip_prefix(&format!(
+                    r#"pmca_serve_command_seconds_count{{command="{command}"}} "#
+                ))
+            })
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        if samples == 0 {
+            println!("server-side {command:>12} latency: no samples (metrics disabled?)");
+            continue;
+        }
+        if let (Some(p50), Some(p95), Some(p99)) =
+            (quantile("0.5"), quantile("0.95"), quantile("0.99"))
+        {
+            println!(
+                "server-side {command:>12} latency: p50 {:?}  p95 {:?}  p99 {:?}",
+                Duration::from_secs_f64(p50),
+                Duration::from_secs_f64(p95),
+                Duration::from_secs_f64(p99)
+            );
+        }
+    }
+    for counter in [
+        "pmca_cache_hits_total",
+        "pmca_cache_misses_total",
+        "pmca_engine_queue_wait_seconds_count",
+    ] {
+        if let Some(v) = lines
+            .iter()
+            .find_map(|l| l.strip_prefix(&format!("{counter} ")))
+        {
+            println!("server-side {counter}: {v}");
+        }
     }
 }

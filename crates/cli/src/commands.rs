@@ -8,10 +8,9 @@ use pmca_cpusim::{Machine, PlatformSpec};
 use pmca_pmctools::collector::collect_all;
 use pmca_pmctools::scheduler::schedule;
 use pmca_powermeter::HclWattsUp;
-use pmca_serve::{Client, EnergyService, Server};
+use pmca_serve::{Client, Server, ServiceConfig};
 use pmca_workloads::parse::app_from_spec;
 use pmca_workloads::suite::class_b_compound_pairs;
-use std::path::Path;
 use std::sync::Arc;
 
 /// Usage text shown on any argument error.
@@ -45,13 +44,17 @@ usage:
       compositions break which counters
 
   slope-pmc serve [--addr HOST:PORT] [--workers N] [--cache N] [--registry DIR]
+                  [--metrics]
       run the energy estimation server (default 127.0.0.1:7771, 4 workers);
       speaks the line protocol: ESTIMATE, ESTIMATE-APP, TRAIN, MODELS,
-      STATS, QUIT; --registry loads saved models at startup
+      STATS, METRICS, QUIT; --registry loads saved models at startup;
+      --metrics serves until stdin closes, then dumps the metrics
+      snapshot (latency histograms + counters) before exiting
 
   slope-pmc query [--addr HOST:PORT] REQUEST...
       send one protocol request to a running server and print the reply
       (e.g.  slope-pmc query STATS
+             slope-pmc query METRICS
              slope-pmc query ESTIMATE-APP skylake dgemm:12000)";
 
 /// Parsed global options plus positional arguments.
@@ -65,6 +68,7 @@ struct Parsed {
     workers: usize,
     cache: usize,
     registry: Option<String>,
+    metrics_dump: bool,
     positional: Vec<String>,
 }
 
@@ -78,6 +82,7 @@ fn parse_options(args: &[String]) -> Result<Parsed, String> {
     let mut workers = 4;
     let mut cache = 256;
     let mut registry = None;
+    let mut metrics_dump = false;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -130,6 +135,7 @@ fn parse_options(args: &[String]) -> Result<Parsed, String> {
             "--registry" => {
                 registry = Some(it.next().ok_or("--registry needs a directory")?.clone());
             }
+            "--metrics" => metrics_dump = true,
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => positional.push(other.to_string()),
         }
@@ -144,6 +150,7 @@ fn parse_options(args: &[String]) -> Result<Parsed, String> {
         workers,
         cache,
         registry,
+        metrics_dump,
         positional,
     })
 }
@@ -382,15 +389,46 @@ fn cmd_matrix(options: Parsed) -> Result<(), String> {
 }
 
 fn cmd_serve(options: &Parsed) -> Result<(), String> {
-    let service = Arc::new(EnergyService::new(options.workers, options.cache, 1));
+    let mut config = ServiceConfig::default()
+        .workers(options.workers)
+        .cache_capacity(options.cache)
+        .seed(1);
     if let Some(dir) = &options.registry {
-        let loaded = service
-            .load_registry(Path::new(dir))
-            .map_err(|e| format!("--registry {dir}: {e}"))?;
-        println!("loaded {loaded} model(s) from {dir}");
+        config = config.registry_dir(dir);
     }
-    let server = Server::start(service, &options.addr)
+    let service = Arc::new(config.build().map_err(|e| match &options.registry {
+        Some(dir) => format!("--registry {dir}: {e}"),
+        None => e.to_string(),
+    })?);
+    if let Some(dir) = &options.registry {
+        println!("loaded {} model(s) from {dir}", service.stats().models);
+    }
+    let server = Server::start(Arc::clone(&service), &options.addr)
         .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
+    if options.metrics_dump {
+        println!(
+            "slope-pmc serving on {} ({} workers, {}-run cache); \
+             close stdin (Ctrl-D) for a metrics dump and exit",
+            server.addr(),
+            options.workers,
+            options.cache
+        );
+        // No signal handling in std: drain stdin so the operator (or a
+        // driving script) can end the run deterministically, then dump
+        // every instrument the METRICS command would expose.
+        let mut sink = String::new();
+        while let Ok(n) = std::io::stdin().read_line(&mut sink) {
+            if n == 0 {
+                break;
+            }
+            sink.clear();
+        }
+        println!("metrics at shutdown:");
+        for line in service.metrics_lines() {
+            println!("{line}");
+        }
+        return Ok(());
+    }
     println!(
         "slope-pmc serving on {} ({} workers, {}-run cache); stop with Ctrl-C",
         server.addr(),
@@ -415,6 +453,12 @@ fn cmd_query(options: &Parsed) -> Result<(), String> {
         println!("{} model(s) registered", models.len());
         for model in models {
             println!("  {model}");
+        }
+    } else if line.trim().eq_ignore_ascii_case("METRICS") {
+        let metrics = client.metrics().map_err(|e| e.to_string())?;
+        println!("{} metric line(s)", metrics.len());
+        for metric in metrics {
+            println!("  {metric}");
         }
     } else {
         let reply = client.send_line(&line).map_err(|e| e.to_string())?;
@@ -524,11 +568,19 @@ mod tests {
 
     #[test]
     fn query_round_trips_against_a_live_server() {
-        let service = Arc::new(EnergyService::new(1, 8, 1));
+        let service = Arc::new(
+            ServiceConfig::default()
+                .workers(1)
+                .cache_capacity(8)
+                .seed(1)
+                .build()
+                .unwrap(),
+        );
         let server = Server::start(service, "127.0.0.1:0").unwrap();
         let addr = server.addr().to_string();
         assert!(dispatch(&argv(&["query", "--addr", &addr, "STATS"])).is_ok());
         assert!(dispatch(&argv(&["query", "--addr", &addr, "MODELS"])).is_ok());
+        assert!(dispatch(&argv(&["query", "--addr", &addr, "METRICS"])).is_ok());
         // ERR replies are still successful round trips: the reply prints.
         assert!(dispatch(&argv(&[
             "query",

@@ -25,9 +25,23 @@ use crate::events::EventId;
 use crate::interference::InterferenceModel;
 use crate::power::PowerModel;
 use crate::spec::PlatformSpec;
+use pmca_obs::{Counter, Histogram, MetricsRegistry, Span};
 use pmca_stats::rng::{Rng, Xoshiro256pp};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::OnceLock;
+
+/// Global-registry handles for the simulator, resolved once per process.
+fn sim_metrics() -> &'static (Counter, Histogram) {
+    static METRICS: OnceLock<(Counter, Histogram)> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = MetricsRegistry::global();
+        (
+            registry.counter("pmca_sim_runs_total", &[]),
+            registry.histogram("pmca_sim_run_seconds", &[]),
+        )
+    })
+}
 
 /// Average dynamic power over one phase of a run, the input to the
 /// simulated power meter.
@@ -161,6 +175,9 @@ impl Machine {
 
     /// Execute one run of `app`, consuming fresh run-to-run noise.
     pub fn run(&mut self, app: &dyn Application) -> RunRecord {
+        let (runs, run_seconds) = sim_metrics();
+        runs.inc();
+        let _span = Span::enter(run_seconds);
         let run_index = self.run_counter;
         self.run_counter += 1;
         let app_name = app.name();

@@ -104,6 +104,7 @@ impl RandomForest {
 
 impl Regressor for RandomForest {
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), ModelError> {
+        let _span = crate::model::fit_span("forest");
         let width = validate_training_set(x, y)?;
         let mut rng = Xoshiro256pp::seed_from_u64(self.seed);
         let mtry = self

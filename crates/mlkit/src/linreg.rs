@@ -251,6 +251,7 @@ impl LinearRegression {
 
 impl Regressor for LinearRegression {
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), ModelError> {
+        let _span = crate::model::fit_span("linear");
         let width = validate_training_set(x, y)?;
         if self.nonnegative {
             self.fit_nonnegative(x, y, width)?;

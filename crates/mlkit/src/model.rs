@@ -1,7 +1,33 @@
 //! The common regressor interface.
 
+use pmca_obs::{MetricsRegistry, Span};
 use std::error::Error;
 use std::fmt;
+
+/// Open a span timing one model fit into
+/// `pmca_train_fit_seconds{family=...}` on the global registry, and count
+/// it in `pmca_train_fits_total{family=...}`.
+pub(crate) fn fit_span(family: &'static str) -> Span {
+    use pmca_obs::{Counter, Histogram};
+    use std::sync::OnceLock;
+    static LINEAR: OnceLock<(Counter, Histogram)> = OnceLock::new();
+    static FOREST: OnceLock<(Counter, Histogram)> = OnceLock::new();
+    static NEURAL: OnceLock<(Counter, Histogram)> = OnceLock::new();
+    let cell = match family {
+        "linear" => &LINEAR,
+        "forest" => &FOREST,
+        _ => &NEURAL,
+    };
+    let (fits, seconds) = cell.get_or_init(|| {
+        let registry = MetricsRegistry::global();
+        (
+            registry.counter("pmca_train_fits_total", &[("family", family)]),
+            registry.histogram("pmca_train_fit_seconds", &[("family", family)]),
+        )
+    });
+    fits.inc();
+    Span::enter(seconds)
+}
 
 /// Errors shared by all model fits.
 #[derive(Debug, Clone, PartialEq, Eq)]

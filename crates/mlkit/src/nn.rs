@@ -313,6 +313,7 @@ impl NeuralNet {
 
 impl Regressor for NeuralNet {
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), ModelError> {
+        let _span = crate::model::fit_span("neural");
         let width = validate_training_set(x, y)?;
         let n = x.len() as f64;
 

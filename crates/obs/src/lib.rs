@@ -1,0 +1,57 @@
+//! Observability substrate for the SLOPE-PMC serving and measurement
+//! stack.
+//!
+//! An always-on energy estimator (the deployment scenario the paper's
+//! Class C ≤ 4-PMC models exist for) must account for its own overhead:
+//! where request time goes, what the caches earn, what training and
+//! simulated collection cost. This crate is the plumbing for that —
+//! `std`-only, no external dependencies, lock-free on the recording hot
+//! path:
+//!
+//! - [`MetricsRegistry`] — a namespace of named instruments with
+//!   get-or-register semantics and a process-global default
+//!   ([`MetricsRegistry::global`]). Registration locks; recording never
+//!   does.
+//! - [`Counter`] / [`Gauge`] — single-atomic event counts and values.
+//! - [`Histogram`] — log₂-bucketed latency distributions with
+//!   p50/p95/p99/max readout; recording is a few relaxed atomic adds.
+//! - [`Span`] — scoped timers that record into a histogram on drop and
+//!   nest to attribute time across layers (total vs. exclusive time).
+//! - [`MetricsRegistry::render`] — Prometheus-style text exposition
+//!   (`name{label="v"} value`), served by the `METRICS` protocol
+//!   command.
+//!
+//! # Naming convention
+//!
+//! `pmca_<layer>_<what>_<unit>`: `pmca_serve_command_seconds`,
+//! `pmca_cache_hits_total`, `pmca_sim_run_seconds`. Histogram names end
+//! in `_seconds`; counters in `_total`. Label keys are fixed per metric
+//! (`command`, `kind`, `result`, `family`).
+//!
+//! # Examples
+//!
+//! ```
+//! use pmca_obs::{MetricsRegistry, Span};
+//!
+//! let registry = MetricsRegistry::new();
+//! let hits = registry.counter("pmca_demo_hits_total", &[]);
+//! let latency = registry.histogram("pmca_demo_seconds", &[("command", "demo")]);
+//! {
+//!     let _span = Span::enter(&latency);
+//!     hits.inc();
+//! }
+//! assert_eq!(hits.get(), 1);
+//! assert_eq!(latency.count(), 1);
+//! assert!(registry.render().iter().any(|l| l.starts_with("pmca_demo_hits_total ")));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+pub use registry::{MetricId, MetricsRegistry};
+pub use span::Span;

@@ -1,0 +1,371 @@
+//! The three instrument kinds: counters, gauges, and log-bucketed
+//! latency histograms.
+//!
+//! Every instrument is a cheap cloneable handle (an `Arc` around atomic
+//! state). The recording hot path takes no locks: counters and gauges
+//! are single atomic operations, and a histogram record is two or three
+//! relaxed atomic adds plus a CAS loop for the running maximum. Reads
+//! (`get`, `quantile`, exposition) are relaxed loads and may observe a
+//! slightly stale view while writers race — fine for monitoring, which
+//! never needs a consistent cut.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Number of log₂ buckets in a [`Histogram`]: one per power of two of
+/// nanoseconds, which spans 1 ns to ~584 years in 64 buckets.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A free-standing counter (registry-less, for tests).
+    pub fn standalone() -> Self {
+        Counter {
+            value: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can move both ways (queue depths, cache sizes).
+///
+/// Stored as the bit pattern of an `f64` in an `AtomicU64`.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A free-standing gauge (registry-less, for tests).
+    pub fn standalone() -> Self {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative) via a CAS loop.
+    pub fn add(&self, delta: f64) {
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self.bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramState {
+    /// Bucket `i` counts samples whose nanosecond value has
+    /// `floor(log2(ns)) == i` — i.e. bucket 0 holds `[0, 2)` ns and
+    /// bucket `i > 0` holds `[2^i, 2^(i+1))` ns.
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+    /// Shared with the owning registry: a disabled registry's histograms
+    /// skip span timing entirely.
+    enabled: Arc<AtomicBool>,
+}
+
+/// A latency distribution with logarithmic buckets and percentile
+/// readout.
+///
+/// Values are recorded in nanoseconds. Bucket boundaries are powers of
+/// two, so the relative resolution is a constant factor of two —
+/// percentiles are read back with linear interpolation inside the
+/// resolved bucket, which keeps the error well under the run-to-run
+/// noise of anything worth timing.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    state: Arc<HistogramState>,
+}
+
+/// Index of the bucket holding `ns`.
+#[inline]
+pub fn bucket_index(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        63 - ns.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `i`, nanoseconds.
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
+/// Exclusive upper bound of bucket `i`, nanoseconds (saturating for the
+/// last bucket).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        1u64 << (i + 1)
+    }
+}
+
+impl Histogram {
+    pub(crate) fn with_enabled(enabled: Arc<AtomicBool>) -> Self {
+        Histogram {
+            state: Arc::new(HistogramState {
+                buckets: [(); HISTOGRAM_BUCKETS].map(|()| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum_ns: AtomicU64::new(0),
+                max_ns: AtomicU64::new(0),
+                enabled,
+            }),
+        }
+    }
+
+    /// A free-standing, always-enabled histogram (registry-less, for
+    /// tests and ad-hoc timing).
+    pub fn standalone() -> Self {
+        Histogram::with_enabled(Arc::new(AtomicBool::new(true)))
+    }
+
+    /// Whether recording is live. [`crate::Span`] checks this before
+    /// reading the clock, so a disabled registry's spans cost one
+    /// relaxed load and nothing else.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.state.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Record one sample, in nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        let state = &*self.state;
+        state.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        state.count.fetch_add(1, Ordering::Relaxed);
+        state.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        let mut seen = state.max_ns.load(Ordering::Relaxed);
+        while ns > seen {
+            match state
+                .max_ns
+                .compare_exchange_weak(seen, ns, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(now) => seen = now,
+            }
+        }
+    }
+
+    /// Record one sample as a [`Duration`].
+    #[inline]
+    pub fn record(&self, duration: Duration) {
+        self.record_ns(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.state.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(self.state.sum_ns.load(Ordering::Relaxed))
+    }
+
+    /// Largest sample seen (exact, not bucket-resolved).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.state.max_ns.load(Ordering::Relaxed))
+    }
+
+    /// Mean sample.
+    pub fn mean(&self) -> Duration {
+        let count = self.count();
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.state.sum_ns.load(Ordering::Relaxed) / count)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of the recorded distribution,
+    /// linearly interpolated inside the resolved bucket and clamped to
+    /// the exact observed maximum. Returns zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let count = self.count();
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the sample we are after, 1-based.
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for i in 0..HISTOGRAM_BUCKETS {
+            let in_bucket = self.state.buckets[i].load(Ordering::Relaxed);
+            if in_bucket == 0 {
+                continue;
+            }
+            if seen + in_bucket >= rank {
+                let lo = bucket_lower_bound(i) as f64;
+                let hi =
+                    bucket_upper_bound(i).min(self.state.max_ns.load(Ordering::Relaxed)) as f64;
+                let hi = hi.max(lo);
+                // Position of the wanted rank inside this bucket, (0, 1].
+                let inside = (rank - seen) as f64 / in_bucket as f64;
+                let ns = lo + (hi - lo) * inside;
+                return Duration::from_nanos(ns as u64);
+            }
+            seen += in_bucket;
+        }
+        self.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_count() {
+        let c = Counter::standalone();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let clone = c.clone();
+        clone.inc();
+        assert_eq!(c.get(), 6, "clones share state");
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let g = Gauge::standalone();
+        g.set(2.5);
+        g.add(-1.0);
+        assert!((g.get() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(7), 2);
+        assert_eq!(bucket_index(8), 3);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_lower_bound(i)), i);
+            assert_eq!(bucket_index(bucket_upper_bound(i) - 1), i);
+            assert_eq!(bucket_index(bucket_upper_bound(i)), i + 1);
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_max() {
+        let h = Histogram::standalone();
+        for ns in [10, 20, 30] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), Duration::from_nanos(60));
+        assert_eq!(h.max(), Duration::from_nanos(30));
+        assert_eq!(h.mean(), Duration::from_nanos(20));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::standalone();
+        // 100 samples spread uniformly over [1000, 1990) ns: all land in
+        // the [512, 1024) and [1024, 2048) buckets.
+        for i in 0..100u64 {
+            h.record_ns(1000 + 10 * i);
+        }
+        let p50 = h.quantile(0.5).as_nanos() as u64;
+        // True p50 is ~1500 ns; log-bucket interpolation must land in the
+        // right bucket, i.e. within a factor-of-two band around truth.
+        assert!((1024..2048).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99).as_nanos() as u64;
+        assert!((1024..=1990).contains(&p99), "p99 {p99}");
+        assert!(h.quantile(1.0) <= h.max());
+        // Monotone in q.
+        assert!(h.quantile(0.5) <= h.quantile(0.95));
+        assert!(h.quantile(0.95) <= h.quantile(0.99));
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Histogram::standalone();
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn single_sample_quantiles_clamp_to_the_sample() {
+        let h = Histogram::standalone();
+        h.record_ns(1500);
+        // Every quantile of a single observation is that observation,
+        // up to bucket resolution; the max clamp makes it exact above.
+        assert_eq!(h.quantile(1.0), Duration::from_nanos(1500));
+        assert!(h.quantile(0.5) <= Duration::from_nanos(1500));
+        assert!(h.quantile(0.5) >= Duration::from_nanos(1024));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::standalone();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record_ns(i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 8000);
+    }
+}

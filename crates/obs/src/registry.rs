@@ -1,0 +1,317 @@
+//! The metrics registry: named instruments, get-or-register semantics,
+//! and Prometheus-style text exposition.
+//!
+//! Registration takes a write lock, but it happens once per call site
+//! (instrumented code caches the returned handle, typically in a
+//! `OnceLock`); recording through a handle never touches the registry
+//! again. The process-global registry behind [`MetricsRegistry::global`]
+//! is what the serving stack and the substrate crates record into; local
+//! registries exist for tests and for services that opt out of metrics
+//! ([`MetricsRegistry::disabled`]).
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Identity of one instrument: metric name plus label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricId {
+    /// Metric name, conventionally `pmca_<layer>_<what>_<unit>`.
+    pub name: String,
+    /// Label pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        MetricId {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Render `name{k="v",...}` with optional extra label pairs appended.
+    fn exposition(&self, extra: &[(&str, &str)]) -> String {
+        let mut out = self.name.clone();
+        if self.labels.is_empty() && extra.is_empty() {
+            return out;
+        }
+        out.push('{');
+        let mut first = true;
+        for (k, v) in self
+            .labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .chain(extra.iter().copied())
+        {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
+            let _ = write!(out, "{k}=\"{escaped}\"");
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// One registered instrument.
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A namespace of named counters, gauges, and histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    instruments: RwLock<BTreeMap<MetricId, Instrument>>,
+    enabled: Arc<AtomicBool>,
+}
+
+static GLOBAL: OnceLock<Arc<MetricsRegistry>> = OnceLock::new();
+
+impl MetricsRegistry {
+    /// A fresh, enabled registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            instruments: RwLock::new(BTreeMap::new()),
+            enabled: Arc::new(AtomicBool::new(true)),
+        }
+    }
+
+    /// A registry whose histograms refuse span timing: recording
+    /// degrades to (nearly) free, for services that opt out of metrics.
+    pub fn disabled() -> Self {
+        let registry = MetricsRegistry::new();
+        registry.enabled.store(false, Ordering::Relaxed);
+        registry
+    }
+
+    /// Whether this registry's spans time themselves.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The process-global registry. Substrate crates (simulator,
+    /// collector, trainers) record here; `METRICS` exposes it.
+    pub fn global() -> &'static Arc<MetricsRegistry> {
+        GLOBAL.get_or_init(|| Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Get or register the counter `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already registered as a different kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_insert(name, labels, || Instrument::Counter(Counter::standalone())) {
+            Instrument::Counter(c) => c,
+            other => panic!("{name} is registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register the gauge `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already registered as a different kind.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_insert(name, labels, || Instrument::Gauge(Gauge::standalone())) {
+            Instrument::Gauge(g) => g,
+            other => panic!("{name} is registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register the histogram `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already registered as a different kind.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let enabled = Arc::clone(&self.enabled);
+        match self.get_or_insert(name, labels, move || {
+            Instrument::Histogram(Histogram::with_enabled(enabled))
+        }) {
+            Instrument::Histogram(h) => h,
+            other => panic!("{name} is registered as a {}", other.kind()),
+        }
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Instrument,
+    ) -> Instrument {
+        debug_assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+                && name.starts_with(|c: char| c.is_ascii_alphabetic() || c == '_'),
+            "metric name {name:?} is not exposition-safe"
+        );
+        let id = MetricId::new(name, labels);
+        if let Some(found) = self.instruments.read().expect("metrics poisoned").get(&id) {
+            return found.clone();
+        }
+        let mut instruments = self.instruments.write().expect("metrics poisoned");
+        instruments.entry(id).or_insert_with(make).clone()
+    }
+
+    /// Number of registered instruments.
+    pub fn len(&self) -> usize {
+        self.instruments.read().expect("metrics poisoned").len()
+    }
+
+    /// Whether no instrument is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Render every instrument as Prometheus-style exposition lines,
+    /// sorted by metric id.
+    ///
+    /// Counters and gauges render as one `name{labels} value` line.
+    /// Histograms render as summary-style quantile lines (`p50`, `p95`,
+    /// `p99` as `quantile="0.5"` etc.) plus `_count`, `_sum`, and `_max`
+    /// lines, with durations in seconds.
+    pub fn render(&self) -> Vec<String> {
+        let instruments = self.instruments.read().expect("metrics poisoned");
+        let mut lines = Vec::with_capacity(instruments.len());
+        for (id, instrument) in instruments.iter() {
+            match instrument {
+                Instrument::Counter(c) => {
+                    lines.push(format!("{} {}", id.exposition(&[]), c.get()));
+                }
+                Instrument::Gauge(g) => {
+                    lines.push(format!("{} {}", id.exposition(&[]), g.get()));
+                }
+                Instrument::Histogram(h) => {
+                    for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                        lines.push(format!(
+                            "{} {}",
+                            id.exposition(&[("quantile", label)]),
+                            h.quantile(q).as_secs_f64()
+                        ));
+                    }
+                    let suffixed = |suffix: &str| MetricId {
+                        name: format!("{}{suffix}", id.name),
+                        labels: id.labels.clone(),
+                    };
+                    lines.push(format!(
+                        "{} {}",
+                        suffixed("_max").exposition(&[]),
+                        h.max().as_secs_f64()
+                    ));
+                    lines.push(format!(
+                        "{} {}",
+                        suffixed("_count").exposition(&[]),
+                        h.count()
+                    ));
+                    lines.push(format!(
+                        "{} {}",
+                        suffixed("_sum").exposition(&[]),
+                        h.sum().as_secs_f64()
+                    ));
+                }
+            }
+        }
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_the_same_instrument() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("pmca_test_total", &[("kind", "x")]);
+        let b = r.counter("pmca_test_total", &[("kind", "x")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "same id shares state");
+        let other = r.counter("pmca_test_total", &[("kind", "y")]);
+        assert_eq!(other.get(), 0, "distinct labels are distinct metrics");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as a counter")]
+    fn kind_conflicts_panic() {
+        let r = MetricsRegistry::new();
+        let _ = r.counter("pmca_conflict", &[]);
+        let _ = r.histogram("pmca_conflict", &[]);
+    }
+
+    #[test]
+    fn exposition_renders_counters_gauges_histograms() {
+        let r = MetricsRegistry::new();
+        r.counter("pmca_a_total", &[("kind", "x")]).add(3);
+        r.gauge("pmca_b", &[]).set(1.5);
+        let h = r.histogram("pmca_c_seconds", &[("command", "estimate")]);
+        h.record_ns(1_000_000); // 1 ms
+        let lines = r.render();
+        assert!(
+            lines.contains(&"pmca_a_total{kind=\"x\"} 3".to_string()),
+            "{lines:?}"
+        );
+        assert!(lines.contains(&"pmca_b 1.5".to_string()), "{lines:?}");
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.starts_with("pmca_c_seconds{command=\"estimate\",quantile=\"0.99\"} ")),
+            "{lines:?}"
+        );
+        assert!(
+            lines.contains(&"pmca_c_seconds_count{command=\"estimate\"} 1".to_string()),
+            "{lines:?}"
+        );
+        assert!(
+            lines.contains(&"pmca_c_seconds_max{command=\"estimate\"} 0.001".to_string()),
+            "{lines:?}"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let id = MetricId::new("m", &[("k", "a\"b\\c")]);
+        assert_eq!(id.exposition(&[]), "m{k=\"a\\\"b\\\\c\"}");
+    }
+
+    #[test]
+    fn disabled_registries_mark_their_histograms() {
+        let r = MetricsRegistry::disabled();
+        assert!(!r.is_enabled());
+        let h = r.histogram("pmca_off_seconds", &[]);
+        assert!(!h.enabled());
+        let live = MetricsRegistry::new().histogram("pmca_on_seconds", &[]);
+        assert!(live.enabled());
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let a = MetricsRegistry::global().counter("pmca_global_probe_total", &[]);
+        let b = MetricsRegistry::global().counter("pmca_global_probe_total", &[]);
+        a.inc();
+        assert!(b.get() >= 1);
+    }
+}

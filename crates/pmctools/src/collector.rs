@@ -9,7 +9,21 @@ use crate::scheduler::{schedule, CounterGroup, ScheduleError};
 use pmca_cpusim::app::Application;
 use pmca_cpusim::events::EventId;
 use pmca_cpusim::Machine;
+use pmca_obs::{Counter, Histogram, MetricsRegistry, Span};
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Global-registry handles for the collector, resolved once per process.
+fn collect_metrics() -> &'static (Counter, Histogram) {
+    static METRICS: OnceLock<(Counter, Histogram)> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = MetricsRegistry::global();
+        (
+            registry.counter("pmca_collect_runs_total", &[]),
+            registry.histogram("pmca_collect_sweep_seconds", &[]),
+        )
+    })
+}
 
 /// A collected PMC vector: one (averaged) count per requested event, plus
 /// bookkeeping about the collection cost.
@@ -106,6 +120,8 @@ pub fn collect_sweeps(
     events: &[EventId],
     repeats: usize,
 ) -> Result<SweepSamples, ScheduleError> {
+    let (run_counter, sweep_seconds) = collect_metrics();
+    let _span = Span::enter(sweep_seconds);
     let groups = schedule(machine.catalog(), events)?;
     let mut dedup: Vec<EventId> = Vec::new();
     let mut seen = std::collections::HashSet::new();
@@ -148,6 +164,7 @@ pub fn collect_sweeps(
         }
         samples.push(sweep);
     }
+    run_counter.add(runs_used as u64);
     Ok(SweepSamples {
         events: dedup,
         samples,

@@ -14,8 +14,16 @@
 
 use pmca_cpusim::catalog::EventCatalog;
 use pmca_cpusim::events::{CounterConstraint, EventId};
+use pmca_obs::{Histogram, MetricsRegistry, Span};
 use std::error::Error;
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Global-registry handle for scheduling time, resolved once per process.
+fn schedule_seconds() -> &'static Histogram {
+    static METRIC: OnceLock<Histogram> = OnceLock::new();
+    METRIC.get_or_init(|| MetricsRegistry::global().histogram("pmca_collect_schedule_seconds", &[]))
+}
 
 /// Programmable counters per core on the paper's platforms — the origin of
 /// the "only 3–4 PMCs per run" limitation.
@@ -61,6 +69,7 @@ pub fn schedule(
     catalog: &EventCatalog,
     events: &[EventId],
 ) -> Result<Vec<CounterGroup>, ScheduleError> {
+    let _span = Span::enter(schedule_seconds());
     let mut seen = std::collections::HashSet::new();
     let mut programmable = Vec::new();
     for &id in events {

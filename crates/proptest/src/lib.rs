@@ -389,14 +389,14 @@ mod tests {
         let s = (1u32..5).prop_map(|x| x * 10);
         for _ in 0..50 {
             let v = s.sample(&mut rng);
-            assert!(v >= 10 && v < 50 && v % 10 == 0);
+            assert!((10..50).contains(&v) && v % 10 == 0);
         }
     }
 
     #[test]
     fn oneof_uses_every_alternative() {
         let mut rng = TestRng::for_test("oneof");
-        let s = prop_oneof![(0.0f64..1.0), (10.0f64..11.0)];
+        let s = prop_oneof![0.0f64..1.0, 10.0f64..11.0];
         let (mut low, mut high) = (0, 0);
         for _ in 0..200 {
             if s.sample(&mut rng) < 5.0 {
@@ -430,7 +430,7 @@ mod tests {
         #[test]
         fn macro_samples_and_asserts(x in 1.0f64..2.0, n in 1usize..4) {
             prop_assume!(n > 0);
-            prop_assert!(x >= 1.0 && x < 2.0);
+            prop_assert!((1.0..2.0).contains(&x));
             prop_assert_eq!(n.min(3), n);
         }
     }

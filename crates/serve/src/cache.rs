@@ -5,8 +5,11 @@
 //! simulated run), and for a fixed (application spec, platform spec,
 //! seed, event set) the simulator is deterministic — so the counts can be
 //! memoised. [`RunCache`] does exactly that, with FIFO eviction and
-//! hit/miss counters so the STATS command can report cache effectiveness.
+//! hit/miss/eviction counters so the STATS command can report cache
+//! effectiveness, plus registry-backed metrics (`pmca_cache_*`) when
+//! built with [`RunCache::with_registry`].
 
+use pmca_obs::{Counter, Histogram, MetricsRegistry, Span};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -25,6 +28,36 @@ pub struct RunKey {
     pub events: Vec<String>,
 }
 
+/// Observability handles of one cache. Standalone by default; wired into
+/// a [`MetricsRegistry`] by [`RunCache::with_registry`].
+#[derive(Debug, Clone)]
+struct CacheMetrics {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    fill_seconds: Histogram,
+}
+
+impl CacheMetrics {
+    fn standalone() -> Self {
+        CacheMetrics {
+            hits: Counter::standalone(),
+            misses: Counter::standalone(),
+            evictions: Counter::standalone(),
+            fill_seconds: Histogram::standalone(),
+        }
+    }
+
+    fn from_registry(registry: &MetricsRegistry) -> Self {
+        CacheMetrics {
+            hits: registry.counter("pmca_cache_hits_total", &[]),
+            misses: registry.counter("pmca_cache_misses_total", &[]),
+            evictions: registry.counter("pmca_cache_evictions_total", &[]),
+            fill_seconds: registry.histogram("pmca_cache_fill_seconds", &[]),
+        }
+    }
+}
+
 /// Thread-safe memo of collection runs with FIFO eviction.
 #[derive(Debug)]
 pub struct RunCache {
@@ -32,6 +65,8 @@ pub struct RunCache {
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    metrics: CacheMetrics,
 }
 
 #[derive(Debug, Default)]
@@ -41,18 +76,35 @@ struct CacheState {
 }
 
 impl RunCache {
-    /// A cache holding at most `capacity` runs (≥ 1).
+    /// A cache holding at most `capacity` runs (≥ 1), with standalone
+    /// (unexported) metrics.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
+        RunCache::build(capacity, CacheMetrics::standalone())
+    }
+
+    /// A cache whose hit/miss/eviction counters and fill-latency histogram
+    /// are registered as `pmca_cache_*` in `registry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_registry(capacity: usize, registry: &MetricsRegistry) -> Self {
+        RunCache::build(capacity, CacheMetrics::from_registry(registry))
+    }
+
+    fn build(capacity: usize, metrics: CacheMetrics) -> Self {
         assert!(capacity > 0, "run cache capacity must be positive");
         RunCache {
             entries: Mutex::new(CacheState::default()),
             capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            metrics,
         }
     }
 
@@ -62,33 +114,45 @@ impl RunCache {
         match state.map.get(key) {
             Some(counts) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.metrics.hits.inc();
                 Some(Arc::clone(counts))
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.metrics.misses.inc();
                 None
             }
         }
     }
 
-    /// Insert a run result, evicting the oldest entry when full. Inserting
-    /// an existing key refreshes its value without growing the cache.
+    /// Insert a run result, evicting the oldest entries while the cache is
+    /// over capacity. Inserting an existing key refreshes its value without
+    /// growing the cache.
     pub fn insert(&self, key: RunKey, counts: Vec<f64>) -> Arc<Vec<f64>> {
         let counts = Arc::new(counts);
         let mut state = self.entries.lock().expect("run cache poisoned");
         if state.map.insert(key.clone(), Arc::clone(&counts)).is_none() {
             state.order.push_back(key);
-            if state.order.len() > self.capacity {
-                if let Some(oldest) = state.order.pop_front() {
-                    state.map.remove(&oldest);
+            // `while`, not `if`: the invariant is `len ≤ capacity` no
+            // matter how entries got in, so a cache that somehow grew past
+            // capacity (or had its order queue drift from the map) converges
+            // back instead of staying oversized forever.
+            while state.map.len() > self.capacity {
+                let Some(oldest) = state.order.pop_front() else {
+                    break;
+                };
+                if state.map.remove(&oldest).is_some() {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.evictions.inc();
                 }
             }
         }
         counts
     }
 
-    /// Look up `key`, computing and caching on a miss. `compute` may fail;
-    /// failures are not cached.
+    /// Look up `key`, computing and caching on a miss. The computation is
+    /// timed into `pmca_cache_fill_seconds` and runs outside the cache
+    /// lock. `compute` may fail; failures are not cached.
     ///
     /// # Errors
     ///
@@ -101,7 +165,11 @@ impl RunCache {
         if let Some(found) = self.get(key) {
             return Ok(found);
         }
-        Ok(self.insert(key.clone(), compute()?))
+        let computed = {
+            let _fill = Span::enter(&self.metrics.fill_seconds);
+            compute()?
+        };
+        Ok(self.insert(key.clone(), computed))
     }
 
     /// Cache hits so far.
@@ -112,6 +180,16 @@ impl RunCache {
     /// Cache misses so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to keep the cache within capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Maximum number of cached runs.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Number of cached runs.
@@ -168,9 +246,21 @@ mod tests {
         cache.insert(key("b"), vec![2.0]);
         cache.insert(key("c"), vec![3.0]);
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
         assert!(cache.get(&key("a")).is_none(), "oldest entry evicted");
         assert!(cache.get(&key("b")).is_some());
         assert!(cache.get(&key("c")).is_some());
+    }
+
+    #[test]
+    fn refreshing_a_key_does_not_evict() {
+        let cache = RunCache::new(2);
+        cache.insert(key("a"), vec![1.0]);
+        cache.insert(key("b"), vec![2.0]);
+        cache.insert(key("a"), vec![9.0]);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(*cache.get(&key("a")).unwrap(), vec![9.0]);
     }
 
     #[test]
@@ -197,5 +287,62 @@ mod tests {
         let err = cache.get_or_compute(&key("bad"), || Err::<Vec<f64>, _>("boom".to_string()));
         assert_eq!(err.unwrap_err(), "boom");
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn registry_backed_caches_export_their_counters() {
+        let registry = MetricsRegistry::new();
+        let cache = RunCache::with_registry(1, &registry);
+        cache.insert(key("a"), vec![1.0]);
+        cache.insert(key("b"), vec![2.0]);
+        let _ = cache.get(&key("b"));
+        let _ = cache
+            .get_or_compute(&key("c"), || Ok::<_, String>(vec![3.0]))
+            .unwrap();
+        let lines = registry.render();
+        assert!(
+            lines.contains(&"pmca_cache_hits_total 1".to_string()),
+            "{lines:?}"
+        );
+        assert!(
+            lines.contains(&"pmca_cache_evictions_total 2".to_string()),
+            "{lines:?}"
+        );
+        assert!(
+            lines.contains(&"pmca_cache_fill_seconds_count 1".to_string()),
+            "{lines:?}"
+        );
+    }
+
+    #[test]
+    fn concurrent_inserts_never_exceed_capacity() {
+        let cache = Arc::new(RunCache::new(8));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        let k = key(&format!("app-{t}-{i}"));
+                        cache.insert(k.clone(), vec![i as f64]);
+                        let _ = cache.get(&k);
+                        let _ = cache.get_or_compute(&key(&format!("shared-{}", i % 16)), || {
+                            Ok::<_, String>(vec![0.0])
+                        });
+                        assert!(
+                            cache.len() <= cache.capacity(),
+                            "cache grew past capacity under concurrency"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(cache.len() <= 8);
+        // Every insert beyond the first `capacity` distinct keys evicted one.
+        let inserted = 8 * 200;
+        assert!(cache.evictions() >= inserted - 8 - 16);
+        assert!(cache.hits() + cache.misses() >= inserted);
     }
 }

@@ -6,7 +6,7 @@
 //! and the loadgen bench binary.
 
 use crate::engine::Estimate;
-use crate::protocol::{parse_estimate_reply, parse_ok_fields, Request};
+use crate::protocol::{parse_estimate_reply, parse_ok_fields, ProtocolError, Request};
 use std::error::Error;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
@@ -18,23 +18,36 @@ pub enum ClientError {
     /// Socket failure (including the server closing the connection).
     Io(io::Error),
     /// The server replied `ERR ...`, or the reply did not parse.
-    Protocol(String),
+    Protocol(ProtocolError),
 }
 
 impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
-            ClientError::Protocol(detail) => write!(f, "{detail}"),
+            ClientError::Protocol(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl Error for ClientError {}
+impl Error for ClientError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Protocol(e) => Some(e),
+        }
+    }
+}
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
         ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
     }
 }
 
@@ -121,7 +134,7 @@ impl Client {
             counts: counts.to_vec(),
         };
         let reply = self.send_line(&request.to_line())?;
-        parse_estimate_reply(&reply).map_err(ClientError::Protocol)
+        Ok(parse_estimate_reply(&reply)?)
     }
 
     /// Estimate a whole application by workload spec.
@@ -136,7 +149,7 @@ impl Client {
             app: app.to_string(),
         };
         let reply = self.send_line(&request.to_line())?;
-        parse_estimate_reply(&reply).map_err(ClientError::Protocol)
+        Ok(parse_estimate_reply(&reply)?)
     }
 
     /// Train an online model server-side; returns the new version.
@@ -157,12 +170,16 @@ impl Client {
             apps: apps.to_vec(),
         };
         let reply = self.send_line(&request.to_line())?;
-        let fields = parse_ok_fields(&reply).map_err(ClientError::Protocol)?;
+        let fields = parse_ok_fields(&reply)?;
         fields
             .iter()
             .find(|(k, _)| *k == "version")
             .and_then(|(_, v)| v.parse().ok())
-            .ok_or_else(|| ClientError::Protocol(format!("malformed TRAIN reply {reply:?}")))
+            .ok_or_else(|| {
+                ClientError::Protocol(ProtocolError::MalformedReply(format!(
+                    "malformed TRAIN reply {reply:?}"
+                )))
+            })
     }
 
     /// List registered models (one line per version).
@@ -171,13 +188,37 @@ impl Client {
     ///
     /// Returns [`ClientError::Protocol`] on a malformed listing.
     pub fn models(&mut self) -> Result<Vec<String>, ClientError> {
-        let header = self.send_line(&Request::Models.to_line())?;
-        let fields = parse_ok_fields(&header).map_err(ClientError::Protocol)?;
+        self.counted_listing(Request::Models, "MODELS")
+    }
+
+    /// Fetch the server's metrics snapshot (one exposition line per
+    /// instrument, Prometheus text style).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Protocol`] on a malformed listing.
+    pub fn metrics(&mut self) -> Result<Vec<String>, ClientError> {
+        self.counted_listing(Request::Metrics, "METRICS")
+    }
+
+    /// Shared shape of MODELS/METRICS replies: an `OK count=<n>` header
+    /// followed by `n` payload lines.
+    fn counted_listing(
+        &mut self,
+        request: Request,
+        label: &str,
+    ) -> Result<Vec<String>, ClientError> {
+        let header = self.send_line(&request.to_line())?;
+        let fields = parse_ok_fields(&header)?;
         let count: usize = fields
             .iter()
             .find(|(k, _)| *k == "count")
             .and_then(|(_, v)| v.parse().ok())
-            .ok_or_else(|| ClientError::Protocol(format!("malformed MODELS reply {header:?}")))?;
+            .ok_or_else(|| {
+                ClientError::Protocol(ProtocolError::MalformedReply(format!(
+                    "malformed {label} reply {header:?}"
+                )))
+            })?;
         (0..count).map(|_| self.read_reply_line()).collect()
     }
 
@@ -188,7 +229,7 @@ impl Client {
     /// Returns [`ClientError::Protocol`] on a malformed reply.
     pub fn stats(&mut self) -> Result<Vec<(String, String)>, ClientError> {
         let reply = self.send_line(&Request::Stats.to_line())?;
-        let fields = parse_ok_fields(&reply).map_err(ClientError::Protocol)?;
+        let fields = parse_ok_fields(&reply)?;
         Ok(fields
             .into_iter()
             .map(|(k, v)| (k.to_string(), v.to_string()))
@@ -210,12 +251,19 @@ impl Client {
 mod tests {
     use super::*;
     use crate::server::Server;
-    use crate::service::EnergyService;
+    use crate::service::ServiceConfig;
     use pmca_mlkit::export::ModelParams;
     use std::sync::Arc;
 
     fn running_server() -> Server {
-        let service = Arc::new(EnergyService::new(2, 16, 7));
+        let service = Arc::new(
+            ServiceConfig::default()
+                .workers(2)
+                .cache_capacity(16)
+                .seed(7)
+                .build()
+                .unwrap(),
+        );
         service.register(
             "skylake",
             "online",
@@ -249,6 +297,14 @@ mod tests {
 
         let stats = client.stats().unwrap();
         assert!(stats.iter().any(|(k, v)| k == "served" && v == "1"));
+
+        let metrics = client.metrics().unwrap();
+        assert!(
+            metrics
+                .iter()
+                .any(|line| line.starts_with("pmca_serve_command_seconds")),
+            "no command histogram in {metrics:?}"
+        );
         client.quit().unwrap();
     }
 
@@ -260,7 +316,10 @@ mod tests {
             .estimate("skylake", &[("X".to_string(), 1.0)])
             .unwrap_err();
         assert!(
-            matches!(err, ClientError::Protocol(ref m) if m.contains("no model")),
+            matches!(
+                err,
+                ClientError::Protocol(ProtocolError::Server(ref m)) if m.contains("no model")
+            ),
             "{err}"
         );
         let err = client

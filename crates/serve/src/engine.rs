@@ -11,6 +11,7 @@
 
 use crate::registry::StoredModel;
 use pmca_mlkit::Regressor;
+use pmca_obs::{Histogram, MetricsRegistry, Span};
 use pmca_stats::confidence::t_critical;
 use std::collections::HashMap;
 use std::error::Error;
@@ -19,6 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
+use std::time::Instant;
 
 /// Confidence level of served prediction intervals.
 const CONFIDENCE: f64 = 0.95;
@@ -75,7 +77,34 @@ struct Job {
     counts: Vec<f64>,
     /// Position in the submitting batch (0 for single requests).
     index: usize,
+    /// Submission time, for the queue-wait histogram. `None` when the
+    /// engine's metrics are disabled — no clock read on the opt-out path.
+    enqueued: Option<Instant>,
     reply: mpsc::Sender<(usize, Result<Estimate, EngineError>)>,
+}
+
+/// Time-attribution instruments of one engine: how long jobs sat in the
+/// queue versus how long inference itself took.
+#[derive(Debug, Clone)]
+struct EngineMetrics {
+    queue_wait: Histogram,
+    compute: Histogram,
+}
+
+impl EngineMetrics {
+    fn standalone() -> Self {
+        EngineMetrics {
+            queue_wait: Histogram::standalone(),
+            compute: Histogram::standalone(),
+        }
+    }
+
+    fn from_registry(registry: &MetricsRegistry) -> Self {
+        EngineMetrics {
+            queue_wait: registry.histogram("pmca_engine_queue_wait_seconds", &[]),
+            compute: registry.histogram("pmca_engine_compute_seconds", &[]),
+        }
+    }
 }
 
 /// Fixed worker-thread pool serving energy estimates.
@@ -85,6 +114,7 @@ pub struct InferenceEngine {
     served: Arc<AtomicU64>,
     errors: Arc<AtomicU64>,
     workers: usize,
+    metrics: EngineMetrics,
 }
 
 impl fmt::Debug for InferenceEngine {
@@ -98,12 +128,28 @@ impl fmt::Debug for InferenceEngine {
 }
 
 impl InferenceEngine {
-    /// Start an engine with `workers` threads (≥ 1).
+    /// Start an engine with `workers` threads (≥ 1) and standalone
+    /// (unexported) metrics.
     ///
     /// # Panics
     ///
     /// Panics if `workers` is zero.
     pub fn new(workers: usize) -> Self {
+        InferenceEngine::build(workers, EngineMetrics::standalone())
+    }
+
+    /// Start an engine whose queue-wait and compute histograms are
+    /// registered as `pmca_engine_*_seconds` in `registry`. With a
+    /// disabled registry the engine never reads the clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn with_registry(workers: usize, registry: &MetricsRegistry) -> Self {
+        InferenceEngine::build(workers, EngineMetrics::from_registry(registry))
+    }
+
+    fn build(workers: usize, metrics: EngineMetrics) -> Self {
         assert!(workers > 0, "inference engine needs at least one worker");
         let (sender, receiver) = mpsc::channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
@@ -114,9 +160,10 @@ impl InferenceEngine {
                 let receiver = Arc::clone(&receiver);
                 let served = Arc::clone(&served);
                 let errors = Arc::clone(&errors);
+                let metrics = metrics.clone();
                 thread::Builder::new()
                     .name(format!("pmca-infer-{i}"))
-                    .spawn(move || worker_loop(&receiver, &served, &errors))
+                    .spawn(move || worker_loop(&receiver, &served, &errors, &metrics))
                     .expect("spawn inference worker")
             })
             .collect();
@@ -126,7 +173,14 @@ impl InferenceEngine {
             served,
             errors,
             workers,
+            metrics,
         }
+    }
+
+    /// Submission timestamp for the queue-wait histogram: skip the clock
+    /// read entirely when metrics are off.
+    fn stamp(&self) -> Option<Instant> {
+        self.metrics.queue_wait.enabled().then(Instant::now)
     }
 
     /// Answer one request on the pool.
@@ -157,6 +211,7 @@ impl InferenceEngine {
                 model: Arc::clone(model),
                 counts,
                 index: 0,
+                enqueued: self.stamp(),
                 reply: reply.clone(),
             };
             sender.send(job).map_err(|_| EngineError::Stopped)?;
@@ -189,6 +244,7 @@ impl InferenceEngine {
                 model: Arc::clone(model),
                 counts,
                 index,
+                enqueued: self.stamp(),
                 reply: reply.clone(),
             };
             if sender.send(job).is_ok() {
@@ -236,7 +292,12 @@ impl Drop for InferenceEngine {
 /// the address valid for the cache's lifetime.
 type PredictorCache = HashMap<usize, (Arc<StoredModel>, Box<dyn Regressor + Send + Sync>)>;
 
-fn worker_loop(receiver: &Mutex<mpsc::Receiver<Job>>, served: &AtomicU64, errors: &AtomicU64) {
+fn worker_loop(
+    receiver: &Mutex<mpsc::Receiver<Job>>,
+    served: &AtomicU64,
+    errors: &AtomicU64,
+    metrics: &EngineMetrics,
+) {
     let mut predictors: PredictorCache = HashMap::new();
     loop {
         let job = {
@@ -244,7 +305,13 @@ fn worker_loop(receiver: &Mutex<mpsc::Receiver<Job>>, served: &AtomicU64, errors
             guard.recv()
         };
         let Ok(job) = job else { return };
-        let outcome = answer(&job, &mut predictors);
+        if let Some(enqueued) = job.enqueued {
+            metrics.queue_wait.record(enqueued.elapsed());
+        }
+        let outcome = {
+            let _compute = Span::enter(&metrics.compute);
+            answer(&job, &mut predictors)
+        };
         if outcome.is_ok() {
             served.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -268,12 +335,12 @@ fn answer(job: &Job, predictors: &mut PredictorCache) -> Result<Estimate, Engine
         return Err(EngineError::BadCount);
     }
     let cache_key = Arc::as_ptr(model) as usize;
-    if !predictors.contains_key(&cache_key) {
+    if let std::collections::hash_map::Entry::Vacant(slot) = predictors.entry(cache_key) {
         let predictor = model
             .params
             .instantiate()
             .map_err(|e| EngineError::Model(e.to_string()))?;
-        predictors.insert(cache_key, (Arc::clone(model), predictor));
+        slot.insert((Arc::clone(model), predictor));
     }
     let (_, predictor) = predictors.get(&cache_key).expect("just inserted");
     let joules = predictor.predict_one(&job.counts).max(0.0);
@@ -396,5 +463,37 @@ mod tests {
         );
         let engine = InferenceEngine::new(1);
         assert_eq!(engine.estimate(&model, vec![1.0]).unwrap().joules, 0.0);
+    }
+
+    #[test]
+    fn registry_backed_engines_attribute_time() {
+        let registry = MetricsRegistry::new();
+        let engine = InferenceEngine::with_registry(2, &registry);
+        let model = registered(&[1.0], 0.0, 10);
+        let _ = engine.estimate(&model, vec![1.0]).unwrap();
+        let lines = registry.render();
+        assert!(
+            lines.contains(&"pmca_engine_compute_seconds_count 1".to_string()),
+            "{lines:?}"
+        );
+        assert!(
+            lines.contains(&"pmca_engine_queue_wait_seconds_count 1".to_string()),
+            "{lines:?}"
+        );
+    }
+
+    #[test]
+    fn disabled_registries_keep_the_engine_clock_free() {
+        let registry = MetricsRegistry::disabled();
+        let engine = InferenceEngine::with_registry(1, &registry);
+        assert!(
+            engine.stamp().is_none(),
+            "no clock read when metrics are off"
+        );
+        let model = registered(&[1.0], 0.0, 10);
+        let _ = engine.estimate(&model, vec![1.0]).unwrap();
+        assert!(registry
+            .render()
+            .contains(&"pmca_engine_compute_seconds_count 0".to_string()));
     }
 }

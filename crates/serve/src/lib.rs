@@ -16,17 +16,29 @@
 //!   platforms (training, counter-level and app-level estimation);
 //! - [`protocol`] / [`server`] / [`client`] — a line protocol over
 //!   `std::net::TcpListener` (`ESTIMATE`, `ESTIMATE-APP`, `TRAIN`,
-//!   `MODELS`, `STATS`, `QUIT`) plus a blocking client.
+//!   `MODELS`, `STATS`, `METRICS`, `QUIT`) plus a blocking client.
 //!
 //! Everything is `std`-only — threads and channels, no external runtime.
+//! Observability (latency histograms, hit/miss/error counters) comes
+//! from the sibling `pmca-obs` crate and is exposed over the wire via
+//! the `METRICS` command; build with
+//! [`ServiceConfig::metrics(false)`](service::ServiceConfig::metrics)
+//! to run with inert instruments.
 //!
 //! # Examples
 //!
 //! ```
-//! use pmca_serve::{EnergyService, Server, Client};
+//! use pmca_serve::{ServiceConfig, Server, Client};
 //! use std::sync::Arc;
 //!
-//! let service = Arc::new(EnergyService::new(2, 64, 42));
+//! let service = Arc::new(
+//!     ServiceConfig::default()
+//!         .workers(2)
+//!         .cache_capacity(64)
+//!         .seed(42)
+//!         .build()
+//!         .unwrap(),
+//! );
 //! let pmcs: Vec<String> = ["UOPS_EXECUTED_CORE", "FP_ARITH_INST_RETIRED_DOUBLE"]
 //!     .iter().map(|s| s.to_string()).collect();
 //! let apps: Vec<String> =
@@ -53,7 +65,7 @@ pub mod service;
 pub use cache::{RunCache, RunKey};
 pub use client::{Client, ClientError};
 pub use engine::{EngineError, Estimate, InferenceEngine};
-pub use protocol::Request;
+pub use protocol::{ProtocolError, Request};
 pub use registry::{ModelKey, Registry, RegistryError, StoredModel};
 pub use server::Server;
-pub use service::{BatchRequest, EnergyService, ServiceError, ServiceStats};
+pub use service::{BatchRequest, EnergyService, ServiceConfig, ServiceError, ServiceStats};

@@ -8,17 +8,66 @@
 //! TRAIN <platform> <pmc,pmc,...> <appspec,appspec,...>
 //! MODELS
 //! STATS
+//! METRICS
 //! QUIT
 //! ```
 //!
 //! Replies are single lines — `OK key=value ...` or `ERR <message>` —
-//! except `MODELS`, which answers `OK count=<n>` followed by `n` listing
-//! lines (the client knows how many to read). Floats use Rust's default
-//! shortest-round-trip formatting, so a reply parses back to the exact
-//! served value.
+//! except `MODELS` and `METRICS`, which answer `OK count=<n>` followed
+//! by `n` listing lines (the client knows how many to read). `METRICS`
+//! lines are Prometheus-style exposition (`name{label="v"} value`; see
+//! `pmca_obs`). Floats use Rust's default shortest-round-trip
+//! formatting, so a reply parses back to the exact served value.
 
 use crate::engine::Estimate;
 use crate::service::ServiceStats;
+use std::error::Error;
+use std::fmt;
+
+/// Why a request or reply line did not parse, or what the server said
+/// went wrong. This is the protocol layer's typed error: every `ERR`
+/// reply and every malformed line maps onto one variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The request line was empty.
+    EmptyRequest,
+    /// The first word is not a command.
+    UnknownCommand(String),
+    /// A known command with unusable arguments.
+    BadRequest {
+        /// The command the arguments were for.
+        command: String,
+        /// What was wrong with them.
+        detail: String,
+    },
+    /// A reply line that does not parse (client side).
+    MalformedReply(String),
+    /// The server's own `ERR` message, relayed verbatim (client side).
+    Server(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::EmptyRequest => write!(f, "empty request"),
+            ProtocolError::UnknownCommand(word) => write!(f, "unknown command {word:?}"),
+            ProtocolError::BadRequest { command, detail } => write!(f, "{command}: {detail}"),
+            ProtocolError::MalformedReply(line) => write!(f, "malformed reply {line:?}"),
+            ProtocolError::Server(message) => write!(f, "{message}"),
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+impl ProtocolError {
+    fn bad(command: &str, detail: impl Into<String>) -> Self {
+        ProtocolError::BadRequest {
+            command: command.to_string(),
+            detail: detail.into(),
+        }
+    }
+}
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +99,9 @@ pub enum Request {
     Models,
     /// Report service counters.
     Stats,
+    /// Report the full metrics exposition (latency histograms, cache and
+    /// substrate counters).
+    Metrics,
     /// Close the connection.
     Quit,
 }
@@ -59,29 +111,43 @@ impl Request {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first problem.
-    pub fn parse(line: &str) -> Result<Self, String> {
+    /// Returns a [`ProtocolError`] describing the first problem.
+    pub fn parse(line: &str) -> Result<Self, ProtocolError> {
         let mut words = line.split_whitespace();
-        let command = words.next().ok_or("empty request")?.to_ascii_uppercase();
+        let command = words
+            .next()
+            .ok_or(ProtocolError::EmptyRequest)?
+            .to_ascii_uppercase();
         let rest: Vec<&str> = words.collect();
         match command.as_str() {
             "ESTIMATE" => {
-                let (platform, pairs) = rest.split_first().ok_or("ESTIMATE needs a platform")?;
+                let (platform, pairs) = rest
+                    .split_first()
+                    .ok_or_else(|| ProtocolError::bad("ESTIMATE", "needs a platform"))?;
                 if pairs.is_empty() {
-                    return Err("ESTIMATE needs at least one pmc=count pair".to_string());
+                    return Err(ProtocolError::bad(
+                        "ESTIMATE",
+                        "needs at least one pmc=count pair",
+                    ));
                 }
                 let counts = pairs
                     .iter()
                     .map(|pair| {
-                        let (name, value) = pair
-                            .split_once('=')
-                            .ok_or_else(|| format!("expected pmc=count, found {pair:?}"))?;
-                        let count = value
-                            .parse::<f64>()
-                            .map_err(|_| format!("bad count {value:?} for {name}"))?;
+                        let (name, value) = pair.split_once('=').ok_or_else(|| {
+                            ProtocolError::bad(
+                                "ESTIMATE",
+                                format!("expected pmc=count, found {pair:?}"),
+                            )
+                        })?;
+                        let count = value.parse::<f64>().map_err(|_| {
+                            ProtocolError::bad(
+                                "ESTIMATE",
+                                format!("bad count {value:?} for {name}"),
+                            )
+                        })?;
                         Ok((name.to_string(), count))
                     })
-                    .collect::<Result<Vec<_>, String>>()?;
+                    .collect::<Result<Vec<_>, ProtocolError>>()?;
                 Ok(Request::Estimate {
                     platform: (*platform).to_string(),
                     counts,
@@ -92,7 +158,10 @@ impl Request {
                     platform: (*platform).to_string(),
                     app: (*app).to_string(),
                 }),
-                _ => Err("usage: ESTIMATE-APP <platform> <appspec>".to_string()),
+                _ => Err(ProtocolError::bad(
+                    "ESTIMATE-APP",
+                    "usage: ESTIMATE-APP <platform> <appspec>",
+                )),
             },
             "TRAIN" => match rest.as_slice() {
                 [platform, pmcs, apps] => Ok(Request::Train {
@@ -100,13 +169,19 @@ impl Request {
                     pmcs: split_list(pmcs, "PMC list")?,
                     apps: split_list(apps, "workload list")?,
                 }),
-                _ => Err("usage: TRAIN <platform> <pmc,pmc,...> <appspec,appspec,...>".to_string()),
+                _ => Err(ProtocolError::bad(
+                    "TRAIN",
+                    "usage: TRAIN <platform> <pmc,pmc,...> <appspec,appspec,...>",
+                )),
             },
             "MODELS" if rest.is_empty() => Ok(Request::Models),
             "STATS" if rest.is_empty() => Ok(Request::Stats),
+            "METRICS" if rest.is_empty() => Ok(Request::Metrics),
             "QUIT" if rest.is_empty() => Ok(Request::Quit),
-            "MODELS" | "STATS" | "QUIT" => Err(format!("{command} takes no arguments")),
-            other => Err(format!("unknown command {other:?}")),
+            "MODELS" | "STATS" | "METRICS" | "QUIT" => {
+                Err(ProtocolError::bad(&command, "takes no arguments"))
+            }
+            other => Err(ProtocolError::UnknownCommand(other.to_string())),
         }
     }
 
@@ -127,19 +202,34 @@ impl Request {
             }
             Request::Models => "MODELS".to_string(),
             Request::Stats => "STATS".to_string(),
+            Request::Metrics => "METRICS".to_string(),
             Request::Quit => "QUIT".to_string(),
+        }
+    }
+
+    /// The stable label this request carries in per-command metrics
+    /// (`pmca_serve_command_seconds{command=...}`).
+    pub fn command_label(&self) -> &'static str {
+        match self {
+            Request::Estimate { .. } => "estimate",
+            Request::EstimateApp { .. } => "estimate-app",
+            Request::Train { .. } => "train",
+            Request::Models => "models",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Quit => "quit",
         }
     }
 }
 
-fn split_list(word: &str, what: &str) -> Result<Vec<String>, String> {
+fn split_list(word: &str, what: &str) -> Result<Vec<String>, ProtocolError> {
     let items: Vec<String> = word
         .split(',')
         .filter(|s| !s.is_empty())
         .map(str::to_string)
         .collect();
     if items.is_empty() {
-        return Err(format!("empty {what}"));
+        return Err(ProtocolError::bad("TRAIN", format!("empty {what}")));
     }
     Ok(items)
 }
@@ -155,11 +245,13 @@ pub fn ok_estimate(estimate: &Estimate) -> String {
 /// `OK` reply for STATS.
 pub fn ok_stats(stats: &ServiceStats) -> String {
     format!(
-        "OK served={} errors={} cache-hits={} cache-misses={} cache-entries={} models={} workers={}",
+        "OK served={} errors={} cache-hits={} cache-misses={} cache-evictions={} \
+         cache-entries={} models={} workers={}",
         stats.served,
         stats.errors,
         stats.cache_hits,
         stats.cache_misses,
+        stats.cache_evictions,
         stats.cache_entries,
         stats.models,
         stats.workers
@@ -175,26 +267,29 @@ pub fn err(message: &str) -> String {
 ///
 /// # Errors
 ///
-/// Returns the server's `ERR` message, or a description of a malformed
-/// reply.
-pub fn parse_estimate_reply(line: &str) -> Result<Estimate, String> {
+/// Returns [`ProtocolError::Server`] with the server's `ERR` message, or
+/// [`ProtocolError::MalformedReply`] for a reply that does not parse.
+pub fn parse_estimate_reply(line: &str) -> Result<Estimate, ProtocolError> {
     let fields = parse_ok_fields(line)?;
     let get = |key: &str| {
         fields
             .iter()
             .find(|(k, _)| *k == key)
             .map(|(_, v)| *v)
-            .ok_or_else(|| format!("reply missing {key}: {line:?}"))
+            .ok_or_else(|| ProtocolError::MalformedReply(format!("missing {key} in {line:?}")))
+    };
+    let number = |key: &str| -> Result<f64, ProtocolError> {
+        get(key)?
+            .parse()
+            .map_err(|_| ProtocolError::MalformedReply(format!("bad {key} in {line:?}")))
     };
     Ok(Estimate {
-        joules: get("joules")?
-            .parse()
-            .map_err(|_| "bad joules".to_string())?,
-        ci_half_width: get("ci")?.parse().map_err(|_| "bad ci".to_string())?,
+        joules: number("joules")?,
+        ci_half_width: number("ci")?,
         family: get("family")?.to_string(),
         version: get("version")?
             .parse()
-            .map_err(|_| "bad version".to_string())?,
+            .map_err(|_| ProtocolError::MalformedReply(format!("bad version in {line:?}")))?,
     })
 }
 
@@ -202,20 +297,20 @@ pub fn parse_estimate_reply(line: &str) -> Result<Estimate, String> {
 ///
 /// # Errors
 ///
-/// Returns the server's `ERR` message, or a description of a malformed
-/// reply.
-pub fn parse_ok_fields(line: &str) -> Result<Vec<(&str, &str)>, String> {
+/// Returns [`ProtocolError::Server`] with the server's `ERR` message, or
+/// [`ProtocolError::MalformedReply`] for a reply that does not parse.
+pub fn parse_ok_fields(line: &str) -> Result<Vec<(&str, &str)>, ProtocolError> {
     let line = line.trim();
     if let Some(message) = line.strip_prefix("ERR ") {
-        return Err(message.to_string());
+        return Err(ProtocolError::Server(message.to_string()));
     }
     let rest = line
         .strip_prefix("OK")
-        .ok_or_else(|| format!("malformed reply {line:?}"))?;
+        .ok_or_else(|| ProtocolError::MalformedReply(line.to_string()))?;
     rest.split_whitespace()
         .map(|pair| {
             pair.split_once('=')
-                .ok_or_else(|| format!("malformed field {pair:?}"))
+                .ok_or_else(|| ProtocolError::MalformedReply(format!("field {pair:?}")))
         })
         .collect()
 }
@@ -245,6 +340,7 @@ mod tests {
             },
             Request::Models,
             Request::Stats,
+            Request::Metrics,
             Request::Quit,
         ];
         for request in requests {
@@ -265,10 +361,13 @@ mod tests {
     }
 
     #[test]
-    fn malformed_requests_are_described() {
+    fn malformed_requests_get_typed_errors() {
+        assert_eq!(Request::parse(""), Err(ProtocolError::EmptyRequest));
+        assert_eq!(
+            Request::parse("FROBNICATE"),
+            Err(ProtocolError::UnknownCommand("FROBNICATE".to_string()))
+        );
         for bad in [
-            "",
-            "FROBNICATE",
             "ESTIMATE",
             "ESTIMATE skylake",
             "ESTIMATE skylake UOPS",
@@ -277,10 +376,25 @@ mod tests {
             "TRAIN skylake A,B",
             "TRAIN skylake , dgemm:9000",
             "STATS now",
+            "METRICS now",
             "QUIT now",
         ] {
-            assert!(Request::parse(bad).is_err(), "{bad:?} should not parse");
+            assert!(
+                matches!(Request::parse(bad), Err(ProtocolError::BadRequest { .. })),
+                "{bad:?} should be a BadRequest"
+            );
         }
+    }
+
+    #[test]
+    fn command_labels_are_stable() {
+        assert_eq!(Request::Metrics.command_label(), "metrics");
+        assert_eq!(
+            Request::parse("ESTIMATE-APP skylake dgemm:9000")
+                .unwrap()
+                .command_label(),
+            "estimate-app"
+        );
     }
 
     #[test]
@@ -301,9 +415,24 @@ mod tests {
         assert_eq!(reply, "ERR no model: nothing registered");
         assert_eq!(
             parse_estimate_reply(&reply).unwrap_err(),
-            "no model: nothing registered"
+            ProtocolError::Server("no model: nothing registered".to_string())
         );
-        assert!(parse_estimate_reply("gibberish").is_err());
+        assert!(matches!(
+            parse_estimate_reply("gibberish"),
+            Err(ProtocolError::MalformedReply(_))
+        ));
+    }
+
+    #[test]
+    fn protocol_errors_display_and_compose() {
+        let e = Request::parse("").unwrap_err();
+        assert_eq!(e.to_string(), "empty request");
+        let e: Box<dyn std::error::Error> = Box::new(ProtocolError::UnknownCommand("X".into()));
+        assert!(e.to_string().contains("unknown command"));
+        assert_eq!(
+            ProtocolError::bad("TRAIN", "empty PMC list").to_string(),
+            "TRAIN: empty PMC list"
+        );
     }
 
     #[test]
@@ -313,14 +442,16 @@ mod tests {
             errors: 1,
             cache_hits: 5,
             cache_misses: 2,
+            cache_evictions: 0,
             cache_entries: 2,
             models: 3,
             workers: 4,
         };
         let reply = ok_stats(&stats);
         let fields = parse_ok_fields(&reply).unwrap();
-        assert_eq!(fields.len(), 7);
+        assert_eq!(fields.len(), 8);
         assert!(fields.contains(&("served", "10")));
         assert!(fields.contains(&("cache-hits", "5")));
+        assert!(fields.contains(&("cache-evictions", "0")));
     }
 }

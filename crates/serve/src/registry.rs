@@ -9,6 +9,7 @@
 //! `pmca_mlkit::export` model format with registry metadata lines.
 
 use pmca_mlkit::export::{self, ModelParams};
+use pmca_obs::{Counter, MetricsRegistry};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -108,16 +109,75 @@ impl From<std::io::Error> for RegistryError {
     }
 }
 
+/// An in-memory [`RegistryError::Malformed`] (no file attached yet).
+fn malformed(detail: impl Into<String>) -> RegistryError {
+    RegistryError::Malformed {
+        file: String::new(),
+        detail: detail.into(),
+    }
+}
+
+/// Usage counters of one registry. Standalone by default; wired into a
+/// [`MetricsRegistry`] by [`Registry::with_metrics`].
+#[derive(Debug, Clone)]
+struct RegistryCounters {
+    lookup_hits: Counter,
+    lookup_misses: Counter,
+    registers: Counter,
+}
+
+impl RegistryCounters {
+    fn standalone() -> Self {
+        RegistryCounters {
+            lookup_hits: Counter::standalone(),
+            lookup_misses: Counter::standalone(),
+            registers: Counter::standalone(),
+        }
+    }
+
+    fn from_registry(metrics: &MetricsRegistry) -> Self {
+        RegistryCounters {
+            lookup_hits: metrics.counter("pmca_model_registry_lookups_total", &[("result", "hit")]),
+            lookup_misses: metrics
+                .counter("pmca_model_registry_lookups_total", &[("result", "miss")]),
+            registers: metrics.counter("pmca_model_registry_registers_total", &[]),
+        }
+    }
+}
+
+impl Default for RegistryCounters {
+    fn default() -> Self {
+        RegistryCounters::standalone()
+    }
+}
+
 /// The in-memory registry: all versions of all model lines.
 #[derive(Debug, Default)]
 pub struct Registry {
     models: HashMap<ModelKey, Vec<Arc<StoredModel>>>,
+    counters: RegistryCounters,
 }
 
 impl Registry {
     /// An empty registry.
     pub fn new() -> Self {
         Registry::default()
+    }
+
+    /// An empty registry whose lookup and register counters are exported
+    /// as `pmca_model_registry_*` in `metrics`.
+    pub fn with_metrics(metrics: &MetricsRegistry) -> Self {
+        Registry {
+            models: HashMap::new(),
+            counters: RegistryCounters::from_registry(metrics),
+        }
+    }
+
+    /// Replace this registry's contents with `other`'s models, keeping the
+    /// metric counters wired at construction (used when loading a saved
+    /// registry directory into a live service).
+    pub fn adopt(&mut self, other: Registry) {
+        self.models = other.models;
     }
 
     /// Register a model, assigning the next version for its key.
@@ -131,6 +191,7 @@ impl Registry {
         training_rows: usize,
         params: ModelParams,
     ) -> Arc<StoredModel> {
+        self.counters.registers.inc();
         let key = ModelKey::new(platform, &feature_order, family);
         let versions = self.models.entry(key.clone()).or_default();
         let version = versions.last().map_or(1, |m| m.version + 1);
@@ -168,7 +229,8 @@ impl Registry {
         let platform = platform.to_ascii_lowercase();
         let mut wanted: Vec<&str> = pmc_names.iter().map(String::as_str).collect();
         wanted.sort_unstable();
-        self.models
+        let found = self
+            .models
             .iter()
             .filter(|(k, _)| {
                 k.platform == platform
@@ -180,19 +242,32 @@ impl Registry {
             })
             .filter_map(|(_, versions)| versions.last())
             .max_by_key(|m| (m.key.family == "online", m.version))
-            .cloned()
+            .cloned();
+        if found.is_some() {
+            self.counters.lookup_hits.inc();
+        } else {
+            self.counters.lookup_misses.inc();
+        }
+        found
     }
 
     /// Latest model of `family` on `platform`, across PMC sets (used by
     /// app-level estimation, where the server picks the counter set).
     pub fn latest_of_family(&self, platform: &str, family: &str) -> Option<Arc<StoredModel>> {
         let platform = platform.to_ascii_lowercase();
-        self.models
+        let found = self
+            .models
             .iter()
             .filter(|(k, _)| k.platform == platform && k.family == family)
             .filter_map(|(_, versions)| versions.last())
             .max_by_key(|m| m.version)
-            .cloned()
+            .cloned();
+        if found.is_some() {
+            self.counters.lookup_hits.inc();
+        } else {
+            self.counters.lookup_misses.inc();
+        }
+        found
     }
 
     /// Every stored version, sorted by key then version (stable listing
@@ -257,9 +332,12 @@ impl Registry {
         paths.sort();
         for path in paths {
             let text = fs::read_to_string(&path)?;
-            let model = decode_entry(&text).map_err(|detail| RegistryError::Malformed {
-                file: path.display().to_string(),
-                detail,
+            let model = decode_entry(&text).map_err(|e| match e {
+                RegistryError::Malformed { detail, .. } => RegistryError::Malformed {
+                    file: path.display().to_string(),
+                    detail,
+                },
+                other => other,
             })?;
             let versions = registry.models.entry(model.key.clone()).or_default();
             versions.push(Arc::new(model));
@@ -305,14 +383,15 @@ pub fn encode_entry(model: &StoredModel) -> String {
 ///
 /// # Errors
 ///
-/// Returns a human-readable description of the first problem found.
-pub fn decode_entry(text: &str) -> Result<StoredModel, String> {
+/// Returns [`RegistryError::Malformed`] describing the first problem
+/// found (with no file attached; [`Registry::load_dir`] adds it).
+pub fn decode_entry(text: &str) -> Result<StoredModel, RegistryError> {
     let mut lines = text.lines();
-    let header = lines.next().ok_or("empty entry")?;
+    let header = lines.next().ok_or_else(|| malformed("empty entry"))?;
     if header.trim() != "pmca-registry v1" {
-        return Err(format!(
+        return Err(malformed(format!(
             "expected `pmca-registry v1` header, found {header:?}"
-        ));
+        )));
     }
     let mut platform = None;
     let mut family = None;
@@ -331,7 +410,7 @@ pub fn decode_entry(text: &str) -> Result<StoredModel, String> {
             "version" => {
                 version = Some(
                     rest.parse::<u32>()
-                        .map_err(|_| format!("bad version {rest:?}"))?,
+                        .map_err(|_| malformed(format!("bad version {rest:?}")))?,
                 );
             }
             "pmcs" => {
@@ -340,20 +419,20 @@ pub fn decode_entry(text: &str) -> Result<StoredModel, String> {
             "residual-std" => {
                 residual_std = Some(
                     rest.parse::<f64>()
-                        .map_err(|_| format!("bad residual-std {rest:?}"))?,
+                        .map_err(|_| malformed(format!("bad residual-std {rest:?}")))?,
                 );
             }
             "training-rows" => {
                 training_rows = Some(
                     rest.parse::<usize>()
-                        .map_err(|_| format!("bad training-rows {rest:?}"))?,
+                        .map_err(|_| malformed(format!("bad training-rows {rest:?}")))?,
                 );
             }
             "pmca-model" => {
                 consumed -= 1;
                 break;
             }
-            other => return Err(format!("unknown registry field {other:?}")),
+            other => return Err(malformed(format!("unknown registry field {other:?}"))),
         }
     }
     let model_block: String = text
@@ -361,24 +440,24 @@ pub fn decode_entry(text: &str) -> Result<StoredModel, String> {
         .skip(consumed)
         .map(|l| format!("{l}\n"))
         .collect();
-    let params = export::decode(&model_block).map_err(|e| e.to_string())?;
-    let platform = platform.ok_or("missing platform")?;
-    let family = family.ok_or("missing family")?;
-    let version = version.ok_or("missing version")?;
-    let feature_order = pmcs.ok_or("missing pmcs")?;
+    let params = export::decode(&model_block).map_err(|e| malformed(e.to_string()))?;
+    let platform = platform.ok_or_else(|| malformed("missing platform"))?;
+    let family = family.ok_or_else(|| malformed("missing family"))?;
+    let version = version.ok_or_else(|| malformed("missing version"))?;
+    let feature_order = pmcs.ok_or_else(|| malformed("missing pmcs"))?;
     if feature_order.len() != params.width() {
-        return Err(format!(
+        return Err(malformed(format!(
             "{} PMC names for a width-{} model",
             feature_order.len(),
             params.width()
-        ));
+        )));
     }
     Ok(StoredModel {
         key: ModelKey::new(&platform, &feature_order, &family),
         version,
         feature_order,
-        residual_std: residual_std.ok_or("missing residual-std")?,
-        training_rows: training_rows.ok_or("missing training-rows")?,
+        residual_std: residual_std.ok_or_else(|| malformed("missing residual-std"))?,
+        training_rows: training_rows.ok_or_else(|| malformed("missing training-rows"))?,
         params,
     })
 }
@@ -534,5 +613,37 @@ mod tests {
     fn load_of_missing_dir_is_empty() {
         let r = Registry::load_dir(Path::new("/nonexistent/registry/path")).unwrap();
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn decode_errors_are_typed_and_display() {
+        let err = decode_entry("pmca-registry v2\n").unwrap_err();
+        assert!(matches!(err, RegistryError::Malformed { ref file, .. } if file.is_empty()));
+        assert!(err.to_string().contains("malformed registry entry"));
+        let boxed: Box<dyn Error> = Box::new(err);
+        assert!(boxed.to_string().contains("pmca-registry"));
+    }
+
+    #[test]
+    fn metric_counters_track_lookups_and_registers() {
+        let metrics = MetricsRegistry::new();
+        let mut r = Registry::with_metrics(&metrics);
+        r.register("skylake", "online", names(&["A"]), 1.0, 10, linear(&[1.0]));
+        let _ = r.lookup("skylake", &names(&["A"]));
+        let _ = r.lookup("skylake", &names(&["B"]));
+        let _ = r.latest_of_family("skylake", "online");
+        let lines = metrics.render();
+        assert!(
+            lines.contains(&"pmca_model_registry_registers_total 1".to_string()),
+            "{lines:?}"
+        );
+        assert!(
+            lines.contains(&"pmca_model_registry_lookups_total{result=\"hit\"} 2".to_string()),
+            "{lines:?}"
+        );
+        assert!(
+            lines.contains(&"pmca_model_registry_lookups_total{result=\"miss\"} 1".to_string()),
+            "{lines:?}"
+        );
     }
 }

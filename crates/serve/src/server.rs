@@ -8,11 +8,55 @@
 
 use crate::protocol::{err, ok_estimate, ok_stats, Request};
 use crate::service::{BatchRequest, EnergyService};
+use pmca_obs::{Histogram, Span};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
+
+/// Per-command latency histograms, resolved once per connection from the
+/// service's metrics registry
+/// (`pmca_serve_command_seconds{command=...}`).
+struct CommandMetrics {
+    estimate: Histogram,
+    estimate_app: Histogram,
+    train: Histogram,
+    models: Histogram,
+    stats: Histogram,
+    metrics: Histogram,
+}
+
+impl CommandMetrics {
+    fn for_service(service: &EnergyService) -> Self {
+        let registry = service.metrics_registry();
+        let h = |command: &str| {
+            registry.histogram("pmca_serve_command_seconds", &[("command", command)])
+        };
+        CommandMetrics {
+            estimate: h("estimate"),
+            estimate_app: h("estimate-app"),
+            train: h("train"),
+            models: h("models"),
+            stats: h("stats"),
+            metrics: h("metrics"),
+        }
+    }
+
+    /// Histogram for one command label (QUIT shares the stats bucket —
+    /// it is a constant-time administrative reply either way).
+    fn of(&self, label: &str) -> &Histogram {
+        match label {
+            "estimate" => &self.estimate,
+            "estimate-app" => &self.estimate_app,
+            "train" => &self.train,
+            "models" => &self.models,
+            "metrics" => &self.metrics,
+            _ => &self.stats,
+        }
+    }
+}
 
 /// A running server. Dropping it stops the accept loop; handler threads
 /// for already-open connections run until their client disconnects.
@@ -99,6 +143,7 @@ fn handle_connection(stream: TcpStream, service: &EnergyService) {
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
+    let metrics = CommandMetrics::for_service(service);
     let mut line = String::new();
     let mut lines: Vec<String> = Vec::new();
     loop {
@@ -122,7 +167,7 @@ fn handle_connection(stream: TcpStream, service: &EnergyService) {
         if lines.is_empty() {
             continue;
         }
-        let (replies, quit) = respond_batch(service, &lines);
+        let (replies, quit) = respond_batch(service, &metrics, &lines);
         for reply in replies {
             if writeln!(writer, "{reply}").is_err() {
                 return;
@@ -138,15 +183,19 @@ fn handle_connection(stream: TcpStream, service: &EnergyService) {
 /// ESTIMATE-APP requests go through [`EnergyService::estimate_many`] as
 /// one grouped submission; other commands flush the pending run first so
 /// observable order (e.g. STATS counters) is preserved.
-fn respond_batch(service: &EnergyService, lines: &[String]) -> (Vec<String>, bool) {
+fn respond_batch(
+    service: &EnergyService,
+    metrics: &CommandMetrics,
+    lines: &[String],
+) -> (Vec<String>, bool) {
     let mut replies = Vec::with_capacity(lines.len());
     let mut pending: Vec<BatchRequest> = Vec::new();
     for line in lines {
         let request = match Request::parse(line) {
             Ok(request) => request,
             Err(detail) => {
-                flush_pending(service, &mut pending, &mut replies);
-                replies.push(err(&detail));
+                flush_pending(service, metrics, &mut pending, &mut replies);
+                replies.push(err(&detail.to_string()));
                 continue;
             }
         };
@@ -158,8 +207,8 @@ fn respond_batch(service: &EnergyService, lines: &[String]) -> (Vec<String>, boo
                 pending.push(BatchRequest::App { platform, app });
             }
             other => {
-                flush_pending(service, &mut pending, &mut replies);
-                let (reply, quit) = respond(service, other);
+                flush_pending(service, metrics, &mut pending, &mut replies);
+                let (reply, quit) = respond(service, metrics, other);
                 replies.push(reply);
                 if quit {
                     return (replies, true);
@@ -167,30 +216,47 @@ fn respond_batch(service: &EnergyService, lines: &[String]) -> (Vec<String>, boo
             }
         }
     }
-    flush_pending(service, &mut pending, &mut replies);
+    flush_pending(service, metrics, &mut pending, &mut replies);
     (replies, false)
 }
 
 fn flush_pending(
     service: &EnergyService,
+    metrics: &CommandMetrics,
     pending: &mut Vec<BatchRequest>,
     replies: &mut Vec<String>,
 ) {
     if pending.is_empty() {
         return;
     }
+    // Amortized per-request latency: the batch runs as one grouped
+    // submission, so each request is charged elapsed/n — the same
+    // methodology the loadgen uses client-side, keeping server- and
+    // client-side percentiles comparable under pipelining.
+    let started = metrics.estimate.enabled().then(Instant::now);
     for result in service.estimate_many(pending) {
         replies.push(match result {
             Ok(estimate) => ok_estimate(&estimate),
             Err(e) => err(&e.to_string()),
         });
     }
+    if let Some(started) = started {
+        let share = started.elapsed() / u32::try_from(pending.len().max(1)).unwrap_or(u32::MAX);
+        for request in pending.iter() {
+            match request {
+                BatchRequest::Counts { .. } => metrics.estimate.record(share),
+                BatchRequest::App { .. } => metrics.estimate_app.record(share),
+            }
+        }
+    }
     pending.clear();
 }
 
 /// Answer one already-parsed request. Returns the full reply (possibly
-/// multi-line, for MODELS) and whether the connection should close.
-fn respond(service: &EnergyService, request: Request) -> (String, bool) {
+/// multi-line, for MODELS and METRICS) and whether the connection should
+/// close.
+fn respond(service: &EnergyService, metrics: &CommandMetrics, request: Request) -> (String, bool) {
+    let _span = Span::enter(metrics.of(request.command_label()));
     let reply = match request {
         Request::Estimate { platform, counts } => match service.estimate(&platform, &counts) {
             Ok(estimate) => ok_estimate(&estimate),
@@ -225,6 +291,15 @@ fn respond(service: &EnergyService, request: Request) -> (String, bool) {
             reply
         }
         Request::Stats => ok_stats(&service.stats()),
+        Request::Metrics => {
+            let lines = service.metrics_lines();
+            let mut reply = format!("OK count={}", lines.len());
+            for metric_line in lines {
+                reply.push('\n');
+                reply.push_str(&metric_line);
+            }
+            reply
+        }
         Request::Quit => return ("OK bye=1".to_string(), true),
     };
     (reply, false)
@@ -233,10 +308,18 @@ fn respond(service: &EnergyService, request: Request) -> (String, bool) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::service::ServiceConfig;
     use pmca_mlkit::export::ModelParams;
 
     fn service_with_model() -> Arc<EnergyService> {
-        let service = Arc::new(EnergyService::new(2, 16, 7));
+        let service = Arc::new(
+            ServiceConfig::default()
+                .workers(2)
+                .cache_capacity(16)
+                .seed(7)
+                .build()
+                .unwrap(),
+        );
         service.register(
             "skylake",
             "online",
@@ -296,6 +379,44 @@ mod tests {
         let mut listing = String::new();
         reader.read_line(&mut listing).unwrap();
         assert!(listing.contains("skylake online v1"), "{listing:?}");
+    }
+
+    #[test]
+    fn metrics_reply_lists_command_histograms() {
+        let server = Server::start(service_with_model(), "127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        // Serve one estimate first so its histogram has a sample.
+        assert!(roundtrip(&stream, "ESTIMATE skylake A=10 B=1").starts_with("OK joules="));
+        let mut writer = stream.try_clone().unwrap();
+        writeln!(writer, "METRICS").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut header = String::new();
+        reader.read_line(&mut header).unwrap();
+        let count: usize = header
+            .trim_end()
+            .strip_prefix("OK count=")
+            .expect("count header")
+            .parse()
+            .unwrap();
+        assert!(count > 0, "metrics exposition should not be empty");
+        let mut lines = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut l = String::new();
+            reader.read_line(&mut l).unwrap();
+            lines.push(l.trim_end().to_string());
+        }
+        assert!(
+            lines.iter().any(|l| l.starts_with(
+                "pmca_serve_command_seconds{command=\"estimate\",quantile=\"0.99\"} "
+            )),
+            "{lines:?}"
+        );
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.starts_with("pmca_cache_hits_total ")),
+            "{lines:?}"
+        );
     }
 
     #[test]

@@ -14,13 +14,14 @@ use crate::registry::{Registry, RegistryError, StoredModel};
 use pmca_core::online::OnlineModel;
 use pmca_cpusim::{Machine, PlatformSpec};
 use pmca_mlkit::export::ModelParams;
+use pmca_obs::{Counter, Histogram, MetricsRegistry, Span};
 use pmca_pmctools::collector::collect_all;
 use pmca_powermeter::{HclWattsUp, Methodology};
 use pmca_workloads::parse::app_from_spec;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::sync::{Mutex, RwLock};
 
@@ -64,6 +65,20 @@ impl From<EngineError> for ServiceError {
     }
 }
 
+impl ServiceError {
+    /// Stable label this error carries in `pmca_serve_errors_total{kind=...}`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServiceError::UnknownPlatform(_) => "unknown-platform",
+            ServiceError::NoModel(_) => "no-model",
+            ServiceError::Train(_) => "train",
+            ServiceError::BadRequest(_) => "bad-request",
+            ServiceError::Collect(_) => "collect",
+            ServiceError::Engine(_) => "engine",
+        }
+    }
+}
+
 /// One request in a pipelined batch (see [`EnergyService::estimate_many`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum BatchRequest {
@@ -94,12 +109,158 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// Run-cache misses.
     pub cache_misses: u64,
+    /// Run-cache entries evicted to stay within capacity.
+    pub cache_evictions: u64,
     /// Runs currently cached.
     pub cache_entries: usize,
     /// Model versions registered.
     pub models: usize,
     /// Inference worker threads.
     pub workers: usize,
+}
+
+/// Configuration for an [`EnergyService`], replacing the old positional
+/// `EnergyService::new(workers, cache_capacity, seed)` constructor.
+///
+/// # Examples
+///
+/// ```no_run
+/// use pmca_serve::ServiceConfig;
+///
+/// let service = ServiceConfig::default()
+///     .workers(8)
+///     .cache_capacity(512)
+///     .seed(42)
+///     .metrics(true)
+///     .build()
+///     .expect("service");
+/// assert_eq!(service.stats().workers, 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceConfig {
+    workers: usize,
+    cache_capacity: usize,
+    seed: u64,
+    registry_dir: Option<PathBuf>,
+    metrics: bool,
+}
+
+impl Default for ServiceConfig {
+    /// Four workers, a 256-run cache, seed 1, no registry directory,
+    /// metrics exported to the process-global registry.
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            cache_capacity: 256,
+            seed: 1,
+            registry_dir: None,
+            metrics: true,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Inference worker threads (≥ 1; default 4).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Run-cache capacity in entries (≥ 1; default 256).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Seed of the simulated platforms (default 1).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Load a persisted model registry from `dir` at build time. The
+    /// directory does not need to exist (an absent one loads empty).
+    pub fn registry_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.registry_dir = Some(dir.into());
+        self
+    }
+
+    /// Whether the service records into the process-global metrics
+    /// registry (default `true`). With `false` every instrument the
+    /// service owns is disabled — spans never read the clock.
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
+    }
+
+    /// Build the service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError`] when a configured registry directory
+    /// exists but fails to load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `cache_capacity` is zero.
+    pub fn build(self) -> Result<EnergyService, RegistryError> {
+        let metrics_registry = if self.metrics {
+            Arc::clone(MetricsRegistry::global())
+        } else {
+            Arc::new(MetricsRegistry::disabled())
+        };
+        let service = EnergyService {
+            registry: RwLock::new(Registry::with_metrics(&metrics_registry)),
+            engine: InferenceEngine::with_registry(self.workers, &metrics_registry),
+            cache: RunCache::with_registry(self.cache_capacity, &metrics_registry),
+            machines: Mutex::new(HashMap::new()),
+            seed: self.seed,
+            metrics: ServeMetrics::from_registry(&metrics_registry),
+            metrics_registry,
+        };
+        if let Some(dir) = &self.registry_dir {
+            service.load_registry(dir)?;
+        }
+        Ok(service)
+    }
+}
+
+/// Service-level instruments: training latency and errors by kind.
+#[derive(Debug)]
+struct ServeMetrics {
+    train_seconds: Histogram,
+    err_unknown_platform: Counter,
+    err_no_model: Counter,
+    err_train: Counter,
+    err_bad_request: Counter,
+    err_collect: Counter,
+    err_engine: Counter,
+}
+
+impl ServeMetrics {
+    fn from_registry(registry: &MetricsRegistry) -> Self {
+        let err = |kind: &str| registry.counter("pmca_serve_errors_total", &[("kind", kind)]);
+        ServeMetrics {
+            train_seconds: registry.histogram("pmca_serve_train_seconds", &[]),
+            err_unknown_platform: err("unknown-platform"),
+            err_no_model: err("no-model"),
+            err_train: err("train"),
+            err_bad_request: err("bad-request"),
+            err_collect: err("collect"),
+            err_engine: err("engine"),
+        }
+    }
+
+    fn record_error(&self, error: &ServiceError) {
+        match error {
+            ServiceError::UnknownPlatform(_) => self.err_unknown_platform.inc(),
+            ServiceError::NoModel(_) => self.err_no_model.inc(),
+            ServiceError::Train(_) => self.err_train.inc(),
+            ServiceError::BadRequest(_) => self.err_bad_request.inc(),
+            ServiceError::Collect(_) => self.err_collect.inc(),
+            ServiceError::Engine(_) => self.err_engine.inc(),
+        }
+    }
 }
 
 /// The serving façade. Thread-safe: the TCP server shares one instance
@@ -111,19 +272,24 @@ pub struct EnergyService {
     cache: RunCache,
     machines: Mutex<HashMap<String, Machine>>,
     seed: u64,
+    metrics: ServeMetrics,
+    metrics_registry: Arc<MetricsRegistry>,
 }
 
 impl EnergyService {
     /// A service with `workers` inference threads, a `cache_capacity`-run
     /// cache, and `seed` for its simulated platforms.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ServiceConfig::default().workers(..).cache_capacity(..).seed(..).build()"
+    )]
     pub fn new(workers: usize, cache_capacity: usize, seed: u64) -> Self {
-        EnergyService {
-            registry: RwLock::new(Registry::new()),
-            engine: InferenceEngine::new(workers),
-            cache: RunCache::new(cache_capacity),
-            machines: Mutex::new(HashMap::new()),
-            seed,
-        }
+        ServiceConfig::default()
+            .workers(workers)
+            .cache_capacity(cache_capacity)
+            .seed(seed)
+            .build()
+            .expect("building without a registry directory cannot fail")
     }
 
     fn platform_spec(name: &str) -> Result<PlatformSpec, ServiceError> {
@@ -157,6 +323,17 @@ impl EnergyService {
     /// Returns [`ServiceError`] when the platform, PMC set, or workload
     /// specs are invalid, or training fails.
     pub fn train_online(
+        &self,
+        platform: &str,
+        pmc_names: &[String],
+        app_specs: &[String],
+    ) -> Result<Arc<StoredModel>, ServiceError> {
+        let _span = Span::enter(&self.metrics.train_seconds);
+        self.train_online_inner(platform, pmc_names, app_specs)
+            .inspect_err(|e| self.metrics.record_error(e))
+    }
+
+    fn train_online_inner(
         &self,
         platform: &str,
         pmc_names: &[String],
@@ -228,8 +405,11 @@ impl EnergyService {
         platform: &str,
         counts: &[(String, f64)],
     ) -> Result<Estimate, ServiceError> {
-        let (model, ordered) = self.resolve_counts(platform, counts)?;
-        Ok(self.engine.estimate(&model, ordered)?)
+        let run = || -> Result<Estimate, ServiceError> {
+            let (model, ordered) = self.resolve_counts(platform, counts)?;
+            Ok(self.engine.estimate(&model, ordered)?)
+        };
+        run().inspect_err(|e| self.metrics.record_error(e))
     }
 
     /// Resolve a counter-level request to its model and feature-ordered
@@ -280,8 +460,11 @@ impl EnergyService {
     /// Returns [`ServiceError`] when the platform or workload spec is
     /// invalid or no online model is registered for the platform.
     pub fn estimate_app(&self, platform: &str, app_spec: &str) -> Result<Estimate, ServiceError> {
-        let (model, counts) = self.resolve_app(platform, app_spec)?;
-        Ok(self.engine.estimate(&model, counts)?)
+        let run = || -> Result<Estimate, ServiceError> {
+            let (model, counts) = self.resolve_app(platform, app_spec)?;
+            Ok(self.engine.estimate(&model, counts)?)
+        };
+        run().inspect_err(|e| self.metrics.record_error(e))
     }
 
     /// Resolve an app-level request to its model and collected (cached)
@@ -363,8 +546,30 @@ impl EnergyService {
             }
         }
         out.into_iter()
-            .map(|slot| slot.unwrap_or(Err(ServiceError::Engine(EngineError::Stopped))))
+            .map(|slot| {
+                slot.unwrap_or(Err(ServiceError::Engine(EngineError::Stopped)))
+                    .inspect_err(|e| self.metrics.record_error(e))
+            })
             .collect()
+    }
+
+    /// Render the service's metrics registry as Prometheus-style
+    /// exposition lines — the body of the METRICS reply. Empty only for a
+    /// service built with [`ServiceConfig::metrics`]`(false)` before any
+    /// instrument registered.
+    pub fn metrics_lines(&self) -> Vec<String> {
+        self.metrics_registry.render()
+    }
+
+    /// Whether this service's instruments are live (built with metrics on).
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics_registry.is_enabled()
+    }
+
+    /// The metrics registry this service records into (global, or a
+    /// disabled local one for metrics-off services).
+    pub(crate) fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.metrics_registry
     }
 
     /// One describing line per registered model version.
@@ -395,6 +600,7 @@ impl EnergyService {
             errors: self.engine.errors(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
+            cache_evictions: self.cache.evictions(),
             cache_entries: self.cache.len(),
             models,
             workers: self.engine.workers(),
@@ -421,7 +627,12 @@ impl EnergyService {
     pub fn load_registry(&self, dir: &Path) -> Result<usize, RegistryError> {
         let loaded = Registry::load_dir(dir)?;
         let count = loaded.len();
-        *self.registry.write().expect("registry poisoned") = loaded;
+        // `adopt` keeps this service's registry counters wired while
+        // replacing the model contents.
+        self.registry
+            .write()
+            .expect("registry poisoned")
+            .adopt(loaded);
         Ok(count)
     }
 }
@@ -451,7 +662,12 @@ mod tests {
     }
 
     fn trained_service() -> EnergyService {
-        let service = EnergyService::new(2, 64, 42);
+        let service = ServiceConfig::default()
+            .workers(2)
+            .cache_capacity(64)
+            .seed(42)
+            .build()
+            .unwrap();
         service
             .train_online("skylake", &good_set(), &ladder())
             .unwrap();
@@ -501,7 +717,11 @@ mod tests {
 
     #[test]
     fn errors_are_specific() {
-        let service = EnergyService::new(1, 8, 1);
+        let service = ServiceConfig::default()
+            .workers(1)
+            .cache_capacity(8)
+            .build()
+            .unwrap();
         assert!(matches!(
             service.estimate("epyc", &[("X".to_string(), 1.0)]),
             Err(ServiceError::UnknownPlatform(_))
@@ -564,8 +784,14 @@ mod tests {
         let direct = service.estimate("skylake", &counts).unwrap();
         assert_eq!(service.save_registry(&dir).unwrap(), 1);
 
-        let revived = EnergyService::new(1, 8, 42);
-        assert_eq!(revived.load_registry(&dir).unwrap(), 1);
+        let revived = ServiceConfig::default()
+            .workers(1)
+            .cache_capacity(8)
+            .seed(42)
+            .registry_dir(&dir)
+            .build()
+            .unwrap();
+        assert_eq!(revived.stats().models, 1, "registry_dir loads at build");
         // Fixed counts give bit-identical answers (the text format round
         // trips coefficients exactly). App-level estimates on the revived
         // machine see different simulated run noise, so only the fixed
@@ -575,5 +801,77 @@ mod tests {
         let app = revived.estimate_app("skylake", "fft:24000").unwrap();
         assert!(app.joules.is_finite() && app.joules >= 0.0);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_still_builds_a_working_service() {
+        let service = EnergyService::new(1, 8, 7);
+        let stats = service.stats();
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.served, 0);
+    }
+
+    #[test]
+    fn metrics_off_services_render_inert_instruments() {
+        let service = ServiceConfig::default()
+            .workers(1)
+            .cache_capacity(8)
+            .metrics(false)
+            .build()
+            .unwrap();
+        assert!(!service.metrics_enabled());
+        let _ = service.estimate("skylake", &[("X".to_string(), 1.0)]);
+        // The no-model error is still counted (counters stay live; only
+        // span timing is gated), but nothing leaks to the global registry.
+        let lines = service.metrics_lines();
+        assert!(
+            lines.contains(&"pmca_serve_errors_total{kind=\"no-model\"} 1".to_string()),
+            "{lines:?}"
+        );
+        assert!(
+            lines.contains(&"pmca_serve_train_seconds_count 0".to_string()),
+            "{lines:?}"
+        );
+    }
+
+    #[test]
+    fn metrics_on_services_count_errors_by_kind() {
+        let service = ServiceConfig::default()
+            .workers(1)
+            .cache_capacity(8)
+            .build()
+            .unwrap();
+        assert!(service.metrics_enabled());
+        let _ = service.estimate("epyc", &[("X".to_string(), 1.0)]);
+        let lines = service.metrics_lines();
+        // Global registry: other tests may have bumped it too, so assert
+        // presence rather than exact counts.
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.starts_with("pmca_serve_errors_total{kind=\"unknown-platform\"} ")),
+            "{lines:?}"
+        );
+    }
+
+    #[test]
+    fn stats_expose_cache_evictions() {
+        let service = trained_service();
+        // Capacity 64 won't evict here; just check the field is wired.
+        let _ = service.estimate_app("skylake", "dgemm:11000").unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.cache_evictions, 0);
+        assert_eq!(stats.cache_entries, 1);
+    }
+
+    #[test]
+    fn service_error_kinds_are_stable() {
+        assert_eq!(ServiceError::NoModel(String::new()).kind(), "no-model");
+        assert_eq!(ServiceError::Engine(EngineError::BadCount).kind(), "engine");
+        assert_eq!(
+            ServiceError::UnknownPlatform(String::new()).kind(),
+            "unknown-platform"
+        );
     }
 }

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --example energy_service -p pmca-serve`
 
-use pmca_serve::EnergyService;
+use pmca_serve::ServiceConfig;
 
 const GOOD_SET: [&str; 4] = [
     "UOPS_EXECUTED_CORE",
@@ -17,7 +17,12 @@ const GOOD_SET: [&str; 4] = [
 ];
 
 fn main() {
-    let service = EnergyService::new(4, 256, 42);
+    let service = ServiceConfig::default()
+        .workers(4)
+        .cache_capacity(256)
+        .seed(42)
+        .build()
+        .expect("building the service");
 
     // Train an online model on a dgemm/fft ladder, exactly as the TRAIN
     // protocol command would.
@@ -64,8 +69,14 @@ fn main() {
     // Persist the registry and revive it in a fresh service.
     let dir = std::env::temp_dir().join("pmca-energy-service-example");
     let written = service.save_registry(&dir).expect("save registry");
-    let revived = EnergyService::new(2, 64, 42);
-    let loaded = revived.load_registry(&dir).expect("load registry");
+    let revived = ServiceConfig::default()
+        .workers(2)
+        .cache_capacity(64)
+        .seed(42)
+        .registry_dir(&dir)
+        .build()
+        .expect("reviving from the saved registry");
+    let loaded = revived.stats().models;
     let again = revived
         .estimate("skylake", &counts)
         .expect("revived estimate");
@@ -80,12 +91,22 @@ fn main() {
 
     let stats = service.stats();
     println!(
-        "stats: served={} errors={} cache-hits={} cache-misses={} models={} workers={}",
+        "stats: served={} errors={} cache-hits={} cache-misses={} cache-evictions={} \
+         models={} workers={}",
         stats.served,
         stats.errors,
         stats.cache_hits,
         stats.cache_misses,
+        stats.cache_evictions,
         stats.models,
         stats.workers
     );
+
+    // The same instruments the METRICS protocol command exposes.
+    println!("metrics snapshot (command latencies + cache counters):");
+    for line in service.metrics_lines() {
+        if line.starts_with("pmca_serve_train_seconds") || line.starts_with("pmca_cache_") {
+            println!("  {line}");
+        }
+    }
 }

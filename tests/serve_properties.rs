@@ -1,0 +1,125 @@
+//! Property tests for the serving line protocol (ISSUE satellite).
+//!
+//! The protocol is the only part of the stack where data survives a
+//! lossy trip through text, so it gets sampled coverage on top of the
+//! unit tests: every well-formed [`Request`] must survive
+//! `parse(to_line(..))` bit-for-bit, and every [`Estimate`] must survive
+//! `parse_estimate_reply(ok_estimate(..))`. Uses the in-repo `proptest`
+//! shim (deterministic per-test streams, no shrinking).
+
+use pmca_serve::engine::Estimate;
+use pmca_serve::protocol::{ok_estimate, parse_estimate_reply, parse_ok_fields};
+use pmca_serve::Request;
+use proptest::prelude::*;
+
+/// A protocol-safe identifier: non-empty, alphanumeric plus `_`/`-`/`:`
+/// subsets depending on position. No whitespace, `=`, or commas — those
+/// are the protocol's own separators, which well-formed requests never
+/// embed in names.
+fn ident(max_len: usize) -> impl Strategy<Value = String> {
+    const ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_";
+    collection::vec(0usize..ALPHABET.len(), 1..max_len).prop_map(|indexes| {
+        indexes
+            .into_iter()
+            .map(|i| char::from(ALPHABET[i]))
+            .collect()
+    })
+}
+
+/// An app spec like `dgemm:11500` — the colon exercises non-alphanumeric
+/// payload bytes the splitter must pass through untouched.
+fn app_spec() -> impl Strategy<Value = String> {
+    (ident(10), 1u64..1_000_000).prop_map(|(name, size)| format!("{name}:{size}"))
+}
+
+/// Finite, Display-round-trippable counter values (Rust's shortest-digit
+/// float formatting guarantees `parse(format(v)) == v` for any finite v).
+fn count_value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1.0e12..1.0e12,
+        0.0..1.0,
+        Just(0.0),
+        Just(4.0e10),
+        (1.0..2.0).prop_map(|v| v * 1.0e-9),
+    ]
+}
+
+fn arbitrary_request() -> impl Strategy<Value = Request> {
+    let estimate = (ident(12), collection::vec((ident(16), count_value()), 1..6))
+        .prop_map(|(platform, counts)| Request::Estimate { platform, counts });
+    let estimate_app =
+        (ident(12), app_spec()).prop_map(|(platform, app)| Request::EstimateApp { platform, app });
+    let train = (
+        ident(12),
+        collection::vec(ident(16), 1..5),
+        collection::vec(app_spec(), 1..5),
+    )
+        .prop_map(|(platform, pmcs, apps)| Request::Train {
+            platform,
+            pmcs,
+            apps,
+        });
+    prop_oneof![
+        estimate,
+        estimate_app,
+        train,
+        Just(Request::Models),
+        Just(Request::Stats),
+        Just(Request::Metrics),
+        Just(Request::Quit),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn requests_round_trip_through_the_wire_format(request in arbitrary_request()) {
+        let line = request.to_line();
+        let parsed = Request::parse(&line)
+            .unwrap_or_else(|e| panic!("{line:?} does not parse back: {e}"));
+        prop_assert_eq!(parsed, request);
+    }
+
+    #[test]
+    fn estimate_replies_round_trip(
+        joules in count_value(),
+        ci in (0.0..1.0e9),
+        family in ident(10),
+        version in 1u32..10_000,
+    ) {
+        let estimate = Estimate { joules, ci_half_width: ci, family, version };
+        let reply = ok_estimate(&estimate);
+        let parsed = parse_estimate_reply(&reply)
+            .unwrap_or_else(|e| panic!("{reply:?} does not parse back: {e}"));
+        prop_assert_eq!(parsed, estimate);
+    }
+
+    #[test]
+    fn ok_fields_survive_arbitrary_pairs(
+        pairs in collection::vec((ident(10), ident(10)), 0..8),
+    ) {
+        let line = std::iter::once("OK".to_string())
+            .chain(pairs.iter().map(|(k, v)| format!("{k}={v}")))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let fields = parse_ok_fields(&line).unwrap();
+        prop_assert_eq!(fields.len(), pairs.len());
+        for ((k, v), (pk, pv)) in fields.iter().zip(&pairs) {
+            prop_assert_eq!(*k, pk.as_str());
+            prop_assert_eq!(*v, pv.as_str());
+        }
+    }
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_bytes(
+        bytes in collection::vec(0u8..128, 0..40),
+    ) {
+        let line: String = bytes.into_iter().map(char::from).collect();
+        // Any outcome is fine; the parser just must not panic, and an
+        // accepted request must re-encode.
+        if let Ok(request) = Request::parse(&line) {
+            let _ = request.to_line();
+        }
+    }
+}

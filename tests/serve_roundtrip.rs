@@ -7,10 +7,19 @@
 use pmca_core::online::OnlineModel;
 use pmca_cpusim::{Machine, PlatformSpec};
 use pmca_powermeter::{HclWattsUp, Methodology};
-use pmca_serve::{Client, EnergyService, Server};
+use pmca_serve::{Client, EnergyService, Server, ServiceConfig};
 use pmca_workloads::parse::app_from_spec;
 use std::sync::Arc;
 use std::thread;
+
+fn service(workers: usize, cache_capacity: usize) -> EnergyService {
+    ServiceConfig::default()
+        .workers(workers)
+        .cache_capacity(cache_capacity)
+        .seed(SEED)
+        .build()
+        .unwrap()
+}
 
 const SEED: u64 = 123;
 
@@ -47,7 +56,7 @@ fn reference_model() -> OnlineModel {
 
 #[test]
 fn served_estimates_match_the_direct_model() {
-    let service = Arc::new(EnergyService::new(4, 64, SEED));
+    let service = Arc::new(service(4, 64));
     let stored = service
         .train_online("skylake", &good_set(), &ladder())
         .unwrap();
@@ -109,7 +118,7 @@ fn served_estimates_match_the_direct_model() {
 
 #[test]
 fn repeated_app_queries_hit_the_run_cache() {
-    let service = Arc::new(EnergyService::new(2, 64, SEED));
+    let service = Arc::new(service(2, 64));
     service
         .train_online("skylake", &good_set(), &ladder())
         .unwrap();
@@ -138,7 +147,7 @@ fn repeated_app_queries_hit_the_run_cache() {
 
 #[test]
 fn training_and_introspection_work_over_the_wire() {
-    let service = Arc::new(EnergyService::new(2, 32, SEED));
+    let service = Arc::new(service(2, 32));
     let server = Server::start(Arc::clone(&service), "127.0.0.1:0").unwrap();
     let mut client = Client::connect(server.addr()).unwrap();
 
@@ -170,5 +179,43 @@ fn training_and_introspection_work_over_the_wire() {
     };
     assert_eq!(get("models"), "2");
     assert_eq!(get("workers"), "2");
+    client.quit().unwrap();
+}
+
+#[test]
+fn metrics_over_the_wire_cover_commands_and_caches() {
+    let service = Arc::new(service(2, 32));
+    service
+        .train_online("skylake", &good_set(), &ladder())
+        .unwrap();
+    let server = Server::start(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Exercise the estimate path (one miss + one hit) so the command
+    // histogram and cache counters have something to show.
+    client.estimate_app("skylake", "dgemm:9500").unwrap();
+    client.estimate_app("skylake", "dgemm:9500").unwrap();
+
+    let lines = client.metrics().unwrap();
+    let has = |prefix: &str| lines.iter().any(|l| l.starts_with(prefix));
+    assert!(
+        has(r#"pmca_serve_command_seconds{command="estimate-app",quantile="0.99"}"#),
+        "no estimate-app p99 in {lines:?}"
+    );
+    assert!(has("pmca_serve_train_seconds"), "{lines:?}");
+    assert!(has("pmca_cache_hits_total"), "{lines:?}");
+    assert!(has("pmca_cache_misses_total"), "{lines:?}");
+    assert!(has("pmca_engine_compute_seconds"), "{lines:?}");
+    assert!(
+        has(r#"pmca_train_fits_total{family="linear"}"#),
+        "{lines:?}"
+    );
+
+    // STATS now reports evictions alongside hits/misses.
+    let stats = client.stats().unwrap();
+    assert!(
+        stats.iter().any(|(k, _)| k == "cache-evictions"),
+        "{stats:?}"
+    );
     client.quit().unwrap();
 }
