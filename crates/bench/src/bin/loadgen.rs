@@ -11,18 +11,24 @@
 //! ```text
 //! cargo run --release -p pmca-bench --bin loadgen -- \
 //!     [--addr HOST:PORT] [--clients N] [--requests M] [--workers W]
-//!     [--pipeline D] [--app-share PCT] [--no-metrics]
+//!     [--pipeline D] [--app-share PCT] [--no-metrics] [--no-trace]
+//!     [--trace-sample N]
 //! ```
 //!
 //! After the run it fetches the server-side view via the `METRICS`
-//! command: per-command latency percentiles measured inside the server,
-//! next to the client-side numbers. `--no-metrics` builds the
-//! in-process server with inert instruments — run both ways to measure
-//! the observability overhead.
+//! command — per-command latency percentiles measured inside the server,
+//! next to the client-side numbers — and the full span breakdown of the
+//! slowest request via `TRACE SLOWEST` (queue wait, cache lookup,
+//! compute, substrate). `--trace-sample N` additionally prints one full
+//! server-side trace every N requests while the run is in flight.
+//! `--no-metrics` / `--no-trace` build the in-process server with inert
+//! instruments — run both ways to measure the observability overhead.
 
+use pmca_obs::log;
 use pmca_serve::protocol::parse_estimate_reply;
-use pmca_serve::{Client, Request, Server, ServiceConfig};
-use std::sync::Arc;
+use pmca_serve::{Client, Request, Server, ServiceConfig, Trace, TraceScope};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 const GOOD_SET: [&str; 4] = [
@@ -50,8 +56,12 @@ struct Options {
     /// Out of 100: how many requests are app-level (cache-backed) rather
     /// than raw counter-level estimates.
     app_share: u32,
-    /// Build the in-process server with inert instruments (overhead A/B).
+    /// Build the in-process server with inert metrics (overhead A/B).
     no_metrics: bool,
+    /// Build the in-process server with tracing disabled (overhead A/B).
+    no_trace: bool,
+    /// Print one full server-side trace every N requests.
+    trace_sample: Option<usize>,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -63,6 +73,8 @@ fn parse_options() -> Result<Options, String> {
         pipeline: 64,
         app_share: 50,
         no_metrics: false,
+        no_trace: false,
+        trace_sample: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -82,6 +94,11 @@ fn parse_options() -> Result<Options, String> {
                     .ok_or(format!("--app-share: {raw:?} is not a percentage"))?;
             }
             "--no-metrics" => options.no_metrics = true,
+            "--no-trace" => options.no_trace = true,
+            "--trace-sample" => {
+                options.trace_sample =
+                    Some(parse_count(&value("--trace-sample")?, "--trace-sample")?);
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -123,7 +140,7 @@ fn main() {
     let options = match parse_options() {
         Ok(options) => options,
         Err(message) => {
-            eprintln!("loadgen: {message}");
+            log::error("loadgen", &message, &[]);
             std::process::exit(2);
         }
     };
@@ -134,9 +151,10 @@ fn main() {
         Some(addr) => addr.clone(),
         None => {
             println!(
-                "starting in-process server ({} inference workers, metrics {})...",
+                "starting in-process server ({} inference workers, metrics {}, tracing {})...",
                 options.workers,
-                if options.no_metrics { "off" } else { "on" }
+                if options.no_metrics { "off" } else { "on" },
+                if options.no_trace { "off" } else { "on" }
             );
             let service = Arc::new(
                 ServiceConfig::default()
@@ -144,6 +162,7 @@ fn main() {
                     .cache_capacity(1024)
                     .seed(42)
                     .metrics(!options.no_metrics)
+                    .tracing(!options.no_trace)
                     .build()
                     .expect("build service"),
             );
@@ -185,6 +204,19 @@ fn main() {
         options.app_share
     );
 
+    // In-flight trace sampler: every N completed requests (across all
+    // clients) fetch the most recent completed trace over a dedicated
+    // connection — never the pipelining connections, whose reply stream
+    // must stay one line per request.
+    let sampler = options.trace_sample.map(|every| {
+        let client = Client::connect(addr.as_str()).expect("connect trace sampler");
+        Arc::new(TraceSampler {
+            every,
+            completed: AtomicUsize::new(0),
+            client: Mutex::new(client),
+        })
+    });
+
     let started = Instant::now();
     let handles: Vec<_> = (0..options.clients)
         .map(|client_index| {
@@ -192,6 +224,7 @@ fn main() {
             let requests = options.requests;
             let depth = options.pipeline;
             let app_share = options.app_share;
+            let sampler = sampler.clone();
             std::thread::spawn(move || {
                 let mut client = Client::connect(addr.as_str()).expect("client connect");
                 // The request mix repeats with period 700 (lcm of the
@@ -217,6 +250,9 @@ fn main() {
                         latencies.push(per_request);
                     }
                     sent += batch;
+                    if let Some(sampler) = &sampler {
+                        sampler.note(batch);
+                    }
                 }
                 let _ = client.quit();
                 latencies
@@ -255,7 +291,69 @@ fn main() {
         if let Ok(lines) = client.metrics() {
             print_server_percentiles(&lines);
         }
+        if let Ok(lines) = client.trace(TraceScope::Slowest, None) {
+            match Trace::parse_dump(&lines) {
+                Ok(traces) if !traces.is_empty() => {
+                    print_trace(&traces[0], "slowest request server-side");
+                }
+                _ => println!("slowest request server-side: no trace retained (tracing off?)"),
+            }
+        }
         let _ = client.quit();
+    }
+}
+
+/// Shared in-flight sampler: counts completed requests across client
+/// threads and dumps one server-side trace each time the count crosses a
+/// multiple of `every`.
+struct TraceSampler {
+    every: usize,
+    completed: AtomicUsize,
+    client: Mutex<Client>,
+}
+
+impl TraceSampler {
+    fn note(&self, batch: usize) {
+        let before = self.completed.fetch_add(batch, Ordering::Relaxed);
+        let after = before + batch;
+        if after / self.every > before / self.every {
+            self.sample(after);
+        }
+    }
+
+    fn sample(&self, completed: usize) {
+        let Ok(mut client) = self.client.lock() else {
+            return;
+        };
+        if let Ok(lines) = client.trace(TraceScope::Recent, Some(1)) {
+            match Trace::parse_dump(&lines) {
+                Ok(traces) if !traces.is_empty() => {
+                    print_trace(
+                        &traces[0],
+                        &format!("trace sample at ~{completed} requests"),
+                    );
+                }
+                _ => println!("trace sample at ~{completed} requests: none retained"),
+            }
+        }
+    }
+}
+
+/// Print one trace as a "where did the time go" span breakdown.
+fn print_trace(trace: &Trace, heading: &str) {
+    println!(
+        "{heading}: {} (trace {}, conn {}) total {:?}",
+        trace.label,
+        trace.id,
+        trace.connection,
+        Duration::from_nanos(trace.total_ns)
+    );
+    for (name, ns) in trace.span_durations() {
+        // The whole-request span duplicates the total printed above.
+        if name == "request" {
+            continue;
+        }
+        println!("  {name:<16} {:?}", Duration::from_nanos(ns));
     }
 }
 

@@ -8,7 +8,7 @@ use pmca_cpusim::{Machine, PlatformSpec};
 use pmca_pmctools::collector::collect_all;
 use pmca_pmctools::scheduler::schedule;
 use pmca_powermeter::HclWattsUp;
-use pmca_serve::{Client, Server, ServiceConfig};
+use pmca_serve::{Client, Request, Server, ServiceConfig};
 use pmca_workloads::parse::app_from_spec;
 use pmca_workloads::suite::class_b_compound_pairs;
 use std::sync::Arc;
@@ -44,17 +44,21 @@ usage:
       compositions break which counters
 
   slope-pmc serve [--addr HOST:PORT] [--workers N] [--cache N] [--registry DIR]
-                  [--metrics]
+                  [--metrics] [--trace-slow-ms MS] [--trace-log PATH] [--no-trace]
       run the energy estimation server (default 127.0.0.1:7771, 4 workers);
       speaks the line protocol: ESTIMATE, ESTIMATE-APP, TRAIN, MODELS,
-      STATS, METRICS, QUIT; --registry loads saved models at startup;
-      --metrics serves until stdin closes, then dumps the metrics
-      snapshot (latency histograms + counters) before exiting
+      STATS, METRICS, TRACE, QUIT; --registry loads saved models at
+      startup; --metrics serves until stdin closes, then dumps the
+      metrics snapshot (latency histograms + counters) before exiting;
+      --trace-slow-ms keeps every request slower than MS in the slow
+      flight recorder, --trace-log appends each captured trace as JSONL
+      to PATH, --no-trace disables request tracing entirely
 
   slope-pmc query [--addr HOST:PORT] REQUEST...
       send one protocol request to a running server and print the reply
       (e.g.  slope-pmc query STATS
              slope-pmc query METRICS
+             slope-pmc query TRACE SLOWEST
              slope-pmc query ESTIMATE-APP skylake dgemm:12000)";
 
 /// Parsed global options plus positional arguments.
@@ -69,6 +73,9 @@ struct Parsed {
     cache: usize,
     registry: Option<String>,
     metrics_dump: bool,
+    trace_slow_ms: Option<u64>,
+    trace_log: Option<String>,
+    no_trace: bool,
     positional: Vec<String>,
 }
 
@@ -83,6 +90,9 @@ fn parse_options(args: &[String]) -> Result<Parsed, String> {
     let mut cache = 256;
     let mut registry = None;
     let mut metrics_dump = false;
+    let mut trace_slow_ms = None;
+    let mut trace_log = None;
+    let mut no_trace = false;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -136,6 +146,16 @@ fn parse_options(args: &[String]) -> Result<Parsed, String> {
                 registry = Some(it.next().ok_or("--registry needs a directory")?.clone());
             }
             "--metrics" => metrics_dump = true,
+            "--trace-slow-ms" => {
+                let value = it.next().ok_or("--trace-slow-ms needs a value")?;
+                trace_slow_ms = Some(value.parse::<u64>().map_err(|_| {
+                    format!("--trace-slow-ms: {value:?} is not a millisecond count")
+                })?);
+            }
+            "--trace-log" => {
+                trace_log = Some(it.next().ok_or("--trace-log needs a file path")?.clone());
+            }
+            "--no-trace" => no_trace = true,
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => positional.push(other.to_string()),
         }
@@ -151,6 +171,9 @@ fn parse_options(args: &[String]) -> Result<Parsed, String> {
         cache,
         registry,
         metrics_dump,
+        trace_slow_ms,
+        trace_log,
+        no_trace,
         positional,
     })
 }
@@ -392,9 +415,16 @@ fn cmd_serve(options: &Parsed) -> Result<(), String> {
     let mut config = ServiceConfig::default()
         .workers(options.workers)
         .cache_capacity(options.cache)
-        .seed(1);
+        .seed(1)
+        .tracing(!options.no_trace);
     if let Some(dir) = &options.registry {
         config = config.registry_dir(dir);
+    }
+    if let Some(ms) = options.trace_slow_ms {
+        config = config.trace_slow_ms(ms);
+    }
+    if let Some(path) = &options.trace_log {
+        config = config.trace_log(path);
     }
     let service = Arc::new(config.build().map_err(|e| match &options.registry {
         Some(dir) => format!("--registry {dir}: {e}"),
@@ -459,6 +489,12 @@ fn cmd_query(options: &Parsed) -> Result<(), String> {
         println!("{} metric line(s)", metrics.len());
         for metric in metrics {
             println!("  {metric}");
+        }
+    } else if let Ok(Request::Trace { scope, limit }) = Request::parse(&line) {
+        let lines = client.trace(scope, limit).map_err(|e| e.to_string())?;
+        println!("{} trace event line(s)", lines.len());
+        for event in lines {
+            println!("{event}");
         }
     } else {
         let reply = client.send_line(&line).map_err(|e| e.to_string())?;
@@ -581,6 +617,7 @@ mod tests {
         assert!(dispatch(&argv(&["query", "--addr", &addr, "STATS"])).is_ok());
         assert!(dispatch(&argv(&["query", "--addr", &addr, "MODELS"])).is_ok());
         assert!(dispatch(&argv(&["query", "--addr", &addr, "METRICS"])).is_ok());
+        assert!(dispatch(&argv(&["query", "--addr", &addr, "TRACE", "RECENT", "5"])).is_ok());
         // ERR replies are still successful round trips: the reply prints.
         assert!(dispatch(&argv(&[
             "query",
@@ -607,6 +644,9 @@ mod tests {
         assert!(dispatch(&argv(&["serve", "--cache", "none"]))
             .unwrap_err()
             .contains("positive"));
+        assert!(dispatch(&argv(&["serve", "--trace-slow-ms", "soon"]))
+            .unwrap_err()
+            .contains("millisecond"));
     }
 
     #[test]

@@ -23,9 +23,8 @@ fn main() -> ExitCode {
     match commands::dispatch(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
-            eprintln!("slope-pmc: {message}");
-            eprintln!();
-            eprintln!("{}", commands::USAGE);
+            pmca_obs::log::error("cli", &message, &[]);
+            eprintln!("\n{}", commands::USAGE);
             ExitCode::FAILURE
         }
     }

@@ -25,7 +25,7 @@ use crate::events::EventId;
 use crate::interference::InterferenceModel;
 use crate::power::PowerModel;
 use crate::spec::PlatformSpec;
-use pmca_obs::{Counter, Histogram, MetricsRegistry, Span};
+use pmca_obs::{Counter, Histogram, MetricsRegistry, Span, TraceSpan};
 use pmca_stats::rng::{Rng, Xoshiro256pp};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -181,6 +181,7 @@ impl Machine {
         let run_index = self.run_counter;
         self.run_counter += 1;
         let app_name = app.name();
+        let _trace = TraceSpan::with_attrs("sim.run", &[("app", &app_name)]);
         let mut rng = Xoshiro256pp::seed_from_u64(mix(self.seed, &app_name, run_index));
 
         let segments = app.segments(&self.spec);

@@ -1,13 +1,23 @@
 //! The common regressor interface.
 
-use pmca_obs::{MetricsRegistry, Span};
+use pmca_obs::{MetricsRegistry, Span, TraceSpan};
 use std::error::Error;
 use std::fmt;
 
+/// Scoped guard timing one model fit: a metrics [`Span`] into the
+/// global registry plus a [`TraceSpan`] stage (`fit.<family>`) on the
+/// current request trace, if one is in scope.
+#[derive(Debug)]
+pub(crate) struct FitSpan {
+    _metrics: Span,
+    _trace: TraceSpan,
+}
+
 /// Open a span timing one model fit into
 /// `pmca_train_fit_seconds{family=...}` on the global registry, and count
-/// it in `pmca_train_fits_total{family=...}`.
-pub(crate) fn fit_span(family: &'static str) -> Span {
+/// it in `pmca_train_fits_total{family=...}`. Also records a `fit` stage
+/// on the current request trace when one is active.
+pub(crate) fn fit_span(family: &'static str) -> FitSpan {
     use pmca_obs::{Counter, Histogram};
     use std::sync::OnceLock;
     static LINEAR: OnceLock<(Counter, Histogram)> = OnceLock::new();
@@ -26,7 +36,10 @@ pub(crate) fn fit_span(family: &'static str) -> Span {
         )
     });
     fits.inc();
-    Span::enter(seconds)
+    FitSpan {
+        _metrics: Span::enter(seconds),
+        _trace: TraceSpan::with_attrs("fit", &[("family", family)]),
+    }
 }
 
 /// Errors shared by all model fits.

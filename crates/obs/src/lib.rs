@@ -20,6 +20,15 @@
 //! - [`MetricsRegistry::render`] — Prometheus-style text exposition
 //!   (`name{label="v"} value`), served by the `METRICS` protocol
 //!   command.
+//! - [`trace`] — per-request tracing: structured begin/end/instant
+//!   events with attributes, a fixed-capacity flight recorder of the
+//!   last N completed request traces, slow-request capture over a
+//!   latency threshold, and JSONL rendering served by the `TRACE`
+//!   protocol command. [`TraceSpan`] is the tracing twin of [`Span`]:
+//!   inert (zero clock reads) when no trace is in scope.
+//! - [`log`] — a minimal leveled structured-logging facade
+//!   (`key=value` lines to stderr, `PMCA_LOG` env override) for
+//!   process lifecycle events.
 //!
 //! # Naming convention
 //!
@@ -48,10 +57,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod log;
 pub mod metrics;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
 pub use registry::{MetricId, MetricsRegistry};
 pub use span::Span;
+pub use trace::{ActiveTrace, Trace, TraceEvent, TraceSpan, Tracer, TracerConfig};

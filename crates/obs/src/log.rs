@@ -1,0 +1,255 @@
+//! Minimal leveled structured logging to stderr.
+//!
+//! A deliberate subset of the `log`/`tracing` facades, std-only:
+//! leveled macros-as-functions emitting one `key=value` line per call,
+//! e.g.
+//!
+//! ```text
+//! t=12.042 level=info target=serve msg="connection closed" conn=3 requests=128
+//! ```
+//!
+//! The level is a process-wide atomic, defaulting to `info` and
+//! overridable either programmatically ([`set_level`]) or by the
+//! `PMCA_LOG` environment variable (`off`, `error`, `warn`, `info`,
+//! `debug`) read once on first use. A suppressed call costs one
+//! relaxed atomic load — cheap enough to leave `debug!`-style calls on
+//! hot-ish paths like connection teardown.
+//!
+//! Values containing spaces, quotes, or `=` are quoted and escaped so
+//! the line stays machine-splittable on single spaces.
+
+use std::io::Write as _;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Log severity, ordered: `Off < Error < Warn < Info < Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Log nothing.
+    Off,
+    /// Failures the process cannot recover from silently.
+    Error,
+    /// Unexpected but handled conditions.
+    Warn,
+    /// Lifecycle events (default).
+    Info,
+    /// Per-connection / per-request chatter.
+    Debug,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn from_u8(raw: u8) -> Level {
+        match raw {
+            0 => Level::Off,
+            1 => Level::Error,
+            2 => Level::Warn,
+            4 => Level::Debug,
+            _ => Level::Info,
+        }
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            Level::Off => 0,
+            Level::Error => 1,
+            Level::Warn => 2,
+            Level::Info => 3,
+            Level::Debug => 4,
+        }
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(raw: &str) -> Result<Level, String> {
+        match raw.to_ascii_lowercase().as_str() {
+            "off" | "none" => Ok(Level::Off),
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            other => Err(format!("unknown log level {other:?}")),
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Sentinel meaning "not initialised yet; consult `PMCA_LOG`".
+const UNSET: u8 = u8::MAX;
+
+static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+
+fn effective_level() -> Level {
+    let raw = LEVEL.load(Ordering::Relaxed);
+    if raw != UNSET {
+        return Level::from_u8(raw);
+    }
+    let level = std::env::var("PMCA_LOG")
+        .ok()
+        .and_then(|raw| raw.parse().ok())
+        .unwrap_or(Level::Info);
+    // First caller wins; a concurrent `set_level` may overwrite, which
+    // is fine — both are valid orderings of startup.
+    let _ = LEVEL.compare_exchange(UNSET, level.to_u8(), Ordering::Relaxed, Ordering::Relaxed);
+    Level::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// Set the process-wide log level, overriding `PMCA_LOG`.
+pub fn set_level(level: Level) {
+    LEVEL.store(level.to_u8(), Ordering::Relaxed);
+}
+
+/// The current process-wide log level.
+pub fn level() -> Level {
+    effective_level()
+}
+
+/// Whether a message at `level` would currently be emitted.
+pub fn enabled(level: Level) -> bool {
+    level > Level::Off && level <= effective_level()
+}
+
+fn uptime_seconds() -> f64 {
+    static STARTED: OnceLock<Instant> = OnceLock::new();
+    STARTED.get_or_init(Instant::now).elapsed().as_secs_f64()
+}
+
+/// Quote a value if it contains bytes that would break single-space
+/// splitting of the line.
+fn format_value(raw: &str) -> String {
+    let needs_quoting = raw.is_empty() || raw.contains([' ', '"', '=', '\n', '\r', '\t', '\\']);
+    if !needs_quoting {
+        return raw.to_string();
+    }
+    let mut out = String::with_capacity(raw.len() + 2);
+    out.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render one log line without emitting it (exposed for tests and for
+/// callers that route lines elsewhere).
+pub fn format_line(level: Level, target: &str, message: &str, attrs: &[(&str, &str)]) -> String {
+    let mut line = format!(
+        "t={:.3} level={} target={} msg={}",
+        uptime_seconds(),
+        level.as_str(),
+        target,
+        format_value(message)
+    );
+    for (key, value) in attrs {
+        line.push(' ');
+        line.push_str(key);
+        line.push('=');
+        line.push_str(&format_value(value));
+    }
+    line
+}
+
+/// Emit a structured line at `level` if the process level allows it.
+pub fn log(level: Level, target: &str, message: &str, attrs: &[(&str, &str)]) {
+    if !enabled(level) {
+        return;
+    }
+    let line = format_line(level, target, message, attrs);
+    let stderr = std::io::stderr();
+    let mut handle = stderr.lock();
+    let _ = writeln!(handle, "{line}");
+}
+
+/// Log at `error` level.
+pub fn error(target: &str, message: &str, attrs: &[(&str, &str)]) {
+    log(Level::Error, target, message, attrs);
+}
+
+/// Log at `warn` level.
+pub fn warn(target: &str, message: &str, attrs: &[(&str, &str)]) {
+    log(Level::Warn, target, message, attrs);
+}
+
+/// Log at `info` level.
+pub fn info(target: &str, message: &str, attrs: &[(&str, &str)]) {
+    log(Level::Info, target, message, attrs);
+}
+
+/// Log at `debug` level.
+pub fn debug(target: &str, message: &str, attrs: &[(&str, &str)]) {
+    log(Level::Debug, target, message, attrs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_round_trip() {
+        assert!(Level::Error < Level::Debug);
+        for level in [
+            Level::Off,
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+        ] {
+            assert_eq!(level.as_str().parse::<Level>().unwrap(), level);
+            assert_eq!(Level::from_u8(level.to_u8()), level);
+        }
+        assert!("verbose".parse::<Level>().is_err());
+    }
+
+    #[test]
+    fn format_line_quotes_awkward_values() {
+        let line = format_line(
+            Level::Info,
+            "serve",
+            "connection closed",
+            &[("conn", "3"), ("peer", "127.0.0.1:4 weird\"value")],
+        );
+        assert!(line.contains("level=info"));
+        assert!(line.contains("target=serve"));
+        assert!(line.contains("msg=\"connection closed\""));
+        assert!(line.contains("conn=3"));
+        assert!(line.contains("peer=\"127.0.0.1:4 weird\\\"value\""));
+    }
+
+    #[test]
+    fn enabled_respects_set_level() {
+        set_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        set_level(Level::Off);
+        assert!(!enabled(Level::Error));
+        set_level(Level::Info);
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+    }
+}

@@ -9,7 +9,7 @@ use crate::scheduler::{schedule, CounterGroup, ScheduleError};
 use pmca_cpusim::app::Application;
 use pmca_cpusim::events::EventId;
 use pmca_cpusim::Machine;
-use pmca_obs::{Counter, Histogram, MetricsRegistry, Span};
+use pmca_obs::{Counter, Histogram, MetricsRegistry, Span, TraceSpan};
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
@@ -122,6 +122,7 @@ pub fn collect_sweeps(
 ) -> Result<SweepSamples, ScheduleError> {
     let (run_counter, sweep_seconds) = collect_metrics();
     let _span = Span::enter(sweep_seconds);
+    let _trace = TraceSpan::enter("collect.sweep");
     let groups = schedule(machine.catalog(), events)?;
     let mut dedup: Vec<EventId> = Vec::new();
     let mut seen = std::collections::HashSet::new();

@@ -196,7 +196,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Anything usable as the size argument of [`vec`]: an exact length
+    /// Anything usable as the size argument of [`vec()`]: an exact length
     /// or a half-open range of lengths.
     pub trait SizeRange {
         /// Draw a concrete length.
@@ -222,7 +222,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S, Z> {
         element: S,

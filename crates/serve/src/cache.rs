@@ -9,6 +9,7 @@
 //! effectiveness, plus registry-backed metrics (`pmca_cache_*`) when
 //! built with [`RunCache::with_registry`].
 
+use pmca_obs::trace::{self, TraceSpan};
 use pmca_obs::{Counter, Histogram, MetricsRegistry, Span};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -152,7 +153,10 @@ impl RunCache {
 
     /// Look up `key`, computing and caching on a miss. The computation is
     /// timed into `pmca_cache_fill_seconds` and runs outside the cache
-    /// lock. `compute` may fail; failures are not cached.
+    /// lock. `compute` may fail; failures are not cached. When the
+    /// calling thread has a request trace in scope the lookup and any
+    /// fill are bracketed as `cache.lookup` / `cache.fill` stages, with
+    /// the outcome marked as a `cache.hit` / `cache.miss` instant.
     ///
     /// # Errors
     ///
@@ -162,10 +166,17 @@ impl RunCache {
         key: &RunKey,
         compute: impl FnOnce() -> Result<Vec<f64>, E>,
     ) -> Result<Arc<Vec<f64>>, E> {
-        if let Some(found) = self.get(key) {
+        let found = {
+            let _lookup = TraceSpan::enter("cache.lookup");
+            self.get(key)
+        };
+        if let Some(found) = found {
+            trace::instant("cache.hit", &[("app", &key.app)]);
             return Ok(found);
         }
+        trace::instant("cache.miss", &[("app", &key.app)]);
         let computed = {
+            let _fill_trace = TraceSpan::enter("cache.fill");
             let _fill = Span::enter(&self.metrics.fill_seconds);
             compute()?
         };

@@ -6,7 +6,7 @@
 //! and the loadgen bench binary.
 
 use crate::engine::Estimate;
-use crate::protocol::{parse_estimate_reply, parse_ok_fields, ProtocolError, Request};
+use crate::protocol::{parse_estimate_reply, parse_ok_fields, ProtocolError, Request, TraceScope};
 use std::error::Error;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
@@ -201,8 +201,23 @@ impl Client {
         self.counted_listing(Request::Metrics, "METRICS")
     }
 
-    /// Shared shape of MODELS/METRICS replies: an `OK count=<n>` header
-    /// followed by `n` payload lines.
+    /// Fetch retained request traces as JSONL event lines. `limit` caps
+    /// the number of traces (not lines); decode the result with
+    /// `pmca_obs::trace::Trace::parse_dump`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Protocol`] on a malformed listing.
+    pub fn trace(
+        &mut self,
+        scope: TraceScope,
+        limit: Option<usize>,
+    ) -> Result<Vec<String>, ClientError> {
+        self.counted_listing(Request::Trace { scope, limit }, "TRACE")
+    }
+
+    /// Shared shape of MODELS/METRICS/TRACE replies: an `OK count=<n>`
+    /// header followed by `n` payload lines.
     fn counted_listing(
         &mut self,
         request: Request,

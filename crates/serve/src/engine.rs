@@ -11,6 +11,7 @@
 
 use crate::registry::StoredModel;
 use pmca_mlkit::Regressor;
+use pmca_obs::trace::{self, ActiveTrace, TraceSpan};
 use pmca_obs::{Histogram, MetricsRegistry, Span};
 use pmca_stats::confidence::t_critical;
 use std::collections::HashMap;
@@ -80,7 +81,28 @@ struct Job {
     /// Submission time, for the queue-wait histogram. `None` when the
     /// engine's metrics are disabled — no clock read on the opt-out path.
     enqueued: Option<Instant>,
+    /// Trace of the request this job belongs to. Crossing the channel
+    /// with the job is what attributes queue wait to the *originating*
+    /// request rather than to the worker that dequeued it.
+    trace: Option<ActiveTrace>,
     reply: mpsc::Sender<(usize, Result<Estimate, EngineError>)>,
+}
+
+impl Job {
+    /// Mark the job queued on its originating trace (called on the
+    /// submitting thread, before the channel send).
+    fn mark_enqueued(&self) {
+        if let Some(trace) = &self.trace {
+            trace.begin("engine.queue", &[]);
+        }
+    }
+
+    /// Close the queue stage on dequeue (called on the worker thread).
+    fn mark_dequeued(&self) {
+        if let Some(trace) = &self.trace {
+            trace.end("engine.queue");
+        }
+    }
 }
 
 /// Time-attribution instruments of one engine: how long jobs sat in the
@@ -212,8 +234,10 @@ impl InferenceEngine {
                 counts,
                 index: 0,
                 enqueued: self.stamp(),
+                trace: trace::current(),
                 reply: reply.clone(),
             };
+            job.mark_enqueued();
             sender.send(job).map_err(|_| EngineError::Stopped)?;
             receiver
                 .recv()
@@ -231,6 +255,19 @@ impl InferenceEngine {
         model: &Arc<StoredModel>,
         rows: Vec<Vec<f64>>,
     ) -> Vec<Result<Estimate, EngineError>> {
+        let rows = rows.into_iter().map(|counts| (counts, None)).collect();
+        self.estimate_batch_traced(model, rows)
+    }
+
+    /// [`estimate_batch`](InferenceEngine::estimate_batch) with an
+    /// explicit per-row trace. A pipelined batch interleaves rows from
+    /// *different* request traces, so the submitting thread's ambient
+    /// current trace would misattribute them — each row carries its own.
+    pub fn estimate_batch_traced(
+        &self,
+        model: &Arc<StoredModel>,
+        rows: Vec<(Vec<f64>, Option<ActiveTrace>)>,
+    ) -> Vec<Result<Estimate, EngineError>> {
         let total = rows.len();
         let mut out: Vec<Result<Estimate, EngineError>> =
             (0..total).map(|_| Err(EngineError::Stopped)).collect();
@@ -239,14 +276,16 @@ impl InferenceEngine {
         };
         let (reply, receiver) = mpsc::channel();
         let mut enqueued = 0;
-        for (index, counts) in rows.into_iter().enumerate() {
+        for (index, (counts, trace)) in rows.into_iter().enumerate() {
             let job = Job {
                 model: Arc::clone(model),
                 counts,
                 index,
                 enqueued: self.stamp(),
+                trace,
                 reply: reply.clone(),
             };
+            job.mark_enqueued();
             if sender.send(job).is_ok() {
                 enqueued += 1;
             }
@@ -308,7 +347,12 @@ fn worker_loop(
         if let Some(enqueued) = job.enqueued {
             metrics.queue_wait.record(enqueued.elapsed());
         }
+        job.mark_dequeued();
         let outcome = {
+            // Adopt the originating request's trace for the duration of
+            // the computation so substrate spans land in it too.
+            let _trace_scope = trace::scope(job.trace.as_ref());
+            let _compute_trace = TraceSpan::enter("engine.compute");
             let _compute = Span::enter(&metrics.compute);
             answer(&job, &mut predictors)
         };
@@ -480,6 +524,71 @@ mod tests {
             lines.contains(&"pmca_engine_queue_wait_seconds_count 1".to_string()),
             "{lines:?}"
         );
+    }
+
+    #[test]
+    fn traces_cross_the_worker_channel_and_attribute_queue_wait() {
+        use pmca_obs::TracerConfig;
+
+        let tracer = TracerConfig::new().build().unwrap();
+        let engine = InferenceEngine::new(2);
+        let model = registered(&[1.0], 0.0, 10);
+        let request_trace = tracer.start("estimate", &[]).unwrap();
+        {
+            let _scope = trace::scope(Some(&request_trace));
+            let _ = engine.estimate(&model, vec![1.0]).unwrap();
+        }
+        tracer.finish(&request_trace);
+        let completed = tracer.slowest().expect("trace finished");
+        let names: Vec<&str> = completed.events.iter().map(|e| e.name.as_str()).collect();
+        // Queue stage opened on the submitting thread, closed by the
+        // worker; compute bracketed on the worker thread.
+        assert!(names.contains(&"engine.queue"), "{names:?}");
+        assert!(names.contains(&"engine.compute"), "{names:?}");
+        let durations = completed.span_durations();
+        for stage in ["engine.queue", "engine.compute"] {
+            assert!(
+                durations.iter().any(|(name, _)| name == stage),
+                "{stage} missing from {durations:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_rows_record_into_their_own_traces() {
+        use pmca_obs::TracerConfig;
+
+        let tracer = TracerConfig::new().build().unwrap();
+        let engine = InferenceEngine::new(4);
+        let model = registered(&[1.0], 0.0, 10);
+        let traces: Vec<ActiveTrace> = (0..8)
+            .map(|_| tracer.start("estimate", &[]).unwrap())
+            .collect();
+        let rows = traces
+            .iter()
+            .enumerate()
+            .map(|(i, trace)| (vec![i as f64], Some(trace.clone())))
+            .collect();
+        let answers = engine.estimate_batch_traced(&model, rows);
+        assert!(answers.iter().all(Result::is_ok));
+        for trace in &traces {
+            tracer.finish(trace);
+        }
+        let recent = tracer.recent();
+        assert_eq!(recent.len(), 8);
+        for completed in recent {
+            let durations = completed.span_durations();
+            // Each request trace got exactly its own queue + compute pair.
+            for stage in ["engine.queue", "engine.compute"] {
+                assert_eq!(
+                    completed.events.iter().filter(|e| e.name == stage).count(),
+                    2,
+                    "{stage} events in {:?}",
+                    completed.events
+                );
+                assert!(durations.iter().any(|(name, _)| name == stage));
+            }
+        }
     }
 
     #[test]

@@ -16,13 +16,18 @@
 //!   platforms (training, counter-level and app-level estimation);
 //! - [`protocol`] / [`server`] / [`client`] — a line protocol over
 //!   `std::net::TcpListener` (`ESTIMATE`, `ESTIMATE-APP`, `TRAIN`,
-//!   `MODELS`, `STATS`, `METRICS`, `QUIT`) plus a blocking client.
+//!   `MODELS`, `STATS`, `METRICS`, `TRACE`, `QUIT`) plus a blocking
+//!   client.
 //!
 //! Everything is `std`-only — threads and channels, no external runtime.
-//! Observability (latency histograms, hit/miss/error counters) comes
-//! from the sibling `pmca-obs` crate and is exposed over the wire via
-//! the `METRICS` command; build with
-//! [`ServiceConfig::metrics(false)`](service::ServiceConfig::metrics)
+//! Observability comes from the sibling `pmca-obs` crate: aggregate
+//! metrics (latency histograms, hit/miss/error counters) exposed via the
+//! `METRICS` command, and per-request traces — queue wait, cache lookup,
+//! model compute, and substrate simulation attributed to each request —
+//! retained in a flight recorder and dumped as JSONL via the `TRACE`
+//! command. Build with
+//! [`ServiceConfig::metrics(false)`](service::ServiceConfig::metrics) /
+//! [`ServiceConfig::tracing(false)`](service::ServiceConfig::tracing)
 //! to run with inert instruments.
 //!
 //! # Examples
@@ -65,7 +70,8 @@ pub mod service;
 pub use cache::{RunCache, RunKey};
 pub use client::{Client, ClientError};
 pub use engine::{EngineError, Estimate, InferenceEngine};
-pub use protocol::{ProtocolError, Request};
+pub use pmca_obs::Trace;
+pub use protocol::{ProtocolError, Request, TraceScope};
 pub use registry::{ModelKey, Registry, RegistryError, StoredModel};
 pub use server::Server;
 pub use service::{BatchRequest, EnergyService, ServiceConfig, ServiceError, ServiceStats};

@@ -9,15 +9,19 @@
 //! MODELS
 //! STATS
 //! METRICS
+//! TRACE [RECENT|SLOW|SLOWEST] [<limit>]
 //! QUIT
 //! ```
 //!
 //! Replies are single lines — `OK key=value ...` or `ERR <message>` —
-//! except `MODELS` and `METRICS`, which answer `OK count=<n>` followed
-//! by `n` listing lines (the client knows how many to read). `METRICS`
-//! lines are Prometheus-style exposition (`name{label="v"} value`; see
-//! `pmca_obs`). Floats use Rust's default shortest-round-trip
-//! formatting, so a reply parses back to the exact served value.
+//! except `MODELS`, `METRICS`, and `TRACE`, which answer `OK count=<n>`
+//! followed by `n` listing lines (the client knows how many to read).
+//! `METRICS` lines are Prometheus-style exposition
+//! (`name{label="v"} value`; see `pmca_obs`). `TRACE` lines are JSONL —
+//! one event per line (see `pmca_obs::trace::Trace::to_jsonl`), grouped
+//! by trace, and `<limit>` caps how many *traces* (not lines) are
+//! dumped. Floats use Rust's default shortest-round-trip formatting, so
+//! a reply parses back to the exact served value.
 
 use crate::engine::Estimate;
 use crate::service::ServiceStats;
@@ -102,8 +106,37 @@ pub enum Request {
     /// Report the full metrics exposition (latency histograms, cache and
     /// substrate counters).
     Metrics,
+    /// Dump completed request traces as JSONL.
+    Trace {
+        /// Which retained traces to dump.
+        scope: TraceScope,
+        /// Cap on the number of traces (not lines) dumped.
+        limit: Option<usize>,
+    },
     /// Close the connection.
     Quit,
+}
+
+/// Which of the server's retained trace sets a `TRACE` request dumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceScope {
+    /// The flight recorder: last N completed requests (default).
+    #[default]
+    Recent,
+    /// Requests over the configured slow threshold.
+    Slow,
+    /// The single slowest request since startup.
+    Slowest,
+}
+
+impl TraceScope {
+    fn as_str(self) -> &'static str {
+        match self {
+            TraceScope::Recent => "RECENT",
+            TraceScope::Slow => "SLOW",
+            TraceScope::Slowest => "SLOWEST",
+        }
+    }
 }
 
 impl Request {
@@ -177,6 +210,7 @@ impl Request {
             "MODELS" if rest.is_empty() => Ok(Request::Models),
             "STATS" if rest.is_empty() => Ok(Request::Stats),
             "METRICS" if rest.is_empty() => Ok(Request::Metrics),
+            "TRACE" => parse_trace_args(&rest),
             "QUIT" if rest.is_empty() => Ok(Request::Quit),
             "MODELS" | "STATS" | "METRICS" | "QUIT" => {
                 Err(ProtocolError::bad(&command, "takes no arguments"))
@@ -203,6 +237,10 @@ impl Request {
             Request::Models => "MODELS".to_string(),
             Request::Stats => "STATS".to_string(),
             Request::Metrics => "METRICS".to_string(),
+            Request::Trace { scope, limit } => match limit {
+                Some(limit) => format!("TRACE {} {limit}", scope.as_str()),
+                None => format!("TRACE {}", scope.as_str()),
+            },
             Request::Quit => "QUIT".to_string(),
         }
     }
@@ -217,9 +255,52 @@ impl Request {
             Request::Models => "models",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
+            Request::Trace { .. } => "trace",
             Request::Quit => "quit",
         }
     }
+}
+
+/// Parse the argument words of a `TRACE` request: an optional scope
+/// word, then an optional positive trace-count limit.
+fn parse_trace_args(rest: &[&str]) -> Result<Request, ProtocolError> {
+    let mut words = rest.iter();
+    let mut scope = TraceScope::default();
+    let mut limit = None;
+    if let Some(&word) = words.next() {
+        match word.to_ascii_uppercase().as_str() {
+            "RECENT" => scope = TraceScope::Recent,
+            "SLOW" => scope = TraceScope::Slow,
+            "SLOWEST" => scope = TraceScope::Slowest,
+            raw => {
+                limit = Some(parse_trace_limit(raw)?);
+                if words.next().is_some() {
+                    return Err(ProtocolError::bad(
+                        "TRACE",
+                        "usage: TRACE [RECENT|SLOW|SLOWEST] [<limit>]",
+                    ));
+                }
+                return Ok(Request::Trace { scope, limit });
+            }
+        }
+    }
+    if let Some(&word) = words.next() {
+        limit = Some(parse_trace_limit(word)?);
+    }
+    if words.next().is_some() {
+        return Err(ProtocolError::bad(
+            "TRACE",
+            "usage: TRACE [RECENT|SLOW|SLOWEST] [<limit>]",
+        ));
+    }
+    Ok(Request::Trace { scope, limit })
+}
+
+fn parse_trace_limit(raw: &str) -> Result<usize, ProtocolError> {
+    raw.parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+        .ok_or_else(|| ProtocolError::bad("TRACE", format!("bad limit {raw:?}")))
 }
 
 fn split_list(word: &str, what: &str) -> Result<Vec<String>, ProtocolError> {
@@ -341,10 +422,60 @@ mod tests {
             Request::Models,
             Request::Stats,
             Request::Metrics,
+            Request::Trace {
+                scope: TraceScope::Recent,
+                limit: None,
+            },
+            Request::Trace {
+                scope: TraceScope::Slow,
+                limit: Some(5),
+            },
+            Request::Trace {
+                scope: TraceScope::Slowest,
+                limit: None,
+            },
             Request::Quit,
         ];
         for request in requests {
             assert_eq!(Request::parse(&request.to_line()).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn trace_requests_parse_with_defaults_and_bare_limits() {
+        assert_eq!(
+            Request::parse("TRACE").unwrap(),
+            Request::Trace {
+                scope: TraceScope::Recent,
+                limit: None,
+            }
+        );
+        // A bare number keeps the default scope.
+        assert_eq!(
+            Request::parse("TRACE 3").unwrap(),
+            Request::Trace {
+                scope: TraceScope::Recent,
+                limit: Some(3),
+            }
+        );
+        assert_eq!(
+            Request::parse("trace slow 2").unwrap(),
+            Request::Trace {
+                scope: TraceScope::Slow,
+                limit: Some(2),
+            }
+        );
+        for bad in [
+            "TRACE 0",
+            "TRACE SOON",
+            "TRACE RECENT x",
+            "TRACE 3 4",
+            "TRACE SLOW 2 2",
+        ] {
+            assert!(
+                matches!(Request::parse(bad), Err(ProtocolError::BadRequest { .. })),
+                "{bad:?} should be a BadRequest"
+            );
         }
     }
 

@@ -9,6 +9,7 @@
 //! `pmca_mlkit::export` model format with registry metadata lines.
 
 use pmca_mlkit::export::{self, ModelParams};
+use pmca_obs::trace;
 use pmca_obs::{Counter, MetricsRegistry};
 use std::collections::HashMap;
 use std::error::Error;
@@ -243,11 +244,7 @@ impl Registry {
             .filter_map(|(_, versions)| versions.last())
             .max_by_key(|m| (m.key.family == "online", m.version))
             .cloned();
-        if found.is_some() {
-            self.counters.lookup_hits.inc();
-        } else {
-            self.counters.lookup_misses.inc();
-        }
+        self.note_lookup(found.is_some());
         found
     }
 
@@ -262,12 +259,23 @@ impl Registry {
             .filter_map(|(_, versions)| versions.last())
             .max_by_key(|m| m.version)
             .cloned();
-        if found.is_some() {
+        self.note_lookup(found.is_some());
+        found
+    }
+
+    /// Record a lookup outcome: the hit/miss counter pair and, when the
+    /// calling thread carries a request trace, a `registry.lookup`
+    /// instant marking which way it went.
+    fn note_lookup(&self, hit: bool) {
+        if hit {
             self.counters.lookup_hits.inc();
         } else {
             self.counters.lookup_misses.inc();
         }
-        found
+        trace::instant(
+            "registry.lookup",
+            &[("result", if hit { "hit" } else { "miss" })],
+        );
     }
 
     /// Every stored version, sorted by key then version (stable listing

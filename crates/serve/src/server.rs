@@ -8,7 +8,7 @@
 
 use crate::protocol::{err, ok_estimate, ok_stats, Request};
 use crate::service::{BatchRequest, EnergyService};
-use pmca_obs::{Histogram, Span};
+use pmca_obs::{log, trace, Gauge, Histogram, Span};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -26,6 +26,7 @@ struct CommandMetrics {
     models: Histogram,
     stats: Histogram,
     metrics: Histogram,
+    trace: Histogram,
 }
 
 impl CommandMetrics {
@@ -41,6 +42,7 @@ impl CommandMetrics {
             models: h("models"),
             stats: h("stats"),
             metrics: h("metrics"),
+            trace: h("trace"),
         }
     }
 
@@ -53,8 +55,50 @@ impl CommandMetrics {
             "train" => &self.train,
             "models" => &self.models,
             "metrics" => &self.metrics,
+            "trace" => &self.trace,
             _ => &self.stats,
         }
+    }
+}
+
+/// RAII accounting for one live connection: bumps the
+/// `pmca_serve_active_connections` gauge on creation and decrements it
+/// on drop — *however* the handler exits (clean QUIT, client
+/// disconnect, I/O error, or a panic unwinding the handler thread) —
+/// and logs the connection lifecycle.
+struct ConnectionGuard {
+    gauge: Gauge,
+    conn_id: u64,
+    peer: String,
+}
+
+impl ConnectionGuard {
+    fn open(service: &EnergyService, conn_id: u64, peer: String) -> ConnectionGuard {
+        let gauge = service
+            .metrics_registry()
+            .gauge("pmca_serve_active_connections", &[]);
+        gauge.add(1.0);
+        log::debug(
+            "serve",
+            "connection open",
+            &[("conn", &conn_id.to_string()), ("peer", &peer)],
+        );
+        ConnectionGuard {
+            gauge,
+            conn_id,
+            peer,
+        }
+    }
+}
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.gauge.add(-1.0);
+        log::debug(
+            "serve",
+            "connection closed",
+            &[("conn", &self.conn_id.to_string()), ("peer", &self.peer)],
+        );
     }
 }
 
@@ -77,6 +121,14 @@ impl Server {
     pub fn start(service: Arc<EnergyService>, addr: &str) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        log::info(
+            "serve",
+            "listening",
+            &[
+                ("addr", &local_addr.to_string()),
+                ("workers", &service.stats().workers.to_string()),
+            ],
+        );
         let stop = Arc::new(AtomicBool::new(false));
         let accept_handle = {
             let service = Arc::clone(&service);
@@ -138,6 +190,13 @@ fn handle_connection(stream: TcpStream, service: &EnergyService) {
     // One reply per request line: without nodelay, Nagle + delayed ACK
     // stall every round trip by tens of milliseconds.
     let _ = stream.set_nodelay(true);
+    let conn_id = service.tracer().next_connection();
+    let peer = stream
+        .peer_addr()
+        .map_or_else(|_| "unknown".to_string(), |a| a.to_string());
+    let _guard = ConnectionGuard::open(service, conn_id, peer);
+    // Requests traced on this thread carry the connection id.
+    let _conn_scope = trace::connection_scope(conn_id);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -300,6 +359,15 @@ fn respond(service: &EnergyService, metrics: &CommandMetrics, request: Request) 
             }
             reply
         }
+        Request::Trace { scope, limit } => {
+            let lines = service.trace_lines(scope, limit);
+            let mut reply = format!("OK count={}", lines.len());
+            for trace_line in lines {
+                reply.push('\n');
+                reply.push_str(&trace_line);
+            }
+            reply
+        }
         Request::Quit => return ("OK bye=1".to_string(), true),
     };
     (reply, false)
@@ -417,6 +485,77 @@ mod tests {
                 .any(|l| l.starts_with("pmca_cache_hits_total ")),
             "{lines:?}"
         );
+    }
+
+    #[test]
+    fn trace_reply_is_count_prefixed_jsonl() {
+        let server = Server::start(service_with_model(), "127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        assert!(roundtrip(&stream, "ESTIMATE skylake A=10 B=1").starts_with("OK joules="));
+        let mut writer = stream.try_clone().unwrap();
+        writeln!(writer, "TRACE SLOWEST").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut header = String::new();
+        reader.read_line(&mut header).unwrap();
+        let count: usize = header
+            .trim_end()
+            .strip_prefix("OK count=")
+            .expect("count header")
+            .parse()
+            .unwrap();
+        assert!(count > 0, "slowest trace should exist after one estimate");
+        let mut lines = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut l = String::new();
+            reader.read_line(&mut l).unwrap();
+            lines.push(l.trim_end().to_string());
+        }
+        let traces = crate::Trace::parse_dump(&lines).unwrap();
+        assert_eq!(traces.len(), 1);
+        assert!(traces[0].connection > 0, "trace carries the connection id");
+    }
+
+    #[test]
+    fn active_connections_gauge_returns_to_zero() {
+        use pmca_obs::MetricsRegistry;
+        use std::time::Duration;
+
+        // A private registry: other tests' connections must not show up
+        // in this gauge.
+        let registry = Arc::new(MetricsRegistry::new());
+        let service = Arc::new(
+            ServiceConfig::default()
+                .workers(1)
+                .cache_capacity(8)
+                .build_with_registry(Arc::clone(&registry))
+                .unwrap(),
+        );
+        let server = Server::start(service, "127.0.0.1:0").unwrap();
+        let gauge = registry.gauge("pmca_serve_active_connections", &[]);
+        let wait_for = |expected: f64| {
+            for _ in 0..500 {
+                if (gauge.get() - expected).abs() < f64::EPSILON {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(10));
+            }
+            panic!("gauge stuck at {} (wanted {expected})", gauge.get());
+        };
+        let streams: Vec<TcpStream> = (0..4)
+            .map(|_| TcpStream::connect(server.addr()).unwrap())
+            .collect();
+        // A round trip per stream proves every handler thread is live
+        // (and has incremented the gauge).
+        for stream in &streams {
+            assert!(roundtrip(stream, "STATS").starts_with("OK served="));
+        }
+        assert_eq!(gauge.get(), 4.0);
+        // Mixed exits: one clean QUIT, the rest abrupt disconnects (the
+        // handler hits EOF / an I/O error) — the RAII guard must
+        // decrement on every path.
+        assert_eq!(roundtrip(&streams[0], "QUIT"), "OK bye=1");
+        drop(streams);
+        wait_for(0.0);
     }
 
     #[test]

@@ -10,11 +10,13 @@
 
 use crate::cache::{RunCache, RunKey};
 use crate::engine::{EngineError, Estimate, InferenceEngine};
+use crate::protocol::TraceScope;
 use crate::registry::{Registry, RegistryError, StoredModel};
 use pmca_core::online::OnlineModel;
 use pmca_cpusim::{Machine, PlatformSpec};
 use pmca_mlkit::export::ModelParams;
-use pmca_obs::{Counter, Histogram, MetricsRegistry, Span};
+use pmca_obs::trace::{self, ActiveTrace};
+use pmca_obs::{Counter, Histogram, MetricsRegistry, Span, Trace, Tracer, TracerConfig};
 use pmca_pmctools::collector::collect_all;
 use pmca_powermeter::{HclWattsUp, Methodology};
 use pmca_workloads::parse::app_from_spec;
@@ -24,6 +26,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::sync::{Mutex, RwLock};
+use std::time::Duration;
 
 /// Service-level failures, each mapping to one `ERR` protocol reply.
 #[derive(Debug, Clone, PartialEq)]
@@ -143,11 +146,16 @@ pub struct ServiceConfig {
     seed: u64,
     registry_dir: Option<PathBuf>,
     metrics: bool,
+    tracing: bool,
+    trace_capacity: usize,
+    trace_slow_ms: Option<u64>,
+    trace_log: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
     /// Four workers, a 256-run cache, seed 1, no registry directory,
-    /// metrics exported to the process-global registry.
+    /// metrics exported to the process-global registry, tracing on with
+    /// a 64-trace flight recorder (no slow threshold, no JSONL sink).
     fn default() -> Self {
         ServiceConfig {
             workers: 4,
@@ -155,6 +163,10 @@ impl Default for ServiceConfig {
             seed: 1,
             registry_dir: None,
             metrics: true,
+            tracing: true,
+            trace_capacity: 64,
+            trace_slow_ms: None,
+            trace_log: None,
         }
     }
 }
@@ -193,12 +205,43 @@ impl ServiceConfig {
         self
     }
 
+    /// Whether the service traces requests (default `true`). With
+    /// `false` the tracer never starts a trace, so every trace span on
+    /// the request path collapses to one thread-local check — zero
+    /// clock reads, mirroring [`ServiceConfig::metrics`]`(false)`.
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.tracing = enabled;
+        self
+    }
+
+    /// Capacity of the flight recorder holding the most recent
+    /// completed request traces (default 64).
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Latency threshold in milliseconds above which a request's full
+    /// trace is retained in the slow-trace ring (default: none).
+    pub fn trace_slow_ms(mut self, threshold_ms: u64) -> Self {
+        self.trace_slow_ms = Some(threshold_ms);
+        self
+    }
+
+    /// Append completed traces as JSONL to this file: every trace when
+    /// no slow threshold is set, only slow traces otherwise.
+    pub fn trace_log(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_log = Some(path.into());
+        self
+    }
+
     /// Build the service.
     ///
     /// # Errors
     ///
     /// Returns [`RegistryError`] when a configured registry directory
-    /// exists but fails to load.
+    /// exists but fails to load, or when the trace JSONL sink cannot be
+    /// opened.
     ///
     /// # Panics
     ///
@@ -209,6 +252,28 @@ impl ServiceConfig {
         } else {
             Arc::new(MetricsRegistry::disabled())
         };
+        self.build_with_registry(metrics_registry)
+    }
+
+    /// [`build`](ServiceConfig::build) against an explicit metrics
+    /// registry instead of the global/disabled pair — lets tests assert
+    /// exact instrument values without cross-test interference.
+    pub(crate) fn build_with_registry(
+        self,
+        metrics_registry: Arc<MetricsRegistry>,
+    ) -> Result<EnergyService, RegistryError> {
+        let tracer = if self.tracing {
+            let mut config = TracerConfig::new().capacity(self.trace_capacity);
+            if let Some(threshold_ms) = self.trace_slow_ms {
+                config = config.slow_threshold(Duration::from_millis(threshold_ms));
+            }
+            if let Some(path) = &self.trace_log {
+                config = config.log_path(path.clone());
+            }
+            config.build()?
+        } else {
+            Tracer::disabled()
+        };
         let service = EnergyService {
             registry: RwLock::new(Registry::with_metrics(&metrics_registry)),
             engine: InferenceEngine::with_registry(self.workers, &metrics_registry),
@@ -217,6 +282,7 @@ impl ServiceConfig {
             seed: self.seed,
             metrics: ServeMetrics::from_registry(&metrics_registry),
             metrics_registry,
+            tracer: Arc::new(tracer),
         };
         if let Some(dir) = &self.registry_dir {
             service.load_registry(dir)?;
@@ -274,24 +340,10 @@ pub struct EnergyService {
     seed: u64,
     metrics: ServeMetrics,
     metrics_registry: Arc<MetricsRegistry>,
+    tracer: Arc<Tracer>,
 }
 
 impl EnergyService {
-    /// A service with `workers` inference threads, a `cache_capacity`-run
-    /// cache, and `seed` for its simulated platforms.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use ServiceConfig::default().workers(..).cache_capacity(..).seed(..).build()"
-    )]
-    pub fn new(workers: usize, cache_capacity: usize, seed: u64) -> Self {
-        ServiceConfig::default()
-            .workers(workers)
-            .cache_capacity(cache_capacity)
-            .seed(seed)
-            .build()
-            .expect("building without a registry directory cannot fail")
-    }
-
     fn platform_spec(name: &str) -> Result<PlatformSpec, ServiceError> {
         match name.to_ascii_lowercase().as_str() {
             "haswell" => Ok(PlatformSpec::intel_haswell()),
@@ -328,9 +380,26 @@ impl EnergyService {
         pmc_names: &[String],
         app_specs: &[String],
     ) -> Result<Arc<StoredModel>, ServiceError> {
-        let _span = Span::enter(&self.metrics.train_seconds);
-        self.train_online_inner(platform, pmc_names, app_specs)
-            .inspect_err(|e| self.metrics.record_error(e))
+        let trace = self.tracer.start("train", &[("platform", platform)]);
+        let result = {
+            let _scope = trace::scope(trace.as_ref());
+            let _span = Span::enter(&self.metrics.train_seconds);
+            self.train_online_inner(platform, pmc_names, app_specs)
+                .inspect_err(|e| self.note_error(e, trace.as_ref()))
+        };
+        if let Some(trace) = &trace {
+            self.tracer.finish(trace);
+        }
+        result
+    }
+
+    /// Count an error and, when the request is traced, mark its kind as
+    /// an `error` instant so the failure shows up in the dumped trace.
+    fn note_error(&self, error: &ServiceError, trace: Option<&ActiveTrace>) {
+        self.metrics.record_error(error);
+        if let Some(trace) = trace {
+            trace.instant("error", &[("kind", error.kind())]);
+        }
     }
 
     fn train_online_inner(
@@ -405,11 +474,19 @@ impl EnergyService {
         platform: &str,
         counts: &[(String, f64)],
     ) -> Result<Estimate, ServiceError> {
-        let run = || -> Result<Estimate, ServiceError> {
-            let (model, ordered) = self.resolve_counts(platform, counts)?;
-            Ok(self.engine.estimate(&model, ordered)?)
+        let trace = self.tracer.start("estimate", &[("platform", platform)]);
+        let result = {
+            let _scope = trace::scope(trace.as_ref());
+            let run = || -> Result<Estimate, ServiceError> {
+                let (model, ordered) = self.resolve_counts(platform, counts)?;
+                Ok(self.engine.estimate(&model, ordered)?)
+            };
+            run().inspect_err(|e| self.note_error(e, trace.as_ref()))
         };
-        run().inspect_err(|e| self.metrics.record_error(e))
+        if let Some(trace) = &trace {
+            self.tracer.finish(trace);
+        }
+        result
     }
 
     /// Resolve a counter-level request to its model and feature-ordered
@@ -460,11 +537,21 @@ impl EnergyService {
     /// Returns [`ServiceError`] when the platform or workload spec is
     /// invalid or no online model is registered for the platform.
     pub fn estimate_app(&self, platform: &str, app_spec: &str) -> Result<Estimate, ServiceError> {
-        let run = || -> Result<Estimate, ServiceError> {
-            let (model, counts) = self.resolve_app(platform, app_spec)?;
-            Ok(self.engine.estimate(&model, counts)?)
+        let trace = self
+            .tracer
+            .start("estimate-app", &[("platform", platform), ("app", app_spec)]);
+        let result = {
+            let _scope = trace::scope(trace.as_ref());
+            let run = || -> Result<Estimate, ServiceError> {
+                let (model, counts) = self.resolve_app(platform, app_spec)?;
+                Ok(self.engine.estimate(&model, counts)?)
+            };
+            run().inspect_err(|e| self.note_error(e, trace.as_ref()))
         };
-        run().inspect_err(|e| self.metrics.record_error(e))
+        if let Some(trace) = &trace {
+            self.tracer.finish(trace);
+        }
+        result
     }
 
     /// Resolve an app-level request to its model and collected (cached)
@@ -511,13 +598,34 @@ impl EnergyService {
     /// trip per distinct model rather than one per request, which is what
     /// makes pipelined serving fast on small machines.
     pub fn estimate_many(&self, requests: &[BatchRequest]) -> Vec<Result<Estimate, ServiceError>> {
+        // Every request in the batch gets its *own* trace — a pipelined
+        // batch interleaves independent requests, so the thread-local
+        // current trace would misattribute them. Resolution runs under
+        // each request's scope; the engine rows carry their trace
+        // explicitly across the worker channel.
+        let traces: Vec<Option<ActiveTrace>> = requests
+            .iter()
+            .map(|request| match request {
+                BatchRequest::Counts { platform, .. } => {
+                    self.tracer.start("estimate", &[("platform", platform)])
+                }
+                BatchRequest::App { platform, app } => self
+                    .tracer
+                    .start("estimate-app", &[("platform", platform), ("app", app)]),
+            })
+            .collect();
         let mut out: Vec<Option<Result<Estimate, ServiceError>>> = vec![None; requests.len()];
         let mut resolved: Vec<Option<(Arc<StoredModel>, Vec<f64>)>> =
             Vec::with_capacity(requests.len());
         for (i, request) in requests.iter().enumerate() {
-            let result = match request {
-                BatchRequest::Counts { platform, counts } => self.resolve_counts(platform, counts),
-                BatchRequest::App { platform, app } => self.resolve_app(platform, app),
+            let result = {
+                let _scope = trace::scope(traces[i].as_ref());
+                match request {
+                    BatchRequest::Counts { platform, counts } => {
+                        self.resolve_counts(platform, counts)
+                    }
+                    BatchRequest::App { platform, app } => self.resolve_app(platform, app),
+                }
             };
             match result {
                 Ok(pair) => resolved.push(Some(pair)),
@@ -537,20 +645,34 @@ impl EnergyService {
             }
         }
         for (model, indices) in groups {
-            let rows: Vec<Vec<f64>> = indices
+            let rows: Vec<(Vec<f64>, Option<ActiveTrace>)> = indices
                 .iter()
-                .map(|&i| resolved[i].take().expect("resolved above").1)
+                .map(|&i| {
+                    (
+                        resolved[i].take().expect("resolved above").1,
+                        traces[i].clone(),
+                    )
+                })
                 .collect();
-            for (&i, result) in indices.iter().zip(self.engine.estimate_batch(&model, rows)) {
+            for (&i, result) in indices
+                .iter()
+                .zip(self.engine.estimate_batch_traced(&model, rows))
+            {
                 out[i] = Some(result.map_err(ServiceError::Engine));
             }
         }
-        out.into_iter()
-            .map(|slot| {
+        let results: Vec<Result<Estimate, ServiceError>> = out
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
                 slot.unwrap_or(Err(ServiceError::Engine(EngineError::Stopped)))
-                    .inspect_err(|e| self.metrics.record_error(e))
+                    .inspect_err(|e| self.note_error(e, traces[i].as_ref()))
             })
-            .collect()
+            .collect();
+        for trace in traces.iter().flatten() {
+            self.tracer.finish(trace);
+        }
+        results
     }
 
     /// Render the service's metrics registry as Prometheus-style
@@ -564,6 +686,30 @@ impl EnergyService {
     /// Whether this service's instruments are live (built with metrics on).
     pub fn metrics_enabled(&self) -> bool {
         self.metrics_registry.is_enabled()
+    }
+
+    /// The tracer this service's requests record into (disabled for a
+    /// service built with [`ServiceConfig::tracing`]`(false)`). The TCP
+    /// server uses it for connection ids.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// Render retained traces as JSONL — the body of the TRACE reply.
+    /// `limit` caps how many traces (not lines) are dumped, keeping the
+    /// **newest**; `None` dumps everything retained in `scope`.
+    pub fn trace_lines(&self, scope: TraceScope, limit: Option<usize>) -> Vec<String> {
+        let traces: Vec<Arc<Trace>> = match scope {
+            TraceScope::Recent => self.tracer.recent(),
+            TraceScope::Slow => self.tracer.slow(),
+            TraceScope::Slowest => self.tracer.slowest().into_iter().collect(),
+        };
+        let skip = limit.map_or(0, |limit| traces.len().saturating_sub(limit));
+        traces
+            .iter()
+            .skip(skip)
+            .flat_map(|trace| trace.to_jsonl())
+            .collect()
     }
 
     /// The metrics registry this service records into (global, or a
@@ -804,12 +950,92 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_still_builds_a_working_service() {
-        let service = EnergyService::new(1, 8, 7);
-        let stats = service.stats();
-        assert_eq!(stats.workers, 1);
-        assert_eq!(stats.served, 0);
+    fn requests_leave_full_traces_in_the_flight_recorder() {
+        let service = trained_service();
+        let _ = service.estimate_app("skylake", "dgemm:11500").unwrap();
+        let _ = service.estimate_app("skylake", "dgemm:11500").unwrap();
+        let recent = service.tracer().recent();
+        // train + two estimate-app requests.
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].label, "train");
+        let miss = &recent[1];
+        let hit = &recent[2];
+        let names =
+            |t: &Trace| -> Vec<String> { t.events.iter().map(|e| e.name.clone()).collect() };
+        // First app estimate misses the cache and fills it (one full
+        // simulated collection run inside `cache.fill`).
+        for stage in [
+            "cache.lookup",
+            "cache.fill",
+            "engine.queue",
+            "engine.compute",
+        ] {
+            assert!(
+                names(miss).contains(&stage.to_string()),
+                "{:?}",
+                names(miss)
+            );
+        }
+        assert!(names(miss).contains(&"cache.miss".to_string()));
+        assert!(names(miss).contains(&"registry.lookup".to_string()));
+        // Second one hits: no fill stage.
+        assert!(names(hit).contains(&"cache.hit".to_string()));
+        assert!(!names(hit).contains(&"cache.fill".to_string()));
+        // The dump renders and parses back.
+        let lines = service.trace_lines(TraceScope::Recent, Some(2));
+        let parsed = Trace::parse_dump(&lines).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1], *hit.as_ref());
+    }
+
+    #[test]
+    fn traced_errors_are_marked_with_their_kind() {
+        let service = ServiceConfig::default()
+            .workers(1)
+            .cache_capacity(8)
+            .build()
+            .unwrap();
+        let _ = service.estimate("epyc", &[("X".to_string(), 1.0)]);
+        let trace = service.tracer().slowest().expect("error request traced");
+        assert!(trace.events.iter().any(|e| e.name == "error"
+            && e.attrs
+                .contains(&("kind".to_string(), "unknown-platform".to_string()))));
+    }
+
+    #[test]
+    fn batch_requests_each_get_their_own_trace() {
+        let service = trained_service();
+        let requests = vec![
+            BatchRequest::App {
+                platform: "skylake".to_string(),
+                app: "dgemm:11500".to_string(),
+            },
+            BatchRequest::App {
+                platform: "epyc".to_string(),
+                app: "dgemm:11500".to_string(),
+            },
+        ];
+        let results = service.estimate_many(&requests);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        let recent = service.tracer().recent();
+        assert_eq!(recent.len(), 3, "train + 2 batch rows");
+        assert!(recent[1].events.iter().any(|e| e.name == "engine.compute"));
+        assert!(recent[2].events.iter().any(|e| e.name == "error"));
+    }
+
+    #[test]
+    fn tracing_off_services_retain_nothing() {
+        let service = ServiceConfig::default()
+            .workers(1)
+            .cache_capacity(8)
+            .tracing(false)
+            .build()
+            .unwrap();
+        assert!(!service.tracer().is_enabled());
+        let _ = service.estimate("skylake", &[("X".to_string(), 1.0)]);
+        assert!(service.trace_lines(TraceScope::Recent, None).is_empty());
+        assert!(service.trace_lines(TraceScope::Slowest, None).is_empty());
     }
 
     #[test]

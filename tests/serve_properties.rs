@@ -4,12 +4,16 @@
 //! lossy trip through text, so it gets sampled coverage on top of the
 //! unit tests: every well-formed [`Request`] must survive
 //! `parse(to_line(..))` bit-for-bit, and every [`Estimate`] must survive
-//! `parse_estimate_reply(ok_estimate(..))`. Uses the in-repo `proptest`
-//! shim (deterministic per-test streams, no shrinking).
+//! `parse_estimate_reply(ok_estimate(..))`. The same goes for the trace
+//! dump the `TRACE` command ships: every rendered JSONL event must parse
+//! back losslessly, including escape-laden attribute values. Uses the
+//! in-repo `proptest` shim (deterministic per-test streams, no
+//! shrinking).
 
+use pmca_obs::trace::{EventKind, TraceEvent};
 use pmca_serve::engine::Estimate;
 use pmca_serve::protocol::{ok_estimate, parse_estimate_reply, parse_ok_fields};
-use pmca_serve::Request;
+use pmca_serve::{Request, Trace, TraceScope};
 use proptest::prelude::*;
 
 /// A protocol-safe identifier: non-empty, alphanumeric plus `_`/`-`/`:`
@@ -44,6 +48,32 @@ fn count_value() -> impl Strategy<Value = f64> {
     ]
 }
 
+/// Text that stresses the JSONL escaper: quotes, backslashes, control
+/// bytes, separators, and multi-byte UTF-8.
+fn wire_text() -> impl Strategy<Value = String> {
+    const PALETTE: &[char] = &[
+        'a', 'Z', '0', ' ', '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{1f}', 'é', '→', '=', ',',
+        '{', '}', ':',
+    ];
+    collection::vec(0usize..PALETTE.len(), 0..12)
+        .prop_map(|indexes| indexes.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+fn arbitrary_event() -> impl Strategy<Value = TraceEvent> {
+    (
+        wire_text(),
+        0usize..3,
+        0u64..10_000_000_000,
+        collection::vec((wire_text(), wire_text()), 0..4),
+    )
+        .prop_map(|(name, kind, at_ns, attrs)| TraceEvent {
+            name,
+            kind: [EventKind::Begin, EventKind::End, EventKind::Instant][kind],
+            at_ns,
+            attrs,
+        })
+}
+
 fn arbitrary_request() -> impl Strategy<Value = Request> {
     let estimate = (ident(12), collection::vec((ident(16), count_value()), 1..6))
         .prop_map(|(platform, counts)| Request::Estimate { platform, counts });
@@ -59,10 +89,19 @@ fn arbitrary_request() -> impl Strategy<Value = Request> {
             pmcs,
             apps,
         });
+    let trace = (
+        0usize..3,
+        prop_oneof![Just(None), (1usize..10_000).prop_map(Some)],
+    )
+        .prop_map(|(scope, limit)| Request::Trace {
+            scope: [TraceScope::Recent, TraceScope::Slow, TraceScope::Slowest][scope],
+            limit,
+        });
     prop_oneof![
         estimate,
         estimate_app,
         train,
+        trace,
         Just(Request::Models),
         Just(Request::Stats),
         Just(Request::Metrics),
@@ -109,6 +148,21 @@ proptest! {
             prop_assert_eq!(*k, pk.as_str());
             prop_assert_eq!(*v, pv.as_str());
         }
+    }
+
+    #[test]
+    fn trace_jsonl_round_trips_losslessly(
+        id in 1u64..1_000_000_000,
+        connection in 0u64..1_000_000,
+        label in wire_text(),
+        total_ns in 0u64..u64::MAX,
+        events in collection::vec(arbitrary_event(), 1..8),
+    ) {
+        let trace = Trace { id, connection, label, total_ns, events };
+        let lines = trace.to_jsonl();
+        let back = Trace::from_jsonl(&lines)
+            .unwrap_or_else(|e| panic!("{lines:?} does not parse back: {e}"));
+        prop_assert_eq!(back, trace);
     }
 
     #[test]

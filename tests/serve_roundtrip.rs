@@ -7,7 +7,7 @@
 use pmca_core::online::OnlineModel;
 use pmca_cpusim::{Machine, PlatformSpec};
 use pmca_powermeter::{HclWattsUp, Methodology};
-use pmca_serve::{Client, EnergyService, Server, ServiceConfig};
+use pmca_serve::{Client, EnergyService, Server, ServiceConfig, Trace, TraceScope};
 use pmca_workloads::parse::app_from_spec;
 use std::sync::Arc;
 use std::thread;
@@ -217,5 +217,74 @@ fn metrics_over_the_wire_cover_commands_and_caches() {
         stats.iter().any(|(k, _)| k == "cache-evictions"),
         "{stats:?}"
     );
+    client.quit().unwrap();
+}
+
+#[test]
+fn traces_over_the_wire_break_requests_into_stages() {
+    // Threshold 0 ms: every request counts as slow, so both requests
+    // below land in the slow ring regardless of machine speed.
+    let service = Arc::new(
+        ServiceConfig::default()
+            .workers(2)
+            .cache_capacity(64)
+            .seed(SEED)
+            .trace_slow_ms(0)
+            .build()
+            .unwrap(),
+    );
+    service
+        .train_online("skylake", &good_set(), &ladder())
+        .unwrap();
+    let server = Server::start(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    client.estimate_app("skylake", "dgemm:11500").unwrap(); // miss: simulates
+    client.estimate_app("skylake", "dgemm:11500").unwrap(); // repeat: cache hit
+
+    let lines = client.trace(TraceScope::Slow, None).unwrap();
+    let traces = Trace::parse_dump(&lines).unwrap();
+    assert!(traces.len() >= 2, "expected both requests, got {traces:?}");
+
+    let miss = traces
+        .iter()
+        .find(|t| t.events.iter().any(|e| e.name == "cache.miss"))
+        .expect("no miss trace retained");
+    assert_eq!(miss.label, "estimate-app");
+    assert!(miss.connection > 0, "server did not stamp a connection id");
+    let stages = miss.span_durations();
+    let stage = |name: &str| {
+        stages
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("no {name} stage in {stages:?}"))
+            .1
+    };
+    // The full breakdown the ISSUE asks for: queue wait, cache lookup,
+    // compute, and the substrate (simulator runs inside the cache fill).
+    for name in [
+        "engine.queue",
+        "engine.compute",
+        "cache.lookup",
+        "cache.fill",
+        "sim.run",
+        "collect.sweep",
+    ] {
+        assert!(stage(name) <= miss.total_ns, "{name} exceeds the total");
+    }
+
+    let hit = traces
+        .iter()
+        .find(|t| t.events.iter().any(|e| e.name == "cache.hit"))
+        .expect("no hit trace retained");
+    assert!(
+        !hit.events.iter().any(|e| e.name == "cache.fill"),
+        "cache hit should not fill: {hit:?}"
+    );
+
+    // SLOWEST returns exactly one trace, parseable the same way.
+    let slowest = Trace::parse_dump(&client.trace(TraceScope::Slowest, None).unwrap()).unwrap();
+    assert_eq!(slowest.len(), 1);
+    assert!(slowest[0].total_ns >= traces.iter().map(|t| t.total_ns).min().unwrap());
     client.quit().unwrap();
 }
