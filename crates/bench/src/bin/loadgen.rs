@@ -11,9 +11,17 @@
 //! ```text
 //! cargo run --release -p pmca-bench --bin loadgen -- \
 //!     [--addr HOST:PORT] [--clients N] [--requests M] [--workers W]
-//!     [--pipeline D] [--app-share PCT] [--no-metrics] [--no-trace]
-//!     [--trace-sample N]
+//!     [--duration-secs S] [--pipeline D] [--app-share PCT]
+//!     [--no-metrics] [--no-trace] [--trace-sample N]
+//!     [--json PATH] [--compare BASELINE.json]
 //! ```
+//!
+//! `--duration-secs S` replaces the fixed request count with a wall-clock
+//! budget: every client fires pipelined batches until the deadline.
+//! `--json PATH` writes the run summary (throughput, latency quantiles,
+//! configuration) as a JSON object — commit one as a baseline.
+//! `--compare BASELINE.json` reads such a file after the run and prints a
+//! metric-by-metric delta table against it.
 //!
 //! After the run it fetches the server-side view via the `METRICS`
 //! command — per-command latency percentiles measured inside the server,
@@ -62,6 +70,12 @@ struct Options {
     no_trace: bool,
     /// Print one full server-side trace every N requests.
     trace_sample: Option<usize>,
+    /// Run for a wall-clock budget instead of a fixed request count.
+    duration_secs: Option<u64>,
+    /// Write the run summary as JSON to this path.
+    json: Option<String>,
+    /// Compare the run against a previously written `--json` baseline.
+    compare: Option<String>,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -75,6 +89,9 @@ fn parse_options() -> Result<Options, String> {
         no_metrics: false,
         no_trace: false,
         trace_sample: None,
+        duration_secs: None,
+        json: None,
+        compare: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -99,6 +116,12 @@ fn parse_options() -> Result<Options, String> {
                 options.trace_sample =
                     Some(parse_count(&value("--trace-sample")?, "--trace-sample")?);
             }
+            "--duration-secs" => {
+                options.duration_secs =
+                    Some(parse_count(&value("--duration-secs")?, "--duration-secs")? as u64);
+            }
+            "--json" => options.json = Some(value("--json")?),
+            "--compare" => options.compare = Some(value("--compare")?),
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -194,12 +217,15 @@ fn main() {
         GOOD_SET.iter().map(|n| (n.to_string(), 2.0e10)).collect();
     warm.estimate("skylake", &warm_counts)
         .expect("warm-up counter estimate");
+    let load_spec = match options.duration_secs {
+        Some(secs) => format!("{secs} s wall-clock budget"),
+        None => format!("{} requests", options.requests),
+    };
     println!(
-        "warmed {} app specs; {} clients x {} requests, pipeline depth {}, {}% app-level, \
+        "warmed {} app specs; {} clients x {load_spec}, pipeline depth {}, {}% app-level, \
          against {addr}",
         APP_SPECS.len(),
         options.clients,
-        options.requests,
         options.pipeline,
         options.app_share
     );
@@ -218,6 +244,9 @@ fn main() {
     });
 
     let started = Instant::now();
+    let deadline = options
+        .duration_secs
+        .map(|secs| started + Duration::from_secs(secs));
     let handles: Vec<_> = (0..options.clients)
         .map(|client_index| {
             let addr = addr.clone();
@@ -237,8 +266,23 @@ fn main() {
                 let mut latencies = Vec::with_capacity(requests);
                 let mut sent = 0;
                 let mut lines: Vec<String> = Vec::with_capacity(depth);
-                while sent < requests {
-                    let batch = depth.min(requests - sent);
+                loop {
+                    // Fixed-count mode stops at the request budget;
+                    // duration mode stops at the wall-clock deadline.
+                    let batch = match deadline {
+                        Some(deadline) => {
+                            if Instant::now() >= deadline {
+                                break;
+                            }
+                            depth
+                        }
+                        None => {
+                            if sent >= requests {
+                                break;
+                            }
+                            depth.min(requests - sent)
+                        }
+                    };
                     lines.clear();
                     lines.extend((sent..sent + batch).map(|i| pattern[i % period].clone()));
                     let fired = Instant::now();
@@ -277,12 +321,40 @@ fn main() {
         elapsed.as_secs_f64()
     );
     println!(
-        "latency (per request, amortised over the pipeline): p50 {:?}  p90 {:?}  p99 {:?}  max {:?}",
+        "latency (per request, amortised over the pipeline): p50 {:?}  p90 {:?}  p99 {:?}  \
+         p99.9 {:?}  max {:?}",
         percentile(50.0),
         percentile(90.0),
         percentile(99.0),
+        percentile(99.9),
         latencies[total - 1]
     );
+    let summary = Summary {
+        clients: options.clients,
+        workers: options.workers,
+        pipeline: options.pipeline,
+        app_share: options.app_share,
+        total,
+        elapsed_secs: elapsed.as_secs_f64(),
+        throughput_eps: throughput,
+        p50_us: as_micros(percentile(50.0)),
+        p90_us: as_micros(percentile(90.0)),
+        p99_us: as_micros(percentile(99.0)),
+        p999_us: as_micros(percentile(99.9)),
+        max_us: as_micros(latencies[total - 1]),
+    };
+    if let Some(path) = &options.json {
+        match std::fs::write(path, summary.to_json()) {
+            Ok(()) => println!("wrote run summary to {path}"),
+            Err(e) => log::error("loadgen", &format!("writing {path}: {e}"), &[]),
+        }
+    }
+    if let Some(path) = &options.compare {
+        match std::fs::read_to_string(path) {
+            Ok(baseline) => summary.print_comparison(path, &baseline),
+            Err(e) => log::error("loadgen", &format!("reading {path}: {e}"), &[]),
+        }
+    }
     if let Ok(mut client) = Client::connect(addr.as_str()) {
         if let Ok(stats) = client.stats() {
             let line: Vec<String> = stats.iter().map(|(k, v)| format!("{k}={v}")).collect();
@@ -301,6 +373,111 @@ fn main() {
         }
         let _ = client.quit();
     }
+}
+
+fn as_micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+/// One run's headline numbers, written by `--json` and read back by
+/// `--compare`.
+struct Summary {
+    clients: usize,
+    workers: usize,
+    pipeline: usize,
+    app_share: u32,
+    total: usize,
+    elapsed_secs: f64,
+    throughput_eps: f64,
+    p50_us: f64,
+    p90_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    max_us: f64,
+}
+
+impl Summary {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"clients\": {},\n  \"workers\": {},\n  \"pipeline\": {},\n  \
+             \"app_share\": {},\n  \"total\": {},\n  \"elapsed_secs\": {:.3},\n  \
+             \"throughput_eps\": {:.1},\n  \"p50_us\": {:.1},\n  \"p90_us\": {:.1},\n  \
+             \"p99_us\": {:.1},\n  \"p999_us\": {:.1},\n  \"max_us\": {:.1}\n}}\n",
+            self.clients,
+            self.workers,
+            self.pipeline,
+            self.app_share,
+            self.total,
+            self.elapsed_secs,
+            self.throughput_eps,
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
+            self.p999_us,
+            self.max_us
+        )
+    }
+
+    /// Print a metric-by-metric delta table against a `--json` baseline.
+    /// Throughput deltas are "higher is better"; latency deltas are
+    /// "lower is better" — the sign convention is printed per row.
+    fn print_comparison(&self, path: &str, baseline: &str) {
+        println!("comparison against {path}:");
+        let rows: [(&str, f64, bool); 6] = [
+            ("throughput_eps", self.throughput_eps, true),
+            ("p50_us", self.p50_us, false),
+            ("p90_us", self.p90_us, false),
+            ("p99_us", self.p99_us, false),
+            ("p999_us", self.p999_us, false),
+            ("max_us", self.max_us, false),
+        ];
+        for (key, current, higher_is_better) in rows {
+            let Some(base) = json_number(baseline, key) else {
+                println!("  {key:<15} baseline missing");
+                continue;
+            };
+            if base == 0.0 {
+                println!("  {key:<15} baseline {base:>10.1}  now {current:>10.1}");
+                continue;
+            }
+            let delta = (current - base) / base * 100.0;
+            let verdict = if (delta >= 0.0) == higher_is_better {
+                "better"
+            } else {
+                "worse"
+            };
+            println!("  {key:<15} baseline {base:>10.1}  now {current:>10.1}  {delta:>+7.1}% ({verdict})");
+        }
+        for key in ["clients", "workers", "pipeline", "app_share"] {
+            if let Some(base) = json_number(baseline, key) {
+                let current = match key {
+                    "clients" => self.clients as f64,
+                    "workers" => self.workers as f64,
+                    "pipeline" => self.pipeline as f64,
+                    _ => f64::from(self.app_share),
+                };
+                if (base - current).abs() > f64::EPSILON {
+                    println!(
+                        "  warning: {key} differs (baseline {base:.0}, now {current:.0}) — \
+                         numbers are not like-for-like"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Pull one numeric field out of a flat JSON object without a JSON
+/// dependency: finds `"key"`, skips `:` and whitespace, parses the
+/// longest leading float.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let after = &text[text.find(&needle)? + needle.len()..];
+    let after = after.trim_start().strip_prefix(':')?.trim_start();
+    let end = after
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(after.len());
+    after[..end].parse().ok()
 }
 
 /// Shared in-flight sampler: counts completed requests across client

@@ -9,7 +9,9 @@
 //!
 //! There are no plots, no statistical regression detection, and no
 //! saved baselines; the point is that `cargo bench` compiles and produces
-//! honest numbers without network access.
+//! honest numbers without network access. Passing `--test` (as the real
+//! crate does) runs every routine exactly once without timing, so CI can
+//! smoke-check the benches cheaply.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,12 +25,18 @@ pub use std::hint::black_box;
 #[derive(Debug)]
 pub struct Criterion {
     default_sample_size: usize,
+    smoke: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
+        // Like the real crate, `--test` switches to smoke mode: every
+        // routine runs exactly once with no timing, so CI can verify the
+        // benches still compile and execute without paying for sampling.
+        let smoke = std::env::args().any(|a| a == "--test");
         Criterion {
             default_sample_size: 20,
+            smoke,
         }
     }
 }
@@ -40,7 +48,7 @@ impl Criterion {
         name: impl AsRef<str>,
         mut f: F,
     ) -> &mut Self {
-        run_one(name.as_ref(), self.default_sample_size, &mut f);
+        run_one(name.as_ref(), self.default_sample_size, self.smoke, &mut f);
         self
     }
 
@@ -48,9 +56,11 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
         println!("group {}:", name.as_ref());
         let sample_size = self.default_sample_size;
+        let smoke = self.smoke;
         BenchmarkGroup {
             _criterion: self,
             sample_size,
+            smoke,
         }
     }
 }
@@ -60,6 +70,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
     sample_size: usize,
+    smoke: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -75,7 +86,7 @@ impl BenchmarkGroup<'_> {
         name: impl AsRef<str>,
         mut f: F,
     ) -> &mut Self {
-        run_one(name.as_ref(), self.sample_size, &mut f);
+        run_one(name.as_ref(), self.sample_size, self.smoke, &mut f);
         self
     }
 
@@ -88,11 +99,16 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     samples: Vec<Duration>,
     iters_per_sample: u64,
+    smoke: bool,
 }
 
 impl Bencher {
     /// Time `routine`, called repeatedly; one invocation = one iteration.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            black_box(routine());
+            return;
+        }
         // Warm-up and calibration: aim for samples of roughly 10 ms.
         let start = Instant::now();
         black_box(routine());
@@ -108,7 +124,16 @@ impl Bencher {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, smoke: bool, f: &mut F) {
+    if smoke {
+        let mut bencher = Bencher {
+            smoke: true,
+            ..Bencher::default()
+        };
+        f(&mut bencher);
+        println!("  {name:<44} ok (smoke)");
+        return;
+    }
     let mut per_iter_ns: Vec<f64> = Vec::with_capacity(sample_size);
     for _ in 0..sample_size {
         let mut bencher = Bencher::default();
@@ -185,6 +210,15 @@ mod tests {
         g.sample_size(3);
         g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
         g.finish();
+    }
+
+    #[test]
+    fn smoke_mode_runs_each_routine_exactly_once() {
+        let mut calls = 0u32;
+        run_one("smoke", 5, true, &mut |b: &mut Bencher| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 1);
     }
 
     #[test]

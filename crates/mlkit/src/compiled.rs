@@ -1,0 +1,487 @@
+//! Compiled (lowered) predictors for serving hot paths.
+//!
+//! [`ModelParams::instantiate`] revives a model into the same pointer-rich
+//! structures training produced: boxed tree nodes behind a `dyn Regressor`
+//! vtable, nested `Vec<Vec<f64>>` network layers. Those shapes are right
+//! for fitting but wrong for a serving loop that calls `predict_one`
+//! millions of times — every tree step chases a `Box`, every layer walk
+//! re-derives row extents, and nothing sits contiguously in cache.
+//!
+//! [`CompiledModel`] is a one-time lowering pass over [`ModelParams`]:
+//!
+//! * **forests** flatten every boxed tree into one contiguous
+//!   `Vec<FlatNode>` walked with branch-free child indexing
+//!   (`children[(row[f] > t) as usize]` — no data-dependent branch for
+//!   the predictor to mispredict);
+//! * **linear** models fuse intercept + coefficients into a single
+//!   sequential dot product over one slice;
+//! * **networks** flatten each layer's `Vec<Vec<f64>>` weight matrix into
+//!   one contiguous column-major (input-major) buffer so the mat-vec
+//!   streams memory linearly, with thread-local scratch instead of
+//!   per-call activation vectors.
+//!
+//! Lowering preserves the uncompiled models' floating-point evaluation
+//! order **exactly**, so compiled predictions are bit-identical to
+//! [`Regressor::predict_one`](crate::Regressor::predict_one) on the
+//! revived model — asserted by the `compiled_matches_uncompiled_*`
+//! property tests.
+
+use crate::export::ModelParams;
+use crate::model::ModelError;
+use crate::nn::{Activation, NetworkWeights};
+use crate::tree::NodeSpec;
+use std::cell::RefCell;
+
+/// Sentinel feature index marking a leaf node.
+const LEAF: u32 = u32::MAX;
+
+/// One node of a flattened tree: 16 bytes of payload, no pointers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FlatNode {
+    /// Split threshold for internal nodes; predicted value for leaves.
+    scalar: f64,
+    /// Feature index tested, or [`LEAF`].
+    feature: u32,
+    /// Indices of the left (`row[f] <= t`) and right children into the
+    /// owning node arena. Self-referential (and unused) for leaves.
+    children: [u32; 2],
+}
+
+/// A network layer with its weight matrix flattened input-major
+/// (`weights_t[i * outputs + o]` = weight from input `i` to output `o`),
+/// so the forward pass streams one contiguous buffer.
+#[derive(Debug, Clone, PartialEq)]
+struct FlatLayer {
+    inputs: usize,
+    outputs: usize,
+    weights_t: Vec<f64>,
+    biases: Vec<f64>,
+}
+
+/// The per-family compiled kernels.
+#[derive(Debug, Clone, PartialEq)]
+enum Kernel {
+    Linear {
+        coefficients: Vec<f64>,
+        intercept: f64,
+    },
+    Forest {
+        nodes: Vec<FlatNode>,
+        roots: Vec<u32>,
+    },
+    Neural {
+        activation: Activation,
+        layers: Vec<FlatLayer>,
+        feature_means: Vec<f64>,
+        feature_stds: Vec<f64>,
+        target_mean: f64,
+        target_std: f64,
+        /// Widest activation vector in the network (scratch sizing).
+        max_width: usize,
+    },
+}
+
+/// A model lowered for inference: contiguous, branch-minimal, and
+/// bit-identical to the uncompiled prediction path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledModel {
+    width: usize,
+    kernel: Kernel,
+}
+
+impl CompiledModel {
+    /// Lower `params` into the compiled form. This is the once-per-model
+    /// cost the serving layer pays so every subsequent `predict_one` is
+    /// cheap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ShapeMismatch`] for internally inconsistent
+    /// parameters — the same conditions [`ModelParams::instantiate`]
+    /// rejects.
+    pub fn compile(params: &ModelParams) -> Result<Self, ModelError> {
+        let kernel = match params {
+            ModelParams::Linear {
+                coefficients,
+                intercept,
+            } => {
+                if coefficients.is_empty() {
+                    return Err(ModelError::ShapeMismatch {
+                        detail: "no coefficients".into(),
+                    });
+                }
+                Kernel::Linear {
+                    coefficients: coefficients.clone(),
+                    intercept: *intercept,
+                }
+            }
+            ModelParams::Forest { width, trees } => {
+                if trees.is_empty() {
+                    return Err(ModelError::ShapeMismatch {
+                        detail: "forest has no trees".into(),
+                    });
+                }
+                let mut nodes = Vec::new();
+                let mut roots = Vec::with_capacity(trees.len());
+                for specs in trees {
+                    roots.push(lower_tree(specs, *width, &mut nodes)?);
+                }
+                Kernel::Forest { nodes, roots }
+            }
+            ModelParams::Neural(w) => lower_network(w)?,
+        };
+        Ok(CompiledModel {
+            width: params.width(),
+            kernel,
+        })
+    }
+
+    /// Number of input features the compiled model expects.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Family tag, matching [`ModelParams::family`].
+    pub fn family(&self) -> &'static str {
+        match &self.kernel {
+            Kernel::Linear { .. } => "linear",
+            Kernel::Forest { .. } => "forest",
+            Kernel::Neural { .. } => "neural",
+        }
+    }
+
+    /// Total flattened nodes (forests) — a size diagnostic for benches.
+    pub fn node_count(&self) -> usize {
+        match &self.kernel {
+            Kernel::Forest { nodes, .. } => nodes.len(),
+            _ => 0,
+        }
+    }
+
+    /// Predict one row. Bit-identical to the uncompiled model's
+    /// `predict_one` for the same parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is not [`CompiledModel::width`] wide.
+    pub fn predict_one(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.width, "feature width mismatch");
+        match &self.kernel {
+            Kernel::Linear {
+                coefficients,
+                intercept,
+            } => {
+                // Same order as LinearRegression::predict_one: sequential
+                // zip dot, intercept added to the completed sum.
+                let mut acc = 0.0;
+                for (a, b) in row.iter().zip(coefficients) {
+                    acc += a * b;
+                }
+                intercept + acc
+            }
+            Kernel::Forest { nodes, roots } => {
+                // Same order as RandomForest::predict_one: per-tree sums
+                // accumulated tree order, then one division by the count.
+                let mut acc = 0.0;
+                for &root in roots {
+                    acc += eval_tree(nodes, root, row);
+                }
+                acc / roots.len() as f64
+            }
+            Kernel::Neural {
+                activation,
+                layers,
+                feature_means,
+                feature_stds,
+                target_mean,
+                target_std,
+                max_width,
+            } => SCRATCH.with(|scratch| {
+                let (a, b) = &mut *scratch.borrow_mut();
+                a.clear();
+                // Standardisation: (v - mean) / std, exactly as
+                // NeuralNet::standardize_row divides (never multiplies by
+                // a reciprocal — that would change the bits).
+                for ((v, m), s) in row.iter().zip(feature_means).zip(feature_stds) {
+                    a.push((v - m) / s);
+                }
+                b.clear();
+                b.resize(*max_width, 0.0);
+                let last = layers.len() - 1;
+                for (li, layer) in layers.iter().enumerate() {
+                    debug_assert_eq!(a.len(), layer.inputs);
+                    let out = &mut b[..layer.outputs];
+                    out.fill(0.0);
+                    // Input-major streaming mat-vec. Each output's sum
+                    // still accumulates its terms in input order — the
+                    // same addition sequence as the row-major loop in
+                    // NeuralNet::forward, so results are bit-identical.
+                    for (i, &ai) in a.iter().enumerate() {
+                        let row_t = &layer.weights_t[i * layer.outputs..(i + 1) * layer.outputs];
+                        for (o, w) in row_t.iter().enumerate() {
+                            out[o] += w * ai;
+                        }
+                    }
+                    if li == last {
+                        // Linear output transfer.
+                        for (o, bias) in layer.biases.iter().enumerate() {
+                            out[o] += bias;
+                        }
+                    } else {
+                        for (o, bias) in layer.biases.iter().enumerate() {
+                            out[o] = activation.apply(bias + out[o]);
+                        }
+                    }
+                    a.clear();
+                    a.extend_from_slice(&b[..layer.outputs]);
+                }
+                a[0] * target_std + target_mean
+            }),
+        }
+    }
+
+    /// Predict a batch of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row has the wrong width.
+    pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|row| self.predict_one(row)).collect()
+    }
+}
+
+thread_local! {
+    /// Activation double-buffer for compiled network inference: reused
+    /// across calls so a warm `predict_one` allocates nothing.
+    static SCRATCH: RefCell<(Vec<f64>, Vec<f64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Walk one flattened tree. The child step indexes with the comparison
+/// result instead of branching: `!(v <= t)` is `false`(0) for the left
+/// edge and `true`(1) for the right, matching the boxed walk's
+/// `row[feature] <= threshold → left` (including its NaN routing).
+fn eval_tree(nodes: &[FlatNode], root: u32, row: &[f64]) -> f64 {
+    let mut at = root as usize;
+    loop {
+        let node = &nodes[at];
+        if node.feature == LEAF {
+            return node.scalar;
+        }
+        // The negation (not `>`) is what routes NaN rightward like the
+        // boxed walk; clippy's partial_cmp suggestion would branch.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        let go_right = !(row[node.feature as usize] <= node.scalar);
+        at = node.children[usize::from(go_right)] as usize;
+    }
+}
+
+/// Flatten one preorder [`NodeSpec`] list into the shared arena,
+/// returning the tree's root index. Performs the same structural
+/// validation as `RegressionTree::from_nodes`: in-range features, no
+/// truncation, no trailing nodes.
+fn lower_tree(
+    specs: &[NodeSpec],
+    width: usize,
+    nodes: &mut Vec<FlatNode>,
+) -> Result<u32, ModelError> {
+    let mut at = 0usize;
+    let root = lower_subtree(specs, &mut at, width, nodes)?;
+    if at != specs.len() {
+        return Err(ModelError::ShapeMismatch {
+            detail: format!("{} trailing nodes after the tree", specs.len() - at),
+        });
+    }
+    Ok(root)
+}
+
+fn lower_subtree(
+    specs: &[NodeSpec],
+    at: &mut usize,
+    width: usize,
+    nodes: &mut Vec<FlatNode>,
+) -> Result<u32, ModelError> {
+    let spec = specs.get(*at).ok_or_else(|| ModelError::ShapeMismatch {
+        detail: "truncated tree node list".into(),
+    })?;
+    *at += 1;
+    let index = u32::try_from(nodes.len()).map_err(|_| ModelError::ShapeMismatch {
+        detail: "forest too large to compile".into(),
+    })?;
+    match *spec {
+        NodeSpec::Leaf { value } => {
+            nodes.push(FlatNode {
+                scalar: value,
+                feature: LEAF,
+                children: [index, index],
+            });
+            Ok(index)
+        }
+        NodeSpec::Split { feature, threshold } => {
+            if feature >= width {
+                return Err(ModelError::ShapeMismatch {
+                    detail: format!("split feature {feature} out of range for width {width}"),
+                });
+            }
+            nodes.push(FlatNode {
+                scalar: threshold,
+                feature: feature as u32,
+                children: [0, 0],
+            });
+            let left = lower_subtree(specs, at, width, nodes)?;
+            let right = lower_subtree(specs, at, width, nodes)?;
+            nodes[index as usize].children = [left, right];
+            Ok(index)
+        }
+    }
+}
+
+/// Lower a network, reusing `NeuralNet::from_weights` for shape
+/// validation so compiled and uncompiled revival reject exactly the same
+/// inputs.
+fn lower_network(w: &NetworkWeights) -> Result<Kernel, ModelError> {
+    crate::nn::NeuralNet::from_weights(w.clone())?;
+    let mut max_width = 1;
+    let layers: Vec<FlatLayer> = w
+        .layers
+        .iter()
+        .map(|layer| {
+            let outputs = layer.biases.len();
+            let inputs = layer.weights.first().map_or(0, Vec::len);
+            max_width = max_width.max(outputs);
+            let mut weights_t = vec![0.0; inputs * outputs];
+            for (o, row) in layer.weights.iter().enumerate() {
+                for (i, &v) in row.iter().enumerate() {
+                    weights_t[i * outputs + o] = v;
+                }
+            }
+            FlatLayer {
+                inputs,
+                outputs,
+                weights_t,
+                biases: layer.biases.clone(),
+            }
+        })
+        .collect();
+    Ok(Kernel::Neural {
+        activation: w.activation,
+        layers,
+        feature_means: w.feature_means.clone(),
+        feature_stds: w.feature_stds.clone(),
+        target_mean: w.target_mean,
+        target_std: w.target_std,
+        max_width,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinearRegression, NeuralNet, RandomForest, Regressor};
+
+    fn training_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![i as f64, ((i * 7) % 13) as f64, (60 - i) as f64])
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| 2.0 * r[0] + 0.5 * r[1] - 0.25 * r[2])
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn compiled_linear_is_bit_identical() {
+        let (x, y) = training_data();
+        let mut lr = LinearRegression::paper_constrained();
+        lr.fit(&x, &y).unwrap();
+        let params = ModelParams::from_linear(&lr);
+        let compiled = CompiledModel::compile(&params).unwrap();
+        let revived = params.instantiate().unwrap();
+        assert_eq!(compiled.family(), "linear");
+        assert_eq!(compiled.width(), 3);
+        for row in &x {
+            assert_eq!(compiled.predict_one(row), revived.predict_one(row));
+        }
+    }
+
+    #[test]
+    fn compiled_forest_is_bit_identical() {
+        let (x, y) = training_data();
+        let mut rf = RandomForest::with_seed(9);
+        rf.fit(&x, &y).unwrap();
+        let params = ModelParams::from_forest(&rf);
+        let compiled = CompiledModel::compile(&params).unwrap();
+        assert_eq!(compiled.family(), "forest");
+        assert!(compiled.node_count() > 0);
+        for row in &x {
+            assert_eq!(compiled.predict_one(row), rf.predict_one(row));
+        }
+    }
+
+    #[test]
+    fn compiled_network_is_bit_identical() {
+        let (x, y) = training_data();
+        let mut nn = NeuralNet::with_seed(4);
+        nn.fit(&x, &y).unwrap();
+        let params = ModelParams::from_neural(&nn);
+        let compiled = CompiledModel::compile(&params).unwrap();
+        assert_eq!(compiled.family(), "neural");
+        for row in &x {
+            assert_eq!(compiled.predict_one(row), nn.predict_one(row));
+        }
+    }
+
+    #[test]
+    fn compile_rejects_what_instantiate_rejects() {
+        let empty = ModelParams::Linear {
+            coefficients: vec![],
+            intercept: 0.0,
+        };
+        assert!(CompiledModel::compile(&empty).is_err());
+        let no_trees = ModelParams::Forest {
+            width: 2,
+            trees: vec![],
+        };
+        assert!(CompiledModel::compile(&no_trees).is_err());
+        let bad_feature = ModelParams::Forest {
+            width: 2,
+            trees: vec![vec![
+                NodeSpec::Split {
+                    feature: 5,
+                    threshold: 0.0,
+                },
+                NodeSpec::Leaf { value: 1.0 },
+                NodeSpec::Leaf { value: 2.0 },
+            ]],
+        };
+        assert!(CompiledModel::compile(&bad_feature).is_err());
+        let truncated = ModelParams::Forest {
+            width: 1,
+            trees: vec![vec![NodeSpec::Split {
+                feature: 0,
+                threshold: 0.5,
+            }]],
+        };
+        assert!(CompiledModel::compile(&truncated).is_err());
+        let trailing = ModelParams::Forest {
+            width: 1,
+            trees: vec![vec![
+                NodeSpec::Leaf { value: 1.0 },
+                NodeSpec::Leaf { value: 2.0 },
+            ]],
+        };
+        assert!(CompiledModel::compile(&trailing).is_err());
+    }
+
+    #[test]
+    fn batch_predict_matches_scalar() {
+        let (x, y) = training_data();
+        let mut lr = LinearRegression::paper_constrained();
+        lr.fit(&x, &y).unwrap();
+        let compiled = CompiledModel::compile(&ModelParams::from_linear(&lr)).unwrap();
+        let batch = compiled.predict(&x);
+        for (row, batch_pred) in x.iter().zip(&batch) {
+            assert_eq!(compiled.predict_one(row), *batch_pred);
+        }
+    }
+}

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod cv;
 pub mod dataset;
 pub mod export;
@@ -45,6 +46,7 @@ pub mod model;
 pub mod nn;
 pub mod tree;
 
+pub use compiled::CompiledModel;
 pub use dataset::Dataset;
 pub use export::ModelParams;
 pub use forest::RandomForest;

@@ -21,7 +21,8 @@ pub enum Activation {
 }
 
 impl Activation {
-    fn apply(self, x: f64) -> f64 {
+    /// Apply the transfer function to one pre-activation value.
+    pub fn apply(self, x: f64) -> f64 {
         match self {
             Activation::Linear => x,
             Activation::Relu => x.max(0.0),

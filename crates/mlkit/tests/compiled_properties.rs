@@ -1,0 +1,156 @@
+//! Property tests for the [`CompiledModel`] lowering pass (PR 4
+//! satellite): across randomly generated parameters of all three model
+//! families and random inputs, the compiled form must predict
+//! bit-identically to the boxed model `ModelParams::instantiate`
+//! produces (a 1e-12 relative tolerance is accepted as the fallback the
+//! issue allows, but in practice every case is exact because lowering
+//! preserves evaluation order).
+//!
+//! Parameters are generated structurally — random coefficient vectors,
+//! random irregular trees in preorder, random layer stacks — not by
+//! fitting, so the sampled space is much wider than anything training
+//! reaches (negative weights, degenerate one-node trees, identity
+//! activations, extreme standardisation constants).
+
+use pmca_mlkit::nn::{Activation, LayerWeights, NetworkWeights};
+use pmca_mlkit::tree::NodeSpec;
+use pmca_mlkit::{CompiledModel, ModelParams};
+use proptest::prelude::*;
+
+/// Tiny splitmix-style generator used to expand one sampled seed into a
+/// whole model structure (the proptest shim samples flat values; model
+/// shapes are built deterministically from the seed).
+fn next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let z = *state ^ (*state >> 29);
+    z.wrapping_mul(0x9E3779B97F4A7C15) >> 7
+}
+
+/// A finite value in roughly [-100, 100] with 1e-4 granularity.
+fn fval(state: &mut u64) -> f64 {
+    (next(state) % 2_000_001) as f64 / 10_000.0 - 100.0
+}
+
+/// Append a random irregular subtree in preorder. Interior nodes
+/// re-split with probability 3/4 until `depth` runs out, so trees mix
+/// one-node stumps with full-depth paths.
+fn push_subtree(depth: usize, width: usize, state: &mut u64, out: &mut Vec<NodeSpec>) {
+    if depth == 0 || next(state).is_multiple_of(4) {
+        out.push(NodeSpec::Leaf { value: fval(state) });
+        return;
+    }
+    out.push(NodeSpec::Split {
+        feature: next(state) as usize % width,
+        threshold: fval(state),
+    });
+    push_subtree(depth - 1, width, state, out);
+    push_subtree(depth - 1, width, state, out);
+}
+
+fn linear_params() -> impl Strategy<Value = ModelParams> {
+    (collection::vec(-100.0..100.0, 1..9), -50.0..50.0).prop_map(|(coefficients, intercept)| {
+        ModelParams::Linear {
+            coefficients,
+            intercept,
+        }
+    })
+}
+
+fn forest_params() -> impl Strategy<Value = ModelParams> {
+    (1usize..6, 1usize..5, 1usize..6, 0u64..1_000_000).prop_map(|(width, trees, depth, seed)| {
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        let trees = (0..trees)
+            .map(|_| {
+                let mut nodes = Vec::new();
+                push_subtree(depth, width, &mut state, &mut nodes);
+                nodes
+            })
+            .collect();
+        ModelParams::Forest { width, trees }
+    })
+}
+
+fn neural_params() -> impl Strategy<Value = ModelParams> {
+    (1usize..6, 0usize..3, 0usize..2, 0u64..1_000_000).prop_map(
+        |(width, hidden_layers, activation, seed)| {
+            let mut state = seed.wrapping_mul(0x9E3779B9).wrapping_add(3);
+            let mut dims = vec![width];
+            for _ in 0..hidden_layers {
+                dims.push(1 + next(&mut state) as usize % 8);
+            }
+            dims.push(1);
+            let layers = dims
+                .windows(2)
+                .map(|pair| LayerWeights {
+                    weights: (0..pair[1])
+                        .map(|_| (0..pair[0]).map(|_| fval(&mut state) / 25.0).collect())
+                        .collect(),
+                    biases: (0..pair[1]).map(|_| fval(&mut state) / 25.0).collect(),
+                })
+                .collect();
+            ModelParams::Neural(NetworkWeights {
+                activation: [Activation::Linear, Activation::Relu][activation],
+                layers,
+                feature_means: (0..width).map(|_| fval(&mut state)).collect(),
+                feature_stds: (0..width)
+                    .map(|_| 0.5 + (next(&mut state) % 1_000) as f64 / 400.0)
+                    .collect(),
+                target_mean: fval(&mut state),
+                target_std: 0.1 + (next(&mut state) % 1_000) as f64 / 300.0,
+            })
+        },
+    )
+}
+
+fn any_params() -> impl Strategy<Value = ModelParams> {
+    prop_oneof![linear_params(), forest_params(), neural_params()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn compiled_matches_instantiated_on_random_models(
+        params in any_params(),
+        row_seed in 0u64..1_000_000,
+    ) {
+        let compiled = CompiledModel::compile(&params)
+            .unwrap_or_else(|e| panic!("generated params must compile: {e}"));
+        let boxed = params
+            .instantiate()
+            .unwrap_or_else(|e| panic!("generated params must instantiate: {e}"));
+        prop_assert_eq!(compiled.family(), params.family());
+        prop_assert_eq!(compiled.width(), params.width());
+        let mut state = row_seed.wrapping_mul(0xFF51AFD7ED558CCD).wrapping_add(9);
+        for _ in 0..16 {
+            let row: Vec<f64> = (0..params.width()).map(|_| fval(&mut state) * 1.0e4).collect();
+            let fast = compiled.predict_one(&row);
+            let slow = boxed.predict_one(&row);
+            prop_assert!(
+                fast.to_bits() == slow.to_bits() || (fast - slow).abs() <= 1e-12,
+                "family {} width {} row {:?}: compiled {} != boxed {}",
+                params.family(), params.width(), row, fast, slow
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_batch_matches_scalar_on_random_models(
+        params in any_params(),
+        row_seed in 0u64..1_000_000,
+    ) {
+        let compiled = CompiledModel::compile(&params)
+            .unwrap_or_else(|e| panic!("generated params must compile: {e}"));
+        let mut state = row_seed.wrapping_mul(0xC2B2AE3D27D4EB4F).wrapping_add(5);
+        let rows: Vec<Vec<f64>> = (0..8)
+            .map(|_| (0..params.width()).map(|_| fval(&mut state)).collect())
+            .collect();
+        let batch = compiled.predict(&rows);
+        prop_assert_eq!(batch.len(), rows.len());
+        for (row, batch_value) in rows.iter().zip(&batch) {
+            prop_assert_eq!(compiled.predict_one(row), *batch_value);
+        }
+    }
+}

@@ -8,12 +8,28 @@
 //! hit/miss/eviction counters so the STATS command can report cache
 //! effectiveness, plus registry-backed metrics (`pmca_cache_*`) when
 //! built with [`RunCache::with_registry`].
+//!
+//! Large caches are **lock-striped**: the key space is split across up to
+//! 16 power-of-two shards (one mutex each, chosen by the key's hash), so
+//! concurrent lookups from pipelined connections stop serializing on one
+//! global lock. Shard capacities sum exactly to the requested capacity
+//! and each shard evicts FIFO within itself; hit/miss/eviction counters
+//! stay global. Small caches (capacity ≤ 16) keep a single shard, which
+//! preserves exact global FIFO order.
 
 use pmca_obs::trace::{self, TraceSpan};
 use pmca_obs::{Counter, Histogram, MetricsRegistry, Span};
 use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasher, RandomState};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Most shards a cache will stripe into.
+const MAX_SHARDS: usize = 16;
+
+/// Smallest per-shard capacity worth striping for; below this the cache
+/// stays single-shard (and therefore exactly globally FIFO).
+const MIN_SHARD_CAPACITY: usize = 16;
 
 /// Cache key: everything that determines a collection run's outcome.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -25,8 +41,10 @@ pub struct RunKey {
     pub platform: String,
     /// Simulator seed.
     pub seed: u64,
-    /// Event names collected, in collection order.
-    pub events: Vec<String>,
+    /// Event names collected, in collection order. Shared (`Arc`) so the
+    /// serving layer can build keys without cloning the model's feature
+    /// list on every request.
+    pub events: Arc<Vec<String>>,
 }
 
 /// Observability handles of one cache. Standalone by default; wired into
@@ -59,10 +77,13 @@ impl CacheMetrics {
     }
 }
 
-/// Thread-safe memo of collection runs with FIFO eviction.
+/// Thread-safe memo of collection runs with FIFO eviction, lock-striped
+/// across shards when large enough to benefit.
 #[derive(Debug)]
 pub struct RunCache {
-    entries: Mutex<CacheState>,
+    shards: Vec<Shard>,
+    /// Shared hasher state so every thread routes a key to the same shard.
+    hasher: RandomState,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -70,10 +91,28 @@ pub struct RunCache {
     metrics: CacheMetrics,
 }
 
+/// One lock stripe: its own map, FIFO queue, and capacity slice.
+#[derive(Debug)]
+struct Shard {
+    entries: Mutex<CacheState>,
+    capacity: usize,
+}
+
 #[derive(Debug, Default)]
 struct CacheState {
     map: HashMap<RunKey, Arc<Vec<f64>>>,
     order: VecDeque<RunKey>,
+}
+
+/// Shard count for a total capacity: the largest power of two ≤
+/// `MAX_SHARDS` that still leaves every shard at least
+/// `MIN_SHARD_CAPACITY` entries.
+fn shard_count(capacity: usize) -> usize {
+    let mut shards = (capacity / MIN_SHARD_CAPACITY).clamp(1, MAX_SHARDS);
+    while !shards.is_power_of_two() {
+        shards -= 1;
+    }
+    shards
 }
 
 impl RunCache {
@@ -99,8 +138,20 @@ impl RunCache {
 
     fn build(capacity: usize, metrics: CacheMetrics) -> Self {
         assert!(capacity > 0, "run cache capacity must be positive");
+        let shards = shard_count(capacity);
+        let base = capacity / shards;
+        let extra = capacity % shards;
+        let shards = (0..shards)
+            .map(|i| Shard {
+                entries: Mutex::new(CacheState::default()),
+                // Capacities sum exactly to `capacity`: the first `extra`
+                // shards absorb the remainder.
+                capacity: base + usize::from(i < extra),
+            })
+            .collect();
         RunCache {
-            entries: Mutex::new(CacheState::default()),
+            shards,
+            hasher: RandomState::new(),
             capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -109,9 +160,24 @@ impl RunCache {
         }
     }
 
+    /// The stripe responsible for `key`. Routing hashes only the app
+    /// fingerprint — the high-cardinality component of the key — so the
+    /// per-lookup routing cost stays one short string hash instead of
+    /// re-hashing the whole key (platform, seed, and the event list all
+    /// get hashed again anyway by the shard's own map probe).
+    fn shard(&self, key: &RunKey) -> &Shard {
+        if self.shards.len() == 1 {
+            return &self.shards[0];
+        }
+        let hash = self.hasher.hash_one(&key.app) as usize;
+        // Shard count is a power of two, so masking is an even split.
+        &self.shards[hash & (self.shards.len() - 1)]
+    }
+
     /// Look up `key`, counting a hit or a miss.
     pub fn get(&self, key: &RunKey) -> Option<Arc<Vec<f64>>> {
-        let state = self.entries.lock().expect("run cache poisoned");
+        let shard = self.shard(key);
+        let state = shard.entries.lock().expect("run cache poisoned");
         match state.map.get(key) {
             Some(counts) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -126,19 +192,20 @@ impl RunCache {
         }
     }
 
-    /// Insert a run result, evicting the oldest entries while the cache is
-    /// over capacity. Inserting an existing key refreshes its value without
-    /// growing the cache.
+    /// Insert a run result, evicting the shard's oldest entries while it
+    /// is over its capacity slice. Inserting an existing key refreshes
+    /// its value without growing the cache.
     pub fn insert(&self, key: RunKey, counts: Vec<f64>) -> Arc<Vec<f64>> {
         let counts = Arc::new(counts);
-        let mut state = self.entries.lock().expect("run cache poisoned");
+        let shard = self.shard(&key);
+        let mut state = shard.entries.lock().expect("run cache poisoned");
         if state.map.insert(key.clone(), Arc::clone(&counts)).is_none() {
             state.order.push_back(key);
             // `while`, not `if`: the invariant is `len ≤ capacity` no
-            // matter how entries got in, so a cache that somehow grew past
+            // matter how entries got in, so a shard that somehow grew past
             // capacity (or had its order queue drift from the map) converges
             // back instead of staying oversized forever.
-            while state.map.len() > self.capacity {
+            while state.map.len() > shard.capacity {
                 let Some(oldest) = state.order.pop_front() else {
                     break;
                 };
@@ -198,14 +265,22 @@ impl RunCache {
         self.evictions.load(Ordering::Relaxed)
     }
 
-    /// Maximum number of cached runs.
+    /// Maximum number of cached runs (summed across shards).
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
+    /// Number of lock stripes the key space is split across.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Number of cached runs.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("run cache poisoned").map.len()
+        self.shards
+            .iter()
+            .map(|s| s.entries.lock().expect("run cache poisoned").map.len())
+            .sum()
     }
 
     /// Whether the cache is empty.
@@ -223,7 +298,7 @@ mod tests {
             app: app.to_string(),
             platform: "skylake".to_string(),
             seed: 7,
-            events: vec!["A".to_string(), "B".to_string()],
+            events: Arc::new(vec!["A".to_string(), "B".to_string()]),
         }
     }
 
@@ -246,7 +321,7 @@ mod tests {
         other_seed.seed = 8;
         assert!(cache.get(&other_seed).is_none());
         let mut other_events = key("dgemm:9000");
-        other_events.events = vec!["A".to_string()];
+        other_events.events = Arc::new(vec!["A".to_string()]);
         assert!(cache.get(&other_events).is_none());
     }
 
@@ -355,5 +430,48 @@ mod tests {
         let inserted = 8 * 200;
         assert!(cache.evictions() >= inserted - 8 - 16);
         assert!(cache.hits() + cache.misses() >= inserted);
+    }
+
+    #[test]
+    fn small_caches_stay_single_shard_for_exact_fifo() {
+        assert_eq!(RunCache::new(1).shards(), 1);
+        assert_eq!(RunCache::new(8).shards(), 1);
+        assert_eq!(RunCache::new(16).shards(), 1);
+    }
+
+    #[test]
+    fn shard_capacities_sum_to_the_requested_capacity() {
+        for capacity in [1, 2, 16, 31, 32, 100, 256, 1000, 1024, 4096] {
+            let cache = RunCache::new(capacity);
+            assert!(cache.shards().is_power_of_two(), "capacity {capacity}");
+            assert!(cache.shards() <= MAX_SHARDS);
+            let summed: usize = cache.shards.iter().map(|s| s.capacity).sum();
+            assert_eq!(summed, capacity, "capacity {capacity}");
+        }
+        assert!(RunCache::new(1024).shards() > 1, "large caches stripe");
+    }
+
+    #[test]
+    fn striped_caches_stay_within_capacity_under_contention() {
+        let cache = Arc::new(RunCache::new(64));
+        assert!(cache.shards() > 1, "this test exercises the striped path");
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..300 {
+                        cache.insert(key(&format!("app-{t}-{i}")), vec![i as f64]);
+                        let _ = cache.get(&key(&format!("app-{t}-{i}")));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // Per-shard FIFO keeps the global size within the summed capacity.
+        assert!(cache.len() <= cache.capacity());
+        assert_eq!(cache.hits() + cache.misses(), 8 * 300);
+        assert!(cache.evictions() > 0);
     }
 }

@@ -1,30 +1,51 @@
 //! Inference engine: a fixed pool of worker threads answering
 //! "PMC vector → dynamic energy" requests.
 //!
-//! Workers are plain `std::thread`s pulling jobs off a shared `mpsc`
-//! channel (no external executor). Each worker keeps its own cache of
-//! instantiated predictors keyed by (model key, version), so a hot model
-//! is deserialised once per worker rather than once per request. Every
-//! estimate carries a 95 % prediction half-width derived from the model's
-//! training residuals via the Student-t critical value — the same
+//! The dispatch layer is built for the serving hot path:
+//!
+//! * **Per-worker bounded queues.** Each worker owns a
+//!   `Mutex<VecDeque<Job>>` + condvar pair; submitters push round-robin,
+//!   so the pool never serializes on one shared channel lock. A worker
+//!   whose queue runs dry steals from its neighbours before sleeping, so
+//!   an uneven burst still saturates every thread.
+//! * **Reusable reply slots.** Replies land in a per-submitting-thread
+//!   slot (mutex + condvar + result vector) that is armed and
+//!   reused across requests — a warm `ESTIMATE` performs zero channel
+//!   or slot allocations.
+//! * **Compiled predictors.** Workers evaluate
+//!   [`pmca_mlkit::CompiledModel`] lowerings — flat
+//!   branch-free trees, fused linear dot products, transposed network
+//!   weights — cached per worker and shared engine-wide so the lowering
+//!   cost is paid once per model version, not once per worker.
+//!
+//! Every estimate carries a 95 % prediction half-width derived from the
+//! model's training residuals via the Student-t critical value — the same
 //! machinery the measurement methodology uses for energy CIs.
 
 use crate::registry::StoredModel;
-use pmca_mlkit::Regressor;
+use pmca_mlkit::CompiledModel;
 use pmca_obs::trace::{self, ActiveTrace, TraceSpan};
 use pmca_obs::{Histogram, MetricsRegistry, Span};
 use pmca_stats::confidence::t_critical;
-use std::collections::HashMap;
+use std::borrow::Cow;
+use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Confidence level of served prediction intervals.
 const CONFIDENCE: f64 = 0.95;
+
+/// Per-worker queue depth bound. Submitters overflowing every queue spin
+/// (with a short sleep) until a worker drains — backpressure, not OOM.
+const QUEUE_CAP: usize = 1024;
+
+/// How long an idle worker sleeps before re-polling (bounds the window of
+/// a lost wakeup race and paces the steal sweep).
+const IDLE_POLL: Duration = Duration::from_millis(1);
 
 /// One answered estimate.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,9 +56,23 @@ pub struct Estimate {
     /// model recorded no residual spread.
     pub ci_half_width: f64,
     /// Family of the model that answered (`"online"`, `"forest"`, …).
-    pub family: String,
+    /// Borrowed (`'static`) for the known families, so the hot path never
+    /// clones a family string.
+    pub family: Cow<'static, str>,
     /// Registry version of the model that answered.
     pub version: u32,
+}
+
+/// Map a family tag onto its `'static` spelling when it is one of the
+/// known families, avoiding a per-request `String` clone.
+pub(crate) fn intern_family(family: &str) -> Cow<'static, str> {
+    match family {
+        "online" => Cow::Borrowed("online"),
+        "linear" => Cow::Borrowed("linear"),
+        "forest" => Cow::Borrowed("forest"),
+        "neural" => Cow::Borrowed("neural"),
+        other => Cow::Owned(other.to_string()),
+    }
 }
 
 /// Why a request could not be answered.
@@ -73,6 +108,96 @@ impl fmt::Display for EngineError {
 
 impl Error for EngineError {}
 
+/// Where replies land. One slot lives per *submitting* thread and is
+/// re-armed for every request or batch, so the warm path allocates no
+/// channels: workers deliver into the slot's preallocated result vector
+/// and the submitter parks on the condvar until every index is filled.
+struct ReplySlot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+#[derive(Default)]
+struct SlotState {
+    remaining: usize,
+    results: Vec<Option<Result<Estimate, EngineError>>>,
+}
+
+impl ReplySlot {
+    fn new() -> ReplySlot {
+        ReplySlot {
+            state: Mutex::new(SlotState::default()),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Prepare the slot for `n` outstanding replies. Reuses the result
+    /// vector's capacity — no allocation once the high-water mark is hit.
+    fn arm(&self, n: usize) {
+        let mut state = self.state.lock().expect("reply slot poisoned");
+        state.remaining = n;
+        state.results.clear();
+        state.results.resize_with(n, || None);
+    }
+
+    /// Deliver one result. Double deliveries and out-of-range indices are
+    /// ignored, so `remaining` counts distinct filled slots and the
+    /// waiter can never be released early or hang on a duplicate.
+    fn deliver(&self, index: usize, result: Result<Estimate, EngineError>) {
+        let mut state = self.state.lock().expect("reply slot poisoned");
+        let newly_filled = match state.results.get_mut(index) {
+            Some(slot @ None) => {
+                *slot = Some(result);
+                true
+            }
+            _ => false,
+        };
+        if newly_filled {
+            state.remaining -= 1;
+            if state.remaining == 0 {
+                self.ready.notify_all();
+            }
+        }
+    }
+
+    /// Block until every armed reply has been delivered.
+    fn wait(&self) -> std::sync::MutexGuard<'_, SlotState> {
+        let mut state = self.state.lock().expect("reply slot poisoned");
+        while state.remaining > 0 {
+            state = self.ready.wait(state).expect("reply slot poisoned");
+        }
+        state
+    }
+
+    /// Wait for a single-reply arm and take the result, keeping the
+    /// buffer allocated for the next request.
+    fn wait_one(&self) -> Result<Estimate, EngineError> {
+        let mut state = self.wait();
+        state
+            .results
+            .first_mut()
+            .and_then(Option::take)
+            .unwrap_or(Err(EngineError::Stopped))
+    }
+
+    /// Wait for a batch arm and drain the results in index order.
+    fn wait_collect(&self) -> Vec<Result<Estimate, EngineError>> {
+        let mut state = self.wait();
+        state
+            .results
+            .iter_mut()
+            .map(|slot| slot.take().unwrap_or(Err(EngineError::Stopped)))
+            .collect()
+    }
+}
+
+thread_local! {
+    /// The calling thread's reply slot, shared by all engines this thread
+    /// submits to. Sound because submission always blocks until every
+    /// reply lands — the slot is never armed re-entrantly.
+    static REPLY_SLOT: Arc<ReplySlot> = Arc::new(ReplySlot::new());
+}
+
 struct Job {
     model: Arc<StoredModel>,
     counts: Vec<f64>,
@@ -81,16 +206,17 @@ struct Job {
     /// Submission time, for the queue-wait histogram. `None` when the
     /// engine's metrics are disabled — no clock read on the opt-out path.
     enqueued: Option<Instant>,
-    /// Trace of the request this job belongs to. Crossing the channel
-    /// with the job is what attributes queue wait to the *originating*
-    /// request rather than to the worker that dequeued it.
+    /// Trace of the request this job belongs to. Crossing the queue with
+    /// the job is what attributes queue wait to the *originating* request
+    /// rather than to the worker that dequeued it.
     trace: Option<ActiveTrace>,
-    reply: mpsc::Sender<(usize, Result<Estimate, EngineError>)>,
+    reply: Arc<ReplySlot>,
+    delivered: bool,
 }
 
 impl Job {
     /// Mark the job queued on its originating trace (called on the
-    /// submitting thread, before the channel send).
+    /// submitting thread, before the push).
     fn mark_enqueued(&self) {
         if let Some(trace) = &self.trace {
             trace.begin("engine.queue", &[]);
@@ -103,6 +229,101 @@ impl Job {
             trace.end("engine.queue");
         }
     }
+
+    /// Deliver the outcome to the submitter's slot.
+    fn finish(mut self, outcome: Result<Estimate, EngineError>) {
+        self.delivered = true;
+        self.reply.deliver(self.index, outcome);
+    }
+}
+
+impl Drop for Job {
+    fn drop(&mut self) {
+        // A job dropped without an answer (e.g. during shutdown) still
+        // releases its submitter: every armed index is always delivered.
+        if !self.delivered {
+            self.reply.deliver(self.index, Err(EngineError::Stopped));
+        }
+    }
+}
+
+/// One worker's job queue: bounded deque + wakeup condvar.
+struct WorkerQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+}
+
+impl WorkerQueue {
+    fn new() -> WorkerQueue {
+        WorkerQueue {
+            jobs: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Push unless the queue is at capacity; returns the job back on
+    /// overflow so the submitter can try the next queue.
+    fn try_push(&self, job: Job) -> Result<(), Job> {
+        let mut jobs = self.jobs.lock().expect("worker queue poisoned");
+        if jobs.len() >= QUEUE_CAP {
+            return Err(job);
+        }
+        jobs.push_back(job);
+        drop(jobs);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    fn pop(&self) -> Option<Job> {
+        self.jobs.lock().expect("worker queue poisoned").pop_front()
+    }
+}
+
+/// State shared between submitters and workers.
+struct EngineShared {
+    queues: Vec<WorkerQueue>,
+    /// Round-robin cursor for submissions.
+    next: AtomicUsize,
+    stop: AtomicBool,
+    served: AtomicU64,
+    errors: AtomicU64,
+    /// Engine-wide compiled-model cache keyed by the `Arc` allocation
+    /// address of the stored model. Workers consult it on a local miss so
+    /// lowering runs once per model version, not once per worker.
+    compiled: Mutex<HashMap<usize, CompiledEntry>>,
+}
+
+impl EngineShared {
+    /// Round-robin push with overflow fallback: try the chosen queue,
+    /// then sweep the rest; if every queue is full, back off briefly and
+    /// retry (backpressure).
+    fn push(&self, mut job: Job) {
+        let n = self.queues.len();
+        let start = self.next.fetch_add(1, Ordering::Relaxed) % n;
+        loop {
+            for k in 0..n {
+                match self.queues[(start + k) % n].try_push(job) {
+                    Ok(()) => return,
+                    Err(back) => job = back,
+                }
+            }
+            thread::sleep(Duration::from_micros(50));
+        }
+    }
+}
+
+/// A stored model lowered for serving, plus the per-model constants the
+/// reply needs — computed once at compile time so the per-request path
+/// does no string cloning or t-table lookups.
+#[derive(Clone)]
+struct CompiledEntry {
+    /// Keeps the keying `Arc` address valid for the cache's lifetime.
+    _model: Arc<StoredModel>,
+    compiled: Arc<CompiledModel>,
+    half_width: f64,
+    family: Cow<'static, str>,
+    version: u32,
+    width: usize,
 }
 
 /// Time-attribution instruments of one engine: how long jobs sat in the
@@ -131,10 +352,8 @@ impl EngineMetrics {
 
 /// Fixed worker-thread pool serving energy estimates.
 pub struct InferenceEngine {
-    sender: Option<mpsc::Sender<Job>>,
+    shared: Arc<EngineShared>,
     handles: Vec<thread::JoinHandle<()>>,
-    served: Arc<AtomicU64>,
-    errors: Arc<AtomicU64>,
     workers: usize,
     metrics: EngineMetrics,
 }
@@ -173,27 +392,27 @@ impl InferenceEngine {
 
     fn build(workers: usize, metrics: EngineMetrics) -> Self {
         assert!(workers > 0, "inference engine needs at least one worker");
-        let (sender, receiver) = mpsc::channel::<Job>();
-        let receiver = Arc::new(Mutex::new(receiver));
-        let served = Arc::new(AtomicU64::new(0));
-        let errors = Arc::new(AtomicU64::new(0));
+        let shared = Arc::new(EngineShared {
+            queues: (0..workers).map(|_| WorkerQueue::new()).collect(),
+            next: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            compiled: Mutex::new(HashMap::new()),
+        });
         let handles = (0..workers)
             .map(|i| {
-                let receiver = Arc::clone(&receiver);
-                let served = Arc::clone(&served);
-                let errors = Arc::clone(&errors);
+                let shared = Arc::clone(&shared);
                 let metrics = metrics.clone();
                 thread::Builder::new()
                     .name(format!("pmca-infer-{i}"))
-                    .spawn(move || worker_loop(&receiver, &served, &errors, &metrics))
+                    .spawn(move || worker_loop(&shared, i, &metrics))
                     .expect("spawn inference worker")
             })
             .collect();
         InferenceEngine {
-            sender: Some(sender),
+            shared,
             handles,
-            served,
-            errors,
             workers,
             metrics,
         }
@@ -215,40 +434,28 @@ impl InferenceEngine {
         model: &Arc<StoredModel>,
         counts: Vec<f64>,
     ) -> Result<Estimate, EngineError> {
-        let Some(sender) = &self.sender else {
+        if self.shared.stop.load(Ordering::Acquire) {
             return Err(EngineError::Stopped);
-        };
-        // One reply channel per calling thread, reused across requests:
-        // this is the serving hot path, so no per-request channel
-        // allocation. Exactly one reply is outstanding per send.
-        thread_local! {
-            #[allow(clippy::type_complexity)]
-            static REPLY: (
-                mpsc::Sender<(usize, Result<Estimate, EngineError>)>,
-                mpsc::Receiver<(usize, Result<Estimate, EngineError>)>,
-            ) = mpsc::channel();
         }
-        REPLY.with(|(reply, receiver)| {
+        REPLY_SLOT.with(|slot| {
+            slot.arm(1);
             let job = Job {
                 model: Arc::clone(model),
                 counts,
                 index: 0,
                 enqueued: self.stamp(),
                 trace: trace::current(),
-                reply: reply.clone(),
+                reply: Arc::clone(slot),
+                delivered: false,
             };
             job.mark_enqueued();
-            sender.send(job).map_err(|_| EngineError::Stopped)?;
-            receiver
-                .recv()
-                .map(|(_, result)| result)
-                .unwrap_or(Err(EngineError::Stopped))
+            self.shared.push(job);
+            slot.wait_one()
         })
     }
 
     /// Answer a batch of requests against one model. All rows are enqueued
-    /// before any reply is awaited, so they spread across the pool and a
-    /// batch costs one channel round trip rather than one per row; the
+    /// before any reply is awaited, so they spread across the pool; the
     /// result order matches the input order.
     pub fn estimate_batch(
         &self,
@@ -269,35 +476,26 @@ impl InferenceEngine {
         rows: Vec<(Vec<f64>, Option<ActiveTrace>)>,
     ) -> Vec<Result<Estimate, EngineError>> {
         let total = rows.len();
-        let mut out: Vec<Result<Estimate, EngineError>> =
-            (0..total).map(|_| Err(EngineError::Stopped)).collect();
-        let Some(sender) = &self.sender else {
-            return out;
-        };
-        let (reply, receiver) = mpsc::channel();
-        let mut enqueued = 0;
-        for (index, (counts, trace)) in rows.into_iter().enumerate() {
-            let job = Job {
-                model: Arc::clone(model),
-                counts,
-                index,
-                enqueued: self.stamp(),
-                trace,
-                reply: reply.clone(),
-            };
-            job.mark_enqueued();
-            if sender.send(job).is_ok() {
-                enqueued += 1;
+        if self.shared.stop.load(Ordering::Acquire) {
+            return (0..total).map(|_| Err(EngineError::Stopped)).collect();
+        }
+        REPLY_SLOT.with(|slot| {
+            slot.arm(total);
+            for (index, (counts, trace)) in rows.into_iter().enumerate() {
+                let job = Job {
+                    model: Arc::clone(model),
+                    counts,
+                    index,
+                    enqueued: self.stamp(),
+                    trace,
+                    reply: Arc::clone(slot),
+                    delivered: false,
+                };
+                job.mark_enqueued();
+                self.shared.push(job);
             }
-        }
-        drop(reply);
-        for _ in 0..enqueued {
-            let Ok((index, result)) = receiver.recv() else {
-                break;
-            };
-            out[index] = result;
-        }
-        out
+            slot.wait_collect()
+        })
     }
 
     /// Number of worker threads.
@@ -307,43 +505,63 @@ impl InferenceEngine {
 
     /// Requests answered successfully.
     pub fn served(&self) -> u64 {
-        self.served.load(Ordering::Relaxed)
+        self.shared.served.load(Ordering::Relaxed)
     }
 
     /// Requests answered with an error.
     pub fn errors(&self) -> u64 {
-        self.errors.load(Ordering::Relaxed)
+        self.shared.errors.load(Ordering::Relaxed)
     }
 }
 
 impl Drop for InferenceEngine {
     fn drop(&mut self) {
-        // Closing the channel lets every worker's recv() fail and exit.
-        self.sender.take();
+        // `drop` holds `&mut self`, so no estimate call is in flight:
+        // workers drain any stragglers, observe `stop`, and exit.
+        self.shared.stop.store(true, Ordering::Release);
+        for queue in &self.shared.queues {
+            queue.ready.notify_all();
+        }
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-/// Per-worker predictor cache. Keyed by the `Arc` allocation address of
-/// the stored model — no per-request key cloning; the held `Arc` keeps
-/// the address valid for the cache's lifetime.
-type PredictorCache = HashMap<usize, (Arc<StoredModel>, Box<dyn Regressor + Send + Sync>)>;
+/// Per-worker compiled-predictor cache. Keyed by the `Arc` allocation
+/// address of the stored model — no per-request key cloning; the held
+/// `Arc` keeps the address valid for the cache's lifetime.
+type LocalCompiledCache = HashMap<usize, CompiledEntry>;
 
-fn worker_loop(
-    receiver: &Mutex<mpsc::Receiver<Job>>,
-    served: &AtomicU64,
-    errors: &AtomicU64,
-    metrics: &EngineMetrics,
-) {
-    let mut predictors: PredictorCache = HashMap::new();
+fn worker_loop(shared: &EngineShared, me: usize, metrics: &EngineMetrics) {
+    let mut compiled: LocalCompiledCache = HashMap::new();
+    let n = shared.queues.len();
     loop {
-        let job = {
-            let guard = receiver.lock().expect("inference queue poisoned");
-            guard.recv()
+        // Own queue first, then a steal sweep over the neighbours.
+        let mut job = shared.queues[me].pop();
+        if job.is_none() {
+            for k in 1..n {
+                job = shared.queues[(me + k) % n].pop();
+                if job.is_some() {
+                    break;
+                }
+            }
+        }
+        let Some(job) = job else {
+            if shared.stop.load(Ordering::Acquire) {
+                return;
+            }
+            let guard = shared.queues[me]
+                .jobs
+                .lock()
+                .expect("worker queue poisoned");
+            if guard.is_empty() {
+                // Timed wait: bounds the lost-wakeup window and paces the
+                // steal sweep while idle.
+                let _ = shared.queues[me].ready.wait_timeout(guard, IDLE_POLL);
+            }
+            continue;
         };
-        let Ok(job) = job else { return };
         if let Some(enqueued) = job.enqueued {
             metrics.queue_wait.record(enqueued.elapsed());
         }
@@ -354,45 +572,82 @@ fn worker_loop(
             let _trace_scope = trace::scope(job.trace.as_ref());
             let _compute_trace = TraceSpan::enter("engine.compute");
             let _compute = Span::enter(&metrics.compute);
-            answer(&job, &mut predictors)
+            answer(&job, &mut compiled, shared)
         };
         if outcome.is_ok() {
-            served.fetch_add(1, Ordering::Relaxed);
+            shared.served.fetch_add(1, Ordering::Relaxed);
         } else {
-            errors.fetch_add(1, Ordering::Relaxed);
+            shared.errors.fetch_add(1, Ordering::Relaxed);
         }
-        // A dropped reply receiver just means the client gave up.
-        let _ = job.reply.send((job.index, outcome));
+        job.finish(outcome);
     }
 }
 
-fn answer(job: &Job, predictors: &mut PredictorCache) -> Result<Estimate, EngineError> {
-    let model = &job.model;
-    let width = model.params.width();
-    if job.counts.len() != width {
+/// Look up (or build) the compiled form of `model`: worker-local cache
+/// first, then the engine-wide cache, compiling outside the shared lock
+/// on a double miss. Two workers racing on a brand-new model may both
+/// compile; the loser's copy is dropped — benign, and it keeps the lock
+/// out of the lowering pass.
+fn compiled_entry<'c>(
+    model: &Arc<StoredModel>,
+    local: &'c mut LocalCompiledCache,
+    shared: &EngineShared,
+) -> Result<&'c CompiledEntry, EngineError> {
+    let cache_key = Arc::as_ptr(model) as usize;
+    if let std::collections::hash_map::Entry::Vacant(slot) = local.entry(cache_key) {
+        let cached = shared
+            .compiled
+            .lock()
+            .expect("compiled cache poisoned")
+            .get(&cache_key)
+            .cloned();
+        let entry = match cached {
+            Some(entry) => entry,
+            None => {
+                let compiled = CompiledModel::compile(&model.params)
+                    .map_err(|e| EngineError::Model(e.to_string()))?;
+                let entry = CompiledEntry {
+                    _model: Arc::clone(model),
+                    compiled: Arc::new(compiled),
+                    half_width: prediction_half_width(model),
+                    family: intern_family(&model.key.family),
+                    version: model.version,
+                    width: model.params.width(),
+                };
+                shared
+                    .compiled
+                    .lock()
+                    .expect("compiled cache poisoned")
+                    .insert(cache_key, entry.clone());
+                entry
+            }
+        };
+        slot.insert(entry);
+    }
+    Ok(local.get(&cache_key).expect("just inserted"))
+}
+
+fn answer(
+    job: &Job,
+    local: &mut LocalCompiledCache,
+    shared: &EngineShared,
+) -> Result<Estimate, EngineError> {
+    let entry = compiled_entry(&job.model, local, shared)?;
+    if job.counts.len() != entry.width {
         return Err(EngineError::Shape {
-            expected: width,
+            expected: entry.width,
             got: job.counts.len(),
         });
     }
     if job.counts.iter().any(|c| !c.is_finite() || *c < 0.0) {
         return Err(EngineError::BadCount);
     }
-    let cache_key = Arc::as_ptr(model) as usize;
-    if let std::collections::hash_map::Entry::Vacant(slot) = predictors.entry(cache_key) {
-        let predictor = model
-            .params
-            .instantiate()
-            .map_err(|e| EngineError::Model(e.to_string()))?;
-        slot.insert((Arc::clone(model), predictor));
-    }
-    let (_, predictor) = predictors.get(&cache_key).expect("just inserted");
-    let joules = predictor.predict_one(&job.counts).max(0.0);
+    let joules = entry.compiled.predict_one(&job.counts).max(0.0);
     Ok(Estimate {
         joules,
-        ci_half_width: prediction_half_width(model),
-        family: model.key.family.clone(),
-        version: model.version,
+        ci_half_width: entry.half_width,
+        family: entry.family.clone(),
+        version: entry.version,
     })
 }
 
@@ -604,5 +859,53 @@ mod tests {
         assert!(registry
             .render()
             .contains(&"pmca_engine_compute_seconds_count 0".to_string()));
+    }
+
+    #[test]
+    fn work_stealing_never_drops_or_doubles_jobs() {
+        // Hammer a 4-worker engine from 8 submitter threads. Every
+        // submitted job must be answered exactly once with its own row's
+        // arithmetic: served == submitted proves no job was dropped, and
+        // the per-request value check proves no reply was cross-wired or
+        // double-delivered into another request's slot.
+        let engine = Arc::new(InferenceEngine::new(4));
+        let model = registered(&[1.0], 0.0, 10);
+        let submitters = 8;
+        let per_thread = 500u32;
+        let handles: Vec<_> = (0..submitters)
+            .map(|t| {
+                let engine = Arc::clone(&engine);
+                let model = Arc::clone(&model);
+                thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let v = f64::from(t * per_thread + i);
+                        let estimate = engine.estimate(&model, vec![v]).unwrap();
+                        assert!((estimate.joules - v).abs() < 1e-12);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(
+            engine.served(),
+            u64::from(submitters) * u64::from(per_thread)
+        );
+        assert_eq!(engine.errors(), 0);
+    }
+
+    #[test]
+    fn compiled_answers_match_uncompiled_instantiation() {
+        // The engine serves the compiled lowering; spot-check against the
+        // uncompiled revived predictor for bit-identity.
+        let model = registered(&[2.5, -0.0, 1.25], 0.0, 30);
+        let engine = InferenceEngine::new(2);
+        let revived = model.params.instantiate().unwrap();
+        for i in 0..32 {
+            let row = vec![f64::from(i), f64::from(i * 3 % 7), f64::from(100 - i)];
+            let served = engine.estimate(&model, row.clone()).unwrap().joules;
+            assert_eq!(served, revived.predict_one(&row).max(0.0));
+        }
     }
 }

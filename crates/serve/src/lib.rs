@@ -71,7 +71,9 @@ pub use cache::{RunCache, RunKey};
 pub use client::{Client, ClientError};
 pub use engine::{EngineError, Estimate, InferenceEngine};
 pub use pmca_obs::Trace;
-pub use protocol::{ProtocolError, Request, TraceScope};
+pub use protocol::{ProtocolError, Request, RequestRef, TraceScope};
 pub use registry::{ModelKey, Registry, RegistryError, StoredModel};
 pub use server::Server;
-pub use service::{BatchRequest, EnergyService, ServiceConfig, ServiceError, ServiceStats};
+pub use service::{
+    BatchRequest, BatchRequestRef, EnergyService, ServiceConfig, ServiceError, ServiceStats,
+};

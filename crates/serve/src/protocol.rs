@@ -139,84 +139,143 @@ impl TraceScope {
     }
 }
 
+/// A parsed request line borrowing from the input — the serving hot
+/// path's form. The two estimate commands (the only ones a pipelined
+/// client issues at rate) keep platform, app, and PMC names as `&str`
+/// slices into the request line; everything else falls back to the owned
+/// [`Request`] via [`RequestRef::Owned`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestRef<'a> {
+    /// Estimate from named PMC counts, names borrowed from the line.
+    Estimate {
+        /// Target platform.
+        platform: &'a str,
+        /// `(pmc name, count)` pairs, in the order given.
+        counts: Vec<(&'a str, f64)>,
+    },
+    /// Estimate a whole application by spec.
+    EstimateApp {
+        /// Target platform.
+        platform: &'a str,
+        /// Workload spec.
+        app: &'a str,
+    },
+    /// Any other (cold) command, parsed to its owned form.
+    Owned(Request),
+}
+
+impl<'a> RequestRef<'a> {
+    /// Parse one request line without copying any of it for the estimate
+    /// commands. Commands are matched case-insensitively in place (no
+    /// uppercased `String` is built on the hot path).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] describing the first problem.
+    pub fn parse(line: &'a str) -> Result<RequestRef<'a>, ProtocolError> {
+        let mut words = line.split_whitespace();
+        let command = words.next().ok_or(ProtocolError::EmptyRequest)?;
+        if command.eq_ignore_ascii_case("ESTIMATE") {
+            let platform = words
+                .next()
+                .ok_or_else(|| ProtocolError::bad("ESTIMATE", "needs a platform"))?;
+            let mut counts = Vec::new();
+            for pair in words {
+                let (name, value) = pair.split_once('=').ok_or_else(|| {
+                    ProtocolError::bad("ESTIMATE", format!("expected pmc=count, found {pair:?}"))
+                })?;
+                let count = value.parse::<f64>().map_err(|_| {
+                    ProtocolError::bad("ESTIMATE", format!("bad count {value:?} for {name}"))
+                })?;
+                counts.push((name, count));
+            }
+            if counts.is_empty() {
+                return Err(ProtocolError::bad(
+                    "ESTIMATE",
+                    "needs at least one pmc=count pair",
+                ));
+            }
+            return Ok(RequestRef::Estimate { platform, counts });
+        }
+        if command.eq_ignore_ascii_case("ESTIMATE-APP") {
+            return match (words.next(), words.next(), words.next()) {
+                (Some(platform), Some(app), None) => Ok(RequestRef::EstimateApp { platform, app }),
+                _ => Err(ProtocolError::bad(
+                    "ESTIMATE-APP",
+                    "usage: ESTIMATE-APP <platform> <appspec>",
+                )),
+            };
+        }
+        parse_cold(command, &words.collect::<Vec<&str>>()).map(RequestRef::Owned)
+    }
+
+    /// Convert into the owned [`Request`].
+    pub fn into_owned(self) -> Request {
+        match self {
+            RequestRef::Estimate { platform, counts } => Request::Estimate {
+                platform: platform.to_string(),
+                counts: counts
+                    .into_iter()
+                    .map(|(n, v)| (n.to_string(), v))
+                    .collect(),
+            },
+            RequestRef::EstimateApp { platform, app } => Request::EstimateApp {
+                platform: platform.to_string(),
+                app: app.to_string(),
+            },
+            RequestRef::Owned(request) => request,
+        }
+    }
+
+    /// The stable label this request carries in per-command metrics
+    /// (`pmca_serve_command_seconds{command=...}`).
+    pub fn command_label(&self) -> &'static str {
+        match self {
+            RequestRef::Estimate { .. } => "estimate",
+            RequestRef::EstimateApp { .. } => "estimate-app",
+            RequestRef::Owned(request) => request.command_label(),
+        }
+    }
+}
+
+/// Parse the non-estimate (cold) commands. `command` is the raw first
+/// word; it is uppercased here — off the hot path — to keep the original
+/// case-insensitive matching and error spellings.
+fn parse_cold(command: &str, rest: &[&str]) -> Result<Request, ProtocolError> {
+    let command = command.to_ascii_uppercase();
+    match command.as_str() {
+        "TRAIN" => match rest {
+            [platform, pmcs, apps] => Ok(Request::Train {
+                platform: (*platform).to_string(),
+                pmcs: split_list(pmcs, "PMC list")?,
+                apps: split_list(apps, "workload list")?,
+            }),
+            _ => Err(ProtocolError::bad(
+                "TRAIN",
+                "usage: TRAIN <platform> <pmc,pmc,...> <appspec,appspec,...>",
+            )),
+        },
+        "MODELS" if rest.is_empty() => Ok(Request::Models),
+        "STATS" if rest.is_empty() => Ok(Request::Stats),
+        "METRICS" if rest.is_empty() => Ok(Request::Metrics),
+        "TRACE" => parse_trace_args(rest),
+        "QUIT" if rest.is_empty() => Ok(Request::Quit),
+        "MODELS" | "STATS" | "METRICS" | "QUIT" => {
+            Err(ProtocolError::bad(&command, "takes no arguments"))
+        }
+        other => Err(ProtocolError::UnknownCommand(other.to_string())),
+    }
+}
+
 impl Request {
-    /// Parse one request line.
+    /// Parse one request line (owned form; see [`RequestRef::parse`] for
+    /// the allocation-free variant the server uses).
     ///
     /// # Errors
     ///
     /// Returns a [`ProtocolError`] describing the first problem.
     pub fn parse(line: &str) -> Result<Self, ProtocolError> {
-        let mut words = line.split_whitespace();
-        let command = words
-            .next()
-            .ok_or(ProtocolError::EmptyRequest)?
-            .to_ascii_uppercase();
-        let rest: Vec<&str> = words.collect();
-        match command.as_str() {
-            "ESTIMATE" => {
-                let (platform, pairs) = rest
-                    .split_first()
-                    .ok_or_else(|| ProtocolError::bad("ESTIMATE", "needs a platform"))?;
-                if pairs.is_empty() {
-                    return Err(ProtocolError::bad(
-                        "ESTIMATE",
-                        "needs at least one pmc=count pair",
-                    ));
-                }
-                let counts = pairs
-                    .iter()
-                    .map(|pair| {
-                        let (name, value) = pair.split_once('=').ok_or_else(|| {
-                            ProtocolError::bad(
-                                "ESTIMATE",
-                                format!("expected pmc=count, found {pair:?}"),
-                            )
-                        })?;
-                        let count = value.parse::<f64>().map_err(|_| {
-                            ProtocolError::bad(
-                                "ESTIMATE",
-                                format!("bad count {value:?} for {name}"),
-                            )
-                        })?;
-                        Ok((name.to_string(), count))
-                    })
-                    .collect::<Result<Vec<_>, ProtocolError>>()?;
-                Ok(Request::Estimate {
-                    platform: (*platform).to_string(),
-                    counts,
-                })
-            }
-            "ESTIMATE-APP" => match rest.as_slice() {
-                [platform, app] => Ok(Request::EstimateApp {
-                    platform: (*platform).to_string(),
-                    app: (*app).to_string(),
-                }),
-                _ => Err(ProtocolError::bad(
-                    "ESTIMATE-APP",
-                    "usage: ESTIMATE-APP <platform> <appspec>",
-                )),
-            },
-            "TRAIN" => match rest.as_slice() {
-                [platform, pmcs, apps] => Ok(Request::Train {
-                    platform: (*platform).to_string(),
-                    pmcs: split_list(pmcs, "PMC list")?,
-                    apps: split_list(apps, "workload list")?,
-                }),
-                _ => Err(ProtocolError::bad(
-                    "TRAIN",
-                    "usage: TRAIN <platform> <pmc,pmc,...> <appspec,appspec,...>",
-                )),
-            },
-            "MODELS" if rest.is_empty() => Ok(Request::Models),
-            "STATS" if rest.is_empty() => Ok(Request::Stats),
-            "METRICS" if rest.is_empty() => Ok(Request::Metrics),
-            "TRACE" => parse_trace_args(&rest),
-            "QUIT" if rest.is_empty() => Ok(Request::Quit),
-            "MODELS" | "STATS" | "METRICS" | "QUIT" => {
-                Err(ProtocolError::bad(&command, "takes no arguments"))
-            }
-            other => Err(ProtocolError::UnknownCommand(other.to_string())),
-        }
+        RequestRef::parse(line).map(RequestRef::into_owned)
     }
 
     /// Encode back to one request line (client side).
@@ -317,10 +376,22 @@ fn split_list(word: &str, what: &str) -> Result<Vec<String>, ProtocolError> {
 
 /// `OK` reply for an estimate.
 pub fn ok_estimate(estimate: &Estimate) -> String {
-    format!(
+    let mut out = String::new();
+    ok_estimate_into(estimate, &mut out);
+    out
+}
+
+/// Append an estimate's `OK` reply to `out` — the server's hot path,
+/// which reuses one reply buffer across a whole pipelined batch instead
+/// of allocating a `String` per reply.
+pub fn ok_estimate_into(estimate: &Estimate, out: &mut String) {
+    use std::fmt::Write;
+
+    let _ = write!(
+        out,
         "OK joules={} ci={} family={} version={}",
         estimate.joules, estimate.ci_half_width, estimate.family, estimate.version
-    )
+    );
 }
 
 /// `OK` reply for STATS.
@@ -367,7 +438,7 @@ pub fn parse_estimate_reply(line: &str) -> Result<Estimate, ProtocolError> {
     Ok(Estimate {
         joules: number("joules")?,
         ci_half_width: number("ci")?,
-        family: get("family")?.to_string(),
+        family: get("family")?.to_string().into(),
         version: get("version")?
             .parse()
             .map_err(|_| ProtocolError::MalformedReply(format!("bad version in {line:?}")))?,
@@ -533,7 +604,7 @@ mod tests {
         let estimate = Estimate {
             joules: 123.456789012345,
             ci_half_width: 0.25,
-            family: "online".to_string(),
+            family: "online".into(),
             version: 3,
         };
         let parsed = parse_estimate_reply(&ok_estimate(&estimate)).unwrap();

@@ -227,14 +227,22 @@ impl Registry {
     /// generic ones (they carry the paper's deployability guarantee), then
     /// higher versions win.
     pub fn lookup(&self, platform: &str, pmc_names: &[String]) -> Option<Arc<StoredModel>> {
-        let platform = platform.to_ascii_lowercase();
-        let mut wanted: Vec<&str> = pmc_names.iter().map(String::as_str).collect();
+        let names: Vec<&str> = pmc_names.iter().map(String::as_str).collect();
+        self.lookup_names(platform, &names)
+    }
+
+    /// [`lookup`](Registry::lookup) over borrowed names — the serving hot
+    /// path's entry point: no owned `String`s are built, and the platform
+    /// is compared case-insensitively (keys are stored lowercase) instead
+    /// of allocating a lowercased copy per request.
+    pub fn lookup_names(&self, platform: &str, names: &[&str]) -> Option<Arc<StoredModel>> {
+        let mut wanted: Vec<&str> = names.to_vec();
         wanted.sort_unstable();
         let found = self
             .models
             .iter()
             .filter(|(k, _)| {
-                k.platform == platform
+                k.platform.eq_ignore_ascii_case(platform)
                     && k.pmc_set.len() == wanted.len()
                     && k.pmc_set
                         .iter()
@@ -251,11 +259,10 @@ impl Registry {
     /// Latest model of `family` on `platform`, across PMC sets (used by
     /// app-level estimation, where the server picks the counter set).
     pub fn latest_of_family(&self, platform: &str, family: &str) -> Option<Arc<StoredModel>> {
-        let platform = platform.to_ascii_lowercase();
         let found = self
             .models
             .iter()
-            .filter(|(k, _)| k.platform == platform && k.family == family)
+            .filter(|(k, _)| k.platform.eq_ignore_ascii_case(platform) && k.family == family)
             .filter_map(|(_, versions)| versions.last())
             .max_by_key(|m| m.version)
             .cloned();

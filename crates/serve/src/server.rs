@@ -6,8 +6,8 @@
 //! port 0 picks an ephemeral port — [`Server::addr`] reports the bound
 //! address, which is how tests and the loadgen find the server.
 
-use crate::protocol::{err, ok_estimate, ok_stats, Request};
-use crate::service::{BatchRequest, EnergyService};
+use crate::protocol::{err, ok_estimate, ok_estimate_into, ok_stats, Request, RequestRef};
+use crate::service::{BatchRequestRef, EnergyService};
 use pmca_obs::{log, trace, Gauge, Histogram, Span};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -205,10 +205,12 @@ fn handle_connection(stream: TcpStream, service: &EnergyService) {
     let metrics = CommandMetrics::for_service(service);
     let mut line = String::new();
     let mut lines: Vec<String> = Vec::new();
+    let mut out = String::new();
     loop {
         // Block for the first request, then drain every further complete
         // request a pipelining client already sent: the whole batch is
-        // answered together (grouped inference, one flush).
+        // answered together (grouped inference, one flush). The drained
+        // `lines` anchor the borrowed parses for the batch's lifetime.
         lines.clear();
         loop {
             line.clear();
@@ -226,11 +228,13 @@ fn handle_connection(stream: TcpStream, service: &EnergyService) {
         if lines.is_empty() {
             continue;
         }
-        let (replies, quit) = respond_batch(service, &metrics, &lines);
-        for reply in replies {
-            if writeln!(writer, "{reply}").is_err() {
-                return;
-            }
+        // One reply buffer per connection, written once per batch: warm
+        // batches append into retained capacity instead of allocating a
+        // `String` per reply.
+        out.clear();
+        let quit = respond_batch(service, &metrics, &lines, &mut out);
+        if writer.write_all(out.as_bytes()).is_err() {
+            return;
         }
         if writer.flush().is_err() || quit {
             return;
@@ -238,52 +242,60 @@ fn handle_connection(stream: TcpStream, service: &EnergyService) {
     }
 }
 
-/// Answer a drained batch of request lines in order. Runs of ESTIMATE /
-/// ESTIMATE-APP requests go through [`EnergyService::estimate_many`] as
-/// one grouped submission; other commands flush the pending run first so
-/// observable order (e.g. STATS counters) is preserved.
+/// Answer a drained batch of request lines in order, appending
+/// newline-terminated replies to `out`; returns whether the connection
+/// should close. Runs of ESTIMATE / ESTIMATE-APP requests go through
+/// [`EnergyService::estimate_many_ref`] as one grouped submission with
+/// their names still borrowing the request lines; other commands flush
+/// the pending run first so observable order (e.g. STATS counters) is
+/// preserved.
 fn respond_batch(
     service: &EnergyService,
     metrics: &CommandMetrics,
     lines: &[String],
-) -> (Vec<String>, bool) {
-    let mut replies = Vec::with_capacity(lines.len());
-    let mut pending: Vec<BatchRequest> = Vec::new();
+    out: &mut String,
+) -> bool {
+    let mut pending: Vec<BatchRequestRef<'_>> = Vec::new();
     for line in lines {
-        let request = match Request::parse(line) {
+        let request = match RequestRef::parse(line) {
             Ok(request) => request,
             Err(detail) => {
-                flush_pending(service, metrics, &mut pending, &mut replies);
-                replies.push(err(&detail.to_string()));
+                flush_pending(service, metrics, &mut pending, out);
+                push_line(out, &err(&detail.to_string()));
                 continue;
             }
         };
         match request {
-            Request::Estimate { platform, counts } => {
-                pending.push(BatchRequest::Counts { platform, counts });
+            RequestRef::Estimate { platform, counts } => {
+                pending.push(BatchRequestRef::Counts { platform, counts });
             }
-            Request::EstimateApp { platform, app } => {
-                pending.push(BatchRequest::App { platform, app });
+            RequestRef::EstimateApp { platform, app } => {
+                pending.push(BatchRequestRef::App { platform, app });
             }
-            other => {
-                flush_pending(service, metrics, &mut pending, &mut replies);
+            RequestRef::Owned(other) => {
+                flush_pending(service, metrics, &mut pending, out);
                 let (reply, quit) = respond(service, metrics, other);
-                replies.push(reply);
+                push_line(out, &reply);
                 if quit {
-                    return (replies, true);
+                    return true;
                 }
             }
         }
     }
-    flush_pending(service, metrics, &mut pending, &mut replies);
-    (replies, false)
+    flush_pending(service, metrics, &mut pending, out);
+    false
+}
+
+fn push_line(out: &mut String, reply: &str) {
+    out.push_str(reply);
+    out.push('\n');
 }
 
 fn flush_pending(
     service: &EnergyService,
     metrics: &CommandMetrics,
-    pending: &mut Vec<BatchRequest>,
-    replies: &mut Vec<String>,
+    pending: &mut Vec<BatchRequestRef<'_>>,
+    out: &mut String,
 ) {
     if pending.is_empty() {
         return;
@@ -293,18 +305,19 @@ fn flush_pending(
     // methodology the loadgen uses client-side, keeping server- and
     // client-side percentiles comparable under pipelining.
     let started = metrics.estimate.enabled().then(Instant::now);
-    for result in service.estimate_many(pending) {
-        replies.push(match result {
-            Ok(estimate) => ok_estimate(&estimate),
-            Err(e) => err(&e.to_string()),
-        });
+    for result in service.estimate_many_ref(pending) {
+        match result {
+            Ok(estimate) => ok_estimate_into(&estimate, out),
+            Err(e) => out.push_str(&err(&e.to_string())),
+        }
+        out.push('\n');
     }
     if let Some(started) = started {
         let share = started.elapsed() / u32::try_from(pending.len().max(1)).unwrap_or(u32::MAX);
         for request in pending.iter() {
             match request {
-                BatchRequest::Counts { .. } => metrics.estimate.record(share),
-                BatchRequest::App { .. } => metrics.estimate_app.record(share),
+                BatchRequestRef::Counts { .. } => metrics.estimate.record(share),
+                BatchRequestRef::App { .. } => metrics.estimate_app.record(share),
             }
         }
     }

@@ -101,6 +101,28 @@ pub enum BatchRequest {
     },
 }
 
+/// Borrowed form of [`BatchRequest`] — what the TCP server builds
+/// straight from the parsed request line, so the serving hot path never
+/// owns a platform, app, or PMC-name `String`
+/// (see [`EnergyService::estimate_many_ref`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchRequestRef<'a> {
+    /// Counter-level: named PMC counts borrowed from the request line.
+    Counts {
+        /// Target platform.
+        platform: &'a str,
+        /// `(pmc name, count)` pairs.
+        counts: Vec<(&'a str, f64)>,
+    },
+    /// App-level: a workload spec collected via the run cache.
+    App {
+        /// Target platform.
+        platform: &'a str,
+        /// Workload spec (e.g. `dgemm:12000`).
+        app: &'a str,
+    },
+}
+
 /// Counters reported by the STATS command.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceStats {
@@ -283,6 +305,7 @@ impl ServiceConfig {
             metrics: ServeMetrics::from_registry(&metrics_registry),
             metrics_registry,
             tracer: Arc::new(tracer),
+            feature_events: Mutex::new(HashMap::new()),
         };
         if let Some(dir) = &self.registry_dir {
             service.load_registry(dir)?;
@@ -341,7 +364,16 @@ pub struct EnergyService {
     metrics: ServeMetrics,
     metrics_registry: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
+    /// Per-model shared event list for [`RunKey`]s, keyed by the model
+    /// `Arc`'s address (the held `Arc` keeps the address valid). Building
+    /// a cache key is then one `Arc` clone instead of cloning the model's
+    /// whole feature-name vector on every app-level request.
+    feature_events: Mutex<HashMap<usize, EventMemoEntry>>,
 }
+
+/// One [`EnergyService::feature_events`] memo entry: the model `Arc`
+/// anchoring the key address, plus its shared feature-event list.
+type EventMemoEntry = (Arc<StoredModel>, Arc<Vec<String>>);
 
 impl EnergyService {
     fn platform_spec(name: &str) -> Result<PlatformSpec, ServiceError> {
@@ -496,14 +528,28 @@ impl EnergyService {
         platform: &str,
         counts: &[(String, f64)],
     ) -> Result<(Arc<StoredModel>, Vec<f64>), ServiceError> {
+        let view: Vec<(&str, f64)> = counts.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        self.resolve_counts_ref(platform, &view)
+    }
+
+    /// [`resolve_counts`](EnergyService::resolve_counts) over borrowed
+    /// names — the hot-path variant: no PMC-name `String` is ever built,
+    /// only the final feature-ordered `Vec<f64>` for the engine.
+    fn resolve_counts_ref(
+        &self,
+        platform: &str,
+        counts: &[(&str, f64)],
+    ) -> Result<(Arc<StoredModel>, Vec<f64>), ServiceError> {
         Self::platform_spec(platform)?;
         if counts.is_empty() {
             return Err(ServiceError::BadRequest("no PMC counts given".to_string()));
         }
-        let names: Vec<String> = counts.iter().map(|(n, _)| n.clone()).collect();
         let model = {
+            // Borrowed-name views, allocated per request but holding only
+            // pointers — the old path cloned every name `String`.
+            let names: Vec<&str> = counts.iter().map(|(n, _)| *n).collect();
             let registry = self.registry.read().expect("registry poisoned");
-            registry.lookup(platform, &names).ok_or_else(|| {
+            registry.lookup_names(platform, &names).ok_or_else(|| {
                 ServiceError::NoModel(format!(
                     "no model on {platform} for PMC set {}",
                     names.join(",")
@@ -522,10 +568,29 @@ impl EnergyService {
         let ordered: Vec<f64> = model
             .feature_order
             .iter()
-            .map(|name| counts.iter().find(|(n, _)| n == name).map(|(_, v)| *v))
+            .map(|name| {
+                counts
+                    .iter()
+                    .find(|(n, _)| *n == name.as_str())
+                    .map(|(_, v)| *v)
+            })
             .collect::<Option<Vec<f64>>>()
             .ok_or_else(|| ServiceError::BadRequest("PMC set mismatch".to_string()))?;
         Ok((model, ordered))
+    }
+
+    /// The shared event list used in this model's cache keys, memoised by
+    /// model identity so repeat requests clone an `Arc`, not a
+    /// `Vec<String>`.
+    fn shared_events(&self, model: &Arc<StoredModel>) -> Arc<Vec<String>> {
+        let key = Arc::as_ptr(model) as usize;
+        let mut memo = self.feature_events.lock().expect("event memo poisoned");
+        Arc::clone(
+            &memo
+                .entry(key)
+                .or_insert_with(|| (Arc::clone(model), Arc::new(model.feature_order.clone())))
+                .1,
+        )
     }
 
     /// Estimate a whole application's dynamic energy: collect its PMCs on
@@ -573,7 +638,7 @@ impl EnergyService {
             app: app_spec.to_string(),
             platform: platform.to_ascii_lowercase(),
             seed: self.seed,
-            events: model.feature_order.clone(),
+            events: self.shared_events(&model),
         };
         let counts = self.cache.get_or_compute(&key, || {
             let app =
@@ -598,18 +663,39 @@ impl EnergyService {
     /// trip per distinct model rather than one per request, which is what
     /// makes pipelined serving fast on small machines.
     pub fn estimate_many(&self, requests: &[BatchRequest]) -> Vec<Result<Estimate, ServiceError>> {
+        let refs: Vec<BatchRequestRef<'_>> = requests
+            .iter()
+            .map(|request| match request {
+                BatchRequest::Counts { platform, counts } => BatchRequestRef::Counts {
+                    platform,
+                    counts: counts.iter().map(|(n, v)| (n.as_str(), *v)).collect(),
+                },
+                BatchRequest::App { platform, app } => BatchRequestRef::App { platform, app },
+            })
+            .collect();
+        self.estimate_many_ref(&refs)
+    }
+
+    /// [`estimate_many`](EnergyService::estimate_many) over borrowed
+    /// requests — what the TCP server calls with names still pointing
+    /// into the request lines, so a pipelined warm batch allocates no
+    /// platform/app/PMC-name strings at all.
+    pub fn estimate_many_ref(
+        &self,
+        requests: &[BatchRequestRef<'_>],
+    ) -> Vec<Result<Estimate, ServiceError>> {
         // Every request in the batch gets its *own* trace — a pipelined
         // batch interleaves independent requests, so the thread-local
         // current trace would misattribute them. Resolution runs under
         // each request's scope; the engine rows carry their trace
-        // explicitly across the worker channel.
+        // explicitly across the worker queues.
         let traces: Vec<Option<ActiveTrace>> = requests
             .iter()
             .map(|request| match request {
-                BatchRequest::Counts { platform, .. } => {
+                BatchRequestRef::Counts { platform, .. } => {
                     self.tracer.start("estimate", &[("platform", platform)])
                 }
-                BatchRequest::App { platform, app } => self
+                BatchRequestRef::App { platform, app } => self
                     .tracer
                     .start("estimate-app", &[("platform", platform), ("app", app)]),
             })
@@ -621,10 +707,10 @@ impl EnergyService {
             let result = {
                 let _scope = trace::scope(traces[i].as_ref());
                 match request {
-                    BatchRequest::Counts { platform, counts } => {
-                        self.resolve_counts(platform, counts)
+                    BatchRequestRef::Counts { platform, counts } => {
+                        self.resolve_counts_ref(platform, counts)
                     }
-                    BatchRequest::App { platform, app } => self.resolve_app(platform, app),
+                    BatchRequestRef::App { platform, app } => self.resolve_app(platform, app),
                 }
             };
             match result {

@@ -127,7 +127,12 @@ proptest! {
         family in ident(10),
         version in 1u32..10_000,
     ) {
-        let estimate = Estimate { joules, ci_half_width: ci, family, version };
+        let estimate = Estimate {
+            joules,
+            ci_half_width: ci,
+            family: family.into(),
+            version,
+        };
         let reply = ok_estimate(&estimate);
         let parsed = parse_estimate_reply(&reply)
             .unwrap_or_else(|e| panic!("{reply:?} does not parse back: {e}"));
