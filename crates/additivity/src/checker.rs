@@ -10,7 +10,8 @@ use crate::test::AdditivityTest;
 use pmca_cpusim::app::{Application, Segment};
 use pmca_cpusim::events::EventId;
 use pmca_cpusim::{Machine, PlatformSpec};
-use pmca_pmctools::collector::collect_sweeps;
+use pmca_parallel::ThreadPool;
+use pmca_pmctools::collector::{collect_sweeps_batch_per_group, SweepSamples};
 use pmca_pmctools::scheduler::ScheduleError;
 use pmca_stats::descriptive::mean;
 use std::collections::HashMap;
@@ -73,6 +74,9 @@ impl AdditivityChecker {
     /// `cases` on `machine`. Base applications shared by several cases are
     /// measured once (keyed by name).
     ///
+    /// Measurements run on the process-wide thread pool; see
+    /// [`AdditivityChecker::check_with_pool`].
+    ///
     /// # Errors
     ///
     /// Propagates [`ScheduleError`] from PMC collection.
@@ -82,47 +86,91 @@ impl AdditivityChecker {
         events: &[EventId],
         cases: &[CompoundCase],
     ) -> Result<AdditivityReport, ScheduleError> {
-        // Per-application samples: app name → event → Vec<count>.
-        let mut base_samples: HashMap<String, HashMap<EventId, Vec<f64>>> = HashMap::new();
+        self.check_with_pool(machine, events, cases, &ThreadPool::global())
+    }
 
-        let measure = |machine: &mut Machine,
-                       app: &dyn Application,
-                       cache: &mut HashMap<String, HashMap<EventId, Vec<f64>>>|
-         -> Result<(), ScheduleError> {
-            if cache.contains_key(&app.name()) {
-                return Ok(());
-            }
-            let sweeps = collect_sweeps(machine, app, events, self.test.runs)?;
-            let mut per_event = HashMap::new();
-            for &id in &sweeps.events {
-                per_event.insert(
-                    id,
-                    sweeps.samples.iter().map(|s| s[&id]).collect::<Vec<f64>>(),
-                );
-            }
-            cache.insert(app.name(), per_event);
-            Ok(())
-        };
-
-        // Measure all bases and compounds.
-        let mut compound_samples: Vec<(String, String, HashMap<EventId, Vec<f64>>)> = Vec::new();
-        for case in cases {
-            measure(machine, case.first.as_ref(), &mut base_samples)?;
-            measure(machine, case.second.as_ref(), &mut base_samples)?;
-            let compound = BorrowedCompound {
+    /// [`AdditivityChecker::check`] with an explicit pool.
+    ///
+    /// All (application × repeat) simulator runs of the suite — every
+    /// distinct base and every compound — are planned serially in the
+    /// order the serial checker would execute them, then fanned out on
+    /// the pool, so the report is bit-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScheduleError`] from PMC collection.
+    pub fn check_with_pool(
+        &self,
+        machine: &mut Machine,
+        events: &[EventId],
+        cases: &[CompoundCase],
+        pool: &ThreadPool,
+    ) -> Result<AdditivityReport, ScheduleError> {
+        // Plan the measurement list in serial first-seen order: each
+        // case's bases (deduplicated by name), then its compound.
+        let compounds: Vec<BorrowedCompound> = cases
+            .iter()
+            .map(|case| BorrowedCompound {
                 first: case.first.as_ref(),
                 second: case.second.as_ref(),
-            };
-            let sweeps = collect_sweeps(machine, &compound, events, self.test.runs)?;
-            let mut per_event = HashMap::new();
-            for &id in &sweeps.events {
-                per_event.insert(
-                    id,
-                    sweeps.samples.iter().map(|s| s[&id]).collect::<Vec<f64>>(),
-                );
+            })
+            .collect();
+        let mut plan: Vec<&dyn Application> = Vec::new();
+        let mut plan_names: Vec<String> = Vec::new();
+        let mut compound_at: Vec<usize> = Vec::with_capacity(cases.len());
+        let mut seen = std::collections::HashSet::new();
+        for (case, compound) in cases.iter().zip(&compounds) {
+            for app in [case.first.as_ref(), case.second.as_ref()] {
+                let name = app.name();
+                if seen.insert(name.clone()) {
+                    plan.push(app);
+                    plan_names.push(name);
+                }
             }
-            compound_samples.push((case.first.name(), case.second.name(), per_event));
+            compound_at.push(plan.len());
+            plan.push(compound);
+            plan_names.push(compound.name());
         }
+
+        // Per-group runs, not the memoized shared-run sweep: stage 1 reads
+        // reproducibility off the scatter of *independent* runs, so every
+        // counter group must pay its own noise realization, exactly as a
+        // multiplexed PMU campaign would.
+        let measured =
+            collect_sweeps_batch_per_group(machine, &plan, events, self.test.runs, pool)?;
+        let per_event_samples = |sweeps: &SweepSamples| -> HashMap<EventId, Vec<f64>> {
+            sweeps
+                .events
+                .iter()
+                .map(|&id| {
+                    (
+                        id,
+                        sweeps.samples.iter().map(|s| s[&id]).collect::<Vec<f64>>(),
+                    )
+                })
+                .collect()
+        };
+
+        // Per-application samples: app name → event → Vec<count>.
+        let mut base_samples: HashMap<String, HashMap<EventId, Vec<f64>>> = HashMap::new();
+        let compound_slots: std::collections::HashSet<usize> =
+            compound_at.iter().copied().collect();
+        for (slot, sweeps) in measured.iter().enumerate() {
+            if !compound_slots.contains(&slot) {
+                base_samples.insert(plan_names[slot].clone(), per_event_samples(sweeps));
+            }
+        }
+        let compound_samples: Vec<(String, String, HashMap<EventId, Vec<f64>>)> = cases
+            .iter()
+            .zip(&compound_at)
+            .map(|(case, &slot)| {
+                (
+                    case.first.name(),
+                    case.second.name(),
+                    per_event_samples(&measured[slot]),
+                )
+            })
+            .collect();
 
         // Classify each event.
         let mut entries = Vec::with_capacity(events.len());

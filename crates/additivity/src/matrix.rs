@@ -12,6 +12,7 @@ use crate::checker::{AdditivityChecker, CompoundCase};
 use crate::test::AdditivityTest;
 use pmca_cpusim::events::EventId;
 use pmca_cpusim::Machine;
+use pmca_parallel::ThreadPool;
 use pmca_pmctools::scheduler::ScheduleError;
 use pmca_stats::descriptive::{mean, median};
 
@@ -37,6 +38,26 @@ impl AdditivityMatrix {
         events: &[EventId],
         cases: &[CompoundCase],
     ) -> Result<Self, ScheduleError> {
+        Self::measure_with_pool(checker, machine, events, cases, &ThreadPool::global())
+    }
+
+    /// [`AdditivityMatrix::measure`] with an explicit pool.
+    ///
+    /// Cases are visited serially (so run-index reservation matches the
+    /// serial order exactly); within each case the checker fans its
+    /// (application × repeat) measurements out on `pool`, keeping the
+    /// matrix bit-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScheduleError`] from PMC collection.
+    pub fn measure_with_pool(
+        checker: &AdditivityChecker,
+        machine: &mut Machine,
+        events: &[EventId],
+        cases: &[CompoundCase],
+        pool: &ThreadPool,
+    ) -> Result<Self, ScheduleError> {
         let mut errors = vec![Vec::with_capacity(cases.len()); events.len()];
         let mut compound_names = Vec::with_capacity(cases.len());
         // One checker pass per compound keeps base measurements cached
@@ -45,7 +66,7 @@ impl AdditivityMatrix {
         for case in cases {
             compound_names.push(case.name());
             let single = std::slice::from_ref(case);
-            let report = checker.check(machine, events, single)?;
+            let report = checker.check_with_pool(machine, events, single, pool)?;
             for (row, entry) in errors.iter_mut().zip(report.entries()) {
                 row.push(entry.max_error_pct);
             }

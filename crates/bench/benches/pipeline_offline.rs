@@ -1,0 +1,125 @@
+//! Criterion benches for the parallel offline pipeline: memoized batch
+//! collection, presorted forest training, the additivity matrix, and
+//! k-fold cross-validation, each at one thread and at four — the outputs
+//! are bit-identical by construction, so the two timings isolate pool
+//! overhead and scaling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmca_additivity::{AdditivityChecker, AdditivityMatrix, CompoundCase};
+use pmca_cpusim::app::Application;
+use pmca_cpusim::{Machine, PlatformSpec};
+use pmca_mlkit::{k_fold_with_pool, LinearRegression, RandomForest, Regressor};
+use pmca_parallel::{set_global_jobs, ThreadPool};
+use pmca_pmctools::collector::collect_sweeps_batch;
+use pmca_workloads::suite::class_b_compound_pairs;
+use pmca_workloads::{Dgemm, Fft2d};
+use std::hint::black_box;
+
+fn training_set() -> (Vec<Vec<f64>>, Vec<f64>) {
+    let x: Vec<Vec<f64>> = (0..400)
+        .map(|i| {
+            let i = f64::from(i);
+            vec![i, (i * 7.3) % 41.0, (i * i) % 17.0]
+        })
+        .collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|r| 2.0 * r[0] + 0.5 * r[1] - 0.8 * r[2])
+        .collect();
+    (x, y)
+}
+
+fn bench_collect_batch(c: &mut Criterion) {
+    let apps: Vec<Box<dyn Application>> =
+        vec![Box::new(Dgemm::new(10_000)), Box::new(Fft2d::new(24_000))];
+    let refs: Vec<&dyn Application> = apps.iter().map(AsRef::as_ref).collect();
+    let events = Machine::new(PlatformSpec::intel_haswell(), 3)
+        .catalog()
+        .all_ids();
+    let mut g = c.benchmark_group("pipeline_collect");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        let pool = ThreadPool::new(threads);
+        g.bench_function(format!("batch_sweep_jobs{threads}"), |b| {
+            b.iter(|| {
+                let mut m = Machine::new(PlatformSpec::intel_haswell(), 3);
+                black_box(collect_sweeps_batch(&mut m, &refs, &events, 3, &pool).expect("collect"))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_forest_fit(c: &mut Criterion) {
+    let (x, y) = training_set();
+    let mut g = c.benchmark_group("pipeline_forest");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        g.bench_function(format!("fit_jobs{threads}"), |b| {
+            set_global_jobs(threads);
+            b.iter(|| {
+                let mut rf = RandomForest::with_seed(11);
+                rf.fit(&x, &y).expect("fit");
+                black_box(rf)
+            })
+        });
+    }
+    set_global_jobs(1);
+    g.finish();
+}
+
+fn bench_matrix(c: &mut Criterion) {
+    let cases: Vec<CompoundCase> = class_b_compound_pairs(3, 5)
+        .into_iter()
+        .map(|(a, b)| CompoundCase::new(a, b))
+        .collect();
+    let events = Machine::new(PlatformSpec::intel_haswell(), 5)
+        .catalog()
+        .all_ids()
+        .into_iter()
+        .take(8)
+        .collect::<Vec<_>>();
+    let checker = AdditivityChecker::default();
+    let mut g = c.benchmark_group("pipeline_matrix");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        let pool = ThreadPool::new(threads);
+        g.bench_function(format!("measure_jobs{threads}"), |b| {
+            b.iter(|| {
+                let mut m = Machine::new(PlatformSpec::intel_haswell(), 5);
+                black_box(
+                    AdditivityMatrix::measure_with_pool(&checker, &mut m, &events, &cases, &pool)
+                        .expect("matrix"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_kfold(c: &mut Criterion) {
+    let (x, y) = training_set();
+    let mut g = c.benchmark_group("pipeline_kfold");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        let pool = ThreadPool::new(threads);
+        g.bench_function(format!("cv_jobs{threads}"), |b| {
+            b.iter(|| {
+                black_box(
+                    k_fold_with_pool(&x, &y, 10, LinearRegression::paper_constrained, &pool)
+                        .expect("cv"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_collect_batch,
+    bench_forest_fit,
+    bench_matrix,
+    bench_kfold
+);
+criterion_main!(benches);

@@ -1,0 +1,510 @@
+//! Before/after benchmark of the offline experiment pipeline.
+//!
+//! The offline rework has three levers: run memoization in the collector
+//! (one simulation per repeat shared across every counter group), the
+//! presorted-feature CART build (no per-node re-sorting), and the
+//! work-stealing pool (`--jobs`). This binary measures each lever the way
+//! `loadgen` measures the serving stack: the *before* column runs a
+//! reference implementation of the pre-rework algorithm (unmemoized
+//! per-group simulation; per-candidate re-sorting tree build) compiled
+//! into this binary, the *after* columns run the shipped code at one
+//! thread and at `--jobs` threads, and the harness asserts the outputs
+//! are bit-identical before it reports a single number.
+//!
+//! ```text
+//! cargo run --release -p pmca-bench --bin pipeline_bench -- \
+//!     [--jobs N] [--iters K] [--json PATH]
+//! ```
+//!
+//! `--json PATH` writes the summary as a JSON object — commit one as a
+//! baseline (`results/BENCH_pipeline.json`).
+
+use pmca_additivity::{AdditivityChecker, AdditivityMatrix, CompoundCase};
+use pmca_cpusim::app::Application;
+use pmca_cpusim::{Machine, PlatformSpec};
+use pmca_mlkit::{k_fold_with_pool, LinearRegression, RandomForest, Regressor};
+use pmca_parallel::{set_global_jobs, split_seed, ThreadPool};
+use pmca_pmctools::collector::collect_sweeps_batch;
+use pmca_pmctools::scheduler::schedule;
+use pmca_stats::rng::{Rng, Xoshiro256pp};
+use pmca_workloads::suite::class_b_compound_pairs;
+use pmca_workloads::{Dgemm, Fft2d};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The pre-rework CART build: re-sorts the node's rows for every
+/// candidate feature at every node. Kept verbatim (minus export code) so
+/// the *before* column measures the real replaced algorithm, and so the
+/// harness can prove the presorted build picks identical splits.
+mod reference {
+    use pmca_stats::rng::{Rng, Xoshiro256pp};
+
+    pub struct RefTreeParams {
+        pub max_depth: usize,
+        pub min_samples_leaf: usize,
+        pub features_per_split: Option<usize>,
+    }
+
+    pub enum RefNode {
+        Leaf {
+            value: f64,
+        },
+        Split {
+            feature: usize,
+            threshold: f64,
+            left: Box<RefNode>,
+            right: Box<RefNode>,
+        },
+    }
+
+    pub struct RefTree {
+        pub params: RefTreeParams,
+        pub seed: u64,
+        pub root: Option<RefNode>,
+    }
+
+    impl RefTree {
+        fn build(
+            &self,
+            x: &[Vec<f64>],
+            y: &[f64],
+            indices: &[usize],
+            depth: usize,
+            rng: &mut Xoshiro256pp,
+        ) -> RefNode {
+            let mean = indices.iter().map(|&i| y[i]).sum::<f64>() / indices.len() as f64;
+            if depth >= self.params.max_depth
+                || indices.len() < 2 * self.params.min_samples_leaf
+                || indices.iter().all(|&i| y[i] == y[indices[0]])
+            {
+                return RefNode::Leaf { value: mean };
+            }
+
+            let width = x[0].len();
+            let mut candidates: Vec<usize> = (0..width).collect();
+            if let Some(m) = self.params.features_per_split {
+                rng.shuffle(&mut candidates);
+                candidates.truncate(m.clamp(1, width));
+            }
+
+            let total_sum: f64 = indices.iter().map(|&i| y[i]).sum();
+            let total_sq: f64 = indices.iter().map(|&i| y[i] * y[i]).sum();
+            let total_sse = total_sq - total_sum * total_sum / indices.len() as f64;
+
+            let mut best: Option<(usize, f64, f64)> = None;
+            for &feature in &candidates {
+                let mut order: Vec<usize> = indices.to_vec();
+                order.sort_by(|&a, &b| {
+                    x[a][feature]
+                        .partial_cmp(&x[b][feature])
+                        .expect("NaN feature")
+                });
+                let mut left_sum = 0.0;
+                let mut left_sq = 0.0;
+                for (k, &i) in order.iter().enumerate().take(order.len() - 1) {
+                    left_sum += y[i];
+                    left_sq += y[i] * y[i];
+                    let n_left = k + 1;
+                    let n_right = order.len() - n_left;
+                    if n_left < self.params.min_samples_leaf
+                        || n_right < self.params.min_samples_leaf
+                    {
+                        continue;
+                    }
+                    if x[i][feature] == x[order[k + 1]][feature] {
+                        continue;
+                    }
+                    let right_sum = total_sum - left_sum;
+                    let right_sq = total_sq - left_sq;
+                    let sse_left = left_sq - left_sum * left_sum / n_left as f64;
+                    let sse_right = right_sq - right_sum * right_sum / n_right as f64;
+                    let sse = sse_left + sse_right;
+                    if best.is_none_or(|(_, _, b)| sse < b) {
+                        let threshold = 0.5 * (x[i][feature] + x[order[k + 1]][feature]);
+                        best = Some((feature, threshold, sse));
+                    }
+                }
+            }
+
+            match best {
+                Some((feature, threshold, sse)) if sse < total_sse - 1e-12 => {
+                    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                        indices.iter().partition(|&&i| x[i][feature] <= threshold);
+                    if left_idx.is_empty() || right_idx.is_empty() {
+                        return RefNode::Leaf { value: mean };
+                    }
+                    RefNode::Split {
+                        feature,
+                        threshold,
+                        left: Box::new(self.build(x, y, &left_idx, depth + 1, rng)),
+                        right: Box::new(self.build(x, y, &right_idx, depth + 1, rng)),
+                    }
+                }
+                _ => RefNode::Leaf { value: mean },
+            }
+        }
+
+        pub fn fit_indices(&mut self, x: &[Vec<f64>], y: &[f64], indices: &[usize]) {
+            let mut rng = Xoshiro256pp::seed_from_u64(self.seed);
+            self.root = Some(self.build(x, y, indices, 0, &mut rng));
+        }
+
+        pub fn predict_one(&self, row: &[f64]) -> f64 {
+            let mut node = self.root.as_ref().expect("tree not fitted");
+            loop {
+                match node {
+                    RefNode::Leaf { value } => return *value,
+                    RefNode::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => {
+                        node = if row[*feature] <= *threshold {
+                            left
+                        } else {
+                            right
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+const FOREST_TREES: u64 = 30;
+const FOREST_MTRY: usize = 2;
+const COLLECT_REPEATS: usize = 5;
+
+struct Options {
+    jobs: usize,
+    iters: usize,
+    json: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut jobs = std::thread::available_parallelism().map_or(4, |n| n.get().max(2));
+    let mut iters = 10;
+    let mut json = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .expect("--jobs needs a positive count");
+            }
+            "--iters" => {
+                iters = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .expect("--iters needs a positive count");
+            }
+            "--json" => json = Some(it.next().expect("--json needs a path")),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    Options { jobs, iters, json }
+}
+
+/// Mean wall-clock milliseconds of `f` over `iters` runs (after one
+/// warm-up run).
+fn time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1_000.0 / iters as f64
+}
+
+/// The pre-rework collection loop: one fresh simulation per counter
+/// group per repeat, nothing shared. Returns the sampled values so the
+/// work cannot be optimized away.
+fn reference_collect(
+    machine: &mut Machine,
+    apps: &[&dyn Application],
+    events: &[pmca_cpusim::events::EventId],
+    repeats: usize,
+) -> f64 {
+    let groups = schedule(machine.catalog(), events).expect("schedule");
+    let mut acc = 0.0;
+    for app in apps {
+        for _ in 0..repeats {
+            for group in &groups {
+                let record = machine.run(*app);
+                for &id in &group.events {
+                    acc += record.count(id);
+                }
+            }
+        }
+    }
+    acc
+}
+
+fn forest_training_set() -> (Vec<Vec<f64>>, Vec<f64>) {
+    let x: Vec<Vec<f64>> = (0..4000)
+        .map(|i| {
+            let i = i as f64;
+            vec![i, (i * 7.3) % 41.0, (i * i) % 17.0, i.sin() * 10.0]
+        })
+        .collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|r| 2.0 * r[0] + 0.5 * r[1] - 0.8 * r[2] + r[3])
+        .collect();
+    (x, y)
+}
+
+/// Fit the reference forest: the shipped seed schedule with the
+/// re-sorting tree build, serially.
+fn reference_forest_fit(x: &[Vec<f64>], y: &[f64], seed: u64) -> Vec<reference::RefTree> {
+    (0..FOREST_TREES)
+        .map(|t| {
+            let mut rng = Xoshiro256pp::seed_from_u64(split_seed(seed, 2 * t));
+            let indices: Vec<usize> = (0..x.len())
+                .map(|_| rng.gen_range_usize(0, x.len()))
+                .collect();
+            let mut tree = reference::RefTree {
+                params: reference::RefTreeParams {
+                    max_depth: 12,
+                    min_samples_leaf: 2,
+                    features_per_split: Some(FOREST_MTRY),
+                },
+                seed: split_seed(seed, 2 * t + 1),
+                root: None,
+            };
+            tree.fit_indices(x, y, &indices);
+            tree
+        })
+        .collect()
+}
+
+fn shipped_forest(x: &[Vec<f64>], y: &[f64], seed: u64) -> RandomForest {
+    let params = pmca_mlkit::forest::ForestParams {
+        n_trees: FOREST_TREES as usize,
+        tree: pmca_mlkit::tree::TreeParams {
+            features_per_split: Some(FOREST_MTRY),
+            ..Default::default()
+        },
+        sample_fraction: 1.0,
+    };
+    let mut rf = RandomForest::new(params, seed);
+    rf.fit(x, y).expect("forest fit");
+    rf
+}
+
+struct StageResult {
+    name: &'static str,
+    before_ms: f64,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+impl StageResult {
+    fn speedup(&self) -> f64 {
+        self.before_ms / self.parallel_ms
+    }
+}
+
+fn main() {
+    let options = parse_args();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut stages = Vec::new();
+
+    // --- collect: unmemoized per-group loop vs memoized batch ----------
+    let apps: Vec<Box<dyn Application>> = vec![
+        Box::new(Dgemm::new(11_000)),
+        Box::new(Fft2d::new(24_000)),
+        Box::new(Dgemm::new(8_500)),
+    ];
+    let refs: Vec<&dyn Application> = apps.iter().map(AsRef::as_ref).collect();
+    let events = Machine::new(PlatformSpec::intel_haswell(), 9)
+        .catalog()
+        .all_ids();
+    let groups = schedule(
+        Machine::new(PlatformSpec::intel_haswell(), 9).catalog(),
+        &events,
+    )
+    .expect("schedule")
+    .len();
+
+    let before_ms = time_ms(options.iters, || {
+        let mut m = Machine::new(PlatformSpec::intel_haswell(), 9);
+        black_box(reference_collect(&mut m, &refs, &events, COLLECT_REPEATS));
+    });
+    let collect_with = |pool: &ThreadPool| {
+        let mut m = Machine::new(PlatformSpec::intel_haswell(), 9);
+        black_box(
+            collect_sweeps_batch(&mut m, &refs, &events, COLLECT_REPEATS, pool).expect("collect"),
+        );
+    };
+    let serial_ms = time_ms(options.iters, || collect_with(&ThreadPool::new(1)));
+    let parallel_ms = time_ms(options.iters, || {
+        collect_with(&ThreadPool::new(options.jobs))
+    });
+
+    // Bit-identity gate: the memoized batch must not depend on thread
+    // count.
+    let fingerprint = |pool: &ThreadPool| -> Vec<u64> {
+        let mut m = Machine::new(PlatformSpec::intel_haswell(), 9);
+        collect_sweeps_batch(&mut m, &refs, &events, COLLECT_REPEATS, pool)
+            .expect("collect")
+            .iter()
+            .flat_map(|sweep| {
+                sweep.samples.iter().flat_map(|sample| {
+                    sweep
+                        .events
+                        .iter()
+                        .map(|id| sample[id].to_bits())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect()
+    };
+    assert_eq!(
+        fingerprint(&ThreadPool::new(1)),
+        fingerprint(&ThreadPool::new(options.jobs)),
+        "collect output changed with thread count"
+    );
+    stages.push(StageResult {
+        name: "collect_sweep",
+        before_ms,
+        serial_ms,
+        parallel_ms,
+    });
+
+    // --- forest: re-sorting build vs presorted build -------------------
+    let (x, y) = forest_training_set();
+    let before_ms = time_ms(options.iters, || {
+        black_box(reference_forest_fit(&x, &y, 17));
+    });
+    set_global_jobs(1);
+    let serial_ms = time_ms(options.iters, || {
+        black_box(shipped_forest(&x, &y, 17));
+    });
+    set_global_jobs(options.jobs);
+    let parallel_ms = time_ms(options.iters, || {
+        black_box(shipped_forest(&x, &y, 17));
+    });
+
+    // Bit-identity gate: the presorted parallel forest must predict
+    // exactly what the re-sorting serial reference predicts.
+    let reference_trees = reference_forest_fit(&x, &y, 17);
+    let shipped = shipped_forest(&x, &y, 17);
+    for row in &x {
+        let ref_pred = reference_trees
+            .iter()
+            .map(|t| t.predict_one(row))
+            .sum::<f64>()
+            / reference_trees.len() as f64;
+        assert_eq!(
+            ref_pred.to_bits(),
+            shipped.predict_one(row).to_bits(),
+            "forest prediction changed"
+        );
+    }
+    stages.push(StageResult {
+        name: "forest_fit",
+        before_ms,
+        serial_ms,
+        parallel_ms,
+    });
+
+    // --- additivity matrix (no algorithmic before: jobs scaling only) --
+    let cases: Vec<CompoundCase> = class_b_compound_pairs(4, 9)
+        .into_iter()
+        .map(|(a, b)| CompoundCase::new(a, b))
+        .collect();
+    let matrix_events = Machine::new(PlatformSpec::intel_haswell(), 9)
+        .catalog()
+        .all_ids()
+        .into_iter()
+        .take(12)
+        .collect::<Vec<_>>();
+    let checker = AdditivityChecker::default();
+    let matrix_with = |pool: &ThreadPool| {
+        let mut m = Machine::new(PlatformSpec::intel_haswell(), 9);
+        black_box(
+            AdditivityMatrix::measure_with_pool(&checker, &mut m, &matrix_events, &cases, pool)
+                .expect("matrix"),
+        );
+    };
+    let serial_ms = time_ms(options.iters, || matrix_with(&ThreadPool::new(1)));
+    let parallel_ms = time_ms(options.iters, || {
+        matrix_with(&ThreadPool::new(options.jobs))
+    });
+    stages.push(StageResult {
+        name: "additivity_matrix",
+        before_ms: serial_ms,
+        serial_ms,
+        parallel_ms,
+    });
+
+    // --- k-fold CV (jobs scaling only) ---------------------------------
+    let cv_with = |pool: &ThreadPool| {
+        black_box(
+            k_fold_with_pool(&x, &y, 10, LinearRegression::paper_constrained, pool).expect("cv"),
+        );
+    };
+    let serial_ms = time_ms(options.iters, || cv_with(&ThreadPool::new(1)));
+    let parallel_ms = time_ms(options.iters, || cv_with(&ThreadPool::new(options.jobs)));
+    stages.push(StageResult {
+        name: "kfold_cv",
+        before_ms: serial_ms,
+        serial_ms,
+        parallel_ms,
+    });
+
+    set_global_jobs(1);
+
+    // --- report --------------------------------------------------------
+    println!(
+        "offline pipeline benchmark ({cores} core(s), --jobs {jobs}, {groups} counter groups, \
+         {iters} iters/stage; outputs verified bit-identical)",
+        jobs = options.jobs,
+        iters = options.iters,
+    );
+    println!(
+        "{:<20} {:>12} {:>14} {:>16} {:>9}",
+        "stage", "before (ms)", "after ×1 (ms)", "after ×jobs (ms)", "speedup"
+    );
+    for s in &stages {
+        println!(
+            "{:<20} {:>12.3} {:>14.3} {:>16.3} {:>8.2}x",
+            s.name,
+            s.before_ms,
+            s.serial_ms,
+            s.parallel_ms,
+            s.speedup()
+        );
+    }
+
+    if let Some(path) = &options.json {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"cores\": {cores},\n"));
+        out.push_str(&format!("  \"jobs\": {},\n", options.jobs));
+        out.push_str(&format!("  \"iters\": {},\n", options.iters));
+        out.push_str(&format!("  \"counter_groups\": {groups},\n"));
+        out.push_str("  \"outputs_bit_identical\": true,\n");
+        out.push_str("  \"stages\": [\n");
+        for (i, s) in stages.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"before_ms\": {:.3}, \"after_serial_ms\": {:.3}, \
+                 \"after_parallel_ms\": {:.3}, \"speedup\": {:.2}}}{}\n",
+                s.name,
+                s.before_ms,
+                s.serial_ms,
+                s.parallel_ms,
+                s.speedup(),
+                if i + 1 < stages.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(path, out).expect("write json");
+        println!("\nwrote {path}");
+    }
+}

@@ -23,25 +23,33 @@ usage:
       partition events (default: the whole catalog) into counter groups;
       one group = one application run
 
-  slope-pmc audit [--platform haswell|skylake] [--compounds N] EVENT [EVENT ...]
+  slope-pmc audit [--platform haswell|skylake] [--compounds N] [--jobs N]
+                  EVENT [EVENT ...]
       run the paper's two-stage additivity test over N DGEMM/FFT compounds
       (default 8) and print the ranked report
 
-  slope-pmc measure [--platform haswell|skylake] APP_SPEC [APP_SPEC ...]
+  slope-pmc measure [--platform haswell|skylake] [--jobs N] APP_SPEC [APP_SPEC ...]
       measure dynamic energy via the simulated WattsUp meter
       (APP_SPEC examples: dgemm:12000  npb-cg:1.2  'dgemm:9000;fft:24000')
 
-  slope-pmc collect [--platform haswell|skylake] --app APP_SPEC EVENT [EVENT ...]
+  slope-pmc collect [--platform haswell|skylake] [--jobs N] --app APP_SPEC
+                    EVENT [EVENT ...]
       collect PMCs for one application, reporting the runs consumed
 
-  slope-pmc online [--platform haswell|skylake] --train SPEC,SPEC,... --events E,E,...
+  slope-pmc online [--platform haswell|skylake] [--jobs N]
+                   --train SPEC,SPEC,... --events E,E,...
                    APP_SPEC [APP_SPEC ...]
       train a single-run online energy model (<= 4 events) on the --train
       applications and estimate each APP_SPEC's energy from one run
 
-  slope-pmc matrix [--platform haswell|skylake] [--compounds N] EVENT [EVENT ...]
+  slope-pmc matrix [--platform haswell|skylake] [--compounds N] [--jobs N]
+                   EVENT [EVENT ...]
       print the full event x compound additivity-error matrix: which
       compositions break which counters
+
+  --jobs N sizes the offline experiment thread pool (simulated runs, forest
+  training, cross-validation); it defaults to the available parallelism and
+  never changes results: every output is bit-identical at any thread count
 
   slope-pmc serve [--addr HOST:PORT] [--workers N] [--cache N] [--registry DIR]
                   [--metrics] [--trace-slow-ms MS] [--trace-log PATH] [--no-trace]
@@ -69,6 +77,7 @@ struct Parsed {
     train: Vec<String>,
     events: Vec<String>,
     addr: String,
+    jobs: Option<usize>,
     workers: usize,
     cache: usize,
     registry: Option<String>,
@@ -86,6 +95,7 @@ fn parse_options(args: &[String]) -> Result<Parsed, String> {
     let mut train = Vec::new();
     let mut events = Vec::new();
     let mut addr = "127.0.0.1:7771".to_string();
+    let mut jobs = None;
     let mut workers = 4;
     let mut cache = 256;
     let mut registry = None;
@@ -125,6 +135,16 @@ fn parse_options(args: &[String]) -> Result<Parsed, String> {
             }
             "--addr" => {
                 addr = it.next().ok_or("--addr needs HOST:PORT")?.clone();
+            }
+            "--jobs" => {
+                let value = it.next().ok_or("--jobs needs a value")?;
+                jobs = Some(
+                    value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("--jobs: {value:?} is not a positive count"))?,
+                );
             }
             "--workers" => {
                 let value = it.next().ok_or("--workers needs a value")?;
@@ -167,6 +187,7 @@ fn parse_options(args: &[String]) -> Result<Parsed, String> {
         train,
         events,
         addr,
+        jobs,
         workers,
         cache,
         registry,
@@ -199,6 +220,9 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         return Err("no command given".into());
     };
     let options = parse_options(rest)?;
+    if let Some(n) = options.jobs {
+        pmca_parallel::set_global_jobs(n);
+    }
     match command.as_str() {
         "specs" => cmd_specs(),
         "schedule" => cmd_schedule(options),

@@ -112,7 +112,7 @@ impl Segment {
 /// Implementations describe platform-dependent work: `segments` receives the
 /// [`PlatformSpec`] so models can account for core counts, cache sizes, and
 /// peak rates when deriving phase activity and runtimes.
-pub trait Application {
+pub trait Application: Send + Sync {
     /// Name of the application (unique within an experiment; used to seed
     /// per-application randomness reproducibly).
     fn name(&self) -> String;

@@ -26,6 +26,7 @@ use crate::interference::InterferenceModel;
 use crate::power::PowerModel;
 use crate::spec::PlatformSpec;
 use pmca_obs::{Counter, Histogram, MetricsRegistry, Span, TraceSpan};
+use pmca_parallel::ThreadPool;
 use pmca_stats::rng::{Rng, Xoshiro256pp};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -175,11 +176,33 @@ impl Machine {
 
     /// Execute one run of `app`, consuming fresh run-to-run noise.
     pub fn run(&mut self, app: &dyn Application) -> RunRecord {
+        let run_index = self.reserve_runs(1);
+        self.run_at(app, run_index)
+    }
+
+    /// Reserve a block of `n` run indices, returning the first.
+    ///
+    /// Parallel callers ([`Machine::run_batch`], the pmctools collector)
+    /// claim their indices serially up front, then execute the
+    /// corresponding [`Machine::run_at`] calls in any order — run-to-run
+    /// noise is keyed by the index, so the results are bit-identical to
+    /// the serial `run` loop no matter how execution is scheduled.
+    pub fn reserve_runs(&mut self, n: u64) -> u64 {
+        let start = self.run_counter;
+        self.run_counter += n;
+        start
+    }
+
+    /// Execute the run with an explicit run index, without touching the
+    /// machine's run counter.
+    ///
+    /// This is the pure core of [`Machine::run`]: identical `(app,
+    /// run_index)` always produces the identical [`RunRecord`], which is
+    /// what makes batched parallel execution deterministic.
+    pub fn run_at(&self, app: &dyn Application, run_index: u64) -> RunRecord {
         let (runs, run_seconds) = sim_metrics();
         runs.inc();
         let _span = Span::enter(run_seconds);
-        let run_index = self.run_counter;
-        self.run_counter += 1;
         let app_name = app.name();
         let _trace = TraceSpan::with_attrs("sim.run", &[("app", &app_name)]);
         let mut rng = Xoshiro256pp::seed_from_u64(mix(self.seed, &app_name, run_index));
@@ -263,6 +286,18 @@ impl Machine {
             counts,
             total_activity,
         }
+    }
+
+    /// Execute one run of every application in `apps` on the pool,
+    /// returning records in input order.
+    ///
+    /// Run indices are reserved serially before the fan-out, so the
+    /// result is bit-identical to calling [`Machine::run`] on each app in
+    /// sequence, at any thread count.
+    pub fn run_batch(&mut self, apps: &[&dyn Application], pool: &ThreadPool) -> Vec<RunRecord> {
+        let base = self.reserve_runs(apps.len() as u64);
+        let machine = &*self;
+        pool.par_map_indexed(apps, move |i, app| machine.run_at(*app, base + i as u64))
     }
 }
 

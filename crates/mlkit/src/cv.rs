@@ -6,6 +6,7 @@
 
 use crate::metrics::PredictionErrors;
 use crate::model::{ModelError, Regressor};
+use pmca_parallel::ThreadPool;
 
 /// Per-fold and aggregate results of a cross-validation run.
 #[derive(Debug, Clone)]
@@ -34,7 +35,8 @@ impl CvResults {
 /// covering the full problem-size range, the same rationale as the
 /// dataset splits).
 ///
-/// `make_model` builds a fresh unfitted model per fold.
+/// `make_model` builds a fresh unfitted model per fold. Folds are fitted
+/// on the process-wide thread pool; see [`k_fold_with_pool`].
 ///
 /// # Errors
 ///
@@ -45,11 +47,36 @@ pub fn k_fold<M, F>(
     x: &[Vec<f64>],
     y: &[f64],
     k: usize,
-    mut make_model: F,
+    make_model: F,
 ) -> Result<CvResults, ModelError>
 where
-    M: Regressor,
-    F: FnMut() -> M,
+    M: Regressor + Send,
+    F: Fn() -> M + Sync,
+{
+    k_fold_with_pool(x, y, k, make_model, &ThreadPool::global())
+}
+
+/// [`k_fold`] with an explicit pool.
+///
+/// Fold membership is a pure function of the row index (`i % k`), so the
+/// folds are independent jobs: each one assembles its train/test split
+/// into preallocated matrices and fits in parallel, with results reported
+/// in fold order — bit-identical to the serial loop at any thread count.
+///
+/// # Errors
+///
+/// See [`k_fold`]. When several folds fail, the error of the
+/// lowest-numbered failing fold is returned, as in the serial loop.
+pub fn k_fold_with_pool<M, F>(
+    x: &[Vec<f64>],
+    y: &[f64],
+    k: usize,
+    make_model: F,
+    pool: &ThreadPool,
+) -> Result<CvResults, ModelError>
+where
+    M: Regressor + Send,
+    F: Fn() -> M + Sync,
 {
     if k < 2 || x.len() < k {
         return Err(ModelError::EmptyTrainingSet);
@@ -59,12 +86,17 @@ where
             detail: format!("{} rows vs {} targets", x.len(), y.len()),
         });
     }
-    let mut folds = Vec::with_capacity(k);
-    for fold in 0..k {
-        let mut train_x = Vec::new();
-        let mut train_y = Vec::new();
-        let mut test_x = Vec::new();
-        let mut test_y = Vec::new();
+    // Fold assignment is fixed up front; fold `f` holds out
+    // `ceil((n - f) / k)` rows, so each split can be preallocated at its
+    // exact size instead of growing per-row.
+    let n = x.len();
+    let fold_ids: Vec<usize> = (0..k).collect();
+    let folds = pool.par_map(&fold_ids, |&fold| {
+        let test_len = n.saturating_sub(fold).div_ceil(k);
+        let mut train_x = Vec::with_capacity(n - test_len);
+        let mut train_y = Vec::with_capacity(n - test_len);
+        let mut test_x = Vec::with_capacity(test_len);
+        let mut test_y = Vec::with_capacity(test_len);
         for (i, (row, &target)) in x.iter().zip(y).enumerate() {
             if i % k == fold {
                 test_x.push(row.clone());
@@ -76,9 +108,11 @@ where
         }
         let mut model = make_model();
         model.fit(&train_x, &train_y)?;
-        folds.push(PredictionErrors::evaluate(&model, &test_x, &test_y));
-    }
-    Ok(CvResults { folds })
+        Ok(PredictionErrors::evaluate(&model, &test_x, &test_y))
+    });
+    Ok(CvResults {
+        folds: folds.into_iter().collect::<Result<Vec<_>, ModelError>>()?,
+    })
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 
 use crate::model::{validate_training_set, ModelError, Regressor};
 use crate::tree::{RegressionTree, TreeParams};
+use pmca_parallel::{split_seed, ThreadPool};
 use pmca_stats::rng::{Rng, Xoshiro256pp};
 
 /// Tuning parameters of a random forest.
@@ -106,28 +107,32 @@ impl Regressor for RandomForest {
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), ModelError> {
         let _span = crate::model::fit_span("forest");
         let width = validate_training_set(x, y)?;
-        let mut rng = Xoshiro256pp::seed_from_u64(self.seed);
         let mtry = self
             .params
             .tree
             .features_per_split
             .unwrap_or_else(|| width.div_ceil(3).max(1));
         let sample_size = ((x.len() as f64 * self.params.sample_fraction).round() as usize).max(1);
+        let tree_params = TreeParams {
+            features_per_split: Some(mtry),
+            ..self.params.tree
+        };
 
-        self.trees.clear();
-        for t in 0..self.params.n_trees {
+        // Every tree derives its own bootstrap and split seeds from the
+        // forest seed in closed form, so trees are independent of one
+        // another and of execution order — the parallel fit is
+        // bit-identical to the serial one at any thread count.
+        let seed = self.seed;
+        let tree_ids: Vec<u64> = (0..self.params.n_trees as u64).collect();
+        let fitted = ThreadPool::global().par_map(&tree_ids, |&t| {
+            let mut rng = Xoshiro256pp::seed_from_u64(split_seed(seed, 2 * t));
             let indices: Vec<usize> = (0..sample_size)
                 .map(|_| rng.gen_range_usize(0, x.len()))
                 .collect();
-            let tree_params = TreeParams {
-                features_per_split: Some(mtry),
-                ..self.params.tree
-            };
-            let mut tree =
-                RegressionTree::new(tree_params, self.seed.wrapping_add(t as u64 * 7919));
-            tree.fit_indices(x, y, &indices)?;
-            self.trees.push(tree);
-        }
+            let mut tree = RegressionTree::new(tree_params, split_seed(seed, 2 * t + 1));
+            tree.fit_indices(x, y, &indices).map(|()| tree)
+        });
+        self.trees = fitted.into_iter().collect::<Result<Vec<_>, _>>()?;
         Ok(())
     }
 

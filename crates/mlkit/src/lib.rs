@@ -47,6 +47,7 @@ pub mod nn;
 pub mod tree;
 
 pub use compiled::CompiledModel;
+pub use cv::{k_fold, k_fold_with_pool, CvResults};
 pub use dataset::Dataset;
 pub use export::ModelParams;
 pub use forest::RandomForest;

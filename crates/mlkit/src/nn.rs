@@ -9,6 +9,7 @@
 //! is full-batch gradient descent with Adam.
 
 use crate::model::{validate_training_set, ModelError, Regressor};
+use pmca_parallel::ThreadPool;
 use pmca_stats::rng::{Rng, Xoshiro256pp};
 
 /// Hidden-layer activation.
@@ -384,42 +385,75 @@ impl Regressor for NeuralNet {
         let mut v_b = m_b.clone();
         let (beta1, beta2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
 
-        for epoch in 1..=self.params.epochs {
-            // Accumulate full-batch gradients.
-            let mut g_w: Vec<Vec<Vec<f64>>> = self
-                .layers
-                .iter()
-                .map(|l| l.weights.iter().map(|r| vec![0.0; r.len()]).collect())
-                .collect();
-            let mut g_b: Vec<Vec<f64>> = self
-                .layers
-                .iter()
-                .map(|l| vec![0.0; l.biases.len()])
-                .collect();
+        // Fixed-size gradient chunks: the chunk boundaries depend only on
+        // the dataset size, never on the thread count, and the partial
+        // gradients are reduced serially in chunk order — so the summation
+        // tree (and therefore every fitted weight, bit for bit) is the
+        // same whether the chunks run on 1 thread or 8.
+        const GRAD_CHUNK: usize = 64;
+        let chunks: Vec<(usize, usize)> = (0..xs.len())
+            .step_by(GRAD_CHUNK)
+            .map(|lo| (lo, (lo + GRAD_CHUNK).min(xs.len())))
+            .collect();
+        let pool = ThreadPool::global();
 
-            for (input, &target) in xs.iter().zip(&ys) {
-                let (pres, acts) = self.forward(input);
-                let output = acts.last().expect("output layer")[0];
-                // d(MSE)/d(output), per sample.
-                let mut delta = vec![2.0 * (output - target) / n];
-                for li in (0..self.layers.len()).rev() {
-                    let prev_act = &acts[li];
-                    for (o, &d) in delta.iter().enumerate() {
-                        g_b[li][o] += d;
-                        for (i, &a) in prev_act.iter().enumerate() {
-                            g_w[li][o][i] += d * a;
+        for epoch in 1..=self.params.epochs {
+            // Accumulate full-batch gradients, one partial per chunk.
+            let net = &*self;
+            let partials = pool.par_map(&chunks, |&(lo, hi)| {
+                let mut g_w: Vec<Vec<Vec<f64>>> = net
+                    .layers
+                    .iter()
+                    .map(|l| l.weights.iter().map(|r| vec![0.0; r.len()]).collect())
+                    .collect();
+                let mut g_b: Vec<Vec<f64>> = net
+                    .layers
+                    .iter()
+                    .map(|l| vec![0.0; l.biases.len()])
+                    .collect();
+                for (input, &target) in xs[lo..hi].iter().zip(&ys[lo..hi]) {
+                    let (pres, acts) = net.forward(input);
+                    let output = acts.last().expect("output layer")[0];
+                    // d(MSE)/d(output), per sample.
+                    let mut delta = vec![2.0 * (output - target) / n];
+                    for li in (0..net.layers.len()).rev() {
+                        let prev_act = &acts[li];
+                        for (o, &d) in delta.iter().enumerate() {
+                            g_b[li][o] += d;
+                            for (i, &a) in prev_act.iter().enumerate() {
+                                g_w[li][o][i] += d * a;
+                            }
+                        }
+                        if li > 0 {
+                            let mut next_delta = vec![0.0; prev_act.len()];
+                            for (i, nd) in next_delta.iter_mut().enumerate() {
+                                let mut s = 0.0;
+                                for (o, &d) in delta.iter().enumerate() {
+                                    s += d * net.layers[li].weights[o][i];
+                                }
+                                *nd = s * net.params.activation.derivative(pres[li - 1][i]);
+                            }
+                            delta = next_delta;
                         }
                     }
-                    if li > 0 {
-                        let mut next_delta = vec![0.0; prev_act.len()];
-                        for (i, nd) in next_delta.iter_mut().enumerate() {
-                            let mut s = 0.0;
-                            for (o, &d) in delta.iter().enumerate() {
-                                s += d * self.layers[li].weights[o][i];
-                            }
-                            *nd = s * self.params.activation.derivative(pres[li - 1][i]);
+                }
+                (g_w, g_b)
+            });
+
+            // In-order serial reduction of the chunk partials.
+            let mut partials = partials.into_iter();
+            let (mut g_w, mut g_b) = partials.next().expect("at least one sample chunk");
+            for (pw, pb) in partials {
+                for (gl, pl) in g_w.iter_mut().zip(&pw) {
+                    for (gr, pr) in gl.iter_mut().zip(pl) {
+                        for (g, p) in gr.iter_mut().zip(pr) {
+                            *g += p;
                         }
-                        delta = next_delta;
+                    }
+                }
+                for (gl, pl) in g_b.iter_mut().zip(&pb) {
+                    for (g, p) in gl.iter_mut().zip(pl) {
+                        *g += p;
                     }
                 }
             }

@@ -8,21 +8,79 @@
 use crate::scheduler::{schedule, CounterGroup, ScheduleError};
 use pmca_cpusim::app::Application;
 use pmca_cpusim::events::EventId;
-use pmca_cpusim::Machine;
+use pmca_cpusim::{Machine, RunRecord};
 use pmca_obs::{Counter, Histogram, MetricsRegistry, Span, TraceSpan};
+use pmca_parallel::ThreadPool;
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Global-registry handles for the collector, resolved once per process.
-fn collect_metrics() -> &'static (Counter, Histogram) {
-    static METRICS: OnceLock<(Counter, Histogram)> = OnceLock::new();
+struct CollectMetrics {
+    /// Logical application runs consumed (one per counter group per
+    /// sweep — the cost the methodology pays on real hardware).
+    runs: Counter,
+    sweep_seconds: Histogram,
+    /// Simulator-run memo traffic: a hit means a counter group was served
+    /// from an already-simulated run instead of a fresh simulation.
+    memo_hits: Counter,
+    memo_misses: Counter,
+}
+
+fn collect_metrics() -> &'static CollectMetrics {
+    static METRICS: OnceLock<CollectMetrics> = OnceLock::new();
     METRICS.get_or_init(|| {
         let registry = MetricsRegistry::global();
-        (
-            registry.counter("pmca_collect_runs_total", &[]),
-            registry.histogram("pmca_collect_sweep_seconds", &[]),
-        )
+        CollectMetrics {
+            runs: registry.counter("pmca_collect_runs_total", &[]),
+            sweep_seconds: registry.histogram("pmca_collect_sweep_seconds", &[]),
+            memo_hits: registry.counter("pmca_collect_memo_hits_total", &[]),
+            memo_misses: registry.counter("pmca_collect_memo_misses_total", &[]),
+        }
     })
+}
+
+/// Keyed cache of simulated runs: `(measurement index, run index)` →
+/// the simulated [`RunRecord`].
+///
+/// The simulator produces the counts of *every* catalog event in one run,
+/// so within a sweep the per-repeat run can be shared across all counter
+/// groups instead of being re-simulated per group — the same
+/// `(app, platform)` run is simulated exactly once per repeat. The memo is
+/// also the synchronization point for the parallel warm-up: each
+/// `(measurement, run index)` key is simulated by exactly one pool task.
+struct RunMemo {
+    map: Mutex<HashMap<(usize, u64), Arc<RunRecord>>>,
+}
+
+impl RunMemo {
+    fn new() -> Self {
+        RunMemo {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Return the memoized run for `key`, simulating it on a miss.
+    fn get_or_run(
+        &self,
+        machine: &Machine,
+        app: &dyn Application,
+        key: (usize, u64),
+    ) -> Arc<RunRecord> {
+        let metrics = collect_metrics();
+        if let Some(record) = self.map.lock().expect("memo poisoned").get(&key) {
+            metrics.memo_hits.inc();
+            return Arc::clone(record);
+        }
+        metrics.memo_misses.inc();
+        let record = Arc::new(machine.run_at(app, key.1));
+        Arc::clone(
+            self.map
+                .lock()
+                .expect("memo poisoned")
+                .entry(key)
+                .or_insert(record),
+        )
+    }
 }
 
 /// A collected PMC vector: one (averaged) count per requested event, plus
@@ -120,8 +178,82 @@ pub fn collect_sweeps(
     events: &[EventId],
     repeats: usize,
 ) -> Result<SweepSamples, ScheduleError> {
-    let (run_counter, sweep_seconds) = collect_metrics();
-    let _span = Span::enter(sweep_seconds);
+    let mut batch = collect_sweeps_batch(machine, &[app], events, repeats, &ThreadPool::global())?;
+    Ok(batch.pop().expect("one app in, one sample set out"))
+}
+
+/// Perform `repeats` sweeps of `events` for every application in `apps`,
+/// executing the underlying simulator runs on `pool`.
+///
+/// Bit-identical to calling [`collect_sweeps`] on each app in sequence at
+/// any thread count: run indices are reserved serially per app before the
+/// fan-out, and each index's noise stream depends only on the index.
+///
+/// # Errors
+///
+/// Propagates [`ScheduleError`]. `repeats` of zero is treated as one.
+pub fn collect_sweeps_batch(
+    machine: &mut Machine,
+    apps: &[&dyn Application],
+    events: &[EventId],
+    repeats: usize,
+    pool: &ThreadPool,
+) -> Result<Vec<SweepSamples>, ScheduleError> {
+    batch_impl(
+        machine,
+        apps,
+        events,
+        repeats,
+        pool,
+        RunPolicy::SharedPerRepeat,
+    )
+}
+
+/// [`collect_sweeps_batch`] with one *fresh* simulator run per counter
+/// group per repeat — the cost model of real multiplexed PMU collection,
+/// where a run can only read one group's worth of counters.
+///
+/// The additivity methodology depends on this: stage 1 judges
+/// reproducibility from the scatter of independent runs, so counter groups
+/// must not share a noise realization. Run indices are consumed in exactly
+/// the order the serial per-app, per-repeat, per-group loop would consume
+/// them, keeping the output bit-identical at any thread count *and*
+/// bit-identical to the historical serial collector.
+///
+/// # Errors
+///
+/// Propagates [`ScheduleError`]. `repeats` of zero is treated as one.
+pub fn collect_sweeps_batch_per_group(
+    machine: &mut Machine,
+    apps: &[&dyn Application],
+    events: &[EventId],
+    repeats: usize,
+    pool: &ThreadPool,
+) -> Result<Vec<SweepSamples>, ScheduleError> {
+    batch_impl(machine, apps, events, repeats, pool, RunPolicy::RunPerGroup)
+}
+
+/// How batched collection maps counter groups onto simulator runs.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RunPolicy {
+    /// All counter groups of one repeat read a single memoized run — the
+    /// simulator produces every catalog event per run, so re-simulating
+    /// per group is redundant for plain sweep collection.
+    SharedPerRepeat,
+    /// Every counter group pays its own run, as real hardware would.
+    RunPerGroup,
+}
+
+fn batch_impl(
+    machine: &mut Machine,
+    apps: &[&dyn Application],
+    events: &[EventId],
+    repeats: usize,
+    pool: &ThreadPool,
+    policy: RunPolicy,
+) -> Result<Vec<SweepSamples>, ScheduleError> {
+    let metrics = collect_metrics();
+    let _span = Span::enter(&metrics.sweep_seconds);
     let _trace = TraceSpan::enter("collect.sweep");
     let groups = schedule(machine.catalog(), events)?;
     let mut dedup: Vec<EventId> = Vec::new();
@@ -139,38 +271,78 @@ pub fn collect_sweeps(
         })
         .collect();
 
-    let mut samples = Vec::with_capacity(repeats);
-    let mut runs_used = 0;
-    for _ in 0..repeats.max(1) {
-        let mut sweep = HashMap::new();
-        if groups.is_empty() {
-            // Only fixed events requested: still need one run to read them.
-            let record = machine.run(app);
-            runs_used += 1;
-            for &id in &fixed {
-                sweep.insert(id, record.count(id));
+    let repeats = repeats.max(1);
+    // Runs one sweep consumes, and the run index of (repeat, group)
+    // relative to an app's base index.
+    let per_sweep = groups.len().max(1) as u64;
+    let run_of = |r: u64, g: u64| match policy {
+        RunPolicy::SharedPerRepeat => r,
+        RunPolicy::RunPerGroup => r * per_sweep + g,
+    };
+    let runs_per_app = match policy {
+        RunPolicy::SharedPerRepeat => repeats as u64,
+        RunPolicy::RunPerGroup => repeats as u64 * per_sweep,
+    };
+    // Reserve run indices serially, in the same order the serial
+    // per-app collect loop would consume them.
+    let bases: Vec<u64> = apps
+        .iter()
+        .map(|_| machine.reserve_runs(runs_per_app))
+        .collect();
+
+    // Warm the run memo in parallel: one simulation per distinct
+    // (app, run index) key, each claimed by exactly one pool task.
+    let memo = RunMemo::new();
+    let work: Vec<(usize, u64)> = (0..apps.len())
+        .flat_map(|a| {
+            let base = bases[a];
+            (0..runs_per_app).map(move |o| (a, base + o))
+        })
+        .collect();
+    let frozen: &Machine = machine;
+    pool.par_map(&work, |&(a, run_index)| {
+        memo.get_or_run(frozen, apps[a], (a, run_index));
+    });
+
+    // Deterministic serial assembly from the memo.
+    let mut out = Vec::with_capacity(apps.len());
+    for (a, app) in apps.iter().enumerate() {
+        let mut samples = Vec::with_capacity(repeats);
+        let mut runs_used = 0;
+        for r in 0..repeats as u64 {
+            let mut sweep = HashMap::new();
+            if groups.is_empty() {
+                // Only fixed events requested: still need one run to read
+                // them.
+                let record = memo.get_or_run(frozen, *app, (a, bases[a] + run_of(r, 0)));
+                runs_used += 1;
+                for &id in &fixed {
+                    sweep.insert(id, record.count(id));
+                }
             }
+            for (g, CounterGroup { events: group }) in groups.iter().enumerate() {
+                let key = (a, bases[a] + run_of(r, g as u64));
+                let record = memo.get_or_run(frozen, *app, key);
+                runs_used += 1;
+                for &id in group {
+                    sweep.insert(id, record.count(id));
+                }
+                // Fixed counters ride along with every run; take them from
+                // the first group's run.
+                for &id in &fixed {
+                    sweep.entry(id).or_insert_with(|| record.count(id));
+                }
+            }
+            samples.push(sweep);
         }
-        for CounterGroup { events: group } in &groups {
-            let record = machine.run(app);
-            runs_used += 1;
-            for &id in group {
-                sweep.insert(id, record.count(id));
-            }
-            // Fixed counters ride along with every run; take them from the
-            // first group's run.
-            for &id in &fixed {
-                sweep.entry(id).or_insert_with(|| record.count(id));
-            }
-        }
-        samples.push(sweep);
+        metrics.runs.add(runs_used as u64);
+        out.push(SweepSamples {
+            events: dedup.clone(),
+            samples,
+            runs_used,
+        });
     }
-    run_counter.add(runs_used as u64);
-    Ok(SweepSamples {
-        events: dedup,
-        samples,
-        runs_used,
-    })
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@ use crate::methodology::Methodology;
 use crate::wattsup::WattsUpPro;
 use pmca_cpusim::app::Application;
 use pmca_cpusim::Machine;
+use pmca_parallel::ThreadPool;
 use pmca_stats::confidence::ConfidenceInterval;
 
 /// A dynamic-energy measurement: the paper's response variable.
@@ -83,18 +84,48 @@ impl HclWattsUp {
     }
 
     /// Measure an application's dynamic energy with the repeated-run
-    /// methodology.
+    /// methodology, simulating runs on the process-wide thread pool.
     pub fn measure_dynamic_energy(
         &mut self,
         machine: &mut Machine,
         app: &dyn Application,
     ) -> EnergyMeasurement {
+        self.measure_dynamic_energy_with_pool(machine, app, &ThreadPool::global())
+    }
+
+    /// [`HclWattsUp::measure_dynamic_energy`] with an explicit pool.
+    ///
+    /// The adaptive estimator decides when to stop, so runs are simulated
+    /// in fixed-size waves: each wave's run indices are reserved serially,
+    /// the simulations fan out on the pool, and the meter samples the
+    /// records serially in index order until the estimator is satisfied
+    /// (surplus simulated records of the final wave are discarded). The
+    /// wave size is a constant, never the thread count, so the
+    /// measurement is bit-identical at any thread count.
+    pub fn measure_dynamic_energy_with_pool(
+        &mut self,
+        machine: &mut Machine,
+        app: &dyn Application,
+        pool: &ThreadPool,
+    ) -> EnergyMeasurement {
+        const WAVE: usize = 8;
         let mut est = self.methodology.estimator();
         let mut times = Vec::new();
-        while !est.is_satisfied() {
-            let (e, t) = self.measure_once(machine, app);
-            est.add(e);
-            times.push(t);
+        'waves: while !est.is_satisfied() {
+            let base = machine.reserve_runs(WAVE as u64);
+            let indices: Vec<u64> = (base..base + WAVE as u64).collect();
+            let frozen: &Machine = machine;
+            let records = pool.par_map(&indices, |&run_index| frozen.run_at(app, run_index));
+            for record in records {
+                let (samples, dt) = self.meter.sample_run(&record);
+                let total_energy: f64 = samples.iter().sum::<f64>() * dt;
+                let dynamic = (total_energy - self.static_power_w * record.duration_s).max(0.0);
+                est.add(dynamic);
+                times.push(record.duration_s);
+                if est.is_satisfied() {
+                    break 'waves;
+                }
+            }
         }
         let ci_half_width =
             ConfidenceInterval::of_sample(est.observations(), self.methodology.confidence)

@@ -1,0 +1,229 @@
+//! Parallel == serial bit-identity across the offline pipeline.
+//!
+//! The `pmca-parallel` contract is that every parallel computation is
+//! bit-identical to its serial counterpart at any thread count: seeds are
+//! split in closed form, run indices are reserved before fan-out, and
+//! reductions happen in a fixed order. These tests exercise that contract
+//! end to end — collection sweeps, additivity matrices, k-fold CV, and
+//! forest training — at 1, 2, 4, and 8 threads, plus stress tests of the
+//! pool itself (nested scopes, panic propagation, no lost tasks).
+
+use pmca_additivity::{AdditivityChecker, AdditivityMatrix, CompoundCase};
+use pmca_cpusim::app::Application;
+use pmca_cpusim::{Machine, PlatformSpec};
+use pmca_mlkit::{k_fold_with_pool, LinearRegression, RandomForest, Regressor};
+use pmca_parallel::{set_global_jobs, ThreadPool};
+use pmca_pmctools::collector::collect_sweeps_batch;
+use pmca_workloads::suite::class_b_compound_pairs;
+use pmca_workloads::{Dgemm, Fft2d};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn machine() -> Machine {
+    Machine::new(PlatformSpec::intel_haswell(), 42)
+}
+
+fn few_events(machine: &Machine) -> Vec<pmca_cpusim::events::EventId> {
+    let ids = machine.catalog().all_ids();
+    ids.into_iter().take(9).collect()
+}
+
+#[test]
+fn collect_sweeps_batch_is_thread_count_invariant() {
+    let apps: Vec<Box<dyn Application>> =
+        vec![Box::new(Dgemm::new(9_000)), Box::new(Fft2d::new(16_000))];
+    let refs: Vec<&dyn Application> = apps.iter().map(AsRef::as_ref).collect();
+
+    let mut baseline = None;
+    for threads in THREAD_COUNTS {
+        let mut m = machine();
+        let events = few_events(&m);
+        let batch = collect_sweeps_batch(&mut m, &refs, &events, 3, &ThreadPool::new(threads))
+            .expect("collect");
+        let fingerprint: Vec<(Vec<u64>, usize)> = batch
+            .iter()
+            .map(|sweep| {
+                let mut bits = Vec::new();
+                for sample in &sweep.samples {
+                    for &id in &sweep.events {
+                        bits.push(sample[&id].to_bits());
+                    }
+                }
+                (bits, sweep.runs_used)
+            })
+            .collect();
+        match &baseline {
+            None => baseline = Some(fingerprint),
+            Some(expected) => assert_eq!(
+                expected, &fingerprint,
+                "collect differs at {threads} threads"
+            ),
+        }
+    }
+}
+
+#[test]
+fn additivity_matrix_is_thread_count_invariant() {
+    let cases: Vec<CompoundCase> = class_b_compound_pairs(3, 7)
+        .into_iter()
+        .map(|(a, b)| CompoundCase::new(a, b))
+        .collect();
+    let checker = AdditivityChecker::default();
+
+    let mut baseline: Option<(String, Vec<u64>)> = None;
+    for threads in THREAD_COUNTS {
+        let mut m = machine();
+        let events = few_events(&m);
+        let matrix = AdditivityMatrix::measure_with_pool(
+            &checker,
+            &mut m,
+            &events,
+            &cases,
+            &ThreadPool::new(threads),
+        )
+        .expect("matrix");
+        let mut bits = Vec::new();
+        for e in 0..matrix.event_names().len() {
+            for c in 0..matrix.compound_names().len() {
+                bits.push(matrix.error(e, c).to_bits());
+            }
+        }
+        let fingerprint = (matrix.to_table(), bits);
+        match &baseline {
+            None => baseline = Some(fingerprint),
+            Some(expected) => assert_eq!(
+                expected, &fingerprint,
+                "matrix differs at {threads} threads"
+            ),
+        }
+    }
+}
+
+#[test]
+fn k_fold_cv_is_thread_count_invariant() {
+    let x: Vec<Vec<f64>> = (1..=64)
+        .map(|i| vec![i as f64, (i * i % 13) as f64])
+        .collect();
+    let y: Vec<f64> = x.iter().map(|r| 2.5 * r[0] + 0.3 * r[1]).collect();
+
+    let mut baseline: Option<Vec<[u64; 3]>> = None;
+    for threads in THREAD_COUNTS {
+        let cv = k_fold_with_pool(
+            &x,
+            &y,
+            8,
+            LinearRegression::paper_constrained,
+            &ThreadPool::new(threads),
+        )
+        .expect("cv");
+        let fingerprint: Vec<[u64; 3]> = cv
+            .folds
+            .iter()
+            .map(|f| [f.min.to_bits(), f.avg.to_bits(), f.max.to_bits()])
+            .collect();
+        match &baseline {
+            None => baseline = Some(fingerprint),
+            Some(expected) => {
+                assert_eq!(expected, &fingerprint, "CV differs at {threads} threads");
+            }
+        }
+    }
+}
+
+#[test]
+fn forest_fit_is_thread_count_invariant() {
+    // The forest fits its trees on the process-wide pool, so this test
+    // resizes the global pool; every other computation in this binary is
+    // itself thread-count invariant, so concurrent tests are unaffected.
+    let x: Vec<Vec<f64>> = (0..90).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+    let y: Vec<f64> = (0..90)
+        .map(|i| 1.7 * i as f64 + if i % 2 == 0 { 0.9 } else { -0.9 })
+        .collect();
+
+    let mut baseline: Option<Vec<u64>> = None;
+    for threads in THREAD_COUNTS {
+        set_global_jobs(threads);
+        let mut rf = RandomForest::with_seed(31);
+        rf.fit(&x, &y).expect("fit");
+        let fingerprint: Vec<u64> = x.iter().map(|r| rf.predict_one(r).to_bits()).collect();
+        match &baseline {
+            None => baseline = Some(fingerprint),
+            Some(expected) => {
+                assert_eq!(
+                    expected, &fingerprint,
+                    "forest differs at {threads} threads"
+                );
+            }
+        }
+    }
+    set_global_jobs(1);
+}
+
+#[test]
+fn nested_scopes_complete() {
+    let pool = ThreadPool::new(4);
+    let outer = AtomicUsize::new(0);
+    let inner = AtomicUsize::new(0);
+    pool.scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                outer.fetch_add(1, Ordering::Relaxed);
+                // A task may not spawn into its own scope, but it can open
+                // a fresh one on the same pool.
+                ThreadPool::new(2).scope(|s2| {
+                    for _ in 0..4 {
+                        s2.spawn(|| {
+                            inner.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            });
+        }
+    });
+    assert_eq!(outer.load(Ordering::Relaxed), 8);
+    assert_eq!(inner.load(Ordering::Relaxed), 32);
+}
+
+#[test]
+fn panic_in_task_propagates_without_losing_tasks() {
+    let pool = ThreadPool::new(4);
+    let completed = AtomicUsize::new(0);
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.scope(|s| {
+            for i in 0..64 {
+                let completed = &completed;
+                s.spawn(move || {
+                    if i == 17 {
+                        panic!("deliberate failure in task 17");
+                    }
+                    completed.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    }));
+    let payload = caught.expect_err("task panic must reach the caller");
+    let message = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .map(String::from)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(message.contains("deliberate failure"), "payload: {message}");
+    // A panicking task aborts only itself: the other 63 still ran.
+    assert_eq!(completed.load(Ordering::Relaxed), 63);
+}
+
+#[test]
+fn no_lost_tasks_under_stress() {
+    let pool = ThreadPool::new(8);
+    for round in 0..20 {
+        let n = 50 + round * 13;
+        let items: Vec<usize> = (0..n).collect();
+        let doubled = pool.par_map(&items, |&i| i * 2);
+        assert_eq!(doubled.len(), n);
+        for (i, &d) in doubled.iter().enumerate() {
+            assert_eq!(d, i * 2, "round {round}");
+        }
+    }
+}
