@@ -136,8 +136,14 @@ impl AdditivityChecker {
         // reproducibility off the scatter of *independent* runs, so every
         // counter group must pay its own noise realization, exactly as a
         // multiplexed PMU campaign would.
+        //
+        // One run here is microseconds of simulation, so a small suite
+        // (a matrix cell is typically ≤ 3 apps × a handful of sweeps)
+        // loses more to the pool's scope spawn than the fan-out saves;
+        // below ~128 runs the serial loop wins.
+        let pool = pool.with_min_items(128);
         let measured =
-            collect_sweeps_batch_per_group(machine, &plan, events, self.test.runs, pool)?;
+            collect_sweeps_batch_per_group(machine, &plan, events, self.test.runs, &pool)?;
         let per_event_samples = |sweeps: &SweepSamples| -> HashMap<EventId, Vec<f64>> {
             sweeps
                 .events

@@ -13,8 +13,19 @@
 //!     [--addr HOST:PORT] [--clients N] [--requests M] [--workers W]
 //!     [--duration-secs S] [--pipeline D] [--app-share PCT]
 //!     [--no-metrics] [--no-trace] [--trace-sample N]
+//!     [--streams N] [--windows M] [--label-every K]
 //!     [--json PATH] [--compare BASELINE.json]
 //! ```
+//!
+//! `--streams N` switches to streaming-ingestion mode: the clients open
+//! N concurrent telemetry streams, push `--windows` one-second windows
+//! into each (every `--label-every`'th labelled with measured joules, so
+//! the online model refits and periodic heavy refits fire), and measure
+//! ingest throughput in windows/sec plus per-window estimate latency as
+//! individually timed `STREAM POLL` round trips (p50/p95/p99). The
+//! summary also reports the server's completed refit-swap count —
+//! proof the background forest/neural refits ran without stalling the
+//! hot path.
 //!
 //! `--duration-secs S` replaces the fixed request count with a wall-clock
 //! budget: every client fires pipelined batches until the deadline.
@@ -35,6 +46,7 @@
 use pmca_obs::log;
 use pmca_serve::protocol::parse_estimate_reply;
 use pmca_serve::{Client, Request, Server, ServiceConfig, Trace, TraceScope};
+use pmca_stream::synthetic_window;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -76,6 +88,12 @@ struct Options {
     json: Option<String>,
     /// Compare the run against a previously written `--json` baseline.
     compare: Option<String>,
+    /// Streaming mode: open this many concurrent telemetry streams.
+    streams: Option<usize>,
+    /// Streaming mode: windows pushed per stream.
+    windows: usize,
+    /// Streaming mode: every K'th window carries measured joules.
+    label_every: usize,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -92,6 +110,9 @@ fn parse_options() -> Result<Options, String> {
         duration_secs: None,
         json: None,
         compare: None,
+        streams: None,
+        windows: 64,
+        label_every: 4,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -122,6 +143,11 @@ fn parse_options() -> Result<Options, String> {
             }
             "--json" => options.json = Some(value("--json")?),
             "--compare" => options.compare = Some(value("--compare")?),
+            "--streams" => options.streams = Some(parse_count(&value("--streams")?, "--streams")?),
+            "--windows" => options.windows = parse_count(&value("--windows")?, "--windows")?,
+            "--label-every" => {
+                options.label_every = parse_count(&value("--label-every")?, "--label-every")?;
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -167,6 +193,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if options.streams.is_some() {
+        run_streams(&options);
+        return;
+    }
 
     // Either target an external server or stand one up in-process.
     let local_server;
@@ -375,8 +405,270 @@ fn main() {
     }
 }
 
+/// Streaming-ingestion mode: `--streams N` concurrent telemetry streams,
+/// `--windows` pushed windows each, poll latency measured one round trip
+/// at a time.
+fn run_streams(options: &Options) {
+    let streams = options.streams.expect("streaming mode");
+    let clients = options.clients.min(streams);
+    let local_server;
+    let addr = match &options.addr {
+        Some(addr) => addr.clone(),
+        None => {
+            println!(
+                "starting in-process server ({} inference workers, metrics {}, tracing {})...",
+                options.workers,
+                if options.no_metrics { "off" } else { "on" },
+                if options.no_trace { "off" } else { "on" }
+            );
+            let service = Arc::new(
+                ServiceConfig::default()
+                    .workers(options.workers)
+                    .cache_capacity(1024)
+                    .seed(42)
+                    .metrics(!options.no_metrics)
+                    .tracing(!options.no_trace)
+                    .build()
+                    .expect("build service"),
+            );
+            local_server = Server::start(service, "127.0.0.1:0").expect("bind ephemeral port");
+            local_server.addr().to_string()
+        }
+    };
+    println!(
+        "{streams} streams x {} windows (every {}th labelled) over {clients} clients, \
+         pipeline depth {}, against {addr}",
+        options.windows, options.label_every, options.pipeline
+    );
+
+    // Every client opens its streams before any window is pushed, so the
+    // timed ingest phase runs with all N streams concurrently open.
+    let barrier = Arc::new(std::sync::Barrier::new(clients));
+    let handles: Vec<_> = (0..clients)
+        .map(|client_index| {
+            let addr = addr.clone();
+            let barrier = Arc::clone(&barrier);
+            let windows = options.windows;
+            let label_every = options.label_every;
+            let depth = options.pipeline;
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr.as_str()).expect("client connect");
+                let owned: Vec<usize> = (client_index..streams).step_by(clients).collect();
+                for &s in &owned {
+                    client
+                        .stream_open(&format!("lg-{s}"), "synthetic", "skylake", 32)
+                        .expect("stream open");
+                }
+                barrier.wait();
+                let ingest_started = Instant::now();
+                let mut pushed = 0usize;
+                let mut poll_latencies: Vec<Duration> = Vec::with_capacity(windows);
+                let mut lines: Vec<String> = Vec::with_capacity(depth);
+                for w in 0..windows {
+                    let window = w as u64;
+                    let labelled = (w + 1) % label_every == 0;
+                    for chunk in owned.chunks(depth) {
+                        lines.clear();
+                        for &s in chunk {
+                            let (counts, joules) = synthetic_window(s as u64, window);
+                            lines.push(
+                                Request::StreamPush {
+                                    id: format!("lg-{s}"),
+                                    window,
+                                    counts,
+                                    joules: labelled.then_some(joules),
+                                }
+                                .to_line(),
+                            );
+                        }
+                        let replies = client.send_pipelined(&lines).expect("pipelined pushes");
+                        for reply in &replies {
+                            assert!(reply.starts_with("OK "), "push rejected: {reply}");
+                        }
+                        pushed += chunk.len();
+                    }
+                    // One individually timed POLL per window round — the
+                    // per-window estimate latency, streams visited in
+                    // rotation.
+                    let probe = owned[w % owned.len()];
+                    let fired = Instant::now();
+                    let status = client
+                        .stream_poll(&format!("lg-{probe}"))
+                        .expect("stream poll");
+                    poll_latencies.push(fired.elapsed());
+                    assert!(status.watts.is_finite());
+                }
+                (pushed, ingest_started.elapsed(), poll_latencies, client)
+            })
+        })
+        .collect();
+    let mut pushed_total = 0usize;
+    let mut poll_latencies: Vec<Duration> = Vec::new();
+    let mut clients_alive: Vec<Client> = Vec::new();
+    // The barrier aligns every thread's ingest start, so the ingest
+    // wall-clock is the slowest thread's elapsed — opens excluded.
+    let mut elapsed = Duration::ZERO;
+    for handle in handles {
+        let (pushed, thread_elapsed, latencies, client) = handle.join().expect("client thread");
+        pushed_total += pushed;
+        elapsed = elapsed.max(thread_elapsed);
+        poll_latencies.extend(latencies);
+        clients_alive.push(client);
+    }
+
+    // Server-side view while every stream is still open, then close them.
+    let mut open_streams = 0usize;
+    let mut refit_swaps = 0u64;
+    if let Ok(mut client) = Client::connect(addr.as_str()) {
+        if let Ok(stats) = client.stats() {
+            for (k, v) in &stats {
+                match k.as_str() {
+                    "streams" => open_streams = v.parse().unwrap_or(0),
+                    "stream-refits" => refit_swaps = v.parse().unwrap_or(0),
+                    _ => {}
+                }
+            }
+        }
+        let _ = client.quit();
+    }
+    for (client_index, mut client) in clients_alive.into_iter().enumerate() {
+        for s in (client_index..streams).step_by(clients) {
+            let _ = client.stream_close(&format!("lg-{s}"));
+        }
+        let _ = client.quit();
+    }
+
+    poll_latencies.sort_unstable();
+    let polls = poll_latencies.len();
+    let percentile = |p: f64| {
+        let index = ((polls as f64 * p / 100.0).ceil() as usize).clamp(1, polls) - 1;
+        poll_latencies[index]
+    };
+    let ingest_wps = pushed_total as f64 / elapsed.as_secs_f64();
+    println!(
+        "{pushed_total} windows ingested across {open_streams} concurrently open streams \
+         in {:.2} s -> {ingest_wps:.0} windows/sec",
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "estimate latency (STREAM POLL round trip, {polls} samples): p50 {:?}  p95 {:?}  \
+         p99 {:?}  max {:?}",
+        percentile(50.0),
+        percentile(95.0),
+        percentile(99.0),
+        poll_latencies[polls - 1]
+    );
+    println!("background refit swaps completed server-side: {refit_swaps}");
+    let summary = StreamSummary {
+        streams,
+        clients,
+        windows: options.windows,
+        label_every: options.label_every,
+        total_windows: pushed_total,
+        elapsed_secs: elapsed.as_secs_f64(),
+        ingest_wps,
+        poll_p50_us: as_micros(percentile(50.0)),
+        poll_p95_us: as_micros(percentile(95.0)),
+        poll_p99_us: as_micros(percentile(99.0)),
+        refit_swaps,
+    };
+    if let Some(path) = &options.json {
+        match std::fs::write(path, summary.to_json()) {
+            Ok(()) => println!("wrote run summary to {path}"),
+            Err(e) => log::error("loadgen", &format!("writing {path}: {e}"), &[]),
+        }
+    }
+    if let Some(path) = &options.compare {
+        match std::fs::read_to_string(path) {
+            Ok(baseline) => summary.print_comparison(path, &baseline),
+            Err(e) => log::error("loadgen", &format!("reading {path}: {e}"), &[]),
+        }
+    }
+}
+
 fn as_micros(d: Duration) -> f64 {
     d.as_secs_f64() * 1e6
+}
+
+/// Streaming-mode headline numbers, written by `--json` and read back by
+/// `--compare`.
+struct StreamSummary {
+    streams: usize,
+    clients: usize,
+    windows: usize,
+    label_every: usize,
+    total_windows: usize,
+    elapsed_secs: f64,
+    ingest_wps: f64,
+    poll_p50_us: f64,
+    poll_p95_us: f64,
+    poll_p99_us: f64,
+    refit_swaps: u64,
+}
+
+impl StreamSummary {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"streams\": {},\n  \"clients\": {},\n  \"windows\": {},\n  \
+             \"label_every\": {},\n  \"total_windows\": {},\n  \"elapsed_secs\": {:.3},\n  \
+             \"ingest_wps\": {:.1},\n  \"poll_p50_us\": {:.1},\n  \"poll_p95_us\": {:.1},\n  \
+             \"poll_p99_us\": {:.1},\n  \"refit_swaps\": {}\n}}\n",
+            self.streams,
+            self.clients,
+            self.windows,
+            self.label_every,
+            self.total_windows,
+            self.elapsed_secs,
+            self.ingest_wps,
+            self.poll_p50_us,
+            self.poll_p95_us,
+            self.poll_p99_us,
+            self.refit_swaps
+        )
+    }
+
+    fn print_comparison(&self, path: &str, baseline: &str) {
+        println!("comparison against {path}:");
+        let rows: [(&str, f64, bool); 4] = [
+            ("ingest_wps", self.ingest_wps, true),
+            ("poll_p50_us", self.poll_p50_us, false),
+            ("poll_p95_us", self.poll_p95_us, false),
+            ("poll_p99_us", self.poll_p99_us, false),
+        ];
+        for (key, current, higher_is_better) in rows {
+            let Some(base) = json_number(baseline, key) else {
+                println!("  {key:<15} baseline missing");
+                continue;
+            };
+            if base == 0.0 {
+                println!("  {key:<15} baseline {base:>10.1}  now {current:>10.1}");
+                continue;
+            }
+            let delta = (current - base) / base * 100.0;
+            let verdict = if (delta >= 0.0) == higher_is_better {
+                "better"
+            } else {
+                "worse"
+            };
+            println!("  {key:<15} baseline {base:>10.1}  now {current:>10.1}  {delta:>+7.1}% ({verdict})");
+        }
+        for key in ["streams", "clients", "windows", "label_every"] {
+            if let Some(base) = json_number(baseline, key) {
+                let current = match key {
+                    "streams" => self.streams as f64,
+                    "clients" => self.clients as f64,
+                    "windows" => self.windows as f64,
+                    _ => self.label_every as f64,
+                };
+                if (base - current).abs() > f64::EPSILON {
+                    println!(
+                        "  warning: {key} differs (baseline {base:.0}, now {current:.0}) — \
+                         numbers are not like-for-like"
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// One run's headline numbers, written by `--json` and read back by

@@ -221,6 +221,38 @@ fn time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
     start.elapsed().as_secs_f64() * 1_000.0 / iters as f64
 }
 
+fn time_once(f: &mut impl FnMut()) -> std::time::Duration {
+    let start = Instant::now();
+    f();
+    start.elapsed()
+}
+
+/// Mean wall-clock milliseconds of `a` and `b` over `iters` runs each,
+/// interleaved with alternating order (after one warm-up run of each).
+///
+/// Back-to-back `time_ms` calls attribute any drift in machine load —
+/// cgroup CPU throttling, thermal clocking, a neighbour waking up —
+/// entirely to whichever closure ran second. On millisecond-scale stages
+/// that drift rivals the effect being measured; interleaving spreads it
+/// evenly across both sides so their ratio stays honest.
+fn time_pair_ms(iters: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
+    a();
+    b();
+    let mut a_total = std::time::Duration::ZERO;
+    let mut b_total = std::time::Duration::ZERO;
+    for i in 0..iters {
+        if i % 2 == 0 {
+            a_total += time_once(&mut a);
+            b_total += time_once(&mut b);
+        } else {
+            b_total += time_once(&mut b);
+            a_total += time_once(&mut a);
+        }
+    }
+    let per_iter = |total: std::time::Duration| total.as_secs_f64() * 1_000.0 / iters as f64;
+    (per_iter(a_total), per_iter(b_total))
+}
+
 /// The pre-rework collection loop: one fresh simulation per counter
 /// group per repeat, nothing shared. Returns the sampled values so the
 /// work cannot be optimized away.
@@ -342,10 +374,11 @@ fn main() {
             collect_sweeps_batch(&mut m, &refs, &events, COLLECT_REPEATS, pool).expect("collect"),
         );
     };
-    let serial_ms = time_ms(options.iters, || collect_with(&ThreadPool::new(1)));
-    let parallel_ms = time_ms(options.iters, || {
-        collect_with(&ThreadPool::new(options.jobs))
-    });
+    let (serial_ms, parallel_ms) = time_pair_ms(
+        options.iters,
+        || collect_with(&ThreadPool::new(1)),
+        || collect_with(&ThreadPool::new(options.jobs)),
+    );
 
     // Bit-identity gate: the memoized batch must not depend on thread
     // count.
@@ -382,14 +415,18 @@ fn main() {
     let before_ms = time_ms(options.iters, || {
         black_box(reference_forest_fit(&x, &y, 17));
     });
-    set_global_jobs(1);
-    let serial_ms = time_ms(options.iters, || {
-        black_box(shipped_forest(&x, &y, 17));
-    });
+    let (serial_ms, parallel_ms) = time_pair_ms(
+        options.iters,
+        || {
+            set_global_jobs(1);
+            black_box(shipped_forest(&x, &y, 17));
+        },
+        || {
+            set_global_jobs(options.jobs);
+            black_box(shipped_forest(&x, &y, 17));
+        },
+    );
     set_global_jobs(options.jobs);
-    let parallel_ms = time_ms(options.iters, || {
-        black_box(shipped_forest(&x, &y, 17));
-    });
 
     // Bit-identity gate: the presorted parallel forest must predict
     // exactly what the re-sorting serial reference predicts.
@@ -433,10 +470,11 @@ fn main() {
                 .expect("matrix"),
         );
     };
-    let serial_ms = time_ms(options.iters, || matrix_with(&ThreadPool::new(1)));
-    let parallel_ms = time_ms(options.iters, || {
-        matrix_with(&ThreadPool::new(options.jobs))
-    });
+    let (serial_ms, parallel_ms) = time_pair_ms(
+        options.iters,
+        || matrix_with(&ThreadPool::new(1)),
+        || matrix_with(&ThreadPool::new(options.jobs)),
+    );
     stages.push(StageResult {
         name: "additivity_matrix",
         before_ms: serial_ms,
@@ -450,8 +488,11 @@ fn main() {
             k_fold_with_pool(&x, &y, 10, LinearRegression::paper_constrained, pool).expect("cv"),
         );
     };
-    let serial_ms = time_ms(options.iters, || cv_with(&ThreadPool::new(1)));
-    let parallel_ms = time_ms(options.iters, || cv_with(&ThreadPool::new(options.jobs)));
+    let (serial_ms, parallel_ms) = time_pair_ms(
+        options.iters,
+        || cv_with(&ThreadPool::new(1)),
+        || cv_with(&ThreadPool::new(options.jobs)),
+    );
     stages.push(StageResult {
         name: "kfold_cv",
         before_ms: serial_ms,

@@ -67,7 +67,22 @@ usage:
       (e.g.  slope-pmc query STATS
              slope-pmc query METRICS
              slope-pmc query TRACE SLOWEST
-             slope-pmc query ESTIMATE-APP skylake dgemm:12000)";
+             slope-pmc query ESTIMATE-APP skylake dgemm:12000)
+
+  slope-pmc stream [--addr HOST:PORT] [--platform haswell|skylake]
+                   [--app APP_SPEC] [--window N] [--windows N]
+                   [--label-every N] [ID]
+      drive one telemetry stream against a running server: STREAM OPEN,
+      push --windows one-second windows of deployable-set PMC counts
+      (every --label-every'th window labelled with measured joules so the
+      online model refits), then poll the live energy/power estimate and
+      close; ID defaults to cli-stream
+
+  slope-pmc monitor [--addr HOST:PORT] [--interval-ms MS] [--iterations N]
+      poll STREAM LIST on a running server every MS milliseconds (default
+      1000) for N rounds (default 1; 0 = forever) and print a status
+      table per round: windows retained, estimated watts ±95% PI, model
+      family/version feeding each stream";
 
 /// Parsed global options plus positional arguments.
 struct Parsed {
@@ -85,6 +100,11 @@ struct Parsed {
     trace_slow_ms: Option<u64>,
     trace_log: Option<String>,
     no_trace: bool,
+    window: usize,
+    windows: usize,
+    label_every: usize,
+    interval_ms: u64,
+    iterations: usize,
     positional: Vec<String>,
 }
 
@@ -103,6 +123,11 @@ fn parse_options(args: &[String]) -> Result<Parsed, String> {
     let mut trace_slow_ms = None;
     let mut trace_log = None;
     let mut no_trace = false;
+    let mut window = 32;
+    let mut windows = 60;
+    let mut label_every = 1;
+    let mut interval_ms = 1000;
+    let mut iterations = 1;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -176,6 +201,42 @@ fn parse_options(args: &[String]) -> Result<Parsed, String> {
                 trace_log = Some(it.next().ok_or("--trace-log needs a file path")?.clone());
             }
             "--no-trace" => no_trace = true,
+            "--window" => {
+                let value = it.next().ok_or("--window needs a value")?;
+                window = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--window: {value:?} is not a positive count"))?;
+            }
+            "--windows" => {
+                let value = it.next().ok_or("--windows needs a value")?;
+                windows = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--windows: {value:?} is not a positive count"))?;
+            }
+            "--label-every" => {
+                let value = it.next().ok_or("--label-every needs a value")?;
+                label_every = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--label-every: {value:?} is not a positive count"))?;
+            }
+            "--interval-ms" => {
+                let value = it.next().ok_or("--interval-ms needs a value")?;
+                interval_ms = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("--interval-ms: {value:?} is not a millisecond count"))?;
+            }
+            "--iterations" => {
+                let value = it.next().ok_or("--iterations needs a value")?;
+                iterations = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("--iterations: {value:?} is not a count"))?;
+            }
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => positional.push(other.to_string()),
         }
@@ -195,6 +256,11 @@ fn parse_options(args: &[String]) -> Result<Parsed, String> {
         trace_slow_ms,
         trace_log,
         no_trace,
+        window,
+        windows,
+        label_every,
+        interval_ms,
+        iterations,
         positional,
     })
 }
@@ -233,6 +299,8 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "matrix" => cmd_matrix(options),
         "serve" => cmd_serve(&options),
         "query" => cmd_query(&options),
+        "stream" => cmd_stream(&options),
+        "monitor" => cmd_monitor(&options),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -527,6 +595,91 @@ fn cmd_query(options: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_stream(options: &Parsed) -> Result<(), String> {
+    let id = options
+        .positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "cli-stream".to_string());
+    let app = options.app.clone().unwrap_or_else(|| "dgemm:8000".into());
+    let platform = options.platform.micro_arch.to_string().to_ascii_lowercase();
+    let mut client = Client::connect(options.addr.as_str())
+        .map_err(|e| format!("cannot reach server at {}: {e}", options.addr))?;
+    let capacity = client
+        .stream_open(&id, &app, &platform, options.window)
+        .map_err(|e| e.to_string())?;
+    println!("stream {id} open on {platform} (ring capacity {capacity} windows)");
+    let mut labelled = 0usize;
+    for i in 0..options.windows {
+        let window = i as u64;
+        let (counts, joules) = pmca_stream::synthetic_window(1, window);
+        let label = (i + 1) % options.label_every == 0;
+        labelled += usize::from(label);
+        client
+            .stream_push(&id, window, counts, label.then_some(joules))
+            .map_err(|e| e.to_string())?;
+    }
+    let status = client.stream_poll(&id).map_err(|e| e.to_string())?;
+    println!(
+        "pushed {} windows ({labelled} labelled); estimate from {} v{} ({} rows):",
+        options.windows, status.family, status.version, status.rows
+    );
+    let mut t = TextTable::new(
+        String::new(),
+        &["retained", "energy (J/window)", "±95% PI", "power (W)"],
+    );
+    t.row(vec![
+        format!("{}/{}", status.retained, status.capacity),
+        format!("{:.2}", status.joules),
+        format!("{:.2}", status.ci95),
+        format!("{:.2}", status.watts),
+    ]);
+    print!("{}", t.render());
+    let accepted = client.stream_close(&id).map_err(|e| e.to_string())?;
+    println!("stream {id} closed after {accepted} accepted windows");
+    Ok(())
+}
+
+fn cmd_monitor(options: &Parsed) -> Result<(), String> {
+    let mut client = Client::connect(options.addr.as_str())
+        .map_err(|e| format!("cannot reach server at {}: {e}", options.addr))?;
+    let mut round = 0usize;
+    loop {
+        round += 1;
+        let statuses = client.stream_list().map_err(|e| e.to_string())?;
+        let mut t = TextTable::new(
+            format!("{} open stream(s)", statuses.len()),
+            &[
+                "stream",
+                "app",
+                "platform",
+                "windows",
+                "power (W)",
+                "±95% PI",
+                "model",
+                "idle (ms)",
+            ],
+        );
+        for s in &statuses {
+            t.row(vec![
+                s.stream.clone(),
+                s.app.clone(),
+                s.platform.clone(),
+                format!("{}/{}", s.retained, s.capacity),
+                format!("{:.2}", s.watts),
+                format!("{:.2}", s.ci95),
+                format!("{} v{}", s.family, s.version),
+                s.idle_ms.to_string(),
+            ]);
+        }
+        print!("{}", t.render());
+        if options.iterations != 0 && round >= options.iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(options.interval_ms));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -652,6 +805,45 @@ mod tests {
             "dgemm:9000"
         ]))
         .is_ok());
+    }
+
+    #[test]
+    fn stream_and_monitor_round_trip_against_a_live_server() {
+        let service = Arc::new(
+            ServiceConfig::default()
+                .workers(1)
+                .cache_capacity(8)
+                .seed(1)
+                .build()
+                .unwrap(),
+        );
+        let server = Server::start(service, "127.0.0.1:0").unwrap();
+        let addr = server.addr().to_string();
+        assert!(dispatch(&argv(&[
+            "stream",
+            "--addr",
+            &addr,
+            "--windows",
+            "12",
+            "--window",
+            "8",
+            "--label-every",
+            "2",
+            "cli-test-stream"
+        ]))
+        .is_ok());
+        // The driven stream closed itself; monitor still renders the
+        // (now empty) table once.
+        assert!(dispatch(&argv(&["monitor", "--addr", &addr, "--iterations", "1"])).is_ok());
+        assert!(dispatch(&argv(&["stream", "--addr", "127.0.0.1:1"]))
+            .unwrap_err()
+            .contains("cannot reach server"));
+        assert!(dispatch(&argv(&["stream", "--windows", "0"]))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(dispatch(&argv(&["monitor", "--interval-ms", "soon"]))
+            .unwrap_err()
+            .contains("millisecond"));
     }
 
     #[test]

@@ -91,6 +91,11 @@ where
     // exact size instead of growing per-row.
     let n = x.len();
     let fold_ids: Vec<usize> = (0..k).collect();
+    // A fold job is dominated by cloning the train/test split plus one
+    // fit — sub-millisecond for the paper-sized problems this runs on —
+    // so a handful of folds lose more to scope spawn than they gain.
+    // Only fan out when the fold count can amortize the overhead.
+    let pool = pool.with_min_items(16);
     let folds = pool.par_map(&fold_ids, |&fold| {
         let test_len = n.saturating_sub(fold).div_ceil(k);
         let mut train_x = Vec::with_capacity(n - test_len);

@@ -44,6 +44,7 @@ pub mod linreg;
 pub mod metrics;
 pub mod model;
 pub mod nn;
+pub mod rls;
 pub mod tree;
 
 pub use compiled::CompiledModel;
@@ -55,3 +56,4 @@ pub use linreg::LinearRegression;
 pub use metrics::PredictionErrors;
 pub use model::{ModelError, Regressor};
 pub use nn::NeuralNet;
+pub use rls::RecursiveLeastSquares;

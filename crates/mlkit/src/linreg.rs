@@ -183,70 +183,100 @@ impl LinearRegression {
         let mut g = vec![vec![0.0; width]; width];
         let mut b = vec![0.0; width];
         for (row, &t) in x.iter().zip(y) {
-            for i in 0..width {
-                b[i] += row[i] * t;
-                for j in i..width {
-                    g[i][j] += row[i] * row[j];
-                }
-            }
+            accumulate_normal_equations(&mut g, &mut b, row, t);
         }
-        for i in 1..width {
-            let (upper, lower) = g.split_at_mut(i);
-            for (j, upper_row) in upper.iter().enumerate() {
-                lower[0][j] = upper_row[i];
-            }
-        }
-        // Per-feature ridge scaled to each feature's own Gram diagonal —
-        // equivalent to penalising *standardised* coefficients, as R's
-        // penalised-regression packages do by default. A uniform penalty
-        // would silently exclude small-magnitude PMCs (icache misses count
-        // in the 1e7 range, uops in the 1e12 range).
-        for (i, row) in g.iter_mut().enumerate() {
-            let multiplier = self
-                .feature_penalties
-                .as_ref()
-                .and_then(|m| m.get(i).copied())
-                .unwrap_or(1.0);
-            row[i] *= 1.0 + self.l2 * multiplier;
-            if row[i] <= 0.0 {
-                row[i] = f64::MIN_POSITIVE;
-            }
-        }
-
-        // Projected cyclic coordinate descent.
-        let mut beta = vec![0.0; width];
-        const MAX_SWEEPS: usize = 10_000;
-        const TOL: f64 = 1e-12;
-        for _ in 0..MAX_SWEEPS {
-            let mut max_delta = 0.0_f64;
-            for j in 0..width {
-                let gjj = g[j][j];
-                if gjj <= 0.0 {
-                    continue; // all-zero feature column
-                }
-                let mut resid = b[j];
-                for k in 0..width {
-                    if k != j {
-                        resid -= g[j][k] * beta[k];
-                    }
-                }
-                let new = (resid / gjj).max(0.0);
-                let delta = (new - beta[j]).abs();
-                let scale = beta[j].abs().max(new.abs()).max(1e-300);
-                max_delta = max_delta.max(delta / scale);
-                beta[j] = new;
-            }
-            if max_delta < TOL {
-                self.coefficients = beta;
-                self.intercept = 0.0;
-                return Ok(());
-            }
-        }
-        // Coordinate descent always produces a usable iterate; accept it.
-        self.coefficients = beta;
+        self.coefficients = solve_nonnegative(g, &b, self.l2, self.feature_penalties.as_deref());
         self.intercept = 0.0;
         Ok(())
     }
+}
+
+/// Fold one observation into upper-triangular normal equations:
+/// `b[i] += row[i]·t`, `g[i][j] += row[i]·row[j]` for `j ≥ i`.
+///
+/// This is the shared accumulation step of the batch fit and the
+/// recursive-least-squares updater in [`crate::rls`]: both add rows in
+/// the same per-row floating-point order, which is what makes N
+/// recursive updates agree with one batch fit over the same rows to the
+/// last bit rather than merely to rounding tolerance.
+pub(crate) fn accumulate_normal_equations(
+    g: &mut [Vec<f64>],
+    b: &mut [f64],
+    row: &[f64],
+    target: f64,
+) {
+    let width = b.len();
+    for i in 0..width {
+        b[i] += row[i] * target;
+        for j in i..width {
+            g[i][j] += row[i] * row[j];
+        }
+    }
+}
+
+/// Solve the ridge-penalised non-negative normal equations
+/// `(XᵀX + Λ)β = Xᵀy` by projected cyclic coordinate descent.
+///
+/// `g` is the Gram matrix with only the upper triangle filled (as
+/// [`accumulate_normal_equations`] builds it); the lower triangle is
+/// mirrored here before the ridge is applied.
+pub(crate) fn solve_nonnegative(
+    mut g: Vec<Vec<f64>>,
+    b: &[f64],
+    l2: f64,
+    feature_penalties: Option<&[f64]>,
+) -> Vec<f64> {
+    let width = b.len();
+    for i in 1..width {
+        let (upper, lower) = g.split_at_mut(i);
+        for (j, upper_row) in upper.iter().enumerate() {
+            lower[0][j] = upper_row[i];
+        }
+    }
+    // Per-feature ridge scaled to each feature's own Gram diagonal —
+    // equivalent to penalising *standardised* coefficients, as R's
+    // penalised-regression packages do by default. A uniform penalty
+    // would silently exclude small-magnitude PMCs (icache misses count
+    // in the 1e7 range, uops in the 1e12 range).
+    for (i, row) in g.iter_mut().enumerate() {
+        let multiplier = feature_penalties
+            .and_then(|m| m.get(i).copied())
+            .unwrap_or(1.0);
+        row[i] *= 1.0 + l2 * multiplier;
+        if row[i] <= 0.0 {
+            row[i] = f64::MIN_POSITIVE;
+        }
+    }
+
+    // Projected cyclic coordinate descent.
+    let mut beta = vec![0.0; width];
+    const MAX_SWEEPS: usize = 10_000;
+    const TOL: f64 = 1e-12;
+    for _ in 0..MAX_SWEEPS {
+        let mut max_delta = 0.0_f64;
+        for j in 0..width {
+            let gjj = g[j][j];
+            if gjj <= 0.0 {
+                continue; // all-zero feature column
+            }
+            let mut resid = b[j];
+            for k in 0..width {
+                if k != j {
+                    resid -= g[j][k] * beta[k];
+                }
+            }
+            let new = (resid / gjj).max(0.0);
+            let delta = (new - beta[j]).abs();
+            let scale = beta[j].abs().max(new.abs()).max(1e-300);
+            max_delta = max_delta.max(delta / scale);
+            beta[j] = new;
+        }
+        if max_delta < TOL {
+            return beta;
+        }
+    }
+    // Coordinate descent always produces a usable iterate; accept it.
+    beta
 }
 
 impl Regressor for LinearRegression {

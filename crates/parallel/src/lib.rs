@@ -282,9 +282,19 @@ impl<'pool, 'env> Scope<'pool, 'env> {
 /// scope closes. With `threads == 1`, `par_map` short-circuits to a
 /// plain serial loop on the caller's thread — the `--jobs 1` path never
 /// touches a lock.
+///
+/// Spawning a scope costs a few tens of microseconds (OS threads plus
+/// per-item result slots), so fan-outs whose *total* work is comparable
+/// to that overhead run slower in parallel. Stages with many tiny tasks
+/// set a serial-fallback threshold via [`ThreadPool::with_min_items`]:
+/// below it, `par_map` runs the plain serial loop — which is
+/// bit-identical by construction, so the determinism guarantee is
+/// unaffected.
 #[derive(Debug, Clone, Copy)]
 pub struct ThreadPool {
     threads: usize,
+    /// `par_map` fan-outs with fewer items than this run serially.
+    min_items: usize,
 }
 
 impl ThreadPool {
@@ -292,6 +302,7 @@ impl ThreadPool {
     pub fn new(threads: usize) -> Self {
         ThreadPool {
             threads: threads.max(1),
+            min_items: 2,
         }
     }
 
@@ -301,9 +312,30 @@ impl ThreadPool {
         ThreadPool::new(global_jobs())
     }
 
+    /// The same pool with a per-stage serial-fallback threshold:
+    /// [`ThreadPool::par_map`] calls with fewer than `min_items` items
+    /// skip the scope spawn and run the serial loop on the caller's
+    /// thread. Clamped to ≥ 2 (a 0- or 1-item map is always serial).
+    ///
+    /// The threshold is a property of the *call site*, not the process:
+    /// stages whose per-item work is microseconds (e.g. small simulator
+    /// sweeps) pick a high threshold, stages doing millisecond-scale fits
+    /// keep the default of 2.
+    pub fn with_min_items(&self, min_items: usize) -> Self {
+        ThreadPool {
+            threads: self.threads,
+            min_items: min_items.max(2),
+        }
+    }
+
     /// The number of worker threads a scope will use.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The serial-fallback threshold (see [`ThreadPool::with_min_items`]).
+    pub fn min_items(&self) -> usize {
+        self.min_items
     }
 
     /// Run `f` with a [`Scope`] on which tasks can be spawned; returns
@@ -365,7 +397,7 @@ impl ThreadPool {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
-        if self.threads == 1 || items.len() <= 1 {
+        if self.threads == 1 || items.len() < self.min_items {
             return items
                 .iter()
                 .enumerate()
@@ -510,6 +542,31 @@ mod tests {
         // explicit value keeps the invariant.
         set_global_jobs(0);
         assert_eq!(global_jobs(), 1);
+    }
+
+    #[test]
+    fn min_items_threshold_falls_back_to_caller_thread() {
+        let pool = ThreadPool::new(4).with_min_items(64);
+        assert_eq!(pool.min_items(), 64);
+        assert_eq!(pool.threads(), 4);
+        let caller = std::thread::current().id();
+        // 63 items < threshold: serial on the caller's thread.
+        let small: Vec<usize> = (0..63).collect();
+        let ids = pool.par_map(&small, |_| std::thread::current().id());
+        assert!(ids.iter().all(|id| *id == caller));
+        // Results are identical either side of the threshold.
+        let big: Vec<u64> = (0..64).collect();
+        let parallel = pool.par_map(&big, |&x| split_seed(9, x));
+        let serial: Vec<u64> = big.iter().map(|&x| split_seed(9, x)).collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn min_items_clamps_to_two() {
+        let pool = ThreadPool::new(2).with_min_items(0);
+        assert_eq!(pool.min_items(), 2);
+        let got = pool.par_map(&[1u64, 2, 3], |x| x * 10);
+        assert_eq!(got, vec![10, 20, 30]);
     }
 
     #[test]

@@ -6,7 +6,11 @@
 //! and the loadgen bench binary.
 
 use crate::engine::Estimate;
-use crate::protocol::{parse_estimate_reply, parse_ok_fields, ProtocolError, Request, TraceScope};
+use crate::protocol::{
+    parse_estimate_reply, parse_ok_fields, parse_stream_status, ProtocolError, Request, TraceScope,
+    STREAM_PUSH_COUNTS,
+};
+use pmca_stream::StreamStatus;
 use std::error::Error;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
@@ -249,6 +253,118 @@ impl Client {
             .into_iter()
             .map(|(k, v)| (k.to_string(), v.to_string()))
             .collect())
+    }
+
+    /// Open a telemetry stream; returns the server's clamped sliding-ring
+    /// capacity in windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Protocol`] with the server's message on an
+    /// `ERR` reply.
+    pub fn stream_open(
+        &mut self,
+        id: &str,
+        app: &str,
+        platform: &str,
+        window: usize,
+    ) -> Result<usize, ClientError> {
+        let request = Request::StreamOpen {
+            id: id.to_string(),
+            app: app.to_string(),
+            platform: platform.to_string(),
+            window,
+        };
+        let reply = self.send_line(&request.to_line())?;
+        let fields = parse_ok_fields(&reply)?;
+        fields
+            .iter()
+            .find(|(k, _)| *k == "capacity")
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or_else(|| {
+                ClientError::Protocol(ProtocolError::MalformedReply(format!(
+                    "malformed STREAM OPEN reply {reply:?}"
+                )))
+            })
+    }
+
+    /// Push one window of PMC counts into an open stream; `joules`
+    /// labels the window with a measured energy. Returns whether the
+    /// window was accepted (`false` for duplicates and too-old windows).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Protocol`] with the server's message on an
+    /// `ERR` reply.
+    pub fn stream_push(
+        &mut self,
+        id: &str,
+        window: u64,
+        counts: [f64; STREAM_PUSH_COUNTS],
+        joules: Option<f64>,
+    ) -> Result<bool, ClientError> {
+        let request = Request::StreamPush {
+            id: id.to_string(),
+            window,
+            counts,
+            joules,
+        };
+        let reply = self.send_line(&request.to_line())?;
+        let fields = parse_ok_fields(&reply)?;
+        fields
+            .iter()
+            .find(|(k, _)| *k == "accepted")
+            .map(|(_, v)| *v == "1")
+            .ok_or_else(|| {
+                ClientError::Protocol(ProtocolError::MalformedReply(format!(
+                    "malformed STREAM PUSH reply {reply:?}"
+                )))
+            })
+    }
+
+    /// Current status and energy estimate for an open stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Protocol`] with the server's message on an
+    /// `ERR` reply.
+    pub fn stream_poll(&mut self, id: &str) -> Result<StreamStatus, ClientError> {
+        let request = Request::StreamPoll { id: id.to_string() };
+        let reply = self.send_line(&request.to_line())?;
+        Ok(parse_stream_status(&reply)?)
+    }
+
+    /// Close a stream; returns the windows it accepted over its life.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Protocol`] with the server's message on an
+    /// `ERR` reply.
+    pub fn stream_close(&mut self, id: &str) -> Result<u64, ClientError> {
+        let request = Request::StreamClose { id: id.to_string() };
+        let reply = self.send_line(&request.to_line())?;
+        let fields = parse_ok_fields(&reply)?;
+        fields
+            .iter()
+            .find(|(k, _)| *k == "accepted")
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or_else(|| {
+                ClientError::Protocol(ProtocolError::MalformedReply(format!(
+                    "malformed STREAM CLOSE reply {reply:?}"
+                )))
+            })
+    }
+
+    /// Status rows for every open stream, sorted by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Protocol`] on a malformed listing.
+    pub fn stream_list(&mut self) -> Result<Vec<StreamStatus>, ClientError> {
+        let rows = self.counted_listing(Request::StreamList, "STREAM LIST")?;
+        rows.iter()
+            .map(|row| parse_stream_status(row).map_err(ClientError::from))
+            .collect()
     }
 
     /// Politely close the connection.

@@ -16,8 +16,16 @@
 //!   platforms (training, counter-level and app-level estimation);
 //! - [`protocol`] / [`server`] / [`client`] — a line protocol over
 //!   `std::net::TcpListener` (`ESTIMATE`, `ESTIMATE-APP`, `TRAIN`,
-//!   `MODELS`, `STATS`, `METRICS`, `TRACE`, `QUIT`) plus a blocking
-//!   client.
+//!   `MODELS`, `STATS`, `METRICS`, `TRACE`, the `STREAM` family, `QUIT`)
+//!   plus a blocking client;
+//! - streaming ingestion from the sibling `pmca-stream` crate — clients
+//!   `STREAM OPEN` a telemetry stream, `STREAM PUSH` one-second windows
+//!   of PMC counts (optionally labelled with measured joules), and
+//!   `STREAM POLL` live energy/power estimates with 95 % prediction
+//!   intervals; labelled windows refit the online linear model via
+//!   recursive least squares, and periodic heavy refits retrain the
+//!   forest/neural families off the hot path, swapping them into the
+//!   versioned registry atomically.
 //!
 //! Everything is `std`-only — threads and channels, no external runtime.
 //! Observability comes from the sibling `pmca-obs` crate: aggregate
@@ -71,7 +79,8 @@ pub use cache::{RunCache, RunKey};
 pub use client::{Client, ClientError};
 pub use engine::{EngineError, Estimate, InferenceEngine};
 pub use pmca_obs::Trace;
-pub use protocol::{ProtocolError, Request, RequestRef, TraceScope};
+pub use pmca_stream::{ModelSnapshot, PushReply, StreamHub, StreamHubConfig, StreamStatus};
+pub use protocol::{ProtocolError, Request, RequestRef, TraceScope, STREAM_PUSH_COUNTS};
 pub use registry::{ModelKey, Registry, RegistryError, StoredModel};
 pub use server::Server;
 pub use service::{

@@ -6,6 +6,11 @@
 //! ESTIMATE <platform> <pmc>=<count> [<pmc>=<count> ...]
 //! ESTIMATE-APP <platform> <appspec>
 //! TRAIN <platform> <pmc,pmc,...> <appspec,appspec,...>
+//! STREAM OPEN <id> <app> <platform> <window>
+//! STREAM PUSH <id> <window-id> <c1> <c2> <c3> <c4> [<joules>]
+//! STREAM POLL <id>
+//! STREAM CLOSE <id>
+//! STREAM LIST
 //! MODELS
 //! STATS
 //! METRICS
@@ -13,8 +18,18 @@
 //! QUIT
 //! ```
 //!
+//! The `STREAM` family is the streaming-ingestion surface: `OPEN`
+//! registers a stream whose sliding ring holds `<window>` one-second
+//! telemetry windows, `PUSH` delivers one window's counts for the
+//! deployable 4-PMC set (plus the measured joules when the producer is
+//! metered — that is what drives online model updates), `POLL` reads the
+//! stream's current energy/power estimates, and `CLOSE`/`LIST` manage
+//! lifecycle. `PUSH` and `POLL` are hot commands: like the estimates,
+//! they parse without copying the request line.
+//!
 //! Replies are single lines — `OK key=value ...` or `ERR <message>` —
-//! except `MODELS`, `METRICS`, and `TRACE`, which answer `OK count=<n>`
+//! except `MODELS`, `METRICS`, `TRACE`, and `STREAM LIST`, which answer
+//! `OK count=<n>`
 //! followed by `n` listing lines (the client knows how many to read).
 //! `METRICS` lines are Prometheus-style exposition
 //! (`name{label="v"} value`; see `pmca_obs`). `TRACE` lines are JSONL —
@@ -25,8 +40,13 @@
 
 use crate::engine::Estimate;
 use crate::service::ServiceStats;
+use pmca_stream::{PushOutcome, PushReply, StreamStatus};
 use std::error::Error;
 use std::fmt;
+
+/// PMC counts carried by one `STREAM PUSH` — fixed at the paper's
+/// deployable 4-PMC set so the hot parse never allocates.
+pub const STREAM_PUSH_COUNTS: usize = 4;
 
 /// Why a request or reply line did not parse, or what the server said
 /// went wrong. This is the protocol layer's typed error: every `ERR`
@@ -99,6 +119,41 @@ pub enum Request {
         /// Training workload specs, comma-separated on the wire.
         apps: Vec<String>,
     },
+    /// Open a telemetry stream.
+    StreamOpen {
+        /// Stream id (one whitespace-free token).
+        id: String,
+        /// Application tag the producer reports.
+        app: String,
+        /// Platform the counts come from.
+        platform: String,
+        /// Sliding-ring capacity in windows.
+        window: usize,
+    },
+    /// Push one telemetry window into a stream.
+    StreamPush {
+        /// Stream id.
+        id: String,
+        /// Producer-assigned window id.
+        window: u64,
+        /// PMC counts in the stream's feature order.
+        counts: [f64; STREAM_PUSH_COUNTS],
+        /// Measured dynamic energy of the window, when the producer is
+        /// metered.
+        joules: Option<f64>,
+    },
+    /// Read a stream's current estimates.
+    StreamPoll {
+        /// Stream id.
+        id: String,
+    },
+    /// Close a stream.
+    StreamClose {
+        /// Stream id.
+        id: String,
+    },
+    /// List open streams.
+    StreamList,
     /// List registered models.
     Models,
     /// Report service counters.
@@ -160,6 +215,22 @@ pub enum RequestRef<'a> {
         /// Workload spec.
         app: &'a str,
     },
+    /// Push one telemetry window, id borrowed from the line.
+    StreamPush {
+        /// Stream id.
+        id: &'a str,
+        /// Producer-assigned window id.
+        window: u64,
+        /// PMC counts in the stream's feature order.
+        counts: [f64; STREAM_PUSH_COUNTS],
+        /// Measured dynamic energy of the window, when present.
+        joules: Option<f64>,
+    },
+    /// Read a stream's current estimates, id borrowed from the line.
+    StreamPoll {
+        /// Stream id.
+        id: &'a str,
+    },
     /// Any other (cold) command, parsed to its owned form.
     Owned(Request),
 }
@@ -206,6 +277,61 @@ impl<'a> RequestRef<'a> {
                 )),
             };
         }
+        if command.eq_ignore_ascii_case("STREAM") {
+            let sub = words.next().ok_or_else(|| {
+                ProtocolError::bad("STREAM", "usage: STREAM OPEN|PUSH|POLL|CLOSE|LIST ...")
+            })?;
+            if sub.eq_ignore_ascii_case("PUSH") {
+                let id = words
+                    .next()
+                    .ok_or_else(|| ProtocolError::bad("STREAM PUSH", "needs a stream id"))?;
+                let window = words
+                    .next()
+                    .and_then(|w| w.parse::<u64>().ok())
+                    .ok_or_else(|| {
+                        ProtocolError::bad("STREAM PUSH", "needs a numeric window id")
+                    })?;
+                let mut counts = [0.0_f64; STREAM_PUSH_COUNTS];
+                for slot in &mut counts {
+                    let word = words.next().ok_or_else(|| {
+                        ProtocolError::bad(
+                            "STREAM PUSH",
+                            format!("needs {STREAM_PUSH_COUNTS} PMC counts"),
+                        )
+                    })?;
+                    *slot = word.parse::<f64>().map_err(|_| {
+                        ProtocolError::bad("STREAM PUSH", format!("bad count {word:?}"))
+                    })?;
+                }
+                let joules = match words.next() {
+                    Some(word) => Some(word.parse::<f64>().map_err(|_| {
+                        ProtocolError::bad("STREAM PUSH", format!("bad joules {word:?}"))
+                    })?),
+                    None => None,
+                };
+                if words.next().is_some() {
+                    return Err(ProtocolError::bad(
+                        "STREAM PUSH",
+                        "usage: STREAM PUSH <id> <window-id> <c1> <c2> <c3> <c4> [<joules>]",
+                    ));
+                }
+                return Ok(RequestRef::StreamPush {
+                    id,
+                    window,
+                    counts,
+                    joules,
+                });
+            }
+            if sub.eq_ignore_ascii_case("POLL") {
+                return match (words.next(), words.next()) {
+                    (Some(id), None) => Ok(RequestRef::StreamPoll { id }),
+                    _ => Err(ProtocolError::bad("STREAM POLL", "usage: STREAM POLL <id>")),
+                };
+            }
+            let mut rest = vec![sub];
+            rest.extend(words);
+            return parse_cold(command, &rest).map(RequestRef::Owned);
+        }
         parse_cold(command, &words.collect::<Vec<&str>>()).map(RequestRef::Owned)
     }
 
@@ -223,6 +349,18 @@ impl<'a> RequestRef<'a> {
                 platform: platform.to_string(),
                 app: app.to_string(),
             },
+            RequestRef::StreamPush {
+                id,
+                window,
+                counts,
+                joules,
+            } => Request::StreamPush {
+                id: id.to_string(),
+                window,
+                counts,
+                joules,
+            },
+            RequestRef::StreamPoll { id } => Request::StreamPoll { id: id.to_string() },
             RequestRef::Owned(request) => request,
         }
     }
@@ -233,6 +371,8 @@ impl<'a> RequestRef<'a> {
         match self {
             RequestRef::Estimate { .. } => "estimate",
             RequestRef::EstimateApp { .. } => "estimate-app",
+            RequestRef::StreamPush { .. } => "stream-push",
+            RequestRef::StreamPoll { .. } => "stream-poll",
             RequestRef::Owned(request) => request.command_label(),
         }
     }
@@ -255,6 +395,7 @@ fn parse_cold(command: &str, rest: &[&str]) -> Result<Request, ProtocolError> {
                 "usage: TRAIN <platform> <pmc,pmc,...> <appspec,appspec,...>",
             )),
         },
+        "STREAM" => parse_stream_cold(rest),
         "MODELS" if rest.is_empty() => Ok(Request::Models),
         "STATS" if rest.is_empty() => Ok(Request::Stats),
         "METRICS" if rest.is_empty() => Ok(Request::Metrics),
@@ -293,6 +434,32 @@ impl Request {
             } => {
                 format!("TRAIN {platform} {} {}", pmcs.join(","), apps.join(","))
             }
+            Request::StreamOpen {
+                id,
+                app,
+                platform,
+                window,
+            } => format!("STREAM OPEN {id} {app} {platform} {window}"),
+            Request::StreamPush {
+                id,
+                window,
+                counts,
+                joules,
+            } => {
+                let mut line = format!("STREAM PUSH {id} {window}");
+                for count in counts {
+                    line.push(' ');
+                    line.push_str(&count.to_string());
+                }
+                if let Some(joules) = joules {
+                    line.push(' ');
+                    line.push_str(&joules.to_string());
+                }
+                line
+            }
+            Request::StreamPoll { id } => format!("STREAM POLL {id}"),
+            Request::StreamClose { id } => format!("STREAM CLOSE {id}"),
+            Request::StreamList => "STREAM LIST".to_string(),
             Request::Models => "MODELS".to_string(),
             Request::Stats => "STATS".to_string(),
             Request::Metrics => "METRICS".to_string(),
@@ -311,12 +478,67 @@ impl Request {
             Request::Estimate { .. } => "estimate",
             Request::EstimateApp { .. } => "estimate-app",
             Request::Train { .. } => "train",
+            Request::StreamOpen { .. } => "stream-open",
+            Request::StreamPush { .. } => "stream-push",
+            Request::StreamPoll { .. } => "stream-poll",
+            Request::StreamClose { .. } => "stream-close",
+            Request::StreamList => "stream-list",
             Request::Models => "models",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
             Request::Trace { .. } => "trace",
             Request::Quit => "quit",
         }
+    }
+}
+
+/// Parse the cold `STREAM` subcommands (`OPEN`, `CLOSE`, `LIST`). The
+/// hot `PUSH`/`POLL` subcommands never reach here — [`RequestRef::parse`]
+/// handles them in place.
+fn parse_stream_cold(rest: &[&str]) -> Result<Request, ProtocolError> {
+    let Some((sub, args)) = rest.split_first() else {
+        return Err(ProtocolError::bad(
+            "STREAM",
+            "usage: STREAM OPEN|PUSH|POLL|CLOSE|LIST ...",
+        ));
+    };
+    match sub.to_ascii_uppercase().as_str() {
+        "OPEN" => match args {
+            [id, app, platform, window] => {
+                let window = window
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&w| w > 0)
+                    .ok_or_else(|| {
+                        ProtocolError::bad("STREAM OPEN", format!("bad window capacity {window:?}"))
+                    })?;
+                Ok(Request::StreamOpen {
+                    id: (*id).to_string(),
+                    app: (*app).to_string(),
+                    platform: (*platform).to_string(),
+                    window,
+                })
+            }
+            _ => Err(ProtocolError::bad(
+                "STREAM OPEN",
+                "usage: STREAM OPEN <id> <app> <platform> <window>",
+            )),
+        },
+        "CLOSE" => match args {
+            [id] => Ok(Request::StreamClose {
+                id: (*id).to_string(),
+            }),
+            _ => Err(ProtocolError::bad(
+                "STREAM CLOSE",
+                "usage: STREAM CLOSE <id>",
+            )),
+        },
+        "LIST" if args.is_empty() => Ok(Request::StreamList),
+        "LIST" => Err(ProtocolError::bad("STREAM LIST", "takes no arguments")),
+        other => Err(ProtocolError::bad(
+            "STREAM",
+            format!("unknown subcommand {other:?}"),
+        )),
     }
 }
 
@@ -398,7 +620,7 @@ pub fn ok_estimate_into(estimate: &Estimate, out: &mut String) {
 pub fn ok_stats(stats: &ServiceStats) -> String {
     format!(
         "OK served={} errors={} cache-hits={} cache-misses={} cache-evictions={} \
-         cache-entries={} models={} workers={}",
+         cache-entries={} models={} workers={} streams={} stream-refits={}",
         stats.served,
         stats.errors,
         stats.cache_hits,
@@ -406,8 +628,119 @@ pub fn ok_stats(stats: &ServiceStats) -> String {
         stats.cache_evictions,
         stats.cache_entries,
         stats.models,
-        stats.workers
+        stats.workers,
+        stats.streams,
+        stats.stream_refits
     )
+}
+
+/// Append a `STREAM PUSH` reply to `out` — hot like
+/// [`ok_estimate_into`], reusing the connection's reply buffer.
+/// `window` is the pushed window id (the reply echoes it so a pipelined
+/// producer can match replies to pushes).
+pub fn ok_stream_push_into(reply: &PushReply, window: u64, out: &mut String) {
+    use std::fmt::Write;
+
+    match reply.outcome {
+        PushOutcome::Accepted { lag } => {
+            let _ = write!(
+                out,
+                "OK window={window} accepted=1 lag={lag} retained={} highest={}",
+                reply.retained, reply.highest
+            );
+        }
+        PushOutcome::Duplicate => {
+            let _ = write!(
+                out,
+                "OK window={window} accepted=0 reason=duplicate retained={} highest={}",
+                reply.retained, reply.highest
+            );
+        }
+        PushOutcome::TooOld => {
+            let _ = write!(
+                out,
+                "OK window={window} accepted=0 reason=late retained={} highest={}",
+                reply.retained, reply.highest
+            );
+        }
+    }
+}
+
+/// `OK` reply for `STREAM POLL`.
+pub fn ok_stream_status(status: &StreamStatus) -> String {
+    format!("OK {}", stream_status_fields(status))
+}
+
+/// The `key=value` fields of one stream's status — the body of a POLL
+/// reply and one row of a `STREAM LIST`.
+pub fn stream_status_fields(status: &StreamStatus) -> String {
+    format!(
+        "stream={} app={} platform={} capacity={} retained={} accepted={} duplicates={} \
+         late={} highest={} joules={} watts={} ci95={} family={} version={} rows={} idle-ms={}",
+        status.stream,
+        status.app,
+        status.platform,
+        status.capacity,
+        status.retained,
+        status.accepted,
+        status.duplicates,
+        status.late,
+        status.highest,
+        status.joules,
+        status.watts,
+        status.ci95,
+        status.family,
+        status.version,
+        status.rows,
+        status.idle_ms
+    )
+}
+
+/// Parse a stream-status reply (POLL reply or LIST row, with or without
+/// the leading `OK`) back into a [`StreamStatus`] (client side).
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::Server`] with the server's `ERR` message, or
+/// [`ProtocolError::MalformedReply`] for a reply that does not parse.
+pub fn parse_stream_status(line: &str) -> Result<StreamStatus, ProtocolError> {
+    let trimmed = line.trim();
+    let with_ok;
+    let fields = if trimmed.starts_with("OK") || trimmed.starts_with("ERR ") {
+        parse_ok_fields(trimmed)?
+    } else {
+        with_ok = format!("OK {trimmed}");
+        parse_ok_fields(&with_ok)?
+    };
+    let get = |key: &str| {
+        fields
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| ProtocolError::MalformedReply(format!("missing {key} in {line:?}")))
+    };
+    fn number<T: std::str::FromStr>(raw: &str, key: &str, line: &str) -> Result<T, ProtocolError> {
+        raw.parse()
+            .map_err(|_| ProtocolError::MalformedReply(format!("bad {key} in {line:?}")))
+    }
+    Ok(StreamStatus {
+        stream: get("stream")?.to_string(),
+        app: get("app")?.to_string(),
+        platform: get("platform")?.to_string(),
+        capacity: number(get("capacity")?, "capacity", line)?,
+        retained: number(get("retained")?, "retained", line)?,
+        accepted: number(get("accepted")?, "accepted", line)?,
+        duplicates: number(get("duplicates")?, "duplicates", line)?,
+        late: number(get("late")?, "late", line)?,
+        highest: number(get("highest")?, "highest", line)?,
+        joules: number(get("joules")?, "joules", line)?,
+        watts: number(get("watts")?, "watts", line)?,
+        ci95: number(get("ci95")?, "ci95", line)?,
+        family: get("family")?.to_string(),
+        version: number(get("version")?, "version", line)?,
+        rows: number(get("rows")?, "rows", line)?,
+        idle_ms: number(get("idle-ms")?, "idle-ms", line)?,
+    })
 }
 
 /// `ERR` reply. Newlines are flattened so the reply stays one line.
@@ -490,6 +823,31 @@ mod tests {
                 pmcs: vec!["A".to_string(), "B".to_string()],
                 apps: vec!["dgemm:9000".to_string(), "fft:23000".to_string()],
             },
+            Request::StreamOpen {
+                id: "node7".to_string(),
+                app: "dgemm:12000".to_string(),
+                platform: "skylake".to_string(),
+                window: 32,
+            },
+            Request::StreamPush {
+                id: "node7".to_string(),
+                window: 41,
+                counts: [1.25e11, 4.0e9, 7.5e9, 6.5e9],
+                joules: Some(118.25),
+            },
+            Request::StreamPush {
+                id: "node7".to_string(),
+                window: 42,
+                counts: [1.0, 2.0, 3.0, 4.0],
+                joules: None,
+            },
+            Request::StreamPoll {
+                id: "node7".to_string(),
+            },
+            Request::StreamClose {
+                id: "node7".to_string(),
+            },
+            Request::StreamList,
             Request::Models,
             Request::Stats,
             Request::Metrics,
@@ -580,6 +938,20 @@ mod tests {
             "STATS now",
             "METRICS now",
             "QUIT now",
+            "STREAM",
+            "STREAM OPEN s1 dgemm:9000 skylake",
+            "STREAM OPEN s1 dgemm:9000 skylake zero",
+            "STREAM OPEN s1 dgemm:9000 skylake 0",
+            "STREAM PUSH s1",
+            "STREAM PUSH s1 seven 1 2 3 4",
+            "STREAM PUSH s1 7 1 2 3",
+            "STREAM PUSH s1 7 1 2 3 nan?",
+            "STREAM PUSH s1 7 1 2 3 4 5 6",
+            "STREAM POLL",
+            "STREAM POLL s1 s2",
+            "STREAM CLOSE",
+            "STREAM LIST now",
+            "STREAM FROBNICATE",
         ] {
             assert!(
                 matches!(Request::parse(bad), Err(ProtocolError::BadRequest { .. })),
@@ -648,12 +1020,124 @@ mod tests {
             cache_entries: 2,
             models: 3,
             workers: 4,
+            streams: 12,
+            stream_refits: 2,
         };
         let reply = ok_stats(&stats);
         let fields = parse_ok_fields(&reply).unwrap();
-        assert_eq!(fields.len(), 8);
+        assert_eq!(fields.len(), 10);
         assert!(fields.contains(&("served", "10")));
         assert!(fields.contains(&("cache-hits", "5")));
         assert!(fields.contains(&("cache-evictions", "0")));
+        assert!(fields.contains(&("streams", "12")));
+        assert!(fields.contains(&("stream-refits", "2")));
+    }
+
+    #[test]
+    fn stream_push_and_poll_parse_hot_without_copying() {
+        match RequestRef::parse("stream push node7 41 1.5 2 3 4 118.25").unwrap() {
+            RequestRef::StreamPush {
+                id,
+                window,
+                counts,
+                joules,
+            } => {
+                assert_eq!(id, "node7");
+                assert_eq!(window, 41);
+                assert_eq!(counts, [1.5, 2.0, 3.0, 4.0]);
+                assert_eq!(joules, Some(118.25));
+            }
+            other => panic!("expected hot StreamPush, got {other:?}"),
+        }
+        match RequestRef::parse("STREAM POLL node7").unwrap() {
+            RequestRef::StreamPoll { id } => assert_eq!(id, "node7"),
+            other => panic!("expected hot StreamPoll, got {other:?}"),
+        }
+        // Cold subcommands still parse through the same entry point.
+        assert!(matches!(
+            RequestRef::parse("stream open s1 dgemm:9000 skylake 64").unwrap(),
+            RequestRef::Owned(Request::StreamOpen { .. })
+        ));
+        assert_eq!(
+            RequestRef::parse("STREAM PUSH s 1 1 2 3 4")
+                .unwrap()
+                .command_label(),
+            "stream-push"
+        );
+        assert_eq!(
+            RequestRef::parse("STREAM POLL s").unwrap().command_label(),
+            "stream-poll"
+        );
+    }
+
+    #[test]
+    fn stream_status_replies_round_trip() {
+        let status = StreamStatus {
+            stream: "node7".to_string(),
+            app: "dgemm:12000".to_string(),
+            platform: "skylake".to_string(),
+            capacity: 32,
+            retained: 17,
+            accepted: 40,
+            duplicates: 2,
+            late: 1,
+            highest: 41,
+            joules: 118.25617,
+            watts: 117.5,
+            ci95: 6.25,
+            family: "online".to_string(),
+            version: 9,
+            rows: 40,
+            idle_ms: 12,
+        };
+        // POLL reply (with OK) and LIST row (without) both parse back.
+        assert_eq!(
+            parse_stream_status(&ok_stream_status(&status)).unwrap(),
+            status
+        );
+        assert_eq!(
+            parse_stream_status(&stream_status_fields(&status)).unwrap(),
+            status
+        );
+        assert!(matches!(
+            parse_stream_status("ERR no open stream"),
+            Err(ProtocolError::Server(_))
+        ));
+        assert!(matches!(
+            parse_stream_status("OK stream=x app=y"),
+            Err(ProtocolError::MalformedReply(_))
+        ));
+    }
+
+    #[test]
+    fn stream_push_replies_echo_the_outcome() {
+        let accepted = PushReply {
+            outcome: PushOutcome::Accepted { lag: 3 },
+            retained: 8,
+            highest: 20,
+        };
+        let mut out = String::new();
+        ok_stream_push_into(&accepted, 17, &mut out);
+        assert_eq!(out, "OK window=17 accepted=1 lag=3 retained=8 highest=20");
+        let fields = parse_ok_fields(&out).unwrap();
+        assert!(fields.contains(&("accepted", "1")));
+
+        let duplicate = PushReply {
+            outcome: PushOutcome::Duplicate,
+            retained: 8,
+            highest: 20,
+        };
+        out.clear();
+        ok_stream_push_into(&duplicate, 17, &mut out);
+        assert!(out.contains("accepted=0 reason=duplicate"), "{out}");
+
+        let late = PushReply {
+            outcome: PushOutcome::TooOld,
+            retained: 8,
+            highest: 20,
+        };
+        out.clear();
+        ok_stream_push_into(&late, 2, &mut out);
+        assert!(out.contains("accepted=0 reason=late"), "{out}");
     }
 }

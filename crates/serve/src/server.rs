@@ -6,7 +6,10 @@
 //! port 0 picks an ephemeral port — [`Server::addr`] reports the bound
 //! address, which is how tests and the loadgen find the server.
 
-use crate::protocol::{err, ok_estimate, ok_estimate_into, ok_stats, Request, RequestRef};
+use crate::protocol::{
+    err, ok_estimate, ok_estimate_into, ok_stats, ok_stream_push_into, ok_stream_status,
+    stream_status_fields, Request, RequestRef,
+};
 use crate::service::{BatchRequestRef, EnergyService};
 use pmca_obs::{log, trace, Gauge, Histogram, Span};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
@@ -27,6 +30,11 @@ struct CommandMetrics {
     stats: Histogram,
     metrics: Histogram,
     trace: Histogram,
+    stream_open: Histogram,
+    stream_push: Histogram,
+    stream_poll: Histogram,
+    stream_close: Histogram,
+    stream_list: Histogram,
 }
 
 impl CommandMetrics {
@@ -43,6 +51,11 @@ impl CommandMetrics {
             stats: h("stats"),
             metrics: h("metrics"),
             trace: h("trace"),
+            stream_open: h("stream-open"),
+            stream_push: h("stream-push"),
+            stream_poll: h("stream-poll"),
+            stream_close: h("stream-close"),
+            stream_list: h("stream-list"),
         }
     }
 
@@ -56,6 +69,11 @@ impl CommandMetrics {
             "models" => &self.models,
             "metrics" => &self.metrics,
             "trace" => &self.trace,
+            "stream-open" => &self.stream_open,
+            "stream-push" => &self.stream_push,
+            "stream-poll" => &self.stream_poll,
+            "stream-close" => &self.stream_close,
+            "stream-list" => &self.stream_list,
             _ => &self.stats,
         }
     }
@@ -272,6 +290,34 @@ fn respond_batch(
             RequestRef::EstimateApp { platform, app } => {
                 pending.push(BatchRequestRef::App { platform, app });
             }
+            // Streaming hot path: answered inline from the hub without
+            // touching the inference engine, but still ordered after any
+            // pending estimates so interleaved clients see a consistent
+            // request order.
+            RequestRef::StreamPush {
+                id,
+                window,
+                counts,
+                joules,
+            } => {
+                flush_pending(service, metrics, &mut pending, out);
+                let _span = Span::enter(&metrics.stream_push);
+                match service.stream_push(id, window, &counts, joules) {
+                    Ok(reply) => {
+                        ok_stream_push_into(&reply, window, out);
+                        out.push('\n');
+                    }
+                    Err(e) => push_line(out, &err(&e.to_string())),
+                }
+            }
+            RequestRef::StreamPoll { id } => {
+                flush_pending(service, metrics, &mut pending, out);
+                let _span = Span::enter(&metrics.stream_poll);
+                match service.stream_poll(id) {
+                    Ok(status) => push_line(out, &ok_stream_status(&status)),
+                    Err(e) => push_line(out, &err(&e.to_string())),
+                }
+            }
             RequestRef::Owned(other) => {
                 flush_pending(service, metrics, &mut pending, out);
                 let (reply, quit) = respond(service, metrics, other);
@@ -381,6 +427,50 @@ fn respond(service: &EnergyService, metrics: &CommandMetrics, request: Request) 
             }
             reply
         }
+        Request::StreamOpen {
+            id,
+            app,
+            platform,
+            window,
+        } => match service.stream_open(&id, &app, &platform, window) {
+            Ok(capacity) => format!("OK stream={id} opened=1 capacity={capacity}"),
+            Err(e) => err(&e.to_string()),
+        },
+        Request::StreamPush {
+            id,
+            window,
+            counts,
+            joules,
+        } => match service.stream_push(&id, window, &counts, joules) {
+            Ok(reply) => {
+                let mut out = String::new();
+                ok_stream_push_into(&reply, window, &mut out);
+                out
+            }
+            Err(e) => err(&e.to_string()),
+        },
+        Request::StreamPoll { id } => match service.stream_poll(&id) {
+            Ok(status) => ok_stream_status(&status),
+            Err(e) => err(&e.to_string()),
+        },
+        Request::StreamClose { id } => match service.stream_close(&id) {
+            Ok(status) => format!(
+                "OK stream={id} closed=1 accepted={} retained={}",
+                status.accepted, status.retained
+            ),
+            Err(e) => err(&e.to_string()),
+        },
+        Request::StreamList => match service.stream_list() {
+            Ok(statuses) => {
+                let mut reply = format!("OK count={}", statuses.len());
+                for status in &statuses {
+                    reply.push('\n');
+                    reply.push_str(&stream_status_fields(status));
+                }
+                reply
+            }
+            Err(e) => err(&e.to_string()),
+        },
         Request::Quit => return ("OK bye=1".to_string(), true),
     };
     (reply, false)

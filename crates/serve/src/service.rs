@@ -19,6 +19,7 @@ use pmca_obs::trace::{self, ActiveTrace};
 use pmca_obs::{Counter, Histogram, MetricsRegistry, Span, Trace, Tracer, TracerConfig};
 use pmca_pmctools::collector::collect_all;
 use pmca_powermeter::{HclWattsUp, Methodology};
+use pmca_stream::{PushReply, StreamError, StreamHub, StreamHubConfig, StreamStatus};
 use pmca_workloads::parse::app_from_spec;
 use std::collections::HashMap;
 use std::error::Error;
@@ -43,6 +44,8 @@ pub enum ServiceError {
     Collect(String),
     /// The inference engine rejected the request.
     Engine(EngineError),
+    /// The stream hub rejected the request.
+    Stream(StreamError),
 }
 
 impl fmt::Display for ServiceError {
@@ -56,6 +59,7 @@ impl fmt::Display for ServiceError {
             ServiceError::BadRequest(detail) => write!(f, "bad request: {detail}"),
             ServiceError::Collect(detail) => write!(f, "collection failed: {detail}"),
             ServiceError::Engine(e) => write!(f, "{e}"),
+            ServiceError::Stream(e) => write!(f, "{e}"),
         }
     }
 }
@@ -65,6 +69,12 @@ impl Error for ServiceError {}
 impl From<EngineError> for ServiceError {
     fn from(e: EngineError) -> Self {
         ServiceError::Engine(e)
+    }
+}
+
+impl From<StreamError> for ServiceError {
+    fn from(e: StreamError) -> Self {
+        ServiceError::Stream(e)
     }
 }
 
@@ -78,6 +88,7 @@ impl ServiceError {
             ServiceError::BadRequest(_) => "bad-request",
             ServiceError::Collect(_) => "collect",
             ServiceError::Engine(_) => "engine",
+            ServiceError::Stream(_) => "stream",
         }
     }
 }
@@ -142,6 +153,10 @@ pub struct ServiceStats {
     pub models: usize,
     /// Inference worker threads.
     pub workers: usize,
+    /// Telemetry streams currently open.
+    pub streams: usize,
+    /// Completed background stream refit/swap cycles.
+    pub stream_refits: u64,
 }
 
 /// Configuration for an [`EnergyService`], replacing the old positional
@@ -172,12 +187,17 @@ pub struct ServiceConfig {
     trace_capacity: usize,
     trace_slow_ms: Option<u64>,
     trace_log: Option<PathBuf>,
+    streams: bool,
+    stream_refit_every: usize,
+    stream_idle_ttl_secs: u64,
 }
 
 impl Default for ServiceConfig {
     /// Four workers, a 256-run cache, seed 1, no registry directory,
     /// metrics exported to the process-global registry, tracing on with
-    /// a 64-trace flight recorder (no slow threshold, no JSONL sink).
+    /// a 64-trace flight recorder (no slow threshold, no JSONL sink),
+    /// streaming enabled with a heavy refit every 256 labelled windows
+    /// and a 5-minute idle TTL.
     fn default() -> Self {
         ServiceConfig {
             workers: 4,
@@ -189,6 +209,9 @@ impl Default for ServiceConfig {
             trace_capacity: 64,
             trace_slow_ms: None,
             trace_log: None,
+            streams: true,
+            stream_refit_every: 256,
+            stream_idle_ttl_secs: 300,
         }
     }
 }
@@ -257,6 +280,27 @@ impl ServiceConfig {
         self
     }
 
+    /// Whether the service accepts telemetry streams (default `true`).
+    /// With `false` every `STREAM` command answers an error.
+    pub fn streams(mut self, enabled: bool) -> Self {
+        self.streams = enabled;
+        self
+    }
+
+    /// Labelled stream windows between heavy background refits of the
+    /// forest/neural families (default 256). Lower it to exercise the
+    /// refit/swap path quickly in benches and smoke tests.
+    pub fn stream_refit_every(mut self, every: usize) -> Self {
+        self.stream_refit_every = every.max(1);
+        self
+    }
+
+    /// Seconds a stream may sit idle before eviction (default 300).
+    pub fn stream_idle_ttl_secs(mut self, secs: u64) -> Self {
+        self.stream_idle_ttl_secs = secs;
+        self
+    }
+
     /// Build the service.
     ///
     /// # Errors
@@ -296,15 +340,51 @@ impl ServiceConfig {
         } else {
             Tracer::disabled()
         };
+        let tracer = Arc::new(tracer);
+        let registry = Arc::new(RwLock::new(Registry::with_metrics(&metrics_registry)));
+        let streams = if self.streams {
+            let hub_config = StreamHubConfig::default()
+                .refit_every(self.stream_refit_every)
+                .idle_ttl(Duration::from_secs(self.stream_idle_ttl_secs));
+            let hub = Arc::new(StreamHub::with_registry(hub_config, &metrics_registry));
+            // Refit swaps go through the same versioned registry as TRAIN,
+            // so ESTIMATE requests pick up stream-refreshed models too.
+            let registry_for_swap = Arc::clone(&registry);
+            hub.set_swap(Arc::new(
+                move |platform: &str,
+                      family: &str,
+                      feature_order: Vec<String>,
+                      residual_std: f64,
+                      training_rows: usize,
+                      params: ModelParams| {
+                    registry_for_swap
+                        .write()
+                        .expect("registry poisoned")
+                        .register(
+                            platform,
+                            family,
+                            feature_order,
+                            residual_std,
+                            training_rows,
+                            params,
+                        );
+                },
+            ));
+            hub.set_tracer(Arc::clone(&tracer));
+            Some(hub)
+        } else {
+            None
+        };
         let service = EnergyService {
-            registry: RwLock::new(Registry::with_metrics(&metrics_registry)),
+            registry,
             engine: InferenceEngine::with_registry(self.workers, &metrics_registry),
             cache: RunCache::with_registry(self.cache_capacity, &metrics_registry),
             machines: Mutex::new(HashMap::new()),
             seed: self.seed,
             metrics: ServeMetrics::from_registry(&metrics_registry),
             metrics_registry,
-            tracer: Arc::new(tracer),
+            tracer,
+            streams,
             feature_events: Mutex::new(HashMap::new()),
         };
         if let Some(dir) = &self.registry_dir {
@@ -324,6 +404,7 @@ struct ServeMetrics {
     err_bad_request: Counter,
     err_collect: Counter,
     err_engine: Counter,
+    err_stream: Counter,
 }
 
 impl ServeMetrics {
@@ -337,6 +418,7 @@ impl ServeMetrics {
             err_bad_request: err("bad-request"),
             err_collect: err("collect"),
             err_engine: err("engine"),
+            err_stream: err("stream"),
         }
     }
 
@@ -348,6 +430,7 @@ impl ServeMetrics {
             ServiceError::BadRequest(_) => self.err_bad_request.inc(),
             ServiceError::Collect(_) => self.err_collect.inc(),
             ServiceError::Engine(_) => self.err_engine.inc(),
+            ServiceError::Stream(_) => self.err_stream.inc(),
         }
     }
 }
@@ -356,7 +439,7 @@ impl ServeMetrics {
 /// across connection handler threads via `Arc`.
 #[derive(Debug)]
 pub struct EnergyService {
-    registry: RwLock<Registry>,
+    registry: Arc<RwLock<Registry>>,
     engine: InferenceEngine,
     cache: RunCache,
     machines: Mutex<HashMap<String, Machine>>,
@@ -364,6 +447,10 @@ pub struct EnergyService {
     metrics: ServeMetrics,
     metrics_registry: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
+    /// Telemetry-stream hub, `None` when streaming is disabled. Model
+    /// swaps from its refit thread land in `registry` via the swap
+    /// callback installed at build time.
+    streams: Option<Arc<StreamHub>>,
     /// Per-model shared event list for [`RunKey`]s, keyed by the model
     /// `Arc`'s address (the held `Arc` keeps the address valid). Building
     /// a cache key is then one `Arc` clone instead of cloning the model's
@@ -836,7 +923,158 @@ impl EnergyService {
             cache_entries: self.cache.len(),
             models,
             workers: self.engine.workers(),
+            streams: self.streams.as_ref().map_or(0, |hub| hub.open_streams()),
+            stream_refits: self.streams.as_ref().map_or(0, |hub| hub.refit_swaps()),
         }
+    }
+
+    /// The stream hub, when streaming is enabled.
+    fn hub(&self) -> Result<&Arc<StreamHub>, ServiceError> {
+        self.streams.as_ref().ok_or_else(|| {
+            ServiceError::BadRequest("streaming is disabled on this server".to_string())
+        })
+    }
+
+    /// The stream hub, for callers (benches, tests) that need direct
+    /// access; `None` when streaming is disabled.
+    pub fn stream_hub(&self) -> Option<&Arc<StreamHub>> {
+        self.streams.as_ref()
+    }
+
+    /// Open a telemetry stream for `app` on `platform` with a sliding
+    /// ring of `window` windows; returns the clamped ring capacity.
+    ///
+    /// If the registry already holds an `online` model for the platform
+    /// whose feature set matches the hub's deployable PMC set, the hub is
+    /// seeded with its coefficients so unlabelled streams estimate from
+    /// the first window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] for an unknown platform, a duplicate
+    /// stream id, or a hub at its stream limit.
+    pub fn stream_open(
+        &self,
+        id: &str,
+        app: &str,
+        platform: &str,
+        window: usize,
+    ) -> Result<usize, ServiceError> {
+        let trace = self.tracer.start("stream-open", &[("platform", platform)]);
+        let result = {
+            let _scope = trace::scope(trace.as_ref());
+            let run = || -> Result<usize, ServiceError> {
+                Self::platform_spec(platform)?;
+                let hub = self.hub()?;
+                self.seed_stream_snapshot(hub, platform);
+                Ok(hub.open(id, app, platform, window)?)
+            };
+            run().inspect_err(|e| self.note_error(e, trace.as_ref()))
+        };
+        if let Some(trace) = &trace {
+            self.tracer.finish(trace);
+        }
+        result
+    }
+
+    /// Seed the hub's per-platform snapshot from the newest registered
+    /// `online` model whose features match the hub's PMC set (reordered
+    /// to the hub's order). A mismatched or absent model seeds nothing —
+    /// the stream then reports `family=none` until labelled windows
+    /// arrive.
+    fn seed_stream_snapshot(&self, hub: &StreamHub, platform: &str) {
+        if hub.snapshot(platform).is_some() {
+            return;
+        }
+        let stored = {
+            let registry = self.registry.read().expect("registry poisoned");
+            registry.latest_of_family(platform, "online")
+        };
+        let Some(stored) = stored else { return };
+        let ModelParams::Linear { coefficients, .. } = &stored.params else {
+            return;
+        };
+        let hub_order = hub.config().feature_order();
+        if stored.feature_order.len() != hub_order.len() {
+            return;
+        }
+        let reordered: Option<Vec<f64>> = hub_order
+            .iter()
+            .map(|name| {
+                stored
+                    .feature_order
+                    .iter()
+                    .position(|n| n == name)
+                    .map(|i| coefficients[i])
+            })
+            .collect();
+        if let Some(reordered) = reordered {
+            hub.seed_snapshot(
+                platform,
+                reordered,
+                stored.residual_std,
+                stored.training_rows,
+            );
+        }
+    }
+
+    /// Push one window of PMC counts (optionally labelled with measured
+    /// joules) into an open stream. Hot path: untraced, like `estimate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] for an unopened stream or a malformed
+    /// sample.
+    pub fn stream_push(
+        &self,
+        id: &str,
+        window: u64,
+        counts: &[f64],
+        joules: Option<f64>,
+    ) -> Result<PushReply, ServiceError> {
+        let run = || -> Result<PushReply, ServiceError> {
+            Ok(self.hub()?.push(id, window, counts, joules)?)
+        };
+        run().inspect_err(|e| self.note_error(e, None))
+    }
+
+    /// Current status and energy estimate for an open stream. Hot path:
+    /// untraced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] for an unopened stream.
+    pub fn stream_poll(&self, id: &str) -> Result<StreamStatus, ServiceError> {
+        let run = || -> Result<StreamStatus, ServiceError> { Ok(self.hub()?.poll(id)?) };
+        run().inspect_err(|e| self.note_error(e, None))
+    }
+
+    /// Close a stream, returning its final status.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] for an unopened stream.
+    pub fn stream_close(&self, id: &str) -> Result<StreamStatus, ServiceError> {
+        let trace = self.tracer.start("stream-close", &[]);
+        let result = {
+            let _scope = trace::scope(trace.as_ref());
+            let run = || -> Result<StreamStatus, ServiceError> { Ok(self.hub()?.close(id)?) };
+            run().inspect_err(|e| self.note_error(e, trace.as_ref()))
+        };
+        if let Some(trace) = &trace {
+            self.tracer.finish(trace);
+        }
+        result
+    }
+
+    /// Status rows for every open stream, sorted by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] when streaming is disabled.
+    pub fn stream_list(&self) -> Result<Vec<StreamStatus>, ServiceError> {
+        let run = || -> Result<Vec<StreamStatus>, ServiceError> { Ok(self.hub()?.list()) };
+        run().inspect_err(|e| self.note_error(e, None))
     }
 
     /// Persist the registry under `dir`; returns files written.

@@ -1,0 +1,1017 @@
+//! The stream hub: every open stream, the per-platform online models,
+//! and the background refit/swap machinery.
+//!
+//! Lock layout, in acquisition order:
+//!
+//! 1. one of `shards` (per-stream state, hashed by stream id) —
+//!    held only while mutating one stream's ring;
+//! 2. `online` (per-platform RLS model + training buffer) — held for the
+//!    O(width²) recursive update of a labelled push;
+//! 3. `snapshots` (read-mostly `RwLock`) — what polls read; writes are a
+//!    single `Arc` insert.
+//!
+//! A poll therefore touches one shard mutex and a snapshot read lock and
+//! never waits on model fitting: the heavy random-forest / neural-network
+//! refits run on a detached background thread against a *copy* of the
+//! training buffer, publish through the installed [`SwapFn`] (the serving
+//! registry's versioned double-buffer), and are serialised per platform by
+//! a compare-and-swap flag — a refit that would overlap a running one is
+//! simply skipped until the next trigger.
+
+use crate::window::{PushOutcome, WindowSample, WindowState};
+use pmca_mlkit::export::ModelParams;
+use pmca_mlkit::model::Regressor;
+use pmca_mlkit::{NeuralNet, RandomForest, RecursiveLeastSquares};
+use pmca_obs::{trace, Counter, Gauge, Histogram, MetricsRegistry, Tracer};
+use pmca_stats::confidence::t_critical;
+use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Each pushed window covers one second of telemetry by convention, so a
+/// predicted joules-per-window divided by this is a power in watts.
+pub const WINDOW_SECONDS: f64 = 1.0;
+
+/// The paper's deployable 4-PMC set — the default feature order streams
+/// push counts in.
+pub const DEFAULT_PMC_SET: [&str; 4] = [
+    "UOPS_EXECUTED_CORE",
+    "FP_ARITH_INST_RETIRED_DOUBLE",
+    "MEM_INST_RETIRED_ALL_STORES",
+    "UOPS_DISPATCHED_PORT_PORT_4",
+];
+
+/// Stream-level failures, each mapping to one `ERR` protocol reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// OPEN named a stream id that is already open.
+    AlreadyOpen(String),
+    /// The stream id is not open.
+    Unknown(String),
+    /// The hub is at its configured stream limit.
+    TooManyStreams {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A pushed sample was unusable (wrong width, non-finite values).
+    BadSample(String),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::AlreadyOpen(id) => write!(f, "stream {id:?} is already open"),
+            StreamError::Unknown(id) => write!(f, "no open stream {id:?}"),
+            StreamError::TooManyStreams { limit } => {
+                write!(f, "too many open streams (limit {limit})")
+            }
+            StreamError::BadSample(detail) => write!(f, "bad sample: {detail}"),
+        }
+    }
+}
+
+impl Error for StreamError {}
+
+/// Callback through which background refits publish models into the
+/// serving registry's versioned store:
+/// `(platform, family, feature_order, residual_std, training_rows,
+/// params)` — the same shape as `Registry::register`.
+pub type SwapFn = dyn Fn(&str, &str, Vec<String>, f64, usize, ModelParams) + Send + Sync;
+
+/// Configuration for a [`StreamHub`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamHubConfig {
+    shards: usize,
+    max_streams: usize,
+    idle_ttl: Duration,
+    refit_every: usize,
+    train_buffer: usize,
+    pmc_names: Vec<String>,
+}
+
+impl Default for StreamHubConfig {
+    /// 16 shards, 65 536 streams, 5-minute idle eviction, a heavy refit
+    /// every 256 labelled windows over a 1 024-row training buffer, and
+    /// the paper's deployable 4-PMC feature order.
+    fn default() -> Self {
+        StreamHubConfig {
+            shards: 16,
+            max_streams: 65_536,
+            idle_ttl: Duration::from_secs(300),
+            refit_every: 256,
+            train_buffer: 1_024,
+            pmc_names: DEFAULT_PMC_SET.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+impl StreamHubConfig {
+    /// Stream-table shards (≥ 1; default 16).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Maximum concurrently open streams (≥ 1; default 65 536).
+    pub fn max_streams(mut self, max_streams: usize) -> Self {
+        self.max_streams = max_streams.max(1);
+        self
+    }
+
+    /// Idle TTL after which a stream is evicted (default 5 minutes).
+    pub fn idle_ttl(mut self, ttl: Duration) -> Self {
+        self.idle_ttl = ttl;
+        self
+    }
+
+    /// Labelled windows between heavy background refits (≥ 1; default 256).
+    pub fn refit_every(mut self, every: usize) -> Self {
+        self.refit_every = every.max(1);
+        self
+    }
+
+    /// Labelled windows retained as the refit training buffer
+    /// (≥ 1; default 1 024).
+    pub fn train_buffer(mut self, rows: usize) -> Self {
+        self.train_buffer = rows.max(1);
+        self
+    }
+
+    /// Feature order pushed counts follow (default the paper's 4-PMC set).
+    pub fn pmc_names(mut self, names: Vec<String>) -> Self {
+        assert!(!names.is_empty(), "streams need at least one PMC feature");
+        self.pmc_names = names;
+        self
+    }
+
+    /// The configured feature order.
+    pub fn feature_order(&self) -> &[String] {
+        &self.pmc_names
+    }
+}
+
+/// The linear model a poll predicts with: an immutable snapshot swapped
+/// atomically (one `Arc` store) on every online update.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSnapshot {
+    /// Model family tag (`"online"` for hub-fitted snapshots).
+    pub family: String,
+    /// Snapshot version, bumped on every publish for its platform.
+    pub version: u64,
+    /// Non-negative, zero-intercept coefficients in feature order.
+    pub coefficients: Vec<f64>,
+    /// Standard deviation of training residuals, joules.
+    pub residual_std: f64,
+    /// Rows the model has seen.
+    pub training_rows: usize,
+}
+
+impl ModelSnapshot {
+    /// Predicted joules for one window of counts (clamped non-negative,
+    /// matching the serving engine).
+    pub fn predict(&self, counts: &[f64]) -> f64 {
+        counts
+            .iter()
+            .zip(&self.coefficients)
+            .map(|(c, b)| c * b)
+            .sum::<f64>()
+            .max(0.0)
+    }
+
+    /// Half-width of the 95% prediction interval — the same Student-t
+    /// construction the serving engine uses: 0 until the model has rows
+    /// and a positive residual spread.
+    pub fn prediction_half_width(&self) -> f64 {
+        if self.residual_std <= 0.0 || self.training_rows == 0 {
+            return 0.0;
+        }
+        let df = self
+            .training_rows
+            .saturating_sub(self.coefficients.len())
+            .max(1);
+        t_critical(df, 0.95) * self.residual_std
+    }
+}
+
+/// Reply to one push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushReply {
+    /// What happened to the window.
+    pub outcome: PushOutcome,
+    /// Windows retained after the push.
+    pub retained: usize,
+    /// The stream's high-water window id after the push.
+    pub highest: u64,
+}
+
+/// A snapshot of one stream's state and current estimates — the POLL and
+/// CLOSE reply, and one row of a LIST.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStatus {
+    /// Stream id.
+    pub stream: String,
+    /// Application tag the stream was opened with.
+    pub app: String,
+    /// Platform the stream's counts come from.
+    pub platform: String,
+    /// Ring capacity in windows.
+    pub capacity: usize,
+    /// Windows currently retained.
+    pub retained: usize,
+    /// Windows accepted over the stream's lifetime.
+    pub accepted: u64,
+    /// Pushes rejected as duplicates.
+    pub duplicates: u64,
+    /// Pushes rejected as too old.
+    pub late: u64,
+    /// Highest accepted window id.
+    pub highest: u64,
+    /// Predicted dynamic energy of the newest retained window, joules.
+    pub joules: f64,
+    /// Mean predicted power over the retained ring, watts.
+    pub watts: f64,
+    /// Half-width of the 95% prediction interval, joules.
+    pub ci95: f64,
+    /// Family of the model that produced the estimates (`"none"` before
+    /// any model exists for the platform).
+    pub family: String,
+    /// Snapshot version of that model.
+    pub version: u64,
+    /// Rows that model was fitted on.
+    pub rows: usize,
+    /// Milliseconds since the stream last accepted activity.
+    pub idle_ms: u64,
+}
+
+/// Per-platform online-update state.
+struct PlatformOnline {
+    rls: RecursiveLeastSquares,
+    /// Most recent labelled windows, the heavy refit's training set.
+    buffer: VecDeque<(Vec<f64>, f64)>,
+    /// Labelled windows since the last heavy refit was triggered.
+    since_refit: usize,
+    /// Set while a background refit for this platform is in flight.
+    refit_running: Arc<AtomicBool>,
+}
+
+/// One open stream.
+struct StreamEntry {
+    app: String,
+    platform: String,
+    state: WindowState,
+    last_push: Instant,
+}
+
+/// Hub instruments (`pmca_stream_*`).
+#[derive(Clone)]
+struct StreamMetrics {
+    open_streams: Gauge,
+    accepted: Counter,
+    duplicates: Counter,
+    late: Counter,
+    refits: Counter,
+    evicted: Counter,
+    /// Out-of-order arrival lag. Recorded as `lag` seconds so the
+    /// rendered (seconds-valued) quantiles read directly in windows.
+    lag: Histogram,
+}
+
+impl StreamMetrics {
+    fn from_registry(registry: &MetricsRegistry) -> Self {
+        let windows =
+            |result: &str| registry.counter("pmca_stream_windows_total", &[("result", result)]);
+        StreamMetrics {
+            open_streams: registry.gauge("pmca_stream_open_streams", &[]),
+            accepted: windows("accepted"),
+            duplicates: windows("duplicate"),
+            late: windows("late"),
+            refits: registry.counter("pmca_stream_refits_total", &[]),
+            evicted: registry.counter("pmca_stream_evicted_total", &[]),
+            lag: registry.histogram("pmca_stream_window_lag_windows", &[]),
+        }
+    }
+}
+
+/// The shared registry of open streams. See the module docs for the
+/// locking and refit design.
+pub struct StreamHub {
+    config: StreamHubConfig,
+    shards: Vec<Mutex<HashMap<String, StreamEntry>>>,
+    online: Mutex<HashMap<String, PlatformOnline>>,
+    snapshots: RwLock<HashMap<String, Arc<ModelSnapshot>>>,
+    swap: RwLock<Option<Arc<SwapFn>>>,
+    tracer: RwLock<Option<Arc<Tracer>>>,
+    open_count: AtomicUsize,
+    refit_seed: AtomicU64,
+    refit_swaps: Arc<AtomicU64>,
+    metrics: StreamMetrics,
+}
+
+impl fmt::Debug for StreamHub {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamHub")
+            .field("config", &self.config)
+            .field("open_streams", &self.open_streams())
+            .field("refit_swaps", &self.refit_swaps())
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamHub {
+    /// A hub recording into the process-global metrics registry.
+    pub fn new(config: StreamHubConfig) -> Self {
+        Self::with_registry(config, MetricsRegistry::global())
+    }
+
+    /// A hub recording into an explicit metrics registry.
+    pub fn with_registry(config: StreamHubConfig, metrics: &MetricsRegistry) -> Self {
+        let shards = (0..config.shards)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect();
+        StreamHub {
+            metrics: StreamMetrics::from_registry(metrics),
+            shards,
+            online: Mutex::new(HashMap::new()),
+            snapshots: RwLock::new(HashMap::new()),
+            swap: RwLock::new(None),
+            tracer: RwLock::new(None),
+            open_count: AtomicUsize::new(0),
+            refit_seed: AtomicU64::new(1),
+            refit_swaps: Arc::new(AtomicU64::new(0)),
+            config,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &StreamHubConfig {
+        &self.config
+    }
+
+    /// Install the callback heavy refits publish models through
+    /// (typically the serving registry's `register`).
+    pub fn set_swap(&self, swap: Arc<SwapFn>) {
+        *self.swap.write().expect("swap poisoned") = Some(swap);
+    }
+
+    /// Attach a tracer; background refits record `stream.refit` traces
+    /// (with the model-fit spans nested inside) into its flight recorder.
+    pub fn set_tracer(&self, tracer: Arc<Tracer>) {
+        *self.tracer.write().expect("tracer poisoned") = Some(tracer);
+    }
+
+    /// Seed `platform`'s snapshot from an already-trained linear model,
+    /// if the hub has none yet — how the serving layer hands a
+    /// registry-trained online model to streams before any labelled
+    /// window arrives.
+    pub fn seed_snapshot(
+        &self,
+        platform: &str,
+        coefficients: Vec<f64>,
+        residual_std: f64,
+        training_rows: usize,
+    ) {
+        let mut snapshots = self.snapshots.write().expect("snapshots poisoned");
+        snapshots
+            .entry(platform.to_ascii_lowercase())
+            .or_insert_with(|| {
+                Arc::new(ModelSnapshot {
+                    family: "online".to_string(),
+                    version: 1,
+                    coefficients,
+                    residual_std,
+                    training_rows,
+                })
+            });
+    }
+
+    /// The current snapshot for `platform`, if any.
+    pub fn snapshot(&self, platform: &str) -> Option<Arc<ModelSnapshot>> {
+        self.snapshots
+            .read()
+            .expect("snapshots poisoned")
+            .get(&platform.to_ascii_lowercase())
+            .cloned()
+    }
+
+    /// Streams currently open.
+    pub fn open_streams(&self) -> usize {
+        self.open_count.load(Ordering::Relaxed)
+    }
+
+    /// Completed heavy refit/swap cycles.
+    pub fn refit_swaps(&self) -> u64 {
+        self.refit_swaps.load(Ordering::Relaxed)
+    }
+
+    /// Whether a heavy refit is currently running for `platform`.
+    pub fn refit_in_flight(&self, platform: &str) -> bool {
+        let online = self.online.lock().expect("online poisoned");
+        online
+            .get(&platform.to_ascii_lowercase())
+            .is_some_and(|entry| entry.refit_running.load(Ordering::Acquire))
+    }
+
+    fn shard(&self, id: &str) -> &Mutex<HashMap<String, StreamEntry>> {
+        // FNV-1a: stable, cheap, and good enough to spread ids.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in id.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x1_0000_0000_01b3);
+        }
+        &self.shards[(hash % self.shards.len() as u64) as usize]
+    }
+
+    /// Open a stream. `window` is the sliding-ring capacity in windows
+    /// (clamped as by [`WindowState::new`]); returns the clamped value.
+    ///
+    /// Opening first sweeps idle streams, so a hub at its limit recovers
+    /// capacity from abandoned producers without an external sweeper.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::AlreadyOpen`] for an id already open,
+    /// [`StreamError::TooManyStreams`] at the configured limit.
+    pub fn open(
+        &self,
+        id: &str,
+        app: &str,
+        platform: &str,
+        window: usize,
+    ) -> Result<usize, StreamError> {
+        if self.open_count.load(Ordering::Relaxed) >= self.config.max_streams {
+            self.evict_idle();
+        }
+        if self.open_count.load(Ordering::Relaxed) >= self.config.max_streams {
+            return Err(StreamError::TooManyStreams {
+                limit: self.config.max_streams,
+            });
+        }
+        let state = WindowState::new(window);
+        let capacity = state.capacity();
+        let mut shard = self.shard(id).lock().expect("shard poisoned");
+        if shard.contains_key(id) {
+            return Err(StreamError::AlreadyOpen(id.to_string()));
+        }
+        shard.insert(
+            id.to_string(),
+            StreamEntry {
+                app: app.to_string(),
+                platform: platform.to_ascii_lowercase(),
+                state,
+                last_push: Instant::now(),
+            },
+        );
+        self.open_count.fetch_add(1, Ordering::Relaxed);
+        self.metrics.open_streams.add(1.0);
+        Ok(capacity)
+    }
+
+    /// Push one window into a stream. A labelled window (with measured
+    /// `joules`) additionally feeds the platform's online model.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Unknown`] for an unopened id,
+    /// [`StreamError::BadSample`] for wrong-width or non-finite values.
+    pub fn push(
+        &self,
+        id: &str,
+        window_id: u64,
+        counts: &[f64],
+        joules: Option<f64>,
+    ) -> Result<PushReply, StreamError> {
+        let width = self.config.pmc_names.len();
+        if counts.len() != width {
+            return Err(StreamError::BadSample(format!(
+                "expected {width} counts, got {}",
+                counts.len()
+            )));
+        }
+        if counts.iter().any(|c| !c.is_finite() || *c < 0.0) {
+            return Err(StreamError::BadSample(
+                "counts must be finite and non-negative".to_string(),
+            ));
+        }
+        if let Some(j) = joules {
+            if !j.is_finite() || j < 0.0 {
+                return Err(StreamError::BadSample(
+                    "joules must be finite and non-negative".to_string(),
+                ));
+            }
+        }
+        let (reply, platform) = {
+            let mut shard = self.shard(id).lock().expect("shard poisoned");
+            let entry = shard
+                .get_mut(id)
+                .ok_or_else(|| StreamError::Unknown(id.to_string()))?;
+            entry.last_push = Instant::now();
+            let outcome = entry.state.push(WindowSample {
+                id: window_id,
+                counts: counts.to_vec(),
+                joules,
+            });
+            let reply = PushReply {
+                outcome,
+                retained: entry.state.retained(),
+                highest: entry.state.highest(),
+            };
+            (reply, entry.platform.clone())
+        };
+        match reply.outcome {
+            PushOutcome::Accepted { lag } => {
+                self.metrics.accepted.inc();
+                // Seconds-valued histogram, abused on purpose: lag is
+                // recorded as `lag` whole seconds so the rendered
+                // quantiles read directly as windows.
+                self.metrics
+                    .lag
+                    .record_ns(lag.saturating_mul(1_000_000_000));
+                if let Some(j) = joules {
+                    self.online_update(&platform, counts, j);
+                }
+            }
+            PushOutcome::Duplicate => self.metrics.duplicates.inc(),
+            PushOutcome::TooOld => self.metrics.late.inc(),
+        }
+        Ok(reply)
+    }
+
+    /// Current state and estimates for a stream.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Unknown`] for an unopened id.
+    pub fn poll(&self, id: &str) -> Result<StreamStatus, StreamError> {
+        let shard = self.shard(id).lock().expect("shard poisoned");
+        let entry = shard
+            .get(id)
+            .ok_or_else(|| StreamError::Unknown(id.to_string()))?;
+        Ok(self.status_of(id, entry))
+    }
+
+    /// Close a stream, returning its final state.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Unknown`] for an unopened id.
+    pub fn close(&self, id: &str) -> Result<StreamStatus, StreamError> {
+        let removed = {
+            let mut shard = self.shard(id).lock().expect("shard poisoned");
+            shard
+                .remove_entry(id)
+                .ok_or_else(|| StreamError::Unknown(id.to_string()))?
+        };
+        self.open_count.fetch_sub(1, Ordering::Relaxed);
+        self.metrics.open_streams.add(-1.0);
+        Ok(self.status_of(&removed.0, &removed.1))
+    }
+
+    /// All open streams, sorted by id.
+    pub fn list(&self) -> Vec<StreamStatus> {
+        let mut statuses: Vec<StreamStatus> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard poisoned");
+            statuses.extend(shard.iter().map(|(id, entry)| self.status_of(id, entry)));
+        }
+        statuses.sort_by(|a, b| a.stream.cmp(&b.stream));
+        statuses
+    }
+
+    /// Evict streams idle past the configured TTL; returns how many.
+    pub fn evict_idle(&self) -> usize {
+        self.evict_idle_older_than(self.config.idle_ttl)
+    }
+
+    /// Evict streams whose last activity is older than `ttl` — the
+    /// sweep behind [`StreamHub::evict_idle`], with the horizon explicit
+    /// so tests need not wait out a real TTL.
+    pub fn evict_idle_older_than(&self, ttl: Duration) -> usize {
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("shard poisoned");
+            let before = shard.len();
+            shard.retain(|_, entry| entry.last_push.elapsed() < ttl);
+            evicted += before - shard.len();
+        }
+        if evicted > 0 {
+            self.open_count.fetch_sub(evicted, Ordering::Relaxed);
+            self.metrics.open_streams.add(-(evicted as f64));
+            self.metrics.evicted.add(evicted as u64);
+        }
+        evicted
+    }
+
+    fn status_of(&self, id: &str, entry: &StreamEntry) -> StreamStatus {
+        let snapshot = self.snapshot(&entry.platform);
+        let (joules, watts, ci95, family, version, rows) = match &snapshot {
+            Some(s) => {
+                let latest = entry.state.latest().map_or(0.0, |w| s.predict(&w.counts));
+                let retained = entry.state.retained();
+                let mean = if retained == 0 {
+                    0.0
+                } else {
+                    entry
+                        .state
+                        .samples()
+                        .map(|w| s.predict(&w.counts))
+                        .sum::<f64>()
+                        / retained as f64
+                };
+                (
+                    latest,
+                    mean / WINDOW_SECONDS,
+                    s.prediction_half_width(),
+                    s.family.clone(),
+                    s.version,
+                    s.training_rows,
+                )
+            }
+            None => (0.0, 0.0, 0.0, "none".to_string(), 0, 0),
+        };
+        StreamStatus {
+            stream: id.to_string(),
+            app: entry.app.clone(),
+            platform: entry.platform.clone(),
+            capacity: entry.state.capacity(),
+            retained: entry.state.retained(),
+            accepted: entry.state.accepted(),
+            duplicates: entry.state.duplicates(),
+            late: entry.state.late(),
+            highest: entry.state.highest(),
+            joules,
+            watts,
+            ci95,
+            family,
+            version,
+            rows,
+            idle_ms: u64::try_from(entry.last_push.elapsed().as_millis()).unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Fold one labelled window into the platform's online model: an
+    /// O(width²) recursive-least-squares update, an immediate snapshot
+    /// publish, and — every `refit_every` labelled windows — a detached
+    /// heavy refit of the forest and neural families.
+    fn online_update(&self, platform: &str, counts: &[f64], joules: f64) {
+        let width = self.config.pmc_names.len();
+        let mut refit: Option<RefitJob> = None;
+        {
+            let mut online = self.online.lock().expect("online poisoned");
+            let entry = online
+                .entry(platform.to_string())
+                .or_insert_with(|| PlatformOnline {
+                    rls: RecursiveLeastSquares::paper_constrained(width),
+                    buffer: VecDeque::new(),
+                    since_refit: 0,
+                    refit_running: Arc::new(AtomicBool::new(false)),
+                });
+            entry.rls.observe(counts, joules);
+            // Rows > 0 after observe, so the refit cannot fail.
+            let _ = entry.rls.refit();
+            if entry.buffer.len() == self.config.train_buffer {
+                entry.buffer.pop_front();
+            }
+            entry.buffer.push_back((counts.to_vec(), joules));
+            entry.since_refit += 1;
+            self.publish_snapshot(
+                platform,
+                entry.rls.coefficients().to_vec(),
+                entry.rls.residual_std(),
+                entry.rls.rows(),
+            );
+            // A forest/NN needs a handful of rows to be worth fitting;
+            // the CAS keeps at most one refit per platform in flight —
+            // an overlapping trigger is dropped, never queued.
+            if entry.since_refit >= self.config.refit_every
+                && entry.buffer.len() >= width.max(8)
+                && entry
+                    .refit_running
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                entry.since_refit = 0;
+                refit = Some(RefitJob {
+                    platform: platform.to_string(),
+                    x: entry.buffer.iter().map(|(row, _)| row.clone()).collect(),
+                    y: entry.buffer.iter().map(|(_, target)| *target).collect(),
+                    coefficients: entry.rls.coefficients().to_vec(),
+                    residual_std: entry.rls.residual_std(),
+                    rows: entry.rls.rows(),
+                    running: Arc::clone(&entry.refit_running),
+                });
+            }
+        }
+        if let Some(job) = refit {
+            self.spawn_refit(job);
+        }
+    }
+
+    fn publish_snapshot(
+        &self,
+        platform: &str,
+        coefficients: Vec<f64>,
+        residual_std: f64,
+        training_rows: usize,
+    ) {
+        let mut snapshots = self.snapshots.write().expect("snapshots poisoned");
+        let version = snapshots.get(platform).map_or(1, |s| s.version + 1);
+        snapshots.insert(
+            platform.to_string(),
+            Arc::new(ModelSnapshot {
+                family: "online".to_string(),
+                version,
+                coefficients,
+                residual_std,
+                training_rows,
+            }),
+        );
+    }
+
+    /// Run one heavy refit off the hot path: fit forest and neural models
+    /// on the buffered labelled windows, publish all three families
+    /// through the swap callback, and release the per-platform flag.
+    fn spawn_refit(&self, job: RefitJob) {
+        let swap = self.swap.read().expect("swap poisoned").clone();
+        let tracer = self.tracer.read().expect("tracer poisoned").clone();
+        let pmc_names = self.config.pmc_names.clone();
+        let swaps = Arc::clone(&self.refit_swaps);
+        let refits = self.metrics.refits.clone();
+        // Distinct, deterministic seed per refit.
+        let seed = self
+            .refit_seed
+            .fetch_add(1, Ordering::Relaxed)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let running = Arc::clone(&job.running);
+        let spawned = thread::Builder::new()
+            .name("pmca-stream-refit".to_string())
+            .spawn(move || {
+                let trace = tracer.as_deref().and_then(|t| {
+                    t.start(
+                        "stream.refit",
+                        &[
+                            ("platform", &job.platform),
+                            ("rows", &job.x.len().to_string()),
+                        ],
+                    )
+                });
+                {
+                    let _scope = trace::scope(trace.as_ref());
+                    if let Some(swap) = &swap {
+                        let mut forest = RandomForest::with_seed(seed);
+                        if forest.fit(&job.x, &job.y).is_ok() {
+                            swap(
+                                &job.platform,
+                                "forest",
+                                pmc_names.clone(),
+                                residual_std_of(&forest, &job.x, &job.y),
+                                job.x.len(),
+                                ModelParams::from_forest(&forest),
+                            );
+                        }
+                        let mut neural = NeuralNet::with_seed(seed);
+                        if neural.fit(&job.x, &job.y).is_ok() {
+                            swap(
+                                &job.platform,
+                                "neural",
+                                pmc_names.clone(),
+                                residual_std_of(&neural, &job.x, &job.y),
+                                job.x.len(),
+                                ModelParams::from_neural(&neural),
+                            );
+                        }
+                        swap(
+                            &job.platform,
+                            "online",
+                            pmc_names,
+                            job.residual_std,
+                            job.rows,
+                            ModelParams::Linear {
+                                coefficients: job.coefficients,
+                                intercept: 0.0,
+                            },
+                        );
+                    }
+                    swaps.fetch_add(1, Ordering::Relaxed);
+                    refits.inc();
+                }
+                if let (Some(tracer), Some(trace)) = (tracer.as_deref(), trace.as_ref()) {
+                    tracer.finish(trace);
+                }
+                job.running.store(false, Ordering::Release);
+            });
+        if spawned.is_err() {
+            running.store(false, Ordering::Release);
+        }
+    }
+}
+
+/// Everything a detached refit thread needs, copied out under the
+/// `online` lock.
+struct RefitJob {
+    platform: String,
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    coefficients: Vec<f64>,
+    residual_std: f64,
+    rows: usize,
+    running: Arc<AtomicBool>,
+}
+
+/// Biased in-sample residual standard deviation, matching how the online
+/// training path reports `residual_std`.
+fn residual_std_of<R: Regressor>(model: &R, x: &[Vec<f64>], y: &[f64]) -> f64 {
+    if y.is_empty() {
+        return 0.0;
+    }
+    let rss: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(row, &target)| {
+            let e = model.predict_one(row) - target;
+            e * e
+        })
+        .sum();
+    (rss / y.len() as f64).sqrt().max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn quiet_hub(config: StreamHubConfig) -> StreamHub {
+        StreamHub::with_registry(config, &MetricsRegistry::new())
+    }
+
+    fn counts(scale: f64) -> Vec<f64> {
+        vec![4.0 * scale, 3.0 * scale, 2.0 * scale, 1.0 * scale]
+    }
+
+    #[test]
+    fn open_push_poll_close_lifecycle() {
+        let hub = quiet_hub(StreamHubConfig::default());
+        hub.seed_snapshot("skylake", vec![2.0, 0.0, 0.0, 0.0], 0.5, 20);
+        assert_eq!(hub.open("s1", "dgemm:9000", "SKYLAKE", 8).unwrap(), 8);
+        assert_eq!(hub.open_streams(), 1);
+        for id in 1..=3 {
+            let reply = hub.push("s1", id, &counts(id as f64), None).unwrap();
+            assert_eq!(reply.outcome, PushOutcome::Accepted { lag: 0 });
+        }
+        let status = hub.poll("s1").unwrap();
+        assert_eq!(status.platform, "skylake", "platform normalised");
+        assert_eq!(status.retained, 3);
+        assert_eq!(status.highest, 3);
+        // Latest window: counts(3) · [2,0,0,0] = 24.
+        assert!((status.joules - 24.0).abs() < 1e-12);
+        // Mean over [8, 16, 24] at 1 s windows.
+        assert!((status.watts - 16.0).abs() < 1e-12);
+        assert!(status.ci95 > 0.0, "seeded model carries an interval");
+        assert_eq!(status.family, "online");
+        let closed = hub.close("s1").unwrap();
+        assert_eq!(closed.accepted, 3);
+        assert_eq!(hub.open_streams(), 0);
+        assert_eq!(hub.poll("s1"), Err(StreamError::Unknown("s1".to_string())));
+    }
+
+    #[test]
+    fn labelled_pushes_refresh_the_snapshot() {
+        let hub = quiet_hub(StreamHubConfig::default());
+        hub.open("s1", "app", "skylake", 16).unwrap();
+        assert!(hub.snapshot("skylake").is_none());
+        // y = 2·c0: ten labelled windows pin the coefficients.
+        for id in 1..=10 {
+            let c = counts(id as f64);
+            let joules = 2.0 * c[0];
+            hub.push("s1", id, &c, Some(joules)).unwrap();
+        }
+        let snapshot = hub.snapshot("skylake").expect("labelled pushes publish");
+        assert_eq!(snapshot.training_rows, 10);
+        assert_eq!(snapshot.version, 10, "one publish per labelled window");
+        let status = hub.poll("s1").unwrap();
+        let c = counts(10.0);
+        // The paper-constrained ridge (l2 = 0.01) shrinks coefficients a
+        // touch, so compare within 1%.
+        assert!(
+            (status.joules - 2.0 * c[0]).abs() < 0.01 * 2.0 * c[0],
+            "poll predicts with the refreshed model: {}",
+            status.joules
+        );
+    }
+
+    #[test]
+    fn bad_samples_are_rejected_before_any_state_changes() {
+        let hub = quiet_hub(StreamHubConfig::default());
+        hub.open("s1", "app", "skylake", 4).unwrap();
+        assert!(matches!(
+            hub.push("s1", 1, &[1.0, 2.0], None),
+            Err(StreamError::BadSample(_))
+        ));
+        assert!(matches!(
+            hub.push("s1", 1, &[1.0, 2.0, 3.0, f64::NAN], None),
+            Err(StreamError::BadSample(_))
+        ));
+        assert!(matches!(
+            hub.push("s1", 1, &counts(1.0), Some(-1.0)),
+            Err(StreamError::BadSample(_))
+        ));
+        assert_eq!(hub.poll("s1").unwrap().accepted, 0);
+    }
+
+    #[test]
+    fn duplicate_open_and_stream_limit_are_errors() {
+        let hub = quiet_hub(StreamHubConfig::default().max_streams(2));
+        hub.open("a", "app", "skylake", 4).unwrap();
+        assert_eq!(
+            hub.open("a", "app", "skylake", 4),
+            Err(StreamError::AlreadyOpen("a".to_string()))
+        );
+        hub.open("b", "app", "skylake", 4).unwrap();
+        assert_eq!(
+            hub.open("c", "app", "skylake", 4),
+            Err(StreamError::TooManyStreams { limit: 2 })
+        );
+    }
+
+    #[test]
+    fn idle_eviction_frees_stream_slots() {
+        let hub = quiet_hub(StreamHubConfig::default());
+        hub.open("a", "app", "skylake", 4).unwrap();
+        hub.open("b", "app", "skylake", 4).unwrap();
+        assert_eq!(hub.evict_idle_older_than(Duration::from_secs(60)), 0);
+        assert_eq!(hub.evict_idle_older_than(Duration::ZERO), 2);
+        assert_eq!(hub.open_streams(), 0);
+    }
+
+    #[test]
+    fn heavy_refit_swaps_all_three_families_off_the_hot_path() {
+        let hub = quiet_hub(StreamHubConfig::default().refit_every(8).train_buffer(64));
+        let (tx, rx) = mpsc::channel::<(String, String, usize)>();
+        let tx = Mutex::new(tx);
+        hub.set_swap(Arc::new(
+            move |platform: &str,
+                  family: &str,
+                  _order: Vec<String>,
+                  _rstd: f64,
+                  rows: usize,
+                  _params: ModelParams| {
+                let _ = tx
+                    .lock()
+                    .unwrap()
+                    .send((platform.to_string(), family.to_string(), rows));
+            },
+        ));
+        hub.open("s1", "app", "skylake", 16).unwrap();
+        for id in 1..=8u64 {
+            let c = counts(id as f64);
+            let joules = 2.0 * c[0] + 0.5 * c[1];
+            hub.push("s1", id, &c, Some(joules)).unwrap();
+        }
+        let mut families = Vec::new();
+        for _ in 0..3 {
+            let (platform, family, rows) = rx
+                .recv_timeout(Duration::from_secs(60))
+                .expect("refit publishes");
+            assert_eq!(platform, "skylake");
+            assert_eq!(rows, 8);
+            families.push(family);
+        }
+        families.sort();
+        assert_eq!(families, ["forest", "neural", "online"]);
+        // Wait for the flag release, then the swap counter is visible.
+        for _ in 0..500 {
+            if !hub.refit_in_flight("skylake") {
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(hub.refit_swaps(), 1);
+        // Pushes kept working throughout (never blocked on the refit).
+        hub.push("s1", 9, &counts(9.0), None).unwrap();
+        assert_eq!(hub.poll("s1").unwrap().accepted, 9);
+    }
+
+    #[test]
+    fn polls_without_a_model_report_family_none() {
+        let hub = quiet_hub(StreamHubConfig::default());
+        hub.open("s1", "app", "haswell", 4).unwrap();
+        hub.push("s1", 1, &counts(1.0), None).unwrap();
+        let status = hub.poll("s1").unwrap();
+        assert_eq!(status.family, "none");
+        assert_eq!(status.joules, 0.0);
+        assert_eq!(status.ci95, 0.0);
+    }
+
+    #[test]
+    fn list_reports_every_open_stream_sorted() {
+        let hub = quiet_hub(StreamHubConfig::default());
+        for id in ["z", "a", "m"] {
+            hub.open(id, "app", "skylake", 4).unwrap();
+        }
+        let ids: Vec<String> = hub.list().into_iter().map(|s| s.stream).collect();
+        assert_eq!(ids, ["a", "m", "z"]);
+    }
+}
