@@ -12,10 +12,23 @@
 //! cargo run --release -p pmca-bench --bin loadgen -- \
 //!     [--addr HOST:PORT] [--clients N] [--requests M] [--workers W]
 //!     [--duration-secs S] [--pipeline D] [--app-share PCT]
+//!     [--connections N] [--idle-fraction F]
+//!     [--shards N] [--transport threaded|evented] [--event-loops N]
 //!     [--no-metrics] [--no-trace] [--trace-sample N]
 //!     [--streams N] [--windows M] [--label-every K]
 //!     [--json PATH] [--compare BASELINE.json]
 //! ```
+//!
+//! `--connections N --idle-fraction F` switches to connection-scale
+//! mode: N total connections are held open for the whole run, but only
+//! `N·(1-F)` of them actively fire requests — the rest sit idle, each
+//! probed with one `STATS` round trip when opened and once more after
+//! the timed run (both probes must answer, proving the server kept every
+//! idle connection alive under load). Pair it with `--transport evented`
+//! to measure the readiness-driven front end at 10k+ mostly-idle
+//! connections; `--shards N` fans the in-process server out to N
+//! consistent-hash shards behind one port. Open file limits apply:
+//! `ulimit -n 65536` before a 10k-connection run.
 //!
 //! `--streams N` switches to streaming-ingestion mode: the clients open
 //! N concurrent telemetry streams, push `--windows` one-second windows
@@ -45,8 +58,10 @@
 
 use pmca_obs::log;
 use pmca_serve::protocol::parse_estimate_reply;
-use pmca_serve::{Client, Request, Server, ServiceConfig, Trace, TraceScope};
+use pmca_serve::{Client, Request, Server, ServiceConfig, Trace, TraceScope, Transport};
 use pmca_stream::synthetic_window;
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -94,6 +109,18 @@ struct Options {
     windows: usize,
     /// Streaming mode: every K'th window carries measured joules.
     label_every: usize,
+    /// Connection-scale mode: hold this many connections open, mostly
+    /// idle.
+    connections: Option<usize>,
+    /// Connection-scale mode: the fraction of connections that stay
+    /// idle (the rest fire requests).
+    idle_fraction: f64,
+    /// Transport for the in-process server.
+    transport: Transport,
+    /// Event-loop threads for the evented transport.
+    event_loops: usize,
+    /// In-process shards behind the consistent-hash router.
+    shards: usize,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -113,6 +140,11 @@ fn parse_options() -> Result<Options, String> {
         streams: None,
         windows: 64,
         label_every: 4,
+        connections: None,
+        idle_fraction: 0.99,
+        transport: Transport::Threaded,
+        event_loops: 4,
+        shards: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -148,6 +180,24 @@ fn parse_options() -> Result<Options, String> {
             "--label-every" => {
                 options.label_every = parse_count(&value("--label-every")?, "--label-every")?;
             }
+            "--connections" => {
+                options.connections = Some(parse_count(&value("--connections")?, "--connections")?);
+            }
+            "--idle-fraction" => {
+                let raw = value("--idle-fraction")?;
+                options.idle_fraction = raw
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|f| (0.0..1.0).contains(f))
+                    .ok_or(format!(
+                        "--idle-fraction: {raw:?} is not a fraction in [0, 1)"
+                    ))?;
+            }
+            "--transport" => options.transport = value("--transport")?.parse()?,
+            "--event-loops" => {
+                options.event_loops = parse_count(&value("--event-loops")?, "--event-loops")?;
+            }
+            "--shards" => options.shards = parse_count(&value("--shards")?, "--shards")?,
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -204,19 +254,24 @@ fn main() {
         Some(addr) => addr.clone(),
         None => {
             println!(
-                "starting in-process server ({} inference workers, metrics {}, tracing {})...",
+                "starting in-process server ({} inference workers, {} transport, {} shard(s), \
+                 metrics {}, tracing {})...",
                 options.workers,
+                options.transport,
+                options.shards,
                 if options.no_metrics { "off" } else { "on" },
                 if options.no_trace { "off" } else { "on" }
             );
-            let service = Arc::new(
+            let router = Arc::new(
                 ServiceConfig::default()
                     .workers(options.workers)
                     .cache_capacity(1024)
                     .seed(42)
                     .metrics(!options.no_metrics)
                     .tracing(!options.no_trace)
-                    .build()
+                    .transport(options.transport)
+                    .event_loops(options.event_loops)
+                    .build_sharded(options.shards)
                     .expect("build service"),
             );
             let pmcs: Vec<String> = GOOD_SET.iter().map(|s| s.to_string()).collect();
@@ -228,10 +283,16 @@ fn main() {
                     ]
                 })
                 .collect();
-            service
-                .train_online("skylake", &pmcs, &ladder)
-                .expect("train online model");
-            local_server = Server::start(service, "127.0.0.1:0").expect("bind ephemeral port");
+            // Every shard trains the same model, so whichever shard owns
+            // skylake after routing answers identically.
+            for shard in 0..router.shard_count() {
+                router
+                    .shard(shard)
+                    .train_online("skylake", &pmcs, &ladder)
+                    .expect("train online model");
+            }
+            local_server =
+                Server::start_router(router, "127.0.0.1:0").expect("bind ephemeral port");
             local_server.addr().to_string()
         }
     };
@@ -247,6 +308,27 @@ fn main() {
         GOOD_SET.iter().map(|n| (n.to_string(), 2.0e10)).collect();
     warm.estimate("skylake", &warm_counts)
         .expect("warm-up counter estimate");
+    // Connection-scale mode: open the idle herd before the timed run and
+    // size the active client pool from what's left of the budget.
+    let (active_clients, idle_conns) = match options.connections {
+        Some(total) => {
+            #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+            #[allow(clippy::cast_sign_loss)]
+            let active =
+                (((total as f64) * (1.0 - options.idle_fraction)).round() as usize).clamp(1, total);
+            let idle = total - active;
+            println!("opening {idle} idle connections ({active} active)...");
+            let opened = Instant::now();
+            let conns = open_idle_connections(&addr, idle);
+            println!(
+                "{} idle connections open and probed in {:.2} s",
+                conns.len(),
+                opened.elapsed().as_secs_f64()
+            );
+            (active, conns)
+        }
+        None => (options.clients, Vec::new()),
+    };
     let load_spec = match options.duration_secs {
         Some(secs) => format!("{secs} s wall-clock budget"),
         None => format!("{} requests", options.requests),
@@ -255,7 +337,7 @@ fn main() {
         "warmed {} app specs; {} clients x {load_spec}, pipeline depth {}, {}% app-level, \
          against {addr}",
         APP_SPECS.len(),
-        options.clients,
+        active_clients,
         options.pipeline,
         options.app_share
     );
@@ -277,7 +359,7 @@ fn main() {
     let deadline = options
         .duration_secs
         .map(|secs| started + Duration::from_secs(secs));
-    let handles: Vec<_> = (0..options.clients)
+    let handles: Vec<_> = (0..active_clients)
         .map(|client_index| {
             let addr = addr.clone();
             let requests = options.requests;
@@ -316,7 +398,7 @@ fn main() {
                     lines.clear();
                     lines.extend((sent..sent + batch).map(|i| pattern[i % period].clone()));
                     let fired = Instant::now();
-                    let replies = client.send_pipelined(&lines).expect("pipelined batch");
+                    let replies = client.raw_pipelined(&lines).expect("pipelined batch");
                     let per_request = fired.elapsed() / batch as u32;
                     for reply in &replies {
                         let estimate = parse_estimate_reply(reply).expect("estimate reply");
@@ -339,6 +421,19 @@ fn main() {
     }
     let elapsed = started.elapsed();
 
+    // Every idle connection must still answer after the run: the front
+    // end kept them alive while the active herd saturated it.
+    let idle_held = idle_conns.len();
+    let idle_probe_failures = probe_all_idle(&idle_conns);
+    drop(idle_conns);
+    if idle_held > 0 {
+        println!(
+            "idle connections after the run: {}/{idle_held} still answering STATS \
+             ({idle_probe_failures} failed)",
+            idle_held - idle_probe_failures
+        );
+    }
+
     latencies.sort_unstable();
     let total = latencies.len();
     let throughput = total as f64 / elapsed.as_secs_f64();
@@ -360,10 +455,16 @@ fn main() {
         latencies[total - 1]
     );
     let summary = Summary {
-        clients: options.clients,
+        clients: active_clients,
         workers: options.workers,
         pipeline: options.pipeline,
         app_share: options.app_share,
+        connections: options.connections,
+        idle_fraction: options.idle_fraction,
+        idle_connections: idle_held,
+        idle_probe_failures,
+        transport: options.transport,
+        shards: options.shards,
         total,
         elapsed_secs: elapsed.as_secs_f64(),
         throughput_eps: throughput,
@@ -403,6 +504,16 @@ fn main() {
         }
         let _ = client.quit();
     }
+    // Connection-scale acceptance: a dropped idle connection is a
+    // failure, not a footnote — exit nonzero so CI gates on it.
+    if idle_probe_failures > 0 {
+        log::error(
+            "loadgen",
+            "idle connections stopped answering after the run",
+            &[("failed", &idle_probe_failures.to_string())],
+        );
+        std::process::exit(1);
+    }
 }
 
 /// Streaming-ingestion mode: `--streams N` concurrent telemetry streams,
@@ -416,22 +527,28 @@ fn run_streams(options: &Options) {
         Some(addr) => addr.clone(),
         None => {
             println!(
-                "starting in-process server ({} inference workers, metrics {}, tracing {})...",
+                "starting in-process server ({} inference workers, {} transport, {} shard(s), \
+                 metrics {}, tracing {})...",
                 options.workers,
+                options.transport,
+                options.shards,
                 if options.no_metrics { "off" } else { "on" },
                 if options.no_trace { "off" } else { "on" }
             );
-            let service = Arc::new(
+            let router = Arc::new(
                 ServiceConfig::default()
                     .workers(options.workers)
                     .cache_capacity(1024)
                     .seed(42)
                     .metrics(!options.no_metrics)
                     .tracing(!options.no_trace)
-                    .build()
+                    .transport(options.transport)
+                    .event_loops(options.event_loops)
+                    .build_sharded(options.shards)
                     .expect("build service"),
             );
-            local_server = Server::start(service, "127.0.0.1:0").expect("bind ephemeral port");
+            local_server =
+                Server::start_router(router, "127.0.0.1:0").expect("bind ephemeral port");
             local_server.addr().to_string()
         }
     };
@@ -481,7 +598,7 @@ fn run_streams(options: &Options) {
                                 .to_line(),
                             );
                         }
-                        let replies = client.send_pipelined(&lines).expect("pipelined pushes");
+                        let replies = client.raw_pipelined(&lines).expect("pipelined pushes");
                         for reply in &replies {
                             assert!(reply.starts_with("OK "), "push rejected: {reply}");
                         }
@@ -590,6 +707,82 @@ fn as_micros(d: Duration) -> f64 {
     d.as_secs_f64() * 1e6
 }
 
+/// Open `count` idle connections in parallel, probing each with one
+/// `STATS` round trip so a connection that never got accepted fails
+/// loudly at open rather than silently at the end-of-run recheck.
+fn open_idle_connections(addr: &str, count: usize) -> Vec<TcpStream> {
+    if count == 0 {
+        return Vec::new();
+    }
+    let threads = count.min(16);
+    let next = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let addr = addr.to_string();
+            let next = Arc::clone(&next);
+            std::thread::spawn(move || {
+                let mut conns = Vec::new();
+                while next.fetch_add(1, Ordering::Relaxed) < count {
+                    let conn = TcpStream::connect(addr.as_str()).expect("idle connect");
+                    conn.set_nodelay(true).expect("idle nodelay");
+                    probe_stats(&conn).expect("idle connection STATS probe at open");
+                    conns.push(conn);
+                }
+                conns
+            })
+        })
+        .collect();
+    let mut conns = Vec::with_capacity(count);
+    for handle in handles {
+        conns.extend(handle.join().expect("idle opener thread"));
+    }
+    conns
+}
+
+/// Re-probe every idle connection (in parallel — an idle connection on
+/// the evented transport sits in the cold tier, so replies can take a
+/// few sweep periods each) and count the ones that no longer answer.
+fn probe_all_idle(conns: &[TcpStream]) -> usize {
+    if conns.is_empty() {
+        return 0;
+    }
+    let threads = conns.len().min(16);
+    let failures = AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                while let Some(conn) = conns.get(next.fetch_add(1, Ordering::Relaxed)) {
+                    if probe_stats(conn).is_err() {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    failures.into_inner()
+}
+
+/// One `STATS` round trip over a raw idle connection: write the request,
+/// read until the reply's newline. Any I/O failure or early EOF means
+/// the server dropped the connection.
+fn probe_stats(mut conn: &TcpStream) -> std::io::Result<()> {
+    conn.write_all(b"STATS\n")?;
+    let mut chunk = [0u8; 256];
+    loop {
+        let n = conn.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the idle connection",
+            ));
+        }
+        if chunk[..n].contains(&b'\n') {
+            return Ok(());
+        }
+    }
+}
+
 /// Streaming-mode headline numbers, written by `--json` and read back by
 /// `--compare`.
 struct StreamSummary {
@@ -678,6 +871,12 @@ struct Summary {
     workers: usize,
     pipeline: usize,
     app_share: u32,
+    connections: Option<usize>,
+    idle_fraction: f64,
+    idle_connections: usize,
+    idle_probe_failures: usize,
+    transport: Transport,
+    shards: usize,
     total: usize,
     elapsed_secs: f64,
     throughput_eps: f64,
@@ -690,15 +889,26 @@ struct Summary {
 
 impl Summary {
     fn to_json(&self) -> String {
+        let connections = match self.connections {
+            Some(total) => format!(
+                "  \"connections\": {},\n  \"idle_fraction\": {},\n  \
+                 \"idle_connections\": {},\n  \"idle_probe_failures\": {},\n",
+                total, self.idle_fraction, self.idle_connections, self.idle_probe_failures
+            ),
+            None => String::new(),
+        };
         format!(
             "{{\n  \"clients\": {},\n  \"workers\": {},\n  \"pipeline\": {},\n  \
-             \"app_share\": {},\n  \"total\": {},\n  \"elapsed_secs\": {:.3},\n  \
+             \"app_share\": {},\n{connections}  \"transport\": \"{}\",\n  \
+             \"shards\": {},\n  \"total\": {},\n  \"elapsed_secs\": {:.3},\n  \
              \"throughput_eps\": {:.1},\n  \"p50_us\": {:.1},\n  \"p90_us\": {:.1},\n  \
              \"p99_us\": {:.1},\n  \"p999_us\": {:.1},\n  \"max_us\": {:.1}\n}}\n",
             self.clients,
             self.workers,
             self.pipeline,
             self.app_share,
+            self.transport,
+            self.shards,
             self.total,
             self.elapsed_secs,
             self.throughput_eps,

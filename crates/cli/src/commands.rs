@@ -8,7 +8,7 @@ use pmca_cpusim::{Machine, PlatformSpec};
 use pmca_pmctools::collector::collect_all;
 use pmca_pmctools::scheduler::schedule;
 use pmca_powermeter::HclWattsUp;
-use pmca_serve::{Client, Request, Server, ServiceConfig};
+use pmca_serve::{Client, Request, Server, ServiceConfig, Transport};
 use pmca_workloads::parse::app_from_spec;
 use pmca_workloads::suite::class_b_compound_pairs;
 use std::sync::Arc;
@@ -52,11 +52,17 @@ usage:
   never changes results: every output is bit-identical at any thread count
 
   slope-pmc serve [--addr HOST:PORT] [--workers N] [--cache N] [--registry DIR]
+                  [--shards N] [--transport threaded|evented] [--event-loops N]
                   [--metrics] [--trace-slow-ms MS] [--trace-log PATH] [--no-trace]
       run the energy estimation server (default 127.0.0.1:7771, 4 workers);
       speaks the line protocol: ESTIMATE, ESTIMATE-APP, TRAIN, MODELS,
-      STATS, METRICS, TRACE, QUIT; --registry loads saved models at
-      startup; --metrics serves until stdin closes, then dumps the
+      STATS, METRICS, TRACE, SHARDS, QUIT; --registry loads saved models
+      at startup; --shards N runs N in-process shards behind a
+      consistent-hash router (shard 0 keeps the file-backed registry,
+      replicas restore from its snapshot; --workers is split across
+      shards); --transport evented serves all connections from
+      --event-loops nonblocking event-loop threads instead of one thread
+      per connection; --metrics serves until stdin closes, then dumps the
       metrics snapshot (latency histograms + counters) before exiting;
       --trace-slow-ms keeps every request slower than MS in the slow
       flight recorder, --trace-log appends each captured trace as JSONL
@@ -66,6 +72,7 @@ usage:
       send one protocol request to a running server and print the reply
       (e.g.  slope-pmc query STATS
              slope-pmc query METRICS
+             slope-pmc query SHARDS
              slope-pmc query TRACE SLOWEST
              slope-pmc query ESTIMATE-APP skylake dgemm:12000)
 
@@ -96,6 +103,9 @@ struct Parsed {
     workers: usize,
     cache: usize,
     registry: Option<String>,
+    shards: usize,
+    transport: Transport,
+    event_loops: usize,
     metrics_dump: bool,
     trace_slow_ms: Option<u64>,
     trace_log: Option<String>,
@@ -119,6 +129,9 @@ fn parse_options(args: &[String]) -> Result<Parsed, String> {
     let mut workers = 4;
     let mut cache = 256;
     let mut registry = None;
+    let mut shards = 1;
+    let mut transport = Transport::Threaded;
+    let mut event_loops = 4;
     let mut metrics_dump = false;
     let mut trace_slow_ms = None;
     let mut trace_log = None;
@@ -190,6 +203,26 @@ fn parse_options(args: &[String]) -> Result<Parsed, String> {
             "--registry" => {
                 registry = Some(it.next().ok_or("--registry needs a directory")?.clone());
             }
+            "--shards" => {
+                let value = it.next().ok_or("--shards needs a value")?;
+                shards = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--shards: {value:?} is not a positive count"))?;
+            }
+            "--transport" => {
+                let value = it.next().ok_or("--transport needs threaded or evented")?;
+                transport = value.parse::<Transport>()?;
+            }
+            "--event-loops" => {
+                let value = it.next().ok_or("--event-loops needs a value")?;
+                event_loops = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--event-loops: {value:?} is not a positive count"))?;
+            }
             "--metrics" => metrics_dump = true,
             "--trace-slow-ms" => {
                 let value = it.next().ok_or("--trace-slow-ms needs a value")?;
@@ -252,6 +285,9 @@ fn parse_options(args: &[String]) -> Result<Parsed, String> {
         workers,
         cache,
         registry,
+        shards,
+        transport,
+        event_loops,
         metrics_dump,
         trace_slow_ms,
         trace_log,
@@ -508,6 +544,8 @@ fn cmd_serve(options: &Parsed) -> Result<(), String> {
         .workers(options.workers)
         .cache_capacity(options.cache)
         .seed(1)
+        .transport(options.transport)
+        .event_loops(options.event_loops)
         .tracing(!options.no_trace);
     if let Some(dir) = &options.registry {
         config = config.registry_dir(dir);
@@ -518,22 +556,31 @@ fn cmd_serve(options: &Parsed) -> Result<(), String> {
     if let Some(path) = &options.trace_log {
         config = config.trace_log(path);
     }
-    let service = Arc::new(config.build().map_err(|e| match &options.registry {
-        Some(dir) => format!("--registry {dir}: {e}"),
-        None => e.to_string(),
-    })?);
+    let router = Arc::new(config.build_sharded(options.shards).map_err(
+        |e| match &options.registry {
+            Some(dir) => format!("--registry {dir}: {e}"),
+            None => e.to_string(),
+        },
+    )?);
+    let service = router.primary();
     if let Some(dir) = &options.registry {
         println!("loaded {} model(s) from {dir}", service.stats().models);
     }
-    let server = Server::start(Arc::clone(&service), &options.addr)
+    let server = Server::start_router(Arc::clone(&router), &options.addr)
         .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
+    let topology = if options.shards > 1 {
+        format!(", {} shards", options.shards)
+    } else {
+        String::new()
+    };
     if options.metrics_dump {
         println!(
-            "slope-pmc serving on {} ({} workers, {}-run cache); \
+            "slope-pmc serving on {} ({} workers, {}-run cache, {} transport{topology}); \
              close stdin (Ctrl-D) for a metrics dump and exit",
             server.addr(),
             options.workers,
-            options.cache
+            options.cache,
+            options.transport,
         );
         // No signal handling in std: drain stdin so the operator (or a
         // driving script) can end the run deterministically, then dump
@@ -552,10 +599,12 @@ fn cmd_serve(options: &Parsed) -> Result<(), String> {
         return Ok(());
     }
     println!(
-        "slope-pmc serving on {} ({} workers, {}-run cache); stop with Ctrl-C",
+        "slope-pmc serving on {} ({} workers, {}-run cache, {} transport{topology}); \
+         stop with Ctrl-C",
         server.addr(),
         options.workers,
-        options.cache
+        options.cache,
+        options.transport,
     );
     // Serve until killed: connections are handled on their own threads.
     loop {
@@ -582,6 +631,23 @@ fn cmd_query(options: &Parsed) -> Result<(), String> {
         for metric in metrics {
             println!("  {metric}");
         }
+    } else if line.trim().eq_ignore_ascii_case("SHARDS") {
+        let shards = client.shards().map_err(|e| e.to_string())?;
+        println!("{} shard(s)", shards.len());
+        for shard in shards {
+            println!(
+                "  shard {}: owns [{}], {} model(s), {} stream(s), served {}, \
+                 errors {}, {} cached run(s), {} worker(s)",
+                shard.shard,
+                shard.owns.join(", "),
+                shard.models,
+                shard.streams,
+                shard.served,
+                shard.errors,
+                shard.cache_entries,
+                shard.workers,
+            );
+        }
     } else if let Ok(Request::Trace { scope, limit }) = Request::parse(&line) {
         let lines = client.trace(scope, limit).map_err(|e| e.to_string())?;
         println!("{} trace event line(s)", lines.len());
@@ -589,7 +655,7 @@ fn cmd_query(options: &Parsed) -> Result<(), String> {
             println!("{event}");
         }
     } else {
-        let reply = client.send_line(&line).map_err(|e| e.to_string())?;
+        let reply = client.raw_line(&line).map_err(|e| e.to_string())?;
         println!("{reply}");
     }
     Ok(())
@@ -794,6 +860,7 @@ mod tests {
         assert!(dispatch(&argv(&["query", "--addr", &addr, "STATS"])).is_ok());
         assert!(dispatch(&argv(&["query", "--addr", &addr, "MODELS"])).is_ok());
         assert!(dispatch(&argv(&["query", "--addr", &addr, "METRICS"])).is_ok());
+        assert!(dispatch(&argv(&["query", "--addr", &addr, "SHARDS"])).is_ok());
         assert!(dispatch(&argv(&["query", "--addr", &addr, "TRACE", "RECENT", "5"])).is_ok());
         // ERR replies are still successful round trips: the reply prints.
         assert!(dispatch(&argv(&[
@@ -847,6 +914,25 @@ mod tests {
     }
 
     #[test]
+    fn query_round_trips_against_a_sharded_evented_server() {
+        let router = Arc::new(
+            ServiceConfig::default()
+                .workers(2)
+                .cache_capacity(8)
+                .seed(1)
+                .transport(Transport::Evented)
+                .event_loops(2)
+                .build_sharded(2)
+                .unwrap(),
+        );
+        let server = Server::start_router(router, "127.0.0.1:0").unwrap();
+        let addr = server.addr().to_string();
+        assert!(dispatch(&argv(&["query", "--addr", &addr, "SHARDS"])).is_ok());
+        assert!(dispatch(&argv(&["query", "--addr", &addr, "STATS"])).is_ok());
+        assert!(dispatch(&argv(&["query", "--addr", &addr, "MODELS"])).is_ok());
+    }
+
+    #[test]
     fn serve_and_query_report_connection_problems() {
         assert!(dispatch(&argv(&["serve", "--addr", "999.999.999.999:1"]))
             .unwrap_err()
@@ -863,6 +949,15 @@ mod tests {
         assert!(dispatch(&argv(&["serve", "--trace-slow-ms", "soon"]))
             .unwrap_err()
             .contains("millisecond"));
+        assert!(dispatch(&argv(&["serve", "--shards", "0"]))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(dispatch(&argv(&["serve", "--event-loops", "none"]))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(dispatch(&argv(&["serve", "--transport", "quantum"]))
+            .unwrap_err()
+            .contains("expected threaded or evented"));
     }
 
     #[test]

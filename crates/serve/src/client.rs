@@ -1,14 +1,22 @@
 //! Blocking line-protocol client.
 //!
-//! Thin convenience wrapper over `TcpStream`: encodes [`Request`]s,
-//! reads reply lines, and parses them back into typed results. Used by
-//! the `slope-pmc query` subcommand, the round-trip integration test,
-//! and the loadgen bench binary.
+//! Thin convenience wrapper over `TcpStream`. Every verb goes through
+//! one I/O core — [`Client::request`] encodes a [`Request`], performs
+//! the verb's wire exchange (single reply line or counted listing), and
+//! parses the reply into a typed [`Response`]. The per-verb helpers
+//! ([`Client::estimate`], [`Client::stream_poll`], ...) are thin
+//! wrappers that unwrap the matching `Response` variant. Used by the
+//! `slope-pmc query` subcommand, the round-trip integration tests, and
+//! the loadgen bench binary.
+//!
+//! The old stringly entry points live on as `#[deprecated]` shims for
+//! one release: [`Client::send_line`] → [`Client::raw_line`] and
+//! [`Client::send_pipelined`] → [`Client::raw_pipelined`].
 
 use crate::engine::Estimate;
 use crate::protocol::{
-    parse_estimate_reply, parse_ok_fields, parse_stream_status, ProtocolError, Request, TraceScope,
-    STREAM_PUSH_COUNTS,
+    parse_estimate_reply, parse_ok_fields, parse_shard_info, parse_stream_status, Command,
+    ProtocolError, Request, ShardInfo, TraceScope, STREAM_PUSH_COUNTS,
 };
 use pmca_stream::StreamStatus;
 use std::error::Error;
@@ -55,6 +63,64 @@ impl From<ProtocolError> for ClientError {
     }
 }
 
+/// A parsed server reply — one variant per reply shape, returned by
+/// [`Client::request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// An estimate (`ESTIMATE` / `ESTIMATE-APP`).
+    Estimate(Estimate),
+    /// A `TRAIN` acknowledgement.
+    Trained {
+        /// Platform the model was trained for.
+        platform: String,
+        /// Model family registered.
+        family: String,
+        /// New model version.
+        version: u32,
+        /// Training rows used.
+        rows: usize,
+        /// Residual standard deviation of the fit.
+        residual_std: f64,
+    },
+    /// A counted listing's payload lines (`MODELS` / `METRICS` /
+    /// `TRACE`).
+    Listing(Vec<String>),
+    /// `STATS` counters as `(key, value)` pairs.
+    Fields(Vec<(String, String)>),
+    /// A `STREAM OPEN` acknowledgement.
+    StreamOpened {
+        /// Stream id.
+        id: String,
+        /// Server-clamped sliding-ring capacity in windows.
+        capacity: usize,
+    },
+    /// A `STREAM PUSH` acknowledgement.
+    StreamPushed {
+        /// The pushed window id, echoed by the server.
+        window: u64,
+        /// Whether the window was accepted (`false` for duplicates and
+        /// too-old windows).
+        accepted: bool,
+    },
+    /// A `STREAM POLL` status.
+    StreamStatus(StreamStatus),
+    /// A `STREAM CLOSE` acknowledgement.
+    StreamClosed {
+        /// Stream id.
+        id: String,
+        /// Windows accepted over the stream's life.
+        accepted: u64,
+        /// Windows retained in the ring at close.
+        retained: usize,
+    },
+    /// Status rows for every open stream (`STREAM LIST`).
+    StreamList(Vec<StreamStatus>),
+    /// Per-shard ownership and counters (`SHARDS`).
+    Shards(Vec<ShardInfo>),
+    /// The `QUIT` goodbye.
+    Bye,
+}
+
 /// One connection to a serving endpoint.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -79,13 +145,168 @@ impl Client {
         })
     }
 
+    /// The one I/O core every verb goes through: encode `request`, send
+    /// it, read the verb's reply shape (one line, or an `OK count=<n>`
+    /// header plus `n` listing lines), and parse it into a typed
+    /// [`Response`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Protocol`] with the server's message on an
+    /// `ERR` reply or a reply that does not parse, [`ClientError::Io`]
+    /// on socket failure.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let command = request.command();
+        let reply = self.raw_line(&request.to_line())?;
+        match command {
+            Command::Estimate | Command::EstimateApp => {
+                Ok(Response::Estimate(parse_estimate_reply(&reply)?))
+            }
+            Command::Train => {
+                let fields = parse_ok_fields(&reply)?;
+                let get = |key: &str| {
+                    fields
+                        .iter()
+                        .find(|(k, _)| *k == key)
+                        .map(|(_, v)| *v)
+                        .ok_or_else(|| {
+                            ProtocolError::MalformedReply(format!(
+                                "missing {key} in TRAIN reply {reply:?}"
+                            ))
+                        })
+                };
+                fn number<T: std::str::FromStr>(
+                    key: &str,
+                    raw: &str,
+                    reply: &str,
+                ) -> Result<T, ClientError> {
+                    raw.parse().map_err(|_| {
+                        ClientError::Protocol(ProtocolError::MalformedReply(format!(
+                            "bad {key} in TRAIN reply {reply:?}"
+                        )))
+                    })
+                }
+                Ok(Response::Trained {
+                    platform: get("platform")?.to_string(),
+                    family: get("family")?.to_string(),
+                    version: number("version", get("version")?, &reply)?,
+                    rows: number("rows", get("rows")?, &reply)?,
+                    residual_std: number("residual-std", get("residual-std")?, &reply)?,
+                })
+            }
+            Command::Models | Command::Metrics | Command::Trace => {
+                Ok(Response::Listing(self.counted_rows(&reply, command)?))
+            }
+            Command::Stats => {
+                let fields = parse_ok_fields(&reply)?;
+                Ok(Response::Fields(
+                    fields
+                        .into_iter()
+                        .map(|(k, v)| (k.to_string(), v.to_string()))
+                        .collect(),
+                ))
+            }
+            Command::StreamOpen => {
+                let fields = parse_ok_fields(&reply)?;
+                let field = |key: &str| {
+                    fields
+                        .iter()
+                        .find(|(k, _)| *k == key)
+                        .map(|(_, v)| *v)
+                        .ok_or_else(|| {
+                            ProtocolError::MalformedReply(format!(
+                                "malformed STREAM OPEN reply {reply:?}"
+                            ))
+                        })
+                };
+                Ok(Response::StreamOpened {
+                    id: field("stream")?.to_string(),
+                    capacity: field("capacity")?.parse().map_err(|_| {
+                        ProtocolError::MalformedReply(format!(
+                            "malformed STREAM OPEN reply {reply:?}"
+                        ))
+                    })?,
+                })
+            }
+            Command::StreamPush => {
+                let fields = parse_ok_fields(&reply)?;
+                let field = |key: &str| {
+                    fields
+                        .iter()
+                        .find(|(k, _)| *k == key)
+                        .map(|(_, v)| *v)
+                        .ok_or_else(|| {
+                            ProtocolError::MalformedReply(format!(
+                                "malformed STREAM PUSH reply {reply:?}"
+                            ))
+                        })
+                };
+                Ok(Response::StreamPushed {
+                    window: field("window")?.parse().map_err(|_| {
+                        ProtocolError::MalformedReply(format!(
+                            "malformed STREAM PUSH reply {reply:?}"
+                        ))
+                    })?,
+                    accepted: field("accepted")? == "1",
+                })
+            }
+            Command::StreamPoll => Ok(Response::StreamStatus(parse_stream_status(&reply)?)),
+            Command::StreamClose => {
+                let fields = parse_ok_fields(&reply)?;
+                let field = |key: &str| {
+                    fields
+                        .iter()
+                        .find(|(k, _)| *k == key)
+                        .map(|(_, v)| *v)
+                        .ok_or_else(|| {
+                            ProtocolError::MalformedReply(format!(
+                                "malformed STREAM CLOSE reply {reply:?}"
+                            ))
+                        })
+                };
+                fn number<T: std::str::FromStr>(raw: &str, reply: &str) -> Result<T, ClientError> {
+                    raw.parse().map_err(|_| {
+                        ClientError::Protocol(ProtocolError::MalformedReply(format!(
+                            "malformed STREAM CLOSE reply {reply:?}"
+                        )))
+                    })
+                }
+                Ok(Response::StreamClosed {
+                    id: field("stream")?.to_string(),
+                    accepted: number(field("accepted")?, &reply)?,
+                    retained: number(field("retained")?, &reply)?,
+                })
+            }
+            Command::StreamList => {
+                let rows = self.counted_rows(&reply, command)?;
+                Ok(Response::StreamList(
+                    rows.iter()
+                        .map(|row| parse_stream_status(row).map_err(ClientError::from))
+                        .collect::<Result<_, _>>()?,
+                ))
+            }
+            Command::Shards => {
+                let rows = self.counted_rows(&reply, command)?;
+                Ok(Response::Shards(
+                    rows.iter()
+                        .map(|row| parse_shard_info(row).map_err(ClientError::from))
+                        .collect::<Result<_, _>>()?,
+                ))
+            }
+            Command::Quit => {
+                parse_ok_fields(&reply)?;
+                Ok(Response::Bye)
+            }
+        }
+    }
+
     /// Send one raw request line and read one reply line.
     ///
     /// # Errors
     ///
     /// Returns [`ClientError::Io`] on socket failure or a closed
     /// connection.
-    pub fn send_line(&mut self, line: &str) -> Result<String, ClientError> {
+    pub fn raw_line(&mut self, line: &str) -> Result<String, ClientError> {
         writeln!(self.writer, "{line}")?;
         self.writer.flush()?;
         self.read_reply_line()
@@ -93,14 +314,15 @@ impl Client {
 
     /// Send several request lines back-to-back before reading any reply
     /// (pipelining), then read exactly one reply line per request. Cuts
-    /// per-request round trips under load. Not valid for `MODELS`, whose
-    /// reply spans multiple lines.
+    /// per-request round trips under load. Not valid for the counted
+    /// listings (`MODELS`, `METRICS`, `TRACE`, `STREAM LIST`, `SHARDS`),
+    /// whose replies span multiple lines.
     ///
     /// # Errors
     ///
     /// Returns [`ClientError::Io`] on socket failure or a closed
     /// connection.
-    pub fn send_pipelined(&mut self, lines: &[String]) -> Result<Vec<String>, ClientError> {
+    pub fn raw_pipelined(&mut self, lines: &[String]) -> Result<Vec<String>, ClientError> {
         let mut buffer = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
         for line in lines {
             buffer.push_str(line);
@@ -109,6 +331,31 @@ impl Client {
         self.writer.write_all(buffer.as_bytes())?;
         self.writer.flush()?;
         (0..lines.len()).map(|_| self.read_reply_line()).collect()
+    }
+
+    /// Deprecated spelling of [`Client::raw_line`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Io`] on socket failure or a closed
+    /// connection.
+    #[deprecated(since = "0.1.0", note = "use `raw_line`, or the typed `request` core")]
+    pub fn send_line(&mut self, line: &str) -> Result<String, ClientError> {
+        self.raw_line(line)
+    }
+
+    /// Deprecated spelling of [`Client::raw_pipelined`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Io`] on socket failure or a closed
+    /// connection.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `raw_pipelined`, or the typed `request` core"
+    )]
+    pub fn send_pipelined(&mut self, lines: &[String]) -> Result<Vec<String>, ClientError> {
+        self.raw_pipelined(lines)
     }
 
     fn read_reply_line(&mut self) -> Result<String, ClientError> {
@@ -120,6 +367,32 @@ impl Client {
             )));
         }
         Ok(reply.trim_end().to_string())
+    }
+
+    /// Read the rest of a counted listing whose `OK count=<n>` header is
+    /// already in `header`.
+    fn counted_rows(&mut self, header: &str, command: Command) -> Result<Vec<String>, ClientError> {
+        let fields = parse_ok_fields(header)?;
+        let count: usize = fields
+            .iter()
+            .find(|(k, _)| *k == "count")
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or_else(|| {
+                ClientError::Protocol(ProtocolError::MalformedReply(format!(
+                    "malformed {} reply {header:?}",
+                    command.wire_name()
+                )))
+            })?;
+        (0..count).map(|_| self.read_reply_line()).collect()
+    }
+
+    /// The reply did not match the request's expected [`Response`]
+    /// shape — only reachable if [`Client::request`] maps a command to
+    /// the wrong variant, so this is effectively an internal assertion.
+    fn unexpected(response: &Response) -> ClientError {
+        ClientError::Protocol(ProtocolError::MalformedReply(format!(
+            "unexpected response {response:?}"
+        )))
     }
 
     /// Estimate from named PMC counts.
@@ -137,8 +410,10 @@ impl Client {
             platform: platform.to_string(),
             counts: counts.to_vec(),
         };
-        let reply = self.send_line(&request.to_line())?;
-        Ok(parse_estimate_reply(&reply)?)
+        match self.request(&request)? {
+            Response::Estimate(estimate) => Ok(estimate),
+            other => Err(Self::unexpected(&other)),
+        }
     }
 
     /// Estimate a whole application by workload spec.
@@ -152,8 +427,10 @@ impl Client {
             platform: platform.to_string(),
             app: app.to_string(),
         };
-        let reply = self.send_line(&request.to_line())?;
-        Ok(parse_estimate_reply(&reply)?)
+        match self.request(&request)? {
+            Response::Estimate(estimate) => Ok(estimate),
+            other => Err(Self::unexpected(&other)),
+        }
     }
 
     /// Train an online model server-side; returns the new version.
@@ -173,17 +450,10 @@ impl Client {
             pmcs: pmcs.to_vec(),
             apps: apps.to_vec(),
         };
-        let reply = self.send_line(&request.to_line())?;
-        let fields = parse_ok_fields(&reply)?;
-        fields
-            .iter()
-            .find(|(k, _)| *k == "version")
-            .and_then(|(_, v)| v.parse().ok())
-            .ok_or_else(|| {
-                ClientError::Protocol(ProtocolError::MalformedReply(format!(
-                    "malformed TRAIN reply {reply:?}"
-                )))
-            })
+        match self.request(&request)? {
+            Response::Trained { version, .. } => Ok(version),
+            other => Err(Self::unexpected(&other)),
+        }
     }
 
     /// List registered models (one line per version).
@@ -192,7 +462,10 @@ impl Client {
     ///
     /// Returns [`ClientError::Protocol`] on a malformed listing.
     pub fn models(&mut self) -> Result<Vec<String>, ClientError> {
-        self.counted_listing(Request::Models, "MODELS")
+        match self.request(&Request::Models)? {
+            Response::Listing(lines) => Ok(lines),
+            other => Err(Self::unexpected(&other)),
+        }
     }
 
     /// Fetch the server's metrics snapshot (one exposition line per
@@ -202,7 +475,10 @@ impl Client {
     ///
     /// Returns [`ClientError::Protocol`] on a malformed listing.
     pub fn metrics(&mut self) -> Result<Vec<String>, ClientError> {
-        self.counted_listing(Request::Metrics, "METRICS")
+        match self.request(&Request::Metrics)? {
+            Response::Listing(lines) => Ok(lines),
+            other => Err(Self::unexpected(&other)),
+        }
     }
 
     /// Fetch retained request traces as JSONL event lines. `limit` caps
@@ -217,28 +493,10 @@ impl Client {
         scope: TraceScope,
         limit: Option<usize>,
     ) -> Result<Vec<String>, ClientError> {
-        self.counted_listing(Request::Trace { scope, limit }, "TRACE")
-    }
-
-    /// Shared shape of MODELS/METRICS/TRACE replies: an `OK count=<n>`
-    /// header followed by `n` payload lines.
-    fn counted_listing(
-        &mut self,
-        request: Request,
-        label: &str,
-    ) -> Result<Vec<String>, ClientError> {
-        let header = self.send_line(&request.to_line())?;
-        let fields = parse_ok_fields(&header)?;
-        let count: usize = fields
-            .iter()
-            .find(|(k, _)| *k == "count")
-            .and_then(|(_, v)| v.parse().ok())
-            .ok_or_else(|| {
-                ClientError::Protocol(ProtocolError::MalformedReply(format!(
-                    "malformed {label} reply {header:?}"
-                )))
-            })?;
-        (0..count).map(|_| self.read_reply_line()).collect()
+        match self.request(&Request::Trace { scope, limit })? {
+            Response::Listing(lines) => Ok(lines),
+            other => Err(Self::unexpected(&other)),
+        }
     }
 
     /// Fetch service counters as `(key, value)` pairs.
@@ -247,12 +505,23 @@ impl Client {
     ///
     /// Returns [`ClientError::Protocol`] on a malformed reply.
     pub fn stats(&mut self) -> Result<Vec<(String, String)>, ClientError> {
-        let reply = self.send_line(&Request::Stats.to_line())?;
-        let fields = parse_ok_fields(&reply)?;
-        Ok(fields
-            .into_iter()
-            .map(|(k, v)| (k.to_string(), v.to_string()))
-            .collect())
+        match self.request(&Request::Stats)? {
+            Response::Fields(fields) => Ok(fields),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Per-shard ownership and counters, one [`ShardInfo`] per shard in
+    /// slot order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Protocol`] on a malformed listing.
+    pub fn shards(&mut self) -> Result<Vec<ShardInfo>, ClientError> {
+        match self.request(&Request::Shards)? {
+            Response::Shards(shards) => Ok(shards),
+            other => Err(Self::unexpected(&other)),
+        }
     }
 
     /// Open a telemetry stream; returns the server's clamped sliding-ring
@@ -275,17 +544,10 @@ impl Client {
             platform: platform.to_string(),
             window,
         };
-        let reply = self.send_line(&request.to_line())?;
-        let fields = parse_ok_fields(&reply)?;
-        fields
-            .iter()
-            .find(|(k, _)| *k == "capacity")
-            .and_then(|(_, v)| v.parse().ok())
-            .ok_or_else(|| {
-                ClientError::Protocol(ProtocolError::MalformedReply(format!(
-                    "malformed STREAM OPEN reply {reply:?}"
-                )))
-            })
+        match self.request(&request)? {
+            Response::StreamOpened { capacity, .. } => Ok(capacity),
+            other => Err(Self::unexpected(&other)),
+        }
     }
 
     /// Push one window of PMC counts into an open stream; `joules`
@@ -309,17 +571,10 @@ impl Client {
             counts,
             joules,
         };
-        let reply = self.send_line(&request.to_line())?;
-        let fields = parse_ok_fields(&reply)?;
-        fields
-            .iter()
-            .find(|(k, _)| *k == "accepted")
-            .map(|(_, v)| *v == "1")
-            .ok_or_else(|| {
-                ClientError::Protocol(ProtocolError::MalformedReply(format!(
-                    "malformed STREAM PUSH reply {reply:?}"
-                )))
-            })
+        match self.request(&request)? {
+            Response::StreamPushed { accepted, .. } => Ok(accepted),
+            other => Err(Self::unexpected(&other)),
+        }
     }
 
     /// Current status and energy estimate for an open stream.
@@ -330,8 +585,10 @@ impl Client {
     /// `ERR` reply.
     pub fn stream_poll(&mut self, id: &str) -> Result<StreamStatus, ClientError> {
         let request = Request::StreamPoll { id: id.to_string() };
-        let reply = self.send_line(&request.to_line())?;
-        Ok(parse_stream_status(&reply)?)
+        match self.request(&request)? {
+            Response::StreamStatus(status) => Ok(status),
+            other => Err(Self::unexpected(&other)),
+        }
     }
 
     /// Close a stream; returns the windows it accepted over its life.
@@ -342,17 +599,10 @@ impl Client {
     /// `ERR` reply.
     pub fn stream_close(&mut self, id: &str) -> Result<u64, ClientError> {
         let request = Request::StreamClose { id: id.to_string() };
-        let reply = self.send_line(&request.to_line())?;
-        let fields = parse_ok_fields(&reply)?;
-        fields
-            .iter()
-            .find(|(k, _)| *k == "accepted")
-            .and_then(|(_, v)| v.parse().ok())
-            .ok_or_else(|| {
-                ClientError::Protocol(ProtocolError::MalformedReply(format!(
-                    "malformed STREAM CLOSE reply {reply:?}"
-                )))
-            })
+        match self.request(&request)? {
+            Response::StreamClosed { accepted, .. } => Ok(accepted),
+            other => Err(Self::unexpected(&other)),
+        }
     }
 
     /// Status rows for every open stream, sorted by id.
@@ -361,10 +611,10 @@ impl Client {
     ///
     /// Returns [`ClientError::Protocol`] on a malformed listing.
     pub fn stream_list(&mut self) -> Result<Vec<StreamStatus>, ClientError> {
-        let rows = self.counted_listing(Request::StreamList, "STREAM LIST")?;
-        rows.iter()
-            .map(|row| parse_stream_status(row).map_err(ClientError::from))
-            .collect()
+        match self.request(&Request::StreamList)? {
+            Response::StreamList(statuses) => Ok(statuses),
+            other => Err(Self::unexpected(&other)),
+        }
     }
 
     /// Politely close the connection.
@@ -373,7 +623,7 @@ impl Client {
     ///
     /// Returns [`ClientError::Io`] if the goodbye could not be exchanged.
     pub fn quit(mut self) -> Result<(), ClientError> {
-        self.send_line(&Request::Quit.to_line())?;
+        self.request(&Request::Quit)?;
         Ok(())
     }
 }
@@ -436,7 +686,50 @@ mod tests {
                 .any(|line| line.starts_with("pmca_serve_command_seconds")),
             "no command histogram in {metrics:?}"
         );
+
+        let shards = client.shards().unwrap();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].shard, 0);
+        assert_eq!(shards[0].models, 1);
         client.quit().unwrap();
+    }
+
+    #[test]
+    fn request_core_returns_typed_responses() {
+        let server = running_server();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let response = client
+            .request(&Request::Estimate {
+                platform: "skylake".to_string(),
+                counts: vec![("A".to_string(), 10.0), ("B".to_string(), 1.0)],
+            })
+            .unwrap();
+        assert!(
+            matches!(response, Response::Estimate(ref e) if e.joules == 23.0),
+            "{response:?}"
+        );
+        let response = client.request(&Request::Stats).unwrap();
+        assert!(matches!(response, Response::Fields(_)), "{response:?}");
+        let response = client.request(&Request::Shards).unwrap();
+        assert!(
+            matches!(response, Response::Shards(ref s) if s.len() == 1),
+            "{response:?}"
+        );
+        assert_eq!(client.request(&Request::Quit).unwrap(), Response::Bye);
+    }
+
+    #[test]
+    fn deprecated_shims_still_answer() {
+        let server = running_server();
+        let mut client = Client::connect(server.addr()).unwrap();
+        #[allow(deprecated)]
+        let reply = client.send_line("STATS").unwrap();
+        assert!(reply.starts_with("OK served="), "{reply:?}");
+        #[allow(deprecated)]
+        let replies = client
+            .send_pipelined(&["STATS".to_string(), "STATS".to_string()])
+            .unwrap();
+        assert_eq!(replies.len(), 2);
     }
 
     #[test]

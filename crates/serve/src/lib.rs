@@ -69,20 +69,29 @@
 
 pub mod cache;
 pub mod client;
+mod dispatch;
 pub mod engine;
+mod evented;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 pub mod service;
+pub mod shard;
+pub mod store;
 
 pub use cache::{RunCache, RunKey};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, Response};
 pub use engine::{EngineError, Estimate, InferenceEngine};
 pub use pmca_obs::Trace;
 pub use pmca_stream::{ModelSnapshot, PushReply, StreamHub, StreamHubConfig, StreamStatus};
-pub use protocol::{ProtocolError, Request, RequestRef, TraceScope, STREAM_PUSH_COUNTS};
+pub use protocol::{
+    Command, ProtocolError, Request, RequestRef, ShardInfo, TraceScope, STREAM_PUSH_COUNTS,
+};
 pub use registry::{ModelKey, Registry, RegistryError, StoredModel};
 pub use server::Server;
 pub use service::{
     BatchRequest, BatchRequestRef, EnergyService, ServiceConfig, ServiceError, ServiceStats,
+    Transport,
 };
+pub use shard::ShardRouter;
+pub use store::{FileStore, MemoryStore, ModelStore, RegistrySnapshot};

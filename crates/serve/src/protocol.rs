@@ -15,8 +15,14 @@
 //! STATS
 //! METRICS
 //! TRACE [RECENT|SLOW|SLOWEST] [<limit>]
+//! SHARDS
 //! QUIT
 //! ```
+//!
+//! Parsing is `line → verb → [`Command`] → arguments`: every verb (and
+//! `STREAM` subcommand) maps onto one [`Command`] variant first, so
+//! serve, stream, and shard verbs share a single exhaustive match
+//! instead of scattered string comparisons.
 //!
 //! The `STREAM` family is the streaming-ingestion surface: `OPEN`
 //! registers a stream whose sliding ring holds `<window>` one-second
@@ -35,7 +41,9 @@
 //! (`name{label="v"} value`; see `pmca_obs`). `TRACE` lines are JSONL —
 //! one event per line (see `pmca_obs::trace::Trace::to_jsonl`), grouped
 //! by trace, and `<limit>` caps how many *traces* (not lines) are
-//! dumped. Floats use Rust's default shortest-round-trip formatting, so
+//! dumped. `SHARDS` is also a counted listing: one `key=value` row per
+//! shard (see [`shard_info_fields`]) reporting ownership and counters.
+//! Floats use Rust's default shortest-round-trip formatting, so
 //! a reply parses back to the exact served value.
 
 use crate::engine::Estimate;
@@ -90,6 +98,144 @@ impl ProtocolError {
             command: command.to_string(),
             detail: detail.into(),
         }
+    }
+}
+
+/// Every protocol verb as a typed command. A request line resolves to a
+/// `Command` first (`parse → Command → arguments`), so serve, stream,
+/// and shard verbs share one exhaustive match instead of scattered
+/// string comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// `ESTIMATE <platform> <pmc>=<count> ...`
+    Estimate,
+    /// `ESTIMATE-APP <platform> <appspec>`
+    EstimateApp,
+    /// `TRAIN <platform> <pmcs> <apps>`
+    Train,
+    /// `STREAM OPEN <id> <app> <platform> <window>`
+    StreamOpen,
+    /// `STREAM PUSH <id> <window-id> <c1..c4> [<joules>]`
+    StreamPush,
+    /// `STREAM POLL <id>`
+    StreamPoll,
+    /// `STREAM CLOSE <id>`
+    StreamClose,
+    /// `STREAM LIST`
+    StreamList,
+    /// `MODELS`
+    Models,
+    /// `STATS`
+    Stats,
+    /// `METRICS`
+    Metrics,
+    /// `TRACE [RECENT|SLOW|SLOWEST] [<limit>]`
+    Trace,
+    /// `SHARDS`
+    Shards,
+    /// `QUIT`
+    Quit,
+}
+
+impl Command {
+    /// Resolve a verb (and, for `STREAM`, its subcommand) to a command.
+    /// Matching is case-insensitive and in place — no uppercased
+    /// `String` is built, so this is safe on the hot path. Returns
+    /// `None` for an unknown verb or subcommand; `sub` is ignored for
+    /// verbs other than `STREAM`.
+    pub fn parse(verb: &str, sub: Option<&str>) -> Option<Self> {
+        if verb.eq_ignore_ascii_case("STREAM") {
+            let sub = sub?;
+            for (name, command) in [
+                ("PUSH", Command::StreamPush),
+                ("POLL", Command::StreamPoll),
+                ("OPEN", Command::StreamOpen),
+                ("CLOSE", Command::StreamClose),
+                ("LIST", Command::StreamList),
+            ] {
+                if sub.eq_ignore_ascii_case(name) {
+                    return Some(command);
+                }
+            }
+            return None;
+        }
+        for (name, command) in [
+            ("ESTIMATE", Command::Estimate),
+            ("ESTIMATE-APP", Command::EstimateApp),
+            ("TRAIN", Command::Train),
+            ("MODELS", Command::Models),
+            ("STATS", Command::Stats),
+            ("METRICS", Command::Metrics),
+            ("TRACE", Command::Trace),
+            ("SHARDS", Command::Shards),
+            ("QUIT", Command::Quit),
+        ] {
+            if verb.eq_ignore_ascii_case(name) {
+                return Some(command);
+            }
+        }
+        None
+    }
+
+    /// The command's canonical wire spelling (`"STREAM OPEN"`,
+    /// `"SHARDS"`, ...), as used in error messages and `to_line`.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            Command::Estimate => "ESTIMATE",
+            Command::EstimateApp => "ESTIMATE-APP",
+            Command::Train => "TRAIN",
+            Command::StreamOpen => "STREAM OPEN",
+            Command::StreamPush => "STREAM PUSH",
+            Command::StreamPoll => "STREAM POLL",
+            Command::StreamClose => "STREAM CLOSE",
+            Command::StreamList => "STREAM LIST",
+            Command::Models => "MODELS",
+            Command::Stats => "STATS",
+            Command::Metrics => "METRICS",
+            Command::Trace => "TRACE",
+            Command::Shards => "SHARDS",
+            Command::Quit => "QUIT",
+        }
+    }
+
+    /// The stable label this command carries in per-command metrics
+    /// (`pmca_serve_command_seconds{command=...}`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Command::Estimate => "estimate",
+            Command::EstimateApp => "estimate-app",
+            Command::Train => "train",
+            Command::StreamOpen => "stream-open",
+            Command::StreamPush => "stream-push",
+            Command::StreamPoll => "stream-poll",
+            Command::StreamClose => "stream-close",
+            Command::StreamList => "stream-list",
+            Command::Models => "models",
+            Command::Stats => "stats",
+            Command::Metrics => "metrics",
+            Command::Trace => "trace",
+            Command::Shards => "shards",
+            Command::Quit => "quit",
+        }
+    }
+
+    /// Whether the command rejects any trailing arguments.
+    pub fn takes_no_arguments(self) -> bool {
+        matches!(
+            self,
+            Command::StreamList
+                | Command::Models
+                | Command::Stats
+                | Command::Metrics
+                | Command::Shards
+                | Command::Quit
+        )
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.wire_name())
     }
 }
 
@@ -168,6 +314,8 @@ pub enum Request {
         /// Cap on the number of traces (not lines) dumped.
         limit: Option<usize>,
     },
+    /// Report per-shard ownership and counters.
+    Shards,
     /// Close the connection.
     Quit,
 }
@@ -245,43 +393,60 @@ impl<'a> RequestRef<'a> {
     /// Returns a [`ProtocolError`] describing the first problem.
     pub fn parse(line: &'a str) -> Result<RequestRef<'a>, ProtocolError> {
         let mut words = line.split_whitespace();
-        let command = words.next().ok_or(ProtocolError::EmptyRequest)?;
-        if command.eq_ignore_ascii_case("ESTIMATE") {
-            let platform = words
-                .next()
-                .ok_or_else(|| ProtocolError::bad("ESTIMATE", "needs a platform"))?;
-            let mut counts = Vec::new();
-            for pair in words {
-                let (name, value) = pair.split_once('=').ok_or_else(|| {
-                    ProtocolError::bad("ESTIMATE", format!("expected pmc=count, found {pair:?}"))
-                })?;
-                let count = value.parse::<f64>().map_err(|_| {
-                    ProtocolError::bad("ESTIMATE", format!("bad count {value:?} for {name}"))
-                })?;
-                counts.push((name, count));
+        let verb = words.next().ok_or(ProtocolError::EmptyRequest)?;
+        // `STREAM` carries its subcommand in the second word; resolve
+        // both to one `Command` before touching any arguments.
+        let sub = if verb.eq_ignore_ascii_case("STREAM") {
+            Some(words.next().ok_or_else(|| {
+                ProtocolError::bad("STREAM", "usage: STREAM OPEN|PUSH|POLL|CLOSE|LIST ...")
+            })?)
+        } else {
+            None
+        };
+        let command = Command::parse(verb, sub).ok_or_else(|| match sub {
+            Some(sub) => ProtocolError::bad(
+                "STREAM",
+                format!("unknown subcommand {:?}", sub.to_ascii_uppercase()),
+            ),
+            None => ProtocolError::UnknownCommand(verb.to_ascii_uppercase()),
+        })?;
+        // The four hot commands (the ones a pipelined client issues at
+        // rate) parse in place, borrowing from the line; everything else
+        // is cold and goes through the owned path.
+        match command {
+            Command::Estimate => {
+                let platform = words
+                    .next()
+                    .ok_or_else(|| ProtocolError::bad("ESTIMATE", "needs a platform"))?;
+                let mut counts = Vec::new();
+                for pair in words {
+                    let (name, value) = pair.split_once('=').ok_or_else(|| {
+                        ProtocolError::bad(
+                            "ESTIMATE",
+                            format!("expected pmc=count, found {pair:?}"),
+                        )
+                    })?;
+                    let count = value.parse::<f64>().map_err(|_| {
+                        ProtocolError::bad("ESTIMATE", format!("bad count {value:?} for {name}"))
+                    })?;
+                    counts.push((name, count));
+                }
+                if counts.is_empty() {
+                    return Err(ProtocolError::bad(
+                        "ESTIMATE",
+                        "needs at least one pmc=count pair",
+                    ));
+                }
+                Ok(RequestRef::Estimate { platform, counts })
             }
-            if counts.is_empty() {
-                return Err(ProtocolError::bad(
-                    "ESTIMATE",
-                    "needs at least one pmc=count pair",
-                ));
-            }
-            return Ok(RequestRef::Estimate { platform, counts });
-        }
-        if command.eq_ignore_ascii_case("ESTIMATE-APP") {
-            return match (words.next(), words.next(), words.next()) {
+            Command::EstimateApp => match (words.next(), words.next(), words.next()) {
                 (Some(platform), Some(app), None) => Ok(RequestRef::EstimateApp { platform, app }),
                 _ => Err(ProtocolError::bad(
                     "ESTIMATE-APP",
                     "usage: ESTIMATE-APP <platform> <appspec>",
                 )),
-            };
-        }
-        if command.eq_ignore_ascii_case("STREAM") {
-            let sub = words.next().ok_or_else(|| {
-                ProtocolError::bad("STREAM", "usage: STREAM OPEN|PUSH|POLL|CLOSE|LIST ...")
-            })?;
-            if sub.eq_ignore_ascii_case("PUSH") {
+            },
+            Command::StreamPush => {
                 let id = words
                     .next()
                     .ok_or_else(|| ProtocolError::bad("STREAM PUSH", "needs a stream id"))?;
@@ -315,24 +480,19 @@ impl<'a> RequestRef<'a> {
                         "usage: STREAM PUSH <id> <window-id> <c1> <c2> <c3> <c4> [<joules>]",
                     ));
                 }
-                return Ok(RequestRef::StreamPush {
+                Ok(RequestRef::StreamPush {
                     id,
                     window,
                     counts,
                     joules,
-                });
+                })
             }
-            if sub.eq_ignore_ascii_case("POLL") {
-                return match (words.next(), words.next()) {
-                    (Some(id), None) => Ok(RequestRef::StreamPoll { id }),
-                    _ => Err(ProtocolError::bad("STREAM POLL", "usage: STREAM POLL <id>")),
-                };
-            }
-            let mut rest = vec![sub];
-            rest.extend(words);
-            return parse_cold(command, &rest).map(RequestRef::Owned);
+            Command::StreamPoll => match (words.next(), words.next()) {
+                (Some(id), None) => Ok(RequestRef::StreamPoll { id }),
+                _ => Err(ProtocolError::bad("STREAM POLL", "usage: STREAM POLL <id>")),
+            },
+            cold => parse_cold(cold, &words.collect::<Vec<&str>>()).map(RequestRef::Owned),
         }
-        parse_cold(command, &words.collect::<Vec<&str>>()).map(RequestRef::Owned)
     }
 
     /// Convert into the owned [`Request`].
@@ -365,26 +525,36 @@ impl<'a> RequestRef<'a> {
         }
     }
 
+    /// The typed command this request carries.
+    pub fn command(&self) -> Command {
+        match self {
+            RequestRef::Estimate { .. } => Command::Estimate,
+            RequestRef::EstimateApp { .. } => Command::EstimateApp,
+            RequestRef::StreamPush { .. } => Command::StreamPush,
+            RequestRef::StreamPoll { .. } => Command::StreamPoll,
+            RequestRef::Owned(request) => request.command(),
+        }
+    }
+
     /// The stable label this request carries in per-command metrics
     /// (`pmca_serve_command_seconds{command=...}`).
     pub fn command_label(&self) -> &'static str {
-        match self {
-            RequestRef::Estimate { .. } => "estimate",
-            RequestRef::EstimateApp { .. } => "estimate-app",
-            RequestRef::StreamPush { .. } => "stream-push",
-            RequestRef::StreamPoll { .. } => "stream-poll",
-            RequestRef::Owned(request) => request.command_label(),
-        }
+        self.command().label()
     }
 }
 
-/// Parse the non-estimate (cold) commands. `command` is the raw first
-/// word; it is uppercased here — off the hot path — to keep the original
-/// case-insensitive matching and error spellings.
-fn parse_cold(command: &str, rest: &[&str]) -> Result<Request, ProtocolError> {
-    let command = command.to_ascii_uppercase();
-    match command.as_str() {
-        "TRAIN" => match rest {
+/// Parse a cold command's arguments into the owned [`Request`] — one
+/// exhaustive match over [`Command`]. The four hot commands never reach
+/// here: [`RequestRef::parse`] consumes them in place.
+fn parse_cold(command: Command, rest: &[&str]) -> Result<Request, ProtocolError> {
+    if command.takes_no_arguments() && !rest.is_empty() {
+        return Err(ProtocolError::bad(
+            command.wire_name(),
+            "takes no arguments",
+        ));
+    }
+    match command {
+        Command::Train => match rest {
             [platform, pmcs, apps] => Ok(Request::Train {
                 platform: (*platform).to_string(),
                 pmcs: split_list(pmcs, "PMC list")?,
@@ -395,16 +565,46 @@ fn parse_cold(command: &str, rest: &[&str]) -> Result<Request, ProtocolError> {
                 "usage: TRAIN <platform> <pmc,pmc,...> <appspec,appspec,...>",
             )),
         },
-        "STREAM" => parse_stream_cold(rest),
-        "MODELS" if rest.is_empty() => Ok(Request::Models),
-        "STATS" if rest.is_empty() => Ok(Request::Stats),
-        "METRICS" if rest.is_empty() => Ok(Request::Metrics),
-        "TRACE" => parse_trace_args(rest),
-        "QUIT" if rest.is_empty() => Ok(Request::Quit),
-        "MODELS" | "STATS" | "METRICS" | "QUIT" => {
-            Err(ProtocolError::bad(&command, "takes no arguments"))
+        Command::StreamOpen => match rest {
+            [id, app, platform, window] => {
+                let window = window
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&w| w > 0)
+                    .ok_or_else(|| {
+                        ProtocolError::bad("STREAM OPEN", format!("bad window capacity {window:?}"))
+                    })?;
+                Ok(Request::StreamOpen {
+                    id: (*id).to_string(),
+                    app: (*app).to_string(),
+                    platform: (*platform).to_string(),
+                    window,
+                })
+            }
+            _ => Err(ProtocolError::bad(
+                "STREAM OPEN",
+                "usage: STREAM OPEN <id> <app> <platform> <window>",
+            )),
+        },
+        Command::StreamClose => match rest {
+            [id] => Ok(Request::StreamClose {
+                id: (*id).to_string(),
+            }),
+            _ => Err(ProtocolError::bad(
+                "STREAM CLOSE",
+                "usage: STREAM CLOSE <id>",
+            )),
+        },
+        Command::StreamList => Ok(Request::StreamList),
+        Command::Models => Ok(Request::Models),
+        Command::Stats => Ok(Request::Stats),
+        Command::Metrics => Ok(Request::Metrics),
+        Command::Trace => parse_trace_args(rest),
+        Command::Shards => Ok(Request::Shards),
+        Command::Quit => Ok(Request::Quit),
+        Command::Estimate | Command::EstimateApp | Command::StreamPush | Command::StreamPoll => {
+            unreachable!("hot commands are parsed in place by RequestRef::parse")
         }
-        other => Err(ProtocolError::UnknownCommand(other.to_string())),
     }
 }
 
@@ -467,78 +667,35 @@ impl Request {
                 Some(limit) => format!("TRACE {} {limit}", scope.as_str()),
                 None => format!("TRACE {}", scope.as_str()),
             },
+            Request::Shards => "SHARDS".to_string(),
             Request::Quit => "QUIT".to_string(),
+        }
+    }
+
+    /// The typed command this request carries.
+    pub fn command(&self) -> Command {
+        match self {
+            Request::Estimate { .. } => Command::Estimate,
+            Request::EstimateApp { .. } => Command::EstimateApp,
+            Request::Train { .. } => Command::Train,
+            Request::StreamOpen { .. } => Command::StreamOpen,
+            Request::StreamPush { .. } => Command::StreamPush,
+            Request::StreamPoll { .. } => Command::StreamPoll,
+            Request::StreamClose { .. } => Command::StreamClose,
+            Request::StreamList => Command::StreamList,
+            Request::Models => Command::Models,
+            Request::Stats => Command::Stats,
+            Request::Metrics => Command::Metrics,
+            Request::Trace { .. } => Command::Trace,
+            Request::Shards => Command::Shards,
+            Request::Quit => Command::Quit,
         }
     }
 
     /// The stable label this request carries in per-command metrics
     /// (`pmca_serve_command_seconds{command=...}`).
     pub fn command_label(&self) -> &'static str {
-        match self {
-            Request::Estimate { .. } => "estimate",
-            Request::EstimateApp { .. } => "estimate-app",
-            Request::Train { .. } => "train",
-            Request::StreamOpen { .. } => "stream-open",
-            Request::StreamPush { .. } => "stream-push",
-            Request::StreamPoll { .. } => "stream-poll",
-            Request::StreamClose { .. } => "stream-close",
-            Request::StreamList => "stream-list",
-            Request::Models => "models",
-            Request::Stats => "stats",
-            Request::Metrics => "metrics",
-            Request::Trace { .. } => "trace",
-            Request::Quit => "quit",
-        }
-    }
-}
-
-/// Parse the cold `STREAM` subcommands (`OPEN`, `CLOSE`, `LIST`). The
-/// hot `PUSH`/`POLL` subcommands never reach here — [`RequestRef::parse`]
-/// handles them in place.
-fn parse_stream_cold(rest: &[&str]) -> Result<Request, ProtocolError> {
-    let Some((sub, args)) = rest.split_first() else {
-        return Err(ProtocolError::bad(
-            "STREAM",
-            "usage: STREAM OPEN|PUSH|POLL|CLOSE|LIST ...",
-        ));
-    };
-    match sub.to_ascii_uppercase().as_str() {
-        "OPEN" => match args {
-            [id, app, platform, window] => {
-                let window = window
-                    .parse::<usize>()
-                    .ok()
-                    .filter(|&w| w > 0)
-                    .ok_or_else(|| {
-                        ProtocolError::bad("STREAM OPEN", format!("bad window capacity {window:?}"))
-                    })?;
-                Ok(Request::StreamOpen {
-                    id: (*id).to_string(),
-                    app: (*app).to_string(),
-                    platform: (*platform).to_string(),
-                    window,
-                })
-            }
-            _ => Err(ProtocolError::bad(
-                "STREAM OPEN",
-                "usage: STREAM OPEN <id> <app> <platform> <window>",
-            )),
-        },
-        "CLOSE" => match args {
-            [id] => Ok(Request::StreamClose {
-                id: (*id).to_string(),
-            }),
-            _ => Err(ProtocolError::bad(
-                "STREAM CLOSE",
-                "usage: STREAM CLOSE <id>",
-            )),
-        },
-        "LIST" if args.is_empty() => Ok(Request::StreamList),
-        "LIST" => Err(ProtocolError::bad("STREAM LIST", "takes no arguments")),
-        other => Err(ProtocolError::bad(
-            "STREAM",
-            format!("unknown subcommand {other:?}"),
-        )),
+        self.command().label()
     }
 }
 
@@ -743,6 +900,92 @@ pub fn parse_stream_status(line: &str) -> Result<StreamStatus, ProtocolError> {
     })
 }
 
+/// One shard's ownership and counters — one row of a `SHARDS` reply.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardInfo {
+    /// Shard index (0-based).
+    pub shard: usize,
+    /// Platforms whose consistent-hash point lands on this shard.
+    pub owns: Vec<String>,
+    /// Registered model versions in this shard's store.
+    pub models: usize,
+    /// Open telemetry streams on this shard.
+    pub streams: usize,
+    /// Estimates served by this shard.
+    pub served: u64,
+    /// Request errors on this shard.
+    pub errors: u64,
+    /// Run-cache entries held by this shard.
+    pub cache_entries: usize,
+    /// Inference worker threads in this shard's engine.
+    pub workers: usize,
+}
+
+/// The `key=value` fields of one shard's `SHARDS` row. An empty
+/// ownership list renders as `owns=-` so the row stays parseable
+/// (fields are whitespace-separated).
+pub fn shard_info_fields(info: &ShardInfo) -> String {
+    let owns = if info.owns.is_empty() {
+        "-".to_string()
+    } else {
+        info.owns.join(",")
+    };
+    format!(
+        "shard={} owns={} models={} streams={} served={} errors={} cache-entries={} workers={}",
+        info.shard,
+        owns,
+        info.models,
+        info.streams,
+        info.served,
+        info.errors,
+        info.cache_entries,
+        info.workers
+    )
+}
+
+/// Parse a `SHARDS` listing row (with or without a leading `OK`) back
+/// into a [`ShardInfo`] (client side).
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::Server`] with the server's `ERR` message, or
+/// [`ProtocolError::MalformedReply`] for a row that does not parse.
+pub fn parse_shard_info(line: &str) -> Result<ShardInfo, ProtocolError> {
+    let trimmed = line.trim();
+    let with_ok;
+    let fields = if trimmed.starts_with("OK") || trimmed.starts_with("ERR ") {
+        parse_ok_fields(trimmed)?
+    } else {
+        with_ok = format!("OK {trimmed}");
+        parse_ok_fields(&with_ok)?
+    };
+    let get = |key: &str| {
+        fields
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| ProtocolError::MalformedReply(format!("missing {key} in {line:?}")))
+    };
+    fn number<T: std::str::FromStr>(raw: &str, key: &str, line: &str) -> Result<T, ProtocolError> {
+        raw.parse()
+            .map_err(|_| ProtocolError::MalformedReply(format!("bad {key} in {line:?}")))
+    }
+    let owns = match get("owns")? {
+        "-" => Vec::new(),
+        list => list.split(',').map(str::to_string).collect(),
+    };
+    Ok(ShardInfo {
+        shard: number(get("shard")?, "shard", line)?,
+        owns,
+        models: number(get("models")?, "models", line)?,
+        streams: number(get("streams")?, "streams", line)?,
+        served: number(get("served")?, "served", line)?,
+        errors: number(get("errors")?, "errors", line)?,
+        cache_entries: number(get("cache-entries")?, "cache-entries", line)?,
+        workers: number(get("workers")?, "workers", line)?,
+    })
+}
+
 /// `ERR` reply. Newlines are flattened so the reply stays one line.
 pub fn err(message: &str) -> String {
     format!("ERR {}", message.replace(['\r', '\n'], " "))
@@ -863,6 +1106,7 @@ mod tests {
                 scope: TraceScope::Slowest,
                 limit: None,
             },
+            Request::Shards,
             Request::Quit,
         ];
         for request in requests {
@@ -937,6 +1181,7 @@ mod tests {
             "TRAIN skylake , dgemm:9000",
             "STATS now",
             "METRICS now",
+            "SHARDS now",
             "QUIT now",
             "STREAM",
             "STREAM OPEN s1 dgemm:9000 skylake",
@@ -969,6 +1214,64 @@ mod tests {
                 .command_label(),
             "estimate-app"
         );
+        assert_eq!(Request::Shards.command_label(), "shards");
+    }
+
+    #[test]
+    fn commands_resolve_verbs_case_insensitively() {
+        assert_eq!(Command::parse("shards", None), Some(Command::Shards));
+        assert_eq!(
+            Command::parse("Stream", Some("open")),
+            Some(Command::StreamOpen)
+        );
+        assert_eq!(Command::parse("STREAM", None), None);
+        assert_eq!(Command::parse("STREAM", Some("FROB")), None);
+        assert_eq!(Command::parse("FROBNICATE", None), None);
+        assert_eq!(Command::StreamOpen.wire_name(), "STREAM OPEN");
+        assert_eq!(Command::Shards.to_string(), "SHARDS");
+        assert!(Command::Shards.takes_no_arguments());
+        assert!(!Command::Train.takes_no_arguments());
+        // Request round trip agrees with the verb table.
+        assert_eq!(Request::parse("SHARDS").unwrap(), Request::Shards);
+        assert_eq!(Request::Shards.to_line(), "SHARDS");
+        assert_eq!(Request::parse("SHARDS").unwrap().command(), Command::Shards);
+    }
+
+    #[test]
+    fn shard_info_rows_round_trip() {
+        let info = ShardInfo {
+            shard: 2,
+            owns: vec!["haswell".to_string(), "skylake".to_string()],
+            models: 3,
+            streams: 7,
+            served: 1_234,
+            errors: 1,
+            cache_entries: 42,
+            workers: 2,
+        };
+        let row = shard_info_fields(&info);
+        assert_eq!(parse_shard_info(&row).unwrap(), info);
+        assert_eq!(
+            parse_shard_info(&format!("OK {row}")).unwrap(),
+            info,
+            "leading OK is accepted"
+        );
+        // An ownerless shard renders `owns=-` and parses back empty.
+        let idle = ShardInfo {
+            shard: 0,
+            ..ShardInfo::default()
+        };
+        let row = shard_info_fields(&idle);
+        assert!(row.contains("owns=-"), "{row}");
+        assert_eq!(parse_shard_info(&row).unwrap(), idle);
+        assert!(matches!(
+            parse_shard_info("ERR no shards"),
+            Err(ProtocolError::Server(_))
+        ));
+        assert!(matches!(
+            parse_shard_info("OK shard=0"),
+            Err(ProtocolError::MalformedReply(_))
+        ));
     }
 
     #[test]

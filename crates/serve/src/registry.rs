@@ -354,16 +354,23 @@ impl Registry {
                 },
                 other => other,
             })?;
-            let versions = registry.models.entry(model.key.clone()).or_default();
-            versions.push(Arc::new(model));
-            versions.sort_by_key(|m| m.version);
+            registry.insert_stored(model);
         }
         Ok(registry)
+    }
+
+    /// Insert an already-versioned entry as stored — snapshot restores
+    /// and directory loads must preserve version numbers rather than
+    /// re-assigning them through [`register`](Registry::register).
+    pub(crate) fn insert_stored(&mut self, model: StoredModel) {
+        let versions = self.models.entry(model.key.clone()).or_default();
+        versions.push(Arc::new(model));
+        versions.sort_by_key(|m| m.version);
     }
 }
 
 /// Stable, filesystem-safe file name for one entry.
-fn file_name(model: &StoredModel) -> String {
+pub(crate) fn file_name(model: &StoredModel) -> String {
     // FNV-1a over the sorted PMC set keeps names short while distinct
     // counter sets stay distinct.
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;

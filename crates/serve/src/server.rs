@@ -1,97 +1,44 @@
 //! TCP front end for the energy service.
 //!
-//! `std::net` only: a listener thread accepts connections and hands each
-//! one to its own handler thread; handlers speak the line protocol from
-//! [`crate::protocol`] against a shared [`EnergyService`]. Binding to
-//! port 0 picks an ephemeral port — [`Server::addr`] reports the bound
+//! `std::net` only, with two transports behind
+//! [`crate::service::Transport`]:
+//!
+//! - **Threaded** — a listener thread accepts connections and hands each
+//!   one to its own handler thread (the original model);
+//! - **Evented** — the acceptor round-robins connections across a fixed
+//!   set of nonblocking event-loop threads (the `evented` module), so
+//!   mostly-idle fleets do not cost a thread per connection.
+//!
+//! Both speak the line protocol from [`crate::protocol`] through a
+//! shard-aware dispatcher over a [`ShardRouter`] —
+//! [`Server::start`] wraps a single service in a one-shard router, and
+//! [`Server::start_router`] serves a sharded group. Binding to port 0
+//! picks an ephemeral port — [`Server::addr`] reports the bound
 //! address, which is how tests and the loadgen find the server.
 
-use crate::protocol::{
-    err, ok_estimate, ok_estimate_into, ok_stats, ok_stream_push_into, ok_stream_status,
-    stream_status_fields, Request, RequestRef,
-};
-use crate::service::{BatchRequestRef, EnergyService};
-use pmca_obs::{log, trace, Gauge, Histogram, Span};
+use crate::dispatch::Dispatcher;
+use crate::service::{EnergyService, Transport};
+use crate::shard::ShardRouter;
+use pmca_obs::{log, trace, Gauge};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread;
-use std::time::Instant;
-
-/// Per-command latency histograms, resolved once per connection from the
-/// service's metrics registry
-/// (`pmca_serve_command_seconds{command=...}`).
-struct CommandMetrics {
-    estimate: Histogram,
-    estimate_app: Histogram,
-    train: Histogram,
-    models: Histogram,
-    stats: Histogram,
-    metrics: Histogram,
-    trace: Histogram,
-    stream_open: Histogram,
-    stream_push: Histogram,
-    stream_poll: Histogram,
-    stream_close: Histogram,
-    stream_list: Histogram,
-}
-
-impl CommandMetrics {
-    fn for_service(service: &EnergyService) -> Self {
-        let registry = service.metrics_registry();
-        let h = |command: &str| {
-            registry.histogram("pmca_serve_command_seconds", &[("command", command)])
-        };
-        CommandMetrics {
-            estimate: h("estimate"),
-            estimate_app: h("estimate-app"),
-            train: h("train"),
-            models: h("models"),
-            stats: h("stats"),
-            metrics: h("metrics"),
-            trace: h("trace"),
-            stream_open: h("stream-open"),
-            stream_push: h("stream-push"),
-            stream_poll: h("stream-poll"),
-            stream_close: h("stream-close"),
-            stream_list: h("stream-list"),
-        }
-    }
-
-    /// Histogram for one command label (QUIT shares the stats bucket —
-    /// it is a constant-time administrative reply either way).
-    fn of(&self, label: &str) -> &Histogram {
-        match label {
-            "estimate" => &self.estimate,
-            "estimate-app" => &self.estimate_app,
-            "train" => &self.train,
-            "models" => &self.models,
-            "metrics" => &self.metrics,
-            "trace" => &self.trace,
-            "stream-open" => &self.stream_open,
-            "stream-push" => &self.stream_push,
-            "stream-poll" => &self.stream_poll,
-            "stream-close" => &self.stream_close,
-            "stream-list" => &self.stream_list,
-            _ => &self.stats,
-        }
-    }
-}
 
 /// RAII accounting for one live connection: bumps the
 /// `pmca_serve_active_connections` gauge on creation and decrements it
 /// on drop — *however* the handler exits (clean QUIT, client
 /// disconnect, I/O error, or a panic unwinding the handler thread) —
 /// and logs the connection lifecycle.
-struct ConnectionGuard {
+pub(crate) struct ConnectionGuard {
     gauge: Gauge,
     conn_id: u64,
     peer: String,
 }
 
 impl ConnectionGuard {
-    fn open(service: &EnergyService, conn_id: u64, peer: String) -> ConnectionGuard {
+    pub(crate) fn open(service: &EnergyService, conn_id: u64, peer: String) -> ConnectionGuard {
         let gauge = service
             .metrics_registry()
             .gauge("pmca_serve_active_connections", &[]);
@@ -120,57 +67,115 @@ impl Drop for ConnectionGuard {
     }
 }
 
-/// A running server. Dropping it stops the accept loop; handler threads
-/// for already-open connections run until their client disconnects.
+/// A running server. Dropping it stops the accept loop and joins the
+/// event loops; handler threads for already-open threaded connections
+/// run until their client disconnects.
 pub struct Server {
     addr: SocketAddr,
-    service: Arc<EnergyService>,
+    primary: Arc<EnergyService>,
+    router: Arc<ShardRouter>,
     stop: Arc<AtomicBool>,
     accept_handle: Option<thread::JoinHandle<()>>,
+    loop_handles: Vec<thread::JoinHandle<()>>,
 }
 
 impl Server {
     /// Bind `addr` (use `127.0.0.1:0` for an ephemeral port) and start
-    /// accepting connections against `service`.
+    /// accepting connections against `service` — a one-shard router.
+    /// The service's [`Transport`] picks the connection model.
     ///
     /// # Errors
     ///
     /// Returns the bind error.
     pub fn start(service: Arc<EnergyService>, addr: &str) -> io::Result<Server> {
+        Server::start_router(Arc::new(ShardRouter::single(service)), addr)
+    }
+
+    /// Bind `addr` and serve a sharded group. The primary shard's
+    /// [`Transport`] and event-loop count configure the front end.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn start_router(router: Arc<ShardRouter>, addr: &str) -> io::Result<Server> {
+        let primary = router.primary();
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let transport = primary.transport();
         log::info(
             "serve",
             "listening",
             &[
                 ("addr", &local_addr.to_string()),
-                ("workers", &service.stats().workers.to_string()),
+                ("workers", &primary.stats().workers.to_string()),
+                ("transport", transport.as_str()),
+                ("shards", &router.shard_count().to_string()),
             ],
         );
         let stop = Arc::new(AtomicBool::new(false));
-        let accept_handle = {
-            let service = Arc::clone(&service);
-            let stop = Arc::clone(&stop);
-            thread::Builder::new()
-                .name("pmca-accept".to_string())
-                .spawn(move || {
-                    for stream in listener.incoming() {
-                        if stop.load(Ordering::SeqCst) {
-                            break;
+        let mut loop_handles = Vec::new();
+        let accept_handle = match transport {
+            Transport::Threaded => {
+                let router = Arc::clone(&router);
+                let stop = Arc::clone(&stop);
+                thread::Builder::new()
+                    .name("pmca-accept".to_string())
+                    .spawn(move || {
+                        for stream in listener.incoming() {
+                            if stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let Ok(stream) = stream else { continue };
+                            let router = Arc::clone(&router);
+                            let _ = thread::Builder::new()
+                                .name("pmca-conn".to_string())
+                                .spawn(move || handle_connection(stream, &router));
                         }
-                        let Ok(stream) = stream else { continue };
-                        let service = Arc::clone(&service);
-                        let _ = thread::Builder::new()
-                            .name("pmca-conn".to_string())
-                            .spawn(move || handle_connection(stream, &service));
-                    }
-                })?
+                    })?
+            }
+            Transport::Evented => {
+                let loops = primary.event_loops();
+                let mut senders = Vec::with_capacity(loops);
+                for index in 0..loops {
+                    let (tx, rx) = mpsc::channel::<TcpStream>();
+                    senders.push(tx);
+                    let router = Arc::clone(&router);
+                    let stop = Arc::clone(&stop);
+                    loop_handles.push(
+                        thread::Builder::new()
+                            .name(format!("pmca-loop-{index}"))
+                            .spawn(move || {
+                                crate::evented::run_event_loop(index, router, &rx, &stop);
+                            })?,
+                    );
+                }
+                let stop = Arc::clone(&stop);
+                thread::Builder::new()
+                    .name("pmca-accept".to_string())
+                    .spawn(move || {
+                        // Round-robin handoff: each accepted socket goes
+                        // to the next loop, which owns it from then on.
+                        let mut next = 0_usize;
+                        for stream in listener.incoming() {
+                            if stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let Ok(stream) = stream else { continue };
+                            let _ = senders[next % senders.len()].send(stream);
+                            next = next.wrapping_add(1);
+                        }
+                        // Dropping `senders` disconnects the loops'
+                        // registration channels.
+                    })?
+            }
         };
         Ok(Server {
             addr: local_addr,
-            service,
+            primary,
+            router,
             stop,
             accept_handle: Some(accept_handle),
+            loop_handles,
         })
     }
 
@@ -179,12 +184,19 @@ impl Server {
         self.addr
     }
 
-    /// The shared service behind the server.
+    /// The primary shard's service (slot 0 — the whole service when not
+    /// sharded).
     pub fn service(&self) -> &Arc<EnergyService> {
-        &self.service
+        &self.primary
     }
 
-    /// Stop accepting connections and join the accept thread.
+    /// The shard router behind the server.
+    pub fn router(&self) -> &Arc<ShardRouter> {
+        &self.router
+    }
+
+    /// Stop accepting connections, join the accept thread, and join the
+    /// event loops (evented transport).
     pub fn shutdown(&mut self) {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
@@ -193,6 +205,9 @@ impl Server {
         // wakes it so it can observe the stop flag.
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        for handle in self.loop_handles.drain(..) {
             let _ = handle.join();
         }
     }
@@ -204,15 +219,16 @@ impl Drop for Server {
     }
 }
 
-fn handle_connection(stream: TcpStream, service: &EnergyService) {
+fn handle_connection(stream: TcpStream, router: &Arc<ShardRouter>) {
     // One reply per request line: without nodelay, Nagle + delayed ACK
     // stall every round trip by tens of milliseconds.
     let _ = stream.set_nodelay(true);
-    let conn_id = service.tracer().next_connection();
+    let primary = router.primary();
+    let conn_id = primary.tracer().next_connection();
     let peer = stream
         .peer_addr()
         .map_or_else(|_| "unknown".to_string(), |a| a.to_string());
-    let _guard = ConnectionGuard::open(service, conn_id, peer);
+    let _guard = ConnectionGuard::open(&primary, conn_id, peer);
     // Requests traced on this thread carry the connection id.
     let _conn_scope = trace::connection_scope(conn_id);
     let Ok(read_half) = stream.try_clone() else {
@@ -220,7 +236,7 @@ fn handle_connection(stream: TcpStream, service: &EnergyService) {
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
-    let metrics = CommandMetrics::for_service(service);
+    let dispatcher = Dispatcher::new(Arc::clone(router));
     let mut line = String::new();
     let mut lines: Vec<String> = Vec::new();
     let mut out = String::new();
@@ -250,7 +266,7 @@ fn handle_connection(stream: TcpStream, service: &EnergyService) {
         // batches append into retained capacity instead of allocating a
         // `String` per reply.
         out.clear();
-        let quit = respond_batch(service, &metrics, &lines, &mut out);
+        let quit = dispatcher.respond_batch(&lines, &mut out);
         if writer.write_all(out.as_bytes()).is_err() {
             return;
         }
@@ -260,226 +276,10 @@ fn handle_connection(stream: TcpStream, service: &EnergyService) {
     }
 }
 
-/// Answer a drained batch of request lines in order, appending
-/// newline-terminated replies to `out`; returns whether the connection
-/// should close. Runs of ESTIMATE / ESTIMATE-APP requests go through
-/// [`EnergyService::estimate_many_ref`] as one grouped submission with
-/// their names still borrowing the request lines; other commands flush
-/// the pending run first so observable order (e.g. STATS counters) is
-/// preserved.
-fn respond_batch(
-    service: &EnergyService,
-    metrics: &CommandMetrics,
-    lines: &[String],
-    out: &mut String,
-) -> bool {
-    let mut pending: Vec<BatchRequestRef<'_>> = Vec::new();
-    for line in lines {
-        let request = match RequestRef::parse(line) {
-            Ok(request) => request,
-            Err(detail) => {
-                flush_pending(service, metrics, &mut pending, out);
-                push_line(out, &err(&detail.to_string()));
-                continue;
-            }
-        };
-        match request {
-            RequestRef::Estimate { platform, counts } => {
-                pending.push(BatchRequestRef::Counts { platform, counts });
-            }
-            RequestRef::EstimateApp { platform, app } => {
-                pending.push(BatchRequestRef::App { platform, app });
-            }
-            // Streaming hot path: answered inline from the hub without
-            // touching the inference engine, but still ordered after any
-            // pending estimates so interleaved clients see a consistent
-            // request order.
-            RequestRef::StreamPush {
-                id,
-                window,
-                counts,
-                joules,
-            } => {
-                flush_pending(service, metrics, &mut pending, out);
-                let _span = Span::enter(&metrics.stream_push);
-                match service.stream_push(id, window, &counts, joules) {
-                    Ok(reply) => {
-                        ok_stream_push_into(&reply, window, out);
-                        out.push('\n');
-                    }
-                    Err(e) => push_line(out, &err(&e.to_string())),
-                }
-            }
-            RequestRef::StreamPoll { id } => {
-                flush_pending(service, metrics, &mut pending, out);
-                let _span = Span::enter(&metrics.stream_poll);
-                match service.stream_poll(id) {
-                    Ok(status) => push_line(out, &ok_stream_status(&status)),
-                    Err(e) => push_line(out, &err(&e.to_string())),
-                }
-            }
-            RequestRef::Owned(other) => {
-                flush_pending(service, metrics, &mut pending, out);
-                let (reply, quit) = respond(service, metrics, other);
-                push_line(out, &reply);
-                if quit {
-                    return true;
-                }
-            }
-        }
-    }
-    flush_pending(service, metrics, &mut pending, out);
-    false
-}
-
-fn push_line(out: &mut String, reply: &str) {
-    out.push_str(reply);
-    out.push('\n');
-}
-
-fn flush_pending(
-    service: &EnergyService,
-    metrics: &CommandMetrics,
-    pending: &mut Vec<BatchRequestRef<'_>>,
-    out: &mut String,
-) {
-    if pending.is_empty() {
-        return;
-    }
-    // Amortized per-request latency: the batch runs as one grouped
-    // submission, so each request is charged elapsed/n — the same
-    // methodology the loadgen uses client-side, keeping server- and
-    // client-side percentiles comparable under pipelining.
-    let started = metrics.estimate.enabled().then(Instant::now);
-    for result in service.estimate_many_ref(pending) {
-        match result {
-            Ok(estimate) => ok_estimate_into(&estimate, out),
-            Err(e) => out.push_str(&err(&e.to_string())),
-        }
-        out.push('\n');
-    }
-    if let Some(started) = started {
-        let share = started.elapsed() / u32::try_from(pending.len().max(1)).unwrap_or(u32::MAX);
-        for request in pending.iter() {
-            match request {
-                BatchRequestRef::Counts { .. } => metrics.estimate.record(share),
-                BatchRequestRef::App { .. } => metrics.estimate_app.record(share),
-            }
-        }
-    }
-    pending.clear();
-}
-
-/// Answer one already-parsed request. Returns the full reply (possibly
-/// multi-line, for MODELS and METRICS) and whether the connection should
-/// close.
-fn respond(service: &EnergyService, metrics: &CommandMetrics, request: Request) -> (String, bool) {
-    let _span = Span::enter(metrics.of(request.command_label()));
-    let reply = match request {
-        Request::Estimate { platform, counts } => match service.estimate(&platform, &counts) {
-            Ok(estimate) => ok_estimate(&estimate),
-            Err(e) => err(&e.to_string()),
-        },
-        Request::EstimateApp { platform, app } => match service.estimate_app(&platform, &app) {
-            Ok(estimate) => ok_estimate(&estimate),
-            Err(e) => err(&e.to_string()),
-        },
-        Request::Train {
-            platform,
-            pmcs,
-            apps,
-        } => match service.train_online(&platform, &pmcs, &apps) {
-            Ok(stored) => format!(
-                "OK platform={} family={} version={} rows={} residual-std={}",
-                stored.key.platform,
-                stored.key.family,
-                stored.version,
-                stored.training_rows,
-                stored.residual_std
-            ),
-            Err(e) => err(&e.to_string()),
-        },
-        Request::Models => {
-            let lines = service.model_lines();
-            let mut reply = format!("OK count={}", lines.len());
-            for model_line in lines {
-                reply.push('\n');
-                reply.push_str(&model_line);
-            }
-            reply
-        }
-        Request::Stats => ok_stats(&service.stats()),
-        Request::Metrics => {
-            let lines = service.metrics_lines();
-            let mut reply = format!("OK count={}", lines.len());
-            for metric_line in lines {
-                reply.push('\n');
-                reply.push_str(&metric_line);
-            }
-            reply
-        }
-        Request::Trace { scope, limit } => {
-            let lines = service.trace_lines(scope, limit);
-            let mut reply = format!("OK count={}", lines.len());
-            for trace_line in lines {
-                reply.push('\n');
-                reply.push_str(&trace_line);
-            }
-            reply
-        }
-        Request::StreamOpen {
-            id,
-            app,
-            platform,
-            window,
-        } => match service.stream_open(&id, &app, &platform, window) {
-            Ok(capacity) => format!("OK stream={id} opened=1 capacity={capacity}"),
-            Err(e) => err(&e.to_string()),
-        },
-        Request::StreamPush {
-            id,
-            window,
-            counts,
-            joules,
-        } => match service.stream_push(&id, window, &counts, joules) {
-            Ok(reply) => {
-                let mut out = String::new();
-                ok_stream_push_into(&reply, window, &mut out);
-                out
-            }
-            Err(e) => err(&e.to_string()),
-        },
-        Request::StreamPoll { id } => match service.stream_poll(&id) {
-            Ok(status) => ok_stream_status(&status),
-            Err(e) => err(&e.to_string()),
-        },
-        Request::StreamClose { id } => match service.stream_close(&id) {
-            Ok(status) => format!(
-                "OK stream={id} closed=1 accepted={} retained={}",
-                status.accepted, status.retained
-            ),
-            Err(e) => err(&e.to_string()),
-        },
-        Request::StreamList => match service.stream_list() {
-            Ok(statuses) => {
-                let mut reply = format!("OK count={}", statuses.len());
-                for status in &statuses {
-                    reply.push('\n');
-                    reply.push_str(&stream_status_fields(status));
-                }
-                reply
-            }
-            Err(e) => err(&e.to_string()),
-        },
-        Request::Quit => return ("OK bye=1".to_string(), true),
-    };
-    (reply, false)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::service::ServiceConfig;
+    use crate::service::{ServiceConfig, Transport};
     use pmca_mlkit::export::ModelParams;
 
     fn service_with_model() -> Arc<EnergyService> {
@@ -659,6 +459,141 @@ mod tests {
         assert_eq!(roundtrip(&streams[0], "QUIT"), "OK bye=1");
         drop(streams);
         wait_for(0.0);
+    }
+
+    fn evented_service_with_model() -> Arc<EnergyService> {
+        let service = Arc::new(
+            ServiceConfig::default()
+                .workers(2)
+                .cache_capacity(16)
+                .seed(7)
+                .transport(Transport::Evented)
+                .event_loops(2)
+                .build()
+                .unwrap(),
+        );
+        service.register(
+            "skylake",
+            "online",
+            vec!["A".to_string(), "B".to_string()],
+            0.0,
+            10,
+            ModelParams::Linear {
+                coefficients: vec![2.0, 3.0],
+                intercept: 0.0,
+            },
+        );
+        service
+    }
+
+    #[test]
+    fn evented_transport_serves_partial_lines_and_pipelines() {
+        use std::time::Duration;
+
+        let server = Server::start(evented_service_with_model(), "127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let reply = roundtrip(&stream, "ESTIMATE skylake A=10 B=1");
+        assert_eq!(reply, "OK joules=23 ci=0 family=online version=1");
+
+        // A request split across two writes with a pause between them:
+        // the loop must buffer the partial line, not answer or drop it.
+        let mut writer = stream.try_clone().unwrap();
+        writer.write_all(b"ESTIMATE sky").unwrap();
+        writer.flush().unwrap();
+        thread::sleep(Duration::from_millis(20));
+        writer.write_all(b"lake A=10 B=1\n").unwrap();
+        writer.flush().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert_eq!(
+            reply.trim_end(),
+            "OK joules=23 ci=0 family=online version=1"
+        );
+
+        // A pipelined burst answers in order, one reply per request.
+        let mut burst = String::new();
+        for _ in 0..8 {
+            burst.push_str("ESTIMATE skylake A=10 B=1\n");
+        }
+        burst.push_str("STATS\n");
+        writer.write_all(burst.as_bytes()).unwrap();
+        writer.flush().unwrap();
+        for _ in 0..8 {
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            assert_eq!(
+                reply.trim_end(),
+                "OK joules=23 ci=0 family=online version=1"
+            );
+        }
+        let mut stats = String::new();
+        reader.read_line(&mut stats).unwrap();
+        assert!(stats.starts_with("OK served="), "{stats:?}");
+
+        // Errors keep the connection; QUIT closes it after the reply.
+        assert!(roundtrip(&stream, "NONSENSE").starts_with("ERR "));
+        assert_eq!(roundtrip(&stream, "QUIT"), "OK bye=1");
+        let mut rest = String::new();
+        assert_eq!(reader.read_line(&mut rest).unwrap(), 0);
+    }
+
+    #[test]
+    fn evented_transport_reports_loop_metrics() {
+        let server = Server::start(evented_service_with_model(), "127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        assert!(roundtrip(&stream, "ESTIMATE skylake A=10 B=1").starts_with("OK joules="));
+        let mut writer = stream.try_clone().unwrap();
+        writeln!(writer, "METRICS").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut header = String::new();
+        reader.read_line(&mut header).unwrap();
+        let count: usize = header
+            .trim_end()
+            .strip_prefix("OK count=")
+            .expect("count header")
+            .parse()
+            .unwrap();
+        let mut lines = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut l = String::new();
+            reader.read_line(&mut l).unwrap();
+            lines.push(l.trim_end().to_string());
+        }
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.starts_with("pmca_serve_event_loop_wakeups_total{loop=\"")),
+            "{lines:?}"
+        );
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.starts_with("pmca_serve_event_loop_ready_events_total{loop=\"")),
+            "{lines:?}"
+        );
+    }
+
+    #[test]
+    fn shards_verb_reports_ownership_over_tcp() {
+        let server = Server::start(service_with_model(), "127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        writeln!(writer, "SHARDS").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut header = String::new();
+        reader.read_line(&mut header).unwrap();
+        assert_eq!(header.trim_end(), "OK count=1");
+        let mut row = String::new();
+        reader.read_line(&mut row).unwrap();
+        let info = crate::protocol::parse_shard_info(row.trim_end()).unwrap();
+        assert_eq!(info.shard, 0);
+        assert_eq!(
+            info.owns,
+            vec!["haswell".to_string(), "skylake".to_string()],
+            "a single shard owns every platform"
+        );
+        assert_eq!(info.models, 1);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! in-process callers (examples, benches) use.
 //!
 //! The service owns one simulated [`Machine`] per platform for app-level
-//! collection, a [`Registry`] of trained models, an [`InferenceEngine`]
+//! collection, a [`ModelStore`] of trained models, an [`InferenceEngine`]
 //! worker pool, and a [`RunCache`] memoising collection runs. Training
 //! happens through the paper's online-model path ([`OnlineModel`]), so
 //! every served model is single-run deployable.
@@ -11,7 +11,8 @@
 use crate::cache::{RunCache, RunKey};
 use crate::engine::{EngineError, Estimate, InferenceEngine};
 use crate::protocol::TraceScope;
-use crate::registry::{Registry, RegistryError, StoredModel};
+use crate::registry::{self, RegistryError, StoredModel};
+use crate::store::{snapshot_from_dir, FileStore, MemoryStore, ModelStore};
 use pmca_core::online::OnlineModel;
 use pmca_cpusim::{Machine, PlatformSpec};
 use pmca_mlkit::export::ModelParams;
@@ -26,8 +27,54 @@ use std::error::Error;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::sync::{Mutex, RwLock};
+use std::sync::Mutex;
 use std::time::Duration;
+
+/// Which connection transport the TCP front end runs (see
+/// [`crate::server::Server`]): the A/B switch between the original
+/// thread-per-connection model and the nonblocking event loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// One handler thread per connection (the original model).
+    #[default]
+    Threaded,
+    /// Nonblocking sockets swept by a fixed set of event-loop threads —
+    /// the shape that survives many mostly-idle connections.
+    Evented,
+}
+
+impl Transport {
+    /// Stable lower-case name (`"threaded"` / `"evented"`), used in CLI
+    /// flags, logs, and metric labels.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Transport::Threaded => "threaded",
+            Transport::Evented => "evented",
+        }
+    }
+}
+
+impl fmt::Display for Transport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Transport {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.eq_ignore_ascii_case("threaded") {
+            Ok(Transport::Threaded)
+        } else if s.eq_ignore_ascii_case("evented") {
+            Ok(Transport::Evented)
+        } else {
+            Err(format!(
+                "unknown transport {s:?} (expected threaded or evented)"
+            ))
+        }
+    }
+}
 
 /// Service-level failures, each mapping to one `ERR` protocol reply.
 #[derive(Debug, Clone, PartialEq)]
@@ -135,7 +182,7 @@ pub enum BatchRequestRef<'a> {
 }
 
 /// Counters reported by the STATS command.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServiceStats {
     /// Estimates answered successfully.
     pub served: u64,
@@ -190,6 +237,8 @@ pub struct ServiceConfig {
     streams: bool,
     stream_refit_every: usize,
     stream_idle_ttl_secs: u64,
+    transport: Transport,
+    event_loops: usize,
 }
 
 impl Default for ServiceConfig {
@@ -197,7 +246,8 @@ impl Default for ServiceConfig {
     /// metrics exported to the process-global registry, tracing on with
     /// a 64-trace flight recorder (no slow threshold, no JSONL sink),
     /// streaming enabled with a heavy refit every 256 labelled windows
-    /// and a 5-minute idle TTL.
+    /// and a 5-minute idle TTL, threaded transport (with 4 event loops
+    /// once switched to [`Transport::Evented`]).
     fn default() -> Self {
         ServiceConfig {
             workers: 4,
@@ -212,6 +262,8 @@ impl Default for ServiceConfig {
             streams: true,
             stream_refit_every: 256,
             stream_idle_ttl_secs: 300,
+            transport: Transport::Threaded,
+            event_loops: 4,
         }
     }
 }
@@ -301,6 +353,22 @@ impl ServiceConfig {
         self
     }
 
+    /// Which connection transport the TCP server runs (default
+    /// [`Transport::Threaded`]). [`Transport::Evented`] switches
+    /// [`crate::server::Server`] to nonblocking sockets swept by
+    /// [`event_loops`](ServiceConfig::event_loops) event-loop threads.
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Event-loop threads for [`Transport::Evented`] (≥ 1; default 4).
+    /// Ignored by the threaded transport.
+    pub fn event_loops(mut self, loops: usize) -> Self {
+        self.event_loops = loops.max(1);
+        self
+    }
+
     /// Build the service.
     ///
     /// # Errors
@@ -319,6 +387,58 @@ impl ServiceConfig {
             Arc::new(MetricsRegistry::disabled())
         };
         self.build_with_registry(metrics_registry)
+    }
+
+    /// Build a sharded deployment: `shards` services behind a
+    /// [`ShardRouter`](crate::shard::ShardRouter), all sharing one
+    /// metrics registry so `METRICS` reports fleet-wide instruments.
+    ///
+    /// Shard 0 is the primary and keeps this config's storage shape
+    /// (file-backed when [`registry_dir`](ServiceConfig::registry_dir)
+    /// is set); shards 1.. are in-memory replicas restored from the
+    /// primary's [`snapshot`](crate::store::ModelStore::snapshot), so
+    /// every shard starts from the same model set and routing decides
+    /// ownership. The configured worker count is split across shards
+    /// (at least one worker each).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError`] when the primary's registry directory
+    /// fails to load or any replica fails to restore the snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `cache_capacity` is zero.
+    pub fn build_sharded(self, shards: usize) -> Result<crate::shard::ShardRouter, RegistryError> {
+        let shards = shards.max(1);
+        if shards == 1 {
+            return Ok(crate::shard::ShardRouter::single(Arc::new(self.build()?)));
+        }
+        let metrics_registry = if self.metrics {
+            Arc::clone(MetricsRegistry::global())
+        } else {
+            Arc::new(MetricsRegistry::disabled())
+        };
+        let mut config = self;
+        config.workers = (config.workers / shards).max(1);
+        // Replicas never own the registry directory — the primary is the
+        // durable copy; replicas restore from its snapshot below.
+        let mut replica_config = config.clone();
+        replica_config.registry_dir = None;
+        replica_config.trace_log = None;
+        let primary = Arc::new(config.build_with_registry(Arc::clone(&metrics_registry))?);
+        let snapshot = primary.store().snapshot();
+        let mut services = vec![primary];
+        for _ in 1..shards {
+            let replica = Arc::new(
+                replica_config
+                    .clone()
+                    .build_with_registry(Arc::clone(&metrics_registry))?,
+            );
+            replica.store().restore(&snapshot)?;
+            services.push(replica);
+        }
+        Ok(crate::shard::ShardRouter::new(services))
     }
 
     /// [`build`](ServiceConfig::build) against an explicit metrics
@@ -341,15 +461,21 @@ impl ServiceConfig {
             Tracer::disabled()
         };
         let tracer = Arc::new(tracer);
-        let registry = Arc::new(RwLock::new(Registry::with_metrics(&metrics_registry)));
+        // The storage layer behind the registry API: file-backed (loads
+        // the directory now, writes every put through) when a registry
+        // directory is configured, an in-memory replica otherwise.
+        let store: Arc<dyn ModelStore> = match &self.registry_dir {
+            Some(dir) => Arc::new(FileStore::open(dir, &metrics_registry)?),
+            None => Arc::new(MemoryStore::with_metrics(&metrics_registry)),
+        };
         let streams = if self.streams {
             let hub_config = StreamHubConfig::default()
                 .refit_every(self.stream_refit_every)
                 .idle_ttl(Duration::from_secs(self.stream_idle_ttl_secs));
             let hub = Arc::new(StreamHub::with_registry(hub_config, &metrics_registry));
-            // Refit swaps go through the same versioned registry as TRAIN,
+            // Refit swaps go through the same versioned store as TRAIN,
             // so ESTIMATE requests pick up stream-refreshed models too.
-            let registry_for_swap = Arc::clone(&registry);
+            let store_for_swap = Arc::clone(&store);
             hub.set_swap(Arc::new(
                 move |platform: &str,
                       family: &str,
@@ -357,17 +483,14 @@ impl ServiceConfig {
                       residual_std: f64,
                       training_rows: usize,
                       params: ModelParams| {
-                    registry_for_swap
-                        .write()
-                        .expect("registry poisoned")
-                        .register(
-                            platform,
-                            family,
-                            feature_order,
-                            residual_std,
-                            training_rows,
-                            params,
-                        );
+                    store_for_swap.put(
+                        platform,
+                        family,
+                        feature_order,
+                        residual_std,
+                        training_rows,
+                        params,
+                    );
                 },
             ));
             hub.set_tracer(Arc::clone(&tracer));
@@ -375,8 +498,8 @@ impl ServiceConfig {
         } else {
             None
         };
-        let service = EnergyService {
-            registry,
+        Ok(EnergyService {
+            store,
             engine: InferenceEngine::with_registry(self.workers, &metrics_registry),
             cache: RunCache::with_registry(self.cache_capacity, &metrics_registry),
             machines: Mutex::new(HashMap::new()),
@@ -386,11 +509,9 @@ impl ServiceConfig {
             tracer,
             streams,
             feature_events: Mutex::new(HashMap::new()),
-        };
-        if let Some(dir) = &self.registry_dir {
-            service.load_registry(dir)?;
-        }
-        Ok(service)
+            transport: self.transport,
+            event_loops: self.event_loops,
+        })
     }
 }
 
@@ -439,7 +560,7 @@ impl ServeMetrics {
 /// across connection handler threads via `Arc`.
 #[derive(Debug)]
 pub struct EnergyService {
-    registry: Arc<RwLock<Registry>>,
+    store: Arc<dyn ModelStore>,
     engine: InferenceEngine,
     cache: RunCache,
     machines: Mutex<HashMap<String, Machine>>,
@@ -448,7 +569,7 @@ pub struct EnergyService {
     metrics_registry: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
     /// Telemetry-stream hub, `None` when streaming is disabled. Model
-    /// swaps from its refit thread land in `registry` via the swap
+    /// swaps from its refit thread land in `store` via the swap
     /// callback installed at build time.
     streams: Option<Arc<StreamHub>>,
     /// Per-model shared event list for [`RunKey`]s, keyed by the model
@@ -456,6 +577,8 @@ pub struct EnergyService {
     /// a cache key is then one `Arc` clone instead of cloning the model's
     /// whole feature-name vector on every app-level request.
     feature_events: Mutex<HashMap<usize, EventMemoEntry>>,
+    transport: Transport,
+    event_loops: usize,
 }
 
 /// One [`EnergyService::feature_events`] memo entry: the model `Arc`
@@ -545,8 +668,7 @@ impl EnergyService {
                 .map_err(|e| ServiceError::Train(e.to_string()))?;
             Ok(model.to_spec())
         })?;
-        let mut registry = self.registry.write().expect("registry poisoned");
-        Ok(registry.register(
+        Ok(self.store.put(
             platform,
             "online",
             spec.pmc_names.clone(),
@@ -569,8 +691,7 @@ impl EnergyService {
         training_rows: usize,
         params: ModelParams,
     ) -> Arc<StoredModel> {
-        let mut registry = self.registry.write().expect("registry poisoned");
-        registry.register(
+        self.store.put(
             platform,
             family,
             feature_order,
@@ -578,6 +699,23 @@ impl EnergyService {
             training_rows,
             params,
         )
+    }
+
+    /// The storage layer behind this service's registry API — the
+    /// handle shard routers snapshot for failover and restore into
+    /// replacement shards.
+    pub fn store(&self) -> &Arc<dyn ModelStore> {
+        &self.store
+    }
+
+    /// The connection transport this service was configured for.
+    pub fn transport(&self) -> Transport {
+        self.transport
+    }
+
+    /// Event-loop threads the evented transport runs with.
+    pub fn event_loops(&self) -> usize {
+        self.event_loops
     }
 
     /// Estimate from named PMC counts. The counter set must exactly match
@@ -635,8 +773,7 @@ impl EnergyService {
             // Borrowed-name views, allocated per request but holding only
             // pointers — the old path cloned every name `String`.
             let names: Vec<&str> = counts.iter().map(|(n, _)| *n).collect();
-            let registry = self.registry.read().expect("registry poisoned");
-            registry.lookup_names(platform, &names).ok_or_else(|| {
+            self.store.lookup_names(platform, &names).ok_or_else(|| {
                 ServiceError::NoModel(format!(
                     "no model on {platform} for PMC set {}",
                     names.join(",")
@@ -713,14 +850,12 @@ impl EnergyService {
         platform: &str,
         app_spec: &str,
     ) -> Result<(Arc<StoredModel>, Vec<f64>), ServiceError> {
-        let model = {
-            let registry = self.registry.read().expect("registry poisoned");
-            registry
-                .latest_of_family(platform, "online")
-                .ok_or_else(|| {
-                    ServiceError::NoModel(format!("no online model trained for {platform}"))
-                })?
-        };
+        let model = self
+            .store
+            .latest_of_family(platform, "online")
+            .ok_or_else(|| {
+                ServiceError::NoModel(format!("no online model trained for {platform}"))
+            })?;
         let key = RunKey {
             app: app_spec.to_string(),
             platform: platform.to_ascii_lowercase(),
@@ -893,9 +1028,8 @@ impl EnergyService {
 
     /// One describing line per registered model version.
     pub fn model_lines(&self) -> Vec<String> {
-        let registry = self.registry.read().expect("registry poisoned");
-        registry
-            .entries()
+        self.store
+            .list()
             .iter()
             .map(|m| {
                 format!(
@@ -913,7 +1047,7 @@ impl EnergyService {
 
     /// Current service counters.
     pub fn stats(&self) -> ServiceStats {
-        let models = self.registry.read().expect("registry poisoned").len();
+        let models = self.store.len();
         ServiceStats {
             served: self.engine.served(),
             errors: self.engine.errors(),
@@ -986,10 +1120,7 @@ impl EnergyService {
         if hub.snapshot(platform).is_some() {
             return;
         }
-        let stored = {
-            let registry = self.registry.read().expect("registry poisoned");
-            registry.latest_of_family(platform, "online")
-        };
+        let stored = self.store.latest_of_family(platform, "online");
         let Some(stored) = stored else { return };
         let ModelParams::Linear { coefficients, .. } = &stored.params else {
             return;
@@ -1077,33 +1208,32 @@ impl EnergyService {
         run().inspect_err(|e| self.note_error(e, None))
     }
 
-    /// Persist the registry under `dir`; returns files written.
+    /// Persist the store's contents under `dir` (one plain-text file per
+    /// version, the same format [`crate::store::FileStore`] mirrors to);
+    /// returns files written.
     ///
     /// # Errors
     ///
     /// Returns [`RegistryError`] on filesystem failure.
     pub fn save_registry(&self, dir: &Path) -> Result<usize, RegistryError> {
-        self.registry
-            .read()
-            .expect("registry poisoned")
-            .save_dir(dir)
+        std::fs::create_dir_all(dir)?;
+        let entries = self.store.list();
+        for model in &entries {
+            std::fs::write(
+                dir.join(registry::file_name(model)),
+                registry::encode_entry(model),
+            )?;
+        }
+        Ok(entries.len())
     }
 
-    /// Replace the registry with the entries stored under `dir`.
+    /// Replace the store's contents with the entries saved under `dir`.
     ///
     /// # Errors
     ///
     /// Returns [`RegistryError`] on I/O failure or a malformed entry.
     pub fn load_registry(&self, dir: &Path) -> Result<usize, RegistryError> {
-        let loaded = Registry::load_dir(dir)?;
-        let count = loaded.len();
-        // `adopt` keeps this service's registry counters wired while
-        // replacing the model contents.
-        self.registry
-            .write()
-            .expect("registry poisoned")
-            .adopt(loaded);
-        Ok(count)
+        self.store.restore(&snapshot_from_dir(dir)?)
     }
 }
 
@@ -1147,10 +1277,10 @@ mod tests {
     #[test]
     fn train_then_estimate_round_trips() {
         let service = trained_service();
-        let stored = {
-            let registry = service.registry.read().unwrap();
-            registry.latest_of_family("skylake", "online").unwrap()
-        };
+        let stored = service
+            .store()
+            .latest_of_family("skylake", "online")
+            .unwrap();
         assert_eq!(stored.version, 1);
         assert_eq!(stored.training_rows, 20);
         // Estimate straight from counts, in shuffled name order.
@@ -1226,9 +1356,9 @@ mod tests {
             .unwrap();
         assert_eq!(second.version, 2);
         assert_eq!(service.stats().models, 2);
-        let registry = service.registry.read().unwrap();
         assert_eq!(
-            registry
+            service
+                .store()
                 .latest_of_family("skylake", "online")
                 .unwrap()
                 .version,
@@ -1241,14 +1371,12 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("pmca-service-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let service = trained_service();
-        let feature_order = {
-            let registry = service.registry.read().unwrap();
-            registry
-                .latest_of_family("skylake", "online")
-                .unwrap()
-                .feature_order
-                .clone()
-        };
+        let feature_order = service
+            .store()
+            .latest_of_family("skylake", "online")
+            .unwrap()
+            .feature_order
+            .clone();
         let counts: Vec<(String, f64)> =
             feature_order.iter().map(|n| (n.clone(), 2.0e10)).collect();
         let direct = service.estimate("skylake", &counts).unwrap();

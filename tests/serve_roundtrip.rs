@@ -3,20 +3,27 @@
 //! ephemeral port, and verify that estimates served over the wire match
 //! the direct [`OnlineModel`] arithmetic — and that the run cache earns
 //! hits on repeated app-level queries.
+//!
+//! Every scenario runs under BOTH transports — the original
+//! thread-per-connection model and the nonblocking evented front end —
+//! asserting the transports are observably equivalent on the full
+//! protocol surface.
 
 use pmca_core::online::OnlineModel;
 use pmca_cpusim::{Machine, PlatformSpec};
 use pmca_powermeter::{HclWattsUp, Methodology};
-use pmca_serve::{Client, EnergyService, Server, ServiceConfig, Trace, TraceScope};
+use pmca_serve::{Client, EnergyService, Server, ServiceConfig, Trace, TraceScope, Transport};
 use pmca_workloads::parse::app_from_spec;
 use std::sync::Arc;
 use std::thread;
 
-fn service(workers: usize, cache_capacity: usize) -> EnergyService {
+fn service(workers: usize, cache_capacity: usize, transport: Transport) -> EnergyService {
     ServiceConfig::default()
         .workers(workers)
         .cache_capacity(cache_capacity)
         .seed(SEED)
+        .transport(transport)
+        .event_loops(2)
         .build()
         .unwrap()
 }
@@ -54,9 +61,8 @@ fn reference_model() -> OnlineModel {
     OnlineModel::train(&mut machine, &mut meter, &GOOD_SET, &refs).unwrap()
 }
 
-#[test]
-fn served_estimates_match_the_direct_model() {
-    let service = Arc::new(service(4, 64));
+fn served_estimates_match_the_direct_model_on(transport: Transport) {
+    let service = Arc::new(service(4, 64, transport));
     let stored = service
         .train_online("skylake", &good_set(), &ladder())
         .unwrap();
@@ -117,8 +123,17 @@ fn served_estimates_match_the_direct_model() {
 }
 
 #[test]
-fn repeated_app_queries_hit_the_run_cache() {
-    let service = Arc::new(service(2, 64));
+fn served_estimates_match_the_direct_model() {
+    served_estimates_match_the_direct_model_on(Transport::Threaded);
+}
+
+#[test]
+fn served_estimates_match_the_direct_model_evented() {
+    served_estimates_match_the_direct_model_on(Transport::Evented);
+}
+
+fn repeated_app_queries_hit_the_run_cache_on(transport: Transport) {
+    let service = Arc::new(service(2, 64, transport));
     service
         .train_online("skylake", &good_set(), &ladder())
         .unwrap();
@@ -146,8 +161,17 @@ fn repeated_app_queries_hit_the_run_cache() {
 }
 
 #[test]
-fn training_and_introspection_work_over_the_wire() {
-    let service = Arc::new(service(2, 32));
+fn repeated_app_queries_hit_the_run_cache() {
+    repeated_app_queries_hit_the_run_cache_on(Transport::Threaded);
+}
+
+#[test]
+fn repeated_app_queries_hit_the_run_cache_evented() {
+    repeated_app_queries_hit_the_run_cache_on(Transport::Evented);
+}
+
+fn training_and_introspection_work_over_the_wire_on(transport: Transport) {
+    let service = Arc::new(service(2, 32, transport));
     let server = Server::start(Arc::clone(&service), "127.0.0.1:0").unwrap();
     let mut client = Client::connect(server.addr()).unwrap();
 
@@ -179,12 +203,28 @@ fn training_and_introspection_work_over_the_wire() {
     };
     assert_eq!(get("models"), "2");
     assert_eq!(get("workers"), "2");
+
+    // SHARDS reports the single-shard topology owning both platforms.
+    let shards = client.shards().unwrap();
+    assert_eq!(shards.len(), 1);
+    assert_eq!(shards[0].shard, 0);
+    assert_eq!(shards[0].owns, vec!["haswell", "skylake"]);
+    assert_eq!(shards[0].models, 2);
     client.quit().unwrap();
 }
 
 #[test]
-fn metrics_over_the_wire_cover_commands_and_caches() {
-    let service = Arc::new(service(2, 32));
+fn training_and_introspection_work_over_the_wire() {
+    training_and_introspection_work_over_the_wire_on(Transport::Threaded);
+}
+
+#[test]
+fn training_and_introspection_work_over_the_wire_evented() {
+    training_and_introspection_work_over_the_wire_on(Transport::Evented);
+}
+
+fn metrics_over_the_wire_cover_commands_and_caches_on(transport: Transport) {
+    let service = Arc::new(service(2, 32, transport));
     service
         .train_online("skylake", &good_set(), &ladder())
         .unwrap();
@@ -221,7 +261,16 @@ fn metrics_over_the_wire_cover_commands_and_caches() {
 }
 
 #[test]
-fn traces_over_the_wire_break_requests_into_stages() {
+fn metrics_over_the_wire_cover_commands_and_caches() {
+    metrics_over_the_wire_cover_commands_and_caches_on(Transport::Threaded);
+}
+
+#[test]
+fn metrics_over_the_wire_cover_commands_and_caches_evented() {
+    metrics_over_the_wire_cover_commands_and_caches_on(Transport::Evented);
+}
+
+fn traces_over_the_wire_break_requests_into_stages_on(transport: Transport) {
     // Threshold 0 ms: every request counts as slow, so both requests
     // below land in the slow ring regardless of machine speed.
     let service = Arc::new(
@@ -230,6 +279,8 @@ fn traces_over_the_wire_break_requests_into_stages() {
             .cache_capacity(64)
             .seed(SEED)
             .trace_slow_ms(0)
+            .transport(transport)
+            .event_loops(2)
             .build()
             .unwrap(),
     );
@@ -287,4 +338,14 @@ fn traces_over_the_wire_break_requests_into_stages() {
     assert_eq!(slowest.len(), 1);
     assert!(slowest[0].total_ns >= traces.iter().map(|t| t.total_ns).min().unwrap());
     client.quit().unwrap();
+}
+
+#[test]
+fn traces_over_the_wire_break_requests_into_stages() {
+    traces_over_the_wire_break_requests_into_stages_on(Transport::Threaded);
+}
+
+#[test]
+fn traces_over_the_wire_break_requests_into_stages_evented() {
+    traces_over_the_wire_break_requests_into_stages_on(Transport::Evented);
 }
