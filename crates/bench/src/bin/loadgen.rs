@@ -14,7 +14,7 @@
 //!     [--duration-secs S] [--pipeline D] [--app-share PCT]
 //!     [--connections N] [--idle-fraction F]
 //!     [--shards N] [--transport threaded|evented] [--event-loops N]
-//!     [--no-metrics] [--no-trace] [--trace-sample N]
+//!     [--no-metrics] [--no-trace] [--no-health] [--trace-sample N]
 //!     [--streams N] [--windows M] [--label-every K]
 //!     [--json PATH] [--compare BASELINE.json]
 //! ```
@@ -53,12 +53,16 @@
 //! slowest request via `TRACE SLOWEST` (queue wait, cache lookup,
 //! compute, substrate). `--trace-sample N` additionally prints one full
 //! server-side trace every N requests while the run is in flight.
-//! `--no-metrics` / `--no-trace` build the in-process server with inert
-//! instruments — run both ways to measure the observability overhead.
+//! `--no-metrics` / `--no-trace` / `--no-health` build the in-process
+//! server with inert instruments — run both ways to measure the
+//! observability overhead. In streaming mode with health enabled, the
+//! run ends with a model-health acceptance check: the labelled windows
+//! must have produced calibration rows with sane prediction-interval
+//! coverage, or the process exits nonzero so CI gates on it.
 
 use pmca_obs::log;
 use pmca_serve::protocol::parse_estimate_reply;
-use pmca_serve::{Client, Request, Server, ServiceConfig, Trace, TraceScope, Transport};
+use pmca_serve::{Client, HealthRow, Request, Server, ServiceConfig, Trace, TraceScope, Transport};
 use pmca_stream::synthetic_window;
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -95,6 +99,9 @@ struct Options {
     no_metrics: bool,
     /// Build the in-process server with tracing disabled (overhead A/B).
     no_trace: bool,
+    /// Build the in-process server with the model-health plane disabled
+    /// (overhead A/B).
+    no_health: bool,
     /// Print one full server-side trace every N requests.
     trace_sample: Option<usize>,
     /// Run for a wall-clock budget instead of a fixed request count.
@@ -133,6 +140,7 @@ fn parse_options() -> Result<Options, String> {
         app_share: 50,
         no_metrics: false,
         no_trace: false,
+        no_health: false,
         trace_sample: None,
         duration_secs: None,
         json: None,
@@ -165,6 +173,7 @@ fn parse_options() -> Result<Options, String> {
             }
             "--no-metrics" => options.no_metrics = true,
             "--no-trace" => options.no_trace = true,
+            "--no-health" => options.no_health = true,
             "--trace-sample" => {
                 options.trace_sample =
                     Some(parse_count(&value("--trace-sample")?, "--trace-sample")?);
@@ -255,12 +264,13 @@ fn main() {
         None => {
             println!(
                 "starting in-process server ({} inference workers, {} transport, {} shard(s), \
-                 metrics {}, tracing {})...",
+                 metrics {}, tracing {}, health {})...",
                 options.workers,
                 options.transport,
                 options.shards,
                 if options.no_metrics { "off" } else { "on" },
-                if options.no_trace { "off" } else { "on" }
+                if options.no_trace { "off" } else { "on" },
+                if options.no_health { "off" } else { "on" }
             );
             let router = Arc::new(
                 ServiceConfig::default()
@@ -269,6 +279,7 @@ fn main() {
                     .seed(42)
                     .metrics(!options.no_metrics)
                     .tracing(!options.no_trace)
+                    .health(!options.no_health)
                     .transport(options.transport)
                     .event_loops(options.event_loops)
                     .build_sharded(options.shards)
@@ -528,12 +539,13 @@ fn run_streams(options: &Options) {
         None => {
             println!(
                 "starting in-process server ({} inference workers, {} transport, {} shard(s), \
-                 metrics {}, tracing {})...",
+                 metrics {}, tracing {}, health {})...",
                 options.workers,
                 options.transport,
                 options.shards,
                 if options.no_metrics { "off" } else { "on" },
-                if options.no_trace { "off" } else { "on" }
+                if options.no_trace { "off" } else { "on" },
+                if options.no_health { "off" } else { "on" }
             );
             let router = Arc::new(
                 ServiceConfig::default()
@@ -542,6 +554,7 @@ fn run_streams(options: &Options) {
                     .seed(42)
                     .metrics(!options.no_metrics)
                     .tracing(!options.no_trace)
+                    .health(!options.no_health)
                     .transport(options.transport)
                     .event_loops(options.event_loops)
                     .build_sharded(options.shards)
@@ -636,6 +649,7 @@ fn run_streams(options: &Options) {
     // Server-side view while every stream is still open, then close them.
     let mut open_streams = 0usize;
     let mut refit_swaps = 0u64;
+    let mut health_failure = None;
     if let Ok(mut client) = Client::connect(addr.as_str()) {
         if let Ok(stats) = client.stats() {
             for (k, v) in &stats {
@@ -645,6 +659,13 @@ fn run_streams(options: &Options) {
                     _ => {}
                 }
             }
+        }
+        // Model-health acceptance: the labelled pushes above must have
+        // fed the calibration tracker, and empirical PI coverage must be
+        // a sane fraction. Only checkable on the in-process server —
+        // an external `--addr` target may run with health disabled.
+        if options.addr.is_none() && !options.no_health {
+            health_failure = check_stream_health(&mut client);
         }
         let _ = client.quit();
     }
@@ -701,6 +722,55 @@ fn run_streams(options: &Options) {
             Err(e) => log::error("loadgen", &format!("reading {path}: {e}"), &[]),
         }
     }
+    if let Some(reason) = health_failure {
+        log::error(
+            "loadgen",
+            "model-health acceptance check failed",
+            &[("reason", &reason)],
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Streaming-mode acceptance check over the `HEALTH` verb: returns a
+/// failure reason, or `None` when the calibration rows look sane.
+fn check_stream_health(client: &mut Client) -> Option<String> {
+    let rows = match client.health() {
+        Ok(rows) => rows,
+        Err(e) => return Some(format!("HEALTH failed: {e}")),
+    };
+    let calibration: Vec<_> = rows
+        .iter()
+        .filter_map(|row| match row {
+            HealthRow::Calibration { snapshot, .. } => Some(snapshot),
+            HealthRow::Additivity { .. } => None,
+        })
+        .collect();
+    if calibration.is_empty() {
+        return Some("no calibration rows after labelled pushes".to_string());
+    }
+    for c in &calibration {
+        if c.samples == 0 {
+            return Some(format!("calibration row for {} has no samples", c.platform));
+        }
+        if !(0.0..=1.0).contains(&c.coverage) {
+            return Some(format!(
+                "PI coverage {} out of range for {}",
+                c.coverage, c.platform
+            ));
+        }
+        println!(
+            "model health {}: {} labelled window(s), MAE {:.3} J, MPE {:+.2}%, \
+             PI coverage {:.0}%, state {}",
+            c.platform,
+            c.samples,
+            c.mae,
+            c.mpe,
+            c.coverage * 100.0,
+            c.state.as_str()
+        );
+    }
+    None
 }
 
 fn as_micros(d: Duration) -> f64 {

@@ -8,7 +8,7 @@ use pmca_cpusim::{Machine, PlatformSpec};
 use pmca_pmctools::collector::collect_all;
 use pmca_pmctools::scheduler::schedule;
 use pmca_powermeter::HclWattsUp;
-use pmca_serve::{Client, Request, Server, ServiceConfig, Transport};
+use pmca_serve::{Client, HealthRow, Request, Server, ServiceConfig, Transport};
 use pmca_workloads::parse::app_from_spec;
 use pmca_workloads::suite::class_b_compound_pairs;
 use std::sync::Arc;
@@ -56,7 +56,8 @@ usage:
                   [--metrics] [--trace-slow-ms MS] [--trace-log PATH] [--no-trace]
       run the energy estimation server (default 127.0.0.1:7771, 4 workers);
       speaks the line protocol: ESTIMATE, ESTIMATE-APP, TRAIN, MODELS,
-      STATS, METRICS, TRACE, SHARDS, QUIT; --registry loads saved models
+      STATS, METRICS, TRACE, HEALTH, HISTORY, SHARDS, QUIT; --registry
+      loads saved models
       at startup; --shards N runs N in-process shards behind a
       consistent-hash router (shard 0 keeps the file-backed registry,
       replicas restore from its snapshot; --workers is split across
@@ -74,6 +75,8 @@ usage:
              slope-pmc query METRICS
              slope-pmc query SHARDS
              slope-pmc query TRACE SLOWEST
+             slope-pmc query HEALTH
+             slope-pmc query HISTORY 4
              slope-pmc query ESTIMATE-APP skylake dgemm:12000)
 
   slope-pmc stream [--addr HOST:PORT] [--platform haswell|skylake]
@@ -86,10 +89,13 @@ usage:
       close; ID defaults to cli-stream
 
   slope-pmc monitor [--addr HOST:PORT] [--interval-ms MS] [--iterations N]
+                    [--health]
       poll STREAM LIST on a running server every MS milliseconds (default
       1000) for N rounds (default 1; 0 = forever) and print a status
       table per round: windows retained, estimated watts ±95% PI, model
-      family/version feeding each stream";
+      family/version feeding each stream; --health also polls HEALTH and
+      prints per-platform calibration (MAE, MPE, PI coverage, drift
+      state) and per-counter additivity violation rates";
 
 /// Parsed global options plus positional arguments.
 struct Parsed {
@@ -115,6 +121,7 @@ struct Parsed {
     label_every: usize,
     interval_ms: u64,
     iterations: usize,
+    health: bool,
     positional: Vec<String>,
 }
 
@@ -141,6 +148,7 @@ fn parse_options(args: &[String]) -> Result<Parsed, String> {
     let mut label_every = 1;
     let mut interval_ms = 1000;
     let mut iterations = 1;
+    let mut health = false;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -270,6 +278,7 @@ fn parse_options(args: &[String]) -> Result<Parsed, String> {
                     .parse::<usize>()
                     .map_err(|_| format!("--iterations: {value:?} is not a count"))?;
             }
+            "--health" => health = true,
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => positional.push(other.to_string()),
         }
@@ -297,6 +306,7 @@ fn parse_options(args: &[String]) -> Result<Parsed, String> {
         label_every,
         interval_ms,
         iterations,
+        health,
         positional,
     })
 }
@@ -648,6 +658,22 @@ fn cmd_query(options: &Parsed) -> Result<(), String> {
                 shard.workers,
             );
         }
+    } else if line.trim().eq_ignore_ascii_case("HEALTH") {
+        let rows = client.health().map_err(|e| e.to_string())?;
+        print_health(&rows);
+    } else if let Ok(Request::History { limit }) = Request::parse(&line) {
+        let rows = client.history(limit).map_err(|e| e.to_string())?;
+        println!("{} history row(s)", rows.len());
+        let mut t = TextTable::new(String::new(), &["snapshot", "metric", "value", "delta"]);
+        for row in &rows {
+            t.row(vec![
+                row.seq.to_string(),
+                row.metric.clone(),
+                format!("{:.3}", row.value),
+                format!("{:+.3}", row.delta),
+            ]);
+        }
+        print!("{}", t.render());
     } else if let Ok(Request::Trace { scope, limit }) = Request::parse(&line) {
         let lines = client.trace(scope, limit).map_err(|e| e.to_string())?;
         println!("{} trace event line(s)", lines.len());
@@ -659,6 +685,79 @@ fn cmd_query(options: &Parsed) -> Result<(), String> {
         println!("{reply}");
     }
     Ok(())
+}
+
+fn print_health(rows: &[HealthRow]) {
+    let shard_label =
+        |shard: &Option<usize>| shard.map_or_else(|| "all".to_string(), |index| index.to_string());
+    let calibration: Vec<_> = rows
+        .iter()
+        .filter_map(|row| match row {
+            HealthRow::Calibration { shard, snapshot } => Some((shard, snapshot)),
+            HealthRow::Additivity { .. } => None,
+        })
+        .collect();
+    let additivity: Vec<_> = rows
+        .iter()
+        .filter_map(|row| match row {
+            HealthRow::Additivity { shard, snapshot } => Some((shard, snapshot)),
+            HealthRow::Calibration { .. } => None,
+        })
+        .collect();
+    println!(
+        "{} calibration row(s), {} additivity row(s)",
+        calibration.len(),
+        additivity.len()
+    );
+    if !calibration.is_empty() {
+        let mut t = TextTable::new(
+            "model calibration".to_string(),
+            &[
+                "shard", "platform", "version", "samples", "MAE (J)", "MPE (%)", "coverage",
+                "drift", "state",
+            ],
+        );
+        for (shard, c) in &calibration {
+            t.row(vec![
+                shard_label(shard),
+                c.platform.clone(),
+                c.version.to_string(),
+                c.samples.to_string(),
+                format!("{:.3}", c.mae),
+                format!("{:+.2}", c.mpe),
+                format!("{:.0}%", c.coverage * 100.0),
+                format!("{:.2}", c.cusum.max(c.page_hinkley)),
+                c.state.as_str().to_string(),
+            ]);
+        }
+        print!("{}", t.render());
+    }
+    if !additivity.is_empty() {
+        let mut t = TextTable::new(
+            "counter additivity".to_string(),
+            &[
+                "shard",
+                "platform",
+                "counter",
+                "checks",
+                "violations",
+                "rate",
+                "worst (%)",
+            ],
+        );
+        for (shard, a) in &additivity {
+            t.row(vec![
+                shard_label(shard),
+                a.platform.clone(),
+                a.counter.clone(),
+                a.checks.to_string(),
+                a.violations.to_string(),
+                format!("{:.2}", a.rate),
+                format!("{:.1}", a.worst_error_pct),
+            ]);
+        }
+        print!("{}", t.render());
+    }
 }
 
 fn cmd_stream(options: &Parsed) -> Result<(), String> {
@@ -739,6 +838,10 @@ fn cmd_monitor(options: &Parsed) -> Result<(), String> {
             ]);
         }
         print!("{}", t.render());
+        if options.health {
+            let rows = client.health().map_err(|e| e.to_string())?;
+            print_health(&rows);
+        }
         if options.iterations != 0 && round >= options.iterations {
             return Ok(());
         }
@@ -862,6 +965,9 @@ mod tests {
         assert!(dispatch(&argv(&["query", "--addr", &addr, "METRICS"])).is_ok());
         assert!(dispatch(&argv(&["query", "--addr", &addr, "SHARDS"])).is_ok());
         assert!(dispatch(&argv(&["query", "--addr", &addr, "TRACE", "RECENT", "5"])).is_ok());
+        assert!(dispatch(&argv(&["query", "--addr", &addr, "HEALTH"])).is_ok());
+        assert!(dispatch(&argv(&["query", "--addr", &addr, "HISTORY"])).is_ok());
+        assert!(dispatch(&argv(&["query", "--addr", &addr, "HISTORY", "2"])).is_ok());
         // ERR replies are still successful round trips: the reply prints.
         assert!(dispatch(&argv(&[
             "query",
@@ -900,8 +1006,18 @@ mod tests {
         ]))
         .is_ok());
         // The driven stream closed itself; monitor still renders the
-        // (now empty) table once.
+        // (now empty) table once. The labelled pushes above populated
+        // the calibration tracker, so --health has rows to print.
         assert!(dispatch(&argv(&["monitor", "--addr", &addr, "--iterations", "1"])).is_ok());
+        assert!(dispatch(&argv(&[
+            "monitor",
+            "--addr",
+            &addr,
+            "--iterations",
+            "1",
+            "--health"
+        ]))
+        .is_ok());
         assert!(dispatch(&argv(&["stream", "--addr", "127.0.0.1:1"]))
             .unwrap_err()
             .contains("cannot reach server"));

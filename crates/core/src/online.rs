@@ -60,6 +60,9 @@ pub struct OnlineModel {
     model: LinearRegression,
     residual_std: f64,
     training_rows: usize,
+    /// Per-row `(predicted, measured)` pairs from training — the holdout
+    /// feed for calibration monitoring. Empty for revived models.
+    fit: Vec<(f64, f64)>,
 }
 
 /// The persistable state of an [`OnlineModel`] — everything needed to
@@ -111,20 +114,24 @@ impl OnlineModel {
         model
             .fit(dataset.rows(), dataset.targets())
             .map_err(|e| OnlineModelError::TrainingFailed(e.to_string()))?;
-        let residuals: Vec<f64> = dataset
-            .rows()
+        let fit = pmca_mlkit::metrics::prediction_pairs(&model, dataset.rows(), dataset.targets());
+        let n = fit.len() as f64;
+        let residual_std = (fit
             .iter()
-            .zip(dataset.targets())
-            .map(|(row, &target)| model.predict_one(row) - target)
-            .collect();
-        let n = residuals.len() as f64;
-        let residual_std = (residuals.iter().map(|r| r * r).sum::<f64>() / n).sqrt();
+            .map(|(predicted, target)| {
+                let r = predicted - target;
+                r * r
+            })
+            .sum::<f64>()
+            / n)
+            .sqrt();
         Ok(OnlineModel {
             event_names: pmc_names.iter().map(|s| s.to_string()).collect(),
             events,
             model,
             residual_std,
-            training_rows: residuals.len(),
+            training_rows: fit.len(),
+            fit,
         })
     }
 
@@ -172,6 +179,7 @@ impl OnlineModel {
             model: LinearRegression::from_coefficients(spec.coefficients.clone(), 0.0),
             residual_std: spec.residual_std,
             training_rows: spec.training_rows,
+            fit: Vec::new(),
         })
     }
 
@@ -199,6 +207,13 @@ impl OnlineModel {
     /// Number of training observations behind [`OnlineModel::residual_std`].
     pub fn training_rows(&self) -> usize {
         self.training_rows
+    }
+
+    /// Per-row `(predicted, measured)` pairs from training — what a
+    /// calibration tracker observes as the TRAIN-time holdout. Empty
+    /// for models revived with [`OnlineModel::from_spec`].
+    pub fn training_fit(&self) -> &[(f64, f64)] {
+        &self.fit
     }
 
     /// The PMCs the model reads.

@@ -52,6 +52,27 @@ impl PredictionErrors {
     }
 }
 
+/// Per-row `(predicted, actual)` pairs of a fitted model over a
+/// dataset — the residual hook calibration trackers observe at
+/// training time, with the pairing kept explicit so callers can
+/// compute coverage against per-row intervals.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn prediction_pairs<M: Regressor + ?Sized>(
+    model: &M,
+    x: &[Vec<f64>],
+    y: &[f64],
+) -> Vec<(f64, f64)> {
+    assert_eq!(x.len(), y.len(), "paired slices required");
+    model
+        .predict(x)
+        .into_iter()
+        .zip(y.iter().copied())
+        .collect()
+}
+
 impl std::fmt::Display for PredictionErrors {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "({:.2}, {:.2}, {:.2})", self.min, self.avg, self.max)
@@ -155,6 +176,16 @@ mod tests {
             max: 89.45,
         };
         assert_eq!(e.to_string(), "(2.50, 18.01, 89.45)");
+    }
+
+    #[test]
+    fn prediction_pairs_keep_rows_aligned() {
+        use crate::LinearRegression;
+        let model = LinearRegression::from_coefficients(vec![2.0], 0.0);
+        let x = vec![vec![1.0], vec![3.0]];
+        let y = [5.0, 6.0];
+        let pairs = prediction_pairs(&model, &x, &y);
+        assert_eq!(pairs, vec![(2.0, 5.0), (6.0, 6.0)]);
     }
 
     #[test]

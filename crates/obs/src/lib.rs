@@ -26,6 +26,13 @@
 //!   latency threshold, and JSONL rendering served by the `TRACE`
 //!   protocol command. [`TraceSpan`] is the tracing twin of [`Span`]:
 //!   inert (zero clock reads) when no trace is in scope.
+//! - [`health`] — model-health monitoring: per-platform calibration
+//!   trackers (rolling MAE/MPE, empirical prediction-interval coverage,
+//!   two-sided CUSUM / Page–Hinkley drift scores driving an
+//!   `Ok → Degraded → Drifting` state machine), per-counter
+//!   additivity-violation rates, and a fixed-capacity [`HistoryRing`]
+//!   of registry snapshots with per-metric deltas — served by the
+//!   `HEALTH` and `HISTORY` protocol commands.
 //! - [`log`] — a minimal leveled structured-logging facade
 //!   (`key=value` lines to stderr, `PMCA_LOG` env override) for
 //!   process lifecycle events.
@@ -57,12 +64,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod health;
 pub mod log;
 pub mod metrics;
 pub mod registry;
 pub mod span;
 pub mod trace;
 
+pub use health::{
+    AdditivitySnapshot, CalibrationSnapshot, HealthConfig, HealthRegistry, HealthState,
+    HealthTransition, HistoryEntry, HistoryRing, HistorySnapshot,
+};
 pub use metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
 pub use registry::{MetricId, MetricsRegistry};
 pub use span::Span;

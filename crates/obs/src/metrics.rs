@@ -332,6 +332,39 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_pin_known_distributions_exactly() {
+        // All four samples share the [1024, 2048) bucket, so the
+        // interpolated readout is fully determined: the bucket's lower
+        // bound plus rank/in_bucket of the way to the observed max.
+        let h = Histogram::standalone();
+        for ns in [1024, 1300, 1600, 2000] {
+            h.record_ns(ns);
+        }
+        // p25 → rank 1 of 4: 1024 + 976 * 0.25.
+        assert_eq!(h.quantile(0.25), Duration::from_nanos(1268));
+        // p50 → rank 2 of 4: 1024 + 976 * 0.5.
+        assert_eq!(h.quantile(0.5), Duration::from_nanos(1512));
+        // p99 → rank 4 of 4: the observed max exactly, not the bucket's
+        // 2048 upper bound.
+        assert_eq!(h.quantile(0.99), Duration::from_nanos(2000));
+        assert_eq!(h.quantile(1.0), Duration::from_nanos(2000));
+
+        // A two-bucket split pins the rank walk across buckets: one
+        // sample in [64, 128), three in [1024, 2048).
+        let split = Histogram::standalone();
+        for ns in [100, 1024, 1024, 1024] {
+            split.record_ns(ns);
+        }
+        // p25 resolves the low bucket; a lone sample interpolates to the
+        // bucket's (max-clamped) upper bound.
+        assert_eq!(split.quantile(0.25), Duration::from_nanos(128));
+        // p50 → rank 2, second bucket, whose max clamp (1024) pins the
+        // readout to the exact repeated sample.
+        assert_eq!(split.quantile(0.5), Duration::from_nanos(1024));
+        assert_eq!(split.quantile(0.99), Duration::from_nanos(1024));
+    }
+
+    #[test]
     fn quantile_of_empty_histogram_is_zero() {
         let h = Histogram::standalone();
         assert_eq!(h.quantile(0.99), Duration::ZERO);

@@ -175,6 +175,39 @@ impl MetricsRegistry {
         instruments.entry(id).or_insert_with(make).clone()
     }
 
+    /// Numeric samples of every instrument, in exposition-id order —
+    /// what [`crate::health::HistoryRing`] snapshots. Counters and
+    /// gauges yield one `(id, value)` each; histograms yield their
+    /// `quantile="0.5|0.95|0.99"` readouts (seconds) plus the `_count`
+    /// line, so a history of the samples carries both percentile drift
+    /// and event-rate deltas.
+    pub fn sample(&self) -> Vec<(String, f64)> {
+        let instruments = self.instruments.read().expect("metrics poisoned");
+        let mut samples = Vec::with_capacity(instruments.len());
+        for (id, instrument) in instruments.iter() {
+            match instrument {
+                #[allow(clippy::cast_precision_loss)] // readout, not arithmetic
+                Instrument::Counter(c) => samples.push((id.exposition(&[]), c.get() as f64)),
+                Instrument::Gauge(g) => samples.push((id.exposition(&[]), g.get())),
+                Instrument::Histogram(h) => {
+                    for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                        samples.push((
+                            id.exposition(&[("quantile", label)]),
+                            h.quantile(q).as_secs_f64(),
+                        ));
+                    }
+                    let count_id = MetricId {
+                        name: format!("{}_count", id.name),
+                        labels: id.labels.clone(),
+                    };
+                    #[allow(clippy::cast_precision_loss)] // readout, not arithmetic
+                    samples.push((count_id.exposition(&[]), h.count() as f64));
+                }
+            }
+        }
+        samples
+    }
+
     /// Number of registered instruments.
     pub fn len(&self) -> usize {
         self.instruments.read().expect("metrics poisoned").len()

@@ -8,15 +8,12 @@
 //! wrappers that unwrap the matching `Response` variant. Used by the
 //! `slope-pmc query` subcommand, the round-trip integration tests, and
 //! the loadgen bench binary.
-//!
-//! The old stringly entry points live on as `#[deprecated]` shims for
-//! one release: [`Client::send_line`] → [`Client::raw_line`] and
-//! [`Client::send_pipelined`] → [`Client::raw_pipelined`].
 
 use crate::engine::Estimate;
 use crate::protocol::{
-    parse_estimate_reply, parse_ok_fields, parse_shard_info, parse_stream_status, Command,
-    ProtocolError, Request, ShardInfo, TraceScope, STREAM_PUSH_COUNTS,
+    parse_estimate_reply, parse_health_row, parse_history_row, parse_ok_fields, parse_shard_info,
+    parse_stream_status, Command, HealthRow, HistoryRow, ProtocolError, Request, ShardInfo,
+    TraceScope, STREAM_PUSH_COUNTS,
 };
 use pmca_stream::StreamStatus;
 use std::error::Error;
@@ -117,6 +114,10 @@ pub enum Response {
     StreamList(Vec<StreamStatus>),
     /// Per-shard ownership and counters (`SHARDS`).
     Shards(Vec<ShardInfo>),
+    /// Model-health rows — calibration and additivity (`HEALTH`).
+    Health(Vec<HealthRow>),
+    /// Metrics time-series snapshot rows (`HISTORY`).
+    History(Vec<HistoryRow>),
     /// The `QUIT` goodbye.
     Bye,
 }
@@ -293,6 +294,22 @@ impl Client {
                         .collect::<Result<_, _>>()?,
                 ))
             }
+            Command::Health => {
+                let rows = self.counted_rows(&reply, command)?;
+                Ok(Response::Health(
+                    rows.iter()
+                        .map(|row| parse_health_row(row).map_err(ClientError::from))
+                        .collect::<Result<_, _>>()?,
+                ))
+            }
+            Command::History => {
+                let rows = self.counted_rows(&reply, command)?;
+                Ok(Response::History(
+                    rows.iter()
+                        .map(|row| parse_history_row(row).map_err(ClientError::from))
+                        .collect::<Result<_, _>>()?,
+                ))
+            }
             Command::Quit => {
                 parse_ok_fields(&reply)?;
                 Ok(Response::Bye)
@@ -331,31 +348,6 @@ impl Client {
         self.writer.write_all(buffer.as_bytes())?;
         self.writer.flush()?;
         (0..lines.len()).map(|_| self.read_reply_line()).collect()
-    }
-
-    /// Deprecated spelling of [`Client::raw_line`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ClientError::Io`] on socket failure or a closed
-    /// connection.
-    #[deprecated(since = "0.1.0", note = "use `raw_line`, or the typed `request` core")]
-    pub fn send_line(&mut self, line: &str) -> Result<String, ClientError> {
-        self.raw_line(line)
-    }
-
-    /// Deprecated spelling of [`Client::raw_pipelined`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ClientError::Io`] on socket failure or a closed
-    /// connection.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `raw_pipelined`, or the typed `request` core"
-    )]
-    pub fn send_pipelined(&mut self, lines: &[String]) -> Result<Vec<String>, ClientError> {
-        self.raw_pipelined(lines)
     }
 
     fn read_reply_line(&mut self) -> Result<String, ClientError> {
@@ -520,6 +512,36 @@ impl Client {
     pub fn shards(&mut self) -> Result<Vec<ShardInfo>, ClientError> {
         match self.request(&Request::Shards)? {
             Response::Shards(shards) => Ok(shards),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Model-health rows: per-platform calibration (accuracy, interval
+    /// coverage, drift scores, state) and per-counter additivity
+    /// violation rates. Under sharding the listing starts with
+    /// `shard=all` aggregate rows followed by per-shard rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Protocol`] on a malformed listing.
+    pub fn health(&mut self) -> Result<Vec<HealthRow>, ClientError> {
+        match self.request(&Request::Health)? {
+            Response::Health(rows) => Ok(rows),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Metrics time-series history: the newest `limit` snapshots (all
+    /// retained snapshots when `None`), oldest first, one row per
+    /// instrument per snapshot with its value and delta since the
+    /// previous snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Protocol`] on a malformed listing.
+    pub fn history(&mut self, limit: Option<usize>) -> Result<Vec<HistoryRow>, ClientError> {
+        match self.request(&Request::History { limit })? {
+            Response::History(rows) => Ok(rows),
             other => Err(Self::unexpected(&other)),
         }
     }
@@ -719,17 +741,24 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_still_answer() {
+    fn health_and_history_round_trip() {
         let server = running_server();
         let mut client = Client::connect(server.addr()).unwrap();
-        #[allow(deprecated)]
-        let reply = client.send_line("STATS").unwrap();
-        assert!(reply.starts_with("OK served="), "{reply:?}");
-        #[allow(deprecated)]
-        let replies = client
-            .send_pipelined(&["STATS".to_string(), "STATS".to_string()])
-            .unwrap();
-        assert_eq!(replies.len(), 2);
+        // The seed model was registered directly (no TRAIN holdout), so
+        // health is empty — the verb must still answer cleanly.
+        let rows = client.health().unwrap();
+        assert!(rows.is_empty(), "{rows:?}");
+        // Each HEALTH/HISTORY request records one snapshot; after two
+        // requests the ring holds at least two.
+        let rows = client.history(None).unwrap();
+        assert!(!rows.is_empty(), "{rows:?}");
+        let seqs: std::collections::BTreeSet<u64> = rows.iter().map(|r| r.seq).collect();
+        assert!(seqs.len() >= 2, "{seqs:?}");
+        // A limit of 1 keeps only the newest snapshot.
+        let rows = client.history(Some(1)).unwrap();
+        let seqs: std::collections::BTreeSet<u64> = rows.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs.len(), 1, "{seqs:?}");
+        client.quit().unwrap();
     }
 
     #[test]

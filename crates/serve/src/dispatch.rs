@@ -3,9 +3,11 @@
 //! A [`Dispatcher`] answers drained batches of request lines against a
 //! [`ShardRouter`]: estimate and train verbs route by platform, the
 //! `STREAM` family routes by stream id, and the global verbs (`MODELS`,
-//! `STATS`, `STREAM LIST`, `TRACE`, `SHARDS`) aggregate across every
-//! shard in slot order. The threaded transport builds one dispatcher
-//! per connection; the evented transport builds one per event loop.
+//! `STATS`, `STREAM LIST`, `TRACE`, `SHARDS`, `HEALTH`, `HISTORY`)
+//! aggregate across every shard in slot order — `HEALTH` prepends
+//! merged `shard=all` rows before the per-shard rows when more than one
+//! shard reports. The threaded transport builds one dispatcher per
+//! connection; the evented transport builds one per event loop.
 //!
 //! Single-shard routing is a fast path: every request lands on slot 0
 //! and the aggregations reduce to the pre-sharding single-service
@@ -13,12 +15,13 @@
 
 use crate::engine::Estimate;
 use crate::protocol::{
-    err, ok_estimate, ok_estimate_into, ok_stats, ok_stream_push_into, ok_stream_status,
-    stream_status_fields, Command, Request, RequestRef,
+    err, health_row_fields, history_row_fields, ok_estimate, ok_estimate_into, ok_stats,
+    ok_stream_push_into, ok_stream_status, stream_status_fields, Command, HealthRow, HistoryRow,
+    Request, RequestRef,
 };
 use crate::service::{BatchRequestRef, EnergyService, ServiceError, ServiceStats};
 use crate::shard::ShardRouter;
-use pmca_obs::{Counter, Histogram, Span};
+use pmca_obs::{trace, AdditivitySnapshot, CalibrationSnapshot, Counter, Histogram, Span};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -39,6 +42,8 @@ struct CommandMetrics {
     stream_close: Histogram,
     stream_list: Histogram,
     shards: Histogram,
+    health: Histogram,
+    history: Histogram,
 }
 
 impl CommandMetrics {
@@ -61,6 +66,8 @@ impl CommandMetrics {
             stream_close: h("stream-close"),
             stream_list: h("stream-list"),
             shards: h("shards"),
+            health: h("health"),
+            history: h("history"),
         }
     }
 
@@ -80,6 +87,8 @@ impl CommandMetrics {
             Command::StreamClose => &self.stream_close,
             Command::StreamList => &self.stream_list,
             Command::Shards => &self.shards,
+            Command::Health => &self.health,
+            Command::History => &self.history,
             Command::Stats | Command::Quit => &self.stats,
         }
     }
@@ -223,6 +232,8 @@ impl Dispatcher {
             }
             self.shard_requests[shard].add(group_requests[shard].len() as u64);
             let service = self.router.shard(shard);
+            // Traces started inside the batch carry shard=<i>.
+            let _scope = trace::shard_scope(shard);
             for (position, result) in group_positions[shard]
                 .iter()
                 .zip(service.estimate_many_ref(&group_requests[shard]))
@@ -257,13 +268,15 @@ impl Dispatcher {
         let _span = Span::enter(self.metrics.of(request.command()));
         let reply = match request {
             Request::Estimate { platform, counts } => {
-                match self.routed(&platform).estimate(&platform, &counts) {
+                let (service, _scope) = self.routed(&platform);
+                match service.estimate(&platform, &counts) {
                     Ok(estimate) => ok_estimate(&estimate),
                     Err(e) => err(&e.to_string()),
                 }
             }
             Request::EstimateApp { platform, app } => {
-                match self.routed(&platform).estimate_app(&platform, &app) {
+                let (service, _scope) = self.routed(&platform);
+                match service.estimate_app(&platform, &app) {
                     Ok(estimate) => ok_estimate(&estimate),
                     Err(e) => err(&e.to_string()),
                 }
@@ -272,17 +285,23 @@ impl Dispatcher {
                 platform,
                 pmcs,
                 apps,
-            } => match self.routed(&platform).train_online(&platform, &pmcs, &apps) {
-                Ok(stored) => format!(
-                    "OK platform={} family={} version={} rows={} residual-std={}",
-                    stored.key.platform,
-                    stored.key.family,
-                    stored.version,
-                    stored.training_rows,
-                    stored.residual_std
-                ),
-                Err(e) => err(&e.to_string()),
-            },
+            } => {
+                let result = {
+                    let (service, _scope) = self.routed(&platform);
+                    service.train_online(&platform, &pmcs, &apps)
+                };
+                match result {
+                    Ok(stored) => format!(
+                        "OK platform={} family={} version={} rows={} residual-std={}",
+                        stored.key.platform,
+                        stored.key.family,
+                        stored.version,
+                        stored.training_rows,
+                        stored.residual_std
+                    ),
+                    Err(e) => err(&e.to_string()),
+                }
+            }
             Request::Models => {
                 let mut lines = Vec::new();
                 for shard in 0..self.router.shard_count() {
@@ -322,34 +341,58 @@ impl Dispatcher {
                 app,
                 platform,
                 window,
-            } => match self.routed(&id).stream_open(&id, &app, &platform, window) {
-                Ok(capacity) => format!("OK stream={id} opened=1 capacity={capacity}"),
-                Err(e) => err(&e.to_string()),
-            },
+            } => {
+                let result = {
+                    let (service, _scope) = self.routed(&id);
+                    service.stream_open(&id, &app, &platform, window)
+                };
+                match result {
+                    Ok(capacity) => format!("OK stream={id} opened=1 capacity={capacity}"),
+                    Err(e) => err(&e.to_string()),
+                }
+            }
             Request::StreamPush {
                 id,
                 window,
                 counts,
                 joules,
-            } => match self.routed(&id).stream_push(&id, window, &counts, joules) {
-                Ok(reply) => {
-                    let mut out = String::new();
-                    ok_stream_push_into(&reply, window, &mut out);
-                    out
+            } => {
+                let result = {
+                    let (service, _scope) = self.routed(&id);
+                    service.stream_push(&id, window, &counts, joules)
+                };
+                match result {
+                    Ok(reply) => {
+                        let mut out = String::new();
+                        ok_stream_push_into(&reply, window, &mut out);
+                        out
+                    }
+                    Err(e) => err(&e.to_string()),
                 }
-                Err(e) => err(&e.to_string()),
-            },
-            Request::StreamPoll { id } => match self.routed(&id).stream_poll(&id) {
-                Ok(status) => ok_stream_status(&status),
-                Err(e) => err(&e.to_string()),
-            },
-            Request::StreamClose { id } => match self.routed(&id).stream_close(&id) {
-                Ok(status) => format!(
-                    "OK stream={id} closed=1 accepted={} retained={}",
-                    status.accepted, status.retained
-                ),
-                Err(e) => err(&e.to_string()),
-            },
+            }
+            Request::StreamPoll { id } => {
+                let result = {
+                    let (service, _scope) = self.routed(&id);
+                    service.stream_poll(&id)
+                };
+                match result {
+                    Ok(status) => ok_stream_status(&status),
+                    Err(e) => err(&e.to_string()),
+                }
+            }
+            Request::StreamClose { id } => {
+                let result = {
+                    let (service, _scope) = self.routed(&id);
+                    service.stream_close(&id)
+                };
+                match result {
+                    Ok(status) => format!(
+                        "OK stream={id} closed=1 accepted={} retained={}",
+                        status.accepted, status.retained
+                    ),
+                    Err(e) => err(&e.to_string()),
+                }
+            }
             Request::StreamList => {
                 let mut statuses = Vec::new();
                 let mut failed = None;
@@ -368,18 +411,153 @@ impl Dispatcher {
                 }
             }
             Request::Shards => counted(self.router.shard_lines()),
+            Request::Health => {
+                // Every HEALTH observation also advances the HISTORY
+                // ring, so history cadence follows whoever is watching.
+                self.router.primary().record_history();
+                counted(self.health_lines())
+            }
+            Request::History { limit } => {
+                let primary = self.router.primary();
+                primary.record_history();
+                let mut lines = Vec::new();
+                for snapshot in primary.history_snapshots(limit.unwrap_or(usize::MAX)) {
+                    for entry in snapshot.entries {
+                        lines.push(history_row_fields(&HistoryRow {
+                            seq: snapshot.seq,
+                            metric: entry.metric,
+                            value: entry.value,
+                            delta: entry.delta,
+                        }));
+                    }
+                }
+                counted(lines)
+            }
             Request::Quit => return ("OK bye=1".to_string(), true),
         };
         (reply, false)
     }
 
+    /// The HEALTH listing: per-shard calibration and additivity rows
+    /// labelled `shard=<i>`, preceded by merged `shard=all` rows when
+    /// more than one shard reports.
+    fn health_lines(&self) -> Vec<String> {
+        let shard_count = self.router.shard_count();
+        let mut calibration: Vec<(usize, CalibrationSnapshot)> = Vec::new();
+        let mut additivity: Vec<(usize, AdditivitySnapshot)> = Vec::new();
+        for shard in 0..shard_count {
+            let service = self.router.shard(shard);
+            calibration.extend(
+                service
+                    .health_calibration()
+                    .into_iter()
+                    .map(|row| (shard, row)),
+            );
+            additivity.extend(
+                service
+                    .health_additivity()
+                    .into_iter()
+                    .map(|row| (shard, row)),
+            );
+        }
+        let mut lines = Vec::new();
+        if shard_count > 1 {
+            for snapshot in merge_calibration(&calibration) {
+                lines.push(health_row_fields(&HealthRow::Calibration {
+                    shard: None,
+                    snapshot,
+                }));
+            }
+            for snapshot in merge_additivity(&additivity) {
+                lines.push(health_row_fields(&HealthRow::Additivity {
+                    shard: None,
+                    snapshot,
+                }));
+            }
+        }
+        for (shard, snapshot) in calibration {
+            lines.push(health_row_fields(&HealthRow::Calibration {
+                shard: Some(shard),
+                snapshot,
+            }));
+        }
+        for (shard, snapshot) in additivity {
+            lines.push(health_row_fields(&HealthRow::Additivity {
+                shard: Some(shard),
+                snapshot,
+            }));
+        }
+        lines
+    }
+
     /// The shard service for one routed request, with its request
-    /// counter bumped.
-    fn routed(&self, key: &str) -> Arc<EnergyService> {
+    /// counter bumped and the trace shard scope held — any trace the
+    /// service starts while the guard lives is attributed `shard=<i>`.
+    fn routed(&self, key: &str) -> (Arc<EnergyService>, trace::ShardScope) {
         let shard = self.router.route_index(key);
         self.shard_requests[shard].inc();
-        self.router.shard(shard)
+        (self.router.shard(shard), trace::shard_scope(shard))
     }
+}
+
+/// Merge per-shard calibration rows into one `shard=all` row per
+/// platform: samples-weighted MAE/MPE/coverage, the worst drift scores
+/// and state, the newest version.
+fn merge_calibration(rows: &[(usize, CalibrationSnapshot)]) -> Vec<CalibrationSnapshot> {
+    let mut merged: Vec<CalibrationSnapshot> = Vec::new();
+    for (_, row) in rows {
+        match merged.iter_mut().find(|m| m.platform == row.platform) {
+            Some(m) => {
+                let (a, b) = (m.samples as f64, row.samples as f64);
+                let total = (a + b).max(1.0);
+                m.mae = (m.mae * a + row.mae * b) / total;
+                m.mpe = (m.mpe * a + row.mpe * b) / total;
+                let (ca, cb) = (m.covered_samples as f64, row.covered_samples as f64);
+                let covered_total = ca + cb;
+                m.coverage = if covered_total > 0.0 {
+                    (m.coverage * ca + row.coverage * cb) / covered_total
+                } else {
+                    0.0
+                };
+                m.samples += row.samples;
+                m.covered_samples += row.covered_samples;
+                m.version = m.version.max(row.version);
+                m.cusum = m.cusum.max(row.cusum);
+                m.page_hinkley = m.page_hinkley.max(row.page_hinkley);
+                // HealthState orders worst-last, so max is "any shard
+                // drifting means the merged view drifts".
+                m.state = m.state.max(row.state);
+            }
+            None => merged.push(row.clone()),
+        }
+    }
+    merged
+}
+
+/// Merge per-shard additivity rows into one `shard=all` row per
+/// `(platform, counter)`: checks and violations sum, the rate is
+/// recomputed over the sums, the worst error wins.
+fn merge_additivity(rows: &[(usize, AdditivitySnapshot)]) -> Vec<AdditivitySnapshot> {
+    let mut merged: Vec<AdditivitySnapshot> = Vec::new();
+    for (_, row) in rows {
+        match merged
+            .iter_mut()
+            .find(|m| m.platform == row.platform && m.counter == row.counter)
+        {
+            Some(m) => {
+                m.checks += row.checks;
+                m.violations += row.violations;
+                m.rate = if m.checks > 0 {
+                    m.violations as f64 / m.checks as f64
+                } else {
+                    0.0
+                };
+                m.worst_error_pct = m.worst_error_pct.max(row.worst_error_pct);
+            }
+            None => merged.push(row.clone()),
+        }
+    }
+    merged
 }
 
 /// A counted listing reply: `OK count=<n>` followed by the lines.

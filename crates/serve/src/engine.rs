@@ -652,7 +652,7 @@ fn answer(
 }
 
 /// 95 % prediction half-width from the model's training residuals.
-fn prediction_half_width(model: &StoredModel) -> f64 {
+pub(crate) fn prediction_half_width(model: &StoredModel) -> f64 {
     if model.residual_std <= 0.0 || model.training_rows == 0 {
         return 0.0;
     }

@@ -16,8 +16,8 @@
 //!   platforms (training, counter-level and app-level estimation);
 //! - [`protocol`] / [`server`] / [`client`] — a line protocol over
 //!   `std::net::TcpListener` (`ESTIMATE`, `ESTIMATE-APP`, `TRAIN`,
-//!   `MODELS`, `STATS`, `METRICS`, `TRACE`, the `STREAM` family, `QUIT`)
-//!   plus a blocking client;
+//!   `MODELS`, `STATS`, `METRICS`, `TRACE`, `HEALTH`, `HISTORY`, the
+//!   `STREAM` family, `QUIT`) plus a blocking client;
 //! - streaming ingestion from the sibling `pmca-stream` crate — clients
 //!   `STREAM OPEN` a telemetry stream, `STREAM PUSH` one-second windows
 //!   of PMC counts (optionally labelled with measured joules), and
@@ -82,10 +82,11 @@ pub mod store;
 pub use cache::{RunCache, RunKey};
 pub use client::{Client, ClientError, Response};
 pub use engine::{EngineError, Estimate, InferenceEngine};
-pub use pmca_obs::Trace;
+pub use pmca_obs::{AdditivitySnapshot, CalibrationSnapshot, HealthState, HistorySnapshot, Trace};
 pub use pmca_stream::{ModelSnapshot, PushReply, StreamHub, StreamHubConfig, StreamStatus};
 pub use protocol::{
-    Command, ProtocolError, Request, RequestRef, ShardInfo, TraceScope, STREAM_PUSH_COUNTS,
+    Command, HealthRow, HistoryRow, ProtocolError, Request, RequestRef, ShardInfo, TraceScope,
+    STREAM_PUSH_COUNTS,
 };
 pub use registry::{ModelKey, Registry, RegistryError, StoredModel};
 pub use server::Server;

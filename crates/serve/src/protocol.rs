@@ -16,6 +16,8 @@
 //! METRICS
 //! TRACE [RECENT|SLOW|SLOWEST] [<limit>]
 //! SHARDS
+//! HEALTH
+//! HISTORY [<limit>]
 //! QUIT
 //! ```
 //!
@@ -43,11 +45,21 @@
 //! by trace, and `<limit>` caps how many *traces* (not lines) are
 //! dumped. `SHARDS` is also a counted listing: one `key=value` row per
 //! shard (see [`shard_info_fields`]) reporting ownership and counters.
+//! `HEALTH` and `HISTORY` are counted listings too: `HEALTH` reports the
+//! model-health plane — calibration rows (rolling MAE/MPE, empirical
+//! 95%-PI coverage, drift scores and state per platform) and additivity
+//! rows (per-counter violation rates), each labelled `shard=<i>` plus a
+//! merged `shard=all` view when sharded (see [`health_row_fields`]) —
+//! and `HISTORY` dumps the windowed metrics time series, one
+//! `seq=.. metric=.. value=.. delta=..` row per metric per snapshot
+//! (see [`history_row_fields`]), with `<limit>` capping how many
+//! *snapshots* (not rows) are dumped.
 //! Floats use Rust's default shortest-round-trip formatting, so
 //! a reply parses back to the exact served value.
 
 use crate::engine::Estimate;
 use crate::service::ServiceStats;
+use pmca_obs::{AdditivitySnapshot, CalibrationSnapshot, HealthState};
 use pmca_stream::{PushOutcome, PushReply, StreamStatus};
 use std::error::Error;
 use std::fmt;
@@ -133,6 +145,10 @@ pub enum Command {
     Trace,
     /// `SHARDS`
     Shards,
+    /// `HEALTH`
+    Health,
+    /// `HISTORY [<limit>]`
+    History,
     /// `QUIT`
     Quit,
 }
@@ -168,6 +184,8 @@ impl Command {
             ("METRICS", Command::Metrics),
             ("TRACE", Command::Trace),
             ("SHARDS", Command::Shards),
+            ("HEALTH", Command::Health),
+            ("HISTORY", Command::History),
             ("QUIT", Command::Quit),
         ] {
             if verb.eq_ignore_ascii_case(name) {
@@ -194,6 +212,8 @@ impl Command {
             Command::Metrics => "METRICS",
             Command::Trace => "TRACE",
             Command::Shards => "SHARDS",
+            Command::Health => "HEALTH",
+            Command::History => "HISTORY",
             Command::Quit => "QUIT",
         }
     }
@@ -215,6 +235,8 @@ impl Command {
             Command::Metrics => "metrics",
             Command::Trace => "trace",
             Command::Shards => "shards",
+            Command::Health => "health",
+            Command::History => "history",
             Command::Quit => "quit",
         }
     }
@@ -228,6 +250,7 @@ impl Command {
                 | Command::Stats
                 | Command::Metrics
                 | Command::Shards
+                | Command::Health
                 | Command::Quit
         )
     }
@@ -316,6 +339,14 @@ pub enum Request {
     },
     /// Report per-shard ownership and counters.
     Shards,
+    /// Report the model-health plane: calibration, drift, and
+    /// additivity rows per shard plus the merged view.
+    Health,
+    /// Dump the windowed metrics time series.
+    History {
+        /// Cap on the number of snapshots (not rows) dumped.
+        limit: Option<usize>,
+    },
     /// Close the connection.
     Quit,
 }
@@ -601,6 +632,19 @@ fn parse_cold(command: Command, rest: &[&str]) -> Result<Request, ProtocolError>
         Command::Metrics => Ok(Request::Metrics),
         Command::Trace => parse_trace_args(rest),
         Command::Shards => Ok(Request::Shards),
+        Command::Health => Ok(Request::Health),
+        Command::History => match rest {
+            [] => Ok(Request::History { limit: None }),
+            [limit] => limit
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .map(|n| Request::History { limit: Some(n) })
+                .ok_or_else(|| {
+                    ProtocolError::bad("HISTORY", format!("bad snapshot limit {limit:?}"))
+                }),
+            _ => Err(ProtocolError::bad("HISTORY", "usage: HISTORY [<limit>]")),
+        },
         Command::Quit => Ok(Request::Quit),
         Command::Estimate | Command::EstimateApp | Command::StreamPush | Command::StreamPoll => {
             unreachable!("hot commands are parsed in place by RequestRef::parse")
@@ -668,6 +712,11 @@ impl Request {
                 None => format!("TRACE {}", scope.as_str()),
             },
             Request::Shards => "SHARDS".to_string(),
+            Request::Health => "HEALTH".to_string(),
+            Request::History { limit } => match limit {
+                Some(limit) => format!("HISTORY {limit}"),
+                None => "HISTORY".to_string(),
+            },
             Request::Quit => "QUIT".to_string(),
         }
     }
@@ -688,6 +737,8 @@ impl Request {
             Request::Metrics => Command::Metrics,
             Request::Trace { .. } => Command::Trace,
             Request::Shards => Command::Shards,
+            Request::Health => Command::Health,
+            Request::History { .. } => Command::History,
             Request::Quit => Command::Quit,
         }
     }
@@ -986,6 +1037,187 @@ pub fn parse_shard_info(line: &str) -> Result<ShardInfo, ProtocolError> {
     })
 }
 
+/// One row of a `HEALTH` reply: a calibration readout or an additivity
+/// readout, tagged with the shard it came from (`None` is the merged
+/// `shard=all` view a sharded server prepends).
+#[derive(Debug, Clone, PartialEq)]
+pub enum HealthRow {
+    /// Rolling calibration/drift readout for one platform.
+    Calibration {
+        /// Reporting shard, `None` for the cross-shard aggregate.
+        shard: Option<usize>,
+        /// The readout itself.
+        snapshot: CalibrationSnapshot,
+    },
+    /// Additivity-violation readout for one `(platform, counter)`.
+    Additivity {
+        /// Reporting shard, `None` for the cross-shard aggregate.
+        shard: Option<usize>,
+        /// The readout itself.
+        snapshot: AdditivitySnapshot,
+    },
+}
+
+fn shard_label(shard: Option<usize>) -> String {
+    shard.map_or_else(|| "all".to_string(), |i| i.to_string())
+}
+
+/// The `key=value` fields of one `HEALTH` row. The first field is
+/// always `kind=` so a client can dispatch without sniffing.
+pub fn health_row_fields(row: &HealthRow) -> String {
+    match row {
+        HealthRow::Calibration { shard, snapshot } => format!(
+            "kind=calibration shard={} platform={} version={} samples={} mae={} mpe={} \
+             coverage={} covered={} cusum={} ph={} state={}",
+            shard_label(*shard),
+            snapshot.platform,
+            snapshot.version,
+            snapshot.samples,
+            snapshot.mae,
+            snapshot.mpe,
+            snapshot.coverage,
+            snapshot.covered_samples,
+            snapshot.cusum,
+            snapshot.page_hinkley,
+            snapshot.state.as_str()
+        ),
+        HealthRow::Additivity { shard, snapshot } => format!(
+            "kind=additivity shard={} platform={} counter={} checks={} violations={} \
+             rate={} worst={}",
+            shard_label(*shard),
+            snapshot.platform,
+            snapshot.counter,
+            snapshot.checks,
+            snapshot.violations,
+            snapshot.rate,
+            snapshot.worst_error_pct
+        ),
+    }
+}
+
+/// Parse a `HEALTH` listing row (with or without a leading `OK`) back
+/// into a [`HealthRow`] (client side).
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::Server`] with the server's `ERR` message, or
+/// [`ProtocolError::MalformedReply`] for a row that does not parse.
+pub fn parse_health_row(line: &str) -> Result<HealthRow, ProtocolError> {
+    let trimmed = line.trim();
+    let with_ok;
+    let fields = if trimmed.starts_with("OK") || trimmed.starts_with("ERR ") {
+        parse_ok_fields(trimmed)?
+    } else {
+        with_ok = format!("OK {trimmed}");
+        parse_ok_fields(&with_ok)?
+    };
+    let get = |key: &str| {
+        fields
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| ProtocolError::MalformedReply(format!("missing {key} in {line:?}")))
+    };
+    fn number<T: std::str::FromStr>(raw: &str, key: &str, line: &str) -> Result<T, ProtocolError> {
+        raw.parse()
+            .map_err(|_| ProtocolError::MalformedReply(format!("bad {key} in {line:?}")))
+    }
+    let shard = match get("shard")? {
+        "all" => None,
+        raw => Some(number(raw, "shard", line)?),
+    };
+    match get("kind")? {
+        "calibration" => Ok(HealthRow::Calibration {
+            shard,
+            snapshot: CalibrationSnapshot {
+                platform: get("platform")?.to_string(),
+                version: number(get("version")?, "version", line)?,
+                samples: number(get("samples")?, "samples", line)?,
+                mae: number(get("mae")?, "mae", line)?,
+                mpe: number(get("mpe")?, "mpe", line)?,
+                coverage: number(get("coverage")?, "coverage", line)?,
+                covered_samples: number(get("covered")?, "covered", line)?,
+                cusum: number(get("cusum")?, "cusum", line)?,
+                page_hinkley: number(get("ph")?, "ph", line)?,
+                state: HealthState::parse(get("state")?).ok_or_else(|| {
+                    ProtocolError::MalformedReply(format!("bad state in {line:?}"))
+                })?,
+            },
+        }),
+        "additivity" => Ok(HealthRow::Additivity {
+            shard,
+            snapshot: AdditivitySnapshot {
+                platform: get("platform")?.to_string(),
+                counter: get("counter")?.to_string(),
+                checks: number(get("checks")?, "checks", line)?,
+                violations: number(get("violations")?, "violations", line)?,
+                rate: number(get("rate")?, "rate", line)?,
+                worst_error_pct: number(get("worst")?, "worst", line)?,
+            },
+        }),
+        other => Err(ProtocolError::MalformedReply(format!(
+            "unknown health row kind {other:?}"
+        ))),
+    }
+}
+
+/// One row of a `HISTORY` reply: one metric's reading inside one
+/// windowed snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryRow {
+    /// Snapshot sequence number (monotonic, from 1).
+    pub seq: u64,
+    /// Metric exposition id.
+    pub metric: String,
+    /// Value at snapshot time.
+    pub value: f64,
+    /// Change since the previous snapshot.
+    pub delta: f64,
+}
+
+/// The `key=value` fields of one `HISTORY` row.
+pub fn history_row_fields(row: &HistoryRow) -> String {
+    format!(
+        "seq={} metric={} value={} delta={}",
+        row.seq, row.metric, row.value, row.delta
+    )
+}
+
+/// Parse a `HISTORY` listing row (with or without a leading `OK`) back
+/// into a [`HistoryRow`] (client side).
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::Server`] with the server's `ERR` message, or
+/// [`ProtocolError::MalformedReply`] for a row that does not parse.
+pub fn parse_history_row(line: &str) -> Result<HistoryRow, ProtocolError> {
+    let trimmed = line.trim();
+    let with_ok;
+    let fields = if trimmed.starts_with("OK") || trimmed.starts_with("ERR ") {
+        parse_ok_fields(trimmed)?
+    } else {
+        with_ok = format!("OK {trimmed}");
+        parse_ok_fields(&with_ok)?
+    };
+    let get = |key: &str| {
+        fields
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| ProtocolError::MalformedReply(format!("missing {key} in {line:?}")))
+    };
+    fn number<T: std::str::FromStr>(raw: &str, key: &str, line: &str) -> Result<T, ProtocolError> {
+        raw.parse()
+            .map_err(|_| ProtocolError::MalformedReply(format!("bad {key} in {line:?}")))
+    }
+    Ok(HistoryRow {
+        seq: number(get("seq")?, "seq", line)?,
+        metric: get("metric")?.to_string(),
+        value: number(get("value")?, "value", line)?,
+        delta: number(get("delta")?, "delta", line)?,
+    })
+}
+
 /// `ERR` reply. Newlines are flattened so the reply stays one line.
 pub fn err(message: &str) -> String {
     format!("ERR {}", message.replace(['\r', '\n'], " "))
@@ -1107,11 +1339,118 @@ mod tests {
                 limit: None,
             },
             Request::Shards,
+            Request::Health,
+            Request::History { limit: None },
+            Request::History { limit: Some(4) },
             Request::Quit,
         ];
         for request in requests {
             assert_eq!(Request::parse(&request.to_line()).unwrap(), request);
         }
+    }
+
+    #[test]
+    fn health_and_history_requests_parse() {
+        assert_eq!(Request::parse("health").unwrap(), Request::Health);
+        assert_eq!(
+            Request::parse("HISTORY").unwrap(),
+            Request::History { limit: None }
+        );
+        assert_eq!(
+            Request::parse("history 3").unwrap(),
+            Request::History { limit: Some(3) }
+        );
+        for bad in ["HEALTH now", "HISTORY 0", "HISTORY x", "HISTORY 2 2"] {
+            assert!(
+                matches!(Request::parse(bad), Err(ProtocolError::BadRequest { .. })),
+                "{bad:?} should be a BadRequest"
+            );
+        }
+        assert_eq!(Request::Health.command_label(), "health");
+        assert_eq!(Request::History { limit: None }.command_label(), "history");
+        assert_eq!(Command::Health.wire_name(), "HEALTH");
+        assert!(Command::Health.takes_no_arguments());
+        assert!(!Command::History.takes_no_arguments());
+    }
+
+    #[test]
+    fn health_rows_round_trip() {
+        let calibration = HealthRow::Calibration {
+            shard: Some(1),
+            snapshot: CalibrationSnapshot {
+                platform: "skylake".to_string(),
+                version: 12,
+                samples: 40,
+                mae: 1.25,
+                mpe: -3.5,
+                coverage: 0.925,
+                covered_samples: 37,
+                cusum: 0.75,
+                page_hinkley: 0.5,
+                state: HealthState::Degraded,
+            },
+        };
+        let row = health_row_fields(&calibration);
+        assert!(row.starts_with("kind=calibration shard=1 "), "{row}");
+        assert_eq!(parse_health_row(&row).unwrap(), calibration);
+        assert_eq!(
+            parse_health_row(&format!("OK {row}")).unwrap(),
+            calibration,
+            "leading OK is accepted"
+        );
+        // The merged view renders shard=all and parses back to None.
+        let additivity = HealthRow::Additivity {
+            shard: None,
+            snapshot: AdditivitySnapshot {
+                platform: "haswell".to_string(),
+                counter: "UOPS_EXECUTED_CORE".to_string(),
+                checks: 8,
+                violations: 2,
+                rate: 0.25,
+                worst_error_pct: 51.5,
+            },
+        };
+        let row = health_row_fields(&additivity);
+        assert!(row.contains("shard=all"), "{row}");
+        assert_eq!(parse_health_row(&row).unwrap(), additivity);
+        assert!(matches!(
+            parse_health_row("ERR health disabled"),
+            Err(ProtocolError::Server(_))
+        ));
+        assert!(matches!(
+            parse_health_row("kind=frobnicate shard=0"),
+            Err(ProtocolError::MalformedReply(_))
+        ));
+        assert!(matches!(
+            parse_health_row("kind=calibration shard=0 platform=x"),
+            Err(ProtocolError::MalformedReply(_))
+        ));
+    }
+
+    #[test]
+    fn history_rows_round_trip() {
+        let row = HistoryRow {
+            seq: 3,
+            metric: "pmca_serve_command_seconds{command=\"estimate\",quantile=\"0.95\"}"
+                .to_string(),
+            value: 0.0025,
+            delta: 0.0005,
+        };
+        let line = history_row_fields(&row);
+        assert_eq!(parse_history_row(&line).unwrap(), row);
+        assert_eq!(
+            parse_history_row(&format!("OK {line}")).unwrap(),
+            row,
+            "exposition ids with inner '=' survive the field split"
+        );
+        assert!(matches!(
+            parse_history_row("seq=1 metric=x value=y delta=0"),
+            Err(ProtocolError::MalformedReply(_))
+        ));
+        assert!(matches!(
+            parse_history_row("ERR no history"),
+            Err(ProtocolError::Server(_))
+        ));
     }
 
     #[test]

@@ -17,7 +17,10 @@ use pmca_core::online::OnlineModel;
 use pmca_cpusim::{Machine, PlatformSpec};
 use pmca_mlkit::export::ModelParams;
 use pmca_obs::trace::{self, ActiveTrace};
-use pmca_obs::{Counter, Histogram, MetricsRegistry, Span, Trace, Tracer, TracerConfig};
+use pmca_obs::{
+    AdditivitySnapshot, CalibrationSnapshot, Counter, HealthConfig, HealthRegistry, Histogram,
+    HistoryRing, HistorySnapshot, MetricsRegistry, Span, Trace, Tracer, TracerConfig,
+};
 use pmca_pmctools::collector::collect_all;
 use pmca_powermeter::{HclWattsUp, Methodology};
 use pmca_stream::{PushReply, StreamError, StreamHub, StreamHubConfig, StreamStatus};
@@ -239,6 +242,8 @@ pub struct ServiceConfig {
     stream_idle_ttl_secs: u64,
     transport: Transport,
     event_loops: usize,
+    health: bool,
+    history_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -247,7 +252,8 @@ impl Default for ServiceConfig {
     /// a 64-trace flight recorder (no slow threshold, no JSONL sink),
     /// streaming enabled with a heavy refit every 256 labelled windows
     /// and a 5-minute idle TTL, threaded transport (with 4 event loops
-    /// once switched to [`Transport::Evented`]).
+    /// once switched to [`Transport::Evented`]), the model-health plane
+    /// on with a 32-snapshot metrics history.
     fn default() -> Self {
         ServiceConfig {
             workers: 4,
@@ -264,6 +270,8 @@ impl Default for ServiceConfig {
             stream_idle_ttl_secs: 300,
             transport: Transport::Threaded,
             event_loops: 4,
+            health: true,
+            history_capacity: 32,
         }
     }
 }
@@ -369,6 +377,23 @@ impl ServiceConfig {
         self
     }
 
+    /// Whether the model-health plane is live (default `true`):
+    /// calibration trackers fed by labelled stream windows and TRAIN
+    /// holdouts, drift detection, and the additivity monitor. With
+    /// `false` every health structure is inert — no locks, no clock
+    /// reads — and `HEALTH` answers an empty listing.
+    pub fn health(mut self, enabled: bool) -> Self {
+        self.health = enabled;
+        self
+    }
+
+    /// Snapshot capacity of the metrics history ring behind `HISTORY`
+    /// (min 2; default 32).
+    pub fn history_capacity(mut self, capacity: usize) -> Self {
+        self.history_capacity = capacity;
+        self
+    }
+
     /// Build the service.
     ///
     /// # Errors
@@ -468,11 +493,22 @@ impl ServiceConfig {
             Some(dir) => Arc::new(FileStore::open(dir, &metrics_registry)?),
             None => Arc::new(MemoryStore::with_metrics(&metrics_registry)),
         };
+        // Per-service (so per-shard) health registry: calibration rows
+        // gathered by the dispatcher carry `shard=<i>` labels because
+        // each shard's EnergyService owns its own trackers — the metrics
+        // registry is the one instrument set shared fleet-wide, health
+        // is not.
+        let health = if self.health {
+            Arc::new(HealthRegistry::new(HealthConfig::default()))
+        } else {
+            Arc::new(HealthRegistry::disabled())
+        };
         let streams = if self.streams {
             let hub_config = StreamHubConfig::default()
                 .refit_every(self.stream_refit_every)
                 .idle_ttl(Duration::from_secs(self.stream_idle_ttl_secs));
             let hub = Arc::new(StreamHub::with_registry(hub_config, &metrics_registry));
+            hub.set_health(Arc::clone(&health));
             // Refit swaps go through the same versioned store as TRAIN,
             // so ESTIMATE requests pick up stream-refreshed models too.
             let store_for_swap = Arc::clone(&store);
@@ -511,6 +547,8 @@ impl ServiceConfig {
             feature_events: Mutex::new(HashMap::new()),
             transport: self.transport,
             event_loops: self.event_loops,
+            health,
+            history: HistoryRing::new(self.history_capacity),
         })
     }
 }
@@ -579,6 +617,14 @@ pub struct EnergyService {
     feature_events: Mutex<HashMap<usize, EventMemoEntry>>,
     transport: Transport,
     event_loops: usize,
+    /// Model-health plane: calibration/drift trackers and the
+    /// additivity monitor, fed by labelled stream windows (via the hub)
+    /// and TRAIN-time holdout residuals. Inert when built with
+    /// [`ServiceConfig::health`]`(false)`.
+    health: Arc<HealthRegistry>,
+    /// Windowed metrics time series behind `HISTORY`, demand-sampled on
+    /// each `HEALTH`/`HISTORY` request — no background clock ticks.
+    history: HistoryRing,
 }
 
 /// One [`EnergyService::feature_events`] memo entry: the model `Arc`
@@ -660,15 +706,15 @@ impl EnergyService {
             .map(|spec| app_from_spec(spec).map_err(|e| ServiceError::BadRequest(e.to_string())))
             .collect::<Result<Vec<_>, _>>()?;
         let names: Vec<&str> = pmc_names.iter().map(String::as_str).collect();
-        let spec = self.with_machine(platform, |machine| {
+        let (spec, fit) = self.with_machine(platform, |machine| {
             let mut meter = HclWattsUp::with_methodology(machine, self.seed, Methodology::quick());
             let refs: Vec<&dyn pmca_cpusim::app::Application> =
                 apps.iter().map(|a| a.as_ref()).collect();
             let model = OnlineModel::train(machine, &mut meter, &names, &refs)
                 .map_err(|e| ServiceError::Train(e.to_string()))?;
-            Ok(model.to_spec())
+            Ok((model.to_spec(), model.training_fit().to_vec()))
         })?;
-        Ok(self.store.put(
+        let stored = self.store.put(
             platform,
             "online",
             spec.pmc_names.clone(),
@@ -678,7 +724,26 @@ impl EnergyService {
                 coefficients: spec.coefficients.clone(),
                 intercept: 0.0,
             },
-        ))
+        );
+        // TRAIN-time holdout: seed the calibration tracker with the
+        // model's own (predicted, measured) training pairs against its
+        // 95% interval, so HEALTH reports coverage before any labelled
+        // stream window arrives. In-sample residuals are systematic,
+        // so they go in as baseline pairs that never feed the drift
+        // detectors — only live labelled windows can move the state.
+        if self.health.is_enabled() {
+            let half_width = crate::engine::prediction_half_width(&stored);
+            for (predicted, measured) in fit {
+                self.health.observe_baseline(
+                    platform,
+                    u64::from(stored.version),
+                    predicted,
+                    half_width,
+                    measured,
+                );
+            }
+        }
+        Ok(stored)
     }
 
     /// Register an externally trained model (any family).
@@ -1024,6 +1089,41 @@ impl EnergyService {
     /// disabled local one for metrics-off services).
     pub(crate) fn metrics_registry(&self) -> &MetricsRegistry {
         &self.metrics_registry
+    }
+
+    /// This service's model-health registry (inert when built with
+    /// [`ServiceConfig::health`]`(false)`).
+    pub fn health(&self) -> &Arc<HealthRegistry> {
+        &self.health
+    }
+
+    /// Calibration rows for the HEALTH listing, sorted by platform.
+    pub fn health_calibration(&self) -> Vec<CalibrationSnapshot> {
+        self.health.calibration()
+    }
+
+    /// Additivity rows for the HEALTH listing, sorted by
+    /// `(platform, counter)`.
+    pub fn health_additivity(&self) -> Vec<AdditivitySnapshot> {
+        self.health.additivity()
+    }
+
+    /// Record one metrics snapshot into the history ring (the dispatcher
+    /// calls this on every `HEALTH`/`HISTORY` request, so history cadence
+    /// follows observation cadence — no background ticker, no clock
+    /// reads); returns the snapshot's sequence number.
+    pub fn record_history(&self) -> u64 {
+        self.history.record(&self.metrics_registry.sample())
+    }
+
+    /// The newest `limit` history snapshots, oldest first.
+    pub fn history_snapshots(&self, limit: usize) -> Vec<HistorySnapshot> {
+        self.history.snapshots(limit)
+    }
+
+    /// Snapshot capacity of the history ring.
+    pub fn history_capacity(&self) -> usize {
+        self.history.capacity()
     }
 
     /// One describing line per registered model version.

@@ -19,10 +19,12 @@
 //! simply skipped until the next trigger.
 
 use crate::window::{PushOutcome, WindowSample, WindowState};
+use pmca_additivity::AdditivityTest;
 use pmca_mlkit::export::ModelParams;
 use pmca_mlkit::model::Regressor;
 use pmca_mlkit::{NeuralNet, RandomForest, RecursiveLeastSquares};
-use pmca_obs::{trace, Counter, Gauge, Histogram, MetricsRegistry, Tracer};
+use pmca_obs::{trace, Counter, Gauge, HealthRegistry, HealthState, HealthTransition};
+use pmca_obs::{Histogram, MetricsRegistry, Tracer};
 use pmca_stats::confidence::t_critical;
 use std::collections::{HashMap, VecDeque};
 use std::error::Error;
@@ -91,12 +93,14 @@ pub struct StreamHubConfig {
     refit_every: usize,
     train_buffer: usize,
     pmc_names: Vec<String>,
+    refit_on_drift: bool,
 }
 
 impl Default for StreamHubConfig {
     /// 16 shards, 65 536 streams, 5-minute idle eviction, a heavy refit
-    /// every 256 labelled windows over a 1 024-row training buffer, and
-    /// the paper's deployable 4-PMC feature order.
+    /// every 256 labelled windows over a 1 024-row training buffer, the
+    /// paper's deployable 4-PMC feature order, and a forced refit when
+    /// the health plane flags a platform as drifting.
     fn default() -> Self {
         StreamHubConfig {
             shards: 16,
@@ -105,6 +109,7 @@ impl Default for StreamHubConfig {
             refit_every: 256,
             train_buffer: 1_024,
             pmc_names: DEFAULT_PMC_SET.iter().map(|s| s.to_string()).collect(),
+            refit_on_drift: true,
         }
     }
 }
@@ -145,6 +150,13 @@ impl StreamHubConfig {
     pub fn pmc_names(mut self, names: Vec<String>) -> Self {
         assert!(!names.is_empty(), "streams need at least one PMC feature");
         self.pmc_names = names;
+        self
+    }
+
+    /// Whether a platform entering the drifting health state forces a
+    /// detached heavy refit (default true).
+    pub fn refit_on_drift(mut self, refit: bool) -> Self {
+        self.refit_on_drift = refit;
         self
     }
 
@@ -305,10 +317,29 @@ pub struct StreamHub {
     snapshots: RwLock<HashMap<String, Arc<ModelSnapshot>>>,
     swap: RwLock<Option<Arc<SwapFn>>>,
     tracer: RwLock<Option<Arc<Tracer>>>,
+    health: RwLock<Option<Arc<HealthRegistry>>>,
+    /// Rolling per-`(platform, app)` counter means, the base side of the
+    /// online compound-vs-sum additivity checks.
+    additivity_means: Mutex<HashMap<(String, String), CounterMeans>>,
     open_count: AtomicUsize,
     refit_seed: AtomicU64,
     refit_swaps: Arc<AtomicU64>,
     metrics: StreamMetrics,
+}
+
+/// Running per-counter means of one `(platform, app)`'s windows.
+#[derive(Debug)]
+struct CounterMeans {
+    sums: Vec<f64>,
+    n: u64,
+}
+
+impl CounterMeans {
+    fn means(&self) -> Vec<f64> {
+        #[allow(clippy::cast_precision_loss)] // window counts, far below 2^52
+        let n = (self.n.max(1)) as f64;
+        self.sums.iter().map(|s| s / n).collect()
+    }
 }
 
 impl fmt::Debug for StreamHub {
@@ -339,6 +370,8 @@ impl StreamHub {
             snapshots: RwLock::new(HashMap::new()),
             swap: RwLock::new(None),
             tracer: RwLock::new(None),
+            health: RwLock::new(None),
+            additivity_means: Mutex::new(HashMap::new()),
             open_count: AtomicUsize::new(0),
             refit_seed: AtomicU64::new(1),
             refit_swaps: Arc::new(AtomicU64::new(0)),
@@ -361,6 +394,22 @@ impl StreamHub {
     /// (with the model-fit spans nested inside) into its flight recorder.
     pub fn set_tracer(&self, tracer: Arc<Tracer>) {
         *self.tracer.write().expect("tracer poisoned") = Some(tracer);
+    }
+
+    /// Attach a health registry: every labelled accepted window feeds
+    /// the platform's calibration tracker (predicted ± half-width vs.
+    /// the measured label, *before* the online update so the residual
+    /// is out of sample), and compound-app windows feed the per-counter
+    /// additivity checks. Drift transitions record a `health.drift`
+    /// flight-recorder trace and — when the config allows — force a
+    /// detached heavy refit.
+    pub fn set_health(&self, health: Arc<HealthRegistry>) {
+        *self.health.write().expect("health poisoned") = Some(health);
+    }
+
+    /// The attached health registry, if any.
+    pub fn health(&self) -> Option<Arc<HealthRegistry>> {
+        self.health.read().expect("health poisoned").clone()
     }
 
     /// Seed `platform`'s snapshot from an already-trained linear model,
@@ -503,7 +552,7 @@ impl StreamHub {
                 ));
             }
         }
-        let (reply, platform) = {
+        let (reply, platform, app) = {
             let mut shard = self.shard(id).lock().expect("shard poisoned");
             let entry = shard
                 .get_mut(id)
@@ -519,7 +568,7 @@ impl StreamHub {
                 retained: entry.state.retained(),
                 highest: entry.state.highest(),
             };
-            (reply, entry.platform.clone())
+            (reply, entry.platform.clone(), entry.app.clone())
         };
         match reply.outcome {
             PushOutcome::Accepted { lag } => {
@@ -530,7 +579,12 @@ impl StreamHub {
                 self.metrics
                     .lag
                     .record_ns(lag.saturating_mul(1_000_000_000));
+                self.note_additivity(&platform, &app, counts);
                 if let Some(j) = joules {
+                    // Calibration first: the residual against the
+                    // *current* snapshot is out of sample only before
+                    // the online update folds this window in.
+                    self.observe_calibration(&platform, counts, j);
                     self.online_update(&platform, counts, j);
                 }
             }
@@ -649,6 +703,135 @@ impl StreamHub {
             version,
             rows,
             idle_ms: u64::try_from(entry.last_push.elapsed().as_millis()).unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Feed one labelled window's out-of-sample residual into the
+    /// attached health registry, and react to any drift transition.
+    fn observe_calibration(&self, platform: &str, counts: &[f64], joules: f64) {
+        let Some(health) = self.health() else { return };
+        if !health.is_enabled() {
+            return;
+        }
+        let Some(snapshot) = self.snapshot(platform) else {
+            return;
+        };
+        let transition = health.observe(
+            platform,
+            snapshot.version,
+            snapshot.predict(counts),
+            snapshot.prediction_half_width(),
+            joules,
+        );
+        if let Some(transition) = transition {
+            self.note_drift(&transition);
+        }
+    }
+
+    /// A drift transition is worth a flight-recorder entry, and entering
+    /// the drifting state can force the detached refit path.
+    fn note_drift(&self, transition: &HealthTransition) {
+        if let Some(tracer) = self.tracer.read().expect("tracer poisoned").clone() {
+            if let Some(trace) = tracer.start(
+                "health.drift",
+                &[
+                    ("platform", transition.platform.as_str()),
+                    ("from", transition.from.as_str()),
+                    ("to", transition.to.as_str()),
+                    ("score", &format!("{:.3}", transition.score)),
+                    ("version", &transition.version.to_string()),
+                ],
+            ) {
+                tracer.finish(&trace);
+            }
+        }
+        if self.config.refit_on_drift && transition.to == HealthState::Drifting {
+            self.force_refit(&transition.platform);
+        }
+    }
+
+    /// Trigger the detached heavy refit immediately (drift response),
+    /// subject to the same buffer floor and one-in-flight CAS as the
+    /// periodic trigger.
+    fn force_refit(&self, platform: &str) {
+        let width = self.config.pmc_names.len();
+        let mut refit: Option<RefitJob> = None;
+        {
+            let mut online = self.online.lock().expect("online poisoned");
+            if let Some(entry) = online.get_mut(platform) {
+                if entry.buffer.len() >= width.max(8)
+                    && entry
+                        .refit_running
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                {
+                    entry.since_refit = 0;
+                    refit = Some(RefitJob {
+                        platform: platform.to_string(),
+                        x: entry.buffer.iter().map(|(row, _)| row.clone()).collect(),
+                        y: entry.buffer.iter().map(|(_, target)| *target).collect(),
+                        coefficients: entry.rls.coefficients().to_vec(),
+                        residual_std: entry.rls.residual_std(),
+                        rows: entry.rls.rows(),
+                        running: Arc::clone(&entry.refit_running),
+                    });
+                }
+            }
+        }
+        if let Some(job) = refit {
+            self.spawn_refit(job);
+        }
+    }
+
+    /// Fold one accepted window into the additivity monitor: a base app
+    /// (no `;`) contributes to its rolling counter means; a two-part
+    /// compound (`a;b`) is checked against the sum of its parts' means
+    /// with the paper's equation-1 error, per counter.
+    fn note_additivity(&self, platform: &str, app: &str, counts: &[f64]) {
+        let Some(health) = self.health() else { return };
+        if !health.is_enabled() {
+            return;
+        }
+        let parts: Vec<&str> = app.split(';').filter(|part| !part.is_empty()).collect();
+        let (base1, base2) = {
+            let mut means = self.additivity_means.lock().expect("additivity poisoned");
+            match parts.as_slice() {
+                [_single] => {
+                    let entry = means
+                        .entry((platform.to_string(), app.to_string()))
+                        .or_insert_with(|| CounterMeans {
+                            sums: vec![0.0; counts.len()],
+                            n: 0,
+                        });
+                    for (sum, count) in entry.sums.iter_mut().zip(counts) {
+                        *sum += count;
+                    }
+                    entry.n += 1;
+                    return;
+                }
+                [a, b] => {
+                    let base1 = means.get(&(platform.to_string(), (*a).to_string()));
+                    let base2 = means.get(&(platform.to_string(), (*b).to_string()));
+                    match (base1, base2) {
+                        // Both bases must have been seen, or the check
+                        // would compare against nothing.
+                        (Some(b1), Some(b2)) if b1.n > 0 && b2.n > 0 => (b1.means(), b2.means()),
+                        _ => return,
+                    }
+                }
+                _ => return,
+            }
+        };
+        let tolerance = AdditivityTest::default().tolerance_pct;
+        for ((name, (b1, b2)), compound) in self
+            .config
+            .pmc_names
+            .iter()
+            .zip(base1.iter().zip(&base2))
+            .zip(counts)
+        {
+            let error_pct = AdditivityTest::equation_1_error_pct(*b1, *b2, *compound);
+            health.observe_additivity(platform, name, error_pct, tolerance);
         }
     }
 
@@ -809,6 +992,20 @@ impl StreamHub {
     }
 }
 
+impl Drop for StreamHub {
+    /// Give back the hub's share of the `pmca_stream_open_streams`
+    /// gauge. In a sharded deployment every hub records into the one
+    /// shared registry, so a shard replaced (failover) while holding
+    /// open streams would otherwise inflate the gauge forever.
+    fn drop(&mut self) {
+        let open = self.open_count.load(Ordering::Relaxed);
+        if open > 0 {
+            #[allow(clippy::cast_precision_loss)] // gauge display
+            self.metrics.open_streams.add(-(open as f64));
+        }
+    }
+}
+
 /// Everything a detached refit thread needs, copied out under the
 /// `online` lock.
 struct RefitJob {
@@ -841,6 +1038,7 @@ fn residual_std_of<R: Regressor>(model: &R, x: &[Vec<f64>], y: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pmca_obs::HealthConfig;
     use std::sync::mpsc;
 
     fn quiet_hub(config: StreamHubConfig) -> StreamHub {
@@ -1013,5 +1211,154 @@ mod tests {
         }
         let ids: Vec<String> = hub.list().into_iter().map(|s| s.stream).collect();
         assert_eq!(ids, ["a", "m", "z"]);
+    }
+
+    #[test]
+    fn labelled_pushes_feed_the_calibration_tracker_out_of_sample() {
+        let hub = quiet_hub(StreamHubConfig::default());
+        let health = Arc::new(HealthRegistry::new(HealthConfig::default()));
+        hub.set_health(Arc::clone(&health));
+        hub.seed_snapshot("skylake", vec![2.0, 0.0, 0.0, 0.0], 0.5, 20);
+        hub.open("s1", "app", "skylake", 16).unwrap();
+        for id in 1..=6u64 {
+            let c = counts(id as f64);
+            // Exactly what the current snapshot predicts: every residual
+            // is zero and every interval covers.
+            let joules = 2.0 * c[0];
+            hub.push("s1", id, &c, Some(joules)).unwrap();
+        }
+        let cal = health.calibration();
+        assert_eq!(cal.len(), 1);
+        let c = &cal[0];
+        assert_eq!(c.platform, "skylake");
+        assert_eq!(c.samples, 6);
+        // Each labelled push re-publishes a ridge fit, which shrinks the
+        // coefficients a touch — residuals stay small but not zero.
+        assert!(c.mae < 0.5, "residuals vs the pre-update snapshot: {c:?}");
+        assert!(c.mpe.abs() < 2.0);
+        assert_eq!(c.coverage, 1.0);
+        assert_eq!(c.state, HealthState::Ok);
+        // The tracker reports the *latest* snapshot version it scored
+        // against; labelled pushes bump it each time.
+        assert!(c.version >= 1);
+    }
+
+    #[test]
+    fn compound_windows_drive_the_additivity_monitor() {
+        let hub = quiet_hub(StreamHubConfig::default());
+        let health = Arc::new(HealthRegistry::new(HealthConfig::default()));
+        hub.set_health(Arc::clone(&health));
+        hub.open("a", "dgemm", "skylake", 8).unwrap();
+        hub.open("b", "stream", "skylake", 8).unwrap();
+        hub.open("c", "dgemm;stream", "skylake", 8).unwrap();
+        // Base means: dgemm = counts(1), stream = counts(2).
+        hub.push("a", 1, &counts(1.0), None).unwrap();
+        hub.push("b", 1, &counts(2.0), None).unwrap();
+        // A compound window equal to the sum of the bases is perfectly
+        // additive; one at half the sum violates equation 1 everywhere.
+        hub.push("c", 1, &counts(3.0), None).unwrap();
+        hub.push("c", 2, &counts(1.5), None).unwrap();
+        let rows = health.additivity();
+        assert_eq!(rows.len(), 4, "one row per configured counter");
+        for row in &rows {
+            assert_eq!(row.platform, "skylake");
+            assert_eq!(row.checks, 2);
+            assert_eq!(row.violations, 1, "{row:?}");
+            assert!((row.rate - 0.5).abs() < 1e-12);
+            assert!((row.worst_error_pct - 50.0).abs() < 1e-9);
+        }
+        // Base windows never count as checks.
+        hub.push("a", 2, &counts(1.0), None).unwrap();
+        assert_eq!(health.additivity()[0].checks, 2);
+    }
+
+    #[test]
+    fn drift_into_drifting_forces_a_detached_refit() {
+        let hub = quiet_hub(
+            StreamHubConfig::default()
+                .refit_every(100_000)
+                .train_buffer(64),
+        );
+        let health = Arc::new(HealthRegistry::new(HealthConfig {
+            min_samples: 1,
+            degraded_threshold: 0.2,
+            // A −60% residual scores ~0.58/step: one regime-B window
+            // lands in Degraded, the next crosses into Drifting.
+            drifting_threshold: 0.9,
+            ..HealthConfig::default()
+        }));
+        hub.set_health(Arc::clone(&health));
+        let (tx, rx) = mpsc::channel::<String>();
+        let tx = Mutex::new(tx);
+        hub.set_swap(Arc::new(
+            move |_platform: &str,
+                  family: &str,
+                  _order: Vec<String>,
+                  _rstd: f64,
+                  _rows: usize,
+                  _params: ModelParams| {
+                let _ = tx.lock().unwrap().send(family.to_string());
+            },
+        ));
+        hub.open("s1", "app", "skylake", 64).unwrap();
+        // Regime A: the online model converges on y = 2·c0 and the
+        // buffer passes the refit floor.
+        for id in 1..=12u64 {
+            let c = counts(id as f64);
+            hub.push("s1", id, &c, Some(2.0 * c[0])).unwrap();
+        }
+        assert_eq!(health.transitions(), 0, "converged model stays Ok");
+        // Regime B: the world shifts to y = 5·c0; out-of-sample residuals
+        // against the stale snapshot rack up drift score fast.
+        for id in 13..=20u64 {
+            let c = counts(id as f64);
+            hub.push("s1", id, &c, Some(5.0 * c[0])).unwrap();
+        }
+        assert!(
+            health.transitions() >= 2,
+            "Ok→Degraded→Drifting walked: {}",
+            health.transitions()
+        );
+        let mut families = Vec::new();
+        for _ in 0..3 {
+            families.push(
+                rx.recv_timeout(Duration::from_secs(60))
+                    .expect("drift forces the detached refit"),
+            );
+        }
+        families.sort();
+        assert_eq!(families, ["forest", "neural", "online"]);
+    }
+
+    #[test]
+    fn a_disabled_health_registry_is_inert() {
+        let hub = quiet_hub(StreamHubConfig::default());
+        let health = Arc::new(HealthRegistry::disabled());
+        hub.set_health(Arc::clone(&health));
+        hub.open("a", "dgemm", "skylake", 8).unwrap();
+        hub.open("c", "dgemm;dgemm", "skylake", 8).unwrap();
+        for id in 1..=4u64 {
+            let c = counts(id as f64);
+            hub.push("a", id, &c, Some(2.0 * c[0])).unwrap();
+            hub.push("c", id, &c, None).unwrap();
+        }
+        assert!(health.calibration().is_empty());
+        assert!(health.additivity().is_empty());
+    }
+
+    #[test]
+    fn dropping_a_hub_returns_its_open_streams_gauge_share() {
+        let registry = MetricsRegistry::new();
+        let gauge = registry.gauge("pmca_stream_open_streams", &[]);
+        let survivor = StreamHub::with_registry(StreamHubConfig::default(), &registry);
+        survivor.open("keep", "app", "skylake", 4).unwrap();
+        {
+            let replaced = StreamHub::with_registry(StreamHubConfig::default(), &registry);
+            replaced.open("x", "app", "skylake", 4).unwrap();
+            replaced.open("y", "app", "skylake", 4).unwrap();
+            assert_eq!(gauge.get(), 3.0);
+        }
+        // The replaced shard's hub gave back exactly its own share.
+        assert_eq!(gauge.get(), 1.0);
     }
 }
