@@ -1,11 +1,14 @@
 //! Hot-path microbenches for the serving stack (PR 4).
 //!
-//! Two groups:
+//! Three groups:
 //!
 //! - `predict` — compiled ([`CompiledModel`]) vs boxed
 //!   (`ModelParams::instantiate`) scalar prediction for all three model
 //!   families at 3 and 30 features, the widths bracketing the paper's
 //!   deployable (Class C, ≤ 4 PMCs) and exhaustive (Class A) settings;
+//! - `fixed` — the integer fixed-point tier ([`FixedModel`]) against the
+//!   compiled f64 path: scalar prediction, and SoA batch evaluation
+//!   (quantise + evaluate) at depth 64 for linear and forest models;
 //! - `run_cache` — all-hit lookups against a single-shard cache
 //!   (capacity 16 → exactly one stripe) vs a lock-striped cache
 //!   (capacity 256 → 16 stripes) under 1, 4, and 8 threads, with the
@@ -14,7 +17,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pmca_mlkit::{
-    CompiledModel, LinearRegression, ModelParams, NeuralNet, RandomForest, Regressor,
+    CompiledModel, FixedBatch, FixedModel, LinearRegression, ModelParams, NeuralNet, RandomForest,
+    Regressor,
 };
 use pmca_serve::{RunCache, RunKey};
 use std::hint::black_box;
@@ -90,6 +94,65 @@ fn bench_predict(c: &mut Criterion) {
     g.finish();
 }
 
+/// Fixed-point tier against the compiled f64 path: scalar predictions,
+/// then a full SoA batch (quantise every row + evaluate) against the
+/// same rows through the compiled scalar loop.
+fn bench_fixed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fixed");
+    const DEPTH: usize = 64;
+    for family in ["lr", "rf"] {
+        for width in [3usize, 30] {
+            let (x, y) = training_data(width);
+            let params = match family {
+                "lr" => {
+                    let mut lr = LinearRegression::paper_constrained();
+                    lr.fit(&x, &y).expect("lr fit");
+                    ModelParams::from_linear(&lr)
+                }
+                _ => {
+                    let mut rf = RandomForest::with_seed(9);
+                    rf.fit(&x, &y).expect("rf fit");
+                    ModelParams::from_forest(&rf)
+                }
+            };
+            let compiled = CompiledModel::compile(&params).expect("compile");
+            let fixed = FixedModel::lower(&params, 200.0).expect("lower");
+            let row = x[40].clone();
+            let rows: Vec<&[f64]> = (0..DEPTH).map(|i| x[i % x.len()].as_slice()).collect();
+            g.bench_function(format!("{family}_f64_scalar_{width}f"), |b| {
+                b.iter(|| black_box(compiled.predict_one(black_box(&row))))
+            });
+            g.bench_function(format!("{family}_fixed_scalar_{width}f"), |b| {
+                b.iter(|| black_box(fixed.predict_one(black_box(&row))))
+            });
+            g.bench_function(format!("{family}_f64_batch{DEPTH}_{width}f"), |b| {
+                let mut out = Vec::with_capacity(DEPTH);
+                b.iter(|| {
+                    out.clear();
+                    for row in &rows {
+                        out.push(compiled.predict_one(black_box(row)));
+                    }
+                    black_box(out.last().copied())
+                })
+            });
+            g.bench_function(format!("{family}_fixed_batch{DEPTH}_{width}f"), |b| {
+                let mut batch = FixedBatch::new();
+                let mut out = Vec::with_capacity(DEPTH);
+                b.iter(|| {
+                    batch.clear();
+                    out.clear();
+                    for row in &rows {
+                        fixed.push_row(&mut batch, black_box(row));
+                    }
+                    fixed.predict_batch_into(&mut batch, &mut out);
+                    black_box(out.last().copied())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
 /// The shared 16-key working set both cache variants hold resident.
 fn working_set() -> Vec<RunKey> {
     let events = Arc::new(vec![
@@ -157,5 +220,6 @@ fn bench_run_cache(c: &mut Criterion) {
 }
 
 criterion_group!(predict_benches, bench_predict);
+criterion_group!(fixed_benches, bench_fixed);
 criterion_group!(cache_benches, bench_run_cache);
-criterion_main!(predict_benches, cache_benches);
+criterion_main!(predict_benches, fixed_benches, cache_benches);

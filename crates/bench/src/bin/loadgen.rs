@@ -12,6 +12,7 @@
 //! cargo run --release -p pmca-bench --bin loadgen -- \
 //!     [--addr HOST:PORT] [--clients N] [--requests M] [--workers W]
 //!     [--duration-secs S] [--pipeline D] [--app-share PCT]
+//!     [--tier f64|fixed|both]
 //!     [--connections N] [--idle-fraction F]
 //!     [--shards N] [--transport threaded|evented] [--event-loops N]
 //!     [--no-metrics] [--no-trace] [--no-health] [--trace-sample N]
@@ -40,6 +41,12 @@
 //! proof the background forest/neural refits ran without stalling the
 //! hot path.
 //!
+//! `--tier f64|fixed|both` picks the inference tier the estimate
+//! requests ask for (`tier=fixed` runs the integer fixed-point fast
+//! tier). `both` runs two timed passes over the same warmed server —
+//! f64 first, then fixed — and reports each tier's percentiles side by
+//! side, so one `--json` file captures the tier comparison.
+//!
 //! `--duration-secs S` replaces the fixed request count with a wall-clock
 //! budget: every client fires pipelined batches until the deadline.
 //! `--json PATH` writes the run summary (throughput, latency quantiles,
@@ -62,7 +69,9 @@
 
 use pmca_obs::log;
 use pmca_serve::protocol::parse_estimate_reply;
-use pmca_serve::{Client, HealthRow, Request, Server, ServiceConfig, Trace, TraceScope, Transport};
+use pmca_serve::{
+    Client, HealthRow, Request, Server, ServiceConfig, Tier, Trace, TraceScope, Transport,
+};
 use pmca_stream::synthetic_window;
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -86,6 +95,33 @@ const APP_SPECS: [&str; 4] = [
     "dgemm:9000;fft:24000",
 ];
 
+/// Which inference tier(s) the estimate requests ask for.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TierMode {
+    F64,
+    Fixed,
+    /// Two passes over the same warmed server: f64 first, then fixed.
+    Both,
+}
+
+impl TierMode {
+    fn as_str(self) -> &'static str {
+        match self {
+            TierMode::F64 => "f64",
+            TierMode::Fixed => "fixed",
+            TierMode::Both => "both",
+        }
+    }
+
+    fn passes(self) -> &'static [Tier] {
+        match self {
+            TierMode::F64 => &[Tier::F64],
+            TierMode::Fixed => &[Tier::Fixed],
+            TierMode::Both => &[Tier::F64, Tier::Fixed],
+        }
+    }
+}
+
 struct Options {
     addr: Option<String>,
     clients: usize,
@@ -95,6 +131,8 @@ struct Options {
     /// Out of 100: how many requests are app-level (cache-backed) rather
     /// than raw counter-level estimates.
     app_share: u32,
+    /// Inference tier(s) the estimate requests ask for.
+    tier: TierMode,
     /// Build the in-process server with inert metrics (overhead A/B).
     no_metrics: bool,
     /// Build the in-process server with tracing disabled (overhead A/B).
@@ -138,6 +176,7 @@ fn parse_options() -> Result<Options, String> {
         workers: 4,
         pipeline: 64,
         app_share: 50,
+        tier: TierMode::F64,
         no_metrics: false,
         no_trace: false,
         no_health: false,
@@ -170,6 +209,15 @@ fn parse_options() -> Result<Options, String> {
                     .ok()
                     .filter(|&p| p <= 100)
                     .ok_or(format!("--app-share: {raw:?} is not a percentage"))?;
+            }
+            "--tier" => {
+                let raw = value("--tier")?;
+                options.tier = match raw.to_ascii_lowercase().as_str() {
+                    "f64" => TierMode::F64,
+                    "fixed" => TierMode::Fixed,
+                    "both" => TierMode::Both,
+                    _ => return Err(format!("--tier: {raw:?} is not f64, fixed, or both")),
+                };
             }
             "--no-metrics" => options.no_metrics = true,
             "--no-trace" => options.no_trace = true,
@@ -221,14 +269,16 @@ fn parse_count(raw: &str, name: &str) -> Result<usize, String> {
 }
 
 /// One request line for slot `i` of a client: app-level or counter-level
-/// according to `app_share`, deterministic per (client, slot).
-fn request_line(client_index: usize, i: usize, app_share: u32) -> String {
+/// according to `app_share`, deterministic per (client, slot). `tier`
+/// rides along on every request (a no-op on the wire for `Tier::F64`).
+fn request_line(client_index: usize, i: usize, app_share: u32, tier: Tier) -> String {
     let pick = ((i * 97 + client_index * 31) % 100) as u32;
     if pick < app_share {
         let spec = APP_SPECS[(i + client_index) % APP_SPECS.len()];
         Request::EstimateApp {
             platform: "skylake".to_string(),
             app: spec.to_string(),
+            tier,
         }
         .to_line()
     } else {
@@ -239,6 +289,7 @@ fn request_line(client_index: usize, i: usize, app_share: u32) -> String {
         Request::Estimate {
             platform: "skylake".to_string(),
             counts,
+            tier,
         }
         .to_line()
     }
@@ -346,11 +397,12 @@ fn main() {
     };
     println!(
         "warmed {} app specs; {} clients x {load_spec}, pipeline depth {}, {}% app-level, \
-         against {addr}",
+         tier {}, against {addr}",
         APP_SPECS.len(),
         active_clients,
         options.pipeline,
-        options.app_share
+        options.app_share,
+        options.tier.as_str()
     );
 
     // In-flight trace sampler: every N completed requests (across all
@@ -366,13 +418,159 @@ fn main() {
         })
     });
 
+    // One timed pass per requested tier over the same warmed server —
+    // `both` therefore compares the tiers with identical cache state.
+    let mut passes: Vec<(Tier, PassResult)> = Vec::new();
+    for &tier in options.tier.passes() {
+        let pass = run_pass(&addr, &options, tier, active_clients, sampler.clone());
+        let label = tier.as_str();
+        println!(
+            "[tier={label}] {} estimates in {:.2} s -> {:.0} estimates/sec",
+            pass.total,
+            pass.elapsed_secs,
+            pass.throughput_eps()
+        );
+        println!(
+            "[tier={label}] latency (per request, amortised over the pipeline): p50 {:?}  \
+             p90 {:?}  p99 {:?}  p99.9 {:?}  max {:?}",
+            pass.percentile(50.0),
+            pass.percentile(90.0),
+            pass.percentile(99.0),
+            pass.percentile(99.9),
+            pass.max()
+        );
+        passes.push((tier, pass));
+    }
+
+    // Every idle connection must still answer after the run: the front
+    // end kept them alive while the active herd saturated it.
+    let idle_held = idle_conns.len();
+    let idle_probe_failures = probe_all_idle(&idle_conns);
+    drop(idle_conns);
+    if idle_held > 0 {
+        println!(
+            "idle connections after the run: {}/{idle_held} still answering STATS \
+             ({idle_probe_failures} failed)",
+            idle_held - idle_probe_failures
+        );
+    }
+
+    // Headline numbers come from the first pass (f64 when comparing both
+    // tiers), keeping them comparable with pre-tier baselines; the
+    // per-tier p50/p99 columns carry the comparison.
+    let headline = &passes[0].1;
+    let summary = Summary {
+        clients: active_clients,
+        workers: options.workers,
+        pipeline: options.pipeline,
+        app_share: options.app_share,
+        tier: options.tier.as_str(),
+        tier_latency: passes
+            .iter()
+            .map(|(tier, pass)| {
+                (
+                    tier.as_str(),
+                    as_micros(pass.percentile(50.0)),
+                    as_micros(pass.percentile(99.0)),
+                )
+            })
+            .collect(),
+        connections: options.connections,
+        idle_fraction: options.idle_fraction,
+        idle_connections: idle_held,
+        idle_probe_failures,
+        transport: options.transport,
+        shards: options.shards,
+        total: headline.total,
+        elapsed_secs: headline.elapsed_secs,
+        throughput_eps: headline.throughput_eps(),
+        p50_us: as_micros(headline.percentile(50.0)),
+        p90_us: as_micros(headline.percentile(90.0)),
+        p99_us: as_micros(headline.percentile(99.0)),
+        p999_us: as_micros(headline.percentile(99.9)),
+        max_us: as_micros(headline.max()),
+    };
+    if let Some(path) = &options.json {
+        match std::fs::write(path, summary.to_json()) {
+            Ok(()) => println!("wrote run summary to {path}"),
+            Err(e) => log::error("loadgen", &format!("writing {path}: {e}"), &[]),
+        }
+    }
+    if let Some(path) = &options.compare {
+        match std::fs::read_to_string(path) {
+            Ok(baseline) => summary.print_comparison(path, &baseline),
+            Err(e) => log::error("loadgen", &format!("reading {path}: {e}"), &[]),
+        }
+    }
+    if let Ok(mut client) = Client::connect(addr.as_str()) {
+        if let Ok(stats) = client.stats() {
+            let line: Vec<String> = stats.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            println!("server stats: {}", line.join(" "));
+        }
+        if let Ok(lines) = client.metrics() {
+            print_server_percentiles(&lines);
+        }
+        if let Ok(lines) = client.trace(TraceScope::Slowest, None) {
+            match Trace::parse_dump(&lines) {
+                Ok(traces) if !traces.is_empty() => {
+                    print_trace(&traces[0], "slowest request server-side");
+                }
+                _ => println!("slowest request server-side: no trace retained (tracing off?)"),
+            }
+        }
+        let _ = client.quit();
+    }
+    // Connection-scale acceptance: a dropped idle connection is a
+    // failure, not a footnote — exit nonzero so CI gates on it.
+    if idle_probe_failures > 0 {
+        log::error(
+            "loadgen",
+            "idle connections stopped answering after the run",
+            &[("failed", &idle_probe_failures.to_string())],
+        );
+        std::process::exit(1);
+    }
+}
+
+/// One timed pass's sorted latencies and wall clock.
+struct PassResult {
+    total: usize,
+    elapsed_secs: f64,
+    /// Sorted ascending.
+    latencies: Vec<Duration>,
+}
+
+impl PassResult {
+    fn throughput_eps(&self) -> f64 {
+        self.total as f64 / self.elapsed_secs
+    }
+
+    fn percentile(&self, p: f64) -> Duration {
+        let index = ((self.total as f64 * p / 100.0).ceil() as usize).clamp(1, self.total) - 1;
+        self.latencies[index]
+    }
+
+    fn max(&self) -> Duration {
+        self.latencies[self.total - 1]
+    }
+}
+
+/// One timed load pass on `tier`: every active client fires its budget
+/// of pipelined batches and reports per-request latencies.
+fn run_pass(
+    addr: &str,
+    options: &Options,
+    tier: Tier,
+    active_clients: usize,
+    sampler: Option<Arc<TraceSampler>>,
+) -> PassResult {
     let started = Instant::now();
     let deadline = options
         .duration_secs
         .map(|secs| started + Duration::from_secs(secs));
     let handles: Vec<_> = (0..active_clients)
         .map(|client_index| {
-            let addr = addr.clone();
+            let addr = addr.to_string();
             let requests = options.requests;
             let depth = options.pipeline;
             let app_share = options.app_share;
@@ -384,7 +582,7 @@ fn main() {
                 // timed loop measures serving, not request formatting.
                 let period = 700;
                 let pattern: Vec<String> = (0..period)
-                    .map(|i| request_line(client_index, i, app_share))
+                    .map(|i| request_line(client_index, i, app_share, tier))
                     .collect();
                 let mut latencies = Vec::with_capacity(requests);
                 let mut sent = 0;
@@ -430,100 +628,12 @@ fn main() {
     for handle in handles {
         latencies.extend(handle.join().expect("client thread"));
     }
-    let elapsed = started.elapsed();
-
-    // Every idle connection must still answer after the run: the front
-    // end kept them alive while the active herd saturated it.
-    let idle_held = idle_conns.len();
-    let idle_probe_failures = probe_all_idle(&idle_conns);
-    drop(idle_conns);
-    if idle_held > 0 {
-        println!(
-            "idle connections after the run: {}/{idle_held} still answering STATS \
-             ({idle_probe_failures} failed)",
-            idle_held - idle_probe_failures
-        );
-    }
-
+    let elapsed_secs = started.elapsed().as_secs_f64();
     latencies.sort_unstable();
-    let total = latencies.len();
-    let throughput = total as f64 / elapsed.as_secs_f64();
-    let percentile = |p: f64| {
-        let index = ((total as f64 * p / 100.0).ceil() as usize).clamp(1, total) - 1;
-        latencies[index]
-    };
-    println!(
-        "{total} estimates in {:.2} s -> {throughput:.0} estimates/sec",
-        elapsed.as_secs_f64()
-    );
-    println!(
-        "latency (per request, amortised over the pipeline): p50 {:?}  p90 {:?}  p99 {:?}  \
-         p99.9 {:?}  max {:?}",
-        percentile(50.0),
-        percentile(90.0),
-        percentile(99.0),
-        percentile(99.9),
-        latencies[total - 1]
-    );
-    let summary = Summary {
-        clients: active_clients,
-        workers: options.workers,
-        pipeline: options.pipeline,
-        app_share: options.app_share,
-        connections: options.connections,
-        idle_fraction: options.idle_fraction,
-        idle_connections: idle_held,
-        idle_probe_failures,
-        transport: options.transport,
-        shards: options.shards,
-        total,
-        elapsed_secs: elapsed.as_secs_f64(),
-        throughput_eps: throughput,
-        p50_us: as_micros(percentile(50.0)),
-        p90_us: as_micros(percentile(90.0)),
-        p99_us: as_micros(percentile(99.0)),
-        p999_us: as_micros(percentile(99.9)),
-        max_us: as_micros(latencies[total - 1]),
-    };
-    if let Some(path) = &options.json {
-        match std::fs::write(path, summary.to_json()) {
-            Ok(()) => println!("wrote run summary to {path}"),
-            Err(e) => log::error("loadgen", &format!("writing {path}: {e}"), &[]),
-        }
-    }
-    if let Some(path) = &options.compare {
-        match std::fs::read_to_string(path) {
-            Ok(baseline) => summary.print_comparison(path, &baseline),
-            Err(e) => log::error("loadgen", &format!("reading {path}: {e}"), &[]),
-        }
-    }
-    if let Ok(mut client) = Client::connect(addr.as_str()) {
-        if let Ok(stats) = client.stats() {
-            let line: Vec<String> = stats.iter().map(|(k, v)| format!("{k}={v}")).collect();
-            println!("server stats: {}", line.join(" "));
-        }
-        if let Ok(lines) = client.metrics() {
-            print_server_percentiles(&lines);
-        }
-        if let Ok(lines) = client.trace(TraceScope::Slowest, None) {
-            match Trace::parse_dump(&lines) {
-                Ok(traces) if !traces.is_empty() => {
-                    print_trace(&traces[0], "slowest request server-side");
-                }
-                _ => println!("slowest request server-side: no trace retained (tracing off?)"),
-            }
-        }
-        let _ = client.quit();
-    }
-    // Connection-scale acceptance: a dropped idle connection is a
-    // failure, not a footnote — exit nonzero so CI gates on it.
-    if idle_probe_failures > 0 {
-        log::error(
-            "loadgen",
-            "idle connections stopped answering after the run",
-            &[("failed", &idle_probe_failures.to_string())],
-        );
-        std::process::exit(1);
+    PassResult {
+        total: latencies.len(),
+        elapsed_secs,
+        latencies,
     }
 }
 
@@ -941,6 +1051,10 @@ struct Summary {
     workers: usize,
     pipeline: usize,
     app_share: u32,
+    /// The `--tier` mode this run used.
+    tier: &'static str,
+    /// One `(tier, p50_us, p99_us)` row per timed pass.
+    tier_latency: Vec<(&'static str, f64, f64)>,
     connections: Option<usize>,
     idle_fraction: f64,
     idle_connections: usize,
@@ -967,9 +1081,19 @@ impl Summary {
             ),
             None => String::new(),
         };
+        // One p50/p99 column pair per timed tier pass, e.g.
+        // "f64_p50_us" / "fixed_p50_us" side by side on a --tier both run.
+        let tiers: String = self
+            .tier_latency
+            .iter()
+            .map(|(name, p50, p99)| {
+                format!("  \"{name}_p50_us\": {p50:.1},\n  \"{name}_p99_us\": {p99:.1},\n")
+            })
+            .collect();
         format!(
             "{{\n  \"clients\": {},\n  \"workers\": {},\n  \"pipeline\": {},\n  \
-             \"app_share\": {},\n{connections}  \"transport\": \"{}\",\n  \
+             \"app_share\": {},\n  \"tier\": \"{}\",\n{tiers}{connections}  \
+             \"transport\": \"{}\",\n  \
              \"shards\": {},\n  \"total\": {},\n  \"elapsed_secs\": {:.3},\n  \
              \"throughput_eps\": {:.1},\n  \"p50_us\": {:.1},\n  \"p90_us\": {:.1},\n  \
              \"p99_us\": {:.1},\n  \"p999_us\": {:.1},\n  \"max_us\": {:.1}\n}}\n",
@@ -977,6 +1101,7 @@ impl Summary {
             self.workers,
             self.pipeline,
             self.app_share,
+            self.tier,
             self.transport,
             self.shards,
             self.total,
@@ -1019,6 +1144,27 @@ impl Summary {
                 "worse"
             };
             println!("  {key:<15} baseline {base:>10.1}  now {current:>10.1}  {delta:>+7.1}% ({verdict})");
+        }
+        // Per-tier latency rows, when the baseline also recorded the tier
+        // (pre-tier baselines simply lack the key).
+        for (name, p50, p99) in &self.tier_latency {
+            for (suffix, current) in [("p50_us", *p50), ("p99_us", *p99)] {
+                let key = format!("{name}_{suffix}");
+                let Some(base) = json_number(baseline, &key) else {
+                    println!("  {key:<15} baseline missing");
+                    continue;
+                };
+                if base == 0.0 {
+                    println!("  {key:<15} baseline {base:>10.1}  now {current:>10.1}");
+                    continue;
+                }
+                let delta = (current - base) / base * 100.0;
+                let verdict = if delta <= 0.0 { "better" } else { "worse" };
+                println!(
+                    "  {key:<15} baseline {base:>10.1}  now {current:>10.1}  \
+                     {delta:>+7.1}% ({verdict})"
+                );
+            }
         }
         for key in ["clients", "workers", "pipeline", "app_share"] {
             if let Some(base) = json_number(baseline, key) {

@@ -54,6 +54,7 @@ usage:
   slope-pmc serve [--addr HOST:PORT] [--workers N] [--cache N] [--registry DIR]
                   [--shards N] [--transport threaded|evented] [--event-loops N]
                   [--metrics] [--trace-slow-ms MS] [--trace-log PATH] [--no-trace]
+                  [--no-fast-tier]
       run the energy estimation server (default 127.0.0.1:7771, 4 workers);
       speaks the line protocol: ESTIMATE, ESTIMATE-APP, TRAIN, MODELS,
       STATS, METRICS, TRACE, HEALTH, HISTORY, SHARDS, QUIT; --registry
@@ -67,7 +68,9 @@ usage:
       metrics snapshot (latency histograms + counters) before exiting;
       --trace-slow-ms keeps every request slower than MS in the slow
       flight recorder, --trace-log appends each captured trace as JSONL
-      to PATH, --no-trace disables request tracing entirely
+      to PATH, --no-trace disables request tracing entirely;
+      --no-fast-tier disables the fixed-point fast tier so tier=fixed
+      requests run the f64 path
 
   slope-pmc query [--addr HOST:PORT] REQUEST...
       send one protocol request to a running server and print the reply
@@ -116,6 +119,7 @@ struct Parsed {
     trace_slow_ms: Option<u64>,
     trace_log: Option<String>,
     no_trace: bool,
+    no_fast_tier: bool,
     window: usize,
     windows: usize,
     label_every: usize,
@@ -143,6 +147,7 @@ fn parse_options(args: &[String]) -> Result<Parsed, String> {
     let mut trace_slow_ms = None;
     let mut trace_log = None;
     let mut no_trace = false;
+    let mut no_fast_tier = false;
     let mut window = 32;
     let mut windows = 60;
     let mut label_every = 1;
@@ -242,6 +247,7 @@ fn parse_options(args: &[String]) -> Result<Parsed, String> {
                 trace_log = Some(it.next().ok_or("--trace-log needs a file path")?.clone());
             }
             "--no-trace" => no_trace = true,
+            "--no-fast-tier" => no_fast_tier = true,
             "--window" => {
                 let value = it.next().ok_or("--window needs a value")?;
                 window = value
@@ -301,6 +307,7 @@ fn parse_options(args: &[String]) -> Result<Parsed, String> {
         trace_slow_ms,
         trace_log,
         no_trace,
+        no_fast_tier,
         window,
         windows,
         label_every,
@@ -556,7 +563,8 @@ fn cmd_serve(options: &Parsed) -> Result<(), String> {
         .seed(1)
         .transport(options.transport)
         .event_loops(options.event_loops)
-        .tracing(!options.no_trace);
+        .tracing(!options.no_trace)
+        .fast_tier(!options.no_fast_tier);
     if let Some(dir) = &options.registry {
         config = config.registry_dir(dir);
     }

@@ -33,34 +33,42 @@ use crate::tree::NodeSpec;
 use std::cell::RefCell;
 
 /// Sentinel feature index marking a leaf node.
-const LEAF: u32 = u32::MAX;
+pub(crate) const LEAF: u32 = u32::MAX;
+
+/// Sentinel child index for nodes with no children (leaves). Walks stop
+/// on [`LEAF`] before ever reading a leaf's children, but the sentinel
+/// keeps a stale read loud (index out of range) instead of silently
+/// re-visiting the leaf itself.
+const NO_CHILD: u32 = u32::MAX;
 
 /// One node of a flattened tree: 16 bytes of payload, no pointers.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct FlatNode {
+pub(crate) struct FlatNode {
     /// Split threshold for internal nodes; predicted value for leaves.
-    scalar: f64,
+    pub(crate) scalar: f64,
     /// Feature index tested, or [`LEAF`].
-    feature: u32,
+    pub(crate) feature: u32,
     /// Indices of the left (`row[f] <= t`) and right children into the
-    /// owning node arena. Self-referential (and unused) for leaves.
-    children: [u32; 2],
+    /// owning node arena. [`NO_CHILD`] (and unused) for leaves.
+    pub(crate) children: [u32; 2],
 }
 
 /// A network layer with its weight matrix flattened input-major
 /// (`weights_t[i * outputs + o]` = weight from input `i` to output `o`),
 /// so the forward pass streams one contiguous buffer.
 #[derive(Debug, Clone, PartialEq)]
-struct FlatLayer {
+pub(crate) struct FlatLayer {
     inputs: usize,
     outputs: usize,
     weights_t: Vec<f64>,
     biases: Vec<f64>,
 }
 
-/// The per-family compiled kernels.
+/// The per-family compiled kernels. Crate-visible so the fixed-point
+/// lowering ([`crate::fixed::FixedModel`]) can quantize directly from the
+/// already-validated flattened form.
 #[derive(Debug, Clone, PartialEq)]
-enum Kernel {
+pub(crate) enum Kernel {
     Linear {
         coefficients: Vec<f64>,
         intercept: f64,
@@ -148,6 +156,11 @@ impl CompiledModel {
             Kernel::Forest { .. } => "forest",
             Kernel::Neural { .. } => "neural",
         }
+    }
+
+    /// The lowered kernel, for further lowering passes in this crate.
+    pub(crate) fn kernel(&self) -> &Kernel {
+        &self.kernel
     }
 
     /// Total flattened nodes (forests) — a size diagnostic for benches.
@@ -309,10 +322,15 @@ fn lower_subtree(
     })?;
     match *spec {
         NodeSpec::Leaf { value } => {
+            // Explicit leaf construction: a leaf has no children, and the
+            // sentinel says so. (It used to store its own index here,
+            // which walked fine only because the LEAF check runs first —
+            // but handed any later lowering pass a silent infinite-walk
+            // hazard if it consulted children before the feature tag.)
             nodes.push(FlatNode {
                 scalar: value,
                 feature: LEAF,
-                children: [index, index],
+                children: [NO_CHILD, NO_CHILD],
             });
             Ok(index)
         }
@@ -329,6 +347,13 @@ fn lower_subtree(
             });
             let left = lower_subtree(specs, at, width, nodes)?;
             let right = lower_subtree(specs, at, width, nodes)?;
+            // Children are always pushed after their parent in the
+            // preorder flattening, so an internal node can never route to
+            // itself — a self-edge would loop the walk forever.
+            debug_assert!(
+                left != index && right != index,
+                "internal node {index} routes to itself"
+            );
             nodes[index as usize].children = [left, right];
             Ok(index)
         }
@@ -471,6 +496,32 @@ mod tests {
             ]],
         };
         assert!(CompiledModel::compile(&trailing).is_err());
+    }
+
+    #[test]
+    fn lowered_trees_never_route_to_themselves() {
+        let (x, y) = training_data();
+        let mut rf = RandomForest::with_seed(11);
+        rf.fit(&x, &y).unwrap();
+        let compiled = CompiledModel::compile(&ModelParams::from_forest(&rf)).unwrap();
+        let Kernel::Forest { nodes, .. } = compiled.kernel() else {
+            panic!("forest lowers to a forest kernel");
+        };
+        for (i, node) in nodes.iter().enumerate() {
+            let index = u32::try_from(i).unwrap();
+            if node.feature == LEAF {
+                assert_eq!(node.children, [NO_CHILD, NO_CHILD], "leaf {i} has children");
+            } else {
+                assert!(
+                    node.children.iter().all(|&c| c != index),
+                    "internal node {i} routes to itself"
+                );
+                assert!(
+                    node.children.iter().all(|&c| (c as usize) < nodes.len()),
+                    "internal node {i} routes out of the arena"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,734 @@
+//! Fixed-point lowering: integer-only inference with a proven error
+//! bound.
+//!
+//! [`CompiledModel`] already flattens models into contiguous, branch-poor
+//! kernels, but every prediction is still floating-point arithmetic. Real
+//! deployments of PMC energy models often run where floating point is
+//! unwelcome — schedulers evaluate their energy models as pure `s64` dot
+//! products over pre-scaled integer weights, and low-overhead runtime
+//! power monitors quantize the same way. [`FixedModel`] is one more
+//! lowering step in that direction:
+//!
+//! * **Linear** models become an `i64` dot product: coefficients are
+//!   rounded to `round(aᵢ·W)` at a per-model power-of-two weight scale
+//!   `W`, features to `round(x·S)` at a power-of-two feature scale `S`,
+//!   and the accumulator holds the sum at scale `S·W` with saturating
+//!   arithmetic as an overflow backstop (the scales are chosen so
+//!   in-domain inputs never saturate).
+//! * **Forests** keep the flattened arena shape but pre-quantize every
+//!   split threshold to `floor(t·S)`, so traversal is pure integer
+//!   compares: `round(x·S) ≤ floor(t·S)` holds **exactly** when
+//!   `x̂ ≤ t` for the dequantized input `x̂ = round(x·S)/S` — the fixed
+//!   walk takes the identical path the f64 walk takes at `x̂`. Leaf
+//!   values are quantized at a leaf scale so the per-tree sum is integer
+//!   adds, converted to `f64` once per prediction.
+//!
+//! # The error bound
+//!
+//! Lowering computes — from the actual quantization residuals, the
+//! quantization step, and the declared feature domain `[0, feature_max]`
+//! — a bound on how far a fixed prediction can sit from the f64 path,
+//! and stores it on the model:
+//!
+//! * [`FixedModel::error_bound`] bounds `|fixed(x) − f64(x̂)|` for every
+//!   in-domain `x`, where `x̂ = `[`FixedModel::snap_row`]`(x)` is `x`
+//!   rounded onto the quantization grid (exact in f64: the grid points
+//!   are small integers over a power-of-two scale). It holds for both
+//!   kernels. For linear models it is the intercept residual plus the
+//!   per-coefficient residuals times the domain width; for forests it is
+//!   the worst leaf-value residual (routing is *identical* at `x̂` by the
+//!   floor-threshold construction, so no routing term appears). A
+//!   conversion-slack term covers every f64 rounding either path
+//!   performs.
+//! * [`FixedModel::direct_error_bound`] additionally bounds
+//!   `|fixed(x) − f64(x)|` at the **raw** input by adding the input
+//!   rounding step times the model's Lipschitz constant `Σ|aᵢ|`. Linear
+//!   models only: a tree is piecewise-constant, so no finite Lipschitz
+//!   constant exists and a threshold-straddling input legitimately lands
+//!   in a different leaf than its grid neighbour.
+//!
+//! Both bounds are asserted (not just logged) by the property tests in
+//! `tests/compiled_properties.rs` over randomized models, feature ranges,
+//! and batch sizes.
+//!
+//! # Batched evaluation
+//!
+//! [`FixedBatch`] is an explicit structure-of-arrays buffer: feature
+//! columns are contiguous `Vec<i64>`s, so the linear dot product streams
+//! one column at a time across the whole batch (unit-stride loads,
+//! trivially unrollable) instead of striding row by row. Buffers are
+//! reused across batches — a warm
+//! [`predict_batch_into`](FixedModel::predict_batch_into) allocates
+//! nothing. Scalar [`predict_one`](FixedModel::predict_one) and the SoA
+//! path perform the identical integer operations in the identical order,
+//! so their results are bit-identical (asserted by the batch-parity
+//! property test).
+
+use crate::compiled::{CompiledModel, FlatNode, Kernel, LEAF};
+use crate::export::ModelParams;
+use std::error::Error;
+use std::fmt;
+
+/// Feature integers stay at or below `2^FEATURE_BITS` — small enough
+/// that products against weight integers fit `i64` with headroom, and
+/// that a grid point `q/S` converts to `f64` exactly.
+const FEATURE_BITS: i32 = 30;
+
+/// The scale selection keeps the worst-case accumulator below
+/// `2^ACC_BITS`, leaving a factor-four margin inside `i64` for the
+/// rounding half-steps the worst-case estimate ignores.
+const ACC_BITS: f64 = 61.0;
+
+/// Numeric ceiling enforced on the realized worst-case accumulator
+/// (just under `2^62`) — a belt-and-braces guard over the scale
+/// selection, kept as a constant so the check reads as what it is.
+const ACC_LIMIT: f64 = 4.0e18;
+
+/// Why a model could not be lowered to fixed point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FixedError {
+    /// The family has no fixed-point kernel (neural networks stay f64).
+    Unsupported {
+        /// Family tag of the rejected model.
+        family: &'static str,
+    },
+    /// The parameters cannot be represented at any usable scale
+    /// (non-finite values, or magnitudes that overflow `i64` headroom).
+    Unrepresentable {
+        /// Human-readable description of the offending value.
+        detail: String,
+    },
+    /// The parameters were structurally invalid — the same conditions
+    /// [`CompiledModel::compile`] rejects.
+    Shape {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FixedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixedError::Unsupported { family } => {
+                write!(f, "no fixed-point kernel for {family} models")
+            }
+            FixedError::Unrepresentable { detail } => {
+                write!(f, "not representable in fixed point: {detail}")
+            }
+            FixedError::Shape { detail } => write!(f, "model error: {detail}"),
+        }
+    }
+}
+
+impl Error for FixedError {}
+
+/// One node of a quantized flattened tree: thresholds and leaf values
+/// are integers, so traversal never touches floating point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FixedNode {
+    /// `floor(threshold·S)` for internal nodes; `round(value·L)` for
+    /// leaves.
+    scalar: i64,
+    /// Feature index tested, or [`LEAF`].
+    feature: u32,
+    /// Child indices, copied verbatim from the compiled arena.
+    children: [u32; 2],
+}
+
+/// The per-family fixed-point kernels.
+#[derive(Debug, Clone, PartialEq)]
+enum FixedKernel {
+    Linear {
+        /// `round(aᵢ·W)` per coefficient.
+        weights: Vec<i64>,
+        /// `round(b·S·W)` — already at the accumulator scale.
+        intercept: i64,
+        /// `S·W`: divide the accumulator by this to recover joules.
+        out_scale: f64,
+    },
+    Forest {
+        nodes: Vec<FixedNode>,
+        roots: Vec<u32>,
+        /// `L·T` for leaf scale `L` and `T` trees: divide the summed
+        /// leaves by this to recover the forest mean.
+        out_scale: f64,
+    },
+}
+
+/// A model lowered to integer fixed point, with its error bound versus
+/// the f64 path computed at lowering time and stored on the model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedModel {
+    width: usize,
+    feature_max: f64,
+    /// Power-of-two feature scale `S`; inputs quantize to `round(x·S)`.
+    feat_scale: f64,
+    /// Bound on `|fixed(x) − f64(x̂)|` over the domain (see module docs).
+    error_bound: f64,
+    /// Bound on `|fixed(x) − f64(x)|` at the raw input (linear only).
+    direct_bound: Option<f64>,
+    kernel: FixedKernel,
+}
+
+impl FixedModel {
+    /// Lower `params` for the feature domain `[0, feature_max]`,
+    /// validating structure exactly as [`CompiledModel::compile`] does.
+    ///
+    /// # Errors
+    ///
+    /// [`FixedError::Unsupported`] for neural models,
+    /// [`FixedError::Unrepresentable`] for non-finite or overflow-prone
+    /// parameters (or a non-finite/non-positive `feature_max`), and
+    /// [`FixedError::Shape`] for structurally invalid parameters.
+    pub fn lower(params: &ModelParams, feature_max: f64) -> Result<FixedModel, FixedError> {
+        let compiled = CompiledModel::compile(params).map_err(|e| FixedError::Shape {
+            detail: e.to_string(),
+        })?;
+        FixedModel::from_compiled(&compiled, feature_max)
+    }
+
+    /// Lower an already-compiled model (the serving engine holds one per
+    /// cached entry, so this skips re-validating and re-flattening).
+    ///
+    /// # Errors
+    ///
+    /// As [`FixedModel::lower`], minus the structural cases.
+    pub fn from_compiled(
+        compiled: &CompiledModel,
+        feature_max: f64,
+    ) -> Result<FixedModel, FixedError> {
+        if !feature_max.is_finite() || feature_max <= 0.0 {
+            return Err(FixedError::Unrepresentable {
+                detail: format!("feature domain bound {feature_max} must be finite and positive"),
+            });
+        }
+        match compiled.kernel() {
+            Kernel::Linear {
+                coefficients,
+                intercept,
+            } => lower_linear(coefficients, *intercept, compiled.width(), feature_max),
+            Kernel::Forest { nodes, roots } => {
+                lower_forest(nodes, roots, compiled.width(), feature_max)
+            }
+            Kernel::Neural { .. } => Err(FixedError::Unsupported { family: "neural" }),
+        }
+    }
+
+    /// Number of input features the model expects.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Family tag of the lowered kernel (`"linear"` or `"forest"`).
+    pub fn family(&self) -> &'static str {
+        match &self.kernel {
+            FixedKernel::Linear { .. } => "linear",
+            FixedKernel::Forest { .. } => "forest",
+        }
+    }
+
+    /// Upper edge of the feature domain the bound was derived for.
+    /// Inputs above it clamp (saturating), taking them outside the
+    /// error-bound contract.
+    pub fn feature_max(&self) -> f64 {
+        self.feature_max
+    }
+
+    /// Half the quantization step: `|x − x̂| ≤ quantization_half_step()`
+    /// for every in-domain `x`.
+    pub fn quantization_half_step(&self) -> f64 {
+        0.5 / self.feat_scale
+    }
+
+    /// The stored bound on `|fixed(x) − f64(x̂)|` for in-domain rows,
+    /// where `x̂ = `[`snap_row`](FixedModel::snap_row)`(x)`.
+    pub fn error_bound(&self) -> f64 {
+        self.error_bound
+    }
+
+    /// The stored bound on `|fixed(x) − f64(x)|` at the raw input —
+    /// `Some` for linear kernels, `None` for forests (piecewise-constant
+    /// models admit no raw-input bound; see the module docs).
+    pub fn direct_error_bound(&self) -> Option<f64> {
+        self.direct_bound
+    }
+
+    /// Quantize one feature value onto the integer grid. Inputs clamp
+    /// into `[0, feature_max]` first, and the float→int cast saturates,
+    /// so nothing here can overflow or wrap.
+    #[inline]
+    #[allow(clippy::cast_possible_truncation)] // saturating by language rule
+    fn quantize(&self, x: f64) -> i64 {
+        (x.clamp(0.0, self.feature_max) * self.feat_scale).round() as i64
+    }
+
+    /// The dequantized row `x̂`: each value rounded onto the grid and
+    /// mapped back to f64 **exactly** (grid points are integers below
+    /// `2^30` over a power-of-two scale). The grid contract in the
+    /// module docs — and the property tests — compare `fixed(x)` against
+    /// the f64 path evaluated here.
+    #[allow(clippy::cast_precision_loss)] // |q| ≤ 2^30 converts exactly
+    pub fn snap_row(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .map(|&x| self.quantize(x) as f64 / self.feat_scale)
+            .collect()
+    }
+
+    /// Predict one row using integer arithmetic only (one final f64
+    /// conversion). Bit-identical to the SoA batch path for the same
+    /// row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is not [`FixedModel::width`] wide.
+    #[allow(clippy::cast_precision_loss)] // worst |acc| < 2^62; slack term covers it
+    pub fn predict_one(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.width, "feature width mismatch");
+        match &self.kernel {
+            FixedKernel::Linear {
+                weights,
+                intercept,
+                out_scale,
+            } => {
+                let mut acc = *intercept;
+                for (w, x) in weights.iter().zip(row) {
+                    acc = acc.saturating_add(w.saturating_mul(self.quantize(*x)));
+                }
+                acc as f64 / out_scale
+            }
+            FixedKernel::Forest {
+                nodes,
+                roots,
+                out_scale,
+            } => {
+                let mut acc = 0i64;
+                for &root in roots {
+                    let mut at = root as usize;
+                    loop {
+                        let node = &nodes[at];
+                        if node.feature == LEAF {
+                            acc = acc.saturating_add(node.scalar);
+                            break;
+                        }
+                        let go_right = self.quantize(row[node.feature as usize]) > node.scalar;
+                        at = node.children[usize::from(go_right)] as usize;
+                    }
+                }
+                acc as f64 / out_scale
+            }
+        }
+    }
+
+    /// Quantize one row into the batch's column-major (SoA) buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is not [`FixedModel::width`] wide, or if the
+    /// batch already holds rows of a different width.
+    pub fn push_row(&self, batch: &mut FixedBatch, row: &[f64]) {
+        assert_eq!(row.len(), self.width, "feature width mismatch");
+        if batch.columns.len() != self.width {
+            assert_eq!(batch.rows, 0, "batch already holds rows of another width");
+            batch.columns.resize_with(self.width, Vec::new);
+        }
+        for (col, &x) in batch.columns.iter_mut().zip(row) {
+            col.push(self.quantize(x));
+        }
+        batch.rows += 1;
+    }
+
+    /// Evaluate every row in the batch, appending one prediction per row
+    /// to `out` in push order. Streams each feature column contiguously
+    /// (linear) or walks the quantized arena with pure integer compares
+    /// (forest); a warm call allocates nothing beyond buffer growth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch was filled for a different width.
+    #[allow(clippy::cast_precision_loss)] // worst |acc| < 2^62; slack term covers it
+    pub fn predict_batch_into(&self, batch: &mut FixedBatch, out: &mut Vec<f64>) {
+        if batch.rows == 0 {
+            return;
+        }
+        assert_eq!(batch.columns.len(), self.width, "feature width mismatch");
+        match &self.kernel {
+            FixedKernel::Linear {
+                weights,
+                intercept,
+                out_scale,
+            } => {
+                batch.acc.clear();
+                batch.acc.resize(batch.rows, *intercept);
+                // Column-at-a-time: one weight broadcast against one
+                // contiguous column — the same add order per row as the
+                // scalar path, so results are bit-identical to it.
+                for (w, col) in weights.iter().zip(&batch.columns) {
+                    for (acc, &q) in batch.acc.iter_mut().zip(col) {
+                        *acc = acc.saturating_add(w.saturating_mul(q));
+                    }
+                }
+                out.extend(batch.acc.iter().map(|&acc| acc as f64 / out_scale));
+            }
+            FixedKernel::Forest {
+                nodes,
+                roots,
+                out_scale,
+            } => {
+                for r in 0..batch.rows {
+                    let mut acc = 0i64;
+                    for &root in roots {
+                        let mut at = root as usize;
+                        loop {
+                            let node = &nodes[at];
+                            if node.feature == LEAF {
+                                acc = acc.saturating_add(node.scalar);
+                                break;
+                            }
+                            let go_right = batch.columns[node.feature as usize][r] > node.scalar;
+                            at = node.children[usize::from(go_right)] as usize;
+                        }
+                    }
+                    out.push(acc as f64 / out_scale);
+                }
+            }
+        }
+    }
+}
+
+/// A reusable structure-of-arrays batch: one contiguous `Vec<i64>` per
+/// feature column, plus the accumulator scratch for the linear kernel.
+/// [`clear`](FixedBatch::clear) retains every buffer's capacity, so a
+/// warm fill-evaluate-clear cycle performs zero allocations.
+#[derive(Debug, Default, Clone)]
+pub struct FixedBatch {
+    rows: usize,
+    columns: Vec<Vec<i64>>,
+    acc: Vec<i64>,
+}
+
+impl FixedBatch {
+    /// An empty batch.
+    pub fn new() -> FixedBatch {
+        FixedBatch::default()
+    }
+
+    /// Rows currently held.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Drop all rows, keeping the column and scratch capacity.
+    pub fn clear(&mut self) {
+        self.rows = 0;
+        for col in &mut self.columns {
+            col.clear();
+        }
+    }
+}
+
+/// `2^exp` as an exact f64.
+fn pow2(exp: i32) -> f64 {
+    f64::powi(2.0, exp)
+}
+
+/// The power-of-two feature scale `S` for domain `[0, feature_max]`:
+/// the largest `2^k` with `feature_max·2^k ≤ 2^FEATURE_BITS`, capped at
+/// `2^FEATURE_BITS` itself for sub-unit domains.
+#[allow(clippy::cast_possible_truncation)] // clamped before the cast
+fn feature_scale(feature_max: f64) -> f64 {
+    let exp = (f64::from(FEATURE_BITS) - feature_max.log2()).floor();
+    pow2(exp.clamp(-1000.0, f64::from(FEATURE_BITS)) as i32)
+}
+
+#[allow(clippy::cast_possible_truncation)] // by-construction in range, guarded
+#[allow(clippy::cast_precision_loss)] // magnitudes feed the slack term
+fn lower_linear(
+    coefficients: &[f64],
+    intercept: f64,
+    width: usize,
+    feature_max: f64,
+) -> Result<FixedModel, FixedError> {
+    if coefficients.iter().any(|c| !c.is_finite()) || !intercept.is_finite() {
+        return Err(FixedError::Unrepresentable {
+            detail: "non-finite coefficient or intercept".into(),
+        });
+    }
+    let feat_scale = feature_scale(feature_max);
+    let n = width as f64;
+    let coeff_max = coefficients
+        .iter()
+        .fold(0.0f64, |m, c| m.max(c.abs()))
+        .max(1e-12);
+    // Weight scale W: the largest power of two keeping the worst-case
+    // accumulator |Σ wᵢ·qᵢ + q_b| ≤ n·(A·W)·(F·S) + |b|·S·W below
+    // 2^ACC_BITS, and each |wᵢ| ≈ A·W itself inside i64.
+    let denom = (feat_scale * (coeff_max * feature_max * n + intercept.abs() + 1.0)).max(coeff_max);
+    let wexp = (ACC_BITS - denom.log2()).floor().clamp(-1000.0, ACC_BITS) as i32;
+    let weight_scale = pow2(wexp);
+    let out_scale = feat_scale * weight_scale;
+    let weights: Vec<i64> = coefficients
+        .iter()
+        .map(|c| (c * weight_scale).round() as i64)
+        .collect();
+    let intercept_q = intercept * out_scale;
+    if !(-ACC_LIMIT..=ACC_LIMIT).contains(&intercept_q.round()) {
+        return Err(FixedError::Unrepresentable {
+            detail: format!("intercept {intercept} overflows the accumulator scale"),
+        });
+    }
+    let intercept_q = intercept_q.round() as i64;
+    // Actual quantization residuals — tighter than the ±half-step worst
+    // case the scale selection guarantees.
+    let coeff_err: f64 = coefficients
+        .iter()
+        .zip(&weights)
+        .map(|(c, &w)| (c - w as f64 / weight_scale).abs())
+        .sum();
+    let intercept_err = (intercept - intercept_q as f64 / out_scale).abs();
+    // Overflow guard on the realized integers (belt and braces — the
+    // scale selection already keeps this below 2^62).
+    let q_max = (feature_max * feat_scale).round() + 1.0;
+    let worst_acc =
+        weights.iter().map(|&w| (w as f64).abs()).sum::<f64>() * q_max + (intercept_q as f64).abs();
+    if worst_acc >= ACC_LIMIT {
+        return Err(FixedError::Unrepresentable {
+            detail: "coefficient magnitudes overflow the accumulator".into(),
+        });
+    }
+    let lipschitz: f64 = coefficients.iter().map(|c| c.abs()).sum();
+    // Conversion slack: both the fixed path (i64→f64 conversion of an
+    // accumulator possibly beyond 2^53, one division) and the f64 path
+    // (n+1 rounded ops over magnitude ≤ |b| + Σ|aᵢ|·F) round at
+    // ≤ 2^-53 relative per op; 2^-50 per op over (n+2) ops, applied to
+    // the larger of the two magnitudes, dominates the lot — including
+    // the rounding of the residual computations above.
+    let magnitude = intercept.abs() + lipschitz * feature_max;
+    let slack = (magnitude + worst_acc / out_scale + 1.0) * (n + 2.0) * pow2(-50);
+    let error_bound = intercept_err + coeff_err * feature_max + slack;
+    let direct_bound = error_bound + lipschitz * (0.5 / feat_scale);
+    Ok(FixedModel {
+        width,
+        feature_max,
+        feat_scale,
+        error_bound,
+        direct_bound: Some(direct_bound),
+        kernel: FixedKernel::Linear {
+            weights,
+            intercept: intercept_q,
+            out_scale,
+        },
+    })
+}
+
+#[allow(clippy::cast_possible_truncation)] // saturating casts, see comments
+#[allow(clippy::cast_precision_loss)] // magnitudes feed the slack term
+fn lower_forest(
+    nodes: &[FlatNode],
+    roots: &[u32],
+    width: usize,
+    feature_max: f64,
+) -> Result<FixedModel, FixedError> {
+    if nodes.iter().any(|n| !n.scalar.is_finite()) {
+        return Err(FixedError::Unrepresentable {
+            detail: "non-finite threshold or leaf value".into(),
+        });
+    }
+    let feat_scale = feature_scale(feature_max);
+    let trees = roots.len() as f64;
+    let leaf_max = nodes
+        .iter()
+        .filter(|n| n.feature == LEAF)
+        .fold(0.0f64, |m, n| m.max(n.scalar.abs()))
+        .max(1e-12);
+    // Leaf scale L: T quantized leaves sum into one i64, so
+    // T·(leaf_max·L) must stay below 2^ACC_BITS.
+    let lexp = (ACC_BITS - (trees * (leaf_max + 1.0)).log2())
+        .floor()
+        .clamp(-1000.0, 45.0) as i32;
+    let leaf_scale = pow2(lexp);
+    let mut leaf_err = 0.0f64;
+    let fixed_nodes: Vec<FixedNode> = nodes
+        .iter()
+        .map(|n| {
+            let scalar = if n.feature == LEAF {
+                let q = (n.scalar * leaf_scale).round();
+                leaf_err = leaf_err.max((n.scalar - q / leaf_scale).abs());
+                q as i64
+            } else {
+                // floor, not round: `q ≤ floor(t·S)` ⟺ `q ≤ t·S` ⟺
+                // `q/S ≤ t` for every integer q, so the integer compare
+                // routes exactly like the f64 compare at the dequantized
+                // input. The cast saturates for |t·S| beyond i64, which
+                // preserves the equivalence (always-left / always-right
+                // matches t beyond either edge of the domain).
+                (n.scalar * feat_scale).floor() as i64
+            };
+            FixedNode {
+                scalar,
+                feature: n.feature,
+                children: n.children,
+            }
+        })
+        .collect();
+    let out_scale = leaf_scale * trees;
+    let worst_acc = trees * (leaf_max * leaf_scale + 1.0);
+    if worst_acc >= ACC_LIMIT {
+        return Err(FixedError::Unrepresentable {
+            detail: "leaf magnitudes overflow the accumulator".into(),
+        });
+    }
+    // Routing is identical at the snapped input, so the error is purely
+    // the chosen leaves' value residuals: the mean of per-tree errors
+    // each ≤ leaf_err, plus f64 conversion slack on both paths.
+    let slack = (leaf_max + worst_acc / out_scale + 1.0) * (trees + 2.0) * pow2(-50);
+    let error_bound = leaf_err + slack;
+    Ok(FixedModel {
+        width,
+        feature_max,
+        feat_scale,
+        error_bound,
+        direct_bound: None,
+        kernel: FixedKernel::Forest {
+            nodes: fixed_nodes,
+            roots: roots.to_vec(),
+            out_scale,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::NodeSpec;
+
+    fn linear(coefficients: Vec<f64>, intercept: f64) -> ModelParams {
+        ModelParams::Linear {
+            coefficients,
+            intercept,
+        }
+    }
+
+    #[test]
+    fn linear_predictions_stay_within_the_stored_bound() {
+        let params = linear(vec![2.5e-9, 0.0, 1.25e-10, 3.0e-9], 0.75);
+        let compiled = CompiledModel::compile(&params).unwrap();
+        let fixed = FixedModel::lower(&params, 1.0e11).unwrap();
+        assert_eq!(fixed.family(), "linear");
+        assert_eq!(fixed.width(), 4);
+        let direct = fixed.direct_error_bound().expect("linear direct bound");
+        assert!(direct >= fixed.error_bound());
+        for i in 0..64u32 {
+            let row: Vec<f64> = (0..4)
+                .map(|f| f64::from(i * 1_000 + f) * 1.3e6 + 17.0)
+                .collect();
+            let got = fixed.predict_one(&row);
+            assert!((got - compiled.predict_one(&row)).abs() <= direct);
+            assert!(
+                (got - compiled.predict_one(&fixed.snap_row(&row))).abs() <= fixed.error_bound()
+            );
+        }
+    }
+
+    #[test]
+    fn forest_routing_matches_f64_at_the_snapped_input() {
+        let params = ModelParams::Forest {
+            width: 2,
+            trees: vec![
+                vec![
+                    NodeSpec::Split {
+                        feature: 0,
+                        threshold: 10.3,
+                    },
+                    NodeSpec::Leaf { value: 1.5 },
+                    NodeSpec::Split {
+                        feature: 1,
+                        threshold: 40.0,
+                    },
+                    NodeSpec::Leaf { value: 2.25 },
+                    NodeSpec::Leaf { value: -3.5 },
+                ],
+                vec![NodeSpec::Leaf { value: 0.125 }],
+            ],
+        };
+        let compiled = CompiledModel::compile(&params).unwrap();
+        let fixed = FixedModel::lower(&params, 100.0).unwrap();
+        assert_eq!(fixed.family(), "forest");
+        for a in 0..50 {
+            for b in 0..10 {
+                let row = vec![f64::from(a) * 2.07, f64::from(b) * 9.13];
+                let snapped = compiled.predict_one(&fixed.snap_row(&row));
+                assert!((fixed.predict_one(&row) - snapped).abs() <= fixed.error_bound());
+            }
+        }
+        assert!(fixed.direct_error_bound().is_none());
+    }
+
+    #[test]
+    fn soa_batch_is_bit_identical_to_scalar() {
+        let params = linear(vec![3.0e-10, 7.1e-9, 2.0e-11], 12.5);
+        let fixed = FixedModel::lower(&params, 5.0e10).unwrap();
+        let rows: Vec<Vec<f64>> = (0..33)
+            .map(|i| vec![f64::from(i) * 1.0e9, f64::from(i * 3 % 7) * 2.0e8, 13.0])
+            .collect();
+        let mut batch = FixedBatch::new();
+        for row in &rows {
+            fixed.push_row(&mut batch, row);
+        }
+        assert_eq!(batch.len(), rows.len());
+        let mut out = Vec::new();
+        fixed.predict_batch_into(&mut batch, &mut out);
+        for (row, &soa) in rows.iter().zip(&out) {
+            assert_eq!(fixed.predict_one(row), soa);
+        }
+        // Reuse: clear keeps capacity and the next fill matches again.
+        batch.clear();
+        assert!(batch.is_empty());
+        fixed.push_row(&mut batch, &rows[0]);
+        out.clear();
+        fixed.predict_batch_into(&mut batch, &mut out);
+        assert_eq!(out[0], fixed.predict_one(&rows[0]));
+    }
+
+    #[test]
+    fn out_of_domain_inputs_clamp_instead_of_wrapping() {
+        let params = linear(vec![1.0e-9], 0.0);
+        let fixed = FixedModel::lower(&params, 1.0e10).unwrap();
+        let inside = fixed.predict_one(&[1.0e10]);
+        let beyond = fixed.predict_one(&[1.0e300]);
+        assert_eq!(inside, beyond, "beyond-domain input clamps to the edge");
+        assert!(fixed.predict_one(&[-5.0]).abs() <= fixed.error_bound());
+    }
+
+    #[test]
+    fn unsupported_and_unrepresentable_models_are_rejected() {
+        let err = FixedModel::lower(&linear(vec![1.0], f64::NAN), 10.0).unwrap_err();
+        assert!(matches!(err, FixedError::Unrepresentable { .. }));
+        let err = FixedModel::lower(&linear(vec![1.0], 0.0), -1.0).unwrap_err();
+        assert!(matches!(err, FixedError::Unrepresentable { .. }));
+        let err = FixedModel::lower(
+            &ModelParams::Linear {
+                coefficients: vec![],
+                intercept: 0.0,
+            },
+            10.0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FixedError::Shape { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn snap_row_lands_exactly_on_the_grid() {
+        let fixed = FixedModel::lower(&linear(vec![2.0e-9, 1.0e-9], 5.0), 1.0e9).unwrap();
+        let snapped = fixed.snap_row(&[123_456.789, 2.0e10]);
+        for (&x, &again) in snapped.iter().zip(&fixed.snap_row(&snapped)) {
+            assert_eq!(x, again, "snapping is idempotent");
+        }
+        assert!((snapped[0] - 123_456.789).abs() <= fixed.quantization_half_step());
+    }
+}

@@ -38,6 +38,7 @@ pub mod compiled;
 pub mod cv;
 pub mod dataset;
 pub mod export;
+pub mod fixed;
 pub mod forest;
 pub mod importance;
 pub mod linreg;
@@ -51,6 +52,7 @@ pub use compiled::CompiledModel;
 pub use cv::{k_fold, k_fold_with_pool, CvResults};
 pub use dataset::Dataset;
 pub use export::ModelParams;
+pub use fixed::{FixedBatch, FixedError, FixedModel};
 pub use forest::RandomForest;
 pub use linreg::LinearRegression;
 pub use metrics::PredictionErrors;

@@ -14,7 +14,7 @@
 
 use pmca_mlkit::nn::{Activation, LayerWeights, NetworkWeights};
 use pmca_mlkit::tree::NodeSpec;
-use pmca_mlkit::{CompiledModel, ModelParams};
+use pmca_mlkit::{CompiledModel, FixedBatch, FixedModel, ModelParams};
 use proptest::prelude::*;
 
 /// Tiny splitmix-style generator used to expand one sampled seed into a
@@ -133,6 +133,113 @@ proptest! {
                 "family {} width {} row {:?}: compiled {} != boxed {}",
                 params.family(), params.width(), row, fast, slow
             );
+        }
+    }
+
+    #[test]
+    fn fixed_linear_stays_within_the_stored_bounds(
+        params in linear_params(),
+        fmax_exp in -2i32..13,
+        row_seed in 0u64..1_000_000,
+    ) {
+        let feature_max = 10.0f64.powi(fmax_exp);
+        let compiled = CompiledModel::compile(&params)
+            .unwrap_or_else(|e| panic!("generated params must compile: {e}"));
+        let fixed = FixedModel::lower(&params, feature_max)
+            .unwrap_or_else(|e| panic!("generated params must lower: {e}"));
+        let bound = fixed.error_bound();
+        let direct = fixed.direct_error_bound().expect("linear models carry a direct bound");
+        prop_assert!(bound.is_finite() && bound >= 0.0);
+        prop_assert!(direct >= bound);
+        let mut state = row_seed.wrapping_mul(0xD6E8FEB86659FD93).wrapping_add(3);
+        for _ in 0..16 {
+            // The full declared input domain: [0, feature_max] per feature.
+            let row: Vec<f64> = (0..params.width())
+                .map(|_| (next(&mut state) % 1_000_001) as f64 / 1.0e6 * feature_max)
+                .collect();
+            let quantized = fixed.predict_one(&row);
+            let exact = compiled.predict_one(&row);
+            prop_assert!(
+                (quantized - exact).abs() <= direct,
+                "width {} fmax {feature_max} row {:?}: |{} - {}| > direct bound {}",
+                params.width(), row, quantized, exact, direct
+            );
+            let snapped = compiled.predict_one(&fixed.snap_row(&row));
+            prop_assert!(
+                (quantized - snapped).abs() <= bound,
+                "width {} fmax {feature_max} row {:?}: |{} - {}| > grid bound {}",
+                params.width(), row, quantized, snapped, bound
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_forest_matches_f64_at_the_snapped_input(
+        params in forest_params(),
+        fmax_tenths in 10u64..20_000,
+        row_seed in 0u64..1_000_000,
+    ) {
+        // Domains from 1.0 to 2000.0, so generated thresholds (±100)
+        // land inside, below, and above the feature range.
+        let feature_max = fmax_tenths as f64 / 10.0;
+        let compiled = CompiledModel::compile(&params)
+            .unwrap_or_else(|e| panic!("generated params must compile: {e}"));
+        let fixed = FixedModel::lower(&params, feature_max)
+            .unwrap_or_else(|e| panic!("generated params must lower: {e}"));
+        let bound = fixed.error_bound();
+        prop_assert!(bound.is_finite() && bound >= 0.0);
+        prop_assert!(fixed.direct_error_bound().is_none());
+        let mut state = row_seed.wrapping_mul(0xA3B195354A39B70D).wrapping_add(7);
+        for _ in 0..16 {
+            let row: Vec<f64> = (0..params.width())
+                .map(|_| (next(&mut state) % 1_000_001) as f64 / 1.0e6 * feature_max)
+                .collect();
+            let quantized = fixed.predict_one(&row);
+            let snapped_row = fixed.snap_row(&row);
+            let snapped = compiled.predict_one(&snapped_row);
+            prop_assert!(
+                (quantized - snapped).abs() <= bound,
+                "width {} fmax {feature_max} row {:?}: |{} - {}| > bound {}",
+                params.width(), row, quantized, snapped, bound
+            );
+            // Quantization is idempotent: evaluating at the snapped row
+            // is bit-identical to evaluating at the raw row.
+            prop_assert_eq!(fixed.predict_one(&snapped_row).to_bits(), quantized.to_bits());
+        }
+    }
+
+    #[test]
+    fn fixed_soa_batches_are_bit_identical_to_scalar(
+        params in prop_oneof![linear_params(), forest_params()],
+        batch_size in 1usize..33,
+        fmax_exp in 0i32..12,
+        row_seed in 0u64..1_000_000,
+    ) {
+        let feature_max = 10.0f64.powi(fmax_exp);
+        let fixed = FixedModel::lower(&params, feature_max)
+            .unwrap_or_else(|e| panic!("generated params must lower: {e}"));
+        let mut state = row_seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(11);
+        let rows: Vec<Vec<f64>> = (0..batch_size)
+            .map(|_| {
+                (0..params.width())
+                    // Beyond-domain and negative values too: clamping
+                    // must agree between the scalar and SoA paths.
+                    .map(|_| (next(&mut state) % 3_000_001) as f64 / 1.0e6 * feature_max - feature_max)
+                    .collect()
+            })
+            .collect();
+        let mut batch = FixedBatch::new();
+        for row in &rows {
+            fixed.push_row(&mut batch, row);
+        }
+        prop_assert_eq!(batch.len(), rows.len());
+        let mut out = Vec::new();
+        fixed.predict_batch_into(&mut batch, &mut out);
+        prop_assert_eq!(out.len(), rows.len());
+        for (row, soa) in rows.iter().zip(&out) {
+            // Including batch_size == 1: the SoA path must agree with
+            // the scalar path bit for bit.
+            prop_assert_eq!(fixed.predict_one(row).to_bits(), soa.to_bits());
         }
     }
 

@@ -115,11 +115,14 @@ macro_rules! int_range_strategy {
 
             fn sample(&self, rng: &mut TestRng) -> $t {
                 use pmca_stats::rng::Rng;
-                let lo = self.start as u128;
-                let hi = self.end as u128;
+                // Through i128 so ranges with negative bounds work; for
+                // non-negative bounds the arithmetic (and therefore the
+                // deterministic sample stream) is unchanged.
+                let lo = self.start as i128;
+                let hi = self.end as i128;
                 assert!(lo < hi, "empty integer range");
                 let span = (hi - lo) as u64;
-                let v = u128::from(rng.rng().next_u64() % span) + lo;
+                let v = i128::from(rng.rng().next_u64() % span) + lo;
                 v as $t
             }
         }

@@ -12,7 +12,7 @@
 use crate::engine::Estimate;
 use crate::protocol::{
     parse_estimate_reply, parse_health_row, parse_history_row, parse_ok_fields, parse_shard_info,
-    parse_stream_status, Command, HealthRow, HistoryRow, ProtocolError, Request, ShardInfo,
+    parse_stream_status, Command, HealthRow, HistoryRow, ProtocolError, Request, ShardInfo, Tier,
     TraceScope, STREAM_PUSH_COUNTS,
 };
 use pmca_stream::StreamStatus;
@@ -398,9 +398,28 @@ impl Client {
         platform: &str,
         counts: &[(String, f64)],
     ) -> Result<Estimate, ClientError> {
+        self.estimate_tiered(platform, counts, Tier::F64)
+    }
+
+    /// [`estimate`](Client::estimate) on an explicit inference tier —
+    /// [`Tier::Fixed`] asks the server for the fixed-point fast tier
+    /// (`tier=fixed` on the wire); [`Tier::F64`] sends the exact bytes
+    /// `estimate` sends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Protocol`] with the server's message on an
+    /// `ERR` reply.
+    pub fn estimate_tiered(
+        &mut self,
+        platform: &str,
+        counts: &[(String, f64)],
+        tier: Tier,
+    ) -> Result<Estimate, ClientError> {
         let request = Request::Estimate {
             platform: platform.to_string(),
             counts: counts.to_vec(),
+            tier,
         };
         match self.request(&request)? {
             Response::Estimate(estimate) => Ok(estimate),
@@ -415,9 +434,26 @@ impl Client {
     /// Returns [`ClientError::Protocol`] with the server's message on an
     /// `ERR` reply.
     pub fn estimate_app(&mut self, platform: &str, app: &str) -> Result<Estimate, ClientError> {
+        self.estimate_app_tiered(platform, app, Tier::F64)
+    }
+
+    /// [`estimate_app`](Client::estimate_app) on an explicit inference
+    /// tier; [`Tier::F64`] sends the exact bytes `estimate_app` sends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Protocol`] with the server's message on an
+    /// `ERR` reply.
+    pub fn estimate_app_tiered(
+        &mut self,
+        platform: &str,
+        app: &str,
+        tier: Tier,
+    ) -> Result<Estimate, ClientError> {
         let request = Request::EstimateApp {
             platform: platform.to_string(),
             app: app.to_string(),
+            tier,
         };
         match self.request(&request)? {
             Response::Estimate(estimate) => Ok(estimate),
@@ -724,6 +760,7 @@ mod tests {
             .request(&Request::Estimate {
                 platform: "skylake".to_string(),
                 counts: vec![("A".to_string(), 10.0), ("B".to_string(), 1.0)],
+                tier: Tier::F64,
             })
             .unwrap();
         assert!(

@@ -23,11 +23,12 @@
 //! machinery the measurement methodology uses for energy CIs.
 
 use crate::registry::StoredModel;
-use pmca_mlkit::CompiledModel;
+use pmca_mlkit::{CompiledModel, FixedBatch, FixedModel};
 use pmca_obs::trace::{self, ActiveTrace, TraceSpan};
 use pmca_obs::{Histogram, MetricsRegistry, Span};
 use pmca_stats::confidence::t_critical;
 use std::borrow::Cow;
+use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
@@ -38,6 +39,13 @@ use std::time::{Duration, Instant};
 
 /// Confidence level of served prediction intervals.
 const CONFIDENCE: f64 = 0.95;
+
+/// Per-feature input domain the fixed-point tier is lowered for: PMC
+/// counts up to ten trillion, comfortably above anything a one-second
+/// telemetry window produces. A batch carrying a larger (but otherwise
+/// valid) count is served by the f64 path instead — correctness never
+/// depends on the domain, only tier selection does.
+const FIXED_FEATURE_MAX: f64 = 1.0e13;
 
 /// Per-worker queue depth bound. Submitters overflowing every queue spin
 /// (with a short sleep) until a worker drains — backpressure, not OOM.
@@ -291,6 +299,12 @@ struct EngineShared {
     /// address of the stored model. Workers consult it on a local miss so
     /// lowering runs once per model version, not once per worker.
     compiled: Mutex<HashMap<usize, CompiledEntry>>,
+    /// Engine-wide fixed-point cache, keyed like `compiled`. The fixed
+    /// tier evaluates on the submitting thread (no worker round trip),
+    /// so there is no per-worker local layer; an entry whose lowering
+    /// failed is remembered as `fixed: None` so the fallback never
+    /// retries the lowering.
+    fixed: Mutex<HashMap<usize, FixedEntry>>,
 }
 
 impl EngineShared {
@@ -326,12 +340,29 @@ struct CompiledEntry {
     width: usize,
 }
 
+/// A stored model lowered to integer fixed point for the fast tier,
+/// plus the same per-model reply constants as [`CompiledEntry`].
+#[derive(Clone)]
+struct FixedEntry {
+    /// Keeps the keying `Arc` address valid for the cache's lifetime.
+    _model: Arc<StoredModel>,
+    /// `None` when the model cannot be lowered (unsupported family or
+    /// unrepresentable coefficients) — such models always serve f64.
+    fixed: Option<Arc<FixedModel>>,
+    half_width: f64,
+    family: Cow<'static, str>,
+    version: u32,
+    width: usize,
+}
+
 /// Time-attribution instruments of one engine: how long jobs sat in the
-/// queue versus how long inference itself took.
+/// queue versus how long inference itself took, plus the fixed tier's
+/// whole-batch SoA evaluations.
 #[derive(Debug, Clone)]
 struct EngineMetrics {
     queue_wait: Histogram,
     compute: Histogram,
+    fixed_batch: Histogram,
 }
 
 impl EngineMetrics {
@@ -339,6 +370,7 @@ impl EngineMetrics {
         EngineMetrics {
             queue_wait: Histogram::standalone(),
             compute: Histogram::standalone(),
+            fixed_batch: Histogram::standalone(),
         }
     }
 
@@ -346,8 +378,26 @@ impl EngineMetrics {
         EngineMetrics {
             queue_wait: registry.histogram("pmca_engine_queue_wait_seconds", &[]),
             compute: registry.histogram("pmca_engine_compute_seconds", &[]),
+            fixed_batch: registry.histogram("pmca_engine_fixed_batch_seconds", &[]),
         }
     }
+}
+
+/// Per-thread scratch for the fixed tier: the SoA batch, the output
+/// vector, and the valid-row index map. Reused across batches so a warm
+/// fixed-tier request performs no allocation at all.
+struct FixedScratch {
+    batch: FixedBatch,
+    out: Vec<f64>,
+    valid: Vec<usize>,
+}
+
+thread_local! {
+    static FIXED_SCRATCH: RefCell<FixedScratch> = RefCell::new(FixedScratch {
+        batch: FixedBatch::new(),
+        out: Vec::new(),
+        valid: Vec::new(),
+    });
 }
 
 /// Fixed worker-thread pool serving energy estimates.
@@ -399,6 +449,7 @@ impl InferenceEngine {
             served: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             compiled: Mutex::new(HashMap::new()),
+            fixed: Mutex::new(HashMap::new()),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -496,6 +547,143 @@ impl InferenceEngine {
             }
             slot.wait_collect()
         })
+    }
+
+    /// Answer one request on the fixed-point fast tier (see
+    /// [`estimate_batch_fixed_traced`](InferenceEngine::estimate_batch_fixed_traced)
+    /// for the tier's fallback rules).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] for malformed requests or a stopped engine.
+    pub fn estimate_fixed(
+        &self,
+        model: &Arc<StoredModel>,
+        counts: Vec<f64>,
+    ) -> Result<Estimate, EngineError> {
+        self.estimate_batch_fixed_traced(model, vec![(counts, trace::current())])
+            .pop()
+            .unwrap_or(Err(EngineError::Stopped))
+    }
+
+    /// Answer a batch of requests against one model on the fixed-point
+    /// fast tier: the whole batch is quantized into a reusable SoA
+    /// scratch and evaluated inline on the calling thread — integer-only
+    /// arithmetic, no worker-queue round trip, no allocation once the
+    /// scratch is warm. The result order matches the input order.
+    ///
+    /// The tier falls back to
+    /// [`estimate_batch_traced`](InferenceEngine::estimate_batch_traced)
+    /// as a whole batch when the model cannot be lowered to fixed point
+    /// or any count exceeds the lowered input domain, so callers always
+    /// get an answer; malformed rows (shape mismatch, non-finite or
+    /// negative counts) error individually, exactly like the f64 path.
+    ///
+    /// Served estimates carry `ci_half_width` widened by the lowered
+    /// model's proven error bound, so the fixed tier's interval still
+    /// covers the f64 answer.
+    pub fn estimate_batch_fixed_traced(
+        &self,
+        model: &Arc<StoredModel>,
+        rows: Vec<(Vec<f64>, Option<ActiveTrace>)>,
+    ) -> Vec<Result<Estimate, EngineError>> {
+        let total = rows.len();
+        if self.shared.stop.load(Ordering::Acquire) {
+            return (0..total).map(|_| Err(EngineError::Stopped)).collect();
+        }
+        let entry = self.fixed_entry(model);
+        let Some(fixed) = entry.fixed.as_ref() else {
+            return self.estimate_batch_traced(model, rows);
+        };
+        // One oversized (but valid) count anywhere sends the whole batch
+        // down the f64 path: mixed batches would interleave the two
+        // evaluators for no latency win.
+        if rows
+            .iter()
+            .any(|(counts, _)| counts.iter().any(|c| *c > FIXED_FEATURE_MAX))
+        {
+            return self.estimate_batch_traced(model, rows);
+        }
+        let ci_half_width = entry.half_width
+            + fixed
+                .direct_error_bound()
+                .unwrap_or_else(|| fixed.error_bound());
+        let started = self.metrics.fixed_batch.enabled().then(Instant::now);
+        for trace in rows.iter().filter_map(|(_, trace)| trace.as_ref()) {
+            trace.begin("engine.fixed", &[]);
+        }
+        let mut results: Vec<Option<Result<Estimate, EngineError>>> = Vec::with_capacity(total);
+        results.resize_with(total, || None);
+        FIXED_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            scratch.batch.clear();
+            scratch.out.clear();
+            scratch.valid.clear();
+            for (i, (counts, _)) in rows.iter().enumerate() {
+                if counts.len() != entry.width {
+                    results[i] = Some(Err(EngineError::Shape {
+                        expected: entry.width,
+                        got: counts.len(),
+                    }));
+                    continue;
+                }
+                if counts.iter().any(|c| !c.is_finite() || *c < 0.0) {
+                    results[i] = Some(Err(EngineError::BadCount));
+                    continue;
+                }
+                fixed.push_row(&mut scratch.batch, counts);
+                scratch.valid.push(i);
+            }
+            fixed.predict_batch_into(&mut scratch.batch, &mut scratch.out);
+            for (&i, joules) in scratch.valid.iter().zip(&scratch.out) {
+                results[i] = Some(Ok(Estimate {
+                    joules: joules.max(0.0),
+                    ci_half_width,
+                    family: entry.family.clone(),
+                    version: entry.version,
+                }));
+            }
+        });
+        for trace in rows.iter().filter_map(|(_, trace)| trace.as_ref()) {
+            trace.end("engine.fixed");
+        }
+        if let Some(started) = started {
+            self.metrics.fixed_batch.record(started.elapsed());
+        }
+        let results: Vec<Result<Estimate, EngineError>> = results
+            .into_iter()
+            .map(|slot| slot.unwrap_or(Err(EngineError::Stopped)))
+            .collect();
+        let ok = results.iter().filter(|r| r.is_ok()).count() as u64;
+        self.shared.served.fetch_add(ok, Ordering::Relaxed);
+        self.shared
+            .errors
+            .fetch_add(total as u64 - ok, Ordering::Relaxed);
+        results
+    }
+
+    /// Look up (or build) the fixed-point lowering of `model`. Unlike
+    /// the compiled cache there is no worker-local layer — the fixed
+    /// tier runs on submitting threads — and a failed lowering is cached
+    /// as `None` so it is attempted once per model version.
+    fn fixed_entry(&self, model: &Arc<StoredModel>) -> FixedEntry {
+        let cache_key = Arc::as_ptr(model) as usize;
+        self.shared
+            .fixed
+            .lock()
+            .expect("fixed cache poisoned")
+            .entry(cache_key)
+            .or_insert_with(|| FixedEntry {
+                _model: Arc::clone(model),
+                fixed: FixedModel::lower(&model.params, FIXED_FEATURE_MAX)
+                    .ok()
+                    .map(Arc::new),
+                half_width: prediction_half_width(model),
+                family: intern_family(&model.key.family),
+                version: model.version,
+                width: model.params.width(),
+            })
+            .clone()
     }
 
     /// Number of worker threads.
@@ -893,6 +1081,129 @@ mod tests {
             u64::from(submitters) * u64::from(per_thread)
         );
         assert_eq!(engine.errors(), 0);
+    }
+
+    #[test]
+    fn fixed_tier_answers_stay_within_the_lowered_error_bound() {
+        let engine = InferenceEngine::new(2);
+        let model = registered(&[2.0e-9, 0.5e-9], 1.5, 20);
+        let fixed = FixedModel::lower(&model.params, FIXED_FEATURE_MAX).unwrap();
+        let bound = fixed.direct_error_bound().unwrap();
+        for i in 0..16 {
+            let row = vec![1.0e10 + 3.7e9 * f64::from(i), 2.5e9 * f64::from(i)];
+            let f64_answer = engine.estimate(&model, row.clone()).unwrap();
+            let fast = engine.estimate_fixed(&model, row).unwrap();
+            assert!(
+                (fast.joules - f64_answer.joules).abs() <= bound,
+                "|{} - {}| > {bound}",
+                fast.joules,
+                f64_answer.joules
+            );
+            // The fixed tier widens the interval by the proven bound so
+            // it still covers the f64 answer.
+            assert!((fast.ci_half_width - (f64_answer.ci_half_width + bound)).abs() < 1e-15);
+            assert_eq!(fast.family, f64_answer.family);
+            assert_eq!(fast.version, f64_answer.version);
+        }
+    }
+
+    #[test]
+    fn fixed_batches_preserve_order_and_report_per_row_errors() {
+        let engine = InferenceEngine::new(2);
+        let model = registered(&[1.0e-9], 0.0, 10);
+        let mut rows: Vec<(Vec<f64>, Option<ActiveTrace>)> = (0..32)
+            .map(|i| (vec![1.0e9 * f64::from(i)], None))
+            .collect();
+        rows.insert(7, (vec![1.0, 2.0], None)); // shape error
+        rows.insert(21, (vec![-3.0], None)); // bad count
+        let answers = engine.estimate_batch_fixed_traced(&model, rows);
+        assert_eq!(answers.len(), 34);
+        assert!(matches!(answers[7], Err(EngineError::Shape { .. })));
+        assert_eq!(answers[21], Err(EngineError::BadCount));
+        let fixed = FixedModel::lower(&model.params, FIXED_FEATURE_MAX).unwrap();
+        let bound = fixed.direct_error_bound().unwrap();
+        for (i, answer) in answers.iter().enumerate() {
+            if i == 7 || i == 21 {
+                continue;
+            }
+            let logical = if i < 7 {
+                i
+            } else if i < 21 {
+                i - 1
+            } else {
+                i - 2
+            };
+            let expected = 1.0e9 * logical as f64 * 1.0e-9;
+            assert!(
+                (answer.as_ref().unwrap().joules - expected).abs() <= bound,
+                "row {i}"
+            );
+        }
+        assert_eq!(engine.served(), 32);
+        assert_eq!(engine.errors(), 2);
+    }
+
+    #[test]
+    fn fixed_tier_falls_back_for_unlowerable_models_and_huge_counts() {
+        let engine = InferenceEngine::new(1);
+        // Out-of-domain count: the whole batch takes the f64 path, so the
+        // answer is bit-identical to the plain engine's.
+        let model = registered(&[2.5e-9, 1.25e-9], 0.75, 20);
+        let row = vec![5.0e13, 1.0e9];
+        let direct = engine.estimate(&model, row.clone()).unwrap();
+        let fast = engine.estimate_fixed(&model, row).unwrap();
+        assert_eq!(fast, direct, "oversized counts fall back bit-identically");
+        // Unsupported family: the cached entry remembers the failed
+        // lowering and every request serves f64.
+        let mut registry = Registry::new();
+        let neural = registry.register(
+            "skylake",
+            "neural",
+            vec!["E0".to_string()],
+            0.0,
+            10,
+            ModelParams::Neural(pmca_mlkit::nn::NetworkWeights {
+                activation: pmca_mlkit::nn::Activation::Linear,
+                layers: vec![pmca_mlkit::nn::LayerWeights {
+                    weights: vec![vec![2.0]],
+                    biases: vec![0.5],
+                }],
+                feature_means: vec![0.0],
+                feature_stds: vec![1.0],
+                target_mean: 0.0,
+                target_std: 1.0,
+            }),
+        );
+        let direct = engine.estimate(&neural, vec![3.0]).unwrap();
+        let fast = engine.estimate_fixed(&neural, vec![3.0]).unwrap();
+        assert_eq!(fast, direct, "unlowerable models fall back bit-identically");
+    }
+
+    #[test]
+    fn fixed_batches_record_into_their_histogram_and_traces() {
+        use pmca_obs::TracerConfig;
+
+        let registry = MetricsRegistry::new();
+        let engine = InferenceEngine::with_registry(1, &registry);
+        let model = registered(&[1.0e-9], 0.0, 10);
+        let tracer = TracerConfig::new().build().unwrap();
+        let request_trace = tracer.start("estimate", &[]).unwrap();
+        let rows = vec![(vec![1.0e9], Some(request_trace.clone()))];
+        let answers = engine.estimate_batch_fixed_traced(&model, rows);
+        assert!(answers[0].is_ok());
+        tracer.finish(&request_trace);
+        let completed = tracer.slowest().expect("trace finished");
+        assert!(
+            completed
+                .span_durations()
+                .iter()
+                .any(|(name, _)| name == "engine.fixed"),
+            "{:?}",
+            completed.events
+        );
+        assert!(registry
+            .render()
+            .contains(&"pmca_engine_fixed_batch_seconds_count 1".to_string()));
     }
 
     #[test]

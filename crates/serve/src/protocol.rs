@@ -262,6 +262,52 @@ impl fmt::Display for Command {
     }
 }
 
+/// Which inference tier evaluates an estimate request.
+///
+/// `F64` is the default compiled path: requests that carry no `tier=`
+/// argument behave exactly as they did before tiers existed, and
+/// [`Request::to_line`] emits no `tier=` word for them, so default wire
+/// bytes are unchanged. `Fixed` selects the integer fixed-point tier
+/// lowered by `pmca_mlkit::FixedModel`; a server running with the fast
+/// tier disabled quietly serves such requests from the f64 path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Tier {
+    /// The compiled f64 path (default).
+    #[default]
+    F64,
+    /// The fixed-point integer fast tier.
+    Fixed,
+}
+
+impl Tier {
+    /// The tier's wire spelling, which doubles as its metrics label
+    /// (`pmca_serve_tier_seconds{tier=...}`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Tier::F64 => "f64",
+            Tier::Fixed => "fixed",
+        }
+    }
+
+    /// Parse a `tier=` value case-insensitively. Returns `None` for
+    /// anything other than `f64` or `fixed`.
+    pub fn parse(raw: &str) -> Option<Self> {
+        if raw.eq_ignore_ascii_case("f64") {
+            Some(Tier::F64)
+        } else if raw.eq_ignore_ascii_case("fixed") {
+            Some(Tier::Fixed)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -271,6 +317,9 @@ pub enum Request {
         platform: String,
         /// `(pmc name, count)` pairs, in the order given.
         counts: Vec<(String, f64)>,
+        /// Which inference tier to use (a `tier=f64|fixed` pair
+        /// anywhere among the counts; absent means [`Tier::F64`]).
+        tier: Tier,
     },
     /// Estimate a whole application by spec.
     EstimateApp {
@@ -278,6 +327,9 @@ pub enum Request {
         platform: String,
         /// Workload spec (e.g. `dgemm:12000` or `dgemm:9000;fft:23000`).
         app: String,
+        /// Which inference tier to use (an optional trailing
+        /// `tier=f64|fixed` word; absent means [`Tier::F64`]).
+        tier: Tier,
     },
     /// Train and register an online model.
     Train {
@@ -386,6 +438,8 @@ pub enum RequestRef<'a> {
         platform: &'a str,
         /// `(pmc name, count)` pairs, in the order given.
         counts: Vec<(&'a str, f64)>,
+        /// Which inference tier to use.
+        tier: Tier,
     },
     /// Estimate a whole application by spec.
     EstimateApp {
@@ -393,6 +447,8 @@ pub enum RequestRef<'a> {
         platform: &'a str,
         /// Workload spec.
         app: &'a str,
+        /// Which inference tier to use.
+        tier: Tier,
     },
     /// Push one telemetry window, id borrowed from the line.
     StreamPush {
@@ -450,6 +506,7 @@ impl<'a> RequestRef<'a> {
                     .next()
                     .ok_or_else(|| ProtocolError::bad("ESTIMATE", "needs a platform"))?;
                 let mut counts = Vec::new();
+                let mut tier = Tier::default();
                 for pair in words {
                     let (name, value) = pair.split_once('=').ok_or_else(|| {
                         ProtocolError::bad(
@@ -457,6 +514,15 @@ impl<'a> RequestRef<'a> {
                             format!("expected pmc=count, found {pair:?}"),
                         )
                     })?;
+                    // `tier=` is a reserved key, accepted anywhere a
+                    // count pair is — it selects the tier instead of
+                    // naming a PMC.
+                    if name.eq_ignore_ascii_case("tier") {
+                        tier = Tier::parse(value).ok_or_else(|| {
+                            ProtocolError::bad("ESTIMATE", format!("bad tier {value:?}"))
+                        })?;
+                        continue;
+                    }
                     let count = value.parse::<f64>().map_err(|_| {
                         ProtocolError::bad("ESTIMATE", format!("bad count {value:?} for {name}"))
                     })?;
@@ -468,15 +534,43 @@ impl<'a> RequestRef<'a> {
                         "needs at least one pmc=count pair",
                     ));
                 }
-                Ok(RequestRef::Estimate { platform, counts })
+                Ok(RequestRef::Estimate {
+                    platform,
+                    counts,
+                    tier,
+                })
             }
-            Command::EstimateApp => match (words.next(), words.next(), words.next()) {
-                (Some(platform), Some(app), None) => Ok(RequestRef::EstimateApp { platform, app }),
-                _ => Err(ProtocolError::bad(
-                    "ESTIMATE-APP",
-                    "usage: ESTIMATE-APP <platform> <appspec>",
-                )),
-            },
+            Command::EstimateApp => {
+                let usage = || {
+                    ProtocolError::bad(
+                        "ESTIMATE-APP",
+                        "usage: ESTIMATE-APP <platform> <appspec> [tier=f64|fixed]",
+                    )
+                };
+                let (platform, app) = match (words.next(), words.next()) {
+                    (Some(platform), Some(app)) => (platform, app),
+                    _ => return Err(usage()),
+                };
+                let tier = match words.next() {
+                    None => Tier::default(),
+                    Some(word) => match word.split_once('=') {
+                        Some((key, value)) if key.eq_ignore_ascii_case("tier") => {
+                            Tier::parse(value).ok_or_else(|| {
+                                ProtocolError::bad("ESTIMATE-APP", format!("bad tier {value:?}"))
+                            })?
+                        }
+                        _ => return Err(usage()),
+                    },
+                };
+                if words.next().is_some() {
+                    return Err(usage());
+                }
+                Ok(RequestRef::EstimateApp {
+                    platform,
+                    app,
+                    tier,
+                })
+            }
             Command::StreamPush => {
                 let id = words
                     .next()
@@ -529,16 +623,26 @@ impl<'a> RequestRef<'a> {
     /// Convert into the owned [`Request`].
     pub fn into_owned(self) -> Request {
         match self {
-            RequestRef::Estimate { platform, counts } => Request::Estimate {
+            RequestRef::Estimate {
+                platform,
+                counts,
+                tier,
+            } => Request::Estimate {
                 platform: platform.to_string(),
                 counts: counts
                     .into_iter()
                     .map(|(n, v)| (n.to_string(), v))
                     .collect(),
+                tier,
             },
-            RequestRef::EstimateApp { platform, app } => Request::EstimateApp {
+            RequestRef::EstimateApp {
+                platform,
+                app,
+                tier,
+            } => Request::EstimateApp {
                 platform: platform.to_string(),
                 app: app.to_string(),
+                tier,
             },
             RequestRef::StreamPush {
                 id,
@@ -666,11 +770,27 @@ impl Request {
     /// Encode back to one request line (client side).
     pub fn to_line(&self) -> String {
         match self {
-            Request::Estimate { platform, counts } => {
+            Request::Estimate {
+                platform,
+                counts,
+                tier,
+            } => {
                 let pairs: Vec<String> = counts.iter().map(|(n, v)| format!("{n}={v}")).collect();
-                format!("ESTIMATE {platform} {}", pairs.join(" "))
+                // `tier=` is emitted only for the non-default tier so
+                // default requests keep their pre-tier wire bytes.
+                match tier {
+                    Tier::F64 => format!("ESTIMATE {platform} {}", pairs.join(" ")),
+                    Tier::Fixed => format!("ESTIMATE {platform} tier=fixed {}", pairs.join(" ")),
+                }
             }
-            Request::EstimateApp { platform, app } => format!("ESTIMATE-APP {platform} {app}"),
+            Request::EstimateApp {
+                platform,
+                app,
+                tier,
+            } => match tier {
+                Tier::F64 => format!("ESTIMATE-APP {platform} {app}"),
+                Tier::Fixed => format!("ESTIMATE-APP {platform} {app} tier=fixed"),
+            },
             Request::Train {
                 platform,
                 pmcs,
@@ -1288,10 +1408,22 @@ mod tests {
                     ("UOPS_EXECUTED_CORE".to_string(), 1.25e11),
                     ("MEM_INST_RETIRED_ALL_STORES".to_string(), 4.0e9),
                 ],
+                tier: Tier::F64,
+            },
+            Request::Estimate {
+                platform: "skylake".to_string(),
+                counts: vec![("UOPS_EXECUTED_CORE".to_string(), 1.25e11)],
+                tier: Tier::Fixed,
             },
             Request::EstimateApp {
                 platform: "haswell".to_string(),
                 app: "dgemm:9000;fft:23000".to_string(),
+                tier: Tier::F64,
+            },
+            Request::EstimateApp {
+                platform: "haswell".to_string(),
+                app: "dgemm:9000".to_string(),
+                tier: Tier::Fixed,
             },
             Request::Train {
                 platform: "skylake".to_string(),
@@ -1499,8 +1631,69 @@ mod tests {
             Request::Estimate {
                 platform: "skylake".to_string(),
                 counts: vec![("Pmc_A".to_string(), 3.5)],
+                tier: Tier::F64,
             }
         );
+    }
+
+    #[test]
+    fn tier_selection_parses_and_defaults_keep_their_bytes() {
+        // No tier= word: default F64, and to_line round-trips to the
+        // exact pre-tier bytes.
+        let plain = Request::parse("ESTIMATE skylake A=1 B=2").unwrap();
+        assert_eq!(plain.to_line(), "ESTIMATE skylake A=1 B=2");
+        // tier= is accepted anywhere among the pairs, case-insensitively,
+        // and never counts as a PMC.
+        for line in [
+            "ESTIMATE skylake tier=fixed A=1 B=2",
+            "ESTIMATE skylake A=1 TIER=FIXED B=2",
+            "ESTIMATE skylake A=1 B=2 tier=fixed",
+        ] {
+            assert_eq!(
+                Request::parse(line).unwrap(),
+                Request::Estimate {
+                    platform: "skylake".to_string(),
+                    counts: vec![("A".to_string(), 1.0), ("B".to_string(), 2.0)],
+                    tier: Tier::Fixed,
+                },
+                "{line}"
+            );
+        }
+        // An explicit tier=f64 parses back to the default and re-encodes
+        // without the word.
+        let explicit = Request::parse("ESTIMATE skylake tier=f64 A=1").unwrap();
+        assert_eq!(explicit.to_line(), "ESTIMATE skylake A=1");
+        assert_eq!(
+            Request::parse("ESTIMATE-APP skylake dgemm:9000 tier=fixed").unwrap(),
+            Request::EstimateApp {
+                platform: "skylake".to_string(),
+                app: "dgemm:9000".to_string(),
+                tier: Tier::Fixed,
+            }
+        );
+        assert_eq!(
+            Request::parse("ESTIMATE-APP skylake dgemm:9000 TIER=f64")
+                .unwrap()
+                .to_line(),
+            "ESTIMATE-APP skylake dgemm:9000"
+        );
+        for bad in [
+            "ESTIMATE skylake tier=quick A=1",
+            "ESTIMATE skylake tier=fixed",
+            "ESTIMATE-APP skylake dgemm:9000 tier=quick",
+            "ESTIMATE-APP skylake dgemm:9000 fixed",
+            "ESTIMATE-APP skylake dgemm:9000 tier=fixed extra",
+        ] {
+            assert!(
+                matches!(Request::parse(bad), Err(ProtocolError::BadRequest { .. })),
+                "{bad:?} should be a BadRequest"
+            );
+        }
+        assert_eq!(Tier::parse("FIXED"), Some(Tier::Fixed));
+        assert_eq!(Tier::parse("f64"), Some(Tier::F64));
+        assert_eq!(Tier::parse("float"), None);
+        assert_eq!(Tier::Fixed.to_string(), "fixed");
+        assert_eq!(Tier::default(), Tier::F64);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::cache::{RunCache, RunKey};
 use crate::engine::{EngineError, Estimate, InferenceEngine};
-use crate::protocol::TraceScope;
+use crate::protocol::{Tier, TraceScope};
 use crate::registry::{self, RegistryError, StoredModel};
 use crate::store::{snapshot_from_dir, FileStore, MemoryStore, ModelStore};
 use pmca_core::online::OnlineModel;
@@ -152,6 +152,8 @@ pub enum BatchRequest {
         platform: String,
         /// `(pmc name, count)` pairs.
         counts: Vec<(String, f64)>,
+        /// Which inference tier the request asked for.
+        tier: Tier,
     },
     /// App-level: a workload spec collected via the run cache.
     App {
@@ -159,6 +161,8 @@ pub enum BatchRequest {
         platform: String,
         /// Workload spec (e.g. `dgemm:12000`).
         app: String,
+        /// Which inference tier the request asked for.
+        tier: Tier,
     },
 }
 
@@ -174,6 +178,8 @@ pub enum BatchRequestRef<'a> {
         platform: &'a str,
         /// `(pmc name, count)` pairs.
         counts: Vec<(&'a str, f64)>,
+        /// Which inference tier the request asked for.
+        tier: Tier,
     },
     /// App-level: a workload spec collected via the run cache.
     App {
@@ -181,7 +187,18 @@ pub enum BatchRequestRef<'a> {
         platform: &'a str,
         /// Workload spec (e.g. `dgemm:12000`).
         app: &'a str,
+        /// Which inference tier the request asked for.
+        tier: Tier,
     },
+}
+
+impl BatchRequestRef<'_> {
+    /// The tier this request asked for.
+    pub fn tier(&self) -> Tier {
+        match self {
+            BatchRequestRef::Counts { tier, .. } | BatchRequestRef::App { tier, .. } => *tier,
+        }
+    }
 }
 
 /// Counters reported by the STATS command.
@@ -244,6 +261,7 @@ pub struct ServiceConfig {
     event_loops: usize,
     health: bool,
     history_capacity: usize,
+    fast_tier: bool,
 }
 
 impl Default for ServiceConfig {
@@ -253,7 +271,9 @@ impl Default for ServiceConfig {
     /// streaming enabled with a heavy refit every 256 labelled windows
     /// and a 5-minute idle TTL, threaded transport (with 4 event loops
     /// once switched to [`Transport::Evented`]), the model-health plane
-    /// on with a 32-snapshot metrics history.
+    /// on with a 32-snapshot metrics history, and the fixed-point fast
+    /// tier enabled (requests still default to the f64 tier; `fast_tier`
+    /// only governs whether `tier=fixed` requests are honoured).
     fn default() -> Self {
         ServiceConfig {
             workers: 4,
@@ -272,6 +292,7 @@ impl Default for ServiceConfig {
             event_loops: 4,
             health: true,
             history_capacity: 32,
+            fast_tier: true,
         }
     }
 }
@@ -391,6 +412,15 @@ impl ServiceConfig {
     /// (min 2; default 32).
     pub fn history_capacity(mut self, capacity: usize) -> Self {
         self.history_capacity = capacity;
+        self
+    }
+
+    /// Whether `tier=fixed` requests are served by the fixed-point fast
+    /// tier (default `true`). With `false` every request runs the f64
+    /// path regardless of the tier it asked for — an operational kill
+    /// switch, not a protocol change: `tier=fixed` still parses.
+    pub fn fast_tier(mut self, enabled: bool) -> Self {
+        self.fast_tier = enabled;
         self
     }
 
@@ -549,6 +579,7 @@ impl ServiceConfig {
             event_loops: self.event_loops,
             health,
             history: HistoryRing::new(self.history_capacity),
+            fast_tier: self.fast_tier,
         })
     }
 }
@@ -625,6 +656,9 @@ pub struct EnergyService {
     /// Windowed metrics time series behind `HISTORY`, demand-sampled on
     /// each `HEALTH`/`HISTORY` request — no background clock ticks.
     history: HistoryRing,
+    /// Whether `tier=fixed` requests run the fixed-point fast tier;
+    /// when `false` every request takes the f64 path.
+    fast_tier: bool,
 }
 
 /// One [`EnergyService::feature_events`] memo entry: the model `Arc`
@@ -796,12 +830,34 @@ impl EnergyService {
         platform: &str,
         counts: &[(String, f64)],
     ) -> Result<Estimate, ServiceError> {
+        self.estimate_tiered(platform, counts, Tier::F64)
+    }
+
+    /// [`estimate`](EnergyService::estimate) on an explicit inference
+    /// tier. [`Tier::Fixed`] runs the integer fixed-point kernel (when
+    /// the fast tier is enabled and the model lowers) with the stored
+    /// error bound folded into the confidence interval; [`Tier::F64`]
+    /// is byte-identical to `estimate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] when no model matches or the engine
+    /// rejects the request.
+    pub fn estimate_tiered(
+        &self,
+        platform: &str,
+        counts: &[(String, f64)],
+        tier: Tier,
+    ) -> Result<Estimate, ServiceError> {
         let trace = self.tracer.start("estimate", &[("platform", platform)]);
         let result = {
             let _scope = trace::scope(trace.as_ref());
             let run = || -> Result<Estimate, ServiceError> {
                 let (model, ordered) = self.resolve_counts(platform, counts)?;
-                Ok(self.engine.estimate(&model, ordered)?)
+                Ok(match self.effective_tier(tier) {
+                    Tier::F64 => self.engine.estimate(&model, ordered)?,
+                    Tier::Fixed => self.engine.estimate_fixed(&model, ordered)?,
+                })
             };
             run().inspect_err(|e| self.note_error(e, trace.as_ref()))
         };
@@ -809,6 +865,23 @@ impl EnergyService {
             self.tracer.finish(trace);
         }
         result
+    }
+
+    /// The tier a request actually runs on: what it asked for, unless
+    /// the fast tier is disabled service-wide, which pins everything to
+    /// [`Tier::F64`].
+    fn effective_tier(&self, requested: Tier) -> Tier {
+        if self.fast_tier {
+            requested
+        } else {
+            Tier::F64
+        }
+    }
+
+    /// Whether this service honours `tier=fixed` requests (built with
+    /// [`ServiceConfig::fast_tier`]).
+    pub fn fast_tier_enabled(&self) -> bool {
+        self.fast_tier
     }
 
     /// Resolve a counter-level request to its model and feature-ordered
@@ -891,6 +964,22 @@ impl EnergyService {
     /// Returns [`ServiceError`] when the platform or workload spec is
     /// invalid or no online model is registered for the platform.
     pub fn estimate_app(&self, platform: &str, app_spec: &str) -> Result<Estimate, ServiceError> {
+        self.estimate_app_tiered(platform, app_spec, Tier::F64)
+    }
+
+    /// [`estimate_app`](EnergyService::estimate_app) on an explicit
+    /// inference tier; [`Tier::F64`] is byte-identical to `estimate_app`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] when the platform or workload spec is
+    /// invalid or no online model is registered for the platform.
+    pub fn estimate_app_tiered(
+        &self,
+        platform: &str,
+        app_spec: &str,
+        tier: Tier,
+    ) -> Result<Estimate, ServiceError> {
         let trace = self
             .tracer
             .start("estimate-app", &[("platform", platform), ("app", app_spec)]);
@@ -898,7 +987,10 @@ impl EnergyService {
             let _scope = trace::scope(trace.as_ref());
             let run = || -> Result<Estimate, ServiceError> {
                 let (model, counts) = self.resolve_app(platform, app_spec)?;
-                Ok(self.engine.estimate(&model, counts)?)
+                Ok(match self.effective_tier(tier) {
+                    Tier::F64 => self.engine.estimate(&model, counts)?,
+                    Tier::Fixed => self.engine.estimate_fixed(&model, counts)?,
+                })
             };
             run().inspect_err(|e| self.note_error(e, trace.as_ref()))
         };
@@ -953,11 +1045,24 @@ impl EnergyService {
         let refs: Vec<BatchRequestRef<'_>> = requests
             .iter()
             .map(|request| match request {
-                BatchRequest::Counts { platform, counts } => BatchRequestRef::Counts {
+                BatchRequest::Counts {
+                    platform,
+                    counts,
+                    tier,
+                } => BatchRequestRef::Counts {
                     platform,
                     counts: counts.iter().map(|(n, v)| (n.as_str(), *v)).collect(),
+                    tier: *tier,
                 },
-                BatchRequest::App { platform, app } => BatchRequestRef::App { platform, app },
+                BatchRequest::App {
+                    platform,
+                    app,
+                    tier,
+                } => BatchRequestRef::App {
+                    platform,
+                    app,
+                    tier: *tier,
+                },
             })
             .collect();
         self.estimate_many_ref(&refs)
@@ -982,7 +1087,7 @@ impl EnergyService {
                 BatchRequestRef::Counts { platform, .. } => {
                     self.tracer.start("estimate", &[("platform", platform)])
                 }
-                BatchRequestRef::App { platform, app } => self
+                BatchRequestRef::App { platform, app, .. } => self
                     .tracer
                     .start("estimate-app", &[("platform", platform), ("app", app)]),
             })
@@ -994,10 +1099,10 @@ impl EnergyService {
             let result = {
                 let _scope = trace::scope(traces[i].as_ref());
                 match request {
-                    BatchRequestRef::Counts { platform, counts } => {
-                        self.resolve_counts_ref(platform, counts)
-                    }
-                    BatchRequestRef::App { platform, app } => self.resolve_app(platform, app),
+                    BatchRequestRef::Counts {
+                        platform, counts, ..
+                    } => self.resolve_counts_ref(platform, counts),
+                    BatchRequestRef::App { platform, app, .. } => self.resolve_app(platform, app),
                 }
             };
             match result {
@@ -1008,16 +1113,23 @@ impl EnergyService {
                 }
             }
         }
-        let mut groups: Vec<(Arc<StoredModel>, Vec<usize>)> = Vec::new();
+        // Groups are keyed by (model, effective tier): a mixed batch
+        // still costs one engine round trip per distinct model per tier,
+        // and each tier keeps its own kernel.
+        let mut groups: Vec<(Arc<StoredModel>, Tier, Vec<usize>)> = Vec::new();
         for (i, slot) in resolved.iter().enumerate() {
             if let Some((model, _)) = slot {
-                match groups.iter_mut().find(|(m, _)| Arc::ptr_eq(m, model)) {
-                    Some((_, indices)) => indices.push(i),
-                    None => groups.push((Arc::clone(model), vec![i])),
+                let tier = self.effective_tier(requests[i].tier());
+                match groups
+                    .iter_mut()
+                    .find(|(m, t, _)| Arc::ptr_eq(m, model) && *t == tier)
+                {
+                    Some((_, _, indices)) => indices.push(i),
+                    None => groups.push((Arc::clone(model), tier, vec![i])),
                 }
             }
         }
-        for (model, indices) in groups {
+        for (model, tier, indices) in groups {
             let rows: Vec<(Vec<f64>, Option<ActiveTrace>)> = indices
                 .iter()
                 .map(|&i| {
@@ -1027,10 +1139,11 @@ impl EnergyService {
                     )
                 })
                 .collect();
-            for (&i, result) in indices
-                .iter()
-                .zip(self.engine.estimate_batch_traced(&model, rows))
-            {
+            let answers = match tier {
+                Tier::F64 => self.engine.estimate_batch_traced(&model, rows),
+                Tier::Fixed => self.engine.estimate_batch_fixed_traced(&model, rows),
+            };
+            for (&i, result) in indices.iter().zip(answers) {
                 out[i] = Some(result.map_err(ServiceError::Engine));
             }
         }
@@ -1400,6 +1513,80 @@ mod tests {
     }
 
     #[test]
+    fn fixed_tier_requests_stay_within_the_lowered_bound() {
+        let service = trained_service();
+        let stored = service
+            .store()
+            .latest_of_family("skylake", "online")
+            .unwrap();
+        let counts: Vec<(String, f64)> = stored
+            .feature_order
+            .iter()
+            .map(|n| (n.clone(), 2.5e10))
+            .collect();
+        let slow = service.estimate("skylake", &counts).unwrap();
+        let fast = service
+            .estimate_tiered("skylake", &counts, Tier::Fixed)
+            .unwrap();
+        // The bound the engine folded into the interval is exactly the
+        // interval growth, and the answers agree within it.
+        let bound = fast.ci_half_width - slow.ci_half_width;
+        assert!(bound > 0.0, "fixed tier widens the interval");
+        assert!(
+            (fast.joules - slow.joules).abs() <= bound,
+            "|{} - {}| > {bound}",
+            fast.joules,
+            slow.joules
+        );
+        // A mixed batch groups per tier and answers both correctly.
+        let refs: Vec<(String, f64)> = counts.clone();
+        let requests = vec![
+            BatchRequest::Counts {
+                platform: "skylake".to_string(),
+                counts: refs.clone(),
+                tier: Tier::F64,
+            },
+            BatchRequest::Counts {
+                platform: "skylake".to_string(),
+                counts: refs,
+                tier: Tier::Fixed,
+            },
+        ];
+        let results = service.estimate_many(&requests);
+        assert_eq!(results[0].as_ref().unwrap(), &slow);
+        assert_eq!(results[1].as_ref().unwrap(), &fast);
+    }
+
+    #[test]
+    fn disabled_fast_tier_pins_every_request_to_f64() {
+        let service = ServiceConfig::default()
+            .workers(2)
+            .cache_capacity(64)
+            .seed(42)
+            .fast_tier(false)
+            .build()
+            .unwrap();
+        service
+            .train_online("skylake", &good_set(), &ladder())
+            .unwrap();
+        assert!(!service.fast_tier_enabled());
+        let stored = service
+            .store()
+            .latest_of_family("skylake", "online")
+            .unwrap();
+        let counts: Vec<(String, f64)> = stored
+            .feature_order
+            .iter()
+            .map(|n| (n.clone(), 2.5e10))
+            .collect();
+        let slow = service.estimate("skylake", &counts).unwrap();
+        let pinned = service
+            .estimate_tiered("skylake", &counts, Tier::Fixed)
+            .unwrap();
+        assert_eq!(pinned, slow, "kill switch forces the f64 path");
+    }
+
+    #[test]
     fn estimate_app_is_cached_per_spec() {
         let service = trained_service();
         let first = service.estimate_app("skylake", "dgemm:11500").unwrap();
@@ -1561,10 +1748,12 @@ mod tests {
             BatchRequest::App {
                 platform: "skylake".to_string(),
                 app: "dgemm:11500".to_string(),
+                tier: Tier::F64,
             },
             BatchRequest::App {
                 platform: "epyc".to_string(),
                 app: "dgemm:11500".to_string(),
+                tier: Tier::F64,
             },
         ];
         let results = service.estimate_many(&requests);

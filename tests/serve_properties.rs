@@ -13,7 +13,7 @@
 use pmca_obs::trace::{EventKind, TraceEvent};
 use pmca_serve::engine::Estimate;
 use pmca_serve::protocol::{ok_estimate, parse_estimate_reply, parse_ok_fields};
-use pmca_serve::{Request, Trace, TraceScope};
+use pmca_serve::{Request, Tier, Trace, TraceScope};
 use proptest::prelude::*;
 
 /// A protocol-safe identifier: non-empty, alphanumeric plus `_`/`-`/`:`
@@ -74,11 +74,29 @@ fn arbitrary_event() -> impl Strategy<Value = TraceEvent> {
         })
 }
 
+/// Either inference tier — round-trip coverage must include `tier=fixed`
+/// since it changes the encoded line.
+fn tier() -> impl Strategy<Value = Tier> {
+    (0usize..2).prop_map(|i| [Tier::F64, Tier::Fixed][i])
+}
+
 fn arbitrary_request() -> impl Strategy<Value = Request> {
-    let estimate = (ident(12), collection::vec((ident(16), count_value()), 1..6))
-        .prop_map(|(platform, counts)| Request::Estimate { platform, counts });
+    let estimate = (
+        ident(12),
+        collection::vec((ident(16), count_value()), 1..6),
+        tier(),
+    )
+        .prop_map(|(platform, counts, tier)| Request::Estimate {
+            platform,
+            counts,
+            tier,
+        });
     let estimate_app =
-        (ident(12), app_spec()).prop_map(|(platform, app)| Request::EstimateApp { platform, app });
+        (ident(12), app_spec(), tier()).prop_map(|(platform, app, tier)| Request::EstimateApp {
+            platform,
+            app,
+            tier,
+        });
     let train = (
         ident(12),
         collection::vec(ident(16), 1..5),
