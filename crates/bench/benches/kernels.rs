@@ -1,0 +1,157 @@
+//! SIMD kernel microbenches (PR 10).
+//!
+//! One `kernels` group comparing the scalar, SSE2, and AVX2
+//! implementations of the two batched inference kernels — fixed-point
+//! SoA evaluation ([`FixedModel::predict_batch_into_with`]) and f64
+//! batch prediction ([`CompiledModel::predict_batch_into_with`]) — for
+//! linear (`lr`) and forest (`rf`) models at 4 and 30 features, batch
+//! depths 1 and 64. Unsupported instruction sets are skipped.
+//!
+//! After the group (in timing *and* `--test` smoke mode) a throughput
+//! gate asserts AVX2 evaluates the batch-64 fixed-point linear case at
+//! least 2× faster than the scalar kernel, exiting nonzero otherwise —
+//! the floor CI enforces so the dispatch layer cannot silently rot.
+
+use criterion::{criterion_group, Criterion};
+use pmca_mlkit::{
+    CompiledModel, FixedBatch, FixedModel, LinearRegression, ModelParams, RandomForest, Regressor,
+};
+use pmca_simd::Isa;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Synthetic nonnegative-slope training data at a given feature width
+/// (the serve_hotpath fixture, shared shape).
+fn training_data(width: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let x: Vec<Vec<f64>> = (0..80)
+        .map(|i| {
+            (0..width)
+                .map(|j| ((i * 7 + j * 13) % 97) as f64 + j as f64 * 0.5)
+                .collect()
+        })
+        .collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .map(|(j, v)| v * (0.1 + j as f64 * 0.03))
+                .sum()
+        })
+        .collect();
+    (x, y)
+}
+
+/// Fit one family and return its compiled and fixed-point forms plus
+/// the training rows to batch over.
+fn fitted(family: &str, width: usize) -> (CompiledModel, FixedModel, Vec<Vec<f64>>) {
+    let (x, y) = training_data(width);
+    let params = match family {
+        "lr" => {
+            let mut lr = LinearRegression::paper_constrained();
+            lr.fit(&x, &y).expect("lr fit");
+            ModelParams::from_linear(&lr)
+        }
+        _ => {
+            let mut rf = RandomForest::with_seed(9);
+            rf.fit(&x, &y).expect("rf fit");
+            ModelParams::from_forest(&rf)
+        }
+    };
+    let compiled = CompiledModel::compile(&params).expect("compile");
+    let fixed = FixedModel::lower(&params, 200.0).expect("lower");
+    (compiled, fixed, x)
+}
+
+/// The instruction sets this CPU can actually run.
+fn supported_isas() -> Vec<Isa> {
+    let mut all = vec![Isa::Scalar, Isa::Sse2, Isa::Avx2];
+    all.retain(|isa| isa.clamp_supported() == *isa);
+    all
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels");
+    g.sample_size(10);
+    for family in ["lr", "rf"] {
+        for width in [4usize, 30] {
+            let (compiled, fixed, x) = fitted(family, width);
+            for depth in [1usize, 64] {
+                let rows: Vec<&[f64]> = (0..depth).map(|i| x[i % x.len()].as_slice()).collect();
+                // Pre-quantized SoA batch: the bench times evaluation,
+                // the kernel the dispatch layer vectorizes.
+                let mut batch = FixedBatch::new();
+                batch.push_rows(&fixed, &rows);
+                for isa in supported_isas() {
+                    let name = isa.as_str();
+                    let mut out = Vec::with_capacity(depth);
+                    g.bench_function(format!("fixed_{family}_{name}_{width}f_b{depth}"), |b| {
+                        b.iter(|| {
+                            out.clear();
+                            fixed.predict_batch_into_with(black_box(isa), &mut batch, &mut out);
+                            black_box(out.last().copied())
+                        })
+                    });
+                    let mut out = Vec::with_capacity(depth);
+                    g.bench_function(format!("f64_{family}_{name}_{width}f_b{depth}"), |b| {
+                        b.iter(|| {
+                            out.clear();
+                            compiled.predict_batch_into_with(black_box(isa), &rows, &mut out);
+                            black_box(out.last().copied())
+                        })
+                    });
+                }
+            }
+        }
+    }
+    g.finish();
+}
+
+/// Best-of-N wall time for evaluating the pre-filled batch on `isa`.
+fn time_fixed_eval(fixed: &FixedModel, batch: &mut FixedBatch, isa: Isa) -> f64 {
+    const ITERS: usize = 2_000;
+    let mut out = Vec::with_capacity(64);
+    for _ in 0..200 {
+        out.clear();
+        fixed.predict_batch_into_with(isa, batch, &mut out);
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            out.clear();
+            fixed.predict_batch_into_with(isa, batch, &mut out);
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    black_box(out.last().copied());
+    best
+}
+
+/// The CI throughput floor: AVX2 must evaluate the batch-64 fixed-point
+/// linear case at least 2× faster than the scalar kernel.
+fn gate() {
+    if Isa::Avx2.clamp_supported() != Isa::Avx2 {
+        println!("kernels-gate: skipped (no AVX2 on this CPU)");
+        return;
+    }
+    let (_, fixed, x) = fitted("lr", 30);
+    let rows: Vec<&[f64]> = (0..64).map(|i| x[i % x.len()].as_slice()).collect();
+    let mut batch = FixedBatch::new();
+    batch.push_rows(&fixed, &rows);
+    let scalar = time_fixed_eval(&fixed, &mut batch, Isa::Scalar);
+    let avx2 = time_fixed_eval(&fixed, &mut batch, Isa::Avx2);
+    let speedup = scalar / avx2;
+    println!("kernels-gate: avx2 vs scalar on fixed lr 30f batch-64: {speedup:.2}x (floor 2.00x)");
+    if speedup < 2.0 {
+        eprintln!("kernels-gate: FAIL — AVX2 fixed-point throughput below the 2x floor");
+        std::process::exit(1);
+    }
+}
+
+criterion_group!(kernel_benches, bench_kernels);
+
+fn main() {
+    kernel_benches();
+    gate();
+}

@@ -979,10 +979,54 @@ struct StreamSummary {
     refit_swaps: u64,
 }
 
+/// The dispatched SIMD instruction set (and the raw `PMCA_SIMD`
+/// override, if one was set) as JSON fields — recorded in every
+/// baseline so numbers committed from different machines are never
+/// silently compared across ISAs.
+fn simd_json_fields() -> String {
+    let isa = pmca_simd::Isa::active().as_str();
+    match pmca_simd::override_request() {
+        Some(req) => format!(
+            "  \"simd_isa\": \"{isa}\",\n  \"simd_override\": \"{}\",\n",
+            req.replace('"', "'")
+        ),
+        None => format!("  \"simd_isa\": \"{isa}\",\n"),
+    }
+}
+
+/// Print the ISA header row of a `--compare`, warning when the
+/// baseline ran on different kernels (or predates ISA recording).
+fn print_simd_comparison(baseline: &str) {
+    let now = pmca_simd::Isa::active().as_str();
+    let now_line = match pmca_simd::override_request() {
+        Some(req) => format!("{now} (PMCA_SIMD={req})"),
+        None => now.to_string(),
+    };
+    match json_string(baseline, "simd_isa") {
+        Some(base) => {
+            println!("  simd isa: baseline {base}, now {now_line}");
+            if base != now {
+                println!("  warning: simd isa differs — kernel numbers are not like-for-like");
+            }
+        }
+        None => println!("  simd isa: baseline unrecorded, now {now_line}"),
+    }
+}
+
+/// Pull one string field out of a flat JSON object, the sibling of
+/// [`json_number`] for quoted values.
+fn json_string(text: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let after = &text[text.find(&needle)? + needle.len()..];
+    let after = after.trim_start().strip_prefix(':')?.trim_start();
+    let after = after.strip_prefix('"')?;
+    Some(after[..after.find('"')?].to_string())
+}
+
 impl StreamSummary {
     fn to_json(&self) -> String {
         format!(
-            "{{\n  \"streams\": {},\n  \"clients\": {},\n  \"windows\": {},\n  \
+            "{{\n{simd}  \"streams\": {},\n  \"clients\": {},\n  \"windows\": {},\n  \
              \"label_every\": {},\n  \"total_windows\": {},\n  \"elapsed_secs\": {:.3},\n  \
              \"ingest_wps\": {:.1},\n  \"poll_p50_us\": {:.1},\n  \"poll_p95_us\": {:.1},\n  \
              \"poll_p99_us\": {:.1},\n  \"refit_swaps\": {}\n}}\n",
@@ -996,12 +1040,14 @@ impl StreamSummary {
             self.poll_p50_us,
             self.poll_p95_us,
             self.poll_p99_us,
-            self.refit_swaps
+            self.refit_swaps,
+            simd = simd_json_fields()
         )
     }
 
     fn print_comparison(&self, path: &str, baseline: &str) {
         println!("comparison against {path}:");
+        print_simd_comparison(baseline);
         let rows: [(&str, f64, bool); 4] = [
             ("ingest_wps", self.ingest_wps, true),
             ("poll_p50_us", self.poll_p50_us, false),
@@ -1091,7 +1137,7 @@ impl Summary {
             })
             .collect();
         format!(
-            "{{\n  \"clients\": {},\n  \"workers\": {},\n  \"pipeline\": {},\n  \
+            "{{\n{simd}  \"clients\": {},\n  \"workers\": {},\n  \"pipeline\": {},\n  \
              \"app_share\": {},\n  \"tier\": \"{}\",\n{tiers}{connections}  \
              \"transport\": \"{}\",\n  \
              \"shards\": {},\n  \"total\": {},\n  \"elapsed_secs\": {:.3},\n  \
@@ -1111,7 +1157,8 @@ impl Summary {
             self.p90_us,
             self.p99_us,
             self.p999_us,
-            self.max_us
+            self.max_us,
+            simd = simd_json_fields()
         )
     }
 
@@ -1120,6 +1167,7 @@ impl Summary {
     /// "lower is better" — the sign convention is printed per row.
     fn print_comparison(&self, path: &str, baseline: &str) {
         println!("comparison against {path}:");
+        print_simd_comparison(baseline);
         let rows: [(&str, f64, bool); 6] = [
             ("throughput_eps", self.throughput_eps, true),
             ("p50_us", self.p50_us, false),

@@ -584,6 +584,16 @@ fn cmd_serve(options: &Parsed) -> Result<(), String> {
     if let Some(dir) = &options.registry {
         println!("loaded {} model(s) from {dir}", service.stats().models);
     }
+    match pmca_simd::override_request() {
+        Some(req) => println!(
+            "simd kernels: {} (PMCA_SIMD={req})",
+            pmca_simd::Isa::active().as_str()
+        ),
+        None => println!(
+            "simd kernels: {} (detected)",
+            pmca_simd::Isa::active().as_str()
+        ),
+    }
     let server = Server::start_router(Arc::clone(&router), &options.addr)
         .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
     let topology = if options.shards > 1 {

@@ -14,7 +14,8 @@
 //!   (`children[(row[f] > t) as usize]` — no data-dependent branch for
 //!   the predictor to mispredict);
 //! * **linear** models fuse intercept + coefficients into a single
-//!   sequential dot product over one slice;
+//!   pairwise dot product over one slice, dispatched onto the best
+//!   SIMD instruction set the CPU has (`pmca-simd`);
 //! * **networks** flatten each layer's `Vec<Vec<f64>>` weight matrix into
 //!   one contiguous column-major (input-major) buffer so the mat-vec
 //!   streams memory linearly, with thread-local scratch instead of
@@ -30,10 +31,11 @@ use crate::export::ModelParams;
 use crate::model::ModelError;
 use crate::nn::{Activation, NetworkWeights};
 use crate::tree::NodeSpec;
+use pmca_simd::Isa;
 use std::cell::RefCell;
 
 /// Sentinel feature index marking a leaf node.
-pub(crate) const LEAF: u32 = u32::MAX;
+pub(crate) const LEAF: u32 = pmca_simd::TREE_LEAF;
 
 /// Sentinel child index for nodes with no children (leaves). Walks stop
 /// on [`LEAF`] before ever reading a leaf's children, but the sentinel
@@ -41,17 +43,11 @@ pub(crate) const LEAF: u32 = u32::MAX;
 /// re-visiting the leaf itself.
 const NO_CHILD: u32 = u32::MAX;
 
-/// One node of a flattened tree: 16 bytes of payload, no pointers.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) struct FlatNode {
-    /// Split threshold for internal nodes; predicted value for leaves.
-    pub(crate) scalar: f64,
-    /// Feature index tested, or [`LEAF`].
-    pub(crate) feature: u32,
-    /// Indices of the left (`row[f] <= t`) and right children into the
-    /// owning node arena. [`NO_CHILD`] (and unused) for leaves.
-    pub(crate) children: [u32; 2],
-}
+/// One node of a flattened tree: 16 bytes of payload, no pointers —
+/// the SIMD crate's f64 arena node (`scalar` is the split threshold
+/// for internal nodes and the predicted value for leaves), so batch
+/// prediction hands the arena to the lane-parallel router directly.
+pub(crate) type FlatNode = pmca_simd::TreeNodeF64;
 
 /// A network layer with its weight matrix flattened input-major
 /// (`weights_t[i * outputs + o]` = weight from input `i` to output `o`),
@@ -184,13 +180,10 @@ impl CompiledModel {
                 coefficients,
                 intercept,
             } => {
-                // Same order as LinearRegression::predict_one: sequential
-                // zip dot, intercept added to the completed sum.
-                let mut acc = 0.0;
-                for (a, b) in row.iter().zip(coefficients) {
-                    acc += a * b;
-                }
-                intercept + acc
+                // Same shape as LinearRegression::predict_one: the
+                // dispatched pairwise dot, intercept added to the
+                // completed sum.
+                intercept + pmca_simd::dot_f64(Isa::active(), row, coefficients)
             }
             Kernel::Forest { nodes, roots } => {
                 // Same order as RandomForest::predict_one: per-tree sums
@@ -259,7 +252,50 @@ impl CompiledModel {
     ///
     /// Panics if any row has the wrong width.
     pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<f64> {
-        rows.iter().map(|row| self.predict_one(row)).collect()
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let mut out = Vec::with_capacity(rows.len());
+        self.predict_batch_into(&refs, &mut out);
+        out
+    }
+
+    /// Predict a batch of rows on the runtime-dispatched SIMD kernels,
+    /// appending one prediction per row to `out`. Bit-identical to
+    /// [`predict_one`](CompiledModel::predict_one) per row: linear
+    /// rows share the pairwise dot, forest rows route lane-parallel
+    /// through the same compare-and-step arithmetic, and neural rows
+    /// (which have no batch kernel) fall back to the scalar forward
+    /// pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row has the wrong width (one check per batch).
+    pub fn predict_batch_into(&self, rows: &[&[f64]], out: &mut Vec<f64>) {
+        self.predict_batch_into_with(Isa::active(), rows, out);
+    }
+
+    /// [`predict_batch_into`](CompiledModel::predict_batch_into) on an
+    /// explicit instruction set — the hook the parity property tests
+    /// and the `kernels` criterion group use to compare
+    /// implementations. An unsupported request clamps to the best the
+    /// CPU has.
+    pub fn predict_batch_into_with(&self, isa: Isa, rows: &[&[f64]], out: &mut Vec<f64>) {
+        assert!(
+            rows.iter().all(|row| row.len() == self.width),
+            "feature width mismatch"
+        );
+        match &self.kernel {
+            Kernel::Linear {
+                coefficients,
+                intercept,
+            } => out.extend(
+                rows.iter()
+                    .map(|row| intercept + pmca_simd::dot_f64(isa, row, coefficients)),
+            ),
+            Kernel::Forest { nodes, roots } => {
+                pmca_simd::forest_eval_f64(isa, nodes, roots, rows, out);
+            }
+            Kernel::Neural { .. } => out.extend(rows.iter().map(|row| self.predict_one(row))),
+        }
     }
 }
 

@@ -66,6 +66,7 @@
 
 use crate::compiled::{CompiledModel, FlatNode, Kernel, LEAF};
 use crate::export::ModelParams;
+use pmca_simd::Isa;
 use std::error::Error;
 use std::fmt;
 
@@ -123,17 +124,11 @@ impl fmt::Display for FixedError {
 impl Error for FixedError {}
 
 /// One node of a quantized flattened tree: thresholds and leaf values
-/// are integers, so traversal never touches floating point.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct FixedNode {
-    /// `floor(threshold·S)` for internal nodes; `round(value·L)` for
-    /// leaves.
-    scalar: i64,
-    /// Feature index tested, or [`LEAF`].
-    feature: u32,
-    /// Child indices, copied verbatim from the compiled arena.
-    children: [u32; 2],
-}
+/// are integers, so traversal never touches floating point. The layout
+/// is the SIMD crate's arena node (`scalar` holds `floor(threshold·S)`
+/// for internal nodes and `round(value·L)` for leaves), so the batch
+/// path hands the arena to the lane-parallel router without copying.
+type FixedNode = pmca_simd::TreeNodeI64;
 
 /// The per-family fixed-point kernels.
 #[derive(Debug, Clone, PartialEq)]
@@ -337,16 +332,57 @@ impl FixedModel {
         batch.rows += 1;
     }
 
+    /// Quantize many rows into the batch at once: one width check and
+    /// one column reservation for the whole slice instead of one per
+    /// row, then column-major fills that stream each destination
+    /// buffer contiguously. Equivalent to
+    /// [`push_row`](FixedModel::push_row) in a loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row is not [`FixedModel::width`] wide, or if the
+    /// batch already holds rows of a different width.
+    pub fn push_rows(&self, batch: &mut FixedBatch, rows: &[&[f64]]) {
+        if rows.is_empty() {
+            return;
+        }
+        assert!(
+            rows.iter().all(|row| row.len() == self.width),
+            "feature width mismatch"
+        );
+        if batch.columns.len() != self.width {
+            assert_eq!(batch.rows, 0, "batch already holds rows of another width");
+            batch.columns.resize_with(self.width, Vec::new);
+        }
+        for (f, col) in batch.columns.iter_mut().enumerate() {
+            col.reserve(rows.len());
+            for row in rows {
+                col.push(self.quantize(row[f]));
+            }
+        }
+        batch.rows += rows.len();
+    }
+
     /// Evaluate every row in the batch, appending one prediction per row
     /// to `out` in push order. Streams each feature column contiguously
     /// (linear) or walks the quantized arena with pure integer compares
-    /// (forest); a warm call allocates nothing beyond buffer growth.
+    /// (forest) on the runtime-dispatched SIMD kernels; a warm call
+    /// allocates nothing beyond buffer growth.
     ///
     /// # Panics
     ///
     /// Panics if the batch was filled for a different width.
-    #[allow(clippy::cast_precision_loss)] // worst |acc| < 2^62; slack term covers it
     pub fn predict_batch_into(&self, batch: &mut FixedBatch, out: &mut Vec<f64>) {
+        self.predict_batch_into_with(Isa::active(), batch, out);
+    }
+
+    /// [`predict_batch_into`](FixedModel::predict_batch_into) on an
+    /// explicit instruction set — the hook the parity property tests
+    /// and the `kernels` criterion group use to compare
+    /// implementations. All ISAs return bit-identical results; an
+    /// unsupported request is clamped to the best the CPU has.
+    #[allow(clippy::cast_precision_loss)] // worst |acc| < 2^62; slack term covers it
+    pub fn predict_batch_into_with(&self, isa: Isa, batch: &mut FixedBatch, out: &mut Vec<f64>) {
         if batch.rows == 0 {
             return;
         }
@@ -360,12 +396,11 @@ impl FixedModel {
                 batch.acc.clear();
                 batch.acc.resize(batch.rows, *intercept);
                 // Column-at-a-time: one weight broadcast against one
-                // contiguous column — the same add order per row as the
-                // scalar path, so results are bit-identical to it.
+                // contiguous column — exact integer arithmetic, so the
+                // lane split changes nothing and every ISA stays
+                // bit-identical to the scalar row path.
                 for (w, col) in weights.iter().zip(&batch.columns) {
-                    for (acc, &q) in batch.acc.iter_mut().zip(col) {
-                        *acc = acc.saturating_add(w.saturating_mul(q));
-                    }
+                    pmca_simd::mac_i64(isa, &mut batch.acc, col, *w);
                 }
                 out.extend(batch.acc.iter().map(|&acc| acc as f64 / out_scale));
             }
@@ -374,22 +409,19 @@ impl FixedModel {
                 roots,
                 out_scale,
             } => {
-                for r in 0..batch.rows {
-                    let mut acc = 0i64;
-                    for &root in roots {
-                        let mut at = root as usize;
-                        loop {
-                            let node = &nodes[at];
-                            if node.feature == LEAF {
-                                acc = acc.saturating_add(node.scalar);
-                                break;
-                            }
-                            let go_right = batch.columns[node.feature as usize][r] > node.scalar;
-                            at = node.children[usize::from(go_right)] as usize;
-                        }
-                    }
-                    out.push(acc as f64 / out_scale);
-                }
+                // The accumulator scratch doubles as the forest's
+                // summed-leaf buffer, keeping the warm path
+                // allocation-free.
+                batch.acc.clear();
+                pmca_simd::forest_eval_i64(
+                    isa,
+                    nodes,
+                    roots,
+                    &batch.columns,
+                    batch.rows,
+                    &mut batch.acc,
+                );
+                out.extend(batch.acc.iter().map(|&acc| acc as f64 / out_scale));
             }
         }
     }
@@ -428,6 +460,13 @@ impl FixedBatch {
         for col in &mut self.columns {
             col.clear();
         }
+    }
+
+    /// Bulk ingestion: quantize `rows` under `model` in one call —
+    /// batch-side sugar for [`FixedModel::push_rows`], with the same
+    /// panics.
+    pub fn push_rows(&mut self, model: &FixedModel, rows: &[&[f64]]) {
+        model.push_rows(self, rows);
     }
 }
 

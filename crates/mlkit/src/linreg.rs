@@ -295,12 +295,10 @@ impl Regressor for LinearRegression {
     fn predict_one(&self, row: &[f64]) -> f64 {
         assert!(self.fitted, "model not fitted");
         assert_eq!(row.len(), self.coefficients.len(), "feature width mismatch");
-        self.intercept
-            + row
-                .iter()
-                .zip(&self.coefficients)
-                .map(|(a, b)| a * b)
-                .sum::<f64>()
+        // The dispatched pairwise dot — the same kernel (and therefore
+        // the same bits) as the compiled linear model and the stream
+        // hub's window estimates.
+        self.intercept + pmca_simd::dot_f64(pmca_simd::Isa::active(), row, &self.coefficients)
     }
 }
 

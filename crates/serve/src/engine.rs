@@ -26,6 +26,7 @@ use crate::registry::StoredModel;
 use pmca_mlkit::{CompiledModel, FixedBatch, FixedModel};
 use pmca_obs::trace::{self, ActiveTrace, TraceSpan};
 use pmca_obs::{Histogram, MetricsRegistry, Span};
+use pmca_simd::Isa;
 use pmca_stats::confidence::t_critical;
 use std::borrow::Cow;
 use std::cell::RefCell;
@@ -375,6 +376,12 @@ impl EngineMetrics {
     }
 
     fn from_registry(registry: &MetricsRegistry) -> Self {
+        // Advertise which SIMD instruction set the inference kernels
+        // dispatched to (the stream hub registers the same gauge id,
+        // so shared registries carry it once).
+        registry
+            .gauge("pmca_simd_isa", &[("isa", Isa::active().as_str())])
+            .set(1.0);
         EngineMetrics {
             queue_wait: registry.histogram("pmca_engine_queue_wait_seconds", &[]),
             compute: registry.histogram("pmca_engine_compute_seconds", &[]),
@@ -385,7 +392,8 @@ impl EngineMetrics {
 
 /// Per-thread scratch for the fixed tier: the SoA batch, the output
 /// vector, and the valid-row index map. Reused across batches so a warm
-/// fixed-tier request performs no allocation at all.
+/// fixed-tier request allocates nothing beyond the transient slice
+/// gather its bulk ingestion hands to `push_rows`.
 struct FixedScratch {
     batch: FixedBatch,
     out: Vec<f64>,
@@ -551,7 +559,10 @@ impl InferenceEngine {
 
     /// Answer one request on the fixed-point fast tier (see
     /// [`estimate_batch_fixed_traced`](InferenceEngine::estimate_batch_fixed_traced)
-    /// for the tier's fallback rules).
+    /// for the tier's fallback rules). Unlike the batch entry point this
+    /// path allocates nothing on a warm scratch — no row vector, no
+    /// result collection — which is what pipelined `ESTIMATE` traffic
+    /// rides on.
     ///
     /// # Errors
     ///
@@ -561,9 +572,65 @@ impl InferenceEngine {
         model: &Arc<StoredModel>,
         counts: Vec<f64>,
     ) -> Result<Estimate, EngineError> {
-        self.estimate_batch_fixed_traced(model, vec![(counts, trace::current())])
-            .pop()
-            .unwrap_or(Err(EngineError::Stopped))
+        if self.shared.stop.load(Ordering::Acquire) {
+            return Err(EngineError::Stopped);
+        }
+        let entry = self.fixed_entry(model);
+        // Same fallback rules as the batch path: unlowerable model or an
+        // oversized (but valid) count serves f64, bit-identically.
+        let fallback = match entry.fixed.as_ref() {
+            None => true,
+            Some(_) => counts.iter().any(|c| *c > FIXED_FEATURE_MAX),
+        };
+        if fallback {
+            return self
+                .estimate_batch_traced(model, vec![(counts, trace::current())])
+                .pop()
+                .unwrap_or(Err(EngineError::Stopped));
+        }
+        let fixed = entry.fixed.as_ref().expect("checked above");
+        let started = self.metrics.fixed_batch.enabled().then(Instant::now);
+        let trace = trace::current();
+        if let Some(trace) = trace.as_ref() {
+            trace.begin("engine.fixed", &[]);
+        }
+        let result = if counts.len() != entry.width {
+            Err(EngineError::Shape {
+                expected: entry.width,
+                got: counts.len(),
+            })
+        } else if counts.iter().any(|c| !c.is_finite() || *c < 0.0) {
+            Err(EngineError::BadCount)
+        } else {
+            let joules = FIXED_SCRATCH.with(|cell| {
+                let scratch = &mut *cell.borrow_mut();
+                scratch.batch.clear();
+                scratch.out.clear();
+                fixed.push_row(&mut scratch.batch, &counts);
+                fixed.predict_batch_into(&mut scratch.batch, &mut scratch.out);
+                scratch.out[0]
+            });
+            Ok(Estimate {
+                joules: joules.max(0.0),
+                ci_half_width: entry.half_width
+                    + fixed
+                        .direct_error_bound()
+                        .unwrap_or_else(|| fixed.error_bound()),
+                family: entry.family.clone(),
+                version: entry.version,
+            })
+        };
+        if let Some(trace) = trace.as_ref() {
+            trace.end("engine.fixed");
+        }
+        if let Some(started) = started {
+            self.metrics.fixed_batch.record(started.elapsed());
+        }
+        match &result {
+            Ok(_) => self.shared.served.fetch_add(1, Ordering::Relaxed),
+            Err(_) => self.shared.errors.fetch_add(1, Ordering::Relaxed),
+        };
+        result
     }
 
     /// Answer a batch of requests against one model on the fixed-point
@@ -631,8 +698,21 @@ impl InferenceEngine {
                     results[i] = Some(Err(EngineError::BadCount));
                     continue;
                 }
-                fixed.push_row(&mut scratch.batch, counts);
                 scratch.valid.push(i);
+            }
+            // Bulk ingestion: one width check and one column
+            // reservation for the whole batch instead of one per row
+            // (the per-row validation above already produced the
+            // individual Shape/BadCount errors). Single-row batches —
+            // the pipelined ESTIMATE hot path — skip the slice gather
+            // so they stay allocation-free.
+            match scratch.valid.as_slice() {
+                &[i] => fixed.push_row(&mut scratch.batch, &rows[i].0),
+                valid => {
+                    let valid_rows: Vec<&[f64]> =
+                        valid.iter().map(|&i| rows[i].0.as_slice()).collect();
+                    fixed.push_rows(&mut scratch.batch, &valid_rows);
+                }
             }
             fixed.predict_batch_into(&mut scratch.batch, &mut scratch.out);
             for (&i, joules) in scratch.valid.iter().zip(&scratch.out) {

@@ -1,0 +1,315 @@
+//! x86_64 SSE2/AVX2 kernel implementations.
+//!
+//! Everything here is `unsafe fn` + `#[target_feature]`: the safe
+//! wrappers in `lib.rs` prove the feature is present (via
+//! [`Isa::clamp_supported`](crate::Isa::clamp_supported)) before
+//! calling in, which is the entire safety argument — the bodies only
+//! do unaligned loads/stores of caller-provided slices at in-bounds
+//! offsets.
+//!
+//! The 64-bit integer multiply deserves a note: neither SSE2 nor AVX2
+//! has one, so the kernels synthesize the low 64 bits from 32×32→64
+//! unsigned partial products (`lo·lo + ((lo·hi + hi·lo) << 32)`),
+//! which is exact modulo 2⁶⁴ and therefore agrees with scalar
+//! `wrapping_mul` for signed operands too.
+
+use core::arch::x86_64::{
+    __m128i, __m256i, _mm256_add_epi64, _mm256_add_pd, _mm256_castsi256_pd, _mm256_cmp_pd,
+    _mm256_cmpgt_epi64, _mm256_div_pd, _mm256_loadu_pd, _mm256_loadu_si256, _mm256_movemask_pd,
+    _mm256_mul_epu32, _mm256_mul_pd, _mm256_set1_epi64x, _mm256_set1_pd, _mm256_setzero_pd,
+    _mm256_setzero_si256, _mm256_slli_epi64, _mm256_srli_epi64, _mm256_storeu_pd,
+    _mm256_storeu_si256, _mm_add_epi64, _mm_add_pd, _mm_cmple_pd, _mm_div_pd, _mm_loadu_pd,
+    _mm_loadu_si128, _mm_movemask_pd, _mm_mul_epu32, _mm_mul_pd, _mm_set1_epi64x, _mm_set1_pd,
+    _mm_setzero_pd, _mm_slli_epi64, _mm_srli_epi64, _mm_storeu_pd, _mm_storeu_si128, _CMP_LE_OQ,
+};
+
+use crate::{TreeNodeF64, TreeNodeI64, TREE_LEAF};
+
+// ------------------------------------------------------------------
+// i64 multiply-accumulate
+// ------------------------------------------------------------------
+
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn mac_i64_sse2(acc: &mut [i64], col: &[i64], w: i64) {
+    let n = acc.len();
+    let wv = _mm_set1_epi64x(w);
+    let w_hi = _mm_srli_epi64::<32>(wv);
+    let mut i = 0;
+    while i + 2 <= n {
+        let q = _mm_loadu_si128(col.as_ptr().add(i) as *const __m128i);
+        let q_hi = _mm_srli_epi64::<32>(q);
+        let lo_lo = _mm_mul_epu32(q, wv);
+        let cross = _mm_add_epi64(_mm_mul_epu32(q, w_hi), _mm_mul_epu32(q_hi, wv));
+        let prod = _mm_add_epi64(lo_lo, _mm_slli_epi64::<32>(cross));
+        let a = _mm_loadu_si128(acc.as_ptr().add(i) as *const __m128i);
+        _mm_storeu_si128(
+            acc.as_mut_ptr().add(i) as *mut __m128i,
+            _mm_add_epi64(a, prod),
+        );
+        i += 2;
+    }
+    while i < n {
+        acc[i] = acc[i].wrapping_add(w.wrapping_mul(col[i]));
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn mac_i64_avx2(acc: &mut [i64], col: &[i64], w: i64) {
+    let n = acc.len();
+    let wv = _mm256_set1_epi64x(w);
+    let w_hi = _mm256_srli_epi64::<32>(wv);
+    let mut i = 0;
+    while i + 4 <= n {
+        let q = _mm256_loadu_si256(col.as_ptr().add(i) as *const __m256i);
+        let q_hi = _mm256_srli_epi64::<32>(q);
+        let lo_lo = _mm256_mul_epu32(q, wv);
+        let cross = _mm256_add_epi64(_mm256_mul_epu32(q, w_hi), _mm256_mul_epu32(q_hi, wv));
+        let prod = _mm256_add_epi64(lo_lo, _mm256_slli_epi64::<32>(cross));
+        let a = _mm256_loadu_si256(acc.as_ptr().add(i) as *const __m256i);
+        _mm256_storeu_si256(
+            acc.as_mut_ptr().add(i) as *mut __m256i,
+            _mm256_add_epi64(a, prod),
+        );
+        i += 4;
+    }
+    while i < n {
+        acc[i] = acc[i].wrapping_add(w.wrapping_mul(col[i]));
+        i += 1;
+    }
+}
+
+// ------------------------------------------------------------------
+// Pairwise f64 dot
+// ------------------------------------------------------------------
+
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn dot_f64_sse2(x: &[f64], w: &[f64]) -> f64 {
+    let n = x.len();
+    // Two 2-lane accumulators standing in for lanes (0,1) and (2,3) of
+    // the pairwise shape — the same per-lane element assignment as the
+    // scalar and AVX2 paths.
+    let mut acc01 = _mm_setzero_pd();
+    let mut acc23 = _mm_setzero_pd();
+    let mut i = 0;
+    while i + 4 <= n {
+        let x01 = _mm_loadu_pd(x.as_ptr().add(i));
+        let w01 = _mm_loadu_pd(w.as_ptr().add(i));
+        acc01 = _mm_add_pd(acc01, _mm_mul_pd(x01, w01));
+        let x23 = _mm_loadu_pd(x.as_ptr().add(i + 2));
+        let w23 = _mm_loadu_pd(w.as_ptr().add(i + 2));
+        acc23 = _mm_add_pd(acc23, _mm_mul_pd(x23, w23));
+        i += 4;
+    }
+    let mut lanes = [0.0f64; 4];
+    _mm_storeu_pd(lanes.as_mut_ptr(), acc01);
+    _mm_storeu_pd(lanes.as_mut_ptr().add(2), acc23);
+    let mut lane = 0;
+    while i < n {
+        lanes[lane] += x[i] * w[i];
+        lane += 1;
+        i += 1;
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn dot_f64_avx2(x: &[f64], w: &[f64]) -> f64 {
+    let n = x.len();
+    let mut acc = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + 4 <= n {
+        let xv = _mm256_loadu_pd(x.as_ptr().add(i));
+        let wv = _mm256_loadu_pd(w.as_ptr().add(i));
+        // mul + add, never fmadd: contraction would change the bits.
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(xv, wv));
+        i += 4;
+    }
+    let mut lanes = [0.0f64; 4];
+    _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+    let mut lane = 0;
+    while i < n {
+        lanes[lane] += x[i] * w[i];
+        lane += 1;
+        i += 1;
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+}
+
+// ------------------------------------------------------------------
+// Forest routing, four (or two) rows in lockstep
+// ------------------------------------------------------------------
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn forest_i64_avx2(
+    nodes: &[TreeNodeI64],
+    roots: &[u32],
+    columns: &[Vec<i64>],
+    rows: usize,
+    acc_out: &mut Vec<i64>,
+) {
+    let mut r = 0;
+    while r + 4 <= rows {
+        let mut acc = _mm256_setzero_si256();
+        for &root in roots {
+            let mut at = [root as usize; 4];
+            let mut leaf = [0i64; 4];
+            let mut pending = 0b1111u32;
+            loop {
+                // Per-lane node fetch: arena indices diverge, so the
+                // loads stay scalar; the compare below is the vector
+                // part of the step.
+                let mut q = [0i64; 4];
+                let mut t = [0i64; 4];
+                for lane in 0..4 {
+                    if pending >> lane & 1 == 0 {
+                        continue;
+                    }
+                    let node = &nodes[at[lane]];
+                    if node.feature == TREE_LEAF {
+                        leaf[lane] = node.scalar;
+                        pending &= !(1 << lane);
+                        continue;
+                    }
+                    q[lane] = columns[node.feature as usize][r + lane];
+                    t[lane] = node.scalar;
+                }
+                if pending == 0 {
+                    break;
+                }
+                let qv = _mm256_loadu_si256(q.as_ptr().cast());
+                let tv = _mm256_loadu_si256(t.as_ptr().cast());
+                let gt = _mm256_cmpgt_epi64(qv, tv);
+                let mask = _mm256_movemask_pd(_mm256_castsi256_pd(gt)) as u32;
+                for lane in 0..4 {
+                    if pending >> lane & 1 == 1 {
+                        at[lane] = nodes[at[lane]].children[(mask >> lane & 1) as usize] as usize;
+                    }
+                }
+            }
+            // One add per tree per lane, matching the scalar walk's
+            // accumulation order (exact integers, wrapping).
+            acc = _mm256_add_epi64(acc, _mm256_loadu_si256(leaf.as_ptr().cast()));
+        }
+        let mut lanes = [0i64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc);
+        acc_out.extend_from_slice(&lanes);
+        r += 4;
+    }
+    crate::forest_i64_scalar(nodes, roots, columns, r, rows, acc_out);
+}
+
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn forest_f64_sse2(
+    nodes: &[TreeNodeF64],
+    roots: &[u32],
+    rows: &[&[f64]],
+    out: &mut Vec<f64>,
+) {
+    let trees = _mm_set1_pd(roots.len() as f64);
+    let mut r = 0;
+    while r + 2 <= rows.len() {
+        let mut acc = _mm_setzero_pd();
+        for &root in roots {
+            let mut at = [root as usize; 2];
+            let mut leaf = [0.0f64; 2];
+            let mut pending = 0b11u32;
+            loop {
+                let mut q = [0.0f64; 2];
+                let mut t = [0.0f64; 2];
+                for lane in 0..2 {
+                    if pending >> lane & 1 == 0 {
+                        continue;
+                    }
+                    let node = &nodes[at[lane]];
+                    if node.feature == TREE_LEAF {
+                        leaf[lane] = node.scalar;
+                        pending &= !(1 << lane);
+                        continue;
+                    }
+                    q[lane] = rows[r + lane][node.feature as usize];
+                    t[lane] = node.scalar;
+                }
+                if pending == 0 {
+                    break;
+                }
+                let le = _mm_cmple_pd(_mm_loadu_pd(q.as_ptr()), _mm_loadu_pd(t.as_ptr()));
+                let mask = _mm_movemask_pd(le) as u32;
+                for lane in 0..2 {
+                    if pending >> lane & 1 == 1 {
+                        // go_right = !(q <= t): an unset mask bit — NaN
+                        // compares false and routes right, like scalar.
+                        let go_right = mask >> lane & 1 == 0;
+                        at[lane] = nodes[at[lane]].children[usize::from(go_right)] as usize;
+                    }
+                }
+            }
+            acc = _mm_add_pd(acc, _mm_loadu_pd(leaf.as_ptr()));
+        }
+        let mean = _mm_div_pd(acc, trees);
+        let mut lanes = [0.0f64; 2];
+        _mm_storeu_pd(lanes.as_mut_ptr(), mean);
+        out.extend_from_slice(&lanes);
+        r += 2;
+    }
+    crate::forest_f64_scalar(nodes, roots, &rows[r..], out);
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn forest_f64_avx2(
+    nodes: &[TreeNodeF64],
+    roots: &[u32],
+    rows: &[&[f64]],
+    out: &mut Vec<f64>,
+) {
+    let trees = _mm256_set1_pd(roots.len() as f64);
+    let mut r = 0;
+    while r + 4 <= rows.len() {
+        let mut acc = _mm256_setzero_pd();
+        for &root in roots {
+            let mut at = [root as usize; 4];
+            let mut leaf = [0.0f64; 4];
+            let mut pending = 0b1111u32;
+            loop {
+                let mut q = [0.0f64; 4];
+                let mut t = [0.0f64; 4];
+                for lane in 0..4 {
+                    if pending >> lane & 1 == 0 {
+                        continue;
+                    }
+                    let node = &nodes[at[lane]];
+                    if node.feature == TREE_LEAF {
+                        leaf[lane] = node.scalar;
+                        pending &= !(1 << lane);
+                        continue;
+                    }
+                    q[lane] = rows[r + lane][node.feature as usize];
+                    t[lane] = node.scalar;
+                }
+                if pending == 0 {
+                    break;
+                }
+                let le = _mm256_cmp_pd::<_CMP_LE_OQ>(
+                    _mm256_loadu_pd(q.as_ptr()),
+                    _mm256_loadu_pd(t.as_ptr()),
+                );
+                let mask = _mm256_movemask_pd(le) as u32;
+                for lane in 0..4 {
+                    if pending >> lane & 1 == 1 {
+                        let go_right = mask >> lane & 1 == 0;
+                        at[lane] = nodes[at[lane]].children[usize::from(go_right)] as usize;
+                    }
+                }
+            }
+            // One add per tree per lane — never a conditional `+ 0.0`,
+            // which would turn a `-0.0` partial sum into `+0.0`.
+            acc = _mm256_add_pd(acc, _mm256_loadu_pd(leaf.as_ptr()));
+        }
+        let mean = _mm256_div_pd(acc, trees);
+        let mut lanes = [0.0f64; 4];
+        _mm256_storeu_pd(lanes.as_mut_ptr(), mean);
+        out.extend_from_slice(&lanes);
+        r += 4;
+    }
+    crate::forest_f64_scalar(nodes, roots, &rows[r..], out);
+}

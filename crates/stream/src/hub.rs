@@ -25,7 +25,9 @@ use pmca_mlkit::model::Regressor;
 use pmca_mlkit::{NeuralNet, RandomForest, RecursiveLeastSquares};
 use pmca_obs::{trace, Counter, Gauge, HealthRegistry, HealthState, HealthTransition};
 use pmca_obs::{Histogram, MetricsRegistry, Tracer};
+use pmca_simd::Isa;
 use pmca_stats::confidence::t_critical;
+use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
@@ -184,14 +186,25 @@ pub struct ModelSnapshot {
 
 impl ModelSnapshot {
     /// Predicted joules for one window of counts (clamped non-negative,
-    /// matching the serving engine).
+    /// matching the serving engine) — the same dispatched pairwise dot
+    /// the serving kernels use, so stream estimates and served
+    /// estimates of the same coefficients agree bit for bit.
     pub fn predict(&self, counts: &[f64]) -> f64 {
-        counts
-            .iter()
-            .zip(&self.coefficients)
-            .map(|(c, b)| c * b)
-            .sum::<f64>()
-            .max(0.0)
+        pmca_simd::dot_f64(Isa::active(), counts, &self.coefficients).max(0.0)
+    }
+
+    /// Predicted joules for many windows at once, appending one
+    /// clamped estimate per window to `out`. Bit-identical to
+    /// [`predict`](ModelSnapshot::predict) per window; the batch form
+    /// exists so ring-wide estimates hit the SIMD kernel without a
+    /// per-window dispatch lookup.
+    pub fn predict_windows_into<'a>(
+        &self,
+        windows: impl Iterator<Item = &'a [f64]>,
+        out: &mut Vec<f64>,
+    ) {
+        let isa = Isa::active();
+        out.extend(windows.map(|w| pmca_simd::dot_f64(isa, w, &self.coefficients).max(0.0)));
     }
 
     /// Half-width of the 95% prediction interval — the same Student-t
@@ -292,8 +305,20 @@ struct StreamMetrics {
     lag: Histogram,
 }
 
+thread_local! {
+    /// Scratch for the batched ring-wide window estimates in
+    /// `status_of` — reused across polls so a warm status costs no
+    /// allocation.
+    static ESTIMATE_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
 impl StreamMetrics {
     fn from_registry(registry: &MetricsRegistry) -> Self {
+        // Advertise the dispatched kernel instruction set (shared with
+        // the serving engine, which registers the same gauge id).
+        registry
+            .gauge("pmca_simd_isa", &[("isa", Isa::active().as_str())])
+            .set(1.0);
         let windows =
             |result: &str| registry.counter("pmca_stream_windows_total", &[("result", result)]);
         StreamMetrics {
@@ -668,12 +693,19 @@ impl StreamHub {
                 let mean = if retained == 0 {
                     0.0
                 } else {
-                    entry
-                        .state
-                        .samples()
-                        .map(|w| s.predict(&w.counts))
-                        .sum::<f64>()
-                        / retained as f64
+                    // Ring-wide estimates go through the batched SIMD
+                    // kernel with thread-local scratch; the sum runs
+                    // in the same window order as a per-row loop, so
+                    // the mean's bits are unchanged.
+                    ESTIMATE_SCRATCH.with(|cell| {
+                        let buf = &mut *cell.borrow_mut();
+                        buf.clear();
+                        s.predict_windows_into(
+                            entry.state.samples().map(|w| w.counts.as_slice()),
+                            buf,
+                        );
+                        buf.iter().sum::<f64>() / retained as f64
+                    })
                 };
                 (
                     latest,

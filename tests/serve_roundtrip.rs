@@ -340,6 +340,45 @@ fn traces_over_the_wire_break_requests_into_stages_on(transport: Transport) {
     client.quit().unwrap();
 }
 
+/// Forcing the scalar kernels (the `PMCA_SIMD=scalar` escape hatch) on a
+/// live server must not change a single served bit: SIMD dispatch is a
+/// throughput lever, never an accuracy knob. `pmca_simd::force` is the
+/// in-process equivalent of the env override, which is latched before
+/// the test harness could set it.
+#[test]
+fn forced_scalar_kernels_serve_identical_estimates() {
+    let service = Arc::new(service(2, 32, Transport::Threaded));
+    service
+        .train_online("skylake", &good_set(), &ladder())
+        .unwrap();
+    let server = Server::start(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let named: Vec<(String, f64)> = GOOD_SET
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.to_string(), 1.0e10 + i as f64 * 2.5e9))
+        .collect();
+    let native = client.estimate("skylake", &named).unwrap();
+
+    let previous = pmca_simd::force(pmca_simd::Isa::Scalar);
+    assert_eq!(pmca_simd::Isa::active(), pmca_simd::Isa::Scalar);
+    let scalar = client.estimate("skylake", &named).unwrap();
+    let restored = pmca_simd::force(previous);
+    assert_eq!(restored, pmca_simd::Isa::Scalar, "swap returns what ran");
+    assert_eq!(pmca_simd::Isa::active(), previous, "dispatch restored");
+
+    assert_eq!(
+        scalar.joules.to_bits(),
+        native.joules.to_bits(),
+        "scalar {} vs native {}",
+        scalar.joules,
+        native.joules
+    );
+    assert_eq!(scalar.version, native.version);
+    client.quit().unwrap();
+}
+
 #[test]
 fn traces_over_the_wire_break_requests_into_stages() {
     traces_over_the_wire_break_requests_into_stages_on(Transport::Threaded);

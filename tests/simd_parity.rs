@@ -1,0 +1,205 @@
+//! Cross-ISA bit-identity properties for the SIMD kernel layer (PR 10).
+//!
+//! The dispatch contract in `pmca-simd` is that every instruction set
+//! produces **bit-identical** output — SIMD is a throughput lever, never
+//! an accuracy knob, so an operator toggling `PMCA_SIMD` can never
+//! change a served estimate. These properties exercise that contract
+//! end to end through the public model APIs for all three vectorized
+//! kernels — the fixed-point batch evaluator (linear MAC and i64 forest
+//! routing), the f64 batch kernels (pairwise dot and f64 forest), and
+//! the raw dot product the stream hub's window-estimate path uses —
+//! across random models, feature widths 1–64, and ragged batch tails
+//! that force the kernels through their scalar remainder handling.
+
+use pmca_mlkit::tree::NodeSpec;
+use pmca_mlkit::{CompiledModel, FixedBatch, FixedModel, ModelParams};
+use pmca_simd::Isa;
+use proptest::prelude::*;
+
+/// Feature domain bound used for every lowered model.
+const FEATURE_MAX: f64 = 200.0;
+
+/// Every instruction set this CPU can actually run (always includes
+/// `Scalar`; `Sse2`/`Avx2` only where supported).
+fn supported_isas() -> Vec<Isa> {
+    let mut all = vec![Isa::Scalar, Isa::Sse2, Isa::Avx2];
+    all.retain(|isa| isa.clamp_supported() == *isa);
+    all
+}
+
+/// Split a flat cell buffer into `width`-sized rows, dropping the
+/// ragged remainder so every row is full width.
+fn rows_of(cells: &[f64], width: usize) -> Vec<&[f64]> {
+    cells.chunks_exact(width).collect()
+}
+
+/// Deterministically grow a random preorder tree from an LCG stream.
+///
+/// Depth is capped so the preorder list stays small and leaf values stay
+/// modest, keeping every generated forest inside the fixed-point
+/// lowering's accumulator budget.
+fn grow_tree(state: &mut u64, width: usize, depth: usize, out: &mut Vec<NodeSpec>) {
+    let next = |state: &mut u64| {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    };
+    let split = depth > 0 && next(state) % 3 != 0;
+    if split {
+        let feature = next(state) as usize % width;
+        let threshold = (next(state) % 2_000) as f64 / 2_000.0 * FEATURE_MAX;
+        out.push(NodeSpec::Split { feature, threshold });
+        grow_tree(state, width, depth - 1, out);
+        grow_tree(state, width, depth - 1, out);
+    } else {
+        let value = (next(state) % 10_000) as f64 / 100.0 - 20.0;
+        out.push(NodeSpec::Leaf { value });
+    }
+}
+
+/// A random forest over `width` features, seeded by `seed`.
+fn random_forest(seed: u64, width: usize, trees: usize) -> ModelParams {
+    let mut state = seed | 1;
+    let trees = (0..trees)
+        .map(|_| {
+            let mut nodes = Vec::new();
+            grow_tree(&mut state, width, 4, &mut nodes);
+            nodes
+        })
+        .collect();
+    ModelParams::Forest { width, trees }
+}
+
+/// Evaluate `fixed` on `rows` under `isa` via the batched SoA path.
+fn fixed_batch_eval(fixed: &FixedModel, isa: Isa, rows: &[&[f64]]) -> Vec<f64> {
+    let mut batch = FixedBatch::new();
+    fixed.push_rows(&mut batch, rows);
+    let mut out = Vec::with_capacity(rows.len());
+    fixed.predict_batch_into_with(isa, &mut batch, &mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fixed-point linear MAC: every ISA produces the same bits as the
+    /// scalar kernel and as the single-row walk.
+    #[test]
+    fn fixed_linear_batches_are_bit_identical_across_isas(
+        coefficients in collection::vec(0.0f64..5.0, 1..65),
+        intercept in 0.0f64..50.0,
+        cells in collection::vec(-10.0f64..220.0, 0..512),
+    ) {
+        let width = coefficients.len();
+        let params = ModelParams::Linear { coefficients, intercept };
+        let fixed = FixedModel::lower(&params, FEATURE_MAX).expect("linear lowering");
+        let rows = rows_of(&cells, width);
+        let baseline = fixed_batch_eval(&fixed, Isa::Scalar, &rows);
+        for (&row, &got) in rows.iter().zip(&baseline) {
+            prop_assert_eq!(got.to_bits(), fixed.predict_one(row).to_bits());
+        }
+        for isa in supported_isas() {
+            let out = fixed_batch_eval(&fixed, isa, &rows);
+            prop_assert_eq!(out.len(), baseline.len());
+            for (&a, &b) in out.iter().zip(&baseline) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "isa {}", isa.as_str());
+            }
+        }
+    }
+
+    /// Fixed-point i64 forest routing: lockstep AVX2 traversal (and the
+    /// SSE2 scalar fallback) match the scalar walk bit for bit, including
+    /// ragged sub-4-row tails.
+    #[test]
+    fn fixed_forest_batches_are_bit_identical_across_isas(
+        seed in 0u64..u64::MAX,
+        width in 1usize..65,
+        trees in 1usize..6,
+        cells in collection::vec(-10.0f64..220.0, 0..384),
+    ) {
+        let params = random_forest(seed, width, trees);
+        let fixed = FixedModel::lower(&params, FEATURE_MAX).expect("forest lowering");
+        let rows = rows_of(&cells, width);
+        let baseline = fixed_batch_eval(&fixed, Isa::Scalar, &rows);
+        for (&row, &got) in rows.iter().zip(&baseline) {
+            prop_assert_eq!(got.to_bits(), fixed.predict_one(row).to_bits());
+        }
+        for isa in supported_isas() {
+            let out = fixed_batch_eval(&fixed, isa, &rows);
+            prop_assert_eq!(out.len(), baseline.len());
+            for (&a, &b) in out.iter().zip(&baseline) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "isa {}", isa.as_str());
+            }
+        }
+    }
+
+    /// f64 linear batches (the compiled-model kernel; also the stream
+    /// hub's per-window estimate shape): bit-identical across ISAs and
+    /// equal to the single-row pairwise dot.
+    #[test]
+    fn f64_linear_batches_are_bit_identical_across_isas(
+        coefficients in collection::vec(-5.0f64..5.0, 1..65),
+        intercept in -50.0f64..50.0,
+        cells in collection::vec(-1000.0f64..1000.0, 0..512),
+    ) {
+        let width = coefficients.len();
+        let params = ModelParams::Linear { coefficients, intercept };
+        let compiled = CompiledModel::compile(&params).expect("compile linear");
+        let rows = rows_of(&cells, width);
+        let mut baseline = Vec::new();
+        compiled.predict_batch_into_with(Isa::Scalar, &rows, &mut baseline);
+        for (&row, &got) in rows.iter().zip(&baseline) {
+            prop_assert_eq!(got.to_bits(), compiled.predict_one(row).to_bits());
+        }
+        for isa in supported_isas() {
+            let mut out = Vec::new();
+            compiled.predict_batch_into_with(isa, &rows, &mut out);
+            prop_assert_eq!(out.len(), baseline.len());
+            for (&a, &b) in out.iter().zip(&baseline) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "isa {}", isa.as_str());
+            }
+        }
+    }
+
+    /// f64 forest batches: masked lane routing matches the scalar tree
+    /// walk bit for bit, ragged tails included.
+    #[test]
+    fn f64_forest_batches_are_bit_identical_across_isas(
+        seed in 0u64..u64::MAX,
+        width in 1usize..65,
+        trees in 1usize..6,
+        cells in collection::vec(-10.0f64..220.0, 0..384),
+    ) {
+        let params = random_forest(seed, width, trees);
+        let compiled = CompiledModel::compile(&params).expect("compile forest");
+        let rows = rows_of(&cells, width);
+        let mut baseline = Vec::new();
+        compiled.predict_batch_into_with(Isa::Scalar, &rows, &mut baseline);
+        for (&row, &got) in rows.iter().zip(&baseline) {
+            prop_assert_eq!(got.to_bits(), compiled.predict_one(row).to_bits());
+        }
+        for isa in supported_isas() {
+            let mut out = Vec::new();
+            compiled.predict_batch_into_with(isa, &rows, &mut out);
+            prop_assert_eq!(out.len(), baseline.len());
+            for (&a, &b) in out.iter().zip(&baseline) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "isa {}", isa.as_str());
+            }
+        }
+    }
+
+    /// The raw pairwise dot product every f64 path shares: identical
+    /// bits on every ISA for lengths 0–129 (covering all lane tails).
+    #[test]
+    fn raw_dot_is_bit_identical_across_isas(
+        xs in collection::vec(-1.0e3f64..1.0e3, 0..130),
+        ws in collection::vec(-1.0e3f64..1.0e3, 0..130),
+    ) {
+        let baseline = pmca_simd::dot_f64(Isa::Scalar, &xs, &ws);
+        for isa in supported_isas() {
+            let got = pmca_simd::dot_f64(isa, &xs, &ws);
+            prop_assert_eq!(got.to_bits(), baseline.to_bits(), "isa {}", isa.as_str());
+        }
+    }
+}
